@@ -1,0 +1,78 @@
+// Ablation C: environmental conditions. The paper runs at fixed room
+// temperature and nominal 5 V; deployed devices see neither. This sweep
+// shows the model's environmental behaviour: WCHD against a 25 C
+// enrollment reference as the measurement temperature and supply vary
+// (the temperature sensitivity that motivates [17]'s ramp-time adaptation
+// and the elevated baseline of accelerated-aging tests).
+#include "analysis/hamming.hpp"
+#include "bench_common.hpp"
+#include "io/table.hpp"
+#include "silicon/device_factory.hpp"
+
+namespace pufaging {
+namespace {
+
+double wchd_at(SramDevice& device, const BitVector& reference,
+               const OperatingPoint& op, int trials = 25) {
+  double sum = 0.0;
+  for (int i = 0; i < trials; ++i) {
+    sum += fractional_hamming_distance(reference, device.measure(op));
+  }
+  return sum / trials;
+}
+
+void reproduce() {
+  bench::banner(
+      "Ablation C - WCHD vs measurement temperature and supply voltage");
+
+  SramDevice device = make_device(paper_fleet_config(), 0);
+  const BitVector reference = device.measure();  // enrolled at 25 C / 5 V
+
+  TablePrinter temp_table({"Temperature", "WCHD vs 25C reference"},
+                          {Align::kRight, Align::kRight});
+  for (double t : {-40.0, -20.0, 0.0, 25.0, 50.0, 70.0, 85.0}) {
+    char label[16];
+    std::snprintf(label, sizeof label, "%.0f C", t);
+    temp_table.add_row(
+        {label, TablePrinter::percent(wchd_at(device, reference,
+                                              OperatingPoint{t, 5.0}))});
+  }
+  std::printf("%s\n", temp_table.to_string().c_str());
+
+  TablePrinter vdd_table({"Supply", "WCHD vs 5.0V reference"},
+                         {Align::kRight, Align::kRight});
+  for (double v : {4.5, 4.75, 5.0, 5.25, 5.5}) {
+    char label[16];
+    std::snprintf(label, sizeof label, "%.2f V", v);
+    vdd_table.add_row(
+        {label, TablePrinter::percent(wchd_at(device, reference,
+                                              OperatingPoint{25.0, v}))});
+  }
+  std::printf("%s\n", vdd_table.to_string().c_str());
+
+  std::printf(
+      "shape: the classic V around the enrollment temperature -- cold\n"
+      "measurements disagree through the per-cell mismatch temperature\n"
+      "coefficients, hot ones additionally through the grown noise sigma\n"
+      "(the same effect that puts the accelerated-aging baseline of\n"
+      "Section IV-D at ~5.3%% instead of 2.5%%). Supply deviations move\n"
+      "WCHD far less, consistent with [17]'s focus on temperature.\n");
+}
+
+void BM_MeasureAcrossTemperatures(benchmark::State& state) {
+  // Cost of an operating-point change (threshold table rebuild).
+  SramDevice d = make_device(paper_fleet_config(), 0);
+  double t = 0.0;
+  for (auto _ : state) {
+    t = (t == 0.0) ? 85.0 : 0.0;
+    benchmark::DoNotOptimize(d.measure(OperatingPoint{t, 5.0}));
+  }
+}
+BENCHMARK(BM_MeasureAcrossTemperatures)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace pufaging
+
+int main(int argc, char** argv) {
+  return pufaging::bench::run(argc, argv, pufaging::reproduce);
+}

@@ -1,0 +1,116 @@
+// Ablation D: key-generation scheme trade study over the device lifetime.
+// Three enrollments on the same silicon:
+//   plain     — code-offset over raw (biased) response bits,
+//   masked    — dark-bit preselection first (lower BER, aging caveat),
+//   debiased  — von Neumann debiasing first (no bias leak, ~4x bits).
+// Columns show what the paper's aging data implies for each: response
+// cost, corrections over time, and the bias-leakage exposure.
+#include "analysis/hamming.hpp"
+#include "bench_common.hpp"
+#include "io/table.hpp"
+#include "keygen/bit_selection.hpp"
+#include "keygen/debiased_key_generator.hpp"
+#include "keygen/key_generator.hpp"
+#include "keygen/leakage.hpp"
+#include "silicon/device_factory.hpp"
+
+namespace pufaging {
+namespace {
+
+void reproduce() {
+  bench::banner("Ablation D - plain vs masked vs debiased key generation");
+
+  // Leakage exposure at the paper's bias.
+  const double bias = 0.627;
+  std::printf("bias-leakage exposure at FHW = %.1f%%:\n", 100.0 * bias);
+  std::printf(
+      "  repetition-5 block secret recovery from helper data: %.1f%% "
+      "(50%% = secure)\n",
+      100.0 * repetition_bias_attack_theory(5, bias));
+  std::printf("  after von Neumann debiasing:                       ~50.0%%\n\n");
+
+  // Lifetime corrections per scheme on identical twins.
+  SramDevice plain_dev = make_device(paper_fleet_config(), 0);
+  SramDevice masked_dev = make_device(paper_fleet_config(), 0);
+  SramDevice debiased_dev = make_device(paper_fleet_config(), 0);
+
+  KeyGenerator plain = KeyGenerator::standard();
+  const Enrollment plain_enr = plain.enroll(plain_dev);
+
+  const BitSelection selection = select_stable_cells(masked_dev, 200);
+  KeyGenerator masked = KeyGenerator::standard();
+  // Masked enrollment: run the standard generator over the stable cells
+  // only, by measuring and projecting. (The generator consumes the first
+  // response bits; here we demonstrate BER, not a full masked pipeline.)
+  const BitVector masked_ref =
+      apply_selection(masked_dev.measure(), selection);
+
+  DebiasedKeyGenerator debiased = DebiasedKeyGenerator::standard();
+  const DebiasedEnrollment debiased_enr = debiased.enroll(debiased_dev);
+
+  TablePrinter t({"Month", "plain corr.", "masked BER", "debiased corr."},
+                 {Align::kRight, Align::kRight, Align::kRight,
+                  Align::kRight});
+  for (int month = 0; month <= 24; month += 6) {
+    if (month > 0) {
+      plain_dev.age_months(6.0);
+      masked_dev.age_months(6.0);
+      debiased_dev.age_months(6.0);
+    }
+    const Regeneration rp = plain.regenerate(plain_dev, plain_enr);
+    const Regeneration rd = debiased.regenerate(debiased_dev, debiased_enr);
+    double masked_ber = 0.0;
+    for (int i = 0; i < 25; ++i) {
+      masked_ber += fractional_hamming_distance(
+          masked_ref, apply_selection(masked_dev.measure(), selection));
+    }
+    masked_ber /= 25.0;
+    t.add_row({std::to_string(month),
+               std::to_string(rp.corrected) + (rp.key_matches ? "" : "!"),
+               TablePrinter::percent(masked_ber, 3),
+               std::to_string(rd.corrected) + (rd.key_matches ? "" : "!")});
+  }
+  std::printf("%s", t.to_string().c_str());
+  std::printf(
+      "\nresponse-bit cost for a 128-bit key: plain %zu, debiased ~%zu "
+      "raw bits\n",
+      plain_enr.response_bits, std::size_t{8192});
+  std::printf(
+      "takeaways: masking starts near zero BER but erodes with aging (the\n"
+      "paper's stable-cell decline); debiasing closes the leakage at ~4x\n"
+      "response cost; the plain scheme needs the bias accounted in its\n"
+      "entropy budget.\n");
+}
+
+void BM_SelectStableCells(benchmark::State& state) {
+  SramDevice d = make_device(paper_fleet_config(), 1);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(select_stable_cells(d, 50));
+  }
+}
+BENCHMARK(BM_SelectStableCells)->Unit(benchmark::kMillisecond);
+
+void BM_DebiasedEnroll(benchmark::State& state) {
+  SramDevice d = make_device(paper_fleet_config(), 2);
+  DebiasedKeyGenerator gen = DebiasedKeyGenerator::standard();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(gen.enroll(d));
+  }
+}
+BENCHMARK(BM_DebiasedEnroll)->Unit(benchmark::kMillisecond);
+
+void BM_BiasAttack(benchmark::State& state) {
+  Xoshiro256StarStar rng(7);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        repetition_bias_attack_success(5, 0.627, 1000, rng));
+  }
+}
+BENCHMARK(BM_BiasAttack)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace pufaging
+
+int main(int argc, char** argv) {
+  return pufaging::bench::run(argc, argv, pufaging::reproduce);
+}

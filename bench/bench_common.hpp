@@ -1,0 +1,32 @@
+// Shared helpers for the reproduction benches.
+#pragma once
+
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+#include <string>
+
+namespace pufaging::bench {
+
+/// Prints a section banner for the reproduction output.
+inline void banner(const std::string& title) {
+  std::printf("\n================================================================\n");
+  std::printf("%s\n", title.c_str());
+  std::printf("================================================================\n");
+}
+
+/// Standard entry point: print the reproduction artefact, then run the
+/// google-benchmark timings that were registered by the binary.
+inline int run(int argc, char** argv, void (*reproduce)()) {
+  reproduce();
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) {
+    return 1;
+  }
+  std::printf("\n--- kernel timings ---\n");
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}
+
+}  // namespace pufaging::bench

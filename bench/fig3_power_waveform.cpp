@@ -1,0 +1,59 @@
+// Reproduces paper Fig. 3: power-cycle waveforms of boards S3, S4 (layer 0)
+// and S19, S20 (layer 1) as captured by the oscilloscope on the rig.
+// Expected shape: 5.4 s period = 3.8 s on + 1.6 s off; boards on the same
+// layer switch together; the two layers are staggered.
+#include "bench_common.hpp"
+#include "testbed/campaign.hpp"
+#include "testbed/rig.hpp"
+
+namespace pufaging {
+namespace {
+
+void reproduce() {
+  bench::banner(
+      "Fig. 3 - Waveforms of power curves of boards S3, S4, S19, S20");
+
+  Rig rig{RigConfig{}};
+  rig.run_cycles(4);
+
+  std::printf("%s\n", rig.scope().render(0.0, 22.0, 100).c_str());
+  std::printf("('#' = rail high, '.' = rail low; 22 s shown)\n\n");
+
+  std::printf("%-6s %10s %10s %10s %8s\n", "Board", "Period[s]", "On[s]",
+              "Off[s]", "Cycles");
+  for (std::uint32_t channel : {3U, 4U, 19U, 20U}) {
+    const WaveformStats s = rig.scope().stats(channel);
+    std::printf("S%-5u %10.2f %10.2f %10.2f %8zu\n", channel, s.period_s,
+                s.on_time_s, s.off_time_s, s.cycles);
+  }
+  std::printf("\npaper: period 5.4 s, power-on 3.8 s, power-off 1.6 s\n");
+}
+
+void BM_RigPowerCycle(benchmark::State& state) {
+  Rig rig{RigConfig{}};
+  std::uint64_t cycles = 0;
+  for (auto _ : state) {
+    rig.run_cycles(++cycles);
+  }
+}
+BENCHMARK(BM_RigPowerCycle)->Unit(benchmark::kMillisecond);
+
+void BM_EventQueueThroughput(benchmark::State& state) {
+  for (auto _ : state) {
+    EventQueue q;
+    int counter = 0;
+    for (int i = 0; i < 1000; ++i) {
+      q.schedule_at(static_cast<double>(i), [&counter] { ++counter; });
+    }
+    q.run_until(1000.0);
+    benchmark::DoNotOptimize(counter);
+  }
+}
+BENCHMARK(BM_EventQueueThroughput)->Unit(benchmark::kMicrosecond);
+
+}  // namespace
+}  // namespace pufaging
+
+int main(int argc, char** argv) {
+  return pufaging::bench::run(argc, argv, pufaging::reproduce);
+}

@@ -1,0 +1,61 @@
+// Reproduces paper Fig. 4: visualized start-up pattern of the first 1 KByte
+// of SRAM on board S0 (ones dark, zeros light). The pattern is biased
+// toward ones (FHW ~ 63%) with device-unique spatial structure.
+// Also writes the full-resolution image to fig4_s0.pgm.
+#include "bench_common.hpp"
+#include "io/pgm.hpp"
+#include "silicon/device_factory.hpp"
+
+namespace pufaging {
+namespace {
+
+void reproduce() {
+  bench::banner("Fig. 4 - Start-up pattern of 1KB memory on board S0");
+
+  SramDevice s0 = make_device(paper_fleet_config(), 0);
+  const BitVector pattern = s0.measure();
+
+  // 8192 bits as a 128x64 bitmap, down-sampled to ASCII (2x4 per char).
+  std::printf("%s", bits_to_ascii(pattern, 128, 2, 4).c_str());
+  std::printf("\nFHW of this read-out: %.2f%% (paper band: 60-70%%)\n",
+              100.0 * pattern.fractional_weight());
+
+  save_pgm(pattern, 128, "fig4_s0.pgm");
+  std::printf("full-resolution image written to fig4_s0.pgm (128x64)\n");
+}
+
+void BM_MeasureWindow(benchmark::State& state) {
+  SramDevice d = make_device(paper_fleet_config(), 0);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(d.measure());
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          1024);
+}
+BENCHMARK(BM_MeasureWindow);
+
+void BM_MeasureFullArray(benchmark::State& state) {
+  SramDevice d = make_device(paper_fleet_config(), 0);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(d.measure_full());
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          2560);
+}
+BENCHMARK(BM_MeasureFullArray);
+
+void BM_RenderAscii(benchmark::State& state) {
+  SramDevice d = make_device(paper_fleet_config(), 0);
+  const BitVector pattern = d.measure();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(bits_to_ascii(pattern, 128, 2, 4));
+  }
+}
+BENCHMARK(BM_RenderAscii);
+
+}  // namespace
+}  // namespace pufaging
+
+int main(int argc, char** argv) {
+  return pufaging::bench::run(argc, argv, pufaging::reproduce);
+}

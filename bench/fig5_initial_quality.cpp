@@ -1,0 +1,87 @@
+// Reproduces paper Fig. 5: histograms of fractional within-class HD,
+// between-class HD and Hamming weight over the 16 devices' first 1,000
+// read-outs. Expected shape: WCHD concentrated below 3%, BCHD between 40%
+// and 50%, FHW between 60% and 70%.
+#include "analysis/initial_quality.hpp"
+#include "bench_common.hpp"
+#include "io/csv.hpp"
+#include "stats/descriptive.hpp"
+#include "testbed/campaign.hpp"
+
+namespace pufaging {
+namespace {
+
+void reproduce() {
+  bench::banner(
+      "Fig. 5 - Fractional HD / HW distributions at the start of the test");
+
+  CampaignConfig config;
+  config.months = 0;
+  config.keep_first_month_batches = true;
+  const CampaignResult r = run_campaign(config);
+  const InitialQualityReport report =
+      evaluate_initial_quality(r.first_month_batches);
+
+  std::printf("%s", render_initial_quality(report).c_str());
+
+  const SampleSummary wchd = summarize(report.wchd_samples);
+  const SampleSummary bchd = summarize(report.bchd_samples);
+  const SampleSummary fhw = summarize(report.fhw_samples);
+  std::printf("paper shape check:\n");
+  std::printf("  WCHD below 3%%:        measured max %.2f%% (paper: < 3%%)\n",
+              100.0 * wchd.max);
+  std::printf("  BCHD in 40-50%% band:  measured [%.2f%%, %.2f%%]\n",
+              100.0 * bchd.min, 100.0 * bchd.max);
+  std::printf("  FHW in 60-70%% band:   measured [%.2f%%, %.2f%%]\n",
+              100.0 * fhw.min, 100.0 * fhw.max);
+
+  CsvWriter csv({"metric", "bin_center", "percent"});
+  const auto dump = [&csv](const char* name, const Histogram& h) {
+    for (std::size_t b = 0; b < h.bin_count(); ++b) {
+      if (h.count(b) > 0) {
+        csv.add_row(std::vector<std::string>{
+            name, std::to_string(h.bin_center(b)),
+            std::to_string(h.percent(b))});
+      }
+    }
+  };
+  dump("wchd", report.wchd_hist);
+  dump("bchd", report.bchd_hist);
+  dump("fhw", report.fhw_hist);
+  csv.save("fig5_histograms.csv");
+  std::printf("series written to fig5_histograms.csv\n");
+}
+
+void BM_InitialQuality16Devices(benchmark::State& state) {
+  CampaignConfig config;
+  config.months = 0;
+  config.measurements_per_month = static_cast<std::size_t>(state.range(0));
+  config.keep_first_month_batches = true;
+  const CampaignResult r = run_campaign(config);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(evaluate_initial_quality(r.first_month_batches));
+  }
+}
+BENCHMARK(BM_InitialQuality16Devices)->Arg(50)->Arg(200)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_HammingDistance8192(benchmark::State& state) {
+  CampaignConfig config;
+  config.months = 0;
+  config.measurements_per_month = 2;
+  config.keep_first_month_batches = true;
+  const CampaignResult r = run_campaign(config);
+  const BitVector& a = r.first_month_batches[0][0];
+  const BitVector& b = r.first_month_batches[0][1];
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(hamming_distance(a, b));
+  }
+}
+BENCHMARK(BM_HammingDistance8192);
+
+}  // namespace
+}  // namespace pufaging
+
+int main(int argc, char** argv) {
+  return pufaging::bench::run(argc, argv, pufaging::reproduce);
+}

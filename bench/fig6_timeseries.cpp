@@ -1,0 +1,109 @@
+// Reproduces paper Fig. 6: development of (a) WCHD, (b) Hamming weight,
+// (c) noise entropy and (d) PUF entropy over the two-year aging test.
+// Expected shapes: (a) rises ~2.5% -> ~3.0% sub-linearly, (b) flat per
+// device in the 60-70% band, (c) rises ~3.0% -> ~3.6%, (d) flat ~65%.
+// Full series are written to fig6a..fig6d CSV files.
+#include <functional>
+
+#include "analysis/timeseries.hpp"
+#include "bench_common.hpp"
+#include "testbed/campaign.hpp"
+
+namespace pufaging {
+namespace {
+
+// A representative subset of device lines keeps the ASCII panels readable;
+// the CSVs carry all 16 devices.
+constexpr std::uint32_t kShownDevices[] = {0, 3, 7, 11, 15};
+
+void panel(const std::vector<FleetMonthMetrics>& series, const char* title,
+           const std::function<double(const DeviceMonthMetrics&)>& device_acc,
+           const char* csv_name) {
+  std::printf("\n%s\n", title);
+  std::vector<MetricSeries> shown;
+  for (std::uint32_t d : kShownDevices) {
+    shown.push_back(extract_device_series(series, d,
+                                          "S" + std::to_string(d),
+                                          device_acc));
+  }
+  std::printf("%s", render_chart(shown, 76, 14).c_str());
+
+  std::vector<MetricSeries> all;
+  for (std::uint32_t d = 0; d < 16; ++d) {
+    all.push_back(extract_device_series(series, d, "S" + std::to_string(d),
+                                        device_acc));
+  }
+  series_to_csv(all).save(csv_name);
+  std::printf("full per-device series written to %s\n", csv_name);
+}
+
+void reproduce() {
+  bench::banner("Fig. 6 - Development of PUF qualities over two years");
+  std::printf("running the 24-month, 16-device, 1000-measurements/month "
+              "campaign...\n");
+  const CampaignResult r = run_campaign(CampaignConfig{});
+
+  panel(r.series, "(a) Within-class Hamming distance per device",
+        [](const DeviceMonthMetrics& d) { return d.wchd_mean; },
+        "fig6a_wchd.csv");
+  panel(r.series, "(b) Hamming weight per device",
+        [](const DeviceMonthMetrics& d) { return d.fhw_mean; },
+        "fig6b_hw.csv");
+  panel(r.series, "(c) Noise entropy per device",
+        [](const DeviceMonthMetrics& d) { return d.noise_entropy; },
+        "fig6c_noise_entropy.csv");
+
+  std::printf("\n(d) PUF entropy (fleet)\n");
+  const MetricSeries puf = extract_series(
+      r.series, "puf_entropy",
+      [](const FleetMonthMetrics& m) { return m.puf_entropy; });
+  std::printf("%s", render_chart({puf}, 76, 10).c_str());
+  series_to_csv({puf}).save("fig6d_puf_entropy.csv");
+  std::printf("series written to fig6d_puf_entropy.csv\n");
+
+  std::printf("\nshape check vs paper:\n");
+  std::printf("  (a) WCHD avg %.2f%% -> %.2f%% (paper 2.49%% -> 2.97%%)\n",
+              100.0 * r.series.front().wchd_avg,
+              100.0 * r.series.back().wchd_avg);
+  std::printf("  (b) HW avg %.2f%% -> %.2f%% (paper flat at 62.70%%)\n",
+              100.0 * r.series.front().fhw_avg,
+              100.0 * r.series.back().fhw_avg);
+  std::printf("  (c) noise entropy avg %.2f%% -> %.2f%% "
+              "(paper 3.05%% -> 3.64%%)\n",
+              100.0 * r.series.front().noise_entropy_avg,
+              100.0 * r.series.back().noise_entropy_avg);
+  std::printf("  (d) PUF entropy %.2f%% -> %.2f%% (paper flat ~64.9%%)\n",
+              100.0 * r.series.front().puf_entropy,
+              100.0 * r.series.back().puf_entropy);
+}
+
+void BM_DeviceMonthSnapshot(benchmark::State& state) {
+  // One device-month of the campaign: N measurements through the
+  // streaming accumulator.
+  SramDevice d = make_device(paper_fleet_config(), 0);
+  const BitVector reference = d.measure();
+  const auto n = static_cast<std::size_t>(state.range(0));
+  for (auto _ : state) {
+    DeviceMonthAccumulator acc(0, reference);
+    for (std::size_t i = 0; i < n; ++i) {
+      acc.add(d.measure());
+    }
+    benchmark::DoNotOptimize(acc.finalize());
+  }
+}
+BENCHMARK(BM_DeviceMonthSnapshot)->Arg(100)->Unit(benchmark::kMillisecond);
+
+void BM_AgeOneMonth(benchmark::State& state) {
+  SramDevice d = make_device(paper_fleet_config(), 0);
+  for (auto _ : state) {
+    d.age_months(1.0);
+  }
+}
+BENCHMARK(BM_AgeOneMonth)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace pufaging
+
+int main(int argc, char** argv) {
+  return pufaging::bench::run(argc, argv, pufaging::reproduce);
+}

@@ -1,0 +1,93 @@
+// Reproduces paper Table I: evaluation of SRAM PUF qualities at the start
+// and the end of the two-year test (AVG and worst case over 16 devices),
+// with relative and geometric monthly change, side by side with the
+// paper's published numbers.
+#include "analysis/summary.hpp"
+#include "bench_common.hpp"
+#include "io/table.hpp"
+#include "testbed/campaign.hpp"
+
+namespace pufaging {
+namespace {
+
+struct PaperRow {
+  const char* metric;
+  const char* variant;
+  double start;
+  double end;
+};
+
+// Table I of the paper.
+constexpr PaperRow kPaper[] = {
+    {"WCHD", "AVG.", 0.0249, 0.0297},
+    {"WCHD", "WC.", 0.0272, 0.0325},
+    {"HW", "AVG.", 0.6270, 0.6270},
+    {"HW", "WC.", 0.6578, 0.6562},
+    {"Ratio of Stable Cells", "AVG.", 0.859, 0.837},
+    {"Ratio of Stable Cells", "WC.", 0.872, 0.854},
+    {"Noise entropy", "AVG.", 0.0305, 0.0364},
+    {"Noise entropy", "WC.", 0.0273, 0.0329},
+    {"BCHD", "AVG.", 0.4679, 0.4680},
+    {"BCHD", "WC.", 0.4431, 0.4467},
+    {"PUF entropy", "", 0.6492, 0.6491},
+};
+
+void reproduce() {
+  bench::banner(
+      "Table I - SRAM PUF qualities at the start and end of the test");
+  std::printf("running the 24-month, 16-device, 1000-measurements/month "
+              "campaign...\n\n");
+  const CampaignResult r = run_campaign(CampaignConfig{});
+  const SummaryTable table = build_summary_table(r.series);
+
+  std::printf("%s\n", render_summary_table(table).c_str());
+
+  TablePrinter compare(
+      {"Evaluation", "", "Start (paper)", "Start (ours)", "End (paper)",
+       "End (ours)"},
+      {Align::kLeft, Align::kLeft, Align::kRight, Align::kRight, Align::kRight,
+       Align::kRight});
+  for (std::size_t i = 0; i < table.rows.size(); ++i) {
+    compare.add_row({kPaper[i].metric, kPaper[i].variant,
+                     TablePrinter::percent(kPaper[i].start),
+                     TablePrinter::percent(table.rows[i].start),
+                     TablePrinter::percent(kPaper[i].end),
+                     TablePrinter::percent(table.rows[i].end)});
+  }
+  std::printf("paper vs measured:\n%s", compare.to_string().c_str());
+
+  std::printf("\nheadline rates (geometric, per month):\n");
+  std::printf("  WCHD          ours %+0.2f%%  paper +0.74%%\n",
+              100.0 * table.rows[0].monthly_change);
+  std::printf("  noise entropy ours %+0.2f%%  paper +0.74%%\n",
+              100.0 * table.rows[6].monthly_change);
+}
+
+void BM_CampaignOneMonth16Devices(benchmark::State& state) {
+  // Cost of one full monthly snapshot at reduced sampling.
+  for (auto _ : state) {
+    CampaignConfig config;
+    config.months = 0;
+    config.measurements_per_month = 50;
+    benchmark::DoNotOptimize(run_campaign(config));
+  }
+}
+BENCHMARK(BM_CampaignOneMonth16Devices)->Unit(benchmark::kMillisecond);
+
+void BM_BuildSummaryTable(benchmark::State& state) {
+  CampaignConfig config;
+  config.months = 2;
+  config.measurements_per_month = 50;
+  const CampaignResult r = run_campaign(config);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(build_summary_table(r.series));
+  }
+}
+BENCHMARK(BM_BuildSummaryTable);
+
+}  // namespace
+}  // namespace pufaging
+
+int main(int argc, char** argv) {
+  return pufaging::bench::run(argc, argv, pufaging::reproduce);
+}

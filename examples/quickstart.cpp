@@ -1,0 +1,68 @@
+// Quickstart: create a simulated SRAM PUF device, read power-up patterns,
+// and compute the six quality metrics the paper evaluates.
+//
+//   $ ./quickstart
+//
+// Walks through: device creation -> measurement -> WCHD / FHW -> stable
+// cells & noise entropy -> aging -> the same metrics two years later.
+#include <cstdio>
+
+#include "analysis/monthly.hpp"
+#include "silicon/device_factory.hpp"
+
+using namespace pufaging;
+
+namespace {
+
+DeviceMonthMetrics snapshot(SramDevice& device, const BitVector& reference,
+                            std::size_t measurements) {
+  DeviceMonthAccumulator acc(device.id(), reference);
+  for (std::size_t i = 0; i < measurements; ++i) {
+    acc.add(device.measure());
+  }
+  return acc.finalize();
+}
+
+void print_metrics(const char* label, const DeviceMonthMetrics& m) {
+  std::printf("%s\n", label);
+  std::printf("  within-class HD (vs enrollment):  %6.2f%%\n",
+              100.0 * m.wchd_mean);
+  std::printf("  fractional Hamming weight:        %6.2f%%\n",
+              100.0 * m.fhw_mean);
+  std::printf("  stable cells:                     %6.2f%%\n",
+              100.0 * m.stable_ratio);
+  std::printf("  noise min-entropy:                %6.2f%%\n",
+              100.0 * m.noise_entropy);
+}
+
+}  // namespace
+
+int main() {
+  // A device from the paper's calibrated 16-board fleet: an ATmega32u4
+  // with 2.5 KByte of SRAM whose first 1 KByte serves as the PUF.
+  SramDevice device = make_device(paper_fleet_config(), 0);
+  std::printf("device %s: %zu bits total, %zu-bit PUF window\n\n",
+              device.name().c_str(), device.total_bits(),
+              device.puf_window_bits());
+
+  // The very first read-out is the reference (the paper's convention).
+  const BitVector reference = device.measure();
+  std::printf("reference read-out: FHW = %.2f%%\n\n",
+              100.0 * reference.fractional_weight());
+
+  print_metrics("fresh device (500 power-ups):",
+                snapshot(device, reference, 500));
+
+  // Let two years of continuous power cycling pass at room temperature.
+  device.age_months(24.0);
+
+  std::printf("\n... two years of power cycling at 25 C ...\n\n");
+  print_metrics("aged device (500 power-ups):",
+                snapshot(device, reference, 500));
+
+  std::printf(
+      "\nexpected per the paper: WCHD and noise entropy up ~19%%, FHW "
+      "unchanged,\nstable cells down ~2.5%% -- still comfortably inside "
+      "every ECC/TRNG margin.\n");
+  return 0;
+}

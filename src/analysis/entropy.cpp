@@ -1,0 +1,41 @@
+#include "analysis/entropy.hpp"
+
+#include "common/error.hpp"
+#include "common/math.hpp"
+
+namespace pufaging {
+
+double puf_min_entropy(std::span<const BitVector> references) {
+  if (references.size() < 2) {
+    throw InvalidArgument("puf_min_entropy: need at least two references");
+  }
+  const std::size_t n_bits = references.front().size();
+  for (const BitVector& r : references) {
+    if (r.size() != n_bits) {
+      throw InvalidArgument("puf_min_entropy: reference size mismatch");
+    }
+  }
+  const double inv_devices = 1.0 / static_cast<double>(references.size());
+  double sum = 0.0;
+  for (std::size_t i = 0; i < n_bits; ++i) {
+    std::size_t ones = 0;
+    for (const BitVector& r : references) {
+      ones += r.get(i) ? 1U : 0U;
+    }
+    sum += binary_min_entropy(static_cast<double>(ones) * inv_devices);
+  }
+  return sum / static_cast<double>(n_bits);
+}
+
+double average_min_entropy(std::span<const double> one_probabilities) {
+  if (one_probabilities.empty()) {
+    throw InvalidArgument("average_min_entropy: empty input");
+  }
+  double sum = 0.0;
+  for (double p : one_probabilities) {
+    sum += binary_min_entropy(p);
+  }
+  return sum / static_cast<double>(one_probabilities.size());
+}
+
+}  // namespace pufaging

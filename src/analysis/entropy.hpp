@@ -1,0 +1,31 @@
+// Min-entropy metrics (Sections IV-B4 and IV-C2 of the paper).
+//
+// Two distinct quantities share the same formula but differ in what the
+// probability is taken over:
+//
+//  - PUF entropy (uniqueness): for each bit *location*, p is estimated
+//    across the fleet (one reference measurement per device); high PUF
+//    entropy means a location's value is unpredictable given other devices.
+//  - Noise entropy (randomness): for each cell of *one* device, p is
+//    estimated across repeated power-ups; high noise entropy means the
+//    next power-up is unpredictable given earlier ones. Computed by
+//    OneProbabilityAccumulator::noise_min_entropy().
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "common/bitvector.hpp"
+
+namespace pufaging {
+
+/// Average min-entropy across bit locations where, per location i, p_i is
+/// the fraction of `references` (one per device) that read 1 at location i.
+/// All references must have equal length; at least 2 are required.
+double puf_min_entropy(std::span<const BitVector> references);
+
+/// Average min-entropy of a vector of per-source one-probabilities:
+/// (1/n) * sum_i -log2 max(p_i, 1 - p_i).
+double average_min_entropy(std::span<const double> one_probabilities);
+
+}  // namespace pufaging

@@ -1,0 +1,53 @@
+#include "analysis/hamming.hpp"
+
+#include "common/error.hpp"
+
+namespace pufaging {
+
+std::vector<double> within_class_hds(const BitVector& reference,
+                                     std::span<const BitVector> measurements) {
+  std::vector<double> out;
+  out.reserve(measurements.size());
+  for (const BitVector& m : measurements) {
+    out.push_back(fractional_hamming_distance(reference, m));
+  }
+  return out;
+}
+
+double mean_within_class_hd(const BitVector& reference,
+                            std::span<const BitVector> measurements) {
+  if (measurements.empty()) {
+    throw InvalidArgument("mean_within_class_hd: no measurements");
+  }
+  double sum = 0.0;
+  for (const BitVector& m : measurements) {
+    sum += fractional_hamming_distance(reference, m);
+  }
+  return sum / static_cast<double>(measurements.size());
+}
+
+std::vector<double> between_class_hds(std::span<const BitVector> references) {
+  if (references.size() < 2) {
+    throw InvalidArgument("between_class_hds: need at least two references");
+  }
+  std::vector<double> out;
+  out.reserve(references.size() * (references.size() - 1) / 2);
+  for (std::size_t i = 0; i < references.size(); ++i) {
+    for (std::size_t j = i + 1; j < references.size(); ++j) {
+      out.push_back(fractional_hamming_distance(references[i], references[j]));
+    }
+  }
+  return out;
+}
+
+std::vector<double> fractional_weights(
+    std::span<const BitVector> measurements) {
+  std::vector<double> out;
+  out.reserve(measurements.size());
+  for (const BitVector& m : measurements) {
+    out.push_back(m.fractional_weight());
+  }
+  return out;
+}
+
+}  // namespace pufaging

@@ -1,0 +1,35 @@
+// The paper's three Hamming metrics (Section IV-A).
+//
+//  - Within-Class HD (WCHD): fractional HD between a chip's reference
+//    pattern (its first read-out) and later read-outs of the same chip.
+//    Reliability metric; must stay within the error-correction budget.
+//  - Between-Class HD (BCHD): fractional HD between the references of two
+//    different chips. Uniqueness metric; ideally near 50%.
+//  - Fractional Hamming Weight (FHW): ones-density of a read-out. Bias
+//    metric; debiasing schemes tolerate 25%/75% [14].
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "common/bitvector.hpp"
+
+namespace pufaging {
+
+/// Fractional HD of each measurement against the reference.
+std::vector<double> within_class_hds(const BitVector& reference,
+                                     std::span<const BitVector> measurements);
+
+/// Mean fractional HD of the measurements against the reference.
+double mean_within_class_hd(const BitVector& reference,
+                            std::span<const BitVector> measurements);
+
+/// Fractional HD of every unordered pair of references (i < j), in
+/// lexicographic pair order. Size n*(n-1)/2 for n references.
+std::vector<double> between_class_hds(std::span<const BitVector> references);
+
+/// Fractional Hamming weight of each measurement.
+std::vector<double> fractional_weights(std::span<const BitVector> measurements);
+
+}  // namespace pufaging

@@ -1,0 +1,67 @@
+#include "analysis/initial_quality.hpp"
+
+#include <sstream>
+
+#include "analysis/hamming.hpp"
+#include "common/error.hpp"
+#include "stats/descriptive.hpp"
+
+namespace pufaging {
+
+InitialQualityReport evaluate_initial_quality(
+    std::span<const std::vector<BitVector>> batches, std::size_t bins) {
+  if (batches.size() < 2) {
+    throw InvalidArgument(
+        "evaluate_initial_quality: need at least two devices");
+  }
+  InitialQualityReport report{Histogram(0.0, 1.0, bins),
+                              Histogram(0.0, 1.0, bins),
+                              Histogram(0.0, 1.0, bins),
+                              {},
+                              {},
+                              {}};
+
+  std::vector<BitVector> references;
+  references.reserve(batches.size());
+  for (const auto& batch : batches) {
+    if (batch.empty()) {
+      throw InvalidArgument("evaluate_initial_quality: empty device batch");
+    }
+    references.push_back(batch.front());
+  }
+
+  for (const auto& batch : batches) {
+    const BitVector& reference = batch.front();
+    for (std::size_t m = 1; m < batch.size(); ++m) {
+      report.wchd_samples.push_back(
+          fractional_hamming_distance(reference, batch[m]));
+    }
+    for (const BitVector& measurement : batch) {
+      report.fhw_samples.push_back(measurement.fractional_weight());
+    }
+  }
+  report.bchd_samples = between_class_hds(references);
+
+  report.wchd_hist.add_all(report.wchd_samples);
+  report.bchd_hist.add_all(report.bchd_samples);
+  report.fhw_hist.add_all(report.fhw_samples);
+  return report;
+}
+
+std::string render_initial_quality(const InitialQualityReport& report) {
+  std::ostringstream os;
+  const auto describe = [&os](const char* label,
+                              const std::vector<double>& samples,
+                              const Histogram& hist) {
+    const SampleSummary s = summarize(samples);
+    os << label << ": n=" << s.count << " mean=" << s.mean * 100.0
+       << "% min=" << s.min * 100.0 << "% max=" << s.max * 100.0 << "%\n";
+    os << hist.to_ascii() << "\n";
+  };
+  describe("Within-class HD", report.wchd_samples, report.wchd_hist);
+  describe("Between-class HD", report.bchd_samples, report.bchd_hist);
+  describe("Fractional HW", report.fhw_samples, report.fhw_hist);
+  return os.str();
+}
+
+}  // namespace pufaging

@@ -1,0 +1,36 @@
+// Initial SRAM PUF quality evaluation (Section IV-A / Fig. 5).
+//
+// At the start of the test the paper takes the first 1,000 read-outs of
+// each of the 16 boards and plots the distributions of within-class HD,
+// between-class HD and fractional Hamming weight in one histogram figure.
+#pragma once
+
+#include <span>
+#include <string>
+#include <vector>
+
+#include "common/bitvector.hpp"
+#include "stats/histogram.hpp"
+
+namespace pufaging {
+
+/// The three distributions of Fig. 5 plus their raw samples.
+struct InitialQualityReport {
+  Histogram wchd_hist;
+  Histogram bchd_hist;
+  Histogram fhw_hist;
+  std::vector<double> wchd_samples;  ///< All devices' per-measurement WCHDs.
+  std::vector<double> bchd_samples;  ///< All device pairs' BCHDs.
+  std::vector<double> fhw_samples;   ///< All devices' per-measurement FHWs.
+};
+
+/// Computes the initial-quality report. `batches[d]` holds device d's first
+/// 1,000 read-outs; the first read-out of each device is its reference.
+/// `bins` controls the histogram resolution over [0, 1].
+InitialQualityReport evaluate_initial_quality(
+    std::span<const std::vector<BitVector>> batches, std::size_t bins = 100);
+
+/// Renders the three histograms as ASCII (bench/report output).
+std::string render_initial_quality(const InitialQualityReport& report);
+
+}  // namespace pufaging

@@ -1,0 +1,79 @@
+#include "analysis/lifetime.hpp"
+
+#include <cmath>
+#include <vector>
+
+#include "common/error.hpp"
+#include "stats/regression.hpp"
+
+namespace pufaging {
+
+double AgingTrajectoryFit::predict(double month) const {
+  if (month < 0.0) {
+    throw InvalidArgument("AgingTrajectoryFit::predict: negative month");
+  }
+  return baseline + amplitude * std::pow(month, exponent);
+}
+
+std::optional<double> AgingTrajectoryFit::months_until(
+    double threshold) const {
+  if (amplitude <= 0.0 || threshold <= baseline) {
+    return threshold <= baseline ? std::optional<double>(0.0) : std::nullopt;
+  }
+  return std::pow((threshold - baseline) / amplitude, 1.0 / exponent);
+}
+
+AgingTrajectoryFit fit_aging_trajectory(std::span<const double> months,
+                                        std::span<const double> values) {
+  if (months.size() != values.size()) {
+    throw InvalidArgument("fit_aging_trajectory: size mismatch");
+  }
+  if (months.size() < 4) {
+    throw InvalidArgument("fit_aging_trajectory: need at least 4 points");
+  }
+  std::size_t distinct_positive = 0;
+  double last = -1.0;
+  for (double m : months) {
+    if (m < 0.0) {
+      throw InvalidArgument("fit_aging_trajectory: negative month");
+    }
+    if (m > 0.0 && m != last) {
+      ++distinct_positive;
+      last = m;
+    }
+  }
+  if (distinct_positive < 3) {
+    throw InvalidArgument(
+        "fit_aging_trajectory: need >= 3 distinct positive months");
+  }
+
+  AgingTrajectoryFit best;
+  double best_sse = 1e300;
+  std::vector<double> basis(months.size());
+  for (double c = 0.10; c <= 1.001; c += 0.025) {
+    for (std::size_t i = 0; i < months.size(); ++i) {
+      basis[i] = std::pow(months[i], c);
+    }
+    LinearFit ols;
+    try {
+      ols = linear_fit(basis, values);
+    } catch (const InvalidArgument&) {
+      continue;  // degenerate basis for this exponent
+    }
+    double sse = 0.0;
+    for (std::size_t i = 0; i < months.size(); ++i) {
+      const double r = values[i] - (ols.intercept + ols.slope * basis[i]);
+      sse += r * r;
+    }
+    if (sse < best_sse) {
+      best_sse = sse;
+      best.baseline = ols.intercept;
+      best.amplitude = ols.slope;
+      best.exponent = c;
+    }
+  }
+  best.rms_error = std::sqrt(best_sse / static_cast<double>(months.size()));
+  return best;
+}
+
+}  // namespace pufaging

@@ -1,0 +1,39 @@
+// Lifetime extrapolation from a partial aging trajectory.
+//
+// The practical question behind the paper's study: given the first months
+// of field data, when will the PUF's bit error rate cross the error-
+// correction budget? BTI kinetics are power-law in time, so the WCHD
+// trajectory is fitted as
+//
+//     wchd(t) = baseline + amplitude * t^exponent
+//
+// (grid search over the exponent, ordinary least squares for the linear
+// parameters), and the fit is extrapolated to a BER threshold.
+#pragma once
+
+#include <optional>
+#include <span>
+
+namespace pufaging {
+
+/// Fitted power-law trajectory.
+struct AgingTrajectoryFit {
+  double baseline = 0.0;   ///< Value at t = 0.
+  double amplitude = 0.0;  ///< Power-law coefficient.
+  double exponent = 0.5;   ///< Power-law exponent in (0, 1].
+  double rms_error = 0.0;  ///< Root-mean-square residual of the fit.
+
+  /// Predicted metric value at month t (>= 0).
+  double predict(double month) const;
+
+  /// First month at which the fitted trajectory reaches `threshold`;
+  /// nullopt when the trajectory never does (non-degrading metric).
+  std::optional<double> months_until(double threshold) const;
+};
+
+/// Fits the power law to (months, values). Requires >= 4 points with at
+/// least 3 distinct positive months. Throws InvalidArgument otherwise.
+AgingTrajectoryFit fit_aging_trajectory(std::span<const double> months,
+                                        std::span<const double> values);
+
+}  // namespace pufaging

@@ -1,0 +1,117 @@
+#include "analysis/monthly.hpp"
+
+#include <algorithm>
+#include <bit>
+
+#include "analysis/entropy.hpp"
+#include "analysis/hamming.hpp"
+#include "common/error.hpp"
+#include "common/math.hpp"
+
+namespace pufaging {
+
+DeviceMonthAccumulator::DeviceMonthAccumulator(std::uint32_t device_id,
+                                               const BitVector& reference)
+    : device_id_(device_id),
+      reference_(reference),
+      ones_(reference.size(), 0) {
+  if (reference.empty()) {
+    throw InvalidArgument("DeviceMonthAccumulator: empty reference");
+  }
+}
+
+void DeviceMonthAccumulator::add(const BitVector& measurement) {
+  if (measurement.size() != reference_.size()) {
+    throw InvalidArgument("DeviceMonthAccumulator::add: size mismatch");
+  }
+  if (!first_) {
+    first_ = measurement;
+  }
+  wchd_sum_ += fractional_hamming_distance(reference_, measurement);
+  fhw_sum_ += measurement.fractional_weight();
+  const auto& words = measurement.words();
+  for (std::size_t w = 0; w < words.size(); ++w) {
+    std::uint64_t bits = words[w];
+    while (bits != 0) {
+      const int bit = std::countr_zero(bits);
+      ones_[w * 64 + static_cast<std::size_t>(bit)] += 1;
+      bits &= bits - 1;
+    }
+  }
+  ++count_;
+}
+
+DeviceMonthMetrics DeviceMonthAccumulator::finalize() const {
+  if (count_ == 0) {
+    throw InvalidArgument("DeviceMonthAccumulator::finalize: no measurements");
+  }
+  DeviceMonthMetrics m;
+  m.device_id = device_id_;
+  m.measurement_count = count_;
+  const double inv = 1.0 / static_cast<double>(count_);
+  m.wchd_mean = wchd_sum_ * inv;
+  m.fhw_mean = fhw_sum_ * inv;
+  std::size_t stable = 0;
+  double entropy_sum = 0.0;
+  for (std::uint32_t c : ones_) {
+    if (c == 0 || c == count_) {
+      ++stable;
+    }
+    entropy_sum += binary_min_entropy(static_cast<double>(c) * inv);
+  }
+  m.stable_ratio = static_cast<double>(stable) /
+                   static_cast<double>(ones_.size());
+  m.noise_entropy = entropy_sum / static_cast<double>(ones_.size());
+  m.first_pattern = *first_;
+  return m;
+}
+
+FleetMonthMetrics combine_fleet_month(std::vector<DeviceMonthMetrics> devices,
+                                      double month) {
+  if (devices.size() < 2) {
+    throw InvalidArgument("combine_fleet_month: need at least two devices");
+  }
+  FleetMonthMetrics fleet;
+  fleet.month = month;
+
+  double wchd_sum = 0.0, fhw_sum = 0.0, stable_sum = 0.0, entropy_sum = 0.0;
+  fleet.wchd_wc = 0.0;
+  fleet.fhw_wc = 0.0;
+  fleet.stable_wc = 0.0;
+  fleet.noise_entropy_wc = 1.0;
+  for (const DeviceMonthMetrics& d : devices) {
+    wchd_sum += d.wchd_mean;
+    fhw_sum += d.fhw_mean;
+    stable_sum += d.stable_ratio;
+    entropy_sum += d.noise_entropy;
+    fleet.wchd_wc = std::max(fleet.wchd_wc, d.wchd_mean);
+    fleet.fhw_wc = std::max(fleet.fhw_wc, d.fhw_mean);
+    fleet.stable_wc = std::max(fleet.stable_wc, d.stable_ratio);
+    fleet.noise_entropy_wc = std::min(fleet.noise_entropy_wc, d.noise_entropy);
+  }
+  const double inv = 1.0 / static_cast<double>(devices.size());
+  fleet.wchd_avg = wchd_sum * inv;
+  fleet.fhw_avg = fhw_sum * inv;
+  fleet.stable_avg = stable_sum * inv;
+  fleet.noise_entropy_avg = entropy_sum * inv;
+
+  std::vector<BitVector> firsts;
+  firsts.reserve(devices.size());
+  for (const DeviceMonthMetrics& d : devices) {
+    firsts.push_back(d.first_pattern);
+  }
+  const std::vector<double> bchds = between_class_hds(firsts);
+  double bchd_sum = 0.0;
+  fleet.bchd_wc = 1.0;
+  for (double b : bchds) {
+    bchd_sum += b;
+    fleet.bchd_wc = std::min(fleet.bchd_wc, b);
+  }
+  fleet.bchd_avg = bchd_sum / static_cast<double>(bchds.size());
+  fleet.puf_entropy = puf_min_entropy(firsts);
+
+  fleet.devices = std::move(devices);
+  return fleet;
+}
+
+}  // namespace pufaging

@@ -1,0 +1,76 @@
+// The paper's monthly evaluation protocol (Sections IV-B and IV-C).
+//
+// Protocol: for each month of the two-year test, take the first 1,000
+// consecutive measurements after midnight on the 8th of that month, per
+// device. From those compute, per device: mean WCHD against the device's
+// very first (month-0) read-out, mean FHW, stable-cell ratio and noise
+// entropy. Across devices, using the first measurement of each device's
+// monthly batch: BCHD over all pairs and PUF entropy over bit locations.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "common/bitvector.hpp"
+
+namespace pufaging {
+
+/// Per-device metrics for one month's 1,000-measurement batch.
+struct DeviceMonthMetrics {
+  std::uint32_t device_id = 0;
+  std::uint64_t measurement_count = 0;
+  double wchd_mean = 0.0;     ///< Mean FHD vs the month-0 reference.
+  double fhw_mean = 0.0;      ///< Mean fractional Hamming weight.
+  double stable_ratio = 0.0;  ///< Fraction of cells with p-hat in {0, 1}.
+  double noise_entropy = 0.0; ///< Average min-entropy of the noise.
+  BitVector first_pattern;    ///< First read-out of the batch (BCHD input).
+};
+
+/// Streaming accumulator for one device-month. Construct with the device's
+/// month-0 reference, feed the 1,000 measurements, then finalize.
+class DeviceMonthAccumulator {
+ public:
+  DeviceMonthAccumulator(std::uint32_t device_id, const BitVector& reference);
+
+  /// Consumes one measurement (same length as the reference).
+  void add(const BitVector& measurement);
+
+  std::uint64_t measurement_count() const { return count_; }
+
+  /// Produces the metrics; requires at least one measurement.
+  DeviceMonthMetrics finalize() const;
+
+ private:
+  std::uint32_t device_id_;
+  BitVector reference_;
+  std::optional<BitVector> first_;
+  std::vector<std::uint32_t> ones_;
+  std::uint64_t count_ = 0;
+  double wchd_sum_ = 0.0;
+  double fhw_sum_ = 0.0;
+};
+
+/// Fleet-level metrics for one month.
+struct FleetMonthMetrics {
+  double month = 0.0;  ///< Months since the start of the test.
+  std::vector<DeviceMonthMetrics> devices;
+
+  // Aggregates across devices. "wc" is the paper's worst case: the extreme
+  // value in the unfavourable direction for the metric (max for WCHD,
+  // max for FHW bias, max for stable ratio, min for noise entropy, min for
+  // BCHD).
+  double wchd_avg = 0.0, wchd_wc = 0.0;
+  double fhw_avg = 0.0, fhw_wc = 0.0;
+  double stable_avg = 0.0, stable_wc = 0.0;
+  double noise_entropy_avg = 0.0, noise_entropy_wc = 0.0;
+  double bchd_avg = 0.0, bchd_wc = 0.0;
+  double puf_entropy = 0.0;
+};
+
+/// Combines per-device metrics into the fleet view (BCHD over all pairs of
+/// first patterns, PUF entropy over bit locations, AVG/WC aggregates).
+FleetMonthMetrics combine_fleet_month(std::vector<DeviceMonthMetrics> devices,
+                                      double month);
+
+}  // namespace pufaging

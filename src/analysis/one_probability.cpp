@@ -1,0 +1,89 @@
+#include "analysis/one_probability.hpp"
+
+#include <algorithm>
+#include <bit>
+
+#include "common/error.hpp"
+#include "common/math.hpp"
+
+namespace pufaging {
+
+OneProbabilityAccumulator::OneProbabilityAccumulator(std::size_t cell_count)
+    : ones_(cell_count, 0) {
+  if (cell_count == 0) {
+    throw InvalidArgument("OneProbabilityAccumulator: cell_count must be > 0");
+  }
+}
+
+void OneProbabilityAccumulator::add(const BitVector& measurement) {
+  if (measurement.size() != ones_.size()) {
+    throw InvalidArgument("OneProbabilityAccumulator::add: size mismatch");
+  }
+  // Unpack word-wise for speed; the tail word's padding bits are zero.
+  const auto& words = measurement.words();
+  for (std::size_t w = 0; w < words.size(); ++w) {
+    std::uint64_t bits = words[w];
+    while (bits != 0) {
+      const int bit = std::countr_zero(bits);
+      ones_[w * 64 + static_cast<std::size_t>(bit)] += 1;
+      bits &= bits - 1;
+    }
+  }
+  ++measurements_;
+}
+
+double OneProbabilityAccumulator::one_probability(std::size_t i) const {
+  if (measurements_ == 0) {
+    throw InvalidArgument(
+        "OneProbabilityAccumulator::one_probability: no measurements");
+  }
+  return static_cast<double>(ones_.at(i)) /
+         static_cast<double>(measurements_);
+}
+
+std::vector<double> OneProbabilityAccumulator::one_probabilities() const {
+  if (measurements_ == 0) {
+    throw InvalidArgument(
+        "OneProbabilityAccumulator::one_probabilities: no measurements");
+  }
+  std::vector<double> out(ones_.size());
+  const double inv = 1.0 / static_cast<double>(measurements_);
+  for (std::size_t i = 0; i < ones_.size(); ++i) {
+    out[i] = static_cast<double>(ones_[i]) * inv;
+  }
+  return out;
+}
+
+double OneProbabilityAccumulator::stable_cell_ratio() const {
+  if (measurements_ == 0) {
+    throw InvalidArgument(
+        "OneProbabilityAccumulator::stable_cell_ratio: no measurements");
+  }
+  std::size_t stable = 0;
+  for (std::uint32_t c : ones_) {
+    if (c == 0 || c == measurements_) {
+      ++stable;
+    }
+  }
+  return static_cast<double>(stable) / static_cast<double>(ones_.size());
+}
+
+double OneProbabilityAccumulator::noise_min_entropy() const {
+  if (measurements_ == 0) {
+    throw InvalidArgument(
+        "OneProbabilityAccumulator::noise_min_entropy: no measurements");
+  }
+  double sum = 0.0;
+  const double inv = 1.0 / static_cast<double>(measurements_);
+  for (std::uint32_t c : ones_) {
+    sum += binary_min_entropy(static_cast<double>(c) * inv);
+  }
+  return sum / static_cast<double>(ones_.size());
+}
+
+void OneProbabilityAccumulator::reset() {
+  std::fill(ones_.begin(), ones_.end(), 0U);
+  measurements_ = 0;
+}
+
+}  // namespace pufaging

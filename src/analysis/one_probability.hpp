@@ -1,0 +1,56 @@
+// One-probability estimation over repeated power-ups (Section IV-C1).
+//
+// The one-probability p_i of cell i is Pr(R_i = 1) over power-ups [18].
+// The paper estimates it from 1,000 consecutive measurements per month;
+// a cell whose estimate is exactly 0 or 1 over those measurements counts
+// as a *stable* cell for that month.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "common/bitvector.hpp"
+
+namespace pufaging {
+
+/// Streaming per-cell ones counter. Feed any number of equal-length
+/// measurements; memory is one 32-bit counter per cell regardless of how
+/// many measurements are consumed — this is what lets the pipeline digest
+/// the paper's 175-million-measurement scale without storing raw data.
+class OneProbabilityAccumulator {
+ public:
+  explicit OneProbabilityAccumulator(std::size_t cell_count);
+
+  /// Adds one measurement (must match the configured cell count).
+  void add(const BitVector& measurement);
+
+  std::size_t cell_count() const { return ones_.size(); }
+  std::uint64_t measurement_count() const { return measurements_; }
+
+  /// Ones count of cell i so far.
+  std::uint32_t ones(std::size_t i) const { return ones_.at(i); }
+
+  /// Estimated one-probability of cell i. Requires at least 1 measurement.
+  double one_probability(std::size_t i) const;
+
+  /// All estimated one-probabilities.
+  std::vector<double> one_probabilities() const;
+
+  /// Fraction of cells whose estimate is exactly 0 or 1 (the paper's
+  /// stable-cell criterion over the observed measurements).
+  double stable_cell_ratio() const;
+
+  /// Average min-entropy of the noise, (1/n) sum -log2 max(p_i, 1-p_i),
+  /// with p_i the estimated one-probabilities (Section IV-C2).
+  double noise_min_entropy() const;
+
+  /// Resets counters for a new observation window (e.g. next month).
+  void reset();
+
+ private:
+  std::vector<std::uint32_t> ones_;
+  std::uint64_t measurements_ = 0;
+};
+
+}  // namespace pufaging

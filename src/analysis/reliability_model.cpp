@@ -1,0 +1,179 @@
+#include "analysis/reliability_model.hpp"
+
+#include <cmath>
+#include <functional>
+#include <vector>
+
+#include "common/error.hpp"
+#include "common/math.hpp"
+
+namespace pufaging {
+
+namespace {
+
+// Expectation over the hidden variable u ~ N(0,1) by composite trapezoid
+// on [-8, 8]; the integrands are smooth and bounded, so 1e-6-level
+// accuracy needs only a few hundred points.
+double gaussian_expectation(const std::function<double(double)>& f) {
+  constexpr int kPoints = 400;
+  constexpr double kLo = -8.0;
+  constexpr double kHi = 8.0;
+  const double step = (kHi - kLo) / kPoints;
+  const double inv_sqrt_2pi = 0.3989422804014327;
+  double sum = 0.0;
+  for (int i = 0; i <= kPoints; ++i) {
+    const double u = kLo + step * i;
+    const double weight = (i == 0 || i == kPoints) ? 0.5 : 1.0;
+    sum += weight * f(u) * inv_sqrt_2pi * std::exp(-0.5 * u * u);
+  }
+  return sum * step;
+}
+
+double pow_n(double base, std::size_t n) {
+  return std::pow(base, static_cast<double>(n));
+}
+
+}  // namespace
+
+double ReliabilityModel::expected_bias() const {
+  return gaussian_expectation(
+      [this](double u) { return normal_cdf(lambda1 * u + lambda2); });
+}
+
+double ReliabilityModel::expected_wchd() const {
+  return gaussian_expectation([this](double u) {
+    const double p = normal_cdf(lambda1 * u + lambda2);
+    return 2.0 * p * (1.0 - p);
+  });
+}
+
+double ReliabilityModel::expected_stable_fraction(
+    std::size_t measurements) const {
+  return gaussian_expectation([this, measurements](double u) {
+    const double p = normal_cdf(lambda1 * u + lambda2);
+    return pow_n(p, measurements) + pow_n(1.0 - p, measurements);
+  });
+}
+
+double ReliabilityModel::expected_noise_entropy() const {
+  return gaussian_expectation([this](double u) {
+    const double p = normal_cdf(lambda1 * u + lambda2);
+    return binary_min_entropy(p);
+  });
+}
+
+double ReliabilityModel::expected_error_vs_voted_reference(
+    std::size_t votes) const {
+  if (votes % 2 == 0) {
+    throw InvalidArgument(
+        "expected_error_vs_voted_reference: votes must be odd");
+  }
+  return gaussian_expectation([this, votes](double u) {
+    const double p = normal_cdf(lambda1 * u + lambda2);
+    // Pr(voted reference = 1) = Pr(Binomial(votes, p) > votes/2).
+    const double ref_one = binomial_sf(votes, p, votes / 2 + 1);
+    return p * (1.0 - ref_one) + (1.0 - p) * ref_one;
+  });
+}
+
+ReliabilityObservation summarize_one_probabilities(
+    std::span<const double> one_probabilities, std::size_t measurements) {
+  if (one_probabilities.empty() || measurements == 0) {
+    throw InvalidArgument("summarize_one_probabilities: empty input");
+  }
+  ReliabilityObservation obs;
+  obs.measurements = measurements;
+  double sum_p = 0.0;
+  double sum_wchd = 0.0;
+  std::size_t stable = 0;
+  for (double p : one_probabilities) {
+    sum_p += p;
+    sum_wchd += 2.0 * p * (1.0 - p);
+    if (p == 0.0 || p == 1.0) {
+      ++stable;
+    }
+  }
+  const double n = static_cast<double>(one_probabilities.size());
+  obs.mean_p = sum_p / n;
+  obs.mean_wchd = sum_wchd / n;
+  obs.stable_fraction = static_cast<double>(stable) / n;
+  return obs;
+}
+
+namespace {
+
+double fit_cost(const ReliabilityModel& model,
+                const ReliabilityObservation& obs) {
+  const double bias = model.expected_bias();
+  const double wchd = model.expected_wchd();
+  const double stable = model.expected_stable_fraction(obs.measurements);
+  const auto rel = [](double predicted, double observed) {
+    const double denom = std::max(1e-6, std::fabs(observed));
+    const double d = (predicted - observed) / denom;
+    return d * d;
+  };
+  return rel(bias, obs.mean_p) + rel(wchd, obs.mean_wchd) +
+         rel(stable, obs.stable_fraction);
+}
+
+}  // namespace
+
+ReliabilityModel fit_reliability_model(const ReliabilityObservation& obs) {
+  if (obs.measurements < 2) {
+    throw InvalidArgument("fit_reliability_model: need >= 2 measurements");
+  }
+  if (obs.mean_wchd <= 0.0 || obs.mean_p <= 0.0 || obs.mean_p >= 1.0) {
+    throw InvalidArgument(
+        "fit_reliability_model: degenerate observation (no noise or no "
+        "variation)");
+  }
+
+  // Coarse log-spaced grid over lambda1, bias-implied seed for lambda2:
+  // E[p] ~ Phi(lambda2 / sqrt(1 + lambda1^2)) exactly for this model.
+  ReliabilityModel best;
+  double best_cost = 1e300;
+  for (double l1 = 1.0; l1 <= 64.0; l1 *= 1.3) {
+    const double l2 =
+        normal_quantile(obs.mean_p) * std::sqrt(1.0 + l1 * l1);
+    const ReliabilityModel candidate{l1, l2};
+    const double cost = fit_cost(candidate, obs);
+    if (cost < best_cost) {
+      best_cost = cost;
+      best = candidate;
+    }
+  }
+
+  // Local coordinate refinement.
+  double step1 = best.lambda1 * 0.15;
+  double step2 = std::max(0.05, std::fabs(best.lambda2) * 0.15);
+  for (int round = 0; round < 60; ++round) {
+    bool improved = false;
+    for (const double d1 : {-step1, 0.0, step1}) {
+      for (const double d2 : {-step2, 0.0, step2}) {
+        if (d1 == 0.0 && d2 == 0.0) {
+          continue;
+        }
+        ReliabilityModel candidate{best.lambda1 + d1, best.lambda2 + d2};
+        if (candidate.lambda1 <= 0.0) {
+          continue;
+        }
+        const double cost = fit_cost(candidate, obs);
+        if (cost < best_cost) {
+          best_cost = cost;
+          best = candidate;
+          improved = true;
+        }
+      }
+    }
+    if (!improved) {
+      step1 *= 0.5;
+      step2 *= 0.5;
+      if (step1 < 1e-4 && step2 < 1e-4) {
+        break;
+      }
+    }
+  }
+  return best;
+}
+
+}  // namespace pufaging

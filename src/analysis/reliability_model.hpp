@@ -1,0 +1,64 @@
+// The probabilistic SRAM PUF reliability model of Maes, CHES 2013 (the
+// paper's reference [18] and the basis of its one-probability analysis).
+//
+// Hidden-variable model: cell i has a normalized process variable
+// u_i ~ N(0, 1); its one-probability is
+//
+//     p_i = Phi(lambda1 * u_i + lambda2)
+//
+// where lambda1 = sigma_pv / sigma_noise (process-to-noise ratio) and
+// lambda2 the normalized bias. The pair (lambda1, lambda2) fully
+// determines every reliability metric: expected bias, expected WCHD,
+// stable-cell fraction at a given measurement count, and the error rate
+// after majority voting. Fitting the model to a measured one-probability
+// sample therefore lets a fresh characterization predict lifetime
+// reliability quantities the paper measures directly.
+#pragma once
+
+#include <cstddef>
+#include <span>
+
+namespace pufaging {
+
+/// Parameters of the hidden-variable reliability model.
+struct ReliabilityModel {
+  double lambda1 = 1.0;  ///< sigma_pv / sigma_noise; must be > 0.
+  double lambda2 = 0.0;  ///< Normalized bias (0 = unbiased).
+
+  /// Expected one-probability E[p] (the fractional Hamming weight).
+  double expected_bias() const;
+
+  /// Expected within-class fractional HD against a one-shot reference:
+  /// E[2 p (1 - p)].
+  double expected_wchd() const;
+
+  /// Expected fraction of cells observed stable (no flip) over
+  /// `measurements` power-ups: E[p^N + (1-p)^N].
+  double expected_stable_fraction(std::size_t measurements) const;
+
+  /// Expected average noise min-entropy E[-log2 max(p, 1-p)].
+  double expected_noise_entropy() const;
+
+  /// Expected bit error rate against a majority-voted reference of
+  /// `votes` (odd) measurements: E[ p * Pr(ref=0) + (1-p) * Pr(ref=1) ].
+  double expected_error_vs_voted_reference(std::size_t votes) const;
+};
+
+/// Summary statistics the fit matches.
+struct ReliabilityObservation {
+  double mean_p = 0.0;         ///< Empirical mean one-probability.
+  double mean_wchd = 0.0;      ///< Empirical mean 2 p (1-p).
+  double stable_fraction = 0.0;  ///< Fraction with p-hat in {0,1}.
+  std::size_t measurements = 0;  ///< Power-ups behind the estimates.
+};
+
+/// Builds the observation from estimated one-probabilities.
+ReliabilityObservation summarize_one_probabilities(
+    std::span<const double> one_probabilities, std::size_t measurements);
+
+/// Fits (lambda1, lambda2) by coarse grid search plus local refinement,
+/// minimizing the squared relative error on (mean_p, mean_wchd,
+/// stable_fraction). Throws InvalidArgument on degenerate observations.
+ReliabilityModel fit_reliability_model(const ReliabilityObservation& obs);
+
+}  // namespace pufaging

@@ -1,0 +1,77 @@
+#include "analysis/summary.hpp"
+
+#include "common/error.hpp"
+#include "io/table.hpp"
+#include "stats/descriptive.hpp"
+
+namespace pufaging {
+
+namespace {
+
+SummaryRow make_row(const std::string& metric, const std::string& variant,
+                    double start, double end, std::size_t months) {
+  SummaryRow row;
+  row.metric = metric;
+  row.variant = variant;
+  row.start = start;
+  row.end = end;
+  row.relative_change = (end - start) / start;
+  row.monthly_change = geometric_monthly_change(start, end, months);
+  return row;
+}
+
+}  // namespace
+
+SummaryTable build_summary_table(
+    const std::vector<FleetMonthMetrics>& series) {
+  if (series.size() < 2) {
+    throw InvalidArgument("build_summary_table: need at least two months");
+  }
+  const FleetMonthMetrics& s = series.front();
+  const FleetMonthMetrics& e = series.back();
+  const auto months =
+      static_cast<std::size_t>(e.month - s.month + 0.5);
+  if (months == 0) {
+    throw InvalidArgument("build_summary_table: zero-length series");
+  }
+
+  SummaryTable table;
+  table.months = months;
+  table.rows = {
+      make_row("WCHD", "AVG.", s.wchd_avg, e.wchd_avg, months),
+      make_row("WCHD", "WC.", s.wchd_wc, e.wchd_wc, months),
+      make_row("HW", "AVG.", s.fhw_avg, e.fhw_avg, months),
+      make_row("HW", "WC.", s.fhw_wc, e.fhw_wc, months),
+      make_row("Ratio of Stable Cells", "AVG.", s.stable_avg, e.stable_avg,
+               months),
+      make_row("Ratio of Stable Cells", "WC.", s.stable_wc, e.stable_wc,
+               months),
+      make_row("Noise entropy", "AVG.", s.noise_entropy_avg,
+               e.noise_entropy_avg, months),
+      make_row("Noise entropy", "WC.", s.noise_entropy_wc, e.noise_entropy_wc,
+               months),
+      make_row("BCHD", "AVG.", s.bchd_avg, e.bchd_avg, months),
+      make_row("BCHD", "WC.", s.bchd_wc, e.bchd_wc, months),
+      make_row("PUF entropy", "", s.puf_entropy, e.puf_entropy, months),
+  };
+  return table;
+}
+
+std::string render_summary_table(const SummaryTable& table) {
+  TablePrinter printer(
+      {"Evaluation", "", "Start", "End", "Relative Change", "Monthly Change"},
+      {Align::kLeft, Align::kLeft, Align::kRight, Align::kRight, Align::kRight,
+       Align::kRight});
+  for (const SummaryRow& row : table.rows) {
+    printer.add_row(
+        {row.metric, row.variant, TablePrinter::percent(row.start),
+         TablePrinter::percent(row.end),
+         TablePrinter::signed_percent(row.relative_change, 1,
+                                      /*negligible_label=*/true),
+         TablePrinter::signed_percent(row.monthly_change, 2,
+                                      /*negligible_label=*/true)});
+  }
+  return printer.to_string();
+}
+
+}  // namespace pufaging

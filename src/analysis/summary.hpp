@@ -1,0 +1,35 @@
+// Table I construction: start/end/relative/monthly change of all metrics.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "analysis/monthly.hpp"
+
+namespace pufaging {
+
+/// One row of the paper's Table I.
+struct SummaryRow {
+  std::string metric;   ///< e.g. "WCHD".
+  std::string variant;  ///< "AVG." or "WC." (empty for PUF entropy).
+  double start = 0.0;
+  double end = 0.0;
+  double relative_change = 0.0;  ///< (end - start) / start.
+  double monthly_change = 0.0;   ///< Geometric per-month rate.
+};
+
+/// The full Table I content.
+struct SummaryTable {
+  std::vector<SummaryRow> rows;
+  std::size_t months = 0;  ///< Number of aging months between start and end.
+};
+
+/// Builds Table I from a fleet time series (first entry = start of test,
+/// last entry = end). Requires at least two entries.
+SummaryTable build_summary_table(const std::vector<FleetMonthMetrics>& series);
+
+/// Renders the table in the paper's layout, with the "negligible" label for
+/// changes below 0.01% (the paper's footnote a).
+std::string render_summary_table(const SummaryTable& table);
+
+}  // namespace pufaging

@@ -1,0 +1,137 @@
+#include "analysis/timeseries.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+
+#include "common/error.hpp"
+
+namespace pufaging {
+
+MetricSeries extract_series(
+    const std::vector<FleetMonthMetrics>& series, const std::string& name,
+    const std::function<double(const FleetMonthMetrics&)>& accessor) {
+  MetricSeries out;
+  out.name = name;
+  out.months.reserve(series.size());
+  out.values.reserve(series.size());
+  for (const FleetMonthMetrics& m : series) {
+    out.months.push_back(m.month);
+    out.values.push_back(accessor(m));
+  }
+  return out;
+}
+
+MetricSeries extract_device_series(
+    const std::vector<FleetMonthMetrics>& series, std::uint32_t device_id,
+    const std::string& name,
+    const std::function<double(const DeviceMonthMetrics&)>& accessor) {
+  MetricSeries out;
+  out.name = name;
+  for (const FleetMonthMetrics& m : series) {
+    for (const DeviceMonthMetrics& d : m.devices) {
+      if (d.device_id == device_id) {
+        out.months.push_back(m.month);
+        out.values.push_back(accessor(d));
+        break;
+      }
+    }
+  }
+  if (out.months.empty()) {
+    throw InvalidArgument("extract_device_series: device not in series");
+  }
+  return out;
+}
+
+std::string render_chart(const std::vector<MetricSeries>& series,
+                         std::size_t width, std::size_t height) {
+  if (series.empty() || width < 8 || height < 3) {
+    throw InvalidArgument("render_chart: bad arguments");
+  }
+  double lo = 1e300;
+  double hi = -1e300;
+  double m_lo = 1e300;
+  double m_hi = -1e300;
+  for (const MetricSeries& s : series) {
+    for (double v : s.values) {
+      lo = std::min(lo, v);
+      hi = std::max(hi, v);
+    }
+    for (double m : s.months) {
+      m_lo = std::min(m_lo, m);
+      m_hi = std::max(m_hi, m);
+    }
+  }
+  if (!(hi >= lo)) {
+    throw InvalidArgument("render_chart: empty series");
+  }
+  if (hi == lo) {
+    hi = lo + 1e-12;
+  }
+  // Pad the range slightly so extremes don't sit on the frame.
+  const double pad = (hi - lo) * 0.05;
+  lo -= pad;
+  hi += pad;
+  const double m_span = (m_hi > m_lo) ? (m_hi - m_lo) : 1.0;
+
+  static constexpr char kMarks[] = "*o+x#%@&=~";
+  std::vector<std::string> grid(height, std::string(width, ' '));
+  for (std::size_t si = 0; si < series.size(); ++si) {
+    const MetricSeries& s = series[si];
+    const char mark = kMarks[si % (sizeof(kMarks) - 1)];
+    for (std::size_t i = 0; i < s.values.size(); ++i) {
+      const double fx = (s.months[i] - m_lo) / m_span;
+      const double fy = (s.values[i] - lo) / (hi - lo);
+      const auto x = static_cast<std::size_t>(
+          std::lround(fx * static_cast<double>(width - 1)));
+      const auto y = static_cast<std::size_t>(
+          std::lround((1.0 - fy) * static_cast<double>(height - 1)));
+      grid[std::min(y, height - 1)][std::min(x, width - 1)] = mark;
+    }
+  }
+
+  std::ostringstream os;
+  char label[64];
+  std::snprintf(label, sizeof label, "%10.4f |", hi);
+  os << label << grid.front() << "\n";
+  for (std::size_t y = 1; y + 1 < height; ++y) {
+    os << std::string(11, ' ') << '|' << grid[y] << "\n";
+  }
+  std::snprintf(label, sizeof label, "%10.4f |", lo);
+  os << label << grid.back() << "\n";
+  os << std::string(11, ' ') << '+' << std::string(width, '-') << "\n";
+  char axis[128];
+  std::snprintf(axis, sizeof axis, "%12.1f%*s%.1f  (months)", m_lo,
+                static_cast<int>(width) - 6, "", m_hi);
+  os << axis << "\n";
+  std::size_t si = 0;
+  for (const MetricSeries& s : series) {
+    os << "  '" << kMarks[si++ % (sizeof(kMarks) - 1)] << "' = " << s.name
+       << "\n";
+  }
+  return os.str();
+}
+
+CsvWriter series_to_csv(const std::vector<MetricSeries>& series) {
+  if (series.empty()) {
+    throw InvalidArgument("series_to_csv: no series");
+  }
+  std::vector<std::string> header = {"month"};
+  for (const MetricSeries& s : series) {
+    header.push_back(s.name);
+    if (s.months != series.front().months) {
+      throw InvalidArgument("series_to_csv: month axes differ");
+    }
+  }
+  CsvWriter csv(header);
+  for (std::size_t i = 0; i < series.front().months.size(); ++i) {
+    std::vector<double> row = {series.front().months[i]};
+    for (const MetricSeries& s : series) {
+      row.push_back(s.values[i]);
+    }
+    csv.add_row(row);
+  }
+  return csv;
+}
+
+}  // namespace pufaging

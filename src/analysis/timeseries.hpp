@@ -1,0 +1,40 @@
+// Time-series extraction and ASCII charting for the Fig. 6 trajectories.
+#pragma once
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "analysis/monthly.hpp"
+#include "io/csv.hpp"
+
+namespace pufaging {
+
+/// A named series of (month, value) points.
+struct MetricSeries {
+  std::string name;
+  std::vector<double> months;
+  std::vector<double> values;
+};
+
+/// Extracts one fleet-aggregate series (e.g. &FleetMonthMetrics::wchd_avg).
+MetricSeries extract_series(
+    const std::vector<FleetMonthMetrics>& series, const std::string& name,
+    const std::function<double(const FleetMonthMetrics&)>& accessor);
+
+/// Extracts one per-device series (Fig. 6a-c plot one line per SRAM).
+MetricSeries extract_device_series(
+    const std::vector<FleetMonthMetrics>& series, std::uint32_t device_id,
+    const std::string& name,
+    const std::function<double(const DeviceMonthMetrics&)>& accessor);
+
+/// Renders multiple series as an ASCII line chart with a shared y-range.
+/// Each series uses a distinct plot character; later series overdraw.
+std::string render_chart(const std::vector<MetricSeries>& series,
+                         std::size_t width = 72, std::size_t height = 16);
+
+/// Exports series to CSV: one "month" column plus one column per series.
+/// All series must share the same month axis.
+CsvWriter series_to_csv(const std::vector<MetricSeries>& series);
+
+}  // namespace pufaging

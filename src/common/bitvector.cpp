@@ -1,0 +1,130 @@
+#include "common/bitvector.hpp"
+
+#include <bit>
+
+#include "common/error.hpp"
+
+namespace pufaging {
+
+namespace {
+std::size_t word_count_for(std::size_t bits) { return (bits + 63) / 64; }
+}  // namespace
+
+BitVector::BitVector(std::size_t bit_count)
+    : bit_count_(bit_count), words_(word_count_for(bit_count), 0) {}
+
+BitVector BitVector::from_bytes(const std::vector<std::uint8_t>& bytes,
+                                std::size_t bit_count) {
+  if (bit_count > bytes.size() * 8) {
+    throw InvalidArgument("BitVector::from_bytes: bit_count exceeds data");
+  }
+  BitVector v(bit_count);
+  for (std::size_t i = 0; i < bytes.size() && i * 8 < bit_count; ++i) {
+    v.words_[i / 8] |= std::uint64_t{bytes[i]} << ((i % 8) * 8);
+  }
+  v.clear_trailing_bits();
+  return v;
+}
+
+BitVector BitVector::from_string(const std::string& bits) {
+  BitVector v(bits.size());
+  for (std::size_t i = 0; i < bits.size(); ++i) {
+    switch (bits[i]) {
+      case '0':
+        break;
+      case '1':
+        v.set(i, true);
+        break;
+      default:
+        throw InvalidArgument("BitVector::from_string: non-binary character");
+    }
+  }
+  return v;
+}
+
+std::size_t BitVector::count_ones() const {
+  std::size_t total = 0;
+  for (std::uint64_t w : words_) {
+    total += static_cast<std::size_t>(std::popcount(w));
+  }
+  return total;
+}
+
+double BitVector::fractional_weight() const {
+  if (bit_count_ == 0) {
+    return 0.0;
+  }
+  return static_cast<double>(count_ones()) / static_cast<double>(bit_count_);
+}
+
+BitVector& BitVector::operator^=(const BitVector& other) {
+  if (bit_count_ != other.bit_count_) {
+    throw InvalidArgument("BitVector::operator^=: size mismatch");
+  }
+  for (std::size_t i = 0; i < words_.size(); ++i) {
+    words_[i] ^= other.words_[i];
+  }
+  return *this;
+}
+
+std::vector<std::uint8_t> BitVector::to_bytes() const {
+  std::vector<std::uint8_t> bytes((bit_count_ + 7) / 8, 0);
+  for (std::size_t i = 0; i < bytes.size(); ++i) {
+    bytes[i] =
+        static_cast<std::uint8_t>((words_[i / 8] >> ((i % 8) * 8)) & 0xFF);
+  }
+  return bytes;
+}
+
+std::string BitVector::to_string() const {
+  std::string s(bit_count_, '0');
+  for (std::size_t i = 0; i < bit_count_; ++i) {
+    if (get(i)) {
+      s[i] = '1';
+    }
+  }
+  return s;
+}
+
+BitVector BitVector::slice(std::size_t begin, std::size_t count) const {
+  if (begin + count > bit_count_) {
+    throw InvalidArgument("BitVector::slice: out of range");
+  }
+  BitVector out(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    if (get(begin + i)) {
+      out.set(i, true);
+    }
+  }
+  return out;
+}
+
+void BitVector::clear_trailing_bits() {
+  const std::size_t tail = bit_count_ & 63U;
+  if (tail != 0 && !words_.empty()) {
+    words_.back() &= (std::uint64_t{1} << tail) - 1;
+  }
+}
+
+std::size_t hamming_distance(const BitVector& a, const BitVector& b) {
+  if (a.size() != b.size()) {
+    throw InvalidArgument("hamming_distance: size mismatch");
+  }
+  const auto& wa = a.words();
+  const auto& wb = b.words();
+  std::size_t total = 0;
+  for (std::size_t i = 0; i < wa.size(); ++i) {
+    total += static_cast<std::size_t>(std::popcount(wa[i] ^ wb[i]));
+  }
+  return total;
+}
+
+double fractional_hamming_distance(const BitVector& a, const BitVector& b) {
+  if (a.empty()) {
+    throw InvalidArgument("fractional_hamming_distance: empty vectors");
+  }
+  return static_cast<double>(hamming_distance(a, b)) /
+         static_cast<double>(a.size());
+}
+
+}  // namespace pufaging

@@ -1,0 +1,103 @@
+// Packed bit vector with fast Hamming-distance / Hamming-weight kernels.
+//
+// Every SRAM power-up measurement in this project is a BitVector: the paper
+// reads the first 1 KByte (8192 bits) of an ATmega32u4 SRAM at each power
+// cycle and all six quality metrics (WCHD, BCHD, FHW, stable cells, PUF
+// entropy, noise entropy) are functions of such bit strings.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace pufaging {
+
+/// Fixed-size packed vector of bits stored in 64-bit words.
+///
+/// Invariant: unused high bits of the last word are always zero, so word-wise
+/// popcount kernels never see garbage.
+class BitVector {
+ public:
+  /// Creates an empty (zero-length) vector.
+  BitVector() = default;
+
+  /// Creates a vector of `bit_count` bits, all zero.
+  explicit BitVector(std::size_t bit_count);
+
+  /// Builds a vector from packed bytes; bit i is byte i/8, LSB-first.
+  static BitVector from_bytes(const std::vector<std::uint8_t>& bytes,
+                              std::size_t bit_count);
+
+  /// Builds a vector from a string of '0'/'1' characters.
+  static BitVector from_string(const std::string& bits);
+
+  /// Number of bits.
+  std::size_t size() const { return bit_count_; }
+
+  bool empty() const { return bit_count_ == 0; }
+
+  /// Reads bit `i`. Precondition: i < size().
+  bool get(std::size_t i) const {
+    return (words_[i >> 6] >> (i & 63U)) & 1U;
+  }
+
+  /// Writes bit `i`. Precondition: i < size().
+  void set(std::size_t i, bool value) {
+    const std::uint64_t mask = std::uint64_t{1} << (i & 63U);
+    if (value) {
+      words_[i >> 6] |= mask;
+    } else {
+      words_[i >> 6] &= ~mask;
+    }
+  }
+
+  /// Flips bit `i`. Precondition: i < size().
+  void flip(std::size_t i) { words_[i >> 6] ^= std::uint64_t{1} << (i & 63U); }
+
+  /// Number of one bits (Hamming weight).
+  std::size_t count_ones() const;
+
+  /// Hamming weight divided by length; 0 for an empty vector.
+  double fractional_weight() const;
+
+  /// XORs `other` into this vector. Both vectors must have equal size.
+  BitVector& operator^=(const BitVector& other);
+
+  friend BitVector operator^(BitVector lhs, const BitVector& rhs) {
+    lhs ^= rhs;
+    return lhs;
+  }
+
+  bool operator==(const BitVector& other) const = default;
+
+  /// Direct read-only access to the packed words (for streaming kernels).
+  const std::vector<std::uint64_t>& words() const { return words_; }
+
+  /// Serializes to packed bytes, LSB-first within each byte.
+  std::vector<std::uint8_t> to_bytes() const;
+
+  /// Renders as a '0'/'1' string (debugging, golden tests).
+  std::string to_string() const;
+
+  /// Extracts bits [begin, begin+count) into a new vector.
+  BitVector slice(std::size_t begin, std::size_t count) const;
+
+ private:
+  void clear_trailing_bits();
+
+  std::size_t bit_count_ = 0;
+  std::vector<std::uint64_t> words_;
+};
+
+/// Hamming distance between equal-length vectors (number of differing bits).
+std::size_t hamming_distance(const BitVector& a, const BitVector& b);
+
+/// Hamming distance divided by the common length.
+///
+/// This is the paper's FHD; computed within one chip against a reference it
+/// is the within-class HD (reliability), computed between the references of
+/// two chips it is the between-class HD (uniqueness).
+double fractional_hamming_distance(const BitVector& a, const BitVector& b);
+
+}  // namespace pufaging

@@ -1,0 +1,34 @@
+// Error types shared across the pufaging libraries.
+#pragma once
+
+#include <stdexcept>
+#include <string>
+
+namespace pufaging {
+
+/// Base class for all errors raised by the pufaging libraries.
+class Error : public std::runtime_error {
+ public:
+  explicit Error(const std::string& what) : std::runtime_error(what) {}
+};
+
+/// Raised when an argument violates a documented precondition.
+class InvalidArgument : public Error {
+ public:
+  explicit InvalidArgument(const std::string& what) : Error(what) {}
+};
+
+/// Raised when parsing external data (JSON records, CSV) fails.
+class ParseError : public Error {
+ public:
+  explicit ParseError(const std::string& what) : Error(what) {}
+};
+
+/// Raised when a testbed protocol invariant is violated (e.g. a corrupt
+/// I2C frame that cannot be recovered).
+class ProtocolError : public Error {
+ public:
+  explicit ProtocolError(const std::string& what) : Error(what) {}
+};
+
+}  // namespace pufaging

@@ -1,0 +1,42 @@
+// Special functions used by the silicon model and the statistics suite.
+//
+// The silicon model needs the normal CDF and quantile (one-probability of a
+// cell is p = Phi(v / sigma_n)); the NIST-style randomness tests need the
+// regularized incomplete gamma function for chi-square p-values.
+#pragma once
+
+#include <cstdint>
+
+namespace pufaging {
+
+/// Standard normal cumulative distribution function Phi(x).
+double normal_cdf(double x);
+
+/// Inverse of the standard normal CDF (quantile function).
+/// Uses Acklam's rational approximation refined by one Halley step;
+/// |relative error| < 1e-9 over (0, 1). Throws InvalidArgument outside (0,1).
+double normal_quantile(double p);
+
+/// Regularized lower incomplete gamma function P(a, x) = gamma(a,x)/Gamma(a).
+/// Preconditions: a > 0, x >= 0.
+double gamma_p(double a, double x);
+
+/// Regularized upper incomplete gamma function Q(a, x) = 1 - P(a, x).
+double gamma_q(double a, double x);
+
+/// Natural log of the binomial coefficient C(n, k).
+double log_binomial(std::uint64_t n, std::uint64_t k);
+
+/// Survival function of Binomial(n, p): Pr(X >= k). Exact summation in log
+/// space; used for key-generator failure-probability estimates.
+double binomial_sf(std::uint64_t n, double p, std::uint64_t k);
+
+/// Binary min-entropy of a Bernoulli(p) source: -log2(max(p, 1-p)).
+/// This is the per-bit quantity behind both PUF entropy (Section IV-B4 of
+/// the paper) and noise entropy (Section IV-C2).
+double binary_min_entropy(double p);
+
+/// Binary Shannon entropy of a Bernoulli(p) source, in bits.
+double binary_shannon_entropy(double p);
+
+}  // namespace pufaging

@@ -1,0 +1,149 @@
+#include "common/rng.hpp"
+
+#include <bit>
+#include <cmath>
+
+#include "common/error.hpp"
+
+namespace pufaging {
+
+Xoshiro256StarStar::Xoshiro256StarStar(std::uint64_t seed) {
+  SplitMix64 sm(seed);
+  for (auto& s : state_) {
+    s = sm.next();
+  }
+  // An all-zero state is a fixed point; SplitMix64 cannot produce four zero
+  // words from any seed, but guard anyway for safety.
+  if ((state_[0] | state_[1] | state_[2] | state_[3]) == 0) {
+    state_[0] = 0x9E3779B97F4A7C15ULL;
+  }
+}
+
+std::uint64_t Xoshiro256StarStar::next() {
+  const std::uint64_t result = std::rotl(state_[1] * 5, 7) * 9;
+  const std::uint64_t t = state_[1] << 17;
+  state_[2] ^= state_[0];
+  state_[3] ^= state_[1];
+  state_[1] ^= state_[2];
+  state_[0] ^= state_[3];
+  state_[2] ^= t;
+  state_[3] = std::rotl(state_[3], 45);
+  return result;
+}
+
+double Xoshiro256StarStar::uniform() {
+  return static_cast<double>(next() >> 11) * 0x1.0p-53;
+}
+
+double Xoshiro256StarStar::uniform(double lo, double hi) {
+  return lo + (hi - lo) * uniform();
+}
+
+double Xoshiro256StarStar::gaussian() {
+  if (cached_gaussian_) {
+    const double g = *cached_gaussian_;
+    cached_gaussian_.reset();
+    return g;
+  }
+  // Marsaglia polar method.
+  double u;
+  double v;
+  double s;
+  do {
+    u = uniform(-1.0, 1.0);
+    v = uniform(-1.0, 1.0);
+    s = u * u + v * v;
+  } while (s >= 1.0 || s == 0.0);
+  const double factor = std::sqrt(-2.0 * std::log(s) / s);
+  cached_gaussian_ = v * factor;
+  return u * factor;
+}
+
+double Xoshiro256StarStar::gaussian(double mean, double stddev) {
+  return mean + stddev * gaussian();
+}
+
+bool Xoshiro256StarStar::bernoulli(double p) {
+  return bernoulli_u64(bernoulli_threshold(p));
+}
+
+std::uint64_t Xoshiro256StarStar::below(std::uint64_t bound) {
+  if (bound == 0) {
+    throw InvalidArgument("Xoshiro256StarStar::below: bound must be > 0");
+  }
+  // Rejection sampling to avoid modulo bias.
+  const std::uint64_t limit = bound * (UINT64_MAX / bound);
+  std::uint64_t draw;
+  do {
+    draw = next();
+  } while (draw >= limit);
+  return draw % bound;
+}
+
+std::uint64_t bernoulli_threshold(double p) {
+  if (p <= 0.0) {
+    return 0;
+  }
+  if (p >= 1.0) {
+    return UINT64_MAX;
+  }
+  // ldexp(p, 64) may round to 2^64 for p just below 1; clamp via long double.
+  const long double scaled = std::ldexp(static_cast<long double>(p), 64);
+  if (scaled >= static_cast<long double>(UINT64_MAX)) {
+    return UINT64_MAX;
+  }
+  return static_cast<std::uint64_t>(scaled);
+}
+
+namespace {
+constexpr std::uint32_t kPhiloxM0 = 0xD2511F53U;
+constexpr std::uint32_t kPhiloxM1 = 0xCD9E8D57U;
+constexpr std::uint32_t kPhiloxW0 = 0x9E3779B9U;
+constexpr std::uint32_t kPhiloxW1 = 0xBB67AE85U;
+
+inline void philox_round(Philox4x32::Counter& ctr, Philox4x32::Key& key) {
+  const std::uint64_t p0 = std::uint64_t{kPhiloxM0} * ctr[0];
+  const std::uint64_t p1 = std::uint64_t{kPhiloxM1} * ctr[2];
+  const auto hi0 = static_cast<std::uint32_t>(p0 >> 32);
+  const auto lo0 = static_cast<std::uint32_t>(p0);
+  const auto hi1 = static_cast<std::uint32_t>(p1 >> 32);
+  const auto lo1 = static_cast<std::uint32_t>(p1);
+  ctr = {hi1 ^ ctr[1] ^ key[0], lo1, hi0 ^ ctr[3] ^ key[1], lo0};
+  key[0] += kPhiloxW0;
+  key[1] += kPhiloxW1;
+}
+}  // namespace
+
+Philox4x32::Counter Philox4x32::block(Counter counter, Key key) {
+  for (int round = 0; round < 10; ++round) {
+    philox_round(counter, key);
+  }
+  return counter;
+}
+
+std::uint64_t Philox4x32::at(std::uint64_t key64, std::uint64_t index) {
+  const Counter in = {static_cast<std::uint32_t>(index),
+                      static_cast<std::uint32_t>(index >> 32), 0, 0};
+  const Key key = {static_cast<std::uint32_t>(key64),
+                   static_cast<std::uint32_t>(key64 >> 32)};
+  const Counter out = block(in, key);
+  return (std::uint64_t{out[1]} << 32) | out[0];
+}
+
+double Philox4x32::gaussian_at(std::uint64_t key64, std::uint64_t index) {
+  const Counter in = {static_cast<std::uint32_t>(index),
+                      static_cast<std::uint32_t>(index >> 32), 0x5EED5EEDU, 0};
+  const Key key = {static_cast<std::uint32_t>(key64),
+                   static_cast<std::uint32_t>(key64 >> 32)};
+  const Counter out = block(in, key);
+  const std::uint64_t a = (std::uint64_t{out[1]} << 32) | out[0];
+  const std::uint64_t b = (std::uint64_t{out[3]} << 32) | out[2];
+  // Box-Muller. u1 in (0,1], u2 in [0,1).
+  const double u1 =
+      (static_cast<double>(a >> 11) + 1.0) * 0x1.0p-53;
+  const double u2 = static_cast<double>(b >> 11) * 0x1.0p-53;
+  const double r = std::sqrt(-2.0 * std::log(u1));
+  return r * std::cos(2.0 * 3.14159265358979323846 * u2);
+}
+
+}  // namespace pufaging

@@ -1,0 +1,97 @@
+// Deterministic random-number generation for reproducible simulation.
+//
+// Three generators are provided:
+//  - SplitMix64: seed expansion / hashing.
+//  - Xoshiro256StarStar: fast general-purpose stream generator, used on the
+//    hot path of power-up sampling (one uniform per SRAM cell per read-out).
+//  - Philox4x32: counter-based generator, used where random values must be
+//    addressable by coordinates (device, cell) so that fleet construction is
+//    order-independent and parallel-friendly.
+//
+// All generators are deterministic functions of their seeds; the whole
+// two-year campaign simulation is bit-exactly reproducible from one seed.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <optional>
+
+namespace pufaging {
+
+/// SplitMix64 (Steele, Lea, Flood 2014). Primarily a seed expander: feed it
+/// an arbitrary 64-bit value and draw as many well-mixed words as needed.
+class SplitMix64 {
+ public:
+  explicit SplitMix64(std::uint64_t seed) : state_(seed) {}
+
+  std::uint64_t next() {
+    std::uint64_t z = (state_ += 0x9E3779B97F4A7C15ULL);
+    z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+    z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+    return z ^ (z >> 31);
+  }
+
+ private:
+  std::uint64_t state_;
+};
+
+/// xoshiro256** 1.0 (Blackman & Vigna 2018). Fast, 256-bit state, passes
+/// BigCrush; the workhorse stream generator for measurement noise.
+class Xoshiro256StarStar {
+ public:
+  /// Seeds the 256-bit state by expanding `seed` through SplitMix64.
+  explicit Xoshiro256StarStar(std::uint64_t seed);
+
+  /// Next 64 uniform random bits.
+  std::uint64_t next();
+
+  /// Uniform double in [0, 1) with 53 bits of precision.
+  double uniform();
+
+  /// Uniform double in [lo, hi).
+  double uniform(double lo, double hi);
+
+  /// Standard normal variate (Marsaglia polar method with caching).
+  double gaussian();
+
+  /// Normal variate with the given mean and standard deviation.
+  double gaussian(double mean, double stddev);
+
+  /// Bernoulli draw that is exact to within 2^-64 of probability `p01`
+  /// expressed as a 64-bit threshold; see `bernoulli_threshold`.
+  bool bernoulli_u64(std::uint64_t threshold) { return next() < threshold; }
+
+  /// Bernoulli draw with probability `p` in [0, 1].
+  bool bernoulli(double p);
+
+  /// Uniform integer in [0, bound).
+  std::uint64_t below(std::uint64_t bound);
+
+ private:
+  std::array<std::uint64_t, 4> state_{};
+  std::optional<double> cached_gaussian_;
+};
+
+/// Converts probability p in [0,1] to a threshold t such that a uniform
+/// 64-bit draw u satisfies Pr(u < t) == p up to 2^-64 resolution.
+std::uint64_t bernoulli_threshold(double p);
+
+/// Philox4x32-10 (Salmon et al., SC'11). Counter-based: random value =
+/// f(key, counter), so coordinates map directly to reproducible randomness.
+class Philox4x32 {
+ public:
+  using Counter = std::array<std::uint32_t, 4>;
+  using Key = std::array<std::uint32_t, 2>;
+
+  /// 10-round Philox block function.
+  static Counter block(Counter counter, Key key);
+
+  /// Convenience: 64-bit value addressed by (key64, index).
+  static std::uint64_t at(std::uint64_t key64, std::uint64_t index);
+
+  /// Standard normal variate addressed by (key64, index), via Box-Muller on
+  /// two lanes of one Philox block. Deterministic per coordinate.
+  static double gaussian_at(std::uint64_t key64, std::uint64_t index);
+};
+
+}  // namespace pufaging

@@ -1,0 +1,220 @@
+#include "common/sha256.hpp"
+
+#include <bit>
+#include <cstring>
+
+#include "common/error.hpp"
+
+namespace pufaging {
+
+namespace {
+constexpr std::array<std::uint32_t, 64> kRoundConstants = {
+    0x428A2F98, 0x71374491, 0xB5C0FBCF, 0xE9B5DBA5, 0x3956C25B, 0x59F111F1,
+    0x923F82A4, 0xAB1C5ED5, 0xD807AA98, 0x12835B01, 0x243185BE, 0x550C7DC3,
+    0x72BE5D74, 0x80DEB1FE, 0x9BDC06A7, 0xC19BF174, 0xE49B69C1, 0xEFBE4786,
+    0x0FC19DC6, 0x240CA1CC, 0x2DE92C6F, 0x4A7484AA, 0x5CB0A9DC, 0x76F988DA,
+    0x983E5152, 0xA831C66D, 0xB00327C8, 0xBF597FC7, 0xC6E00BF3, 0xD5A79147,
+    0x06CA6351, 0x14292967, 0x27B70A85, 0x2E1B2138, 0x4D2C6DFC, 0x53380D13,
+    0x650A7354, 0x766A0ABB, 0x81C2C92E, 0x92722C85, 0xA2BFE8A1, 0xA81A664B,
+    0xC24B8B70, 0xC76C51A3, 0xD192E819, 0xD6990624, 0xF40E3585, 0x106AA070,
+    0x19A4C116, 0x1E376C08, 0x2748774C, 0x34B0BCB5, 0x391C0CB3, 0x4ED8AA4A,
+    0x5B9CCA4F, 0x682E6FF3, 0x748F82EE, 0x78A5636F, 0x84C87814, 0x8CC70208,
+    0x90BEFFFA, 0xA4506CEB, 0xBEF9A3F7, 0xC67178F2};
+
+constexpr std::array<std::uint32_t, 8> kInitState = {
+    0x6A09E667, 0xBB67AE85, 0x3C6EF372, 0xA54FF53A,
+    0x510E527F, 0x9B05688C, 0x1F83D9AB, 0x5BE0CD19};
+
+inline std::uint32_t big_sigma0(std::uint32_t x) {
+  return std::rotr(x, 2) ^ std::rotr(x, 13) ^ std::rotr(x, 22);
+}
+inline std::uint32_t big_sigma1(std::uint32_t x) {
+  return std::rotr(x, 6) ^ std::rotr(x, 11) ^ std::rotr(x, 25);
+}
+inline std::uint32_t small_sigma0(std::uint32_t x) {
+  return std::rotr(x, 7) ^ std::rotr(x, 18) ^ (x >> 3);
+}
+inline std::uint32_t small_sigma1(std::uint32_t x) {
+  return std::rotr(x, 17) ^ std::rotr(x, 19) ^ (x >> 10);
+}
+}  // namespace
+
+Sha256::Sha256() { reset(); }
+
+void Sha256::reset() {
+  state_ = kInitState;
+  buffer_len_ = 0;
+  total_len_ = 0;
+  finalized_ = false;
+}
+
+void Sha256::update(const std::uint8_t* data, std::size_t len) {
+  if (finalized_) {
+    throw Error("Sha256::update called after finalize; call reset() first");
+  }
+  total_len_ += len;
+  while (len > 0) {
+    const std::size_t take =
+        std::min<std::size_t>(len, buffer_.size() - buffer_len_);
+    std::memcpy(buffer_.data() + buffer_len_, data, take);
+    buffer_len_ += take;
+    data += take;
+    len -= take;
+    if (buffer_len_ == buffer_.size()) {
+      process_block(buffer_.data());
+      buffer_len_ = 0;
+    }
+  }
+}
+
+Sha256::Digest Sha256::finalize() {
+  if (finalized_) {
+    throw Error("Sha256::finalize called twice; call reset() first");
+  }
+  const std::uint64_t bit_len = total_len_ * 8;
+  const std::uint8_t pad_byte = 0x80;
+  update(&pad_byte, 1);
+  const std::uint8_t zero = 0x00;
+  while (buffer_len_ != 56) {
+    update(&zero, 1);
+  }
+  std::array<std::uint8_t, 8> len_bytes{};
+  for (int i = 0; i < 8; ++i) {
+    len_bytes[static_cast<std::size_t>(i)] =
+        static_cast<std::uint8_t>(bit_len >> (56 - 8 * i));
+  }
+  update(len_bytes.data(), len_bytes.size());
+  finalized_ = true;
+
+  Digest digest{};
+  for (std::size_t i = 0; i < 8; ++i) {
+    digest[4 * i] = static_cast<std::uint8_t>(state_[i] >> 24);
+    digest[4 * i + 1] = static_cast<std::uint8_t>(state_[i] >> 16);
+    digest[4 * i + 2] = static_cast<std::uint8_t>(state_[i] >> 8);
+    digest[4 * i + 3] = static_cast<std::uint8_t>(state_[i]);
+  }
+  return digest;
+}
+
+void Sha256::process_block(const std::uint8_t* block) {
+  std::array<std::uint32_t, 64> w{};
+  for (std::size_t i = 0; i < 16; ++i) {
+    w[i] = (std::uint32_t{block[4 * i]} << 24) |
+           (std::uint32_t{block[4 * i + 1]} << 16) |
+           (std::uint32_t{block[4 * i + 2]} << 8) |
+           std::uint32_t{block[4 * i + 3]};
+  }
+  for (std::size_t i = 16; i < 64; ++i) {
+    w[i] = small_sigma1(w[i - 2]) + w[i - 7] + small_sigma0(w[i - 15]) +
+           w[i - 16];
+  }
+
+  auto [a, b, c, d, e, f, g, h] = state_;
+  for (std::size_t i = 0; i < 64; ++i) {
+    const std::uint32_t t1 = h + big_sigma1(e) + ((e & f) ^ (~e & g)) +
+                             kRoundConstants[i] + w[i];
+    const std::uint32_t t2 =
+        big_sigma0(a) + ((a & b) ^ (a & c) ^ (b & c));
+    h = g;
+    g = f;
+    f = e;
+    e = d + t1;
+    d = c;
+    c = b;
+    b = a;
+    a = t1 + t2;
+  }
+  state_[0] += a;
+  state_[1] += b;
+  state_[2] += c;
+  state_[3] += d;
+  state_[4] += e;
+  state_[5] += f;
+  state_[6] += g;
+  state_[7] += h;
+}
+
+Sha256::Digest Sha256::hash(const std::vector<std::uint8_t>& data) {
+  Sha256 hasher;
+  hasher.update(data);
+  return hasher.finalize();
+}
+
+Sha256::Digest Sha256::hash(const std::string& data) {
+  Sha256 hasher;
+  hasher.update(data);
+  return hasher.finalize();
+}
+
+std::string Sha256::to_hex(const Digest& digest) {
+  static constexpr char kHex[] = "0123456789abcdef";
+  std::string out;
+  out.reserve(2 * digest.size());
+  for (std::uint8_t byte : digest) {
+    out.push_back(kHex[byte >> 4]);
+    out.push_back(kHex[byte & 0xF]);
+  }
+  return out;
+}
+
+Sha256::Digest hmac_sha256(const std::vector<std::uint8_t>& key,
+                           const std::vector<std::uint8_t>& message) {
+  constexpr std::size_t kBlockSize = 64;
+  std::vector<std::uint8_t> key_block(kBlockSize, 0);
+  if (key.size() > kBlockSize) {
+    const auto digest = Sha256::hash(key);
+    std::copy(digest.begin(), digest.end(), key_block.begin());
+  } else {
+    std::copy(key.begin(), key.end(), key_block.begin());
+  }
+
+  std::vector<std::uint8_t> inner(kBlockSize);
+  std::vector<std::uint8_t> outer(kBlockSize);
+  for (std::size_t i = 0; i < kBlockSize; ++i) {
+    inner[i] = key_block[i] ^ 0x36;
+    outer[i] = key_block[i] ^ 0x5C;
+  }
+
+  Sha256 hasher;
+  hasher.update(inner);
+  hasher.update(message);
+  const auto inner_digest = hasher.finalize();
+
+  hasher.reset();
+  hasher.update(outer);
+  hasher.update(inner_digest.data(), inner_digest.size());
+  return hasher.finalize();
+}
+
+std::vector<std::uint8_t> hkdf_sha256(const std::vector<std::uint8_t>& ikm,
+                                      const std::vector<std::uint8_t>& salt,
+                                      const std::vector<std::uint8_t>& info,
+                                      std::size_t length) {
+  if (length > 255 * Sha256::kDigestSize) {
+    throw InvalidArgument("hkdf_sha256: length exceeds 255 * digest size");
+  }
+  // Extract.
+  const std::vector<std::uint8_t> effective_salt =
+      salt.empty() ? std::vector<std::uint8_t>(Sha256::kDigestSize, 0) : salt;
+  const auto prk_digest = hmac_sha256(effective_salt, ikm);
+  const std::vector<std::uint8_t> prk(prk_digest.begin(), prk_digest.end());
+
+  // Expand.
+  std::vector<std::uint8_t> okm;
+  okm.reserve(length);
+  std::vector<std::uint8_t> previous;
+  std::uint8_t counter = 1;
+  while (okm.size() < length) {
+    std::vector<std::uint8_t> block = previous;
+    block.insert(block.end(), info.begin(), info.end());
+    block.push_back(counter++);
+    const auto t = hmac_sha256(prk, block);
+    previous.assign(t.begin(), t.end());
+    const std::size_t take = std::min(previous.size(), length - okm.size());
+    okm.insert(okm.end(), previous.begin(),
+               previous.begin() + static_cast<std::ptrdiff_t>(take));
+  }
+  return okm;
+}
+
+}  // namespace pufaging

@@ -1,0 +1,69 @@
+// SHA-256 (FIPS 180-4), implemented from scratch.
+//
+// Used by the key-generation pipeline (privacy amplification / key
+// derivation over the corrected PUF response) and by the TRNG conditioner
+// (entropy compression of harvested noise bits), the two SRAM-PUF
+// applications the paper motivates in Section II-A.
+#pragma once
+
+#include <array>
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace pufaging {
+
+/// Incremental SHA-256 hasher.
+class Sha256 {
+ public:
+  static constexpr std::size_t kDigestSize = 32;
+  using Digest = std::array<std::uint8_t, kDigestSize>;
+
+  Sha256();
+
+  /// Absorbs `len` bytes.
+  void update(const std::uint8_t* data, std::size_t len);
+  void update(const std::vector<std::uint8_t>& data) {
+    update(data.data(), data.size());
+  }
+  void update(const std::string& data) {
+    update(reinterpret_cast<const std::uint8_t*>(data.data()), data.size());
+  }
+
+  /// Finalizes and returns the 32-byte digest. The hasher must not be
+  /// updated afterwards; call reset() to reuse it.
+  Digest finalize();
+
+  /// Returns the hasher to its initial state.
+  void reset();
+
+  /// One-shot convenience.
+  static Digest hash(const std::vector<std::uint8_t>& data);
+  static Digest hash(const std::string& data);
+
+  /// Renders a digest as lowercase hex.
+  static std::string to_hex(const Digest& digest);
+
+ private:
+  void process_block(const std::uint8_t* block);
+
+  std::array<std::uint32_t, 8> state_{};
+  std::array<std::uint8_t, 64> buffer_{};
+  std::size_t buffer_len_ = 0;
+  std::uint64_t total_len_ = 0;
+  bool finalized_ = false;
+};
+
+/// HMAC-SHA256 (FIPS 198-1); building block for the HKDF key derivation.
+Sha256::Digest hmac_sha256(const std::vector<std::uint8_t>& key,
+                           const std::vector<std::uint8_t>& message);
+
+/// HKDF (RFC 5869) extract-and-expand keyed by SHA-256. Derives `length`
+/// bytes (<= 8160) of key material from input keying material `ikm`.
+std::vector<std::uint8_t> hkdf_sha256(const std::vector<std::uint8_t>& ikm,
+                                      const std::vector<std::uint8_t>& salt,
+                                      const std::vector<std::uint8_t>& info,
+                                      std::size_t length);
+
+}  // namespace pufaging

@@ -1,0 +1,89 @@
+#include "io/csv.hpp"
+
+#include <fstream>
+#include <sstream>
+
+#include "common/error.hpp"
+
+namespace pufaging {
+
+CsvWriter::CsvWriter(std::vector<std::string> header)
+    : header_(std::move(header)) {
+  if (header_.empty()) {
+    throw InvalidArgument("CsvWriter: header must not be empty");
+  }
+}
+
+void CsvWriter::add_row(const std::vector<std::string>& cells) {
+  if (cells.size() != header_.size()) {
+    throw InvalidArgument("CsvWriter::add_row: column count mismatch");
+  }
+  rows_.push_back(cells);
+}
+
+void CsvWriter::add_row(const std::vector<double>& cells) {
+  std::vector<std::string> text;
+  text.reserve(cells.size());
+  for (double c : cells) {
+    std::ostringstream ss;
+    ss.precision(10);
+    ss << c;
+    text.push_back(ss.str());
+  }
+  add_row(text);
+}
+
+std::string CsvWriter::escape(const std::string& cell) {
+  const bool needs_quotes = cell.find_first_of(",\"\n\r") != std::string::npos;
+  if (!needs_quotes) {
+    return cell;
+  }
+  std::string out = "\"";
+  for (char c : cell) {
+    if (c == '"') {
+      out += "\"\"";
+    } else {
+      out.push_back(c);
+    }
+  }
+  out.push_back('"');
+  return out;
+}
+
+std::string CsvWriter::to_string() const {
+  std::ostringstream os;
+  write(os);
+  return os.str();
+}
+
+void CsvWriter::write(std::ostream& os) const {
+  for (std::size_t i = 0; i < header_.size(); ++i) {
+    if (i > 0) {
+      os << ',';
+    }
+    os << escape(header_[i]);
+  }
+  os << '\n';
+  for (const auto& row : rows_) {
+    for (std::size_t i = 0; i < row.size(); ++i) {
+      if (i > 0) {
+        os << ',';
+      }
+      os << escape(row[i]);
+    }
+    os << '\n';
+  }
+}
+
+void CsvWriter::save(const std::string& path) const {
+  std::ofstream file(path);
+  if (!file) {
+    throw Error("CsvWriter::save: cannot open " + path);
+  }
+  write(file);
+  if (!file) {
+    throw Error("CsvWriter::save: write failed for " + path);
+  }
+}
+
+}  // namespace pufaging

@@ -1,0 +1,43 @@
+// CSV emission for figure data series (Fig. 5 histograms, Fig. 6 curves).
+//
+// Every bench binary can dump the series it prints as CSV so the paper's
+// plots can be regenerated with any external plotting tool.
+#pragma once
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace pufaging {
+
+/// Accumulates rows and writes RFC-4180-style CSV (quoting only when
+/// needed). Column count is fixed by the header.
+class CsvWriter {
+ public:
+  explicit CsvWriter(std::vector<std::string> header);
+
+  /// Appends one row; must match the header's column count.
+  void add_row(const std::vector<std::string>& cells);
+
+  /// Convenience for numeric rows.
+  void add_row(const std::vector<double>& cells);
+
+  std::size_t row_count() const { return rows_.size(); }
+
+  /// Serializes header + rows.
+  std::string to_string() const;
+
+  /// Writes to a stream.
+  void write(std::ostream& os) const;
+
+  /// Writes to a file; throws Error on I/O failure.
+  void save(const std::string& path) const;
+
+ private:
+  static std::string escape(const std::string& cell);
+
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace pufaging

@@ -1,0 +1,475 @@
+#include "io/json.hpp"
+
+#include <cctype>
+#include <charconv>
+#include <cmath>
+#include <sstream>
+
+#include "common/error.hpp"
+
+namespace pufaging {
+
+bool Json::as_bool() const {
+  if (const bool* b = std::get_if<bool>(&value_)) {
+    return *b;
+  }
+  throw ParseError("Json::as_bool: not a boolean");
+}
+
+double Json::as_double() const {
+  if (const double* d = std::get_if<double>(&value_)) {
+    return *d;
+  }
+  if (const std::int64_t* i = std::get_if<std::int64_t>(&value_)) {
+    return static_cast<double>(*i);
+  }
+  throw ParseError("Json::as_double: not a number");
+}
+
+std::int64_t Json::as_int() const {
+  if (const std::int64_t* i = std::get_if<std::int64_t>(&value_)) {
+    return *i;
+  }
+  if (const double* d = std::get_if<double>(&value_)) {
+    return static_cast<std::int64_t>(*d);
+  }
+  throw ParseError("Json::as_int: not a number");
+}
+
+const std::string& Json::as_string() const {
+  if (const std::string* s = std::get_if<std::string>(&value_)) {
+    return *s;
+  }
+  throw ParseError("Json::as_string: not a string");
+}
+
+const Json::Array& Json::as_array() const {
+  if (const Array* a = std::get_if<Array>(&value_)) {
+    return *a;
+  }
+  throw ParseError("Json::as_array: not an array");
+}
+
+const Json::Object& Json::as_object() const {
+  if (const Object* o = std::get_if<Object>(&value_)) {
+    return *o;
+  }
+  throw ParseError("Json::as_object: not an object");
+}
+
+void Json::push_back(Json v) {
+  if (is_null()) {
+    value_ = Array{};
+  }
+  if (Array* a = std::get_if<Array>(&value_)) {
+    a->push_back(std::move(v));
+    return;
+  }
+  throw ParseError("Json::push_back: not an array");
+}
+
+void Json::set(const std::string& key, Json v) {
+  if (is_null()) {
+    value_ = Object{};
+  }
+  if (Object* o = std::get_if<Object>(&value_)) {
+    for (auto& [k, existing] : *o) {
+      if (k == key) {
+        existing = std::move(v);
+        return;
+      }
+    }
+    o->emplace_back(key, std::move(v));
+    return;
+  }
+  throw ParseError("Json::set: not an object");
+}
+
+const Json& Json::at(const std::string& key) const {
+  for (const auto& [k, v] : as_object()) {
+    if (k == key) {
+      return v;
+    }
+  }
+  throw ParseError("Json::at: missing key '" + key + "'");
+}
+
+bool Json::contains(const std::string& key) const {
+  if (!is_object()) {
+    return false;
+  }
+  for (const auto& [k, v] : as_object()) {
+    if (k == key) {
+      return true;
+    }
+  }
+  return false;
+}
+
+namespace {
+
+void escape_string(const std::string& s, std::string& out) {
+  out.push_back('"');
+  for (char c : s) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\r':
+        out += "\\r";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      case '\b':
+        out += "\\b";
+        break;
+      case '\f':
+        out += "\\f";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          out += buf;
+        } else {
+          out.push_back(c);
+        }
+    }
+  }
+  out.push_back('"');
+}
+
+void format_double(double d, std::string& out) {
+  if (std::isnan(d) || std::isinf(d)) {
+    throw ParseError("Json: cannot serialize NaN/Inf");
+  }
+  std::ostringstream ss;
+  ss.precision(17);
+  ss << d;
+  out += ss.str();
+}
+
+}  // namespace
+
+void Json::dump_to(std::string& out, int indent, int depth) const {
+  const auto newline = [&](int d) {
+    if (indent > 0) {
+      out.push_back('\n');
+      out.append(static_cast<std::size_t>(indent * d), ' ');
+    }
+  };
+  if (is_null()) {
+    out += "null";
+  } else if (const bool* b = std::get_if<bool>(&value_)) {
+    out += *b ? "true" : "false";
+  } else if (const std::int64_t* i = std::get_if<std::int64_t>(&value_)) {
+    out += std::to_string(*i);
+  } else if (const double* d = std::get_if<double>(&value_)) {
+    format_double(*d, out);
+  } else if (const std::string* s = std::get_if<std::string>(&value_)) {
+    escape_string(*s, out);
+  } else if (const Array* a = std::get_if<Array>(&value_)) {
+    out.push_back('[');
+    for (std::size_t i2 = 0; i2 < a->size(); ++i2) {
+      if (i2 > 0) {
+        out.push_back(',');
+      }
+      newline(depth + 1);
+      (*a)[i2].dump_to(out, indent, depth + 1);
+    }
+    if (!a->empty()) {
+      newline(depth);
+    }
+    out.push_back(']');
+  } else if (const Object* o = std::get_if<Object>(&value_)) {
+    out.push_back('{');
+    for (std::size_t i2 = 0; i2 < o->size(); ++i2) {
+      if (i2 > 0) {
+        out.push_back(',');
+      }
+      newline(depth + 1);
+      escape_string((*o)[i2].first, out);
+      out.push_back(':');
+      if (indent > 0) {
+        out.push_back(' ');
+      }
+      (*o)[i2].second.dump_to(out, indent, depth + 1);
+    }
+    if (!o->empty()) {
+      newline(depth);
+    }
+    out.push_back('}');
+  }
+}
+
+std::string Json::dump() const {
+  std::string out;
+  dump_to(out, 0, 0);
+  return out;
+}
+
+std::string Json::dump_pretty() const {
+  std::string out;
+  dump_to(out, 2, 0);
+  return out;
+}
+
+namespace {
+
+class Parser {
+ public:
+  explicit Parser(const std::string& text) : text_(text) {}
+
+  Json parse_document() {
+    Json v = parse_value();
+    skip_ws();
+    if (pos_ != text_.size()) {
+      fail("trailing characters after document");
+    }
+    return v;
+  }
+
+ private:
+  [[noreturn]] void fail(const std::string& why) const {
+    throw ParseError("Json::parse at offset " + std::to_string(pos_) + ": " +
+                     why);
+  }
+
+  void skip_ws() {
+    while (pos_ < text_.size() &&
+           (text_[pos_] == ' ' || text_[pos_] == '\t' || text_[pos_] == '\n' ||
+            text_[pos_] == '\r')) {
+      ++pos_;
+    }
+  }
+
+  char peek() {
+    if (pos_ >= text_.size()) {
+      fail("unexpected end of input");
+    }
+    return text_[pos_];
+  }
+
+  char take() {
+    const char c = peek();
+    ++pos_;
+    return c;
+  }
+
+  void expect(char c) {
+    if (take() != c) {
+      fail(std::string("expected '") + c + "'");
+    }
+  }
+
+  void expect_literal(const char* lit) {
+    for (const char* p = lit; *p != '\0'; ++p) {
+      if (pos_ >= text_.size() || text_[pos_] != *p) {
+        fail(std::string("expected literal '") + lit + "'");
+      }
+      ++pos_;
+    }
+  }
+
+  Json parse_value() {
+    skip_ws();
+    switch (peek()) {
+      case '{':
+        return parse_object();
+      case '[':
+        return parse_array();
+      case '"':
+        return Json(parse_string());
+      case 't':
+        expect_literal("true");
+        return Json(true);
+      case 'f':
+        expect_literal("false");
+        return Json(false);
+      case 'n':
+        expect_literal("null");
+        return Json(nullptr);
+      default:
+        return parse_number();
+    }
+  }
+
+  Json parse_object() {
+    expect('{');
+    Json obj = Json::object();
+    skip_ws();
+    if (peek() == '}') {
+      ++pos_;
+      return obj;
+    }
+    while (true) {
+      skip_ws();
+      const std::string key = parse_string();
+      skip_ws();
+      expect(':');
+      obj.set(key, parse_value());
+      skip_ws();
+      const char c = take();
+      if (c == '}') {
+        return obj;
+      }
+      if (c != ',') {
+        fail("expected ',' or '}' in object");
+      }
+    }
+  }
+
+  Json parse_array() {
+    expect('[');
+    Json arr = Json::array();
+    skip_ws();
+    if (peek() == ']') {
+      ++pos_;
+      return arr;
+    }
+    while (true) {
+      arr.push_back(parse_value());
+      skip_ws();
+      const char c = take();
+      if (c == ']') {
+        return arr;
+      }
+      if (c != ',') {
+        fail("expected ',' or ']' in array");
+      }
+    }
+  }
+
+  std::string parse_string() {
+    expect('"');
+    std::string out;
+    while (true) {
+      const char c = take();
+      if (c == '"') {
+        return out;
+      }
+      if (c == '\\') {
+        const char e = take();
+        switch (e) {
+          case '"':
+            out.push_back('"');
+            break;
+          case '\\':
+            out.push_back('\\');
+            break;
+          case '/':
+            out.push_back('/');
+            break;
+          case 'n':
+            out.push_back('\n');
+            break;
+          case 't':
+            out.push_back('\t');
+            break;
+          case 'r':
+            out.push_back('\r');
+            break;
+          case 'b':
+            out.push_back('\b');
+            break;
+          case 'f':
+            out.push_back('\f');
+            break;
+          case 'u': {
+            unsigned code = 0;
+            for (int i = 0; i < 4; ++i) {
+              const char h = take();
+              code <<= 4;
+              if (h >= '0' && h <= '9') {
+                code |= static_cast<unsigned>(h - '0');
+              } else if (h >= 'a' && h <= 'f') {
+                code |= static_cast<unsigned>(h - 'a' + 10);
+              } else if (h >= 'A' && h <= 'F') {
+                code |= static_cast<unsigned>(h - 'A' + 10);
+              } else {
+                fail("bad \\u escape");
+              }
+            }
+            // UTF-8 encode the BMP code point (surrogates unsupported).
+            if (code < 0x80) {
+              out.push_back(static_cast<char>(code));
+            } else if (code < 0x800) {
+              out.push_back(static_cast<char>(0xC0 | (code >> 6)));
+              out.push_back(static_cast<char>(0x80 | (code & 0x3F)));
+            } else {
+              out.push_back(static_cast<char>(0xE0 | (code >> 12)));
+              out.push_back(static_cast<char>(0x80 | ((code >> 6) & 0x3F)));
+              out.push_back(static_cast<char>(0x80 | (code & 0x3F)));
+            }
+            break;
+          }
+          default:
+            fail("bad escape character");
+        }
+      } else if (static_cast<unsigned char>(c) < 0x20) {
+        fail("raw control character in string");
+      } else {
+        out.push_back(c);
+      }
+    }
+  }
+
+  Json parse_number() {
+    const std::size_t start = pos_;
+    if (peek() == '-') {
+      ++pos_;
+    }
+    bool is_double = false;
+    while (pos_ < text_.size()) {
+      const char c = text_[pos_];
+      if (std::isdigit(static_cast<unsigned char>(c))) {
+        ++pos_;
+      } else if (c == '.' || c == 'e' || c == 'E' || c == '+' || c == '-') {
+        is_double = true;
+        ++pos_;
+      } else {
+        break;
+      }
+    }
+    const std::string token = text_.substr(start, pos_ - start);
+    if (token.empty() || token == "-") {
+      fail("invalid number");
+    }
+    if (!is_double) {
+      std::int64_t i = 0;
+      const auto [ptr, ec] =
+          std::from_chars(token.data(), token.data() + token.size(), i);
+      if (ec == std::errc() && ptr == token.data() + token.size()) {
+        return Json(i);
+      }
+    }
+    try {
+      std::size_t consumed = 0;
+      const double d = std::stod(token, &consumed);
+      if (consumed != token.size()) {
+        fail("invalid number");
+      }
+      return Json(d);
+    } catch (const std::exception&) {
+      fail("invalid number");
+    }
+  }
+
+  const std::string& text_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace
+
+Json Json::parse(const std::string& text) {
+  return Parser(text).parse_document();
+}
+
+}  // namespace pufaging

@@ -1,0 +1,91 @@
+// Minimal JSON document model, writer and parser.
+//
+// The paper's measurement rig stores every SRAM read-out as a JSON record in
+// a database fed by the Raspberry Pi (Section III). The virtual testbed's
+// Collector emits the same kind of records, and the analysis pipeline can be
+// driven from parsed records to exercise the full data path.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <utility>
+#include <variant>
+#include <vector>
+
+namespace pufaging {
+
+/// A JSON value: null, bool, number, string, array or object.
+/// Object member order is preserved (insertion order) so emitted records
+/// are stable and diff-friendly.
+class Json {
+ public:
+  using Array = std::vector<Json>;
+  using Object = std::vector<std::pair<std::string, Json>>;
+
+  Json() : value_(nullptr) {}
+  Json(std::nullptr_t) : value_(nullptr) {}
+  Json(bool b) : value_(b) {}
+  Json(double d) : value_(d) {}
+  Json(std::int64_t i) : value_(i) {}
+  Json(int i) : value_(static_cast<std::int64_t>(i)) {}
+  Json(unsigned int i) : value_(static_cast<std::int64_t>(i)) {}
+  Json(std::uint64_t i) : value_(static_cast<std::int64_t>(i)) {}
+  Json(const char* s) : value_(std::string(s)) {}
+  Json(std::string s) : value_(std::move(s)) {}
+  Json(Array a) : value_(std::move(a)) {}
+  Json(Object o) : value_(std::move(o)) {}
+
+  static Json array() { return Json(Array{}); }
+  static Json object() { return Json(Object{}); }
+
+  bool is_null() const { return std::holds_alternative<std::nullptr_t>(value_); }
+  bool is_bool() const { return std::holds_alternative<bool>(value_); }
+  bool is_number() const {
+    return std::holds_alternative<double>(value_) ||
+           std::holds_alternative<std::int64_t>(value_);
+  }
+  bool is_string() const { return std::holds_alternative<std::string>(value_); }
+  bool is_array() const { return std::holds_alternative<Array>(value_); }
+  bool is_object() const { return std::holds_alternative<Object>(value_); }
+
+  /// Typed accessors; throw ParseError on type mismatch.
+  bool as_bool() const;
+  double as_double() const;
+  std::int64_t as_int() const;
+  const std::string& as_string() const;
+  const Array& as_array() const;
+  const Object& as_object() const;
+
+  /// Appends to an array value; converts a null value into an array first.
+  void push_back(Json v);
+
+  /// Sets an object member (appends or overwrites); converts a null value
+  /// into an object first.
+  void set(const std::string& key, Json v);
+
+  /// Object member lookup; throws ParseError when absent.
+  const Json& at(const std::string& key) const;
+
+  /// True if this object has the given member.
+  bool contains(const std::string& key) const;
+
+  /// Serializes to a compact single-line JSON string.
+  std::string dump() const;
+
+  /// Serializes with 2-space indentation.
+  std::string dump_pretty() const;
+
+  /// Parses a JSON document; throws ParseError on malformed input.
+  static Json parse(const std::string& text);
+
+ private:
+  void dump_to(std::string& out, int indent, int depth) const;
+
+  std::variant<std::nullptr_t, bool, double, std::int64_t, std::string, Array,
+               Object>
+      value_;
+};
+
+}  // namespace pufaging

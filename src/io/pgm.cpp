@@ -1,0 +1,79 @@
+#include "io/pgm.hpp"
+
+#include <fstream>
+
+#include "common/error.hpp"
+
+namespace pufaging {
+
+std::string bits_to_pgm(const BitVector& bits, std::size_t width) {
+  if (width == 0) {
+    throw InvalidArgument("bits_to_pgm: width must be > 0");
+  }
+  const std::size_t height = (bits.size() + width - 1) / width;
+  std::string out = "P5\n" + std::to_string(width) + " " +
+                    std::to_string(height) + "\n255\n";
+  out.reserve(out.size() + width * height);
+  for (std::size_t y = 0; y < height; ++y) {
+    for (std::size_t x = 0; x < width; ++x) {
+      const std::size_t i = y * width + x;
+      const bool one = i < bits.size() && bits.get(i);
+      out.push_back(one ? '\0' : static_cast<char>(0xFF));
+    }
+  }
+  return out;
+}
+
+void save_pgm(const BitVector& bits, std::size_t width,
+              const std::string& path) {
+  std::ofstream file(path, std::ios::binary);
+  if (!file) {
+    throw Error("save_pgm: cannot open " + path);
+  }
+  const std::string data = bits_to_pgm(bits, width);
+  file.write(data.data(), static_cast<std::streamsize>(data.size()));
+  if (!file) {
+    throw Error("save_pgm: write failed for " + path);
+  }
+}
+
+std::string bits_to_ascii(const BitVector& bits, std::size_t width,
+                          std::size_t cell_w, std::size_t cell_h) {
+  if (width == 0 || cell_w == 0 || cell_h == 0) {
+    throw InvalidArgument("bits_to_ascii: dimensions must be > 0");
+  }
+  static constexpr char kRamp[] = " .:-=+*#%@";
+  constexpr std::size_t kRampLen = sizeof(kRamp) - 2;  // index of darkest
+  const std::size_t height = (bits.size() + width - 1) / width;
+  const std::size_t out_w = (width + cell_w - 1) / cell_w;
+  const std::size_t out_h = (height + cell_h - 1) / cell_h;
+  std::string out;
+  out.reserve((out_w + 1) * out_h);
+  for (std::size_t cy = 0; cy < out_h; ++cy) {
+    for (std::size_t cx = 0; cx < out_w; ++cx) {
+      std::size_t ones = 0;
+      std::size_t total = 0;
+      for (std::size_t dy = 0; dy < cell_h; ++dy) {
+        for (std::size_t dx = 0; dx < cell_w; ++dx) {
+          const std::size_t x = cx * cell_w + dx;
+          const std::size_t y = cy * cell_h + dy;
+          const std::size_t i = y * width + x;
+          if (x < width && i < bits.size()) {
+            ++total;
+            ones += bits.get(i) ? 1U : 0U;
+          }
+        }
+      }
+      if (total == 0) {
+        out.push_back(' ');
+      } else {
+        const std::size_t level = (ones * kRampLen + total / 2) / total;
+        out.push_back(kRamp[level]);
+      }
+    }
+    out.push_back('\n');
+  }
+  return out;
+}
+
+}  // namespace pufaging

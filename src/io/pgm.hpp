@@ -1,0 +1,25 @@
+// Bitmap writers for the start-up pattern visualization (paper Fig. 4).
+#pragma once
+
+#include <string>
+
+#include "common/bitvector.hpp"
+
+namespace pufaging {
+
+/// Renders a bit vector as a binary PGM (P5) image of the given width;
+/// ones are black (like the paper's figure), zeros white. The last row is
+/// padded with white. Returns the PGM file contents.
+std::string bits_to_pgm(const BitVector& bits, std::size_t width);
+
+/// Saves `bits_to_pgm` output to a file; throws Error on I/O failure.
+void save_pgm(const BitVector& bits, std::size_t width,
+              const std::string& path);
+
+/// Renders a downsampled ASCII view: each character covers a `cell_w` x
+/// `cell_h` block of bits and shades by the block's ones-density using the
+/// ramp " .:-=+*#%@".
+std::string bits_to_ascii(const BitVector& bits, std::size_t width,
+                          std::size_t cell_w = 4, std::size_t cell_h = 8);
+
+}  // namespace pufaging

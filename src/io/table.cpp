@@ -1,0 +1,90 @@
+#include "io/table.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <sstream>
+
+#include "common/error.hpp"
+
+namespace pufaging {
+
+TablePrinter::TablePrinter(std::vector<std::string> header,
+                           std::vector<Align> alignments)
+    : header_(std::move(header)), alignments_(std::move(alignments)) {
+  if (header_.empty()) {
+    throw InvalidArgument("TablePrinter: header must not be empty");
+  }
+  if (alignments_.empty()) {
+    alignments_.assign(header_.size(), Align::kLeft);
+  }
+  if (alignments_.size() != header_.size()) {
+    throw InvalidArgument("TablePrinter: alignment count mismatch");
+  }
+}
+
+void TablePrinter::add_row(std::vector<std::string> cells) {
+  if (cells.size() > header_.size()) {
+    throw InvalidArgument("TablePrinter::add_row: too many cells");
+  }
+  cells.resize(header_.size());
+  rows_.push_back(std::move(cells));
+}
+
+std::string TablePrinter::to_string(std::size_t gap) const {
+  std::vector<std::size_t> widths(header_.size());
+  for (std::size_t c = 0; c < header_.size(); ++c) {
+    widths[c] = header_[c].size();
+    for (const auto& row : rows_) {
+      widths[c] = std::max(widths[c], row[c].size());
+    }
+  }
+  const std::string spacer(gap, ' ');
+  std::ostringstream os;
+  const auto emit = [&](const std::vector<std::string>& row) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      if (c > 0) {
+        os << spacer;
+      }
+      const std::size_t pad = widths[c] - row[c].size();
+      if (alignments_[c] == Align::kRight) {
+        os << std::string(pad, ' ') << row[c];
+      } else {
+        os << row[c];
+        if (c + 1 < row.size()) {
+          os << std::string(pad, ' ');
+        }
+      }
+    }
+    os << '\n';
+  };
+  emit(header_);
+  std::vector<std::string> rule;
+  rule.reserve(header_.size());
+  for (std::size_t w : widths) {
+    rule.emplace_back(w, '-');
+  }
+  emit(rule);
+  for (const auto& row : rows_) {
+    emit(row);
+  }
+  return os.str();
+}
+
+std::string TablePrinter::percent(double fraction, int decimals) {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.*f%%", decimals, fraction * 100.0);
+  return buf;
+}
+
+std::string TablePrinter::signed_percent(double fraction, int decimals,
+                                         bool negligible_label) {
+  if (negligible_label && std::fabs(fraction) < 1e-4) {
+    return "negligible";
+  }
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%+.*f%%", decimals, fraction * 100.0);
+  return buf;
+}
+
+}  // namespace pufaging

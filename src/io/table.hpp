@@ -1,0 +1,43 @@
+// Aligned plain-text table rendering (paper Table I and bench output).
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace pufaging {
+
+/// Column alignment for TablePrinter.
+enum class Align { kLeft, kRight };
+
+/// Collects rows of cells and renders an aligned ASCII table with a header
+/// rule, e.g.:
+///
+///   Evaluation      Start    End      Relative   Monthly
+///   -------------   ------   ------   --------   -------
+///   WCHD AVG.       2.49%    2.97%    +19.3%     +0.74%
+class TablePrinter {
+ public:
+  explicit TablePrinter(std::vector<std::string> header,
+                        std::vector<Align> alignments = {});
+
+  /// Appends a row; short rows are padded with empty cells.
+  void add_row(std::vector<std::string> cells);
+
+  /// Renders the table with `gap` spaces between columns.
+  std::string to_string(std::size_t gap = 3) const;
+
+  /// Helper: formats `fraction` as a percentage like "2.97%".
+  static std::string percent(double fraction, int decimals = 2);
+
+  /// Helper: formats a relative change like "+19.3%" (or "negligible" when
+  /// |change| < 0.0001, matching the paper's Table I footnote).
+  static std::string signed_percent(double fraction, int decimals = 2,
+                                    bool negligible_label = false);
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<Align> alignments_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace pufaging

@@ -1,0 +1,239 @@
+#include "keygen/bch.hpp"
+
+#include <algorithm>
+#include <set>
+
+#include "common/error.hpp"
+
+namespace pufaging {
+
+namespace {
+
+// Multiplies a GF(2) polynomial by a GF(2^m) linear factor (x + root) —
+// helper for building minimal polynomials in GF(2^m)[x].
+std::vector<std::uint32_t> mul_linear(const GF2m& field,
+                                      const std::vector<std::uint32_t>& poly,
+                                      std::uint32_t root) {
+  std::vector<std::uint32_t> out(poly.size() + 1, 0);
+  for (std::size_t i = 0; i < poly.size(); ++i) {
+    // * x
+    out[i + 1] ^= poly[i];
+    // * root
+    out[i] ^= field.mul(poly[i], root);
+  }
+  return out;
+}
+
+// Multiplies two GF(2) polynomials (coefficient vectors, constant first).
+std::vector<std::uint8_t> mul_gf2(const std::vector<std::uint8_t>& a,
+                                  const std::vector<std::uint8_t>& b) {
+  std::vector<std::uint8_t> out(a.size() + b.size() - 1, 0);
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    if (a[i]) {
+      for (std::size_t j = 0; j < b.size(); ++j) {
+        out[i + j] = out[i + j] ^ b[j];
+      }
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+BchCode::BchCode(unsigned m, std::size_t t)
+    : field_(m), n_((std::size_t{1} << m) - 1), t_(t) {
+  if (t == 0) {
+    throw InvalidArgument("BchCode: t must be > 0");
+  }
+  // Build the generator as the product of minimal polynomials of the
+  // distinct cyclotomic cosets covering alpha^1 .. alpha^{2t}.
+  std::set<std::uint32_t> covered;
+  generator_ = {1};
+  for (std::size_t i = 1; i <= 2 * t; ++i) {
+    const auto exponent = static_cast<std::uint32_t>(i % field_.order());
+    if (covered.count(exponent)) {
+      continue;
+    }
+    // Cyclotomic coset of `exponent` under doubling mod (2^m - 1).
+    std::vector<std::uint32_t> coset;
+    std::uint32_t e = exponent;
+    do {
+      coset.push_back(e);
+      covered.insert(e);
+      e = static_cast<std::uint32_t>(
+          (static_cast<std::uint64_t>(e) * 2) % field_.order());
+    } while (e != exponent);
+
+    // Minimal polynomial: prod_{j in coset} (x + alpha^j); lands in GF(2).
+    std::vector<std::uint32_t> minimal = {1};
+    for (std::uint32_t j : coset) {
+      minimal = mul_linear(field_, minimal, field_.alpha_pow(j));
+    }
+    std::vector<std::uint8_t> minimal_gf2(minimal.size());
+    for (std::size_t c = 0; c < minimal.size(); ++c) {
+      if (minimal[c] > 1) {
+        throw Error("BchCode: minimal polynomial not over GF(2)");
+      }
+      minimal_gf2[c] = static_cast<std::uint8_t>(minimal[c]);
+    }
+    generator_ = mul_gf2(generator_, minimal_gf2);
+  }
+  const std::size_t degree = generator_.size() - 1;
+  if (degree >= n_) {
+    throw InvalidArgument("BchCode: t too large for this field");
+  }
+  k_ = n_ - degree;
+}
+
+std::string BchCode::name() const {
+  return "bch(" + std::to_string(n_) + "," + std::to_string(k_) + ",t=" +
+         std::to_string(t_) + ")";
+}
+
+BitVector BchCode::encode(const BitVector& message) const {
+  if (message.size() != k_) {
+    throw InvalidArgument("BchCode::encode: wrong message length");
+  }
+  // Systematic encoding: codeword = [parity | message], where parity is
+  // (message(x) * x^{n-k}) mod g(x). Bit i of the codeword is the
+  // coefficient of x^i; the message occupies the high-degree coefficients.
+  const std::size_t parity_len = n_ - k_;
+  std::vector<std::uint8_t> remainder(parity_len, 0);
+  for (std::size_t i = message.size(); i-- > 0;) {
+    // Shift the remainder register left by one and feed the next bit in
+    // from the top (LFSR division by g).
+    const std::uint8_t feedback =
+        static_cast<std::uint8_t>((message.get(i) ? 1 : 0) ^
+                                  (parity_len > 0 ? remainder[parity_len - 1]
+                                                  : 0));
+    for (std::size_t j = parity_len; j-- > 1;) {
+      remainder[j] = static_cast<std::uint8_t>(
+          remainder[j - 1] ^ (feedback ? generator_[j] : 0));
+    }
+    remainder[0] = static_cast<std::uint8_t>(feedback ? generator_[0] : 0);
+  }
+  BitVector codeword(n_);
+  for (std::size_t i = 0; i < parity_len; ++i) {
+    codeword.set(i, remainder[i] != 0);
+  }
+  for (std::size_t i = 0; i < k_; ++i) {
+    codeword.set(parity_len + i, message.get(i));
+  }
+  return codeword;
+}
+
+std::vector<std::uint32_t> BchCode::syndromes(const BitVector& word) const {
+  std::vector<std::uint32_t> s(2 * t_, 0);
+  for (std::size_t j = 1; j <= 2 * t_; ++j) {
+    std::uint32_t value = 0;
+    for (std::size_t i = 0; i < n_; ++i) {
+      if (word.get(i)) {
+        value ^= field_.alpha_pow(static_cast<std::uint64_t>(i) * j);
+      }
+    }
+    s[j - 1] = value;
+  }
+  return s;
+}
+
+DecodeResult BchCode::decode(const BitVector& word) const {
+  if (word.size() != n_) {
+    throw InvalidArgument("BchCode::decode: wrong block length");
+  }
+  DecodeResult result;
+  result.message = BitVector(k_);
+
+  const std::vector<std::uint32_t> s = syndromes(word);
+  const bool clean =
+      std::all_of(s.begin(), s.end(), [](std::uint32_t v) { return v == 0; });
+  BitVector corrected_word = word;
+  std::size_t corrected_count = 0;
+
+  if (!clean) {
+    // Berlekamp-Massey: find the error-locator polynomial sigma(x).
+    std::vector<std::uint32_t> sigma = {1};
+    std::vector<std::uint32_t> prev = {1};
+    std::uint32_t prev_discrepancy = 1;
+    std::size_t l = 0;
+    std::size_t shift = 1;
+    for (std::size_t r = 0; r < 2 * t_; ++r) {
+      std::uint32_t discrepancy = s[r];
+      for (std::size_t i = 1; i <= l && i < sigma.size(); ++i) {
+        if (r >= i) {
+          discrepancy ^= field_.mul(sigma[i], s[r - i]);
+        }
+      }
+      if (discrepancy == 0) {
+        ++shift;
+        continue;
+      }
+      // sigma' = sigma - (d/d_prev) * x^shift * prev
+      std::vector<std::uint32_t> next = sigma;
+      const std::uint32_t factor = field_.div(discrepancy, prev_discrepancy);
+      if (next.size() < prev.size() + shift) {
+        next.resize(prev.size() + shift, 0);
+      }
+      for (std::size_t i = 0; i < prev.size(); ++i) {
+        next[i + shift] ^= field_.mul(factor, prev[i]);
+      }
+      if (2 * l <= r) {
+        prev = sigma;
+        prev_discrepancy = discrepancy;
+        l = r + 1 - l;
+        shift = 1;
+      } else {
+        ++shift;
+      }
+      sigma = std::move(next);
+    }
+    // Trim trailing zero coefficients.
+    while (sigma.size() > 1 && sigma.back() == 0) {
+      sigma.pop_back();
+    }
+    const std::size_t degree = sigma.size() - 1;
+    if (degree > t_) {
+      result.success = false;
+      return result;
+    }
+    // Chien search: roots alpha^{-i} <=> error at position i.
+    std::vector<std::size_t> error_positions;
+    for (std::size_t i = 0; i < n_; ++i) {
+      std::uint32_t value = 0;
+      for (std::size_t c = 0; c < sigma.size(); ++c) {
+        value ^= field_.mul(
+            sigma[c],
+            field_.alpha_pow(static_cast<std::uint64_t>(c) *
+                             ((field_.order() - static_cast<std::uint32_t>(i)) %
+                              field_.order())));
+      }
+      if (value == 0) {
+        error_positions.push_back(i);
+      }
+    }
+    if (error_positions.size() != degree) {
+      // sigma has roots outside the code positions: > t errors.
+      result.success = false;
+      return result;
+    }
+    for (std::size_t pos : error_positions) {
+      corrected_word.flip(pos);
+    }
+    corrected_count = error_positions.size();
+    // Verify the correction actually yields a codeword.
+    const std::vector<std::uint32_t> check = syndromes(corrected_word);
+    if (!std::all_of(check.begin(), check.end(),
+                     [](std::uint32_t v) { return v == 0; })) {
+      result.success = false;
+      return result;
+    }
+  }
+
+  for (std::size_t i = 0; i < k_; ++i) {
+    result.message.set(i, corrected_word.get(n_ - k_ + i));
+  }
+  result.corrected = corrected_count;
+  result.success = true;
+  return result;
+}
+
+}  // namespace pufaging

@@ -1,0 +1,68 @@
+#include "keygen/bit_selection.hpp"
+
+#include "analysis/one_probability.hpp"
+#include "common/error.hpp"
+
+namespace pufaging {
+
+BitVector BitSelection::to_mask(std::size_t window_bits) const {
+  BitVector mask(window_bits);
+  for (std::uint32_t cell : cells) {
+    if (cell >= window_bits) {
+      throw InvalidArgument("BitSelection::to_mask: cell outside window");
+    }
+    mask.set(cell, true);
+  }
+  return mask;
+}
+
+BitSelection BitSelection::from_mask(const BitVector& mask,
+                                     std::uint64_t measurements) {
+  BitSelection selection;
+  selection.characterization_measurements = measurements;
+  for (std::size_t i = 0; i < mask.size(); ++i) {
+    if (mask.get(i)) {
+      selection.cells.push_back(static_cast<std::uint32_t>(i));
+    }
+  }
+  return selection;
+}
+
+BitSelection select_stable_cells(SramDevice& device, std::size_t measurements,
+                                 std::size_t max_cells,
+                                 const OperatingPoint& op) {
+  if (measurements < 2) {
+    throw InvalidArgument("select_stable_cells: need >= 2 measurements");
+  }
+  OneProbabilityAccumulator acc(device.puf_window_bits());
+  for (std::size_t i = 0; i < measurements; ++i) {
+    acc.add(device.measure(op));
+  }
+  BitSelection selection;
+  selection.characterization_measurements = measurements;
+  for (std::size_t i = 0; i < acc.cell_count(); ++i) {
+    const std::uint32_t ones = acc.ones(i);
+    if (ones == 0 || ones == measurements) {
+      selection.cells.push_back(static_cast<std::uint32_t>(i));
+      if (max_cells != 0 && selection.cells.size() >= max_cells) {
+        break;
+      }
+    }
+  }
+  return selection;
+}
+
+BitVector apply_selection(const BitVector& window,
+                          const BitSelection& selection) {
+  BitVector out(selection.cells.size());
+  for (std::size_t i = 0; i < selection.cells.size(); ++i) {
+    const std::uint32_t cell = selection.cells[i];
+    if (cell >= window.size()) {
+      throw InvalidArgument("apply_selection: cell outside window");
+    }
+    out.set(i, window.get(cell));
+  }
+  return out;
+}
+
+}  // namespace pufaging

@@ -1,0 +1,11 @@
+#include "keygen/code.hpp"
+
+#include "common/math.hpp"
+
+namespace pufaging {
+
+double BlockCode::failure_probability(double ber) const {
+  return binomial_sf(block_length(), ber, correctable() + 1);
+}
+
+}  // namespace pufaging

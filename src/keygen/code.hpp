@@ -1,0 +1,50 @@
+// Block error-correcting code interface.
+//
+// The paper's key-generation application (Section II-A1) requires an ECC
+// able to absorb the PUF's bit error rate — up to 25% with a suitably
+// designed code [13] — so that the enrolled key reconstructs perfectly over
+// the device's lifetime even as aging raises the WCHD.
+#pragma once
+
+#include <cstddef>
+#include <memory>
+#include <optional>
+#include <string>
+
+#include "common/bitvector.hpp"
+
+namespace pufaging {
+
+/// Result of decoding one block.
+struct DecodeResult {
+  BitVector message;            ///< Recovered k-bit message.
+  std::size_t corrected = 0;    ///< Number of bit errors corrected.
+  bool success = false;         ///< False when errors exceeded capacity
+                                ///< (detected failure; message undefined).
+};
+
+/// A binary (n, k) block code correcting up to t errors.
+class BlockCode {
+ public:
+  virtual ~BlockCode() = default;
+
+  virtual std::size_t block_length() const = 0;    ///< n.
+  virtual std::size_t message_length() const = 0;  ///< k.
+  virtual std::size_t correctable() const = 0;     ///< t.
+  virtual std::string name() const = 0;
+
+  /// Encodes a k-bit message into an n-bit codeword.
+  virtual BitVector encode(const BitVector& message) const = 0;
+
+  /// Decodes an n-bit word; corrects up to t errors.
+  virtual DecodeResult decode(const BitVector& word) const = 0;
+
+  /// Probability that one block fails to decode when every bit flips
+  /// independently with probability `ber`. The default is the bounded-
+  /// distance formula Pr[Binomial(n, ber) > t]; structured codes (e.g.
+  /// concatenations, whose effective capacity is pattern-dependent)
+  /// override it with their exact composition.
+  virtual double failure_probability(double ber) const;
+};
+
+}  // namespace pufaging

@@ -1,0 +1,78 @@
+#include "keygen/concatenated.hpp"
+
+#include "common/error.hpp"
+
+namespace pufaging {
+
+ConcatenatedCode::ConcatenatedCode(std::shared_ptr<const BlockCode> outer,
+                                   std::shared_ptr<const BlockCode> inner)
+    : outer_(std::move(outer)), inner_(std::move(inner)) {
+  if (!outer_ || !inner_) {
+    throw InvalidArgument("ConcatenatedCode: null stage");
+  }
+  if (inner_->message_length() != 1) {
+    throw InvalidArgument(
+        "ConcatenatedCode: inner code must carry 1-bit messages");
+  }
+}
+
+std::size_t ConcatenatedCode::block_length() const {
+  return outer_->block_length() * inner_->block_length();
+}
+
+std::size_t ConcatenatedCode::message_length() const {
+  return outer_->message_length();
+}
+
+std::size_t ConcatenatedCode::correctable() const {
+  return inner_->correctable() * outer_->block_length() +
+         outer_->correctable();
+}
+
+std::string ConcatenatedCode::name() const {
+  return outer_->name() + " o " + inner_->name();
+}
+
+BitVector ConcatenatedCode::encode(const BitVector& message) const {
+  const BitVector outer_word = outer_->encode(message);
+  const std::size_t n_in = inner_->block_length();
+  BitVector out(outer_word.size() * n_in);
+  BitVector bit(1);
+  for (std::size_t i = 0; i < outer_word.size(); ++i) {
+    bit.set(0, outer_word.get(i));
+    const BitVector inner_word = inner_->encode(bit);
+    for (std::size_t j = 0; j < n_in; ++j) {
+      out.set(i * n_in + j, inner_word.get(j));
+    }
+  }
+  return out;
+}
+
+double ConcatenatedCode::failure_probability(double ber) const {
+  const double inner_fail = inner_->failure_probability(ber);
+  return outer_->failure_probability(inner_fail);
+}
+
+DecodeResult ConcatenatedCode::decode(const BitVector& word) const {
+  if (word.size() != block_length()) {
+    throw InvalidArgument("ConcatenatedCode::decode: wrong block length");
+  }
+  const std::size_t n_in = inner_->block_length();
+  const std::size_t n_out = outer_->block_length();
+  BitVector outer_word(n_out);
+  std::size_t inner_corrected = 0;
+  for (std::size_t i = 0; i < n_out; ++i) {
+    BitVector block(n_in);
+    for (std::size_t j = 0; j < n_in; ++j) {
+      block.set(j, word.get(i * n_in + j));
+    }
+    const DecodeResult inner_result = inner_->decode(block);
+    inner_corrected += inner_result.corrected;
+    outer_word.set(i, inner_result.success && inner_result.message.get(0));
+  }
+  DecodeResult result = outer_->decode(outer_word);
+  result.corrected += inner_corrected;
+  return result;
+}
+
+}  // namespace pufaging

@@ -1,0 +1,47 @@
+// Concatenated code: inner repetition, outer block code.
+//
+// The classic SRAM PUF key-generator construction: the inner repetition
+// stage reduces the raw PUF bit error rate (a few percent, growing with
+// aging) to a residual rate the outer code (Golay/BCH) corrects with
+// near-certainty. The combination tolerates the paper's 25% BER bound for
+// well-designed schemes [13].
+#pragma once
+
+#include <memory>
+
+#include "keygen/code.hpp"
+
+namespace pufaging {
+
+/// Serial concatenation: each outer-codeword bit is encoded by the inner
+/// code. Parameters: n = n_out * n_in, k = k_out, t >= t_in per symbol.
+class ConcatenatedCode final : public BlockCode {
+ public:
+  /// Takes ownership of both stages. `inner` must be a 1-bit-message code
+  /// (e.g. RepetitionCode).
+  ConcatenatedCode(std::shared_ptr<const BlockCode> outer,
+                   std::shared_ptr<const BlockCode> inner);
+
+  std::size_t block_length() const override;
+  std::size_t message_length() const override;
+  /// Guaranteed correction: t_inner errors in every inner block plus the
+  /// outer capacity on top; reported conservatively as the inner capacity
+  /// times the outer block plus outer capacity (exact capacity is
+  /// pattern-dependent).
+  std::size_t correctable() const override;
+  std::string name() const override;
+
+  BitVector encode(const BitVector& message) const override;
+  DecodeResult decode(const BitVector& word) const override;
+
+  /// Exact two-stage composition: an inner block fails with probability
+  /// q = inner.failure_probability(ber); the outer stage then sees symbol
+  /// error rate q, so the block fails with Pr[Binomial(n_out, q) > t_out].
+  double failure_probability(double ber) const override;
+
+ private:
+  std::shared_ptr<const BlockCode> outer_;
+  std::shared_ptr<const BlockCode> inner_;
+};
+
+}  // namespace pufaging

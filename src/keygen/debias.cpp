@@ -1,0 +1,93 @@
+#include "keygen/debias.hpp"
+
+#include "common/error.hpp"
+
+namespace pufaging {
+
+DebiasResult von_neumann_enroll(const BitVector& response) {
+  const std::size_t pairs = response.size() / 2;
+  DebiasResult result;
+  result.selection_mask = BitVector(pairs);
+  std::vector<bool> kept_bits;
+  kept_bits.reserve(pairs);
+  for (std::size_t i = 0; i < pairs; ++i) {
+    const bool a = response.get(2 * i);
+    const bool b = response.get(2 * i + 1);
+    if (a != b) {
+      result.selection_mask.set(i, true);
+      kept_bits.push_back(a);  // 01 -> 0, 10 -> 1: output the first bit.
+    }
+  }
+  result.debiased = BitVector(kept_bits.size());
+  for (std::size_t i = 0; i < kept_bits.size(); ++i) {
+    result.debiased.set(i, kept_bits[i]);
+  }
+  return result;
+}
+
+BitVector von_neumann_reconstruct(const BitVector& response,
+                                  const BitVector& selection_mask) {
+  const std::size_t pairs = response.size() / 2;
+  if (selection_mask.size() != pairs) {
+    throw InvalidArgument(
+        "von_neumann_reconstruct: mask does not match response");
+  }
+  std::vector<bool> kept_bits;
+  for (std::size_t i = 0; i < pairs; ++i) {
+    if (selection_mask.get(i)) {
+      kept_bits.push_back(response.get(2 * i));
+    }
+  }
+  BitVector out(kept_bits.size());
+  for (std::size_t i = 0; i < kept_bits.size(); ++i) {
+    out.set(i, kept_bits[i]);
+  }
+  return out;
+}
+
+TwoPassDebiasResult two_pass_von_neumann_enroll(const BitVector& response) {
+  const std::size_t pairs = response.size() / 2;
+  TwoPassDebiasResult result;
+  result.selection_mask = BitVector(pairs);
+  std::vector<bool> out_bits;
+
+  // Pass 1: classic von Neumann on 01/10 pairs.
+  for (std::size_t i = 0; i < pairs; ++i) {
+    const bool a = response.get(2 * i);
+    const bool b = response.get(2 * i + 1);
+    if (a != b) {
+      result.selection_mask.set(i, true);
+      out_bits.push_back(a);
+    }
+  }
+  result.pass1_bits = out_bits.size();
+
+  // Pass 2: von Neumann over the *values* of the discarded equal pairs
+  // (00 vs 11), pairing consecutive discarded pairs.
+  std::vector<bool> discarded_values;
+  for (std::size_t i = 0; i < pairs; ++i) {
+    if (!result.selection_mask.get(i)) {
+      discarded_values.push_back(response.get(2 * i));
+    }
+  }
+  for (std::size_t i = 0; i + 1 < discarded_values.size(); i += 2) {
+    if (discarded_values[i] != discarded_values[i + 1]) {
+      out_bits.push_back(discarded_values[i]);
+    }
+  }
+
+  result.debiased = BitVector(out_bits.size());
+  for (std::size_t i = 0; i < out_bits.size(); ++i) {
+    result.debiased.set(i, out_bits[i]);
+  }
+  return result;
+}
+
+double von_neumann_rate(double p) {
+  if (p < 0.0 || p > 1.0) {
+    throw InvalidArgument("von_neumann_rate: p outside [0, 1]");
+  }
+  return p * (1.0 - p);  // per input bit: pairs/2 * 2p(1-p) kept.
+}
+
+}  // namespace pufaging

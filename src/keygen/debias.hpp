@@ -1,0 +1,55 @@
+// Debiasing of biased PUF responses (paper Section II-A, [14]).
+//
+// The paper's devices power up with a fractional Hamming weight of 60-70%,
+// i.e. a biased source. Deriving a full-entropy key from a biased response
+// leaks information through the helper data unless the response is
+// debiased first. Two schemes are provided:
+//
+//  - Classic von Neumann (CVN): walk bit pairs; 01 -> 0, 10 -> 1, 00/11
+//    discarded. The *selection mask* of retained pairs is stored as helper
+//    data at enrollment and reused at reconstruction, which keeps the two
+//    debiased strings aligned (Maes et al., CHES 2015).
+//  - Pair-output von Neumann (epsilon-2VN): additionally keeps 00/11 pairs
+//    in a second pass as lower-weight information, improving rate; here
+//    implemented as the CHES 2015 two-pass variant.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/bitvector.hpp"
+
+namespace pufaging {
+
+/// Output of a debiasing pass at enrollment.
+struct DebiasResult {
+  BitVector debiased;        ///< Unbiased output bits.
+  BitVector selection_mask;  ///< Per-pair retain flag (helper data).
+};
+
+/// Classic von Neumann debiasing at enrollment.
+DebiasResult von_neumann_enroll(const BitVector& response);
+
+/// Reconstruction: applies a stored selection mask to a (possibly noisy)
+/// re-measurement, returning the bits at the enrolled pair positions
+/// (first bit of each retained pair).
+BitVector von_neumann_reconstruct(const BitVector& response,
+                                  const BitVector& selection_mask);
+
+/// Two-pass pair-output von Neumann (epsilon-2VN): pass 1 keeps 01/10
+/// pairs; pass 2 re-harvests the discarded 00/11 pairs as pair-majority
+/// bits. Higher rate than CVN at slightly reduced per-bit entropy for
+/// strongly biased sources.
+struct TwoPassDebiasResult {
+  BitVector debiased;        ///< Pass-1 output followed by pass-2 output.
+  BitVector selection_mask;  ///< Pass-1 retain flags per pair.
+  std::size_t pass1_bits = 0;
+};
+
+TwoPassDebiasResult two_pass_von_neumann_enroll(const BitVector& response);
+
+/// Expected CVN output rate for a source with one-probability p: the kept
+/// fraction is 2 p (1-p) pairs, one output bit per kept pair.
+double von_neumann_rate(double p);
+
+}  // namespace pufaging

@@ -1,0 +1,78 @@
+#include "keygen/debiased_key_generator.hpp"
+
+#include "common/error.hpp"
+#include "keygen/concatenated.hpp"
+#include "keygen/golay.hpp"
+#include "keygen/repetition.hpp"
+
+namespace pufaging {
+
+DebiasedKeyGenerator::DebiasedKeyGenerator(
+    std::shared_ptr<const BlockCode> code, KeyGenConfig config)
+    : extractor_(std::move(code)),
+      config_(config),
+      secret_rng_(config.secret_seed ^ 0xDEB1A5ULL) {
+  if (config.key_bytes == 0 || config.blocks == 0) {
+    throw InvalidArgument(
+        "DebiasedKeyGenerator: key_bytes and blocks must be > 0");
+  }
+  if (extractor_.secret_bits(config.blocks) < config.key_bytes * 8) {
+    throw InvalidArgument(
+        "DebiasedKeyGenerator: secret bits below requested key size");
+  }
+}
+
+DebiasedKeyGenerator DebiasedKeyGenerator::standard(KeyGenConfig config) {
+  auto code = std::make_shared<ConcatenatedCode>(
+      std::make_shared<GolayCode>(), std::make_shared<RepetitionCode>(5));
+  if (config.blocks * code->message_length() < config.key_bytes * 8) {
+    config.blocks = (config.key_bytes * 8 + code->message_length() - 1) /
+                    code->message_length();
+  }
+  return DebiasedKeyGenerator(code, config);
+}
+
+DebiasedEnrollment DebiasedKeyGenerator::enroll(SramDevice& device,
+                                                const OperatingPoint& op) {
+  const BitVector window = device.measure(op);
+  const DebiasResult debiased = von_neumann_enroll(window);
+  const std::size_t needed = extractor_.response_bits(config_.blocks);
+  if (debiased.debiased.size() < needed) {
+    throw Error(
+        "DebiasedKeyGenerator::enroll: window yields " +
+        std::to_string(debiased.debiased.size()) + " debiased bits, need " +
+        std::to_string(needed));
+  }
+  DebiasedEnrollment enrollment;
+  enrollment.selection_mask = debiased.selection_mask;
+  enrollment.debiased_bits_used = needed;
+  BitVector secret;
+  enrollment.helper = extractor_.enroll(debiased.debiased.slice(0, needed),
+                                        config_.blocks, secret_rng_, secret);
+  enrollment.key = derive_key(secret, config_.context, config_.key_bytes);
+  return enrollment;
+}
+
+Regeneration DebiasedKeyGenerator::regenerate(
+    SramDevice& device, const DebiasedEnrollment& enrollment,
+    const OperatingPoint& op) {
+  const BitVector window = device.measure(op);
+  const BitVector debiased =
+      von_neumann_reconstruct(window, enrollment.selection_mask);
+  Regeneration out;
+  if (debiased.size() < enrollment.debiased_bits_used) {
+    out.success = false;  // window shrank (should not happen: mask is fixed)
+    return out;
+  }
+  const ReconstructResult r = extractor_.reconstruct(
+      debiased.slice(0, enrollment.debiased_bits_used), enrollment.helper);
+  out.success = r.success;
+  out.corrected = r.corrected;
+  if (r.success) {
+    out.key = derive_key(r.message, config_.context, config_.key_bytes);
+    out.key_matches = (out.key == enrollment.key);
+  }
+  return out;
+}
+
+}  // namespace pufaging

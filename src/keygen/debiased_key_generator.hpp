@@ -1,0 +1,58 @@
+// Debiased key generation: von Neumann debiasing composed with the
+// code-offset fuzzy extractor (Maes et al., CHES 2015 — the paper's
+// reference [14]).
+//
+// The paper's devices are biased (FHW 60-70%). Running the plain
+// code-offset scheme on a biased response leaks information about the
+// key through the helper data; debiasing first makes the extractor input
+// uniform at the cost of ~4x response bits. Helper data here is the pair
+// (selection mask, code offset), both public.
+#pragma once
+
+#include <vector>
+
+#include "keygen/code.hpp"
+#include "keygen/debias.hpp"
+#include "keygen/fuzzy_extractor.hpp"
+#include "keygen/key_generator.hpp"
+#include "silicon/sram_device.hpp"
+
+namespace pufaging {
+
+/// Helper data of a debiased enrollment.
+struct DebiasedEnrollment {
+  BitVector selection_mask;  ///< Von Neumann pair-retention mask.
+  HelperData helper;         ///< Code offset over the debiased bits.
+  std::vector<std::uint8_t> key;
+  std::size_t debiased_bits_used = 0;
+};
+
+/// Von-Neumann-debiased code-offset key generator.
+class DebiasedKeyGenerator {
+ public:
+  DebiasedKeyGenerator(std::shared_ptr<const BlockCode> code,
+                       KeyGenConfig config);
+
+  /// The standard Golay o rep-5 construction, as KeyGenerator::standard().
+  static DebiasedKeyGenerator standard(KeyGenConfig config = {});
+
+  /// Enrolls against the device's full PUF window. Throws Error when the
+  /// window does not yield enough debiased bits for the configured code.
+  DebiasedEnrollment enroll(SramDevice& device,
+                            const OperatingPoint& op = nominal_conditions());
+
+  /// Regenerates the key from a fresh measurement.
+  Regeneration regenerate(SramDevice& device,
+                          const DebiasedEnrollment& enrollment,
+                          const OperatingPoint& op = nominal_conditions());
+
+  const BlockCode& code() const { return extractor_.code(); }
+  const KeyGenConfig& config() const { return config_; }
+
+ private:
+  FuzzyExtractor extractor_;
+  KeyGenConfig config_;
+  Xoshiro256StarStar secret_rng_;
+};
+
+}  // namespace pufaging

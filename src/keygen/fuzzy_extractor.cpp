@@ -1,0 +1,96 @@
+#include "keygen/fuzzy_extractor.hpp"
+
+#include "common/error.hpp"
+
+namespace pufaging {
+
+FuzzyExtractor::FuzzyExtractor(std::shared_ptr<const BlockCode> code)
+    : code_(std::move(code)) {
+  if (!code_) {
+    throw InvalidArgument("FuzzyExtractor: null code");
+  }
+}
+
+std::size_t FuzzyExtractor::response_bits(std::size_t blocks) const {
+  return blocks * code_->block_length();
+}
+
+std::size_t FuzzyExtractor::secret_bits(std::size_t blocks) const {
+  return blocks * code_->message_length();
+}
+
+HelperData FuzzyExtractor::enroll(const BitVector& response,
+                                  std::size_t blocks, Xoshiro256StarStar& rng,
+                                  BitVector& secret_out) const {
+  if (blocks == 0) {
+    throw InvalidArgument("FuzzyExtractor::enroll: blocks must be > 0");
+  }
+  if (response.size() != response_bits(blocks)) {
+    throw InvalidArgument("FuzzyExtractor::enroll: response length mismatch");
+  }
+  const std::size_t n = code_->block_length();
+  const std::size_t k = code_->message_length();
+  secret_out = BitVector(blocks * k);
+  HelperData helper;
+  helper.code_offset = BitVector(blocks * n);
+  for (std::size_t b = 0; b < blocks; ++b) {
+    BitVector message(k);
+    for (std::size_t i = 0; i < k; ++i) {
+      const bool bit = (rng.next() & 1U) != 0;
+      message.set(i, bit);
+      secret_out.set(b * k + i, bit);
+    }
+    const BitVector codeword = code_->encode(message);
+    for (std::size_t i = 0; i < n; ++i) {
+      helper.code_offset.set(b * n + i,
+                             codeword.get(i) ^ response.get(b * n + i));
+    }
+  }
+  return helper;
+}
+
+ReconstructResult FuzzyExtractor::reconstruct(const BitVector& noisy_response,
+                                              const HelperData& helper) const {
+  if (noisy_response.size() != helper.code_offset.size()) {
+    throw InvalidArgument(
+        "FuzzyExtractor::reconstruct: response/helper size mismatch");
+  }
+  const std::size_t n = code_->block_length();
+  if (noisy_response.size() % n != 0) {
+    throw InvalidArgument(
+        "FuzzyExtractor::reconstruct: length not a block multiple");
+  }
+  const std::size_t blocks = noisy_response.size() / n;
+  const std::size_t k = code_->message_length();
+
+  ReconstructResult result;
+  result.message = BitVector(blocks * k);
+  result.success = true;
+  for (std::size_t b = 0; b < blocks; ++b) {
+    BitVector word(n);
+    for (std::size_t i = 0; i < n; ++i) {
+      word.set(i, noisy_response.get(b * n + i) ^
+                      helper.code_offset.get(b * n + i));
+    }
+    const DecodeResult decoded = code_->decode(word);
+    if (!decoded.success) {
+      result.success = false;
+      return result;
+    }
+    result.corrected += decoded.corrected;
+    for (std::size_t i = 0; i < k; ++i) {
+      result.message.set(b * k + i, decoded.message.get(i));
+    }
+  }
+  return result;
+}
+
+std::vector<std::uint8_t> derive_key(const BitVector& secret,
+                                     const std::string& context,
+                                     std::size_t key_bytes) {
+  const std::vector<std::uint8_t> ikm = secret.to_bytes();
+  const std::vector<std::uint8_t> info(context.begin(), context.end());
+  return hkdf_sha256(ikm, /*salt=*/{}, info, key_bytes);
+}
+
+}  // namespace pufaging

@@ -1,0 +1,69 @@
+// Code-offset fuzzy extractor (helper-data scheme).
+//
+// Enrollment: pick a uniform message s, compute helper data
+// W = R xor Encode(s) from the PUF response R. Reconstruction: from a
+// noisy re-measurement R', Decode(W xor R') recovers s as long as
+// HD(R, R') <= t of the code. The key is derived from s by hashing, so the
+// helper data can be stored publicly (modulo bias leakage, which the
+// debiasing stage removes).
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "common/bitvector.hpp"
+#include "common/rng.hpp"
+#include "common/sha256.hpp"
+#include "keygen/code.hpp"
+
+namespace pufaging {
+
+/// Public helper data produced at enrollment.
+struct HelperData {
+  BitVector code_offset;  ///< R xor Encode(s).
+};
+
+/// Result of a reconstruction attempt.
+struct ReconstructResult {
+  bool success = false;
+  std::size_t corrected = 0;  ///< Bit errors absorbed by the code.
+  BitVector message;          ///< The recovered secret s (on success).
+};
+
+/// Code-offset construction over an arbitrary block code. Multi-block:
+/// responses longer than one code block are split into consecutive blocks,
+/// each enrolled independently; the concatenated messages form the secret.
+class FuzzyExtractor {
+ public:
+  explicit FuzzyExtractor(std::shared_ptr<const BlockCode> code);
+
+  /// Number of response bits consumed per enrollment for `blocks` blocks.
+  std::size_t response_bits(std::size_t blocks) const;
+
+  /// Secret bits produced for `blocks` blocks.
+  std::size_t secret_bits(std::size_t blocks) const;
+
+  /// Enrolls `blocks` blocks against the response (must supply exactly
+  /// response_bits(blocks) bits). `rng` supplies the uniform secret.
+  /// Returns helper data; `secret_out` receives the enrolled secret.
+  HelperData enroll(const BitVector& response, std::size_t blocks,
+                    Xoshiro256StarStar& rng, BitVector& secret_out) const;
+
+  /// Reconstructs the secret from a noisy response and the helper data.
+  ReconstructResult reconstruct(const BitVector& noisy_response,
+                                const HelperData& helper) const;
+
+  const BlockCode& code() const { return *code_; }
+
+ private:
+  std::shared_ptr<const BlockCode> code_;
+};
+
+/// Derives a fixed-length key from a reconstructed secret via HKDF-SHA256
+/// (privacy amplification / entropy compression).
+std::vector<std::uint8_t> derive_key(const BitVector& secret,
+                                     const std::string& context,
+                                     std::size_t key_bytes);
+
+}  // namespace pufaging

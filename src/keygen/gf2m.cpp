@@ -1,0 +1,83 @@
+#include "keygen/gf2m.hpp"
+
+#include "common/error.hpp"
+
+namespace pufaging {
+
+namespace {
+// Primitive polynomials over GF(2), degree 2..14 (Lin & Costello App. A).
+// Index by m; value includes the x^m term.
+constexpr std::uint32_t kPrimitivePoly[] = {
+    0,      0,      0x7,    0xB,    0x13,   0x25,   0x43,  0x89,
+    0x11D,  0x211,  0x409,  0x805,  0x1053, 0x201B, 0x4443};
+}  // namespace
+
+GF2m::GF2m(unsigned m) : m_(m) {
+  if (m < 2 || m > 14) {
+    throw InvalidArgument("GF2m: m must be in [2, 14]");
+  }
+  order_ = (1U << m) - 1;
+  exp_.resize(2 * order_);
+  log_.resize(order_ + 1, 0);
+  const std::uint32_t poly = kPrimitivePoly[m];
+  std::uint32_t x = 1;
+  for (std::uint32_t i = 0; i < order_; ++i) {
+    exp_[i] = x;
+    log_[x] = i;
+    x <<= 1;
+    if (x & (1U << m)) {
+      x ^= poly;
+    }
+  }
+  if (x != 1) {
+    throw Error("GF2m: polynomial is not primitive");
+  }
+  for (std::uint32_t i = order_; i < 2 * order_; ++i) {
+    exp_[i] = exp_[i - order_];
+  }
+}
+
+std::uint32_t GF2m::mul(std::uint32_t a, std::uint32_t b) const {
+  if (a == 0 || b == 0) {
+    return 0;
+  }
+  return exp_[log_[a] + log_[b]];
+}
+
+std::uint32_t GF2m::div(std::uint32_t a, std::uint32_t b) const {
+  if (b == 0) {
+    throw InvalidArgument("GF2m::div: division by zero");
+  }
+  if (a == 0) {
+    return 0;
+  }
+  return exp_[log_[a] + order_ - log_[b]];
+}
+
+std::uint32_t GF2m::inv(std::uint32_t a) const {
+  if (a == 0) {
+    throw InvalidArgument("GF2m::inv: zero has no inverse");
+  }
+  return exp_[order_ - log_[a]];
+}
+
+std::uint32_t GF2m::alpha_pow(std::uint64_t e) const {
+  return exp_[static_cast<std::uint32_t>(e % order_)];
+}
+
+std::uint32_t GF2m::log(std::uint32_t a) const {
+  if (a == 0 || a > order_) {
+    throw InvalidArgument("GF2m::log: argument out of range");
+  }
+  return log_[a];
+}
+
+std::uint32_t GF2m::pow(std::uint32_t a, std::uint64_t e) const {
+  if (a == 0) {
+    return e == 0 ? 1U : 0U;
+  }
+  return exp_[static_cast<std::uint32_t>(
+      (static_cast<std::uint64_t>(log_[a]) * (e % order_)) % order_)];
+}
+
+}  // namespace pufaging

@@ -1,0 +1,112 @@
+#include "keygen/golay.hpp"
+
+#include <bit>
+
+#include "common/error.hpp"
+
+namespace pufaging {
+
+namespace {
+// Standard B matrix of the [24,12] extended Golay construction
+// (circulant rows of the icosahedron adjacency complement; see MacWilliams
+// & Sloane ch. 2). Bit j of row i is B[i][j], stored LSB-first.
+constexpr std::array<std::uint16_t, 12> kB = {
+    0b011111111111, 0b111011100010, 0b110111000101, 0b101110001011,
+    0b111100010110, 0b111000101101, 0b110001011011, 0b100010110111,
+    0b100101101110, 0b101011011100, 0b110110111000, 0b101101110001,
+};
+
+std::uint32_t word_to_u32(const BitVector& v) {
+  std::uint32_t out = 0;
+  for (std::size_t i = 0; i < v.size(); ++i) {
+    if (v.get(i)) {
+      out |= 1U << i;
+    }
+  }
+  return out;
+}
+
+BitVector u32_to_word(std::uint32_t bits, std::size_t size) {
+  BitVector v(size);
+  for (std::size_t i = 0; i < size; ++i) {
+    if (bits & (1U << i)) {
+      v.set(i, true);
+    }
+  }
+  return v;
+}
+}  // namespace
+
+GolayCode::GolayCode() : b_rows_(kB) {
+  // Precompute the syndrome -> error-pattern table for weight <= 3.
+  const auto insert = [this](std::uint32_t pattern) {
+    const std::uint16_t s = syndrome(pattern);
+    const auto [it, inserted] = syndrome_table_.emplace(s, pattern);
+    if (!inserted && it->second != pattern) {
+      throw Error("GolayCode: syndrome collision - generator matrix broken");
+    }
+  };
+  insert(0);
+  for (std::uint32_t i = 0; i < 24; ++i) {
+    insert(1U << i);
+    for (std::uint32_t j = i + 1; j < 24; ++j) {
+      insert((1U << i) | (1U << j));
+      for (std::uint32_t k = j + 1; k < 24; ++k) {
+        insert((1U << i) | (1U << j) | (1U << k));
+      }
+    }
+  }
+}
+
+std::uint32_t GolayCode::encode_word(std::uint32_t message12) const {
+  std::uint32_t parity = 0;
+  for (std::size_t i = 0; i < 12; ++i) {
+    if (message12 & (1U << i)) {
+      parity ^= b_rows_[i];
+    }
+  }
+  return message12 | (parity << 12);
+}
+
+std::uint16_t GolayCode::syndrome(std::uint32_t word24) const {
+  // With G = [I | B], H = [B^T | I]; s = data * B (as rows) xor parity.
+  const std::uint32_t data = word24 & 0xFFF;
+  const std::uint32_t parity = (word24 >> 12) & 0xFFF;
+  std::uint32_t s = parity;
+  for (std::size_t i = 0; i < 12; ++i) {
+    if (data & (1U << i)) {
+      s ^= b_rows_[i];
+    }
+  }
+  return static_cast<std::uint16_t>(s);
+}
+
+BitVector GolayCode::encode(const BitVector& message) const {
+  if (message.size() != 12) {
+    throw InvalidArgument("GolayCode::encode: message must be 12 bits");
+  }
+  return u32_to_word(encode_word(word_to_u32(message)), 24);
+}
+
+DecodeResult GolayCode::decode(const BitVector& word) const {
+  if (word.size() != 24) {
+    throw InvalidArgument("GolayCode::decode: word must be 24 bits");
+  }
+  const std::uint32_t received = word_to_u32(word);
+  const std::uint16_t s = syndrome(received);
+  DecodeResult result;
+  const auto it = syndrome_table_.find(s);
+  if (it == syndrome_table_.end()) {
+    // >= 4 errors: detected but uncorrectable (incomplete decoding).
+    result.message = BitVector(12);
+    result.success = false;
+    return result;
+  }
+  const std::uint32_t corrected_word = received ^ it->second;
+  result.message = u32_to_word(corrected_word & 0xFFF, 12);
+  result.corrected = static_cast<std::size_t>(std::popcount(it->second));
+  result.success = true;
+  return result;
+}
+
+}  // namespace pufaging

@@ -1,0 +1,38 @@
+// Extended binary Golay code G24 = (24, 12, 8).
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <unordered_map>
+
+#include "keygen/code.hpp"
+
+namespace pufaging {
+
+/// The (24, 12) extended Golay code; corrects any 3 errors and detects 4.
+///
+/// Encoding is systematic with G = [I12 | B]. Decoding uses an exact
+/// syndrome table over all 2325 error patterns of weight <= 3; the table
+/// build verifies by construction that the generator has minimum distance
+/// >= 7 (any syndrome collision among weight-<=3 patterns would throw).
+class GolayCode final : public BlockCode {
+ public:
+  GolayCode();
+
+  std::size_t block_length() const override { return 24; }
+  std::size_t message_length() const override { return 12; }
+  std::size_t correctable() const override { return 3; }
+  std::string name() const override { return "golay(24,12)"; }
+
+  BitVector encode(const BitVector& message) const override;
+  DecodeResult decode(const BitVector& word) const override;
+
+ private:
+  std::uint32_t encode_word(std::uint32_t message12) const;
+  std::uint16_t syndrome(std::uint32_t word24) const;
+
+  std::array<std::uint16_t, 12> b_rows_;  ///< B matrix rows (12-bit).
+  std::unordered_map<std::uint16_t, std::uint32_t> syndrome_table_;
+};
+
+}  // namespace pufaging

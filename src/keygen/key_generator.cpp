@@ -1,0 +1,145 @@
+#include "keygen/key_generator.hpp"
+
+#include <algorithm>
+
+#include "common/error.hpp"
+#include "common/math.hpp"
+#include "keygen/concatenated.hpp"
+#include "keygen/golay.hpp"
+#include "keygen/repetition.hpp"
+
+namespace pufaging {
+
+KeyGenerator::KeyGenerator(std::shared_ptr<const BlockCode> code,
+                           KeyGenConfig config)
+    : extractor_(std::move(code)),
+      config_(config),
+      secret_rng_(config.secret_seed) {
+  if (config.key_bytes == 0 || config.blocks == 0) {
+    throw InvalidArgument("KeyGenerator: key_bytes and blocks must be > 0");
+  }
+  if (config.enroll_votes % 2 == 0) {
+    throw InvalidArgument("KeyGenerator: enroll_votes must be odd");
+  }
+  const std::size_t secret = extractor_.secret_bits(config.blocks);
+  if (secret < config.key_bytes * 8) {
+    // Not fatal (HKDF stretches), but the key would exceed the source
+    // entropy; refuse to silently build a weak configuration.
+    throw InvalidArgument(
+        "KeyGenerator: secret bits (" + std::to_string(secret) +
+        ") below requested key size; add blocks or shrink the key");
+  }
+}
+
+KeyGenerator KeyGenerator::standard(KeyGenConfig config) {
+  auto outer = std::make_shared<GolayCode>();
+  auto inner = std::make_shared<RepetitionCode>(5);
+  auto code = std::make_shared<ConcatenatedCode>(outer, inner);
+  if (config.blocks * code->message_length() < config.key_bytes * 8) {
+    config.blocks =
+        (config.key_bytes * 8 + code->message_length() - 1) /
+        code->message_length();
+  }
+  return KeyGenerator(code, config);
+}
+
+BitVector KeyGenerator::read_response(SramDevice& device,
+                                      const OperatingPoint& op,
+                                      std::size_t bits, std::size_t votes) {
+  if (bits > device.puf_window_bits()) {
+    throw InvalidArgument(
+        "KeyGenerator: code needs more response bits than the PUF window");
+  }
+  if (votes == 1) {
+    return device.measure(op).slice(0, bits);
+  }
+  std::vector<std::uint32_t> ones(bits, 0);
+  for (std::size_t v = 0; v < votes; ++v) {
+    const BitVector m = device.measure(op);
+    for (std::size_t i = 0; i < bits; ++i) {
+      ones[i] += m.get(i) ? 1U : 0U;
+    }
+  }
+  BitVector out(bits);
+  for (std::size_t i = 0; i < bits; ++i) {
+    out.set(i, ones[i] * 2 > votes);
+  }
+  return out;
+}
+
+namespace {
+
+// Key = KDF(secret || enrolled response). Binding the response makes the
+// key device-unique even under a fixed secret seed (the classic
+// hash-the-PUF-response construction); the response is recovered exactly
+// at reconstruction via codeword XOR helper.
+std::vector<std::uint8_t> derive_bound_key(const BitVector& secret,
+                                           const BitVector& response,
+                                           const std::string& context,
+                                           std::size_t key_bytes) {
+  BitVector material(secret.size() + response.size());
+  for (std::size_t i = 0; i < secret.size(); ++i) {
+    material.set(i, secret.get(i));
+  }
+  for (std::size_t i = 0; i < response.size(); ++i) {
+    material.set(secret.size() + i, response.get(i));
+  }
+  return derive_key(material, context, key_bytes);
+}
+
+}  // namespace
+
+Enrollment KeyGenerator::enroll(SramDevice& device, const OperatingPoint& op) {
+  const std::size_t bits = extractor_.response_bits(config_.blocks);
+  const BitVector response =
+      read_response(device, op, bits, config_.enroll_votes);
+  Enrollment enrollment;
+  BitVector secret;
+  enrollment.helper =
+      extractor_.enroll(response, config_.blocks, secret_rng_, secret);
+  enrollment.key =
+      derive_bound_key(secret, response, config_.context, config_.key_bytes);
+  enrollment.response_bits = bits;
+  return enrollment;
+}
+
+Regeneration KeyGenerator::regenerate(SramDevice& device,
+                                      const Enrollment& enrollment,
+                                      const OperatingPoint& op) {
+  const BitVector response =
+      read_response(device, op, enrollment.response_bits, 1);
+  const ReconstructResult r =
+      extractor_.reconstruct(response, enrollment.helper);
+  Regeneration out;
+  out.success = r.success;
+  out.corrected = r.corrected;
+  if (r.success) {
+    // Recover the exact enrolled response: codeword(s) XOR helper.
+    const std::size_t n = extractor_.code().block_length();
+    const std::size_t k = extractor_.code().message_length();
+    BitVector enrolled_response(enrollment.helper.code_offset.size());
+    for (std::size_t b = 0; b < config_.blocks; ++b) {
+      BitVector message(k);
+      for (std::size_t i = 0; i < k; ++i) {
+        message.set(i, r.message.get(b * k + i));
+      }
+      const BitVector codeword = extractor_.code().encode(message);
+      for (std::size_t i = 0; i < n; ++i) {
+        enrolled_response.set(
+            b * n + i,
+            codeword.get(i) ^ enrollment.helper.code_offset.get(b * n + i));
+      }
+    }
+    out.key = derive_bound_key(r.message, enrolled_response, config_.context,
+                               config_.key_bytes);
+    out.key_matches = (out.key == enrollment.key);
+  }
+  return out;
+}
+
+double KeyGenerator::failure_probability(double ber) const {
+  const double per_block = extractor_.code().failure_probability(ber);
+  return std::min(1.0, per_block * static_cast<double>(config_.blocks));
+}
+
+}  // namespace pufaging

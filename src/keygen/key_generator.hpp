@@ -1,0 +1,86 @@
+// End-to-end PUF key generation pipeline (paper Section II-A1).
+//
+// enrollment:   measure -> (majority vote) -> fuzzy-extractor enroll ->
+//               helper data + HKDF key
+// regeneration: measure -> fuzzy-extractor reconstruct -> HKDF key
+//
+// The pipeline is the "secure key generation and storage" application whose
+// lifetime the paper's aging study underwrites: reliability (WCHD growth)
+// determines the ECC margin, uniqueness (BCHD/PUF entropy) the key's
+// security strength.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/bitvector.hpp"
+#include "common/rng.hpp"
+#include "keygen/code.hpp"
+#include "keygen/fuzzy_extractor.hpp"
+#include "silicon/sram_device.hpp"
+
+namespace pufaging {
+
+/// Pipeline configuration.
+struct KeyGenConfig {
+  std::size_t key_bytes = 16;        ///< 128-bit key by default.
+  std::size_t blocks = 2;            ///< Code blocks consumed per key.
+  std::size_t enroll_votes = 1;      ///< Odd number of enrollment read-outs
+                                     ///< majority-voted into the reference.
+  std::string context = "pufaging-key-v1";
+  std::uint64_t secret_seed = 0xC0DE;  ///< RNG seed for the enrolled secret.
+};
+
+/// Everything persisted after enrollment (helper data is public).
+struct Enrollment {
+  HelperData helper;
+  std::vector<std::uint8_t> key;  ///< Enrolled key (for verification).
+  std::size_t response_bits = 0;  ///< PUF window bits consumed.
+};
+
+/// Result of a key regeneration attempt.
+struct Regeneration {
+  bool success = false;
+  bool key_matches = false;       ///< Regenerated key equals enrolled key.
+  std::size_t corrected = 0;      ///< Raw bit errors absorbed.
+  std::vector<std::uint8_t> key;
+};
+
+/// Drives enrollment and regeneration against an SramDevice.
+class KeyGenerator {
+ public:
+  KeyGenerator(std::shared_ptr<const BlockCode> code, KeyGenConfig config);
+
+  /// The standard construction used by the examples and benches:
+  /// repetition-5 inner, Golay(24,12) outer — 120 response bits per block,
+  /// 12 secret bits per block, and comfortably above the paper's worst-case
+  /// 3.25% end-of-life WCHD.
+  static KeyGenerator standard(KeyGenConfig config = {});
+
+  /// Enrolls a key against the device's current state.
+  Enrollment enroll(SramDevice& device,
+                    const OperatingPoint& op = nominal_conditions());
+
+  /// Attempts to regenerate the key from a fresh measurement.
+  Regeneration regenerate(SramDevice& device, const Enrollment& enrollment,
+                          const OperatingPoint& op = nominal_conditions());
+
+  /// Analytic upper bound on key-regeneration failure probability when
+  /// every response bit flips independently with probability `ber`:
+  /// per block Pr[errors > t] summed over blocks (union bound).
+  double failure_probability(double ber) const;
+
+  const BlockCode& code() const { return extractor_.code(); }
+  const KeyGenConfig& config() const { return config_; }
+
+ private:
+  BitVector read_response(SramDevice& device, const OperatingPoint& op,
+                          std::size_t bits, std::size_t votes);
+
+  FuzzyExtractor extractor_;
+  KeyGenConfig config_;
+  Xoshiro256StarStar secret_rng_;
+};
+
+}  // namespace pufaging

@@ -1,0 +1,75 @@
+#include "keygen/leakage.hpp"
+
+#include <cmath>
+
+#include "common/error.hpp"
+#include "common/math.hpp"
+
+namespace pufaging {
+
+double bias_entropy_deficit(double bias) {
+  return 1.0 - binary_shannon_entropy(bias);
+}
+
+double code_offset_leakage_bits(const BlockCode& code, double bias) {
+  const double n = static_cast<double>(code.block_length());
+  const double k = static_cast<double>(code.message_length());
+  const double deficit = n * bias_entropy_deficit(bias);
+  const double syndrome_bits = n - k;
+  return std::max(0.0, deficit - syndrome_bits);
+}
+
+double residual_secret_bits(const BlockCode& code, double bias) {
+  const double k = static_cast<double>(code.message_length());
+  return std::max(0.0, k - code_offset_leakage_bits(code, bias));
+}
+
+double repetition_bias_attack_success(std::size_t n_rep, double bias,
+                                      std::size_t trials,
+                                      Xoshiro256StarStar& rng) {
+  if (n_rep == 0 || n_rep % 2 == 0) {
+    throw InvalidArgument(
+        "repetition_bias_attack_success: n_rep must be odd");
+  }
+  if (trials == 0) {
+    throw InvalidArgument("repetition_bias_attack_success: trials == 0");
+  }
+  std::size_t hits = 0;
+  for (std::size_t t = 0; t < trials; ++t) {
+    // Enrollment: response block R ~ Bernoulli(bias)^n, secret bit s,
+    // helper W = R xor c(s) with c(0) = 00..0, c(1) = 11..1.
+    const bool secret = rng.bernoulli(0.5);
+    std::size_t helper_weight = 0;
+    for (std::size_t i = 0; i < n_rep; ++i) {
+      const bool r = rng.bernoulli(bias);
+      const bool w = r ^ secret;
+      helper_weight += w ? 1U : 0U;
+    }
+    // Attacker: under s = 0, R = W (weight = wt(W)); under s = 1,
+    // R = ~W (weight = n - wt(W)). For bias > 1/2 the true R is the
+    // heavier hypothesis; ML picks the hypothesis whose weight is more
+    // probable under Bernoulli(bias).
+    const double w0 = static_cast<double>(helper_weight);
+    const double w1 = static_cast<double>(n_rep) - w0;
+    const double log_b = std::log(bias);
+    const double log_1b = std::log(1.0 - bias);
+    const double ll0 = w0 * log_b + w1 * log_1b;  // s = 0 => R = W
+    const double ll1 = w1 * log_b + w0 * log_1b;  // s = 1 => R = ~W
+    const bool guess = ll1 > ll0;
+    hits += (guess == secret) ? 1U : 0U;
+  }
+  return static_cast<double>(hits) / static_cast<double>(trials);
+}
+
+double repetition_bias_attack_theory(std::size_t n_rep, double bias) {
+  if (n_rep == 0 || n_rep % 2 == 0) {
+    throw InvalidArgument(
+        "repetition_bias_attack_theory: n_rep must be odd");
+  }
+  // The ML guess is correct iff the response block's weight lands on the
+  // majority side predicted by the bias (b > 1/2: weight > n/2).
+  const double b = bias >= 0.5 ? bias : 1.0 - bias;
+  return binomial_sf(n_rep, b, n_rep / 2 + 1);
+}
+
+}  // namespace pufaging

@@ -1,0 +1,53 @@
+// Helper-data leakage analysis for code-offset schemes on biased PUFs.
+//
+// Why the paper tracks bias (FHW) as a security metric: with the plain
+// code-offset construction, W = R xor C, the helper data pins R down to
+// the coset {W xor c}. For an i.i.d. Bernoulli(b) response the secrecy
+// leakage of one block is at least
+//
+//     leakage >= n * (1 - h2(b)) - (n - k)        [Maes et al., CHES 2015]
+//
+// i.e. the source's entropy deficit minus the syndrome allowance. At the
+// paper's b = 62.7% this eats a large slice of the nominal k secret bits,
+// which is exactly why the debiased construction exists.
+//
+// Besides the analytic budget, the module implements the classic concrete
+// attack on the repetition code: given W = R xor c with c in {00..0,
+// 11..1}, the attacker picks the hypothesis whose implied response looks
+// more like a Bernoulli(b) string — recovering the secret bit with
+// probability well above 1/2 for b != 1/2 (and exactly 1/2 for an
+// unbiased or debiased response).
+#pragma once
+
+#include <cstddef>
+
+#include "common/rng.hpp"
+#include "keygen/code.hpp"
+
+namespace pufaging {
+
+/// Binary Shannon-entropy deficit per response bit: 1 - h2(bias).
+double bias_entropy_deficit(double bias);
+
+/// Lower bound (in bits) on the secrecy leakage of one code-offset block
+/// over an i.i.d. Bernoulli(bias) response: max(0, n(1-h2(b)) - (n-k)).
+double code_offset_leakage_bits(const BlockCode& code, double bias);
+
+/// Effective secret bits remaining per block after leakage:
+/// k - leakage, floored at 0.
+double residual_secret_bits(const BlockCode& code, double bias);
+
+/// Monte-Carlo success rate of the maximum-likelihood bias attack on a
+/// repetition-(n) code-offset block: the attacker sees only the helper
+/// data and guesses the 1-bit secret. 0.5 = no leak; 1.0 = total leak.
+/// `n_rep` must be odd.
+double repetition_bias_attack_success(std::size_t n_rep, double bias,
+                                      std::size_t trials,
+                                      Xoshiro256StarStar& rng);
+
+/// The same attacker's expected success from theory: Pr(the Bernoulli(b)
+/// response block has weight on the "correct" side of n/2), i.e. the
+/// advantage comes entirely from the response bias.
+double repetition_bias_attack_theory(std::size_t n_rep, double bias);
+
+}  // namespace pufaging

@@ -1,0 +1,44 @@
+#include "keygen/repetition.hpp"
+
+#include "common/error.hpp"
+
+namespace pufaging {
+
+RepetitionCode::RepetitionCode(std::size_t n) : n_(n) {
+  if (n == 0 || n % 2 == 0) {
+    throw InvalidArgument("RepetitionCode: n must be odd and positive");
+  }
+}
+
+std::string RepetitionCode::name() const {
+  return "repetition(" + std::to_string(n_) + ",1)";
+}
+
+BitVector RepetitionCode::encode(const BitVector& message) const {
+  if (message.size() != 1) {
+    throw InvalidArgument("RepetitionCode::encode: message must be 1 bit");
+  }
+  BitVector out(n_);
+  if (message.get(0)) {
+    for (std::size_t i = 0; i < n_; ++i) {
+      out.set(i, true);
+    }
+  }
+  return out;
+}
+
+DecodeResult RepetitionCode::decode(const BitVector& word) const {
+  if (word.size() != n_) {
+    throw InvalidArgument("RepetitionCode::decode: wrong block length");
+  }
+  const std::size_t ones = word.count_ones();
+  DecodeResult result;
+  result.message = BitVector(1);
+  const bool bit = ones * 2 > n_;
+  result.message.set(0, bit);
+  result.corrected = bit ? n_ - ones : ones;
+  result.success = true;  // Majority decoding always yields a decision.
+  return result;
+}
+
+}  // namespace pufaging

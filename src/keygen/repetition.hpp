@@ -1,0 +1,28 @@
+// Repetition code: the classic inner code for PUF fuzzy extractors.
+#pragma once
+
+#include "keygen/code.hpp"
+
+namespace pufaging {
+
+/// (n, 1) repetition code with odd n; majority decoding corrects
+/// t = (n-1)/2 errors. As the inner stage of a concatenated construction
+/// it hammers the raw PUF BER (a few percent, rising with age) down to the
+/// residual rate the outer code mops up.
+class RepetitionCode final : public BlockCode {
+ public:
+  explicit RepetitionCode(std::size_t n);
+
+  std::size_t block_length() const override { return n_; }
+  std::size_t message_length() const override { return 1; }
+  std::size_t correctable() const override { return (n_ - 1) / 2; }
+  std::string name() const override;
+
+  BitVector encode(const BitVector& message) const override;
+  DecodeResult decode(const BitVector& word) const override;
+
+ private:
+  std::size_t n_;
+};
+
+}  // namespace pufaging

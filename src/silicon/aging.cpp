@@ -1,0 +1,97 @@
+#include "silicon/aging.hpp"
+
+#include <cmath>
+
+#include "common/error.hpp"
+#include "common/math.hpp"
+#include "common/rng.hpp"
+
+namespace pufaging {
+
+double acceleration_factor(const OperatingPoint& op,
+                           const AccelerationParams& params) {
+  constexpr double kBoltzmannEvPerK = 8.617333262e-5;
+  constexpr double kZeroCelsiusK = 273.15;
+  const OperatingPoint nominal = nominal_conditions();
+  const double t_nom_k = nominal.temperature_c + kZeroCelsiusK;
+  const double t_op_k = op.temperature_c + kZeroCelsiusK;
+  if (t_op_k <= 0.0) {
+    throw InvalidArgument("acceleration_factor: temperature below 0 K");
+  }
+  const double arrhenius = std::exp(params.activation_energy_ev /
+                                    kBoltzmannEvPerK *
+                                    (1.0 / t_nom_k - 1.0 / t_op_k));
+  const double voltage =
+      std::exp(params.voltage_gamma_per_v * (op.vdd_v - nominal.vdd_v));
+  return arrhenius * voltage;
+}
+
+BtiAgingModel::BtiAgingModel(const AgingParams& params,
+                             double nominal_noise_sigma,
+                             std::uint64_t variability_key)
+    : params_(params),
+      drift_per_tau_(params.amplitude_noise_units * nominal_noise_sigma),
+      variability_per_tau_(params.variability_noise_units *
+                           nominal_noise_sigma),
+      variability_key_(variability_key) {
+  if (params.amplitude_noise_units < 0.0 ||
+      params.variability_noise_units < 0.0 ||
+      params.noise_growth_per_tau < 0.0) {
+    throw InvalidArgument("BtiAgingModel: aging magnitudes must be >= 0");
+  }
+  if (params.exponent <= 0.0 || params.exponent > 1.0) {
+    throw InvalidArgument("BtiAgingModel: exponent must lie in (0, 1]");
+  }
+  if (params.duty_cycle <= 0.0 || params.duty_cycle > 1.0) {
+    throw InvalidArgument("BtiAgingModel: duty_cycle must lie in (0, 1]");
+  }
+  if (nominal_noise_sigma <= 0.0) {
+    throw InvalidArgument("BtiAgingModel: noise sigma must be > 0");
+  }
+}
+
+void BtiAgingModel::advance(std::span<double> mismatch, double noise_sigma,
+                            double months, const OperatingPoint& op,
+                            const AccelerationParams& accel,
+                            std::size_t substeps_per_month) {
+  if (months < 0.0) {
+    throw InvalidArgument("BtiAgingModel::advance: months must be >= 0");
+  }
+  if (noise_sigma <= 0.0) {
+    throw InvalidArgument("BtiAgingModel::advance: noise sigma must be > 0");
+  }
+  if (months == 0.0) {
+    return;
+  }
+  const double af = acceleration_factor(op, accel);
+  const double effective_months = months * params_.duty_cycle * af;
+  // BTI magnitudes grow with stress temperature beyond pure time
+  // acceleration (see AgingParams::amplitude_temp_coeff_per_c).
+  const double amp_factor = std::max(
+      0.1,
+      1.0 + params_.amplitude_temp_coeff_per_c * (op.temperature_c - 25.0));
+  const std::size_t steps = std::max<std::size_t>(
+      1, static_cast<std::size_t>(
+             std::ceil(months * static_cast<double>(substeps_per_month))));
+  const double dt = effective_months / static_cast<double>(steps);
+  for (std::size_t s = 0; s < steps; ++s) {
+    const double t0 = stress_months_;
+    const double t1 = stress_months_ + dt;
+    const double dtau =
+        std::pow(t1, params_.exponent) - std::pow(t0, params_.exponent);
+    const double drift_scale = drift_per_tau_ * amp_factor * dtau;
+    const double var_scale = variability_per_tau_ * amp_factor * dtau;
+    const double inv_sigma = 1.0 / (noise_sigma * noise_factor());
+    for (std::size_t i = 0; i < mismatch.size(); ++i) {
+      // q = Pr(power-up to 1); systematic drift is proportional to the net
+      // duty imbalance (2q - 1) and pushes toward balance.
+      const double q = normal_cdf(mismatch[i] * inv_sigma);
+      const double eta = Philox4x32::gaussian_at(variability_key_, i);
+      mismatch[i] += var_scale * eta - drift_scale * (2.0 * q - 1.0);
+    }
+    noise_growth_ += params_.noise_growth_per_tau * amp_factor * dtau;
+    stress_months_ = t1;
+  }
+}
+
+}  // namespace pufaging

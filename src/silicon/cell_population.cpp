@@ -1,0 +1,82 @@
+#include "silicon/cell_population.hpp"
+
+#include <cmath>
+#include <vector>
+#include "common/error.hpp"
+#include "common/rng.hpp"
+
+namespace pufaging {
+
+CellPopulation::CellPopulation(std::size_t cell_count,
+                               std::uint64_t device_key,
+                               const PopulationParams& params)
+    : params_(params) {
+  if (cell_count == 0) {
+    throw InvalidArgument("CellPopulation: cell_count must be > 0");
+  }
+  if (params.sigma_pv <= 0.0) {
+    throw InvalidArgument("CellPopulation: sigma_pv must be > 0");
+  }
+  if (params.spatial_smoothing < 0.0 || params.spatial_smoothing >= 0.5) {
+    throw InvalidArgument(
+        "CellPopulation: spatial_smoothing must lie in [0, 0.5)");
+  }
+  if (params.row_width == 0) {
+    throw InvalidArgument("CellPopulation: row_width must be > 0");
+  }
+  pristine_.resize(cell_count);
+  tc_.resize(cell_count);
+  const std::uint64_t tc_key = device_key ^ 0x7C7C7C7CULL;
+
+  // Raw i.i.d. process-variation field.
+  std::vector<double> field(cell_count);
+  for (std::size_t i = 0; i < cell_count; ++i) {
+    field[i] = Philox4x32::gaussian_at(device_key, i);
+    tc_[i] = params.tc_sigma_per_c * params.sigma_pv *
+             Philox4x32::gaussian_at(tc_key, i);
+  }
+
+  // Optional short-range spatial correlation: separable 3-tap kernel
+  // {w, 1-2w, w} along rows and columns of the physical layout,
+  // renormalized so the per-cell variance stays exactly sigma_pv^2.
+  if (params.spatial_smoothing > 0.0) {
+    const double w = params.spatial_smoothing;
+    const double c = 1.0 - 2.0 * w;
+    const double norm = std::sqrt(c * c + 2.0 * w * w);
+    const std::size_t width = params.row_width;
+    const auto at = [&](const std::vector<double>& v, std::ptrdiff_t idx) {
+      // Clamp at the array edges.
+      if (idx < 0) {
+        return v.front();
+      }
+      if (idx >= static_cast<std::ptrdiff_t>(v.size())) {
+        return v.back();
+      }
+      return v[static_cast<std::size_t>(idx)];
+    };
+    std::vector<double> rows(cell_count);
+    for (std::size_t i = 0; i < cell_count; ++i) {
+      const auto idx = static_cast<std::ptrdiff_t>(i);
+      rows[i] = (w * at(field, idx - 1) + c * field[i] +
+                 w * at(field, idx + 1)) /
+                norm;
+    }
+    for (std::size_t i = 0; i < cell_count; ++i) {
+      const auto idx = static_cast<std::ptrdiff_t>(i);
+      const auto stride = static_cast<std::ptrdiff_t>(width);
+      field[i] = (w * at(rows, idx - stride) + c * rows[i] +
+                  w * at(rows, idx + stride)) /
+                 norm;
+    }
+  }
+
+  for (std::size_t i = 0; i < cell_count; ++i) {
+    pristine_[i] = params.device_bias * params.sigma_pv +
+                   params.sigma_pv * field[i];
+  }
+  mismatch_ = pristine_;
+}
+
+void CellPopulation::restore_pristine() { mismatch_ = pristine_; }
+
+}  // namespace pufaging

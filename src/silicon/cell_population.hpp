@@ -1,0 +1,97 @@
+// Static per-cell mismatch of an SRAM array.
+//
+// Model (standard SRAM PUF generative model; Maes, CHES 2013 [18] of the
+// paper): each 6T cell i carries a static mismatch parameter v_i — the
+// effective threshold-voltage imbalance |Vth,P2 - Vth,P1| signed by which
+// inverter is stronger — frozen at manufacturing by process variation.
+// At power-up the cell resolves to 1 iff v_i + (electrical noise) > 0, so
+// the one-probability of the cell is p_i = Phi(v_i / sigma_noise).
+//
+// Mismatch is measured in units of the process-variation sigma (sigma_pv
+// == 1), which fixes the scale for the noise sigma and aging drift.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace pufaging {
+
+/// Parameters of the manufacturing-time mismatch distribution.
+struct PopulationParams {
+  /// Mean mismatch of this device in sigma_pv units. Positive values bias
+  /// the array toward power-up ones; the paper's devices show fractional
+  /// Hamming weights of 60-70%, i.e. device_bias ~ Phi^-1(0.6..0.7).
+  double device_bias = 0.325;
+
+  /// Process-variation sigma (the unit scale; keep at 1.0).
+  double sigma_pv = 1.0;
+
+  /// Per-cell temperature-coefficient spread of the mismatch, in sigma_pv
+  /// units per degree C: cell i's effective mismatch at temperature T is
+  /// v_i + tc_i * (T - 25) with tc_i ~ N(0, tc_sigma_per_c). This is the
+  /// classic V-shape of WCHD around the enrollment temperature (see [17]
+  /// of the paper, which adapts the voltage ramp to fight exactly this
+  /// temperature sensitivity).
+  double tc_sigma_per_c = 1.2e-3;
+
+  /// Spatial correlation of process variation: neighbour weight of the
+  /// 3x3 smoothing kernel applied to the mismatch field (0 = i.i.d.).
+  /// Real silicon shows short-range layout correlation (visible as the
+  /// blotchy texture of the paper's Fig. 4); the kernel is renormalized
+  /// so per-cell marginals stay exactly N(device_bias, sigma_pv) — none
+  /// of the paper's metrics depend on the correlation, only the picture.
+  double spatial_smoothing = 0.15;
+
+  /// Row width of the physical array layout (bits per word line) used by
+  /// the spatial kernel.
+  std::size_t row_width = 128;
+};
+
+/// The frozen mismatch values of one SRAM array, plus the mutable aging
+/// drift applied on top of them.
+///
+/// Mismatch is generated with a counter-based RNG addressed by
+/// (device_key, cell index), so any cell's manufacturing value is
+/// reproducible independent of construction order.
+class CellPopulation {
+ public:
+  /// Generates `cell_count` cells for the device identified by `device_key`.
+  CellPopulation(std::size_t cell_count, std::uint64_t device_key,
+                 const PopulationParams& params);
+
+  std::size_t size() const { return mismatch_.size(); }
+
+  /// Current effective mismatch of cell i (manufacturing value plus
+  /// accumulated aging drift) at the 25 C reference temperature.
+  double mismatch(std::size_t i) const { return mismatch_[i]; }
+
+  /// Manufacturing-time mismatch of cell i (before any aging).
+  double pristine_mismatch(std::size_t i) const { return pristine_[i]; }
+
+  /// Temperature coefficient of cell i (sigma_pv units per degree C).
+  double temperature_coefficient(std::size_t i) const { return tc_[i]; }
+
+  /// Effective mismatch of cell i at `temperature_c`.
+  double mismatch_at(std::size_t i, double temperature_c) const {
+    return mismatch_[i] + tc_[i] * (temperature_c - 25.0);
+  }
+
+  /// Mutable view of the effective mismatch values, for the aging model.
+  std::span<double> mismatch_values() { return mismatch_; }
+  std::span<const double> mismatch_values() const { return mismatch_; }
+
+  /// Resets all cells to their manufacturing values (un-ages the device).
+  void restore_pristine();
+
+  const PopulationParams& params() const { return params_; }
+
+ private:
+  PopulationParams params_;
+  std::vector<double> pristine_;
+  std::vector<double> mismatch_;
+  std::vector<double> tc_;
+};
+
+}  // namespace pufaging

@@ -1,0 +1,90 @@
+#include "silicon/device_factory.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.hpp"
+#include "common/rng.hpp"
+
+namespace pufaging {
+
+namespace {
+// Domain-separation constants for the per-device Philox draws.
+constexpr std::uint64_t kBiasStream = 0xB1A5'0000'0000'0000ULL;
+constexpr std::uint64_t kNoiseStream = 0x4015'0000'0000'0000ULL;
+constexpr std::uint64_t kKeyStream = 0xDE71'0000'0000'0000ULL;
+}  // namespace
+
+SramDevice make_device(const FleetConfig& config, std::uint32_t index) {
+  if (index >= config.device_count) {
+    throw InvalidArgument("make_device: index out of range");
+  }
+  DeviceConfig dev = config.device;
+
+  // Device bias: sets this board's fractional Hamming weight.
+  dev.population.device_bias =
+      config.bias_mean +
+      config.bias_sigma * Philox4x32::gaussian_at(config.seed ^ kBiasStream,
+                                                  index);
+
+  // Device noise multiplier: board-to-board noise spread, floored so noise
+  // never collapses.
+  const double mult =
+      1.0 + config.noise_sigma_cv *
+                Philox4x32::gaussian_at(config.seed ^ kNoiseStream, index);
+  dev.noise.device_multiplier = std::max(0.5, mult);
+
+  // Independent keys for the process-variation draw and the measurement
+  // noise stream.
+  const std::uint64_t device_key =
+      Philox4x32::at(config.seed ^ kKeyStream, index);
+  const std::uint64_t measurement_seed =
+      Philox4x32::at(config.seed ^ kKeyStream, index + 0x10000ULL);
+
+  return SramDevice(index, device_key, measurement_seed, dev);
+}
+
+std::vector<SramDevice> make_fleet(const FleetConfig& config) {
+  if (config.device_count == 0) {
+    throw InvalidArgument("make_fleet: device_count must be > 0");
+  }
+  std::vector<SramDevice> fleet;
+  fleet.reserve(config.device_count);
+  for (std::uint32_t i = 0; i < config.device_count; ++i) {
+    fleet.push_back(make_device(config, i));
+  }
+  return fleet;
+}
+
+FleetConfig paper_fleet_config() {
+  FleetConfig config;
+  config.device_count = 16;
+  config.seed = 0x0208'2017'0208'2019ULL;  // test window: Feb 2017 - Feb 2019
+  return config;
+}
+
+FleetConfig buskeeper_fleet_config() {
+  FleetConfig config = paper_fleet_config();
+  config.seed ^= 0xB05'0000ULL;
+  // Buskeeper cells power up nearly unbiased (FHW ~ 50-52%) with a
+  // slightly quieter decision than 6T SRAM.
+  config.bias_mean = 0.03;
+  config.bias_sigma = 0.03;
+  config.device.population.device_bias = config.bias_mean;
+  config.device.noise.sigma_at_25c = 1.0 / 20.0;
+  return config;
+}
+
+FleetConfig dff_fleet_config() {
+  FleetConfig config = paper_fleet_config();
+  config.seed ^= 0xDFF'0000ULL;
+  // D flip-flop PUFs show stronger bias and a noisier power-up than SRAM
+  // ([16] measures FHW far from 50% and higher within-class HD).
+  config.bias_mean = 0.60;
+  config.bias_sigma = 0.08;
+  config.device.population.device_bias = config.bias_mean;
+  config.device.noise.sigma_at_25c = 1.0 / 12.0;
+  return config;
+}
+
+}  // namespace pufaging

@@ -1,0 +1,58 @@
+// Fleet construction with calibrated model defaults.
+//
+// The defaults are calibrated so that a 16-device fleet reproduces the
+// paper's start-of-test operating point (Table I "Start" column): average
+// WCHD ~2.49%, FHW ~62.7% (devices spread over 60-70%), stable-cell ratio
+// ~85.9%, noise entropy ~3.05%, BCHD ~46.8%, PUF entropy ~65% — and, after
+// 24 simulated months, the "End" column trajectories.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "silicon/sram_device.hpp"
+
+namespace pufaging {
+
+/// Configuration of a simulated fleet of boards.
+struct FleetConfig {
+  std::size_t device_count = 16;  ///< The paper tests 16 slave boards.
+  std::uint64_t seed = 0x5EED0001;
+
+  /// Mean and device-to-device sigma of the device bias (sigma_pv units).
+  /// bias ~ N(mean, sigma) per device; FHW_dev ~= Phi(bias).
+  double bias_mean = 0.325;
+  double bias_sigma = 0.046;
+
+  /// Device-to-device coefficient of variation of the noise sigma
+  /// (board/supply differences); drives the AVG-vs-worst-case spread of
+  /// WCHD, stable-cell ratio and noise entropy in Table I.
+  double noise_sigma_cv = 0.05;
+
+  /// Base device model (geometry, nominal noise, aging law).
+  DeviceConfig device;
+};
+
+/// Creates device `index` of the fleet described by `config`. Each device's
+/// process variation, bias and noise multiplier are deterministic functions
+/// of (config.seed, index).
+SramDevice make_device(const FleetConfig& config, std::uint32_t index);
+
+/// Creates the whole fleet (indices 0..device_count-1).
+std::vector<SramDevice> make_fleet(const FleetConfig& config);
+
+/// The calibrated default fleet: 16 ATmega32u4-class boards matching the
+/// paper's measurement setup.
+FleetConfig paper_fleet_config();
+
+/// A buskeeper-PUF-style fleet (Simons et al., HOST 2012 — the paper's
+/// reference [16]): buskeeper cells power up nearly unbiased with a
+/// similar noise operating point, making them the drop-in alternative the
+/// reference evaluates with the same metrics.
+FleetConfig buskeeper_fleet_config();
+
+/// A D-flip-flop-PUF-style fleet ([16]'s comparison subject): stronger
+/// bias than SRAM and a noisier power-up decision.
+FleetConfig dff_fleet_config();
+
+}  // namespace pufaging

@@ -1,0 +1,32 @@
+#include "silicon/noise_model.hpp"
+
+#include <cmath>
+
+#include "common/error.hpp"
+
+namespace pufaging {
+
+NoiseModel::NoiseModel(const NoiseParams& params) : params_(params) {
+  if (params.sigma_at_25c <= 0.0) {
+    throw InvalidArgument("NoiseModel: sigma_at_25c must be > 0");
+  }
+  if (params.device_multiplier <= 0.0) {
+    throw InvalidArgument("NoiseModel: device_multiplier must be > 0");
+  }
+}
+
+double NoiseModel::sigma(const OperatingPoint& op) const {
+  if (op.ramp_time_us <= 0.0) {
+    throw InvalidArgument("NoiseModel::sigma: ramp time must be > 0");
+  }
+  const double temp_factor =
+      std::exp(params_.temp_coeff_per_c * (op.temperature_c - 25.0));
+  const double vdd_factor =
+      1.0 + params_.vdd_coeff_per_v * std::fabs(op.vdd_v - 5.0);
+  const double ramp_factor = std::pow(
+      op.ramp_time_us / params_.ramp_reference_us, -params_.ramp_exponent);
+  return params_.sigma_at_25c * params_.device_multiplier * temp_factor *
+         vdd_factor * ramp_factor;
+}
+
+}  // namespace pufaging

@@ -1,0 +1,55 @@
+// Electrical noise acting on the power-up decision of each SRAM cell.
+//
+// The instantaneous imbalance at power-up is v_i + n where n ~ N(0, sigma_n).
+// sigma_n grows with temperature (thermal noise; Cortez et al., TCAD 2015,
+// [17] of the paper, document the strong temperature sensitivity of SRAM
+// PUF noise), which is why measurements taken at an accelerated-aging
+// stress point show a much higher within-class HD baseline than nominal
+// room-temperature measurements (5.3% vs 2.49% at the start of life).
+#pragma once
+
+#include "silicon/operating_point.hpp"
+
+namespace pufaging {
+
+/// Parameters of the additive power-up noise.
+struct NoiseParams {
+  /// Noise sigma at 25 C in sigma_pv units. The ratio sigma_pv/sigma_n
+  /// (~17) sets the stable-cell ratio and noise-entropy operating point.
+  double sigma_at_25c = 1.0 / 17.5;
+
+  /// Exponential temperature scaling: sigma(T) = sigma_25 *
+  /// exp(temp_coeff * (T - 25)). The default doubles the noise at the
+  /// 85 C stress point (the accelerated-aging baseline of Section IV-D)
+  /// and roughly halves it at -40 C — always positive, unlike a linear
+  /// law.
+  double temp_coeff_per_c = 0.0119;
+
+  /// Relative increase of sigma per volt of supply deviation from 5 V.
+  double vdd_coeff_per_v = 0.05;
+
+  /// Ramp-time scaling: sigma *= (ramp_time / ramp_reference)^(-exponent).
+  /// Slower ramps reduce noise with diminishing returns ([17]).
+  double ramp_reference_us = 50.0;
+  double ramp_exponent = 0.25;
+
+  /// Per-device multiplier on sigma (board-to-board spread); applied by
+  /// the device factory, stored here for transparency.
+  double device_multiplier = 1.0;
+};
+
+/// Evaluates the noise sigma at an operating point.
+class NoiseModel {
+ public:
+  explicit NoiseModel(const NoiseParams& params);
+
+  /// Noise sigma (sigma_pv units) at the given operating point.
+  double sigma(const OperatingPoint& op) const;
+
+  const NoiseParams& params() const { return params_; }
+
+ private:
+  NoiseParams params_;
+};
+
+}  // namespace pufaging

@@ -1,0 +1,9 @@
+#include "silicon/operating_point.hpp"
+
+namespace pufaging {
+
+OperatingPoint nominal_conditions() { return OperatingPoint{25.0, 5.0}; }
+
+OperatingPoint accelerated_conditions() { return OperatingPoint{85.0, 5.5}; }
+
+}  // namespace pufaging

@@ -1,0 +1,34 @@
+// Operating conditions of a device under test.
+//
+// The paper runs its long-term test at room temperature and the nominal
+// ATmega32u4 supply of 5 V (Section III); the accelerated-aging comparator
+// (Maes & van der Leest, HOST 2014) stresses devices at elevated temperature
+// and voltage. Both are expressed as operating points.
+#pragma once
+
+namespace pufaging {
+
+/// Temperature, supply voltage and power-up ramp at which a device is
+/// operated.
+struct OperatingPoint {
+  double temperature_c = 25.0;  ///< Ambient temperature in degrees Celsius.
+  double vdd_v = 5.0;           ///< Supply voltage in volts.
+
+  /// Supply ramp-up time in microseconds. A slower ramp lets each cell's
+  /// latch settle closer to its static preference, reducing the effective
+  /// power-up noise — the knob that [17] (Cortez et al., TCAD 2015)
+  /// adapts at runtime to cancel temperature-induced noise. 50 us is the
+  /// reference ramp of the paper's boards.
+  double ramp_time_us = 50.0;
+
+  bool operator==(const OperatingPoint&) const = default;
+};
+
+/// Room temperature, nominal 5 V supply — the paper's test condition.
+OperatingPoint nominal_conditions();
+
+/// A typical accelerated-aging stress point (elevated temperature and
+/// overvoltage), as used by burn-in style reliability tests.
+OperatingPoint accelerated_conditions();
+
+}  // namespace pufaging

@@ -1,0 +1,54 @@
+#include "silicon/powerup.hpp"
+
+#include "common/error.hpp"
+#include "common/math.hpp"
+
+namespace pufaging {
+
+void PowerUpSampler::rebuild(std::span<const double> mismatch,
+                             double noise_sigma) {
+  if (noise_sigma <= 0.0) {
+    throw InvalidArgument("PowerUpSampler::rebuild: noise sigma must be > 0");
+  }
+  thresholds_.resize(mismatch.size());
+  probabilities_.resize(mismatch.size());
+  const double inv_sigma = 1.0 / noise_sigma;
+  for (std::size_t i = 0; i < mismatch.size(); ++i) {
+    const double p = normal_cdf(mismatch[i] * inv_sigma);
+    probabilities_[i] = p;
+    thresholds_[i] = bernoulli_threshold(p);
+  }
+}
+
+void PowerUpSampler::sample(BitVector& out, Xoshiro256StarStar& rng) const {
+  if (thresholds_.empty()) {
+    throw Error("PowerUpSampler::sample: rebuild() not called");
+  }
+  if (out.size() != thresholds_.size()) {
+    out = BitVector(thresholds_.size());
+  }
+  for (std::size_t i = 0; i < thresholds_.size(); ++i) {
+    out.set(i, rng.next() < thresholds_[i]);
+  }
+}
+
+BitVector PowerUpSampler::sample(Xoshiro256StarStar& rng) const {
+  BitVector out(thresholds_.size());
+  sample(out, rng);
+  return out;
+}
+
+void PowerUpSampler::sample_prefix(BitVector& out, std::size_t count,
+                                   Xoshiro256StarStar& rng) const {
+  if (count > thresholds_.size()) {
+    throw InvalidArgument("PowerUpSampler::sample_prefix: count too large");
+  }
+  if (out.size() != count) {
+    out = BitVector(count);
+  }
+  for (std::size_t i = 0; i < count; ++i) {
+    out.set(i, rng.next() < thresholds_[i]);
+  }
+}
+
+}  // namespace pufaging

@@ -1,0 +1,57 @@
+// Power-up sampling: turns cell one-probabilities into measured bit strings.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "common/bitvector.hpp"
+#include "common/rng.hpp"
+
+namespace pufaging {
+
+/// Samples power-up patterns for a cell population at a fixed operating
+/// point. Each cell resolves to 1 with probability p_i = Phi(v_i/sigma_n),
+/// independently per power-up (the standard iid-noise assumption the paper
+/// adopts from [17]).
+///
+/// The per-cell Bernoulli thresholds are precomputed once per (mismatch,
+/// sigma) configuration, so the hot sampling loop is one 64-bit RNG draw
+/// and one compare per cell (the full two-year campaign draws ~3.3 billion
+/// cell samples).
+class PowerUpSampler {
+ public:
+  PowerUpSampler() = default;
+
+  /// (Re)builds thresholds from the current mismatch values and noise sigma.
+  /// Must be called after every aging step or operating-point change.
+  void rebuild(std::span<const double> mismatch, double noise_sigma);
+
+  /// Number of cells configured.
+  std::size_t size() const { return thresholds_.size(); }
+
+  /// Draws one power-up pattern into `out` (resized to size()).
+  void sample(BitVector& out, Xoshiro256StarStar& rng) const;
+
+  /// Convenience allocating overload.
+  BitVector sample(Xoshiro256StarStar& rng) const;
+
+  /// Draws only the first `count` cells (the PUF read-out window) into
+  /// `out`. Cheaper than sampling the whole array when only the first
+  /// 1 KByte is read, as in the paper's Algorithm 1 step 4.
+  void sample_prefix(BitVector& out, std::size_t count,
+                     Xoshiro256StarStar& rng) const;
+
+  /// Analytic one-probability of cell i under the current configuration.
+  double one_probability(std::size_t i) const {
+    return probabilities_.at(i);
+  }
+
+  std::span<const double> one_probabilities() const { return probabilities_; }
+
+ private:
+  std::vector<std::uint64_t> thresholds_;
+  std::vector<double> probabilities_;
+};
+
+}  // namespace pufaging

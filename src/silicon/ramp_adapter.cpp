@@ -1,0 +1,36 @@
+#include "silicon/ramp_adapter.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.hpp"
+
+namespace pufaging {
+
+double adapted_ramp_time_us(double temperature_c, const NoiseParams& params,
+                            double min_ramp_us, double max_ramp_us) {
+  if (params.ramp_exponent <= 0.0) {
+    throw InvalidArgument(
+        "adapted_ramp_time_us: ramp exponent must be > 0");
+  }
+  if (!(min_ramp_us > 0.0 && max_ramp_us >= min_ramp_us)) {
+    throw InvalidArgument("adapted_ramp_time_us: bad ramp limits");
+  }
+  const double ramp =
+      params.ramp_reference_us *
+      std::exp(params.temp_coeff_per_c * (temperature_c - 25.0) /
+               params.ramp_exponent);
+  return std::clamp(ramp, min_ramp_us, max_ramp_us);
+}
+
+OperatingPoint temperature_compensated_point(double temperature_c,
+                                             const NoiseParams& params,
+                                             double vdd_v) {
+  OperatingPoint op;
+  op.temperature_c = temperature_c;
+  op.vdd_v = vdd_v;
+  op.ramp_time_us = adapted_ramp_time_us(temperature_c, params);
+  return op;
+}
+
+}  // namespace pufaging

@@ -1,0 +1,35 @@
+// Intelligent voltage ramp-up time adaptation (Cortez et al., TCAD 2015 —
+// the paper's reference [17]).
+//
+// Power-up noise grows exponentially with temperature while a slower
+// supply ramp suppresses it with a power law; the adapter solves for the
+// ramp time that makes the effective noise sigma at any temperature equal
+// to the nominal sigma at 25 C with the reference ramp:
+//
+//     exp(k_T (T - 25)) * (ramp / ramp_ref)^(-s) = 1
+//     => ramp(T) = ramp_ref * exp(k_T (T - 25) / s)
+//
+// so a PUF measured at 85 C with the adapted ramp behaves like one
+// measured at room temperature — removing the temperature term from the
+// reliability budget exactly as [17] demonstrates on real silicon.
+#pragma once
+
+#include "silicon/noise_model.hpp"
+#include "silicon/operating_point.hpp"
+
+namespace pufaging {
+
+/// Ramp time (us) that cancels the temperature noise factor at
+/// `temperature_c` for a device with the given noise parameters.
+/// Clamped to [min_ramp_us, max_ramp_us] (hardware limits).
+double adapted_ramp_time_us(double temperature_c, const NoiseParams& params,
+                            double min_ramp_us = 1.0,
+                            double max_ramp_us = 100000.0);
+
+/// Convenience: the operating point at `temperature_c` with the adapted
+/// ramp applied.
+OperatingPoint temperature_compensated_point(double temperature_c,
+                                             const NoiseParams& params,
+                                             double vdd_v = 5.0);
+
+}  // namespace pufaging

@@ -1,0 +1,84 @@
+#include "silicon/sram_device.hpp"
+
+#include "common/error.hpp"
+#include "common/math.hpp"
+
+namespace pufaging {
+
+SramDevice::SramDevice(std::uint32_t id, std::uint64_t device_key,
+                       std::uint64_t measurement_seed,
+                       const DeviceConfig& config)
+    : id_(id),
+      config_(config),
+      population_(config.total_bits, device_key, config.population),
+      noise_(config.noise),
+      aging_(config.aging, config.noise.sigma_at_25c,
+             device_key ^ 0xA61D6A61D6ULL),
+      device_key_(device_key),
+      rng_(measurement_seed),
+      measurement_seed_(measurement_seed) {
+  if (config.puf_window_bits == 0 ||
+      config.puf_window_bits > config.total_bits) {
+    throw InvalidArgument(
+        "SramDevice: puf_window_bits must be in (0, total_bits]");
+  }
+}
+
+void SramDevice::ensure_sampler(const OperatingPoint& op) {
+  if (sampler_valid_ && sampler_op_ == op) {
+    return;
+  }
+  if (op.temperature_c == 25.0) {
+    sampler_.rebuild(population_.mismatch_values(),
+                     noise_.sigma(op) * aging_.noise_factor());
+  } else {
+    // Apply each cell's temperature coefficient to its mismatch.
+    std::vector<double> shifted(population_.size());
+    for (std::size_t i = 0; i < shifted.size(); ++i) {
+      shifted[i] = population_.mismatch_at(i, op.temperature_c);
+    }
+    sampler_.rebuild(shifted, noise_.sigma(op) * aging_.noise_factor());
+  }
+  sampler_op_ = op;
+  sampler_valid_ = true;
+}
+
+BitVector SramDevice::measure(const OperatingPoint& op) {
+  ensure_sampler(op);
+  ++measurement_count_;
+  BitVector window;
+  sampler_.sample_prefix(window, config_.puf_window_bits, rng_);
+  return window;
+}
+
+BitVector SramDevice::measure_full(const OperatingPoint& op) {
+  ensure_sampler(op);
+  ++measurement_count_;
+  return sampler_.sample(rng_);
+}
+
+void SramDevice::age_months(double months, const OperatingPoint& op) {
+  aging_.advance(population_.mismatch_values(), noise_.sigma(op), months, op,
+                 config_.acceleration);
+  sampler_valid_ = false;
+}
+
+double SramDevice::one_probability(std::size_t i,
+                                   const OperatingPoint& op) const {
+  if (i >= config_.puf_window_bits) {
+    throw InvalidArgument("SramDevice::one_probability: index out of window");
+  }
+  return normal_cdf(population_.mismatch_at(i, op.temperature_c) /
+                    (noise_.sigma(op) * aging_.noise_factor()));
+}
+
+void SramDevice::reset_to_pristine() {
+  population_.restore_pristine();
+  aging_ = BtiAgingModel(config_.aging, config_.noise.sigma_at_25c,
+                         device_key_ ^ 0xA61D6A61D6ULL);
+  rng_ = Xoshiro256StarStar(measurement_seed_);
+  measurement_count_ = 0;
+  sampler_valid_ = false;
+}
+
+}  // namespace pufaging

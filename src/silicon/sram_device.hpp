@@ -1,0 +1,105 @@
+// A simulated ATmega32u4-class SRAM device under test.
+//
+// Matches the paper's device geometry: 2.5 KByte of SRAM (20480 bits), of
+// which the first 1 KByte (8192 bits) is read out as the PUF response at
+// every power cycle (Section III / Algorithm 1, step 4).
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "common/bitvector.hpp"
+#include "common/rng.hpp"
+#include "silicon/aging.hpp"
+#include "silicon/cell_population.hpp"
+#include "silicon/noise_model.hpp"
+#include "silicon/operating_point.hpp"
+#include "silicon/powerup.hpp"
+
+namespace pufaging {
+
+/// Geometry + model parameters for constructing a device.
+struct DeviceConfig {
+  std::size_t total_bits = 20480;      ///< 2.5 KByte, the ATmega32u4 SRAM.
+  std::size_t puf_window_bits = 8192;  ///< First 1 KByte read per cycle.
+  PopulationParams population;
+  NoiseParams noise;
+  AgingParams aging;
+  AccelerationParams acceleration;
+};
+
+/// One board's SRAM: frozen process variation, mutable aging state, and a
+/// per-device measurement RNG. All randomness derives from `device_key`
+/// (mismatch) and `measurement_seed` (noise), so campaigns are reproducible.
+class SramDevice {
+ public:
+  SramDevice(std::uint32_t id, std::uint64_t device_key,
+             std::uint64_t measurement_seed, const DeviceConfig& config);
+
+  /// Board identifier (the paper labels its slave boards S0..S23).
+  std::uint32_t id() const { return id_; }
+
+  /// Slave-board style name, e.g. "S3".
+  std::string name() const { return "S" + std::to_string(id_); }
+
+  std::size_t total_bits() const { return config_.total_bits; }
+  std::size_t puf_window_bits() const { return config_.puf_window_bits; }
+
+  /// Powers the device up at `op` and reads the first 1 KByte PUF window.
+  /// Each call is one measurement (one power cycle's read-out).
+  BitVector measure(const OperatingPoint& op = nominal_conditions());
+
+  /// Powers up and reads the whole 2.5 KByte array.
+  BitVector measure_full(const OperatingPoint& op = nominal_conditions());
+
+  /// Number of measure()/measure_full() calls so far.
+  std::uint64_t measurement_count() const { return measurement_count_; }
+
+  /// Ages the device by `months` of wall-clock time spent power-cycling at
+  /// operating point `op` (duty cycle and stress acceleration applied by
+  /// the aging model).
+  void age_months(double months,
+                  const OperatingPoint& op = nominal_conditions());
+
+  /// Effective accumulated stress in months.
+  double stress_months() const { return aging_.stress_months(); }
+
+  /// Analytic one-probability of PUF-window cell i at operating point `op`
+  /// in the device's current aged state.
+  double one_probability(std::size_t i,
+                         const OperatingPoint& op = nominal_conditions()) const;
+
+  /// Current effective mismatch of cell i (diagnostics / white-box tests).
+  double mismatch(std::size_t i) const { return population_.mismatch(i); }
+
+  /// Effective noise sigma at an operating point (includes this device's
+  /// multiplier and the aging-induced noise growth).
+  double noise_sigma(const OperatingPoint& op = nominal_conditions()) const {
+    return noise_.sigma(op) * aging_.noise_factor();
+  }
+
+  /// Restores the manufacturing state and clears the measurement counter
+  /// (a fresh twin of the same silicon; aging clock restarts too).
+  void reset_to_pristine();
+
+  const DeviceConfig& config() const { return config_; }
+
+ private:
+  void ensure_sampler(const OperatingPoint& op);
+
+  std::uint32_t id_;
+  DeviceConfig config_;
+  CellPopulation population_;
+  NoiseModel noise_;
+  BtiAgingModel aging_;
+  std::uint64_t device_key_;
+  Xoshiro256StarStar rng_;
+  std::uint64_t measurement_seed_;
+  std::uint64_t measurement_count_ = 0;
+
+  PowerUpSampler sampler_;
+  OperatingPoint sampler_op_{};
+  bool sampler_valid_ = false;
+};
+
+}  // namespace pufaging

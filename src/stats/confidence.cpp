@@ -1,0 +1,42 @@
+#include "stats/confidence.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.hpp"
+
+namespace pufaging {
+
+ProportionInterval wilson_interval(std::uint64_t successes,
+                                   std::uint64_t trials, double z) {
+  if (trials == 0) {
+    throw InvalidArgument("wilson_interval: trials must be > 0");
+  }
+  if (successes > trials) {
+    throw InvalidArgument("wilson_interval: successes exceed trials");
+  }
+  const double n = static_cast<double>(trials);
+  const double p = static_cast<double>(successes) / n;
+  const double z2 = z * z;
+  const double denom = 1.0 + z2 / n;
+  const double center = (p + z2 / (2.0 * n)) / denom;
+  const double half =
+      (z / denom) * std::sqrt(p * (1.0 - p) / n + z2 / (4.0 * n * n));
+  return {std::max(0.0, center - half), std::min(1.0, center + half)};
+}
+
+ProportionInterval wald_interval(std::uint64_t successes, std::uint64_t trials,
+                                 double z) {
+  if (trials == 0) {
+    throw InvalidArgument("wald_interval: trials must be > 0");
+  }
+  if (successes > trials) {
+    throw InvalidArgument("wald_interval: successes exceed trials");
+  }
+  const double n = static_cast<double>(trials);
+  const double p = static_cast<double>(successes) / n;
+  const double half = z * std::sqrt(p * (1.0 - p) / n);
+  return {std::max(0.0, p - half), std::min(1.0, p + half)};
+}
+
+}  // namespace pufaging

@@ -1,0 +1,27 @@
+// Confidence intervals for binomial proportions.
+//
+// The paper's WCHD/FHW/stable-cell metrics are all proportions estimated
+// from finite measurement counts; Wilson intervals quantify how tight the
+// 1000-measurement monthly snapshots pin them down.
+#pragma once
+
+#include <cstdint>
+
+namespace pufaging {
+
+/// A two-sided confidence interval [lo, hi] for a proportion.
+struct ProportionInterval {
+  double lo = 0.0;
+  double hi = 0.0;
+};
+
+/// Wilson score interval for `successes` out of `trials` at confidence
+/// level given by z (z = 1.96 for 95%). Throws on trials == 0.
+ProportionInterval wilson_interval(std::uint64_t successes,
+                                   std::uint64_t trials, double z = 1.96);
+
+/// Normal-approximation (Wald) interval; provided for comparison in tests.
+ProportionInterval wald_interval(std::uint64_t successes, std::uint64_t trials,
+                                 double z = 1.96);
+
+}  // namespace pufaging

@@ -1,0 +1,113 @@
+#include "stats/descriptive.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.hpp"
+
+namespace pufaging {
+
+double mean(std::span<const double> xs) {
+  if (xs.empty()) {
+    throw InvalidArgument("mean: empty sample");
+  }
+  double sum = 0.0;
+  for (double x : xs) {
+    sum += x;
+  }
+  return sum / static_cast<double>(xs.size());
+}
+
+double sample_stddev(std::span<const double> xs) {
+  if (xs.size() < 2) {
+    return 0.0;
+  }
+  const double m = mean(xs);
+  double ss = 0.0;
+  for (double x : xs) {
+    ss += (x - m) * (x - m);
+  }
+  return std::sqrt(ss / static_cast<double>(xs.size() - 1));
+}
+
+double median(std::span<const double> xs) {
+  if (xs.empty()) {
+    throw InvalidArgument("median: empty sample");
+  }
+  std::vector<double> sorted(xs.begin(), xs.end());
+  std::sort(sorted.begin(), sorted.end());
+  const std::size_t n = sorted.size();
+  if (n % 2 == 1) {
+    return sorted[n / 2];
+  }
+  return 0.5 * (sorted[n / 2 - 1] + sorted[n / 2]);
+}
+
+SampleSummary summarize(std::span<const double> xs) {
+  if (xs.empty()) {
+    throw InvalidArgument("summarize: empty sample");
+  }
+  SampleSummary s;
+  s.count = xs.size();
+  s.mean = mean(xs);
+  s.stddev = sample_stddev(xs);
+  s.min = *std::min_element(xs.begin(), xs.end());
+  s.max = *std::max_element(xs.begin(), xs.end());
+  s.median = median(xs);
+  return s;
+}
+
+double geometric_monthly_change(double start, double end, std::size_t steps) {
+  if (start <= 0.0 || end <= 0.0) {
+    throw InvalidArgument("geometric_monthly_change: values must be positive");
+  }
+  if (steps == 0) {
+    throw InvalidArgument("geometric_monthly_change: steps must be > 0");
+  }
+  return std::pow(end / start, 1.0 / static_cast<double>(steps)) - 1.0;
+}
+
+void RunningStats::add(double x) {
+  if (count_ == 0) {
+    min_ = max_ = x;
+  } else {
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+  }
+  ++count_;
+  const double delta = x - mean_;
+  mean_ += delta / static_cast<double>(count_);
+  m2_ += delta * (x - mean_);
+}
+
+double RunningStats::mean() const {
+  if (count_ == 0) {
+    throw InvalidArgument("RunningStats::mean: no samples");
+  }
+  return mean_;
+}
+
+double RunningStats::variance() const {
+  if (count_ < 2) {
+    return 0.0;
+  }
+  return m2_ / static_cast<double>(count_ - 1);
+}
+
+double RunningStats::stddev() const { return std::sqrt(variance()); }
+
+double RunningStats::min() const {
+  if (count_ == 0) {
+    throw InvalidArgument("RunningStats::min: no samples");
+  }
+  return min_;
+}
+
+double RunningStats::max() const {
+  if (count_ == 0) {
+    throw InvalidArgument("RunningStats::max: no samples");
+  }
+  return max_;
+}
+
+}  // namespace pufaging

@@ -1,0 +1,62 @@
+// Descriptive statistics over double-valued samples.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+namespace pufaging {
+
+/// Summary of a sample: moments and order statistics.
+struct SampleSummary {
+  std::size_t count = 0;
+  double mean = 0.0;
+  double stddev = 0.0;  ///< Sample standard deviation (n-1 denominator).
+  double min = 0.0;
+  double max = 0.0;
+  double median = 0.0;
+};
+
+/// Arithmetic mean. Throws InvalidArgument on an empty sample.
+double mean(std::span<const double> xs);
+
+/// Sample standard deviation (n-1). Returns 0 for samples of size < 2.
+double sample_stddev(std::span<const double> xs);
+
+/// Median (average of the two central elements for even sizes).
+double median(std::span<const double> xs);
+
+/// Full summary in one pass (plus a sort for the median).
+SampleSummary summarize(std::span<const double> xs);
+
+/// Geometric mean of per-step growth: given a start and end value over
+/// `steps` steps, returns the per-step relative change r such that
+/// start * (1+r)^steps == end.
+///
+/// This is how the paper's Table I "Monthly Change" column relates to its
+/// "Relative Change" column (e.g. WCHD +19.3% over 24 months = +0.74%/month).
+double geometric_monthly_change(double start, double end, std::size_t steps);
+
+/// Streaming mean/variance accumulator (Welford). Used by the campaign
+/// analysis so that 175M-measurement-scale statistics never require storing
+/// the raw sample.
+class RunningStats {
+ public:
+  void add(double x);
+
+  std::size_t count() const { return count_; }
+  double mean() const;
+  double variance() const;  ///< Sample variance (n-1); 0 for count < 2.
+  double stddev() const;
+  double min() const;
+  double max() const;
+
+ private:
+  std::size_t count_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+}  // namespace pufaging

@@ -1,0 +1,56 @@
+#include "stats/fft.hpp"
+
+#include <cmath>
+
+#include "common/error.hpp"
+
+namespace pufaging {
+
+void fft_inplace(std::vector<std::complex<double>>& data) {
+  const std::size_t n = data.size();
+  if (n == 0 || (n & (n - 1)) != 0) {
+    throw InvalidArgument("fft_inplace: size must be a power of two");
+  }
+  // Bit-reversal permutation.
+  for (std::size_t i = 1, j = 0; i < n; ++i) {
+    std::size_t bit = n >> 1;
+    for (; j & bit; bit >>= 1) {
+      j ^= bit;
+    }
+    j ^= bit;
+    if (i < j) {
+      std::swap(data[i], data[j]);
+    }
+  }
+  // Butterflies.
+  for (std::size_t len = 2; len <= n; len <<= 1) {
+    const double angle = -2.0 * 3.14159265358979323846 /
+                         static_cast<double>(len);
+    const std::complex<double> wlen(std::cos(angle), std::sin(angle));
+    for (std::size_t i = 0; i < n; i += len) {
+      std::complex<double> w(1.0, 0.0);
+      for (std::size_t k = 0; k < len / 2; ++k) {
+        const std::complex<double> u = data[i + k];
+        const std::complex<double> v = data[i + k + len / 2] * w;
+        data[i + k] = u + v;
+        data[i + k + len / 2] = u - v;
+        w *= wlen;
+      }
+    }
+  }
+}
+
+std::vector<std::complex<double>> fft_real(const std::vector<double>& data) {
+  std::size_t n = 1;
+  while (n < data.size()) {
+    n <<= 1;
+  }
+  std::vector<std::complex<double>> complex_data(n);
+  for (std::size_t i = 0; i < data.size(); ++i) {
+    complex_data[i] = std::complex<double>(data[i], 0.0);
+  }
+  fft_inplace(complex_data);
+  return complex_data;
+}
+
+}  // namespace pufaging

@@ -1,0 +1,17 @@
+// Radix-2 FFT, used by the SP 800-22 spectral (DFT) test.
+#pragma once
+
+#include <complex>
+#include <vector>
+
+namespace pufaging {
+
+/// In-place iterative radix-2 Cooley-Tukey FFT. Size must be a power of
+/// two (throws InvalidArgument otherwise). Forward transform only.
+void fft_inplace(std::vector<std::complex<double>>& data);
+
+/// Convenience: forward FFT of a real sequence (zero-padded up to the next
+/// power of two). Returns the complex spectrum of the padded length.
+std::vector<std::complex<double>> fft_real(const std::vector<double>& data);
+
+}  // namespace pufaging

@@ -1,0 +1,73 @@
+#include "stats/histogram.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+
+#include "common/error.hpp"
+
+namespace pufaging {
+
+Histogram::Histogram(double lo, double hi, std::size_t bin_count)
+    : lo_(lo), hi_(hi), width_((hi - lo) / static_cast<double>(bin_count)),
+      counts_(bin_count, 0) {
+  if (!(hi > lo)) {
+    throw InvalidArgument("Histogram: hi must exceed lo");
+  }
+  if (bin_count == 0) {
+    throw InvalidArgument("Histogram: bin_count must be > 0");
+  }
+}
+
+void Histogram::add(double x) {
+  const double scaled = (x - lo_) / width_;
+  std::ptrdiff_t idx = static_cast<std::ptrdiff_t>(std::floor(scaled));
+  idx = std::clamp<std::ptrdiff_t>(
+      idx, 0, static_cast<std::ptrdiff_t>(counts_.size()) - 1);
+  ++counts_[static_cast<std::size_t>(idx)];
+  ++total_;
+}
+
+void Histogram::add_all(std::span<const double> xs) {
+  for (double x : xs) {
+    add(x);
+  }
+}
+
+double Histogram::percent(std::size_t i) const {
+  if (total_ == 0) {
+    return 0.0;
+  }
+  return 100.0 * static_cast<double>(counts_.at(i)) /
+         static_cast<double>(total_);
+}
+
+double Histogram::bin_center(std::size_t i) const {
+  return lo_ + (static_cast<double>(i) + 0.5) * width_;
+}
+
+double Histogram::bin_lower(std::size_t i) const {
+  return lo_ + static_cast<double>(i) * width_;
+}
+
+std::string Histogram::to_ascii(std::size_t max_bar_width) const {
+  std::ostringstream out;
+  const std::size_t peak =
+      counts_.empty() ? 0 : *std::max_element(counts_.begin(), counts_.end());
+  for (std::size_t i = 0; i < counts_.size(); ++i) {
+    if (counts_[i] == 0) {
+      continue;
+    }
+    const std::size_t bar =
+        peak == 0 ? 0 : (counts_[i] * max_bar_width + peak - 1) / peak;
+    out << "  [";
+    out.precision(4);
+    out << std::fixed << bin_lower(i) << ", " << bin_lower(i) + width_
+        << ")  ";
+    out << std::string(bar, '#') << "  " << counts_[i] << " ("
+        << percent(i) << "%)\n";
+  }
+  return out.str();
+}
+
+}  // namespace pufaging

@@ -1,0 +1,50 @@
+// Fixed-bin histogram; renders the paper's Fig. 5 distributions.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <string>
+#include <vector>
+
+namespace pufaging {
+
+/// Histogram with `bin_count` equal-width bins over [lo, hi).
+/// Values outside the range are clamped into the first/last bin so that
+/// totals always match the number of added samples.
+class Histogram {
+ public:
+  Histogram(double lo, double hi, std::size_t bin_count);
+
+  void add(double x);
+  void add_all(std::span<const double> xs);
+
+  std::size_t bin_count() const { return counts_.size(); }
+  std::size_t total() const { return total_; }
+
+  /// Raw count in bin `i`.
+  std::size_t count(std::size_t i) const { return counts_.at(i); }
+
+  /// Count in bin `i` as a percentage of all samples (the paper's Fig. 5
+  /// y-axis, "Count (%)"). Returns 0 when the histogram is empty.
+  double percent(std::size_t i) const;
+
+  /// Center of bin `i`.
+  double bin_center(std::size_t i) const;
+
+  /// Lower edge of bin `i`.
+  double bin_lower(std::size_t i) const;
+
+  double bin_width() const { return width_; }
+
+  /// Renders a horizontal ASCII bar chart (one line per non-empty bin).
+  std::string to_ascii(std::size_t max_bar_width = 60) const;
+
+ private:
+  double lo_;
+  double hi_;
+  double width_;
+  std::vector<std::size_t> counts_;
+  std::size_t total_ = 0;
+};
+
+}  // namespace pufaging

@@ -1,0 +1,99 @@
+// Subset of the NIST SP 800-22 statistical test suite for randomness.
+//
+// The paper evaluates the SRAM PUF as a true-random-number source via
+// min-entropy of the noise; a deployed TRNG additionally has to pass
+// black-box statistical testing of its conditioned output. This module
+// implements seven SP 800-22 tests with real p-values (via the regularized
+// incomplete gamma function and erfc), used by the TRNG pipeline tests and
+// the `trng_entropy` example.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "common/bitvector.hpp"
+
+namespace pufaging {
+
+/// Outcome of one statistical test.
+struct NistResult {
+  std::string name;
+  double statistic = 0.0;  ///< Test-specific statistic (chi^2, z, ...).
+  double p_value = 0.0;
+  bool applicable = true;  ///< False when the input is too short.
+
+  /// SP 800-22 convention: the sequence passes at significance alpha=0.01.
+  bool passed(double alpha = 0.01) const {
+    return applicable && p_value >= alpha;
+  }
+};
+
+/// 2.1 Frequency (monobit) test.
+NistResult nist_frequency(const BitVector& bits);
+
+/// 2.2 Frequency test within blocks of `block_len` bits.
+NistResult nist_block_frequency(const BitVector& bits,
+                                std::size_t block_len = 128);
+
+/// 2.3 Runs test (total number of runs vs expectation).
+NistResult nist_runs(const BitVector& bits);
+
+/// 2.4 Longest run of ones in a block (M = 8 / 128 / 10^4 per input size).
+NistResult nist_longest_run(const BitVector& bits);
+
+/// 2.11 Serial test; returns the two p-values (nabla psi^2_m and
+/// nabla^2 psi^2_m) as two results.
+std::vector<NistResult> nist_serial(const BitVector& bits,
+                                    std::size_t pattern_len = 3);
+
+/// 2.12 Approximate entropy test.
+NistResult nist_approximate_entropy(const BitVector& bits,
+                                    std::size_t pattern_len = 3);
+
+/// 2.13 Cumulative sums test; `forward` selects mode 0 (forward) or
+/// mode 1 (backward).
+NistResult nist_cusum(const BitVector& bits, bool forward = true);
+
+/// 2.5 Binary matrix rank test (32x32 matrices over GF(2)).
+NistResult nist_matrix_rank(const BitVector& bits);
+
+/// 2.6 Discrete Fourier transform (spectral) test. The input is truncated
+/// to the largest power-of-two length for an exact radix-2 transform.
+NistResult nist_spectral(const BitVector& bits);
+
+/// 2.7 Non-overlapping template matching test; default template is the
+/// 9-bit aperiodic pattern 000000001.
+NistResult nist_non_overlapping_template(const BitVector& bits,
+                                         const BitVector& templ = {});
+
+/// 2.8 Overlapping template matching test (9-bit all-ones template,
+/// 1032-bit blocks). Requires >= 131,072 bits.
+NistResult nist_overlapping_template(const BitVector& bits);
+
+/// 2.9 Maurer's universal statistical test. Requires >= 387,840 bits
+/// (L = 6 regime); marked not applicable below that.
+NistResult nist_universal(const BitVector& bits);
+
+/// 2.10 Linear complexity test (Berlekamp-Massey over 500-bit blocks).
+/// Requires >= 10,000 bits (20 blocks); the spec recommends 1e6.
+NistResult nist_linear_complexity(const BitVector& bits,
+                                  std::size_t block_len = 500);
+
+/// 2.14 Random excursions test. Returns one result per state
+/// x in {-4..-1, 1..4}; not applicable when the walk has < 500 cycles.
+std::vector<NistResult> nist_random_excursions(const BitVector& bits);
+
+/// 2.15 Random excursions variant test; one result per state in
+/// {-9..-1, 1..9}.
+std::vector<NistResult> nist_random_excursions_variant(const BitVector& bits);
+
+/// Runs every single-result test above with default parameters (the
+/// excursions tests are included when applicable).
+std::vector<NistResult> nist_suite(const BitVector& bits);
+
+/// Convenience: number of failed (applicable) tests at the given alpha.
+std::size_t nist_failures(const std::vector<NistResult>& results,
+                          double alpha = 0.01);
+
+}  // namespace pufaging

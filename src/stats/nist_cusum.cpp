@@ -1,0 +1,59 @@
+// SP 800-22 test 2.13 (cumulative sums).
+#include <algorithm>
+#include <cmath>
+
+#include "common/math.hpp"
+#include "stats/nist.hpp"
+
+namespace pufaging {
+
+NistResult nist_cusum(const BitVector& bits, bool forward) {
+  NistResult r;
+  r.name = forward ? "cusum_forward" : "cusum_backward";
+  const std::size_t n = bits.size();
+  if (n < 100) {
+    r.applicable = false;
+    return r;
+  }
+  long long s = 0;
+  long long z = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    const std::size_t idx = forward ? i : n - 1 - i;
+    s += bits.get(idx) ? 1 : -1;
+    z = std::max(z, std::llabs(s));
+  }
+  const double zd = static_cast<double>(z);
+  const double nn = static_cast<double>(n);
+  const double sqrt_n = std::sqrt(nn);
+
+  // P-value per SP 800-22 equation (13).
+  double sum1 = 0.0;
+  {
+    const long long k_lo =
+        static_cast<long long>(std::floor((-nn / zd + 1.0) / 4.0));
+    const long long k_hi =
+        static_cast<long long>(std::floor((nn / zd - 1.0) / 4.0));
+    for (long long k = k_lo; k <= k_hi; ++k) {
+      const double kd = static_cast<double>(k);
+      sum1 += normal_cdf((4.0 * kd + 1.0) * zd / sqrt_n) -
+              normal_cdf((4.0 * kd - 1.0) * zd / sqrt_n);
+    }
+  }
+  double sum2 = 0.0;
+  {
+    const long long k_lo =
+        static_cast<long long>(std::floor((-nn / zd - 3.0) / 4.0));
+    const long long k_hi =
+        static_cast<long long>(std::floor((nn / zd - 1.0) / 4.0));
+    for (long long k = k_lo; k <= k_hi; ++k) {
+      const double kd = static_cast<double>(k);
+      sum2 += normal_cdf((4.0 * kd + 3.0) * zd / sqrt_n) -
+              normal_cdf((4.0 * kd + 1.0) * zd / sqrt_n);
+    }
+  }
+  r.statistic = zd;
+  r.p_value = std::clamp(1.0 - sum1 + sum2, 0.0, 1.0);
+  return r;
+}
+
+}  // namespace pufaging

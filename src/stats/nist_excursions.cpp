@@ -1,0 +1,159 @@
+// SP 800-22 tests 2.14 (random excursions) and 2.15 (variant).
+#include <array>
+#include <cmath>
+#include <vector>
+
+#include "common/math.hpp"
+#include "stats/nist.hpp"
+
+namespace pufaging {
+
+namespace {
+
+// Builds the +-1 partial-sum walk and the indices where it returns to 0.
+struct Walk {
+  std::vector<long> sums;           // S_1 .. S_n
+  std::vector<std::size_t> zeroes;  // positions (in sums) where S == 0
+};
+
+Walk build_walk(const BitVector& bits) {
+  Walk walk;
+  walk.sums.reserve(bits.size());
+  long s = 0;
+  for (std::size_t i = 0; i < bits.size(); ++i) {
+    s += bits.get(i) ? 1 : -1;
+    walk.sums.push_back(s);
+    if (s == 0) {
+      walk.zeroes.push_back(i);
+    }
+  }
+  return walk;
+}
+
+// Pr(state x is visited exactly k times in one cycle), SP 800-22 3.14.
+double pi_k(int x, int k) {
+  const double ax = std::abs(x);
+  if (k == 0) {
+    return 1.0 - 1.0 / (2.0 * ax);
+  }
+  if (k >= 5) {
+    return (1.0 / (2.0 * ax)) * std::pow(1.0 - 1.0 / (2.0 * ax), 4.0);
+  }
+  return (1.0 / (4.0 * ax * ax)) *
+         std::pow(1.0 - 1.0 / (2.0 * ax), static_cast<double>(k) - 1.0);
+}
+
+}  // namespace
+
+std::vector<NistResult> nist_random_excursions(const BitVector& bits) {
+  static constexpr int kStates[] = {-4, -3, -2, -1, 1, 2, 3, 4};
+  std::vector<NistResult> results;
+  const Walk walk = build_walk(bits);
+  // A cycle ends at each return to zero; the final partial cycle also
+  // counts as one cycle (the walk is closed with a virtual return).
+  const std::size_t cycles =
+      walk.zeroes.size() +
+      ((walk.sums.empty() || walk.sums.back() == 0) ? 0 : 1);
+
+  const bool applicable = bits.size() >= 100000 && cycles >= 500;
+  for (int state : kStates) {
+    NistResult r;
+    r.name = "random_excursions_" + std::to_string(state);
+    r.applicable = applicable;
+    results.push_back(r);
+  }
+  if (!applicable) {
+    return results;
+  }
+
+  // Count visits per state per cycle.
+  std::array<std::array<std::size_t, 6>, 8> counts{};  // [state][k 0..5+]
+  std::array<std::size_t, 8> visits_in_cycle{};
+  const auto state_index = [](long s) -> int {
+    switch (s) {
+      case -4: return 0;
+      case -3: return 1;
+      case -2: return 2;
+      case -1: return 3;
+      case 1: return 4;
+      case 2: return 5;
+      case 3: return 6;
+      case 4: return 7;
+      default: return -1;
+    }
+  };
+  const auto close_cycle = [&] {
+    for (int st = 0; st < 8; ++st) {
+      const std::size_t k =
+          std::min<std::size_t>(visits_in_cycle[static_cast<std::size_t>(st)],
+                                5);
+      ++counts[static_cast<std::size_t>(st)][k];
+      visits_in_cycle[static_cast<std::size_t>(st)] = 0;
+    }
+  };
+  for (std::size_t i = 0; i < walk.sums.size(); ++i) {
+    const long s = walk.sums[i];
+    if (s == 0) {
+      close_cycle();
+      continue;
+    }
+    const int idx = state_index(s);
+    if (idx >= 0) {
+      ++visits_in_cycle[static_cast<std::size_t>(idx)];
+    }
+  }
+  if (!walk.sums.empty() && walk.sums.back() != 0) {
+    close_cycle();
+  }
+
+  const double j = static_cast<double>(cycles);
+  for (std::size_t si = 0; si < 8; ++si) {
+    const int x = kStates[si];
+    double chi2 = 0.0;
+    for (int k = 0; k <= 5; ++k) {
+      const double expected = j * pi_k(x, k);
+      const double observed = static_cast<double>(counts[si][static_cast<std::size_t>(k)]);
+      chi2 += (observed - expected) * (observed - expected) / expected;
+    }
+    results[si].statistic = chi2;
+    results[si].p_value = gamma_q(2.5, chi2 / 2.0);  // 5 dof
+  }
+  return results;
+}
+
+std::vector<NistResult> nist_random_excursions_variant(
+    const BitVector& bits) {
+  std::vector<NistResult> results;
+  const Walk walk = build_walk(bits);
+  const std::size_t j = walk.zeroes.size() +
+                        ((walk.sums.empty() || walk.sums.back() == 0) ? 0
+                                                                      : 1);
+  const bool applicable = bits.size() >= 100000 && j >= 500;
+
+  for (int x = -9; x <= 9; ++x) {
+    if (x == 0) {
+      continue;
+    }
+    NistResult r;
+    r.name = "random_excursions_variant_" + std::to_string(x);
+    r.applicable = applicable;
+    if (applicable) {
+      std::size_t visits = 0;
+      for (long s : walk.sums) {
+        if (s == x) {
+          ++visits;
+        }
+      }
+      const double jd = static_cast<double>(j);
+      const double ax = std::abs(x);
+      const double denom = std::sqrt(2.0 * jd * (4.0 * ax - 2.0));
+      r.statistic = static_cast<double>(visits);
+      r.p_value =
+          std::erfc(std::fabs(static_cast<double>(visits) - jd) / denom);
+    }
+    results.push_back(r);
+  }
+  return results;
+}
+
+}  // namespace pufaging

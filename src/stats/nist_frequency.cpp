@@ -1,0 +1,50 @@
+// SP 800-22 tests 2.1 (frequency), 2.2 (block frequency).
+#include <cmath>
+
+#include "common/math.hpp"
+#include "stats/nist.hpp"
+
+namespace pufaging {
+
+NistResult nist_frequency(const BitVector& bits) {
+  NistResult r;
+  r.name = "frequency";
+  const std::size_t n = bits.size();
+  if (n < 100) {
+    r.applicable = false;
+    return r;
+  }
+  const auto ones = static_cast<double>(bits.count_ones());
+  const double s = 2.0 * ones - static_cast<double>(n);
+  const double s_obs = std::fabs(s) / std::sqrt(static_cast<double>(n));
+  r.statistic = s_obs;
+  r.p_value = std::erfc(s_obs / std::sqrt(2.0));
+  return r;
+}
+
+NistResult nist_block_frequency(const BitVector& bits, std::size_t block_len) {
+  NistResult r;
+  r.name = "block_frequency";
+  const std::size_t n = bits.size();
+  const std::size_t blocks = block_len == 0 ? 0 : n / block_len;
+  if (blocks < 1 || n < 100) {
+    r.applicable = false;
+    return r;
+  }
+  double chi2 = 0.0;
+  for (std::size_t b = 0; b < blocks; ++b) {
+    std::size_t ones = 0;
+    for (std::size_t i = 0; i < block_len; ++i) {
+      ones += bits.get(b * block_len + i) ? 1U : 0U;
+    }
+    const double pi =
+        static_cast<double>(ones) / static_cast<double>(block_len);
+    chi2 += (pi - 0.5) * (pi - 0.5);
+  }
+  chi2 *= 4.0 * static_cast<double>(block_len);
+  r.statistic = chi2;
+  r.p_value = gamma_q(static_cast<double>(blocks) / 2.0, chi2 / 2.0);
+  return r;
+}
+
+}  // namespace pufaging

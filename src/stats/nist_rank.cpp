@@ -1,0 +1,90 @@
+// SP 800-22 test 2.5 (binary matrix rank).
+#include <array>
+#include <cstdint>
+
+#include "common/math.hpp"
+#include "stats/nist.hpp"
+
+namespace pufaging {
+
+namespace {
+
+// Rank of a 32x32 matrix over GF(2); rows are 32-bit words.
+int gf2_rank_32(std::array<std::uint32_t, 32>& rows) {
+  int rank = 0;
+  for (int col = 31; col >= 0 && rank < 32; --col) {
+    const std::uint32_t mask = 1U << col;
+    int pivot = -1;
+    for (int r = rank; r < 32; ++r) {
+      if (rows[static_cast<std::size_t>(r)] & mask) {
+        pivot = r;
+        break;
+      }
+    }
+    if (pivot < 0) {
+      continue;
+    }
+    std::swap(rows[static_cast<std::size_t>(pivot)],
+              rows[static_cast<std::size_t>(rank)]);
+    for (int r = 0; r < 32; ++r) {
+      if (r != rank && (rows[static_cast<std::size_t>(r)] & mask)) {
+        rows[static_cast<std::size_t>(r)] ^=
+            rows[static_cast<std::size_t>(rank)];
+      }
+    }
+    ++rank;
+  }
+  return rank;
+}
+
+}  // namespace
+
+NistResult nist_matrix_rank(const BitVector& bits) {
+  NistResult result;
+  result.name = "matrix_rank";
+  constexpr std::size_t kM = 32;
+  constexpr std::size_t kBitsPerMatrix = kM * kM;
+  const std::size_t matrices = bits.size() / kBitsPerMatrix;
+  if (matrices < 38) {  // SP 800-22 requires n >= 38 * 1024
+    result.applicable = false;
+    return result;
+  }
+  std::size_t full = 0;
+  std::size_t full_minus_1 = 0;
+  for (std::size_t m = 0; m < matrices; ++m) {
+    std::array<std::uint32_t, 32> rows{};
+    for (std::size_t r = 0; r < kM; ++r) {
+      std::uint32_t word = 0;
+      for (std::size_t c = 0; c < kM; ++c) {
+        if (bits.get(m * kBitsPerMatrix + r * kM + c)) {
+          word |= 1U << c;
+        }
+      }
+      rows[r] = word;
+    }
+    const int rank = gf2_rank_32(rows);
+    if (rank == 32) {
+      ++full;
+    } else if (rank == 31) {
+      ++full_minus_1;
+    }
+  }
+  const std::size_t rest = matrices - full - full_minus_1;
+  // Asymptotic rank probabilities for 32x32 GF(2) matrices.
+  constexpr double kPFull = 0.2888;
+  constexpr double kPFullMinus1 = 0.5776;
+  constexpr double kPRest = 0.1336;
+  const double n = static_cast<double>(matrices);
+  const auto term = [n](double observed, double expected_p) {
+    const double expected = n * expected_p;
+    return (observed - expected) * (observed - expected) / expected;
+  };
+  const double chi2 = term(static_cast<double>(full), kPFull) +
+                      term(static_cast<double>(full_minus_1), kPFullMinus1) +
+                      term(static_cast<double>(rest), kPRest);
+  result.statistic = chi2;
+  result.p_value = gamma_q(1.0, chi2 / 2.0);  // 2 dof => igamc(1, x/2)
+  return result;
+}
+
+}  // namespace pufaging

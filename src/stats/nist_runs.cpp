@@ -1,0 +1,110 @@
+// SP 800-22 tests 2.3 (runs), 2.4 (longest run of ones in a block).
+#include <array>
+#include <cmath>
+
+#include "common/math.hpp"
+#include "stats/nist.hpp"
+
+namespace pufaging {
+
+NistResult nist_runs(const BitVector& bits) {
+  NistResult r;
+  r.name = "runs";
+  const std::size_t n = bits.size();
+  if (n < 100) {
+    r.applicable = false;
+    return r;
+  }
+  const double pi =
+      static_cast<double>(bits.count_ones()) / static_cast<double>(n);
+  // Prerequisite frequency check from the SP 800-22 specification.
+  const double tau = 2.0 / std::sqrt(static_cast<double>(n));
+  if (std::fabs(pi - 0.5) >= tau) {
+    r.applicable = true;
+    r.p_value = 0.0;  // Fails by prerequisite: sequence is too biased.
+    return r;
+  }
+  std::size_t v_obs = 1;
+  for (std::size_t i = 1; i < n; ++i) {
+    if (bits.get(i) != bits.get(i - 1)) {
+      ++v_obs;
+    }
+  }
+  const double nn = static_cast<double>(n);
+  const double num =
+      std::fabs(static_cast<double>(v_obs) - 2.0 * nn * pi * (1.0 - pi));
+  const double den = 2.0 * std::sqrt(2.0 * nn) * pi * (1.0 - pi);
+  r.statistic = static_cast<double>(v_obs);
+  r.p_value = std::erfc(num / den);
+  return r;
+}
+
+NistResult nist_longest_run(const BitVector& bits) {
+  NistResult r;
+  r.name = "longest_run";
+  const std::size_t n = bits.size();
+  if (n < 128) {
+    r.applicable = false;
+    return r;
+  }
+
+  // Parameter selection per SP 800-22 Table 2-4.
+  std::size_t m;           // block length
+  std::size_t k;           // degrees of freedom
+  std::array<double, 7> pi{};
+  std::array<std::size_t, 7> v_edges{};  // category boundaries (lowest..highest)
+  if (n < 6272) {
+    m = 8;
+    k = 3;
+    pi = {0.2148, 0.3672, 0.2305, 0.1875, 0, 0, 0};
+    v_edges = {1, 2, 3, 4, 0, 0, 0};
+  } else if (n < 750000) {
+    m = 128;
+    k = 5;
+    pi = {0.1174, 0.2430, 0.2493, 0.1752, 0.1027, 0.1124, 0};
+    v_edges = {4, 5, 6, 7, 8, 9, 0};
+  } else {
+    m = 10000;
+    k = 6;
+    pi = {0.0882, 0.2092, 0.2483, 0.1933, 0.1208, 0.0675, 0.0727};
+    v_edges = {10, 11, 12, 13, 14, 15, 16};
+  }
+
+  const std::size_t blocks = n / m;
+  std::array<std::size_t, 7> v{};
+  for (std::size_t b = 0; b < blocks; ++b) {
+    std::size_t longest = 0;
+    std::size_t current = 0;
+    for (std::size_t i = 0; i < m; ++i) {
+      if (bits.get(b * m + i)) {
+        ++current;
+        longest = std::max(longest, current);
+      } else {
+        current = 0;
+      }
+    }
+    // Clamp into categories.
+    std::size_t cat = 0;
+    if (longest <= v_edges[0]) {
+      cat = 0;
+    } else if (longest >= v_edges[k]) {
+      cat = k;
+    } else {
+      cat = longest - v_edges[0];
+    }
+    ++v[cat];
+  }
+
+  double chi2 = 0.0;
+  const double nb = static_cast<double>(blocks);
+  for (std::size_t i = 0; i <= k; ++i) {
+    const double expect = nb * pi[i];
+    chi2 += (static_cast<double>(v[i]) - expect) *
+            (static_cast<double>(v[i]) - expect) / expect;
+  }
+  r.statistic = chi2;
+  r.p_value = gamma_q(static_cast<double>(k) / 2.0, chi2 / 2.0);
+  return r;
+}
+
+}  // namespace pufaging

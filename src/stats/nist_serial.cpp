@@ -1,0 +1,117 @@
+// SP 800-22 tests 2.11 (serial), 2.12 (approximate entropy).
+#include <cmath>
+#include <vector>
+
+#include "common/error.hpp"
+#include "common/math.hpp"
+#include "stats/nist.hpp"
+
+namespace pufaging {
+
+namespace {
+
+// psi^2_m statistic: counts of all overlapping m-bit patterns with wraparound.
+double psi_squared(const BitVector& bits, std::size_t m) {
+  if (m == 0) {
+    return 0.0;
+  }
+  const std::size_t n = bits.size();
+  std::vector<std::size_t> counts(std::size_t{1} << m, 0);
+  std::size_t pattern = 0;
+  const std::size_t mask = (std::size_t{1} << m) - 1;
+  // Prime the first m-1 bits.
+  for (std::size_t i = 0; i + 1 < m; ++i) {
+    pattern = ((pattern << 1) | (bits.get(i) ? 1U : 0U)) & mask;
+  }
+  for (std::size_t i = 0; i < n; ++i) {
+    const std::size_t idx = (i + m - 1) % n;
+    pattern = ((pattern << 1) | (bits.get(idx) ? 1U : 0U)) & mask;
+    ++counts[pattern];
+  }
+  double sum = 0.0;
+  for (std::size_t c : counts) {
+    sum += static_cast<double>(c) * static_cast<double>(c);
+  }
+  const double nn = static_cast<double>(n);
+  return std::pow(2.0, static_cast<double>(m)) / nn * sum - nn;
+}
+
+// phi_m statistic for approximate entropy: sum of pi * log(pi) over
+// overlapping m-bit patterns with wraparound.
+double phi_m(const BitVector& bits, std::size_t m) {
+  if (m == 0) {
+    return 0.0;
+  }
+  const std::size_t n = bits.size();
+  std::vector<std::size_t> counts(std::size_t{1} << m, 0);
+  std::size_t pattern = 0;
+  const std::size_t mask = (std::size_t{1} << m) - 1;
+  for (std::size_t i = 0; i + 1 < m; ++i) {
+    pattern = ((pattern << 1) | (bits.get(i) ? 1U : 0U)) & mask;
+  }
+  for (std::size_t i = 0; i < n; ++i) {
+    const std::size_t idx = (i + m - 1) % n;
+    pattern = ((pattern << 1) | (bits.get(idx) ? 1U : 0U)) & mask;
+    ++counts[pattern];
+  }
+  double sum = 0.0;
+  const double nn = static_cast<double>(n);
+  for (std::size_t c : counts) {
+    if (c > 0) {
+      const double p = static_cast<double>(c) / nn;
+      sum += p * std::log(p);
+    }
+  }
+  return sum;
+}
+
+}  // namespace
+
+std::vector<NistResult> nist_serial(const BitVector& bits,
+                                    std::size_t pattern_len) {
+  if (pattern_len < 2) {
+    throw InvalidArgument("nist_serial: pattern_len must be >= 2");
+  }
+  std::vector<NistResult> out(2);
+  out[0].name = "serial_p1";
+  out[1].name = "serial_p2";
+  const std::size_t n = bits.size();
+  if (n < (std::size_t{1} << (pattern_len + 2))) {
+    out[0].applicable = out[1].applicable = false;
+    return out;
+  }
+  const double psi_m = psi_squared(bits, pattern_len);
+  const double psi_m1 = psi_squared(bits, pattern_len - 1);
+  const double psi_m2 =
+      pattern_len >= 2 ? psi_squared(bits, pattern_len - 2) : 0.0;
+  const double d1 = psi_m - psi_m1;
+  const double d2 = psi_m - 2.0 * psi_m1 + psi_m2;
+  out[0].statistic = d1;
+  out[0].p_value =
+      gamma_q(std::pow(2.0, static_cast<double>(pattern_len - 2)), d1 / 2.0);
+  out[1].statistic = d2;
+  // Note 2^(m-3) may be fractional (m = 2); gamma_q handles any a > 0.
+  out[1].p_value =
+      gamma_q(std::pow(2.0, static_cast<double>(pattern_len) - 3.0), d2 / 2.0);
+  return out;
+}
+
+NistResult nist_approximate_entropy(const BitVector& bits,
+                                    std::size_t pattern_len) {
+  NistResult r;
+  r.name = "approximate_entropy";
+  const std::size_t n = bits.size();
+  if (n < (std::size_t{1} << (pattern_len + 2)) || pattern_len == 0) {
+    r.applicable = false;
+    return r;
+  }
+  const double ap_en = phi_m(bits, pattern_len) - phi_m(bits, pattern_len + 1);
+  const double chi2 =
+      2.0 * static_cast<double>(n) * (std::log(2.0) - ap_en);
+  r.statistic = chi2;
+  r.p_value = gamma_q(std::pow(2.0, static_cast<double>(pattern_len - 1)),
+                      chi2 / 2.0);
+  return r;
+}
+
+}  // namespace pufaging

@@ -1,0 +1,147 @@
+// SP 800-22 tests 2.6 (spectral / DFT) and 2.7 (non-overlapping template).
+#include <cmath>
+
+#include "common/error.hpp"
+#include "common/math.hpp"
+#include "stats/fft.hpp"
+#include "stats/nist.hpp"
+
+namespace pufaging {
+
+NistResult nist_spectral(const BitVector& bits) {
+  NistResult result;
+  result.name = "spectral";
+  // Truncate to a power of two for the radix-2 transform.
+  std::size_t n = 1;
+  while (n * 2 <= bits.size()) {
+    n *= 2;
+  }
+  if (n < 1024) {
+    result.applicable = false;
+    return result;
+  }
+  std::vector<double> x(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    x[i] = bits.get(i) ? 1.0 : -1.0;
+  }
+  const auto spectrum = fft_real(x);
+
+  const double nn = static_cast<double>(n);
+  // 95% peak threshold.
+  const double threshold = std::sqrt(std::log(1.0 / 0.05) * nn);
+  const std::size_t half = n / 2;
+  std::size_t below = 0;
+  for (std::size_t i = 0; i < half; ++i) {
+    if (std::abs(spectrum[i]) < threshold) {
+      ++below;
+    }
+  }
+  const double expected = 0.95 * static_cast<double>(half);
+  const double d = (static_cast<double>(below) - expected) /
+                   std::sqrt(nn * 0.95 * 0.05 / 4.0);
+  result.statistic = d;
+  result.p_value = std::erfc(std::fabs(d) / std::sqrt(2.0));
+  return result;
+}
+
+NistResult nist_overlapping_template(const BitVector& bits) {
+  NistResult result;
+  result.name = "overlapping_template";
+  // SP 800-22 2.8 with the standard parameters: m = 9 (all-ones
+  // template), M = 1032-bit blocks, K = 5 categories; the category
+  // probabilities below are the reference values for eta = 2*lambda
+  // with lambda = (M - m + 1) / 2^m.
+  constexpr std::size_t kM = 9;
+  constexpr std::size_t kBlockLen = 1032;
+  constexpr double kPi[6] = {0.364091, 0.185659, 0.139381,
+                             0.100571, 0.070432, 0.139865};
+  const std::size_t blocks = bits.size() / kBlockLen;
+  if (blocks < 128) {  // spec: n >= 10^6 recommended; gate at ~131k bits
+    result.applicable = false;
+    return result;
+  }
+  std::size_t v[6] = {0, 0, 0, 0, 0, 0};
+  for (std::size_t b = 0; b < blocks; ++b) {
+    std::size_t count = 0;
+    std::size_t run = 0;
+    for (std::size_t i = 0; i < kBlockLen; ++i) {
+      if (bits.get(b * kBlockLen + i)) {
+        ++run;
+        if (run >= kM) {
+          ++count;  // overlapping: every window ending here matches
+        }
+      } else {
+        run = 0;
+      }
+    }
+    ++v[std::min<std::size_t>(count, 5)];
+  }
+  double chi2 = 0.0;
+  const double n = static_cast<double>(blocks);
+  for (int i = 0; i < 6; ++i) {
+    const double expected = n * kPi[i];
+    chi2 += (static_cast<double>(v[i]) - expected) *
+            (static_cast<double>(v[i]) - expected) / expected;
+  }
+  result.statistic = chi2;
+  result.p_value = gamma_q(2.5, chi2 / 2.0);  // 5 dof
+  return result;
+}
+
+NistResult nist_non_overlapping_template(const BitVector& bits,
+                                         const BitVector& templ) {
+  NistResult result;
+  result.name = "non_overlapping_template";
+  // Default template: the aperiodic 9-bit pattern 000000001.
+  BitVector pattern = templ;
+  if (pattern.empty()) {
+    pattern = BitVector(9);
+    pattern.set(8, true);
+  }
+  const std::size_t m = pattern.size();
+  constexpr std::size_t kBlocks = 8;
+  const std::size_t block_len = bits.size() / kBlocks;
+  if (m < 2 || block_len < m * 10 || bits.size() < 1000) {
+    result.applicable = false;
+    return result;
+  }
+
+  const double m_d = static_cast<double>(m);
+  const double block_d = static_cast<double>(block_len);
+  const double mean = (block_d - m_d + 1.0) / std::pow(2.0, m_d);
+  const double variance =
+      block_d * (1.0 / std::pow(2.0, m_d) -
+                 (2.0 * m_d - 1.0) / std::pow(2.0, 2.0 * m_d));
+  if (variance <= 0.0) {
+    result.applicable = false;
+    return result;
+  }
+
+  double chi2 = 0.0;
+  for (std::size_t b = 0; b < kBlocks; ++b) {
+    std::size_t count = 0;
+    std::size_t i = 0;
+    while (i + m <= block_len) {
+      bool match = true;
+      for (std::size_t j = 0; j < m; ++j) {
+        if (bits.get(b * block_len + i + j) != pattern.get(j)) {
+          match = false;
+          break;
+        }
+      }
+      if (match) {
+        ++count;
+        i += m;  // non-overlapping: skip past the match
+      } else {
+        ++i;
+      }
+    }
+    const double diff = static_cast<double>(count) - mean;
+    chi2 += diff * diff / variance;
+  }
+  result.statistic = chi2;
+  result.p_value = gamma_q(static_cast<double>(kBlocks) / 2.0, chi2 / 2.0);
+  return result;
+}
+
+}  // namespace pufaging

@@ -1,0 +1,44 @@
+// Suite runner for the SP 800-22 subset.
+#include "stats/nist.hpp"
+
+namespace pufaging {
+
+std::vector<NistResult> nist_suite(const BitVector& bits) {
+  std::vector<NistResult> results;
+  results.push_back(nist_frequency(bits));
+  results.push_back(nist_block_frequency(bits));
+  results.push_back(nist_runs(bits));
+  results.push_back(nist_longest_run(bits));
+  results.push_back(nist_matrix_rank(bits));
+  results.push_back(nist_spectral(bits));
+  results.push_back(nist_non_overlapping_template(bits));
+  results.push_back(nist_overlapping_template(bits));
+  results.push_back(nist_universal(bits));
+  results.push_back(nist_linear_complexity(bits));
+  for (auto& r : nist_serial(bits)) {
+    results.push_back(std::move(r));
+  }
+  results.push_back(nist_approximate_entropy(bits));
+  results.push_back(nist_cusum(bits, /*forward=*/true));
+  results.push_back(nist_cusum(bits, /*forward=*/false));
+  for (auto& r : nist_random_excursions(bits)) {
+    results.push_back(std::move(r));
+  }
+  for (auto& r : nist_random_excursions_variant(bits)) {
+    results.push_back(std::move(r));
+  }
+  return results;
+}
+
+std::size_t nist_failures(const std::vector<NistResult>& results,
+                          double alpha) {
+  std::size_t failures = 0;
+  for (const auto& r : results) {
+    if (r.applicable && !r.passed(alpha)) {
+      ++failures;
+    }
+  }
+  return failures;
+}
+
+}  // namespace pufaging

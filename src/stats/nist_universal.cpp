@@ -1,0 +1,162 @@
+// SP 800-22 tests 2.9 (Maurer's universal) and 2.10 (linear complexity).
+#include <cmath>
+#include <vector>
+
+#include "common/math.hpp"
+#include "stats/nist.hpp"
+
+namespace pufaging {
+
+NistResult nist_universal(const BitVector& bits) {
+  NistResult result;
+  result.name = "universal";
+  // Parameter selection per SP 800-22 Table 2-10; we support the L = 6..8
+  // regimes (the smallest needs 387,840 bits).
+  struct Regime {
+    std::size_t min_n;
+    std::size_t l;
+    double expected;
+    double variance;
+  };
+  static constexpr Regime kRegimes[] = {
+      {1059061, 8, 7.1836656, 3.238},
+      {904960, 7, 6.1962507, 3.125},
+      {387840, 6, 5.2177052, 2.954},
+  };
+  const Regime* regime = nullptr;
+  for (const Regime& r : kRegimes) {
+    if (bits.size() >= r.min_n) {
+      regime = &r;
+      break;
+    }
+  }
+  if (regime == nullptr) {
+    result.applicable = false;
+    return result;
+  }
+  const std::size_t l = regime->l;
+  const std::size_t q = 10 * (std::size_t{1} << l);  // init blocks
+  const std::size_t blocks = bits.size() / l;
+  const std::size_t k = blocks - q;  // test blocks
+
+  const auto block_value = [&bits, l](std::size_t index) {
+    std::size_t v = 0;
+    for (std::size_t j = 0; j < l; ++j) {
+      v = (v << 1) | (bits.get(index * l + j) ? 1U : 0U);
+    }
+    return v;
+  };
+
+  std::vector<std::size_t> last_seen(std::size_t{1} << l, 0);
+  for (std::size_t i = 0; i < q; ++i) {
+    last_seen[block_value(i)] = i + 1;
+  }
+  double sum = 0.0;
+  for (std::size_t i = q; i < blocks; ++i) {
+    const std::size_t v = block_value(i);
+    sum += std::log2(static_cast<double>(i + 1 - last_seen[v]));
+    last_seen[v] = i + 1;
+  }
+  const double fn = sum / static_cast<double>(k);
+
+  // Standard deviation with the c(L, K) finite-size correction.
+  const double kd = static_cast<double>(k);
+  const double c = 0.7 - 0.8 / static_cast<double>(l) +
+                   (4.0 + 32.0 / static_cast<double>(l)) *
+                       std::pow(kd, -3.0 / static_cast<double>(l)) / 15.0;
+  const double sigma = c * std::sqrt(regime->variance / kd);
+  result.statistic = fn;
+  result.p_value =
+      std::erfc(std::fabs(fn - regime->expected) / (std::sqrt(2.0) * sigma));
+  return result;
+}
+
+namespace {
+
+// Linear complexity of a bit block via Berlekamp-Massey over GF(2).
+std::size_t berlekamp_massey_gf2(const std::vector<std::uint8_t>& s) {
+  const std::size_t n = s.size();
+  std::vector<std::uint8_t> c(n, 0);
+  std::vector<std::uint8_t> b(n, 0);
+  c[0] = b[0] = 1;
+  std::size_t l = 0;
+  std::size_t m = 0;  // steps since last update + 1 handled via (i - m)
+  for (std::size_t i = 0; i < n; ++i) {
+    std::uint8_t d = s[i];
+    for (std::size_t j = 1; j <= l; ++j) {
+      d ^= static_cast<std::uint8_t>(c[j] & s[i - j]);
+    }
+    if (d == 0) {
+      continue;
+    }
+    const std::vector<std::uint8_t> t = c;
+    const std::size_t shift = i - m;
+    for (std::size_t j = 0; j + shift < n; ++j) {
+      c[j + shift] = c[j + shift] ^ b[j];
+    }
+    if (2 * l <= i) {
+      l = i + 1 - l;
+      m = i;
+      b = t;
+    }
+  }
+  return l;
+}
+
+}  // namespace
+
+NistResult nist_linear_complexity(const BitVector& bits,
+                                  std::size_t block_len) {
+  NistResult result;
+  result.name = "linear_complexity";
+  const std::size_t blocks = block_len == 0 ? 0 : bits.size() / block_len;
+  if (block_len < 500 || block_len > 5000 || blocks < 20) {
+    result.applicable = false;
+    return result;
+  }
+  const double m_d = static_cast<double>(block_len);
+  const double sign = (block_len % 2 == 0) ? 1.0 : -1.0;
+  const double mu = m_d / 2.0 + (9.0 + sign) / 36.0 -
+                    (m_d / 3.0 + 2.0 / 9.0) / std::pow(2.0, m_d);
+
+  // Category probabilities for T (SP 800-22 Table in 2.10.4).
+  static constexpr double kPi[7] = {0.010417, 0.03125, 0.125, 0.5,
+                                    0.25,     0.0625,  0.020833};
+  std::size_t v[7] = {0, 0, 0, 0, 0, 0, 0};
+  std::vector<std::uint8_t> block(block_len);
+  for (std::size_t b = 0; b < blocks; ++b) {
+    for (std::size_t i = 0; i < block_len; ++i) {
+      block[i] = bits.get(b * block_len + i) ? 1 : 0;
+    }
+    const double l = static_cast<double>(berlekamp_massey_gf2(block));
+    const double t =
+        ((block_len % 2 == 0) ? 1.0 : -1.0) * (l - mu) + 2.0 / 9.0;
+    if (t <= -2.5) {
+      ++v[0];
+    } else if (t <= -1.5) {
+      ++v[1];
+    } else if (t <= -0.5) {
+      ++v[2];
+    } else if (t <= 0.5) {
+      ++v[3];
+    } else if (t <= 1.5) {
+      ++v[4];
+    } else if (t <= 2.5) {
+      ++v[5];
+    } else {
+      ++v[6];
+    }
+  }
+  double chi2 = 0.0;
+  const double n = static_cast<double>(blocks);
+  for (int i = 0; i < 7; ++i) {
+    const double expected = n * kPi[i];
+    chi2 += (static_cast<double>(v[i]) - expected) *
+            (static_cast<double>(v[i]) - expected) / expected;
+  }
+  result.statistic = chi2;
+  result.p_value = gamma_q(3.0, chi2 / 2.0);  // 6 dof
+  return result;
+}
+
+}  // namespace pufaging

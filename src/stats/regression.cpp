@@ -1,0 +1,45 @@
+#include "stats/regression.hpp"
+
+#include <cmath>
+
+#include "common/error.hpp"
+
+namespace pufaging {
+
+LinearFit linear_fit(std::span<const double> xs, std::span<const double> ys) {
+  if (xs.size() != ys.size()) {
+    throw InvalidArgument("linear_fit: size mismatch");
+  }
+  if (xs.size() < 2) {
+    throw InvalidArgument("linear_fit: need at least two points");
+  }
+  const double n = static_cast<double>(xs.size());
+  double sx = 0.0;
+  double sy = 0.0;
+  for (std::size_t i = 0; i < xs.size(); ++i) {
+    sx += xs[i];
+    sy += ys[i];
+  }
+  const double mx = sx / n;
+  const double my = sy / n;
+  double sxx = 0.0;
+  double sxy = 0.0;
+  double syy = 0.0;
+  for (std::size_t i = 0; i < xs.size(); ++i) {
+    const double dx = xs[i] - mx;
+    const double dy = ys[i] - my;
+    sxx += dx * dx;
+    sxy += dx * dy;
+    syy += dy * dy;
+  }
+  if (sxx == 0.0) {
+    throw InvalidArgument("linear_fit: x values are constant");
+  }
+  LinearFit fit;
+  fit.slope = sxy / sxx;
+  fit.intercept = my - fit.slope * mx;
+  fit.r_squared = (syy == 0.0) ? 1.0 : (sxy * sxy) / (sxx * syy);
+  return fit;
+}
+
+}  // namespace pufaging

@@ -1,0 +1,23 @@
+// Ordinary least squares over (x, y) pairs.
+//
+// Used to characterize the slope of the monthly metric trajectories
+// (Fig. 6): a positive WCHD slope and flat HW/BCHD slopes are the paper's
+// qualitative aging findings, asserted by the calibration tests.
+#pragma once
+
+#include <span>
+
+namespace pufaging {
+
+/// Result of a simple linear regression y = intercept + slope * x.
+struct LinearFit {
+  double slope = 0.0;
+  double intercept = 0.0;
+  double r_squared = 0.0;  ///< Coefficient of determination; 0 if undefined.
+};
+
+/// Fits y = a + b*x by least squares. Requires at least two points with
+/// non-constant x; throws InvalidArgument otherwise.
+LinearFit linear_fit(std::span<const double> xs, std::span<const double> ys);
+
+}  // namespace pufaging

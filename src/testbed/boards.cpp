@@ -1,0 +1,195 @@
+#include "testbed/boards.hpp"
+
+#include <algorithm>
+
+#include "common/error.hpp"
+
+namespace pufaging {
+
+void SignalChannel::signal() {
+  ++raised_;
+  if (waiter_) {
+    auto fn = std::move(waiter_);
+    waiter_ = nullptr;
+    fn();
+  } else {
+    ++pending_;
+  }
+}
+
+void SignalChannel::wait(std::function<void()> on_signal) {
+  if (waiter_) {
+    throw ProtocolError("SignalChannel: second waiter registered");
+  }
+  if (pending_ > 0) {
+    --pending_;
+    on_signal();
+    return;
+  }
+  waiter_ = std::move(on_signal);
+}
+
+SlaveBoard::SlaveBoard(std::uint32_t board_id, SramDevice device,
+                       EventQueue& queue, const TestbedTiming& timing)
+    : board_id_(board_id),
+      device_(std::move(device)),
+      queue_(&queue),
+      timing_(timing) {}
+
+void SlaveBoard::attach_power(PowerSwitch& power) {
+  power.add_channel(board_id_);
+  power.observe([this](std::uint32_t channel, bool on, SimTime) {
+    if (channel == board_id_) {
+      on_power(on);
+    }
+  });
+}
+
+void SlaveBoard::on_power(bool on) {
+  powered_ = on;
+  ++power_epoch_;
+  if (!on) {
+    // SRAM contents are lost when the rail drops.
+    data_ready_ = false;
+    buffered_.reset();
+    return;
+  }
+  // The start-up pattern latches physically at power-up; it becomes
+  // available to the firmware after boot + read delay.
+  const std::uint64_t epoch = power_epoch_;
+  BitVector pattern = device_.measure();
+  queue_->schedule_in(
+      timing_.boot_delay_s + timing_.read_delay_s,
+      [this, epoch, pattern = std::move(pattern)]() mutable {
+        if (power_epoch_ != epoch || !powered_) {
+          return;  // Power was cycled before boot completed.
+        }
+        buffered_ = std::move(pattern);
+        data_ready_ = true;
+        ++sequence_;
+      });
+}
+
+I2cFrame SlaveBoard::make_frame() const {
+  if (!data_ready_ || !buffered_) {
+    throw ProtocolError(name() + ": read-out requested before data ready");
+  }
+  I2cFrame frame;
+  frame.address = static_cast<std::uint8_t>(board_id_);
+  frame.sequence = sequence_;
+  frame.payload = buffered_->to_bytes();
+  frame.seal();
+  return frame;
+}
+
+MasterBoard::MasterBoard(std::string name, std::vector<SlaveBoard*> slaves,
+                         EventQueue& queue, PowerSwitch& power, I2cBus& bus,
+                         const TestbedTiming& timing, RecordSink sink)
+    : name_(std::move(name)),
+      slaves_(std::move(slaves)),
+      queue_(&queue),
+      power_(&power),
+      bus_(&bus),
+      timing_(timing),
+      sink_(std::move(sink)) {
+  if (slaves_.empty()) {
+    throw InvalidArgument("MasterBoard: no slaves");
+  }
+}
+
+void MasterBoard::connect(SignalChannel& partner_end, SignalChannel& my_end,
+                          SignalChannel& partner_started,
+                          SignalChannel& my_started) {
+  partner_end_ = &partner_end;
+  my_end_ = &my_end;
+  partner_started_ = &partner_started;
+  my_started_ = &my_started;
+}
+
+void MasterBoard::start() {
+  if (partner_end_ == nullptr) {
+    throw ProtocolError(name_ + ": start() before connect()");
+  }
+  running_ = true;
+  // Algorithm 1 step 1: wait for the partner layer to end its cycle.
+  partner_end_->wait([this] { begin_cycle(); });
+}
+
+void MasterBoard::begin_cycle() {
+  // Step 2: enable power to all slaves of this layer.
+  on_started_ = queue_->now();
+  for (SlaveBoard* s : slaves_) {
+    power_->set(s->board_id(), true);
+  }
+  // Step 3: tell the partner this layer has started.
+  my_started_->signal();
+  // Step 4 happens in the slaves; start collecting once they have booted.
+  queue_->schedule_in(timing_.boot_delay_s + timing_.read_delay_s + 1e-6,
+                      [this] { collect_from(0, 0); });
+}
+
+void MasterBoard::collect_from(std::size_t slave_index, int attempt) {
+  if (slave_index >= slaves_.size()) {
+    finish_collection();
+    return;
+  }
+  SlaveBoard* slave = slaves_[slave_index];
+  // Step 4/5: request the slave's read-out over I2C, verify CRC, retry on
+  // corruption, forward to the collector.
+  bus_->transfer(slave->make_frame(), [this, slave_index, attempt,
+                                       slave](I2cFrame frame) {
+    if (!frame.valid()) {
+      if (attempt + 1 <= kMaxRetries) {
+        ++crc_retries_;
+        collect_from(slave_index, attempt + 1);
+      } else {
+        ++frames_dropped_;
+        collect_from(slave_index + 1, 0);
+      }
+      return;
+    }
+    MeasurementRecord record;
+    record.time = queue_->now() + timing_.collector_latency_s;
+    record.board_id = slave->board_id();
+    record.sequence = frame.sequence;
+    record.data =
+        BitVector::from_bytes(frame.payload, frame.payload.size() * 8);
+    ++records_;
+    queue_->schedule_in(timing_.collector_latency_s,
+                        [this, record = std::move(record)] {
+                          if (sink_) {
+                            sink_(record);
+                          }
+                        });
+    collect_from(slave_index + 1, 0);
+  });
+}
+
+void MasterBoard::finish_collection() {
+  // Autonomous read-out of this layer is done; the partner layer may now
+  // begin its next cycle (steps 7/8 bookkeeping on its side).
+  my_end_->signal();
+  power_off_and_rest(on_started_);
+}
+
+void MasterBoard::power_off_and_rest(SimTime on_started) {
+  // If collection overran the nominal on-time (heavy retries), switch off
+  // immediately instead of scheduling in the past.
+  const SimTime off_at =
+      std::max(on_started + timing_.on_time_s, queue_->now());
+  queue_->schedule_at(off_at, [this] {
+    // Step 6: disable power to the slaves.
+    for (SlaveBoard* s : slaves_) {
+      power_->set(s->board_id(), false);
+    }
+    ++cycles_;
+    queue_->schedule_in(timing_.off_time_s, [this] {
+      if (running_) {
+        // Step 1 of the next cycle.
+        partner_end_->wait([this] { begin_cycle(); });
+      }
+    });
+  });
+}
+
+}  // namespace pufaging

@@ -1,0 +1,166 @@
+// Slave and master boards plus the two-layer handshake (paper Algorithm 1).
+//
+// The rig stacks 18 Arduino boards in two layers: layer 0 = master M0 +
+// slaves S0..S7, layer 1 = master M1 + slaves S16..S23. A layer's cycle:
+//
+//   1. wait for the partner layer's END signal,
+//   2. switch the layer's slaves on via the power switch,
+//   3. signal the partner that this layer has STARTED,
+//   4. each slave reads its first 1 KByte of SRAM at power-up,
+//   5. the master collects every slave's read-out over I2C (CRC-checked,
+//      retried on corruption) and forwards records to the collector,
+//   6. hold power until the 3.8 s on-time elapses, then switch off,
+//   7/8. handshake bookkeeping so both layers always produce the same
+//      number of measurements per unit time.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/bitvector.hpp"
+#include "silicon/sram_device.hpp"
+#include "testbed/clock.hpp"
+#include "testbed/i2c.hpp"
+#include "testbed/power.hpp"
+
+namespace pufaging {
+
+/// Timing constants of the rig; defaults reproduce the paper's Fig. 3
+/// waveform (5.4 s period = 3.8 s on + 1.6 s off).
+struct TestbedTiming {
+  double on_time_s = 3.8;        ///< Power-on time per cycle.
+  double off_time_s = 1.6;       ///< Power-off time per cycle.
+  double boot_delay_s = 0.35;    ///< Power applied -> slave ready.
+  double read_delay_s = 0.05;    ///< SRAM latch -> data buffered.
+  double i2c_bit_rate_hz = 100000.0;  ///< Standard-mode I2C.
+  double collector_latency_s = 0.02;  ///< Master -> Raspberry Pi hop.
+};
+
+/// One-directional signal mailbox between the two masters. Signals are
+/// counted, so a signal raised before the receiver waits is not lost.
+class SignalChannel {
+ public:
+  /// Raises the signal; delivers immediately if a waiter is registered.
+  void signal();
+
+  /// Registers a waiter; fires immediately when a signal is pending.
+  /// Only one waiter may be outstanding.
+  void wait(std::function<void()> on_signal);
+
+  std::uint64_t raised() const { return raised_; }
+
+ private:
+  std::uint64_t pending_ = 0;
+  std::uint64_t raised_ = 0;
+  std::function<void()> waiter_;
+};
+
+/// A slave Arduino: owns its SRAM device, reacts to its power rail, reads
+/// the PUF window at each power-up and serves it over I2C on request.
+class SlaveBoard {
+ public:
+  SlaveBoard(std::uint32_t board_id, SramDevice device, EventQueue& queue,
+             const TestbedTiming& timing);
+
+  std::uint32_t board_id() const { return board_id_; }
+  std::string name() const { return "S" + std::to_string(board_id_); }
+
+  /// Hooks this board to its power switch channel.
+  void attach_power(PowerSwitch& power);
+
+  /// True once the post-boot SRAM read-out is buffered.
+  bool data_ready() const { return data_ready_; }
+
+  /// Builds the I2C frame with the current read-out; the frame can be
+  /// re-requested for retries while the board stays powered.
+  /// Throws ProtocolError when no data is buffered.
+  I2cFrame make_frame() const;
+
+  /// Direct access to the device (aging between cycles, diagnostics).
+  SramDevice& device() { return device_; }
+  const SramDevice& device() const { return device_; }
+
+  /// Measurement currently buffered (for white-box tests).
+  const std::optional<BitVector>& buffered() const { return buffered_; }
+
+ private:
+  void on_power(bool on);
+
+  std::uint32_t board_id_;
+  SramDevice device_;
+  EventQueue* queue_;
+  TestbedTiming timing_;
+  bool powered_ = false;
+  bool data_ready_ = false;
+  std::uint64_t power_epoch_ = 0;  ///< Guards stale boot callbacks.
+  std::optional<BitVector> buffered_;
+  std::uint32_t sequence_ = 0;
+};
+
+/// Delivered measurement record (master -> collector).
+struct MeasurementRecord {
+  SimTime time = 0.0;
+  std::uint32_t board_id = 0;
+  std::uint32_t sequence = 0;
+  BitVector data;
+};
+
+/// A layer master implementing Algorithm 1.
+class MasterBoard {
+ public:
+  using RecordSink = std::function<void(const MeasurementRecord&)>;
+
+  MasterBoard(std::string name, std::vector<SlaveBoard*> slaves,
+              EventQueue& queue, PowerSwitch& power, I2cBus& bus,
+              const TestbedTiming& timing, RecordSink sink);
+
+  /// Wires the handshake: `partner_end` is signalled by the partner at the
+  /// end of its read-out; `my_end` is this master's outgoing channel.
+  /// `partner_started`/`my_started` carry the step-3 start notifications.
+  void connect(SignalChannel& partner_end, SignalChannel& my_end,
+               SignalChannel& partner_started, SignalChannel& my_started);
+
+  /// Begins the first cycle (layer 0 is bootstrapped with a virtual END
+  /// from layer 1; see Rig).
+  void start();
+
+  const std::string& name() const { return name_; }
+  std::uint64_t cycles_completed() const { return cycles_; }
+  std::uint64_t records_delivered() const { return records_; }
+  std::uint64_t crc_retries() const { return crc_retries_; }
+  std::uint64_t frames_dropped() const { return frames_dropped_; }
+
+  /// Maximum I2C re-requests per slave per cycle before dropping.
+  static constexpr int kMaxRetries = 3;
+
+ private:
+  void begin_cycle();
+  void collect_from(std::size_t slave_index, int attempt);
+  void finish_collection();
+  void power_off_and_rest(SimTime on_started);
+
+  std::string name_;
+  std::vector<SlaveBoard*> slaves_;
+  EventQueue* queue_;
+  PowerSwitch* power_;
+  I2cBus* bus_;
+  TestbedTiming timing_;
+  RecordSink sink_;
+
+  SignalChannel* partner_end_ = nullptr;
+  SignalChannel* my_end_ = nullptr;
+  SignalChannel* partner_started_ = nullptr;
+  SignalChannel* my_started_ = nullptr;
+
+  SimTime on_started_ = 0.0;
+  std::uint64_t cycles_ = 0;
+  std::uint64_t records_ = 0;
+  std::uint64_t crc_retries_ = 0;
+  std::uint64_t frames_dropped_ = 0;
+  bool running_ = false;
+};
+
+}  // namespace pufaging

@@ -1,0 +1,97 @@
+#include "testbed/campaign.hpp"
+
+#include <cmath>
+
+#include "common/error.hpp"
+
+namespace pufaging {
+
+CampaignResult run_campaign(const CampaignConfig& config) {
+  if (config.measurements_per_month == 0) {
+    throw InvalidArgument("run_campaign: need at least one measurement");
+  }
+  if (config.schedule && config.accelerated) {
+    throw InvalidArgument(
+        "run_campaign: schedule and accelerated are mutually exclusive");
+  }
+  std::vector<SramDevice> fleet = make_fleet(config.fleet);
+
+  // In accelerated mode each reported month is one nominal-equivalent
+  // stress month: the wall-clock time between snapshots shrinks by the
+  // acceleration factor, while the aging integrator re-expands it.
+  const double af =
+      config.accelerated
+          ? acceleration_factor(config.operating_point,
+                                config.fleet.device.acceleration)
+          : 1.0;
+  if (af <= 0.0) {
+    throw InvalidArgument("run_campaign: non-positive acceleration factor");
+  }
+  const double wall_months_per_snapshot = 1.0 / af;
+  const auto op_for_month = [&config](std::size_t month) {
+    return config.schedule ? config.schedule(month) : config.operating_point;
+  };
+
+  CampaignResult result;
+  result.references.resize(fleet.size());
+  if (config.keep_first_month_batches) {
+    result.first_month_batches.resize(fleet.size());
+  }
+
+  for (std::size_t month = 0; month <= config.months; ++month) {
+    const OperatingPoint month_op = op_for_month(month);
+    std::vector<DeviceMonthMetrics> device_metrics;
+    device_metrics.reserve(fleet.size());
+    for (std::size_t d = 0; d < fleet.size(); ++d) {
+      SramDevice& device = fleet[d];
+      BitVector first = device.measure(month_op);
+      if (month == 0) {
+        result.references[d] = first;
+      }
+      DeviceMonthAccumulator acc(device.id(), result.references[d]);
+      acc.add(first);
+      if (month == 0 && config.keep_first_month_batches) {
+        result.first_month_batches[d].push_back(first);
+      }
+      for (std::size_t m = 1; m < config.measurements_per_month; ++m) {
+        const BitVector pattern = device.measure(month_op);
+        acc.add(pattern);
+        if (month == 0 && config.keep_first_month_batches) {
+          result.first_month_batches[d].push_back(pattern);
+        }
+      }
+      device_metrics.push_back(acc.finalize());
+    }
+    result.series.push_back(combine_fleet_month(std::move(device_metrics),
+                                                static_cast<double>(month)));
+    if (month < config.months) {
+      for (SramDevice& device : fleet) {
+        device.age_months(wall_months_per_snapshot, month_op);
+      }
+    }
+  }
+  return result;
+}
+
+std::function<OperatingPoint(std::size_t)> seasonal_schedule(
+    double mean_c, double swing_c) {
+  return [mean_c, swing_c](std::size_t month) {
+    OperatingPoint op;
+    op.temperature_c =
+        mean_c + swing_c * std::sin(2.0 * 3.14159265358979323846 *
+                                    static_cast<double>(month) / 12.0);
+    return op;
+  };
+}
+
+std::vector<std::vector<BitVector>> collect_rig_batches(Rig& rig,
+                                                        std::uint64_t cycles) {
+  rig.run_cycles(cycles);
+  std::vector<std::vector<BitVector>> batches(16);
+  for (std::uint32_t d = 0; d < 16; ++d) {
+    batches[d] = rig.collector().board_measurements(board_id_for_device(d));
+  }
+  return batches;
+}
+
+}  // namespace pufaging

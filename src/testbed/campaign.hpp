@@ -1,0 +1,74 @@
+// The two-year measurement campaign (paper Section III + IV-B protocol).
+//
+// Two execution modes:
+//
+//  - Fast path (`run_campaign`): generates exactly the measurements the
+//    paper's analysis consumes — the first 1,000 read-outs after midnight
+//    on the 8th of each month per device — and ages the silicon between
+//    snapshots. This is the mode behind Table I and Fig. 6.
+//  - Protocol path (`Rig` + `collect_rig_batches`): full event-driven
+//    simulation of the 18-board rig including handshakes, power switching
+//    and I2C transfers; used at reduced scale to validate that the data
+//    path delivers bit-identical measurements.
+#pragma once
+
+#include <functional>
+#include <vector>
+
+#include "analysis/monthly.hpp"
+#include "silicon/device_factory.hpp"
+#include "testbed/rig.hpp"
+
+namespace pufaging {
+
+/// Campaign options.
+struct CampaignConfig {
+  FleetConfig fleet = paper_fleet_config();
+  std::size_t months = 24;                  ///< Aging span (snapshots 0..months).
+  std::size_t measurements_per_month = 1000;
+  OperatingPoint operating_point = nominal_conditions();
+
+  /// Optional per-month operating-point schedule (field conditions: the
+  /// paper's rig sits at room temperature, but a deployed device sees
+  /// seasons). When set, snapshot m is measured and the following month
+  /// aged at schedule(m); `operating_point` and `accelerated` are
+  /// ignored.
+  std::function<OperatingPoint(std::size_t month)> schedule;
+
+  /// Accelerated-aging mode: devices are measured *and* stressed at
+  /// `operating_point` (set it to accelerated_conditions()), and each
+  /// reported "month" is one nominal-equivalent stress month (wall time is
+  /// compressed by the Arrhenius/voltage acceleration factor, as a real
+  /// accelerated test would do).
+  bool accelerated = false;
+
+  /// Keep the month-0 batches (16 x 1000 read-outs) for Fig. 4/5 analyses.
+  bool keep_first_month_batches = false;
+};
+
+/// Campaign output.
+struct CampaignResult {
+  /// One entry per monthly snapshot (months + 1 entries, month 0 first).
+  std::vector<FleetMonthMetrics> series;
+  /// Month-0 reference pattern per device (the first ever read-out).
+  std::vector<BitVector> references;
+  /// Month-0 full batches per device (only if keep_first_month_batches).
+  std::vector<std::vector<BitVector>> first_month_batches;
+};
+
+/// Runs the fast-path campaign.
+CampaignResult run_campaign(const CampaignConfig& config);
+
+/// A ready-made seasonal schedule for field studies: sinusoidal ambient
+/// temperature `mean_c + swing_c * sin(2 pi month / 12)` at nominal
+/// supply and ramp.
+std::function<OperatingPoint(std::size_t)> seasonal_schedule(
+    double mean_c = 15.0, double swing_c = 12.0);
+
+/// Drives the full protocol rig for `cycles` power cycles and returns each
+/// device's measurements in device-index order (decoded from the
+/// collector's records).
+std::vector<std::vector<BitVector>> collect_rig_batches(Rig& rig,
+                                                        std::uint64_t cycles);
+
+}  // namespace pufaging

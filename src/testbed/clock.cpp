@@ -1,0 +1,46 @@
+#include "testbed/clock.hpp"
+
+#include "common/error.hpp"
+
+namespace pufaging {
+
+void EventQueue::schedule_at(SimTime at, std::function<void()> fn) {
+  if (at < now_) {
+    throw InvalidArgument("EventQueue::schedule_at: time in the past");
+  }
+  events_.push(Event{at, next_seq_++, std::move(fn)});
+}
+
+void EventQueue::schedule_in(SimTime delay, std::function<void()> fn) {
+  if (delay < 0.0) {
+    throw InvalidArgument("EventQueue::schedule_in: negative delay");
+  }
+  schedule_at(now_ + delay, std::move(fn));
+}
+
+void EventQueue::run_until(SimTime until) {
+  while (!events_.empty() && events_.top().at <= until) {
+    // Copy out before pop: the callback may schedule new events.
+    Event ev = events_.top();
+    events_.pop();
+    now_ = ev.at;
+    ev.fn();
+  }
+  if (now_ < until) {
+    now_ = until;
+  }
+}
+
+std::size_t EventQueue::step(std::size_t n) {
+  std::size_t run = 0;
+  while (run < n && !events_.empty()) {
+    Event ev = events_.top();
+    events_.pop();
+    now_ = ev.at;
+    ev.fn();
+    ++run;
+  }
+  return run;
+}
+
+}  // namespace pufaging

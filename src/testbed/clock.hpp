@@ -1,0 +1,62 @@
+// Discrete-event simulation kernel for the measurement rig.
+//
+// The paper's rig is inherently event-driven: two master boards exchange
+// handshake signals, power switches toggle rails on a 5.4 s cycle, slaves
+// boot and stream data over I2C. The simulator models all of that with a
+// single virtual clock and an ordered event queue.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <vector>
+
+namespace pufaging {
+
+/// Simulated time in seconds since the start of the test.
+using SimTime = double;
+
+/// Priority queue of timed callbacks with a deterministic tie-break
+/// (insertion order), so simulations replay identically.
+class EventQueue {
+ public:
+  /// Schedules `fn` to run at absolute time `at` (must be >= now()).
+  void schedule_at(SimTime at, std::function<void()> fn);
+
+  /// Schedules `fn` to run `delay` seconds from now.
+  void schedule_in(SimTime delay, std::function<void()> fn);
+
+  /// Current simulation time.
+  SimTime now() const { return now_; }
+
+  /// Runs events until the queue is empty or the next event is later than
+  /// `until`; the clock then rests at min(until, last event time).
+  void run_until(SimTime until);
+
+  /// Runs `n` events (or fewer if the queue drains). Returns events run.
+  std::size_t step(std::size_t n = 1);
+
+  bool empty() const { return events_.empty(); }
+  std::size_t pending() const { return events_.size(); }
+
+ private:
+  struct Event {
+    SimTime at;
+    std::uint64_t seq;
+    std::function<void()> fn;
+  };
+  struct Later {
+    bool operator()(const Event& a, const Event& b) const {
+      if (a.at != b.at) {
+        return a.at > b.at;
+      }
+      return a.seq > b.seq;
+    }
+  };
+
+  std::priority_queue<Event, std::vector<Event>, Later> events_;
+  SimTime now_ = 0.0;
+  std::uint64_t next_seq_ = 0;
+};
+
+}  // namespace pufaging

@@ -1,0 +1,110 @@
+#include "testbed/collector.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+#include "common/error.hpp"
+
+namespace pufaging {
+
+void Collector::receive(const MeasurementRecord& record) {
+  records_.push_back(record);
+}
+
+std::vector<BitVector> Collector::board_measurements(
+    std::uint32_t board_id) const {
+  std::vector<BitVector> out;
+  for (const MeasurementRecord& r : records_) {
+    if (r.board_id == board_id) {
+      out.push_back(r.data);
+    }
+  }
+  return out;
+}
+
+std::vector<std::uint32_t> Collector::boards() const {
+  std::vector<std::uint32_t> ids;
+  for (const MeasurementRecord& r : records_) {
+    if (std::find(ids.begin(), ids.end(), r.board_id) == ids.end()) {
+      ids.push_back(r.board_id);
+    }
+  }
+  std::sort(ids.begin(), ids.end());
+  return ids;
+}
+
+std::string Collector::to_hex(const std::vector<std::uint8_t>& bytes) {
+  static constexpr char kHex[] = "0123456789abcdef";
+  std::string out;
+  out.reserve(bytes.size() * 2);
+  for (std::uint8_t b : bytes) {
+    out.push_back(kHex[b >> 4]);
+    out.push_back(kHex[b & 0xF]);
+  }
+  return out;
+}
+
+std::vector<std::uint8_t> Collector::from_hex(const std::string& hex) {
+  if (hex.size() % 2 != 0) {
+    throw ParseError("Collector: odd-length hex payload");
+  }
+  const auto nibble = [](char c) -> std::uint8_t {
+    if (c >= '0' && c <= '9') {
+      return static_cast<std::uint8_t>(c - '0');
+    }
+    if (c >= 'a' && c <= 'f') {
+      return static_cast<std::uint8_t>(c - 'a' + 10);
+    }
+    if (c >= 'A' && c <= 'F') {
+      return static_cast<std::uint8_t>(c - 'A' + 10);
+    }
+    throw ParseError("Collector: bad hex digit");
+  };
+  std::vector<std::uint8_t> out(hex.size() / 2);
+  for (std::size_t i = 0; i < out.size(); ++i) {
+    out[i] = static_cast<std::uint8_t>((nibble(hex[2 * i]) << 4) |
+                                       nibble(hex[2 * i + 1]));
+  }
+  return out;
+}
+
+std::string Collector::to_jsonl() const {
+  std::ostringstream os;
+  for (const MeasurementRecord& r : records_) {
+    Json obj = Json::object();
+    obj.set("t", Json(r.time));
+    obj.set("board", Json("S" + std::to_string(r.board_id)));
+    obj.set("seq", Json(static_cast<std::int64_t>(r.sequence)));
+    obj.set("bits", Json(r.data.size()));
+    obj.set("data", Json(to_hex(r.data.to_bytes())));
+    os << obj.dump() << '\n';
+  }
+  return os.str();
+}
+
+void Collector::load_jsonl(const std::string& text) {
+  std::istringstream is(text);
+  std::string line;
+  while (std::getline(is, line)) {
+    if (line.empty()) {
+      continue;
+    }
+    const Json obj = Json::parse(line);
+    MeasurementRecord record;
+    record.time = obj.at("t").as_double();
+    const std::string& board = obj.at("board").as_string();
+    if (board.empty() || board.front() != 'S') {
+      throw ParseError("Collector::load_jsonl: bad board name '" + board +
+                       "'");
+    }
+    record.board_id =
+        static_cast<std::uint32_t>(std::stoul(board.substr(1)));
+    record.sequence = static_cast<std::uint32_t>(obj.at("seq").as_int());
+    const auto bits = static_cast<std::size_t>(obj.at("bits").as_int());
+    record.data = BitVector::from_bytes(from_hex(obj.at("data").as_string()),
+                                        bits);
+    records_.push_back(std::move(record));
+  }
+}
+
+}  // namespace pufaging

@@ -1,0 +1,49 @@
+// The Raspberry Pi data collector (paper Fig. 2 component 5).
+//
+// Receives measurement records from the masters, stores them as JSON (the
+// paper's database format), and can replay stored records into the
+// analysis pipeline — exercising the full board -> master -> collector ->
+// analysis data path.
+#pragma once
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "io/json.hpp"
+#include "testbed/boards.hpp"
+
+namespace pufaging {
+
+/// In-memory measurement database with JSON import/export.
+class Collector {
+ public:
+  /// Record sink to plug into a MasterBoard.
+  void receive(const MeasurementRecord& record);
+
+  std::size_t record_count() const { return records_.size(); }
+  const std::vector<MeasurementRecord>& records() const { return records_; }
+
+  /// All measurements of one board, in arrival order.
+  std::vector<BitVector> board_measurements(std::uint32_t board_id) const;
+
+  /// Board ids seen so far, ascending.
+  std::vector<std::uint32_t> boards() const;
+
+  /// Serializes all records as JSON Lines (one record object per line):
+  /// {"t": <seconds>, "board": "S3", "seq": 17, "bits": 8192,
+  ///  "data": "<hex>"}.
+  std::string to_jsonl() const;
+
+  /// Parses records back from JSON Lines; appends to the store.
+  /// Throws ParseError on malformed lines.
+  void load_jsonl(const std::string& text);
+
+ private:
+  static std::string to_hex(const std::vector<std::uint8_t>& bytes);
+  static std::vector<std::uint8_t> from_hex(const std::string& hex);
+
+  std::vector<MeasurementRecord> records_;
+};
+
+}  // namespace pufaging

@@ -1,0 +1,20 @@
+#include "testbed/crc8.hpp"
+
+namespace pufaging {
+
+std::uint8_t crc8(const std::vector<std::uint8_t>& data) {
+  std::uint8_t crc = 0x00;
+  for (std::uint8_t byte : data) {
+    crc ^= byte;
+    for (int bit = 0; bit < 8; ++bit) {
+      if (crc & 0x80) {
+        crc = static_cast<std::uint8_t>((crc << 1) ^ 0x07);
+      } else {
+        crc = static_cast<std::uint8_t>(crc << 1);
+      }
+    }
+  }
+  return crc;
+}
+
+}  // namespace pufaging

@@ -1,0 +1,12 @@
+// CRC-8 (polynomial 0x07, as in SMBus PEC) for I2C frame integrity.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace pufaging {
+
+/// CRC-8/SMBus over a byte buffer (init 0x00, poly x^8+x^2+x+1, no reflect).
+std::uint8_t crc8(const std::vector<std::uint8_t>& data);
+
+}  // namespace pufaging

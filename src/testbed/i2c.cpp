@@ -1,0 +1,74 @@
+#include "testbed/i2c.hpp"
+
+#include "common/error.hpp"
+#include "testbed/crc8.hpp"
+
+namespace pufaging {
+
+std::uint8_t I2cFrame::compute_crc() const {
+  std::vector<std::uint8_t> buf;
+  buf.reserve(5 + payload.size());
+  buf.push_back(address);
+  buf.push_back(static_cast<std::uint8_t>(sequence));
+  buf.push_back(static_cast<std::uint8_t>(sequence >> 8));
+  buf.push_back(static_cast<std::uint8_t>(sequence >> 16));
+  buf.push_back(static_cast<std::uint8_t>(sequence >> 24));
+  buf.insert(buf.end(), payload.begin(), payload.end());
+  return crc8(buf);
+}
+
+I2cBus::I2cBus(EventQueue& queue, double bit_rate_hz)
+    : queue_(&queue), bit_rate_hz_(bit_rate_hz) {
+  if (bit_rate_hz <= 0.0) {
+    throw InvalidArgument("I2cBus: bit rate must be > 0");
+  }
+}
+
+SimTime I2cBus::transfer_duration(const I2cFrame& frame) const {
+  // Address byte + 4 sequence bytes + payload + CRC, 9 bit times per byte,
+  // plus start/stop condition overhead (~2 bit times).
+  const double bytes = 6.0 + static_cast<double>(frame.payload.size());
+  return (bytes * 9.0 + 2.0) / bit_rate_hz_;
+}
+
+void I2cBus::transfer(I2cFrame frame,
+                      std::function<void(I2cFrame)> on_complete) {
+  backlog_.push_back(Pending{std::move(frame), std::move(on_complete)});
+  if (!busy_) {
+    start_next();
+  }
+}
+
+void I2cBus::inject_faults(double per_frame_rate, std::uint64_t seed) {
+  if (per_frame_rate < 0.0 || per_frame_rate > 1.0) {
+    throw InvalidArgument("I2cBus::inject_faults: rate outside [0, 1]");
+  }
+  fault_rate_ = per_frame_rate;
+  fault_rng_.emplace(seed);
+}
+
+void I2cBus::start_next() {
+  if (backlog_.empty()) {
+    busy_ = false;
+    return;
+  }
+  busy_ = true;
+  Pending job = std::move(backlog_.front());
+  backlog_.erase(backlog_.begin());
+  const SimTime duration = transfer_duration(job.frame);
+  queue_->schedule_in(duration, [this, job = std::move(job)]() mutable {
+    ++frames_;
+    if (fault_rng_ && fault_rate_ > 0.0 && !job.frame.payload.empty() &&
+        fault_rng_->bernoulli(fault_rate_)) {
+      const std::uint64_t bit =
+          fault_rng_->below(job.frame.payload.size() * 8);
+      job.frame.payload[bit / 8] ^=
+          static_cast<std::uint8_t>(1U << (bit % 8));
+      ++corrupted_;
+    }
+    job.on_complete(std::move(job.frame));
+    start_next();
+  });
+}
+
+}  // namespace pufaging

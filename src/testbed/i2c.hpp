@@ -1,0 +1,78 @@
+// I2C transfer model between master and slave boards (paper Section III).
+//
+// Each slave sends its 1 KByte SRAM read-out to its layer master over I2C.
+// The model covers what matters for the data path: per-byte timing at the
+// configured bus clock, CRC-protected framing, optional fault injection
+// (random bit corruption), and retry-on-corruption at the master.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "testbed/clock.hpp"
+
+namespace pufaging {
+
+/// A framed payload: [slave address | sequence | payload | crc8].
+struct I2cFrame {
+  std::uint8_t address = 0;
+  std::uint32_t sequence = 0;  ///< Slave's measurement counter.
+  std::vector<std::uint8_t> payload;
+  std::uint8_t crc = 0;
+
+  /// Computes the CRC over address, sequence and payload.
+  std::uint8_t compute_crc() const;
+
+  /// Seals the frame (sets crc).
+  void seal() { crc = compute_crc(); }
+
+  /// True when the stored CRC matches the contents.
+  bool valid() const { return crc == compute_crc(); }
+};
+
+/// Shared bus with sequential arbitration: one transfer at a time; a
+/// transfer occupies the bus for its full duration.
+class I2cBus {
+ public:
+  /// `bit_rate_hz`: bus clock; standard-mode I2C is 100 kHz. A transferred
+  /// byte costs 9 bit times (8 data + ACK).
+  I2cBus(EventQueue& queue, double bit_rate_hz = 100000.0);
+
+  /// Duration of transferring `frame` (header + payload + crc).
+  SimTime transfer_duration(const I2cFrame& frame) const;
+
+  /// Starts a transfer; `on_complete` fires when the bus delivers the frame
+  /// (possibly corrupted, when fault injection is enabled). If the bus is
+  /// busy the transfer queues behind the current one.
+  void transfer(I2cFrame frame, std::function<void(I2cFrame)> on_complete);
+
+  /// Enables fault injection: each transferred frame independently gets one
+  /// random payload bit flipped with probability `per_frame_rate`.
+  void inject_faults(double per_frame_rate, std::uint64_t seed);
+
+  bool busy() const { return busy_; }
+  std::uint64_t frames_transferred() const { return frames_; }
+  std::uint64_t frames_corrupted() const { return corrupted_; }
+
+ private:
+  struct Pending {
+    I2cFrame frame;
+    std::function<void(I2cFrame)> on_complete;
+  };
+
+  void start_next();
+
+  EventQueue* queue_;
+  double bit_rate_hz_;
+  bool busy_ = false;
+  std::vector<Pending> backlog_;
+  double fault_rate_ = 0.0;
+  std::optional<Xoshiro256StarStar> fault_rng_;
+  std::uint64_t frames_ = 0;
+  std::uint64_t corrupted_ = 0;
+};
+
+}  // namespace pufaging

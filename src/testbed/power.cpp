@@ -1,0 +1,152 @@
+#include "testbed/power.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+#include "common/error.hpp"
+
+namespace pufaging {
+
+void PowerSwitch::add_channel(std::uint32_t channel) {
+  for (const Channel& c : channels_) {
+    if (c.id == channel) {
+      return;
+    }
+  }
+  channels_.push_back(Channel{channel, false});
+}
+
+PowerSwitch::Channel& PowerSwitch::find(std::uint32_t channel) {
+  for (Channel& c : channels_) {
+    if (c.id == channel) {
+      return c;
+    }
+  }
+  throw InvalidArgument("PowerSwitch: unknown channel " +
+                        std::to_string(channel));
+}
+
+const PowerSwitch::Channel& PowerSwitch::find(std::uint32_t channel) const {
+  for (const Channel& c : channels_) {
+    if (c.id == channel) {
+      return c;
+    }
+  }
+  throw InvalidArgument("PowerSwitch: unknown channel " +
+                        std::to_string(channel));
+}
+
+void PowerSwitch::set(std::uint32_t channel, bool on) {
+  Channel& c = find(channel);
+  if (c.on == on) {
+    return;
+  }
+  c.on = on;
+  for (const Observer& obs : observers_) {
+    obs(channel, on, queue_->now());
+  }
+}
+
+bool PowerSwitch::is_on(std::uint32_t channel) const {
+  return find(channel).on;
+}
+
+Oscilloscope::Oscilloscope(PowerSwitch& power,
+                           std::vector<std::uint32_t> channels)
+    : channels_(std::move(channels)) {
+  power.observe([this](std::uint32_t channel, bool on, SimTime at) {
+    if (std::find(channels_.begin(), channels_.end(), channel) !=
+        channels_.end()) {
+      edges_.push_back(ScopeEdge{at, channel, on});
+    }
+  });
+}
+
+std::vector<ScopeEdge> Oscilloscope::channel_edges(
+    std::uint32_t channel) const {
+  std::vector<ScopeEdge> out;
+  for (const ScopeEdge& e : edges_) {
+    if (e.channel == channel) {
+      out.push_back(e);
+    }
+  }
+  return out;
+}
+
+WaveformStats Oscilloscope::stats(std::uint32_t channel) const {
+  const std::vector<ScopeEdge> es = channel_edges(channel);
+  WaveformStats stats;
+  double period_sum = 0.0;
+  double on_sum = 0.0;
+  double off_sum = 0.0;
+  std::size_t periods = 0;
+  std::size_t ons = 0;
+  std::size_t offs = 0;
+  for (std::size_t i = 0; i + 1 < es.size(); ++i) {
+    const double dt = es[i + 1].at - es[i].at;
+    if (es[i].rising && !es[i + 1].rising) {
+      on_sum += dt;
+      ++ons;
+    } else if (!es[i].rising && es[i + 1].rising) {
+      off_sum += dt;
+      ++offs;
+    }
+  }
+  SimTime last_rise = -1.0;
+  for (const ScopeEdge& e : es) {
+    if (e.rising) {
+      if (last_rise >= 0.0) {
+        period_sum += e.at - last_rise;
+        ++periods;
+      }
+      last_rise = e.at;
+    }
+  }
+  if (periods > 0) {
+    stats.period_s = period_sum / static_cast<double>(periods);
+  }
+  if (ons > 0) {
+    stats.on_time_s = on_sum / static_cast<double>(ons);
+  }
+  if (offs > 0) {
+    stats.off_time_s = off_sum / static_cast<double>(offs);
+  }
+  stats.cycles = periods;
+  return stats;
+}
+
+std::string Oscilloscope::render(SimTime t0, SimTime t1,
+                                 std::size_t width) const {
+  if (!(t1 > t0) || width < 2) {
+    throw InvalidArgument("Oscilloscope::render: bad window");
+  }
+  std::ostringstream os;
+  const double dt = (t1 - t0) / static_cast<double>(width);
+  for (std::uint32_t channel : channels_) {
+    const std::vector<ScopeEdge> es = channel_edges(channel);
+    std::string row(width, '.');
+    for (std::size_t x = 0; x < width; ++x) {
+      const SimTime t = t0 + (static_cast<double>(x) + 0.5) * dt;
+      bool level = false;
+      for (const ScopeEdge& e : es) {
+        if (e.at <= t) {
+          level = e.rising;
+        } else {
+          break;
+        }
+      }
+      if (level) {
+        row[x] = '#';
+      }
+    }
+    char label[16];
+    std::snprintf(label, sizeof label, "S%-3u |", channel);
+    os << label << row << "|\n";
+  }
+  char axis[64];
+  std::snprintf(axis, sizeof axis, "      t = %.1f s .. %.1f s", t0, t1);
+  os << axis << "\n";
+  return os.str();
+}
+
+}  // namespace pufaging

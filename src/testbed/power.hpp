@@ -1,0 +1,92 @@
+// Power switch board and oscilloscope (paper Fig. 2 component 4, Fig. 3).
+//
+// The rig powers all slave boards of a layer through a relay/transistor
+// switch board commanded by that layer's master; each slave has its own
+// switched channel to avoid interference within a stack. A Tektronix
+// TDS 3034B scope probed four rails to produce Fig. 3's waveforms; the
+// simulated scope records every rail transition and can render the same
+// square-wave picture and extract period / on-time / off-time statistics.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "testbed/clock.hpp"
+
+namespace pufaging {
+
+/// Multi-channel power switch. Channels are identified by the slave board
+/// id they feed. Observers are notified on every transition.
+class PowerSwitch {
+ public:
+  using Observer =
+      std::function<void(std::uint32_t channel, bool on, SimTime at)>;
+
+  explicit PowerSwitch(EventQueue& queue) : queue_(&queue) {}
+
+  /// Declares a channel (idempotent).
+  void add_channel(std::uint32_t channel);
+
+  /// Switches a channel; no-op if already in the requested state.
+  void set(std::uint32_t channel, bool on);
+
+  bool is_on(std::uint32_t channel) const;
+
+  /// Registers a transition observer (scope probe, slave board hook).
+  void observe(Observer observer) { observers_.push_back(std::move(observer)); }
+
+ private:
+  struct Channel {
+    std::uint32_t id;
+    bool on = false;
+  };
+  Channel& find(std::uint32_t channel);
+  const Channel& find(std::uint32_t channel) const;
+
+  EventQueue* queue_;
+  std::vector<Channel> channels_;
+  std::vector<Observer> observers_;
+};
+
+/// One edge seen by the scope.
+struct ScopeEdge {
+  SimTime at = 0.0;
+  std::uint32_t channel = 0;
+  bool rising = false;
+};
+
+/// Statistics of a captured square wave.
+struct WaveformStats {
+  double period_s = 0.0;    ///< Mean rising-to-rising interval.
+  double on_time_s = 0.0;   ///< Mean high time.
+  double off_time_s = 0.0;  ///< Mean low time.
+  std::size_t cycles = 0;   ///< Full cycles observed.
+};
+
+/// Records transitions of selected power rails (the scope probes S3, S4,
+/// S19, S20 in the paper) and reproduces Fig. 3.
+class Oscilloscope {
+ public:
+  /// Attaches to the switch and probes the given channels.
+  Oscilloscope(PowerSwitch& power, std::vector<std::uint32_t> channels);
+
+  const std::vector<ScopeEdge>& edges() const { return edges_; }
+
+  /// Edge list of one channel.
+  std::vector<ScopeEdge> channel_edges(std::uint32_t channel) const;
+
+  /// Period / on / off statistics for one channel.
+  WaveformStats stats(std::uint32_t channel) const;
+
+  /// ASCII rendering of all probed rails over [t0, t1] (Fig. 3 lookalike:
+  /// one row per rail, '#' = high, '.' = low).
+  std::string render(SimTime t0, SimTime t1, std::size_t width = 108) const;
+
+ private:
+  std::vector<std::uint32_t> channels_;
+  std::vector<ScopeEdge> edges_;
+};
+
+}  // namespace pufaging

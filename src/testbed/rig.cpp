@@ -1,0 +1,104 @@
+#include "testbed/rig.hpp"
+
+#include "common/error.hpp"
+
+namespace pufaging {
+
+std::uint32_t board_id_for_device(std::uint32_t device_index) {
+  if (device_index >= 16) {
+    throw InvalidArgument("board_id_for_device: device index out of range");
+  }
+  // Layer 0 hosts S0..S7, layer 1 hosts S16..S23 (paper Fig. 2a).
+  return device_index < 8 ? device_index : device_index + 8;
+}
+
+std::uint32_t device_index_for_board(std::uint32_t board_id) {
+  if (board_id < 8) {
+    return board_id;
+  }
+  if (board_id >= 16 && board_id < 24) {
+    return board_id - 8;
+  }
+  throw InvalidArgument("device_index_for_board: not a slave board id");
+}
+
+Rig::Rig(const RigConfig& config) : config_(config), power_(queue_) {
+  if (config.fleet.device_count != 16) {
+    throw InvalidArgument("Rig: the paper's rig hosts exactly 16 slaves");
+  }
+  // Per-layer I2C buses (each master talks only to its own stack).
+  for (int layer = 0; layer < 2; ++layer) {
+    buses_.push_back(
+        std::make_unique<I2cBus>(queue_, config.timing.i2c_bit_rate_hz));
+    if (config.i2c_fault_rate > 0.0) {
+      const std::uint64_t fault_seed =
+          config.fleet.seed ^
+          (std::uint64_t{0xFA117} + static_cast<std::uint64_t>(layer));
+      buses_.back()->inject_faults(config.i2c_fault_rate, fault_seed);
+    }
+  }
+
+  // Slaves: device index d -> board id per the paper's numbering.
+  std::vector<SramDevice> fleet = make_fleet(config.fleet);
+  std::vector<std::vector<SlaveBoard*>> layer_slaves(2);
+  for (std::uint32_t d = 0; d < 16; ++d) {
+    const std::uint32_t board_id = board_id_for_device(d);
+    slaves_.push_back(std::make_unique<SlaveBoard>(
+        board_id, std::move(fleet[d]), queue_, config.timing));
+    slaves_.back()->attach_power(power_);
+    layer_slaves[d < 8 ? 0 : 1].push_back(slaves_.back().get());
+  }
+
+  // Scope probes must exist before any transition happens.
+  scope_ = std::make_unique<Oscilloscope>(power_, config.scope_channels);
+
+  // Masters M0 and M1.
+  for (int layer = 0; layer < 2; ++layer) {
+    masters_.push_back(std::make_unique<MasterBoard>(
+        "M" + std::to_string(layer), layer_slaves[static_cast<std::size_t>(layer)],
+        queue_, power_, *buses_[static_cast<std::size_t>(layer)],
+        config.timing,
+        [this](const MeasurementRecord& r) { collector_.receive(r); }));
+  }
+  masters_[0]->connect(end_[1], end_[0], started_[1], started_[0]);
+  masters_[1]->connect(end_[0], end_[1], started_[0], started_[1]);
+}
+
+void Rig::start_masters() {
+  if (started_masters_) {
+    return;
+  }
+  started_masters_ = true;
+  masters_[0]->start();
+  masters_[1]->start();
+  // Bootstrap: pretend layer 1 just finished a cycle so layer 0 starts
+  // first (the paper's Algorithm 1 begins with M0 waiting on M1).
+  end_[1].signal();
+}
+
+void Rig::run_cycles(std::uint64_t cycles) {
+  start_masters();
+  while (masters_[0]->cycles_completed() < cycles ||
+         masters_[1]->cycles_completed() < cycles) {
+    if (queue_.step(256) == 0) {
+      throw ProtocolError("Rig::run_cycles: simulation deadlocked");
+    }
+  }
+}
+
+void Rig::run_for(double seconds) {
+  start_masters();
+  queue_.run_until(queue_.now() + seconds);
+}
+
+SlaveBoard& Rig::slave_by_board_id(std::uint32_t board_id) {
+  for (auto& s : slaves_) {
+    if (s->board_id() == board_id) {
+      return *s;
+    }
+  }
+  throw InvalidArgument("Rig: unknown slave board id " +
+                        std::to_string(board_id));
+}
+
+}  // namespace pufaging

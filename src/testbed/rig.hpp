@@ -1,0 +1,77 @@
+// The complete measurement rig (paper Fig. 2): 2 masters, 16 slaves in two
+// layers, per-layer I2C bus, power switch, collector and scope probes.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "silicon/device_factory.hpp"
+#include "testbed/boards.hpp"
+#include "testbed/collector.hpp"
+#include "testbed/power.hpp"
+
+namespace pufaging {
+
+/// Rig construction options.
+struct RigConfig {
+  FleetConfig fleet = paper_fleet_config();
+  TestbedTiming timing;
+  /// Scope probes; the paper watches S3, S4 (layer 0) and S19, S20
+  /// (layer 1).
+  std::vector<std::uint32_t> scope_channels = {3, 4, 19, 20};
+  /// Optional I2C fault injection (per-frame corruption probability).
+  double i2c_fault_rate = 0.0;
+};
+
+/// Maps fleet device index (0..15) to the paper's slave board id
+/// (S0..S7 on layer 0, S16..S23 on layer 1).
+std::uint32_t board_id_for_device(std::uint32_t device_index);
+
+/// Inverse of board_id_for_device. Throws InvalidArgument for non-slave ids.
+std::uint32_t device_index_for_board(std::uint32_t board_id);
+
+/// Owns and wires every component of the measurement setup.
+class Rig {
+ public:
+  explicit Rig(const RigConfig& config);
+
+  // Components hold pointers into the rig (event queue, power switch), so
+  // the rig must stay at a fixed address.
+  Rig(const Rig&) = delete;
+  Rig& operator=(const Rig&) = delete;
+
+  /// Starts both masters and runs until every slave board has produced at
+  /// least `cycles` measurements.
+  void run_cycles(std::uint64_t cycles);
+
+  /// Runs the simulation for `seconds` of virtual time.
+  void run_for(double seconds);
+
+  EventQueue& queue() { return queue_; }
+  Collector& collector() { return collector_; }
+  const Oscilloscope& scope() const { return *scope_; }
+  PowerSwitch& power() { return power_; }
+
+  MasterBoard& master(std::size_t layer) { return *masters_.at(layer); }
+  SlaveBoard& slave_by_board_id(std::uint32_t board_id);
+
+  std::size_t slave_count() const { return slaves_.size(); }
+
+ private:
+  void start_masters();
+
+  RigConfig config_;
+  EventQueue queue_;
+  PowerSwitch power_;
+  Collector collector_;
+  std::vector<std::unique_ptr<I2cBus>> buses_;
+  std::vector<std::unique_ptr<SlaveBoard>> slaves_;
+  std::vector<std::unique_ptr<MasterBoard>> masters_;
+  std::unique_ptr<Oscilloscope> scope_;
+  // Handshake channels: end/started per layer.
+  SignalChannel end_[2];
+  SignalChannel started_[2];
+  bool started_masters_ = false;
+};
+
+}  // namespace pufaging

@@ -1,0 +1,54 @@
+#include "trng/conditioner.hpp"
+
+#include <cmath>
+
+#include "common/error.hpp"
+#include "common/sha256.hpp"
+
+namespace pufaging {
+
+Sha256Conditioner::Sha256Conditioner(double min_entropy_per_bit,
+                                     double safety_factor)
+    : h_(min_entropy_per_bit), safety_(safety_factor) {
+  if (!(h_ > 0.0 && h_ <= 1.0)) {
+    throw InvalidArgument("Sha256Conditioner: entropy must be in (0, 1]");
+  }
+  if (safety_ < 1.0) {
+    throw InvalidArgument("Sha256Conditioner: safety factor must be >= 1");
+  }
+}
+
+std::size_t Sha256Conditioner::required_input_bits(
+    std::size_t out_bytes) const {
+  const double bits =
+      static_cast<double>(out_bytes) * 8.0 * safety_ / h_;
+  return static_cast<std::size_t>(std::ceil(bits));
+}
+
+std::vector<std::uint8_t> Sha256Conditioner::condition(
+    const BitVector& raw) const {
+  const std::size_t chunk_bits = required_input_bits(Sha256::kDigestSize);
+  const std::size_t chunks = raw.size() / chunk_bits;
+  std::vector<std::uint8_t> out;
+  out.reserve(chunks * Sha256::kDigestSize);
+  const std::vector<std::uint8_t> raw_bytes = raw.to_bytes();
+  for (std::size_t c = 0; c < chunks; ++c) {
+    // Hash the c-th chunk of raw input together with a domain tag and the
+    // chunk counter.
+    Sha256 hasher;
+    hasher.update(std::string("pufaging-trng-v1"));
+    const std::uint8_t counter[4] = {
+        static_cast<std::uint8_t>(c), static_cast<std::uint8_t>(c >> 8),
+        static_cast<std::uint8_t>(c >> 16), static_cast<std::uint8_t>(c >> 24)};
+    hasher.update(counter, sizeof counter);
+    const std::size_t begin_bit = c * chunk_bits;
+    const std::size_t begin_byte = begin_bit / 8;
+    const std::size_t end_byte = (begin_bit + chunk_bits + 7) / 8;
+    hasher.update(raw_bytes.data() + begin_byte, end_byte - begin_byte);
+    const Sha256::Digest digest = hasher.finalize();
+    out.insert(out.end(), digest.begin(), digest.end());
+  }
+  return out;
+}
+
+}  // namespace pufaging

@@ -1,0 +1,39 @@
+// Entropy conditioning of harvested noise bits (paper Section II-A2).
+//
+// Raw unstable-cell bits are biased and of sub-unit min-entropy; a
+// cryptographic conditioner (SHA-256 here, as in [12]'s construction)
+// compresses them into full-entropy output. The compression ratio is
+// derived from the estimated per-bit min-entropy with a 2x safety margin.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/bitvector.hpp"
+
+namespace pufaging {
+
+/// SHA-256 based conditioner.
+class Sha256Conditioner {
+ public:
+  /// `min_entropy_per_bit`: the source estimate (0 < h <= 1);
+  /// `safety_factor`: extra input multiplier (>= 1, default 2).
+  explicit Sha256Conditioner(double min_entropy_per_bit,
+                             double safety_factor = 2.0);
+
+  /// Raw input bits required to emit `out_bytes` of conditioned output.
+  std::size_t required_input_bits(std::size_t out_bytes) const;
+
+  /// Conditions `raw` into as many full-entropy bytes as its entropy
+  /// budget allows (multiples of 32 bytes).
+  std::vector<std::uint8_t> condition(const BitVector& raw) const;
+
+  double min_entropy_per_bit() const { return h_; }
+  double safety_factor() const { return safety_; }
+
+ private:
+  double h_;
+  double safety_;
+};
+
+}  // namespace pufaging

@@ -1,0 +1,100 @@
+#include "trng/estimators.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.hpp"
+#include "common/math.hpp"
+
+namespace pufaging {
+
+namespace {
+constexpr double kZ99 = 2.5758293035489004;  // 99% two-sided normal quantile
+
+double clamp_entropy(double h) { return std::clamp(h, 0.0, 1.0); }
+}  // namespace
+
+double mcv_min_entropy(const BitVector& bits) {
+  const std::size_t n = bits.size();
+  if (n < 2) {
+    throw InvalidArgument("mcv_min_entropy: need at least 2 bits");
+  }
+  const std::size_t ones = bits.count_ones();
+  const double p_hat =
+      static_cast<double>(std::max(ones, n - ones)) / static_cast<double>(n);
+  const double p_upper = std::min(
+      1.0, p_hat + kZ99 * std::sqrt(p_hat * (1.0 - p_hat) /
+                                    static_cast<double>(n - 1)));
+  return clamp_entropy(-std::log2(p_upper));
+}
+
+double markov_min_entropy(const BitVector& bits) {
+  const std::size_t n = bits.size();
+  if (n < 2) {
+    throw InvalidArgument("markov_min_entropy: need at least 2 bits");
+  }
+  // Empirical initial and transition probabilities.
+  const double p1 =
+      static_cast<double>(bits.count_ones()) / static_cast<double>(n);
+  double counts[2][2] = {{0.0, 0.0}, {0.0, 0.0}};
+  for (std::size_t i = 0; i + 1 < n; ++i) {
+    counts[bits.get(i) ? 1 : 0][bits.get(i + 1) ? 1 : 0] += 1.0;
+  }
+  double trans[2][2];
+  for (int s = 0; s < 2; ++s) {
+    const double total = counts[s][0] + counts[s][1];
+    if (total == 0.0) {
+      // State never seen: worst case, deterministic transitions.
+      trans[s][0] = trans[s][1] = 1.0;
+    } else {
+      trans[s][0] = counts[s][0] / total;
+      trans[s][1] = counts[s][1] / total;
+    }
+  }
+  // Most probable 128-step path (SP 800-90B 6.3.3), in log space.
+  constexpr int kSteps = 128;
+  double best[2] = {std::log2(std::max(1e-12, 1.0 - p1)),
+                    std::log2(std::max(1e-12, p1))};
+  for (int step = 1; step < kSteps; ++step) {
+    const double next0 =
+        std::max(best[0] + std::log2(std::max(1e-12, trans[0][0])),
+                 best[1] + std::log2(std::max(1e-12, trans[1][0])));
+    const double next1 =
+        std::max(best[0] + std::log2(std::max(1e-12, trans[0][1])),
+                 best[1] + std::log2(std::max(1e-12, trans[1][1])));
+    best[0] = next0;
+    best[1] = next1;
+  }
+  const double log_p_max = std::max(best[0], best[1]);
+  return clamp_entropy(-log_p_max / kSteps);
+}
+
+double collision_min_entropy(const BitVector& bits) {
+  const std::size_t pairs = bits.size() / 2;
+  if (pairs < 10) {
+    throw InvalidArgument("collision_min_entropy: need at least 20 bits");
+  }
+  // Collision probability from disjoint adjacent pairs: for an iid
+  // Bernoulli(p) source Pr(b_{2i} == b_{2i+1}) = p^2 + (1-p)^2.
+  std::size_t equal = 0;
+  for (std::size_t i = 0; i < pairs; ++i) {
+    equal += bits.get(2 * i) == bits.get(2 * i + 1) ? 1U : 0U;
+  }
+  const double pc_hat =
+      static_cast<double>(equal) / static_cast<double>(pairs);
+  const double pc_upper = std::min(
+      1.0, pc_hat + kZ99 * std::sqrt(pc_hat * (1.0 - pc_hat) /
+                                     static_cast<double>(pairs)));
+  // Invert: p = (1 + sqrt(2 Pc - 1)) / 2 (Pc >= 1/2 always holds for the
+  // upper bound of a binary source).
+  const double pc = std::max(0.5, pc_upper);
+  const double p = 0.5 * (1.0 + std::sqrt(2.0 * pc - 1.0));
+  return clamp_entropy(-std::log2(p));
+}
+
+double assessed_min_entropy(const BitVector& bits) {
+  return std::min({mcv_min_entropy(bits), markov_min_entropy(bits),
+                   collision_min_entropy(bits)});
+}
+
+}  // namespace pufaging

@@ -1,0 +1,36 @@
+// SP 800-90B min-entropy estimators for binary noise sources.
+//
+// The paper estimates noise entropy analytically from per-cell
+// one-probabilities (Section IV-C2); a certified TRNG additionally runs
+// black-box estimators on the raw output stream. Three of the SP 800-90B
+// non-IID estimators are implemented for binary sequences:
+//
+//  - Most Common Value (6.3.1): bound from the empirical mode frequency.
+//  - Markov (6.3.3, binary specialization): first-order memory bound.
+//  - Collision (6.3.2 spirit): bound from the mean spacing between
+//    repeats of 2-bit patterns.
+//
+// All return min-entropy per bit in [0, 1]; the certified estimate is the
+// minimum over the battery.
+#pragma once
+
+#include "common/bitvector.hpp"
+
+namespace pufaging {
+
+/// Most Common Value estimate: H = -log2(p_upper) where p_upper is the
+/// 99% upper confidence bound on the mode's probability.
+double mcv_min_entropy(const BitVector& bits);
+
+/// First-order Markov estimate (binary): bounds the per-bit entropy by
+/// the most likely length-128 path through the empirical chain.
+double markov_min_entropy(const BitVector& bits);
+
+/// Collision-style estimate over consecutive non-overlapping bit pairs:
+/// converts the mean time-to-repeat into a per-bit bound.
+double collision_min_entropy(const BitVector& bits);
+
+/// The battery minimum (the SP 800-90B assessed entropy).
+double assessed_min_entropy(const BitVector& bits);
+
+}  // namespace pufaging

@@ -1,0 +1,56 @@
+#include "trng/harvester.hpp"
+
+#include "analysis/one_probability.hpp"
+#include "common/error.hpp"
+#include "common/math.hpp"
+
+namespace pufaging {
+
+CellSelection characterize(SramDevice& device, const HarvesterConfig& config,
+                           const OperatingPoint& op) {
+  if (config.characterization_measurements < 2) {
+    throw InvalidArgument("characterize: need at least two measurements");
+  }
+  if (!(config.p_low < config.p_high)) {
+    throw InvalidArgument("characterize: p_low must be below p_high");
+  }
+  OneProbabilityAccumulator acc(device.puf_window_bits());
+  for (std::size_t i = 0; i < config.characterization_measurements; ++i) {
+    acc.add(device.measure(op));
+  }
+  CellSelection selection;
+  double entropy_sum = 0.0;
+  for (std::size_t i = 0; i < acc.cell_count(); ++i) {
+    const double p = acc.one_probability(i);
+    if (p >= config.p_low && p <= config.p_high) {
+      selection.cells.push_back(static_cast<std::uint32_t>(i));
+      entropy_sum += binary_min_entropy(p);
+    }
+  }
+  if (!selection.cells.empty()) {
+    selection.estimated_min_entropy_per_bit =
+        entropy_sum / static_cast<double>(selection.cells.size());
+  }
+  return selection;
+}
+
+BitVector harvest(SramDevice& device, const CellSelection& selection,
+                  std::size_t bit_count, const OperatingPoint& op) {
+  if (selection.cells.empty()) {
+    throw InvalidArgument("harvest: empty cell selection");
+  }
+  BitVector out(bit_count);
+  std::size_t produced = 0;
+  while (produced < bit_count) {
+    const BitVector m = device.measure(op);
+    for (std::uint32_t cell : selection.cells) {
+      if (produced >= bit_count) {
+        break;
+      }
+      out.set(produced++, m.get(cell));
+    }
+  }
+  return out;
+}
+
+}  // namespace pufaging

@@ -1,0 +1,42 @@
+// Noise harvesting from unstable SRAM cells (paper Section II-A2, [12]).
+//
+// Only unstable cells contribute noise entropy; the harvester first
+// characterizes a device over repeated power-ups, selects cells whose
+// estimated one-probability lies in an unstable band, and then collects
+// those cells' values across subsequent power-ups as the raw entropy
+// stream. Selection indices are device-specific but public (they carry no
+// key material).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/bitvector.hpp"
+#include "silicon/sram_device.hpp"
+
+namespace pufaging {
+
+/// Harvester configuration.
+struct HarvesterConfig {
+  std::size_t characterization_measurements = 200;
+  double p_low = 0.10;   ///< Unstable band lower bound (inclusive).
+  double p_high = 0.90;  ///< Unstable band upper bound (inclusive).
+};
+
+/// The characterized selection of noisy cells for one device.
+struct CellSelection {
+  std::vector<std::uint32_t> cells;  ///< PUF-window indices, ascending.
+  double estimated_min_entropy_per_bit = 0.0;  ///< From characterization.
+};
+
+/// Characterizes `device` and selects its unstable cells.
+CellSelection characterize(SramDevice& device, const HarvesterConfig& config,
+                           const OperatingPoint& op = nominal_conditions());
+
+/// Collects `bit_count` raw noise bits by repeatedly powering the device up
+/// and concatenating the selected cells' values.
+BitVector harvest(SramDevice& device, const CellSelection& selection,
+                  std::size_t bit_count,
+                  const OperatingPoint& op = nominal_conditions());
+
+}  // namespace pufaging

@@ -1,0 +1,112 @@
+#include "trng/health.hpp"
+
+#include <cmath>
+
+#include "common/error.hpp"
+#include "common/math.hpp"
+
+namespace pufaging {
+
+RepetitionCountTest::RepetitionCountTest(std::size_t cutoff)
+    : cutoff_(cutoff) {
+  if (cutoff < 2) {
+    throw InvalidArgument("RepetitionCountTest: cutoff must be >= 2");
+  }
+}
+
+std::size_t RepetitionCountTest::cutoff_for_entropy(
+    double min_entropy_per_bit) {
+  if (min_entropy_per_bit <= 0.0) {
+    throw InvalidArgument("RepetitionCountTest: entropy must be > 0");
+  }
+  return 1 + static_cast<std::size_t>(std::ceil(20.0 / min_entropy_per_bit));
+}
+
+bool RepetitionCountTest::feed(bool bit) {
+  if (!primed_ || bit != last_) {
+    last_ = bit;
+    run_ = 1;
+    primed_ = true;
+  } else {
+    ++run_;
+    if (run_ >= cutoff_) {
+      failed_ = true;
+    }
+  }
+  longest_run_ = std::max(longest_run_, run_);
+  return !failed_;
+}
+
+void RepetitionCountTest::reset() {
+  run_ = 0;
+  longest_run_ = 0;
+  failed_ = false;
+  primed_ = false;
+}
+
+AdaptiveProportionTest::AdaptiveProportionTest(std::size_t window,
+                                               std::size_t cutoff)
+    : window_(window), cutoff_(cutoff) {
+  if (window < 2 || cutoff < 2 || cutoff > window) {
+    throw InvalidArgument("AdaptiveProportionTest: bad parameters");
+  }
+}
+
+AdaptiveProportionTest AdaptiveProportionTest::standard(
+    double min_entropy_per_bit) {
+  if (min_entropy_per_bit <= 0.0) {
+    throw InvalidArgument("AdaptiveProportionTest: entropy must be > 0");
+  }
+  constexpr std::size_t kWindow = 1024;
+  // Cutoff = smallest c with Pr[Binomial(window-1, p) >= c-1] <= 2^-20,
+  // p = 2^-h the most likely value's probability.
+  const double p = std::pow(2.0, -min_entropy_per_bit);
+  std::size_t cutoff = kWindow;
+  for (std::size_t c = 2; c <= kWindow; ++c) {
+    if (binomial_sf(kWindow - 1, p, c - 1) <= std::pow(2.0, -20.0)) {
+      cutoff = c;
+      break;
+    }
+  }
+  return AdaptiveProportionTest(kWindow, cutoff);
+}
+
+bool AdaptiveProportionTest::feed(bool bit) {
+  if (index_ == 0) {
+    reference_ = bit;
+    matches_ = 1;
+  } else if (bit == reference_) {
+    ++matches_;
+    if (matches_ >= cutoff_) {
+      failed_ = true;
+    }
+  }
+  index_ = (index_ + 1) % window_;
+  return !failed_;
+}
+
+void AdaptiveProportionTest::reset() {
+  index_ = 0;
+  matches_ = 0;
+  failed_ = false;
+}
+
+HealthVerdict run_health_tests(const BitVector& bits,
+                               double min_entropy_per_bit) {
+  RepetitionCountTest rct(
+      RepetitionCountTest::cutoff_for_entropy(min_entropy_per_bit));
+  AdaptiveProportionTest apt =
+      AdaptiveProportionTest::standard(min_entropy_per_bit);
+  for (std::size_t i = 0; i < bits.size(); ++i) {
+    const bool b = bits.get(i);
+    rct.feed(b);
+    apt.feed(b);
+  }
+  HealthVerdict verdict;
+  verdict.rct_pass = !rct.failed();
+  verdict.apt_pass = !apt.failed();
+  verdict.longest_run = rct.longest_run();
+  return verdict;
+}
+
+}  // namespace pufaging

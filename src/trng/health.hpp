@@ -1,0 +1,77 @@
+// SP 800-90B continuous health tests for the raw noise source.
+//
+// A fielded TRNG must detect a source that dies (stuck bits) or degrades
+// (bias collapse) at run time. The two mandated tests are implemented:
+// the Repetition Count Test and the Adaptive Proportion Test.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+#include "common/bitvector.hpp"
+
+namespace pufaging {
+
+/// Repetition Count Test: fails when any value repeats `cutoff` times in a
+/// row. For a binary source with min-entropy h per bit, the standard cutoff
+/// is 1 + ceil(20 / h) for a 2^-20 false-positive rate.
+class RepetitionCountTest {
+ public:
+  explicit RepetitionCountTest(std::size_t cutoff);
+
+  /// Cutoff per SP 800-90B 4.4.1 for the given per-bit min-entropy.
+  static std::size_t cutoff_for_entropy(double min_entropy_per_bit);
+
+  /// Feeds one bit; returns false if the test has tripped.
+  bool feed(bool bit);
+
+  bool failed() const { return failed_; }
+  std::size_t longest_run() const { return longest_run_; }
+  void reset();
+
+ private:
+  std::size_t cutoff_;
+  bool last_ = false;
+  std::size_t run_ = 0;
+  std::size_t longest_run_ = 0;
+  bool failed_ = false;
+  bool primed_ = false;
+};
+
+/// Adaptive Proportion Test: within each window of `window` bits, fails
+/// when the first bit's value occurs at least `cutoff` times.
+class AdaptiveProportionTest {
+ public:
+  AdaptiveProportionTest(std::size_t window, std::size_t cutoff);
+
+  /// Standard parameters for binary sources (window 1024) and the given
+  /// per-bit min-entropy, per SP 800-90B 4.4.2.
+  static AdaptiveProportionTest standard(double min_entropy_per_bit);
+
+  bool feed(bool bit);
+
+  bool failed() const { return failed_; }
+  void reset();
+
+ private:
+  std::size_t window_;
+  std::size_t cutoff_;
+  std::size_t index_ = 0;
+  bool reference_ = false;
+  std::size_t matches_ = 0;
+  bool failed_ = false;
+};
+
+/// Convenience: runs both tests over a whole buffer; returns true when the
+/// buffer passes.
+struct HealthVerdict {
+  bool rct_pass = false;
+  bool apt_pass = false;
+  std::size_t longest_run = 0;
+  bool pass() const { return rct_pass && apt_pass; }
+};
+
+HealthVerdict run_health_tests(const BitVector& bits,
+                               double min_entropy_per_bit);
+
+}  // namespace pufaging

@@ -1,0 +1,50 @@
+#include "trng/pipeline.hpp"
+
+#include "common/error.hpp"
+#include "trng/estimators.hpp"
+
+namespace pufaging {
+
+TrngPipeline::TrngPipeline(SramDevice& device, TrngConfig config)
+    : device_(&device), config_(config) {
+  recharacterize();
+}
+
+void TrngPipeline::recharacterize() {
+  selection_ = characterize(*device_, config_.harvester,
+                            config_.operating_point);
+  if (selection_.cells.empty()) {
+    throw Error("TrngPipeline: device has no unstable cells to harvest");
+  }
+}
+
+std::vector<std::uint8_t> TrngPipeline::generate(std::size_t bytes) {
+  if (bytes == 0) {
+    return {};
+  }
+  const double h = selection_.estimated_min_entropy_per_bit;
+  Sha256Conditioner conditioner(h, config_.safety_factor);
+  // Round the request up to whole conditioner blocks (32 bytes each).
+  const std::size_t blocks = (bytes + 31) / 32;
+  const std::size_t raw_bits = conditioner.required_input_bits(32) * blocks;
+
+  const std::uint64_t power_ups_before = device_->measurement_count();
+  const BitVector raw =
+      harvest(*device_, selection_, raw_bits, config_.operating_point);
+
+  stats_ = TrngStats{};
+  stats_.raw_bits = raw.size();
+  stats_.min_entropy_per_bit = h;
+  stats_.assessed_min_entropy = assessed_min_entropy(raw);
+  stats_.power_ups = device_->measurement_count() - power_ups_before;
+  stats_.health = run_health_tests(raw, h);
+  if (!stats_.health.pass()) {
+    throw Error("TrngPipeline: health tests rejected the raw noise stream");
+  }
+  std::vector<std::uint8_t> conditioned = conditioner.condition(raw);
+  conditioned.resize(bytes);
+  stats_.output_bytes = bytes;
+  return conditioned;
+}
+
+}  // namespace pufaging

@@ -1,0 +1,66 @@
+// End-to-end SRAM PUF TRNG (paper Section II-A2, construction of [12]):
+// characterize -> harvest unstable cells -> health tests -> condition.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "silicon/sram_device.hpp"
+#include "trng/conditioner.hpp"
+#include "trng/harvester.hpp"
+#include "trng/health.hpp"
+
+namespace pufaging {
+
+/// TRNG pipeline configuration.
+struct TrngConfig {
+  HarvesterConfig harvester;
+  double safety_factor = 2.0;
+  OperatingPoint operating_point = nominal_conditions();
+};
+
+/// Statistics of one generation call.
+struct TrngStats {
+  std::size_t raw_bits = 0;
+  std::size_t output_bytes = 0;
+  double min_entropy_per_bit = 0.0;  ///< Characterization estimate.
+  double assessed_min_entropy = 0.0;  ///< SP 800-90B battery on the raw
+                                      ///< stream (min of MCV/Markov/
+                                      ///< collision estimators).
+  HealthVerdict health;
+  std::uint64_t power_ups = 0;  ///< Device power cycles consumed.
+};
+
+/// Random byte generator backed by one SRAM device.
+class TrngPipeline {
+ public:
+  /// Characterizes the device immediately (consumes
+  /// config.harvester.characterization_measurements power-ups).
+  TrngPipeline(SramDevice& device, TrngConfig config = {});
+
+  /// Produces `bytes` conditioned random bytes.
+  /// Throws Error when the health tests reject the raw stream (dead or
+  /// degraded source).
+  std::vector<std::uint8_t> generate(std::size_t bytes);
+
+  /// Statistics of the most recent generate() call.
+  const TrngStats& last_stats() const { return stats_; }
+
+  const CellSelection& selection() const { return selection_; }
+
+  /// Re-characterizes (e.g. after aging changed the unstable population).
+  void recharacterize();
+
+  /// Effective raw throughput: noise bits per power-up cycle.
+  double bits_per_power_up() const {
+    return static_cast<double>(selection_.cells.size());
+  }
+
+ private:
+  SramDevice* device_;
+  TrngConfig config_;
+  CellSelection selection_;
+  TrngStats stats_;
+};
+
+}  // namespace pufaging

@@ -1,0 +1,56 @@
+#include "analysis/entropy.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/error.hpp"
+
+namespace pufaging {
+namespace {
+
+TEST(PufEntropy, IdenticalDevicesHaveZeroEntropy) {
+  // If every device reads the same pattern, location values are fully
+  // predictable from other devices: H_min = 0.
+  const std::vector<BitVector> refs(4, BitVector::from_string("1010"));
+  EXPECT_DOUBLE_EQ(puf_min_entropy(refs), 0.0);
+}
+
+TEST(PufEntropy, PerfectlyBalancedLocations) {
+  // Two devices disagreeing everywhere: p = 0.5 per location -> 1 bit.
+  const std::vector<BitVector> refs = {BitVector::from_string("0000"),
+                                       BitVector::from_string("1111")};
+  EXPECT_DOUBLE_EQ(puf_min_entropy(refs), 1.0);
+}
+
+TEST(PufEntropy, MixedLocations) {
+  // Four devices; location 0: 2/4 ones (1 bit), location 1: 1/4 ones
+  // (-log2(0.75)), location 2: 0/4 (0 bits).
+  const std::vector<BitVector> refs = {
+      BitVector::from_string("110"), BitVector::from_string("100"),
+      BitVector::from_string("000"), BitVector::from_string("000")};
+  const double expected = (1.0 + -std::log2(0.75) + 0.0) / 3.0;
+  EXPECT_NEAR(puf_min_entropy(refs), expected, 1e-12);
+}
+
+TEST(PufEntropy, Validation) {
+  EXPECT_THROW(puf_min_entropy(std::vector<BitVector>{BitVector(4)}),
+               InvalidArgument);
+  const std::vector<BitVector> mismatched = {BitVector(4), BitVector(5)};
+  EXPECT_THROW(puf_min_entropy(mismatched), InvalidArgument);
+}
+
+TEST(AverageMinEntropy, KnownValues) {
+  const std::vector<double> ps = {0.5, 0.0, 1.0, 0.75};
+  const double expected = (1.0 + 0.0 + 0.0 + -std::log2(0.75)) / 4.0;
+  EXPECT_NEAR(average_min_entropy(ps), expected, 1e-12);
+  EXPECT_THROW(average_min_entropy(std::vector<double>{}), InvalidArgument);
+}
+
+TEST(AverageMinEntropy, BoundedByOne) {
+  const std::vector<double> ps = {0.5, 0.5, 0.5};
+  EXPECT_DOUBLE_EQ(average_min_entropy(ps), 1.0);
+}
+
+}  // namespace
+}  // namespace pufaging

@@ -1,0 +1,57 @@
+#include "analysis/hamming.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+
+namespace pufaging {
+namespace {
+
+TEST(WithinClassHd, PerMeasurementAndMean) {
+  const BitVector ref = BitVector::from_string("0000");
+  const std::vector<BitVector> ms = {
+      BitVector::from_string("0000"), BitVector::from_string("0001"),
+      BitVector::from_string("0011")};
+  const std::vector<double> hds = within_class_hds(ref, ms);
+  ASSERT_EQ(hds.size(), 3U);
+  EXPECT_DOUBLE_EQ(hds[0], 0.0);
+  EXPECT_DOUBLE_EQ(hds[1], 0.25);
+  EXPECT_DOUBLE_EQ(hds[2], 0.5);
+  EXPECT_DOUBLE_EQ(mean_within_class_hd(ref, ms), 0.25);
+}
+
+TEST(WithinClassHd, EmptyMeasurementsThrow) {
+  const BitVector ref(4);
+  EXPECT_THROW(mean_within_class_hd(ref, std::vector<BitVector>{}),
+               InvalidArgument);
+}
+
+TEST(BetweenClassHd, AllPairsInOrder) {
+  const std::vector<BitVector> refs = {BitVector::from_string("0000"),
+                                       BitVector::from_string("1111"),
+                                       BitVector::from_string("1100")};
+  const std::vector<double> bchds = between_class_hds(refs);
+  ASSERT_EQ(bchds.size(), 3U);  // C(3,2)
+  EXPECT_DOUBLE_EQ(bchds[0], 1.0);   // (0,1)
+  EXPECT_DOUBLE_EQ(bchds[1], 0.5);   // (0,2)
+  EXPECT_DOUBLE_EQ(bchds[2], 0.5);   // (1,2)
+}
+
+TEST(BetweenClassHd, PairCountForPaperFleet) {
+  std::vector<BitVector> refs(16, BitVector(8));
+  EXPECT_EQ(between_class_hds(refs).size(), 120U);  // C(16,2)
+  EXPECT_THROW(between_class_hds(std::vector<BitVector>(1, BitVector(8))),
+               InvalidArgument);
+}
+
+TEST(FractionalWeights, PerMeasurement) {
+  const std::vector<BitVector> ms = {BitVector::from_string("1100"),
+                                     BitVector::from_string("1110")};
+  const std::vector<double> ws = fractional_weights(ms);
+  ASSERT_EQ(ws.size(), 2U);
+  EXPECT_DOUBLE_EQ(ws[0], 0.5);
+  EXPECT_DOUBLE_EQ(ws[1], 0.75);
+}
+
+}  // namespace
+}  // namespace pufaging

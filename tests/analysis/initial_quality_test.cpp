@@ -1,0 +1,80 @@
+#include "analysis/initial_quality.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+#include "common/rng.hpp"
+
+namespace pufaging {
+namespace {
+
+std::vector<std::vector<BitVector>> synthetic_batches(std::size_t devices,
+                                                      std::size_t per_device,
+                                                      std::size_t bits) {
+  std::vector<std::vector<BitVector>> batches(devices);
+  Xoshiro256StarStar rng(77);
+  for (std::size_t d = 0; d < devices; ++d) {
+    BitVector base(bits);
+    for (std::size_t i = 0; i < bits; ++i) {
+      base.set(i, rng.bernoulli(0.627));
+    }
+    for (std::size_t m = 0; m < per_device; ++m) {
+      BitVector v = base;
+      for (std::size_t i = 0; i < bits; ++i) {
+        if (rng.bernoulli(0.025)) {
+          v.flip(i);
+        }
+      }
+      batches[d].push_back(std::move(v));
+    }
+  }
+  return batches;
+}
+
+TEST(InitialQuality, SampleCounts) {
+  const auto batches = synthetic_batches(4, 10, 256);
+  const InitialQualityReport report = evaluate_initial_quality(batches, 50);
+  EXPECT_EQ(report.wchd_samples.size(), 4U * 9U);  // ref excluded per device
+  EXPECT_EQ(report.bchd_samples.size(), 6U);       // C(4,2)
+  EXPECT_EQ(report.fhw_samples.size(), 4U * 10U);
+  EXPECT_EQ(report.wchd_hist.total(), 36U);
+  EXPECT_EQ(report.bchd_hist.total(), 6U);
+  EXPECT_EQ(report.fhw_hist.total(), 40U);
+}
+
+TEST(InitialQuality, DistributionsAreWellSeparated) {
+  // Fig. 5's qualitative claim: WCHD << BCHD, FHW biased above 50%.
+  const auto batches = synthetic_batches(6, 20, 1024);
+  const InitialQualityReport report = evaluate_initial_quality(batches);
+  for (double w : report.wchd_samples) {
+    EXPECT_LT(w, 0.10);
+  }
+  for (double b : report.bchd_samples) {
+    EXPECT_GT(b, 0.35);
+  }
+  for (double f : report.fhw_samples) {
+    EXPECT_GT(f, 0.55);
+    EXPECT_LT(f, 0.72);
+  }
+}
+
+TEST(InitialQuality, RenderContainsAllThreeSections) {
+  const auto batches = synthetic_batches(3, 5, 128);
+  const std::string text =
+      render_initial_quality(evaluate_initial_quality(batches));
+  EXPECT_NE(text.find("Within-class HD"), std::string::npos);
+  EXPECT_NE(text.find("Between-class HD"), std::string::npos);
+  EXPECT_NE(text.find("Fractional HW"), std::string::npos);
+}
+
+TEST(InitialQuality, Validation) {
+  EXPECT_THROW(
+      evaluate_initial_quality(std::vector<std::vector<BitVector>>{}),
+      InvalidArgument);
+  std::vector<std::vector<BitVector>> with_empty(2);
+  with_empty[0].push_back(BitVector(8));
+  EXPECT_THROW(evaluate_initial_quality(with_empty), InvalidArgument);
+}
+
+}  // namespace
+}  // namespace pufaging

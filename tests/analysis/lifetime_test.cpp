@@ -1,0 +1,82 @@
+#include "analysis/lifetime.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "common/error.hpp"
+#include "testbed/campaign.hpp"
+
+namespace pufaging {
+namespace {
+
+TEST(Lifetime, RecoversExactPowerLaw) {
+  std::vector<double> months;
+  std::vector<double> values;
+  for (int t = 0; t <= 12; ++t) {
+    months.push_back(t);
+    values.push_back(0.025 + 0.001 * std::pow(t, 0.45));
+  }
+  const AgingTrajectoryFit fit = fit_aging_trajectory(months, values);
+  EXPECT_NEAR(fit.baseline, 0.025, 1e-4);
+  EXPECT_NEAR(fit.amplitude, 0.001, 2e-4);
+  EXPECT_NEAR(fit.exponent, 0.45, 0.03);
+  EXPECT_LT(fit.rms_error, 1e-5);
+  EXPECT_NEAR(fit.predict(24.0), 0.025 + 0.001 * std::pow(24.0, 0.45),
+              1e-4);
+}
+
+TEST(Lifetime, MonthsUntilThreshold) {
+  const AgingTrajectoryFit fit{0.025, 0.001, 0.5, 0.0};
+  // 0.025 + 0.001 sqrt(t) = 0.035 -> t = 100.
+  const auto t = fit.months_until(0.035);
+  ASSERT_TRUE(t.has_value());
+  EXPECT_NEAR(*t, 100.0, 1e-9);
+  // Already above threshold.
+  EXPECT_EQ(fit.months_until(0.02), 0.0);
+  // Flat trajectory never reaches.
+  const AgingTrajectoryFit flat{0.025, 0.0, 0.5, 0.0};
+  EXPECT_FALSE(flat.months_until(0.05).has_value());
+}
+
+TEST(Lifetime, Validation) {
+  const std::vector<double> three = {0.0, 1.0, 2.0};
+  EXPECT_THROW(fit_aging_trajectory(three, three), InvalidArgument);
+  const std::vector<double> months = {0.0, 0.0, 0.0, 1.0};
+  const std::vector<double> values = {1.0, 1.0, 1.0, 2.0};
+  EXPECT_THROW(fit_aging_trajectory(months, values), InvalidArgument);
+  const std::vector<double> m4 = {0.0, 1.0, 2.0, 3.0};
+  const std::vector<double> v3 = {1.0, 2.0, 3.0};
+  EXPECT_THROW(fit_aging_trajectory(m4, v3), InvalidArgument);
+  const AgingTrajectoryFit fit{0.0, 1.0, 0.5, 0.0};
+  EXPECT_THROW(fit.predict(-1.0), InvalidArgument);
+}
+
+TEST(Lifetime, PredictsCampaignYearTwoFromYearOne) {
+  // Fit on months 0..12 of the real campaign, predict month 24.
+  CampaignConfig config;
+  config.months = 24;
+  config.measurements_per_month = 250;
+  const CampaignResult r = run_campaign(config);
+  std::vector<double> months;
+  std::vector<double> values;
+  for (std::size_t m = 0; m <= 12; ++m) {
+    months.push_back(r.series[m].month);
+    values.push_back(r.series[m].wchd_avg);
+  }
+  const AgingTrajectoryFit fit = fit_aging_trajectory(months, values);
+  const double actual_24 = r.series[24].wchd_avg;
+  EXPECT_NEAR(fit.predict(24.0), actual_24, 0.15 * actual_24);
+
+  // The ECC budget of the standard key generator (~8% per-bit BER for a
+  // comfortable margin) is decades away -- the paper's conclusion that
+  // aging does not threaten key generation.
+  const auto months_to_8pct = fit.months_until(0.08);
+  if (months_to_8pct.has_value()) {
+    EXPECT_GT(*months_to_8pct, 120.0);
+  }
+}
+
+}  // namespace
+}  // namespace pufaging

@@ -1,0 +1,91 @@
+#include "analysis/monthly.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/error.hpp"
+
+namespace pufaging {
+namespace {
+
+TEST(DeviceMonthAccumulator, MatchesManualComputation) {
+  const BitVector ref = BitVector::from_string("1100");
+  DeviceMonthAccumulator acc(7, ref);
+  acc.add(BitVector::from_string("1100"));  // HD 0, HW 0.5
+  acc.add(BitVector::from_string("1101"));  // HD 1, HW 0.75
+  acc.add(BitVector::from_string("0100"));  // HD 1, HW 0.25
+  const DeviceMonthMetrics m = acc.finalize();
+  EXPECT_EQ(m.device_id, 7U);
+  EXPECT_EQ(m.measurement_count, 3U);
+  EXPECT_NEAR(m.wchd_mean, (0.0 + 0.25 + 0.25) / 3.0, 1e-12);
+  EXPECT_NEAR(m.fhw_mean, 0.5, 1e-12);
+  // Ones per cell: c0: 2/3 unstable, c1: 3/3 stable, c2: 0/3 stable,
+  // c3: 1/3 unstable -> stable ratio 0.5.
+  EXPECT_DOUBLE_EQ(m.stable_ratio, 0.5);
+  const double expected_entropy =
+      (-std::log2(2.0 / 3.0) + 0.0 + 0.0 + -std::log2(2.0 / 3.0)) / 4.0;
+  EXPECT_NEAR(m.noise_entropy, expected_entropy, 1e-12);
+  EXPECT_EQ(m.first_pattern, BitVector::from_string("1100"));
+}
+
+TEST(DeviceMonthAccumulator, Validation) {
+  EXPECT_THROW(DeviceMonthAccumulator(0, BitVector()), InvalidArgument);
+  DeviceMonthAccumulator acc(0, BitVector(4));
+  EXPECT_THROW(acc.add(BitVector(5)), InvalidArgument);
+  EXPECT_THROW(acc.finalize(), InvalidArgument);
+}
+
+std::vector<DeviceMonthMetrics> three_devices() {
+  std::vector<DeviceMonthMetrics> devices(3);
+  for (std::uint32_t d = 0; d < 3; ++d) {
+    devices[d].device_id = d;
+    devices[d].measurement_count = 10;
+  }
+  devices[0].wchd_mean = 0.02;
+  devices[1].wchd_mean = 0.03;
+  devices[2].wchd_mean = 0.025;
+  devices[0].fhw_mean = 0.60;
+  devices[1].fhw_mean = 0.65;
+  devices[2].fhw_mean = 0.62;
+  devices[0].stable_ratio = 0.85;
+  devices[1].stable_ratio = 0.88;
+  devices[2].stable_ratio = 0.86;
+  devices[0].noise_entropy = 0.030;
+  devices[1].noise_entropy = 0.027;
+  devices[2].noise_entropy = 0.033;
+  devices[0].first_pattern = BitVector::from_string("0000");
+  devices[1].first_pattern = BitVector::from_string("1111");
+  devices[2].first_pattern = BitVector::from_string("1100");
+  return devices;
+}
+
+TEST(CombineFleetMonth, AveragesAndWorstCaseDirections) {
+  const FleetMonthMetrics fleet = combine_fleet_month(three_devices(), 5.0);
+  EXPECT_DOUBLE_EQ(fleet.month, 5.0);
+  EXPECT_NEAR(fleet.wchd_avg, 0.025, 1e-12);
+  EXPECT_DOUBLE_EQ(fleet.wchd_wc, 0.03);   // worst = max
+  EXPECT_DOUBLE_EQ(fleet.fhw_wc, 0.65);    // worst bias = max
+  EXPECT_DOUBLE_EQ(fleet.stable_wc, 0.88); // worst for TRNG = max stable
+  EXPECT_DOUBLE_EQ(fleet.noise_entropy_wc, 0.027);  // worst = min
+  // BCHD pairs: (0,1)=1.0, (0,2)=0.5, (1,2)=0.5.
+  EXPECT_NEAR(fleet.bchd_avg, 2.0 / 3.0, 1e-12);
+  EXPECT_DOUBLE_EQ(fleet.bchd_wc, 0.5);  // worst uniqueness = min
+  EXPECT_EQ(fleet.devices.size(), 3U);
+}
+
+TEST(CombineFleetMonth, PufEntropyOverFirstPatterns) {
+  const FleetMonthMetrics fleet = combine_fleet_month(three_devices(), 0.0);
+  // Locations: [0,1,1], [0,1,1], [0,1,0], [0,1,0] -> p in {1/3, 2/3}
+  // everywhere -> H = -log2(2/3).
+  EXPECT_NEAR(fleet.puf_entropy, -std::log2(2.0 / 3.0), 1e-12);
+}
+
+TEST(CombineFleetMonth, RequiresTwoDevices) {
+  std::vector<DeviceMonthMetrics> one(1);
+  one[0].first_pattern = BitVector(4);
+  EXPECT_THROW(combine_fleet_month(std::move(one), 0.0), InvalidArgument);
+}
+
+}  // namespace
+}  // namespace pufaging

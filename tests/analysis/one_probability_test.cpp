@@ -1,0 +1,98 @@
+#include "analysis/one_probability.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/error.hpp"
+
+namespace pufaging {
+namespace {
+
+TEST(OneProbability, CountsAndEstimates) {
+  OneProbabilityAccumulator acc(4);
+  acc.add(BitVector::from_string("1010"));
+  acc.add(BitVector::from_string("1000"));
+  acc.add(BitVector::from_string("1001"));
+  EXPECT_EQ(acc.measurement_count(), 3U);
+  EXPECT_EQ(acc.ones(0), 3U);
+  EXPECT_EQ(acc.ones(1), 0U);
+  EXPECT_EQ(acc.ones(2), 1U);
+  EXPECT_EQ(acc.ones(3), 1U);
+  EXPECT_DOUBLE_EQ(acc.one_probability(0), 1.0);
+  EXPECT_DOUBLE_EQ(acc.one_probability(2), 1.0 / 3.0);
+  const std::vector<double> ps = acc.one_probabilities();
+  ASSERT_EQ(ps.size(), 4U);
+  EXPECT_DOUBLE_EQ(ps[1], 0.0);
+}
+
+TEST(OneProbability, StableCellCriterion) {
+  // Paper IV-C1: a cell is stable in a month iff its one-probability over
+  // the 1,000 measurements is exactly 0 or 1.
+  OneProbabilityAccumulator acc(4);
+  acc.add(BitVector::from_string("1010"));
+  acc.add(BitVector::from_string("1010"));
+  acc.add(BitVector::from_string("1011"));
+  // Cells: 0 -> always 1 (stable), 1 -> always 0 (stable),
+  //        2 -> always 1 (stable), 3 -> 1/3 (unstable).
+  EXPECT_DOUBLE_EQ(acc.stable_cell_ratio(), 0.75);
+}
+
+TEST(OneProbability, NoiseMinEntropy) {
+  OneProbabilityAccumulator acc(2);
+  acc.add(BitVector::from_string("10"));
+  acc.add(BitVector::from_string("11"));
+  acc.add(BitVector::from_string("10"));
+  acc.add(BitVector::from_string("11"));
+  // Cell 0: p = 1 -> 0 bits. Cell 1: p = 0.5 -> 1 bit. Average 0.5.
+  EXPECT_DOUBLE_EQ(acc.noise_min_entropy(), 0.5);
+}
+
+TEST(OneProbability, SkewedCellEntropy) {
+  OneProbabilityAccumulator acc(1);
+  BitVector one(1);
+  one.set(0, true);
+  BitVector zero(1);
+  for (int i = 0; i < 3; ++i) {
+    acc.add(one);
+  }
+  acc.add(zero);
+  EXPECT_NEAR(acc.noise_min_entropy(), -std::log2(0.75), 1e-12);
+}
+
+TEST(OneProbability, ResetClears) {
+  OneProbabilityAccumulator acc(2);
+  acc.add(BitVector::from_string("11"));
+  acc.reset();
+  EXPECT_EQ(acc.measurement_count(), 0U);
+  EXPECT_THROW(acc.one_probability(0), InvalidArgument);
+  acc.add(BitVector::from_string("01"));
+  EXPECT_DOUBLE_EQ(acc.one_probability(0), 0.0);
+  EXPECT_DOUBLE_EQ(acc.one_probability(1), 1.0);
+}
+
+TEST(OneProbability, Validation) {
+  EXPECT_THROW(OneProbabilityAccumulator(0), InvalidArgument);
+  OneProbabilityAccumulator acc(4);
+  EXPECT_THROW(acc.add(BitVector(5)), InvalidArgument);
+  EXPECT_THROW(acc.stable_cell_ratio(), InvalidArgument);
+  EXPECT_THROW(acc.noise_min_entropy(), InvalidArgument);
+  EXPECT_THROW(acc.one_probabilities(), InvalidArgument);
+}
+
+TEST(OneProbability, WordBoundaryCells) {
+  // Cells spanning the 64-bit word boundary are counted correctly.
+  OneProbabilityAccumulator acc(130);
+  BitVector v(130);
+  v.set(63, true);
+  v.set(64, true);
+  v.set(129, true);
+  acc.add(v);
+  EXPECT_EQ(acc.ones(63), 1U);
+  EXPECT_EQ(acc.ones(64), 1U);
+  EXPECT_EQ(acc.ones(129), 1U);
+  EXPECT_EQ(acc.ones(0), 0U);
+}
+
+}  // namespace
+}  // namespace pufaging

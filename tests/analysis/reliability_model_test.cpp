@@ -1,0 +1,115 @@
+#include "analysis/reliability_model.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "analysis/one_probability.hpp"
+#include "common/error.hpp"
+#include "common/math.hpp"
+#include "common/rng.hpp"
+#include "silicon/device_factory.hpp"
+
+namespace pufaging {
+namespace {
+
+TEST(ReliabilityModel, ClosedFormBias) {
+  // E[Phi(l1 u + l2)] = Phi(l2 / sqrt(1 + l1^2)) exactly.
+  for (double l1 : {0.5, 2.0, 10.0, 17.5}) {
+    for (double l2 : {-3.0, 0.0, 2.0, 5.7}) {
+      const ReliabilityModel m{l1, l2};
+      EXPECT_NEAR(m.expected_bias(),
+                  normal_cdf(l2 / std::sqrt(1.0 + l1 * l1)), 1e-6)
+          << "l1=" << l1 << " l2=" << l2;
+    }
+  }
+}
+
+TEST(ReliabilityModel, UnbiasedSymmetry) {
+  const ReliabilityModel m{5.0, 0.0};
+  EXPECT_NEAR(m.expected_bias(), 0.5, 1e-9);
+  // Stable fraction decreases with more measurements.
+  EXPECT_GT(m.expected_stable_fraction(10), m.expected_stable_fraction(100));
+  EXPECT_GT(m.expected_stable_fraction(100),
+            m.expected_stable_fraction(1000));
+}
+
+TEST(ReliabilityModel, NoiseDominatedVsProcessDominated) {
+  // Small lambda1 = noisy cells: huge WCHD, no stable cells.
+  const ReliabilityModel noisy{0.2, 0.0};
+  const ReliabilityModel quiet{30.0, 0.0};
+  EXPECT_GT(noisy.expected_wchd(), 0.3);
+  EXPECT_LT(quiet.expected_wchd(), 0.02);
+  EXPECT_LT(noisy.expected_stable_fraction(1000), 0.01);
+  EXPECT_GT(quiet.expected_stable_fraction(1000), 0.9);
+}
+
+TEST(ReliabilityModel, MajorityVotingImprovesReference) {
+  const ReliabilityModel m{17.5, 5.7};
+  const double one_shot = m.expected_error_vs_voted_reference(1);
+  const double voted = m.expected_error_vs_voted_reference(9);
+  // One-shot reference equals the WCHD definition.
+  EXPECT_NEAR(one_shot, m.expected_wchd(), 1e-9);
+  EXPECT_LT(voted, one_shot);
+  EXPECT_THROW(m.expected_error_vs_voted_reference(2), InvalidArgument);
+}
+
+TEST(ReliabilityModel, FitRecoversKnownParameters) {
+  // Sample one-probabilities from a known model, estimate them with 1000
+  // Bernoulli draws each, and fit.
+  const ReliabilityModel truth{17.5, 5.7};
+  Xoshiro256StarStar rng(80);
+  constexpr std::size_t kCells = 20000;
+  constexpr std::size_t kMeasurements = 1000;
+  std::vector<double> p_hat(kCells);
+  for (std::size_t i = 0; i < kCells; ++i) {
+    const double p = normal_cdf(truth.lambda1 * rng.gaussian() +
+                                truth.lambda2);
+    std::uint32_t ones = 0;
+    // Draw the estimate directly: Binomial(1000, p) via normal approx is
+    // not exact enough at the extremes; draw honestly but cheaply.
+    const std::uint64_t threshold = bernoulli_threshold(p);
+    for (std::size_t m = 0; m < kMeasurements; ++m) {
+      ones += rng.bernoulli_u64(threshold) ? 1U : 0U;
+    }
+    p_hat[i] = static_cast<double>(ones) / kMeasurements;
+  }
+  const ReliabilityObservation obs =
+      summarize_one_probabilities(p_hat, kMeasurements);
+  const ReliabilityModel fitted = fit_reliability_model(obs);
+  EXPECT_NEAR(fitted.lambda1, truth.lambda1, 0.15 * truth.lambda1);
+  EXPECT_NEAR(fitted.lambda2, truth.lambda2, 0.15 * truth.lambda2);
+}
+
+TEST(ReliabilityModel, FitPredictsUnseenMetricsOfADevice) {
+  // Characterize a simulated device, fit the model on (bias, WCHD,
+  // stable), then check it predicts a metric it never saw: noise entropy.
+  SramDevice device = make_device(paper_fleet_config(), 3);
+  OneProbabilityAccumulator acc(device.puf_window_bits());
+  constexpr std::size_t kMeasurements = 500;
+  for (std::size_t i = 0; i < kMeasurements; ++i) {
+    acc.add(device.measure());
+  }
+  const ReliabilityObservation obs = summarize_one_probabilities(
+      acc.one_probabilities(), kMeasurements);
+  const ReliabilityModel fitted = fit_reliability_model(obs);
+  EXPECT_NEAR(fitted.expected_noise_entropy(), acc.noise_min_entropy(),
+              0.006);
+  // And the fitted process-to-noise ratio should sit near the generating
+  // configuration (sigma_pv/sigma_n ~ 17.5, modulo the device multiplier).
+  EXPECT_GT(fitted.lambda1, 12.0);
+  EXPECT_LT(fitted.lambda1, 24.0);
+}
+
+TEST(ReliabilityModel, FitValidation) {
+  ReliabilityObservation degenerate;
+  degenerate.measurements = 100;
+  degenerate.mean_p = 0.5;
+  degenerate.mean_wchd = 0.0;  // no noise at all
+  degenerate.stable_fraction = 1.0;
+  EXPECT_THROW(fit_reliability_model(degenerate), InvalidArgument);
+  EXPECT_THROW(summarize_one_probabilities({}, 10), InvalidArgument);
+}
+
+}  // namespace
+}  // namespace pufaging

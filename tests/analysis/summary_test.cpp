@@ -1,0 +1,85 @@
+#include "analysis/summary.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/error.hpp"
+
+namespace pufaging {
+namespace {
+
+FleetMonthMetrics month_metrics(double month, double wchd, double hnoise) {
+  FleetMonthMetrics m;
+  m.month = month;
+  m.devices.resize(2);
+  m.devices[0].first_pattern = BitVector(8);
+  m.devices[1].first_pattern = BitVector(8);
+  m.wchd_avg = wchd;
+  m.wchd_wc = wchd * 1.1;
+  m.fhw_avg = 0.627;
+  m.fhw_wc = 0.6578;
+  m.stable_avg = 0.859;
+  m.stable_wc = 0.872;
+  m.noise_entropy_avg = hnoise;
+  m.noise_entropy_wc = hnoise * 0.9;
+  m.bchd_avg = 0.4679;
+  m.bchd_wc = 0.4431;
+  m.puf_entropy = 0.6492;
+  return m;
+}
+
+TEST(SummaryTable, PaperNumbersReproduceChangeColumns) {
+  const std::vector<FleetMonthMetrics> series = {
+      month_metrics(0.0, 0.0249, 0.0305), month_metrics(24.0, 0.0297, 0.0364)};
+  const SummaryTable table = build_summary_table(series);
+  EXPECT_EQ(table.months, 24U);
+  ASSERT_EQ(table.rows.size(), 11U);
+
+  const SummaryRow& wchd_avg = table.rows[0];
+  EXPECT_EQ(wchd_avg.metric, "WCHD");
+  EXPECT_EQ(wchd_avg.variant, "AVG.");
+  EXPECT_DOUBLE_EQ(wchd_avg.start, 0.0249);
+  EXPECT_DOUBLE_EQ(wchd_avg.end, 0.0297);
+  EXPECT_NEAR(wchd_avg.relative_change, 0.193, 0.002);
+  EXPECT_NEAR(wchd_avg.monthly_change, 0.0074, 1e-4);
+
+  const SummaryRow& hnoise = table.rows[6];
+  EXPECT_EQ(hnoise.metric, "Noise entropy");
+  EXPECT_NEAR(hnoise.relative_change, 0.193, 0.002);
+}
+
+TEST(SummaryTable, FlatMetricsHaveNegligibleChange) {
+  const std::vector<FleetMonthMetrics> series = {
+      month_metrics(0.0, 0.0249, 0.0305), month_metrics(24.0, 0.0297, 0.0364)};
+  const SummaryTable table = build_summary_table(series);
+  // HW AVG. row has identical start and end.
+  EXPECT_DOUBLE_EQ(table.rows[2].relative_change, 0.0);
+  const std::string rendered = render_summary_table(table);
+  EXPECT_NE(rendered.find("negligible"), std::string::npos);
+  EXPECT_NE(rendered.find("WCHD"), std::string::npos);
+  EXPECT_NE(rendered.find("PUF entropy"), std::string::npos);
+  EXPECT_NE(rendered.find("+19.3%"), std::string::npos);
+}
+
+TEST(SummaryTable, Validation) {
+  EXPECT_THROW(build_summary_table({}), InvalidArgument);
+  EXPECT_THROW(build_summary_table({month_metrics(0, 0.02, 0.03)}),
+               InvalidArgument);
+  EXPECT_THROW(build_summary_table({month_metrics(0, 0.02, 0.03),
+                                    month_metrics(0.0, 0.03, 0.04)}),
+               InvalidArgument);
+}
+
+TEST(SummaryTable, IntermediateMonthsIgnored) {
+  const std::vector<FleetMonthMetrics> series = {
+      month_metrics(0.0, 0.02, 0.03), month_metrics(1.0, 0.09, 0.09),
+      month_metrics(10.0, 0.04, 0.05)};
+  const SummaryTable table = build_summary_table(series);
+  EXPECT_EQ(table.months, 10U);
+  EXPECT_DOUBLE_EQ(table.rows[0].start, 0.02);
+  EXPECT_DOUBLE_EQ(table.rows[0].end, 0.04);
+}
+
+}  // namespace
+}  // namespace pufaging

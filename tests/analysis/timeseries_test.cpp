@@ -1,0 +1,91 @@
+#include "analysis/timeseries.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+
+namespace pufaging {
+namespace {
+
+std::vector<FleetMonthMetrics> synthetic_series() {
+  std::vector<FleetMonthMetrics> series;
+  for (int m = 0; m <= 4; ++m) {
+    FleetMonthMetrics fm;
+    fm.month = m;
+    fm.wchd_avg = 0.025 + 0.001 * m;
+    fm.devices.resize(2);
+    fm.devices[0].device_id = 0;
+    fm.devices[0].wchd_mean = 0.02 + 0.001 * m;
+    fm.devices[1].device_id = 5;
+    fm.devices[1].wchd_mean = 0.03 + 0.002 * m;
+    series.push_back(fm);
+  }
+  return series;
+}
+
+TEST(TimeSeries, ExtractFleetSeries) {
+  const MetricSeries s = extract_series(
+      synthetic_series(), "wchd_avg",
+      [](const FleetMonthMetrics& m) { return m.wchd_avg; });
+  EXPECT_EQ(s.name, "wchd_avg");
+  ASSERT_EQ(s.months.size(), 5U);
+  EXPECT_DOUBLE_EQ(s.months[3], 3.0);
+  EXPECT_DOUBLE_EQ(s.values[3], 0.028);
+}
+
+TEST(TimeSeries, ExtractDeviceSeries) {
+  const MetricSeries s = extract_device_series(
+      synthetic_series(), 5, "S5",
+      [](const DeviceMonthMetrics& d) { return d.wchd_mean; });
+  ASSERT_EQ(s.values.size(), 5U);
+  EXPECT_DOUBLE_EQ(s.values[0], 0.03);
+  EXPECT_DOUBLE_EQ(s.values[4], 0.038);
+  EXPECT_THROW(
+      extract_device_series(synthetic_series(), 99, "x",
+                            [](const DeviceMonthMetrics& d) {
+                              return d.wchd_mean;
+                            }),
+      InvalidArgument);
+}
+
+TEST(TimeSeries, ChartRendersAllSeries) {
+  const auto series = synthetic_series();
+  const MetricSeries a = extract_series(
+      series, "avg", [](const FleetMonthMetrics& m) { return m.wchd_avg; });
+  const MetricSeries b = extract_device_series(
+      series, 0, "S0",
+      [](const DeviceMonthMetrics& d) { return d.wchd_mean; });
+  const std::string chart = render_chart({a, b}, 40, 10);
+  EXPECT_NE(chart.find('*'), std::string::npos);
+  EXPECT_NE(chart.find('o'), std::string::npos);
+  EXPECT_NE(chart.find("avg"), std::string::npos);
+  EXPECT_NE(chart.find("(months)"), std::string::npos);
+}
+
+TEST(TimeSeries, ChartValidation) {
+  EXPECT_THROW(render_chart({}, 40, 10), InvalidArgument);
+  const MetricSeries s{"x", {0.0}, {1.0}};
+  EXPECT_THROW(render_chart({s}, 2, 10), InvalidArgument);
+  EXPECT_THROW(render_chart({s}, 40, 1), InvalidArgument);
+  EXPECT_NO_THROW(render_chart({s}, 40, 10));  // single flat point
+}
+
+TEST(TimeSeries, CsvExport) {
+  const auto series = synthetic_series();
+  const MetricSeries a = extract_series(
+      series, "avg", [](const FleetMonthMetrics& m) { return m.wchd_avg; });
+  const CsvWriter csv = series_to_csv({a});
+  const std::string text = csv.to_string();
+  EXPECT_NE(text.find("month,avg"), std::string::npos);
+  EXPECT_EQ(csv.row_count(), 5U);
+}
+
+TEST(TimeSeries, CsvRejectsMismatchedAxes) {
+  MetricSeries a{"a", {0.0, 1.0}, {1.0, 2.0}};
+  MetricSeries b{"b", {0.0, 2.0}, {1.0, 2.0}};
+  EXPECT_THROW(series_to_csv({a, b}), InvalidArgument);
+  EXPECT_THROW(series_to_csv({}), InvalidArgument);
+}
+
+}  // namespace
+}  // namespace pufaging

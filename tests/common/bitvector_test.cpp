@@ -1,0 +1,160 @@
+#include "common/bitvector.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+#include "common/rng.hpp"
+
+namespace pufaging {
+namespace {
+
+TEST(BitVector, DefaultIsEmpty) {
+  BitVector v;
+  EXPECT_EQ(v.size(), 0U);
+  EXPECT_TRUE(v.empty());
+}
+
+TEST(BitVector, ConstructedZeroed) {
+  BitVector v(130);
+  EXPECT_EQ(v.size(), 130U);
+  EXPECT_EQ(v.count_ones(), 0U);
+  for (std::size_t i = 0; i < v.size(); ++i) {
+    EXPECT_FALSE(v.get(i));
+  }
+}
+
+TEST(BitVector, SetGetFlip) {
+  BitVector v(100);
+  v.set(0, true);
+  v.set(63, true);
+  v.set(64, true);
+  v.set(99, true);
+  EXPECT_TRUE(v.get(0));
+  EXPECT_TRUE(v.get(63));
+  EXPECT_TRUE(v.get(64));
+  EXPECT_TRUE(v.get(99));
+  EXPECT_FALSE(v.get(1));
+  EXPECT_EQ(v.count_ones(), 4U);
+  v.flip(0);
+  EXPECT_FALSE(v.get(0));
+  v.flip(1);
+  EXPECT_TRUE(v.get(1));
+  EXPECT_EQ(v.count_ones(), 4U);
+  v.set(63, false);
+  EXPECT_EQ(v.count_ones(), 3U);
+}
+
+TEST(BitVector, FractionalWeight) {
+  BitVector v(10);
+  EXPECT_DOUBLE_EQ(v.fractional_weight(), 0.0);
+  for (std::size_t i = 0; i < 5; ++i) {
+    v.set(i, true);
+  }
+  EXPECT_DOUBLE_EQ(v.fractional_weight(), 0.5);
+  EXPECT_DOUBLE_EQ(BitVector().fractional_weight(), 0.0);
+}
+
+TEST(BitVector, FromStringRoundTrip) {
+  const std::string s = "10110001110";
+  BitVector v = BitVector::from_string(s);
+  EXPECT_EQ(v.size(), s.size());
+  EXPECT_EQ(v.to_string(), s);
+  EXPECT_THROW(BitVector::from_string("012"), InvalidArgument);
+}
+
+TEST(BitVector, BytesRoundTrip) {
+  const std::vector<std::uint8_t> bytes = {0xAB, 0xCD, 0x01};
+  BitVector v = BitVector::from_bytes(bytes, 20);
+  EXPECT_EQ(v.size(), 20U);
+  // LSB-first: bit 0 of byte 0 is the 1 in 0xAB (0b10101011).
+  EXPECT_TRUE(v.get(0));
+  EXPECT_TRUE(v.get(1));
+  EXPECT_FALSE(v.get(2));
+  const auto back = v.to_bytes();
+  ASSERT_EQ(back.size(), 3U);
+  EXPECT_EQ(back[0], 0xAB);
+  EXPECT_EQ(back[1], 0xCD);
+  EXPECT_EQ(back[2], 0x01);  // bits 16..19 = 0x1 low nibble
+}
+
+TEST(BitVector, FromBytesBoundsChecked) {
+  EXPECT_THROW(BitVector::from_bytes({0xFF}, 9), InvalidArgument);
+  EXPECT_NO_THROW(BitVector::from_bytes({0xFF}, 8));
+}
+
+TEST(BitVector, TrailingBitsStayZeroAfterFromBytes) {
+  // 0xFF truncated to 5 bits: only 5 ones, and XOR/popcount stay exact.
+  BitVector v = BitVector::from_bytes({0xFF}, 5);
+  EXPECT_EQ(v.count_ones(), 5U);
+}
+
+TEST(BitVector, XorAndEquality) {
+  BitVector a = BitVector::from_string("1100");
+  BitVector b = BitVector::from_string("1010");
+  BitVector c = a ^ b;
+  EXPECT_EQ(c.to_string(), "0110");
+  a ^= a;
+  EXPECT_EQ(a.count_ones(), 0U);
+  EXPECT_THROW(a ^= BitVector(5), InvalidArgument);
+  EXPECT_EQ(BitVector::from_string("101"), BitVector::from_string("101"));
+  EXPECT_NE(BitVector::from_string("101"), BitVector::from_string("100"));
+}
+
+TEST(BitVector, Slice) {
+  BitVector v = BitVector::from_string("110100101");
+  EXPECT_EQ(v.slice(2, 4).to_string(), "0100");
+  EXPECT_EQ(v.slice(0, 9).to_string(), "110100101");
+  EXPECT_THROW(v.slice(5, 5), InvalidArgument);
+}
+
+TEST(Hamming, KnownDistances) {
+  BitVector a = BitVector::from_string("11001");
+  BitVector b = BitVector::from_string("10011");
+  EXPECT_EQ(hamming_distance(a, b), 2U);
+  EXPECT_DOUBLE_EQ(fractional_hamming_distance(a, b), 0.4);
+  EXPECT_EQ(hamming_distance(a, a), 0U);
+}
+
+TEST(Hamming, Errors) {
+  EXPECT_THROW(hamming_distance(BitVector(3), BitVector(4)), InvalidArgument);
+  EXPECT_THROW(fractional_hamming_distance(BitVector(), BitVector()),
+               InvalidArgument);
+}
+
+// Property: word-kernel Hamming distance equals the naive per-bit count.
+class BitVectorSizes : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(BitVectorSizes, HammingMatchesNaive) {
+  const std::size_t n = GetParam();
+  Xoshiro256StarStar rng(n * 7919 + 3);
+  BitVector a(n);
+  BitVector b(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    a.set(i, rng.bernoulli(0.5));
+    b.set(i, rng.bernoulli(0.5));
+  }
+  std::size_t naive = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    naive += a.get(i) != b.get(i) ? 1U : 0U;
+  }
+  EXPECT_EQ(hamming_distance(a, b), naive);
+  EXPECT_EQ((a ^ b).count_ones(), naive);
+}
+
+TEST_P(BitVectorSizes, BytesRoundTripExact) {
+  const std::size_t n = GetParam();
+  Xoshiro256StarStar rng(n * 104729 + 1);
+  BitVector a(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    a.set(i, rng.bernoulli(0.3));
+  }
+  const BitVector back = BitVector::from_bytes(a.to_bytes(), n);
+  EXPECT_EQ(a, back);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, BitVectorSizes,
+                         ::testing::Values(1, 7, 8, 63, 64, 65, 127, 128, 129,
+                                           1000, 8192));
+
+}  // namespace
+}  // namespace pufaging

@@ -1,0 +1,132 @@
+#include "common/math.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/error.hpp"
+
+namespace pufaging {
+namespace {
+
+TEST(NormalCdf, KnownValues) {
+  EXPECT_NEAR(normal_cdf(0.0), 0.5, 1e-12);
+  EXPECT_NEAR(normal_cdf(1.0), 0.8413447460685429, 1e-10);
+  EXPECT_NEAR(normal_cdf(-1.0), 1.0 - 0.8413447460685429, 1e-10);
+  EXPECT_NEAR(normal_cdf(1.959963985), 0.975, 1e-6);
+  EXPECT_NEAR(normal_cdf(-6.0), 9.865876e-10, 1e-12);
+}
+
+TEST(NormalCdf, Symmetry) {
+  for (double x = 0.0; x < 5.0; x += 0.37) {
+    EXPECT_NEAR(normal_cdf(x) + normal_cdf(-x), 1.0, 1e-12);
+  }
+}
+
+TEST(NormalQuantile, InvertsCdf) {
+  for (double p = 0.0005; p < 1.0; p += 0.0131) {
+    const double x = normal_quantile(p);
+    EXPECT_NEAR(normal_cdf(x), p, 1e-9) << "p=" << p;
+  }
+}
+
+TEST(NormalQuantile, KnownValuesAndErrors) {
+  EXPECT_NEAR(normal_quantile(0.5), 0.0, 1e-9);
+  EXPECT_NEAR(normal_quantile(0.975), 1.959963985, 1e-6);
+  EXPECT_THROW(normal_quantile(0.0), InvalidArgument);
+  EXPECT_THROW(normal_quantile(1.0), InvalidArgument);
+  EXPECT_THROW(normal_quantile(-0.1), InvalidArgument);
+}
+
+TEST(GammaFunctions, ComplementaryPair) {
+  for (double a : {0.5, 1.0, 2.5, 7.0, 20.0}) {
+    for (double x : {0.1, 1.0, 5.0, 30.0}) {
+      EXPECT_NEAR(gamma_p(a, x) + gamma_q(a, x), 1.0, 1e-12)
+          << "a=" << a << " x=" << x;
+    }
+  }
+}
+
+TEST(GammaFunctions, KnownChiSquare) {
+  // Chi-square CDF with k dof = gamma_p(k/2, x/2).
+  // Known: chi2 with 1 dof at x=3.841 -> 0.95.
+  EXPECT_NEAR(gamma_p(0.5, 3.841458821 / 2.0), 0.95, 1e-6);
+  // chi2 with 5 dof at x=11.0705 -> 0.95.
+  EXPECT_NEAR(gamma_p(2.5, 11.0705 / 2.0), 0.95, 1e-5);
+  // P(a, 0) = 0, Q(a, 0) = 1.
+  EXPECT_DOUBLE_EQ(gamma_p(3.0, 0.0), 0.0);
+  EXPECT_DOUBLE_EQ(gamma_q(3.0, 0.0), 1.0);
+}
+
+TEST(GammaFunctions, ExponentialSpecialCase) {
+  // For a = 1, P(1, x) = 1 - exp(-x).
+  for (double x : {0.1, 0.5, 1.0, 2.0, 10.0}) {
+    EXPECT_NEAR(gamma_p(1.0, x), 1.0 - std::exp(-x), 1e-12);
+  }
+}
+
+TEST(GammaFunctions, Preconditions) {
+  EXPECT_THROW(gamma_p(0.0, 1.0), InvalidArgument);
+  EXPECT_THROW(gamma_p(1.0, -1.0), InvalidArgument);
+  EXPECT_THROW(gamma_q(-2.0, 1.0), InvalidArgument);
+}
+
+TEST(LogBinomial, KnownValues) {
+  EXPECT_NEAR(log_binomial(5, 2), std::log(10.0), 1e-12);
+  EXPECT_NEAR(log_binomial(10, 0), 0.0, 1e-12);
+  EXPECT_NEAR(log_binomial(10, 10), 0.0, 1e-12);
+  EXPECT_NEAR(log_binomial(52, 5), std::log(2598960.0), 1e-9);
+  EXPECT_THROW(log_binomial(3, 4), InvalidArgument);
+}
+
+TEST(BinomialSf, MatchesDirectSummation) {
+  // n=10, p=0.3, k=4: Pr(X >= 4).
+  double direct = 0.0;
+  for (int i = 4; i <= 10; ++i) {
+    direct += std::exp(log_binomial(10, static_cast<std::uint64_t>(i))) *
+              std::pow(0.3, i) * std::pow(0.7, 10 - i);
+  }
+  EXPECT_NEAR(binomial_sf(10, 0.3, 4), direct, 1e-12);
+}
+
+TEST(BinomialSf, EdgeCases) {
+  EXPECT_DOUBLE_EQ(binomial_sf(10, 0.5, 0), 1.0);
+  EXPECT_DOUBLE_EQ(binomial_sf(10, 0.5, 11), 0.0);
+  EXPECT_DOUBLE_EQ(binomial_sf(10, 0.0, 1), 0.0);
+  EXPECT_DOUBLE_EQ(binomial_sf(10, 1.0, 10), 1.0);
+  EXPECT_THROW(binomial_sf(10, 1.5, 2), InvalidArgument);
+}
+
+TEST(BinomialSf, MonotonicInThreshold) {
+  double prev = 1.0;
+  for (std::uint64_t k = 0; k <= 20; ++k) {
+    const double v = binomial_sf(20, 0.4, k);
+    EXPECT_LE(v, prev + 1e-15);
+    prev = v;
+  }
+}
+
+TEST(MinEntropy, Properties) {
+  EXPECT_DOUBLE_EQ(binary_min_entropy(0.5), 1.0);
+  EXPECT_DOUBLE_EQ(binary_min_entropy(0.0), 0.0);
+  EXPECT_DOUBLE_EQ(binary_min_entropy(1.0), 0.0);
+  EXPECT_DOUBLE_EQ(binary_min_entropy(0.2), binary_min_entropy(0.8));
+  EXPECT_NEAR(binary_min_entropy(0.75), -std::log2(0.75), 1e-12);
+  EXPECT_THROW(binary_min_entropy(-0.1), InvalidArgument);
+  EXPECT_THROW(binary_min_entropy(1.1), InvalidArgument);
+}
+
+TEST(ShannonEntropy, Properties) {
+  EXPECT_DOUBLE_EQ(binary_shannon_entropy(0.5), 1.0);
+  EXPECT_DOUBLE_EQ(binary_shannon_entropy(0.0), 0.0);
+  EXPECT_DOUBLE_EQ(binary_shannon_entropy(1.0), 0.0);
+  EXPECT_DOUBLE_EQ(binary_shannon_entropy(0.3), binary_shannon_entropy(0.7));
+  // Shannon entropy upper-bounds min-entropy.
+  for (double p = 0.05; p < 1.0; p += 0.05) {
+    EXPECT_GE(binary_shannon_entropy(p) + 1e-12, binary_min_entropy(p));
+  }
+  EXPECT_THROW(binary_shannon_entropy(2.0), InvalidArgument);
+}
+
+}  // namespace
+}  // namespace pufaging

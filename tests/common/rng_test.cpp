@@ -1,0 +1,166 @@
+#include "common/rng.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+
+#include "common/error.hpp"
+
+namespace pufaging {
+namespace {
+
+TEST(SplitMix64, DeterministicAndMixing) {
+  SplitMix64 a(42);
+  SplitMix64 b(42);
+  SplitMix64 c(43);
+  const std::uint64_t a1 = a.next();
+  EXPECT_EQ(a1, b.next());
+  EXPECT_NE(a1, c.next());
+  EXPECT_NE(a.next(), a1);
+}
+
+TEST(Xoshiro, DeterministicStreams) {
+  Xoshiro256StarStar a(7);
+  Xoshiro256StarStar b(7);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(a.next(), b.next());
+  }
+  Xoshiro256StarStar c(8);
+  bool any_diff = false;
+  Xoshiro256StarStar a2(7);
+  for (int i = 0; i < 100; ++i) {
+    any_diff |= (a2.next() != c.next());
+  }
+  EXPECT_TRUE(any_diff);
+}
+
+TEST(Xoshiro, UniformInRange) {
+  Xoshiro256StarStar rng(1);
+  double sum = 0.0;
+  for (int i = 0; i < 10000; ++i) {
+    const double u = rng.uniform();
+    ASSERT_GE(u, 0.0);
+    ASSERT_LT(u, 1.0);
+    sum += u;
+  }
+  EXPECT_NEAR(sum / 10000.0, 0.5, 0.02);
+  for (int i = 0; i < 1000; ++i) {
+    const double u = rng.uniform(-2.0, 3.0);
+    ASSERT_GE(u, -2.0);
+    ASSERT_LT(u, 3.0);
+  }
+}
+
+TEST(Xoshiro, GaussianMoments) {
+  Xoshiro256StarStar rng(2);
+  const int n = 100000;
+  double sum = 0.0;
+  double sum2 = 0.0;
+  for (int i = 0; i < n; ++i) {
+    const double g = rng.gaussian();
+    sum += g;
+    sum2 += g * g;
+  }
+  EXPECT_NEAR(sum / n, 0.0, 0.02);
+  EXPECT_NEAR(sum2 / n, 1.0, 0.03);
+  // Shifted/scaled variant.
+  double s = 0.0;
+  for (int i = 0; i < n; ++i) {
+    s += rng.gaussian(5.0, 2.0);
+  }
+  EXPECT_NEAR(s / n, 5.0, 0.05);
+}
+
+TEST(Xoshiro, BernoulliStatistics) {
+  Xoshiro256StarStar rng(3);
+  const int n = 100000;
+  int ones = 0;
+  for (int i = 0; i < n; ++i) {
+    ones += rng.bernoulli(0.3) ? 1 : 0;
+  }
+  EXPECT_NEAR(static_cast<double>(ones) / n, 0.3, 0.01);
+}
+
+TEST(Xoshiro, BelowIsUnbiasedAndBounded) {
+  Xoshiro256StarStar rng(4);
+  std::array<int, 7> counts{};
+  const int n = 70000;
+  for (int i = 0; i < n; ++i) {
+    const std::uint64_t v = rng.below(7);
+    ASSERT_LT(v, 7U);
+    ++counts[v];
+  }
+  for (int c : counts) {
+    EXPECT_NEAR(static_cast<double>(c), n / 7.0, 4.0 * std::sqrt(n / 7.0));
+  }
+  EXPECT_THROW(rng.below(0), InvalidArgument);
+}
+
+TEST(BernoulliThreshold, EdgeCases) {
+  EXPECT_EQ(bernoulli_threshold(0.0), 0U);
+  EXPECT_EQ(bernoulli_threshold(-1.0), 0U);
+  EXPECT_EQ(bernoulli_threshold(1.0), UINT64_MAX);
+  EXPECT_EQ(bernoulli_threshold(2.0), UINT64_MAX);
+  // p = 0.5 -> half the range.
+  const std::uint64_t half = bernoulli_threshold(0.5);
+  EXPECT_NEAR(static_cast<double>(half) / static_cast<double>(UINT64_MAX),
+              0.5, 1e-9);
+  // Monotonicity.
+  EXPECT_LT(bernoulli_threshold(0.2), bernoulli_threshold(0.3));
+}
+
+TEST(Philox, CounterModeDeterministic) {
+  const std::uint64_t a = Philox4x32::at(123, 456);
+  EXPECT_EQ(a, Philox4x32::at(123, 456));
+  EXPECT_NE(a, Philox4x32::at(123, 457));
+  EXPECT_NE(a, Philox4x32::at(124, 456));
+}
+
+TEST(Philox, OutputsLookUniform) {
+  // Distinct indices produce distinct values (collision over 10k draws of
+  // 64-bit values would be astronomically unlikely).
+  std::set<std::uint64_t> seen;
+  for (std::uint64_t i = 0; i < 10000; ++i) {
+    seen.insert(Philox4x32::at(99, i));
+  }
+  EXPECT_EQ(seen.size(), 10000U);
+}
+
+TEST(Philox, GaussianAtMoments) {
+  const int n = 100000;
+  double sum = 0.0;
+  double sum2 = 0.0;
+  for (int i = 0; i < n; ++i) {
+    const double g = Philox4x32::gaussian_at(7, static_cast<std::uint64_t>(i));
+    sum += g;
+    sum2 += g * g;
+  }
+  EXPECT_NEAR(sum / n, 0.0, 0.02);
+  EXPECT_NEAR(sum2 / n, 1.0, 0.03);
+  EXPECT_DOUBLE_EQ(Philox4x32::gaussian_at(7, 3),
+                   Philox4x32::gaussian_at(7, 3));
+}
+
+// Property: empirical Bernoulli frequency tracks the threshold probability.
+class BernoulliSweep : public ::testing::TestWithParam<double> {};
+
+TEST_P(BernoulliSweep, FrequencyMatchesProbability) {
+  const double p = GetParam();
+  Xoshiro256StarStar rng(static_cast<std::uint64_t>(p * 1e6) + 17);
+  const std::uint64_t threshold = bernoulli_threshold(p);
+  const int n = 200000;
+  int ones = 0;
+  for (int i = 0; i < n; ++i) {
+    ones += rng.bernoulli_u64(threshold) ? 1 : 0;
+  }
+  const double se = std::sqrt(p * (1.0 - p) / n);
+  EXPECT_NEAR(static_cast<double>(ones) / n, p, 5.0 * se + 1e-6);
+}
+
+INSTANTIATE_TEST_SUITE_P(Probabilities, BernoulliSweep,
+                         ::testing::Values(0.001, 0.01, 0.1, 0.3, 0.5, 0.7,
+                                           0.9, 0.99, 0.999));
+
+}  // namespace
+}  // namespace pufaging

@@ -1,0 +1,148 @@
+#include "common/sha256.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+
+namespace pufaging {
+namespace {
+
+std::vector<std::uint8_t> bytes(const std::string& s) {
+  return std::vector<std::uint8_t>(s.begin(), s.end());
+}
+
+std::vector<std::uint8_t> from_hex(const std::string& hex) {
+  std::vector<std::uint8_t> out;
+  for (std::size_t i = 0; i + 1 < hex.size(); i += 2) {
+    out.push_back(static_cast<std::uint8_t>(
+        std::stoul(hex.substr(i, 2), nullptr, 16)));
+  }
+  return out;
+}
+
+// FIPS 180-4 / NIST CAVP test vectors.
+TEST(Sha256, EmptyString) {
+  EXPECT_EQ(Sha256::to_hex(Sha256::hash(std::string())),
+            "e3b0c44298fc1c149afbf4c8996fb92427ae41e4649b934ca495991b7852b855");
+}
+
+TEST(Sha256, Abc) {
+  EXPECT_EQ(Sha256::to_hex(Sha256::hash(std::string("abc"))),
+            "ba7816bf8f01cfea414140de5dae2223b00361a396177a9cb410ff61f20015ad");
+}
+
+TEST(Sha256, TwoBlockMessage) {
+  EXPECT_EQ(Sha256::to_hex(Sha256::hash(std::string(
+                "abcdbcdecdefdefgefghfghighijhijkijkljklmklmnlmnomnopnopq"))),
+            "248d6a61d20638b8e5c026930c3e6039a33ce45964ff2167f6ecedd419db06c1");
+}
+
+TEST(Sha256, ExactBlockBoundary) {
+  // 64 'a' characters: exercises the padding-into-second-block path.
+  EXPECT_EQ(Sha256::to_hex(Sha256::hash(std::string(64, 'a'))),
+            "ffe054fe7ae0cb6dc65c3af9b61d5209f439851db43d0ba5997337df154668eb");
+}
+
+TEST(Sha256, LongMessage) {
+  // 1,000,000 'a' (FIPS 180-4 vector), fed incrementally.
+  Sha256 hasher;
+  const std::string chunk(1000, 'a');
+  for (int i = 0; i < 1000; ++i) {
+    hasher.update(chunk);
+  }
+  EXPECT_EQ(Sha256::to_hex(hasher.finalize()),
+            "cdc76e5c9914fb9281a1c7e284d73e67f1809a48a497200e046d39ccc7112cd0");
+}
+
+TEST(Sha256, IncrementalMatchesOneShot) {
+  Sha256 hasher;
+  hasher.update(std::string("hello "));
+  hasher.update(std::string("world"));
+  EXPECT_EQ(hasher.finalize(), Sha256::hash(std::string("hello world")));
+}
+
+TEST(Sha256, ResetAllowsReuse) {
+  Sha256 hasher;
+  hasher.update(std::string("abc"));
+  const auto first = hasher.finalize();
+  EXPECT_THROW(hasher.update(std::string("x")), Error);
+  hasher.reset();
+  hasher.update(std::string("abc"));
+  EXPECT_EQ(hasher.finalize(), first);
+}
+
+TEST(Sha256, DoubleFinalizeThrows) {
+  Sha256 hasher;
+  hasher.finalize();
+  EXPECT_THROW(hasher.finalize(), Error);
+}
+
+// RFC 4231 test case 1.
+TEST(HmacSha256, Rfc4231Case1) {
+  const std::vector<std::uint8_t> key(20, 0x0B);
+  const auto mac = hmac_sha256(key, bytes("Hi There"));
+  EXPECT_EQ(Sha256::to_hex(mac),
+            "b0344c61d8db38535ca8afceaf0bf12b881dc200c9833da726e9376c2e32cff7");
+}
+
+// RFC 4231 test case 2 ("Jefe").
+TEST(HmacSha256, Rfc4231Case2) {
+  const auto mac =
+      hmac_sha256(bytes("Jefe"), bytes("what do ya want for nothing?"));
+  EXPECT_EQ(Sha256::to_hex(mac),
+            "5bdcc146bf60754e6a042426089575c75a003f089d2739839dec58b964ec3843");
+}
+
+// RFC 4231 test case 3 (0xAA key, 0xDD data).
+TEST(HmacSha256, Rfc4231Case3) {
+  const std::vector<std::uint8_t> key(20, 0xAA);
+  const std::vector<std::uint8_t> data(50, 0xDD);
+  EXPECT_EQ(Sha256::to_hex(hmac_sha256(key, data)),
+            "773ea91e36800e46854db8ebd09181a72959098b3ef8c122d9635514ced565fe");
+}
+
+// RFC 5869 test case 1.
+TEST(HkdfSha256, Rfc5869Case1) {
+  const std::vector<std::uint8_t> ikm(22, 0x0B);
+  const auto salt = from_hex("000102030405060708090a0b0c");
+  const auto info = from_hex("f0f1f2f3f4f5f6f7f8f9");
+  const auto okm = hkdf_sha256(ikm, salt, info, 42);
+  std::string hex;
+  for (std::uint8_t b : okm) {
+    char buf[3];
+    std::snprintf(buf, sizeof buf, "%02x", b);
+    hex += buf;
+  }
+  EXPECT_EQ(hex,
+            "3cb25f25faacd57a90434f64d0362f2a2d2d0a90cf1a5a4c5db02d56ecc4c5bf"
+            "34007208d5b887185865");
+}
+
+// RFC 5869 test case 3 (empty salt and info).
+TEST(HkdfSha256, Rfc5869Case3) {
+  const std::vector<std::uint8_t> ikm(22, 0x0B);
+  const auto okm = hkdf_sha256(ikm, {}, {}, 42);
+  std::string hex;
+  for (std::uint8_t b : okm) {
+    char buf[3];
+    std::snprintf(buf, sizeof buf, "%02x", b);
+    hex += buf;
+  }
+  EXPECT_EQ(hex,
+            "8da4e775a563c18f715f802a063c5a31b8a11f5c5ee1879ec3454e5f3c738d2d"
+            "9d201395faa4b61a96c8");
+}
+
+TEST(HkdfSha256, LengthLimit) {
+  EXPECT_THROW(hkdf_sha256({0x01}, {}, {}, 255 * 32 + 1), InvalidArgument);
+  EXPECT_EQ(hkdf_sha256({0x01}, {}, {}, 100).size(), 100U);
+}
+
+TEST(HkdfSha256, ContextSeparation) {
+  const std::vector<std::uint8_t> ikm = bytes("secret");
+  EXPECT_NE(hkdf_sha256(ikm, {}, bytes("a"), 32),
+            hkdf_sha256(ikm, {}, bytes("b"), 32));
+}
+
+}  // namespace
+}  // namespace pufaging

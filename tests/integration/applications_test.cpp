@@ -1,0 +1,88 @@
+// Integration: the two applications of Section II-A (key generation and
+// TRNG) running against aging silicon end to end.
+#include <gtest/gtest.h>
+
+#include "keygen/debias.hpp"
+#include "keygen/key_generator.hpp"
+#include "silicon/device_factory.hpp"
+#include "stats/nist.hpp"
+#include "trng/pipeline.hpp"
+
+namespace pufaging {
+namespace {
+
+TEST(Applications, KeyAndTrngCoexistOnOneDevice) {
+  SramDevice d = make_device(paper_fleet_config(), 0);
+  KeyGenerator gen = KeyGenerator::standard();
+  const Enrollment enrollment = gen.enroll(d);
+  TrngPipeline trng(d);
+  const auto seed = trng.generate(32);
+  EXPECT_EQ(seed.size(), 32U);
+  const Regeneration r = gen.regenerate(d, enrollment);
+  EXPECT_TRUE(r.key_matches);
+}
+
+TEST(Applications, FullLifetimeStory) {
+  // Enroll at manufacturing; across two years of monthly aging the key
+  // keeps reconstructing while the TRNG's harvestable noise grows —
+  // the paper's two headline conclusions in one scenario.
+  SramDevice d = make_device(paper_fleet_config(), 1);
+  KeyGenerator gen = KeyGenerator::standard();
+  const Enrollment enrollment = gen.enroll(d);
+  TrngPipeline trng(d);
+  const double throughput_young = trng.bits_per_power_up();
+
+  std::size_t corrections_first_quarter = 0;
+  std::size_t corrections_last_quarter = 0;
+  for (int month = 1; month <= 24; ++month) {
+    d.age_months(1.0);
+    const Regeneration r = gen.regenerate(d, enrollment);
+    ASSERT_TRUE(r.success) << "month " << month;
+    ASSERT_TRUE(r.key_matches) << "month " << month;
+    if (month <= 6) {
+      corrections_first_quarter += r.corrected;
+    }
+    if (month > 18) {
+      corrections_last_quarter += r.corrected;
+    }
+  }
+  // Aging degrades reliability: more corrections needed late in life.
+  EXPECT_GT(corrections_last_quarter, corrections_first_quarter);
+
+  trng.recharacterize();
+  EXPECT_GT(trng.bits_per_power_up(), throughput_young);
+  const auto seed = trng.generate(64);
+  EXPECT_TRUE(trng.last_stats().health.pass());
+  EXPECT_EQ(seed.size(), 64U);
+}
+
+TEST(Applications, DebiasedResponsePassesFrequencyTest) {
+  // Section II-A: the 62.7%-biased raw response fails monobit; the
+  // von-Neumann-debiased response passes.
+  SramDevice d = make_device(paper_fleet_config(), 2);
+  const BitVector raw = d.measure();
+  EXPECT_FALSE(nist_frequency(raw).passed());
+  const DebiasResult debiased = von_neumann_enroll(raw);
+  ASSERT_GT(debiased.debiased.size(), 1000U);
+  EXPECT_TRUE(nist_frequency(debiased.debiased).passed());
+}
+
+TEST(Applications, HelperDataRevealsNothingAboutKeyBits) {
+  // Two different devices enrolled with the same generator configuration
+  // produce unrelated helper data (sanity check on the code-offset
+  // construction over distinct responses).
+  SramDevice a = make_device(paper_fleet_config(), 3);
+  SramDevice b = make_device(paper_fleet_config(), 4);
+  KeyGenerator gen_a = KeyGenerator::standard();
+  KeyGenerator gen_b = KeyGenerator::standard();
+  const Enrollment ea = gen_a.enroll(a);
+  const Enrollment eb = gen_b.enroll(b);
+  const double fhd =
+      fractional_hamming_distance(ea.helper.code_offset,
+                                  eb.helper.code_offset);
+  EXPECT_GT(fhd, 0.35);
+  EXPECT_LT(fhd, 0.65);
+}
+
+}  // namespace
+}  // namespace pufaging

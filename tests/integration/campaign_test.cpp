@@ -1,0 +1,122 @@
+// Integration: fast-path campaign -> analysis -> summary table.
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+
+#include "analysis/initial_quality.hpp"
+#include "analysis/summary.hpp"
+#include "analysis/timeseries.hpp"
+#include "stats/regression.hpp"
+#include "testbed/campaign.hpp"
+
+namespace pufaging {
+namespace {
+
+CampaignConfig small_config() {
+  CampaignConfig config;
+  config.months = 3;
+  config.measurements_per_month = 150;
+  config.keep_first_month_batches = true;
+  return config;
+}
+
+TEST(CampaignIntegration, SeriesShape) {
+  const CampaignResult r = run_campaign(small_config());
+  ASSERT_EQ(r.series.size(), 4U);  // months 0..3
+  EXPECT_EQ(r.references.size(), 16U);
+  for (std::size_t m = 0; m < r.series.size(); ++m) {
+    EXPECT_DOUBLE_EQ(r.series[m].month, static_cast<double>(m));
+    EXPECT_EQ(r.series[m].devices.size(), 16U);
+    for (const DeviceMonthMetrics& d : r.series[m].devices) {
+      EXPECT_EQ(d.measurement_count, 150U);
+    }
+  }
+}
+
+TEST(CampaignIntegration, ReferencesAreFirstMeasurements) {
+  const CampaignResult r = run_campaign(small_config());
+  for (std::size_t d = 0; d < 16; ++d) {
+    EXPECT_EQ(r.references[d], r.series[0].devices[d].first_pattern);
+    EXPECT_EQ(r.references[d], r.first_month_batches[d].front());
+  }
+}
+
+TEST(CampaignIntegration, FirstMonthBatchesFeedInitialQuality) {
+  const CampaignResult r = run_campaign(small_config());
+  ASSERT_EQ(r.first_month_batches.size(), 16U);
+  const InitialQualityReport report =
+      evaluate_initial_quality(r.first_month_batches);
+  EXPECT_EQ(report.wchd_samples.size(), 16U * 149U);
+  EXPECT_EQ(report.bchd_samples.size(), 120U);
+  // Fig. 5 qualitative separation.
+  for (double w : report.wchd_samples) {
+    EXPECT_LT(w, 0.15);
+  }
+  for (double b : report.bchd_samples) {
+    EXPECT_GT(b, 0.40);
+    EXPECT_LT(b, 0.50);
+  }
+}
+
+TEST(CampaignIntegration, SummaryTableBuilds) {
+  const CampaignResult r = run_campaign(small_config());
+  const SummaryTable table = build_summary_table(r.series);
+  EXPECT_EQ(table.months, 3U);
+  const std::string rendered = render_summary_table(table);
+  EXPECT_NE(rendered.find("WCHD"), std::string::npos);
+  EXPECT_NE(rendered.find("Noise entropy"), std::string::npos);
+}
+
+TEST(CampaignIntegration, TimeSeriesExtractionAndCsv) {
+  const CampaignResult r = run_campaign(small_config());
+  std::vector<MetricSeries> series;
+  series.push_back(extract_series(
+      r.series, "wchd_avg",
+      [](const FleetMonthMetrics& m) { return m.wchd_avg; }));
+  for (std::uint32_t d : {0U, 7U, 15U}) {
+    series.push_back(extract_device_series(
+        r.series, d, "S" + std::to_string(d),
+        [](const DeviceMonthMetrics& m) { return m.wchd_mean; }));
+  }
+  const CsvWriter csv = series_to_csv(series);
+  EXPECT_EQ(csv.row_count(), 4U);
+  EXPECT_NO_THROW(render_chart(series));
+}
+
+TEST(CampaignIntegration, WchdTrendsUpward) {
+  const CampaignResult r = run_campaign(small_config());
+  const MetricSeries s = extract_series(
+      r.series, "wchd",
+      [](const FleetMonthMetrics& m) { return m.wchd_avg; });
+  const LinearFit fit = linear_fit(s.months, s.values);
+  EXPECT_GT(fit.slope, 0.0);
+}
+
+TEST(CampaignIntegration, DeterministicAcrossRuns) {
+  const CampaignResult a = run_campaign(small_config());
+  const CampaignResult b = run_campaign(small_config());
+  ASSERT_EQ(a.series.size(), b.series.size());
+  EXPECT_DOUBLE_EQ(a.series.back().wchd_avg, b.series.back().wchd_avg);
+  EXPECT_DOUBLE_EQ(a.series.back().puf_entropy, b.series.back().puf_entropy);
+  EXPECT_EQ(a.references[5], b.references[5]);
+}
+
+TEST(CampaignIntegration, AcceleratedModeUsesHigherBaseline) {
+  CampaignConfig config = small_config();
+  config.keep_first_month_batches = false;
+  const CampaignResult nominal = run_campaign(config);
+  config.accelerated = true;
+  config.operating_point = accelerated_conditions();
+  const CampaignResult accel = run_campaign(config);
+  EXPECT_GT(accel.series.front().wchd_avg,
+            1.5 * nominal.series.front().wchd_avg);
+}
+
+TEST(CampaignIntegration, Validation) {
+  CampaignConfig config;
+  config.measurements_per_month = 0;
+  EXPECT_THROW(run_campaign(config), InvalidArgument);
+}
+
+}  // namespace
+}  // namespace pufaging

@@ -1,0 +1,80 @@
+// Integration: field-condition campaigns (the "device in the field"
+// scenario the paper's introduction motivates — its rig holds room
+// temperature, a deployed device sees seasons).
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+#include "testbed/campaign.hpp"
+
+namespace pufaging {
+namespace {
+
+TEST(FieldConditions, SeasonalScheduleShape) {
+  const auto schedule = seasonal_schedule(15.0, 12.0);
+  EXPECT_NEAR(schedule(0).temperature_c, 15.0, 1e-9);
+  EXPECT_NEAR(schedule(3).temperature_c, 27.0, 1e-9);   // summer peak
+  EXPECT_NEAR(schedule(9).temperature_c, 3.0, 1e-9);    // winter trough
+  EXPECT_NEAR(schedule(12).temperature_c, 15.0, 1e-6);  // yearly period
+  EXPECT_DOUBLE_EQ(schedule(3).vdd_v, 5.0);
+}
+
+TEST(FieldConditions, SeasonalCampaignModulatesWchd) {
+  CampaignConfig config;
+  config.months = 12;
+  config.measurements_per_month = 200;
+  config.schedule = seasonal_schedule(25.0, 20.0);  // reference at month 0
+  const CampaignResult r = run_campaign(config);
+  ASSERT_EQ(r.series.size(), 13U);
+
+  // Month 0 is the 25 C reference point; the hot summer snapshot (month 3,
+  // 45 C) must show a higher WCHD than the anniversary snapshot (month 12,
+  // back at 25 C), even though month 12 is nine months more aged:
+  // temperature wiggle rides on top of the aging trend — exactly the
+  // field effect the paper's controlled room-temperature setup excludes.
+  const double summer = r.series[3].wchd_avg;
+  const double anniversary = r.series[12].wchd_avg;
+  EXPECT_GT(summer, anniversary);
+  // The seasonal boost is large relative to three months of pure aging.
+  EXPECT_GT(summer, r.series[0].wchd_avg * 1.15);
+  // And the anniversary value still exceeds day 0 (aging is monotone).
+  EXPECT_GT(anniversary, r.series[0].wchd_avg);
+}
+
+TEST(FieldConditions, ColdSeasonRaisesWchdThroughTcMismatch) {
+  CampaignConfig config;
+  config.months = 6;
+  config.measurements_per_month = 200;
+  // Winter-centred profile: month 3 sits 30 C below the month-0 reference.
+  config.schedule = [](std::size_t month) {
+    OperatingPoint op;
+    op.temperature_c = 25.0 - 10.0 * static_cast<double>(month > 0 ? 3 : 0);
+    (void)month;
+    return op;
+  };
+  const CampaignResult r = run_campaign(config);
+  // All post-reference snapshots run at -5 C: the V-shape's cold leg.
+  EXPECT_GT(r.series[3].wchd_avg, r.series[0].wchd_avg);
+}
+
+TEST(FieldConditions, ScheduleExcludesAccelerated) {
+  CampaignConfig config;
+  config.schedule = seasonal_schedule();
+  config.accelerated = true;
+  EXPECT_THROW(run_campaign(config), InvalidArgument);
+}
+
+TEST(FieldConditions, ConstantScheduleMatchesPlainCampaign) {
+  CampaignConfig plain;
+  plain.months = 2;
+  plain.measurements_per_month = 100;
+  CampaignConfig scheduled = plain;
+  scheduled.schedule = [](std::size_t) { return nominal_conditions(); };
+  const CampaignResult a = run_campaign(plain);
+  const CampaignResult b = run_campaign(scheduled);
+  ASSERT_EQ(a.series.size(), b.series.size());
+  EXPECT_DOUBLE_EQ(a.series.back().wchd_avg, b.series.back().wchd_avg);
+  EXPECT_EQ(a.references[7], b.references[7]);
+}
+
+}  // namespace
+}  // namespace pufaging

@@ -1,0 +1,52 @@
+#include "io/csv.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+
+#include "common/error.hpp"
+
+namespace pufaging {
+namespace {
+
+TEST(Csv, HeaderAndRows) {
+  CsvWriter csv({"month", "wchd"});
+  csv.add_row(std::vector<std::string>{"0", "0.0249"});
+  csv.add_row(std::vector<double>{1.0, 0.0252});
+  EXPECT_EQ(csv.row_count(), 2U);
+  const std::string text = csv.to_string();
+  EXPECT_EQ(text, "month,wchd\n0,0.0249\n1,0.0252\n");
+}
+
+TEST(Csv, QuotingRules) {
+  CsvWriter csv({"a", "b"});
+  csv.add_row(std::vector<std::string>{"has,comma", "has\"quote"});
+  csv.add_row(std::vector<std::string>{"has\nnewline", "plain"});
+  EXPECT_EQ(csv.to_string(),
+            "a,b\n\"has,comma\",\"has\"\"quote\"\n\"has\nnewline\",plain\n");
+}
+
+TEST(Csv, ColumnCountEnforced) {
+  CsvWriter csv({"a", "b"});
+  EXPECT_THROW(csv.add_row(std::vector<std::string>{"1"}), InvalidArgument);
+  EXPECT_THROW(csv.add_row(std::vector<std::string>{"1", "2", "3"}),
+               InvalidArgument);
+  EXPECT_THROW(CsvWriter({}), InvalidArgument);
+}
+
+TEST(Csv, SaveToFile) {
+  CsvWriter csv({"x"});
+  csv.add_row(std::vector<std::string>{"42"});
+  const std::string path = ::testing::TempDir() + "pufaging_csv_test.csv";
+  csv.save(path);
+  std::ifstream in(path);
+  std::string content((std::istreambuf_iterator<char>(in)),
+                      std::istreambuf_iterator<char>());
+  EXPECT_EQ(content, "x\n42\n");
+  std::remove(path.c_str());
+  EXPECT_THROW(csv.save("/nonexistent_dir_xyz/file.csv"), Error);
+}
+
+}  // namespace
+}  // namespace pufaging

@@ -1,0 +1,134 @@
+#include "io/json.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+
+namespace pufaging {
+namespace {
+
+TEST(Json, ScalarsAndTypes) {
+  EXPECT_TRUE(Json().is_null());
+  EXPECT_TRUE(Json(true).is_bool());
+  EXPECT_TRUE(Json(3.5).is_number());
+  EXPECT_TRUE(Json(42).is_number());
+  EXPECT_TRUE(Json("hi").is_string());
+  EXPECT_TRUE(Json::array().is_array());
+  EXPECT_TRUE(Json::object().is_object());
+  EXPECT_TRUE(Json(true).as_bool());
+  EXPECT_DOUBLE_EQ(Json(3.5).as_double(), 3.5);
+  EXPECT_EQ(Json(42).as_int(), 42);
+  EXPECT_DOUBLE_EQ(Json(42).as_double(), 42.0);  // int promotes
+  EXPECT_EQ(Json("hi").as_string(), "hi");
+}
+
+TEST(Json, TypeMismatchThrows) {
+  EXPECT_THROW(Json(1).as_bool(), ParseError);
+  EXPECT_THROW(Json("x").as_double(), ParseError);
+  EXPECT_THROW(Json(1).as_string(), ParseError);
+  EXPECT_THROW(Json(1).as_array(), ParseError);
+  EXPECT_THROW(Json(1).as_object(), ParseError);
+}
+
+TEST(Json, ObjectSetAndLookup) {
+  Json obj = Json::object();
+  obj.set("a", Json(1));
+  obj.set("b", Json("two"));
+  obj.set("a", Json(3));  // overwrite
+  EXPECT_EQ(obj.at("a").as_int(), 3);
+  EXPECT_EQ(obj.at("b").as_string(), "two");
+  EXPECT_TRUE(obj.contains("a"));
+  EXPECT_FALSE(obj.contains("c"));
+  EXPECT_THROW(obj.at("c"), ParseError);
+  EXPECT_EQ(obj.as_object().size(), 2U);
+}
+
+TEST(Json, NullPromotesToContainerOnMutation) {
+  Json v;
+  v.push_back(Json(1));
+  EXPECT_TRUE(v.is_array());
+  Json o;
+  o.set("k", Json(2));
+  EXPECT_TRUE(o.is_object());
+  EXPECT_THROW(o.push_back(Json(1)), ParseError);
+}
+
+TEST(Json, DumpCompact) {
+  Json obj = Json::object();
+  obj.set("name", Json("S3"));
+  obj.set("seq", Json(17));
+  obj.set("ok", Json(true));
+  obj.set("list", Json(Json::Array{Json(1), Json(2)}));
+  EXPECT_EQ(obj.dump(), R"({"name":"S3","seq":17,"ok":true,"list":[1,2]})");
+}
+
+TEST(Json, StringEscaping) {
+  Json v(std::string("a\"b\\c\nd\te"));
+  EXPECT_EQ(v.dump(), "\"a\\\"b\\\\c\\nd\\te\"");
+  const Json back = Json::parse(v.dump());
+  EXPECT_EQ(back.as_string(), "a\"b\\c\nd\te");
+}
+
+TEST(Json, ParseDocument) {
+  const Json v = Json::parse(
+      R"({"t": 1.5, "board": "S3", "neg": -7, "arr": [1, 2.5, null, false]})");
+  EXPECT_DOUBLE_EQ(v.at("t").as_double(), 1.5);
+  EXPECT_EQ(v.at("board").as_string(), "S3");
+  EXPECT_EQ(v.at("neg").as_int(), -7);
+  const auto& arr = v.at("arr").as_array();
+  ASSERT_EQ(arr.size(), 4U);
+  EXPECT_EQ(arr[0].as_int(), 1);
+  EXPECT_DOUBLE_EQ(arr[1].as_double(), 2.5);
+  EXPECT_TRUE(arr[2].is_null());
+  EXPECT_FALSE(arr[3].as_bool());
+}
+
+TEST(Json, ParseScientificNotation) {
+  EXPECT_DOUBLE_EQ(Json::parse("1.5e3").as_double(), 1500.0);
+  EXPECT_DOUBLE_EQ(Json::parse("-2E-2").as_double(), -0.02);
+}
+
+TEST(Json, ParseUnicodeEscape) {
+  EXPECT_EQ(Json::parse(R"("Aé")").as_string(), "A\xC3\xA9");
+}
+
+TEST(Json, RoundTripPreservesStructure) {
+  const std::string doc =
+      R"({"a":[{"b":1},{"c":[true,null,"x"]}],"d":{"e":-1.25}})";
+  EXPECT_EQ(Json::parse(doc).dump(), doc);
+}
+
+TEST(Json, PrettyPrintIsReparseable) {
+  Json obj = Json::object();
+  obj.set("x", Json(Json::Array{Json(1), Json(2)}));
+  const std::string pretty = obj.dump_pretty();
+  EXPECT_NE(pretty.find('\n'), std::string::npos);
+  EXPECT_EQ(Json::parse(pretty).dump(), obj.dump());
+}
+
+TEST(Json, ParseErrors) {
+  EXPECT_THROW(Json::parse(""), ParseError);
+  EXPECT_THROW(Json::parse("{"), ParseError);
+  EXPECT_THROW(Json::parse("[1,]"), ParseError);
+  EXPECT_THROW(Json::parse("{\"a\":1} trailing"), ParseError);
+  EXPECT_THROW(Json::parse("\"unterminated"), ParseError);
+  EXPECT_THROW(Json::parse("\"bad\\q\""), ParseError);
+  EXPECT_THROW(Json::parse("tru"), ParseError);
+  EXPECT_THROW(Json::parse("-"), ParseError);
+  EXPECT_THROW(Json::parse("\"raw\ncontrol\""), ParseError);
+}
+
+TEST(Json, EmptyContainers) {
+  EXPECT_EQ(Json::parse("[]").as_array().size(), 0U);
+  EXPECT_EQ(Json::parse("{}").as_object().size(), 0U);
+  EXPECT_EQ(Json::array().dump(), "[]");
+  EXPECT_EQ(Json::object().dump(), "{}");
+}
+
+TEST(Json, LargeIntegersSurvive) {
+  const std::int64_t big = 123456789012345678LL;
+  EXPECT_EQ(Json::parse(Json(big).dump()).as_int(), big);
+}
+
+}  // namespace
+}  // namespace pufaging

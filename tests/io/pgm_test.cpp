@@ -1,0 +1,69 @@
+#include "io/pgm.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+
+#include "common/error.hpp"
+
+namespace pufaging {
+namespace {
+
+TEST(Pgm, HeaderAndPixels) {
+  BitVector v = BitVector::from_string("10" "01");
+  const std::string pgm = bits_to_pgm(v, 2);
+  EXPECT_EQ(pgm.substr(0, 3), "P5\n");
+  EXPECT_NE(pgm.find("2 2\n255\n"), std::string::npos);
+  const std::size_t header_end = pgm.find("255\n") + 4;
+  ASSERT_EQ(pgm.size() - header_end, 4U);
+  // Ones render black (0), zeros white (255).
+  EXPECT_EQ(static_cast<unsigned char>(pgm[header_end + 0]), 0);
+  EXPECT_EQ(static_cast<unsigned char>(pgm[header_end + 1]), 255);
+  EXPECT_EQ(static_cast<unsigned char>(pgm[header_end + 2]), 255);
+  EXPECT_EQ(static_cast<unsigned char>(pgm[header_end + 3]), 0);
+}
+
+TEST(Pgm, PartialLastRowPaddedWhite) {
+  BitVector v = BitVector::from_string("111");
+  const std::string pgm = bits_to_pgm(v, 2);  // 2x2 with one pad pixel
+  const std::size_t header_end = pgm.find("255\n") + 4;
+  EXPECT_EQ(pgm.size() - header_end, 4U);
+  EXPECT_EQ(static_cast<unsigned char>(pgm[header_end + 3]), 255);
+}
+
+TEST(Pgm, WidthValidation) {
+  EXPECT_THROW(bits_to_pgm(BitVector(4), 0), InvalidArgument);
+}
+
+TEST(Pgm, SaveToFile) {
+  const std::string path = ::testing::TempDir() + "pufaging_pgm_test.pgm";
+  save_pgm(BitVector::from_string("1010"), 2, path);
+  std::ifstream in(path, std::ios::binary);
+  EXPECT_TRUE(in.good());
+  std::remove(path.c_str());
+  EXPECT_THROW(save_pgm(BitVector(4), 2, "/nonexistent_dir_xyz/x.pgm"),
+               Error);
+}
+
+TEST(Ascii, DensityRamp) {
+  // All ones -> darkest character '@'; all zeros -> ' '.
+  BitVector ones(64);
+  for (std::size_t i = 0; i < 64; ++i) {
+    ones.set(i, true);
+  }
+  const std::string dark = bits_to_ascii(ones, 8, 8, 8);
+  EXPECT_EQ(dark, "@\n");
+  EXPECT_EQ(bits_to_ascii(BitVector(64), 8, 8, 8), " \n");
+}
+
+TEST(Ascii, DimensionsAndValidation) {
+  // 16x16 bits at 4x8 cells -> 4 columns x 2 rows.
+  const std::string art = bits_to_ascii(BitVector(256), 16, 4, 8);
+  EXPECT_EQ(art, "    \n    \n");
+  EXPECT_THROW(bits_to_ascii(BitVector(4), 0), InvalidArgument);
+  EXPECT_THROW(bits_to_ascii(BitVector(4), 2, 0, 1), InvalidArgument);
+}
+
+}  // namespace
+}  // namespace pufaging

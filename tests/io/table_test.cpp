@@ -1,0 +1,62 @@
+#include "io/table.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "common/error.hpp"
+
+namespace pufaging {
+namespace {
+
+TEST(Table, BasicLayout) {
+  TablePrinter t({"Name", "Value"});
+  t.add_row({"WCHD", "2.49%"});
+  const std::string out = t.to_string();
+  EXPECT_NE(out.find("Name"), std::string::npos);
+  EXPECT_NE(out.find("----"), std::string::npos);
+  EXPECT_NE(out.find("WCHD"), std::string::npos);
+  // Header, rule, one row.
+  EXPECT_EQ(std::count(out.begin(), out.end(), '\n'), 3);
+}
+
+TEST(Table, RightAlignment) {
+  TablePrinter t({"M", "V"}, {Align::kLeft, Align::kRight});
+  t.add_row({"a", "1"});
+  t.add_row({"b", "100"});
+  const std::string out = t.to_string(1);
+  // "1" must be right-aligned under the 3-wide column: "  1".
+  EXPECT_NE(out.find("a   1"), std::string::npos);
+  EXPECT_NE(out.find("b 100"), std::string::npos);
+}
+
+TEST(Table, ShortRowsPadded) {
+  TablePrinter t({"A", "B", "C"});
+  t.add_row({"only"});
+  EXPECT_NO_THROW(t.to_string());
+  EXPECT_THROW(t.add_row({"1", "2", "3", "4"}), InvalidArgument);
+}
+
+TEST(Table, Validation) {
+  EXPECT_THROW(TablePrinter({}), InvalidArgument);
+  EXPECT_THROW(TablePrinter({"A"}, {Align::kLeft, Align::kRight}),
+               InvalidArgument);
+}
+
+TEST(Table, PercentFormatting) {
+  EXPECT_EQ(TablePrinter::percent(0.0249), "2.49%");
+  EXPECT_EQ(TablePrinter::percent(0.62703, 1), "62.7%");
+  EXPECT_EQ(TablePrinter::signed_percent(0.193, 1), "+19.3%");
+  EXPECT_EQ(TablePrinter::signed_percent(-0.0249, 2), "-2.49%");
+}
+
+TEST(Table, NegligibleLabel) {
+  // The paper's Table I footnote: changes below 0.01% print "negligible".
+  EXPECT_EQ(TablePrinter::signed_percent(0.00005, 2, true), "negligible");
+  EXPECT_EQ(TablePrinter::signed_percent(-0.00005, 2, true), "negligible");
+  EXPECT_NE(TablePrinter::signed_percent(0.0002, 2, true), "negligible");
+  EXPECT_NE(TablePrinter::signed_percent(0.00005, 2, false), "negligible");
+}
+
+}  // namespace
+}  // namespace pufaging

@@ -1,0 +1,155 @@
+#include "keygen/bch.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "common/error.hpp"
+#include "common/rng.hpp"
+
+namespace pufaging {
+namespace {
+
+BitVector random_message(std::size_t k, Xoshiro256StarStar& rng) {
+  BitVector m(k);
+  for (std::size_t i = 0; i < k; ++i) {
+    m.set(i, rng.bernoulli(0.5));
+  }
+  return m;
+}
+
+BitVector with_errors(const BitVector& word, std::size_t errors,
+                      Xoshiro256StarStar& rng) {
+  BitVector w = word;
+  std::vector<std::size_t> positions;
+  while (positions.size() < errors) {
+    const std::size_t p = rng.below(word.size());
+    if (std::find(positions.begin(), positions.end(), p) == positions.end()) {
+      positions.push_back(p);
+      w.flip(p);
+    }
+  }
+  return w;
+}
+
+TEST(Bch, TextbookParameters) {
+  // Classic (n, k, t) triples from Lin & Costello Table 6.1.
+  struct Expected {
+    unsigned m;
+    std::size_t t;
+    std::size_t k;
+  };
+  const Expected cases[] = {
+      {4, 1, 11}, {4, 2, 7},  {4, 3, 5},   {5, 1, 26},  {5, 2, 21},
+      {5, 3, 16}, {6, 1, 57}, {6, 2, 51},  {7, 1, 120}, {7, 2, 113},
+      {8, 1, 247}, {8, 2, 239}, {8, 9, 187}, {8, 18, 131}};
+  for (const Expected& e : cases) {
+    BchCode code(e.m, e.t);
+    EXPECT_EQ(code.block_length(), (std::size_t{1} << e.m) - 1);
+    EXPECT_EQ(code.message_length(), e.k)
+        << "BCH m=" << e.m << " t=" << e.t;
+    EXPECT_EQ(code.correctable(), e.t);
+  }
+}
+
+TEST(Bch, GeneratorForHamming15_11) {
+  // BCH(15, 11, t=1) is the Hamming code with g(x) = x^4 + x + 1.
+  BchCode code(4, 1);
+  const std::vector<std::uint8_t> expected = {1, 1, 0, 0, 1};
+  EXPECT_EQ(code.generator(), expected);
+}
+
+TEST(Bch, RejectsExcessiveT) {
+  EXPECT_THROW(BchCode(4, 8), InvalidArgument);
+  EXPECT_THROW(BchCode(4, 0), InvalidArgument);
+}
+
+TEST(Bch, SystematicEncode) {
+  BchCode code(5, 2);  // (31, 21)
+  Xoshiro256StarStar rng(8);
+  const BitVector m = random_message(code.message_length(), rng);
+  const BitVector w = code.encode(m);
+  EXPECT_EQ(w.size(), 31U);
+  // Message occupies the top k coefficients.
+  for (std::size_t i = 0; i < code.message_length(); ++i) {
+    EXPECT_EQ(w.get(31 - 21 + i), m.get(i));
+  }
+  EXPECT_THROW(code.encode(BitVector(20)), InvalidArgument);
+}
+
+TEST(Bch, CleanRoundTrip) {
+  for (unsigned m : {4U, 5U, 6U, 8U}) {
+    BchCode code(m, 2);
+    Xoshiro256StarStar rng(m);
+    for (int t = 0; t < 20; ++t) {
+      const BitVector msg = random_message(code.message_length(), rng);
+      const DecodeResult r = code.decode(code.encode(msg));
+      ASSERT_TRUE(r.success);
+      EXPECT_EQ(r.message, msg);
+      EXPECT_EQ(r.corrected, 0U);
+    }
+  }
+  EXPECT_THROW(BchCode(4, 1).decode(BitVector(14)), InvalidArgument);
+}
+
+TEST(Bch, EncodedWordsAreCodewords) {
+  // All-zero syndrome <=> decode reports zero corrections.
+  BchCode code(6, 3);
+  Xoshiro256StarStar rng(9);
+  for (int t = 0; t < 10; ++t) {
+    const BitVector msg = random_message(code.message_length(), rng);
+    EXPECT_EQ(code.decode(code.encode(msg)).corrected, 0U);
+  }
+}
+
+struct BchCase {
+  unsigned m;
+  std::size_t t;
+  std::size_t errors;
+};
+
+class BchErrors : public ::testing::TestWithParam<BchCase> {};
+
+TEST_P(BchErrors, CorrectsUpToCapacity) {
+  const BchCase c = GetParam();
+  BchCode code(c.m, c.t);
+  ASSERT_LE(c.errors, code.correctable());
+  Xoshiro256StarStar rng(c.m * 1000 + c.t * 10 + c.errors);
+  const int trials = code.block_length() > 100 ? 15 : 40;
+  for (int trial = 0; trial < trials; ++trial) {
+    const BitVector msg = random_message(code.message_length(), rng);
+    const BitVector w = with_errors(code.encode(msg), c.errors, rng);
+    const DecodeResult r = code.decode(w);
+    ASSERT_TRUE(r.success) << "m=" << c.m << " t=" << c.t
+                           << " errors=" << c.errors;
+    EXPECT_EQ(r.message, msg);
+    EXPECT_EQ(r.corrected, c.errors);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, BchErrors,
+    ::testing::Values(BchCase{4, 2, 1}, BchCase{4, 2, 2}, BchCase{4, 3, 3},
+                      BchCase{5, 3, 2}, BchCase{5, 3, 3}, BchCase{6, 4, 4},
+                      BchCase{7, 5, 5}, BchCase{8, 8, 8}, BchCase{8, 18, 18},
+                      BchCase{8, 18, 7}));
+
+TEST(Bch, BeyondCapacityIsDetectedOrWrongButNeverCrashes) {
+  BchCode code(5, 2);
+  Xoshiro256StarStar rng(10);
+  int detected = 0;
+  const int trials = 60;
+  for (int t = 0; t < trials; ++t) {
+    const BitVector msg = random_message(code.message_length(), rng);
+    const BitVector w = with_errors(code.encode(msg), 5, rng);
+    const DecodeResult r = code.decode(w);
+    if (!r.success) {
+      ++detected;
+    }
+  }
+  // Most weight-5 patterns on a t=2 code land between spheres.
+  EXPECT_GT(detected, trials / 4);
+}
+
+}  // namespace
+}  // namespace pufaging

@@ -1,0 +1,94 @@
+#include "keygen/bit_selection.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "analysis/hamming.hpp"
+#include "common/error.hpp"
+#include "silicon/device_factory.hpp"
+
+namespace pufaging {
+namespace {
+
+TEST(BitSelection, SelectsOnlyNonFlippingCells) {
+  SramDevice device = make_device(paper_fleet_config(), 0);
+  const BitSelection sel = select_stable_cells(device, 100);
+  EXPECT_GT(sel.cells.size(), 6000U);  // ~88% of 8192 at 100 measurements
+  EXPECT_LT(sel.cells.size(), 8192U);
+  EXPECT_TRUE(std::is_sorted(sel.cells.begin(), sel.cells.end()));
+  EXPECT_EQ(sel.characterization_measurements, 100U);
+  // Selected cells are analytically skewed.
+  for (std::size_t i = 0; i < sel.cells.size(); i += 97) {
+    const double p = device.one_probability(sel.cells[i]);
+    EXPECT_TRUE(p < 0.2 || p > 0.8) << "cell " << sel.cells[i];
+  }
+}
+
+TEST(BitSelection, MaskRoundTrip) {
+  SramDevice device = make_device(paper_fleet_config(), 1);
+  const BitSelection sel = select_stable_cells(device, 50);
+  const BitVector mask = sel.to_mask(device.puf_window_bits());
+  EXPECT_EQ(mask.count_ones(), sel.cells.size());
+  const BitSelection back = BitSelection::from_mask(mask, 50);
+  EXPECT_EQ(back.cells, sel.cells);
+}
+
+TEST(BitSelection, CapRespected) {
+  SramDevice device = make_device(paper_fleet_config(), 2);
+  const BitSelection sel = select_stable_cells(device, 50, 256);
+  EXPECT_EQ(sel.cells.size(), 256U);
+}
+
+TEST(BitSelection, MaskedResponseHasFarLowerBer) {
+  SramDevice device = make_device(paper_fleet_config(), 3);
+  const BitSelection sel = select_stable_cells(device, 200);
+  const BitVector ref_full = device.measure();
+  const BitVector ref_masked = apply_selection(ref_full, sel);
+  double full_ber = 0.0;
+  double masked_ber = 0.0;
+  const int trials = 50;
+  for (int i = 0; i < trials; ++i) {
+    const BitVector m = device.measure();
+    full_ber += fractional_hamming_distance(ref_full, m);
+    masked_ber += fractional_hamming_distance(ref_masked,
+                                              apply_selection(m, sel));
+  }
+  full_ber /= trials;
+  masked_ber /= trials;
+  EXPECT_LT(masked_ber, full_ber / 5.0);
+}
+
+TEST(BitSelection, AgingErodesTheMask) {
+  // The paper's caveat: cells selected stable at enrollment lose
+  // stability over the lifetime, so the masked BER grows relatively
+  // faster than the raw WCHD.
+  SramDevice device = make_device(paper_fleet_config(), 4);
+  const BitSelection sel = select_stable_cells(device, 200);
+  const BitVector ref = apply_selection(device.measure(), sel);
+  const auto masked_ber = [&](int trials) {
+    double sum = 0.0;
+    for (int i = 0; i < trials; ++i) {
+      sum += fractional_hamming_distance(ref,
+                                         apply_selection(device.measure(),
+                                                         sel));
+    }
+    return sum / trials;
+  };
+  const double young = masked_ber(40);
+  device.age_months(24.0);
+  const double old_ber = masked_ber(40);
+  EXPECT_GT(old_ber, young * 1.3);
+}
+
+TEST(BitSelection, Validation) {
+  SramDevice device = make_device(paper_fleet_config(), 5);
+  EXPECT_THROW(select_stable_cells(device, 1), InvalidArgument);
+  BitSelection bad;
+  bad.cells = {10000};
+  EXPECT_THROW(bad.to_mask(8192), InvalidArgument);
+  EXPECT_THROW(apply_selection(BitVector(16), bad), InvalidArgument);
+}
+
+}  // namespace
+}  // namespace pufaging

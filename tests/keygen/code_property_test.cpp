@@ -1,0 +1,185 @@
+// Cross-code property tests: every BlockCode implementation must satisfy
+// the same contract (round trip, systematic-or-not consistency, bounded
+// correction, fuzzy-extractor integration).
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <functional>
+#include <memory>
+
+#include "common/rng.hpp"
+#include "keygen/bch.hpp"
+#include "keygen/concatenated.hpp"
+#include "keygen/fuzzy_extractor.hpp"
+#include "keygen/golay.hpp"
+#include "keygen/polar.hpp"
+#include "keygen/repetition.hpp"
+
+namespace pufaging {
+namespace {
+
+struct CodeCase {
+  const char* label;
+  std::function<std::shared_ptr<const BlockCode>()> make;
+  bool guaranteed_radius;  ///< True for bounded-distance decoders.
+};
+
+class CodeContract : public ::testing::TestWithParam<CodeCase> {
+ protected:
+  static BitVector random_message(const BlockCode& code,
+                                  Xoshiro256StarStar& rng) {
+    BitVector m(code.message_length());
+    for (std::size_t i = 0; i < m.size(); ++i) {
+      m.set(i, rng.bernoulli(0.5));
+    }
+    return m;
+  }
+};
+
+TEST_P(CodeContract, GeometryIsSane) {
+  const auto code = GetParam().make();
+  EXPECT_GT(code->block_length(), 0U);
+  EXPECT_GT(code->message_length(), 0U);
+  EXPECT_LE(code->message_length(), code->block_length());
+  EXPECT_LT(code->correctable(), code->block_length());
+  EXPECT_FALSE(code->name().empty());
+}
+
+TEST_P(CodeContract, RoundTripCleanWords) {
+  const auto code = GetParam().make();
+  Xoshiro256StarStar rng(0xC0DE);
+  for (int trial = 0; trial < 25; ++trial) {
+    const BitVector m = random_message(*code, rng);
+    const BitVector w = code->encode(m);
+    EXPECT_EQ(w.size(), code->block_length());
+    const DecodeResult r = code->decode(w);
+    ASSERT_TRUE(r.success) << GetParam().label;
+    EXPECT_EQ(r.message, m) << GetParam().label;
+    EXPECT_EQ(r.corrected, 0U) << GetParam().label;
+  }
+}
+
+TEST_P(CodeContract, CorrectsWithinGuaranteedRadius) {
+  const CodeCase& c = GetParam();
+  if (!c.guaranteed_radius) {
+    GTEST_SKIP() << "probabilistic decoder";
+  }
+  const auto code = c.make();
+  const std::size_t t = code->correctable();
+  Xoshiro256StarStar rng(0xC0DE + 1);
+  for (int trial = 0; trial < 25; ++trial) {
+    const BitVector m = random_message(*code, rng);
+    BitVector w = code->encode(m);
+    std::vector<std::size_t> positions;
+    while (positions.size() < t) {
+      const std::size_t p = rng.below(code->block_length());
+      if (std::find(positions.begin(), positions.end(), p) ==
+          positions.end()) {
+        positions.push_back(p);
+        w.flip(p);
+      }
+    }
+    const DecodeResult r = code->decode(w);
+    ASSERT_TRUE(r.success) << c.label << " with t=" << t;
+    EXPECT_EQ(r.message, m) << c.label;
+  }
+}
+
+TEST_P(CodeContract, FailureProbabilityIsMonotoneAndBounded) {
+  const auto code = GetParam().make();
+  double prev = 0.0;
+  for (double ber : {0.001, 0.01, 0.05, 0.1, 0.2, 0.4}) {
+    const double p = code->failure_probability(ber);
+    EXPECT_GE(p, 0.0);
+    EXPECT_LE(p, 1.0);
+    EXPECT_GE(p, prev - 1e-12) << GetParam().label << " ber=" << ber;
+    prev = p;
+  }
+}
+
+TEST_P(CodeContract, FuzzyExtractorIntegration) {
+  const auto code = GetParam().make();
+  FuzzyExtractor fx(code);
+  Xoshiro256StarStar rng(0xC0DE + 2);
+  BitVector response(fx.response_bits(1));
+  for (std::size_t i = 0; i < response.size(); ++i) {
+    response.set(i, rng.bernoulli(0.627));
+  }
+  BitVector secret;
+  const HelperData helper = fx.enroll(response, 1, rng, secret);
+  EXPECT_EQ(secret.size(), code->message_length());
+  const ReconstructResult clean = fx.reconstruct(response, helper);
+  ASSERT_TRUE(clean.success);
+  EXPECT_EQ(clean.message, secret);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllCodes, CodeContract,
+    ::testing::Values(
+        CodeCase{"rep5", [] { return std::make_shared<RepetitionCode>(5); },
+                 true},
+        CodeCase{"golay",
+                 [] { return std::make_shared<GolayCode>(); }, true},
+        CodeCase{"bch_15_7",
+                 [] { return std::make_shared<BchCode>(4, 2); }, true},
+        CodeCase{"bch_63_t4",
+                 [] { return std::make_shared<BchCode>(6, 4); }, true},
+        CodeCase{"bch_255_t18",
+                 [] { return std::make_shared<BchCode>(8, 18); }, true},
+        CodeCase{"golay_rep3",
+                 [] {
+                   return std::make_shared<ConcatenatedCode>(
+                       std::make_shared<GolayCode>(),
+                       std::make_shared<RepetitionCode>(3));
+                 },
+                 false},  // guaranteed per-stage, not per-pattern
+        CodeCase{"polar_128_64",
+                 [] { return std::make_shared<PolarCode>(7, 64, 0.05); },
+                 false}),
+    [](const ::testing::TestParamInfo<CodeCase>& param_info) {
+      return param_info.param.label;
+    });
+
+TEST(BchExhaustive, Bch15_5CorrectsEveryPatternUpToThree) {
+  // Full verification of a small code: every message x every error
+  // pattern of weight <= t decodes exactly (2048 x 576 checks are too
+  // many; all 32 messages x all 576 patterns = 18432 decodes is fine).
+  BchCode code(4, 3);  // (15, 5, t=3)
+  ASSERT_EQ(code.message_length(), 5U);
+  std::vector<BitVector> patterns;
+  patterns.push_back(BitVector(15));
+  for (std::size_t i = 0; i < 15; ++i) {
+    BitVector e1(15);
+    e1.set(i, true);
+    patterns.push_back(e1);
+    for (std::size_t j = i + 1; j < 15; ++j) {
+      BitVector e2 = e1;
+      e2.set(j, true);
+      patterns.push_back(e2);
+      for (std::size_t k = j + 1; k < 15; ++k) {
+        BitVector e3 = e2;
+        e3.set(k, true);
+        patterns.push_back(e3);
+      }
+    }
+  }
+  ASSERT_EQ(patterns.size(), 1U + 15U + 105U + 455U);
+  for (std::uint32_t msg_bits = 0; msg_bits < 32; ++msg_bits) {
+    BitVector m(5);
+    for (std::size_t b = 0; b < 5; ++b) {
+      if (msg_bits & (1U << b)) {
+        m.set(b, true);
+      }
+    }
+    const BitVector w = code.encode(m);
+    for (const BitVector& e : patterns) {
+      const DecodeResult r = code.decode(w ^ e);
+      ASSERT_TRUE(r.success);
+      ASSERT_EQ(r.message, m);
+      ASSERT_EQ(r.corrected, e.count_ones());
+    }
+  }
+}
+
+}  // namespace
+}  // namespace pufaging

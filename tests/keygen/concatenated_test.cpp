@@ -1,0 +1,115 @@
+#include "keygen/concatenated.hpp"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "common/error.hpp"
+#include "common/rng.hpp"
+#include "keygen/golay.hpp"
+#include "keygen/repetition.hpp"
+
+namespace pufaging {
+namespace {
+
+ConcatenatedCode standard_code() {
+  return ConcatenatedCode(std::make_shared<GolayCode>(),
+                          std::make_shared<RepetitionCode>(5));
+}
+
+TEST(Concatenated, Parameters) {
+  const ConcatenatedCode code = standard_code();
+  EXPECT_EQ(code.block_length(), 24U * 5U);
+  EXPECT_EQ(code.message_length(), 12U);
+  EXPECT_EQ(code.correctable(), 2U * 24U + 3U);
+  EXPECT_EQ(code.name(), "golay(24,12) o repetition(5,1)");
+}
+
+TEST(Concatenated, RejectsWideInnerCode) {
+  EXPECT_THROW(ConcatenatedCode(std::make_shared<RepetitionCode>(3),
+                                std::make_shared<GolayCode>()),
+               InvalidArgument);
+  EXPECT_THROW(ConcatenatedCode(nullptr, std::make_shared<RepetitionCode>(3)),
+               InvalidArgument);
+}
+
+TEST(Concatenated, CleanRoundTrip) {
+  const ConcatenatedCode code = standard_code();
+  Xoshiro256StarStar rng(11);
+  for (int t = 0; t < 20; ++t) {
+    BitVector msg(12);
+    for (std::size_t i = 0; i < 12; ++i) {
+      msg.set(i, rng.bernoulli(0.5));
+    }
+    const DecodeResult r = code.decode(code.encode(msg));
+    ASSERT_TRUE(r.success);
+    EXPECT_EQ(r.message, msg);
+    EXPECT_EQ(r.corrected, 0U);
+  }
+  EXPECT_THROW(code.decode(BitVector(100)), InvalidArgument);
+}
+
+TEST(Concatenated, SurvivesRandomBerAtPufLevels) {
+  // 5% BER (twice the paper's end-of-life worst case) must decode with
+  // overwhelming probability.
+  const ConcatenatedCode code = standard_code();
+  Xoshiro256StarStar rng(12);
+  int failures = 0;
+  for (int trial = 0; trial < 200; ++trial) {
+    BitVector msg(12);
+    for (std::size_t i = 0; i < 12; ++i) {
+      msg.set(i, rng.bernoulli(0.5));
+    }
+    BitVector w = code.encode(msg);
+    for (std::size_t i = 0; i < w.size(); ++i) {
+      if (rng.bernoulli(0.05)) {
+        w.flip(i);
+      }
+    }
+    const DecodeResult r = code.decode(w);
+    if (!r.success || !(r.message == msg)) {
+      ++failures;
+    }
+  }
+  EXPECT_EQ(failures, 0);
+}
+
+TEST(Concatenated, CorrectsTwoErrorsInEveryInnerBlock) {
+  // Worst-case inner load: 2 flips in each of the 24 repetition groups.
+  const ConcatenatedCode code = standard_code();
+  Xoshiro256StarStar rng(13);
+  BitVector msg(12);
+  for (std::size_t i = 0; i < 12; ++i) {
+    msg.set(i, rng.bernoulli(0.5));
+  }
+  BitVector w = code.encode(msg);
+  for (std::size_t block = 0; block < 24; ++block) {
+    w.flip(block * 5 + 1);
+    w.flip(block * 5 + 3);
+  }
+  const DecodeResult r = code.decode(w);
+  ASSERT_TRUE(r.success);
+  EXPECT_EQ(r.message, msg);
+  EXPECT_EQ(r.corrected, 48U);
+}
+
+TEST(Concatenated, CannotRecoverWhenOuterOverwhelmed) {
+  // Flip 3 of 5 bits in 8 inner blocks: 8 outer symbol errors > t=3.
+  // Beyond capacity the decoder must either detect the failure or emit a
+  // wrong message — it can never silently return the right one.
+  const ConcatenatedCode code = standard_code();
+  BitVector msg(12);
+  msg.set(2, true);
+  msg.set(9, true);
+  BitVector w = code.encode(msg);
+  for (std::size_t block = 0; block < 8; ++block) {
+    w.flip(block * 5);
+    w.flip(block * 5 + 1);
+    w.flip(block * 5 + 2);
+  }
+  const DecodeResult r = code.decode(w);
+  EXPECT_TRUE(!r.success || !(r.message == msg));
+}
+
+}  // namespace
+}  // namespace pufaging

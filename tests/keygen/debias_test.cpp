@@ -1,0 +1,101 @@
+#include "keygen/debias.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/error.hpp"
+#include "common/rng.hpp"
+
+namespace pufaging {
+namespace {
+
+BitVector biased_bits(std::size_t n, double p, std::uint64_t seed) {
+  Xoshiro256StarStar rng(seed);
+  BitVector v(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    v.set(i, rng.bernoulli(p));
+  }
+  return v;
+}
+
+TEST(VonNeumann, PairRules) {
+  // Pairs: 10 -> 1, 01 -> 0, 11/00 discarded.
+  const BitVector in = BitVector::from_string("10" "01" "11" "00" "10");
+  const DebiasResult r = von_neumann_enroll(in);
+  EXPECT_EQ(r.debiased.to_string(), "101");
+  EXPECT_EQ(r.selection_mask.to_string(), "11001");
+}
+
+TEST(VonNeumann, OddTrailingBitIgnored) {
+  const BitVector in = BitVector::from_string("10" "1");
+  const DebiasResult r = von_neumann_enroll(in);
+  EXPECT_EQ(r.debiased.size(), 1U);
+  EXPECT_EQ(r.selection_mask.size(), 1U);
+}
+
+TEST(VonNeumann, OutputIsUnbiasedForBiasedSource) {
+  // The paper's SRAMs show ~62.7% ones; CVN output must be ~50%.
+  const BitVector in = biased_bits(200000, 0.627, 14);
+  const DebiasResult r = von_neumann_enroll(in);
+  EXPECT_GT(r.debiased.size(), 30000U);
+  EXPECT_NEAR(r.debiased.fractional_weight(), 0.5, 0.01);
+}
+
+TEST(VonNeumann, RateMatchesFormula) {
+  const double p = 0.627;
+  const BitVector in = biased_bits(400000, p, 15);
+  const DebiasResult r = von_neumann_enroll(in);
+  // Kept pairs fraction = 2p(1-p); output bits = pairs * 2p(1-p).
+  const double expected_bits = 400000.0 / 2.0 * 2.0 * p * (1.0 - p);
+  EXPECT_NEAR(static_cast<double>(r.debiased.size()), expected_bits,
+              5.0 * std::sqrt(expected_bits));
+  EXPECT_NEAR(von_neumann_rate(p) * 400000.0, expected_bits, 1e-6);
+  EXPECT_THROW(von_neumann_rate(1.5), InvalidArgument);
+}
+
+TEST(VonNeumann, ReconstructionAlignsWithMask) {
+  const BitVector in = biased_bits(1000, 0.627, 16);
+  const DebiasResult r = von_neumann_enroll(in);
+  // Noiseless re-measurement reproduces the enrolled debiased string.
+  const BitVector rec = von_neumann_reconstruct(in, r.selection_mask);
+  EXPECT_EQ(rec, r.debiased);
+  EXPECT_THROW(von_neumann_reconstruct(in, BitVector(3)), InvalidArgument);
+}
+
+TEST(VonNeumann, ReconstructionToleratesNoiseLocally) {
+  // A flip at a non-selected pair leaves the output untouched; a flip at a
+  // selected pair's first bit flips exactly one output bit.
+  const BitVector in = BitVector::from_string("10" "11" "01");
+  const DebiasResult r = von_neumann_enroll(in);
+  ASSERT_EQ(r.debiased.to_string(), "10");
+  BitVector noisy = in;
+  noisy.flip(2);  // inside the discarded 11 pair
+  EXPECT_EQ(von_neumann_reconstruct(noisy, r.selection_mask), r.debiased);
+  BitVector noisy2 = in;
+  noisy2.flip(0);  // first bit of the first selected pair
+  const BitVector rec = von_neumann_reconstruct(noisy2, r.selection_mask);
+  EXPECT_EQ(hamming_distance(rec, r.debiased), 1U);
+}
+
+TEST(TwoPassVonNeumann, HigherRateThanSinglePass) {
+  const BitVector in = biased_bits(100000, 0.7, 17);
+  const DebiasResult single = von_neumann_enroll(in);
+  const TwoPassDebiasResult two = two_pass_von_neumann_enroll(in);
+  EXPECT_EQ(two.pass1_bits, single.debiased.size());
+  EXPECT_GT(two.debiased.size(), single.debiased.size());
+  // Pass-2 bits are also unbiased: overall output stays ~50%.
+  EXPECT_NEAR(two.debiased.fractional_weight(), 0.5, 0.02);
+}
+
+TEST(TwoPassVonNeumann, MaskMatchesPass1) {
+  const BitVector in = BitVector::from_string("10" "01" "11" "00");
+  const TwoPassDebiasResult r = two_pass_von_neumann_enroll(in);
+  EXPECT_EQ(r.selection_mask.to_string(), "1100");
+  EXPECT_EQ(r.pass1_bits, 2U);
+  // Discarded values 1 (from 11), 0 (from 00) -> pass 2 pair 10 -> 1.
+  EXPECT_EQ(r.debiased.to_string(), "101");
+}
+
+}  // namespace
+}  // namespace pufaging

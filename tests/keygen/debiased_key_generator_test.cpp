@@ -1,0 +1,75 @@
+#include "keygen/debiased_key_generator.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+#include "silicon/device_factory.hpp"
+
+namespace pufaging {
+namespace {
+
+SramDevice device(std::uint32_t id) {
+  return make_device(paper_fleet_config(), id);
+}
+
+TEST(DebiasedKeyGen, EnrollAndRegenerate) {
+  SramDevice d = device(0);
+  DebiasedKeyGenerator gen = DebiasedKeyGenerator::standard();
+  const DebiasedEnrollment e = gen.enroll(d);
+  EXPECT_EQ(e.key.size(), 16U);
+  EXPECT_EQ(e.debiased_bits_used, 11U * 120U);
+  EXPECT_EQ(e.selection_mask.size(), 4096U);  // one flag per bit pair
+  const Regeneration r = gen.regenerate(d, e);
+  ASSERT_TRUE(r.success);
+  EXPECT_TRUE(r.key_matches);
+}
+
+TEST(DebiasedKeyGen, HelperDataIsUnbiased) {
+  // The whole point of debiasing: the code offset sits over uniform bits,
+  // so its Hamming weight is ~50% (a biased-response code offset would
+  // inherit the 62.7% bias and leak).
+  SramDevice d = device(1);
+  DebiasedKeyGenerator gen = DebiasedKeyGenerator::standard();
+  const DebiasedEnrollment e = gen.enroll(d);
+  EXPECT_NEAR(e.helper.code_offset.fractional_weight(), 0.5, 0.05);
+}
+
+TEST(DebiasedKeyGen, SurvivesTwoYearsOfAging) {
+  SramDevice d = device(2);
+  DebiasedKeyGenerator gen = DebiasedKeyGenerator::standard();
+  const DebiasedEnrollment e = gen.enroll(d);
+  for (int quarter = 0; quarter < 8; ++quarter) {
+    d.age_months(3.0);
+    const Regeneration r = gen.regenerate(d, e);
+    ASSERT_TRUE(r.success) << "quarter " << quarter;
+    ASSERT_TRUE(r.key_matches) << "quarter " << quarter;
+  }
+}
+
+TEST(DebiasedKeyGen, ConsumesMoreResponseThanPlainScheme) {
+  // Rate cost of debiasing: ~4x response bits per key bit for p ~ 0.627.
+  SramDevice d = device(3);
+  DebiasedKeyGenerator gen = DebiasedKeyGenerator::standard();
+  const DebiasedEnrollment e = gen.enroll(d);
+  // 1320 debiased bits require the full 8192-bit window (vs 1320 raw).
+  EXPECT_GT(d.puf_window_bits(), 4 * e.debiased_bits_used / 2);
+}
+
+TEST(DebiasedKeyGen, ThrowsWhenWindowTooSmallForCode) {
+  // 40 blocks x 120 bits = 4800 debiased bits > what 8192 raw bits yield.
+  KeyGenConfig config;
+  config.blocks = 40;
+  config.key_bytes = 16;
+  SramDevice d = device(4);
+  DebiasedKeyGenerator gen = DebiasedKeyGenerator::standard(config);
+  EXPECT_THROW(gen.enroll(d), Error);
+}
+
+TEST(DebiasedKeyGen, Validation) {
+  KeyGenConfig config;
+  config.key_bytes = 0;
+  EXPECT_THROW(DebiasedKeyGenerator::standard(config), InvalidArgument);
+}
+
+}  // namespace
+}  // namespace pufaging

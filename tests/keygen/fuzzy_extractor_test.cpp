@@ -1,0 +1,155 @@
+#include "keygen/fuzzy_extractor.hpp"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "common/error.hpp"
+#include "keygen/concatenated.hpp"
+#include "keygen/golay.hpp"
+#include "keygen/repetition.hpp"
+
+namespace pufaging {
+namespace {
+
+BitVector random_bits(std::size_t n, std::uint64_t seed, double p = 0.627) {
+  Xoshiro256StarStar rng(seed);
+  BitVector v(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    v.set(i, rng.bernoulli(p));
+  }
+  return v;
+}
+
+std::shared_ptr<const BlockCode> golay() {
+  return std::make_shared<GolayCode>();
+}
+
+TEST(FuzzyExtractor, Sizing) {
+  FuzzyExtractor fx(golay());
+  EXPECT_EQ(fx.response_bits(3), 72U);
+  EXPECT_EQ(fx.secret_bits(3), 36U);
+  EXPECT_THROW(FuzzyExtractor(nullptr), InvalidArgument);
+}
+
+TEST(FuzzyExtractor, CleanReconstruction) {
+  FuzzyExtractor fx(golay());
+  const BitVector response = random_bits(48, 20);
+  Xoshiro256StarStar rng(21);
+  BitVector secret;
+  const HelperData helper = fx.enroll(response, 2, rng, secret);
+  EXPECT_EQ(helper.code_offset.size(), 48U);
+  EXPECT_EQ(secret.size(), 24U);
+  const ReconstructResult r = fx.reconstruct(response, helper);
+  ASSERT_TRUE(r.success);
+  EXPECT_EQ(r.message, secret);
+  EXPECT_EQ(r.corrected, 0U);
+}
+
+TEST(FuzzyExtractor, ToleratesErrorsWithinCapacity) {
+  FuzzyExtractor fx(golay());
+  const BitVector response = random_bits(48, 22);
+  Xoshiro256StarStar rng(23);
+  BitVector secret;
+  const HelperData helper = fx.enroll(response, 2, rng, secret);
+  BitVector noisy = response;
+  noisy.flip(0);
+  noisy.flip(13);
+  noisy.flip(23);  // 3 errors in block 0
+  noisy.flip(25);  // 1 error in block 1
+  const ReconstructResult r = fx.reconstruct(noisy, helper);
+  ASSERT_TRUE(r.success);
+  EXPECT_EQ(r.message, secret);
+  EXPECT_EQ(r.corrected, 4U);
+}
+
+TEST(FuzzyExtractor, DetectsOverload) {
+  FuzzyExtractor fx(golay());
+  const BitVector response = random_bits(24, 24);
+  Xoshiro256StarStar rng(25);
+  BitVector secret;
+  const HelperData helper = fx.enroll(response, 1, rng, secret);
+  BitVector noisy = response;
+  for (std::size_t i = 0; i < 4; ++i) {
+    noisy.flip(i);  // 4 errors: detected by incomplete decoding
+  }
+  EXPECT_FALSE(fx.reconstruct(noisy, helper).success);
+}
+
+TEST(FuzzyExtractor, WrongDeviceYieldsGarbageOrFailure) {
+  FuzzyExtractor fx(golay());
+  const BitVector response = random_bits(48, 26);
+  Xoshiro256StarStar rng(27);
+  BitVector secret;
+  const HelperData helper = fx.enroll(response, 2, rng, secret);
+  const BitVector other = random_bits(48, 9999);
+  const ReconstructResult r = fx.reconstruct(other, helper);
+  EXPECT_TRUE(!r.success || !(r.message == secret));
+}
+
+TEST(FuzzyExtractor, HelperDataMasksTheResponse) {
+  // The code offset is response XOR codeword(s); with a uniform secret it
+  // must not equal the response itself.
+  FuzzyExtractor fx(golay());
+  const BitVector response = random_bits(24, 28);
+  Xoshiro256StarStar rng(29);
+  BitVector secret;
+  const HelperData helper = fx.enroll(response, 1, rng, secret);
+  EXPECT_NE(helper.code_offset, response);
+  // And XORing back the encoded secret reproduces the response exactly.
+  GolayCode code;
+  const BitVector codeword = code.encode(secret);
+  BitVector reconstructed = helper.code_offset;
+  reconstructed ^= codeword;
+  EXPECT_EQ(reconstructed, response);
+}
+
+TEST(FuzzyExtractor, WorksWithConcatenatedCode) {
+  auto code = std::make_shared<ConcatenatedCode>(
+      std::make_shared<GolayCode>(), std::make_shared<RepetitionCode>(5));
+  FuzzyExtractor fx(code);
+  const BitVector response = random_bits(240, 30);
+  Xoshiro256StarStar rng(31);
+  BitVector secret;
+  const HelperData helper = fx.enroll(response, 2, rng, secret);
+  // 3% BER, the paper's end-of-life level.
+  Xoshiro256StarStar noise(32);
+  BitVector noisy = response;
+  for (std::size_t i = 0; i < noisy.size(); ++i) {
+    if (noise.bernoulli(0.03)) {
+      noisy.flip(i);
+    }
+  }
+  const ReconstructResult r = fx.reconstruct(noisy, helper);
+  ASSERT_TRUE(r.success);
+  EXPECT_EQ(r.message, secret);
+}
+
+TEST(FuzzyExtractor, Validation) {
+  FuzzyExtractor fx(golay());
+  Xoshiro256StarStar rng(33);
+  BitVector secret;
+  EXPECT_THROW(fx.enroll(BitVector(24), 0, rng, secret), InvalidArgument);
+  EXPECT_THROW(fx.enroll(BitVector(25), 1, rng, secret), InvalidArgument);
+  HelperData helper;
+  helper.code_offset = BitVector(24);
+  EXPECT_THROW(fx.reconstruct(BitVector(23), helper), InvalidArgument);
+  helper.code_offset = BitVector(23);
+  EXPECT_THROW(fx.reconstruct(BitVector(23), helper), InvalidArgument);
+}
+
+TEST(DeriveKey, DeterministicAndContextSeparated) {
+  const BitVector secret = random_bits(24, 34, 0.5);
+  const auto k1 = derive_key(secret, "ctx-a", 16);
+  const auto k2 = derive_key(secret, "ctx-a", 16);
+  const auto k3 = derive_key(secret, "ctx-b", 16);
+  EXPECT_EQ(k1.size(), 16U);
+  EXPECT_EQ(k1, k2);
+  EXPECT_NE(k1, k3);
+  BitVector other = secret;
+  other.flip(0);
+  EXPECT_NE(derive_key(other, "ctx-a", 16), k1);
+}
+
+}  // namespace
+}  // namespace pufaging

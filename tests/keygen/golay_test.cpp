@@ -1,0 +1,144 @@
+#include "keygen/golay.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "common/error.hpp"
+#include "common/rng.hpp"
+
+namespace pufaging {
+namespace {
+
+BitVector random_message(Xoshiro256StarStar& rng) {
+  BitVector m(12);
+  for (std::size_t i = 0; i < 12; ++i) {
+    m.set(i, rng.bernoulli(0.5));
+  }
+  return m;
+}
+
+TEST(Golay, Parameters) {
+  GolayCode code;
+  EXPECT_EQ(code.block_length(), 24U);
+  EXPECT_EQ(code.message_length(), 12U);
+  EXPECT_EQ(code.correctable(), 3U);
+  EXPECT_EQ(code.name(), "golay(24,12)");
+}
+
+TEST(Golay, ConstructionValidatesMinimumDistance) {
+  // The syndrome table build throws on any collision among weight-<=3
+  // patterns, which certifies d >= 7; constructing at all is the test.
+  EXPECT_NO_THROW(GolayCode{});
+}
+
+TEST(Golay, SystematicEncoding) {
+  GolayCode code;
+  Xoshiro256StarStar rng(1);
+  for (int t = 0; t < 20; ++t) {
+    const BitVector m = random_message(rng);
+    const BitVector w = code.encode(m);
+    for (std::size_t i = 0; i < 12; ++i) {
+      EXPECT_EQ(w.get(i), m.get(i));
+    }
+  }
+  EXPECT_THROW(code.encode(BitVector(11)), InvalidArgument);
+}
+
+TEST(Golay, EveryNonzeroCodewordHasWeightAtLeast8) {
+  GolayCode code;
+  Xoshiro256StarStar rng(2);
+  for (int t = 0; t < 200; ++t) {
+    const BitVector m = random_message(rng);
+    if (m.count_ones() == 0) {
+      continue;
+    }
+    EXPECT_GE(code.encode(m).count_ones(), 8U);
+  }
+}
+
+TEST(Golay, CleanDecode) {
+  GolayCode code;
+  Xoshiro256StarStar rng(3);
+  const BitVector m = random_message(rng);
+  const DecodeResult r = code.decode(code.encode(m));
+  EXPECT_TRUE(r.success);
+  EXPECT_EQ(r.corrected, 0U);
+  EXPECT_EQ(r.message, m);
+  EXPECT_THROW(code.decode(BitVector(23)), InvalidArgument);
+}
+
+TEST(Golay, FourErrorsAreDetectedNotMiscorrected) {
+  GolayCode code;
+  Xoshiro256StarStar rng(4);
+  int detected = 0;
+  const int trials = 100;
+  for (int t = 0; t < trials; ++t) {
+    const BitVector m = random_message(rng);
+    BitVector w = code.encode(m);
+    std::vector<std::size_t> positions;
+    while (positions.size() < 4) {
+      const std::size_t p = rng.below(24);
+      if (std::find(positions.begin(), positions.end(), p) ==
+          positions.end()) {
+        positions.push_back(p);
+        w.flip(p);
+      }
+    }
+    const DecodeResult r = code.decode(w);
+    // Extended Golay: weight-4 errors always land outside the decoding
+    // spheres (incomplete decoding reports failure).
+    EXPECT_FALSE(r.success);
+    ++detected;
+  }
+  EXPECT_EQ(detected, trials);
+}
+
+// Property: all error patterns of weight <= 3 decode to the message.
+class GolayErrors : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(GolayErrors, CorrectsWeightPattern) {
+  const std::size_t errors = GetParam();
+  GolayCode code;
+  Xoshiro256StarStar rng(40 + errors);
+  for (int trial = 0; trial < 200; ++trial) {
+    const BitVector m = random_message(rng);
+    BitVector w = code.encode(m);
+    std::vector<std::size_t> positions;
+    while (positions.size() < errors) {
+      const std::size_t p = rng.below(24);
+      if (std::find(positions.begin(), positions.end(), p) ==
+          positions.end()) {
+        positions.push_back(p);
+        w.flip(p);
+      }
+    }
+    const DecodeResult r = code.decode(w);
+    ASSERT_TRUE(r.success);
+    EXPECT_EQ(r.message, m);
+    EXPECT_EQ(r.corrected, errors);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(ZeroToThree, GolayErrors,
+                         ::testing::Values(0U, 1U, 2U, 3U));
+
+TEST(Golay, ExhaustiveSingleAndDoubleErrorsOnOneCodeword) {
+  GolayCode code;
+  Xoshiro256StarStar rng(5);
+  const BitVector m = random_message(rng);
+  const BitVector w = code.encode(m);
+  for (std::size_t i = 0; i < 24; ++i) {
+    BitVector e1 = w;
+    e1.flip(i);
+    EXPECT_EQ(code.decode(e1).message, m);
+    for (std::size_t j = i + 1; j < 24; ++j) {
+      BitVector e2 = e1;
+      e2.flip(j);
+      EXPECT_EQ(code.decode(e2).message, m);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace pufaging

@@ -1,0 +1,121 @@
+#include "keygen/key_generator.hpp"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "common/error.hpp"
+#include "keygen/golay.hpp"
+#include "silicon/device_factory.hpp"
+
+namespace pufaging {
+namespace {
+
+SramDevice device(std::uint32_t id = 0) {
+  return make_device(paper_fleet_config(), id);
+}
+
+TEST(KeyGenerator, StandardConstructionSizes) {
+  KeyGenerator gen = KeyGenerator::standard();
+  // Golay o rep-5: 120 bits/block, 12 secret bits/block; 128-bit key needs
+  // 11 blocks.
+  EXPECT_EQ(gen.code().block_length(), 120U);
+  EXPECT_EQ(gen.config().blocks * gen.code().message_length(), 132U);
+}
+
+TEST(KeyGenerator, EnrollThenRegenerateFreshDevice) {
+  SramDevice d = device();
+  KeyGenerator gen = KeyGenerator::standard();
+  const Enrollment e = gen.enroll(d);
+  EXPECT_EQ(e.key.size(), 16U);
+  EXPECT_EQ(e.response_bits, 11U * 120U);
+  const Regeneration r = gen.regenerate(d, e);
+  EXPECT_TRUE(r.success);
+  EXPECT_TRUE(r.key_matches);
+  EXPECT_EQ(r.key, e.key);
+}
+
+TEST(KeyGenerator, RegenerationAbsorbsNoise) {
+  SramDevice d = device(1);
+  KeyGenerator gen = KeyGenerator::standard();
+  const Enrollment e = gen.enroll(d);
+  std::size_t total_corrected = 0;
+  for (int i = 0; i < 10; ++i) {
+    const Regeneration r = gen.regenerate(d, e);
+    ASSERT_TRUE(r.success);
+    ASSERT_TRUE(r.key_matches);
+    total_corrected += r.corrected;
+  }
+  // ~2.5% WCHD on 1320 bits -> ~33 corrections per attempt.
+  EXPECT_GT(total_corrected, 50U);
+}
+
+TEST(KeyGenerator, SurvivesTwoYearsOfAging) {
+  // The paper's key claim for the application: after 24 months at nominal
+  // conditions the PUF still supports reliable key reconstruction.
+  SramDevice d = device(2);
+  KeyGenerator gen = KeyGenerator::standard();
+  const Enrollment e = gen.enroll(d);
+  for (int month = 0; month < 24; month += 3) {
+    d.age_months(3.0);
+    const Regeneration r = gen.regenerate(d, e);
+    ASSERT_TRUE(r.success) << "failed at month " << month + 3;
+    ASSERT_TRUE(r.key_matches) << "wrong key at month " << month + 3;
+  }
+}
+
+TEST(KeyGenerator, MajorityVotedEnrollmentReducesCorrections) {
+  SramDevice d1 = device(3);
+  SramDevice d2 = device(3);  // identical twin
+  KeyGenConfig voted;
+  voted.enroll_votes = 9;
+  KeyGenerator gen1 = KeyGenerator::standard();
+  KeyGenerator gen9 = KeyGenerator::standard(voted);
+  const Enrollment e1 = gen1.enroll(d1);
+  const Enrollment e9 = gen9.enroll(d2);
+  std::size_t single = 0;
+  std::size_t majority = 0;
+  for (int i = 0; i < 20; ++i) {
+    single += gen1.regenerate(d1, e1).corrected;
+    majority += gen9.regenerate(d2, e9).corrected;
+  }
+  // A majority-voted reference is closer to each cell's preferred value.
+  EXPECT_LT(majority, single);
+}
+
+TEST(KeyGenerator, FailureProbabilityBehaviour) {
+  KeyGenerator gen = KeyGenerator::standard();
+  const double p_young = gen.failure_probability(0.025);
+  const double p_old = gen.failure_probability(0.0325);
+  const double p_extreme = gen.failure_probability(0.25);
+  EXPECT_LT(p_young, 1e-9);  // comfortable margin at start of life
+  EXPECT_LT(p_old, 1e-6);    // still safe at the paper's 2-year worst case
+  EXPECT_LE(p_young, p_old);
+  // At the 25% BER limit of [13] this particular short construction is
+  // overwhelmed — the estimate must say so.
+  EXPECT_GT(p_extreme, 1e-3);
+}
+
+TEST(KeyGenerator, Validation) {
+  auto code = std::make_shared<GolayCode>();
+  KeyGenConfig config;
+  config.blocks = 2;  // 24 secret bits < 128-bit key
+  EXPECT_THROW(KeyGenerator(code, config), InvalidArgument);
+  config.blocks = 11;
+  config.enroll_votes = 2;
+  EXPECT_THROW(KeyGenerator(code, config), InvalidArgument);
+  config.enroll_votes = 1;
+  config.key_bytes = 0;
+  EXPECT_THROW(KeyGenerator(code, config), InvalidArgument);
+}
+
+TEST(KeyGenerator, DistinctDevicesYieldDistinctKeys) {
+  SramDevice a = device(4);
+  SramDevice b = device(5);
+  KeyGenerator gen_a = KeyGenerator::standard();
+  KeyGenerator gen_b = KeyGenerator::standard();
+  EXPECT_NE(gen_a.enroll(a).key, gen_b.enroll(b).key);
+}
+
+}  // namespace
+}  // namespace pufaging

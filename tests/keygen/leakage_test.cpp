@@ -1,0 +1,95 @@
+#include "keygen/leakage.hpp"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "common/error.hpp"
+#include "keygen/debias.hpp"
+#include "keygen/golay.hpp"
+#include "keygen/repetition.hpp"
+#include "silicon/device_factory.hpp"
+
+namespace pufaging {
+namespace {
+
+TEST(Leakage, EntropyDeficit) {
+  EXPECT_DOUBLE_EQ(bias_entropy_deficit(0.5), 0.0);
+  EXPECT_NEAR(bias_entropy_deficit(0.627), 0.0471, 0.001);
+  EXPECT_DOUBLE_EQ(bias_entropy_deficit(1.0), 1.0);
+  EXPECT_DOUBLE_EQ(bias_entropy_deficit(0.3), bias_entropy_deficit(0.7));
+}
+
+TEST(Leakage, CodeOffsetBudget) {
+  GolayCode golay;
+  // Unbiased source: zero leakage, full 12 secret bits.
+  EXPECT_DOUBLE_EQ(code_offset_leakage_bits(golay, 0.5), 0.0);
+  EXPECT_DOUBLE_EQ(residual_secret_bits(golay, 0.5), 12.0);
+  // At the paper's bias, the 12 syndrome bits of Golay(24,12) still cover
+  // the deficit (24 * 0.048 ~ 1.2 < 12): no certified leak.
+  EXPECT_DOUBLE_EQ(code_offset_leakage_bits(golay, 0.627), 0.0);
+  // A rate-1 "code" (no syndrome allowance) leaks the full deficit.
+  RepetitionCode rep1(1);
+  EXPECT_NEAR(code_offset_leakage_bits(rep1, 0.627), 0.0471, 0.001);
+  // Extreme bias overwhelms even Golay's syndrome allowance.
+  EXPECT_GT(code_offset_leakage_bits(golay, 0.99), 0.0);
+  EXPECT_LT(residual_secret_bits(golay, 0.99), 12.0);
+}
+
+TEST(Leakage, RepetitionAttackTheoryMatchesMonteCarlo) {
+  Xoshiro256StarStar rng(120);
+  for (double bias : {0.5, 0.6, 0.627, 0.75}) {
+    for (std::size_t n : {3UL, 5UL, 7UL}) {
+      const double theory = repetition_bias_attack_theory(n, bias);
+      const double observed =
+          repetition_bias_attack_success(n, bias, 20000, rng);
+      EXPECT_NEAR(observed, theory, 0.015)
+          << "n=" << n << " bias=" << bias;
+    }
+  }
+}
+
+TEST(Leakage, UnbiasedSourceGivesNoAdvantage) {
+  Xoshiro256StarStar rng(121);
+  EXPECT_NEAR(repetition_bias_attack_success(5, 0.5, 20000, rng), 0.5,
+              0.02);
+  EXPECT_DOUBLE_EQ(repetition_bias_attack_theory(5, 0.5),
+                   repetition_bias_attack_theory(5, 0.5));
+}
+
+TEST(Leakage, PaperBiasLeaksMostOfTheRepetitionSecret) {
+  // The CHES'15 motivation: on a 62.7%-biased response a repetition-5
+  // code-offset secret bit is recoverable ~73% of the time from public
+  // helper data alone.
+  const double theory = repetition_bias_attack_theory(5, 0.627);
+  EXPECT_GT(theory, 0.70);
+  EXPECT_LT(theory, 0.80);
+  // Longer repetition amplifies the leak (more bias evidence per bit).
+  EXPECT_GT(repetition_bias_attack_theory(11, 0.627), theory);
+}
+
+TEST(Leakage, DebiasingRemovesTheAttackSurface) {
+  // Debias a real (biased) device response; the attack on the debiased
+  // bits degenerates to a coin flip because their bias is ~0.5.
+  SramDevice device = make_device(paper_fleet_config(), 6);
+  const BitVector raw = device.measure();
+  const DebiasResult debiased = von_neumann_enroll(raw);
+  const double debiased_bias = debiased.debiased.fractional_weight();
+  EXPECT_NEAR(debiased_bias, 0.5, 0.03);
+  EXPECT_LT(repetition_bias_attack_theory(5, debiased_bias), 0.55);
+  // The raw response, by contrast, is attackable.
+  EXPECT_GT(repetition_bias_attack_theory(5, raw.fractional_weight()),
+            0.68);
+}
+
+TEST(Leakage, Validation) {
+  Xoshiro256StarStar rng(122);
+  EXPECT_THROW(repetition_bias_attack_success(4, 0.6, 100, rng),
+               InvalidArgument);
+  EXPECT_THROW(repetition_bias_attack_success(5, 0.6, 0, rng),
+               InvalidArgument);
+  EXPECT_THROW(repetition_bias_attack_theory(2, 0.6), InvalidArgument);
+}
+
+}  // namespace
+}  // namespace pufaging

@@ -1,0 +1,153 @@
+#include "keygen/polar.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "common/error.hpp"
+#include "common/rng.hpp"
+#include "keygen/fuzzy_extractor.hpp"
+
+namespace pufaging {
+namespace {
+
+BitVector random_message(std::size_t k, Xoshiro256StarStar& rng) {
+  BitVector m(k);
+  for (std::size_t i = 0; i < k; ++i) {
+    m.set(i, rng.bernoulli(0.5));
+  }
+  return m;
+}
+
+BitVector with_random_errors(const BitVector& word, double ber,
+                             Xoshiro256StarStar& rng) {
+  BitVector w = word;
+  for (std::size_t i = 0; i < w.size(); ++i) {
+    if (rng.bernoulli(ber)) {
+      w.flip(i);
+    }
+  }
+  return w;
+}
+
+TEST(Polar, ParametersAndValidation) {
+  PolarCode code(7, 64, 0.05);  // (128, 64)
+  EXPECT_EQ(code.block_length(), 128U);
+  EXPECT_EQ(code.message_length(), 64U);
+  EXPECT_EQ(code.name(), "polar(128,64)");
+  EXPECT_EQ(code.information_set().size(), 64U);
+  EXPECT_TRUE(std::is_sorted(code.information_set().begin(),
+                             code.information_set().end()));
+  EXPECT_THROW(PolarCode(0, 1), InvalidArgument);
+  EXPECT_THROW(PolarCode(4, 0), InvalidArgument);
+  EXPECT_THROW(PolarCode(4, 17), InvalidArgument);
+  EXPECT_THROW(PolarCode(4, 8, 0.6), InvalidArgument);
+}
+
+TEST(Polar, InformationSetPrefersHighIndices) {
+  // Polarization makes high-index synthesized channels (more "plus"
+  // transforms) the reliable ones; the last channel is always the best.
+  PolarCode code(6, 16, 0.1);  // (64, 16)
+  const auto& info = code.information_set();
+  EXPECT_EQ(info.back(), 63U);
+  // Mean info-set index well above n/2.
+  double mean_index = 0.0;
+  for (std::uint32_t i : info) {
+    mean_index += i;
+  }
+  mean_index /= static_cast<double>(info.size());
+  EXPECT_GT(mean_index, 40.0);
+}
+
+TEST(Polar, EncodeIsLinear) {
+  PolarCode code(6, 24);
+  Xoshiro256StarStar rng(60);
+  const BitVector a = random_message(24, rng);
+  const BitVector b = random_message(24, rng);
+  const BitVector sum = a ^ b;
+  EXPECT_EQ(code.encode(sum), code.encode(a) ^ code.encode(b));
+  EXPECT_EQ(code.encode(BitVector(24)).count_ones(), 0U);
+  EXPECT_THROW(code.encode(BitVector(23)), InvalidArgument);
+}
+
+TEST(Polar, CleanRoundTrip) {
+  for (unsigned log2n : {4U, 6U, 8U}) {
+    const std::size_t k = (std::size_t{1} << log2n) / 2;
+    PolarCode code(log2n, k);
+    Xoshiro256StarStar rng(log2n);
+    for (int t = 0; t < 20; ++t) {
+      const BitVector m = random_message(k, rng);
+      const DecodeResult r = code.decode(code.encode(m));
+      ASSERT_TRUE(r.success);
+      EXPECT_EQ(r.message, m);
+      EXPECT_EQ(r.corrected, 0U);
+    }
+  }
+  EXPECT_THROW(PolarCode(4, 8).decode(BitVector(15)), InvalidArgument);
+}
+
+TEST(Polar, IndicativeCorrectionRadiusIsPositive) {
+  PolarCode code(8, 64, 0.05);  // rate-1/4 (256, 64)
+  EXPECT_GE(code.correctable(), 4U);
+}
+
+TEST(Polar, DecodesAtDesignErrorRate) {
+  // Rate 1/4 polar at its 5% design point: failures must be rare.
+  PolarCode code(8, 64, 0.05);
+  Xoshiro256StarStar rng(61);
+  int wrong = 0;
+  const int trials = 100;
+  for (int t = 0; t < trials; ++t) {
+    const BitVector m = random_message(64, rng);
+    const BitVector noisy = with_random_errors(code.encode(m), 0.05, rng);
+    const DecodeResult r = code.decode(noisy);
+    wrong += (r.message == m) ? 0 : 1;
+  }
+  EXPECT_LE(wrong, 5);
+}
+
+TEST(Polar, HandlesPaperLevelBerTwentyFivePercent) {
+  // [13]'s headline: a low-rate polar code absorbs ~25% BER. Use rate
+  // 16/512 designed at 0.25.
+  PolarCode code(9, 16, 0.25);
+  Xoshiro256StarStar rng(62);
+  int wrong = 0;
+  const int trials = 40;
+  for (int t = 0; t < trials; ++t) {
+    const BitVector m = random_message(16, rng);
+    const BitVector noisy = with_random_errors(code.encode(m), 0.25, rng);
+    wrong += (code.decode(noisy).message == m) ? 0 : 1;
+  }
+  EXPECT_LE(wrong, 4);
+}
+
+TEST(Polar, FailureProbabilityBound) {
+  PolarCode code(8, 64, 0.05);
+  const double at_design = code.failure_probability(0.05);
+  EXPECT_GT(at_design, 0.0);
+  EXPECT_LT(at_design, 0.5);
+  // Monotone in channel quality.
+  EXPECT_LT(code.failure_probability(0.01), at_design);
+  EXPECT_GT(code.failure_probability(0.2), at_design);
+  EXPECT_DOUBLE_EQ(code.failure_probability(0.0), 0.0);
+  EXPECT_DOUBLE_EQ(code.failure_probability(0.5), 1.0);
+}
+
+TEST(Polar, WorksInsideFuzzyExtractor) {
+  auto code = std::make_shared<PolarCode>(8, 64, 0.05);
+  FuzzyExtractor fx(code);
+  Xoshiro256StarStar rng(63);
+  BitVector response(256);
+  for (std::size_t i = 0; i < 256; ++i) {
+    response.set(i, rng.bernoulli(0.627));
+  }
+  BitVector secret;
+  const HelperData helper = fx.enroll(response, 1, rng, secret);
+  const BitVector noisy = with_random_errors(response, 0.03, rng);
+  const ReconstructResult r = fx.reconstruct(noisy, helper);
+  ASSERT_TRUE(r.success);
+  EXPECT_EQ(r.message, secret);
+}
+
+}  // namespace
+}  // namespace pufaging

@@ -1,0 +1,85 @@
+#include "keygen/repetition.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "common/error.hpp"
+#include "common/rng.hpp"
+
+namespace pufaging {
+namespace {
+
+TEST(Repetition, Parameters) {
+  RepetitionCode code(5);
+  EXPECT_EQ(code.block_length(), 5U);
+  EXPECT_EQ(code.message_length(), 1U);
+  EXPECT_EQ(code.correctable(), 2U);
+  EXPECT_EQ(code.name(), "repetition(5,1)");
+}
+
+TEST(Repetition, RejectsEvenOrZeroLength) {
+  EXPECT_THROW(RepetitionCode(0), InvalidArgument);
+  EXPECT_THROW(RepetitionCode(4), InvalidArgument);
+  EXPECT_NO_THROW(RepetitionCode(1));
+}
+
+TEST(Repetition, EncodeExpandsBit) {
+  RepetitionCode code(3);
+  BitVector one(1);
+  one.set(0, true);
+  EXPECT_EQ(code.encode(one).to_string(), "111");
+  EXPECT_EQ(code.encode(BitVector(1)).to_string(), "000");
+  EXPECT_THROW(code.encode(BitVector(2)), InvalidArgument);
+}
+
+TEST(Repetition, MajorityDecoding) {
+  RepetitionCode code(5);
+  const DecodeResult r = code.decode(BitVector::from_string("11010"));
+  EXPECT_TRUE(r.success);
+  EXPECT_TRUE(r.message.get(0));
+  EXPECT_EQ(r.corrected, 2U);
+  const DecodeResult r0 = code.decode(BitVector::from_string("01000"));
+  EXPECT_FALSE(r0.message.get(0));
+  EXPECT_EQ(r0.corrected, 1U);
+  EXPECT_THROW(code.decode(BitVector(4)), InvalidArgument);
+}
+
+// Property: any error pattern of weight <= t decodes correctly.
+class RepetitionErrors
+    : public ::testing::TestWithParam<std::tuple<std::size_t, std::size_t>> {};
+
+TEST_P(RepetitionErrors, CorrectsUpToCapacity) {
+  const auto [n, errors] = GetParam();
+  RepetitionCode code(n);
+  ASSERT_LE(errors, code.correctable());
+  Xoshiro256StarStar rng(n * 31 + errors);
+  for (int trial = 0; trial < 50; ++trial) {
+    BitVector message(1);
+    message.set(0, rng.bernoulli(0.5));
+    BitVector word = code.encode(message);
+    // Flip `errors` distinct random positions.
+    std::vector<std::size_t> positions;
+    while (positions.size() < errors) {
+      const std::size_t p = rng.below(n);
+      if (std::find(positions.begin(), positions.end(), p) ==
+          positions.end()) {
+        positions.push_back(p);
+        word.flip(p);
+      }
+    }
+    const DecodeResult r = code.decode(word);
+    EXPECT_TRUE(r.success);
+    EXPECT_EQ(r.message.get(0), message.get(0));
+    EXPECT_EQ(r.corrected, errors);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, RepetitionErrors,
+    ::testing::Values(std::make_tuple(3U, 1U), std::make_tuple(5U, 2U),
+                      std::make_tuple(7U, 3U), std::make_tuple(9U, 4U),
+                      std::make_tuple(11U, 5U), std::make_tuple(15U, 7U)));
+
+}  // namespace
+}  // namespace pufaging

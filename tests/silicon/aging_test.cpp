@@ -1,0 +1,180 @@
+#include "silicon/aging.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "common/error.hpp"
+
+namespace pufaging {
+namespace {
+
+constexpr double kSigma = 1.0 / 17.5;
+
+AgingParams systematic_only() {
+  AgingParams p;
+  p.variability_noise_units = 0.0;
+  p.noise_growth_per_tau = 0.0;
+  return p;
+}
+
+TEST(AccelerationFactor, UnityAtNominal) {
+  EXPECT_NEAR(acceleration_factor(nominal_conditions()), 1.0, 1e-12);
+}
+
+TEST(AccelerationFactor, MonotonicInTemperatureAndVoltage) {
+  double prev = 0.0;
+  for (double t = 25.0; t <= 125.0; t += 20.0) {
+    const double af = acceleration_factor({t, 5.0});
+    EXPECT_GT(af, prev);
+    prev = af;
+  }
+  EXPECT_GT(acceleration_factor({25.0, 5.5}),
+            acceleration_factor({25.0, 5.0}));
+  EXPECT_LT(acceleration_factor({25.0, 4.5}),
+            acceleration_factor({25.0, 5.0}));
+}
+
+TEST(AccelerationFactor, ArrheniusKnownValue) {
+  // Ea = 0.5 eV, 25 C -> 85 C: exp(Ea/k * (1/298.15 - 1/358.15)) ~ 26.2;
+  // plus the 0.5 V overdrive factor e^1 ~ 2.72 at the preset point.
+  EXPECT_NEAR(acceleration_factor({85.0, 5.0}), 26.2, 0.5);
+  EXPECT_NEAR(acceleration_factor(accelerated_conditions()), 26.2 * std::exp(1.0),
+              2.0);
+}
+
+TEST(AccelerationFactor, RejectsBelowAbsoluteZero) {
+  EXPECT_THROW(acceleration_factor({-300.0, 5.0}), InvalidArgument);
+}
+
+TEST(BtiAging, SkewedCellDriftsTowardBalance) {
+  BtiAgingModel model(systematic_only(), kSigma);
+  std::vector<double> v = {0.5, -0.5};  // strongly skewed both ways
+  model.advance(v, kSigma, 24.0);
+  EXPECT_LT(v[0], 0.5);
+  EXPECT_GT(v[0], 0.0);  // does not overshoot
+  EXPECT_GT(v[1], -0.5);
+  EXPECT_LT(v[1], 0.0);
+  // Symmetric magnitudes.
+  EXPECT_NEAR(v[0], -v[1], 1e-9);
+}
+
+TEST(BtiAging, BalancedCellDoesNotDrift) {
+  BtiAgingModel model(systematic_only(), kSigma);
+  std::vector<double> v = {0.0};
+  model.advance(v, kSigma, 24.0);
+  EXPECT_NEAR(v[0], 0.0, 1e-12);
+}
+
+TEST(BtiAging, SelfLimitingNearBalance) {
+  // A nearly balanced cell moves much less than a fully skewed one (the
+  // paper's Section IV-D non-monotonicity discussion).
+  BtiAgingModel model(systematic_only(), kSigma);
+  std::vector<double> v = {0.5, 0.01 * kSigma};
+  model.advance(v, kSigma, 24.0);
+  const double skewed_shift = 0.5 - v[0];
+  const double balanced_shift = 0.01 * kSigma - v[1];
+  EXPECT_GT(skewed_shift, 20.0 * balanced_shift);
+}
+
+TEST(BtiAging, PowerLawKineticsSlowDown) {
+  // Equal wall-time increments late in life must produce smaller shifts
+  // than early ones (paper: monthly change larger at the start).
+  BtiAgingModel model(systematic_only(), kSigma);
+  std::vector<double> v = {1.0};
+  model.advance(v, kSigma, 6.0);
+  const double first_half_shift = 1.0 - v[0];
+  const double mid = v[0];
+  model.advance(v, kSigma, 6.0);
+  const double second_half_shift = mid - v[0];
+  EXPECT_GT(first_half_shift, 1.5 * second_half_shift);
+}
+
+TEST(BtiAging, StressMonthsAccumulateWithDuty) {
+  AgingParams params = systematic_only();
+  params.duty_cycle = 0.5;
+  BtiAgingModel model(params, kSigma);
+  std::vector<double> v = {0.1};
+  model.advance(v, kSigma, 10.0);
+  EXPECT_NEAR(model.stress_months(), 5.0, 1e-9);
+}
+
+TEST(BtiAging, AcceleratedConditionsAgeFaster) {
+  BtiAgingModel nominal(systematic_only(), kSigma);
+  BtiAgingModel stressed(systematic_only(), kSigma);
+  std::vector<double> vn = {0.5};
+  std::vector<double> vs = {0.5};
+  nominal.advance(vn, kSigma, 1.0);
+  stressed.advance(vs, kSigma, 1.0, accelerated_conditions());
+  EXPECT_LT(vs[0], vn[0]);
+  EXPECT_GT(stressed.stress_months(), 10.0 * nominal.stress_months());
+}
+
+TEST(BtiAging, NoiseFactorGrows) {
+  AgingParams params;  // default: includes noise growth
+  BtiAgingModel model(params, kSigma);
+  EXPECT_DOUBLE_EQ(model.noise_factor(), 1.0);
+  std::vector<double> v = {0.1};
+  model.advance(v, kSigma, 24.0);
+  EXPECT_GT(model.noise_factor(), 1.05);
+  EXPECT_LT(model.noise_factor(), 1.5);
+}
+
+TEST(BtiAging, VariabilityIsDeterministicPerKey) {
+  AgingParams params;
+  params.amplitude_noise_units = 0.0;
+  params.noise_growth_per_tau = 0.0;
+  params.variability_noise_units = 0.1;
+  BtiAgingModel a(params, kSigma, 123);
+  BtiAgingModel b(params, kSigma, 123);
+  BtiAgingModel c(params, kSigma, 124);
+  std::vector<double> va(100, 0.0);
+  std::vector<double> vb(100, 0.0);
+  std::vector<double> vc(100, 0.0);
+  a.advance(va, kSigma, 12.0);
+  b.advance(vb, kSigma, 12.0);
+  c.advance(vc, kSigma, 12.0);
+  EXPECT_EQ(va, vb);
+  EXPECT_NE(va, vc);
+  // Roughly zero-mean random walk.
+  double sum = 0.0;
+  for (double x : va) {
+    sum += x;
+  }
+  EXPECT_NEAR(sum / 100.0, 0.0, 0.05 * kSigma * 5);
+}
+
+TEST(BtiAging, ZeroMonthsIsNoOp) {
+  BtiAgingModel model(AgingParams{}, kSigma);
+  std::vector<double> v = {0.3};
+  model.advance(v, kSigma, 0.0);
+  EXPECT_DOUBLE_EQ(v[0], 0.3);
+  EXPECT_DOUBLE_EQ(model.stress_months(), 0.0);
+}
+
+TEST(BtiAging, Validation) {
+  AgingParams bad;
+  bad.exponent = 0.0;
+  EXPECT_THROW(BtiAgingModel(bad, kSigma), InvalidArgument);
+  AgingParams bad2;
+  bad2.duty_cycle = 1.5;
+  EXPECT_THROW(BtiAgingModel(bad2, kSigma), InvalidArgument);
+  AgingParams bad3;
+  bad3.amplitude_noise_units = -1.0;
+  EXPECT_THROW(BtiAgingModel(bad3, kSigma), InvalidArgument);
+  EXPECT_THROW(BtiAgingModel(AgingParams{}, 0.0), InvalidArgument);
+
+  BtiAgingModel model(AgingParams{}, kSigma);
+  std::vector<double> v = {0.1};
+  EXPECT_THROW(model.advance(v, kSigma, -1.0), InvalidArgument);
+  EXPECT_THROW(model.advance(v, 0.0, 1.0), InvalidArgument);
+}
+
+TEST(BtiAging, PaperDutyCycleDefault) {
+  // 3.8 s on / 5.4 s period from Fig. 3.
+  EXPECT_NEAR(AgingParams{}.duty_cycle, 0.7037, 1e-3);
+}
+
+}  // namespace
+}  // namespace pufaging

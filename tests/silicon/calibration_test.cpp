@@ -1,0 +1,140 @@
+// Calibration tests: the simulated fleet must reproduce the paper's
+// Table I operating point and two-year trajectories. These are the
+// reproduction's ground-truth assertions; tolerance bands are quoted
+// relative to the paper's numbers.
+#include <gtest/gtest.h>
+
+#include "analysis/summary.hpp"
+#include "silicon/device_factory.hpp"
+#include "testbed/campaign.hpp"
+
+namespace pufaging {
+namespace {
+
+// Day-0 fleet metrics (paper Table I "Start" column).
+class CalibrationDay0 : public ::testing::Test {
+ protected:
+  static const FleetMonthMetrics& day0() {
+    static const CampaignResult result = [] {
+      CampaignConfig config;
+      config.months = 0;
+      return run_campaign(config);
+    }();
+    return result.series.front();
+  }
+};
+
+TEST_F(CalibrationDay0, WithinClassHammingDistance) {
+  EXPECT_NEAR(day0().wchd_avg, 0.0249, 0.0015);  // paper: 2.49%
+  EXPECT_NEAR(day0().wchd_wc, 0.0272, 0.0035);   // paper: 2.72%
+  EXPECT_GT(day0().wchd_wc, day0().wchd_avg);
+}
+
+TEST_F(CalibrationDay0, FractionalHammingWeight) {
+  EXPECT_NEAR(day0().fhw_avg, 0.6270, 0.01);  // paper: 62.70%
+  EXPECT_NEAR(day0().fhw_wc, 0.6578, 0.012);  // paper: 65.78%
+}
+
+TEST_F(CalibrationDay0, StableCellRatio) {
+  EXPECT_NEAR(day0().stable_avg, 0.859, 0.012);  // paper: 85.9%
+  EXPECT_NEAR(day0().stable_wc, 0.872, 0.012);   // paper: 87.2%
+}
+
+TEST_F(CalibrationDay0, NoiseEntropy) {
+  EXPECT_NEAR(day0().noise_entropy_avg, 0.0305, 0.002);  // paper: 3.05%
+  EXPECT_NEAR(day0().noise_entropy_wc, 0.0273, 0.003);   // paper: 2.73%
+}
+
+TEST_F(CalibrationDay0, BetweenClassHammingDistance) {
+  EXPECT_NEAR(day0().bchd_avg, 0.4679, 0.005);  // paper: 46.79%
+  EXPECT_NEAR(day0().bchd_wc, 0.4431, 0.012);   // paper: 44.31%
+  // Fig. 5: BCHD distributed within 40-50%, clearly separated from WCHD.
+  EXPECT_GT(day0().bchd_wc, 0.40);
+  EXPECT_GT(day0().bchd_wc, 10.0 * day0().wchd_wc);
+}
+
+TEST_F(CalibrationDay0, PufEntropy) {
+  EXPECT_NEAR(day0().puf_entropy, 0.6492, 0.01);  // paper: 64.92%
+}
+
+// Two-year trajectories (paper Table I "End" and change columns).
+// One full-scale campaign (~25 s); all trajectory assertions share it.
+class CalibrationTwoYears : public ::testing::Test {
+ protected:
+  static const std::vector<FleetMonthMetrics>& series() {
+    static const CampaignResult result = [] {
+      CampaignConfig config;  // 24 months, 16 devices, 1000/month
+      return run_campaign(config);
+    }();
+    return result.series;
+  }
+  static double rel(double start, double end) { return end / start - 1.0; }
+};
+
+TEST_F(CalibrationTwoYears, WchdGrowsByPaperAmount) {
+  const auto& s = series();
+  // Paper: 2.49% -> 2.97%, +19.3% relative, +0.74%/month geometric.
+  EXPECT_NEAR(s.back().wchd_avg, 0.0297, 0.002);
+  EXPECT_NEAR(rel(s.front().wchd_avg, s.back().wchd_avg), 0.193, 0.05);
+}
+
+TEST_F(CalibrationTwoYears, WchdGrowthIsSubLinear) {
+  // Paper IV-D: monthly change rate larger at the start than after 1 year.
+  const auto& s = series();
+  const double first_year = s[12].wchd_avg - s[0].wchd_avg;
+  const double second_year = s[24].wchd_avg - s[12].wchd_avg;
+  EXPECT_GT(first_year, 1.2 * second_year);
+}
+
+TEST_F(CalibrationTwoYears, NoiseEntropyImproves) {
+  const auto& s = series();
+  // Paper: 3.05% -> 3.64%, +19.3%.
+  EXPECT_NEAR(s.back().noise_entropy_avg, 0.0364, 0.0025);
+  EXPECT_NEAR(rel(s.front().noise_entropy_avg, s.back().noise_entropy_avg),
+              0.193, 0.05);
+}
+
+TEST_F(CalibrationTwoYears, StableCellsDecline) {
+  const auto& s = series();
+  // Paper: 85.9% -> 83.7%, -2.49% relative.
+  EXPECT_NEAR(s.back().stable_avg, 0.837, 0.012);
+  EXPECT_NEAR(rel(s.front().stable_avg, s.back().stable_avg), -0.0249, 0.01);
+}
+
+TEST_F(CalibrationTwoYears, UniquenessUnaffected) {
+  const auto& s = series();
+  // Paper: HW, BCHD and PUF entropy essentially constant.
+  EXPECT_NEAR(rel(s.front().fhw_avg, s.back().fhw_avg), 0.0, 0.005);
+  EXPECT_NEAR(rel(s.front().bchd_avg, s.back().bchd_avg), 0.0, 0.01);
+  EXPECT_NEAR(rel(s.front().puf_entropy, s.back().puf_entropy), 0.0, 0.01);
+}
+
+TEST_F(CalibrationTwoYears, EveryDeviceDegradesMonotonicallyInTrend) {
+  // Per-device WCHD at the end must exceed its start (Fig. 6a: all lines
+  // trend upward).
+  const auto& s = series();
+  for (std::size_t d = 0; d < s.front().devices.size(); ++d) {
+    EXPECT_GT(s.back().devices[d].wchd_mean,
+              s.front().devices[d].wchd_mean)
+        << "device " << d;
+  }
+}
+
+// Accelerated-aging comparator (paper IV-D / [5]): start ~5.3%, end ~7.2%,
+// i.e. +1.28%/month — roughly double the nominal rate. Run at reduced
+// monthly sampling to keep test runtime modest; WCHD means converge fast.
+TEST(CalibrationAccelerated, OverestimatesNominalDegradation) {
+  CampaignConfig config;
+  config.accelerated = true;
+  config.operating_point = accelerated_conditions();
+  config.measurements_per_month = 120;
+  const CampaignResult accel = run_campaign(config);
+  EXPECT_NEAR(accel.series.front().wchd_avg, 0.053, 0.004);
+  EXPECT_NEAR(accel.series.back().wchd_avg, 0.072, 0.006);
+  const double rel_change =
+      accel.series.back().wchd_avg / accel.series.front().wchd_avg - 1.0;
+  EXPECT_NEAR(rel_change, 0.358, 0.09);
+}
+
+}  // namespace
+}  // namespace pufaging

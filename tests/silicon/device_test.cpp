@@ -1,0 +1,145 @@
+#include "silicon/sram_device.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/error.hpp"
+#include "silicon/device_factory.hpp"
+
+namespace pufaging {
+namespace {
+
+SramDevice test_device(std::uint32_t id = 0) {
+  FleetConfig config = paper_fleet_config();
+  return make_device(config, id);
+}
+
+TEST(SramDevice, PaperGeometry) {
+  SramDevice d = test_device();
+  EXPECT_EQ(d.total_bits(), 20480U);     // 2.5 KByte ATmega32u4 SRAM
+  EXPECT_EQ(d.puf_window_bits(), 8192U); // first 1 KByte read out
+  EXPECT_EQ(d.name(), "S0");
+}
+
+TEST(SramDevice, MeasureSizes) {
+  SramDevice d = test_device();
+  EXPECT_EQ(d.measure().size(), 8192U);
+  EXPECT_EQ(d.measure_full().size(), 20480U);
+  EXPECT_EQ(d.measurement_count(), 2U);
+}
+
+TEST(SramDevice, WindowValidation) {
+  FleetConfig config = paper_fleet_config();
+  config.device.puf_window_bits = 0;
+  EXPECT_THROW(make_device(config, 0), InvalidArgument);
+  config.device.puf_window_bits = 30000;
+  EXPECT_THROW(make_device(config, 0), InvalidArgument);
+}
+
+TEST(SramDevice, ResetToPristineReplaysMeasurements) {
+  SramDevice d = test_device();
+  const BitVector first = d.measure();
+  const BitVector second = d.measure();
+  d.age_months(3.0);
+  d.measure();
+  d.reset_to_pristine();
+  EXPECT_EQ(d.measurement_count(), 0U);
+  EXPECT_EQ(d.stress_months(), 0.0);
+  EXPECT_EQ(d.measure(), first);
+  EXPECT_EQ(d.measure(), second);
+}
+
+TEST(SramDevice, MostBitsReproducible) {
+  // WCHD between consecutive measurements should be a few percent.
+  SramDevice d = test_device();
+  const BitVector a = d.measure();
+  const BitVector b = d.measure();
+  const double fhd = fractional_hamming_distance(a, b);
+  EXPECT_GT(fhd, 0.005);
+  EXPECT_LT(fhd, 0.10);
+}
+
+TEST(SramDevice, OneProbabilityMatchesEmpirical) {
+  SramDevice d = test_device();
+  // Find a clearly unstable cell analytically, then verify empirically.
+  std::size_t cell = 0;
+  for (std::size_t i = 0; i < d.puf_window_bits(); ++i) {
+    const double p = d.one_probability(i);
+    if (p > 0.3 && p < 0.7) {
+      cell = i;
+      break;
+    }
+  }
+  const double p = d.one_probability(cell);
+  int ones = 0;
+  const int n = 4000;
+  for (int i = 0; i < n; ++i) {
+    ones += d.measure().get(cell) ? 1 : 0;
+  }
+  const double se = std::sqrt(p * (1.0 - p) / n);
+  EXPECT_NEAR(static_cast<double>(ones) / n, p, 5.0 * se);
+  EXPECT_THROW(d.one_probability(8192), InvalidArgument);
+}
+
+TEST(SramDevice, AgingShiftsOneProbabilitiesTowardHalf) {
+  SramDevice d = test_device();
+  // Average distance-from-half must shrink with age (NBTI balancing).
+  double before = 0.0;
+  for (std::size_t i = 0; i < 2000; ++i) {
+    before += std::fabs(d.one_probability(i) - 0.5);
+  }
+  d.age_months(24.0);
+  double after = 0.0;
+  for (std::size_t i = 0; i < 2000; ++i) {
+    after += std::fabs(d.one_probability(i) - 0.5);
+  }
+  EXPECT_LT(after, before);
+}
+
+TEST(SramDevice, AgingIncreasesDistanceToReference) {
+  SramDevice d = test_device();
+  const BitVector reference = d.measure();
+  double young = 0.0;
+  for (int i = 0; i < 20; ++i) {
+    young += fractional_hamming_distance(reference, d.measure());
+  }
+  d.age_months(24.0);
+  double old_dist = 0.0;
+  for (int i = 0; i < 20; ++i) {
+    old_dist += fractional_hamming_distance(reference, d.measure());
+  }
+  EXPECT_GT(old_dist, young);
+}
+
+TEST(SramDevice, StressClockAdvances) {
+  SramDevice d = test_device();
+  d.age_months(10.0);
+  EXPECT_NEAR(d.stress_months(), 10.0 * (3.8 / 5.4), 1e-9);
+}
+
+TEST(SramDevice, NoiseSigmaGrowsWithAge) {
+  SramDevice d = test_device();
+  const double young = d.noise_sigma();
+  d.age_months(24.0);
+  EXPECT_GT(d.noise_sigma(), young);
+}
+
+TEST(SramDevice, MeasurementAtHotterPointIsNoisier) {
+  SramDevice d = test_device();
+  const OperatingPoint hot{85.0, 5.0};
+  const BitVector ref_cold = d.measure();
+  double cold = 0.0;
+  for (int i = 0; i < 10; ++i) {
+    cold += fractional_hamming_distance(ref_cold, d.measure());
+  }
+  const BitVector ref_hot = d.measure(hot);
+  double hot_dist = 0.0;
+  for (int i = 0; i < 10; ++i) {
+    hot_dist += fractional_hamming_distance(ref_hot, d.measure(hot));
+  }
+  EXPECT_GT(hot_dist, cold * 1.3);
+}
+
+}  // namespace
+}  // namespace pufaging

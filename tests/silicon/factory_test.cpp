@@ -1,0 +1,108 @@
+#include "silicon/device_factory.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+
+namespace pufaging {
+namespace {
+
+TEST(DeviceFactory, PaperFleetShape) {
+  const FleetConfig config = paper_fleet_config();
+  EXPECT_EQ(config.device_count, 16U);
+  const auto fleet = make_fleet(config);
+  ASSERT_EQ(fleet.size(), 16U);
+  for (std::uint32_t i = 0; i < 16; ++i) {
+    EXPECT_EQ(fleet[i].id(), i);
+  }
+}
+
+TEST(DeviceFactory, Deterministic) {
+  const FleetConfig config = paper_fleet_config();
+  SramDevice a = make_device(config, 3);
+  SramDevice b = make_device(config, 3);
+  EXPECT_EQ(a.measure(), b.measure());
+  EXPECT_DOUBLE_EQ(a.mismatch(100), b.mismatch(100));
+}
+
+TEST(DeviceFactory, DevicesAreUnique) {
+  const FleetConfig config = paper_fleet_config();
+  SramDevice a = make_device(config, 0);
+  SramDevice b = make_device(config, 1);
+  const double fhd = fractional_hamming_distance(a.measure(), b.measure());
+  // Between-class HD must be in the paper's 40-50% band, far from 0.
+  EXPECT_GT(fhd, 0.35);
+  EXPECT_LT(fhd, 0.55);
+}
+
+TEST(DeviceFactory, SeedChangesFleet) {
+  FleetConfig config = paper_fleet_config();
+  SramDevice a = make_device(config, 0);
+  config.seed ^= 0xDEADBEEF;
+  SramDevice b = make_device(config, 0);
+  EXPECT_GT(fractional_hamming_distance(a.measure(), b.measure()), 0.3);
+}
+
+TEST(DeviceFactory, FleetBiasInPaperBand) {
+  // Every device's FHW should land in roughly the paper's 60-70% band.
+  const auto fleet = make_fleet(paper_fleet_config());
+  for (const SramDevice& d : fleet) {
+    SramDevice copy = d;
+    const double fhw = copy.measure().fractional_weight();
+    EXPECT_GT(fhw, 0.55) << copy.name();
+    EXPECT_LT(fhw, 0.72) << copy.name();
+  }
+}
+
+TEST(DeviceFactory, NoiseMultiplierVaries) {
+  const auto fleet = make_fleet(paper_fleet_config());
+  double lo = 1e9;
+  double hi = 0.0;
+  for (const SramDevice& d : fleet) {
+    lo = std::min(lo, d.noise_sigma());
+    hi = std::max(hi, d.noise_sigma());
+  }
+  EXPECT_GT(hi / lo, 1.02);  // boards differ
+  EXPECT_LT(hi / lo, 1.6);   // but not wildly
+}
+
+TEST(DeviceFactory, BuskeeperProfileIsNearlyUnbiased) {
+  // [16]: buskeeper PUFs power up close to 50/50 — the property that
+  // makes them attractive as an SRAM alternative.
+  auto fleet = make_fleet(buskeeper_fleet_config());
+  double sum = 0.0;
+  for (SramDevice& d : fleet) {
+    sum += d.measure().fractional_weight();
+  }
+  const double fhw = sum / static_cast<double>(fleet.size());
+  EXPECT_NEAR(fhw, 0.51, 0.03);
+  // And distinct silicon from the SRAM fleet despite similar geometry.
+  SramDevice sram = make_device(paper_fleet_config(), 0);
+  SramDevice bus = make_device(buskeeper_fleet_config(), 0);
+  EXPECT_GT(fractional_hamming_distance(sram.measure(), bus.measure()),
+            0.3);
+}
+
+TEST(DeviceFactory, DffProfileIsBiasedAndNoisier) {
+  SramDevice dff = make_device(dff_fleet_config(), 0);
+  SramDevice sram = make_device(paper_fleet_config(), 0);
+  EXPECT_GT(dff.noise_sigma(), sram.noise_sigma() * 1.2);
+  const BitVector ref = dff.measure();
+  double wchd = 0.0;
+  for (int i = 0; i < 20; ++i) {
+    wchd += fractional_hamming_distance(ref, dff.measure());
+  }
+  wchd /= 20.0;
+  // Noisier power-up than the SRAM fleet's ~2.5%.
+  EXPECT_GT(wchd, 0.030);
+}
+
+TEST(DeviceFactory, Validation) {
+  FleetConfig config = paper_fleet_config();
+  EXPECT_THROW(make_device(config, 16), InvalidArgument);
+  config.device_count = 0;
+  EXPECT_THROW(make_fleet(config), InvalidArgument);
+}
+
+}  // namespace
+}  // namespace pufaging

@@ -1,0 +1,66 @@
+#include "silicon/noise_model.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+
+namespace pufaging {
+namespace {
+
+TEST(NoiseModel, NominalSigma) {
+  NoiseParams params;
+  NoiseModel model(params);
+  EXPECT_DOUBLE_EQ(model.sigma(nominal_conditions()), params.sigma_at_25c);
+}
+
+TEST(NoiseModel, TemperatureRaisesSigma) {
+  NoiseModel model{NoiseParams{}};
+  const double cold = model.sigma({0.0, 5.0});
+  const double room = model.sigma({25.0, 5.0});
+  const double hot = model.sigma({85.0, 5.0});
+  EXPECT_LT(cold, room);
+  EXPECT_LT(room, hot);
+  // At the accelerated point the noise roughly doubles, which is what
+  // lifts the accelerated-test WCHD baseline to ~5.3% (paper IV-D).
+  EXPECT_NEAR(hot / room, 2.05, 0.05);
+}
+
+TEST(NoiseModel, VoltageDeviationRaisesSigma) {
+  NoiseModel model{NoiseParams{}};
+  const double nominal = model.sigma({25.0, 5.0});
+  EXPECT_GT(model.sigma({25.0, 5.5}), nominal);
+  EXPECT_GT(model.sigma({25.0, 4.5}), nominal);
+}
+
+TEST(NoiseModel, DeviceMultiplierScales) {
+  NoiseParams params;
+  params.device_multiplier = 1.5;
+  NoiseModel model(params);
+  EXPECT_DOUBLE_EQ(model.sigma(nominal_conditions()),
+                   params.sigma_at_25c * 1.5);
+}
+
+TEST(NoiseModel, FlooredAtDeepCold) {
+  // The combined factor never drops below 0.1 even at absurd temps.
+  NoiseModel model{NoiseParams{}};
+  EXPECT_GT(model.sigma({-200.0, 5.0}), 0.0);
+}
+
+TEST(NoiseModel, Validation) {
+  NoiseParams bad;
+  bad.sigma_at_25c = 0.0;
+  EXPECT_THROW(NoiseModel{bad}, InvalidArgument);
+  NoiseParams bad2;
+  bad2.device_multiplier = -1.0;
+  EXPECT_THROW(NoiseModel{bad2}, InvalidArgument);
+}
+
+TEST(OperatingPoint, Presets) {
+  EXPECT_DOUBLE_EQ(nominal_conditions().temperature_c, 25.0);
+  EXPECT_DOUBLE_EQ(nominal_conditions().vdd_v, 5.0);  // ATmega32u4 runs 5 V
+  EXPECT_GT(accelerated_conditions().temperature_c, 60.0);
+  EXPECT_GT(accelerated_conditions().vdd_v, 5.0);
+}
+
+}  // namespace
+}  // namespace pufaging

@@ -1,0 +1,130 @@
+#include "silicon/cell_population.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <utility>
+
+#include "common/error.hpp"
+
+namespace pufaging {
+namespace {
+
+TEST(CellPopulation, DeterministicByKey) {
+  PopulationParams params;
+  CellPopulation a(1000, 42, params);
+  CellPopulation b(1000, 42, params);
+  CellPopulation c(1000, 43, params);
+  for (std::size_t i = 0; i < 1000; ++i) {
+    EXPECT_DOUBLE_EQ(a.mismatch(i), b.mismatch(i));
+  }
+  std::size_t diffs = 0;
+  for (std::size_t i = 0; i < 1000; ++i) {
+    diffs += (a.mismatch(i) != c.mismatch(i)) ? 1U : 0U;
+  }
+  EXPECT_GT(diffs, 990U);
+}
+
+TEST(CellPopulation, BiasShiftsMean) {
+  PopulationParams biased;
+  biased.device_bias = 0.325;
+  CellPopulation p(20000, 7, biased);
+  double sum = 0.0;
+  std::size_t positive = 0;
+  for (std::size_t i = 0; i < p.size(); ++i) {
+    sum += p.mismatch(i);
+    positive += p.mismatch(i) > 0.0 ? 1U : 0U;
+  }
+  EXPECT_NEAR(sum / static_cast<double>(p.size()), 0.325, 0.03);
+  // Phi(0.325) ~ 0.627: the paper's fractional Hamming weight.
+  EXPECT_NEAR(static_cast<double>(positive) / static_cast<double>(p.size()),
+              0.627, 0.02);
+}
+
+TEST(CellPopulation, MismatchStdMatchesSigmaPv) {
+  PopulationParams params;
+  params.device_bias = 0.0;
+  params.sigma_pv = 2.0;
+  CellPopulation p(20000, 9, params);
+  double sum2 = 0.0;
+  for (std::size_t i = 0; i < p.size(); ++i) {
+    sum2 += p.mismatch(i) * p.mismatch(i);
+  }
+  EXPECT_NEAR(std::sqrt(sum2 / static_cast<double>(p.size())), 2.0, 0.05);
+}
+
+TEST(CellPopulation, RestorePristineUndoesMutation) {
+  CellPopulation p(64, 1, PopulationParams{});
+  const double before = p.mismatch(10);
+  p.mismatch_values()[10] = 99.0;
+  EXPECT_DOUBLE_EQ(p.mismatch(10), 99.0);
+  EXPECT_DOUBLE_EQ(p.pristine_mismatch(10), before);
+  p.restore_pristine();
+  EXPECT_DOUBLE_EQ(p.mismatch(10), before);
+}
+
+TEST(CellPopulation, Validation) {
+  EXPECT_THROW(CellPopulation(0, 1, PopulationParams{}), InvalidArgument);
+  PopulationParams bad;
+  bad.sigma_pv = 0.0;
+  EXPECT_THROW(CellPopulation(10, 1, bad), InvalidArgument);
+  PopulationParams bad_smooth;
+  bad_smooth.spatial_smoothing = 0.5;
+  EXPECT_THROW(CellPopulation(10, 1, bad_smooth), InvalidArgument);
+  PopulationParams bad_width;
+  bad_width.row_width = 0;
+  EXPECT_THROW(CellPopulation(10, 1, bad_width), InvalidArgument);
+}
+
+TEST(CellPopulation, SpatialSmoothingPreservesMarginals) {
+  // The smoothing kernel is renormalized: per-cell mean and variance are
+  // unchanged, so none of the paper's (marginal-based) metrics move.
+  PopulationParams smooth;  // default smoothing on
+  PopulationParams iid;
+  iid.spatial_smoothing = 0.0;
+  CellPopulation a(40000, 21, smooth);
+  CellPopulation b(40000, 21, iid);
+  const auto moments = [](const CellPopulation& p) {
+    double sum = 0.0;
+    double sum2 = 0.0;
+    for (std::size_t i = 0; i < p.size(); ++i) {
+      sum += p.mismatch(i);
+      sum2 += p.mismatch(i) * p.mismatch(i);
+    }
+    const double n = static_cast<double>(p.size());
+    const double mean = sum / n;
+    return std::pair{mean, sum2 / n - mean * mean};
+  };
+  const auto [mean_a, var_a] = moments(a);
+  const auto [mean_b, var_b] = moments(b);
+  EXPECT_NEAR(mean_a, mean_b, 0.02);
+  EXPECT_NEAR(var_a, var_b, 0.03);
+  EXPECT_NEAR(var_a, 1.0, 0.03);
+}
+
+TEST(CellPopulation, SpatialSmoothingCorrelatesNeighbours) {
+  PopulationParams params;  // default smoothing
+  CellPopulation p(40000, 22, params);
+  double cov_adjacent = 0.0;
+  double cov_distant = 0.0;
+  const double bias = params.device_bias;
+  for (std::size_t i = 0; i + 50 < p.size(); ++i) {
+    cov_adjacent += (p.mismatch(i) - bias) * (p.mismatch(i + 1) - bias);
+    cov_distant += (p.mismatch(i) - bias) * (p.mismatch(i + 50) - bias);
+  }
+  const double n = static_cast<double>(p.size() - 50);
+  EXPECT_GT(cov_adjacent / n, 0.1);             // neighbours correlate
+  EXPECT_NEAR(cov_distant / n, 0.0, 0.02);      // far cells do not
+
+  PopulationParams iid;
+  iid.spatial_smoothing = 0.0;
+  CellPopulation q(40000, 22, iid);
+  double cov_iid = 0.0;
+  for (std::size_t i = 0; i + 1 < q.size(); ++i) {
+    cov_iid += (q.mismatch(i) - bias) * (q.mismatch(i + 1) - bias);
+  }
+  EXPECT_NEAR(cov_iid / n, 0.0, 0.02);
+}
+
+}  // namespace
+}  // namespace pufaging

@@ -1,0 +1,85 @@
+#include "silicon/powerup.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "common/error.hpp"
+#include "common/math.hpp"
+
+namespace pufaging {
+namespace {
+
+TEST(PowerUpSampler, RequiresRebuild) {
+  PowerUpSampler sampler;
+  Xoshiro256StarStar rng(1);
+  BitVector out;
+  EXPECT_THROW(sampler.sample(out, rng), Error);
+}
+
+TEST(PowerUpSampler, ExtremeCellsAreDeterministic) {
+  PowerUpSampler sampler;
+  // Mismatch >> sigma: p ~ 1; mismatch << -sigma: p ~ 0.
+  const std::vector<double> mismatch = {10.0, -10.0};
+  sampler.rebuild(mismatch, 0.1);
+  Xoshiro256StarStar rng(2);
+  for (int i = 0; i < 100; ++i) {
+    const BitVector m = sampler.sample(rng);
+    EXPECT_TRUE(m.get(0));
+    EXPECT_FALSE(m.get(1));
+  }
+  EXPECT_NEAR(sampler.one_probability(0), 1.0, 1e-12);
+  EXPECT_NEAR(sampler.one_probability(1), 0.0, 1e-12);
+}
+
+TEST(PowerUpSampler, OneProbabilityIsNormalCdf) {
+  PowerUpSampler sampler;
+  const std::vector<double> mismatch = {0.05, -0.02, 0.0};
+  const double sigma = 0.057;
+  sampler.rebuild(mismatch, sigma);
+  for (std::size_t i = 0; i < mismatch.size(); ++i) {
+    EXPECT_DOUBLE_EQ(sampler.one_probability(i),
+                     normal_cdf(mismatch[i] / sigma));
+  }
+}
+
+TEST(PowerUpSampler, EmpiricalFrequencyTracksProbability) {
+  PowerUpSampler sampler;
+  const std::vector<double> mismatch = {0.03};
+  const double sigma = 0.057;
+  sampler.rebuild(mismatch, sigma);
+  const double p = sampler.one_probability(0);
+  Xoshiro256StarStar rng(3);
+  int ones = 0;
+  const int n = 50000;
+  BitVector out;
+  for (int i = 0; i < n; ++i) {
+    sampler.sample(out, rng);
+    ones += out.get(0) ? 1 : 0;
+  }
+  const double se = std::sqrt(p * (1.0 - p) / n);
+  EXPECT_NEAR(static_cast<double>(ones) / n, p, 5.0 * se);
+}
+
+TEST(PowerUpSampler, PrefixSampling) {
+  PowerUpSampler sampler;
+  std::vector<double> mismatch(100, 5.0);
+  sampler.rebuild(mismatch, 0.1);
+  Xoshiro256StarStar rng(4);
+  BitVector out;
+  sampler.sample_prefix(out, 40, rng);
+  EXPECT_EQ(out.size(), 40U);
+  EXPECT_EQ(out.count_ones(), 40U);
+  EXPECT_THROW(sampler.sample_prefix(out, 101, rng), InvalidArgument);
+}
+
+TEST(PowerUpSampler, RebuildValidation) {
+  PowerUpSampler sampler;
+  const std::vector<double> mismatch = {0.1};
+  EXPECT_THROW(sampler.rebuild(mismatch, 0.0), InvalidArgument);
+  EXPECT_THROW(sampler.rebuild(mismatch, -1.0), InvalidArgument);
+}
+
+}  // namespace
+}  // namespace pufaging

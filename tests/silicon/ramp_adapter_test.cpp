@@ -1,0 +1,88 @@
+#include "silicon/ramp_adapter.hpp"
+
+#include <gtest/gtest.h>
+
+#include "analysis/hamming.hpp"
+#include "common/error.hpp"
+#include "silicon/device_factory.hpp"
+
+namespace pufaging {
+namespace {
+
+TEST(RampAdapter, ReferenceRampAtRoomTemperature) {
+  const NoiseParams params;
+  EXPECT_NEAR(adapted_ramp_time_us(25.0, params), params.ramp_reference_us,
+              1e-9);
+}
+
+TEST(RampAdapter, SlowerRampWhenHotFasterWhenCold) {
+  const NoiseParams params;
+  EXPECT_GT(adapted_ramp_time_us(85.0, params), params.ramp_reference_us);
+  EXPECT_LT(adapted_ramp_time_us(-40.0, params), params.ramp_reference_us);
+  // Monotone in temperature.
+  double prev = 0.0;
+  for (double t = -40.0; t <= 125.0; t += 15.0) {
+    const double ramp = adapted_ramp_time_us(t, params);
+    EXPECT_GT(ramp, prev);
+    prev = ramp;
+  }
+}
+
+TEST(RampAdapter, CancelsTemperatureNoiseExactly) {
+  const NoiseParams params;
+  const NoiseModel model(params);
+  const double nominal_sigma = model.sigma(nominal_conditions());
+  for (double t : {-20.0, 0.0, 50.0, 85.0}) {
+    const OperatingPoint op = temperature_compensated_point(t, params);
+    EXPECT_NEAR(model.sigma(op), nominal_sigma, 1e-12) << "T=" << t;
+  }
+}
+
+TEST(RampAdapter, Clamped) {
+  const NoiseParams params;
+  EXPECT_DOUBLE_EQ(adapted_ramp_time_us(300.0, params, 1.0, 200.0), 200.0);
+  EXPECT_DOUBLE_EQ(adapted_ramp_time_us(-200.0, params, 10.0, 200.0), 10.0);
+  EXPECT_THROW(adapted_ramp_time_us(25.0, params, -1.0, 5.0),
+               InvalidArgument);
+  NoiseParams bad;
+  bad.ramp_exponent = 0.0;
+  EXPECT_THROW(adapted_ramp_time_us(25.0, bad), InvalidArgument);
+}
+
+TEST(RampAdapter, RestoresHotWchdToNominalLevels) {
+  // The [17] result end to end: WCHD of hot measurements against a hot
+  // reference drops back to room-temperature levels with the adapted ramp.
+  SramDevice device = make_device(paper_fleet_config(), 0);
+  const NoiseParams& noise = device.config().noise;
+
+  const auto wchd_at = [&device](const OperatingPoint& op) {
+    const BitVector ref = device.measure(op);
+    double sum = 0.0;
+    for (int i = 0; i < 25; ++i) {
+      sum += fractional_hamming_distance(ref, device.measure(op));
+    }
+    return sum / 25.0;
+  };
+
+  const double nominal = wchd_at(nominal_conditions());
+  const OperatingPoint hot_plain{85.0, 5.0};
+  const OperatingPoint hot_adapted = temperature_compensated_point(85.0,
+                                                                   noise);
+  const double hot_raw = wchd_at(hot_plain);
+  const double hot_comp = wchd_at(hot_adapted);
+  EXPECT_GT(hot_raw, 1.5 * nominal);
+  EXPECT_NEAR(hot_comp, nominal, 0.35 * nominal);
+}
+
+TEST(RampAdapter, SlowRampReducesNoiseSigma) {
+  SramDevice device = make_device(paper_fleet_config(), 1);
+  OperatingPoint slow = nominal_conditions();
+  slow.ramp_time_us = 800.0;
+  EXPECT_LT(device.noise_sigma(slow), device.noise_sigma());
+  OperatingPoint zero = nominal_conditions();
+  zero.ramp_time_us = 0.0;
+  EXPECT_THROW(device.noise_sigma(zero), InvalidArgument);
+}
+
+}  // namespace
+}  // namespace pufaging

@@ -1,0 +1,77 @@
+#include "stats/confidence.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+#include "common/rng.hpp"
+
+namespace pufaging {
+namespace {
+
+TEST(Wilson, KnownInterval) {
+  // 8/10 at 95%: Wilson interval ~ [0.490, 0.943].
+  const ProportionInterval ci = wilson_interval(8, 10, 1.96);
+  EXPECT_NEAR(ci.lo, 0.490, 0.005);
+  EXPECT_NEAR(ci.hi, 0.943, 0.005);
+}
+
+TEST(Wilson, BoundsRespected) {
+  const ProportionInterval zero = wilson_interval(0, 100);
+  EXPECT_DOUBLE_EQ(zero.lo, 0.0);
+  EXPECT_GT(zero.hi, 0.0);
+  const ProportionInterval all = wilson_interval(100, 100);
+  EXPECT_DOUBLE_EQ(all.hi, 1.0);
+  EXPECT_LT(all.lo, 1.0);
+}
+
+TEST(Wilson, Preconditions) {
+  EXPECT_THROW(wilson_interval(1, 0), InvalidArgument);
+  EXPECT_THROW(wilson_interval(5, 4), InvalidArgument);
+}
+
+TEST(Wald, KnownAndDegenerate) {
+  const ProportionInterval ci = wald_interval(50, 100, 1.96);
+  EXPECT_NEAR(ci.lo, 0.402, 0.001);
+  EXPECT_NEAR(ci.hi, 0.598, 0.001);
+  // Degenerate at the extremes (the known Wald flaw: zero width).
+  const ProportionInterval zero = wald_interval(0, 100);
+  EXPECT_DOUBLE_EQ(zero.lo, 0.0);
+  EXPECT_DOUBLE_EQ(zero.hi, 0.0);
+  EXPECT_THROW(wald_interval(2, 1), InvalidArgument);
+}
+
+TEST(Wilson, NarrowerCenterThanWaldAtExtremes) {
+  // Wilson stays informative near 0/1 where Wald collapses.
+  const ProportionInterval wilson = wilson_interval(1, 1000);
+  const ProportionInterval wald = wald_interval(1, 1000);
+  EXPECT_GT(wilson.hi - wilson.lo, wald.hi - wald.lo);
+}
+
+// Property: the 95% Wilson interval covers the true p in ~95% of trials.
+class WilsonCoverage : public ::testing::TestWithParam<double> {};
+
+TEST_P(WilsonCoverage, CoversTrueProportion) {
+  const double p = GetParam();
+  Xoshiro256StarStar rng(static_cast<std::uint64_t>(p * 1000) + 99);
+  const int trials = 400;
+  const int n = 200;
+  int covered = 0;
+  for (int t = 0; t < trials; ++t) {
+    std::uint64_t successes = 0;
+    for (int i = 0; i < n; ++i) {
+      successes += rng.bernoulli(p) ? 1U : 0U;
+    }
+    const ProportionInterval ci = wilson_interval(successes, n);
+    if (p >= ci.lo && p <= ci.hi) {
+      ++covered;
+    }
+  }
+  // 95% nominal; allow generous slack for 400 trials (binomial noise).
+  EXPECT_GE(covered, trials * 90 / 100) << "p=" << p;
+}
+
+INSTANTIATE_TEST_SUITE_P(Proportions, WilsonCoverage,
+                         ::testing::Values(0.02, 0.1, 0.5, 0.9, 0.98));
+
+}  // namespace
+}  // namespace pufaging

@@ -1,0 +1,84 @@
+#include "stats/descriptive.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "common/error.hpp"
+#include "common/rng.hpp"
+
+namespace pufaging {
+namespace {
+
+TEST(Descriptive, MeanKnown) {
+  const std::vector<double> xs = {1.0, 2.0, 3.0, 4.0};
+  EXPECT_DOUBLE_EQ(mean(xs), 2.5);
+  EXPECT_THROW(mean(std::vector<double>{}), InvalidArgument);
+}
+
+TEST(Descriptive, StddevKnown) {
+  const std::vector<double> xs = {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0};
+  // Population sd is 2; sample sd = sqrt(32/7).
+  EXPECT_NEAR(sample_stddev(xs), std::sqrt(32.0 / 7.0), 1e-12);
+  EXPECT_DOUBLE_EQ(sample_stddev(std::vector<double>{5.0}), 0.0);
+}
+
+TEST(Descriptive, MedianOddEven) {
+  EXPECT_DOUBLE_EQ(median(std::vector<double>{3.0, 1.0, 2.0}), 2.0);
+  EXPECT_DOUBLE_EQ(median(std::vector<double>{4.0, 1.0, 3.0, 2.0}), 2.5);
+  EXPECT_THROW(median(std::vector<double>{}), InvalidArgument);
+}
+
+TEST(Descriptive, Summarize) {
+  const std::vector<double> xs = {5.0, 1.0, 3.0};
+  const SampleSummary s = summarize(xs);
+  EXPECT_EQ(s.count, 3U);
+  EXPECT_DOUBLE_EQ(s.mean, 3.0);
+  EXPECT_DOUBLE_EQ(s.min, 1.0);
+  EXPECT_DOUBLE_EQ(s.max, 5.0);
+  EXPECT_DOUBLE_EQ(s.median, 3.0);
+}
+
+TEST(GeometricMonthlyChange, MatchesPaperArithmetic) {
+  // Paper Table I: WCHD 2.49% -> 2.97% over 24 months = +0.74%/month.
+  const double rate = geometric_monthly_change(0.0249, 0.0297, 24);
+  EXPECT_NEAR(rate, 0.0074, 2e-4);
+  // Accelerated [5]: 5.3% -> 7.2% = +1.28%/month.
+  EXPECT_NEAR(geometric_monthly_change(0.053, 0.072, 24), 0.0128, 2e-4);
+}
+
+TEST(GeometricMonthlyChange, InverseProperty) {
+  const double rate = geometric_monthly_change(2.0, 3.0, 10);
+  EXPECT_NEAR(2.0 * std::pow(1.0 + rate, 10), 3.0, 1e-9);
+  EXPECT_THROW(geometric_monthly_change(0.0, 1.0, 5), InvalidArgument);
+  EXPECT_THROW(geometric_monthly_change(1.0, 2.0, 0), InvalidArgument);
+}
+
+TEST(RunningStats, MatchesBatch) {
+  Xoshiro256StarStar rng(11);
+  std::vector<double> xs;
+  RunningStats rs;
+  for (int i = 0; i < 5000; ++i) {
+    const double x = rng.gaussian(3.0, 2.0);
+    xs.push_back(x);
+    rs.add(x);
+  }
+  EXPECT_EQ(rs.count(), xs.size());
+  EXPECT_NEAR(rs.mean(), mean(xs), 1e-9);
+  EXPECT_NEAR(rs.stddev(), sample_stddev(xs), 1e-9);
+  EXPECT_DOUBLE_EQ(rs.min(), *std::min_element(xs.begin(), xs.end()));
+  EXPECT_DOUBLE_EQ(rs.max(), *std::max_element(xs.begin(), xs.end()));
+}
+
+TEST(RunningStats, EmptyThrows) {
+  RunningStats rs;
+  EXPECT_THROW(rs.mean(), InvalidArgument);
+  EXPECT_THROW(rs.min(), InvalidArgument);
+  EXPECT_THROW(rs.max(), InvalidArgument);
+  rs.add(1.0);
+  EXPECT_DOUBLE_EQ(rs.variance(), 0.0);
+}
+
+}  // namespace
+}  // namespace pufaging

@@ -1,0 +1,72 @@
+#include "stats/histogram.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "common/error.hpp"
+
+namespace pufaging {
+namespace {
+
+TEST(Histogram, BasicBinning) {
+  Histogram h(0.0, 1.0, 10);
+  h.add(0.05);   // bin 0
+  h.add(0.15);   // bin 1
+  h.add(0.999);  // bin 9
+  EXPECT_EQ(h.count(0), 1U);
+  EXPECT_EQ(h.count(1), 1U);
+  EXPECT_EQ(h.count(9), 1U);
+  EXPECT_EQ(h.total(), 3U);
+}
+
+TEST(Histogram, OutOfRangeClamped) {
+  Histogram h(0.0, 1.0, 4);
+  h.add(-5.0);
+  h.add(5.0);
+  h.add(1.0);  // exactly hi: clamps into last bin
+  EXPECT_EQ(h.count(0), 1U);
+  EXPECT_EQ(h.count(3), 2U);
+  EXPECT_EQ(h.total(), 3U);
+}
+
+TEST(Histogram, PercentSumsToHundred) {
+  Histogram h(0.0, 10.0, 5);
+  for (int i = 0; i < 50; ++i) {
+    h.add(static_cast<double>(i % 10));
+  }
+  double total = 0.0;
+  for (std::size_t b = 0; b < h.bin_count(); ++b) {
+    total += h.percent(b);
+  }
+  EXPECT_NEAR(total, 100.0, 1e-9);
+  EXPECT_DOUBLE_EQ(Histogram(0, 1, 2).percent(0), 0.0);
+}
+
+TEST(Histogram, GeometryAccessors) {
+  Histogram h(2.0, 4.0, 4);
+  EXPECT_DOUBLE_EQ(h.bin_width(), 0.5);
+  EXPECT_DOUBLE_EQ(h.bin_lower(0), 2.0);
+  EXPECT_DOUBLE_EQ(h.bin_lower(3), 3.5);
+  EXPECT_DOUBLE_EQ(h.bin_center(0), 2.25);
+}
+
+TEST(Histogram, AddAllAndAscii) {
+  Histogram h(0.0, 1.0, 10);
+  const std::vector<double> xs = {0.1, 0.1, 0.5, 0.9};
+  h.add_all(xs);
+  EXPECT_EQ(h.total(), 4U);
+  const std::string art = h.to_ascii();
+  EXPECT_NE(art.find('#'), std::string::npos);
+  // Empty bins are skipped: only 3 lines.
+  EXPECT_EQ(std::count(art.begin(), art.end(), '\n'), 3);
+}
+
+TEST(Histogram, ConstructorValidation) {
+  EXPECT_THROW(Histogram(1.0, 1.0, 5), InvalidArgument);
+  EXPECT_THROW(Histogram(2.0, 1.0, 5), InvalidArgument);
+  EXPECT_THROW(Histogram(0.0, 1.0, 0), InvalidArgument);
+}
+
+}  // namespace
+}  // namespace pufaging

@@ -1,0 +1,175 @@
+#include "stats/nist.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/rng.hpp"
+
+namespace pufaging {
+namespace {
+
+BitVector random_bits(std::size_t n, std::uint64_t seed, double p = 0.5) {
+  Xoshiro256StarStar rng(seed);
+  BitVector v(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    v.set(i, rng.bernoulli(p));
+  }
+  return v;
+}
+
+BitVector alternating_bits(std::size_t n) {
+  BitVector v(n);
+  for (std::size_t i = 0; i < n; i += 2) {
+    v.set(i, true);
+  }
+  return v;
+}
+
+TEST(NistFrequency, PassesOnRandom) {
+  const NistResult r = nist_frequency(random_bits(20000, 1));
+  EXPECT_TRUE(r.applicable);
+  EXPECT_TRUE(r.passed());
+}
+
+TEST(NistFrequency, FailsOnBiased) {
+  const NistResult r = nist_frequency(random_bits(20000, 2, 0.6));
+  EXPECT_TRUE(r.applicable);
+  EXPECT_FALSE(r.passed());
+  EXPECT_LT(r.p_value, 1e-6);
+}
+
+TEST(NistFrequency, ExactStatisticOnCraftedInput) {
+  // 53 ones out of 100: S = 6, s_obs = 0.6, P = erfc(0.6 / sqrt(2)).
+  BitVector v(100);
+  for (std::size_t i = 0; i < 53; ++i) {
+    v.set(i * 100 / 53, true);
+  }
+  ASSERT_EQ(v.count_ones(), 53U);
+  const NistResult r = nist_frequency(v);
+  EXPECT_NEAR(r.statistic, 0.6, 1e-12);
+  EXPECT_NEAR(r.p_value, std::erfc(0.6 / std::sqrt(2.0)), 1e-12);
+  EXPECT_TRUE(r.passed());
+}
+
+TEST(NistFrequency, TooShortNotApplicable) {
+  EXPECT_FALSE(nist_frequency(BitVector(50)).applicable);
+}
+
+TEST(NistBlockFrequency, PassesOnRandomFailsOnStructured) {
+  EXPECT_TRUE(nist_block_frequency(random_bits(20000, 3)).passed());
+  // First half ones, second half zeros: globally balanced, block-biased.
+  BitVector v(20000);
+  for (std::size_t i = 0; i < 10000; ++i) {
+    v.set(i, true);
+  }
+  const NistResult r = nist_block_frequency(v);
+  EXPECT_TRUE(nist_frequency(v).passed());  // monobit is fooled
+  EXPECT_FALSE(r.passed());                 // block test is not
+}
+
+TEST(NistRuns, PassesOnRandom) {
+  EXPECT_TRUE(nist_runs(random_bits(20000, 4)).passed());
+}
+
+TEST(NistRuns, FailsOnAlternating) {
+  const NistResult r = nist_runs(alternating_bits(20000));
+  EXPECT_TRUE(r.applicable);
+  EXPECT_FALSE(r.passed());
+}
+
+TEST(NistRuns, FailsPrerequisiteOnHeavyBias) {
+  const NistResult r = nist_runs(random_bits(20000, 5, 0.8));
+  EXPECT_TRUE(r.applicable);
+  EXPECT_DOUBLE_EQ(r.p_value, 0.0);
+}
+
+TEST(NistLongestRun, PassesOnRandomFailsOnStructured) {
+  EXPECT_TRUE(nist_longest_run(random_bits(20000, 6)).passed());
+  // Period-4 pattern "1100": every block's longest run is 2, far below
+  // the expected distribution of longest runs in random data.
+  BitVector v(20000);
+  for (std::size_t i = 0; i < v.size(); ++i) {
+    v.set(i, (i % 4) < 2);
+  }
+  EXPECT_FALSE(nist_longest_run(v).passed());
+  EXPECT_FALSE(nist_longest_run(BitVector(100)).applicable);
+}
+
+TEST(NistSerial, PassesOnRandomFailsOnPeriodic) {
+  const auto random_results = nist_serial(random_bits(20000, 8));
+  ASSERT_EQ(random_results.size(), 2U);
+  EXPECT_TRUE(random_results[0].passed());
+  EXPECT_TRUE(random_results[1].passed());
+
+  const auto periodic = nist_serial(alternating_bits(20000));
+  EXPECT_FALSE(periodic[0].passed());
+}
+
+TEST(NistApproximateEntropy, PassesOnRandomFailsOnPeriodic) {
+  EXPECT_TRUE(nist_approximate_entropy(random_bits(20000, 9)).passed());
+  EXPECT_FALSE(nist_approximate_entropy(alternating_bits(20000)).passed());
+}
+
+TEST(NistCusum, PassesOnRandomFailsOnDrifting) {
+  EXPECT_TRUE(nist_cusum(random_bits(20000, 10), true).passed());
+  EXPECT_TRUE(nist_cusum(random_bits(20000, 10), false).passed());
+  EXPECT_FALSE(nist_cusum(random_bits(20000, 11, 0.55), true).passed());
+}
+
+TEST(NistCusum, SpecExample) {
+  // SP 800-22 2.13.8: eps = "1011010111", n = 10 is too short for our
+  // gate; verify the z statistic logic on a longer crafted input instead:
+  // all ones drifts to z = n.
+  BitVector ones(200);
+  for (std::size_t i = 0; i < 200; ++i) {
+    ones.set(i, true);
+  }
+  const NistResult r = nist_cusum(ones, true);
+  EXPECT_DOUBLE_EQ(r.statistic, 200.0);
+  EXPECT_LT(r.p_value, 1e-10);
+}
+
+TEST(NistSuite, AllPassOnGoodGenerator) {
+  const auto results = nist_suite(random_bits(50000, 12));
+  EXPECT_EQ(nist_failures(results), 0U)
+      << "some SP 800-22 test rejected xoshiro output";
+  // Full battery: 14 single-result tests + serial x2 + cusum x2 +
+  // excursions x8 + variant x18.
+  EXPECT_EQ(results.size(), 41U);
+}
+
+TEST(NistSuite, ManyFailuresOnConstant) {
+  BitVector v(50000);
+  const auto results = nist_suite(v);
+  EXPECT_GE(nist_failures(results), 4U);
+}
+
+TEST(NistSuite, PValuesAreProbabilities) {
+  for (const auto& r : nist_suite(random_bits(20000, 13))) {
+    if (r.applicable) {
+      EXPECT_GE(r.p_value, 0.0) << r.name;
+      EXPECT_LE(r.p_value, 1.0 + 1e-12) << r.name;
+    }
+  }
+}
+
+// Property: across seeds, a good generator passes the full suite at
+// alpha = 0.001 (suite-level false-positive chance is tiny).
+class NistSeeds : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(NistSeeds, SuitePassesAtLooseAlpha) {
+  const auto results = nist_suite(random_bits(20000, GetParam() + 1000));
+  std::size_t failures = 0;
+  for (const auto& r : results) {
+    if (r.applicable && !r.passed(0.001)) {
+      ++failures;
+    }
+  }
+  EXPECT_EQ(failures, 0U);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, NistSeeds, ::testing::Range<std::uint64_t>(0, 8));
+
+}  // namespace
+}  // namespace pufaging

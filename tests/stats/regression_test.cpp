@@ -1,0 +1,58 @@
+#include "stats/regression.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "common/error.hpp"
+#include "common/rng.hpp"
+
+namespace pufaging {
+namespace {
+
+TEST(LinearFit, ExactLine) {
+  const std::vector<double> xs = {0.0, 1.0, 2.0, 3.0};
+  const std::vector<double> ys = {1.0, 3.0, 5.0, 7.0};
+  const LinearFit fit = linear_fit(xs, ys);
+  EXPECT_NEAR(fit.slope, 2.0, 1e-12);
+  EXPECT_NEAR(fit.intercept, 1.0, 1e-12);
+  EXPECT_NEAR(fit.r_squared, 1.0, 1e-12);
+}
+
+TEST(LinearFit, FlatLine) {
+  const std::vector<double> xs = {0.0, 1.0, 2.0};
+  const std::vector<double> ys = {4.0, 4.0, 4.0};
+  const LinearFit fit = linear_fit(xs, ys);
+  EXPECT_NEAR(fit.slope, 0.0, 1e-12);
+  EXPECT_NEAR(fit.intercept, 4.0, 1e-12);
+  EXPECT_DOUBLE_EQ(fit.r_squared, 1.0);  // Defined as perfect for syy == 0.
+}
+
+TEST(LinearFit, NoisyLineRecoversSlope) {
+  Xoshiro256StarStar rng(5);
+  std::vector<double> xs;
+  std::vector<double> ys;
+  for (int i = 0; i < 2000; ++i) {
+    const double x = static_cast<double>(i) / 100.0;
+    xs.push_back(x);
+    ys.push_back(0.5 + 0.25 * x + rng.gaussian(0.0, 0.05));
+  }
+  const LinearFit fit = linear_fit(xs, ys);
+  EXPECT_NEAR(fit.slope, 0.25, 0.005);
+  EXPECT_NEAR(fit.intercept, 0.5, 0.02);
+  EXPECT_GT(fit.r_squared, 0.95);
+}
+
+TEST(LinearFit, Preconditions) {
+  const std::vector<double> one = {1.0};
+  EXPECT_THROW(linear_fit(one, one), InvalidArgument);
+  const std::vector<double> xs = {1.0, 1.0};
+  const std::vector<double> ys = {1.0, 2.0};
+  EXPECT_THROW(linear_fit(xs, ys), InvalidArgument);
+  const std::vector<double> shorter = {1.0, 2.0, 3.0};
+  const std::vector<double> longer = {1.0, 2.0};
+  EXPECT_THROW(linear_fit(shorter, longer), InvalidArgument);
+}
+
+}  // namespace
+}  // namespace pufaging

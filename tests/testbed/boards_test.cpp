@@ -1,0 +1,112 @@
+#include "testbed/boards.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+#include "silicon/device_factory.hpp"
+
+namespace pufaging {
+namespace {
+
+TEST(SignalChannel, DeliversToWaiter) {
+  SignalChannel ch;
+  int fired = 0;
+  ch.wait([&] { ++fired; });
+  EXPECT_EQ(fired, 0);
+  ch.signal();
+  EXPECT_EQ(fired, 1);
+  EXPECT_EQ(ch.raised(), 1U);
+}
+
+TEST(SignalChannel, PendingSignalFiresImmediately) {
+  SignalChannel ch;
+  ch.signal();
+  ch.signal();
+  int fired = 0;
+  ch.wait([&] { ++fired; });
+  EXPECT_EQ(fired, 1);
+  ch.wait([&] { ++fired; });
+  EXPECT_EQ(fired, 2);
+  // Third wait has no pending signal.
+  ch.wait([&] { ++fired; });
+  EXPECT_EQ(fired, 2);
+}
+
+TEST(SignalChannel, SecondWaiterIsAProtocolError) {
+  SignalChannel ch;
+  ch.wait([] {});
+  EXPECT_THROW(ch.wait([] {}), ProtocolError);
+}
+
+class SlaveBoardTest : public ::testing::Test {
+ protected:
+  SlaveBoardTest()
+      : slave_(3, make_device(paper_fleet_config(), 3), queue_, timing_) {
+    power_.emplace(queue_);
+    power_->add_channel(3);
+    slave_.attach_power(*power_);
+  }
+
+  EventQueue queue_;
+  TestbedTiming timing_;
+  std::optional<PowerSwitch> power_;
+  SlaveBoard slave_;
+};
+
+TEST_F(SlaveBoardTest, DataReadyAfterBootDelay) {
+  EXPECT_FALSE(slave_.data_ready());
+  EXPECT_THROW(slave_.make_frame(), ProtocolError);
+  power_->set(3, true);
+  EXPECT_FALSE(slave_.data_ready());  // still booting
+  queue_.run_until(timing_.boot_delay_s + timing_.read_delay_s + 0.01);
+  EXPECT_TRUE(slave_.data_ready());
+  const I2cFrame frame = slave_.make_frame();
+  EXPECT_TRUE(frame.valid());
+  EXPECT_EQ(frame.address, 3);
+  EXPECT_EQ(frame.payload.size(), 1024U);  // 1 KByte read-out
+}
+
+TEST_F(SlaveBoardTest, PowerLossDropsData) {
+  power_->set(3, true);
+  queue_.run_until(1.0);
+  EXPECT_TRUE(slave_.data_ready());
+  power_->set(3, false);
+  EXPECT_FALSE(slave_.data_ready());
+  EXPECT_THROW(slave_.make_frame(), ProtocolError);
+}
+
+TEST_F(SlaveBoardTest, FastPowerCycleDiscardsStaleBoot) {
+  power_->set(3, true);
+  queue_.run_until(0.1);  // before boot completes
+  power_->set(3, false);
+  power_->set(3, true);
+  queue_.run_until(10.0);
+  EXPECT_TRUE(slave_.data_ready());
+  // Two power-ups happened: two measurements latched.
+  EXPECT_EQ(slave_.device().measurement_count(), 2U);
+}
+
+TEST_F(SlaveBoardTest, FrameIsStableForRetries) {
+  power_->set(3, true);
+  queue_.run_until(1.0);
+  const I2cFrame a = slave_.make_frame();
+  const I2cFrame b = slave_.make_frame();
+  EXPECT_EQ(a.payload, b.payload);
+  EXPECT_EQ(a.sequence, b.sequence);
+}
+
+TEST_F(SlaveBoardTest, NamesFollowPaperConvention) {
+  EXPECT_EQ(slave_.name(), "S3");
+  EXPECT_EQ(slave_.board_id(), 3U);
+}
+
+TEST(MasterBoard, RequiresSlavesAndConnection) {
+  EventQueue q;
+  PowerSwitch power(q);
+  I2cBus bus(q);
+  EXPECT_THROW(MasterBoard("M0", {}, q, power, bus, TestbedTiming{}, nullptr),
+               InvalidArgument);
+}
+
+}  // namespace
+}  // namespace pufaging

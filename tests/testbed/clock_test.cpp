@@ -1,0 +1,82 @@
+#include "testbed/clock.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "common/error.hpp"
+
+namespace pufaging {
+namespace {
+
+TEST(EventQueue, RunsInTimeOrder) {
+  EventQueue q;
+  std::vector<int> order;
+  q.schedule_at(3.0, [&] { order.push_back(3); });
+  q.schedule_at(1.0, [&] { order.push_back(1); });
+  q.schedule_at(2.0, [&] { order.push_back(2); });
+  q.run_until(10.0);
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_DOUBLE_EQ(q.now(), 10.0);
+}
+
+TEST(EventQueue, TiesBreakByInsertionOrder) {
+  EventQueue q;
+  std::vector<int> order;
+  for (int i = 0; i < 5; ++i) {
+    q.schedule_at(1.0, [&order, i] { order.push_back(i); });
+  }
+  q.run_until(1.0);
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3, 4}));
+}
+
+TEST(EventQueue, RunUntilStopsAtBoundary) {
+  EventQueue q;
+  int fired = 0;
+  q.schedule_at(1.0, [&] { ++fired; });
+  q.schedule_at(2.0, [&] { ++fired; });
+  q.run_until(1.5);
+  EXPECT_EQ(fired, 1);
+  EXPECT_DOUBLE_EQ(q.now(), 1.5);
+  EXPECT_EQ(q.pending(), 1U);
+  q.run_until(2.0);  // boundary inclusive
+  EXPECT_EQ(fired, 2);
+}
+
+TEST(EventQueue, EventsCanScheduleEvents) {
+  EventQueue q;
+  int chain = 0;
+  std::function<void()> tick = [&] {
+    if (++chain < 5) {
+      q.schedule_in(1.0, tick);
+    }
+  };
+  q.schedule_in(1.0, tick);
+  q.run_until(100.0);
+  EXPECT_EQ(chain, 5);
+  EXPECT_DOUBLE_EQ(q.now(), 100.0);
+}
+
+TEST(EventQueue, StepRunsBoundedCount) {
+  EventQueue q;
+  int fired = 0;
+  for (int i = 0; i < 10; ++i) {
+    q.schedule_at(static_cast<double>(i), [&] { ++fired; });
+  }
+  EXPECT_EQ(q.step(3), 3U);
+  EXPECT_EQ(fired, 3);
+  EXPECT_EQ(q.step(100), 7U);
+  EXPECT_EQ(q.step(), 0U);
+}
+
+TEST(EventQueue, RejectsPastScheduling) {
+  EventQueue q;
+  q.schedule_at(5.0, [] {});
+  q.run_until(5.0);
+  EXPECT_THROW(q.schedule_at(4.0, [] {}), InvalidArgument);
+  EXPECT_THROW(q.schedule_in(-1.0, [] {}), InvalidArgument);
+  EXPECT_NO_THROW(q.schedule_at(5.0, [] {}));
+}
+
+}  // namespace
+}  // namespace pufaging

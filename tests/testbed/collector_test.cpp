@@ -1,0 +1,75 @@
+#include "testbed/collector.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+#include "common/rng.hpp"
+
+namespace pufaging {
+namespace {
+
+MeasurementRecord make_record(std::uint32_t board, std::uint32_t seq,
+                              std::uint64_t seed) {
+  MeasurementRecord r;
+  r.time = 1.5 * seq;
+  r.board_id = board;
+  r.sequence = seq;
+  Xoshiro256StarStar rng(seed);
+  r.data = BitVector(64);
+  for (std::size_t i = 0; i < 64; ++i) {
+    r.data.set(i, rng.bernoulli(0.6));
+  }
+  return r;
+}
+
+TEST(Collector, StoresAndFiltersByBoard) {
+  Collector c;
+  c.receive(make_record(3, 1, 10));
+  c.receive(make_record(19, 1, 11));
+  c.receive(make_record(3, 2, 12));
+  EXPECT_EQ(c.record_count(), 3U);
+  EXPECT_EQ(c.board_measurements(3).size(), 2U);
+  EXPECT_EQ(c.board_measurements(19).size(), 1U);
+  EXPECT_EQ(c.board_measurements(5).size(), 0U);
+  EXPECT_EQ(c.boards(), (std::vector<std::uint32_t>{3, 19}));
+}
+
+TEST(Collector, JsonlRoundTrip) {
+  Collector c;
+  c.receive(make_record(3, 1, 20));
+  c.receive(make_record(16, 7, 21));
+  const std::string jsonl = c.to_jsonl();
+  EXPECT_EQ(std::count(jsonl.begin(), jsonl.end(), '\n'), 2);
+  EXPECT_NE(jsonl.find("\"board\":\"S3\""), std::string::npos);
+
+  Collector back;
+  back.load_jsonl(jsonl);
+  ASSERT_EQ(back.record_count(), 2U);
+  EXPECT_EQ(back.records()[0].board_id, 3U);
+  EXPECT_EQ(back.records()[0].sequence, 1U);
+  EXPECT_EQ(back.records()[0].data, c.records()[0].data);
+  EXPECT_EQ(back.records()[1].data, c.records()[1].data);
+  EXPECT_DOUBLE_EQ(back.records()[1].time, c.records()[1].time);
+}
+
+TEST(Collector, LoadSkipsBlankLines) {
+  Collector c;
+  c.receive(make_record(1, 1, 30));
+  Collector back;
+  back.load_jsonl("\n" + c.to_jsonl() + "\n\n");
+  EXPECT_EQ(back.record_count(), 1U);
+}
+
+TEST(Collector, LoadRejectsMalformed) {
+  Collector c;
+  EXPECT_THROW(c.load_jsonl("{not json}"), ParseError);
+  EXPECT_THROW(c.load_jsonl(R"({"t":1,"board":"X1","seq":1,"bits":8,"data":"ff"})"),
+               ParseError);
+  EXPECT_THROW(c.load_jsonl(R"({"t":1,"board":"S1","seq":1,"bits":8,"data":"f"})"),
+               ParseError);
+  EXPECT_THROW(c.load_jsonl(R"({"t":1,"board":"S1","seq":1,"bits":8,"data":"zz"})"),
+               ParseError);
+}
+
+}  // namespace
+}  // namespace pufaging

@@ -1,0 +1,125 @@
+#include "testbed/i2c.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+#include "testbed/crc8.hpp"
+
+namespace pufaging {
+namespace {
+
+TEST(Crc8, KnownVectorAndProperties) {
+  // CRC-8/SMBus of "123456789" is 0xF4.
+  const std::vector<std::uint8_t> check = {'1', '2', '3', '4', '5',
+                                           '6', '7', '8', '9'};
+  EXPECT_EQ(crc8(check), 0xF4);
+  EXPECT_EQ(crc8({}), 0x00);
+  // Single-bit change flips the CRC.
+  std::vector<std::uint8_t> a = {0x01, 0x02};
+  std::vector<std::uint8_t> b = {0x01, 0x03};
+  EXPECT_NE(crc8(a), crc8(b));
+}
+
+TEST(I2cFrame, SealAndValidate) {
+  I2cFrame frame;
+  frame.address = 3;
+  frame.sequence = 1234567;
+  frame.payload = {0xDE, 0xAD, 0xBE, 0xEF};
+  frame.seal();
+  EXPECT_TRUE(frame.valid());
+  frame.payload[2] ^= 0x10;
+  EXPECT_FALSE(frame.valid());
+  frame.payload[2] ^= 0x10;
+  EXPECT_TRUE(frame.valid());
+  frame.sequence ^= 1;  // header corruption is also caught
+  EXPECT_FALSE(frame.valid());
+}
+
+TEST(I2cBus, TransferDurationScalesWithPayload) {
+  EventQueue q;
+  I2cBus bus(q, 100000.0);
+  I2cFrame small;
+  small.payload.resize(16);
+  I2cFrame big;
+  big.payload.resize(1024);
+  const double small_t = bus.transfer_duration(small);
+  const double big_t = bus.transfer_duration(big);
+  EXPECT_GT(big_t, small_t);
+  // 1 KByte at 100 kHz, 9 bits/byte: ~92.7 ms.
+  EXPECT_NEAR(big_t, (1030.0 * 9.0 + 2.0) / 100000.0, 1e-9);
+  EXPECT_THROW(I2cBus(q, 0.0), InvalidArgument);
+}
+
+TEST(I2cBus, DeliversFrameAfterBusTime) {
+  EventQueue q;
+  I2cBus bus(q, 100000.0);
+  I2cFrame frame;
+  frame.address = 7;
+  frame.payload = {1, 2, 3};
+  frame.seal();
+  bool delivered = false;
+  bus.transfer(frame, [&](I2cFrame f) {
+    delivered = true;
+    EXPECT_TRUE(f.valid());
+    EXPECT_EQ(f.address, 7);
+  });
+  EXPECT_TRUE(bus.busy());
+  EXPECT_FALSE(delivered);
+  q.run_until(1.0);
+  EXPECT_TRUE(delivered);
+  EXPECT_FALSE(bus.busy());
+  EXPECT_EQ(bus.frames_transferred(), 1U);
+}
+
+TEST(I2cBus, SequentialArbitration) {
+  EventQueue q;
+  I2cBus bus(q, 100000.0);
+  std::vector<int> order;
+  for (int i = 0; i < 3; ++i) {
+    I2cFrame frame;
+    frame.address = static_cast<std::uint8_t>(i);
+    frame.payload.resize(100);
+    frame.seal();
+    bus.transfer(frame,
+                 [&order, i](const I2cFrame&) { order.push_back(i); });
+  }
+  q.run_until(1.0);
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2}));
+}
+
+TEST(I2cBus, FaultInjectionCorruptsRoughlyAtRate) {
+  EventQueue q;
+  I2cBus bus(q, 10e6);
+  bus.inject_faults(0.5, 42);
+  int bad = 0;
+  const int n = 400;
+  for (int i = 0; i < n; ++i) {
+    I2cFrame frame;
+    frame.payload.resize(32);
+    frame.seal();
+    bus.transfer(frame, [&](const I2cFrame& f) { bad += f.valid() ? 0 : 1; });
+  }
+  q.run_until(10.0);
+  EXPECT_EQ(bus.frames_transferred(), static_cast<std::uint64_t>(n));
+  EXPECT_EQ(bus.frames_corrupted(), static_cast<std::uint64_t>(bad));
+  EXPECT_NEAR(static_cast<double>(bad) / n, 0.5, 0.13);
+  EXPECT_THROW(bus.inject_faults(1.5, 1), InvalidArgument);
+}
+
+TEST(I2cBus, NoFaultsByDefault) {
+  EventQueue q;
+  I2cBus bus(q, 10e6);
+  int bad = 0;
+  for (int i = 0; i < 100; ++i) {
+    I2cFrame frame;
+    frame.payload.resize(64);
+    frame.seal();
+    bus.transfer(frame, [&](const I2cFrame& f) { bad += f.valid() ? 0 : 1; });
+  }
+  q.run_until(10.0);
+  EXPECT_EQ(bad, 0);
+  EXPECT_EQ(bus.frames_corrupted(), 0U);
+}
+
+}  // namespace
+}  // namespace pufaging

@@ -1,0 +1,91 @@
+#include "testbed/power.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+
+namespace pufaging {
+namespace {
+
+TEST(PowerSwitch, ChannelLifecycle) {
+  EventQueue q;
+  PowerSwitch sw(q);
+  sw.add_channel(3);
+  sw.add_channel(3);  // idempotent
+  EXPECT_FALSE(sw.is_on(3));
+  sw.set(3, true);
+  EXPECT_TRUE(sw.is_on(3));
+  EXPECT_THROW(sw.set(99, true), InvalidArgument);
+  EXPECT_THROW(sw.is_on(99), InvalidArgument);
+}
+
+TEST(PowerSwitch, ObserverSeesTransitionsOnly) {
+  EventQueue q;
+  PowerSwitch sw(q);
+  sw.add_channel(1);
+  int events = 0;
+  sw.observe([&](std::uint32_t channel, bool on, SimTime at) {
+    ++events;
+    EXPECT_EQ(channel, 1U);
+    (void)on;
+    (void)at;
+  });
+  sw.set(1, true);
+  sw.set(1, true);  // no transition
+  sw.set(1, false);
+  EXPECT_EQ(events, 2);
+}
+
+TEST(Oscilloscope, CapturesEdgesWithTimestamps) {
+  EventQueue q;
+  PowerSwitch sw(q);
+  sw.add_channel(3);
+  sw.add_channel(4);
+  Oscilloscope scope(sw, {3});
+  q.schedule_at(1.0, [&] { sw.set(3, true); });
+  q.schedule_at(2.0, [&] { sw.set(4, true); });  // unprobed channel
+  q.schedule_at(4.8, [&] { sw.set(3, false); });
+  q.run_until(10.0);
+  ASSERT_EQ(scope.edges().size(), 2U);
+  EXPECT_DOUBLE_EQ(scope.edges()[0].at, 1.0);
+  EXPECT_TRUE(scope.edges()[0].rising);
+  EXPECT_DOUBLE_EQ(scope.edges()[1].at, 4.8);
+  EXPECT_FALSE(scope.edges()[1].rising);
+}
+
+TEST(Oscilloscope, WaveformStatsMatchPaperCycle) {
+  // Synthesize the paper's 5.4 s cycle (3.8 s on, 1.6 s off) x 4.
+  EventQueue q;
+  PowerSwitch sw(q);
+  sw.add_channel(19);
+  Oscilloscope scope(sw, {19});
+  for (int c = 0; c < 4; ++c) {
+    const double t0 = 5.4 * c;
+    q.schedule_at(t0, [&] { sw.set(19, true); });
+    q.schedule_at(t0 + 3.8, [&] { sw.set(19, false); });
+  }
+  q.run_until(30.0);
+  const WaveformStats stats = scope.stats(19);
+  EXPECT_NEAR(stats.period_s, 5.4, 1e-9);
+  EXPECT_NEAR(stats.on_time_s, 3.8, 1e-9);
+  EXPECT_NEAR(stats.off_time_s, 1.6, 1e-9);
+  EXPECT_EQ(stats.cycles, 3U);
+}
+
+TEST(Oscilloscope, RenderProducesRailRows) {
+  EventQueue q;
+  PowerSwitch sw(q);
+  sw.add_channel(3);
+  Oscilloscope scope(sw, {3});
+  q.schedule_at(1.0, [&] { sw.set(3, true); });
+  q.schedule_at(2.0, [&] { sw.set(3, false); });
+  q.run_until(4.0);
+  const std::string art = scope.render(0.0, 4.0, 40);
+  EXPECT_NE(art.find("S3"), std::string::npos);
+  EXPECT_NE(art.find('#'), std::string::npos);
+  EXPECT_NE(art.find('.'), std::string::npos);
+  EXPECT_THROW(scope.render(2.0, 1.0), InvalidArgument);
+}
+
+}  // namespace
+}  // namespace pufaging

@@ -1,0 +1,175 @@
+#include "testbed/rig.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+#include "testbed/campaign.hpp"
+
+namespace pufaging {
+namespace {
+
+TEST(BoardNumbering, MatchesPaperLayout) {
+  // Layer 0: S0..S7; layer 1: S16..S23 (Fig. 2a).
+  EXPECT_EQ(board_id_for_device(0), 0U);
+  EXPECT_EQ(board_id_for_device(7), 7U);
+  EXPECT_EQ(board_id_for_device(8), 16U);
+  EXPECT_EQ(board_id_for_device(15), 23U);
+  EXPECT_THROW(board_id_for_device(16), InvalidArgument);
+  for (std::uint32_t d = 0; d < 16; ++d) {
+    EXPECT_EQ(device_index_for_board(board_id_for_device(d)), d);
+  }
+  EXPECT_THROW(device_index_for_board(8), InvalidArgument);
+  EXPECT_THROW(device_index_for_board(24), InvalidArgument);
+}
+
+class RigTest : public ::testing::Test {
+ protected:
+  static Rig& shared_rig() {
+    static Rig rig{RigConfig{}};
+    static const bool ran = [] {
+      rig.run_cycles(4);
+      return true;
+    }();
+    (void)ran;
+    return rig;
+  }
+};
+
+TEST_F(RigTest, EverySlaveDelivers) {
+  Rig& rig = shared_rig();
+  for (std::uint32_t d = 0; d < 16; ++d) {
+    const auto ms =
+        rig.collector().board_measurements(board_id_for_device(d));
+    EXPECT_GE(ms.size(), 4U) << "device " << d;
+    for (const BitVector& m : ms) {
+      EXPECT_EQ(m.size(), 8192U);
+    }
+  }
+}
+
+TEST_F(RigTest, WaveformMatchesFig3) {
+  // Fig. 3: period 5.4 s, on 3.8 s, off 1.6 s on all probed rails.
+  Rig& rig = shared_rig();
+  for (std::uint32_t channel : {3U, 4U, 19U, 20U}) {
+    const WaveformStats stats = rig.scope().stats(channel);
+    EXPECT_GE(stats.cycles, 2U);
+    EXPECT_NEAR(stats.period_s, 5.4, 0.2) << "S" << channel;
+    EXPECT_NEAR(stats.on_time_s, 3.8, 0.1) << "S" << channel;
+    EXPECT_NEAR(stats.off_time_s, 1.6, 0.2) << "S" << channel;
+  }
+}
+
+TEST_F(RigTest, SameLayerBoardsSwitchTogether) {
+  Rig& rig = shared_rig();
+  const auto s3 = rig.scope().channel_edges(3);
+  const auto s4 = rig.scope().channel_edges(4);
+  ASSERT_EQ(s3.size(), s4.size());
+  for (std::size_t i = 0; i < s3.size(); ++i) {
+    EXPECT_DOUBLE_EQ(s3[i].at, s4[i].at);
+    EXPECT_EQ(s3[i].rising, s4[i].rising);
+  }
+}
+
+TEST_F(RigTest, LayersAreAntiPhased) {
+  // Layer 1 (S19) rises strictly between layer 0's (S3) rises, never
+  // simultaneously (the paper staggers layers to avoid interference).
+  Rig& rig = shared_rig();
+  const auto s3 = rig.scope().channel_edges(3);
+  const auto s19 = rig.scope().channel_edges(19);
+  ASSERT_FALSE(s3.empty());
+  ASSERT_FALSE(s19.empty());
+  for (const ScopeEdge& a : s3) {
+    for (const ScopeEdge& b : s19) {
+      EXPECT_NE(a.at, b.at);
+    }
+  }
+}
+
+TEST_F(RigTest, MastersStayInLockstep) {
+  Rig& rig = shared_rig();
+  const auto c0 = rig.master(0).cycles_completed();
+  const auto c1 = rig.master(1).cycles_completed();
+  EXPECT_LE(c0 > c1 ? c0 - c1 : c1 - c0, 1U);
+}
+
+TEST(RigProtocol, DataPathIsBitExact) {
+  // The full protocol path (power -> boot -> I2C -> collector) must
+  // deliver exactly what the device would produce measured directly.
+  Rig rig{RigConfig{}};
+  const auto batches = collect_rig_batches(rig, 3);
+  const auto fleet = make_fleet(paper_fleet_config());
+  for (std::uint32_t d = 0; d < 16; ++d) {
+    SramDevice twin = fleet[d];
+    ASSERT_GE(batches[d].size(), 3U);
+    for (std::size_t k = 0; k < 3; ++k) {
+      EXPECT_EQ(batches[d][k], twin.measure())
+          << "device " << d << " measurement " << k;
+    }
+  }
+}
+
+TEST(RigProtocol, CorruptFramesAreRetriedTransparently) {
+  RigConfig config;
+  config.i2c_fault_rate = 0.3;
+  Rig rig(config);
+  rig.run_cycles(3);
+  const auto& m0 = rig.master(0);
+  const auto& m1 = rig.master(1);
+  EXPECT_GT(m0.crc_retries() + m1.crc_retries(), 0U);
+  EXPECT_EQ(m0.frames_dropped() + m1.frames_dropped(), 0U)
+      << "0.3 corruption with 3 retries should practically never drop";
+  // Data is still bit-exact despite the noise on the bus.
+  const auto fleet = make_fleet(paper_fleet_config());
+  SramDevice twin = fleet[0];
+  const auto ms = rig.collector().board_measurements(0);
+  ASSERT_GE(ms.size(), 3U);
+  EXPECT_EQ(ms[0], twin.measure());
+}
+
+TEST(RigProtocol, JsonlSurvivesRoundTrip) {
+  Rig rig{RigConfig{}};
+  rig.run_cycles(1);
+  Collector back;
+  back.load_jsonl(rig.collector().to_jsonl());
+  EXPECT_EQ(back.record_count(), rig.collector().record_count());
+  EXPECT_EQ(back.records()[0].data, rig.collector().records()[0].data);
+}
+
+TEST(RigProtocol, RequiresSixteenDevices) {
+  RigConfig config;
+  config.fleet.device_count = 8;
+  EXPECT_THROW(Rig{config}, InvalidArgument);
+}
+
+// Property: the scope reproduces whatever duty cycle the rig is
+// configured with, not just the paper's 3.8/1.6 split.
+struct TimingCase {
+  double on_s;
+  double off_s;
+};
+
+class RigTimings : public ::testing::TestWithParam<TimingCase> {};
+
+TEST_P(RigTimings, WaveformTracksConfiguredTiming) {
+  const TimingCase timing = GetParam();
+  RigConfig config;
+  config.timing.on_time_s = timing.on_s;
+  config.timing.off_time_s = timing.off_s;
+  Rig rig(config);
+  rig.run_cycles(3);
+  const WaveformStats stats = rig.scope().stats(3);
+  ASSERT_GE(stats.cycles, 2U);
+  EXPECT_NEAR(stats.on_time_s, timing.on_s, 0.05);
+  EXPECT_NEAR(stats.off_time_s, timing.off_s, 0.2);
+  EXPECT_NEAR(stats.period_s, timing.on_s + timing.off_s, 0.2);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    DutyCycles, RigTimings,
+    ::testing::Values(TimingCase{3.8, 1.6},   // the paper's Fig. 3
+                      TimingCase{2.5, 2.5},   // symmetric
+                      TimingCase{5.0, 1.0},   // long-on
+                      TimingCase{2.0, 4.0})); // long-off
+
+}  // namespace
+}  // namespace pufaging

@@ -1,0 +1,68 @@
+#include "trng/conditioner.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+#include "common/rng.hpp"
+#include "stats/nist.hpp"
+
+namespace pufaging {
+namespace {
+
+BitVector random_bits(std::size_t n, std::uint64_t seed, double p) {
+  Xoshiro256StarStar rng(seed);
+  BitVector v(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    v.set(i, rng.bernoulli(p));
+  }
+  return v;
+}
+
+TEST(Conditioner, InputBudgetFormula) {
+  Sha256Conditioner c(0.5, 2.0);
+  // 32 bytes out at h=0.5 with 2x safety: 256 * 2 / 0.5 = 1024 bits.
+  EXPECT_EQ(c.required_input_bits(32), 1024U);
+  Sha256Conditioner full(1.0, 1.0);
+  EXPECT_EQ(full.required_input_bits(32), 256U);
+}
+
+TEST(Conditioner, Validation) {
+  EXPECT_THROW(Sha256Conditioner(0.0), InvalidArgument);
+  EXPECT_THROW(Sha256Conditioner(1.1), InvalidArgument);
+  EXPECT_THROW(Sha256Conditioner(0.5, 0.5), InvalidArgument);
+}
+
+TEST(Conditioner, OutputLengthFollowsEntropyBudget) {
+  Sha256Conditioner c(0.5, 2.0);
+  // 2048 input bits = 2 chunks of 1024 -> 64 bytes.
+  EXPECT_EQ(c.condition(random_bits(2048, 50, 0.3)).size(), 64U);
+  // Partial chunk produces nothing.
+  EXPECT_EQ(c.condition(random_bits(1000, 51, 0.3)).size(), 0U);
+}
+
+TEST(Conditioner, DeterministicAndInputSensitive) {
+  Sha256Conditioner c(0.5, 2.0);
+  const BitVector raw = random_bits(1024, 52, 0.3);
+  EXPECT_EQ(c.condition(raw), c.condition(raw));
+  BitVector tweaked = raw;
+  tweaked.flip(500);
+  EXPECT_NE(c.condition(raw), c.condition(tweaked));
+}
+
+TEST(Conditioner, OutputPassesNistSuiteEvenFromBiasedInput) {
+  // Heavily biased raw input (p = 0.2, ~0.32 bits/bit min-entropy);
+  // conditioned output must look uniform.
+  Sha256Conditioner c(0.3, 2.0);
+  const std::size_t need_bits = c.required_input_bits(32) * 12;
+  const std::vector<std::uint8_t> out =
+      c.condition(random_bits(need_bits, 53, 0.2));
+  ASSERT_GE(out.size(), 32U * 12U);
+  BitVector bits(out.size() * 8);
+  for (std::size_t i = 0; i < out.size() * 8; ++i) {
+    bits.set(i, (out[i / 8] >> (i % 8)) & 1U);
+  }
+  EXPECT_EQ(nist_failures(nist_suite(bits), 0.001), 0U);
+}
+
+}  // namespace
+}  // namespace pufaging

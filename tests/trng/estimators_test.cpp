@@ -1,0 +1,94 @@
+#include "trng/estimators.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/error.hpp"
+#include "common/math.hpp"
+#include "common/rng.hpp"
+
+namespace pufaging {
+namespace {
+
+BitVector iid_bits(std::size_t n, double p, std::uint64_t seed) {
+  Xoshiro256StarStar rng(seed);
+  BitVector v(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    v.set(i, rng.bernoulli(p));
+  }
+  return v;
+}
+
+TEST(Estimators, UniformSourceScoresNearOne) {
+  const BitVector bits = iid_bits(100000, 0.5, 70);
+  EXPECT_GT(mcv_min_entropy(bits), 0.97);
+  EXPECT_GT(markov_min_entropy(bits), 0.95);
+  // The collision bound's sqrt inversion has infinite slope at Pc = 1/2,
+  // so its confidence slack costs ~0.15 bits right at the uniform point.
+  EXPECT_GT(collision_min_entropy(bits), 0.82);
+  EXPECT_GT(assessed_min_entropy(bits), 0.82);
+}
+
+TEST(Estimators, ConstantSourceScoresZero) {
+  BitVector ones(10000);
+  for (std::size_t i = 0; i < ones.size(); ++i) {
+    ones.set(i, true);
+  }
+  EXPECT_NEAR(mcv_min_entropy(ones), 0.0, 1e-9);
+  EXPECT_NEAR(markov_min_entropy(ones), 0.0, 0.01);
+  EXPECT_NEAR(collision_min_entropy(ones), 0.0, 1e-9);
+}
+
+TEST(Estimators, MarkovCatchesMemoryMcvMisses) {
+  // Alternating 0101... is balanced (MCV says ~1 bit) but fully
+  // predictable from the previous bit (Markov says ~0).
+  BitVector alternating(20000);
+  for (std::size_t i = 0; i < alternating.size(); i += 2) {
+    alternating.set(i, true);
+  }
+  EXPECT_GT(mcv_min_entropy(alternating), 0.95);
+  EXPECT_LT(markov_min_entropy(alternating), 0.05);
+  EXPECT_LT(assessed_min_entropy(alternating), 0.05);
+}
+
+TEST(Estimators, AssessedIsTheMinimum) {
+  const BitVector bits = iid_bits(50000, 0.3, 71);
+  const double assessed = assessed_min_entropy(bits);
+  EXPECT_LE(assessed, mcv_min_entropy(bits));
+  EXPECT_LE(assessed, markov_min_entropy(bits));
+  EXPECT_LE(assessed, collision_min_entropy(bits));
+}
+
+TEST(Estimators, Validation) {
+  EXPECT_THROW(mcv_min_entropy(BitVector(1)), InvalidArgument);
+  EXPECT_THROW(markov_min_entropy(BitVector(1)), InvalidArgument);
+  EXPECT_THROW(collision_min_entropy(BitVector(10)), InvalidArgument);
+}
+
+// Property: for iid Bernoulli(p) sources every estimator's value is a
+// conservative (not wildly over) estimate of the true min-entropy.
+class EstimatorSweep : public ::testing::TestWithParam<double> {};
+
+TEST_P(EstimatorSweep, TracksTrueEntropyConservatively) {
+  const double p = GetParam();
+  const double truth = binary_min_entropy(p);
+  const BitVector bits =
+      iid_bits(200000, p, 72 + static_cast<std::uint64_t>(p * 1000));
+  for (double estimate :
+       {mcv_min_entropy(bits), collision_min_entropy(bits)}) {
+    // Conservative: at most a whisker above the truth...
+    EXPECT_LE(estimate, truth + 0.02) << "p=" << p;
+    // ...but not uselessly pessimistic either.
+    EXPECT_GE(estimate, truth * 0.80 - 0.02) << "p=" << p;
+  }
+  // Markov on an iid source also converges near the truth.
+  EXPECT_NEAR(markov_min_entropy(bits), truth, 0.08) << "p=" << p;
+}
+
+INSTANTIATE_TEST_SUITE_P(Biases, EstimatorSweep,
+                         ::testing::Values(0.1, 0.25, 0.4, 0.5, 0.6, 0.75,
+                                           0.9));
+
+}  // namespace
+}  // namespace pufaging

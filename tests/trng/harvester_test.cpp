@@ -1,0 +1,78 @@
+#include "trng/harvester.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+#include "silicon/device_factory.hpp"
+
+namespace pufaging {
+namespace {
+
+SramDevice device(std::uint32_t id = 0) {
+  return make_device(paper_fleet_config(), id);
+}
+
+TEST(Harvester, SelectsOnlyUnstableCells) {
+  SramDevice d = device();
+  HarvesterConfig config;
+  const CellSelection sel = characterize(d, config);
+  EXPECT_FALSE(sel.cells.empty());
+  // The paper: ~14% of cells are unstable at 1000 measurements; with the
+  // narrower [0.1, 0.9] band expect a few percent of 8192.
+  EXPECT_GT(sel.cells.size(), 100U);
+  EXPECT_LT(sel.cells.size(), 2000U);
+  // Every selected cell is analytically unstable-ish.
+  for (std::uint32_t cell : sel.cells) {
+    const double p = d.one_probability(cell);
+    EXPECT_GT(p, 0.02) << "cell " << cell;
+    EXPECT_LT(p, 0.98) << "cell " << cell;
+  }
+  EXPECT_GT(sel.estimated_min_entropy_per_bit, 0.1);
+  EXPECT_LE(sel.estimated_min_entropy_per_bit, 1.0);
+}
+
+TEST(Harvester, SelectionIsSorted) {
+  SramDevice d = device(1);
+  const CellSelection sel = characterize(d, HarvesterConfig{});
+  EXPECT_TRUE(std::is_sorted(sel.cells.begin(), sel.cells.end()));
+}
+
+TEST(Harvester, Validation) {
+  SramDevice d = device(2);
+  HarvesterConfig bad;
+  bad.characterization_measurements = 1;
+  EXPECT_THROW(characterize(d, bad), InvalidArgument);
+  HarvesterConfig bad2;
+  bad2.p_low = 0.9;
+  bad2.p_high = 0.1;
+  EXPECT_THROW(characterize(d, bad2), InvalidArgument);
+}
+
+TEST(Harvester, HarvestProducesRequestedBits) {
+  SramDevice d = device(3);
+  const CellSelection sel = characterize(d, HarvesterConfig{});
+  const std::uint64_t before = d.measurement_count();
+  const BitVector raw = harvest(d, sel, 5000);
+  EXPECT_EQ(raw.size(), 5000U);
+  // Power-ups consumed = ceil(5000 / cells_per_powerup).
+  const std::uint64_t used = d.measurement_count() - before;
+  EXPECT_EQ(used, (5000 + sel.cells.size() - 1) / sel.cells.size());
+}
+
+TEST(Harvester, RawStreamIsActuallyNoisy) {
+  SramDevice d = device(4);
+  const CellSelection sel = characterize(d, HarvesterConfig{});
+  const BitVector a = harvest(d, sel, 4000);
+  const BitVector b = harvest(d, sel, 4000);
+  // Two consecutive harvests differ in a sizable fraction of bits.
+  EXPECT_GT(fractional_hamming_distance(a, b), 0.05);
+}
+
+TEST(Harvester, EmptySelectionRejected) {
+  SramDevice d = device(5);
+  CellSelection empty;
+  EXPECT_THROW(harvest(d, empty, 100), InvalidArgument);
+}
+
+}  // namespace
+}  // namespace pufaging

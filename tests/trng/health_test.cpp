@@ -1,0 +1,101 @@
+#include "trng/health.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+#include "common/rng.hpp"
+
+namespace pufaging {
+namespace {
+
+BitVector random_bits(std::size_t n, std::uint64_t seed, double p = 0.5) {
+  Xoshiro256StarStar rng(seed);
+  BitVector v(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    v.set(i, rng.bernoulli(p));
+  }
+  return v;
+}
+
+TEST(RepetitionCount, CutoffFormula) {
+  // SP 800-90B 4.4.1: C = 1 + ceil(20 / H).
+  EXPECT_EQ(RepetitionCountTest::cutoff_for_entropy(1.0), 21U);
+  EXPECT_EQ(RepetitionCountTest::cutoff_for_entropy(0.5), 41U);
+  EXPECT_EQ(RepetitionCountTest::cutoff_for_entropy(0.1), 201U);
+  EXPECT_THROW(RepetitionCountTest::cutoff_for_entropy(0.0), InvalidArgument);
+}
+
+TEST(RepetitionCount, TripsOnStuckSource) {
+  RepetitionCountTest rct(5);
+  for (int i = 0; i < 4; ++i) {
+    EXPECT_TRUE(rct.feed(true));
+  }
+  EXPECT_FALSE(rct.feed(true));  // 5th repeat hits the cutoff
+  EXPECT_TRUE(rct.failed());
+  EXPECT_EQ(rct.longest_run(), 5U);
+  rct.reset();
+  EXPECT_FALSE(rct.failed());
+  EXPECT_TRUE(rct.feed(true));
+}
+
+TEST(RepetitionCount, AlternatingNeverTrips) {
+  RepetitionCountTest rct(3);
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_TRUE(rct.feed(i % 2 == 0));
+  }
+  EXPECT_EQ(rct.longest_run(), 1U);
+  EXPECT_THROW(RepetitionCountTest(1), InvalidArgument);
+}
+
+TEST(AdaptiveProportion, TripsOnHeavyBias) {
+  AdaptiveProportionTest apt(64, 40);
+  bool tripped = false;
+  // 90% ones: the window reference (likely 1) recurs > 40 times.
+  Xoshiro256StarStar rng(40);
+  for (int i = 0; i < 640 && !tripped; ++i) {
+    tripped = !apt.feed(rng.bernoulli(0.95));
+  }
+  EXPECT_TRUE(tripped);
+  EXPECT_TRUE(apt.failed());
+  apt.reset();
+  EXPECT_FALSE(apt.failed());
+}
+
+TEST(AdaptiveProportion, BalancedSourcePasses) {
+  AdaptiveProportionTest apt = AdaptiveProportionTest::standard(0.9);
+  Xoshiro256StarStar rng(41);
+  for (int i = 0; i < 50000; ++i) {
+    EXPECT_TRUE(apt.feed(rng.bernoulli(0.5)));
+  }
+}
+
+TEST(AdaptiveProportion, Validation) {
+  EXPECT_THROW(AdaptiveProportionTest(1, 1), InvalidArgument);
+  EXPECT_THROW(AdaptiveProportionTest(10, 11), InvalidArgument);
+  EXPECT_THROW(AdaptiveProportionTest::standard(-0.1), InvalidArgument);
+}
+
+TEST(HealthVerdict, GoodSourcePasses) {
+  const HealthVerdict v = run_health_tests(random_bits(20000, 42), 0.9);
+  EXPECT_TRUE(v.rct_pass);
+  EXPECT_TRUE(v.apt_pass);
+  EXPECT_TRUE(v.pass());
+  EXPECT_LT(v.longest_run, 25U);
+}
+
+TEST(HealthVerdict, DeadSourceFailsBoth) {
+  const HealthVerdict v = run_health_tests(BitVector(5000), 0.9);
+  EXPECT_FALSE(v.rct_pass);
+  EXPECT_FALSE(v.apt_pass);
+  EXPECT_FALSE(v.pass());
+}
+
+TEST(HealthVerdict, SkewedButAliveSourceWithLowEntropyEstimatePasses) {
+  // A 25%-one source evaluated against its honest 0.415-bit estimate.
+  const HealthVerdict v = run_health_tests(random_bits(20000, 43, 0.25),
+                                           0.41);
+  EXPECT_TRUE(v.pass());
+}
+
+}  // namespace
+}  // namespace pufaging

@@ -1,0 +1,89 @@
+#include "trng/pipeline.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+#include "silicon/device_factory.hpp"
+#include "stats/nist.hpp"
+
+namespace pufaging {
+namespace {
+
+SramDevice device(std::uint32_t id = 0) {
+  return make_device(paper_fleet_config(), id);
+}
+
+TEST(TrngPipeline, GeneratesRequestedBytes) {
+  SramDevice d = device();
+  TrngPipeline trng(d);
+  const auto bytes = trng.generate(100);
+  EXPECT_EQ(bytes.size(), 100U);
+  const TrngStats& stats = trng.last_stats();
+  EXPECT_EQ(stats.output_bytes, 100U);
+  EXPECT_GT(stats.raw_bits, 100U * 8U);  // compression happened
+  EXPECT_TRUE(stats.health.pass());
+  EXPECT_GT(stats.power_ups, 0U);
+  EXPECT_GT(trng.bits_per_power_up(), 10.0);
+}
+
+TEST(TrngPipeline, OutputIsStatisticallyRandom) {
+  SramDevice d = device(1);
+  TrngPipeline trng(d);
+  const auto bytes = trng.generate(4096);
+  BitVector bits(bytes.size() * 8);
+  for (std::size_t i = 0; i < bits.size(); ++i) {
+    bits.set(i, (bytes[i / 8] >> (i % 8)) & 1U);
+  }
+  EXPECT_EQ(nist_failures(nist_suite(bits), 0.001), 0U);
+}
+
+TEST(TrngPipeline, ConsecutiveOutputsDiffer) {
+  SramDevice d = device(2);
+  TrngPipeline trng(d);
+  EXPECT_NE(trng.generate(64), trng.generate(64));
+}
+
+TEST(TrngPipeline, ZeroBytesIsNoOp) {
+  SramDevice d = device(3);
+  TrngPipeline trng(d);
+  EXPECT_TRUE(trng.generate(0).empty());
+}
+
+TEST(TrngPipeline, RejectsDeviceWithoutNoise) {
+  // An absurdly skewed device has no unstable cells: construction fails.
+  FleetConfig config = paper_fleet_config();
+  config.bias_mean = 50.0;  // every cell fully skewed to 1
+  config.bias_sigma = 0.0;
+  SramDevice d = make_device(config, 0);
+  EXPECT_THROW(TrngPipeline{d}, Error);
+}
+
+TEST(TrngPipeline, AgingImprovesThroughput) {
+  // The paper's TRNG conclusion: more unstable cells after aging => more
+  // noise bits per power-up.
+  SramDevice d = device(4);
+  TrngPipeline trng(d);
+  const double young = trng.bits_per_power_up();
+  d.age_months(24.0);
+  trng.recharacterize();
+  EXPECT_GT(trng.bits_per_power_up(), young);
+}
+
+TEST(TrngPipeline, StatsTrackEntropyEstimate) {
+  SramDevice d = device(5);
+  TrngPipeline trng(d);
+  trng.generate(32);
+  const TrngStats& stats = trng.last_stats();
+  EXPECT_GT(stats.min_entropy_per_bit, 0.1);
+  EXPECT_LE(stats.min_entropy_per_bit, 1.0);
+  EXPECT_DOUBLE_EQ(stats.min_entropy_per_bit,
+                   trng.selection().estimated_min_entropy_per_bit);
+  // The black-box 90B assessment of the raw stream should land in the
+  // same ballpark as the characterization estimate.
+  EXPECT_GT(stats.assessed_min_entropy, 0.1);
+  EXPECT_LE(stats.assessed_min_entropy, 1.0);
+  EXPECT_NEAR(stats.assessed_min_entropy, stats.min_entropy_per_bit, 0.25);
+}
+
+}  // namespace
+}  // namespace pufaging

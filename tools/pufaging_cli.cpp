@@ -1,0 +1,345 @@
+// pufaging — command-line front end to the reproduction library.
+//
+//   pufaging campaign  [--months N] [--measurements N] [--accelerated]
+//                      [--seed S] [--csv PREFIX]
+//   pufaging rig       [--cycles N] [--jsonl FILE] [--fault-rate P]
+//   pufaging analyze   FILE.jsonl
+//   pufaging keygen    [--months N] [--debias]
+//   pufaging trng      [--bytes N] [--device D]
+//   pufaging predict   [--months N] [--budget BER]
+//
+// Every command is deterministic from the seed; see README.md.
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <optional>
+#include <sstream>
+#include <string>
+#include <map>
+#include <vector>
+
+#include "analysis/initial_quality.hpp"
+#include "analysis/lifetime.hpp"
+#include "analysis/summary.hpp"
+#include "analysis/timeseries.hpp"
+#include "common/error.hpp"
+#include "keygen/debiased_key_generator.hpp"
+#include "keygen/key_generator.hpp"
+#include "silicon/device_factory.hpp"
+#include "stats/nist.hpp"
+#include "testbed/campaign.hpp"
+#include "trng/pipeline.hpp"
+
+namespace pufaging::cli {
+namespace {
+
+/// Tiny flag parser: --name value / --name (boolean).
+class Args {
+ public:
+  Args(int argc, char** argv, int first) {
+    for (int i = first; i < argc; ++i) {
+      tokens_.emplace_back(argv[i]);
+    }
+  }
+
+  std::optional<std::string> value(const std::string& flag) {
+    for (std::size_t i = 0; i + 1 < tokens_.size(); ++i) {
+      if (tokens_[i] == flag) {
+        used_[i] = used_[i + 1] = true;
+        return tokens_[i + 1];
+      }
+    }
+    return std::nullopt;
+  }
+
+  bool boolean(const std::string& flag) {
+    for (std::size_t i = 0; i < tokens_.size(); ++i) {
+      if (tokens_[i] == flag) {
+        used_[i] = true;
+        return true;
+      }
+    }
+    return false;
+  }
+
+  std::optional<std::string> positional() {
+    for (std::size_t i = 0; i < tokens_.size(); ++i) {
+      if (!used_.count(i) && tokens_[i].rfind("--", 0) != 0) {
+        used_[i] = true;
+        return tokens_[i];
+      }
+    }
+    return std::nullopt;
+  }
+
+  long integer(const std::string& flag, long fallback) {
+    const auto v = value(flag);
+    return v ? std::stol(*v) : fallback;
+  }
+
+  double real(const std::string& flag, double fallback) {
+    const auto v = value(flag);
+    return v ? std::stod(*v) : fallback;
+  }
+
+ private:
+  std::vector<std::string> tokens_;
+  std::map<std::size_t, bool> used_;
+};
+
+int cmd_campaign(Args& args) {
+  CampaignConfig config;
+  config.months = static_cast<std::size_t>(args.integer("--months", 24));
+  config.measurements_per_month =
+      static_cast<std::size_t>(args.integer("--measurements", 1000));
+  if (const auto seed = args.value("--seed")) {
+    config.fleet.seed = std::stoull(*seed, nullptr, 0);
+  }
+  if (args.boolean("--accelerated")) {
+    config.accelerated = true;
+    config.operating_point = accelerated_conditions();
+  }
+  std::fprintf(stderr,
+               "running %zu-month campaign (16 devices, %zu meas/month%s)...\n",
+               config.months, config.measurements_per_month,
+               config.accelerated ? ", accelerated" : "");
+  const CampaignResult result = run_campaign(config);
+  const SummaryTable table = build_summary_table(result.series);
+  std::printf("%s", render_summary_table(table).c_str());
+
+  if (const auto prefix = args.value("--csv")) {
+    std::vector<MetricSeries> series;
+    series.push_back(extract_series(result.series, "wchd_avg",
+                                    [](const FleetMonthMetrics& m) {
+                                      return m.wchd_avg;
+                                    }));
+    series.push_back(extract_series(result.series, "noise_entropy_avg",
+                                    [](const FleetMonthMetrics& m) {
+                                      return m.noise_entropy_avg;
+                                    }));
+    series.push_back(extract_series(result.series, "stable_avg",
+                                    [](const FleetMonthMetrics& m) {
+                                      return m.stable_avg;
+                                    }));
+    series.push_back(extract_series(result.series, "puf_entropy",
+                                    [](const FleetMonthMetrics& m) {
+                                      return m.puf_entropy;
+                                    }));
+    const std::string path = *prefix + "_fleet.csv";
+    series_to_csv(series).save(path);
+    std::fprintf(stderr, "fleet series written to %s\n", path.c_str());
+  }
+  return 0;
+}
+
+int cmd_rig(Args& args) {
+  RigConfig config;
+  config.i2c_fault_rate = args.real("--fault-rate", 0.0);
+  const auto cycles =
+      static_cast<std::uint64_t>(args.integer("--cycles", 4));
+  Rig rig(config);
+  rig.run_cycles(cycles);
+  std::fprintf(stderr,
+               "rig ran %llu cycles/layer, %zu records, %llu CRC retries\n",
+               static_cast<unsigned long long>(
+                   rig.master(0).cycles_completed()),
+               rig.collector().record_count(),
+               static_cast<unsigned long long>(rig.master(0).crc_retries() +
+                                               rig.master(1).crc_retries()));
+  const std::string jsonl = rig.collector().to_jsonl();
+  if (const auto path = args.value("--jsonl")) {
+    std::ofstream out(*path);
+    if (!out) {
+      std::fprintf(stderr, "error: cannot open %s\n", path->c_str());
+      return 1;
+    }
+    out << jsonl;
+    std::fprintf(stderr, "records written to %s\n", path->c_str());
+  } else {
+    std::fputs(jsonl.c_str(), stdout);
+  }
+  return 0;
+}
+
+int cmd_analyze(Args& args) {
+  const auto path = args.positional();
+  if (!path) {
+    std::fprintf(stderr, "usage: pufaging analyze FILE.jsonl\n");
+    return 2;
+  }
+  std::ifstream in(*path);
+  if (!in) {
+    std::fprintf(stderr, "error: cannot open %s\n", path->c_str());
+    return 1;
+  }
+  std::stringstream buffer;
+  buffer << in.rdbuf();
+  Collector collector;
+  collector.load_jsonl(buffer.str());
+  std::fprintf(stderr, "loaded %zu records from %zu boards\n",
+               collector.record_count(), collector.boards().size());
+
+  std::vector<std::vector<BitVector>> batches;
+  for (std::uint32_t board : collector.boards()) {
+    batches.push_back(collector.board_measurements(board));
+  }
+  const InitialQualityReport report = evaluate_initial_quality(batches);
+  std::printf("%s", render_initial_quality(report).c_str());
+  return 0;
+}
+
+int cmd_keygen(Args& args) {
+  const long months = args.integer("--months", 24);
+  const bool debias = args.boolean("--debias");
+  SramDevice device =
+      make_device(paper_fleet_config(),
+                  static_cast<std::uint32_t>(args.integer("--device", 0)));
+
+  const auto report = [&](const char* scheme, auto& generator,
+                          const auto& enrollment) {
+    std::printf("scheme: %s (%s)\n", scheme, generator.code().name().c_str());
+    for (long month = 1; month <= months; ++month) {
+      device.age_months(1.0);
+      const Regeneration r = generator.regenerate(device, enrollment);
+      if (!r.success || !r.key_matches) {
+        std::printf("month %ld: FAILED\n", month);
+        return 1;
+      }
+      if (month % 6 == 0 || month == 1) {
+        std::printf("month %2ld: OK (%zu corrections)\n", month, r.corrected);
+      }
+    }
+    std::printf("key survived %ld months\n", months);
+    return 0;
+  };
+
+  if (debias) {
+    DebiasedKeyGenerator generator = DebiasedKeyGenerator::standard();
+    const DebiasedEnrollment enrollment = generator.enroll(device);
+    return report("debiased code-offset", generator, enrollment);
+  }
+  KeyGenerator generator = KeyGenerator::standard();
+  const Enrollment enrollment = generator.enroll(device);
+  return report("code-offset", generator, enrollment);
+}
+
+int cmd_trng(Args& args) {
+  const auto bytes = static_cast<std::size_t>(args.integer("--bytes", 64));
+  SramDevice device =
+      make_device(paper_fleet_config(),
+                  static_cast<std::uint32_t>(args.integer("--device", 0)));
+  TrngPipeline trng(device);
+  const std::vector<std::uint8_t> out = trng.generate(bytes);
+  for (std::size_t i = 0; i < out.size(); ++i) {
+    std::printf("%02x", out[i]);
+    if ((i + 1) % 32 == 0) {
+      std::printf("\n");
+    }
+  }
+  if (out.size() % 32 != 0) {
+    std::printf("\n");
+  }
+  const TrngStats& stats = trng.last_stats();
+  std::fprintf(stderr,
+               "%zu bytes from %zu raw bits (%.2f bits/bit min-entropy, "
+               "health %s)\n",
+               out.size(), stats.raw_bits, stats.min_entropy_per_bit,
+               stats.health.pass() ? "pass" : "FAIL");
+  return 0;
+}
+
+int cmd_predict(Args& args) {
+  const auto fit_months =
+      static_cast<std::size_t>(args.integer("--months", 12));
+  const double budget = args.real("--budget", 0.08);
+  std::fprintf(stderr,
+               "fitting the aging trajectory on %zu months of campaign "
+               "data...\n",
+               fit_months);
+  CampaignConfig config;
+  config.months = fit_months;
+  config.measurements_per_month = 250;
+  const CampaignResult result = run_campaign(config);
+  std::vector<double> months;
+  std::vector<double> values;
+  for (const FleetMonthMetrics& m : result.series) {
+    months.push_back(m.month);
+    values.push_back(m.wchd_avg);
+  }
+  const AgingTrajectoryFit fit = fit_aging_trajectory(months, values);
+  std::printf("fit: wchd(t) = %.4f + %.5f * t^%.2f  (rms %.5f)\n",
+              fit.baseline, fit.amplitude, fit.exponent, fit.rms_error);
+  std::printf("predicted WCHD at month 24: %.2f%% (paper: 2.97%%)\n",
+              100.0 * fit.predict(24.0));
+  const auto lifetime = fit.months_until(budget);
+  if (lifetime) {
+    std::printf("months until the %.1f%% BER budget: %.0f (~%.0f years)\n",
+                100.0 * budget, *lifetime, *lifetime / 12.0);
+  } else {
+    std::printf("the fitted trajectory never reaches %.1f%% BER\n",
+                100.0 * budget);
+  }
+  return 0;
+}
+
+int usage() {
+  std::fprintf(
+      stderr,
+      "pufaging — SRAM PUF long-term assessment toolkit\n\n"
+      "usage: pufaging <command> [options]\n\n"
+      "commands:\n"
+      "  campaign   run the N-month fleet campaign, print Table I\n"
+      "             [--months N] [--measurements N] [--accelerated]\n"
+      "             [--seed S] [--csv PREFIX]\n"
+      "  rig        run the event-driven 18-board rig, emit JSONL records\n"
+      "             [--cycles N] [--jsonl FILE] [--fault-rate P]\n"
+      "  analyze    initial-quality evaluation of a JSONL record file\n"
+      "  keygen     enroll a key and regenerate it monthly while aging\n"
+      "             [--months N] [--debias] [--device D]\n"
+      "  trng       emit random bytes from the PUF noise source\n"
+      "             [--bytes N] [--device D]\n"
+      "  predict    fit the aging trajectory and extrapolate lifetime\n"
+      "             [--months N] [--budget BER]\n");
+  return 2;
+}
+
+}  // namespace
+}  // namespace pufaging::cli
+
+int main(int argc, char** argv) {
+  using namespace pufaging;
+  using namespace pufaging::cli;
+  if (argc < 2) {
+    return usage();
+  }
+  const std::string command = argv[1];
+  Args args(argc, argv, 2);
+  try {
+    if (command == "campaign") {
+      return cmd_campaign(args);
+    }
+    if (command == "rig") {
+      return cmd_rig(args);
+    }
+    if (command == "analyze") {
+      return cmd_analyze(args);
+    }
+    if (command == "keygen") {
+      return cmd_keygen(args);
+    }
+    if (command == "trng") {
+      return cmd_trng(args);
+    }
+    if (command == "predict") {
+      return cmd_predict(args);
+    }
+    return usage();
+  } catch (const Error& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 1;
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 1;
+  }
+}
