@@ -7,6 +7,7 @@
 
 #include "analysis/timeseries.hpp"
 #include "bench_common.hpp"
+#include "common/thread_pool.hpp"
 #include "testbed/campaign.hpp"
 
 namespace pufaging {
@@ -39,9 +40,12 @@ void panel(const std::vector<FleetMonthMetrics>& series, const char* title,
 
 void reproduce() {
   bench::banner("Fig. 6 - Development of PUF qualities over two years");
+  CampaignConfig config;
+  config.threads = 0;  // fan the 16 devices out over all cores
   std::printf("running the 24-month, 16-device, 1000-measurements/month "
-              "campaign...\n");
-  const CampaignResult r = run_campaign(CampaignConfig{});
+              "campaign on %zu threads...\n",
+              ThreadPool::resolve_thread_count(config.threads));
+  const CampaignResult r = run_campaign(config);
 
   panel(r.series, "(a) Within-class Hamming distance per device",
         [](const DeviceMonthMetrics& d) { return d.wchd_mean; },

@@ -4,6 +4,7 @@
 // paper's published numbers.
 #include "analysis/summary.hpp"
 #include "bench_common.hpp"
+#include "common/thread_pool.hpp"
 #include "io/table.hpp"
 #include "testbed/campaign.hpp"
 
@@ -35,9 +36,12 @@ constexpr PaperRow kPaper[] = {
 void reproduce() {
   bench::banner(
       "Table I - SRAM PUF qualities at the start and end of the test");
+  CampaignConfig config;
+  config.threads = 0;  // bit-identical to serial; see campaign_scaling
   std::printf("running the 24-month, 16-device, 1000-measurements/month "
-              "campaign...\n\n");
-  const CampaignResult r = run_campaign(CampaignConfig{});
+              "campaign on %zu threads...\n\n",
+              ThreadPool::resolve_thread_count(config.threads));
+  const CampaignResult r = run_campaign(config);
   const SummaryTable table = build_summary_table(r.series);
 
   std::printf("%s\n", render_summary_table(table).c_str());

@@ -71,6 +71,15 @@ FleetMonthMetrics combine_fleet_month(std::vector<DeviceMonthMetrics> devices,
   if (devices.size() < 2) {
     throw InvalidArgument("combine_fleet_month: need at least two devices");
   }
+  // The reduction must not depend on the order tasks finished in when the
+  // campaign ran in parallel: canonicalize to device-id order first, so
+  // every floating-point sum below (and the BCHD pair enumeration) sees
+  // the devices in exactly the same sequence regardless of thread count.
+  std::sort(devices.begin(), devices.end(),
+            [](const DeviceMonthMetrics& a, const DeviceMonthMetrics& b) {
+              return a.device_id < b.device_id;
+            });
+
   FleetMonthMetrics fleet;
   fleet.month = month;
 

@@ -70,6 +70,10 @@ struct FleetMonthMetrics {
 
 /// Combines per-device metrics into the fleet view (BCHD over all pairs of
 /// first patterns, PUF entropy over bit locations, AVG/WC aggregates).
+/// Order-independent: devices are canonicalized to device-id order before
+/// any floating-point accumulation, so the result (including the stored
+/// `devices` vector) is bit-identical no matter how the per-device work
+/// was scheduled. Device ids must be unique.
 FleetMonthMetrics combine_fleet_month(std::vector<DeviceMonthMetrics> devices,
                                       double month);
 

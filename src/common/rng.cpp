@@ -130,6 +130,11 @@ std::uint64_t Philox4x32::at(std::uint64_t key64, std::uint64_t index) {
   return (std::uint64_t{out[1]} << 32) | out[0];
 }
 
+std::uint64_t split_seed(std::uint64_t root, std::uint64_t domain,
+                         std::uint64_t index) {
+  return Philox4x32::at(root ^ domain, index);
+}
+
 double Philox4x32::gaussian_at(std::uint64_t key64, std::uint64_t index) {
   const Counter in = {static_cast<std::uint32_t>(index),
                       static_cast<std::uint32_t>(index >> 32), 0x5EED5EEDU, 0};

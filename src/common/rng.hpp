@@ -94,4 +94,19 @@ class Philox4x32 {
   static double gaussian_at(std::uint64_t key64, std::uint64_t index);
 };
 
+/// Splits a root seed into an independent child-stream seed addressed by
+/// (domain, index), via one counter-based Philox evaluation:
+///
+///     child = Philox(root ^ domain, index)
+///
+/// Because the split is a pure function of its coordinates, streams can be
+/// derived in any order — or concurrently from many threads — and always
+/// yield the same child seeds. This is how the fleet seed fans out into
+/// per-device process-variation keys and measurement-noise streams, which
+/// in turn is what makes the parallel campaign engine bit-identical to the
+/// serial one: device d's randomness never depends on when (or on which
+/// thread) device d is simulated.
+std::uint64_t split_seed(std::uint64_t root, std::uint64_t domain,
+                         std::uint64_t index);
+
 }  // namespace pufaging

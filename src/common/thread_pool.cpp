@@ -1,0 +1,98 @@
+#include "common/thread_pool.hpp"
+
+#include <utility>
+
+#include "common/error.hpp"
+
+namespace pufaging {
+
+ThreadPool::ThreadPool(std::size_t thread_count) {
+  if (thread_count == 0) {
+    throw InvalidArgument("ThreadPool: thread_count must be > 0");
+  }
+  workers_.reserve(thread_count);
+  for (std::size_t i = 0; i < thread_count; ++i) {
+    workers_.emplace_back([this] { worker_loop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    stopping_ = true;
+  }
+  task_ready_.notify_all();
+  for (std::thread& worker : workers_) {
+    worker.join();
+  }
+}
+
+void ThreadPool::submit(std::function<void()> task) {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (stopping_) {
+      throw InvalidArgument("ThreadPool::submit: pool is shutting down");
+    }
+    queue_.push_back(std::move(task));
+    ++in_flight_;
+  }
+  task_ready_.notify_one();
+}
+
+void ThreadPool::wait() {
+  std::unique_lock<std::mutex> lock(mutex_);
+  all_done_.wait(lock, [this] { return in_flight_ == 0; });
+  if (first_error_) {
+    std::exception_ptr error = std::exchange(first_error_, nullptr);
+    lock.unlock();
+    std::rethrow_exception(error);
+  }
+}
+
+void ThreadPool::parallel_for(std::size_t begin, std::size_t end,
+                              const std::function<void(std::size_t)>& body) {
+  for (std::size_t i = begin; i < end; ++i) {
+    submit([&body, i] { body(i); });
+  }
+  wait();
+}
+
+std::size_t ThreadPool::resolve_thread_count(std::size_t requested) {
+  if (requested != 0) {
+    return requested;
+  }
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw == 0 ? 1 : static_cast<std::size_t>(hw);
+}
+
+void ThreadPool::worker_loop() {
+  for (;;) {
+    std::function<void()> task;
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      task_ready_.wait(lock, [this] { return stopping_ || !queue_.empty(); });
+      if (queue_.empty()) {
+        return;  // stopping_ and drained
+      }
+      task = std::move(queue_.front());
+      queue_.pop_front();
+    }
+    try {
+      task();
+    } catch (...) {
+      std::lock_guard<std::mutex> lock(mutex_);
+      if (!first_error_) {
+        first_error_ = std::current_exception();
+      }
+    }
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      --in_flight_;
+      if (in_flight_ == 0) {
+        all_done_.notify_all();
+      }
+    }
+  }
+}
+
+}  // namespace pufaging

@@ -1,0 +1,71 @@
+// A small fixed-size thread pool for the per-device campaign fan-out.
+//
+// Design constraints, in order:
+//  1. Determinism support: the pool never reorders *data* — callers index
+//     results by task coordinate (e.g. device index), so completion order
+//     is irrelevant and parallel runs are bit-identical to serial ones.
+//  2. Exceptions: the first exception thrown by any task is captured and
+//     rethrown from wait() on the submitting thread; remaining tasks still
+//     run to completion so the pool stays in a defined state.
+//  3. No dependencies beyond <thread>: the pool must build everywhere the
+//     library builds, including under ASan/UBSan in CI.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <exception>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace pufaging {
+
+/// Fixed-size worker pool with a shared FIFO queue.
+class ThreadPool {
+ public:
+  /// Spawns `thread_count` workers. Throws InvalidArgument if zero.
+  explicit ThreadPool(std::size_t thread_count);
+
+  /// Drains outstanding tasks, then joins the workers.
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Number of worker threads.
+  std::size_t size() const { return workers_.size(); }
+
+  /// Enqueues one task. Tasks may be submitted from any thread, but wait()
+  /// must only be called from threads that do not themselves run tasks.
+  void submit(std::function<void()> task);
+
+  /// Blocks until every submitted task has finished, then rethrows the
+  /// first exception any task raised (if any). The pool remains usable
+  /// afterwards, including after an exception.
+  void wait();
+
+  /// Runs body(i) for every i in [begin, end) across the pool, blocking
+  /// until all iterations complete. Exceptions propagate like wait().
+  void parallel_for(std::size_t begin, std::size_t end,
+                    const std::function<void(std::size_t)>& body);
+
+  /// Maps a user-facing thread request to an actual worker count:
+  /// 0 means "use the hardware concurrency" (at least 1).
+  static std::size_t resolve_thread_count(std::size_t requested);
+
+ private:
+  void worker_loop();
+
+  std::vector<std::thread> workers_;
+  std::deque<std::function<void()>> queue_;
+  mutable std::mutex mutex_;
+  std::condition_variable task_ready_;
+  std::condition_variable all_done_;
+  std::size_t in_flight_ = 0;  ///< Queued + currently running tasks.
+  bool stopping_ = false;
+  std::exception_ptr first_error_;
+};
+
+}  // namespace pufaging

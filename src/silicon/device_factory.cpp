@@ -34,12 +34,14 @@ SramDevice make_device(const FleetConfig& config, std::uint32_t index) {
                 Philox4x32::gaussian_at(config.seed ^ kNoiseStream, index);
   dev.noise.device_multiplier = std::max(0.5, mult);
 
-  // Independent keys for the process-variation draw and the measurement
-  // noise stream.
-  const std::uint64_t device_key =
-      Philox4x32::at(config.seed ^ kKeyStream, index);
+  // Independent per-device streams split off the fleet seed with the
+  // counter-based generator: derivable in any order (or from any thread)
+  // with identical results, which keeps parallel campaigns bit-identical
+  // to serial ones. One key drives the frozen process variation, the other
+  // seeds the device's private measurement-noise stream.
+  const std::uint64_t device_key = split_seed(config.seed, kKeyStream, index);
   const std::uint64_t measurement_seed =
-      Philox4x32::at(config.seed ^ kKeyStream, index + 0x10000ULL);
+      split_seed(config.seed, kKeyStream, index + 0x10000ULL);
 
   return SramDevice(index, device_key, measurement_seed, dev);
 }

@@ -34,8 +34,11 @@ struct FleetConfig {
 };
 
 /// Creates device `index` of the fleet described by `config`. Each device's
-/// process variation, bias and noise multiplier are deterministic functions
-/// of (config.seed, index).
+/// process variation, bias, noise multiplier and measurement-noise stream
+/// are deterministic functions of (config.seed, index), split off the fleet
+/// seed with the counter-based generator (`split_seed`). Devices may
+/// therefore be constructed — and simulated — in any order, or in
+/// parallel, with bit-identical results.
 SramDevice make_device(const FleetConfig& config, std::uint32_t index);
 
 /// Creates the whole fleet (indices 0..device_count-1).

@@ -1,8 +1,11 @@
 #include "testbed/campaign.hpp"
 
+#include <algorithm>
 #include <cmath>
+#include <optional>
 
 #include "common/error.hpp"
+#include "common/thread_pool.hpp"
 
 namespace pufaging {
 
@@ -38,11 +41,25 @@ CampaignResult run_campaign(const CampaignConfig& config) {
     result.first_month_batches.resize(fleet.size());
   }
 
+  // Devices are statistically independent — each owns a private RNG stream
+  // split off the fleet seed — so the monthly snapshot fans out per device.
+  // Every task touches only index d of the shared vectors, results are
+  // collected by device index (not by completion order), and the reduction
+  // below is order-independent: any thread count is bit-identical to the
+  // threads=1 reference path, which runs the very same task in a plain
+  // loop.
+  const std::size_t thread_count = std::min(
+      ThreadPool::resolve_thread_count(config.threads), fleet.size());
+  std::optional<ThreadPool> pool;
+  if (thread_count > 1) {
+    pool.emplace(thread_count);
+  }
+
   for (std::size_t month = 0; month <= config.months; ++month) {
     const OperatingPoint month_op = op_for_month(month);
-    std::vector<DeviceMonthMetrics> device_metrics;
-    device_metrics.reserve(fleet.size());
-    for (std::size_t d = 0; d < fleet.size(); ++d) {
+    const bool age_after = month < config.months;
+    std::vector<DeviceMonthMetrics> device_metrics(fleet.size());
+    const auto device_task = [&](std::size_t d) {
       SramDevice& device = fleet[d];
       BitVector first = device.measure(month_op);
       if (month == 0) {
@@ -60,15 +77,20 @@ CampaignResult run_campaign(const CampaignConfig& config) {
           result.first_month_batches[d].push_back(pattern);
         }
       }
-      device_metrics.push_back(acc.finalize());
+      device_metrics[d] = acc.finalize();
+      if (age_after) {
+        device.age_months(wall_months_per_snapshot, month_op);
+      }
+    };
+    if (pool) {
+      pool->parallel_for(0, fleet.size(), device_task);
+    } else {
+      for (std::size_t d = 0; d < fleet.size(); ++d) {
+        device_task(d);
+      }
     }
     result.series.push_back(combine_fleet_month(std::move(device_metrics),
                                                 static_cast<double>(month)));
-    if (month < config.months) {
-      for (SramDevice& device : fleet) {
-        device.age_months(wall_months_per_snapshot, month_op);
-      }
-    }
   }
   return result;
 }

@@ -44,6 +44,14 @@ struct CampaignConfig {
 
   /// Keep the month-0 batches (16 x 1000 read-outs) for Fig. 4/5 analyses.
   bool keep_first_month_batches = false;
+
+  /// Worker threads for the per-device fan-out: 0 = hardware concurrency,
+  /// 1 = the serial reference path. Devices are statistically independent
+  /// (each owns a counter-based RNG stream split off the fleet seed), so
+  /// every thread count produces bit-identical results; `threads` only
+  /// changes wall-clock time. A custom `schedule` is invoked once per month
+  /// on the calling thread and need not be thread-safe.
+  std::size_t threads = 0;
 };
 
 /// Campaign output.
@@ -68,6 +76,12 @@ std::function<OperatingPoint(std::size_t)> seasonal_schedule(
 /// Drives the full protocol rig for `cycles` power cycles and returns each
 /// device's measurements in device-index order (decoded from the
 /// collector's records).
+///
+/// Threading contract: the rig's event queue is inherently serial (events
+/// are globally ordered by simulated time), so a `Rig` must never be
+/// shared between threads — drive each rig from exactly one thread. The
+/// `Collector` record sink itself *is* thread-safe, so several rigs running
+/// on different threads may feed one shared collector.
 std::vector<std::vector<BitVector>> collect_rig_batches(Rig& rig,
                                                         std::uint64_t cycles);
 

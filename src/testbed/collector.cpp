@@ -8,11 +8,13 @@
 namespace pufaging {
 
 void Collector::receive(const MeasurementRecord& record) {
+  std::lock_guard<std::mutex> lock(mutex_);
   records_.push_back(record);
 }
 
 std::vector<BitVector> Collector::board_measurements(
     std::uint32_t board_id) const {
+  std::lock_guard<std::mutex> lock(mutex_);
   std::vector<BitVector> out;
   for (const MeasurementRecord& r : records_) {
     if (r.board_id == board_id) {
@@ -23,6 +25,7 @@ std::vector<BitVector> Collector::board_measurements(
 }
 
 std::vector<std::uint32_t> Collector::boards() const {
+  std::lock_guard<std::mutex> lock(mutex_);
   std::vector<std::uint32_t> ids;
   for (const MeasurementRecord& r : records_) {
     if (std::find(ids.begin(), ids.end(), r.board_id) == ids.end()) {
@@ -69,6 +72,7 @@ std::vector<std::uint8_t> Collector::from_hex(const std::string& hex) {
 }
 
 std::string Collector::to_jsonl() const {
+  std::lock_guard<std::mutex> lock(mutex_);
   std::ostringstream os;
   for (const MeasurementRecord& r : records_) {
     Json obj = Json::object();
@@ -83,6 +87,7 @@ std::string Collector::to_jsonl() const {
 }
 
 void Collector::load_jsonl(const std::string& text) {
+  std::lock_guard<std::mutex> lock(mutex_);
   std::istringstream is(text);
   std::string line;
   while (std::getline(is, line)) {

@@ -7,6 +7,7 @@
 #pragma once
 
 #include <map>
+#include <mutex>
 #include <string>
 #include <vector>
 
@@ -16,12 +17,26 @@
 namespace pufaging {
 
 /// In-memory measurement database with JSON import/export.
+///
+/// Thread safety: all member functions except `records()` are internally
+/// synchronized, so masters running on different threads may feed one
+/// shared collector and readers may query it concurrently. Records arrive
+/// in lock-acquisition order; per-board sequences stay ordered as long as
+/// each board's records are produced by a single thread (true for the rig,
+/// whose event queue is serial). `records()` hands out an unsynchronized
+/// reference for the serial analysis path — do not call it while another
+/// thread may be writing.
 class Collector {
  public:
   /// Record sink to plug into a MasterBoard.
   void receive(const MeasurementRecord& record);
 
-  std::size_t record_count() const { return records_.size(); }
+  std::size_t record_count() const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return records_.size();
+  }
+
+  /// Unsynchronized view of the record store (see class comment).
   const std::vector<MeasurementRecord>& records() const { return records_; }
 
   /// All measurements of one board, in arrival order.
@@ -43,6 +58,7 @@ class Collector {
   static std::string to_hex(const std::vector<std::uint8_t>& bytes);
   static std::vector<std::uint8_t> from_hex(const std::string& hex);
 
+  mutable std::mutex mutex_;
   std::vector<MeasurementRecord> records_;
 };
 

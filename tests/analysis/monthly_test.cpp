@@ -81,6 +81,30 @@ TEST(CombineFleetMonth, PufEntropyOverFirstPatterns) {
   EXPECT_NEAR(fleet.puf_entropy, -std::log2(2.0 / 3.0), 1e-12);
 }
 
+TEST(CombineFleetMonth, ReductionIsOrderIndependent) {
+  // The parallel campaign engine may deliver device metrics in any
+  // completion order; the combined fleet view must be bit-identical.
+  std::vector<DeviceMonthMetrics> in_order = three_devices();
+  std::vector<DeviceMonthMetrics> shuffled = {in_order[2], in_order[0],
+                                              in_order[1]};
+  const FleetMonthMetrics a = combine_fleet_month(std::move(in_order), 3.0);
+  const FleetMonthMetrics b = combine_fleet_month(std::move(shuffled), 3.0);
+  EXPECT_EQ(a.wchd_avg, b.wchd_avg);
+  EXPECT_EQ(a.wchd_wc, b.wchd_wc);
+  EXPECT_EQ(a.fhw_avg, b.fhw_avg);
+  EXPECT_EQ(a.stable_avg, b.stable_avg);
+  EXPECT_EQ(a.noise_entropy_avg, b.noise_entropy_avg);
+  EXPECT_EQ(a.bchd_avg, b.bchd_avg);
+  EXPECT_EQ(a.bchd_wc, b.bchd_wc);
+  EXPECT_EQ(a.puf_entropy, b.puf_entropy);
+  ASSERT_EQ(a.devices.size(), b.devices.size());
+  for (std::size_t d = 0; d < a.devices.size(); ++d) {
+    // Canonicalized to ascending device-id order in both cases.
+    EXPECT_EQ(a.devices[d].device_id, b.devices[d].device_id);
+    EXPECT_EQ(a.devices[d].device_id, d);
+  }
+}
+
 TEST(CombineFleetMonth, RequiresTwoDevices) {
   std::vector<DeviceMonthMetrics> one(1);
   one[0].first_pattern = BitVector(4);

@@ -162,5 +162,18 @@ INSTANTIATE_TEST_SUITE_P(Probabilities, BernoulliSweep,
                          ::testing::Values(0.001, 0.01, 0.1, 0.3, 0.5, 0.7,
                                            0.9, 0.99, 0.999));
 
+TEST(SplitSeed, MatchesPhiloxAddressing) {
+  // The stream split is pinned to the counter-based generator so that
+  // existing fleets (device keys, measurement seeds) stay bit-identical.
+  EXPECT_EQ(split_seed(0x5EED, 0xD0, 42), Philox4x32::at(0x5EED ^ 0xD0, 42));
+}
+
+TEST(SplitSeed, ChildStreamsAreDistinct) {
+  const std::uint64_t root = 0x0208'2017'0208'2019ULL;
+  EXPECT_NE(split_seed(root, 1, 0), split_seed(root, 1, 1));
+  EXPECT_NE(split_seed(root, 1, 0), split_seed(root, 2, 0));
+  EXPECT_NE(split_seed(root, 1, 0), split_seed(root ^ 1, 1, 0));
+}
+
 }  // namespace
 }  // namespace pufaging

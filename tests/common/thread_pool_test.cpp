@@ -1,0 +1,126 @@
+#include "common/thread_pool.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+#include <stdexcept>
+#include <vector>
+
+#include "common/error.hpp"
+
+namespace pufaging {
+namespace {
+
+TEST(ThreadPool, RejectsZeroThreads) {
+  EXPECT_THROW(ThreadPool(0), InvalidArgument);
+}
+
+TEST(ThreadPool, ReportsSize) {
+  ThreadPool pool(3);
+  EXPECT_EQ(pool.size(), 3U);
+}
+
+TEST(ThreadPool, SubmitRunsEveryTask) {
+  ThreadPool pool(4);
+  std::atomic<int> counter{0};
+  for (int i = 0; i < 100; ++i) {
+    pool.submit([&counter] { counter.fetch_add(1); });
+  }
+  pool.wait();
+  EXPECT_EQ(counter.load(), 100);
+}
+
+TEST(ThreadPool, WaitWithNothingSubmittedReturnsImmediately) {
+  ThreadPool pool(2);
+  pool.wait();
+}
+
+TEST(ThreadPool, PoolIsReusableAcrossWaitRounds) {
+  ThreadPool pool(2);
+  std::atomic<int> counter{0};
+  for (int round = 0; round < 3; ++round) {
+    for (int i = 0; i < 10; ++i) {
+      pool.submit([&counter] { counter.fetch_add(1); });
+    }
+    pool.wait();
+    EXPECT_EQ(counter.load(), 10 * (round + 1));
+  }
+}
+
+TEST(ThreadPool, PropagatesFirstException) {
+  ThreadPool pool(2);
+  pool.submit([] { throw std::runtime_error("task failed"); });
+  EXPECT_THROW(pool.wait(), std::runtime_error);
+}
+
+TEST(ThreadPool, RemainingTasksRunDespiteException) {
+  ThreadPool pool(2);
+  std::atomic<int> counter{0};
+  pool.submit([] { throw std::runtime_error("boom"); });
+  for (int i = 0; i < 20; ++i) {
+    pool.submit([&counter] { counter.fetch_add(1); });
+  }
+  EXPECT_THROW(pool.wait(), std::runtime_error);
+  EXPECT_EQ(counter.load(), 20);
+}
+
+TEST(ThreadPool, UsableAfterException) {
+  ThreadPool pool(2);
+  pool.submit([] { throw std::runtime_error("boom"); });
+  EXPECT_THROW(pool.wait(), std::runtime_error);
+  std::atomic<int> counter{0};
+  pool.submit([&counter] { counter.fetch_add(1); });
+  pool.wait();  // must not rethrow the already-consumed error
+  EXPECT_EQ(counter.load(), 1);
+}
+
+TEST(ThreadPool, ParallelForCoversEveryIndexExactlyOnce) {
+  ThreadPool pool(4);
+  std::vector<std::atomic<int>> hits(257);
+  pool.parallel_for(0, hits.size(),
+                    [&hits](std::size_t i) { hits[i].fetch_add(1); });
+  for (const auto& h : hits) {
+    EXPECT_EQ(h.load(), 1);
+  }
+}
+
+TEST(ThreadPool, ParallelForEmptyRangeIsNoop) {
+  ThreadPool pool(2);
+  pool.parallel_for(5, 5, [](std::size_t) { FAIL(); });
+}
+
+TEST(ThreadPool, ParallelForPropagatesException) {
+  ThreadPool pool(3);
+  EXPECT_THROW(pool.parallel_for(0, 16,
+                                 [](std::size_t i) {
+                                   if (i == 7) {
+                                     throw std::runtime_error("index 7");
+                                   }
+                                 }),
+               std::runtime_error);
+}
+
+TEST(ThreadPool, ParallelForResultsIndependentOfThreadCount) {
+  // The canonical usage pattern: results indexed by coordinate, so any
+  // pool size yields the same data.
+  const auto run = [](std::size_t threads) {
+    ThreadPool pool(threads);
+    std::vector<std::uint64_t> out(64);
+    pool.parallel_for(0, out.size(),
+                      [&out](std::size_t i) { out[i] = i * i + 1; });
+    return out;
+  };
+  const std::vector<std::uint64_t> one = run(1);
+  EXPECT_EQ(one, run(2));
+  EXPECT_EQ(one, run(8));
+}
+
+TEST(ThreadPool, ResolveThreadCount) {
+  EXPECT_GE(ThreadPool::resolve_thread_count(0), 1U);
+  EXPECT_EQ(ThreadPool::resolve_thread_count(1), 1U);
+  EXPECT_EQ(ThreadPool::resolve_thread_count(6), 6U);
+}
+
+}  // namespace
+}  // namespace pufaging

@@ -1,0 +1,112 @@
+// The parallel campaign engine's core contract: any thread count produces
+// bit-identical results to the threads=1 serial reference path, because
+// every device owns a counter-based RNG stream split off the fleet seed
+// and the monthly reduction is order-independent.
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+#include "testbed/campaign.hpp"
+
+namespace pufaging {
+namespace {
+
+CampaignConfig base_config(std::size_t threads) {
+  CampaignConfig config;
+  config.months = 2;
+  config.measurements_per_month = 60;
+  config.keep_first_month_batches = true;
+  config.threads = threads;
+  return config;
+}
+
+void expect_bit_identical(const CampaignResult& a, const CampaignResult& b) {
+  ASSERT_EQ(a.references.size(), b.references.size());
+  for (std::size_t d = 0; d < a.references.size(); ++d) {
+    EXPECT_EQ(a.references[d], b.references[d]) << "reference of device " << d;
+  }
+  ASSERT_EQ(a.first_month_batches.size(), b.first_month_batches.size());
+  for (std::size_t d = 0; d < a.first_month_batches.size(); ++d) {
+    EXPECT_EQ(a.first_month_batches[d], b.first_month_batches[d])
+        << "month-0 batch of device " << d;
+  }
+  ASSERT_EQ(a.series.size(), b.series.size());
+  for (std::size_t m = 0; m < a.series.size(); ++m) {
+    const FleetMonthMetrics& x = a.series[m];
+    const FleetMonthMetrics& y = b.series[m];
+    // Exact double comparisons on purpose: the guarantee is bit-identity,
+    // not closeness.
+    EXPECT_EQ(x.wchd_avg, y.wchd_avg) << "month " << m;
+    EXPECT_EQ(x.wchd_wc, y.wchd_wc) << "month " << m;
+    EXPECT_EQ(x.fhw_avg, y.fhw_avg) << "month " << m;
+    EXPECT_EQ(x.fhw_wc, y.fhw_wc) << "month " << m;
+    EXPECT_EQ(x.stable_avg, y.stable_avg) << "month " << m;
+    EXPECT_EQ(x.stable_wc, y.stable_wc) << "month " << m;
+    EXPECT_EQ(x.noise_entropy_avg, y.noise_entropy_avg) << "month " << m;
+    EXPECT_EQ(x.noise_entropy_wc, y.noise_entropy_wc) << "month " << m;
+    EXPECT_EQ(x.bchd_avg, y.bchd_avg) << "month " << m;
+    EXPECT_EQ(x.bchd_wc, y.bchd_wc) << "month " << m;
+    EXPECT_EQ(x.puf_entropy, y.puf_entropy) << "month " << m;
+    ASSERT_EQ(x.devices.size(), y.devices.size());
+    for (std::size_t d = 0; d < x.devices.size(); ++d) {
+      const DeviceMonthMetrics& p = x.devices[d];
+      const DeviceMonthMetrics& q = y.devices[d];
+      EXPECT_EQ(p.device_id, q.device_id);
+      EXPECT_EQ(p.measurement_count, q.measurement_count);
+      EXPECT_EQ(p.wchd_mean, q.wchd_mean) << "device " << d;
+      EXPECT_EQ(p.fhw_mean, q.fhw_mean) << "device " << d;
+      EXPECT_EQ(p.stable_ratio, q.stable_ratio) << "device " << d;
+      EXPECT_EQ(p.noise_entropy, q.noise_entropy) << "device " << d;
+      EXPECT_EQ(p.first_pattern, q.first_pattern) << "device " << d;
+    }
+  }
+}
+
+TEST(ParallelCampaign, BitIdenticalAcrossThreadCounts) {
+  const CampaignResult serial = run_campaign(base_config(1));
+  for (const std::size_t threads : {std::size_t{2}, std::size_t{8}}) {
+    const CampaignResult parallel = run_campaign(base_config(threads));
+    expect_bit_identical(serial, parallel);
+  }
+}
+
+TEST(ParallelCampaign, ThreadsZeroResolvesAndMatchesSerial) {
+  const CampaignResult serial = run_campaign(base_config(1));
+  const CampaignResult automatic = run_campaign(base_config(0));
+  expect_bit_identical(serial, automatic);
+}
+
+TEST(ParallelCampaign, MoreThreadsThanDevicesIsFine) {
+  const CampaignResult serial = run_campaign(base_config(1));
+  const CampaignResult oversubscribed = run_campaign(base_config(64));
+  expect_bit_identical(serial, oversubscribed);
+}
+
+TEST(ParallelCampaign, ScheduledCampaignMatchesSerial) {
+  CampaignConfig config = base_config(1);
+  config.keep_first_month_batches = false;
+  config.schedule = seasonal_schedule();
+  const CampaignResult serial = run_campaign(config);
+  config.threads = 4;
+  const CampaignResult parallel = run_campaign(config);
+  expect_bit_identical(serial, parallel);
+}
+
+TEST(ParallelCampaign, AcceleratedCampaignMatchesSerial) {
+  CampaignConfig config = base_config(1);
+  config.keep_first_month_batches = false;
+  config.accelerated = true;
+  config.operating_point = accelerated_conditions();
+  const CampaignResult serial = run_campaign(config);
+  config.threads = 8;
+  const CampaignResult parallel = run_campaign(config);
+  expect_bit_identical(serial, parallel);
+}
+
+TEST(ParallelCampaign, ValidationErrorsSurviveThreading) {
+  CampaignConfig config = base_config(4);
+  config.measurements_per_month = 0;
+  EXPECT_THROW(run_campaign(config), InvalidArgument);
+}
+
+}  // namespace
+}  // namespace pufaging

@@ -2,6 +2,9 @@
 
 #include <gtest/gtest.h>
 
+#include <thread>
+#include <vector>
+
 #include "common/error.hpp"
 #include "common/rng.hpp"
 
@@ -69,6 +72,36 @@ TEST(Collector, LoadRejectsMalformed) {
                ParseError);
   EXPECT_THROW(c.load_jsonl(R"({"t":1,"board":"S1","seq":1,"bits":8,"data":"zz"})"),
                ParseError);
+}
+
+TEST(Collector, ConcurrentReceiveLosesNoRecords) {
+  // The collector is the shared record sink of the parallel path: many
+  // producer threads must be able to feed one collector without losing or
+  // corrupting records.
+  Collector c;
+  constexpr std::uint32_t kThreads = 4;
+  constexpr std::uint32_t kPerThread = 200;
+  std::vector<std::thread> producers;
+  for (std::uint32_t t = 0; t < kThreads; ++t) {
+    producers.emplace_back([&c, t] {
+      for (std::uint32_t i = 0; i < kPerThread; ++i) {
+        c.receive(make_record(t, i, 1000 * t + i));
+      }
+    });
+  }
+  for (std::thread& p : producers) {
+    p.join();
+  }
+  ASSERT_EQ(c.record_count(), kThreads * kPerThread);
+  ASSERT_EQ(c.boards().size(), kThreads);
+  for (std::uint32_t t = 0; t < kThreads; ++t) {
+    // Per-board order is preserved because each board has one producer.
+    const auto batch = c.board_measurements(t);
+    ASSERT_EQ(batch.size(), kPerThread);
+    for (std::uint32_t i = 0; i < kPerThread; ++i) {
+      EXPECT_EQ(batch[i], make_record(t, i, 1000 * t + i).data);
+    }
+  }
 }
 
 }  // namespace

@@ -1,7 +1,7 @@
 // pufaging — command-line front end to the reproduction library.
 //
 //   pufaging campaign  [--months N] [--measurements N] [--accelerated]
-//                      [--seed S] [--csv PREFIX]
+//                      [--seed S] [--csv PREFIX] [--threads N]
 //   pufaging rig       [--cycles N] [--jsonl FILE] [--fault-rate P]
 //   pufaging analyze   FILE.jsonl
 //   pufaging keygen    [--months N] [--debias]
@@ -11,6 +11,7 @@
 // Every command is deterministic from the seed; see README.md.
 #include <cstdio>
 #include <cstdlib>
+#include <algorithm>
 #include <cstring>
 #include <fstream>
 #include <optional>
@@ -24,6 +25,7 @@
 #include "analysis/summary.hpp"
 #include "analysis/timeseries.hpp"
 #include "common/error.hpp"
+#include "common/thread_pool.hpp"
 #include "keygen/debiased_key_generator.hpp"
 #include "keygen/key_generator.hpp"
 #include "silicon/device_factory.hpp"
@@ -93,6 +95,7 @@ int cmd_campaign(Args& args) {
   config.months = static_cast<std::size_t>(args.integer("--months", 24));
   config.measurements_per_month =
       static_cast<std::size_t>(args.integer("--measurements", 1000));
+  config.threads = static_cast<std::size_t>(args.integer("--threads", 0));
   if (const auto seed = args.value("--seed")) {
     config.fleet.seed = std::stoull(*seed, nullptr, 0);
   }
@@ -100,9 +103,15 @@ int cmd_campaign(Args& args) {
     config.accelerated = true;
     config.operating_point = accelerated_conditions();
   }
+  // The engine caps the pool at one worker per device; report what will
+  // actually run.
+  const std::size_t threads =
+      std::min(ThreadPool::resolve_thread_count(config.threads),
+               config.fleet.device_count);
   std::fprintf(stderr,
-               "running %zu-month campaign (16 devices, %zu meas/month%s)...\n",
-               config.months, config.measurements_per_month,
+               "running %zu-month campaign (16 devices, %zu meas/month, "
+               "%zu threads%s)...\n",
+               config.months, config.measurements_per_month, threads,
                config.accelerated ? ", accelerated" : "");
   const CampaignResult result = run_campaign(config);
   const SummaryTable table = build_summary_table(result.series);
@@ -260,6 +269,7 @@ int cmd_predict(Args& args) {
   CampaignConfig config;
   config.months = fit_months;
   config.measurements_per_month = 250;
+  config.threads = static_cast<std::size_t>(args.integer("--threads", 0));
   const CampaignResult result = run_campaign(config);
   std::vector<double> months;
   std::vector<double> values;
@@ -291,7 +301,7 @@ int usage() {
       "commands:\n"
       "  campaign   run the N-month fleet campaign, print Table I\n"
       "             [--months N] [--measurements N] [--accelerated]\n"
-      "             [--seed S] [--csv PREFIX]\n"
+      "             [--seed S] [--csv PREFIX] [--threads N]\n"
       "  rig        run the event-driven 18-board rig, emit JSONL records\n"
       "             [--cycles N] [--jsonl FILE] [--fault-rate P]\n"
       "  analyze    initial-quality evaluation of a JSONL record file\n"
@@ -300,7 +310,7 @@ int usage() {
       "  trng       emit random bytes from the PUF noise source\n"
       "             [--bytes N] [--device D]\n"
       "  predict    fit the aging trajectory and extrapolate lifetime\n"
-      "             [--months N] [--budget BER]\n");
+      "             [--months N] [--budget BER] [--threads N]\n");
   return 2;
 }
 
