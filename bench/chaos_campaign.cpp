@@ -1,0 +1,148 @@
+// Chaos campaign: cost of the fault-injection layer.
+//
+// Two claims are audited, then timed:
+//   1. an all-zero FaultPlan is free — the engine skips the fault path
+//      entirely and the output is bit-identical to a fault-free run;
+//   2. a composite ~1% fault plan keeps the campaign deterministic (bits
+//      identical at any thread count) at a modest throughput cost.
+#include <chrono>
+#include <cstdlib>
+
+#include "bench_common.hpp"
+#include "testbed/campaign.hpp"
+#include "testbed/faults.hpp"
+
+namespace pufaging {
+namespace {
+
+CampaignConfig base_config(std::size_t threads) {
+  CampaignConfig config;
+  config.months = 6;
+  config.measurements_per_month = 400;
+  config.threads = threads;
+  return config;
+}
+
+FaultPlan composite_plan() {
+  // ~1% of transfer attempts fail somewhere in the stack.
+  FaultPlan plan;
+  plan.i2c_corrupt_rate = 0.005;
+  plan.i2c_drop_rate = 0.0025;
+  plan.i2c_nak_rate = 0.0025;
+  plan.hang_rate = 0.0005;
+  plan.reset_rate = 0.0005;
+  plan.brownout_rate = 0.001;
+  plan.stuck_relay_rate = 0.0005;
+  return plan;
+}
+
+bool bit_identical(const CampaignResult& a, const CampaignResult& b) {
+  if (a.references != b.references || a.series.size() != b.series.size()) {
+    return false;
+  }
+  for (std::size_t m = 0; m < a.series.size(); ++m) {
+    const FleetMonthMetrics& x = a.series[m];
+    const FleetMonthMetrics& y = b.series[m];
+    if (x.wchd_avg != y.wchd_avg || x.noise_entropy_avg != y.noise_entropy_avg ||
+        x.puf_entropy != y.puf_entropy || x.coverage != y.coverage ||
+        x.devices.size() != y.devices.size()) {
+      return false;
+    }
+    for (std::size_t d = 0; d < x.devices.size(); ++d) {
+      if (x.devices[d].device_id != y.devices[d].device_id ||
+          x.devices[d].wchd_mean != y.devices[d].wchd_mean ||
+          x.devices[d].first_pattern != y.devices[d].first_pattern) {
+        return false;
+      }
+    }
+  }
+  return true;
+}
+
+double time_run(const CampaignConfig& config, CampaignResult& out) {
+  const auto start = std::chrono::steady_clock::now();
+  out = run_campaign(config);
+  const auto stop = std::chrono::steady_clock::now();
+  return std::chrono::duration<double>(stop - start).count();
+}
+
+void reproduce() {
+  bench::banner("Chaos campaign - fault injection cost and determinism");
+  const std::size_t threads = 4;
+  std::printf("6 months x 16 devices x 400 measurements/month, %zu threads\n\n",
+              threads);
+
+  // Claim 1: the all-zero plan is skipped entirely.
+  CampaignResult clean;
+  const double clean_s = time_run(base_config(threads), clean);
+  CampaignConfig zero_cfg = base_config(threads);
+  zero_cfg.faults = FaultPlan{};  // explicit, still all-zero
+  CampaignResult zero;
+  const double zero_s = time_run(zero_cfg, zero);
+  const bool zero_identical = bit_identical(clean, zero);
+  std::printf("  fault-free          %6.2f s\n", clean_s);
+  std::printf("  all-zero FaultPlan  %6.2f s  (%+5.1f%%, bit-identical: %s)\n",
+              zero_s, 100.0 * (zero_s / clean_s - 1.0),
+              zero_identical ? "yes" : "NO - BUG");
+
+  // Claim 2: a ~1% composite plan is deterministic across thread counts.
+  CampaignConfig chaos1 = base_config(1);
+  chaos1.faults = composite_plan();
+  CampaignResult faulty_serial;
+  const double faulty_s = time_run(chaos1, faulty_serial);
+  CampaignConfig chaos8 = base_config(8);
+  chaos8.faults = composite_plan();
+  CampaignResult faulty_parallel;
+  time_run(chaos8, faulty_parallel);
+  const bool faulty_identical = bit_identical(faulty_serial, faulty_parallel);
+  std::printf("  ~1%% composite plan  %6.2f s  (threads 1 vs 8 identical: %s)\n",
+              faulty_s, faulty_identical ? "yes" : "NO - BUG");
+  std::printf("\nhealth ledger of the faulty run:\n%s",
+              faulty_serial.health.render().c_str());
+
+  if (!zero_identical || !faulty_identical) {
+    std::exit(1);
+  }
+}
+
+void BM_CampaignMonthClean(benchmark::State& state) {
+  CampaignConfig config;
+  config.months = 0;
+  config.measurements_per_month = 200;
+  config.threads = 1;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(run_campaign(config));
+  }
+}
+BENCHMARK(BM_CampaignMonthClean)->Unit(benchmark::kMillisecond);
+
+void BM_CampaignMonthFaulty(benchmark::State& state) {
+  CampaignConfig config;
+  config.months = 0;
+  config.measurements_per_month = 200;
+  config.threads = 1;
+  config.faults = composite_plan();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(run_campaign(config));
+  }
+}
+BENCHMARK(BM_CampaignMonthFaulty)->Unit(benchmark::kMillisecond);
+
+void BM_AdvanceSlot(benchmark::State& state) {
+  // The per-slot fault kernel alone, at the composite plan's rates.
+  const FaultPlan plan = composite_plan();
+  const RetryPolicy policy;
+  Xoshiro256StarStar rng(0x5EED);
+  BoardFaultState board;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(advance_slot(rng, board, plan, policy, false));
+  }
+}
+BENCHMARK(BM_AdvanceSlot);
+
+}  // namespace
+}  // namespace pufaging
+
+int main(int argc, char** argv) {
+  return pufaging::bench::run(argc, argv, pufaging::reproduce);
+}

@@ -66,11 +66,14 @@ DeviceMonthMetrics DeviceMonthAccumulator::finalize() const {
   return m;
 }
 
-FleetMonthMetrics combine_fleet_month(std::vector<DeviceMonthMetrics> devices,
-                                      double month) {
-  if (devices.size() < 2) {
-    throw InvalidArgument("combine_fleet_month: need at least two devices");
-  }
+namespace {
+
+// Shared reduction used by both combine_fleet_month overloads. Tolerates
+// any number of reporting devices; the strict overload enforces its >= 2
+// precondition before calling. Accumulation order is identical in both
+// paths so a fault-free chaos campaign is bit-identical to the legacy one.
+FleetMonthMetrics combine_fleet_month_core(
+    std::vector<DeviceMonthMetrics> devices, double month) {
   // The reduction must not depend on the order tasks finished in when the
   // campaign ran in parallel: canonicalize to device-id order first, so
   // every floating-point sum below (and the BCHD pair enumeration) sees
@@ -82,6 +85,8 @@ FleetMonthMetrics combine_fleet_month(std::vector<DeviceMonthMetrics> devices,
 
   FleetMonthMetrics fleet;
   fleet.month = month;
+  fleet.devices_expected = devices.size();
+  fleet.devices_reporting = devices.size();
 
   double wchd_sum = 0.0, fhw_sum = 0.0, stable_sum = 0.0, entropy_sum = 0.0;
   fleet.wchd_wc = 0.0;
@@ -98,28 +103,77 @@ FleetMonthMetrics combine_fleet_month(std::vector<DeviceMonthMetrics> devices,
     fleet.stable_wc = std::max(fleet.stable_wc, d.stable_ratio);
     fleet.noise_entropy_wc = std::min(fleet.noise_entropy_wc, d.noise_entropy);
   }
-  const double inv = 1.0 / static_cast<double>(devices.size());
-  fleet.wchd_avg = wchd_sum * inv;
-  fleet.fhw_avg = fhw_sum * inv;
-  fleet.stable_avg = stable_sum * inv;
-  fleet.noise_entropy_avg = entropy_sum * inv;
+  if (!devices.empty()) {
+    const double inv = 1.0 / static_cast<double>(devices.size());
+    fleet.wchd_avg = wchd_sum * inv;
+    fleet.fhw_avg = fhw_sum * inv;
+    fleet.stable_avg = stable_sum * inv;
+    fleet.noise_entropy_avg = entropy_sum * inv;
+  } else {
+    fleet.noise_entropy_wc = 0.0;
+  }
 
-  std::vector<BitVector> firsts;
-  firsts.reserve(devices.size());
-  for (const DeviceMonthMetrics& d : devices) {
-    firsts.push_back(d.first_pattern);
+  // BCHD and PUF entropy are cross-device comparisons; with fewer than two
+  // reporting boards there are no pairs, so they stay zero (and the month
+  // will be flagged degraded by the tolerant overload).
+  if (devices.size() >= 2) {
+    std::vector<BitVector> firsts;
+    firsts.reserve(devices.size());
+    for (const DeviceMonthMetrics& d : devices) {
+      firsts.push_back(d.first_pattern);
+    }
+    const std::vector<double> bchds = between_class_hds(firsts);
+    double bchd_sum = 0.0;
+    fleet.bchd_wc = 1.0;
+    for (double b : bchds) {
+      bchd_sum += b;
+      fleet.bchd_wc = std::min(fleet.bchd_wc, b);
+    }
+    fleet.bchd_avg = bchd_sum / static_cast<double>(bchds.size());
+    fleet.puf_entropy = puf_min_entropy(firsts);
   }
-  const std::vector<double> bchds = between_class_hds(firsts);
-  double bchd_sum = 0.0;
-  fleet.bchd_wc = 1.0;
-  for (double b : bchds) {
-    bchd_sum += b;
-    fleet.bchd_wc = std::min(fleet.bchd_wc, b);
-  }
-  fleet.bchd_avg = bchd_sum / static_cast<double>(bchds.size());
-  fleet.puf_entropy = puf_min_entropy(firsts);
 
   fleet.devices = std::move(devices);
+  return fleet;
+}
+
+}  // namespace
+
+FleetMonthMetrics combine_fleet_month(std::vector<DeviceMonthMetrics> devices,
+                                      double month) {
+  if (devices.size() < 2) {
+    throw InvalidArgument("combine_fleet_month: need at least two devices");
+  }
+  return combine_fleet_month_core(std::move(devices), month);
+}
+
+FleetMonthMetrics combine_fleet_month(
+    std::vector<DeviceMonthMetrics> devices, double month,
+    std::size_t devices_expected,
+    std::uint64_t expected_measurements_per_device) {
+  if (devices.size() > devices_expected) {
+    throw InvalidArgument(
+        "combine_fleet_month: more reporting devices than expected");
+  }
+  FleetMonthMetrics fleet = combine_fleet_month_core(std::move(devices), month);
+  fleet.devices_expected = devices_expected;
+
+  std::uint64_t delivered = 0;
+  for (const DeviceMonthMetrics& d : fleet.devices) {
+    delivered += d.measurement_count;
+  }
+  const std::uint64_t expected_total =
+      expected_measurements_per_device * static_cast<std::uint64_t>(devices_expected);
+  if (expected_measurements_per_device == 0) {
+    fleet.coverage = fleet.devices.empty() ? 0.0 : 1.0;
+  } else if (expected_total == 0) {
+    fleet.coverage = 1.0;
+  } else {
+    fleet.coverage = static_cast<double>(delivered) /
+                     static_cast<double>(expected_total);
+  }
+  fleet.degraded = fleet.devices_reporting < fleet.devices_expected ||
+                   fleet.coverage < 1.0 || fleet.devices_reporting < 2;
   return fleet;
 }
 

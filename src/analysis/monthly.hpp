@@ -66,6 +66,14 @@ struct FleetMonthMetrics {
   double noise_entropy_avg = 0.0, noise_entropy_wc = 0.0;
   double bchd_avg = 0.0, bchd_wc = 0.0;
   double puf_entropy = 0.0;
+
+  // Coverage bookkeeping (chaos campaigns: faults drop measurements and
+  // whole boards). A fault-free month has devices_reporting ==
+  // devices_expected, coverage == 1 and degraded == false.
+  std::size_t devices_expected = 0;   ///< Fleet size this month was run at.
+  std::size_t devices_reporting = 0;  ///< Devices with >= 1 measurement.
+  double coverage = 1.0;  ///< Delivered / expected measurement fraction.
+  bool degraded = false;  ///< Metrics computed over partial data.
 };
 
 /// Combines per-device metrics into the fleet view (BCHD over all pairs of
@@ -73,8 +81,23 @@ struct FleetMonthMetrics {
 /// Order-independent: devices are canonicalized to device-id order before
 /// any floating-point accumulation, so the result (including the stored
 /// `devices` vector) is bit-identical no matter how the per-device work
-/// was scheduled. Device ids must be unique.
+/// was scheduled. Device ids must be unique. Requires at least two
+/// devices; for fault-tolerant combination use the overload below.
 FleetMonthMetrics combine_fleet_month(std::vector<DeviceMonthMetrics> devices,
                                       double month);
+
+/// Missing-data-tolerant combination: `devices` holds only the boards that
+/// actually reported this month (possibly fewer than `devices_expected`,
+/// possibly with short batches). Cross-device metrics (BCHD, PUF entropy)
+/// are computed over the reporting boards and zeroed when fewer than two
+/// reported; the month is flagged degraded whenever boards are missing or
+/// measurements were dropped. `expected_measurements_per_device` sizes the
+/// coverage fraction (0 = take each device's own count as complete).
+/// With full attendance the result is bit-identical to the strict
+/// overload.
+FleetMonthMetrics combine_fleet_month(
+    std::vector<DeviceMonthMetrics> devices, double month,
+    std::size_t devices_expected,
+    std::uint64_t expected_measurements_per_device);
 
 }  // namespace pufaging

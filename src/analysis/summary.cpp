@@ -37,6 +37,11 @@ SummaryTable build_summary_table(
 
   SummaryTable table;
   table.months = months;
+  for (const FleetMonthMetrics& m : series) {
+    if (m.degraded) {
+      table.degraded_months.push_back(m.month);
+    }
+  }
   table.rows = {
       make_row("WCHD", "AVG.", s.wchd_avg, e.wchd_avg, months),
       make_row("WCHD", "WC.", s.wchd_wc, e.wchd_wc, months),
@@ -71,7 +76,20 @@ std::string render_summary_table(const SummaryTable& table) {
          TablePrinter::signed_percent(row.monthly_change, 2,
                                       /*negligible_label=*/true)});
   }
-  return printer.to_string();
+  std::string out = printer.to_string();
+  if (!table.degraded_months.empty()) {
+    out += "Note: metrics for month";
+    out += table.degraded_months.size() == 1 ? " " : "s ";
+    for (std::size_t i = 0; i < table.degraded_months.size(); ++i) {
+      if (i != 0) {
+        out += ", ";
+      }
+      out += std::to_string(
+          static_cast<long long>(table.degraded_months[i] + 0.5));
+    }
+    out += " were computed over partial data (faults).\n";
+  }
+  return out;
 }
 
 }  // namespace pufaging

@@ -22,6 +22,9 @@ struct SummaryRow {
 struct SummaryTable {
   std::vector<SummaryRow> rows;
   std::size_t months = 0;  ///< Number of aging months between start and end.
+  /// Months whose metrics were computed over partial data (missing boards
+  /// or dropped measurements); rendered as a footnote.
+  std::vector<double> degraded_months;
 };
 
 /// Builds Table I from a fleet time series (first entry = start of test,

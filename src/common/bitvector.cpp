@@ -76,6 +76,42 @@ std::vector<std::uint8_t> BitVector::to_bytes() const {
   return bytes;
 }
 
+std::string BitVector::to_hex() const {
+  static constexpr char kHex[] = "0123456789abcdef";
+  const std::vector<std::uint8_t> bytes = to_bytes();
+  std::string out;
+  out.reserve(bytes.size() * 2);
+  for (std::uint8_t b : bytes) {
+    out.push_back(kHex[b >> 4]);
+    out.push_back(kHex[b & 0xF]);
+  }
+  return out;
+}
+
+BitVector BitVector::from_hex(const std::string& hex, std::size_t bit_count) {
+  if (hex.size() % 2 != 0) {
+    throw ParseError("BitVector::from_hex: odd-length hex string");
+  }
+  const auto nibble = [](char c) -> std::uint8_t {
+    if (c >= '0' && c <= '9') {
+      return static_cast<std::uint8_t>(c - '0');
+    }
+    if (c >= 'a' && c <= 'f') {
+      return static_cast<std::uint8_t>(c - 'a' + 10);
+    }
+    if (c >= 'A' && c <= 'F') {
+      return static_cast<std::uint8_t>(c - 'A' + 10);
+    }
+    throw ParseError("BitVector::from_hex: bad hex digit");
+  };
+  std::vector<std::uint8_t> bytes(hex.size() / 2);
+  for (std::size_t i = 0; i < bytes.size(); ++i) {
+    bytes[i] = static_cast<std::uint8_t>((nibble(hex[2 * i]) << 4) |
+                                         nibble(hex[2 * i + 1]));
+  }
+  return from_bytes(bytes, bit_count);
+}
+
 std::string BitVector::to_string() const {
   std::string s(bit_count_, '0');
   for (std::size_t i = 0; i < bit_count_; ++i) {

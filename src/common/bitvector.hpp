@@ -77,6 +77,15 @@ class BitVector {
   /// Serializes to packed bytes, LSB-first within each byte.
   std::vector<std::uint8_t> to_bytes() const;
 
+  /// Serializes the packed bytes as lowercase hex (two digits per byte),
+  /// the encoding the collector's JSONL records and the campaign
+  /// checkpoints use on disk.
+  std::string to_hex() const;
+
+  /// Inverse of to_hex(): decodes `bit_count` bits from a hex byte string.
+  /// Throws ParseError on malformed hex.
+  static BitVector from_hex(const std::string& hex, std::size_t bit_count);
+
   /// Renders as a '0'/'1' string (debugging, golden tests).
   std::string to_string() const;
 

@@ -24,11 +24,26 @@ class ParseError : public Error {
   explicit ParseError(const std::string& what) : Error(what) {}
 };
 
+/// Raised on filesystem failures (unwritable checkpoint directory, missing
+/// checkpoint file).
+class IoError : public Error {
+ public:
+  explicit IoError(const std::string& what) : Error(what) {}
+};
+
 /// Raised when a testbed protocol invariant is violated (e.g. a corrupt
 /// I2C frame that cannot be recovered).
 class ProtocolError : public Error {
  public:
   explicit ProtocolError(const std::string& what) : Error(what) {}
+};
+
+/// Raised when a watchdog expires or a bounded retry budget is exhausted
+/// (hung board, dead link, stuck relay). Recoverable at the campaign level:
+/// the resilience layer quarantines the offending board and carries on.
+class TimeoutError : public Error {
+ public:
+  explicit TimeoutError(const std::string& what) : Error(what) {}
 };
 
 }  // namespace pufaging

@@ -67,6 +67,14 @@ bool Xoshiro256StarStar::bernoulli(double p) {
   return bernoulli_u64(bernoulli_threshold(p));
 }
 
+void Xoshiro256StarStar::set_state(const std::array<std::uint64_t, 4>& state) {
+  if ((state[0] | state[1] | state[2] | state[3]) == 0) {
+    throw InvalidArgument("Xoshiro256StarStar::set_state: all-zero state");
+  }
+  state_ = state;
+  cached_gaussian_.reset();
+}
+
 std::uint64_t Xoshiro256StarStar::below(std::uint64_t bound) {
   if (bound == 0) {
     throw InvalidArgument("Xoshiro256StarStar::below: bound must be > 0");

@@ -67,6 +67,15 @@ class Xoshiro256StarStar {
   /// Uniform integer in [0, bound).
   std::uint64_t below(std::uint64_t bound);
 
+  /// The raw 256-bit generator state, for campaign checkpointing. The
+  /// cached spare gaussian (if any) is NOT part of the state; capture only
+  /// at points where no gaussian() call is half-consumed (true between
+  /// measurements — the power-up sampling hot path never draws gaussians).
+  std::array<std::uint64_t, 4> state() const { return state_; }
+
+  /// Restores a previously captured state and drops any cached gaussian.
+  void set_state(const std::array<std::uint64_t, 4>& state);
+
  private:
   std::array<std::uint64_t, 4> state_{};
   std::optional<double> cached_gaussian_;

@@ -5,6 +5,7 @@
 // every power cycle (Section III / Algorithm 1, step 4).
 #pragma once
 
+#include <array>
 #include <cstdint>
 #include <string>
 
@@ -54,6 +55,21 @@ class SramDevice {
 
   /// Number of measure()/measure_full() calls so far.
   std::uint64_t measurement_count() const { return measurement_count_; }
+
+  /// Measurement-RNG state for campaign checkpoints. Only valid between
+  /// measurements (the generator's Box-Muller cache is excluded; the
+  /// measurement path never populates it).
+  std::array<std::uint64_t, 4> measurement_rng_state() const {
+    return rng_.state();
+  }
+
+  /// Restores a checkpointed measurement-RNG state and counter. The caller
+  /// must have replayed aging (age_months calls) to the matching point.
+  void restore_measurement_state(const std::array<std::uint64_t, 4>& state,
+                                 std::uint64_t count) {
+    rng_.set_state(state);
+    measurement_count_ = count;
+  }
 
   /// Ages the device by `months` of wall-clock time spent power-cycling at
   /// operating point `op` (duty cycle and stress acceleration applied by

@@ -45,6 +45,12 @@ void SlaveBoard::attach_power(PowerSwitch& power) {
   });
 }
 
+void SlaveBoard::enable_faults(const FaultPlan& plan, std::uint64_t seed) {
+  plan.validate();
+  fault_plan_ = plan;
+  fault_rng_.emplace(seed);
+}
+
 void SlaveBoard::on_power(bool on) {
   powered_ = on;
   ++power_epoch_;
@@ -54,10 +60,43 @@ void SlaveBoard::on_power(bool on) {
     buffered_.reset();
     return;
   }
+  // Board-level faults, drawn per power-up in fixed order (hang, reset,
+  // brownout) from the board's private fault stream.
+  bool reset_later = false;
+  bool brownout = false;
+  if (fault_plan_) {
+    if (hang_remaining_ > 0) {
+      // Firmware is wedged from an earlier hang: the board never answers
+      // this cycle.
+      --hang_remaining_;
+      ++hangs_;
+      return;
+    }
+    if (fault_rng_->bernoulli(fault_plan_->hang_rate)) {
+      hang_remaining_ = fault_plan_->hang_cycles;
+      ++hangs_;
+      return;
+    }
+    reset_later = fault_rng_->bernoulli(fault_plan_->reset_rate);
+    brownout = fault_rng_->bernoulli(fault_plan_->brownout_rate);
+  }
   // The start-up pattern latches physically at power-up; it becomes
   // available to the firmware after boot + read delay.
   const std::uint64_t epoch = power_epoch_;
-  BitVector pattern = device_.measure();
+  OperatingPoint op = nominal_conditions();
+  if (brownout) {
+    // Partial supply ramp: the cells get less settling time, so the
+    // read-out arrives intact but noisier.
+    op.ramp_time_us *= fault_plan_->brownout_ramp_factor;
+    ++brownouts_;
+  }
+  BitVector pattern = device_.measure(op);
+  if (reset_later) {
+    // Spontaneous reset between latch and read-out: the buffered data is
+    // gone before the firmware can serve it.
+    ++resets_;
+    return;
+  }
   queue_->schedule_in(
       timing_.boot_delay_s + timing_.read_delay_s,
       [this, epoch, pattern = std::move(pattern)]() mutable {
@@ -95,6 +134,23 @@ MasterBoard::MasterBoard(std::string name, std::vector<SlaveBoard*> slaves,
   if (slaves_.empty()) {
     throw InvalidArgument("MasterBoard: no slaves");
   }
+  policy_.max_retries = kMaxRetries;
+  slave_states_.resize(slaves_.size());
+}
+
+void MasterBoard::set_retry_policy(const RetryPolicy& policy) {
+  policy.validate();
+  policy_ = policy;
+}
+
+std::uint32_t MasterBoard::quarantined_count() const {
+  std::uint32_t count = 0;
+  for (const BoardFaultState& st : slave_states_) {
+    if (st.quarantined) {
+      ++count;
+    }
+  }
+  return count;
 }
 
 void MasterBoard::connect(SignalChannel& partner_end, SignalChannel& my_end,
@@ -134,35 +190,110 @@ void MasterBoard::collect_from(std::size_t slave_index, int attempt) {
     return;
   }
   SlaveBoard* slave = slaves_[slave_index];
-  // Step 4/5: request the slave's read-out over I2C, verify CRC, retry on
-  // corruption, forward to the collector.
-  bus_->transfer(slave->make_frame(), [this, slave_index, attempt,
-                                       slave](I2cFrame frame) {
-    if (!frame.valid()) {
-      if (attempt + 1 <= kMaxRetries) {
-        ++crc_retries_;
-        collect_from(slave_index, attempt + 1);
-      } else {
-        ++frames_dropped_;
-        collect_from(slave_index + 1, 0);
-      }
+  BoardFaultState& state = slave_states_[slave_index];
+  if (attempt == 0) {
+    ++slots_;
+  }
+  if (attempt == 0 && state.quarantined) {
+    if (state.cooldown_remaining > 0) {
+      // Quarantined and not yet due for a probe: skip this board entirely
+      // so a dead slave costs nothing.
+      --state.cooldown_remaining;
+      collect_from(slave_index + 1, 0);
       return;
     }
-    MeasurementRecord record;
-    record.time = queue_->now() + timing_.collector_latency_s;
-    record.board_id = slave->board_id();
-    record.sequence = frame.sequence;
-    record.data =
-        BitVector::from_bytes(frame.payload, frame.payload.size() * 8);
-    ++records_;
-    queue_->schedule_in(timing_.collector_latency_s,
-                        [this, record = std::move(record)] {
-                          if (sink_) {
-                            sink_(record);
-                          }
-                        });
-    collect_from(slave_index + 1, 0);
+    // Cooldown expired: this request is the re-admission probe.
+    ++probes_;
+  }
+  if (!slave->data_ready()) {
+    // Hung, reset, or never powered (stuck relay): there is nothing to
+    // request. Treat it like a timed-out request and let the bounded
+    // retry ladder decide.
+    ++timeouts_;
+    handle_failure(slave_index, attempt, /*timed_out=*/true);
+    return;
+  }
+  // Step 4/5: request the slave's read-out over I2C, verify CRC, retry on
+  // corruption, forward to the collector. The request is raced against a
+  // sim-time watchdog: a lost frame never calls back, and nothing else
+  // would move the cycle forward.
+  I2cFrame request = slave->make_frame();
+  const SimTime watchdog_after =
+      bus_->transfer_duration(request) + policy_.watchdog_margin_s;
+  const std::uint64_t epoch = ++transfer_epoch_;
+  queue_->schedule_in(watchdog_after, [this, slave_index, attempt, epoch] {
+    if (handled_epoch_ >= epoch) {
+      return;  // The transfer completed; the watchdog has nothing to do.
+    }
+    handled_epoch_ = epoch;
+    ++timeouts_;
+    handle_failure(slave_index, attempt, /*timed_out=*/true);
   });
+  bus_->transfer_with_status(
+      std::move(request),
+      [this, slave_index, attempt, epoch, slave](I2cStatus status,
+                                                 I2cFrame frame) {
+        if (handled_epoch_ >= epoch) {
+          return;  // The watchdog already gave up on this request.
+        }
+        handled_epoch_ = epoch;
+        if (status == I2cStatus::kNak) {
+          ++timeouts_;
+          handle_failure(slave_index, attempt, /*timed_out=*/true);
+          return;
+        }
+        if (!frame.valid()) {
+          ++crc_retries_;
+          handle_failure(slave_index, attempt, /*timed_out=*/false);
+          return;
+        }
+        slave_states_[slave_index].record_success();
+        MeasurementRecord record;
+        record.time = queue_->now() + timing_.collector_latency_s;
+        record.board_id = slave->board_id();
+        record.sequence = frame.sequence;
+        record.data =
+            BitVector::from_bytes(frame.payload, frame.payload.size() * 8);
+        ++records_;
+        queue_->schedule_in(timing_.collector_latency_s,
+                            [this, record = std::move(record)] {
+                              if (sink_) {
+                                sink_(record);
+                              }
+                            });
+        collect_from(slave_index + 1, 0);
+      });
+}
+
+void MasterBoard::handle_failure(std::size_t slave_index, int attempt,
+                                 bool timed_out) {
+  if (attempt < policy_.max_retries) {
+    // Exponential backoff before the re-request; at backoff_base_s = 0
+    // this degenerates to the pre-chaos immediate retry.
+    const SimTime delay =
+        policy_.backoff_base_s * static_cast<double>(1ULL << attempt);
+    if (delay > 0.0) {
+      queue_->schedule_in(delay, [this, slave_index, attempt] {
+        collect_from(slave_index, attempt + 1);
+      });
+    } else {
+      collect_from(slave_index, attempt + 1);
+    }
+    return;
+  }
+  give_up_on(slave_index, timed_out);
+}
+
+void MasterBoard::give_up_on(std::size_t slave_index, bool timed_out) {
+  ++frames_dropped_;
+  SlaveBoard* slave = slaves_[slave_index];
+  slave_states_[slave_index].record_failure(policy_);
+  if (timed_out && on_timeout_) {
+    on_timeout_(slave->board_id(),
+                TimeoutError(name_ + ": retry budget exhausted for " +
+                             slave->name()));
+  }
+  collect_from(slave_index + 1, 0);
 }
 
 void MasterBoard::finish_collection() {

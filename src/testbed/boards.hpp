@@ -21,8 +21,10 @@
 #include <vector>
 
 #include "common/bitvector.hpp"
+#include "common/error.hpp"
 #include "silicon/sram_device.hpp"
 #include "testbed/clock.hpp"
+#include "testbed/faults.hpp"
 #include "testbed/i2c.hpp"
 #include "testbed/power.hpp"
 
@@ -71,6 +73,18 @@ class SlaveBoard {
   /// Hooks this board to its power switch channel.
   void attach_power(PowerSwitch& power);
 
+  /// Enables board-level fault injection (hang, spontaneous reset,
+  /// brownout) drawn from a dedicated per-board stream. Draw order per
+  /// power-up is fixed: hang, reset, brownout.
+  void enable_faults(const FaultPlan& plan, std::uint64_t seed);
+
+  /// Power cycles the firmware spent wedged so far.
+  std::uint64_t hang_cycles_seen() const { return hangs_; }
+  /// Power cycles whose read-out was lost to a spontaneous reset.
+  std::uint64_t resets_seen() const { return resets_; }
+  /// Power cycles measured under a partial (brownout) supply ramp.
+  std::uint64_t brownouts_seen() const { return brownouts_; }
+
   /// True once the post-boot SRAM read-out is buffered.
   bool data_ready() const { return data_ready_; }
 
@@ -98,6 +112,13 @@ class SlaveBoard {
   std::uint64_t power_epoch_ = 0;  ///< Guards stale boot callbacks.
   std::optional<BitVector> buffered_;
   std::uint32_t sequence_ = 0;
+
+  std::optional<FaultPlan> fault_plan_;
+  std::optional<Xoshiro256StarStar> fault_rng_;
+  std::uint32_t hang_remaining_ = 0;
+  std::uint64_t hangs_ = 0;
+  std::uint64_t resets_ = 0;
+  std::uint64_t brownouts_ = 0;
 };
 
 /// Delivered measurement record (master -> collector).
@@ -108,10 +129,20 @@ struct MeasurementRecord {
   BitVector data;
 };
 
-/// A layer master implementing Algorithm 1.
+/// A layer master implementing Algorithm 1, hardened against a chaotic
+/// rig: every request is guarded by a sim-time watchdog, failures are
+/// retried a bounded number of times with exponential backoff (a retry
+/// budget exhaustion is surfaced as a TimeoutError through the error
+/// sink), and persistently failing slaves are quarantined with
+/// exponentially backed-off re-admission probes so one dead board cannot
+/// stall the whole layer.
 class MasterBoard {
  public:
   using RecordSink = std::function<void(const MeasurementRecord&)>;
+  /// Notified when a slave exhausts its retry budget (the condition the
+  /// quarantine machinery then absorbs).
+  using ErrorSink =
+      std::function<void(std::uint32_t board_id, const TimeoutError&)>;
 
   MasterBoard(std::string name, std::vector<SlaveBoard*> slaves,
               EventQueue& queue, PowerSwitch& power, I2cBus& bus,
@@ -123,6 +154,12 @@ class MasterBoard {
   void connect(SignalChannel& partner_end, SignalChannel& my_end,
                SignalChannel& partner_started, SignalChannel& my_started);
 
+  /// Replaces the default resilience policy; call before start().
+  void set_retry_policy(const RetryPolicy& policy);
+
+  /// Registers the retry-exhaustion observer.
+  void on_timeout(ErrorSink sink) { on_timeout_ = std::move(sink); }
+
   /// Begins the first cycle (layer 0 is bootstrapped with a virtual END
   /// from layer 1; see Rig).
   void start();
@@ -130,15 +167,33 @@ class MasterBoard {
   const std::string& name() const { return name_; }
   std::uint64_t cycles_completed() const { return cycles_; }
   std::uint64_t records_delivered() const { return records_; }
+  /// Read-out slots this master has initiated (one per slave per cycle,
+  /// quarantine skips included) — the honest coverage denominator even
+  /// when a cycle's collection is still in flight.
+  std::uint64_t slots_attempted() const { return slots_; }
   std::uint64_t crc_retries() const { return crc_retries_; }
   std::uint64_t frames_dropped() const { return frames_dropped_; }
+  std::uint64_t timeouts() const { return timeouts_; }
+  std::uint64_t probes() const { return probes_; }
 
-  /// Maximum I2C re-requests per slave per cycle before dropping.
+  /// Resilience state of slave `slave_index` (position in this master's
+  /// slave list, not board id).
+  const BoardFaultState& slave_state(std::size_t slave_index) const {
+    return slave_states_.at(slave_index);
+  }
+
+  /// Slaves currently quarantined.
+  std::uint32_t quarantined_count() const;
+
+  /// Maximum I2C re-requests per slave per cycle before dropping (the
+  /// default RetryPolicy; kept for pre-chaos-rig callers).
   static constexpr int kMaxRetries = 3;
 
  private:
   void begin_cycle();
   void collect_from(std::size_t slave_index, int attempt);
+  void handle_failure(std::size_t slave_index, int attempt, bool timed_out);
+  void give_up_on(std::size_t slave_index, bool timed_out);
   void finish_collection();
   void power_off_and_rest(SimTime on_started);
 
@@ -149,6 +204,8 @@ class MasterBoard {
   I2cBus* bus_;
   TestbedTiming timing_;
   RecordSink sink_;
+  ErrorSink on_timeout_;
+  RetryPolicy policy_{};
 
   SignalChannel* partner_end_ = nullptr;
   SignalChannel* my_end_ = nullptr;
@@ -158,8 +215,14 @@ class MasterBoard {
   SimTime on_started_ = 0.0;
   std::uint64_t cycles_ = 0;
   std::uint64_t records_ = 0;
+  std::uint64_t slots_ = 0;
   std::uint64_t crc_retries_ = 0;
   std::uint64_t frames_dropped_ = 0;
+  std::uint64_t timeouts_ = 0;
+  std::uint64_t probes_ = 0;
+  std::vector<BoardFaultState> slave_states_;
+  std::uint64_t transfer_epoch_ = 0;  ///< Ids the in-flight request.
+  std::uint64_t handled_epoch_ = 0;   ///< Last request already resolved.
   bool running_ = false;
 };
 

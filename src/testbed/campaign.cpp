@@ -6,8 +6,23 @@
 
 #include "common/error.hpp"
 #include "common/thread_pool.hpp"
+#include "testbed/checkpoint.hpp"
 
 namespace pufaging {
+
+namespace {
+
+/// Per-device slot counters accumulated inside the (possibly parallel)
+/// device task and reduced into MonthHealth in device order afterwards.
+struct DeviceSlotStats {
+  std::uint64_t crc_retries = 0;
+  std::uint64_t timeouts = 0;
+  std::uint64_t frames_lost = 0;
+  std::uint64_t dropped = 0;  ///< Slots that delivered nothing.
+  std::uint64_t probes = 0;
+};
+
+}  // namespace
 
 CampaignResult run_campaign(const CampaignConfig& config) {
   if (config.measurements_per_month == 0) {
@@ -17,6 +32,16 @@ CampaignResult run_campaign(const CampaignConfig& config) {
     throw InvalidArgument(
         "run_campaign: schedule and accelerated are mutually exclusive");
   }
+  config.faults.validate();
+  config.retry.validate();
+  if (config.resume && config.checkpoint_dir.empty()) {
+    throw InvalidArgument("run_campaign: resume requires a checkpoint_dir");
+  }
+  if (!config.checkpoint_dir.empty() && config.checkpoint_every_months == 0) {
+    throw InvalidArgument(
+        "run_campaign: checkpoint_every_months must be >= 1");
+  }
+  const bool has_faults = !config.faults.all_zero();
   std::vector<SramDevice> fleet = make_fleet(config.fleet);
 
   // In accelerated mode each reported month is one nominal-equivalent
@@ -40,6 +65,66 @@ CampaignResult run_campaign(const CampaignConfig& config) {
   if (config.keep_first_month_batches) {
     result.first_month_batches.resize(fleet.size());
   }
+  std::vector<BoardFaultState> fault_states(fleet.size());
+  std::size_t start_month = 0;
+
+  if (config.resume) {
+    CampaignCheckpoint ckpt = load_checkpoint(config.checkpoint_dir);
+    if (ckpt.fleet_seed != config.fleet.seed ||
+        ckpt.device_count != fleet.size() || ckpt.months != config.months ||
+        ckpt.measurements_per_month != config.measurements_per_month ||
+        ckpt.fault_plan_json != fault_plan_to_json(config.faults).dump()) {
+      throw InvalidArgument(
+          "run_campaign: checkpoint does not match this campaign "
+          "configuration");
+    }
+    // Aging is a pure function of the config and the month sequence, so it
+    // is replayed instead of serialized (the mismatch array is 20480
+    // doubles per device). Quarantined and dropped-out boards age too:
+    // the shared supply rail stays powered.
+    const std::size_t ages = std::min(ckpt.next_month, config.months);
+    for (std::size_t m = 0; m < ages; ++m) {
+      const OperatingPoint op = op_for_month(m);
+      for (SramDevice& device : fleet) {
+        device.age_months(wall_months_per_snapshot, op);
+      }
+    }
+    for (std::size_t d = 0; d < fleet.size(); ++d) {
+      if (ckpt.devices[d].device_id != fleet[d].id()) {
+        throw InvalidArgument("run_campaign: checkpoint device-id mismatch");
+      }
+      fleet[d].restore_measurement_state(ckpt.devices[d].rng_state,
+                                         ckpt.devices[d].measurement_count);
+    }
+    fault_states = std::move(ckpt.fault_states);
+    result.references = std::move(ckpt.references);
+    result.series = std::move(ckpt.series);
+    result.health = std::move(ckpt.health);
+    start_month = ckpt.next_month;
+  }
+
+  const auto save = [&](std::size_t completed_month) {
+    CampaignCheckpoint ckpt;
+    ckpt.next_month = completed_month + 1;
+    ckpt.fleet_seed = config.fleet.seed;
+    ckpt.device_count = fleet.size();
+    ckpt.months = config.months;
+    ckpt.measurements_per_month = config.measurements_per_month;
+    ckpt.fault_plan_json = fault_plan_to_json(config.faults).dump();
+    ckpt.devices.reserve(fleet.size());
+    for (const SramDevice& device : fleet) {
+      DeviceCheckpoint dev;
+      dev.device_id = device.id();
+      dev.rng_state = device.measurement_rng_state();
+      dev.measurement_count = device.measurement_count();
+      ckpt.devices.push_back(dev);
+    }
+    ckpt.fault_states = fault_states;
+    ckpt.references = result.references;
+    ckpt.series = result.series;
+    ckpt.health = result.health;
+    save_checkpoint(config.checkpoint_dir, ckpt);
+  };
 
   // Devices are statistically independent — each owns a private RNG stream
   // split off the fleet seed — so the monthly snapshot fans out per device.
@@ -47,7 +132,8 @@ CampaignResult run_campaign(const CampaignConfig& config) {
   // collected by device index (not by completion order), and the reduction
   // below is order-independent: any thread count is bit-identical to the
   // threads=1 reference path, which runs the very same task in a plain
-  // loop.
+  // loop. Fault draws come from per-(device, month) streams, never from a
+  // device's measurement stream, so the same holds with faults active.
   const std::size_t thread_count = std::min(
       ThreadPool::resolve_thread_count(config.threads), fleet.size());
   std::optional<ThreadPool> pool;
@@ -55,29 +141,82 @@ CampaignResult run_campaign(const CampaignConfig& config) {
     pool.emplace(thread_count);
   }
 
-  for (std::size_t month = 0; month <= config.months; ++month) {
+  for (std::size_t month = start_month; month <= config.months; ++month) {
     const OperatingPoint month_op = op_for_month(month);
     const bool age_after = month < config.months;
     std::vector<DeviceMonthMetrics> device_metrics(fleet.size());
+    std::vector<std::uint8_t> device_reported(fleet.size(), 1);
+    std::vector<DeviceSlotStats> slot_stats(fleet.size());
     const auto device_task = [&](std::size_t d) {
       SramDevice& device = fleet[d];
-      BitVector first = device.measure(month_op);
-      if (month == 0) {
-        result.references[d] = first;
-      }
-      DeviceMonthAccumulator acc(device.id(), result.references[d]);
-      acc.add(first);
-      if (month == 0 && config.keep_first_month_batches) {
-        result.first_month_batches[d].push_back(first);
-      }
-      for (std::size_t m = 1; m < config.measurements_per_month; ++m) {
-        const BitVector pattern = device.measure(month_op);
-        acc.add(pattern);
+      if (!has_faults) {
+        // The fault-free fast path: byte-for-byte the pre-chaos engine, so
+        // an all-zero FaultPlan stays bit-identical to it.
+        BitVector first = device.measure(month_op);
+        if (month == 0) {
+          result.references[d] = first;
+        }
+        DeviceMonthAccumulator acc(device.id(), result.references[d]);
+        acc.add(first);
         if (month == 0 && config.keep_first_month_batches) {
-          result.first_month_batches[d].push_back(pattern);
+          result.first_month_batches[d].push_back(first);
+        }
+        for (std::size_t m = 1; m < config.measurements_per_month; ++m) {
+          const BitVector pattern = device.measure(month_op);
+          acc.add(pattern);
+          if (month == 0 && config.keep_first_month_batches) {
+            result.first_month_batches[d].push_back(pattern);
+          }
+        }
+        device_metrics[d] = acc.finalize();
+      } else {
+        Xoshiro256StarStar fault_rng(
+            fault_stream_seed(config.fleet.seed, device.id(), month));
+        const bool dropout = config.faults.dropout_active(device.id(), month);
+        DeviceSlotStats& stats = slot_stats[d];
+        // The reference is the first measurement the collector ever saw
+        // from this board; with faults that may happen after month 0.
+        std::optional<DeviceMonthAccumulator> acc;
+        if (!result.references[d].empty()) {
+          acc.emplace(device.id(), result.references[d]);
+        }
+        for (std::size_t s = 0; s < config.measurements_per_month; ++s) {
+          const SlotOutcome out = advance_slot(fault_rng, fault_states[d],
+                                               config.faults, config.retry,
+                                               dropout);
+          stats.crc_retries += out.crc_retries;
+          stats.timeouts += out.timeouts;
+          stats.frames_lost += out.frames_lost;
+          stats.probes += out.probe ? 1 : 0;
+          if (out.powered) {
+            OperatingPoint slot_op = month_op;
+            if (out.brownout) {
+              slot_op.ramp_time_us *= config.faults.brownout_ramp_factor;
+            }
+            const BitVector pattern = device.measure(slot_op);
+            if (out.delivered) {
+              if (result.references[d].empty()) {
+                result.references[d] = pattern;
+              }
+              if (!acc) {
+                acc.emplace(device.id(), result.references[d]);
+              }
+              acc->add(pattern);
+              if (month == 0 && config.keep_first_month_batches) {
+                result.first_month_batches[d].push_back(pattern);
+              }
+            }
+          }
+          if (!out.delivered) {
+            ++stats.dropped;
+          }
+        }
+        if (acc && acc->measurement_count() > 0) {
+          device_metrics[d] = acc->finalize();
+        } else {
+          device_reported[d] = 0;
         }
       }
-      device_metrics[d] = acc.finalize();
       if (age_after) {
         device.age_months(wall_months_per_snapshot, month_op);
       }
@@ -89,8 +228,50 @@ CampaignResult run_campaign(const CampaignConfig& config) {
         device_task(d);
       }
     }
-    result.series.push_back(combine_fleet_month(std::move(device_metrics),
-                                                static_cast<double>(month)));
+    if (!has_faults) {
+      result.series.push_back(combine_fleet_month(std::move(device_metrics),
+                                                  static_cast<double>(month)));
+    } else {
+      std::vector<DeviceMonthMetrics> reporting;
+      reporting.reserve(fleet.size());
+      for (std::size_t d = 0; d < fleet.size(); ++d) {
+        if (device_reported[d]) {
+          reporting.push_back(std::move(device_metrics[d]));
+        }
+      }
+      FleetMonthMetrics fleet_month = combine_fleet_month(
+          std::move(reporting), static_cast<double>(month), fleet.size(),
+          config.measurements_per_month);
+      MonthHealth mh;
+      mh.month = static_cast<double>(month);
+      for (std::size_t d = 0; d < fleet.size(); ++d) {
+        mh.crc_retries += slot_stats[d].crc_retries;
+        mh.timeouts += slot_stats[d].timeouts;
+        mh.frames_lost += slot_stats[d].frames_lost;
+        mh.measurements_dropped += slot_stats[d].dropped;
+        mh.probes += slot_stats[d].probes;
+        if (fault_states[d].quarantined) {
+          ++mh.boards_quarantined;
+        }
+      }
+      mh.boards_reporting =
+          static_cast<std::uint32_t>(fleet_month.devices_reporting);
+      mh.coverage = fleet_month.coverage;
+      result.health.months.push_back(mh);
+      result.series.push_back(std::move(fleet_month));
+    }
+    const bool halt_here = config.halt_after_month &&
+                           month == *config.halt_after_month &&
+                           month < config.months;
+    if (!config.checkpoint_dir.empty() &&
+        (halt_here || month == config.months ||
+         (month + 1) % config.checkpoint_every_months == 0)) {
+      save(month);
+    }
+    if (halt_here) {
+      result.completed = false;
+      return result;
+    }
   }
   return result;
 }

@@ -13,10 +13,13 @@
 #pragma once
 
 #include <functional>
+#include <optional>
+#include <string>
 #include <vector>
 
 #include "analysis/monthly.hpp"
 #include "silicon/device_factory.hpp"
+#include "testbed/faults.hpp"
 #include "testbed/rig.hpp"
 
 namespace pufaging {
@@ -52,6 +55,33 @@ struct CampaignConfig {
   /// changes wall-clock time. A custom `schedule` is invoked once per month
   /// on the calling thread and need not be thread-safe.
   std::size_t threads = 0;
+
+  /// Chaos-rig fault injection. The default (all-zero) plan is skipped
+  /// entirely and bit-identical to a fault-free campaign; a non-zero plan
+  /// draws every fault from per-(device, month) streams split off the
+  /// fleet seed, so it too is bit-identical at any `threads` value.
+  FaultPlan faults;
+
+  /// Master-side resilience policy applied when `faults` is non-zero.
+  RetryPolicy retry;
+
+  /// Checkpoint directory; empty = no checkpointing. When set, the device
+  /// and resilience state plus the completed series are snapshotted after
+  /// every `checkpoint_every_months`-th month (and always at the end or a
+  /// halt), atomically.
+  std::string checkpoint_dir;
+  std::size_t checkpoint_every_months = 1;
+
+  /// Resume from the checkpoint in `checkpoint_dir`: completed months are
+  /// restored and the campaign continues bit-identically to an
+  /// uninterrupted run. Month-0 batches (`keep_first_month_batches`) are
+  /// only retained when month 0 runs in-process.
+  bool resume = false;
+
+  /// Stop after completing this month (checkpointing if configured) even
+  /// when `months` lie beyond it — the in-process way to test
+  /// kill-and-resume. The result's `completed` flag is cleared.
+  std::optional<std::size_t> halt_after_month;
 };
 
 /// Campaign output.
@@ -62,6 +92,11 @@ struct CampaignResult {
   std::vector<BitVector> references;
   /// Month-0 full batches per device (only if keep_first_month_batches).
   std::vector<std::vector<BitVector>> first_month_batches;
+  /// Resilience ledger; one entry per month when a fault plan was active,
+  /// empty for fault-free campaigns.
+  CampaignHealth health;
+  /// False when the campaign stopped at `halt_after_month`.
+  bool completed = true;
 };
 
 /// Runs the fast-path campaign.

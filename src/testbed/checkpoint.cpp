@@ -1,0 +1,288 @@
+#include "testbed/checkpoint.hpp"
+
+#include <cstdio>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+#include "common/error.hpp"
+
+namespace pufaging {
+
+namespace {
+
+constexpr int kCheckpointVersion = 1;
+constexpr const char* kStateFile = "state.jsonl";
+
+std::string u64_to_hex(std::uint64_t v) {
+  char buf[17];
+  std::snprintf(buf, sizeof buf, "%016llx", static_cast<unsigned long long>(v));
+  return buf;
+}
+
+std::uint64_t u64_from_hex(const std::string& hex) {
+  if (hex.empty() || hex.size() > 16) {
+    throw ParseError("checkpoint: bad u64 hex '" + hex + "'");
+  }
+  std::uint64_t v = 0;
+  for (char c : hex) {
+    v <<= 4;
+    if (c >= '0' && c <= '9') {
+      v |= static_cast<std::uint64_t>(c - '0');
+    } else if (c >= 'a' && c <= 'f') {
+      v |= static_cast<std::uint64_t>(c - 'a' + 10);
+    } else if (c >= 'A' && c <= 'F') {
+      v |= static_cast<std::uint64_t>(c - 'A' + 10);
+    } else {
+      throw ParseError("checkpoint: bad u64 hex '" + hex + "'");
+    }
+  }
+  return v;
+}
+
+Json device_metrics_to_json(const DeviceMonthMetrics& d) {
+  Json obj = Json::object();
+  obj.set("id", Json(d.device_id));
+  obj.set("count", Json(d.measurement_count));
+  obj.set("wchd", Json(double_to_hex_bits(d.wchd_mean)));
+  obj.set("fhw", Json(double_to_hex_bits(d.fhw_mean)));
+  obj.set("stable", Json(double_to_hex_bits(d.stable_ratio)));
+  obj.set("noise", Json(double_to_hex_bits(d.noise_entropy)));
+  obj.set("first_bits", Json(static_cast<std::uint64_t>(d.first_pattern.size())));
+  obj.set("first", Json(d.first_pattern.to_hex()));
+  return obj;
+}
+
+DeviceMonthMetrics device_metrics_from_json(const Json& obj) {
+  DeviceMonthMetrics d;
+  d.device_id = static_cast<std::uint32_t>(obj.at("id").as_int());
+  d.measurement_count = static_cast<std::uint64_t>(obj.at("count").as_int());
+  d.wchd_mean = double_from_hex_bits(obj.at("wchd").as_string());
+  d.fhw_mean = double_from_hex_bits(obj.at("fhw").as_string());
+  d.stable_ratio = double_from_hex_bits(obj.at("stable").as_string());
+  d.noise_entropy = double_from_hex_bits(obj.at("noise").as_string());
+  const auto bits = static_cast<std::size_t>(obj.at("first_bits").as_int());
+  d.first_pattern = BitVector::from_hex(obj.at("first").as_string(), bits);
+  return d;
+}
+
+}  // namespace
+
+std::string double_to_hex_bits(double value) {
+  std::uint64_t bits;
+  static_assert(sizeof bits == sizeof value);
+  std::memcpy(&bits, &value, sizeof bits);
+  return u64_to_hex(bits);
+}
+
+double double_from_hex_bits(const std::string& hex) {
+  const std::uint64_t bits = u64_from_hex(hex);
+  double value;
+  std::memcpy(&value, &bits, sizeof value);
+  return value;
+}
+
+Json fleet_month_to_json(const FleetMonthMetrics& m) {
+  Json obj = Json::object();
+  obj.set("month", Json(double_to_hex_bits(m.month)));
+  obj.set("wchd_avg", Json(double_to_hex_bits(m.wchd_avg)));
+  obj.set("wchd_wc", Json(double_to_hex_bits(m.wchd_wc)));
+  obj.set("fhw_avg", Json(double_to_hex_bits(m.fhw_avg)));
+  obj.set("fhw_wc", Json(double_to_hex_bits(m.fhw_wc)));
+  obj.set("stable_avg", Json(double_to_hex_bits(m.stable_avg)));
+  obj.set("stable_wc", Json(double_to_hex_bits(m.stable_wc)));
+  obj.set("noise_avg", Json(double_to_hex_bits(m.noise_entropy_avg)));
+  obj.set("noise_wc", Json(double_to_hex_bits(m.noise_entropy_wc)));
+  obj.set("bchd_avg", Json(double_to_hex_bits(m.bchd_avg)));
+  obj.set("bchd_wc", Json(double_to_hex_bits(m.bchd_wc)));
+  obj.set("puf_entropy", Json(double_to_hex_bits(m.puf_entropy)));
+  obj.set("expected", Json(static_cast<std::uint64_t>(m.devices_expected)));
+  obj.set("reporting", Json(static_cast<std::uint64_t>(m.devices_reporting)));
+  obj.set("coverage", Json(double_to_hex_bits(m.coverage)));
+  obj.set("degraded", Json(m.degraded));
+  Json devices = Json::array();
+  for (const DeviceMonthMetrics& d : m.devices) {
+    devices.push_back(device_metrics_to_json(d));
+  }
+  obj.set("devices", std::move(devices));
+  return obj;
+}
+
+FleetMonthMetrics fleet_month_from_json(const Json& json) {
+  FleetMonthMetrics m;
+  m.month = double_from_hex_bits(json.at("month").as_string());
+  m.wchd_avg = double_from_hex_bits(json.at("wchd_avg").as_string());
+  m.wchd_wc = double_from_hex_bits(json.at("wchd_wc").as_string());
+  m.fhw_avg = double_from_hex_bits(json.at("fhw_avg").as_string());
+  m.fhw_wc = double_from_hex_bits(json.at("fhw_wc").as_string());
+  m.stable_avg = double_from_hex_bits(json.at("stable_avg").as_string());
+  m.stable_wc = double_from_hex_bits(json.at("stable_wc").as_string());
+  m.noise_entropy_avg = double_from_hex_bits(json.at("noise_avg").as_string());
+  m.noise_entropy_wc = double_from_hex_bits(json.at("noise_wc").as_string());
+  m.bchd_avg = double_from_hex_bits(json.at("bchd_avg").as_string());
+  m.bchd_wc = double_from_hex_bits(json.at("bchd_wc").as_string());
+  m.puf_entropy = double_from_hex_bits(json.at("puf_entropy").as_string());
+  m.devices_expected = static_cast<std::size_t>(json.at("expected").as_int());
+  m.devices_reporting = static_cast<std::size_t>(json.at("reporting").as_int());
+  m.coverage = double_from_hex_bits(json.at("coverage").as_string());
+  m.degraded = json.at("degraded").as_bool();
+  for (const Json& d : json.at("devices").as_array()) {
+    m.devices.push_back(device_metrics_from_json(d));
+  }
+  return m;
+}
+
+bool has_checkpoint(const std::string& dir) {
+  std::error_code ec;
+  return std::filesystem::is_regular_file(
+      std::filesystem::path(dir) / kStateFile, ec);
+}
+
+void save_checkpoint(const std::string& dir, const CampaignCheckpoint& ckpt) {
+  if (ckpt.devices.size() != ckpt.fault_states.size() ||
+      ckpt.devices.size() != ckpt.references.size()) {
+    throw InvalidArgument(
+        "save_checkpoint: device/fault-state/reference counts differ");
+  }
+  const std::filesystem::path base(dir);
+  std::error_code ec;
+  std::filesystem::create_directories(base, ec);
+  if (ec) {
+    throw IoError("save_checkpoint: cannot create '" + dir +
+                  "': " + ec.message());
+  }
+
+  std::ostringstream os;
+  {
+    Json header = Json::object();
+    header.set("kind", Json("header"));
+    header.set("version", Json(kCheckpointVersion));
+    header.set("next_month", Json(static_cast<std::uint64_t>(ckpt.next_month)));
+    header.set("fleet_seed", Json(u64_to_hex(ckpt.fleet_seed)));
+    header.set("device_count",
+               Json(static_cast<std::uint64_t>(ckpt.device_count)));
+    header.set("months", Json(static_cast<std::uint64_t>(ckpt.months)));
+    header.set("measurements_per_month",
+               Json(static_cast<std::uint64_t>(ckpt.measurements_per_month)));
+    header.set("fault_plan", Json(ckpt.fault_plan_json));
+    os << header.dump() << "\n";
+  }
+  for (std::size_t d = 0; d < ckpt.devices.size(); ++d) {
+    const DeviceCheckpoint& dev = ckpt.devices[d];
+    Json line = Json::object();
+    line.set("kind", Json("device"));
+    line.set("id", Json(dev.device_id));
+    Json rng = Json::array();
+    for (std::uint64_t word : dev.rng_state) {
+      rng.push_back(Json(u64_to_hex(word)));
+    }
+    line.set("rng", std::move(rng));
+    line.set("count", Json(dev.measurement_count));
+    line.set("fault_state", board_fault_state_to_json(ckpt.fault_states[d]));
+    line.set("reference_bits",
+             Json(static_cast<std::uint64_t>(ckpt.references[d].size())));
+    line.set("reference", Json(ckpt.references[d].to_hex()));
+    os << line.dump() << "\n";
+  }
+  for (const FleetMonthMetrics& m : ckpt.series) {
+    Json line = fleet_month_to_json(m);
+    line.set("kind", Json("month"));
+    os << line.dump() << "\n";
+  }
+  {
+    Json line = Json::object();
+    line.set("kind", Json("health"));
+    line.set("months", campaign_health_to_json(ckpt.health));
+    os << line.dump() << "\n";
+  }
+
+  const std::filesystem::path tmp = base / (std::string(kStateFile) + ".tmp");
+  const std::filesystem::path final_path = base / kStateFile;
+  {
+    std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
+    if (!out) {
+      throw IoError("save_checkpoint: cannot write '" + tmp.string() + "'");
+    }
+    out << os.str();
+    out.flush();
+    if (!out) {
+      throw IoError("save_checkpoint: write failed for '" + tmp.string() +
+                    "'");
+    }
+  }
+  std::filesystem::rename(tmp, final_path, ec);
+  if (ec) {
+    throw IoError("save_checkpoint: cannot rename into '" +
+                  final_path.string() + "': " + ec.message());
+  }
+}
+
+CampaignCheckpoint load_checkpoint(const std::string& dir) {
+  const std::filesystem::path path = std::filesystem::path(dir) / kStateFile;
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    throw IoError("load_checkpoint: cannot open '" + path.string() + "'");
+  }
+  CampaignCheckpoint ckpt;
+  bool have_header = false;
+  std::string line;
+  while (std::getline(in, line)) {
+    if (line.empty()) {
+      continue;
+    }
+    const Json obj = Json::parse(line);
+    const std::string& kind = obj.at("kind").as_string();
+    if (kind == "header") {
+      if (obj.at("version").as_int() != kCheckpointVersion) {
+        throw ParseError("load_checkpoint: unsupported checkpoint version");
+      }
+      ckpt.next_month = static_cast<std::size_t>(obj.at("next_month").as_int());
+      ckpt.fleet_seed = u64_from_hex(obj.at("fleet_seed").as_string());
+      ckpt.device_count =
+          static_cast<std::size_t>(obj.at("device_count").as_int());
+      ckpt.months = static_cast<std::size_t>(obj.at("months").as_int());
+      ckpt.measurements_per_month = static_cast<std::size_t>(
+          obj.at("measurements_per_month").as_int());
+      ckpt.fault_plan_json = obj.at("fault_plan").as_string();
+      have_header = true;
+    } else if (kind == "device") {
+      DeviceCheckpoint dev;
+      dev.device_id = static_cast<std::uint32_t>(obj.at("id").as_int());
+      const Json::Array& rng = obj.at("rng").as_array();
+      if (rng.size() != dev.rng_state.size()) {
+        throw ParseError("load_checkpoint: bad RNG state length");
+      }
+      for (std::size_t i = 0; i < rng.size(); ++i) {
+        dev.rng_state[i] = u64_from_hex(rng[i].as_string());
+      }
+      dev.measurement_count =
+          static_cast<std::uint64_t>(obj.at("count").as_int());
+      ckpt.devices.push_back(dev);
+      ckpt.fault_states.push_back(
+          board_fault_state_from_json(obj.at("fault_state")));
+      const auto bits =
+          static_cast<std::size_t>(obj.at("reference_bits").as_int());
+      ckpt.references.push_back(
+          BitVector::from_hex(obj.at("reference").as_string(), bits));
+    } else if (kind == "month") {
+      ckpt.series.push_back(fleet_month_from_json(obj));
+    } else if (kind == "health") {
+      ckpt.health = campaign_health_from_json(obj.at("months"));
+    } else {
+      throw ParseError("load_checkpoint: unknown record kind '" + kind + "'");
+    }
+  }
+  if (!have_header) {
+    throw ParseError("load_checkpoint: missing header line");
+  }
+  if (ckpt.devices.size() != ckpt.device_count) {
+    throw ParseError("load_checkpoint: device line count mismatch");
+  }
+  if (ckpt.series.size() != ckpt.next_month) {
+    throw ParseError("load_checkpoint: month line count mismatch");
+  }
+  return ckpt;
+}
+
+}  // namespace pufaging

@@ -1,0 +1,86 @@
+// Campaign checkpoint/resume: crash-tolerant long campaigns.
+//
+// The paper's rig ran for two wall-clock years; the one certainty about a
+// two-year run is that the collector host reboots at some point. A
+// checkpoint captures everything `run_campaign` needs to continue a
+// campaign bit-identically: each device's measurement-RNG state and
+// counter (aging is replayed — it is a pure function of the config and the
+// month sequence), the resilience state machine of every board, the
+// completed part of the fleet series, the month-0 references and the
+// health ledger.
+//
+// On-disk format: one JSONL file (`state.jsonl`) in the checkpoint
+// directory — a header line, one line per device, one line per completed
+// month, one health line. Doubles that must survive the round trip
+// bit-exactly (the series) are stored as hex bit patterns of their IEEE-754
+// encoding. Writes go to a temp file which is atomically renamed, so a
+// crash mid-checkpoint leaves the previous checkpoint intact.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "analysis/monthly.hpp"
+#include "testbed/faults.hpp"
+
+namespace pufaging {
+
+/// Resumable state of one device: the measurement RNG and how many
+/// measurements it has produced. Aging state is deliberately absent — it
+/// is replayed deterministically on resume.
+struct DeviceCheckpoint {
+  std::uint32_t device_id = 0;
+  std::array<std::uint64_t, 4> rng_state{};
+  std::uint64_t measurement_count = 0;
+};
+
+/// Everything needed to continue a campaign after the last completed month.
+struct CampaignCheckpoint {
+  /// First month that has NOT been completed yet (resume starts here).
+  std::size_t next_month = 0;
+
+  // Config fingerprint, validated on resume: resuming under a different
+  // campaign configuration would silently produce garbage.
+  std::uint64_t fleet_seed = 0;
+  std::size_t device_count = 0;
+  std::size_t months = 0;
+  std::size_t measurements_per_month = 0;
+  std::string fault_plan_json;  ///< Compact JSON dump of the FaultPlan.
+
+  std::vector<DeviceCheckpoint> devices;
+  std::vector<BoardFaultState> fault_states;
+
+  /// Month-0 reference per device; empty BitVector = not yet established
+  /// (the board has not delivered a single measurement).
+  std::vector<BitVector> references;
+
+  /// Completed monthly snapshots (next_month entries).
+  std::vector<FleetMonthMetrics> series;
+
+  CampaignHealth health;
+};
+
+/// True when `dir` holds a checkpoint file.
+bool has_checkpoint(const std::string& dir);
+
+/// Writes the checkpoint to `dir` (created if missing) via a temp file and
+/// atomic rename. Throws IoError on filesystem failure.
+void save_checkpoint(const std::string& dir, const CampaignCheckpoint& ckpt);
+
+/// Loads the checkpoint from `dir`. Throws IoError when absent, ParseError
+/// when malformed.
+CampaignCheckpoint load_checkpoint(const std::string& dir);
+
+/// Bit-exact double <-> hex helpers (IEEE-754 bit pattern as 16 hex
+/// digits); used by the checkpoint serializer and its tests.
+std::string double_to_hex_bits(double value);
+double double_from_hex_bits(const std::string& hex);
+
+/// FleetMonthMetrics round trip with bit-exact doubles (used per JSONL
+/// month line).
+Json fleet_month_to_json(const FleetMonthMetrics& m);
+FleetMonthMetrics fleet_month_from_json(const Json& json);
+
+}  // namespace pufaging

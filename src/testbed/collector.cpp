@@ -9,7 +9,21 @@ namespace pufaging {
 
 void Collector::receive(const MeasurementRecord& record) {
   std::lock_guard<std::mutex> lock(mutex_);
-  records_.push_back(record);
+  receive_locked(record);
+}
+
+void Collector::receive_locked(MeasurementRecord record) {
+  std::set<std::uint32_t>& seen = seen_[record.board_id];
+  if (!seen.insert(record.sequence).second) {
+    // A master retry after a lost ACK, or a JSONL replay over live data:
+    // the measurement is already stored once, drop the copy.
+    ++duplicates_;
+    return;
+  }
+  if (!seen.empty() && record.sequence < *seen.rbegin()) {
+    ++out_of_order_;
+  }
+  records_.push_back(std::move(record));
 }
 
 std::vector<BitVector> Collector::board_measurements(
@@ -36,41 +50,6 @@ std::vector<std::uint32_t> Collector::boards() const {
   return ids;
 }
 
-std::string Collector::to_hex(const std::vector<std::uint8_t>& bytes) {
-  static constexpr char kHex[] = "0123456789abcdef";
-  std::string out;
-  out.reserve(bytes.size() * 2);
-  for (std::uint8_t b : bytes) {
-    out.push_back(kHex[b >> 4]);
-    out.push_back(kHex[b & 0xF]);
-  }
-  return out;
-}
-
-std::vector<std::uint8_t> Collector::from_hex(const std::string& hex) {
-  if (hex.size() % 2 != 0) {
-    throw ParseError("Collector: odd-length hex payload");
-  }
-  const auto nibble = [](char c) -> std::uint8_t {
-    if (c >= '0' && c <= '9') {
-      return static_cast<std::uint8_t>(c - '0');
-    }
-    if (c >= 'a' && c <= 'f') {
-      return static_cast<std::uint8_t>(c - 'a' + 10);
-    }
-    if (c >= 'A' && c <= 'F') {
-      return static_cast<std::uint8_t>(c - 'A' + 10);
-    }
-    throw ParseError("Collector: bad hex digit");
-  };
-  std::vector<std::uint8_t> out(hex.size() / 2);
-  for (std::size_t i = 0; i < out.size(); ++i) {
-    out[i] = static_cast<std::uint8_t>((nibble(hex[2 * i]) << 4) |
-                                       nibble(hex[2 * i + 1]));
-  }
-  return out;
-}
-
 std::string Collector::to_jsonl() const {
   std::lock_guard<std::mutex> lock(mutex_);
   std::ostringstream os;
@@ -80,7 +59,7 @@ std::string Collector::to_jsonl() const {
     obj.set("board", Json("S" + std::to_string(r.board_id)));
     obj.set("seq", Json(static_cast<std::int64_t>(r.sequence)));
     obj.set("bits", Json(r.data.size()));
-    obj.set("data", Json(to_hex(r.data.to_bytes())));
+    obj.set("data", Json(r.data.to_hex()));
     os << obj.dump() << '\n';
   }
   return os.str();
@@ -106,9 +85,8 @@ void Collector::load_jsonl(const std::string& text) {
         static_cast<std::uint32_t>(std::stoul(board.substr(1)));
     record.sequence = static_cast<std::uint32_t>(obj.at("seq").as_int());
     const auto bits = static_cast<std::size_t>(obj.at("bits").as_int());
-    record.data = BitVector::from_bytes(from_hex(obj.at("data").as_string()),
-                                        bits);
-    records_.push_back(std::move(record));
+    record.data = BitVector::from_hex(obj.at("data").as_string(), bits);
+    receive_locked(std::move(record));
   }
 }
 

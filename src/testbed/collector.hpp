@@ -8,6 +8,7 @@
 
 #include <map>
 #include <mutex>
+#include <set>
 #include <string>
 #include <vector>
 
@@ -26,9 +27,18 @@ namespace pufaging {
 /// whose event queue is serial). `records()` hands out an unsynchronized
 /// reference for the serial analysis path — do not call it while another
 /// thread may be writing.
+///
+/// Resilience: a chaotic rig can re-deliver a frame the master retried
+/// after a lost ACK, or deliver late. The collector deduplicates on
+/// (board, sequence) — a record with an already-seen sequence number is
+/// dropped and counted — and counts (but keeps) records arriving with a
+/// sequence number below the board's high-water mark. `load_jsonl` goes
+/// through the same gate, so replaying a checkpointed JSONL dump on top
+/// of live data cannot double-count measurements.
 class Collector {
  public:
-  /// Record sink to plug into a MasterBoard.
+  /// Record sink to plug into a MasterBoard. Drops (board, sequence)
+  /// duplicates.
   void receive(const MeasurementRecord& record);
 
   std::size_t record_count() const {
@@ -50,16 +60,33 @@ class Collector {
   ///  "data": "<hex>"}.
   std::string to_jsonl() const;
 
-  /// Parses records back from JSON Lines; appends to the store.
-  /// Throws ParseError on malformed lines.
+  /// Parses records back from JSON Lines; appends to the store through the
+  /// same dedup gate as `receive`. Throws ParseError on malformed lines.
   void load_jsonl(const std::string& text);
 
+  /// Records dropped because their (board, sequence) was already stored.
+  std::uint64_t duplicates_dropped() const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return duplicates_;
+  }
+
+  /// Records kept despite arriving below their board's sequence
+  /// high-water mark (late delivery after a retry storm).
+  std::uint64_t out_of_order() const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return out_of_order_;
+  }
+
  private:
-  static std::string to_hex(const std::vector<std::uint8_t>& bytes);
-  static std::vector<std::uint8_t> from_hex(const std::string& hex);
+  // Requires mutex_ held.
+  void receive_locked(MeasurementRecord record);
 
   mutable std::mutex mutex_;
   std::vector<MeasurementRecord> records_;
+  /// Per-board set of sequence numbers already stored.
+  std::map<std::uint32_t, std::set<std::uint32_t>> seen_;
+  std::uint64_t duplicates_ = 0;
+  std::uint64_t out_of_order_ = 0;
 };
 
 }  // namespace pufaging

@@ -1,0 +1,487 @@
+#include "testbed/faults.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <sstream>
+
+#include "common/error.hpp"
+
+namespace pufaging {
+
+namespace {
+
+// Domain tags for split_seed; arbitrary but fixed forever (checkpointed
+// campaigns replay against them).
+constexpr std::uint64_t kCampaignFaultDomain = 0xFA171C4A0501ULL;
+constexpr std::uint64_t kRigFaultDomain = 0xFA171B16D0B0ULL;
+
+// Months per device in the (device, month) -> stream index mapping. Bounds
+// the campaign length, far above any realistic run.
+constexpr std::uint64_t kMonthStride = 1ULL << 20;
+
+void check_rate(double rate, const char* name) {
+  if (!(rate >= 0.0 && rate <= 1.0)) {
+    throw InvalidArgument(std::string("FaultPlan: ") + name +
+                          " outside [0, 1]");
+  }
+}
+
+}  // namespace
+
+bool FaultPlan::all_zero() const {
+  return i2c_corrupt_rate == 0.0 && i2c_drop_rate == 0.0 &&
+         i2c_nak_rate == 0.0 && hang_rate == 0.0 && reset_rate == 0.0 &&
+         brownout_rate == 0.0 && stuck_relay_rate == 0.0 && dropouts.empty();
+}
+
+void FaultPlan::validate() const {
+  check_rate(i2c_corrupt_rate, "i2c_corrupt_rate");
+  check_rate(i2c_drop_rate, "i2c_drop_rate");
+  check_rate(i2c_nak_rate, "i2c_nak_rate");
+  check_rate(hang_rate, "hang_rate");
+  check_rate(reset_rate, "reset_rate");
+  check_rate(brownout_rate, "brownout_rate");
+  check_rate(stuck_relay_rate, "stuck_relay_rate");
+  if (hang_cycles == 0) {
+    throw InvalidArgument("FaultPlan: hang_cycles must be >= 1");
+  }
+  if (!(brownout_ramp_factor > 0.0 && brownout_ramp_factor <= 1.0)) {
+    throw InvalidArgument("FaultPlan: brownout_ramp_factor outside (0, 1]");
+  }
+}
+
+bool FaultPlan::dropout_active(std::uint32_t device_index,
+                               std::size_t month) const {
+  for (const BoardDropout& d : dropouts) {
+    if (d.device_index == device_index && month >= d.from_month) {
+      return true;
+    }
+  }
+  return false;
+}
+
+FaultPlan parse_fault_plan(const std::string& spec) {
+  if (!spec.empty() && spec.front() == '{') {
+    return fault_plan_from_json(Json::parse(spec));
+  }
+  FaultPlan plan;
+  std::istringstream is(spec);
+  std::string item;
+  while (std::getline(is, item, ',')) {
+    if (item.empty()) {
+      continue;
+    }
+    const std::size_t eq = item.find('=');
+    if (eq == std::string::npos) {
+      throw ParseError("parse_fault_plan: expected key=value, got '" + item +
+                       "'");
+    }
+    const std::string key = item.substr(0, eq);
+    const std::string value = item.substr(eq + 1);
+    try {
+      if (key == "corrupt") {
+        plan.i2c_corrupt_rate = std::stod(value);
+      } else if (key == "drop") {
+        plan.i2c_drop_rate = std::stod(value);
+      } else if (key == "nak") {
+        plan.i2c_nak_rate = std::stod(value);
+      } else if (key == "hang") {
+        plan.hang_rate = std::stod(value);
+      } else if (key == "hang-cycles") {
+        plan.hang_cycles = static_cast<std::uint32_t>(std::stoul(value));
+      } else if (key == "reset") {
+        plan.reset_rate = std::stod(value);
+      } else if (key == "brownout") {
+        plan.brownout_rate = std::stod(value);
+      } else if (key == "brownout-ramp") {
+        plan.brownout_ramp_factor = std::stod(value);
+      } else if (key == "stuck") {
+        plan.stuck_relay_rate = std::stod(value);
+      } else if (key == "dropout") {
+        const std::size_t at = value.find('@');
+        if (at == std::string::npos) {
+          throw ParseError(
+              "parse_fault_plan: dropout needs <device>@<month>, got '" +
+              value + "'");
+        }
+        BoardDropout d;
+        d.device_index =
+            static_cast<std::uint32_t>(std::stoul(value.substr(0, at)));
+        d.from_month = std::stoul(value.substr(at + 1));
+        plan.dropouts.push_back(d);
+      } else {
+        throw ParseError("parse_fault_plan: unknown key '" + key + "'");
+      }
+    } catch (const std::invalid_argument&) {
+      throw ParseError("parse_fault_plan: bad number in '" + item + "'");
+    } catch (const std::out_of_range&) {
+      throw ParseError("parse_fault_plan: number out of range in '" + item +
+                       "'");
+    }
+  }
+  plan.validate();
+  return plan;
+}
+
+Json fault_plan_to_json(const FaultPlan& plan) {
+  Json obj = Json::object();
+  obj.set("corrupt", Json(plan.i2c_corrupt_rate));
+  obj.set("drop", Json(plan.i2c_drop_rate));
+  obj.set("nak", Json(plan.i2c_nak_rate));
+  obj.set("hang", Json(plan.hang_rate));
+  obj.set("hang_cycles", Json(plan.hang_cycles));
+  obj.set("reset", Json(plan.reset_rate));
+  obj.set("brownout", Json(plan.brownout_rate));
+  obj.set("brownout_ramp", Json(plan.brownout_ramp_factor));
+  obj.set("stuck", Json(plan.stuck_relay_rate));
+  Json drops = Json::array();
+  for (const BoardDropout& d : plan.dropouts) {
+    Json entry = Json::object();
+    entry.set("device", Json(d.device_index));
+    entry.set("month", Json(static_cast<std::uint64_t>(d.from_month)));
+    drops.push_back(std::move(entry));
+  }
+  obj.set("dropouts", std::move(drops));
+  return obj;
+}
+
+FaultPlan fault_plan_from_json(const Json& json) {
+  FaultPlan plan;
+  const auto number = [&json](const char* key, double fallback) {
+    return json.contains(key) ? json.at(key).as_double() : fallback;
+  };
+  plan.i2c_corrupt_rate = number("corrupt", 0.0);
+  plan.i2c_drop_rate = number("drop", 0.0);
+  plan.i2c_nak_rate = number("nak", 0.0);
+  plan.hang_rate = number("hang", 0.0);
+  if (json.contains("hang_cycles")) {
+    plan.hang_cycles =
+        static_cast<std::uint32_t>(json.at("hang_cycles").as_int());
+  }
+  plan.reset_rate = number("reset", 0.0);
+  plan.brownout_rate = number("brownout", 0.0);
+  plan.brownout_ramp_factor =
+      number("brownout_ramp", plan.brownout_ramp_factor);
+  plan.stuck_relay_rate = number("stuck", 0.0);
+  if (json.contains("dropouts")) {
+    for (const Json& entry : json.at("dropouts").as_array()) {
+      BoardDropout d;
+      d.device_index =
+          static_cast<std::uint32_t>(entry.at("device").as_int());
+      d.from_month = static_cast<std::size_t>(entry.at("month").as_int());
+      plan.dropouts.push_back(d);
+    }
+  }
+  plan.validate();
+  return plan;
+}
+
+void RetryPolicy::validate() const {
+  if (max_retries < 0) {
+    throw InvalidArgument("RetryPolicy: max_retries must be >= 0");
+  }
+  if (backoff_base_s < 0.0 || watchdog_margin_s <= 0.0) {
+    throw InvalidArgument("RetryPolicy: backoff/watchdog must be positive");
+  }
+  if (quarantine_after == 0 || probe_interval == 0) {
+    throw InvalidArgument(
+        "RetryPolicy: quarantine_after and probe_interval must be >= 1");
+  }
+}
+
+void BoardFaultState::record_success() {
+  consecutive_failures = 0;
+  quarantined = false;
+  cooldown_remaining = 0;
+  backoff_level = 0;
+}
+
+bool BoardFaultState::record_failure(const RetryPolicy& policy) {
+  if (quarantined) {
+    // A failed re-admission probe: back off further (exponentially, capped).
+    backoff_level = std::min(backoff_level + 1, policy.max_backoff_level);
+    cooldown_remaining = std::uint64_t{policy.probe_interval} << backoff_level;
+    return false;
+  }
+  ++consecutive_failures;
+  if (consecutive_failures >= policy.quarantine_after) {
+    quarantined = true;
+    backoff_level = 0;
+    cooldown_remaining = policy.probe_interval;
+    ++quarantine_entries;
+    return true;
+  }
+  return false;
+}
+
+SlotOutcome advance_slot(Xoshiro256StarStar& rng, BoardFaultState& state,
+                         const FaultPlan& plan, const RetryPolicy& policy,
+                         bool dropout) {
+  SlotOutcome out;
+  // 1. Permanent dropout: the board is gone; the failure path runs so the
+  //    quarantine machinery notices, but no randomness is consumed.
+  if (dropout) {
+    if (state.quarantined && state.cooldown_remaining > 0) {
+      --state.cooldown_remaining;
+    } else {
+      out.probe = state.quarantined;
+      state.record_failure(policy);
+    }
+    return out;
+  }
+  // 2. Quarantined boards are skipped until their next probe is due. The
+  //    master is not polling, so a hang running out underneath quarantine
+  //    ticks down silently — only an actual failed probe escalates the
+  //    backoff; anything else would make hang-induced quarantine permanent.
+  if (state.quarantined) {
+    if (state.cooldown_remaining > 0) {
+      --state.cooldown_remaining;
+      if (state.hang_remaining > 0) {
+        --state.hang_remaining;
+      }
+      return out;
+    }
+    out.probe = true;
+  }
+  // 3. An ongoing hang wedges the firmware; nothing answers (a probe that
+  //    lands here is a failed probe).
+  if (state.hang_remaining > 0) {
+    --state.hang_remaining;
+    state.record_failure(policy);
+    return out;
+  }
+  // 4. Stuck relay: the power command is ignored, no power-up happens.
+  if (rng.bernoulli(plan.stuck_relay_rate)) {
+    state.record_failure(policy);
+    return out;
+  }
+  // 5. Fresh hang: the board powers but the firmware wedges before the
+  //    read-out; the hang persists for hang_cycles further cycles.
+  if (rng.bernoulli(plan.hang_rate)) {
+    state.hang_remaining = plan.hang_cycles;
+    state.record_failure(policy);
+    return out;
+  }
+  // The SRAM latches: one device measurement is consumed from here on.
+  out.powered = true;
+  // 6. Spontaneous reset: the pattern latched but the buffered read-out is
+  //    lost before the master can collect it.
+  if (rng.bernoulli(plan.reset_rate)) {
+    state.record_failure(policy);
+    return out;
+  }
+  // 7. Brownout: partial supply ramp; the read-out survives but is noisier.
+  out.brownout = rng.bernoulli(plan.brownout_rate);
+  // 8. The I2C transfer, with bounded retries. Each attempt draws loss,
+  //    NAK and corruption in this order.
+  for (int attempt = 0; attempt <= policy.max_retries; ++attempt) {
+    const bool lost = rng.bernoulli(plan.i2c_drop_rate);
+    const bool nak = rng.bernoulli(plan.i2c_nak_rate);
+    const bool corrupt = rng.bernoulli(plan.i2c_corrupt_rate);
+    if (lost) {
+      ++out.frames_lost;
+      ++out.timeouts;
+      continue;
+    }
+    if (nak) {
+      ++out.timeouts;
+      continue;
+    }
+    if (corrupt) {
+      ++out.crc_retries;
+      continue;
+    }
+    out.delivered = true;
+    break;
+  }
+  if (out.delivered) {
+    state.record_success();
+  } else {
+    state.record_failure(policy);
+  }
+  return out;
+}
+
+std::uint64_t fault_stream_seed(std::uint64_t root,
+                                std::uint32_t device_index,
+                                std::size_t month) {
+  return split_seed(root, kCampaignFaultDomain,
+                    std::uint64_t{device_index} * kMonthStride +
+                        static_cast<std::uint64_t>(month));
+}
+
+std::uint64_t rig_fault_seed(std::uint64_t root, std::uint32_t board_id,
+                             std::uint64_t salt) {
+  return split_seed(root, kRigFaultDomain,
+                    (salt << 32) | std::uint64_t{board_id});
+}
+
+std::uint64_t CampaignHealth::total_crc_retries() const {
+  std::uint64_t sum = 0;
+  for (const MonthHealth& m : months) {
+    sum += m.crc_retries;
+  }
+  return sum;
+}
+
+std::uint64_t CampaignHealth::total_timeouts() const {
+  std::uint64_t sum = 0;
+  for (const MonthHealth& m : months) {
+    sum += m.timeouts;
+  }
+  return sum;
+}
+
+std::uint64_t CampaignHealth::total_frames_lost() const {
+  std::uint64_t sum = 0;
+  for (const MonthHealth& m : months) {
+    sum += m.frames_lost;
+  }
+  return sum;
+}
+
+std::uint64_t CampaignHealth::total_measurements_dropped() const {
+  std::uint64_t sum = 0;
+  for (const MonthHealth& m : months) {
+    sum += m.measurements_dropped;
+  }
+  return sum;
+}
+
+std::uint64_t CampaignHealth::total_probes() const {
+  std::uint64_t sum = 0;
+  for (const MonthHealth& m : months) {
+    sum += m.probes;
+  }
+  return sum;
+}
+
+std::uint32_t CampaignHealth::max_boards_quarantined() const {
+  std::uint32_t worst = 0;
+  for (const MonthHealth& m : months) {
+    worst = std::max(worst, m.boards_quarantined);
+  }
+  return worst;
+}
+
+bool CampaignHealth::degraded() const {
+  for (const MonthHealth& m : months) {
+    if (m.measurements_dropped > 0 || m.boards_quarantined > 0 ||
+        m.coverage < 1.0) {
+      return true;
+    }
+  }
+  return false;
+}
+
+std::string CampaignHealth::render() const {
+  std::ostringstream os;
+  char line[160];
+  std::snprintf(line, sizeof line,
+                "campaign health: %llu CRC retries, %llu timeouts, %llu "
+                "frames lost, %llu measurements dropped, %llu probes, "
+                "peak %u board(s) quarantined\n",
+                static_cast<unsigned long long>(total_crc_retries()),
+                static_cast<unsigned long long>(total_timeouts()),
+                static_cast<unsigned long long>(total_frames_lost()),
+                static_cast<unsigned long long>(total_measurements_dropped()),
+                static_cast<unsigned long long>(total_probes()),
+                max_boards_quarantined());
+  os << line;
+  bool any = false;
+  for (const MonthHealth& m : months) {
+    if (m.crc_retries == 0 && m.timeouts == 0 && m.frames_lost == 0 &&
+        m.measurements_dropped == 0 && m.probes == 0 &&
+        m.boards_quarantined == 0 && m.coverage >= 1.0) {
+      continue;
+    }
+    if (!any) {
+      os << "  month  retries  timeouts  lost  dropped  probes  quarantined"
+            "  reporting  coverage\n";
+      any = true;
+    }
+    std::snprintf(line, sizeof line,
+                  "  %5.0f  %7llu  %8llu  %4llu  %7llu  %6llu  %11u  %9u"
+                  "  %7.2f%%\n",
+                  m.month, static_cast<unsigned long long>(m.crc_retries),
+                  static_cast<unsigned long long>(m.timeouts),
+                  static_cast<unsigned long long>(m.frames_lost),
+                  static_cast<unsigned long long>(m.measurements_dropped),
+                  static_cast<unsigned long long>(m.probes),
+                  m.boards_quarantined, m.boards_reporting,
+                  100.0 * m.coverage);
+    os << line;
+  }
+  if (!any) {
+    os << "  every month reported full coverage\n";
+  }
+  return os.str();
+}
+
+Json campaign_health_to_json(const CampaignHealth& health) {
+  Json arr = Json::array();
+  for (const MonthHealth& m : health.months) {
+    Json obj = Json::object();
+    obj.set("month", Json(m.month));
+    obj.set("retries", Json(m.crc_retries));
+    obj.set("timeouts", Json(m.timeouts));
+    obj.set("lost", Json(m.frames_lost));
+    obj.set("dropped", Json(m.measurements_dropped));
+    obj.set("probes", Json(m.probes));
+    obj.set("quarantined", Json(m.boards_quarantined));
+    obj.set("reporting", Json(m.boards_reporting));
+    obj.set("coverage", Json(m.coverage));
+    arr.push_back(std::move(obj));
+  }
+  return arr;
+}
+
+CampaignHealth campaign_health_from_json(const Json& json) {
+  CampaignHealth health;
+  for (const Json& obj : json.as_array()) {
+    MonthHealth m;
+    m.month = obj.at("month").as_double();
+    m.crc_retries = static_cast<std::uint64_t>(obj.at("retries").as_int());
+    m.timeouts = static_cast<std::uint64_t>(obj.at("timeouts").as_int());
+    m.frames_lost = static_cast<std::uint64_t>(obj.at("lost").as_int());
+    m.measurements_dropped =
+        static_cast<std::uint64_t>(obj.at("dropped").as_int());
+    m.probes = static_cast<std::uint64_t>(obj.at("probes").as_int());
+    m.boards_quarantined =
+        static_cast<std::uint32_t>(obj.at("quarantined").as_int());
+    m.boards_reporting =
+        static_cast<std::uint32_t>(obj.at("reporting").as_int());
+    m.coverage = obj.at("coverage").as_double();
+    health.months.push_back(m);
+  }
+  return health;
+}
+
+Json board_fault_state_to_json(const BoardFaultState& state) {
+  Json obj = Json::object();
+  obj.set("hang", Json(state.hang_remaining));
+  obj.set("failures", Json(state.consecutive_failures));
+  obj.set("quarantined", Json(state.quarantined));
+  obj.set("cooldown", Json(state.cooldown_remaining));
+  obj.set("backoff", Json(state.backoff_level));
+  obj.set("entries", Json(state.quarantine_entries));
+  return obj;
+}
+
+BoardFaultState board_fault_state_from_json(const Json& json) {
+  BoardFaultState state;
+  state.hang_remaining =
+      static_cast<std::uint32_t>(json.at("hang").as_int());
+  state.consecutive_failures =
+      static_cast<std::uint32_t>(json.at("failures").as_int());
+  state.quarantined = json.at("quarantined").as_bool();
+  state.cooldown_remaining =
+      static_cast<std::uint64_t>(json.at("cooldown").as_int());
+  state.backoff_level =
+      static_cast<std::uint32_t>(json.at("backoff").as_int());
+  state.quarantine_entries =
+      static_cast<std::uint64_t>(json.at("entries").as_int());
+  return state;
+}
+
+}  // namespace pufaging

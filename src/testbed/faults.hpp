@@ -1,0 +1,187 @@
+// Unified fault injection and resilience policy for the chaos rig.
+//
+// The paper's testbed ran unattended for two wall-clock years; surviving
+// that in the real world means surviving board hangs, flaky buses, stuck
+// relays and collector restarts. This module is the single description of
+// everything that can go wrong (`FaultPlan`), the master-side policy for
+// dealing with it (`RetryPolicy` — bounded retries with exponential
+// backoff, then per-board quarantine with re-admission probing), and the
+// ledger of what actually happened (`CampaignHealth`).
+//
+// Determinism contract: every fault decision is drawn from a dedicated
+// stream split off the fleet seed with the counter-based generator
+// (`split_seed`), addressed by (device, month) in the fast-path campaign
+// and by board id in the event-driven rig. Fault draws never touch the
+// devices' measurement streams, so
+//
+//   - an all-zero FaultPlan is bit-identical to a fault-free campaign, and
+//   - a non-zero plan is bit-identical at any `threads` value,
+//
+// preserving the parallel engine's determinism contract.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "io/json.hpp"
+
+namespace pufaging {
+
+/// A board leaving the fleet for good (e.g. dead supply): device
+/// `device_index` stops responding from month `from_month` onward.
+struct BoardDropout {
+  std::uint32_t device_index = 0;
+  std::size_t from_month = 0;
+
+  bool operator==(const BoardDropout&) const = default;
+};
+
+/// Everything that can go wrong, as independent per-event probabilities.
+/// All rates default to zero — the default plan is a no-op and costs
+/// nothing on the campaign hot path.
+struct FaultPlan {
+  // I2C link faults, drawn per transfer attempt.
+  double i2c_corrupt_rate = 0.0;  ///< Random payload bit flip (CRC catches).
+  double i2c_drop_rate = 0.0;     ///< Frame vanishes; master watchdog fires.
+  double i2c_nak_rate = 0.0;      ///< Slave NAKs the address byte.
+
+  // Board faults, drawn per power cycle.
+  double hang_rate = 0.0;          ///< Firmware wedges for `hang_cycles`.
+  std::uint32_t hang_cycles = 32;  ///< Cycles a hang lasts.
+  double reset_rate = 0.0;   ///< Spontaneous reset: buffered read-out lost.
+  double brownout_rate = 0.0;  ///< Partial supply ramp on this power-up.
+  /// Ramp-time multiplier during a brownout. A fast partial ramp denies
+  /// each cell the settling time the RampAdapter reasoning relies on, so
+  /// the read-out arrives intact but noisier (degraded, not lost).
+  double brownout_ramp_factor = 0.05;
+
+  // Power-switch faults, drawn per switch-on command.
+  double stuck_relay_rate = 0.0;  ///< Relay fails to engage for the cycle.
+
+  /// Scheduled permanent board dropouts.
+  std::vector<BoardDropout> dropouts;
+
+  /// True when every rate is zero and no dropout is scheduled; such a plan
+  /// is skipped entirely by the campaign engine (zero overhead).
+  bool all_zero() const;
+
+  /// Throws InvalidArgument when any rate is outside [0, 1] or a knob is
+  /// out of range.
+  void validate() const;
+
+  /// True when `device_index` is scheduled out at `month`.
+  bool dropout_active(std::uint32_t device_index, std::size_t month) const;
+};
+
+/// Parses a FaultPlan from either a compact spec string
+/// ("corrupt=0.01,drop=0.005,hang=0.001,dropout=3@6", keys:
+/// corrupt/drop/nak/hang/hang-cycles/reset/brownout/brownout-ramp/stuck,
+/// dropout=<device>@<month> repeatable) or, when the text starts with '{',
+/// a JSON object as produced by fault_plan_to_json.
+FaultPlan parse_fault_plan(const std::string& spec);
+
+Json fault_plan_to_json(const FaultPlan& plan);
+FaultPlan fault_plan_from_json(const Json& json);
+
+/// Master-side resilience policy: bounded retries with exponential
+/// backoff, then quarantine with exponentially backed-off re-admission
+/// probes.
+struct RetryPolicy {
+  int max_retries = 3;            ///< Re-requests per read-out before giving up.
+  double backoff_base_s = 0.005;  ///< Sim-time backoff; doubles per attempt.
+  double watchdog_margin_s = 0.05;  ///< Watchdog slack beyond bus time.
+  std::uint32_t quarantine_after = 8;  ///< Consecutive lost cycles to quarantine.
+  std::uint32_t probe_interval = 64;   ///< Cycles before the first probe.
+  std::uint32_t max_backoff_level = 6;  ///< Probe interval doubles up to this.
+
+  void validate() const;
+};
+
+/// Per-board resilience state machine shared by both execution paths
+/// (slot-granular in the fast-path campaign, cycle-granular in the rig).
+struct BoardFaultState {
+  std::uint32_t hang_remaining = 0;  ///< Cycles left in the current hang.
+  std::uint32_t consecutive_failures = 0;
+  bool quarantined = false;
+  std::uint64_t cooldown_remaining = 0;  ///< Cycles until the next probe.
+  std::uint32_t backoff_level = 0;
+  std::uint64_t quarantine_entries = 0;  ///< Times this board was quarantined.
+
+  /// A read-out reached the collector: clears failures and quarantine.
+  void record_success();
+
+  /// A cycle produced no read-out. Returns true when this failure tips the
+  /// board into quarantine (first entry or re-entry after a failed probe).
+  bool record_failure(const RetryPolicy& policy);
+};
+
+/// What one measurement slot of the fast-path campaign produced.
+struct SlotOutcome {
+  bool powered = false;    ///< Power-up happened (device RNG was consumed).
+  bool delivered = false;  ///< The read-out reached the collector.
+  bool brownout = false;   ///< Degraded-ramp power-up.
+  bool probe = false;      ///< This slot was a quarantine re-admission probe.
+  std::uint32_t crc_retries = 0;
+  std::uint32_t timeouts = 0;
+  std::uint32_t frames_lost = 0;
+};
+
+/// Advances one measurement slot of one board through the fault model and
+/// the resilience state machine. Draw order is fixed (stuck relay, hang,
+/// reset, brownout, then per-attempt drop/NAK/corrupt), so one serial
+/// stream per (device, month) replays bit-identically. Early-outs
+/// (dropout, ongoing hang, quarantine cooldown) consume no draws.
+SlotOutcome advance_slot(Xoshiro256StarStar& rng, BoardFaultState& state,
+                         const FaultPlan& plan, const RetryPolicy& policy,
+                         bool dropout);
+
+/// Seed of the fault stream for device `device_index` in month `month`
+/// (fast-path campaign).
+std::uint64_t fault_stream_seed(std::uint64_t root,
+                                std::uint32_t device_index, std::size_t month);
+
+/// Seed of the fault stream for one rig component (`salt` picks the
+/// component class: bus, slave, power switch).
+std::uint64_t rig_fault_seed(std::uint64_t root, std::uint32_t board_id,
+                             std::uint64_t salt);
+
+/// One month of resilience counters.
+struct MonthHealth {
+  double month = 0.0;
+  std::uint64_t crc_retries = 0;
+  std::uint64_t timeouts = 0;
+  std::uint64_t frames_lost = 0;
+  std::uint64_t measurements_dropped = 0;  ///< Slots with no delivered data.
+  std::uint64_t probes = 0;
+  std::uint32_t boards_quarantined = 0;  ///< In quarantine at month end.
+  std::uint32_t boards_reporting = 0;    ///< Delivered >= 1 measurement.
+  double coverage = 1.0;  ///< Delivered / expected measurements.
+};
+
+/// The campaign's resilience ledger: per-month counters plus totals.
+struct CampaignHealth {
+  std::vector<MonthHealth> months;
+
+  std::uint64_t total_crc_retries() const;
+  std::uint64_t total_timeouts() const;
+  std::uint64_t total_frames_lost() const;
+  std::uint64_t total_measurements_dropped() const;
+  std::uint64_t total_probes() const;
+  std::uint32_t max_boards_quarantined() const;
+
+  /// True when any month lost data or quarantined a board.
+  bool degraded() const;
+
+  /// Human-readable report (one line per month with activity + totals).
+  std::string render() const;
+};
+
+Json campaign_health_to_json(const CampaignHealth& health);
+CampaignHealth campaign_health_from_json(const Json& json);
+
+Json board_fault_state_to_json(const BoardFaultState& state);
+BoardFaultState board_fault_state_from_json(const Json& json);
+
+}  // namespace pufaging

@@ -31,8 +31,21 @@ SimTime I2cBus::transfer_duration(const I2cFrame& frame) const {
   return (bytes * 9.0 + 2.0) / bit_rate_hz_;
 }
 
+SimTime I2cBus::nak_duration() const {
+  // Address byte + stop: the slave rejects before any payload moves.
+  return (9.0 + 2.0) / bit_rate_hz_;
+}
+
 void I2cBus::transfer(I2cFrame frame,
                       std::function<void(I2cFrame)> on_complete) {
+  transfer_with_status(
+      std::move(frame),
+      [on_complete = std::move(on_complete)](I2cStatus, I2cFrame f) {
+        on_complete(std::move(f));
+      });
+}
+
+void I2cBus::transfer_with_status(I2cFrame frame, StatusCallback on_complete) {
   backlog_.push_back(Pending{std::move(frame), std::move(on_complete)});
   if (!busy_) {
     start_next();
@@ -43,7 +56,23 @@ void I2cBus::inject_faults(double per_frame_rate, std::uint64_t seed) {
   if (per_frame_rate < 0.0 || per_frame_rate > 1.0) {
     throw InvalidArgument("I2cBus::inject_faults: rate outside [0, 1]");
   }
-  fault_rate_ = per_frame_rate;
+  I2cFaultProfile profile;
+  profile.corrupt_rate = per_frame_rate;
+  inject_fault_profile(profile, seed);
+}
+
+void I2cBus::inject_fault_profile(const I2cFaultProfile& profile,
+                                  std::uint64_t seed) {
+  const auto check = [](double rate, const char* name) {
+    if (rate < 0.0 || rate > 1.0) {
+      throw InvalidArgument(std::string("I2cBus::inject_fault_profile: ") +
+                            name + " outside [0, 1]");
+    }
+  };
+  check(profile.corrupt_rate, "corrupt_rate");
+  check(profile.drop_rate, "drop_rate");
+  check(profile.nak_rate, "nak_rate");
+  profile_ = profile;
   fault_rng_.emplace(seed);
 }
 
@@ -55,18 +84,47 @@ void I2cBus::start_next() {
   busy_ = true;
   Pending job = std::move(backlog_.front());
   backlog_.erase(backlog_.begin());
-  const SimTime duration = transfer_duration(job.frame);
-  queue_->schedule_in(duration, [this, job = std::move(job)]() mutable {
+  // Loss and NAK are decided up front (they change how long the bus is
+  // held); the rates are only drawn when non-zero so a corruption-only
+  // profile consumes exactly the same RNG sequence as the pre-chaos bus.
+  bool lost = false;
+  bool nak = false;
+  if (fault_rng_) {
+    if (profile_.drop_rate > 0.0 && fault_rng_->bernoulli(profile_.drop_rate)) {
+      lost = true;
+    } else if (profile_.nak_rate > 0.0 &&
+               fault_rng_->bernoulli(profile_.nak_rate)) {
+      nak = true;
+    }
+  }
+  const SimTime duration =
+      nak ? nak_duration() : transfer_duration(job.frame);
+  queue_->schedule_in(duration, [this, job = std::move(job), lost,
+                                 nak]() mutable {
     ++frames_;
-    if (fault_rng_ && fault_rate_ > 0.0 && !job.frame.payload.empty() &&
-        fault_rng_->bernoulli(fault_rate_)) {
+    if (lost) {
+      // The frame vanished mid-flight: the bus frees up, but nobody is
+      // told — the master's watchdog has to notice.
+      ++lost_;
+      start_next();
+      return;
+    }
+    if (nak) {
+      ++naks_;
+      job.on_complete(I2cStatus::kNak, std::move(job.frame));
+      start_next();
+      return;
+    }
+    if (fault_rng_ && profile_.corrupt_rate > 0.0 &&
+        !job.frame.payload.empty() &&
+        fault_rng_->bernoulli(profile_.corrupt_rate)) {
       const std::uint64_t bit =
           fault_rng_->below(job.frame.payload.size() * 8);
       job.frame.payload[bit / 8] ^=
           static_cast<std::uint8_t>(1U << (bit % 8));
       ++corrupted_;
     }
-    job.on_complete(std::move(job.frame));
+    job.on_complete(I2cStatus::kOk, std::move(job.frame));
     start_next();
   });
 }

@@ -33,10 +33,27 @@ struct I2cFrame {
   bool valid() const { return crc == compute_crc(); }
 };
 
+/// How a transfer ended from the master's point of view. A lost frame has
+/// no status at all — the bus never calls back and the master's watchdog
+/// must notice.
+enum class I2cStatus {
+  kOk,   ///< Frame delivered (its CRC may still be bad).
+  kNak,  ///< Slave NAKed the address byte; only the header crossed the bus.
+};
+
+/// Per-frame fault probabilities of one bus (chaos rig).
+struct I2cFaultProfile {
+  double corrupt_rate = 0.0;  ///< One random payload bit flips.
+  double drop_rate = 0.0;     ///< Frame vanishes; no callback (watchdog).
+  double nak_rate = 0.0;      ///< Address NAK after ~one byte of bus time.
+};
+
 /// Shared bus with sequential arbitration: one transfer at a time; a
 /// transfer occupies the bus for its full duration.
 class I2cBus {
  public:
+  using StatusCallback = std::function<void(I2cStatus, I2cFrame)>;
+
   /// `bit_rate_hz`: bus clock; standard-mode I2C is 100 kHz. A transferred
   /// byte costs 9 bit times (8 data + ACK).
   I2cBus(EventQueue& queue, double bit_rate_hz = 100000.0);
@@ -44,23 +61,39 @@ class I2cBus {
   /// Duration of transferring `frame` (header + payload + crc).
   SimTime transfer_duration(const I2cFrame& frame) const;
 
+  /// Duration of a NAKed transfer (address byte + stop).
+  SimTime nak_duration() const;
+
   /// Starts a transfer; `on_complete` fires when the bus delivers the frame
   /// (possibly corrupted, when fault injection is enabled). If the bus is
-  /// busy the transfer queues behind the current one.
+  /// busy the transfer queues behind the current one. A dropped frame
+  /// (drop_rate) never fires the callback.
   void transfer(I2cFrame frame, std::function<void(I2cFrame)> on_complete);
 
-  /// Enables fault injection: each transferred frame independently gets one
-  /// random payload bit flipped with probability `per_frame_rate`.
+  /// Status-carrying variant for resilient masters: reports NAKs and still
+  /// never calls back for lost frames (the master watchdog handles those).
+  void transfer_with_status(I2cFrame frame, StatusCallback on_complete);
+
+  /// Enables corruption-only fault injection: each transferred frame
+  /// independently gets one random payload bit flipped with probability
+  /// `per_frame_rate`. Kept as the pre-chaos-rig interface; equivalent to
+  /// a profile with only `corrupt_rate` set.
   void inject_faults(double per_frame_rate, std::uint64_t seed);
+
+  /// Enables the full fault profile (corruption, loss, NAK).
+  void inject_fault_profile(const I2cFaultProfile& profile,
+                            std::uint64_t seed);
 
   bool busy() const { return busy_; }
   std::uint64_t frames_transferred() const { return frames_; }
   std::uint64_t frames_corrupted() const { return corrupted_; }
+  std::uint64_t frames_lost() const { return lost_; }
+  std::uint64_t frames_naked() const { return naks_; }
 
  private:
   struct Pending {
     I2cFrame frame;
-    std::function<void(I2cFrame)> on_complete;
+    StatusCallback on_complete;
   };
 
   void start_next();
@@ -69,10 +102,12 @@ class I2cBus {
   double bit_rate_hz_;
   bool busy_ = false;
   std::vector<Pending> backlog_;
-  double fault_rate_ = 0.0;
+  I2cFaultProfile profile_;
   std::optional<Xoshiro256StarStar> fault_rng_;
   std::uint64_t frames_ = 0;
   std::uint64_t corrupted_ = 0;
+  std::uint64_t lost_ = 0;
+  std::uint64_t naks_ = 0;
 };
 
 }  // namespace pufaging

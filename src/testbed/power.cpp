@@ -36,9 +36,25 @@ const PowerSwitch::Channel& PowerSwitch::find(std::uint32_t channel) const {
                         std::to_string(channel));
 }
 
+void PowerSwitch::inject_stuck_relay(double rate, std::uint64_t seed) {
+  if (rate < 0.0 || rate > 1.0) {
+    throw InvalidArgument("PowerSwitch::inject_stuck_relay: rate outside "
+                          "[0, 1]");
+  }
+  stuck_rate_ = rate;
+  stuck_rng_.emplace(seed);
+}
+
 void PowerSwitch::set(std::uint32_t channel, bool on) {
   Channel& c = find(channel);
   if (c.on == on) {
+    return;
+  }
+  if (on && stuck_rng_ && stuck_rate_ > 0.0 &&
+      stuck_rng_->bernoulli(stuck_rate_)) {
+    // Relay fails to engage: the command is swallowed, the rail stays
+    // down, and the observers (slave, scope) see nothing.
+    ++stuck_;
     return;
   }
   c.on = on;

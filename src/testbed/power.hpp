@@ -10,9 +10,11 @@
 
 #include <cstdint>
 #include <functional>
+#include <optional>
 #include <string>
 #include <vector>
 
+#include "common/rng.hpp"
 #include "testbed/clock.hpp"
 
 namespace pufaging {
@@ -37,6 +39,15 @@ class PowerSwitch {
   /// Registers a transition observer (scope probe, slave board hook).
   void observe(Observer observer) { observers_.push_back(std::move(observer)); }
 
+  /// Stuck-relay fault injection: each genuine switch-ON command is
+  /// ignored with probability `rate` — the relay fails to engage, the
+  /// rail stays down for the whole cycle, and the later switch-OFF is a
+  /// no-op. Draws come from a dedicated stream, one per engage attempt.
+  void inject_stuck_relay(double rate, std::uint64_t seed);
+
+  /// Switch-ON commands swallowed by a stuck relay so far.
+  std::uint64_t stuck_events() const { return stuck_; }
+
  private:
   struct Channel {
     std::uint32_t id;
@@ -48,6 +59,9 @@ class PowerSwitch {
   EventQueue* queue_;
   std::vector<Channel> channels_;
   std::vector<Observer> observers_;
+  double stuck_rate_ = 0.0;
+  std::optional<Xoshiro256StarStar> stuck_rng_;
+  std::uint64_t stuck_ = 0;
 };
 
 /// One edge seen by the scope.

@@ -26,16 +26,40 @@ Rig::Rig(const RigConfig& config) : config_(config), power_(queue_) {
   if (config.fleet.device_count != 16) {
     throw InvalidArgument("Rig: the paper's rig hosts exactly 16 slaves");
   }
-  // Per-layer I2C buses (each master talks only to its own stack).
+  config.faults.validate();
+  config.retry.validate();
+  // Fold the deprecated per-frame corruption knob into the unified plan.
+  FaultPlan faults = config.faults;
+  if (faults.i2c_corrupt_rate == 0.0 && config.i2c_fault_rate > 0.0) {
+    faults.i2c_corrupt_rate = config.i2c_fault_rate;
+  }
+  const bool board_faults = faults.hang_rate > 0.0 ||
+                            faults.reset_rate > 0.0 ||
+                            faults.brownout_rate > 0.0;
+
+  // Per-layer I2C buses (each master talks only to its own stack). The
+  // legacy seed formula is kept so corruption-only configs reproduce the
+  // pre-chaos rig bit-identically.
   for (int layer = 0; layer < 2; ++layer) {
     buses_.push_back(
         std::make_unique<I2cBus>(queue_, config.timing.i2c_bit_rate_hz));
-    if (config.i2c_fault_rate > 0.0) {
+    if (faults.i2c_corrupt_rate > 0.0 || faults.i2c_drop_rate > 0.0 ||
+        faults.i2c_nak_rate > 0.0) {
       const std::uint64_t fault_seed =
           config.fleet.seed ^
           (std::uint64_t{0xFA117} + static_cast<std::uint64_t>(layer));
-      buses_.back()->inject_faults(config.i2c_fault_rate, fault_seed);
+      I2cFaultProfile profile;
+      profile.corrupt_rate = faults.i2c_corrupt_rate;
+      profile.drop_rate = faults.i2c_drop_rate;
+      profile.nak_rate = faults.i2c_nak_rate;
+      buses_.back()->inject_fault_profile(profile, fault_seed);
     }
+  }
+
+  if (faults.stuck_relay_rate > 0.0) {
+    power_.inject_stuck_relay(
+        faults.stuck_relay_rate,
+        rig_fault_seed(config.fleet.seed, /*board_id=*/0, /*salt=*/2));
   }
 
   // Slaves: device index d -> board id per the paper's numbering.
@@ -46,6 +70,10 @@ Rig::Rig(const RigConfig& config) : config_(config), power_(queue_) {
     slaves_.push_back(std::make_unique<SlaveBoard>(
         board_id, std::move(fleet[d]), queue_, config.timing));
     slaves_.back()->attach_power(power_);
+    if (board_faults) {
+      slaves_.back()->enable_faults(
+          faults, rig_fault_seed(config.fleet.seed, board_id, /*salt=*/1));
+    }
     layer_slaves[d < 8 ? 0 : 1].push_back(slaves_.back().get());
   }
 
@@ -59,6 +87,7 @@ Rig::Rig(const RigConfig& config) : config_(config), power_(queue_) {
         queue_, power_, *buses_[static_cast<std::size_t>(layer)],
         config.timing,
         [this](const MeasurementRecord& r) { collector_.receive(r); }));
+    masters_.back()->set_retry_policy(config.retry);
   }
   masters_[0]->connect(end_[1], end_[0], started_[1], started_[0]);
   masters_[1]->connect(end_[0], end_[1], started_[0], started_[1]);
@@ -89,6 +118,34 @@ void Rig::run_cycles(std::uint64_t cycles) {
 void Rig::run_for(double seconds) {
   start_masters();
   queue_.run_until(queue_.now() + seconds);
+}
+
+CampaignHealth Rig::health() const {
+  MonthHealth entry;
+  entry.month = queue_.now() / (30.0 * 24.0 * 3600.0);
+  std::uint64_t delivered = 0;
+  std::uint64_t expected = 0;
+  for (const auto& master : masters_) {
+    entry.crc_retries += master->crc_retries();
+    entry.timeouts += master->timeouts();
+    entry.measurements_dropped += master->frames_dropped();
+    entry.probes += master->probes();
+    entry.boards_quarantined += master->quarantined_count();
+    delivered += master->records_delivered();
+    expected += master->slots_attempted();
+  }
+  for (const auto& bus : buses_) {
+    entry.frames_lost += bus->frames_lost();
+  }
+  entry.boards_reporting =
+      static_cast<std::uint32_t>(collector_.boards().size());
+  entry.coverage =
+      expected == 0 ? 1.0
+                    : static_cast<double>(delivered) /
+                          static_cast<double>(expected);
+  CampaignHealth health;
+  health.months.push_back(entry);
+  return health;
 }
 
 SlaveBoard& Rig::slave_by_board_id(std::uint32_t board_id) {

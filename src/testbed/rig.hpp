@@ -19,8 +19,17 @@ struct RigConfig {
   /// Scope probes; the paper watches S3, S4 (layer 0) and S19, S20
   /// (layer 1).
   std::vector<std::uint32_t> scope_channels = {3, 4, 19, 20};
-  /// Optional I2C fault injection (per-frame corruption probability).
+  /// Deprecated alias for `faults.i2c_corrupt_rate` (per-frame corruption
+  /// probability); used only when the FaultPlan leaves the corrupt rate
+  /// at zero. Kept so pre-chaos-rig configs reproduce bit-identically.
   double i2c_fault_rate = 0.0;
+  /// Unified fault plan (I2C loss/NAK/corruption, board hang/reset/
+  /// brownout, stuck relay). Scheduled `dropouts` are a campaign-level
+  /// concept and are ignored by the rig.
+  FaultPlan faults;
+  /// Master-side resilience policy (watchdog, bounded retries with
+  /// backoff, quarantine).
+  RetryPolicy retry;
 };
 
 /// Maps fleet device index (0..15) to the paper's slave board id
@@ -51,6 +60,11 @@ class Rig {
   Collector& collector() { return collector_; }
   const Oscilloscope& scope() const { return *scope_; }
   PowerSwitch& power() { return power_; }
+
+  /// Aggregated resilience counters of the whole rig (both masters, both
+  /// buses, the power switch) as a single-entry CampaignHealth ledger;
+  /// `month` is the elapsed sim time in 30-day months.
+  CampaignHealth health() const;
 
   MasterBoard& master(std::size_t layer) { return *masters_.at(layer); }
   SlaveBoard& slave_by_board_id(std::uint32_t board_id);

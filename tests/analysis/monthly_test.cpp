@@ -111,5 +111,69 @@ TEST(CombineFleetMonth, RequiresTwoDevices) {
   EXPECT_THROW(combine_fleet_month(std::move(one), 0.0), InvalidArgument);
 }
 
+TEST(CombineFleetMonthTolerant, FullAttendanceMatchesStrictOverload) {
+  const FleetMonthMetrics strict = combine_fleet_month(three_devices(), 5.0);
+  const FleetMonthMetrics tolerant =
+      combine_fleet_month(three_devices(), 5.0, 3, 10);
+  EXPECT_EQ(tolerant.wchd_avg, strict.wchd_avg);
+  EXPECT_EQ(tolerant.bchd_avg, strict.bchd_avg);
+  EXPECT_EQ(tolerant.puf_entropy, strict.puf_entropy);
+  EXPECT_EQ(tolerant.devices_expected, 3U);
+  EXPECT_EQ(tolerant.devices_reporting, 3U);
+  EXPECT_DOUBLE_EQ(tolerant.coverage, 1.0);
+  EXPECT_FALSE(tolerant.degraded);
+}
+
+TEST(CombineFleetMonthTolerant, MissingBoardFlagsDegradedCoverage) {
+  std::vector<DeviceMonthMetrics> two = three_devices();
+  two.pop_back();  // device 2 never reported
+  const FleetMonthMetrics fleet =
+      combine_fleet_month(std::move(two), 5.0, 3, 10);
+  EXPECT_EQ(fleet.devices.size(), 2U);
+  EXPECT_EQ(fleet.devices_expected, 3U);
+  EXPECT_EQ(fleet.devices_reporting, 2U);
+  EXPECT_NEAR(fleet.coverage, 20.0 / 30.0, 1e-12);
+  EXPECT_TRUE(fleet.degraded);
+  // Cross-device metrics still work over the two survivors.
+  EXPECT_DOUBLE_EQ(fleet.bchd_avg, 1.0);  // patterns 0000 vs 1111
+}
+
+TEST(CombineFleetMonthTolerant, ShortBatchesLowerCoverage) {
+  std::vector<DeviceMonthMetrics> devices = three_devices();
+  devices[1].measurement_count = 4;  // lost 6 of its 10 read-outs
+  const FleetMonthMetrics fleet =
+      combine_fleet_month(std::move(devices), 5.0, 3, 10);
+  EXPECT_EQ(fleet.devices_reporting, 3U);
+  EXPECT_NEAR(fleet.coverage, 24.0 / 30.0, 1e-12);
+  EXPECT_TRUE(fleet.degraded);
+}
+
+TEST(CombineFleetMonthTolerant, SingleSurvivorZeroesCrossDeviceMetrics) {
+  std::vector<DeviceMonthMetrics> devices = {three_devices()[0]};
+  const FleetMonthMetrics fleet =
+      combine_fleet_month(std::move(devices), 5.0, 3, 10);
+  EXPECT_EQ(fleet.devices_reporting, 1U);
+  EXPECT_TRUE(fleet.degraded);
+  // Per-device averages are still meaningful...
+  EXPECT_DOUBLE_EQ(fleet.wchd_avg, 0.02);
+  // ...but pairwise/cross-device metrics have no defined value.
+  EXPECT_DOUBLE_EQ(fleet.bchd_avg, 0.0);
+  EXPECT_DOUBLE_EQ(fleet.puf_entropy, 0.0);
+}
+
+TEST(CombineFleetMonthTolerant, NoSurvivorsYieldsEmptyMonth) {
+  const FleetMonthMetrics fleet = combine_fleet_month({}, 5.0, 3, 10);
+  EXPECT_EQ(fleet.devices_reporting, 0U);
+  EXPECT_DOUBLE_EQ(fleet.coverage, 0.0);
+  EXPECT_TRUE(fleet.degraded);
+  EXPECT_DOUBLE_EQ(fleet.wchd_avg, 0.0);
+  EXPECT_DOUBLE_EQ(fleet.bchd_avg, 0.0);
+}
+
+TEST(CombineFleetMonthTolerant, RejectsMoreReportersThanExpected) {
+  EXPECT_THROW(combine_fleet_month(three_devices(), 5.0, 2, 10),
+               InvalidArgument);
+}
+
 }  // namespace
 }  // namespace pufaging

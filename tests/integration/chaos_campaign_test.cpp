@@ -1,0 +1,190 @@
+// The chaos campaign's contracts: an all-zero fault plan is bit-identical
+// to a fault-free run, a non-zero plan is bit-identical at any thread
+// count (fault draws live in their own per-(device, month) streams), and
+// a permanent board dropout degrades the analysis gracefully instead of
+// aborting the campaign.
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+#include "testbed/campaign.hpp"
+
+namespace pufaging {
+namespace {
+
+CampaignConfig small_config(std::size_t threads) {
+  CampaignConfig config;
+  config.months = 3;
+  config.measurements_per_month = 50;
+  config.threads = threads;
+  return config;
+}
+
+FaultPlan noisy_plan() {
+  FaultPlan plan;
+  plan.i2c_corrupt_rate = 0.02;
+  plan.i2c_drop_rate = 0.01;
+  plan.i2c_nak_rate = 0.01;
+  plan.hang_rate = 0.002;
+  plan.hang_cycles = 4;
+  plan.reset_rate = 0.002;
+  plan.brownout_rate = 0.01;
+  plan.stuck_relay_rate = 0.002;
+  return plan;
+}
+
+void expect_series_identical(const CampaignResult& a, const CampaignResult& b) {
+  ASSERT_EQ(a.references.size(), b.references.size());
+  for (std::size_t d = 0; d < a.references.size(); ++d) {
+    EXPECT_EQ(a.references[d], b.references[d]) << "reference of device " << d;
+  }
+  ASSERT_EQ(a.series.size(), b.series.size());
+  for (std::size_t m = 0; m < a.series.size(); ++m) {
+    const FleetMonthMetrics& x = a.series[m];
+    const FleetMonthMetrics& y = b.series[m];
+    // Exact comparisons on purpose: the guarantee is bit-identity.
+    EXPECT_EQ(x.wchd_avg, y.wchd_avg) << "month " << m;
+    EXPECT_EQ(x.wchd_wc, y.wchd_wc) << "month " << m;
+    EXPECT_EQ(x.fhw_avg, y.fhw_avg) << "month " << m;
+    EXPECT_EQ(x.stable_avg, y.stable_avg) << "month " << m;
+    EXPECT_EQ(x.noise_entropy_avg, y.noise_entropy_avg) << "month " << m;
+    EXPECT_EQ(x.bchd_avg, y.bchd_avg) << "month " << m;
+    EXPECT_EQ(x.puf_entropy, y.puf_entropy) << "month " << m;
+    EXPECT_EQ(x.coverage, y.coverage) << "month " << m;
+    EXPECT_EQ(x.devices_reporting, y.devices_reporting) << "month " << m;
+    EXPECT_EQ(x.degraded, y.degraded) << "month " << m;
+    ASSERT_EQ(x.devices.size(), y.devices.size()) << "month " << m;
+    for (std::size_t d = 0; d < x.devices.size(); ++d) {
+      EXPECT_EQ(x.devices[d].device_id, y.devices[d].device_id);
+      EXPECT_EQ(x.devices[d].measurement_count,
+                y.devices[d].measurement_count);
+      EXPECT_EQ(x.devices[d].wchd_mean, y.devices[d].wchd_mean);
+      EXPECT_EQ(x.devices[d].noise_entropy, y.devices[d].noise_entropy);
+      EXPECT_EQ(x.devices[d].first_pattern, y.devices[d].first_pattern);
+    }
+  }
+}
+
+TEST(ChaosCampaign, AllZeroPlanBitIdenticalToFaultFree) {
+  const CampaignResult clean = run_campaign(small_config(2));
+  CampaignConfig zero = small_config(2);
+  zero.faults = FaultPlan{};  // explicit, still all-zero
+  const CampaignResult with_plan = run_campaign(zero);
+  expect_series_identical(clean, with_plan);
+  EXPECT_TRUE(with_plan.health.months.empty());
+  EXPECT_TRUE(with_plan.completed);
+}
+
+TEST(ChaosCampaign, NoisyPlanBitIdenticalAcrossThreadCounts) {
+  CampaignConfig serial_cfg = small_config(1);
+  serial_cfg.faults = noisy_plan();
+  const CampaignResult serial = run_campaign(serial_cfg);
+  for (const std::size_t threads : {std::size_t{2}, std::size_t{8}}) {
+    CampaignConfig parallel_cfg = small_config(threads);
+    parallel_cfg.faults = noisy_plan();
+    const CampaignResult parallel = run_campaign(parallel_cfg);
+    expect_series_identical(serial, parallel);
+    ASSERT_EQ(serial.health.months.size(), parallel.health.months.size());
+    for (std::size_t m = 0; m < serial.health.months.size(); ++m) {
+      EXPECT_EQ(serial.health.months[m].crc_retries,
+                parallel.health.months[m].crc_retries);
+      EXPECT_EQ(serial.health.months[m].timeouts,
+                parallel.health.months[m].timeouts);
+      EXPECT_EQ(serial.health.months[m].frames_lost,
+                parallel.health.months[m].frames_lost);
+      EXPECT_EQ(serial.health.months[m].measurements_dropped,
+                parallel.health.months[m].measurements_dropped);
+      EXPECT_EQ(serial.health.months[m].coverage,
+                parallel.health.months[m].coverage);
+    }
+  }
+}
+
+TEST(ChaosCampaign, NoisyPlanProducesHealthLedger) {
+  CampaignConfig config = small_config(4);
+  config.faults = noisy_plan();
+  const CampaignResult result = run_campaign(config);
+  // One health entry per monthly snapshot.
+  ASSERT_EQ(result.health.months.size(), config.months + 1);
+  // At 2% corruption over 16 devices x 50 slots x 4 months, retries are a
+  // statistical certainty.
+  EXPECT_GT(result.health.total_crc_retries(), 0U);
+  EXPECT_GT(result.health.total_timeouts(), 0U);
+  EXPECT_TRUE(result.health.degraded() ||
+              result.health.total_measurements_dropped() == 0);
+}
+
+TEST(ChaosCampaign, PermanentDropoutDegradesGracefully) {
+  // Board 5 dies for good at month 2 of a 4-month campaign: the campaign
+  // must complete, quarantine the board, and analyze the surviving 15
+  // devices with honest coverage accounting.
+  CampaignConfig config;
+  config.months = 4;
+  config.measurements_per_month = 50;
+  config.threads = 4;
+  config.faults.dropouts.push_back({5, 2});
+  const CampaignResult result = run_campaign(config);
+  EXPECT_TRUE(result.completed);
+  ASSERT_EQ(result.series.size(), config.months + 1);
+  ASSERT_EQ(result.health.months.size(), config.months + 1);
+
+  for (std::size_t m = 0; m < 2; ++m) {
+    EXPECT_EQ(result.series[m].devices.size(), 16U) << "month " << m;
+    EXPECT_EQ(result.series[m].devices_reporting, 16U) << "month " << m;
+    EXPECT_FALSE(result.series[m].degraded) << "month " << m;
+    EXPECT_DOUBLE_EQ(result.series[m].coverage, 1.0) << "month " << m;
+  }
+  for (std::size_t m = 2; m <= config.months; ++m) {
+    EXPECT_EQ(result.series[m].devices.size(), 15U) << "month " << m;
+    EXPECT_EQ(result.series[m].devices_reporting, 15U) << "month " << m;
+    EXPECT_EQ(result.series[m].devices_expected, 16U) << "month " << m;
+    EXPECT_TRUE(result.series[m].degraded) << "month " << m;
+    EXPECT_NEAR(result.series[m].coverage, 15.0 / 16.0, 1e-12)
+        << "month " << m;
+    // The dead board's metrics are gone, not zero-filled.
+    for (const DeviceMonthMetrics& d : result.series[m].devices) {
+      EXPECT_NE(d.device_id, 5U);
+    }
+    // Health: the dropped slots are accounted and the board is quarantined.
+    EXPECT_EQ(result.health.months[m].measurements_dropped,
+              config.measurements_per_month)
+        << "month " << m;
+    EXPECT_EQ(result.health.months[m].boards_reporting, 15U) << "month " << m;
+  }
+  EXPECT_GE(result.health.max_boards_quarantined(), 1U);
+  EXPECT_TRUE(result.health.degraded());
+
+  // The first two months still carry all 16 references.
+  ASSERT_EQ(result.references.size(), 16U);
+  for (const BitVector& ref : result.references) {
+    EXPECT_FALSE(ref.empty());
+  }
+}
+
+TEST(ChaosCampaign, DropoutFromMonthZeroNeverEstablishesReference) {
+  CampaignConfig config;
+  config.months = 1;
+  config.measurements_per_month = 30;
+  config.threads = 2;
+  config.faults.dropouts.push_back({0, 0});
+  const CampaignResult result = run_campaign(config);
+  ASSERT_EQ(result.references.size(), 16U);
+  EXPECT_TRUE(result.references[0].empty());
+  EXPECT_FALSE(result.references[1].empty());
+  for (const FleetMonthMetrics& m : result.series) {
+    EXPECT_EQ(m.devices.size(), 15U);
+    EXPECT_TRUE(m.degraded);
+  }
+}
+
+TEST(ChaosCampaign, InvalidPlanAndPolicyAreRejected) {
+  CampaignConfig config = small_config(1);
+  config.faults.i2c_drop_rate = 1.5;
+  EXPECT_THROW(run_campaign(config), InvalidArgument);
+  config = small_config(1);
+  config.faults.i2c_drop_rate = 0.01;
+  config.retry.quarantine_after = 0;
+  EXPECT_THROW(run_campaign(config), InvalidArgument);
+}
+
+}  // namespace
+}  // namespace pufaging

@@ -1,0 +1,268 @@
+// Checkpoint/resume: a campaign killed after any month and resumed from
+// its checkpoint must be bit-identical to the uninterrupted run — that is
+// the whole point of serializing the measurement-RNG state instead of
+// approximating it.
+#include <gtest/gtest.h>
+
+#include <filesystem>
+
+#include "common/error.hpp"
+#include "testbed/campaign.hpp"
+#include "testbed/checkpoint.hpp"
+
+namespace pufaging {
+namespace {
+
+/// Unique scratch dir under the gtest temp root, removed on destruction.
+struct ScratchDir {
+  explicit ScratchDir(const std::string& name)
+      : path(std::filesystem::path(::testing::TempDir()) /
+             ("pufaging_" + name)) {
+    std::filesystem::remove_all(path);
+  }
+  ~ScratchDir() { std::filesystem::remove_all(path); }
+  std::string str() const { return path.string(); }
+  std::filesystem::path path;
+};
+
+CampaignConfig chaos_config() {
+  CampaignConfig config;
+  config.months = 3;
+  config.measurements_per_month = 40;
+  config.threads = 2;
+  config.faults.i2c_corrupt_rate = 0.02;
+  config.faults.i2c_drop_rate = 0.01;
+  config.faults.brownout_rate = 0.01;
+  config.faults.dropouts.push_back({7, 2});
+  return config;
+}
+
+void expect_identical(const CampaignResult& a, const CampaignResult& b) {
+  ASSERT_EQ(a.references.size(), b.references.size());
+  for (std::size_t d = 0; d < a.references.size(); ++d) {
+    EXPECT_EQ(a.references[d], b.references[d]) << "reference of device " << d;
+  }
+  ASSERT_EQ(a.series.size(), b.series.size());
+  for (std::size_t m = 0; m < a.series.size(); ++m) {
+    const FleetMonthMetrics& x = a.series[m];
+    const FleetMonthMetrics& y = b.series[m];
+    EXPECT_EQ(x.wchd_avg, y.wchd_avg) << "month " << m;
+    EXPECT_EQ(x.noise_entropy_avg, y.noise_entropy_avg) << "month " << m;
+    EXPECT_EQ(x.bchd_avg, y.bchd_avg) << "month " << m;
+    EXPECT_EQ(x.puf_entropy, y.puf_entropy) << "month " << m;
+    EXPECT_EQ(x.coverage, y.coverage) << "month " << m;
+    ASSERT_EQ(x.devices.size(), y.devices.size()) << "month " << m;
+    for (std::size_t d = 0; d < x.devices.size(); ++d) {
+      EXPECT_EQ(x.devices[d].device_id, y.devices[d].device_id);
+      EXPECT_EQ(x.devices[d].wchd_mean, y.devices[d].wchd_mean)
+          << "month " << m << " device " << d;
+      EXPECT_EQ(x.devices[d].noise_entropy, y.devices[d].noise_entropy)
+          << "month " << m << " device " << d;
+      EXPECT_EQ(x.devices[d].first_pattern, y.devices[d].first_pattern);
+    }
+  }
+  ASSERT_EQ(a.health.months.size(), b.health.months.size());
+  for (std::size_t m = 0; m < a.health.months.size(); ++m) {
+    EXPECT_EQ(a.health.months[m].crc_retries, b.health.months[m].crc_retries);
+    EXPECT_EQ(a.health.months[m].measurements_dropped,
+              b.health.months[m].measurements_dropped);
+    EXPECT_EQ(a.health.months[m].coverage, b.health.months[m].coverage);
+  }
+}
+
+TEST(Checkpoint, DoubleHexBitsRoundTripIsExact) {
+  for (const double v : {0.0, -0.0, 1.0, -1.0, 1.0 / 3.0, 2.970000000000001e-2,
+                         1e-308, 1.7976931348623157e308}) {
+    const std::string hex = double_to_hex_bits(v);
+    EXPECT_EQ(hex.size(), 16U);
+    const double back = double_from_hex_bits(hex);
+    // Bit-pattern comparison: distinguishes -0.0 from 0.0.
+    EXPECT_EQ(double_to_hex_bits(back), hex);
+  }
+  EXPECT_THROW(double_from_hex_bits("xyz"), ParseError);
+}
+
+TEST(Checkpoint, SaveLoadRoundTrip) {
+  ScratchDir dir("ckpt_roundtrip");
+  EXPECT_FALSE(has_checkpoint(dir.str()));
+  EXPECT_THROW(load_checkpoint(dir.str()), IoError);
+
+  CampaignCheckpoint ckpt;
+  ckpt.next_month = 2;
+  ckpt.fleet_seed = 0xABCD;
+  ckpt.device_count = 2;
+  ckpt.months = 5;
+  ckpt.measurements_per_month = 40;
+  ckpt.fault_plan_json = fault_plan_to_json(FaultPlan{}).dump();
+  for (std::uint32_t d = 0; d < 2; ++d) {
+    DeviceCheckpoint dev;
+    dev.device_id = d;
+    dev.rng_state = {1 + d, 2, 3, 4};
+    dev.measurement_count = 80 + d;
+    ckpt.devices.push_back(dev);
+  }
+  ckpt.fault_states.resize(2);
+  ckpt.fault_states[1].quarantined = true;
+  ckpt.fault_states[1].cooldown_remaining = 7;
+  ckpt.references.resize(2);
+  ckpt.references[0] = BitVector::from_string("10110011");
+  // references[1] left empty: board never delivered.
+  for (std::size_t m = 0; m < 2; ++m) {
+    FleetMonthMetrics fm;
+    fm.month = static_cast<double>(m);
+    fm.wchd_avg = 0.01 * static_cast<double>(m + 1) / 3.0;
+    fm.devices_expected = 2;
+    fm.devices_reporting = 1;
+    fm.coverage = 0.5;
+    fm.degraded = true;
+    DeviceMonthMetrics dm;
+    dm.device_id = 0;
+    dm.wchd_mean = 0.0123456789012345678;
+    dm.first_pattern = ckpt.references[0];
+    dm.measurement_count = 40;
+    fm.devices.push_back(dm);
+    ckpt.series.push_back(fm);
+  }
+  MonthHealth mh;
+  mh.month = 1.0;
+  mh.timeouts = 3;
+  ckpt.health.months.push_back(mh);
+
+  save_checkpoint(dir.str(), ckpt);
+  EXPECT_TRUE(has_checkpoint(dir.str()));
+  const CampaignCheckpoint back = load_checkpoint(dir.str());
+  EXPECT_EQ(back.next_month, 2U);
+  EXPECT_EQ(back.fleet_seed, 0xABCDU);
+  EXPECT_EQ(back.device_count, 2U);
+  EXPECT_EQ(back.months, 5U);
+  EXPECT_EQ(back.measurements_per_month, 40U);
+  EXPECT_EQ(back.fault_plan_json, ckpt.fault_plan_json);
+  ASSERT_EQ(back.devices.size(), 2U);
+  EXPECT_EQ(back.devices[1].rng_state, (std::array<std::uint64_t, 4>{2, 2, 3, 4}));
+  EXPECT_EQ(back.devices[1].measurement_count, 81U);
+  ASSERT_EQ(back.fault_states.size(), 2U);
+  EXPECT_TRUE(back.fault_states[1].quarantined);
+  EXPECT_EQ(back.fault_states[1].cooldown_remaining, 7U);
+  ASSERT_EQ(back.references.size(), 2U);
+  EXPECT_EQ(back.references[0], ckpt.references[0]);
+  EXPECT_TRUE(back.references[1].empty());
+  ASSERT_EQ(back.series.size(), 2U);
+  EXPECT_EQ(back.series[1].wchd_avg, ckpt.series[1].wchd_avg);  // bit-exact
+  EXPECT_EQ(back.series[1].devices_reporting, 1U);
+  EXPECT_TRUE(back.series[1].degraded);
+  ASSERT_EQ(back.series[1].devices.size(), 1U);
+  EXPECT_EQ(back.series[1].devices[0].wchd_mean,
+            ckpt.series[1].devices[0].wchd_mean);
+  EXPECT_EQ(back.series[1].devices[0].first_pattern, ckpt.references[0]);
+  ASSERT_EQ(back.health.months.size(), 1U);
+  EXPECT_EQ(back.health.months[0].timeouts, 3U);
+}
+
+TEST(Checkpoint, KillAndResumeIsBitIdentical) {
+  // Reference: the uninterrupted chaotic campaign.
+  const CampaignResult reference = run_campaign(chaos_config());
+  ASSERT_TRUE(reference.completed);
+
+  // Same campaign, killed after month 1 and resumed from disk.
+  ScratchDir dir("ckpt_resume");
+  CampaignConfig first_leg = chaos_config();
+  first_leg.checkpoint_dir = dir.str();
+  first_leg.halt_after_month = 1;
+  const CampaignResult partial = run_campaign(first_leg);
+  EXPECT_FALSE(partial.completed);
+  EXPECT_EQ(partial.series.size(), 2U);
+  EXPECT_TRUE(has_checkpoint(dir.str()));
+
+  CampaignConfig second_leg = chaos_config();
+  second_leg.checkpoint_dir = dir.str();
+  second_leg.resume = true;
+  second_leg.threads = 8;  // thread count may change across the restart
+  const CampaignResult resumed = run_campaign(second_leg);
+  EXPECT_TRUE(resumed.completed);
+  expect_identical(reference, resumed);
+}
+
+TEST(Checkpoint, FaultFreeCampaignResumesBitIdentically) {
+  CampaignConfig config;
+  config.months = 2;
+  config.measurements_per_month = 30;
+  config.threads = 1;
+  const CampaignResult reference = run_campaign(config);
+
+  ScratchDir dir("ckpt_clean_resume");
+  CampaignConfig first_leg = config;
+  first_leg.checkpoint_dir = dir.str();
+  first_leg.halt_after_month = 0;
+  const CampaignResult partial = run_campaign(first_leg);
+  EXPECT_FALSE(partial.completed);
+
+  CampaignConfig second_leg = config;
+  second_leg.checkpoint_dir = dir.str();
+  second_leg.resume = true;
+  const CampaignResult resumed = run_campaign(second_leg);
+  EXPECT_TRUE(resumed.completed);
+  ASSERT_EQ(resumed.series.size(), reference.series.size());
+  for (std::size_t m = 0; m < reference.series.size(); ++m) {
+    EXPECT_EQ(resumed.series[m].wchd_avg, reference.series[m].wchd_avg);
+    EXPECT_EQ(resumed.series[m].puf_entropy, reference.series[m].puf_entropy);
+  }
+  EXPECT_EQ(resumed.references, reference.references);
+}
+
+TEST(Checkpoint, ResumeAtLastMonthReturnsTheStoredSeries) {
+  ScratchDir dir("ckpt_done");
+  CampaignConfig config;
+  config.months = 1;
+  config.measurements_per_month = 20;
+  config.threads = 1;
+  config.checkpoint_dir = dir.str();
+  const CampaignResult finished = run_campaign(config);
+  ASSERT_TRUE(finished.completed);
+
+  // Resuming a completed campaign re-runs nothing and returns the series.
+  config.resume = true;
+  const CampaignResult again = run_campaign(config);
+  EXPECT_TRUE(again.completed);
+  ASSERT_EQ(again.series.size(), finished.series.size());
+  for (std::size_t m = 0; m < finished.series.size(); ++m) {
+    EXPECT_EQ(again.series[m].wchd_avg, finished.series[m].wchd_avg);
+  }
+}
+
+TEST(Checkpoint, ResumeRejectsMismatchedConfig) {
+  ScratchDir dir("ckpt_mismatch");
+  CampaignConfig config = chaos_config();
+  config.checkpoint_dir = dir.str();
+  config.halt_after_month = 0;
+  ASSERT_FALSE(run_campaign(config).completed);
+
+  CampaignConfig wrong = chaos_config();
+  wrong.checkpoint_dir = dir.str();
+  wrong.resume = true;
+  wrong.months = 7;
+  EXPECT_THROW(run_campaign(wrong), InvalidArgument);
+
+  wrong = chaos_config();
+  wrong.checkpoint_dir = dir.str();
+  wrong.resume = true;
+  wrong.fleet.seed ^= 1;
+  EXPECT_THROW(run_campaign(wrong), InvalidArgument);
+
+  wrong = chaos_config();
+  wrong.checkpoint_dir = dir.str();
+  wrong.resume = true;
+  wrong.faults.i2c_corrupt_rate = 0.5;
+  EXPECT_THROW(run_campaign(wrong), InvalidArgument);
+
+  // Resume without a checkpoint directory is a usage error; resume from an
+  // empty directory is an I/O error.
+  wrong = chaos_config();
+  wrong.resume = true;
+  EXPECT_THROW(run_campaign(wrong), InvalidArgument);
+  ScratchDir empty("ckpt_empty");
+  wrong.checkpoint_dir = empty.str();
+  EXPECT_THROW(run_campaign(wrong), IoError);
+}
+
+}  // namespace
+}  // namespace pufaging

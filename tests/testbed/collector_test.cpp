@@ -74,6 +74,47 @@ TEST(Collector, LoadRejectsMalformed) {
                ParseError);
 }
 
+TEST(Collector, DropsDuplicateSequencesPerBoard) {
+  // A master retry after a lost ACK re-delivers the same (board, seq):
+  // the collector must store it exactly once and count the copy.
+  Collector c;
+  c.receive(make_record(3, 1, 40));
+  c.receive(make_record(3, 1, 40));
+  c.receive(make_record(3, 1, 41));  // same seq, different payload: still dup
+  c.receive(make_record(19, 1, 42));  // same seq on another board is fine
+  EXPECT_EQ(c.record_count(), 2U);
+  EXPECT_EQ(c.duplicates_dropped(), 2U);
+  EXPECT_EQ(c.board_measurements(3).size(), 1U);
+  EXPECT_EQ(c.board_measurements(3)[0], make_record(3, 1, 40).data);
+}
+
+TEST(Collector, CountsButKeepsOutOfOrderArrivals) {
+  Collector c;
+  c.receive(make_record(3, 5, 50));
+  c.receive(make_record(3, 7, 51));
+  EXPECT_EQ(c.out_of_order(), 0U);
+  c.receive(make_record(3, 6, 52));  // late arrival below the high-water mark
+  EXPECT_EQ(c.record_count(), 3U);
+  EXPECT_EQ(c.out_of_order(), 1U);
+  EXPECT_EQ(c.duplicates_dropped(), 0U);
+}
+
+TEST(Collector, LoadJsonlGoesThroughTheDedupGate) {
+  Collector c;
+  c.receive(make_record(3, 1, 60));
+  c.receive(make_record(3, 2, 61));
+  const std::string jsonl = c.to_jsonl();
+  // Replaying the dump on top of the live store must not double-count.
+  c.load_jsonl(jsonl);
+  EXPECT_EQ(c.record_count(), 2U);
+  EXPECT_EQ(c.duplicates_dropped(), 2U);
+  // A fresh collector accepts the same dump in full.
+  Collector fresh;
+  fresh.load_jsonl(jsonl);
+  EXPECT_EQ(fresh.record_count(), 2U);
+  EXPECT_EQ(fresh.duplicates_dropped(), 0U);
+}
+
 TEST(Collector, ConcurrentReceiveLosesNoRecords) {
   // The collector is the shared record sink of the parallel path: many
   // producer threads must be able to feed one collector without losing or

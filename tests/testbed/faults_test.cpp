@@ -1,0 +1,360 @@
+#include "testbed/faults.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+
+namespace pufaging {
+namespace {
+
+TEST(FaultPlan, DefaultIsAllZero) {
+  const FaultPlan plan;
+  EXPECT_TRUE(plan.all_zero());
+  plan.validate();
+}
+
+TEST(FaultPlan, AnyRateOrDropoutMakesItNonZero) {
+  FaultPlan plan;
+  plan.i2c_drop_rate = 0.01;
+  EXPECT_FALSE(plan.all_zero());
+  plan = FaultPlan{};
+  plan.dropouts.push_back({3, 6});
+  EXPECT_FALSE(plan.all_zero());
+}
+
+TEST(FaultPlan, ValidateRejectsBadKnobs) {
+  FaultPlan plan;
+  plan.i2c_corrupt_rate = 1.5;
+  EXPECT_THROW(plan.validate(), InvalidArgument);
+  plan = FaultPlan{};
+  plan.hang_rate = -0.1;
+  EXPECT_THROW(plan.validate(), InvalidArgument);
+  plan = FaultPlan{};
+  plan.hang_cycles = 0;
+  EXPECT_THROW(plan.validate(), InvalidArgument);
+  plan = FaultPlan{};
+  plan.brownout_ramp_factor = 0.0;
+  EXPECT_THROW(plan.validate(), InvalidArgument);
+}
+
+TEST(FaultPlan, DropoutActiveFromItsMonthOn) {
+  FaultPlan plan;
+  plan.dropouts.push_back({5, 6});
+  EXPECT_FALSE(plan.dropout_active(5, 5));
+  EXPECT_TRUE(plan.dropout_active(5, 6));
+  EXPECT_TRUE(plan.dropout_active(5, 23));
+  EXPECT_FALSE(plan.dropout_active(4, 23));
+}
+
+TEST(FaultPlan, ParsesCompactSpec) {
+  const FaultPlan plan = parse_fault_plan(
+      "corrupt=0.01,drop=0.005,nak=0.002,hang=0.001,hang-cycles=16,"
+      "reset=0.003,brownout=0.02,brownout-ramp=0.1,stuck=0.004,"
+      "dropout=3@6,dropout=11@12");
+  EXPECT_DOUBLE_EQ(plan.i2c_corrupt_rate, 0.01);
+  EXPECT_DOUBLE_EQ(plan.i2c_drop_rate, 0.005);
+  EXPECT_DOUBLE_EQ(plan.i2c_nak_rate, 0.002);
+  EXPECT_DOUBLE_EQ(plan.hang_rate, 0.001);
+  EXPECT_EQ(plan.hang_cycles, 16U);
+  EXPECT_DOUBLE_EQ(plan.reset_rate, 0.003);
+  EXPECT_DOUBLE_EQ(plan.brownout_rate, 0.02);
+  EXPECT_DOUBLE_EQ(plan.brownout_ramp_factor, 0.1);
+  EXPECT_DOUBLE_EQ(plan.stuck_relay_rate, 0.004);
+  ASSERT_EQ(plan.dropouts.size(), 2U);
+  EXPECT_EQ(plan.dropouts[0], (BoardDropout{3, 6}));
+  EXPECT_EQ(plan.dropouts[1], (BoardDropout{11, 12}));
+}
+
+TEST(FaultPlan, ParseRejectsMalformedSpecs) {
+  EXPECT_THROW(parse_fault_plan("corrupt"), ParseError);
+  EXPECT_THROW(parse_fault_plan("unknown=1"), ParseError);
+  EXPECT_THROW(parse_fault_plan("corrupt=abc"), ParseError);
+  EXPECT_THROW(parse_fault_plan("dropout=3"), ParseError);
+  EXPECT_THROW(parse_fault_plan("corrupt=2.0"), InvalidArgument);
+}
+
+TEST(FaultPlan, JsonRoundTripAndJsonSpecParsing) {
+  FaultPlan plan;
+  plan.i2c_corrupt_rate = 0.01;
+  plan.hang_rate = 0.002;
+  plan.hang_cycles = 8;
+  plan.brownout_rate = 0.05;
+  plan.brownout_ramp_factor = 0.2;
+  plan.dropouts.push_back({7, 13});
+  const std::string dumped = fault_plan_to_json(plan).dump();
+  const FaultPlan back = parse_fault_plan(dumped);
+  EXPECT_DOUBLE_EQ(back.i2c_corrupt_rate, plan.i2c_corrupt_rate);
+  EXPECT_DOUBLE_EQ(back.hang_rate, plan.hang_rate);
+  EXPECT_EQ(back.hang_cycles, plan.hang_cycles);
+  EXPECT_DOUBLE_EQ(back.brownout_rate, plan.brownout_rate);
+  EXPECT_DOUBLE_EQ(back.brownout_ramp_factor, plan.brownout_ramp_factor);
+  EXPECT_EQ(back.dropouts, plan.dropouts);
+}
+
+TEST(FaultPlan, RetryPolicyValidation) {
+  RetryPolicy policy;
+  policy.validate();
+  policy.max_retries = -1;
+  EXPECT_THROW(policy.validate(), InvalidArgument);
+  policy = RetryPolicy{};
+  policy.watchdog_margin_s = 0.0;
+  EXPECT_THROW(policy.validate(), InvalidArgument);
+  policy = RetryPolicy{};
+  policy.quarantine_after = 0;
+  EXPECT_THROW(policy.validate(), InvalidArgument);
+}
+
+TEST(BoardFaultState, QuarantineEntryAndProbeBackoff) {
+  RetryPolicy policy;
+  policy.quarantine_after = 3;
+  policy.probe_interval = 4;
+  policy.max_backoff_level = 2;
+  BoardFaultState state;
+  EXPECT_FALSE(state.record_failure(policy));
+  EXPECT_FALSE(state.record_failure(policy));
+  EXPECT_TRUE(state.record_failure(policy));  // third strike
+  EXPECT_TRUE(state.quarantined);
+  EXPECT_EQ(state.cooldown_remaining, 4U);
+  EXPECT_EQ(state.quarantine_entries, 1U);
+  // Failed probes double the cooldown up to the cap.
+  EXPECT_FALSE(state.record_failure(policy));
+  EXPECT_EQ(state.cooldown_remaining, 8U);
+  EXPECT_FALSE(state.record_failure(policy));
+  EXPECT_EQ(state.cooldown_remaining, 16U);
+  EXPECT_FALSE(state.record_failure(policy));
+  EXPECT_EQ(state.cooldown_remaining, 16U);  // capped at level 2
+  // One delivered read-out fully rehabilitates the board.
+  state.record_success();
+  EXPECT_FALSE(state.quarantined);
+  EXPECT_EQ(state.consecutive_failures, 0U);
+  EXPECT_EQ(state.cooldown_remaining, 0U);
+  EXPECT_EQ(state.backoff_level, 0U);
+  EXPECT_EQ(state.quarantine_entries, 1U);  // history is kept
+}
+
+TEST(AdvanceSlot, ZeroPlanDeliversWithoutTouchingState) {
+  const FaultPlan plan;
+  const RetryPolicy policy;
+  Xoshiro256StarStar rng(123);
+  BoardFaultState state;
+  for (int i = 0; i < 100; ++i) {
+    const SlotOutcome out = advance_slot(rng, state, plan, policy, false);
+    EXPECT_TRUE(out.powered);
+    EXPECT_TRUE(out.delivered);
+    EXPECT_FALSE(out.brownout);
+    EXPECT_EQ(out.crc_retries, 0U);
+    EXPECT_EQ(out.timeouts, 0U);
+  }
+  EXPECT_FALSE(state.quarantined);
+  EXPECT_EQ(state.consecutive_failures, 0U);
+}
+
+TEST(AdvanceSlot, IsDeterministicGivenTheSeed) {
+  FaultPlan plan;
+  plan.i2c_corrupt_rate = 0.2;
+  plan.i2c_drop_rate = 0.1;
+  plan.hang_rate = 0.05;
+  plan.reset_rate = 0.05;
+  plan.brownout_rate = 0.1;
+  plan.stuck_relay_rate = 0.05;
+  const RetryPolicy policy;
+  const auto run = [&] {
+    Xoshiro256StarStar rng(fault_stream_seed(42, 3, 7));
+    BoardFaultState state;
+    std::vector<int> trace;
+    for (int i = 0; i < 500; ++i) {
+      const SlotOutcome out = advance_slot(rng, state, plan, policy, false);
+      trace.push_back((out.powered ? 1 : 0) | (out.delivered ? 2 : 0) |
+                      (out.brownout ? 4 : 0) | (out.probe ? 8 : 0) |
+                      (static_cast<int>(out.crc_retries) << 4) |
+                      (static_cast<int>(out.timeouts) << 8));
+    }
+    return trace;
+  };
+  EXPECT_EQ(run(), run());
+}
+
+TEST(AdvanceSlot, DropoutNeverPowersAndEndsQuarantined) {
+  FaultPlan plan;
+  plan.dropouts.push_back({0, 0});
+  RetryPolicy policy;
+  policy.quarantine_after = 4;
+  Xoshiro256StarStar rng(1);
+  BoardFaultState state;
+  std::uint64_t probes = 0;
+  for (int i = 0; i < 200; ++i) {
+    const SlotOutcome out = advance_slot(rng, state, plan, policy, true);
+    EXPECT_FALSE(out.powered);
+    EXPECT_FALSE(out.delivered);
+    probes += out.probe ? 1 : 0;
+  }
+  EXPECT_TRUE(state.quarantined);
+  EXPECT_GE(probes, 1U);
+  // A dropped-out board consumes no randomness: the stream is untouched.
+  Xoshiro256StarStar fresh(1);
+  EXPECT_EQ(rng.next(), fresh.next());
+}
+
+TEST(AdvanceSlot, HangWedgesForConfiguredCycles) {
+  FaultPlan plan;
+  plan.hang_rate = 1.0;  // first slot hangs deterministically
+  plan.hang_cycles = 5;
+  RetryPolicy policy;
+  policy.quarantine_after = 100;  // keep quarantine out of the way
+  Xoshiro256StarStar rng(7);
+  BoardFaultState state;
+  const SlotOutcome first = advance_slot(rng, state, plan, policy, false);
+  EXPECT_FALSE(first.powered);
+  EXPECT_EQ(state.hang_remaining, 5U);
+  for (int i = 0; i < 5; ++i) {
+    const SlotOutcome out = advance_slot(rng, state, plan, policy, false);
+    EXPECT_FALSE(out.powered);
+  }
+  EXPECT_EQ(state.hang_remaining, 0U);
+}
+
+TEST(AdvanceSlot, HangInducedQuarantineRecoversViaProbe) {
+  // A long hang pushes the board into quarantine. While quarantined the
+  // master is not polling, so the remaining hang cycles must tick down
+  // silently instead of escalating the probe backoff — otherwise a single
+  // hang would quarantine the board for the rest of the campaign.
+  FaultPlan plan;
+  plan.hang_cycles = 20;
+  RetryPolicy policy;
+  policy.quarantine_after = 4;
+  policy.probe_interval = 30;  // hang is over well before the first probe
+  Xoshiro256StarStar rng(11);
+  BoardFaultState state;
+  state.hang_remaining = plan.hang_cycles;
+  for (int i = 0; i < 4; ++i) {
+    advance_slot(rng, state, plan, policy, false);
+  }
+  ASSERT_TRUE(state.quarantined);
+  EXPECT_EQ(state.cooldown_remaining, 30U);
+  for (int i = 0; i < 30; ++i) {
+    const SlotOutcome out = advance_slot(rng, state, plan, policy, false);
+    EXPECT_FALSE(out.probe);
+  }
+  EXPECT_EQ(state.hang_remaining, 0U);   // ticked down under quarantine
+  EXPECT_EQ(state.backoff_level, 0U);    // no failed probes yet
+  // The probe finds a recovered board: fully re-admitted.
+  const SlotOutcome probe = advance_slot(rng, state, plan, policy, false);
+  EXPECT_TRUE(probe.probe);
+  EXPECT_TRUE(probe.delivered);
+  EXPECT_FALSE(state.quarantined);
+  EXPECT_EQ(state.consecutive_failures, 0U);
+  EXPECT_EQ(state.quarantine_entries, 1U);
+}
+
+TEST(AdvanceSlot, PermanentLossQuarantinesThenProbes) {
+  FaultPlan plan;
+  plan.i2c_drop_rate = 1.0;  // every transfer lost, retries exhausted
+  RetryPolicy policy;
+  policy.max_retries = 2;
+  policy.quarantine_after = 3;
+  policy.probe_interval = 5;
+  Xoshiro256StarStar rng(9);
+  BoardFaultState state;
+  for (int i = 0; i < 3; ++i) {
+    const SlotOutcome out = advance_slot(rng, state, plan, policy, false);
+    EXPECT_TRUE(out.powered);
+    EXPECT_FALSE(out.delivered);
+    EXPECT_EQ(out.frames_lost, 3U);  // max_retries + 1 attempts
+  }
+  EXPECT_TRUE(state.quarantined);
+  // The next probe_interval slots are cooldown: skipped, no power, and the
+  // fault stream is not consumed.
+  for (int i = 0; i < 5; ++i) {
+    const SlotOutcome out = advance_slot(rng, state, plan, policy, false);
+    EXPECT_FALSE(out.powered);
+    EXPECT_FALSE(out.probe);
+  }
+  // Cooldown expired: this slot is the re-admission probe (still failing).
+  const SlotOutcome probe = advance_slot(rng, state, plan, policy, false);
+  EXPECT_TRUE(probe.probe);
+  EXPECT_TRUE(state.quarantined);
+  EXPECT_EQ(state.cooldown_remaining, 10U);  // backed off
+}
+
+TEST(FaultSeeds, AreDistinctAcrossStreams) {
+  const std::uint64_t root = 0xC0FFEE;
+  EXPECT_NE(fault_stream_seed(root, 0, 0), fault_stream_seed(root, 0, 1));
+  EXPECT_NE(fault_stream_seed(root, 0, 0), fault_stream_seed(root, 1, 0));
+  EXPECT_NE(fault_stream_seed(root, 2, 3), fault_stream_seed(root, 3, 2));
+  EXPECT_NE(rig_fault_seed(root, 3, 1), rig_fault_seed(root, 3, 2));
+  EXPECT_NE(rig_fault_seed(root, 3, 1), rig_fault_seed(root, 4, 1));
+  // Different roots give different streams.
+  EXPECT_NE(fault_stream_seed(1, 0, 0), fault_stream_seed(2, 0, 0));
+}
+
+TEST(CampaignHealth, TotalsAndDegradedFlag) {
+  CampaignHealth health;
+  EXPECT_FALSE(health.degraded());
+  MonthHealth clean;
+  clean.month = 0.0;
+  health.months.push_back(clean);
+  EXPECT_FALSE(health.degraded());
+  MonthHealth bad;
+  bad.month = 1.0;
+  bad.crc_retries = 7;
+  bad.timeouts = 3;
+  bad.frames_lost = 2;
+  bad.measurements_dropped = 5;
+  bad.probes = 1;
+  bad.boards_quarantined = 2;
+  bad.coverage = 0.9;
+  health.months.push_back(bad);
+  EXPECT_TRUE(health.degraded());
+  EXPECT_EQ(health.total_crc_retries(), 7U);
+  EXPECT_EQ(health.total_timeouts(), 3U);
+  EXPECT_EQ(health.total_frames_lost(), 2U);
+  EXPECT_EQ(health.total_measurements_dropped(), 5U);
+  EXPECT_EQ(health.total_probes(), 1U);
+  EXPECT_EQ(health.max_boards_quarantined(), 2U);
+  const std::string report = health.render();
+  EXPECT_NE(report.find("campaign health"), std::string::npos);
+  EXPECT_NE(report.find("quarantined"), std::string::npos);
+}
+
+TEST(CampaignHealth, JsonRoundTrip) {
+  CampaignHealth health;
+  MonthHealth m;
+  m.month = 3.0;
+  m.crc_retries = 11;
+  m.timeouts = 4;
+  m.frames_lost = 2;
+  m.measurements_dropped = 9;
+  m.probes = 5;
+  m.boards_quarantined = 1;
+  m.boards_reporting = 15;
+  m.coverage = 0.875;
+  health.months.push_back(m);
+  const CampaignHealth back =
+      campaign_health_from_json(campaign_health_to_json(health));
+  ASSERT_EQ(back.months.size(), 1U);
+  EXPECT_DOUBLE_EQ(back.months[0].month, 3.0);
+  EXPECT_EQ(back.months[0].crc_retries, 11U);
+  EXPECT_EQ(back.months[0].boards_reporting, 15U);
+  EXPECT_DOUBLE_EQ(back.months[0].coverage, 0.875);
+}
+
+TEST(BoardFaultState, JsonRoundTrip) {
+  BoardFaultState state;
+  state.hang_remaining = 3;
+  state.consecutive_failures = 2;
+  state.quarantined = true;
+  state.cooldown_remaining = 128;
+  state.backoff_level = 4;
+  state.quarantine_entries = 2;
+  const BoardFaultState back =
+      board_fault_state_from_json(board_fault_state_to_json(state));
+  EXPECT_EQ(back.hang_remaining, 3U);
+  EXPECT_EQ(back.consecutive_failures, 2U);
+  EXPECT_TRUE(back.quarantined);
+  EXPECT_EQ(back.cooldown_remaining, 128U);
+  EXPECT_EQ(back.backoff_level, 4U);
+  EXPECT_EQ(back.quarantine_entries, 2U);
+}
+
+}  // namespace
+}  // namespace pufaging

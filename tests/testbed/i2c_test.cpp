@@ -35,6 +35,43 @@ TEST(I2cFrame, SealAndValidate) {
   EXPECT_FALSE(frame.valid());
 }
 
+TEST(I2cFrame, EverySingleBitFlipIsDetected) {
+  // CRC-8 guarantees Hamming distance >= 2, so any single-bit corruption
+  // anywhere in the frame — address, sequence, payload or the CRC byte
+  // itself — must invalidate it. The fault injector flips exactly one bit,
+  // so this property is what makes the retry loop sound.
+  I2cFrame frame;
+  frame.address = 19;
+  frame.sequence = 0xA5C3F00D;
+  frame.payload = {0x00, 0xFF, 0x5A, 0xC3, 0x81, 0x7E, 0x01, 0x80};
+  frame.seal();
+  ASSERT_TRUE(frame.valid());
+  for (int bit = 0; bit < 8; ++bit) {
+    frame.address ^= static_cast<std::uint8_t>(1 << bit);
+    EXPECT_FALSE(frame.valid()) << "address bit " << bit;
+    frame.address ^= static_cast<std::uint8_t>(1 << bit);
+  }
+  for (int bit = 0; bit < 32; ++bit) {
+    frame.sequence ^= 1U << bit;
+    EXPECT_FALSE(frame.valid()) << "sequence bit " << bit;
+    frame.sequence ^= 1U << bit;
+  }
+  for (std::size_t byte = 0; byte < frame.payload.size(); ++byte) {
+    for (int bit = 0; bit < 8; ++bit) {
+      frame.payload[byte] ^= static_cast<std::uint8_t>(1 << bit);
+      EXPECT_FALSE(frame.valid())
+          << "payload byte " << byte << " bit " << bit;
+      frame.payload[byte] ^= static_cast<std::uint8_t>(1 << bit);
+    }
+  }
+  for (int bit = 0; bit < 8; ++bit) {
+    frame.crc ^= static_cast<std::uint8_t>(1 << bit);
+    EXPECT_FALSE(frame.valid()) << "crc bit " << bit;
+    frame.crc ^= static_cast<std::uint8_t>(1 << bit);
+  }
+  EXPECT_TRUE(frame.valid());
+}
+
 TEST(I2cBus, TransferDurationScalesWithPayload) {
   EventQueue q;
   I2cBus bus(q, 100000.0);
@@ -104,6 +141,89 @@ TEST(I2cBus, FaultInjectionCorruptsRoughlyAtRate) {
   EXPECT_EQ(bus.frames_corrupted(), static_cast<std::uint64_t>(bad));
   EXPECT_NEAR(static_cast<double>(bad) / n, 0.5, 0.13);
   EXPECT_THROW(bus.inject_faults(1.5, 1), InvalidArgument);
+}
+
+TEST(I2cBus, DropProfileLosesFramesWithoutCallback) {
+  EventQueue q;
+  I2cBus bus(q, 10e6);
+  I2cFaultProfile profile;
+  profile.drop_rate = 0.5;
+  bus.inject_fault_profile(profile, 7);
+  int delivered = 0;
+  const int n = 400;
+  for (int i = 0; i < n; ++i) {
+    I2cFrame frame;
+    frame.payload.resize(16);
+    frame.seal();
+    bus.transfer_with_status(frame, [&](I2cStatus status, const I2cFrame&) {
+      EXPECT_EQ(status, I2cStatus::kOk);
+      ++delivered;
+    });
+  }
+  q.run_until(10.0);
+  EXPECT_EQ(bus.frames_lost() + static_cast<std::uint64_t>(delivered),
+            static_cast<std::uint64_t>(n));
+  EXPECT_NEAR(static_cast<double>(bus.frames_lost()) / n, 0.5, 0.13);
+  // A lost frame still occupied the bus: all n transfers were arbitrated.
+  EXPECT_FALSE(bus.busy());
+}
+
+TEST(I2cBus, NakProfileReportsStatusQuickly) {
+  EventQueue q;
+  I2cBus bus(q, 100000.0);
+  I2cFaultProfile profile;
+  profile.nak_rate = 1.0;
+  bus.inject_fault_profile(profile, 3);
+  I2cFrame frame;
+  frame.payload.resize(1024);
+  frame.seal();
+  bool naked = false;
+  bus.transfer_with_status(frame, [&](I2cStatus status, const I2cFrame&) {
+    naked = true;
+    EXPECT_EQ(status, I2cStatus::kNak);
+  });
+  // A NAK aborts after the address byte: far sooner than the full frame.
+  q.run_until(bus.nak_duration() + 1e-9);
+  EXPECT_TRUE(naked);
+  EXPECT_EQ(bus.frames_naked(), 1U);
+  EXPECT_LT(bus.nak_duration(), bus.transfer_duration(frame) / 100.0);
+}
+
+TEST(I2cBus, ProfileValidationAndLegacyEquivalence) {
+  EventQueue q;
+  I2cBus bus(q, 10e6);
+  I2cFaultProfile bad;
+  bad.drop_rate = -0.1;
+  EXPECT_THROW(bus.inject_fault_profile(bad, 1), InvalidArgument);
+  bad = I2cFaultProfile{};
+  bad.nak_rate = 1.1;
+  EXPECT_THROW(bus.inject_fault_profile(bad, 1), InvalidArgument);
+
+  // inject_faults(rate, seed) and a corruption-only profile with the same
+  // seed must corrupt the exact same frames (legacy compatibility).
+  EventQueue q1;
+  I2cBus legacy(q1, 10e6);
+  legacy.inject_faults(0.3, 99);
+  EventQueue q2;
+  I2cBus profiled(q2, 10e6);
+  I2cFaultProfile corrupt_only;
+  corrupt_only.corrupt_rate = 0.3;
+  profiled.inject_fault_profile(corrupt_only, 99);
+  std::vector<bool> legacy_bad;
+  std::vector<bool> profiled_bad;
+  for (int i = 0; i < 200; ++i) {
+    I2cFrame frame;
+    frame.payload.resize(8);
+    frame.seal();
+    legacy.transfer(frame,
+                    [&](const I2cFrame& f) { legacy_bad.push_back(!f.valid()); });
+    profiled.transfer(frame, [&](const I2cFrame& f) {
+      profiled_bad.push_back(!f.valid());
+    });
+  }
+  q1.run_until(10.0);
+  q2.run_until(10.0);
+  EXPECT_EQ(legacy_bad, profiled_bad);
 }
 
 TEST(I2cBus, NoFaultsByDefault) {

@@ -2,7 +2,10 @@
 //
 //   pufaging campaign  [--months N] [--measurements N] [--accelerated]
 //                      [--seed S] [--csv PREFIX] [--threads N]
+//                      [--faults SPEC] [--checkpoint DIR] [--resume]
+//                      [--checkpoint-every N]
 //   pufaging rig       [--cycles N] [--jsonl FILE] [--fault-rate P]
+//                      [--faults SPEC]
 //   pufaging analyze   FILE.jsonl
 //   pufaging keygen    [--months N] [--debias]
 //   pufaging trng      [--bytes N] [--device D]
@@ -103,6 +106,15 @@ int cmd_campaign(Args& args) {
     config.accelerated = true;
     config.operating_point = accelerated_conditions();
   }
+  if (const auto faults = args.value("--faults")) {
+    config.faults = parse_fault_plan(*faults);
+  }
+  if (const auto dir = args.value("--checkpoint")) {
+    config.checkpoint_dir = *dir;
+  }
+  config.checkpoint_every_months =
+      static_cast<std::size_t>(args.integer("--checkpoint-every", 1));
+  config.resume = args.boolean("--resume");
   // The engine caps the pool at one worker per device; report what will
   // actually run.
   const std::size_t threads =
@@ -116,6 +128,9 @@ int cmd_campaign(Args& args) {
   const CampaignResult result = run_campaign(config);
   const SummaryTable table = build_summary_table(result.series);
   std::printf("%s", render_summary_table(table).c_str());
+  if (!config.faults.all_zero() || result.health.degraded()) {
+    std::fprintf(stderr, "%s", result.health.render().c_str());
+  }
 
   if (const auto prefix = args.value("--csv")) {
     std::vector<MetricSeries> series;
@@ -135,6 +150,10 @@ int cmd_campaign(Args& args) {
                                     [](const FleetMonthMetrics& m) {
                                       return m.puf_entropy;
                                     }));
+    series.push_back(extract_series(result.series, "coverage",
+                                    [](const FleetMonthMetrics& m) {
+                                      return m.coverage;
+                                    }));
     const std::string path = *prefix + "_fleet.csv";
     series_to_csv(series).save(path);
     std::fprintf(stderr, "fleet series written to %s\n", path.c_str());
@@ -145,6 +164,9 @@ int cmd_campaign(Args& args) {
 int cmd_rig(Args& args) {
   RigConfig config;
   config.i2c_fault_rate = args.real("--fault-rate", 0.0);
+  if (const auto faults = args.value("--faults")) {
+    config.faults = parse_fault_plan(*faults);
+  }
   const auto cycles =
       static_cast<std::uint64_t>(args.integer("--cycles", 4));
   Rig rig(config);
@@ -156,6 +178,9 @@ int cmd_rig(Args& args) {
                rig.collector().record_count(),
                static_cast<unsigned long long>(rig.master(0).crc_retries() +
                                                rig.master(1).crc_retries()));
+  if (!config.faults.all_zero() || config.i2c_fault_rate > 0.0) {
+    std::fprintf(stderr, "%s", rig.health().render().c_str());
+  }
   const std::string jsonl = rig.collector().to_jsonl();
   if (const auto path = args.value("--jsonl")) {
     std::ofstream out(*path);
@@ -302,8 +327,13 @@ int usage() {
       "  campaign   run the N-month fleet campaign, print Table I\n"
       "             [--months N] [--measurements N] [--accelerated]\n"
       "             [--seed S] [--csv PREFIX] [--threads N]\n"
+      "             [--faults SPEC] [--checkpoint DIR] [--resume]\n"
+      "             [--checkpoint-every N]\n"
+      "             SPEC: corrupt=P,drop=P,nak=P,hang=P,reset=P,\n"
+      "             brownout=P,stuck=P,dropout=DEV@MONTH (or JSON)\n"
       "  rig        run the event-driven 18-board rig, emit JSONL records\n"
       "             [--cycles N] [--jsonl FILE] [--fault-rate P]\n"
+      "             [--faults SPEC]\n"
       "  analyze    initial-quality evaluation of a JSONL record file\n"
       "  keygen     enroll a key and regenerate it monthly while aging\n"
       "             [--months N] [--debias] [--device D]\n"
