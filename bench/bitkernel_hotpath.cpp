@@ -1,0 +1,295 @@
+// Bit-kernel hot paths: scalar reference vs word-parallel vs vector tier
+// on the four inner loops behind every paper metric (popcount for
+// FHW/stable cells, fused XOR+popcount for WCHD, batched per-cell ones
+// accumulation for one-probability maps, all-pairs Hamming for BCHD),
+// at the paper's pattern shape (8192-bit start-up patterns, 1000
+// measurements per device-month, 16-device fleet).
+//
+// The reproduction artefact is the speedup table; the acceptance target
+// is >= 3x over scalar on the vector tier for the bulk kernels. Every
+// timed run is also cross-checked against the scalar oracle result, so
+// a tier that got fast by being wrong fails the bench.
+#include <algorithm>
+#include <chrono>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "bench_common.hpp"
+#include "common/bitkernel.hpp"
+#include "common/rng.hpp"
+
+namespace pufaging {
+namespace {
+
+constexpr std::size_t kBits = 8192;             // paper SRAM pattern size
+constexpr std::size_t kWords = kBits / 64;      // 128 words per pattern
+constexpr std::size_t kBatch = 1000;            // measurements per month
+constexpr std::size_t kFleet = 16;              // devices (BCHD rows)
+
+struct Workload {
+  std::vector<std::uint64_t> batch;   // kBatch rows of kWords
+  std::vector<std::uint64_t> other;   // second operand for XOR kernels
+  std::vector<std::uint64_t> fleet;   // kFleet reference rows
+};
+
+Workload make_workload() {
+  Workload w;
+  Xoshiro256StarStar rng(0xB17B37);
+  w.batch.resize(kBatch * kWords);
+  w.other.resize(kBatch * kWords);
+  w.fleet.resize(kFleet * kWords);
+  for (std::uint64_t& word : w.batch) {
+    word = rng.next();
+  }
+  for (std::uint64_t& word : w.other) {
+    word = rng.next();
+  }
+  for (std::uint64_t& word : w.fleet) {
+    word = rng.next();
+  }
+  return w;
+}
+
+// Times `fn` (one full pass over the workload) and returns seconds per
+// pass, best of `reps` to shave scheduler noise.
+template <typename Fn>
+double time_best(int reps, Fn&& fn) {
+  double best = 1e100;
+  for (int r = 0; r < reps; ++r) {
+    const auto start = std::chrono::steady_clock::now();
+    fn();
+    const auto stop = std::chrono::steady_clock::now();
+    best = std::min(best, std::chrono::duration<double>(stop - start).count());
+  }
+  return best;
+}
+
+struct KernelTimes {
+  double popcount_s = 0;
+  double xor_popcount_s = 0;
+  double accumulate_s = 0;
+  double all_pairs_s = 0;
+};
+
+// One full device-month of each kernel at `level`, cross-checked against
+// the scalar oracle totals computed by the caller.
+KernelTimes run_tier(bitkernel::Level level, const Workload& w,
+                     std::size_t oracle_pop, std::size_t oracle_xor,
+                     std::uint64_t oracle_acc, std::size_t oracle_pairs) {
+  const bitkernel::ScopedLevel scope(level);
+  KernelTimes t;
+
+  std::size_t pop = 0;
+  t.popcount_s = time_best(5, [&] {
+    pop = 0;
+    for (std::size_t r = 0; r < kBatch; ++r) {
+      pop += bitkernel::popcount(w.batch.data() + r * kWords, kWords);
+    }
+  });
+  std::size_t xpop = 0;
+  t.xor_popcount_s = time_best(5, [&] {
+    xpop = 0;
+    for (std::size_t r = 0; r < kBatch; ++r) {
+      xpop += bitkernel::xor_popcount(w.batch.data() + r * kWords,
+                                      w.other.data() + r * kWords, kWords);
+    }
+  });
+  std::vector<std::uint32_t> counters(kBits);
+  t.accumulate_s = time_best(5, [&] {
+    std::memset(counters.data(), 0, counters.size() * sizeof(counters[0]));
+    bitkernel::accumulate_ones_batch(w.batch.data(), kBatch, kWords, kBits,
+                                     counters.data());
+  });
+  std::uint64_t acc = 0;
+  for (const std::uint32_t c : counters) {
+    acc += c;
+  }
+  std::vector<std::size_t> pairs(kFleet * (kFleet - 1) / 2);
+  t.all_pairs_s = time_best(5, [&] {
+    // The fleet all-pairs sweep is tiny next to the batch kernels; run it
+    // many times per pass so the clock sees it.
+    for (int rep = 0; rep < 200; ++rep) {
+      bitkernel::all_pairs_hamming(w.fleet.data(), kFleet, kWords,
+                                   pairs.data());
+    }
+  });
+  std::size_t pair_sum = 0;
+  for (const std::size_t d : pairs) {
+    pair_sum += d;
+  }
+
+  if (pop != oracle_pop || xpop != oracle_xor || acc != oracle_acc ||
+      pair_sum != oracle_pairs) {
+    std::printf("BIT MISMATCH at tier %s: a kernel diverged from the "
+                "scalar oracle\n", bitkernel::level_name(level));
+    std::exit(1);
+  }
+  return t;
+}
+
+void reproduce() {
+  bench::banner(
+      "Bit-kernel hot paths - scalar oracle vs dispatched SIMD tiers");
+  const Workload w = make_workload();
+  std::printf("workload: %zu patterns x %zu bits (one device-month), "
+              "%zu-device fleet for BCHD\n",
+              kBatch, kBits, kFleet);
+  std::printf("active tier on this machine: %s\n\n",
+              bitkernel::level_name(bitkernel::active_level()));
+
+  // Scalar oracle totals, computed once outside the timed runs.
+  const bitkernel::Kernels& oracle =
+      bitkernel::kernels_for(bitkernel::Level::kScalar);
+  std::size_t oracle_pop = 0, oracle_xor = 0;
+  for (std::size_t r = 0; r < kBatch; ++r) {
+    oracle_pop += oracle.popcount(w.batch.data() + r * kWords, kWords);
+    oracle_xor += oracle.xor_popcount(w.batch.data() + r * kWords,
+                                      w.other.data() + r * kWords, kWords);
+  }
+  std::vector<std::uint32_t> counters(kBits, 0);
+  for (std::size_t r = 0; r < kBatch; ++r) {
+    oracle.accumulate_ones(w.batch.data() + r * kWords, kBits,
+                           counters.data());
+  }
+  std::uint64_t oracle_acc = 0;
+  for (const std::uint32_t c : counters) {
+    oracle_acc += c;
+  }
+  std::vector<std::size_t> pairs(kFleet * (kFleet - 1) / 2);
+  {
+    const bitkernel::ScopedLevel scope(bitkernel::Level::kScalar);
+    bitkernel::all_pairs_hamming(w.fleet.data(), kFleet, kWords,
+                                 pairs.data());
+  }
+  std::size_t oracle_pairs = 0;
+  for (const std::size_t d : pairs) {
+    oracle_pairs += d;
+  }
+
+  const std::vector<bitkernel::Level> levels = bitkernel::available_levels();
+  std::vector<KernelTimes> times;
+  for (const bitkernel::Level level : levels) {
+    times.push_back(
+        run_tier(level, w, oracle_pop, oracle_xor, oracle_acc, oracle_pairs));
+  }
+
+  const KernelTimes& base = times.front();  // scalar
+  std::printf("  tier     popcount      xor+popcount  accumulate    "
+              "all-pairs HD\n");
+  for (std::size_t i = 0; i < levels.size(); ++i) {
+    const KernelTimes& t = times[i];
+    std::printf("  %-7s  %7.3f ms     %7.3f ms    %7.3f ms    %7.3f ms\n",
+                bitkernel::level_name(levels[i]), t.popcount_s * 1e3,
+                t.xor_popcount_s * 1e3, t.accumulate_s * 1e3,
+                t.all_pairs_s * 1e3);
+    if (i > 0) {
+      std::printf("  %-7s  %7.2fx       %7.2fx      %7.2fx      %7.2fx\n",
+                  "", base.popcount_s / t.popcount_s,
+                  base.xor_popcount_s / t.xor_popcount_s,
+                  base.accumulate_s / t.accumulate_s,
+                  base.all_pairs_s / t.all_pairs_s);
+    }
+  }
+
+  const KernelTimes& top = times.back();
+  const double bulk_speedup =
+      std::min({base.popcount_s / top.popcount_s,
+                base.xor_popcount_s / top.xor_popcount_s,
+                base.accumulate_s / top.accumulate_s});
+  std::printf("\nbest tier (%s) minimum bulk-kernel speedup over scalar: "
+              "%.2fx (target >= 3x on AVX2)\n",
+              bitkernel::level_name(levels.back()), bulk_speedup);
+  std::printf("every timed tier reproduced the scalar oracle counts "
+              "exactly\n");
+}
+
+void BM_Popcount(benchmark::State& state) {
+  const Workload w = make_workload();
+  const bitkernel::ScopedLevel scope(
+      static_cast<bitkernel::Level>(state.range(0)));
+  for (auto _ : state) {
+    std::size_t total = 0;
+    for (std::size_t r = 0; r < kBatch; ++r) {
+      total += bitkernel::popcount(w.batch.data() + r * kWords, kWords);
+    }
+    benchmark::DoNotOptimize(total);
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(kBatch * kWords * 8));
+}
+
+void BM_XorPopcount(benchmark::State& state) {
+  const Workload w = make_workload();
+  const bitkernel::ScopedLevel scope(
+      static_cast<bitkernel::Level>(state.range(0)));
+  for (auto _ : state) {
+    std::size_t total = 0;
+    for (std::size_t r = 0; r < kBatch; ++r) {
+      total += bitkernel::xor_popcount(w.batch.data() + r * kWords,
+                                       w.other.data() + r * kWords, kWords);
+    }
+    benchmark::DoNotOptimize(total);
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(2 * kBatch * kWords * 8));
+}
+
+void BM_AccumulateOnesBatch(benchmark::State& state) {
+  const Workload w = make_workload();
+  const bitkernel::ScopedLevel scope(
+      static_cast<bitkernel::Level>(state.range(0)));
+  std::vector<std::uint32_t> counters(kBits, 0);
+  for (auto _ : state) {
+    bitkernel::accumulate_ones_batch(w.batch.data(), kBatch, kWords, kBits,
+                                     counters.data());
+    benchmark::DoNotOptimize(counters.data());
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(kBatch * kWords * 8));
+}
+
+void BM_AllPairsHamming(benchmark::State& state) {
+  const Workload w = make_workload();
+  const bitkernel::ScopedLevel scope(
+      static_cast<bitkernel::Level>(state.range(0)));
+  std::vector<std::size_t> pairs(kFleet * (kFleet - 1) / 2);
+  for (auto _ : state) {
+    bitkernel::all_pairs_hamming(w.fleet.data(), kFleet, kWords,
+                                 pairs.data());
+    benchmark::DoNotOptimize(pairs.data());
+  }
+}
+
+// Register each benchmark once per tier available on the build machine.
+// The tier id is the benchmark argument; unavailable tiers are skipped at
+// registration time (this file runs on no-AVX2 CI hosts too).
+const int kRegistered = [] {
+  for (const bitkernel::Level level : bitkernel::available_levels()) {
+    const auto arg = static_cast<std::int64_t>(level);
+    const char* name = bitkernel::level_name(level);
+    benchmark::RegisterBenchmark(
+        (std::string("BM_Popcount/") + name).c_str(), BM_Popcount)
+        ->Arg(arg)->Unit(benchmark::kMicrosecond);
+    benchmark::RegisterBenchmark(
+        (std::string("BM_XorPopcount/") + name).c_str(), BM_XorPopcount)
+        ->Arg(arg)->Unit(benchmark::kMicrosecond);
+    benchmark::RegisterBenchmark(
+        (std::string("BM_AccumulateOnesBatch/") + name).c_str(),
+        BM_AccumulateOnesBatch)
+        ->Arg(arg)->Unit(benchmark::kMicrosecond);
+    benchmark::RegisterBenchmark(
+        (std::string("BM_AllPairsHamming/") + name).c_str(),
+        BM_AllPairsHamming)
+        ->Arg(arg)->Unit(benchmark::kMicrosecond);
+  }
+  return 0;
+}();
+
+}  // namespace
+}  // namespace pufaging
+
+int main(int argc, char** argv) {
+  return pufaging::bench::run(argc, argv, pufaging::reproduce);
+}

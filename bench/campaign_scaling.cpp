@@ -8,6 +8,7 @@
 #include <cstdlib>
 
 #include "bench_common.hpp"
+#include "common/bitkernel.hpp"
 #include "common/thread_pool.hpp"
 #include "testbed/campaign.hpp"
 
@@ -88,6 +89,33 @@ void reproduce() {
                     "serial reference");
   if (!all_identical) {
     std::exit(1);
+  }
+
+  // Same axis for the kernel layer: the full campaign end to end with the
+  // analysis kernels pinned to the scalar oracle vs the dispatched tier.
+  // Like the thread sweep, the speedup must be pure scheduling - bits
+  // identical - which run_campaign's kernel_level record plus the
+  // bit_identical() audit verify.
+  const bitkernel::Level best = bitkernel::active_level();
+  if (best != bitkernel::Level::kScalar) {
+    std::printf("\nkernel-tier sweep (threads=1):\n");
+    CampaignResult scalar_result;
+    double scalar_s = 0;
+    {
+      const bitkernel::ScopedLevel scope(bitkernel::Level::kScalar);
+      scalar_s = time_run(paper_scale(1), scalar_result);
+    }
+    std::printf("  %-7s  %8.2f s  %7.2fx   reference\n", "scalar", scalar_s,
+                1.0);
+    const bool identical = bit_identical(scalar_result, reference);
+    std::printf("  %-7s  %8.2f s  %7.2fx   %s\n",
+                bitkernel::level_name(best), serial_s, scalar_s / serial_s,
+                identical ? "yes" : "NO - BUG");
+    if (!identical) {
+      std::printf("BIT MISMATCH: kernel tier %s diverged from the scalar "
+                  "oracle\n", bitkernel::level_name(best));
+      std::exit(1);
+    }
   }
   if (hw < 8) {
     std::printf("note: only %zu hardware thread(s) available; speedups "

@@ -1,5 +1,8 @@
 #include "analysis/entropy.hpp"
 
+#include <algorithm>
+
+#include "common/bitkernel.hpp"
 #include "common/error.hpp"
 #include "common/math.hpp"
 
@@ -15,14 +18,25 @@ double puf_min_entropy(std::span<const BitVector> references) {
       throw InvalidArgument("puf_min_entropy: reference size mismatch");
     }
   }
-  const double inv_devices = 1.0 / static_cast<double>(references.size());
+  // Column ones counts via the batched kernel (one accumulate_ones sweep
+  // per reference instead of a per-bit get() walk per device). The counts
+  // are integers, and the entropy sum below runs in the same bit order as
+  // the historical per-bit loop, so the result is bit-identical.
+  const std::size_t n = references.size();
+  const std::size_t words_per_row = references.front().words().size();
+  std::vector<std::uint64_t> rows(n * words_per_row);
+  for (std::size_t i = 0; i < n; ++i) {
+    const auto& w = references[i].words();
+    std::copy(w.begin(), w.end(),
+              rows.begin() + static_cast<std::ptrdiff_t>(i * words_per_row));
+  }
+  std::vector<std::uint32_t> ones(n_bits);
+  bitkernel::column_ones(rows.data(), n, words_per_row, n_bits, ones.data());
+
+  const double inv_devices = 1.0 / static_cast<double>(n);
   double sum = 0.0;
   for (std::size_t i = 0; i < n_bits; ++i) {
-    std::size_t ones = 0;
-    for (const BitVector& r : references) {
-      ones += r.get(i) ? 1U : 0U;
-    }
-    sum += binary_min_entropy(static_cast<double>(ones) * inv_devices);
+    sum += binary_min_entropy(static_cast<double>(ones[i]) * inv_devices);
   }
   return sum / static_cast<double>(n_bits);
 }

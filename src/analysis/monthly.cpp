@@ -1,10 +1,10 @@
 #include "analysis/monthly.hpp"
 
 #include <algorithm>
-#include <bit>
 
 #include "analysis/entropy.hpp"
 #include "analysis/hamming.hpp"
+#include "common/bitkernel.hpp"
 #include "common/error.hpp"
 #include "common/math.hpp"
 
@@ -29,15 +29,8 @@ void DeviceMonthAccumulator::add(const BitVector& measurement) {
   }
   wchd_sum_ += fractional_hamming_distance(reference_, measurement);
   fhw_sum_ += measurement.fractional_weight();
-  const auto& words = measurement.words();
-  for (std::size_t w = 0; w < words.size(); ++w) {
-    std::uint64_t bits = words[w];
-    while (bits != 0) {
-      const int bit = std::countr_zero(bits);
-      ones_[w * 64 + static_cast<std::size_t>(bit)] += 1;
-      bits &= bits - 1;
-    }
-  }
+  bitkernel::accumulate_ones(measurement.words().data(), measurement.size(),
+                             ones_.data());
   ++count_;
 }
 

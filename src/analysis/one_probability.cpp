@@ -1,8 +1,8 @@
 #include "analysis/one_probability.hpp"
 
 #include <algorithm>
-#include <bit>
 
+#include "common/bitkernel.hpp"
 #include "common/error.hpp"
 #include "common/math.hpp"
 
@@ -19,16 +19,8 @@ void OneProbabilityAccumulator::add(const BitVector& measurement) {
   if (measurement.size() != ones_.size()) {
     throw InvalidArgument("OneProbabilityAccumulator::add: size mismatch");
   }
-  // Unpack word-wise for speed; the tail word's padding bits are zero.
-  const auto& words = measurement.words();
-  for (std::size_t w = 0; w < words.size(); ++w) {
-    std::uint64_t bits = words[w];
-    while (bits != 0) {
-      const int bit = std::countr_zero(bits);
-      ones_[w * 64 + static_cast<std::size_t>(bit)] += 1;
-      bits &= bits - 1;
-    }
-  }
+  bitkernel::accumulate_ones(measurement.words().data(), measurement.size(),
+                             ones_.data());
   ++measurements_;
 }
 

@@ -1,0 +1,544 @@
+#include "common/bitkernel.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <bit>
+#include <cstdlib>
+
+#include "common/error.hpp"
+
+#if defined(__x86_64__) || defined(__i386__)
+#if defined(__GNUC__) && !defined(PUFAGING_NO_AVX2)
+#define PUFAGING_HAVE_AVX2_TIER 1
+#include <immintrin.h>
+#endif
+#elif defined(__aarch64__) && defined(__ARM_NEON)
+#define PUFAGING_HAVE_NEON_TIER 1
+#include <arm_neon.h>
+#endif
+
+namespace pufaging::bitkernel {
+
+namespace {
+
+// Mask selecting the valid bits of the tail word of a `bit_count`-bit
+// pattern; all-ones when the length is a multiple of 64.
+std::uint64_t tail_mask(std::size_t bit_count) {
+  const std::size_t tail = bit_count & 63U;
+  return tail == 0 ? ~std::uint64_t{0} : (std::uint64_t{1} << tail) - 1;
+}
+
+// ---------------------------------------------------------------------------
+// Scalar tier: the oracle. One word at a time, no unrolling, no tricks —
+// this is the implementation the differential suite trusts, so it stays
+// deliberately boring.
+// ---------------------------------------------------------------------------
+
+std::size_t popcount_scalar(const std::uint64_t* words, std::size_t n) {
+  std::size_t total = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    total += static_cast<std::size_t>(std::popcount(words[i]));
+  }
+  return total;
+}
+
+std::size_t xor_popcount_scalar(const std::uint64_t* a, const std::uint64_t* b,
+                                std::size_t n) {
+  std::size_t total = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    total += static_cast<std::size_t>(std::popcount(a[i] ^ b[i]));
+  }
+  return total;
+}
+
+void accumulate_ones_scalar(const std::uint64_t* words, std::size_t bit_count,
+                            std::uint32_t* counters) {
+  const std::size_t n_words = (bit_count + 63) / 64;
+  for (std::size_t w = 0; w < n_words; ++w) {
+    std::uint64_t bits = words[w];
+    if (w + 1 == n_words) {
+      bits &= tail_mask(bit_count);
+    }
+    while (bits != 0) {
+      const int bit = std::countr_zero(bits);
+      counters[w * 64 + static_cast<std::size_t>(bit)] += 1;
+      bits &= bits - 1;
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Word tier: portable word-parallel. Popcounts are 4-way unrolled into
+// independent accumulators (the hardware popcnt unit pipelines at 1/cycle
+// but the single-accumulator chain serializes on the add); ones
+// accumulation trades the sparse set-bit walk for a branchless per-bit
+// add, which at the paper's ~50% ones density removes a 32-iteration
+// data-dependent loop per word and lets the compiler vectorize.
+// ---------------------------------------------------------------------------
+
+std::size_t popcount_word(const std::uint64_t* words, std::size_t n) {
+  std::size_t c0 = 0, c1 = 0, c2 = 0, c3 = 0;
+  std::size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    c0 += static_cast<std::size_t>(std::popcount(words[i]));
+    c1 += static_cast<std::size_t>(std::popcount(words[i + 1]));
+    c2 += static_cast<std::size_t>(std::popcount(words[i + 2]));
+    c3 += static_cast<std::size_t>(std::popcount(words[i + 3]));
+  }
+  for (; i < n; ++i) {
+    c0 += static_cast<std::size_t>(std::popcount(words[i]));
+  }
+  return c0 + c1 + c2 + c3;
+}
+
+std::size_t xor_popcount_word(const std::uint64_t* a, const std::uint64_t* b,
+                              std::size_t n) {
+  std::size_t c0 = 0, c1 = 0, c2 = 0, c3 = 0;
+  std::size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    c0 += static_cast<std::size_t>(std::popcount(a[i] ^ b[i]));
+    c1 += static_cast<std::size_t>(std::popcount(a[i + 1] ^ b[i + 1]));
+    c2 += static_cast<std::size_t>(std::popcount(a[i + 2] ^ b[i + 2]));
+    c3 += static_cast<std::size_t>(std::popcount(a[i + 3] ^ b[i + 3]));
+  }
+  for (; i < n; ++i) {
+    c0 += static_cast<std::size_t>(std::popcount(a[i] ^ b[i]));
+  }
+  return c0 + c1 + c2 + c3;
+}
+
+void accumulate_ones_word(const std::uint64_t* words, std::size_t bit_count,
+                          std::uint32_t* counters) {
+  const std::size_t n_words = (bit_count + 63) / 64;
+  if (n_words == 0) {
+    return;
+  }
+  for (std::size_t w = 0; w + 1 < n_words; ++w) {
+    const std::uint64_t bits = words[w];
+    std::uint32_t* c = counters + w * 64;
+    for (std::size_t bit = 0; bit < 64; ++bit) {
+      c[bit] += static_cast<std::uint32_t>((bits >> bit) & 1U);
+    }
+  }
+  // Tail word: masked, and only the in-range counters exist.
+  const std::uint64_t bits = words[n_words - 1] & tail_mask(bit_count);
+  std::uint32_t* c = counters + (n_words - 1) * 64;
+  const std::size_t tail_bits = bit_count - (n_words - 1) * 64;
+  for (std::size_t bit = 0; bit < tail_bits; ++bit) {
+    c[bit] += static_cast<std::uint32_t>((bits >> bit) & 1U);
+  }
+}
+
+#if defined(PUFAGING_HAVE_AVX2_TIER)
+
+// ---------------------------------------------------------------------------
+// AVX2 tier. Compiled with per-function target attributes so the rest of
+// the binary stays baseline x86-64; selected only when the running CPU
+// reports AVX2. Popcounts use the Mula nibble-LUT + psadbw reduction;
+// ones accumulation expands each byte of the pattern into eight 32-bit
+// lanes with a compare-mask add (8 counters per vector op instead of 8
+// scalar read-modify-writes).
+// ---------------------------------------------------------------------------
+
+// Unaligned 256-bit load routed through void* so -Wcast-align stays quiet:
+// the data really is only 8-byte aligned and loadu is fine with that.
+__attribute__((target("avx2"))) inline __m256i load256(
+    const std::uint64_t* p) {
+  return _mm256_loadu_si256(
+      static_cast<const __m256i*>(static_cast<const void*>(p)));
+}
+
+__attribute__((target("avx2"))) inline __m256i popcount_bytes256(__m256i v) {
+  const __m256i lookup = _mm256_setr_epi8(
+      0, 1, 1, 2, 1, 2, 2, 3, 1, 2, 2, 3, 2, 3, 3, 4,
+      0, 1, 1, 2, 1, 2, 2, 3, 1, 2, 2, 3, 2, 3, 3, 4);
+  const __m256i low_mask = _mm256_set1_epi8(0x0F);
+  const __m256i lo = _mm256_and_si256(v, low_mask);
+  const __m256i hi = _mm256_and_si256(_mm256_srli_epi16(v, 4), low_mask);
+  const __m256i cnt = _mm256_add_epi8(_mm256_shuffle_epi8(lookup, lo),
+                                      _mm256_shuffle_epi8(lookup, hi));
+  // Four 64-bit lane sums of the 32 byte counts.
+  return _mm256_sad_epu8(cnt, _mm256_setzero_si256());
+}
+
+__attribute__((target("avx2"))) std::size_t reduce_u64x4(__m256i acc) {
+  alignas(32) std::uint64_t lanes[4];
+  _mm256_store_si256(static_cast<__m256i*>(static_cast<void*>(lanes)), acc);
+  return static_cast<std::size_t>(lanes[0] + lanes[1] + lanes[2] + lanes[3]);
+}
+
+__attribute__((target("avx2"))) std::size_t popcount_avx2(
+    const std::uint64_t* words, std::size_t n) {
+  __m256i acc = _mm256_setzero_si256();
+  std::size_t i = 0;
+  for (; i + 8 <= n; i += 8) {
+    acc = _mm256_add_epi64(acc, popcount_bytes256(load256(words + i)));
+    acc = _mm256_add_epi64(acc, popcount_bytes256(load256(words + i + 4)));
+  }
+  for (; i + 4 <= n; i += 4) {
+    acc = _mm256_add_epi64(acc, popcount_bytes256(load256(words + i)));
+  }
+  std::size_t total = reduce_u64x4(acc);
+  for (; i < n; ++i) {
+    total += static_cast<std::size_t>(std::popcount(words[i]));
+  }
+  return total;
+}
+
+__attribute__((target("avx2"))) std::size_t xor_popcount_avx2(
+    const std::uint64_t* a, const std::uint64_t* b, std::size_t n) {
+  __m256i acc = _mm256_setzero_si256();
+  std::size_t i = 0;
+  for (; i + 8 <= n; i += 8) {
+    const __m256i x0 = _mm256_xor_si256(load256(a + i), load256(b + i));
+    const __m256i x1 =
+        _mm256_xor_si256(load256(a + i + 4), load256(b + i + 4));
+    acc = _mm256_add_epi64(acc, popcount_bytes256(x0));
+    acc = _mm256_add_epi64(acc, popcount_bytes256(x1));
+  }
+  for (; i + 4 <= n; i += 4) {
+    const __m256i x = _mm256_xor_si256(load256(a + i), load256(b + i));
+    acc = _mm256_add_epi64(acc, popcount_bytes256(x));
+  }
+  std::size_t total = reduce_u64x4(acc);
+  for (; i < n; ++i) {
+    total += static_cast<std::size_t>(std::popcount(a[i] ^ b[i]));
+  }
+  return total;
+}
+
+__attribute__((target("avx2"))) void accumulate_ones_avx2(
+    const std::uint64_t* words, std::size_t bit_count,
+    std::uint32_t* counters) {
+  const std::size_t n_words = (bit_count + 63) / 64;
+  if (n_words == 0) {
+    return;
+  }
+  // bit_select[k] = 1 << k: one byte's bits spread across eight 32-bit
+  // lanes. counters -= (byte & bit ? -1 : 0) adds exactly the bit value.
+  const __m256i bit_select =
+      _mm256_setr_epi32(1, 2, 4, 8, 16, 32, 64, 128);
+  const std::size_t full_words = n_words - 1;
+  for (std::size_t w = 0; w < full_words; ++w) {
+    const std::uint64_t bits = words[w];
+    std::uint32_t* c = counters + w * 64;
+    for (std::size_t byte = 0; byte < 8; ++byte) {
+      const __m256i v = _mm256_set1_epi32(
+          static_cast<int>((bits >> (byte * 8)) & 0xFFU));
+      const __m256i hit = _mm256_cmpeq_epi32(
+          _mm256_and_si256(v, bit_select), bit_select);
+      std::uint32_t* dst = c + byte * 8;
+      const __m256i cur =
+          _mm256_loadu_si256(static_cast<const __m256i*>(
+              static_cast<const void*>(dst)));
+      _mm256_storeu_si256(
+          static_cast<__m256i*>(static_cast<void*>(dst)),
+          _mm256_sub_epi32(cur, hit));
+    }
+  }
+  // Tail word: masked, scalar — at most 63 counter updates and only the
+  // in-range counters exist, so no vector store may touch past the end.
+  std::uint64_t bits = words[full_words] & tail_mask(bit_count);
+  while (bits != 0) {
+    const int bit = std::countr_zero(bits);
+    counters[full_words * 64 + static_cast<std::size_t>(bit)] += 1;
+    bits &= bits - 1;
+  }
+}
+
+#endif  // PUFAGING_HAVE_AVX2_TIER
+
+#if defined(PUFAGING_HAVE_NEON_TIER)
+
+// ---------------------------------------------------------------------------
+// NEON tier (AArch64, where NEON is architectural). vcnt counts bits per
+// byte; pairwise-widening adds reduce to 64-bit lanes.
+// ---------------------------------------------------------------------------
+
+std::size_t popcount_neon(const std::uint64_t* words, std::size_t n) {
+  uint64x2_t acc = vdupq_n_u64(0);
+  std::size_t i = 0;
+  for (; i + 2 <= n; i += 2) {
+    const uint8x16_t v = vreinterpretq_u8_u64(vld1q_u64(words + i));
+    acc = vaddq_u64(acc, vpaddlq_u32(vpaddlq_u16(vpaddlq_u8(vcntq_u8(v)))));
+  }
+  std::size_t total = static_cast<std::size_t>(vgetq_lane_u64(acc, 0) +
+                                               vgetq_lane_u64(acc, 1));
+  for (; i < n; ++i) {
+    total += static_cast<std::size_t>(std::popcount(words[i]));
+  }
+  return total;
+}
+
+std::size_t xor_popcount_neon(const std::uint64_t* a, const std::uint64_t* b,
+                              std::size_t n) {
+  uint64x2_t acc = vdupq_n_u64(0);
+  std::size_t i = 0;
+  for (; i + 2 <= n; i += 2) {
+    const uint8x16_t v = vreinterpretq_u8_u64(
+        veorq_u64(vld1q_u64(a + i), vld1q_u64(b + i)));
+    acc = vaddq_u64(acc, vpaddlq_u32(vpaddlq_u16(vpaddlq_u8(vcntq_u8(v)))));
+  }
+  std::size_t total = static_cast<std::size_t>(vgetq_lane_u64(acc, 0) +
+                                               vgetq_lane_u64(acc, 1));
+  for (; i < n; ++i) {
+    total += static_cast<std::size_t>(std::popcount(a[i] ^ b[i]));
+  }
+  return total;
+}
+
+void accumulate_ones_neon(const std::uint64_t* words, std::size_t bit_count,
+                          std::uint32_t* counters) {
+  const std::size_t n_words = (bit_count + 63) / 64;
+  if (n_words == 0) {
+    return;
+  }
+  const uint32x4_t bit_select_lo = {1U, 2U, 4U, 8U};
+  const uint32x4_t bit_select_hi = {16U, 32U, 64U, 128U};
+  const std::size_t full_words = n_words - 1;
+  for (std::size_t w = 0; w < full_words; ++w) {
+    const std::uint64_t bits = words[w];
+    std::uint32_t* c = counters + w * 64;
+    for (std::size_t byte = 0; byte < 8; ++byte) {
+      const uint32x4_t v =
+          vdupq_n_u32(static_cast<std::uint32_t>((bits >> (byte * 8)) & 0xFFU));
+      std::uint32_t* dst = c + byte * 8;
+      const uint32x4_t hit_lo =
+          vtstq_u32(v, bit_select_lo);  // 0 or ~0 per lane
+      const uint32x4_t hit_hi = vtstq_u32(v, bit_select_hi);
+      vst1q_u32(dst, vsubq_u32(vld1q_u32(dst), hit_lo));
+      vst1q_u32(dst + 4, vsubq_u32(vld1q_u32(dst + 4), hit_hi));
+    }
+  }
+  std::uint64_t bits = words[full_words] & tail_mask(bit_count);
+  while (bits != 0) {
+    const int bit = std::countr_zero(bits);
+    counters[full_words * 64 + static_cast<std::size_t>(bit)] += 1;
+    bits &= bits - 1;
+  }
+}
+
+#endif  // PUFAGING_HAVE_NEON_TIER
+
+// ---------------------------------------------------------------------------
+// Dispatch.
+// ---------------------------------------------------------------------------
+
+constexpr Kernels kScalarKernels{popcount_scalar, xor_popcount_scalar,
+                                 accumulate_ones_scalar};
+constexpr Kernels kWordKernels{popcount_word, xor_popcount_word,
+                               accumulate_ones_word};
+#if defined(PUFAGING_HAVE_AVX2_TIER)
+constexpr Kernels kAvx2Kernels{popcount_avx2, xor_popcount_avx2,
+                               accumulate_ones_avx2};
+#endif
+#if defined(PUFAGING_HAVE_NEON_TIER)
+constexpr Kernels kNeonKernels{popcount_neon, xor_popcount_neon,
+                               accumulate_ones_neon};
+#endif
+
+bool level_available(Level level) {
+  switch (level) {
+    case Level::kScalar:
+    case Level::kWord:
+      return true;
+    case Level::kAvx2:
+#if defined(PUFAGING_HAVE_AVX2_TIER)
+      return __builtin_cpu_supports("avx2") != 0;
+#else
+      return false;
+#endif
+    case Level::kNeon:
+#if defined(PUFAGING_HAVE_NEON_TIER)
+      return true;
+#else
+      return false;
+#endif
+  }
+  return false;
+}
+
+Level best_available_level() {
+#if defined(PUFAGING_HAVE_NEON_TIER)
+  return Level::kNeon;
+#else
+  return level_available(Level::kAvx2) ? Level::kAvx2 : Level::kWord;
+#endif
+}
+
+// The active tier. Written by dispatch init and force_level (tests,
+// benches, startup); read concurrently by the campaign's worker threads,
+// hence atomic with relaxed ordering — a stale read would only ever see
+// another fully valid kernel table, and all tables agree bit-for-bit.
+std::atomic<const Kernels*> g_kernels{nullptr};
+std::atomic<Level> g_level{Level::kScalar};
+
+const Kernels& install_level(Level level) {
+  const Kernels& k = kernels_for(level);
+  g_level.store(level, std::memory_order_relaxed);
+  g_kernels.store(&k, std::memory_order_release);
+  return k;
+}
+
+const Kernels& dispatch_init() {
+  Level level = best_available_level();
+  if (const char* env = std::getenv("PUFAGING_SIMD")) {
+    const Level pinned = level_from_name(env);
+    if (!level_available(pinned)) {
+      throw InvalidArgument(
+          "PUFAGING_SIMD: tier not available on this CPU/build");
+    }
+    level = pinned;
+  }
+  return install_level(level);
+}
+
+inline const Kernels& active_kernels() {
+  const Kernels* k = g_kernels.load(std::memory_order_acquire);
+  if (k == nullptr) {
+    // First use from any thread; init is idempotent (all racers install
+    // the same table) so no lock is needed.
+    return dispatch_init();
+  }
+  return *k;
+}
+
+}  // namespace
+
+const char* level_name(Level level) {
+  switch (level) {
+    case Level::kScalar:
+      return "scalar";
+    case Level::kWord:
+      return "word";
+    case Level::kAvx2:
+      return "avx2";
+    case Level::kNeon:
+      return "neon";
+  }
+  return "unknown";
+}
+
+Level level_from_name(const std::string& name) {
+  if (name == "scalar") {
+    return Level::kScalar;
+  }
+  if (name == "word") {
+    return Level::kWord;
+  }
+  if (name == "avx2") {
+    return Level::kAvx2;
+  }
+  if (name == "neon") {
+    return Level::kNeon;
+  }
+  throw InvalidArgument("bitkernel: unknown SIMD tier name '" + name + "'");
+}
+
+std::vector<Level> available_levels() {
+  std::vector<Level> out;
+  for (const Level level : {Level::kScalar, Level::kWord, Level::kAvx2,
+                            Level::kNeon}) {
+    if (level_available(level)) {
+      out.push_back(level);
+    }
+  }
+  return out;
+}
+
+Level active_level() {
+  active_kernels();  // Ensure dispatch ran.
+  return g_level.load(std::memory_order_relaxed);
+}
+
+void force_level(Level level) {
+  if (!level_available(level)) {
+    throw InvalidArgument(
+        "bitkernel::force_level: tier not available on this CPU/build");
+  }
+  install_level(level);
+}
+
+const Kernels& kernels_for(Level level) {
+  switch (level) {
+    case Level::kScalar:
+      return kScalarKernels;
+    case Level::kWord:
+      return kWordKernels;
+    case Level::kAvx2:
+#if defined(PUFAGING_HAVE_AVX2_TIER)
+      return kAvx2Kernels;
+#else
+      break;
+#endif
+    case Level::kNeon:
+#if defined(PUFAGING_HAVE_NEON_TIER)
+      return kNeonKernels;
+#else
+      break;
+#endif
+  }
+  throw InvalidArgument("bitkernel::kernels_for: tier not compiled in");
+}
+
+std::size_t popcount(const std::uint64_t* words, std::size_t n) {
+  return active_kernels().popcount(words, n);
+}
+
+std::size_t xor_popcount(const std::uint64_t* a, const std::uint64_t* b,
+                         std::size_t n) {
+  return active_kernels().xor_popcount(a, b, n);
+}
+
+void accumulate_ones(const std::uint64_t* words, std::size_t bit_count,
+                     std::uint32_t* counters) {
+  active_kernels().accumulate_ones(words, bit_count, counters);
+}
+
+void accumulate_ones_batch(const std::uint64_t* rows, std::size_t row_count,
+                           std::size_t words_per_row, std::size_t bit_count,
+                           std::uint32_t* counters) {
+  const Kernels& k = active_kernels();
+  for (std::size_t r = 0; r < row_count; ++r) {
+    k.accumulate_ones(rows + r * words_per_row, bit_count, counters);
+  }
+}
+
+void all_pairs_hamming(const std::uint64_t* rows, std::size_t n,
+                       std::size_t words_per_row, std::size_t* out) {
+  const Kernels& k = active_kernels();
+  // Tile the pair grid so both row blocks stay L1-resident: with the
+  // paper's 1 KiB rows a 16-row block pair is 32 KiB. For small fleets
+  // a single block covers everything and this is the plain i<j loop.
+  const std::size_t row_bytes = words_per_row * sizeof(std::uint64_t);
+  const std::size_t block =
+      row_bytes == 0 ? n : (row_bytes >= 16384 ? 1 : 16384 / row_bytes);
+  const auto pair_index = [n](std::size_t i, std::size_t j) {
+    // Lexicographic rank of (i, j), i < j, among the n(n-1)/2 pairs.
+    return i * (2 * n - i - 1) / 2 + (j - i - 1);
+  };
+  for (std::size_t ib = 0; ib < n; ib += block) {
+    const std::size_t ie = std::min(n, ib + block);
+    for (std::size_t jb = ib; jb < n; jb += block) {
+      const std::size_t je = std::min(n, jb + block);
+      for (std::size_t i = ib; i < ie; ++i) {
+        const std::uint64_t* ri = rows + i * words_per_row;
+        for (std::size_t j = std::max(jb, i + 1); j < je; ++j) {
+          out[pair_index(i, j)] =
+              k.xor_popcount(ri, rows + j * words_per_row, words_per_row);
+        }
+      }
+    }
+  }
+}
+
+void column_ones(const std::uint64_t* rows, std::size_t n,
+                 std::size_t words_per_row, std::size_t bit_count,
+                 std::uint32_t* counters) {
+  for (std::size_t i = 0; i < bit_count; ++i) {
+    counters[i] = 0;
+  }
+  accumulate_ones_batch(rows, n, words_per_row, bit_count, counters);
+}
+
+}  // namespace pufaging::bitkernel

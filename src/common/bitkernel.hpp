@@ -1,0 +1,144 @@
+// Vectorized bit kernels behind every Hamming-style metric in the paper.
+//
+// WCHD, BCHD, fractional Hamming weight, stable-cell counting and both
+// min-entropies all reduce to popcount/XOR sweeps and per-cell ones
+// accumulation over 8192-bit start-up patterns, repeated ~175 million
+// times over the two-year campaign. This module is the single home of
+// those inner loops: a scalar reference implementation (the oracle the
+// differential test suite trusts), a portable word-parallel tier, and an
+// AVX2 tier (NEON on AArch64), selected once at runtime by CPU dispatch.
+//
+// Determinism contract: every kernel returns integers (bit counts or
+// per-cell counters). Integer results are either equal or wrong — there
+// is no floating-point reassociation anywhere in this layer — so "every
+// dispatch level is bit-identical to the scalar oracle" is an exactly
+// testable property, and the campaign's PR 1/PR 2 guarantee (same bits at
+// any --threads, any fault plan) extends unchanged to any SIMD level.
+// tests/common/bitkernel_test.cpp enforces this on random, adversarial
+// (tail bits, unaligned lengths, all-zero/all-one) and paper-scale
+// inputs.
+//
+// Tail hardening: callers hand kernels whole 64-bit words plus the exact
+// bit length. Kernels that could leak padding into per-cell counters
+// (accumulate_ones) mask the tail word themselves, so even a BitVector
+// whose trailing-bits invariant was violated upstream cannot corrupt
+// counter state differently per dispatch level.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+namespace pufaging::bitkernel {
+
+/// Implementation tiers, ordered from reference to fastest. `kScalar` is
+/// the oracle: one word at a time, straight std::popcount / bit loops.
+/// `kWord` is the portable fast tier (4-way unrolled word-parallel).
+/// `kAvx2` / `kNeon` are the vector tiers; each is only available when
+/// both compiled in and supported by the running CPU.
+enum class Level {
+  kScalar = 0,
+  kWord = 1,
+  kAvx2 = 2,
+  kNeon = 3,
+};
+
+/// Human-readable tier name ("scalar", "word", "avx2", "neon").
+const char* level_name(Level level);
+
+/// Parses a tier name as accepted by the PUFAGING_SIMD environment
+/// variable. Throws InvalidArgument on unknown names.
+Level level_from_name(const std::string& name);
+
+/// Tiers compiled in AND usable on this CPU, in ascending Level order.
+/// Always contains kScalar and kWord.
+std::vector<Level> available_levels();
+
+/// The tier the dispatched entry points currently use. On first use the
+/// best available tier is selected, unless the PUFAGING_SIMD environment
+/// variable ("scalar", "word", "avx2", "neon") pins one.
+Level active_level();
+
+/// Forces the dispatched entry points onto `level` (which must be
+/// available). Intended for the differential tests and benches; prefer
+/// ScopedLevel so the previous tier is restored.
+void force_level(Level level);
+
+/// RAII tier override for tests and benches.
+class ScopedLevel {
+ public:
+  explicit ScopedLevel(Level level) : previous_(active_level()) {
+    force_level(level);
+  }
+  ~ScopedLevel() { force_level(previous_); }
+  ScopedLevel(const ScopedLevel&) = delete;
+  ScopedLevel& operator=(const ScopedLevel&) = delete;
+
+ private:
+  Level previous_;
+};
+
+/// The kernel function table of one tier. All counts are exact integers;
+/// `words` spans hold whole 64-bit words (bit i lives at word i/64, bit
+/// i%64, LSB-first — the BitVector layout).
+struct Kernels {
+  /// Number of set bits in `words[0, n)`.
+  std::size_t (*popcount)(const std::uint64_t* words, std::size_t n);
+
+  /// Fused XOR + popcount: Hamming distance between two equal-length
+  /// word spans, without materializing the XOR.
+  std::size_t (*xor_popcount)(const std::uint64_t* a, const std::uint64_t* b,
+                              std::size_t n);
+
+  /// Per-cell ones accumulation: counters[i] += bit i of `words`, for
+  /// i in [0, bit_count). The tail word is masked internally, so padding
+  /// bits can never reach a counter. Requires counters[0, bit_count).
+  void (*accumulate_ones)(const std::uint64_t* words, std::size_t bit_count,
+                          std::uint32_t* counters);
+};
+
+/// Function table of one tier (for the differential harness, which
+/// cross-checks every available tier against kernels_for(kScalar)).
+const Kernels& kernels_for(Level level);
+
+// ---------------------------------------------------------------------------
+// Dispatched entry points (the ones production code calls).
+// ---------------------------------------------------------------------------
+
+/// Set bits in `words[0, n)` at the active tier.
+std::size_t popcount(const std::uint64_t* words, std::size_t n);
+
+/// Hamming distance between equal-length word spans at the active tier.
+std::size_t xor_popcount(const std::uint64_t* a, const std::uint64_t* b,
+                         std::size_t n);
+
+/// counters[i] += bit i of `words` for i in [0, bit_count), at the
+/// active tier; the tail word is masked internally.
+void accumulate_ones(const std::uint64_t* words, std::size_t bit_count,
+                     std::uint32_t* counters);
+
+/// Batched ones accumulation over a whole measurement batch: one
+/// accumulate_ones per row. `rows` holds `row_count` packed patterns of
+/// `bit_count` bits each, laid out back to back at `words_per_row` words.
+void accumulate_ones_batch(const std::uint64_t* rows, std::size_t row_count,
+                           std::size_t words_per_row, std::size_t bit_count,
+                           std::uint32_t* counters);
+
+/// Cache-blocked all-pairs Hamming distances over `n` packed rows of
+/// `words_per_row` words each: out[k] = HD(row i, row j) for every
+/// unordered pair i < j in lexicographic order, k = 0 .. n(n-1)/2 - 1.
+/// This is the BCHD kernel; rows are the per-device reference patterns.
+void all_pairs_hamming(const std::uint64_t* rows, std::size_t n,
+                       std::size_t words_per_row, std::size_t* out);
+
+/// Column ones counts across `n` packed rows: counters[i] = number of
+/// rows whose bit i is set, i in [0, bit_count). Counters are
+/// zero-initialized by the callee. This is the PUF-entropy kernel (ones
+/// per bit location across the fleet's reference patterns).
+void column_ones(const std::uint64_t* rows, std::size_t n,
+                 std::size_t words_per_row, std::size_t bit_count,
+                 std::uint32_t* counters);
+
+}  // namespace pufaging::bitkernel

@@ -1,7 +1,6 @@
 #include "common/bitvector.hpp"
 
-#include <bit>
-
+#include "common/bitkernel.hpp"
 #include "common/error.hpp"
 
 namespace pufaging {
@@ -43,11 +42,7 @@ BitVector BitVector::from_string(const std::string& bits) {
 }
 
 std::size_t BitVector::count_ones() const {
-  std::size_t total = 0;
-  for (std::uint64_t w : words_) {
-    total += static_cast<std::size_t>(std::popcount(w));
-  }
-  return total;
+  return bitkernel::popcount(words_.data(), words_.size());
 }
 
 double BitVector::fractional_weight() const {
@@ -127,11 +122,21 @@ BitVector BitVector::slice(std::size_t begin, std::size_t count) const {
     throw InvalidArgument("BitVector::slice: out of range");
   }
   BitVector out(count);
-  for (std::size_t i = 0; i < count; ++i) {
-    if (get(begin + i)) {
-      out.set(i, true);
-    }
+  if (count == 0) {
+    return out;
   }
+  // Word-wise funnel shift; the tail is re-masked so the trailing-bits
+  // invariant holds for any (begin, count), aligned or not.
+  const std::size_t word_off = begin >> 6;
+  const std::size_t shift = begin & 63U;
+  for (std::size_t w = 0; w < out.words_.size(); ++w) {
+    std::uint64_t bits = words_[word_off + w] >> shift;
+    if (shift != 0 && word_off + w + 1 < words_.size()) {
+      bits |= words_[word_off + w + 1] << (64 - shift);
+    }
+    out.words_[w] = bits;
+  }
+  out.clear_trailing_bits();
   return out;
 }
 
@@ -148,11 +153,7 @@ std::size_t hamming_distance(const BitVector& a, const BitVector& b) {
   }
   const auto& wa = a.words();
   const auto& wb = b.words();
-  std::size_t total = 0;
-  for (std::size_t i = 0; i < wa.size(); ++i) {
-    total += static_cast<std::size_t>(std::popcount(wa[i] ^ wb[i]));
-  }
-  return total;
+  return bitkernel::xor_popcount(wa.data(), wb.data(), wa.size());
 }
 
 double fractional_hamming_distance(const BitVector& a, const BitVector& b) {

@@ -55,7 +55,8 @@ class BitVector {
   /// Flips bit `i`. Precondition: i < size().
   void flip(std::size_t i) { words_[i >> 6] ^= std::uint64_t{1} << (i & 63U); }
 
-  /// Number of one bits (Hamming weight).
+  /// Number of one bits (Hamming weight). Runs on the dispatched
+  /// bitkernel tier (bitkernel.hpp); bit-identical at every tier.
   std::size_t count_ones() const;
 
   /// Hamming weight divided by length; 0 for an empty vector.
@@ -99,7 +100,9 @@ class BitVector {
   std::vector<std::uint64_t> words_;
 };
 
-/// Hamming distance between equal-length vectors (number of differing bits).
+/// Hamming distance between equal-length vectors (number of differing
+/// bits). Fused XOR+popcount on the dispatched bitkernel tier — the XOR
+/// is never materialized.
 std::size_t hamming_distance(const BitVector& a, const BitVector& b);
 
 /// Hamming distance divided by the common length.

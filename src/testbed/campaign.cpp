@@ -4,6 +4,7 @@
 #include <cmath>
 #include <optional>
 
+#include "common/bitkernel.hpp"
 #include "common/error.hpp"
 #include "common/thread_pool.hpp"
 #include "testbed/checkpoint.hpp"
@@ -61,6 +62,10 @@ CampaignResult run_campaign(const CampaignConfig& config) {
   };
 
   CampaignResult result;
+  // Resolve the kernel dispatch once, on the calling thread, before the
+  // per-device fan-out: the workers' inner loops (WCHD, FHW, per-cell
+  // ones) all run on this tier.
+  result.kernel_level = bitkernel::level_name(bitkernel::active_level());
   result.references.resize(fleet.size());
   if (config.keep_first_month_batches) {
     result.first_month_batches.resize(fleet.size());

@@ -97,6 +97,11 @@ struct CampaignResult {
   CampaignHealth health;
   /// False when the campaign stopped at `halt_after_month`.
   bool completed = true;
+  /// The bitkernel dispatch tier ("scalar", "word", "avx2", "neon") the
+  /// analysis kernels ran on — a reproducibility record only: every tier
+  /// is bit-identical by the kernel determinism contract, which the
+  /// differential suite enforces.
+  std::string kernel_level;
 };
 
 /// Runs the fast-path campaign.

@@ -1,0 +1,351 @@
+// Differential suite for the bit-kernel layer: every dispatch tier must be
+// bit-identical to the scalar oracle on random, adversarial and
+// paper-scale inputs. This is the proof obligation behind rewiring the
+// WCHD/BCHD/FHW/stable-cell/entropy hot paths onto SIMD kernels — if this
+// suite passes, no tier can move the physics.
+#include "common/bitkernel.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <optional>
+#include <vector>
+
+#include "common/bitvector.hpp"
+#include "common/error.hpp"
+#include "common/rng.hpp"
+#include "support/bitgen.hpp"
+#include "support/differential.hpp"
+
+namespace pufaging {
+namespace {
+
+using bitkernel::Level;
+using testsupport::adversarial_lengths;
+using testsupport::adversarial_patterns;
+using testsupport::expect_accumulate_matches_oracle;
+using testsupport::expect_counts_match_oracle;
+using testsupport::for_each_level;
+using testsupport::random_bits;
+using testsupport::words_with_dirty_tail;
+
+TEST(BitKernelDispatch, LevelNamesRoundTrip) {
+  for (const Level level : {Level::kScalar, Level::kWord, Level::kAvx2,
+                            Level::kNeon}) {
+    EXPECT_EQ(bitkernel::level_from_name(bitkernel::level_name(level)), level);
+  }
+  EXPECT_THROW(bitkernel::level_from_name("avx1024"), InvalidArgument);
+  EXPECT_THROW(bitkernel::level_from_name(""), InvalidArgument);
+}
+
+TEST(BitKernelDispatch, ScalarAndWordAlwaysAvailable) {
+  const std::vector<Level> levels = bitkernel::available_levels();
+  EXPECT_NE(std::find(levels.begin(), levels.end(), Level::kScalar),
+            levels.end());
+  EXPECT_NE(std::find(levels.begin(), levels.end(), Level::kWord),
+            levels.end());
+}
+
+TEST(BitKernelDispatch, ActiveLevelIsAvailable) {
+  const std::vector<Level> levels = bitkernel::available_levels();
+  EXPECT_NE(std::find(levels.begin(), levels.end(), bitkernel::active_level()),
+            levels.end());
+}
+
+TEST(BitKernelDispatch, ForceLevelSwitchesAndScopedRestores) {
+  const Level before = bitkernel::active_level();
+  {
+    bitkernel::ScopedLevel scoped(Level::kScalar);
+    EXPECT_EQ(bitkernel::active_level(), Level::kScalar);
+    {
+      bitkernel::ScopedLevel nested(Level::kWord);
+      EXPECT_EQ(bitkernel::active_level(), Level::kWord);
+    }
+    EXPECT_EQ(bitkernel::active_level(), Level::kScalar);
+  }
+  EXPECT_EQ(bitkernel::active_level(), before);
+}
+
+TEST(BitKernelDispatch, UnavailableTiersThrow) {
+  for (const Level level : {Level::kAvx2, Level::kNeon}) {
+    const std::vector<Level> levels = bitkernel::available_levels();
+    if (std::find(levels.begin(), levels.end(), level) == levels.end()) {
+      EXPECT_THROW(bitkernel::force_level(level), InvalidArgument);
+      EXPECT_THROW(bitkernel::kernels_for(level), InvalidArgument);
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Differential: counting kernels vs the scalar oracle.
+// ---------------------------------------------------------------------------
+
+TEST(BitKernelDifferential, CountsOnAdversarialInputs) {
+  Xoshiro256StarStar rng(0xB17C0DE0);
+  for (const std::size_t bits : adversarial_lengths()) {
+    SCOPED_TRACE(::testing::Message() << "bits=" << bits);
+    const std::vector<BitVector> patterns = adversarial_patterns(rng, bits);
+    for (const Level level : testsupport::accelerated_levels()) {
+      SCOPED_TRACE(bitkernel::level_name(level));
+      for (std::size_t i = 0; i < patterns.size(); ++i) {
+        for (std::size_t j = i; j < patterns.size(); ++j) {
+          expect_counts_match_oracle(level, patterns[i].words().data(),
+                                     patterns[j].words().data(),
+                                     patterns[i].words().size());
+        }
+      }
+    }
+  }
+}
+
+TEST(BitKernelDifferential, CountsOnRandomUnalignedLengths) {
+  Xoshiro256StarStar rng(0xB17C0DE1);
+  for (int round = 0; round < 200; ++round) {
+    const std::size_t bits = static_cast<std::size_t>(rng.below(20001));
+    const BitVector a = random_bits(rng, bits);
+    const BitVector b = random_bits(rng, bits);
+    for (const Level level : testsupport::accelerated_levels()) {
+      SCOPED_TRACE(::testing::Message()
+                   << bitkernel::level_name(level) << " bits=" << bits
+                   << " round=" << round);
+      expect_counts_match_oracle(level, a.words().data(), b.words().data(),
+                                 a.words().size());
+    }
+  }
+}
+
+TEST(BitKernelDifferential, AccumulateOnesOnAdversarialInputs) {
+  Xoshiro256StarStar rng(0xB17C0DE2);
+  for (const std::size_t bits : adversarial_lengths()) {
+    SCOPED_TRACE(::testing::Message() << "bits=" << bits);
+    // Start from a non-trivial counter image so carries are exercised.
+    std::vector<std::uint32_t> initial(bits);
+    for (std::size_t i = 0; i < bits; ++i) {
+      initial[i] = static_cast<std::uint32_t>(rng.below(1000));
+    }
+    for (const BitVector& pattern : adversarial_patterns(rng, bits)) {
+      for (const Level level : testsupport::accelerated_levels()) {
+        SCOPED_TRACE(bitkernel::level_name(level));
+        expect_accumulate_matches_oracle(level, pattern.words().data(), bits,
+                                         initial);
+      }
+    }
+  }
+}
+
+TEST(BitKernelDifferential, AccumulateOnesMasksDirtyTailIdentically) {
+  // Kernels take (words, bit_count) and must mask the padding bits of the
+  // tail word themselves — a buffer with garbage padding must produce the
+  // same counters on every tier, and no counter outside [0, bits).
+  Xoshiro256StarStar rng(0xB17C0DE3);
+  for (const std::size_t bits : adversarial_lengths()) {
+    if (bits == 0) {
+      continue;
+    }
+    SCOPED_TRACE(::testing::Message() << "bits=" << bits);
+    const std::vector<std::uint64_t> words = words_with_dirty_tail(rng, bits);
+    const std::vector<std::uint32_t> zeros(bits, 0);
+    for (const Level level : testsupport::accelerated_levels()) {
+      SCOPED_TRACE(bitkernel::level_name(level));
+      expect_accumulate_matches_oracle(level, words.data(), bits, zeros);
+    }
+    // And the oracle itself never counts a padding bit: accumulating the
+    // all-ones-with-dirty-tail buffer bit_count times stays <= bit_count.
+    std::vector<std::uint32_t> counters(bits, 0);
+    bitkernel::kernels_for(Level::kScalar)
+        .accumulate_ones(words.data(), bits, counters.data());
+    for (std::size_t i = 0; i < bits; ++i) {
+      EXPECT_LE(counters[i], 1U);
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Differential: composite kernels (all-pairs BCHD, column ones, batches)
+// through the *dispatched* entry points, forced onto each tier.
+// ---------------------------------------------------------------------------
+
+TEST(BitKernelDifferential, AllPairsHammingMatchesNaive) {
+  Xoshiro256StarStar rng(0xB17C0DE4);
+  // Row shapes chosen so the cache-blocked path tiles (40 rows x 128
+  // words splits into 16-row blocks) and degenerates (1 word, 0 words).
+  const struct {
+    std::size_t n;
+    std::size_t bits;
+  } shapes[] = {{2, 64}, {3, 1}, {5, 100}, {16, 8192}, {40, 8192}, {7, 0},
+                {17, 4097}};
+  for (const auto& shape : shapes) {
+    SCOPED_TRACE(::testing::Message()
+                 << "n=" << shape.n << " bits=" << shape.bits);
+    const std::size_t words_per_row = (shape.bits + 63) / 64;
+    std::vector<std::uint64_t> rows(shape.n * words_per_row);
+    std::vector<BitVector> patterns;
+    for (std::size_t i = 0; i < shape.n; ++i) {
+      patterns.push_back(random_bits(rng, shape.bits));
+      std::copy(patterns[i].words().begin(), patterns[i].words().end(),
+                rows.begin() + static_cast<std::ptrdiff_t>(i * words_per_row));
+    }
+    // Naive reference in lexicographic pair order, via the scalar oracle.
+    std::vector<std::size_t> expected;
+    for (std::size_t i = 0; i < shape.n; ++i) {
+      for (std::size_t j = i + 1; j < shape.n; ++j) {
+        expected.push_back(
+            bitkernel::kernels_for(Level::kScalar)
+                .xor_popcount(rows.data() + i * words_per_row,
+                              rows.data() + j * words_per_row,
+                              words_per_row));
+      }
+    }
+    for_each_level([&](Level) {
+      std::vector<std::size_t> actual(expected.size());
+      bitkernel::all_pairs_hamming(rows.data(), shape.n, words_per_row,
+                                   actual.data());
+      EXPECT_EQ(actual, expected);
+    });
+  }
+}
+
+TEST(BitKernelDifferential, ColumnOnesMatchesNaive) {
+  Xoshiro256StarStar rng(0xB17C0DE5);
+  for (const std::size_t bits : {std::size_t{1}, std::size_t{65},
+                                 std::size_t{1000}, std::size_t{8192}}) {
+    const std::size_t n = 9;
+    const std::size_t words_per_row = (bits + 63) / 64;
+    std::vector<std::uint64_t> rows(n * words_per_row);
+    std::vector<BitVector> patterns;
+    for (std::size_t i = 0; i < n; ++i) {
+      patterns.push_back(random_bits(rng, bits));
+      std::copy(patterns[i].words().begin(), patterns[i].words().end(),
+                rows.begin() + static_cast<std::ptrdiff_t>(i * words_per_row));
+    }
+    std::vector<std::uint32_t> expected(bits, 0);
+    for (std::size_t i = 0; i < bits; ++i) {
+      for (const BitVector& p : patterns) {
+        expected[i] += p.get(i) ? 1U : 0U;
+      }
+    }
+    for_each_level([&](Level) {
+      std::vector<std::uint32_t> actual(bits, 0xDEADBEEF);  // callee zeroes
+      bitkernel::column_ones(rows.data(), n, words_per_row, bits,
+                             actual.data());
+      EXPECT_EQ(actual, expected);
+    });
+  }
+}
+
+TEST(BitKernelDifferential, BatchAccumulateMatchesSequentialOracle) {
+  Xoshiro256StarStar rng(0xB17C0DE6);
+  const std::size_t bits = 4097;  // unaligned tail in every row
+  const std::size_t rows_n = 50;
+  const std::size_t words_per_row = (bits + 63) / 64;
+  std::vector<std::uint64_t> rows(rows_n * words_per_row);
+  for (std::size_t r = 0; r < rows_n; ++r) {
+    const BitVector v = random_bits(rng, bits);
+    std::copy(v.words().begin(), v.words().end(),
+              rows.begin() + static_cast<std::ptrdiff_t>(r * words_per_row));
+  }
+  std::vector<std::uint32_t> expected(bits, 0);
+  for (std::size_t r = 0; r < rows_n; ++r) {
+    bitkernel::kernels_for(Level::kScalar)
+        .accumulate_ones(rows.data() + r * words_per_row, bits,
+                         expected.data());
+  }
+  for_each_level([&](Level) {
+    std::vector<std::uint32_t> actual(bits, 0);
+    bitkernel::accumulate_ones_batch(rows.data(), rows_n, words_per_row, bits,
+                                     actual.data());
+    EXPECT_EQ(actual, expected);
+  });
+}
+
+// ---------------------------------------------------------------------------
+// Paper scale: one device-month of the real protocol (8192-bit patterns,
+// a 1000-measurement batch) per tier, cross-checked against the oracle.
+// ---------------------------------------------------------------------------
+
+TEST(BitKernelDifferential, PaperScaleDeviceMonth) {
+  Xoshiro256StarStar rng(0xB17C0DE7);
+  const std::size_t bits = 8192;
+  const std::size_t batch = 1000;
+  const BitVector reference = random_bits(rng, bits);
+  // Measurements = reference + ~3% noise, like a real WCHD batch.
+  std::vector<BitVector> measurements;
+  measurements.reserve(batch);
+  for (std::size_t m = 0; m < batch; ++m) {
+    BitVector v = reference;
+    for (std::size_t i = 0; i < bits; ++i) {
+      if (rng.bernoulli(0.03)) {
+        v.flip(i);
+      }
+    }
+    measurements.push_back(std::move(v));
+  }
+
+  const bitkernel::Kernels& oracle = bitkernel::kernels_for(Level::kScalar);
+  std::vector<std::size_t> expected_hd(batch);
+  std::vector<std::size_t> expected_weight(batch);
+  std::vector<std::uint32_t> expected_ones(bits, 0);
+  for (std::size_t m = 0; m < batch; ++m) {
+    expected_hd[m] = oracle.xor_popcount(reference.words().data(),
+                                         measurements[m].words().data(),
+                                         reference.words().size());
+    expected_weight[m] = oracle.popcount(measurements[m].words().data(),
+                                         measurements[m].words().size());
+    oracle.accumulate_ones(measurements[m].words().data(), bits,
+                           expected_ones.data());
+  }
+
+  for (const Level level : testsupport::accelerated_levels()) {
+    SCOPED_TRACE(bitkernel::level_name(level));
+    const bitkernel::Kernels& tier = bitkernel::kernels_for(level);
+    std::vector<std::uint32_t> ones(bits, 0);
+    for (std::size_t m = 0; m < batch; ++m) {
+      EXPECT_EQ(tier.xor_popcount(reference.words().data(),
+                                  measurements[m].words().data(),
+                                  reference.words().size()),
+                expected_hd[m]);
+      EXPECT_EQ(tier.popcount(measurements[m].words().data(),
+                              measurements[m].words().size()),
+                expected_weight[m]);
+      tier.accumulate_ones(measurements[m].words().data(), bits, ones.data());
+    }
+    EXPECT_EQ(ones, expected_ones);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// End to end: the analysis stack (BitVector -> hamming -> accumulators)
+// produces bit-identical DOUBLES at every tier, because every kernel
+// below the floating-point layer returns identical integers.
+// ---------------------------------------------------------------------------
+
+TEST(BitKernelDifferential, AnalysisResultsBitIdenticalAcrossTiers) {
+  Xoshiro256StarStar rng(0xB17C0DE8);
+  const std::size_t bits = 8191;  // deliberately unaligned
+  const BitVector a = random_bits(rng, bits);
+  const BitVector b = random_bits(rng, bits);
+
+  struct Probe {
+    std::size_t hd;
+    std::size_t ones;
+    double fhd;
+    double fw;
+  };
+  std::optional<Probe> reference;
+  for_each_level([&](Level) {
+    Probe p{hamming_distance(a, b), a.count_ones(),
+            fractional_hamming_distance(a, b), a.fractional_weight()};
+    if (!reference) {
+      reference = p;
+      return;
+    }
+    EXPECT_EQ(p.hd, reference->hd);
+    EXPECT_EQ(p.ones, reference->ones);
+    // Exact bit equality — integers divided by the same length.
+    EXPECT_EQ(p.fhd, reference->fhd);
+    EXPECT_EQ(p.fw, reference->fw);
+  });
+}
+
+}  // namespace
+}  // namespace pufaging

@@ -1,0 +1,194 @@
+// Property-based suite for BitVector: random lengths 0-20000 (including
+// non-multiples of 64), XOR/popcount/slice round trips, serialization
+// round trips, and the tail-bit masking invariant that every packed-word
+// kernel in the project leans on. Complements the example-based suite in
+// bitvector_test.cpp.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <vector>
+
+#include "common/bitvector.hpp"
+#include "common/error.hpp"
+#include "common/rng.hpp"
+#include "support/bitgen.hpp"
+
+namespace pufaging {
+namespace {
+
+using testsupport::adversarial_lengths;
+using testsupport::random_bits;
+
+// The class invariant: unused high bits of the last word are zero.
+void expect_tail_clear(const BitVector& v) {
+  if (v.words().empty()) {
+    return;
+  }
+  const std::size_t tail = v.size() & 63U;
+  if (tail != 0) {
+    const std::uint64_t padding_mask = ~((std::uint64_t{1} << tail) - 1);
+    EXPECT_EQ(v.words().back() & padding_mask, 0U)
+        << "padding bits leaked into the tail word at size " << v.size();
+  }
+  EXPECT_EQ(v.words().size(), (v.size() + 63) / 64);
+}
+
+std::vector<std::size_t> property_lengths(Xoshiro256StarStar& rng,
+                                          std::size_t random_count) {
+  std::vector<std::size_t> lengths = adversarial_lengths();
+  for (std::size_t i = 0; i < random_count; ++i) {
+    lengths.push_back(static_cast<std::size_t>(rng.below(20001)));
+  }
+  return lengths;
+}
+
+TEST(BitVectorProperty, PopcountMatchesNaive) {
+  Xoshiro256StarStar rng(0xA11CE01);
+  for (const std::size_t n : property_lengths(rng, 40)) {
+    const BitVector v = random_bits(rng, n);
+    expect_tail_clear(v);
+    std::size_t naive = 0;
+    for (std::size_t i = 0; i < n; ++i) {
+      naive += v.get(i) ? 1U : 0U;
+    }
+    EXPECT_EQ(v.count_ones(), naive) << "size " << n;
+    if (n > 0) {
+      EXPECT_DOUBLE_EQ(v.fractional_weight(),
+                       static_cast<double>(naive) / static_cast<double>(n));
+    }
+  }
+}
+
+TEST(BitVectorProperty, XorRoundTripsAndPreservesInvariant) {
+  Xoshiro256StarStar rng(0xA11CE02);
+  for (const std::size_t n : property_lengths(rng, 30)) {
+    const BitVector a = random_bits(rng, n);
+    const BitVector b = random_bits(rng, n);
+    const BitVector x = a ^ b;
+    expect_tail_clear(x);
+    for (std::size_t i = 0; i < n; ++i) {
+      EXPECT_EQ(x.get(i), a.get(i) != b.get(i));
+    }
+    // Involution: (a ^ b) ^ b == a, bitwise and by operator==.
+    EXPECT_EQ(x ^ b, a);
+    // Self-inverse: a ^ a is all-zero.
+    EXPECT_EQ((a ^ a).count_ones(), 0U);
+    // HD(a, b) == |a ^ b|.
+    EXPECT_EQ(hamming_distance(a, b), x.count_ones());
+  }
+}
+
+TEST(BitVectorProperty, SliceRoundTrips) {
+  Xoshiro256StarStar rng(0xA11CE03);
+  for (const std::size_t n : property_lengths(rng, 25)) {
+    const BitVector v = random_bits(rng, n);
+    // Full-range slice is the identity.
+    EXPECT_EQ(v.slice(0, n), v);
+    // Random sub-slices, including empty ones and tail-touching ones.
+    for (int round = 0; round < 8; ++round) {
+      const std::size_t begin = static_cast<std::size_t>(rng.below(n + 1));
+      const std::size_t count =
+          static_cast<std::size_t>(rng.below(n - begin + 1));
+      const BitVector s = v.slice(begin, count);
+      ASSERT_EQ(s.size(), count);
+      expect_tail_clear(s);
+      for (std::size_t i = 0; i < count; ++i) {
+        ASSERT_EQ(s.get(i), v.get(begin + i))
+            << "size " << n << " begin " << begin << " count " << count
+            << " bit " << i;
+      }
+    }
+    // Splitting at any point and re-reading bits loses nothing.
+    const std::size_t cut = static_cast<std::size_t>(rng.below(n + 1));
+    const BitVector head = v.slice(0, cut);
+    const BitVector tail = v.slice(cut, n - cut);
+    EXPECT_EQ(head.count_ones() + tail.count_ones(), v.count_ones());
+  }
+}
+
+TEST(BitVectorProperty, SerializationRoundTrips) {
+  Xoshiro256StarStar rng(0xA11CE04);
+  for (const std::size_t n : property_lengths(rng, 20)) {
+    const BitVector v = random_bits(rng, n);
+    EXPECT_EQ(BitVector::from_bytes(v.to_bytes(), n), v);
+    EXPECT_EQ(BitVector::from_hex(v.to_hex(), n), v);
+    EXPECT_EQ(BitVector::from_string(v.to_string()), v);
+    expect_tail_clear(BitVector::from_bytes(v.to_bytes(), n));
+    expect_tail_clear(BitVector::from_hex(v.to_hex(), n));
+  }
+}
+
+TEST(BitVectorProperty, SetFlipKeepTailClear) {
+  Xoshiro256StarStar rng(0xA11CE05);
+  for (const std::size_t n : property_lengths(rng, 10)) {
+    if (n == 0) {
+      continue;
+    }
+    BitVector v(n);
+    for (int round = 0; round < 64; ++round) {
+      const std::size_t i = static_cast<std::size_t>(rng.below(n));
+      switch (rng.below(3)) {
+        case 0:
+          v.set(i, true);
+          break;
+        case 1:
+          v.set(i, false);
+          break;
+        default:
+          v.flip(i);
+          break;
+      }
+    }
+    expect_tail_clear(v);
+    // Setting and clearing the very last bit never touches padding.
+    v.set(n - 1, true);
+    expect_tail_clear(v);
+    v.flip(n - 1);
+    expect_tail_clear(v);
+  }
+}
+
+// Regression pin for the tail-word audit (this PR): every constructor
+// path must mask padding identically, and the padding bits must be
+// invisible to popcount/HD/equality on every kernel tier. from_bytes and
+// from_hex accept inputs whose final partial byte has garbage above the
+// bit count — exactly the shape collector records and checkpoints carry.
+TEST(BitVectorTailRegression, PaddingBitsAreMaskedEverywhere) {
+  for (const std::size_t n :
+       {std::size_t{1}, std::size_t{5}, std::size_t{63}, std::size_t{65},
+        std::size_t{8191}, std::size_t{8193}}) {
+    // All-ones raw bytes, truncated to n bits: bits beyond n arrive set
+    // and must be dropped.
+    std::vector<std::uint8_t> bytes((n + 7) / 8, 0xFF);
+    const BitVector v = BitVector::from_bytes(bytes, n);
+    EXPECT_EQ(v.count_ones(), n) << "size " << n;
+    const std::size_t tail = n & 63U;
+    if (tail != 0) {
+      EXPECT_EQ(v.words().back(), (std::uint64_t{1} << tail) - 1);
+    }
+
+    // Equality ignores nothing: two all-ones vectors built through
+    // different paths (bytes vs hex vs set()) are identical objects.
+    std::string hex;
+    for (std::size_t i = 0; i < bytes.size(); ++i) {
+      hex += "ff";
+    }
+    EXPECT_EQ(BitVector::from_hex(hex, n), v);
+    BitVector built(n);
+    for (std::size_t i = 0; i < n; ++i) {
+      built.set(i, true);
+    }
+    EXPECT_EQ(built, v);
+
+    // HD against all-zero is exactly n — padding contributes nothing.
+    EXPECT_EQ(hamming_distance(v, BitVector(n)), n);
+    // XOR with itself leaves no stray bits anywhere in the words.
+    const BitVector zero = v ^ v;
+    for (const std::uint64_t w : zero.words()) {
+      EXPECT_EQ(w, 0U);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace pufaging

@@ -1,0 +1,110 @@
+// Seeded property generators for bit-level tests.
+//
+// Everything here is a pure function of the Xoshiro stream passed in, so a
+// failing property test reproduces from its printed seed. The adversarial
+// corpus concentrates on the places bit kernels historically break: length
+// zero, single-word boundaries, lengths just off multiples of 64 (tail-bit
+// masking), and the paper's 8192-bit pattern size.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "common/bitvector.hpp"
+#include "common/rng.hpp"
+
+namespace pufaging::testsupport {
+
+/// Random packed bytes for `bits` bits (the generator feeds whole 64-bit
+/// draws into bytes, so every byte including the partial tail is random).
+inline std::vector<std::uint8_t> random_bytes_for_bits(Xoshiro256StarStar& rng,
+                                                       std::size_t bits) {
+  std::vector<std::uint8_t> bytes((bits + 7) / 8);
+  for (std::size_t i = 0; i < bytes.size(); ++i) {
+    if (i % 8 == 0) {
+      const std::uint64_t draw = rng.next();
+      for (std::size_t k = 0; k < 8 && i + k < bytes.size(); ++k) {
+        bytes[i + k] = static_cast<std::uint8_t>((draw >> (k * 8)) & 0xFFU);
+      }
+    }
+  }
+  return bytes;
+}
+
+/// Random BitVector of `bits` bits with ones density ~0.5.
+inline BitVector random_bits(Xoshiro256StarStar& rng, std::size_t bits) {
+  return BitVector::from_bytes(random_bytes_for_bits(rng, bits), bits);
+}
+
+/// Random BitVector with ones density `p` (per-bit Bernoulli draws).
+inline BitVector random_bits(Xoshiro256StarStar& rng, std::size_t bits,
+                             double p) {
+  BitVector v(bits);
+  for (std::size_t i = 0; i < bits; ++i) {
+    if (rng.bernoulli(p)) {
+      v.set(i, true);
+    }
+  }
+  return v;
+}
+
+/// Bit lengths that historically break word-packed kernels: empty, single
+/// bits, word boundaries +/- 1, byte-unaligned tails, the paper's 8192-bit
+/// pattern, and a few large non-multiples of 64.
+inline std::vector<std::size_t> adversarial_lengths() {
+  return {0,    1,    2,    7,    8,    9,    63,   64,    65,   127,
+          128,  129,  191,  192,  255,  256,  257,  511,   512,  513,
+          1000, 1023, 1024, 1025, 4095, 4096, 8191, 8192,  8193, 12345,
+          16384, 19999, 20000};
+}
+
+/// Extreme patterns of one length: all-zero, all-one, lone bit at each
+/// end, alternating phases, plus `random_count` random patterns.
+inline std::vector<BitVector> adversarial_patterns(
+    Xoshiro256StarStar& rng, std::size_t bits, std::size_t random_count = 3) {
+  std::vector<BitVector> out;
+  out.emplace_back(bits);  // all-zero
+  BitVector ones(bits);
+  BitVector alt0(bits);
+  BitVector alt1(bits);
+  for (std::size_t i = 0; i < bits; ++i) {
+    ones.set(i, true);
+    alt0.set(i, i % 2 == 0);
+    alt1.set(i, i % 2 == 1);
+  }
+  out.push_back(ones);
+  out.push_back(alt0);
+  out.push_back(alt1);
+  if (bits > 0) {
+    BitVector first(bits);
+    first.set(0, true);
+    out.push_back(first);
+    BitVector last(bits);
+    last.set(bits - 1, true);  // the tail bit the padding mask must keep
+    out.push_back(last);
+  }
+  for (std::size_t r = 0; r < random_count; ++r) {
+    out.push_back(random_bits(rng, bits));
+  }
+  return out;
+}
+
+/// Raw word buffer for `bits` bits whose padding bits are GARBAGE (all-one
+/// beyond the valid range). Kernels that take (words, bit_count) must mask
+/// this internally; feeding it to every tier checks they do so identically.
+inline std::vector<std::uint64_t> words_with_dirty_tail(
+    Xoshiro256StarStar& rng, std::size_t bits) {
+  const std::size_t n_words = (bits + 63) / 64;
+  std::vector<std::uint64_t> words(n_words);
+  for (std::size_t w = 0; w < n_words; ++w) {
+    words[w] = rng.next();
+  }
+  const std::size_t tail = bits & 63U;
+  if (tail != 0 && n_words > 0) {
+    words[n_words - 1] |= ~((std::uint64_t{1} << tail) - 1);  // dirty padding
+  }
+  return words;
+}
+
+}  // namespace pufaging::testsupport

@@ -1,0 +1,80 @@
+// Differential harness: proves every bitkernel dispatch tier bit-identical
+// to the scalar oracle.
+//
+// The kernel layer's determinism contract (bitkernel.hpp) says all tiers
+// return the same integers on the same input. This header turns that
+// contract into reusable assertions: `for_each_level` runs a check under
+// every tier available on the build/CPU (with the dispatched entry points
+// actually forced onto that tier, so the production call path is what is
+// tested), and the expect_* helpers compare one tier's kernel table
+// against kernels_for(kScalar) on one input. Any future kernel tier —
+// AVX-512, SVE — is covered the day it is added to available_levels(),
+// with no test changes.
+#pragma once
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <vector>
+
+#include "common/bitkernel.hpp"
+
+namespace pufaging::testsupport {
+
+/// Runs `fn(level)` once per available tier with the dispatched entry
+/// points forced onto that tier (restored afterwards). Scalar runs too,
+/// so the oracle itself goes through the same code path it certifies.
+template <typename Fn>
+void for_each_level(Fn&& fn) {
+  for (const bitkernel::Level level : bitkernel::available_levels()) {
+    bitkernel::ScopedLevel scoped(level);
+    SCOPED_TRACE(::testing::Message()
+                 << "dispatch tier: " << bitkernel::level_name(level));
+    fn(level);
+  }
+}
+
+/// Non-scalar tiers available on this build/CPU (the ones with something
+/// to prove).
+inline std::vector<bitkernel::Level> accelerated_levels() {
+  std::vector<bitkernel::Level> out;
+  for (const bitkernel::Level level : bitkernel::available_levels()) {
+    if (level != bitkernel::Level::kScalar) {
+      out.push_back(level);
+    }
+  }
+  return out;
+}
+
+/// Checks `level`'s popcount and fused xor+popcount against the scalar
+/// oracle on the word spans `a` and `b` (equal length `n` words).
+inline void expect_counts_match_oracle(bitkernel::Level level,
+                                       const std::uint64_t* a,
+                                       const std::uint64_t* b, std::size_t n) {
+  const bitkernel::Kernels& oracle =
+      bitkernel::kernels_for(bitkernel::Level::kScalar);
+  const bitkernel::Kernels& tier = bitkernel::kernels_for(level);
+  EXPECT_EQ(tier.popcount(a, n), oracle.popcount(a, n));
+  EXPECT_EQ(tier.popcount(b, n), oracle.popcount(b, n));
+  EXPECT_EQ(tier.xor_popcount(a, b, n), oracle.xor_popcount(a, b, n));
+  EXPECT_EQ(tier.xor_popcount(b, a, n), oracle.xor_popcount(a, b, n));
+}
+
+/// Checks `level`'s accumulate_ones against the scalar oracle on one
+/// (words, bit_count) input: both start from the same counter image and
+/// must land on identical counters — including when the padding bits of
+/// the tail word are dirty.
+inline void expect_accumulate_matches_oracle(
+    bitkernel::Level level, const std::uint64_t* words, std::size_t bit_count,
+    const std::vector<std::uint32_t>& initial_counters) {
+  ASSERT_EQ(initial_counters.size(), bit_count);
+  std::vector<std::uint32_t> expected = initial_counters;
+  std::vector<std::uint32_t> actual = initial_counters;
+  bitkernel::kernels_for(bitkernel::Level::kScalar)
+      .accumulate_ones(words, bit_count, expected.data());
+  bitkernel::kernels_for(level).accumulate_ones(words, bit_count,
+                                                actual.data());
+  EXPECT_EQ(actual, expected);
+}
+
+}  // namespace pufaging::testsupport

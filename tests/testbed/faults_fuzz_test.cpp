@@ -1,0 +1,307 @@
+// Fuzz-style robustness sweep over the chaos-rig input parsers: the
+// FaultPlan compact-spec and JSON parsers and the checkpoint JSONL
+// loader. These parse operator-supplied CLI strings and on-disk state
+// that survives crashes, so the bar is: mutated, truncated or garbage
+// input must raise a clean pufaging::Error — never crash, never hang,
+// and never be silently accepted when structurally broken.
+//
+// The corpus is bounded and seeded (no wall-clock dependence), so this
+// runs as an ordinary ctest case; crank kRounds up locally for a deeper
+// soak.
+#include <gtest/gtest.h>
+#include <unistd.h>
+
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "common/error.hpp"
+#include "common/rng.hpp"
+#include "testbed/campaign.hpp"
+#include "testbed/checkpoint.hpp"
+#include "testbed/faults.hpp"
+
+namespace pufaging {
+namespace {
+
+constexpr int kRounds = 400;  // mutations per seed input
+
+// Applies one seeded mutation: truncate, delete, insert, replace or
+// duplicate at a random position, or append junk.
+std::string mutate(Xoshiro256StarStar& rng, const std::string& input) {
+  std::string s = input;
+  const auto pos = [&](std::size_t extent) {
+    return extent == 0 ? 0 : static_cast<std::size_t>(rng.below(extent));
+  };
+  const char junk[] = "{}[]\",=@:.-+eE0123456789xX\x01\x7f\xff corrupt";
+  const char c = junk[rng.below(sizeof(junk) - 1)];
+  switch (rng.below(6)) {
+    case 0:  // truncate
+      s.resize(pos(s.size() + 1));
+      break;
+    case 1:  // delete one char
+      if (!s.empty()) {
+        s.erase(pos(s.size()), 1);
+      }
+      break;
+    case 2:  // insert junk
+      s.insert(pos(s.size() + 1), 1, c);
+      break;
+    case 3:  // replace with junk
+      if (!s.empty()) {
+        s[pos(s.size())] = c;
+      }
+      break;
+    case 4: {  // duplicate a slice
+      if (!s.empty()) {
+        const std::size_t begin = pos(s.size());
+        const std::size_t len = 1 + pos(s.size() - begin);
+        s.insert(pos(s.size() + 1), s.substr(begin, len));
+      }
+      break;
+    }
+    default: {  // stack a second mutation
+      if (!s.empty()) {
+        s[pos(s.size())] = c;
+        s.resize(pos(s.size() + 1));
+      }
+      break;
+    }
+  }
+  return s;
+}
+
+// A parse attempt may succeed (mutations can cancel out) or raise one of
+// our Error types; anything else — a foreign exception or a crash — is a
+// robustness bug. Returns true when the input was accepted.
+template <typename Fn>
+bool expect_clean(Fn&& fn, const std::string& label) {
+  try {
+    fn();
+    return true;
+  } catch (const Error&) {
+    return false;  // clean rejection
+  } catch (const std::exception& e) {
+    ADD_FAILURE() << label << ": non-pufaging exception: " << e.what();
+    return false;
+  } catch (...) {
+    ADD_FAILURE() << label << ": unknown exception type";
+    return false;
+  }
+}
+
+TEST(FaultPlanFuzz, CompactSpecMutationsNeverCrash) {
+  const std::vector<std::string> seeds = {
+      "corrupt=0.01,drop=0.005,nak=0.002,hang=0.001,hang-cycles=16,"
+      "reset=0.001,brownout=0.004,brownout-ramp=0.1,stuck=0.002,"
+      "dropout=3@6,dropout=0@12",
+      "corrupt=0.5",
+      "dropout=15@23",
+      "",
+  };
+  Xoshiro256StarStar rng(0xF022001);
+  std::size_t accepted = 0;
+  for (const std::string& seed : seeds) {
+    for (int round = 0; round < kRounds; ++round) {
+      std::string input = seed;
+      const int stacked = 1 + static_cast<int>(rng.below(4));
+      for (int m = 0; m < stacked; ++m) {
+        input = mutate(rng, input);
+      }
+      if (expect_clean([&] { parse_fault_plan(input).validate(); },
+                       "compact spec: '" + input + "'")) {
+        ++accepted;
+      }
+    }
+  }
+  // Sanity: the sweep must actually reject most mutants — if nearly all
+  // parse, the mutator (or the parser) is too lax to mean anything.
+  EXPECT_LT(accepted, static_cast<std::size_t>(kRounds) * seeds.size());
+}
+
+TEST(FaultPlanFuzz, JsonMutationsNeverCrashOrAcceptBrokenRates) {
+  FaultPlan plan;
+  plan.i2c_corrupt_rate = 0.01;
+  plan.i2c_drop_rate = 0.005;
+  plan.hang_rate = 0.002;
+  plan.brownout_rate = 0.004;
+  plan.dropouts.push_back({3, 6});
+  const std::string seed = fault_plan_to_json(plan).dump();
+  ASSERT_EQ(seed.front(), '{') << "JSON path must trigger on '{'";
+
+  Xoshiro256StarStar rng(0xF022002);
+  for (int round = 0; round < 2 * kRounds; ++round) {
+    std::string input = seed;
+    const int stacked = 1 + static_cast<int>(rng.below(4));
+    for (int m = 0; m < stacked; ++m) {
+      input = mutate(rng, input);
+    }
+    try {
+      const FaultPlan parsed = parse_fault_plan(input);
+      // Accepted plans must satisfy the documented invariants — a parser
+      // that lets an out-of-range rate through "because the JSON was
+      // well-formed" is accepting garbage.
+      EXPECT_NO_THROW(parsed.validate())
+          << "parser accepted an invalid plan from: " << input;
+    } catch (const Error&) {
+      // clean rejection
+    } catch (const std::exception& e) {
+      ADD_FAILURE() << "non-pufaging exception for '" << input
+                    << "': " << e.what();
+    }
+  }
+}
+
+TEST(FaultPlanFuzz, PureGarbageNeverCrashes) {
+  Xoshiro256StarStar rng(0xF022003);
+  for (int round = 0; round < 2 * kRounds; ++round) {
+    const std::size_t len = static_cast<std::size_t>(rng.below(64));
+    std::string input;
+    for (std::size_t i = 0; i < len; ++i) {
+      input.push_back(static_cast<char>(rng.below(256)));
+    }
+    expect_clean([&] { parse_fault_plan(input).validate(); },
+                 "garbage spec");
+    if (!input.empty()) {
+      input[0] = '{';  // force the JSON branch on raw bytes too
+      expect_clean([&] { parse_fault_plan(input).validate(); },
+                   "garbage json");
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Checkpoint JSONL loader.
+// ---------------------------------------------------------------------------
+
+class CheckpointFuzz : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = std::filesystem::temp_directory_path() /
+           ("pufaging_ckpt_fuzz_" + std::to_string(::getpid()));
+    std::filesystem::remove_all(dir_);
+    // A real (small) campaign checkpoint as the seed corpus.
+    CampaignConfig config;
+    config.fleet.device_count = 2;
+    config.months = 2;
+    config.measurements_per_month = 5;
+    config.threads = 1;
+    config.checkpoint_dir = (dir_ / "seed").string();
+    run_campaign(config);
+    std::ifstream in(dir_ / "seed" / "state.jsonl");
+    ASSERT_TRUE(in.good());
+    std::ostringstream buffer;
+    buffer << in.rdbuf();
+    seed_ = buffer.str();
+    ASSERT_FALSE(seed_.empty());
+  }
+
+  void TearDown() override { std::filesystem::remove_all(dir_); }
+
+  // Writes `content` as a checkpoint state file and tries to load it.
+  bool load_mutant(const std::string& content, const std::string& label) {
+    const std::filesystem::path mutant_dir = dir_ / "mutant";
+    std::filesystem::create_directories(mutant_dir);
+    {
+      std::ofstream out(mutant_dir / "state.jsonl", std::ios::binary);
+      out << content;
+    }
+    return expect_clean([&] { load_checkpoint(mutant_dir.string()); }, label);
+  }
+
+  std::filesystem::path dir_;
+  std::string seed_;
+};
+
+TEST_F(CheckpointFuzz, SeedLoadsCleanly) {
+  EXPECT_TRUE(load_mutant(seed_, "unmutated seed"));
+}
+
+TEST_F(CheckpointFuzz, ByteLevelMutationsNeverCrash) {
+  Xoshiro256StarStar rng(0xF022004);
+  for (int round = 0; round < kRounds; ++round) {
+    std::string input = seed_;
+    const int stacked = 1 + static_cast<int>(rng.below(3));
+    for (int m = 0; m < stacked; ++m) {
+      input = mutate(rng, input);
+    }
+    load_mutant(input, "mutated checkpoint");
+  }
+}
+
+TEST_F(CheckpointFuzz, TruncationsAreRejected) {
+  // Prefix truncation models a torn write (only possible when the
+  // atomic-rename writer was bypassed). Any cut before the final line
+  // either breaks a JSON line or drops device/month lines the header
+  // promises — both must be rejected. Cuts inside the trailing health
+  // line may be accepted (the loader treats health as optional), but
+  // must still be handled cleanly.
+  const std::size_t last_line_start =
+      seed_.rfind('\n', seed_.size() - 2) + 1;  // seed_ ends with '\n'
+  ASSERT_GT(last_line_start, 0U);
+  Xoshiro256StarStar rng(0xF022005);
+  for (int round = 0; round < kRounds; ++round) {
+    const std::size_t cut = static_cast<std::size_t>(rng.below(seed_.size()));
+    const bool accepted =
+        load_mutant(seed_.substr(0, cut), "truncated checkpoint");
+    if (cut < last_line_start) {
+      EXPECT_FALSE(accepted) << "accepted a checkpoint truncated at byte "
+                             << cut << " of " << seed_.size();
+    }
+  }
+}
+
+TEST_F(CheckpointFuzz, LineShuffleDropAndGarbage) {
+  // Structural mutations: drop a line, duplicate a line, swap two lines.
+  std::vector<std::string> lines;
+  {
+    std::istringstream in(seed_);
+    std::string line;
+    while (std::getline(in, line)) {
+      lines.push_back(line);
+    }
+  }
+  ASSERT_GE(lines.size(), 3U);
+  Xoshiro256StarStar rng(0xF022006);
+  for (int round = 0; round < kRounds; ++round) {
+    std::vector<std::string> mutant = lines;
+    switch (rng.below(3)) {
+      case 0:
+        mutant.erase(mutant.begin() +
+                     static_cast<std::ptrdiff_t>(rng.below(mutant.size())));
+        break;
+      case 1:
+        mutant.insert(
+            mutant.begin() +
+                static_cast<std::ptrdiff_t>(rng.below(mutant.size() + 1)),
+            mutant[rng.below(mutant.size())]);
+        break;
+      default:
+        std::swap(mutant[rng.below(mutant.size())],
+                  mutant[rng.below(mutant.size())]);
+        break;
+    }
+    std::string content;
+    for (const std::string& line : mutant) {
+      content += line;
+      content += '\n';
+    }
+    load_mutant(content, "line-mutated checkpoint");
+  }
+  // And flat-out garbage files.
+  for (int round = 0; round < kRounds; ++round) {
+    const std::size_t len = static_cast<std::size_t>(rng.below(256));
+    std::string content;
+    for (std::size_t i = 0; i < len; ++i) {
+      content.push_back(static_cast<char>(rng.below(256)));
+    }
+    const bool accepted = load_mutant(content, "garbage checkpoint");
+    EXPECT_FALSE(accepted && !content.empty() && content[0] != '{')
+        << "accepted non-JSONL garbage";
+  }
+}
+
+}  // namespace
+}  // namespace pufaging
