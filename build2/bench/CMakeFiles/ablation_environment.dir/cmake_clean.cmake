@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_environment.dir/ablation_environment.cpp.o"
+  "CMakeFiles/ablation_environment.dir/ablation_environment.cpp.o.d"
+  "ablation_environment"
+  "ablation_environment.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_environment.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_schemes.dir/ablation_schemes.cpp.o"
+  "CMakeFiles/ablation_schemes.dir/ablation_schemes.cpp.o.d"
+  "ablation_schemes"
+  "ablation_schemes.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_schemes.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

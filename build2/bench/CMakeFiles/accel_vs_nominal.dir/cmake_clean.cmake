@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/accel_vs_nominal.dir/accel_vs_nominal.cpp.o"
+  "CMakeFiles/accel_vs_nominal.dir/accel_vs_nominal.cpp.o.d"
+  "accel_vs_nominal"
+  "accel_vs_nominal.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/accel_vs_nominal.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

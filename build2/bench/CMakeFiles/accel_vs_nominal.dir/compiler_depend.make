@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for accel_vs_nominal.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/app_keygen_trng.dir/app_keygen_trng.cpp.o"
+  "CMakeFiles/app_keygen_trng.dir/app_keygen_trng.cpp.o.d"
+  "app_keygen_trng"
+  "app_keygen_trng.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/app_keygen_trng.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for app_keygen_trng.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bitkernel_hotpath.dir/bitkernel_hotpath.cpp.o"
+  "CMakeFiles/bitkernel_hotpath.dir/bitkernel_hotpath.cpp.o.d"
+  "bitkernel_hotpath"
+  "bitkernel_hotpath.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bitkernel_hotpath.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

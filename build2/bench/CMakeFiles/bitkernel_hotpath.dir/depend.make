@@ -1,0 +1,2 @@
+# Empty dependencies file for bitkernel_hotpath.
+# This may be replaced when dependencies are built.

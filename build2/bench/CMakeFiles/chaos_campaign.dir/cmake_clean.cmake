@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/chaos_campaign.dir/chaos_campaign.cpp.o"
+  "CMakeFiles/chaos_campaign.dir/chaos_campaign.cpp.o.d"
+  "chaos_campaign"
+  "chaos_campaign.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/chaos_campaign.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

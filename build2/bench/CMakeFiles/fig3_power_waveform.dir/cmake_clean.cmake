@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig3_power_waveform.dir/fig3_power_waveform.cpp.o"
+  "CMakeFiles/fig3_power_waveform.dir/fig3_power_waveform.cpp.o.d"
+  "fig3_power_waveform"
+  "fig3_power_waveform.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig3_power_waveform.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/aging_study.dir/aging_study.cpp.o"
+  "CMakeFiles/aging_study.dir/aging_study.cpp.o.d"
+  "aging_study"
+  "aging_study.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/aging_study.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

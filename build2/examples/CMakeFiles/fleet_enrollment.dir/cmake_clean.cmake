@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fleet_enrollment.dir/fleet_enrollment.cpp.o"
+  "CMakeFiles/fleet_enrollment.dir/fleet_enrollment.cpp.o.d"
+  "fleet_enrollment"
+  "fleet_enrollment.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fleet_enrollment.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

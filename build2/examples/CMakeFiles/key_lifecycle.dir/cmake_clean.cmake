@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/key_lifecycle.dir/key_lifecycle.cpp.o"
+  "CMakeFiles/key_lifecycle.dir/key_lifecycle.cpp.o.d"
+  "key_lifecycle"
+  "key_lifecycle.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/key_lifecycle.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

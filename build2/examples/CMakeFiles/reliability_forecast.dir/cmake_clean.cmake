@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/reliability_forecast.dir/reliability_forecast.cpp.o"
+  "CMakeFiles/reliability_forecast.dir/reliability_forecast.cpp.o.d"
+  "reliability_forecast"
+  "reliability_forecast.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/reliability_forecast.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

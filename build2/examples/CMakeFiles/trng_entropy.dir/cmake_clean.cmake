@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/trng_entropy.dir/trng_entropy.cpp.o"
+  "CMakeFiles/trng_entropy.dir/trng_entropy.cpp.o.d"
+  "trng_entropy"
+  "trng_entropy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/trng_entropy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/analysis/entropy.cpp" "src/analysis/CMakeFiles/pa_analysis.dir/entropy.cpp.o" "gcc" "src/analysis/CMakeFiles/pa_analysis.dir/entropy.cpp.o.d"
+  "/root/repo/src/analysis/hamming.cpp" "src/analysis/CMakeFiles/pa_analysis.dir/hamming.cpp.o" "gcc" "src/analysis/CMakeFiles/pa_analysis.dir/hamming.cpp.o.d"
+  "/root/repo/src/analysis/initial_quality.cpp" "src/analysis/CMakeFiles/pa_analysis.dir/initial_quality.cpp.o" "gcc" "src/analysis/CMakeFiles/pa_analysis.dir/initial_quality.cpp.o.d"
+  "/root/repo/src/analysis/lifetime.cpp" "src/analysis/CMakeFiles/pa_analysis.dir/lifetime.cpp.o" "gcc" "src/analysis/CMakeFiles/pa_analysis.dir/lifetime.cpp.o.d"
+  "/root/repo/src/analysis/monthly.cpp" "src/analysis/CMakeFiles/pa_analysis.dir/monthly.cpp.o" "gcc" "src/analysis/CMakeFiles/pa_analysis.dir/monthly.cpp.o.d"
+  "/root/repo/src/analysis/one_probability.cpp" "src/analysis/CMakeFiles/pa_analysis.dir/one_probability.cpp.o" "gcc" "src/analysis/CMakeFiles/pa_analysis.dir/one_probability.cpp.o.d"
+  "/root/repo/src/analysis/reliability_model.cpp" "src/analysis/CMakeFiles/pa_analysis.dir/reliability_model.cpp.o" "gcc" "src/analysis/CMakeFiles/pa_analysis.dir/reliability_model.cpp.o.d"
+  "/root/repo/src/analysis/summary.cpp" "src/analysis/CMakeFiles/pa_analysis.dir/summary.cpp.o" "gcc" "src/analysis/CMakeFiles/pa_analysis.dir/summary.cpp.o.d"
+  "/root/repo/src/analysis/timeseries.cpp" "src/analysis/CMakeFiles/pa_analysis.dir/timeseries.cpp.o" "gcc" "src/analysis/CMakeFiles/pa_analysis.dir/timeseries.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build2/src/common/CMakeFiles/pa_common.dir/DependInfo.cmake"
+  "/root/repo/build2/src/stats/CMakeFiles/pa_stats.dir/DependInfo.cmake"
+  "/root/repo/build2/src/io/CMakeFiles/pa_io.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pa_analysis.dir/entropy.cpp.o"
+  "CMakeFiles/pa_analysis.dir/entropy.cpp.o.d"
+  "CMakeFiles/pa_analysis.dir/hamming.cpp.o"
+  "CMakeFiles/pa_analysis.dir/hamming.cpp.o.d"
+  "CMakeFiles/pa_analysis.dir/initial_quality.cpp.o"
+  "CMakeFiles/pa_analysis.dir/initial_quality.cpp.o.d"
+  "CMakeFiles/pa_analysis.dir/lifetime.cpp.o"
+  "CMakeFiles/pa_analysis.dir/lifetime.cpp.o.d"
+  "CMakeFiles/pa_analysis.dir/monthly.cpp.o"
+  "CMakeFiles/pa_analysis.dir/monthly.cpp.o.d"
+  "CMakeFiles/pa_analysis.dir/one_probability.cpp.o"
+  "CMakeFiles/pa_analysis.dir/one_probability.cpp.o.d"
+  "CMakeFiles/pa_analysis.dir/reliability_model.cpp.o"
+  "CMakeFiles/pa_analysis.dir/reliability_model.cpp.o.d"
+  "CMakeFiles/pa_analysis.dir/summary.cpp.o"
+  "CMakeFiles/pa_analysis.dir/summary.cpp.o.d"
+  "CMakeFiles/pa_analysis.dir/timeseries.cpp.o"
+  "CMakeFiles/pa_analysis.dir/timeseries.cpp.o.d"
+  "libpa_analysis.a"
+  "libpa_analysis.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pa_analysis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/common/bitkernel.cpp" "src/common/CMakeFiles/pa_common.dir/bitkernel.cpp.o" "gcc" "src/common/CMakeFiles/pa_common.dir/bitkernel.cpp.o.d"
+  "/root/repo/src/common/bitvector.cpp" "src/common/CMakeFiles/pa_common.dir/bitvector.cpp.o" "gcc" "src/common/CMakeFiles/pa_common.dir/bitvector.cpp.o.d"
+  "/root/repo/src/common/math.cpp" "src/common/CMakeFiles/pa_common.dir/math.cpp.o" "gcc" "src/common/CMakeFiles/pa_common.dir/math.cpp.o.d"
+  "/root/repo/src/common/rng.cpp" "src/common/CMakeFiles/pa_common.dir/rng.cpp.o" "gcc" "src/common/CMakeFiles/pa_common.dir/rng.cpp.o.d"
+  "/root/repo/src/common/sha256.cpp" "src/common/CMakeFiles/pa_common.dir/sha256.cpp.o" "gcc" "src/common/CMakeFiles/pa_common.dir/sha256.cpp.o.d"
+  "/root/repo/src/common/thread_pool.cpp" "src/common/CMakeFiles/pa_common.dir/thread_pool.cpp.o" "gcc" "src/common/CMakeFiles/pa_common.dir/thread_pool.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

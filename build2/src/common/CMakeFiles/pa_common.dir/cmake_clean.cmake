@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pa_common.dir/bitkernel.cpp.o"
+  "CMakeFiles/pa_common.dir/bitkernel.cpp.o.d"
+  "CMakeFiles/pa_common.dir/bitvector.cpp.o"
+  "CMakeFiles/pa_common.dir/bitvector.cpp.o.d"
+  "CMakeFiles/pa_common.dir/math.cpp.o"
+  "CMakeFiles/pa_common.dir/math.cpp.o.d"
+  "CMakeFiles/pa_common.dir/rng.cpp.o"
+  "CMakeFiles/pa_common.dir/rng.cpp.o.d"
+  "CMakeFiles/pa_common.dir/sha256.cpp.o"
+  "CMakeFiles/pa_common.dir/sha256.cpp.o.d"
+  "CMakeFiles/pa_common.dir/thread_pool.cpp.o"
+  "CMakeFiles/pa_common.dir/thread_pool.cpp.o.d"
+  "libpa_common.a"
+  "libpa_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pa_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pa_io.dir/csv.cpp.o"
+  "CMakeFiles/pa_io.dir/csv.cpp.o.d"
+  "CMakeFiles/pa_io.dir/json.cpp.o"
+  "CMakeFiles/pa_io.dir/json.cpp.o.d"
+  "CMakeFiles/pa_io.dir/pgm.cpp.o"
+  "CMakeFiles/pa_io.dir/pgm.cpp.o.d"
+  "CMakeFiles/pa_io.dir/table.cpp.o"
+  "CMakeFiles/pa_io.dir/table.cpp.o.d"
+  "libpa_io.a"
+  "libpa_io.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pa_io.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,36 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/keygen/bch.cpp" "src/keygen/CMakeFiles/pa_keygen.dir/bch.cpp.o" "gcc" "src/keygen/CMakeFiles/pa_keygen.dir/bch.cpp.o.d"
+  "/root/repo/src/keygen/bit_selection.cpp" "src/keygen/CMakeFiles/pa_keygen.dir/bit_selection.cpp.o" "gcc" "src/keygen/CMakeFiles/pa_keygen.dir/bit_selection.cpp.o.d"
+  "/root/repo/src/keygen/code.cpp" "src/keygen/CMakeFiles/pa_keygen.dir/code.cpp.o" "gcc" "src/keygen/CMakeFiles/pa_keygen.dir/code.cpp.o.d"
+  "/root/repo/src/keygen/concatenated.cpp" "src/keygen/CMakeFiles/pa_keygen.dir/concatenated.cpp.o" "gcc" "src/keygen/CMakeFiles/pa_keygen.dir/concatenated.cpp.o.d"
+  "/root/repo/src/keygen/debias.cpp" "src/keygen/CMakeFiles/pa_keygen.dir/debias.cpp.o" "gcc" "src/keygen/CMakeFiles/pa_keygen.dir/debias.cpp.o.d"
+  "/root/repo/src/keygen/debiased_key_generator.cpp" "src/keygen/CMakeFiles/pa_keygen.dir/debiased_key_generator.cpp.o" "gcc" "src/keygen/CMakeFiles/pa_keygen.dir/debiased_key_generator.cpp.o.d"
+  "/root/repo/src/keygen/fuzzy_extractor.cpp" "src/keygen/CMakeFiles/pa_keygen.dir/fuzzy_extractor.cpp.o" "gcc" "src/keygen/CMakeFiles/pa_keygen.dir/fuzzy_extractor.cpp.o.d"
+  "/root/repo/src/keygen/gf2m.cpp" "src/keygen/CMakeFiles/pa_keygen.dir/gf2m.cpp.o" "gcc" "src/keygen/CMakeFiles/pa_keygen.dir/gf2m.cpp.o.d"
+  "/root/repo/src/keygen/golay.cpp" "src/keygen/CMakeFiles/pa_keygen.dir/golay.cpp.o" "gcc" "src/keygen/CMakeFiles/pa_keygen.dir/golay.cpp.o.d"
+  "/root/repo/src/keygen/key_generator.cpp" "src/keygen/CMakeFiles/pa_keygen.dir/key_generator.cpp.o" "gcc" "src/keygen/CMakeFiles/pa_keygen.dir/key_generator.cpp.o.d"
+  "/root/repo/src/keygen/leakage.cpp" "src/keygen/CMakeFiles/pa_keygen.dir/leakage.cpp.o" "gcc" "src/keygen/CMakeFiles/pa_keygen.dir/leakage.cpp.o.d"
+  "/root/repo/src/keygen/polar.cpp" "src/keygen/CMakeFiles/pa_keygen.dir/polar.cpp.o" "gcc" "src/keygen/CMakeFiles/pa_keygen.dir/polar.cpp.o.d"
+  "/root/repo/src/keygen/repetition.cpp" "src/keygen/CMakeFiles/pa_keygen.dir/repetition.cpp.o" "gcc" "src/keygen/CMakeFiles/pa_keygen.dir/repetition.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build2/src/common/CMakeFiles/pa_common.dir/DependInfo.cmake"
+  "/root/repo/build2/src/silicon/CMakeFiles/pa_silicon.dir/DependInfo.cmake"
+  "/root/repo/build2/src/analysis/CMakeFiles/pa_analysis.dir/DependInfo.cmake"
+  "/root/repo/build2/src/stats/CMakeFiles/pa_stats.dir/DependInfo.cmake"
+  "/root/repo/build2/src/io/CMakeFiles/pa_io.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,35 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pa_keygen.dir/bch.cpp.o"
+  "CMakeFiles/pa_keygen.dir/bch.cpp.o.d"
+  "CMakeFiles/pa_keygen.dir/bit_selection.cpp.o"
+  "CMakeFiles/pa_keygen.dir/bit_selection.cpp.o.d"
+  "CMakeFiles/pa_keygen.dir/code.cpp.o"
+  "CMakeFiles/pa_keygen.dir/code.cpp.o.d"
+  "CMakeFiles/pa_keygen.dir/concatenated.cpp.o"
+  "CMakeFiles/pa_keygen.dir/concatenated.cpp.o.d"
+  "CMakeFiles/pa_keygen.dir/debias.cpp.o"
+  "CMakeFiles/pa_keygen.dir/debias.cpp.o.d"
+  "CMakeFiles/pa_keygen.dir/debiased_key_generator.cpp.o"
+  "CMakeFiles/pa_keygen.dir/debiased_key_generator.cpp.o.d"
+  "CMakeFiles/pa_keygen.dir/fuzzy_extractor.cpp.o"
+  "CMakeFiles/pa_keygen.dir/fuzzy_extractor.cpp.o.d"
+  "CMakeFiles/pa_keygen.dir/gf2m.cpp.o"
+  "CMakeFiles/pa_keygen.dir/gf2m.cpp.o.d"
+  "CMakeFiles/pa_keygen.dir/golay.cpp.o"
+  "CMakeFiles/pa_keygen.dir/golay.cpp.o.d"
+  "CMakeFiles/pa_keygen.dir/key_generator.cpp.o"
+  "CMakeFiles/pa_keygen.dir/key_generator.cpp.o.d"
+  "CMakeFiles/pa_keygen.dir/leakage.cpp.o"
+  "CMakeFiles/pa_keygen.dir/leakage.cpp.o.d"
+  "CMakeFiles/pa_keygen.dir/polar.cpp.o"
+  "CMakeFiles/pa_keygen.dir/polar.cpp.o.d"
+  "CMakeFiles/pa_keygen.dir/repetition.cpp.o"
+  "CMakeFiles/pa_keygen.dir/repetition.cpp.o.d"
+  "libpa_keygen.a"
+  "libpa_keygen.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pa_keygen.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

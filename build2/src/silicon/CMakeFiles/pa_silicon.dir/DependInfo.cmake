@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/silicon/aging.cpp" "src/silicon/CMakeFiles/pa_silicon.dir/aging.cpp.o" "gcc" "src/silicon/CMakeFiles/pa_silicon.dir/aging.cpp.o.d"
+  "/root/repo/src/silicon/cell_population.cpp" "src/silicon/CMakeFiles/pa_silicon.dir/cell_population.cpp.o" "gcc" "src/silicon/CMakeFiles/pa_silicon.dir/cell_population.cpp.o.d"
+  "/root/repo/src/silicon/device_factory.cpp" "src/silicon/CMakeFiles/pa_silicon.dir/device_factory.cpp.o" "gcc" "src/silicon/CMakeFiles/pa_silicon.dir/device_factory.cpp.o.d"
+  "/root/repo/src/silicon/noise_model.cpp" "src/silicon/CMakeFiles/pa_silicon.dir/noise_model.cpp.o" "gcc" "src/silicon/CMakeFiles/pa_silicon.dir/noise_model.cpp.o.d"
+  "/root/repo/src/silicon/operating_point.cpp" "src/silicon/CMakeFiles/pa_silicon.dir/operating_point.cpp.o" "gcc" "src/silicon/CMakeFiles/pa_silicon.dir/operating_point.cpp.o.d"
+  "/root/repo/src/silicon/powerup.cpp" "src/silicon/CMakeFiles/pa_silicon.dir/powerup.cpp.o" "gcc" "src/silicon/CMakeFiles/pa_silicon.dir/powerup.cpp.o.d"
+  "/root/repo/src/silicon/ramp_adapter.cpp" "src/silicon/CMakeFiles/pa_silicon.dir/ramp_adapter.cpp.o" "gcc" "src/silicon/CMakeFiles/pa_silicon.dir/ramp_adapter.cpp.o.d"
+  "/root/repo/src/silicon/sram_device.cpp" "src/silicon/CMakeFiles/pa_silicon.dir/sram_device.cpp.o" "gcc" "src/silicon/CMakeFiles/pa_silicon.dir/sram_device.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build2/src/common/CMakeFiles/pa_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pa_silicon.dir/aging.cpp.o"
+  "CMakeFiles/pa_silicon.dir/aging.cpp.o.d"
+  "CMakeFiles/pa_silicon.dir/cell_population.cpp.o"
+  "CMakeFiles/pa_silicon.dir/cell_population.cpp.o.d"
+  "CMakeFiles/pa_silicon.dir/device_factory.cpp.o"
+  "CMakeFiles/pa_silicon.dir/device_factory.cpp.o.d"
+  "CMakeFiles/pa_silicon.dir/noise_model.cpp.o"
+  "CMakeFiles/pa_silicon.dir/noise_model.cpp.o.d"
+  "CMakeFiles/pa_silicon.dir/operating_point.cpp.o"
+  "CMakeFiles/pa_silicon.dir/operating_point.cpp.o.d"
+  "CMakeFiles/pa_silicon.dir/powerup.cpp.o"
+  "CMakeFiles/pa_silicon.dir/powerup.cpp.o.d"
+  "CMakeFiles/pa_silicon.dir/ramp_adapter.cpp.o"
+  "CMakeFiles/pa_silicon.dir/ramp_adapter.cpp.o.d"
+  "CMakeFiles/pa_silicon.dir/sram_device.cpp.o"
+  "CMakeFiles/pa_silicon.dir/sram_device.cpp.o.d"
+  "libpa_silicon.a"
+  "libpa_silicon.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pa_silicon.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

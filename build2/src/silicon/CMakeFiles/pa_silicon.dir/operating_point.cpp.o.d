@@ -1,0 +1,3 @@
+src/silicon/CMakeFiles/pa_silicon.dir/operating_point.cpp.o: \
+ /root/repo/src/silicon/operating_point.cpp /usr/include/stdc-predef.h \
+ /root/repo/src/silicon/operating_point.hpp

@@ -1,0 +1,33 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/stats/confidence.cpp" "src/stats/CMakeFiles/pa_stats.dir/confidence.cpp.o" "gcc" "src/stats/CMakeFiles/pa_stats.dir/confidence.cpp.o.d"
+  "/root/repo/src/stats/descriptive.cpp" "src/stats/CMakeFiles/pa_stats.dir/descriptive.cpp.o" "gcc" "src/stats/CMakeFiles/pa_stats.dir/descriptive.cpp.o.d"
+  "/root/repo/src/stats/fft.cpp" "src/stats/CMakeFiles/pa_stats.dir/fft.cpp.o" "gcc" "src/stats/CMakeFiles/pa_stats.dir/fft.cpp.o.d"
+  "/root/repo/src/stats/histogram.cpp" "src/stats/CMakeFiles/pa_stats.dir/histogram.cpp.o" "gcc" "src/stats/CMakeFiles/pa_stats.dir/histogram.cpp.o.d"
+  "/root/repo/src/stats/nist_cusum.cpp" "src/stats/CMakeFiles/pa_stats.dir/nist_cusum.cpp.o" "gcc" "src/stats/CMakeFiles/pa_stats.dir/nist_cusum.cpp.o.d"
+  "/root/repo/src/stats/nist_excursions.cpp" "src/stats/CMakeFiles/pa_stats.dir/nist_excursions.cpp.o" "gcc" "src/stats/CMakeFiles/pa_stats.dir/nist_excursions.cpp.o.d"
+  "/root/repo/src/stats/nist_frequency.cpp" "src/stats/CMakeFiles/pa_stats.dir/nist_frequency.cpp.o" "gcc" "src/stats/CMakeFiles/pa_stats.dir/nist_frequency.cpp.o.d"
+  "/root/repo/src/stats/nist_rank.cpp" "src/stats/CMakeFiles/pa_stats.dir/nist_rank.cpp.o" "gcc" "src/stats/CMakeFiles/pa_stats.dir/nist_rank.cpp.o.d"
+  "/root/repo/src/stats/nist_runs.cpp" "src/stats/CMakeFiles/pa_stats.dir/nist_runs.cpp.o" "gcc" "src/stats/CMakeFiles/pa_stats.dir/nist_runs.cpp.o.d"
+  "/root/repo/src/stats/nist_serial.cpp" "src/stats/CMakeFiles/pa_stats.dir/nist_serial.cpp.o" "gcc" "src/stats/CMakeFiles/pa_stats.dir/nist_serial.cpp.o.d"
+  "/root/repo/src/stats/nist_spectral.cpp" "src/stats/CMakeFiles/pa_stats.dir/nist_spectral.cpp.o" "gcc" "src/stats/CMakeFiles/pa_stats.dir/nist_spectral.cpp.o.d"
+  "/root/repo/src/stats/nist_suite.cpp" "src/stats/CMakeFiles/pa_stats.dir/nist_suite.cpp.o" "gcc" "src/stats/CMakeFiles/pa_stats.dir/nist_suite.cpp.o.d"
+  "/root/repo/src/stats/nist_universal.cpp" "src/stats/CMakeFiles/pa_stats.dir/nist_universal.cpp.o" "gcc" "src/stats/CMakeFiles/pa_stats.dir/nist_universal.cpp.o.d"
+  "/root/repo/src/stats/regression.cpp" "src/stats/CMakeFiles/pa_stats.dir/regression.cpp.o" "gcc" "src/stats/CMakeFiles/pa_stats.dir/regression.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build2/src/common/CMakeFiles/pa_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

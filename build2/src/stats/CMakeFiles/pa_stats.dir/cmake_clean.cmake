@@ -1,0 +1,37 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pa_stats.dir/confidence.cpp.o"
+  "CMakeFiles/pa_stats.dir/confidence.cpp.o.d"
+  "CMakeFiles/pa_stats.dir/descriptive.cpp.o"
+  "CMakeFiles/pa_stats.dir/descriptive.cpp.o.d"
+  "CMakeFiles/pa_stats.dir/fft.cpp.o"
+  "CMakeFiles/pa_stats.dir/fft.cpp.o.d"
+  "CMakeFiles/pa_stats.dir/histogram.cpp.o"
+  "CMakeFiles/pa_stats.dir/histogram.cpp.o.d"
+  "CMakeFiles/pa_stats.dir/nist_cusum.cpp.o"
+  "CMakeFiles/pa_stats.dir/nist_cusum.cpp.o.d"
+  "CMakeFiles/pa_stats.dir/nist_excursions.cpp.o"
+  "CMakeFiles/pa_stats.dir/nist_excursions.cpp.o.d"
+  "CMakeFiles/pa_stats.dir/nist_frequency.cpp.o"
+  "CMakeFiles/pa_stats.dir/nist_frequency.cpp.o.d"
+  "CMakeFiles/pa_stats.dir/nist_rank.cpp.o"
+  "CMakeFiles/pa_stats.dir/nist_rank.cpp.o.d"
+  "CMakeFiles/pa_stats.dir/nist_runs.cpp.o"
+  "CMakeFiles/pa_stats.dir/nist_runs.cpp.o.d"
+  "CMakeFiles/pa_stats.dir/nist_serial.cpp.o"
+  "CMakeFiles/pa_stats.dir/nist_serial.cpp.o.d"
+  "CMakeFiles/pa_stats.dir/nist_spectral.cpp.o"
+  "CMakeFiles/pa_stats.dir/nist_spectral.cpp.o.d"
+  "CMakeFiles/pa_stats.dir/nist_suite.cpp.o"
+  "CMakeFiles/pa_stats.dir/nist_suite.cpp.o.d"
+  "CMakeFiles/pa_stats.dir/nist_universal.cpp.o"
+  "CMakeFiles/pa_stats.dir/nist_universal.cpp.o.d"
+  "CMakeFiles/pa_stats.dir/regression.cpp.o"
+  "CMakeFiles/pa_stats.dir/regression.cpp.o.d"
+  "libpa_stats.a"
+  "libpa_stats.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pa_stats.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,33 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/testbed/boards.cpp" "src/testbed/CMakeFiles/pa_testbed.dir/boards.cpp.o" "gcc" "src/testbed/CMakeFiles/pa_testbed.dir/boards.cpp.o.d"
+  "/root/repo/src/testbed/campaign.cpp" "src/testbed/CMakeFiles/pa_testbed.dir/campaign.cpp.o" "gcc" "src/testbed/CMakeFiles/pa_testbed.dir/campaign.cpp.o.d"
+  "/root/repo/src/testbed/checkpoint.cpp" "src/testbed/CMakeFiles/pa_testbed.dir/checkpoint.cpp.o" "gcc" "src/testbed/CMakeFiles/pa_testbed.dir/checkpoint.cpp.o.d"
+  "/root/repo/src/testbed/clock.cpp" "src/testbed/CMakeFiles/pa_testbed.dir/clock.cpp.o" "gcc" "src/testbed/CMakeFiles/pa_testbed.dir/clock.cpp.o.d"
+  "/root/repo/src/testbed/collector.cpp" "src/testbed/CMakeFiles/pa_testbed.dir/collector.cpp.o" "gcc" "src/testbed/CMakeFiles/pa_testbed.dir/collector.cpp.o.d"
+  "/root/repo/src/testbed/crc8.cpp" "src/testbed/CMakeFiles/pa_testbed.dir/crc8.cpp.o" "gcc" "src/testbed/CMakeFiles/pa_testbed.dir/crc8.cpp.o.d"
+  "/root/repo/src/testbed/faults.cpp" "src/testbed/CMakeFiles/pa_testbed.dir/faults.cpp.o" "gcc" "src/testbed/CMakeFiles/pa_testbed.dir/faults.cpp.o.d"
+  "/root/repo/src/testbed/i2c.cpp" "src/testbed/CMakeFiles/pa_testbed.dir/i2c.cpp.o" "gcc" "src/testbed/CMakeFiles/pa_testbed.dir/i2c.cpp.o.d"
+  "/root/repo/src/testbed/power.cpp" "src/testbed/CMakeFiles/pa_testbed.dir/power.cpp.o" "gcc" "src/testbed/CMakeFiles/pa_testbed.dir/power.cpp.o.d"
+  "/root/repo/src/testbed/rig.cpp" "src/testbed/CMakeFiles/pa_testbed.dir/rig.cpp.o" "gcc" "src/testbed/CMakeFiles/pa_testbed.dir/rig.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build2/src/common/CMakeFiles/pa_common.dir/DependInfo.cmake"
+  "/root/repo/build2/src/silicon/CMakeFiles/pa_silicon.dir/DependInfo.cmake"
+  "/root/repo/build2/src/analysis/CMakeFiles/pa_analysis.dir/DependInfo.cmake"
+  "/root/repo/build2/src/io/CMakeFiles/pa_io.dir/DependInfo.cmake"
+  "/root/repo/build2/src/stats/CMakeFiles/pa_stats.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

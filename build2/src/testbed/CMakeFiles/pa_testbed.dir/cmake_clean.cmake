@@ -1,0 +1,29 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pa_testbed.dir/boards.cpp.o"
+  "CMakeFiles/pa_testbed.dir/boards.cpp.o.d"
+  "CMakeFiles/pa_testbed.dir/campaign.cpp.o"
+  "CMakeFiles/pa_testbed.dir/campaign.cpp.o.d"
+  "CMakeFiles/pa_testbed.dir/checkpoint.cpp.o"
+  "CMakeFiles/pa_testbed.dir/checkpoint.cpp.o.d"
+  "CMakeFiles/pa_testbed.dir/clock.cpp.o"
+  "CMakeFiles/pa_testbed.dir/clock.cpp.o.d"
+  "CMakeFiles/pa_testbed.dir/collector.cpp.o"
+  "CMakeFiles/pa_testbed.dir/collector.cpp.o.d"
+  "CMakeFiles/pa_testbed.dir/crc8.cpp.o"
+  "CMakeFiles/pa_testbed.dir/crc8.cpp.o.d"
+  "CMakeFiles/pa_testbed.dir/faults.cpp.o"
+  "CMakeFiles/pa_testbed.dir/faults.cpp.o.d"
+  "CMakeFiles/pa_testbed.dir/i2c.cpp.o"
+  "CMakeFiles/pa_testbed.dir/i2c.cpp.o.d"
+  "CMakeFiles/pa_testbed.dir/power.cpp.o"
+  "CMakeFiles/pa_testbed.dir/power.cpp.o.d"
+  "CMakeFiles/pa_testbed.dir/rig.cpp.o"
+  "CMakeFiles/pa_testbed.dir/rig.cpp.o.d"
+  "libpa_testbed.a"
+  "libpa_testbed.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pa_testbed.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/trng/conditioner.cpp" "src/trng/CMakeFiles/pa_trng.dir/conditioner.cpp.o" "gcc" "src/trng/CMakeFiles/pa_trng.dir/conditioner.cpp.o.d"
+  "/root/repo/src/trng/estimators.cpp" "src/trng/CMakeFiles/pa_trng.dir/estimators.cpp.o" "gcc" "src/trng/CMakeFiles/pa_trng.dir/estimators.cpp.o.d"
+  "/root/repo/src/trng/harvester.cpp" "src/trng/CMakeFiles/pa_trng.dir/harvester.cpp.o" "gcc" "src/trng/CMakeFiles/pa_trng.dir/harvester.cpp.o.d"
+  "/root/repo/src/trng/health.cpp" "src/trng/CMakeFiles/pa_trng.dir/health.cpp.o" "gcc" "src/trng/CMakeFiles/pa_trng.dir/health.cpp.o.d"
+  "/root/repo/src/trng/pipeline.cpp" "src/trng/CMakeFiles/pa_trng.dir/pipeline.cpp.o" "gcc" "src/trng/CMakeFiles/pa_trng.dir/pipeline.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build2/src/common/CMakeFiles/pa_common.dir/DependInfo.cmake"
+  "/root/repo/build2/src/silicon/CMakeFiles/pa_silicon.dir/DependInfo.cmake"
+  "/root/repo/build2/src/stats/CMakeFiles/pa_stats.dir/DependInfo.cmake"
+  "/root/repo/build2/src/analysis/CMakeFiles/pa_analysis.dir/DependInfo.cmake"
+  "/root/repo/build2/src/io/CMakeFiles/pa_io.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pa_trng.dir/conditioner.cpp.o"
+  "CMakeFiles/pa_trng.dir/conditioner.cpp.o.d"
+  "CMakeFiles/pa_trng.dir/estimators.cpp.o"
+  "CMakeFiles/pa_trng.dir/estimators.cpp.o.d"
+  "CMakeFiles/pa_trng.dir/harvester.cpp.o"
+  "CMakeFiles/pa_trng.dir/harvester.cpp.o.d"
+  "CMakeFiles/pa_trng.dir/health.cpp.o"
+  "CMakeFiles/pa_trng.dir/health.cpp.o.d"
+  "CMakeFiles/pa_trng.dir/pipeline.cpp.o"
+  "CMakeFiles/pa_trng.dir/pipeline.cpp.o.d"
+  "libpa_trng.a"
+  "libpa_trng.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pa_trng.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,35 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/analysis/entropy_test.cpp" "tests/CMakeFiles/pa_analysis_test.dir/analysis/entropy_test.cpp.o" "gcc" "tests/CMakeFiles/pa_analysis_test.dir/analysis/entropy_test.cpp.o.d"
+  "/root/repo/tests/analysis/hamming_test.cpp" "tests/CMakeFiles/pa_analysis_test.dir/analysis/hamming_test.cpp.o" "gcc" "tests/CMakeFiles/pa_analysis_test.dir/analysis/hamming_test.cpp.o.d"
+  "/root/repo/tests/analysis/initial_quality_test.cpp" "tests/CMakeFiles/pa_analysis_test.dir/analysis/initial_quality_test.cpp.o" "gcc" "tests/CMakeFiles/pa_analysis_test.dir/analysis/initial_quality_test.cpp.o.d"
+  "/root/repo/tests/analysis/lifetime_test.cpp" "tests/CMakeFiles/pa_analysis_test.dir/analysis/lifetime_test.cpp.o" "gcc" "tests/CMakeFiles/pa_analysis_test.dir/analysis/lifetime_test.cpp.o.d"
+  "/root/repo/tests/analysis/monthly_test.cpp" "tests/CMakeFiles/pa_analysis_test.dir/analysis/monthly_test.cpp.o" "gcc" "tests/CMakeFiles/pa_analysis_test.dir/analysis/monthly_test.cpp.o.d"
+  "/root/repo/tests/analysis/one_probability_test.cpp" "tests/CMakeFiles/pa_analysis_test.dir/analysis/one_probability_test.cpp.o" "gcc" "tests/CMakeFiles/pa_analysis_test.dir/analysis/one_probability_test.cpp.o.d"
+  "/root/repo/tests/analysis/reliability_model_test.cpp" "tests/CMakeFiles/pa_analysis_test.dir/analysis/reliability_model_test.cpp.o" "gcc" "tests/CMakeFiles/pa_analysis_test.dir/analysis/reliability_model_test.cpp.o.d"
+  "/root/repo/tests/analysis/summary_test.cpp" "tests/CMakeFiles/pa_analysis_test.dir/analysis/summary_test.cpp.o" "gcc" "tests/CMakeFiles/pa_analysis_test.dir/analysis/summary_test.cpp.o.d"
+  "/root/repo/tests/analysis/timeseries_test.cpp" "tests/CMakeFiles/pa_analysis_test.dir/analysis/timeseries_test.cpp.o" "gcc" "tests/CMakeFiles/pa_analysis_test.dir/analysis/timeseries_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build2/src/testbed/CMakeFiles/pa_testbed.dir/DependInfo.cmake"
+  "/root/repo/build2/src/analysis/CMakeFiles/pa_analysis.dir/DependInfo.cmake"
+  "/root/repo/build2/src/trng/CMakeFiles/pa_trng.dir/DependInfo.cmake"
+  "/root/repo/build2/src/keygen/CMakeFiles/pa_keygen.dir/DependInfo.cmake"
+  "/root/repo/build2/src/silicon/CMakeFiles/pa_silicon.dir/DependInfo.cmake"
+  "/root/repo/build2/src/stats/CMakeFiles/pa_stats.dir/DependInfo.cmake"
+  "/root/repo/build2/src/io/CMakeFiles/pa_io.dir/DependInfo.cmake"
+  "/root/repo/build2/src/common/CMakeFiles/pa_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,28 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pa_analysis_test.dir/analysis/entropy_test.cpp.o"
+  "CMakeFiles/pa_analysis_test.dir/analysis/entropy_test.cpp.o.d"
+  "CMakeFiles/pa_analysis_test.dir/analysis/hamming_test.cpp.o"
+  "CMakeFiles/pa_analysis_test.dir/analysis/hamming_test.cpp.o.d"
+  "CMakeFiles/pa_analysis_test.dir/analysis/initial_quality_test.cpp.o"
+  "CMakeFiles/pa_analysis_test.dir/analysis/initial_quality_test.cpp.o.d"
+  "CMakeFiles/pa_analysis_test.dir/analysis/lifetime_test.cpp.o"
+  "CMakeFiles/pa_analysis_test.dir/analysis/lifetime_test.cpp.o.d"
+  "CMakeFiles/pa_analysis_test.dir/analysis/monthly_test.cpp.o"
+  "CMakeFiles/pa_analysis_test.dir/analysis/monthly_test.cpp.o.d"
+  "CMakeFiles/pa_analysis_test.dir/analysis/one_probability_test.cpp.o"
+  "CMakeFiles/pa_analysis_test.dir/analysis/one_probability_test.cpp.o.d"
+  "CMakeFiles/pa_analysis_test.dir/analysis/reliability_model_test.cpp.o"
+  "CMakeFiles/pa_analysis_test.dir/analysis/reliability_model_test.cpp.o.d"
+  "CMakeFiles/pa_analysis_test.dir/analysis/summary_test.cpp.o"
+  "CMakeFiles/pa_analysis_test.dir/analysis/summary_test.cpp.o.d"
+  "CMakeFiles/pa_analysis_test.dir/analysis/timeseries_test.cpp.o"
+  "CMakeFiles/pa_analysis_test.dir/analysis/timeseries_test.cpp.o.d"
+  "pa_analysis_test"
+  "pa_analysis_test.pdb"
+  "pa_analysis_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pa_analysis_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pa_common_test.dir/common/bitkernel_test.cpp.o"
+  "CMakeFiles/pa_common_test.dir/common/bitkernel_test.cpp.o.d"
+  "CMakeFiles/pa_common_test.dir/common/bitvector_property_test.cpp.o"
+  "CMakeFiles/pa_common_test.dir/common/bitvector_property_test.cpp.o.d"
+  "CMakeFiles/pa_common_test.dir/common/bitvector_test.cpp.o"
+  "CMakeFiles/pa_common_test.dir/common/bitvector_test.cpp.o.d"
+  "CMakeFiles/pa_common_test.dir/common/math_test.cpp.o"
+  "CMakeFiles/pa_common_test.dir/common/math_test.cpp.o.d"
+  "CMakeFiles/pa_common_test.dir/common/rng_test.cpp.o"
+  "CMakeFiles/pa_common_test.dir/common/rng_test.cpp.o.d"
+  "CMakeFiles/pa_common_test.dir/common/sha256_test.cpp.o"
+  "CMakeFiles/pa_common_test.dir/common/sha256_test.cpp.o.d"
+  "CMakeFiles/pa_common_test.dir/common/thread_pool_test.cpp.o"
+  "CMakeFiles/pa_common_test.dir/common/thread_pool_test.cpp.o.d"
+  "pa_common_test"
+  "pa_common_test.pdb"
+  "pa_common_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pa_common_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pa_golden_test.dir/golden/golden_test.cpp.o"
+  "CMakeFiles/pa_golden_test.dir/golden/golden_test.cpp.o.d"
+  "pa_golden_test"
+  "pa_golden_test.pdb"
+  "pa_golden_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pa_golden_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,33 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/integration/applications_test.cpp" "tests/CMakeFiles/pa_integration_test.dir/integration/applications_test.cpp.o" "gcc" "tests/CMakeFiles/pa_integration_test.dir/integration/applications_test.cpp.o.d"
+  "/root/repo/tests/integration/campaign_test.cpp" "tests/CMakeFiles/pa_integration_test.dir/integration/campaign_test.cpp.o" "gcc" "tests/CMakeFiles/pa_integration_test.dir/integration/campaign_test.cpp.o.d"
+  "/root/repo/tests/integration/chaos_campaign_test.cpp" "tests/CMakeFiles/pa_integration_test.dir/integration/chaos_campaign_test.cpp.o" "gcc" "tests/CMakeFiles/pa_integration_test.dir/integration/chaos_campaign_test.cpp.o.d"
+  "/root/repo/tests/integration/checkpoint_test.cpp" "tests/CMakeFiles/pa_integration_test.dir/integration/checkpoint_test.cpp.o" "gcc" "tests/CMakeFiles/pa_integration_test.dir/integration/checkpoint_test.cpp.o.d"
+  "/root/repo/tests/integration/field_conditions_test.cpp" "tests/CMakeFiles/pa_integration_test.dir/integration/field_conditions_test.cpp.o" "gcc" "tests/CMakeFiles/pa_integration_test.dir/integration/field_conditions_test.cpp.o.d"
+  "/root/repo/tests/integration/parallel_campaign_test.cpp" "tests/CMakeFiles/pa_integration_test.dir/integration/parallel_campaign_test.cpp.o" "gcc" "tests/CMakeFiles/pa_integration_test.dir/integration/parallel_campaign_test.cpp.o.d"
+  "/root/repo/tests/integration/rig_pipeline_test.cpp" "tests/CMakeFiles/pa_integration_test.dir/integration/rig_pipeline_test.cpp.o" "gcc" "tests/CMakeFiles/pa_integration_test.dir/integration/rig_pipeline_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build2/src/testbed/CMakeFiles/pa_testbed.dir/DependInfo.cmake"
+  "/root/repo/build2/src/analysis/CMakeFiles/pa_analysis.dir/DependInfo.cmake"
+  "/root/repo/build2/src/trng/CMakeFiles/pa_trng.dir/DependInfo.cmake"
+  "/root/repo/build2/src/keygen/CMakeFiles/pa_keygen.dir/DependInfo.cmake"
+  "/root/repo/build2/src/silicon/CMakeFiles/pa_silicon.dir/DependInfo.cmake"
+  "/root/repo/build2/src/stats/CMakeFiles/pa_stats.dir/DependInfo.cmake"
+  "/root/repo/build2/src/io/CMakeFiles/pa_io.dir/DependInfo.cmake"
+  "/root/repo/build2/src/common/CMakeFiles/pa_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,24 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pa_integration_test.dir/integration/applications_test.cpp.o"
+  "CMakeFiles/pa_integration_test.dir/integration/applications_test.cpp.o.d"
+  "CMakeFiles/pa_integration_test.dir/integration/campaign_test.cpp.o"
+  "CMakeFiles/pa_integration_test.dir/integration/campaign_test.cpp.o.d"
+  "CMakeFiles/pa_integration_test.dir/integration/chaos_campaign_test.cpp.o"
+  "CMakeFiles/pa_integration_test.dir/integration/chaos_campaign_test.cpp.o.d"
+  "CMakeFiles/pa_integration_test.dir/integration/checkpoint_test.cpp.o"
+  "CMakeFiles/pa_integration_test.dir/integration/checkpoint_test.cpp.o.d"
+  "CMakeFiles/pa_integration_test.dir/integration/field_conditions_test.cpp.o"
+  "CMakeFiles/pa_integration_test.dir/integration/field_conditions_test.cpp.o.d"
+  "CMakeFiles/pa_integration_test.dir/integration/parallel_campaign_test.cpp.o"
+  "CMakeFiles/pa_integration_test.dir/integration/parallel_campaign_test.cpp.o.d"
+  "CMakeFiles/pa_integration_test.dir/integration/rig_pipeline_test.cpp.o"
+  "CMakeFiles/pa_integration_test.dir/integration/rig_pipeline_test.cpp.o.d"
+  "pa_integration_test"
+  "pa_integration_test.pdb"
+  "pa_integration_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pa_integration_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,20 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pa_io_test.dir/io/csv_test.cpp.o"
+  "CMakeFiles/pa_io_test.dir/io/csv_test.cpp.o.d"
+  "CMakeFiles/pa_io_test.dir/io/json_fuzz_test.cpp.o"
+  "CMakeFiles/pa_io_test.dir/io/json_fuzz_test.cpp.o.d"
+  "CMakeFiles/pa_io_test.dir/io/json_test.cpp.o"
+  "CMakeFiles/pa_io_test.dir/io/json_test.cpp.o.d"
+  "CMakeFiles/pa_io_test.dir/io/pgm_test.cpp.o"
+  "CMakeFiles/pa_io_test.dir/io/pgm_test.cpp.o.d"
+  "CMakeFiles/pa_io_test.dir/io/table_test.cpp.o"
+  "CMakeFiles/pa_io_test.dir/io/table_test.cpp.o.d"
+  "pa_io_test"
+  "pa_io_test.pdb"
+  "pa_io_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pa_io_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,39 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/keygen/bch_test.cpp" "tests/CMakeFiles/pa_keygen_test.dir/keygen/bch_test.cpp.o" "gcc" "tests/CMakeFiles/pa_keygen_test.dir/keygen/bch_test.cpp.o.d"
+  "/root/repo/tests/keygen/bit_selection_test.cpp" "tests/CMakeFiles/pa_keygen_test.dir/keygen/bit_selection_test.cpp.o" "gcc" "tests/CMakeFiles/pa_keygen_test.dir/keygen/bit_selection_test.cpp.o.d"
+  "/root/repo/tests/keygen/code_property_test.cpp" "tests/CMakeFiles/pa_keygen_test.dir/keygen/code_property_test.cpp.o" "gcc" "tests/CMakeFiles/pa_keygen_test.dir/keygen/code_property_test.cpp.o.d"
+  "/root/repo/tests/keygen/concatenated_test.cpp" "tests/CMakeFiles/pa_keygen_test.dir/keygen/concatenated_test.cpp.o" "gcc" "tests/CMakeFiles/pa_keygen_test.dir/keygen/concatenated_test.cpp.o.d"
+  "/root/repo/tests/keygen/debias_test.cpp" "tests/CMakeFiles/pa_keygen_test.dir/keygen/debias_test.cpp.o" "gcc" "tests/CMakeFiles/pa_keygen_test.dir/keygen/debias_test.cpp.o.d"
+  "/root/repo/tests/keygen/debiased_key_generator_test.cpp" "tests/CMakeFiles/pa_keygen_test.dir/keygen/debiased_key_generator_test.cpp.o" "gcc" "tests/CMakeFiles/pa_keygen_test.dir/keygen/debiased_key_generator_test.cpp.o.d"
+  "/root/repo/tests/keygen/fuzzy_extractor_test.cpp" "tests/CMakeFiles/pa_keygen_test.dir/keygen/fuzzy_extractor_test.cpp.o" "gcc" "tests/CMakeFiles/pa_keygen_test.dir/keygen/fuzzy_extractor_test.cpp.o.d"
+  "/root/repo/tests/keygen/gf2m_test.cpp" "tests/CMakeFiles/pa_keygen_test.dir/keygen/gf2m_test.cpp.o" "gcc" "tests/CMakeFiles/pa_keygen_test.dir/keygen/gf2m_test.cpp.o.d"
+  "/root/repo/tests/keygen/golay_test.cpp" "tests/CMakeFiles/pa_keygen_test.dir/keygen/golay_test.cpp.o" "gcc" "tests/CMakeFiles/pa_keygen_test.dir/keygen/golay_test.cpp.o.d"
+  "/root/repo/tests/keygen/key_generator_test.cpp" "tests/CMakeFiles/pa_keygen_test.dir/keygen/key_generator_test.cpp.o" "gcc" "tests/CMakeFiles/pa_keygen_test.dir/keygen/key_generator_test.cpp.o.d"
+  "/root/repo/tests/keygen/leakage_test.cpp" "tests/CMakeFiles/pa_keygen_test.dir/keygen/leakage_test.cpp.o" "gcc" "tests/CMakeFiles/pa_keygen_test.dir/keygen/leakage_test.cpp.o.d"
+  "/root/repo/tests/keygen/polar_test.cpp" "tests/CMakeFiles/pa_keygen_test.dir/keygen/polar_test.cpp.o" "gcc" "tests/CMakeFiles/pa_keygen_test.dir/keygen/polar_test.cpp.o.d"
+  "/root/repo/tests/keygen/repetition_test.cpp" "tests/CMakeFiles/pa_keygen_test.dir/keygen/repetition_test.cpp.o" "gcc" "tests/CMakeFiles/pa_keygen_test.dir/keygen/repetition_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build2/src/testbed/CMakeFiles/pa_testbed.dir/DependInfo.cmake"
+  "/root/repo/build2/src/analysis/CMakeFiles/pa_analysis.dir/DependInfo.cmake"
+  "/root/repo/build2/src/trng/CMakeFiles/pa_trng.dir/DependInfo.cmake"
+  "/root/repo/build2/src/keygen/CMakeFiles/pa_keygen.dir/DependInfo.cmake"
+  "/root/repo/build2/src/silicon/CMakeFiles/pa_silicon.dir/DependInfo.cmake"
+  "/root/repo/build2/src/stats/CMakeFiles/pa_stats.dir/DependInfo.cmake"
+  "/root/repo/build2/src/io/CMakeFiles/pa_io.dir/DependInfo.cmake"
+  "/root/repo/build2/src/common/CMakeFiles/pa_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

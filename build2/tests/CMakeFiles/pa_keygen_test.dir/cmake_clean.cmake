@@ -1,0 +1,36 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pa_keygen_test.dir/keygen/bch_test.cpp.o"
+  "CMakeFiles/pa_keygen_test.dir/keygen/bch_test.cpp.o.d"
+  "CMakeFiles/pa_keygen_test.dir/keygen/bit_selection_test.cpp.o"
+  "CMakeFiles/pa_keygen_test.dir/keygen/bit_selection_test.cpp.o.d"
+  "CMakeFiles/pa_keygen_test.dir/keygen/code_property_test.cpp.o"
+  "CMakeFiles/pa_keygen_test.dir/keygen/code_property_test.cpp.o.d"
+  "CMakeFiles/pa_keygen_test.dir/keygen/concatenated_test.cpp.o"
+  "CMakeFiles/pa_keygen_test.dir/keygen/concatenated_test.cpp.o.d"
+  "CMakeFiles/pa_keygen_test.dir/keygen/debias_test.cpp.o"
+  "CMakeFiles/pa_keygen_test.dir/keygen/debias_test.cpp.o.d"
+  "CMakeFiles/pa_keygen_test.dir/keygen/debiased_key_generator_test.cpp.o"
+  "CMakeFiles/pa_keygen_test.dir/keygen/debiased_key_generator_test.cpp.o.d"
+  "CMakeFiles/pa_keygen_test.dir/keygen/fuzzy_extractor_test.cpp.o"
+  "CMakeFiles/pa_keygen_test.dir/keygen/fuzzy_extractor_test.cpp.o.d"
+  "CMakeFiles/pa_keygen_test.dir/keygen/gf2m_test.cpp.o"
+  "CMakeFiles/pa_keygen_test.dir/keygen/gf2m_test.cpp.o.d"
+  "CMakeFiles/pa_keygen_test.dir/keygen/golay_test.cpp.o"
+  "CMakeFiles/pa_keygen_test.dir/keygen/golay_test.cpp.o.d"
+  "CMakeFiles/pa_keygen_test.dir/keygen/key_generator_test.cpp.o"
+  "CMakeFiles/pa_keygen_test.dir/keygen/key_generator_test.cpp.o.d"
+  "CMakeFiles/pa_keygen_test.dir/keygen/leakage_test.cpp.o"
+  "CMakeFiles/pa_keygen_test.dir/keygen/leakage_test.cpp.o.d"
+  "CMakeFiles/pa_keygen_test.dir/keygen/polar_test.cpp.o"
+  "CMakeFiles/pa_keygen_test.dir/keygen/polar_test.cpp.o.d"
+  "CMakeFiles/pa_keygen_test.dir/keygen/repetition_test.cpp.o"
+  "CMakeFiles/pa_keygen_test.dir/keygen/repetition_test.cpp.o.d"
+  "pa_keygen_test"
+  "pa_keygen_test.pdb"
+  "pa_keygen_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pa_keygen_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pa_silicon_test.dir/silicon/aging_test.cpp.o"
+  "CMakeFiles/pa_silicon_test.dir/silicon/aging_test.cpp.o.d"
+  "CMakeFiles/pa_silicon_test.dir/silicon/calibration_test.cpp.o"
+  "CMakeFiles/pa_silicon_test.dir/silicon/calibration_test.cpp.o.d"
+  "CMakeFiles/pa_silicon_test.dir/silicon/device_test.cpp.o"
+  "CMakeFiles/pa_silicon_test.dir/silicon/device_test.cpp.o.d"
+  "CMakeFiles/pa_silicon_test.dir/silicon/factory_test.cpp.o"
+  "CMakeFiles/pa_silicon_test.dir/silicon/factory_test.cpp.o.d"
+  "CMakeFiles/pa_silicon_test.dir/silicon/noise_test.cpp.o"
+  "CMakeFiles/pa_silicon_test.dir/silicon/noise_test.cpp.o.d"
+  "CMakeFiles/pa_silicon_test.dir/silicon/population_test.cpp.o"
+  "CMakeFiles/pa_silicon_test.dir/silicon/population_test.cpp.o.d"
+  "CMakeFiles/pa_silicon_test.dir/silicon/powerup_test.cpp.o"
+  "CMakeFiles/pa_silicon_test.dir/silicon/powerup_test.cpp.o.d"
+  "CMakeFiles/pa_silicon_test.dir/silicon/ramp_adapter_test.cpp.o"
+  "CMakeFiles/pa_silicon_test.dir/silicon/ramp_adapter_test.cpp.o.d"
+  "pa_silicon_test"
+  "pa_silicon_test.pdb"
+  "pa_silicon_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pa_silicon_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

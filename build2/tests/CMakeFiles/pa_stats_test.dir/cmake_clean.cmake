@@ -1,0 +1,22 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pa_stats_test.dir/stats/confidence_test.cpp.o"
+  "CMakeFiles/pa_stats_test.dir/stats/confidence_test.cpp.o.d"
+  "CMakeFiles/pa_stats_test.dir/stats/descriptive_test.cpp.o"
+  "CMakeFiles/pa_stats_test.dir/stats/descriptive_test.cpp.o.d"
+  "CMakeFiles/pa_stats_test.dir/stats/histogram_test.cpp.o"
+  "CMakeFiles/pa_stats_test.dir/stats/histogram_test.cpp.o.d"
+  "CMakeFiles/pa_stats_test.dir/stats/nist_extended_test.cpp.o"
+  "CMakeFiles/pa_stats_test.dir/stats/nist_extended_test.cpp.o.d"
+  "CMakeFiles/pa_stats_test.dir/stats/nist_test.cpp.o"
+  "CMakeFiles/pa_stats_test.dir/stats/nist_test.cpp.o.d"
+  "CMakeFiles/pa_stats_test.dir/stats/regression_test.cpp.o"
+  "CMakeFiles/pa_stats_test.dir/stats/regression_test.cpp.o.d"
+  "pa_stats_test"
+  "pa_stats_test.pdb"
+  "pa_stats_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pa_stats_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

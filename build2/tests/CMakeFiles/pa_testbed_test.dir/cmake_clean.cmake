@@ -1,0 +1,26 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pa_testbed_test.dir/testbed/boards_test.cpp.o"
+  "CMakeFiles/pa_testbed_test.dir/testbed/boards_test.cpp.o.d"
+  "CMakeFiles/pa_testbed_test.dir/testbed/clock_test.cpp.o"
+  "CMakeFiles/pa_testbed_test.dir/testbed/clock_test.cpp.o.d"
+  "CMakeFiles/pa_testbed_test.dir/testbed/collector_test.cpp.o"
+  "CMakeFiles/pa_testbed_test.dir/testbed/collector_test.cpp.o.d"
+  "CMakeFiles/pa_testbed_test.dir/testbed/faults_fuzz_test.cpp.o"
+  "CMakeFiles/pa_testbed_test.dir/testbed/faults_fuzz_test.cpp.o.d"
+  "CMakeFiles/pa_testbed_test.dir/testbed/faults_test.cpp.o"
+  "CMakeFiles/pa_testbed_test.dir/testbed/faults_test.cpp.o.d"
+  "CMakeFiles/pa_testbed_test.dir/testbed/i2c_test.cpp.o"
+  "CMakeFiles/pa_testbed_test.dir/testbed/i2c_test.cpp.o.d"
+  "CMakeFiles/pa_testbed_test.dir/testbed/power_test.cpp.o"
+  "CMakeFiles/pa_testbed_test.dir/testbed/power_test.cpp.o.d"
+  "CMakeFiles/pa_testbed_test.dir/testbed/rig_test.cpp.o"
+  "CMakeFiles/pa_testbed_test.dir/testbed/rig_test.cpp.o.d"
+  "pa_testbed_test"
+  "pa_testbed_test.pdb"
+  "pa_testbed_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pa_testbed_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,20 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pa_trng_test.dir/trng/conditioner_test.cpp.o"
+  "CMakeFiles/pa_trng_test.dir/trng/conditioner_test.cpp.o.d"
+  "CMakeFiles/pa_trng_test.dir/trng/estimators_test.cpp.o"
+  "CMakeFiles/pa_trng_test.dir/trng/estimators_test.cpp.o.d"
+  "CMakeFiles/pa_trng_test.dir/trng/harvester_test.cpp.o"
+  "CMakeFiles/pa_trng_test.dir/trng/harvester_test.cpp.o.d"
+  "CMakeFiles/pa_trng_test.dir/trng/health_test.cpp.o"
+  "CMakeFiles/pa_trng_test.dir/trng/health_test.cpp.o.d"
+  "CMakeFiles/pa_trng_test.dir/trng/pipeline_test.cpp.o"
+  "CMakeFiles/pa_trng_test.dir/trng/pipeline_test.cpp.o.d"
+  "pa_trng_test"
+  "pa_trng_test.pdb"
+  "pa_trng_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pa_trng_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,16 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build2/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build2/tests/pa_common_test[1]_include.cmake")
+include("/root/repo/build2/tests/pa_stats_test[1]_include.cmake")
+include("/root/repo/build2/tests/pa_io_test[1]_include.cmake")
+include("/root/repo/build2/tests/pa_silicon_test[1]_include.cmake")
+include("/root/repo/build2/tests/pa_analysis_test[1]_include.cmake")
+include("/root/repo/build2/tests/pa_testbed_test[1]_include.cmake")
+include("/root/repo/build2/tests/pa_keygen_test[1]_include.cmake")
+include("/root/repo/build2/tests/pa_trng_test[1]_include.cmake")
+include("/root/repo/build2/tests/pa_golden_test[1]_include.cmake")
+include("/root/repo/build2/tests/pa_integration_test[1]_include.cmake")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pufaging_cli.dir/pufaging_cli.cpp.o"
+  "CMakeFiles/pufaging_cli.dir/pufaging_cli.cpp.o.d"
+  "pufaging"
+  "pufaging.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pufaging_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for pufaging_cli.
+# This may be replaced when dependencies are built.

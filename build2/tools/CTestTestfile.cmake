@@ -1,0 +1,14 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tools
+# Build directory: /root/repo/build2/tools
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+add_test(cli_usage "/root/repo/build2/tools/pufaging")
+set_tests_properties(cli_usage PROPERTIES  WILL_FAIL "TRUE" _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;8;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(cli_campaign "/root/repo/build2/tools/pufaging" "campaign" "--months" "1" "--measurements" "60")
+set_tests_properties(cli_campaign PROPERTIES  PASS_REGULAR_EXPRESSION "WCHD" _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;10;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(cli_trng "/root/repo/build2/tools/pufaging" "trng" "--bytes" "16")
+set_tests_properties(cli_trng PROPERTIES  PASS_REGULAR_EXPRESSION "health pass" _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;14;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(cli_keygen "/root/repo/build2/tools/pufaging" "keygen" "--months" "2")
+set_tests_properties(cli_keygen PROPERTIES  PASS_REGULAR_EXPRESSION "key survived 2 months" _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;17;add_test;/root/repo/tools/CMakeLists.txt;0;")
