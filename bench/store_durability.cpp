@@ -1,0 +1,163 @@
+// Durable store: cost of crash safety.
+//
+// Audited, then timed:
+//   1. WAL month-ledger appends vs a full snapshot rewrite every month —
+//      the I/O volume and syscall count a two-year campaign pays for
+//      durability under each scheme (the store's compaction knob);
+//   2. fsync batching (`fsync_every`) — how many fsyncs the WAL issues
+//      per persisted month;
+//   3. microbenchmarks of the two store primitives, publish vs append.
+//
+// All byte/syscall accounting runs over FaultFs (deterministic in-memory
+// filesystem), so the numbers measure the protocol, not the host disk.
+#include <chrono>
+#include <cstdio>
+
+#include "bench_common.hpp"
+#include "store/faultfs.hpp"
+#include "store/store.hpp"
+#include "testbed/campaign.hpp"
+
+namespace pufaging {
+namespace {
+
+CampaignConfig base_config(Vfs& fs) {
+  CampaignConfig config;
+  config.months = 24;
+  config.measurements_per_month = 50;
+  config.threads = 4;
+  config.checkpoint_dir = "store";
+  config.vfs = &fs;
+  return config;
+}
+
+struct SchemeCost {
+  double seconds = 0.0;
+  std::uint64_t bytes = 0;
+  std::uint64_t syscalls = 0;
+  std::size_t snapshots = 0;
+  std::size_t wal_appends = 0;
+};
+
+SchemeCost run_scheme(std::size_t checkpoint_every, std::size_t fsync_every) {
+  FaultFs fs;
+  CampaignConfig config = base_config(fs);
+  config.checkpoint_every_months = checkpoint_every;
+  config.fsync_every = fsync_every;
+  const auto start = std::chrono::steady_clock::now();
+  const CampaignResult result = run_campaign(config);
+  const auto stop = std::chrono::steady_clock::now();
+  SchemeCost cost;
+  cost.seconds = std::chrono::duration<double>(stop - start).count();
+  cost.bytes = fs.bytes_written();
+  cost.syscalls = fs.syscalls();
+  cost.snapshots = result.persistence.snapshots;
+  cost.wal_appends = result.persistence.wal_appends;
+  return cost;
+}
+
+void reproduce() {
+  bench::banner("Durable store - WAL appends vs full snapshot rewrites");
+  std::printf(
+      "24 months x 16 devices x 50 measurements/month, checkpoint schemes:\n\n");
+  std::printf("  %-34s %9s %10s %6s %6s\n", "scheme", "bytes", "syscalls",
+              "snaps", "wal");
+  const SchemeCost rewrite = run_scheme(1, 1);
+  std::printf("  %-34s %9llu %10llu %6zu %6zu\n",
+              "snapshot every month (old scheme)",
+              static_cast<unsigned long long>(rewrite.bytes),
+              static_cast<unsigned long long>(rewrite.syscalls),
+              rewrite.snapshots, rewrite.wal_appends);
+  const SchemeCost wal6 = run_scheme(6, 1);
+  std::printf("  %-34s %9llu %10llu %6zu %6zu\n",
+              "WAL + snapshot every 6 months",
+              static_cast<unsigned long long>(wal6.bytes),
+              static_cast<unsigned long long>(wal6.syscalls), wal6.snapshots,
+              wal6.wal_appends);
+  const SchemeCost wal6b = run_scheme(6, 4);
+  std::printf("  %-34s %9llu %10llu %6zu %6zu\n",
+              "WAL (fsync_every=4) + 6-month snaps",
+              static_cast<unsigned long long>(wal6b.bytes),
+              static_cast<unsigned long long>(wal6b.syscalls), wal6b.snapshots,
+              wal6b.wal_appends);
+  std::printf(
+      "\n  WAL scheme writes %.1fx fewer bytes and issues %.1fx fewer\n"
+      "  syscalls than a monthly full rewrite; fsync batching trims the\n"
+      "  syscall count further at a bounded redo-after-crash cost.\n",
+      static_cast<double>(rewrite.bytes) /
+          static_cast<double>(wal6.bytes ? wal6.bytes : 1),
+      static_cast<double>(rewrite.syscalls) /
+          static_cast<double>(wal6.syscalls ? wal6.syscalls : 1));
+  if (wal6.bytes >= rewrite.bytes) {
+    std::printf("  NO - BUG: the WAL scheme should write less, not more\n");
+    std::exit(1);
+  }
+}
+
+/// A month-ledger-sized payload (16 devices of serialized state).
+std::string ledger_payload() { return std::string(6000, 'x'); }
+
+/// A full-checkpoint-sized blob (grows with completed months; use a
+/// mid-campaign size).
+std::string snapshot_blob() { return std::string(120000, 'y'); }
+
+void BM_WalAppend(benchmark::State& state) {
+  FaultFs fs;
+  MeasurementStore store(fs, "db");
+  store.publish_snapshot(snapshot_blob());
+  const std::string payload = ledger_payload();
+  for (auto _ : state) {
+    store.append_record(payload);
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(payload.size()));
+}
+BENCHMARK(BM_WalAppend);
+
+void BM_WalAppendFsyncBatched(benchmark::State& state) {
+  FaultFs fs;
+  StoreOptions opts;
+  opts.fsync_every = 8;
+  MeasurementStore store(fs, "db", opts);
+  store.publish_snapshot(snapshot_blob());
+  const std::string payload = ledger_payload();
+  for (auto _ : state) {
+    store.append_record(payload);
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(payload.size()));
+}
+BENCHMARK(BM_WalAppendFsyncBatched);
+
+void BM_SnapshotPublish(benchmark::State& state) {
+  FaultFs fs;
+  MeasurementStore store(fs, "db");
+  const std::string blob = snapshot_blob();
+  for (auto _ : state) {
+    store.publish_snapshot(blob);
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(blob.size()));
+}
+BENCHMARK(BM_SnapshotPublish);
+
+void BM_WalRecoveryScan(benchmark::State& state) {
+  // Recovery cost: scanning a 24-record segment of ledger-sized frames.
+  std::string image;
+  for (std::uint32_t i = 0; i < 24; ++i) {
+    image += encode_wal_frame(1, i, ledger_payload());
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(scan_wal(image, 1));
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(image.size()));
+}
+BENCHMARK(BM_WalRecoveryScan);
+
+}  // namespace
+}  // namespace pufaging
+
+int main(int argc, char** argv) {
+  return pufaging::bench::run(argc, argv, pufaging::reproduce);
+}

@@ -1,0 +1,36 @@
+#include "store/crc32c.hpp"
+
+#include <array>
+
+namespace pufaging {
+
+namespace {
+
+// Reflected CRC-32C table (polynomial 0x1EDC6F41 reversed = 0x82F63B78),
+// generated at compile time.
+constexpr std::array<std::uint32_t, 256> make_crc32c_table() {
+  std::array<std::uint32_t, 256> table{};
+  for (std::uint32_t n = 0; n < 256; ++n) {
+    std::uint32_t c = n;
+    for (int bit = 0; bit < 8; ++bit) {
+      c = (c & 1U) ? (0x82F63B78U ^ (c >> 1)) : (c >> 1);
+    }
+    table[n] = c;
+  }
+  return table;
+}
+
+constexpr std::array<std::uint32_t, 256> kTable = make_crc32c_table();
+
+}  // namespace
+
+std::uint32_t crc32c(const void* data, std::size_t len, std::uint32_t seed) {
+  const auto* bytes = static_cast<const unsigned char*>(data);
+  std::uint32_t crc = ~seed;
+  for (std::size_t i = 0; i < len; ++i) {
+    crc = kTable[(crc ^ bytes[i]) & 0xFFU] ^ (crc >> 8);
+  }
+  return ~crc;
+}
+
+}  // namespace pufaging

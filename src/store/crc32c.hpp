@@ -1,0 +1,27 @@
+// CRC-32C (Castagnoli, polynomial 0x1EDC6F41) — the frame checksum of the
+// durable measurement store's write-ahead log.
+//
+// CRC-32C is the storage-industry standard for exactly this job (iSCSI,
+// ext4 metadata, Btrfs, LevelDB/RocksDB log frames): its error-detection
+// properties on short records are better than CRC-32/IEEE and hardware
+// support exists on both x86 (SSE4.2) and ARM. This implementation is the
+// portable slice-by-one table variant — WAL framing is not a campaign hot
+// path (a handful of records per simulated month), so the scalar table is
+// plenty and keeps the store dependency-free.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string_view>
+
+namespace pufaging {
+
+/// CRC-32C of `len` bytes at `data`. `seed` chains incremental updates:
+/// `crc32c(b, crc32c(a))` equals `crc32c(a || b)`.
+std::uint32_t crc32c(const void* data, std::size_t len, std::uint32_t seed = 0);
+
+inline std::uint32_t crc32c(std::string_view bytes, std::uint32_t seed = 0) {
+  return crc32c(bytes.data(), bytes.size(), seed);
+}
+
+}  // namespace pufaging

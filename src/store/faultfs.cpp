@@ -1,0 +1,473 @@
+#include "store/faultfs.hpp"
+
+#include <algorithm>
+#include <cstring>
+
+#include "common/error.hpp"
+
+namespace pufaging {
+
+namespace {
+
+/// SplitMix64: the standard seed-expansion hash (same construction the
+/// RNG layer uses for stream splitting).
+std::uint64_t mix64(std::uint64_t x) {
+  x += 0x9E3779B97F4A7C15ULL;
+  x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  x = (x ^ (x >> 27)) * 0x94D049BB133111EBULL;
+  return x ^ (x >> 31);
+}
+
+/// FNV-1a over the path: platform-independent name hashing so a crash
+/// matrix cell replays bit-identically everywhere.
+std::uint64_t hash_name(const std::string& name) {
+  std::uint64_t h = 0xCBF29CE484222325ULL;
+  for (const char c : name) {
+    h ^= static_cast<std::uint8_t>(c);
+    h *= 0x100000001B3ULL;
+  }
+  return h;
+}
+
+std::uint64_t parse_u64(const std::string& text, const std::string& key) {
+  try {
+    std::size_t used = 0;
+    const unsigned long long v = std::stoull(text, &used, 0);
+    if (used != text.size()) {
+      throw ParseError("fs fault plan: trailing junk in '" + key + "'");
+    }
+    return static_cast<std::uint64_t>(v);
+  } catch (const Error&) {
+    throw;
+  } catch (const std::exception&) {
+    throw ParseError("fs fault plan: bad number for '" + key + "': '" + text +
+                     "'");
+  }
+}
+
+double parse_rate(const std::string& text, const std::string& key) {
+  try {
+    std::size_t used = 0;
+    const double v = std::stod(text, &used);
+    if (used != text.size()) {
+      throw ParseError("fs fault plan: trailing junk in '" + key + "'");
+    }
+    return v;
+  } catch (const Error&) {
+    throw;
+  } catch (const std::exception&) {
+    throw ParseError("fs fault plan: bad rate for '" + key + "': '" + text +
+                     "'");
+  }
+}
+
+PowerCutMode parse_cut_mode(const std::string& text) {
+  if (text == "strict") {
+    return PowerCutMode::kStrict;
+  }
+  if (text == "torn") {
+    return PowerCutMode::kTorn;
+  }
+  if (text == "mixed") {
+    return PowerCutMode::kMixed;
+  }
+  throw ParseError("fs fault plan: unknown cut mode '" + text + "'");
+}
+
+}  // namespace
+
+const char* power_cut_mode_name(PowerCutMode mode) {
+  switch (mode) {
+    case PowerCutMode::kStrict:
+      return "strict";
+    case PowerCutMode::kTorn:
+      return "torn";
+    case PowerCutMode::kMixed:
+      return "mixed";
+  }
+  return "?";
+}
+
+void FsFaultPlan::validate() const {
+  if (torn_sector_bytes == 0) {
+    throw InvalidArgument("fs fault plan: torn_sector_bytes must be >= 1");
+  }
+  if (drop_fsync_rate < 0.0 || drop_fsync_rate > 1.0) {
+    throw InvalidArgument("fs fault plan: drop_fsync_rate outside [0, 1]");
+  }
+}
+
+FsFaultPlan parse_fs_fault_plan(const std::string& spec) {
+  if (!spec.empty() && spec.front() == '{') {
+    return fs_fault_plan_from_json(Json::parse(spec));
+  }
+  FsFaultPlan plan;
+  std::size_t pos = 0;
+  while (pos < spec.size()) {
+    std::size_t end = spec.find(',', pos);
+    if (end == std::string::npos) {
+      end = spec.size();
+    }
+    const std::string item = spec.substr(pos, end - pos);
+    pos = end + 1;
+    if (item.empty()) {
+      continue;
+    }
+    const std::size_t eq = item.find('=');
+    if (eq == std::string::npos) {
+      throw ParseError("fs fault plan: expected key=value, got '" + item +
+                       "'");
+    }
+    const std::string key = item.substr(0, eq);
+    const std::string value = item.substr(eq + 1);
+    if (key == "kill") {
+      plan.kill_at_syscall = parse_u64(value, key);
+    } else if (key == "cut") {
+      plan.cut_mode = parse_cut_mode(value);
+    } else if (key == "seed") {
+      plan.seed = parse_u64(value, key);
+    } else if (key == "sector") {
+      plan.torn_sector_bytes = static_cast<std::size_t>(parse_u64(value, key));
+    } else if (key == "enospc") {
+      plan.enospc_after_bytes = parse_u64(value, key);
+    } else if (key == "short") {
+      plan.short_write_limit = static_cast<std::size_t>(parse_u64(value, key));
+    } else if (key == "dropfsync") {
+      plan.drop_fsync_rate = parse_rate(value, key);
+    } else {
+      throw ParseError("fs fault plan: unknown key '" + key + "'");
+    }
+  }
+  plan.validate();
+  return plan;
+}
+
+Json fs_fault_plan_to_json(const FsFaultPlan& plan) {
+  Json obj = Json::object();
+  obj.set("kill", Json(plan.kill_at_syscall));
+  obj.set("cut", Json(power_cut_mode_name(plan.cut_mode)));
+  obj.set("seed", Json(plan.seed));
+  obj.set("sector", Json(static_cast<std::uint64_t>(plan.torn_sector_bytes)));
+  obj.set("enospc", Json(plan.enospc_after_bytes));
+  obj.set("short", Json(static_cast<std::uint64_t>(plan.short_write_limit)));
+  obj.set("dropfsync", Json(plan.drop_fsync_rate));
+  return obj;
+}
+
+FsFaultPlan fs_fault_plan_from_json(const Json& json) {
+  FsFaultPlan plan;
+  plan.kill_at_syscall = static_cast<std::uint64_t>(json.at("kill").as_int());
+  plan.cut_mode = parse_cut_mode(json.at("cut").as_string());
+  plan.seed = static_cast<std::uint64_t>(json.at("seed").as_int());
+  plan.torn_sector_bytes =
+      static_cast<std::size_t>(json.at("sector").as_int());
+  plan.enospc_after_bytes =
+      static_cast<std::uint64_t>(json.at("enospc").as_int());
+  plan.short_write_limit =
+      static_cast<std::size_t>(json.at("short").as_int());
+  plan.drop_fsync_rate = json.at("dropfsync").as_double();
+  plan.validate();
+  return plan;
+}
+
+FaultFs::FaultFs(FsFaultPlan plan) : plan_(plan) { plan_.validate(); }
+
+void FaultFs::set_plan(FsFaultPlan plan) {
+  plan.validate();
+  plan_ = plan;
+}
+
+void FaultFs::mutating_syscall(const char* op) {
+  if (dead_) {
+    throw PowerCutError(std::string("faultfs: ") + op +
+                        " after the power cut");
+  }
+  ++syscalls_;
+  if (plan_.kill_at_syscall != 0 && syscalls_ >= plan_.kill_at_syscall) {
+    dead_ = true;
+    throw PowerCutError("faultfs: power cut at syscall " +
+                        std::to_string(syscalls_) + " (" + op + ")");
+  }
+}
+
+void FaultFs::check_alive(const char* op) const {
+  if (dead_) {
+    throw PowerCutError(std::string("faultfs: ") + op +
+                        " after the power cut");
+  }
+}
+
+FaultFs::InodePtr FaultFs::find_live(const std::string& path) const {
+  const auto it = live_.find(path);
+  return it == live_.end() ? nullptr : it->second;
+}
+
+std::uint64_t FaultFs::draw(std::uint64_t salt) const {
+  return mix64(plan_.seed ^ mix64(salt));
+}
+
+void FaultFs::create_dirs(const std::string& dir) {
+  mutating_syscall("create_dirs");
+  (void)dir;  // Flat namespace: directories implicitly exist.
+}
+
+bool FaultFs::exists(const std::string& path) {
+  check_alive("exists");
+  if (live_.count(path) != 0) {
+    return true;
+  }
+  // Directory probe: any live file beneath the path.
+  const std::string prefix = path + "/";
+  const auto it = live_.lower_bound(prefix);
+  return it != live_.end() && it->first.rfind(prefix, 0) == 0;
+}
+
+std::vector<std::string> FaultFs::list_dir(const std::string& dir) {
+  check_alive("list_dir");
+  std::vector<std::string> names;
+  const std::string prefix = dir + "/";
+  for (auto it = live_.lower_bound(prefix);
+       it != live_.end() && it->first.rfind(prefix, 0) == 0; ++it) {
+    const std::string rest = it->first.substr(prefix.size());
+    if (rest.find('/') == std::string::npos) {
+      names.push_back(rest);
+    }
+  }
+  return names;  // Map order is already sorted.
+}
+
+void FaultFs::rename(const std::string& from, const std::string& to) {
+  mutating_syscall("rename");
+  const auto it = live_.find(from);
+  if (it == live_.end()) {
+    throw StoreError(StoreError::Kind::kIo,
+                     "faultfs: rename source missing '" + from + "'");
+  }
+  live_[to] = it->second;  // Atomic replace of the target.
+  live_.erase(it);
+}
+
+void FaultFs::remove(const std::string& path) {
+  mutating_syscall("remove");
+  if (live_.erase(path) == 0) {
+    throw StoreError(StoreError::Kind::kIo,
+                     "faultfs: remove of missing '" + path + "'");
+  }
+}
+
+void FaultFs::fsync_dir(const std::string& dir) {
+  mutating_syscall("fsync_dir");
+  (void)dir;
+  // One flat directory: capture the whole live namespace as durable.
+  durable_ = live_;
+}
+
+Vfs::FileId FaultFs::open_append(const std::string& path,
+                                 bool truncate_existing) {
+  mutating_syscall("open_append");
+  InodePtr inode = find_live(path);
+  if (inode == nullptr) {
+    inode = std::make_shared<Inode>();
+    live_[path] = inode;
+  } else if (truncate_existing) {
+    inode->data.clear();
+    inode->durable_bytes = 0;
+  }
+  Handle handle;
+  handle.inode = inode;
+  handle.path = path;
+  handle.open = true;
+  handles_.push_back(std::move(handle));
+  return static_cast<FileId>(handles_.size() - 1);
+}
+
+std::size_t FaultFs::write_some(FileId file, const char* data,
+                                std::size_t len) {
+  mutating_syscall("write");
+  if (file < 0 || static_cast<std::size_t>(file) >= handles_.size() ||
+      !handles_[static_cast<std::size_t>(file)].open) {
+    throw StoreError(StoreError::Kind::kIo, "faultfs: write on bad handle");
+  }
+  if (len == 0) {
+    return 0;
+  }
+  std::size_t n = len;
+  if (plan_.short_write_limit != 0) {
+    n = std::min(n, plan_.short_write_limit);
+  }
+  if (plan_.enospc_after_bytes != 0) {
+    if (bytes_written_ >= plan_.enospc_after_bytes) {
+      throw StoreError(StoreError::Kind::kNoSpace,
+                       "faultfs: no space left on device");
+    }
+    n = std::min<std::uint64_t>(n, plan_.enospc_after_bytes - bytes_written_);
+  }
+  Handle& handle = handles_[static_cast<std::size_t>(file)];
+  handle.inode->data.append(data, n);
+  bytes_written_ += n;
+  return n;
+}
+
+void FaultFs::fsync(FileId file) {
+  mutating_syscall("fsync");
+  if (file < 0 || static_cast<std::size_t>(file) >= handles_.size() ||
+      !handles_[static_cast<std::size_t>(file)].open) {
+    throw StoreError(StoreError::Kind::kIo, "faultfs: fsync on bad handle");
+  }
+  if (plan_.drop_fsync_rate > 0.0) {
+    // Deterministic Bernoulli: compare a 64-bit draw against the rate.
+    const std::uint64_t d = draw(0xF5CC ^ syscalls_);
+    const double u =
+        static_cast<double>(d >> 11) * (1.0 / 9007199254740992.0);
+    if (u < plan_.drop_fsync_rate) {
+      ++fsyncs_dropped_;
+      return;  // The drive lied: nothing became durable.
+    }
+  }
+  Handle& handle = handles_[static_cast<std::size_t>(file)];
+  handle.inode->durable_bytes = handle.inode->data.size();
+}
+
+void FaultFs::close(FileId file) noexcept {
+  if (file >= 0 && static_cast<std::size_t>(file) < handles_.size()) {
+    handles_[static_cast<std::size_t>(file)].open = false;
+    handles_[static_cast<std::size_t>(file)].inode.reset();
+  }
+}
+
+std::uint64_t FaultFs::file_size(const std::string& path) {
+  check_alive("file_size");
+  const InodePtr inode = find_live(path);
+  if (inode == nullptr) {
+    throw StoreError(StoreError::Kind::kIo,
+                     "faultfs: file_size of missing '" + path + "'");
+  }
+  return inode->data.size();
+}
+
+std::string FaultFs::read_file(const std::string& path) {
+  check_alive("read_file");
+  const InodePtr inode = find_live(path);
+  if (inode == nullptr) {
+    throw StoreError(StoreError::Kind::kIo,
+                     "faultfs: read of missing '" + path + "'");
+  }
+  return inode->data;
+}
+
+void FaultFs::truncate(const std::string& path, std::uint64_t size) {
+  mutating_syscall("truncate");
+  const InodePtr inode = find_live(path);
+  if (inode == nullptr) {
+    throw StoreError(StoreError::Kind::kIo,
+                     "faultfs: truncate of missing '" + path + "'");
+  }
+  if (size < inode->data.size()) {
+    inode->data.resize(static_cast<std::size_t>(size));
+  }
+  // The shrink is modelled as immediately durable: the store only
+  // truncates during recovery, which re-runs idempotently if interrupted.
+  inode->durable_bytes = std::min<std::uint64_t>(inode->durable_bytes, size);
+}
+
+void FaultFs::power_cut() {
+  // What content survives for one inode under the cut mode.
+  const auto surviving_content = [&](const std::string& name,
+                                     const InodePtr& inode,
+                                     bool live_view) -> std::string {
+    const std::string& data = inode->data;
+    const std::size_t durable =
+        static_cast<std::size_t>(std::min<std::uint64_t>(
+            inode->durable_bytes, data.size()));
+    if (live_view) {
+      return data;  // Mixed mode decided this file's cache was flushed.
+    }
+    if (plan_.cut_mode != PowerCutMode::kTorn || durable == data.size()) {
+      return data.substr(0, durable);
+    }
+    // Torn write: a deterministic sector-aligned prefix of the unsynced
+    // tail made it to the platter; the next sector may land garbled.
+    const std::size_t sector = plan_.torn_sector_bytes;
+    const std::size_t tail = data.size() - durable;
+    const std::uint64_t d = draw(hash_name(name) ^ 0x7042);
+    const std::size_t keep =
+        std::min(tail, static_cast<std::size_t>(d % (tail / sector + 1)) *
+                           sector);
+    std::string out = data.substr(0, durable + keep);
+    if (keep < tail && ((d >> 32) & 1U) != 0) {
+      std::string torn = data.substr(durable + keep,
+                                     std::min(sector, tail - keep));
+      torn.back() = static_cast<char>(torn.back() ^ '\xFF');
+      out += torn;
+    }
+    return out;
+  };
+
+  std::map<std::string, std::string> surviving;
+  if (plan_.cut_mode == PowerCutMode::kMixed) {
+    // Per-name coin: the live view (cache flushed in the background,
+    // rename/creation persisted) or the strictly durable view.
+    std::map<std::string, InodePtr> names = durable_;
+    for (const auto& [name, inode] : live_) {
+      names.emplace(name, inode);  // Keeps the durable mapping when both.
+    }
+    for (const auto& [name, _] : names) {
+      const bool take_live = (draw(hash_name(name) ^ 0x310C) & 1U) != 0;
+      const auto& ns = take_live ? live_ : durable_;
+      const auto it = ns.find(name);
+      if (it != ns.end()) {
+        surviving[name] = surviving_content(name, it->second, take_live);
+      }
+    }
+  } else {
+    for (const auto& [name, inode] : durable_) {
+      surviving[name] = surviving_content(name, inode, false);
+    }
+  }
+
+  live_.clear();
+  durable_.clear();
+  for (Handle& handle : handles_) {
+    handle.open = false;
+    handle.inode.reset();
+  }
+  for (auto& [name, content] : surviving) {
+    auto inode = std::make_shared<Inode>();
+    inode->data = std::move(content);
+    inode->durable_bytes = inode->data.size();
+    live_[name] = inode;
+    durable_[name] = inode;
+  }
+  dead_ = false;
+  plan_.kill_at_syscall = 0;  // The next boot runs to completion.
+}
+
+void FaultFs::corrupt_durable(const std::string& path, std::uint64_t offset,
+                              std::uint8_t mask) {
+  const auto it = durable_.find(path);
+  if (it == durable_.end()) {
+    throw StoreError(StoreError::Kind::kIo,
+                     "faultfs: corrupt_durable of missing '" + path + "'");
+  }
+  Inode& inode = *it->second;
+  if (offset >= inode.durable_bytes || offset >= inode.data.size()) {
+    throw StoreError(StoreError::Kind::kIo,
+                     "faultfs: corrupt_durable offset beyond durable data");
+  }
+  inode.data[static_cast<std::size_t>(offset)] =
+      static_cast<char>(inode.data[static_cast<std::size_t>(offset)] ^ mask);
+}
+
+std::string FaultFs::durable_contents(const std::string& path) const {
+  const auto it = durable_.find(path);
+  if (it == durable_.end()) {
+    throw StoreError(StoreError::Kind::kIo,
+                     "faultfs: no durable file '" + path + "'");
+  }
+  const Inode& inode = *it->second;
+  return inode.data.substr(
+      0, static_cast<std::size_t>(
+             std::min<std::uint64_t>(inode.durable_bytes, inode.data.size())));
+}
+
+}  // namespace pufaging

@@ -1,0 +1,185 @@
+// FaultFs: an in-memory filesystem that models the page cache explicitly
+// and injects every storage failure the durable store has to survive.
+//
+// A real power cut does not "kill the process": it freezes the disk in
+// whatever state the drive had actually persisted — written-but-unsynced
+// data is gone (or partially there, torn at sector granularity), renames
+// may or may not have reached the directory, and an fsync a cheap drive
+// acknowledged may have been a lie. FaultFs models all of that:
+//
+//  - every file tracks its full in-memory content AND the prefix that has
+//    been fsynced (the durable prefix);
+//  - the directory tracks two namespaces: the live one mutating ops see,
+//    and the durable one captured by fsync_dir;
+//  - `power_cut()` collapses the filesystem to the durable view — under
+//    one of three cut modes (lose everything unsynced / keep a torn
+//    sector-aligned prefix / a deterministic per-file coin flip) — and
+//    revives it for the "next boot";
+//  - a kill point (`FsFaultPlan::kill_at_syscall`) makes the K-th mutating
+//    syscall die with PowerCutError, after which every operation fails:
+//    this is how the crash matrix enumerates every syscall boundary;
+//  - ENOSPC budgets, short writes, lying fsyncs and bit-rot
+//    (`corrupt_durable`) cover the remaining failure vocabulary.
+//
+// Determinism contract (mirrors testbed/faults.hpp): every fault decision
+// is drawn from streams seeded by `FsFaultPlan::seed` and the operation
+// count — no wall clock, no global state — so a crash-matrix cell replays
+// bit-identically.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "io/json.hpp"
+#include "store/vfs.hpp"
+
+namespace pufaging {
+
+/// What survives of un-fsynced state when the power actually fails.
+enum class PowerCutMode {
+  /// Adversarial baseline: every byte and namespace op not explicitly
+  /// made durable is lost.
+  kStrict,
+  /// Sector-granularity torn writes: a deterministic sector-aligned
+  /// prefix of each file's unsynced tail survives, and the first lost
+  /// sector may additionally land corrupted (bit-rot in the torn sector).
+  kTorn,
+  /// Per-name deterministic coin flip: some unsynced files/renames
+  /// survive in full, others vanish — models a drive that flushed part of
+  /// its cache in the background (the classic fsync-the-file,
+  /// forget-the-directory trap).
+  kMixed,
+};
+
+const char* power_cut_mode_name(PowerCutMode mode);
+
+/// Filesystem fault plan, in the FaultPlan vocabulary of the chaos rig
+/// (testbed/faults.hpp): all knobs default to "off", a default plan is a
+/// plain deterministic in-memory filesystem.
+struct FsFaultPlan {
+  /// 0 = never. Otherwise the K-th mutating syscall (1-based: creates,
+  /// writes, fsyncs, renames, removals, truncates, dir fsyncs) does not
+  /// happen; it and every later operation raise PowerCutError.
+  std::uint64_t kill_at_syscall = 0;
+
+  /// How much unsynced state survives the cut.
+  PowerCutMode cut_mode = PowerCutMode::kStrict;
+
+  /// Seed for every deterministic fault draw (torn lengths, mixed-mode
+  /// coins, dropped fsyncs).
+  std::uint64_t seed = 1;
+
+  /// Sector size for torn-write modelling.
+  std::size_t torn_sector_bytes = 512;
+
+  /// 0 = unlimited. Otherwise writes fail with StoreError(kNoSpace) once
+  /// this many bytes have been written in total.
+  std::uint64_t enospc_after_bytes = 0;
+
+  /// 0 = unlimited. Otherwise each write_some call writes at most this
+  /// many bytes (forces callers to handle short writes).
+  std::size_t short_write_limit = 0;
+
+  /// Probability that an fsync lies: returns success without making
+  /// anything durable (a volatile write cache ignoring flushes).
+  double drop_fsync_rate = 0.0;
+
+  /// Throws InvalidArgument when a knob is out of range.
+  void validate() const;
+};
+
+/// Parses an FsFaultPlan from a compact spec string
+/// ("kill=37,cut=torn,seed=9,sector=512,enospc=4096,short=7,dropfsync=0.5")
+/// or, when the text starts with '{', the JSON form below.
+FsFaultPlan parse_fs_fault_plan(const std::string& spec);
+
+Json fs_fault_plan_to_json(const FsFaultPlan& plan);
+FsFaultPlan fs_fault_plan_from_json(const Json& json);
+
+/// The fault-injecting in-memory filesystem.
+class FaultFs final : public Vfs {
+ public:
+  FaultFs() = default;
+  explicit FaultFs(FsFaultPlan plan);
+
+  void set_plan(FsFaultPlan plan);
+  const FsFaultPlan& plan() const { return plan_; }
+
+  // Vfs ------------------------------------------------------------------
+  void create_dirs(const std::string& dir) override;
+  bool exists(const std::string& path) override;
+  std::vector<std::string> list_dir(const std::string& dir) override;
+  void rename(const std::string& from, const std::string& to) override;
+  void remove(const std::string& path) override;
+  void fsync_dir(const std::string& dir) override;
+  FileId open_append(const std::string& path, bool truncate_existing) override;
+  std::size_t write_some(FileId file, const char* data,
+                         std::size_t len) override;
+  void fsync(FileId file) override;
+  void close(FileId file) noexcept override;
+  std::uint64_t file_size(const std::string& path) override;
+  std::string read_file(const std::string& path) override;
+  void truncate(const std::string& path, std::uint64_t size) override;
+
+  // Crash simulation ------------------------------------------------------
+  /// The power fails now: collapses the filesystem to what was durable
+  /// (per the plan's cut mode), invalidates all open handles, clears the
+  /// kill point and revives the filesystem for the next boot.
+  void power_cut();
+
+  /// True once the kill point fired; every Vfs call throws PowerCutError
+  /// until power_cut() revives the filesystem.
+  bool dead() const { return dead_; }
+
+  // Inspection / targeted corruption --------------------------------------
+  /// Mutating syscalls performed so far (the crash matrix measures a full
+  /// run first to learn how many kill points exist).
+  std::uint64_t syscalls() const { return syscalls_; }
+  std::uint64_t bytes_written() const { return bytes_written_; }
+  std::uint64_t fsyncs_dropped() const { return fsyncs_dropped_; }
+
+  /// XORs `mask` into the durable byte at `offset` — bit-rot for the
+  /// recovery-scan tests. Throws StoreError when path/offset don't exist.
+  void corrupt_durable(const std::string& path, std::uint64_t offset,
+                       std::uint8_t mask);
+
+  /// The durable content of `path` (what a power cut in kStrict mode
+  /// would leave). Throws StoreError when the durable namespace lacks it.
+  std::string durable_contents(const std::string& path) const;
+
+ private:
+  struct Inode {
+    std::string data;                 ///< Live content (page cache view).
+    std::uint64_t durable_bytes = 0;  ///< Prefix guaranteed on the platter.
+  };
+  using InodePtr = std::shared_ptr<Inode>;
+
+  struct Handle {
+    InodePtr inode;
+    std::string path;
+    bool open = false;
+  };
+
+  /// Entry point of every mutating op: counts the syscall, fires the kill
+  /// point, enforces "dead filesystem" on every later call.
+  void mutating_syscall(const char* op);
+  /// Read ops don't count as kill points but still fail once dead.
+  void check_alive(const char* op) const;
+  InodePtr find_live(const std::string& path) const;
+  std::uint64_t draw(std::uint64_t salt) const;
+
+  FsFaultPlan plan_;
+  bool dead_ = false;
+  std::uint64_t syscalls_ = 0;
+  std::uint64_t bytes_written_ = 0;
+  std::uint64_t fsyncs_dropped_ = 0;
+
+  std::map<std::string, InodePtr> live_;     ///< Live namespace.
+  std::map<std::string, InodePtr> durable_;  ///< Namespace after fsync_dir.
+  std::vector<Handle> handles_;
+};
+
+}  // namespace pufaging

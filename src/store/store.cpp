@@ -1,0 +1,249 @@
+#include "store/store.hpp"
+
+#include <cstdio>
+#include <sstream>
+
+#include "io/json.hpp"
+
+namespace pufaging {
+
+namespace {
+
+constexpr const char* kManifest = "MANIFEST";
+constexpr const char* kManifestTmp = "MANIFEST.tmp";
+constexpr const char* kLegacyState = "state.jsonl";
+constexpr int kManifestVersion = 1;
+
+/// Snapshot/manifest writes go through bounded chunks so a power cut can
+/// land inside a large blob (more kill points = a stronger crash matrix)
+/// and so a short-write-injecting FaultFs exercises the resume loop.
+constexpr std::size_t kWriteChunk = 4096;
+
+void write_file_chunked(Vfs& vfs, Vfs::FileId file, std::string_view data) {
+  for (std::size_t at = 0; at < data.size(); at += kWriteChunk) {
+    vfs.write_all(file, data.substr(at, kWriteChunk));
+  }
+}
+
+}  // namespace
+
+std::string StoreRecoveryReport::render() const {
+  std::ostringstream os;
+  if (!manifest_found && !legacy_migrated) {
+    os << "store: empty (no MANIFEST, no legacy checkpoint)\n";
+    return os.str();
+  }
+  if (legacy_migrated) {
+    os << "store: migrated legacy state.jsonl checkpoint\n";
+  } else {
+    os << "store: generation " << generation << ", snapshot "
+       << (snapshot_loaded ? "loaded" : "missing") << "\n";
+  }
+  os << "  wal: " << wal_records << " valid record(s)";
+  if (torn_tail) {
+    os << ", torn/corrupt tail truncated (" << wal_bytes_truncated
+       << " byte(s) discarded)";
+  }
+  os << "\n";
+  for (const std::string& name : swept) {
+    os << "  swept stray file: " << name << "\n";
+  }
+  return os.str();
+}
+
+MeasurementStore::MeasurementStore(Vfs& vfs, const std::string& dir,
+                                   StoreOptions opts)
+    : vfs_(vfs), dir_(dir), opts_(opts) {
+  if (opts_.fsync_every == 0) {
+    opts_.fsync_every = 1;
+  }
+  vfs_.create_dirs(dir_);
+  recover();
+}
+
+std::string MeasurementStore::path(const std::string& name) const {
+  return dir_ + "/" + name;
+}
+
+std::string MeasurementStore::snapshot_name(std::uint32_t generation) {
+  char buf[32];
+  std::snprintf(buf, sizeof buf, "snap-%08u", generation);
+  return buf;
+}
+
+std::string MeasurementStore::wal_name(std::uint32_t generation) {
+  char buf[32];
+  std::snprintf(buf, sizeof buf, "wal-%08u.log", generation);
+  return buf;
+}
+
+bool MeasurementStore::present(Vfs& vfs, const std::string& dir) {
+  return vfs.exists(dir + "/" + kManifest) ||
+         vfs.exists(dir + "/" + kLegacyState);
+}
+
+void MeasurementStore::recover() {
+  // An interrupted manifest publication leaves MANIFEST.tmp; it was never
+  // renamed, so it is garbage by definition.
+  if (vfs_.exists(path(kManifestTmp))) {
+    vfs_.remove(path(kManifestTmp));
+    report_.swept.push_back(kManifestTmp);
+  }
+
+  std::string snap_file;
+  std::string wal_file;
+  if (!vfs_.exists(path(kManifest))) {
+    if (vfs_.exists(path(kLegacyState))) {
+      // Pre-store checkpoint directory: adopt state.jsonl as the snapshot
+      // of generation 0. The first publish_snapshot moves it into the
+      // manifest scheme.
+      snapshot_ = vfs_.read_file(path(kLegacyState));
+      has_state_ = true;
+      report_.legacy_migrated = true;
+      report_.snapshot_loaded = true;
+    }
+  } else {
+    report_.manifest_found = true;
+    Json manifest;
+    try {
+      manifest = Json::parse(vfs_.read_file(path(kManifest)));
+      if (manifest.at("version").as_int() != kManifestVersion) {
+        throw StoreError(StoreError::Kind::kCorrupt,
+                         "store: unsupported manifest version");
+      }
+      generation_ =
+          static_cast<std::uint32_t>(manifest.at("generation").as_int());
+      snap_file = manifest.at("snapshot").as_string();
+      wal_file = manifest.at("wal").as_string();
+    } catch (const StoreError&) {
+      throw;
+    } catch (const Error& e) {
+      // The manifest is published atomically and fsynced — if it does not
+      // parse, the medium itself corrupted it. That is beyond what the
+      // crash protocol can repair.
+      throw StoreError(StoreError::Kind::kCorrupt,
+                       std::string("store: corrupt MANIFEST: ") + e.what());
+    }
+    // Protocol invariant: the snapshot named by the manifest was fsynced
+    // before the manifest became visible.
+    snapshot_ = vfs_.read_file(path(snap_file));
+    has_state_ = true;
+    report_.generation = generation_;
+    report_.snapshot_loaded = true;
+
+    // The WAL tail is the one place a crash is *expected* to leave damage:
+    // scan, keep the valid prefix, cut the rest.
+    std::uint64_t wal_bytes = 0;
+    std::uint32_t next_seq = 0;
+    if (vfs_.exists(path(wal_file))) {
+      const std::string image = vfs_.read_file(path(wal_file));
+      WalScanResult scan = scan_wal(image, generation_);
+      if (scan.torn_tail) {
+        vfs_.truncate(path(wal_file), scan.valid_bytes);
+        report_.wal_bytes_truncated = image.size() - scan.valid_bytes;
+        report_.torn_tail = true;
+      }
+      wal_payloads_ = std::move(scan.payloads);
+      wal_bytes = scan.valid_bytes;
+      next_seq = static_cast<std::uint32_t>(wal_payloads_.size());
+    }
+    // (A missing WAL file is possible when the cut separated the manifest
+    // rename from the segment creation; the writer recreates it.)
+    report_.wal_records = wal_payloads_.size();
+    writer_.emplace(vfs_, path(wal_file), generation_, next_seq, wal_bytes,
+                    opts_.fsync_every);
+  }
+
+  // Sweep strays: anything that is not the manifest, the live snapshot,
+  // the live WAL or a migratable legacy file came from an interrupted
+  // publication that never became visible.
+  for (const std::string& name : vfs_.list_dir(dir_)) {
+    if (name == kManifest || name == kLegacyState ||
+        (!snap_file.empty() && name == snap_file) ||
+        (!wal_file.empty() && name == wal_file)) {
+      continue;
+    }
+    if (name.rfind("snap-", 0) == 0 || name.rfind("wal-", 0) == 0 ||
+        name == kManifestTmp) {
+      vfs_.remove(path(name));
+      report_.swept.push_back(name);
+    }
+  }
+}
+
+void MeasurementStore::publish_snapshot(std::string_view blob) {
+  const std::uint32_t next_gen = generation_ + 1;
+  const std::string snap = snapshot_name(next_gen);
+  const std::string wal = wal_name(next_gen);
+
+  // 1. Write + fsync the snapshot under its (not yet referenced) name.
+  {
+    VfsFile file(vfs_, vfs_.open_append(path(snap), true));
+    write_file_chunked(vfs_, file.id(), blob);
+    vfs_.fsync(file.id());
+  }
+  // 2. Create the empty WAL segment for the new generation.
+  {
+    VfsFile file(vfs_, vfs_.open_append(path(wal), true));
+    vfs_.fsync(file.id());
+  }
+  // 2b. Make the new files' *directory entries* durable before anything
+  // references them. Without this, a drive that persists the manifest
+  // rename ahead of the creations (legal: nothing orders independent
+  // metadata) could boot into a manifest naming files that do not exist.
+  vfs_.fsync_dir(dir_);
+  // 3. Publish: manifest tmp → fsync → atomic rename → directory fsync.
+  {
+    Json manifest = Json::object();
+    manifest.set("version", Json(kManifestVersion));
+    manifest.set("generation", Json(next_gen));
+    manifest.set("snapshot", Json(snap));
+    manifest.set("wal", Json(wal));
+    VfsFile file(vfs_, vfs_.open_append(path(kManifestTmp), true));
+    write_file_chunked(vfs_, file.id(), manifest.dump());
+    vfs_.fsync(file.id());
+  }
+  vfs_.rename(path(kManifestTmp), path(kManifest));
+  vfs_.fsync_dir(dir_);
+
+  // The new generation is durable; only now forget the old one.
+  const std::string old_snap =
+      generation_ > 0 ? snapshot_name(generation_) : std::string();
+  const std::string old_wal =
+      generation_ > 0 ? wal_name(generation_) : std::string();
+  generation_ = next_gen;
+  snapshot_.assign(blob.data(), blob.size());
+  wal_payloads_.clear();
+  has_state_ = true;
+  writer_.emplace(vfs_, path(wal), next_gen, 0, 0, opts_.fsync_every);
+
+  // Best-effort cleanup of the superseded generation and a migrated
+  // legacy file; failure here is cosmetic (recovery sweeps strays).
+  for (const std::string& stale : {old_snap, old_wal,
+                                   std::string(kLegacyState)}) {
+    if (!stale.empty() && vfs_.exists(path(stale))) {
+      try {
+        vfs_.remove(path(stale));
+      } catch (const StoreError&) {
+        // Leave it for the next recovery sweep.
+      }
+    }
+  }
+}
+
+void MeasurementStore::append_record(std::string_view payload) {
+  if (!writer_) {
+    throw StoreError(StoreError::Kind::kIo,
+                     "store: append_record before any published snapshot");
+  }
+  writer_->append(payload);
+  wal_payloads_.emplace_back(payload);
+}
+
+void MeasurementStore::flush() {
+  if (writer_) {
+    writer_->flush();
+  }
+}
+
+}  // namespace pufaging

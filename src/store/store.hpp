@@ -1,0 +1,114 @@
+// Crash-safe durable measurement store.
+//
+// Replaces the ad-hoc "write temp file, rename over the checkpoint" I/O
+// with an explicitly crash-safe layout. A store directory holds:
+//
+//   MANIFEST          JSON naming the live snapshot + WAL segment and the
+//                     current generation; replaced atomically
+//                     (write MANIFEST.tmp → fsync → rename → fsync dir)
+//   snap-GGGGGGGG     full state snapshot of generation G (opaque blob —
+//                     the campaign stores its checkpoint JSONL here)
+//   wal-GGGGGGGG.log  CRC32C-framed record log appended after the
+//                     snapshot (one record per completed month)
+//
+// Invariants after ANY power cut at ANY syscall boundary:
+//   1. The MANIFEST names a snapshot whose content was fsynced before the
+//      manifest rename — so the referenced snapshot is always complete.
+//   2. The WAL can only be damaged at its tail; recovery scans it,
+//      truncates the torn/corrupt suffix, and replays the valid prefix.
+//   3. Files not named by the MANIFEST are garbage from an interrupted
+//      publication and are swept on open.
+//
+// The store deals in opaque payload bytes; serialization of campaign
+// state lives in testbed/checkpoint.* so the dependency points from the
+// testbed down into the store, never back.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "store/vfs.hpp"
+#include "store/wal.hpp"
+
+namespace pufaging {
+
+struct StoreOptions {
+  /// WAL appends per fsync (fsync batching); clamped to >= 1.
+  std::size_t fsync_every = 1;
+};
+
+/// What opening a store found and repaired; surfaced by the CLI
+/// `recover` verb and asserted on by the crash matrix.
+struct StoreRecoveryReport {
+  bool manifest_found = false;
+  /// A pre-store `state.jsonl` checkpoint was adopted as the snapshot.
+  bool legacy_migrated = false;
+  std::uint32_t generation = 0;
+  bool snapshot_loaded = false;
+  std::size_t wal_records = 0;
+  std::uint64_t wal_bytes_truncated = 0;
+  bool torn_tail = false;
+  /// Stray files from interrupted publications that were swept.
+  std::vector<std::string> swept;
+
+  std::string render() const;
+};
+
+class MeasurementStore {
+ public:
+  /// Opens the store (creating the directory when missing) and runs
+  /// recovery: manifest → snapshot → WAL scan → torn-tail truncation →
+  /// stray-file sweep. Throws StoreError(kCorrupt) only when state the
+  /// protocol guarantees intact (manifest, snapshot) is damaged — a
+  /// damaged WAL tail is expected after a crash and silently cut.
+  MeasurementStore(Vfs& vfs, const std::string& dir, StoreOptions opts = {});
+
+  /// True when a manifest (or migratable legacy checkpoint) names state.
+  bool has_state() const { return has_state_; }
+
+  const StoreRecoveryReport& recovery() const { return report_; }
+  std::uint32_t generation() const { return generation_; }
+  const std::string& dir() const { return dir_; }
+
+  /// Recovered snapshot blob; empty when has_state() is false.
+  const std::string& snapshot() const { return snapshot_; }
+  /// Valid WAL record payloads recovered after the snapshot.
+  const std::vector<std::string>& wal_records() const { return wal_payloads_; }
+
+  /// Publishes a new full snapshot atomically and starts a fresh WAL
+  /// segment (generation + 1). On failure the store still points at the
+  /// previous generation and `append_record` keeps working — a failed
+  /// compaction never loses the log.
+  void publish_snapshot(std::string_view blob);
+
+  /// Appends one record to the live WAL segment (fsync per
+  /// `fsync_every`). Requires a published snapshot.
+  void append_record(std::string_view payload);
+
+  /// Fsyncs appended-but-unsynced WAL records.
+  void flush();
+
+  /// Cheap existence probe without opening/recovering the store.
+  static bool present(Vfs& vfs, const std::string& dir);
+
+ private:
+  std::string path(const std::string& name) const;
+  static std::string snapshot_name(std::uint32_t generation);
+  static std::string wal_name(std::uint32_t generation);
+  void recover();
+
+  Vfs& vfs_;
+  std::string dir_;
+  StoreOptions opts_;
+  StoreRecoveryReport report_;
+  bool has_state_ = false;
+  std::uint32_t generation_ = 0;
+  std::string snapshot_;
+  std::vector<std::string> wal_payloads_;
+  std::optional<WalWriter> writer_;
+};
+
+}  // namespace pufaging

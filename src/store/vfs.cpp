@@ -1,0 +1,154 @@
+#include "store/vfs.hpp"
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+namespace pufaging {
+
+namespace {
+
+[[noreturn]] void throw_errno(const std::string& op, const std::string& path) {
+  const int err = errno;
+  const StoreError::Kind kind =
+      err == ENOSPC ? StoreError::Kind::kNoSpace : StoreError::Kind::kIo;
+  throw StoreError(kind,
+                   op + " '" + path + "': " + std::strerror(err));
+}
+
+}  // namespace
+
+void Vfs::write_all(FileId file, std::string_view data) {
+  std::size_t done = 0;
+  while (done < data.size()) {
+    done += write_some(file, data.data() + done, data.size() - done);
+  }
+}
+
+RealFs& RealFs::instance() {
+  static RealFs fs;
+  return fs;
+}
+
+void RealFs::create_dirs(const std::string& dir) {
+  std::error_code ec;
+  std::filesystem::create_directories(dir, ec);
+  if (ec) {
+    throw StoreError(StoreError::Kind::kIo,
+                     "create_dirs '" + dir + "': " + ec.message());
+  }
+}
+
+bool RealFs::exists(const std::string& path) {
+  std::error_code ec;
+  return std::filesystem::exists(path, ec);
+}
+
+std::vector<std::string> RealFs::list_dir(const std::string& dir) {
+  std::vector<std::string> names;
+  std::error_code ec;
+  for (const auto& entry : std::filesystem::directory_iterator(dir, ec)) {
+    if (entry.is_regular_file()) {
+      names.push_back(entry.path().filename().string());
+    }
+  }
+  if (ec) {
+    throw StoreError(StoreError::Kind::kIo,
+                     "list_dir '" + dir + "': " + ec.message());
+  }
+  std::sort(names.begin(), names.end());
+  return names;
+}
+
+void RealFs::rename(const std::string& from, const std::string& to) {
+  if (::rename(from.c_str(), to.c_str()) != 0) {
+    throw_errno("rename", from);
+  }
+}
+
+void RealFs::remove(const std::string& path) {
+  if (::unlink(path.c_str()) != 0) {
+    throw_errno("remove", path);
+  }
+}
+
+void RealFs::fsync_dir(const std::string& dir) {
+  const int fd = ::open(dir.c_str(), O_RDONLY | O_DIRECTORY);
+  if (fd < 0) {
+    throw_errno("fsync_dir open", dir);
+  }
+  if (::fsync(fd) != 0) {
+    ::close(fd);
+    throw_errno("fsync_dir", dir);
+  }
+  ::close(fd);
+}
+
+Vfs::FileId RealFs::open_append(const std::string& path,
+                                bool truncate_existing) {
+  int flags = O_WRONLY | O_CREAT | O_APPEND;
+  if (truncate_existing) {
+    flags |= O_TRUNC;
+  }
+  const int fd = ::open(path.c_str(), flags, 0644);
+  if (fd < 0) {
+    throw_errno("open", path);
+  }
+  return fd;
+}
+
+std::size_t RealFs::write_some(FileId file, const char* data,
+                               std::size_t len) {
+  const ::ssize_t n = ::write(file, data, len);
+  if (n <= 0) {
+    throw_errno("write", "fd " + std::to_string(file));
+  }
+  return static_cast<std::size_t>(n);
+}
+
+void RealFs::fsync(FileId file) {
+  if (::fsync(file) != 0) {
+    throw_errno("fsync", "fd " + std::to_string(file));
+  }
+}
+
+void RealFs::close(FileId file) noexcept { ::close(file); }
+
+std::uint64_t RealFs::file_size(const std::string& path) {
+  std::error_code ec;
+  const std::uintmax_t size = std::filesystem::file_size(path, ec);
+  if (ec) {
+    throw StoreError(StoreError::Kind::kIo,
+                     "file_size '" + path + "': " + ec.message());
+  }
+  return static_cast<std::uint64_t>(size);
+}
+
+std::string RealFs::read_file(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    throw StoreError(StoreError::Kind::kIo,
+                     "read_file: cannot open '" + path + "'");
+  }
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  if (in.bad()) {
+    throw StoreError(StoreError::Kind::kIo,
+                     "read_file: read failed for '" + path + "'");
+  }
+  return buffer.str();
+}
+
+void RealFs::truncate(const std::string& path, std::uint64_t size) {
+  if (::truncate(path.c_str(), static_cast<::off_t>(size)) != 0) {
+    throw_errno("truncate", path);
+  }
+}
+
+}  // namespace pufaging

@@ -1,0 +1,165 @@
+// The filesystem seam of the durable measurement store.
+//
+// Everything the store does to disk goes through this narrow, append-only
+// interface so that (a) the production path (`RealFs`) can be audited in
+// one place for the fsync/rename discipline crash safety depends on, and
+// (b) the crash-matrix harness can substitute `FaultFs` (faultfs.hpp): an
+// in-memory filesystem that models the page cache explicitly — what has
+// merely been written and what has actually been fsynced are tracked
+// separately, so a simulated power cut can discard exactly the
+// non-durable bytes, not just kill the process.
+//
+// Interface contract (what the store is allowed to assume):
+//  - Files are append-only. `open_append` positions at the end (or
+//    truncates to empty first); there is no seek and no in-place rewrite.
+//    Atomic replacement is write-new-file → fsync → rename.
+//  - `write_some` may write fewer bytes than asked (short write); callers
+//    loop (`write_all`) or treat the shortfall as an error.
+//  - Data is durable only after `fsync` on the file; a file's *name* (its
+//    directory entry — creation, rename, removal) is durable only after
+//    `fsync_dir` on the containing directory.
+//  - `rename` is atomic with respect to a crash: afterwards the target
+//    refers either to the old content or the new content, never a mix.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/error.hpp"
+
+namespace pufaging {
+
+/// Typed failure of the durable store. Derives from IoError so existing
+/// call sites that treat checkpoint I/O failures as IoError keep working;
+/// the kind lets policy code distinguish a full disk (retryable after an
+/// operator intervenes) from corruption (needs recovery) from plain I/O.
+class StoreError : public IoError {
+ public:
+  enum class Kind {
+    kIo,       ///< Generic filesystem failure.
+    kNoSpace,  ///< ENOSPC: the device is full.
+    kCorrupt,  ///< On-disk state violates the store's invariants.
+  };
+
+  StoreError(Kind kind, const std::string& what) : IoError(what), kind_(kind) {}
+
+  Kind kind() const { return kind_; }
+
+ private:
+  Kind kind_;
+};
+
+/// Thrown by FaultFs when the simulated power cut fires. Deliberately NOT
+/// a StoreError: nothing in the library may catch and "handle" a power
+/// cut — it models the process ceasing to exist, and only the crash
+/// harness (which plays the role of the next boot) catches it.
+class PowerCutError : public Error {
+ public:
+  explicit PowerCutError(const std::string& what) : Error(what) {}
+};
+
+/// Abstract filesystem. All methods throw StoreError on failure unless
+/// noted; FaultFs methods additionally throw PowerCutError once its kill
+/// point has fired.
+class Vfs {
+ public:
+  /// Opaque open-file token (fd-like).
+  using FileId = int;
+
+  virtual ~Vfs() = default;
+
+  // Namespace operations -------------------------------------------------
+  virtual void create_dirs(const std::string& dir) = 0;
+  virtual bool exists(const std::string& path) = 0;
+  /// Plain file names (not paths) inside `dir`, sorted.
+  virtual std::vector<std::string> list_dir(const std::string& dir) = 0;
+  virtual void rename(const std::string& from, const std::string& to) = 0;
+  virtual void remove(const std::string& path) = 0;
+  /// Makes the directory's entries (creations/renames/removals) durable.
+  virtual void fsync_dir(const std::string& dir) = 0;
+
+  // File operations -------------------------------------------------------
+  /// Opens for appending, creating the file when missing;
+  /// `truncate_existing` starts from empty instead of the current end.
+  virtual FileId open_append(const std::string& path,
+                             bool truncate_existing) = 0;
+  /// Appends up to `len` bytes; returns how many were written (>= 1 on
+  /// success — a short write is not an error, zero never happens).
+  virtual std::size_t write_some(FileId file, const char* data,
+                                 std::size_t len) = 0;
+  /// Makes previously written bytes of this file durable.
+  virtual void fsync(FileId file) = 0;
+  /// Never throws: close is part of unwind paths.
+  virtual void close(FileId file) noexcept = 0;
+  virtual std::uint64_t file_size(const std::string& path) = 0;
+  virtual std::string read_file(const std::string& path) = 0;
+  /// Shrinks the file to `size` bytes (the recovery scan's torn-tail cut).
+  virtual void truncate(const std::string& path, std::uint64_t size) = 0;
+
+  /// write_some loop; throws StoreError if the bytes cannot all be written.
+  void write_all(FileId file, std::string_view data);
+};
+
+/// RAII wrapper around a Vfs FileId.
+class VfsFile {
+ public:
+  VfsFile() = default;
+  VfsFile(Vfs& vfs, Vfs::FileId id) : vfs_(&vfs), id_(id) {}
+  VfsFile(const VfsFile&) = delete;
+  VfsFile& operator=(const VfsFile&) = delete;
+  VfsFile(VfsFile&& other) noexcept : vfs_(other.vfs_), id_(other.id_) {
+    other.vfs_ = nullptr;
+  }
+  VfsFile& operator=(VfsFile&& other) noexcept {
+    if (this != &other) {
+      reset();
+      vfs_ = other.vfs_;
+      id_ = other.id_;
+      other.vfs_ = nullptr;
+    }
+    return *this;
+  }
+  ~VfsFile() { reset(); }
+
+  Vfs::FileId id() const { return id_; }
+  explicit operator bool() const { return vfs_ != nullptr; }
+
+  void reset() noexcept {
+    if (vfs_ != nullptr) {
+      vfs_->close(id_);
+      vfs_ = nullptr;
+    }
+  }
+
+ private:
+  Vfs* vfs_ = nullptr;
+  Vfs::FileId id_ = -1;
+};
+
+/// The production filesystem: POSIX fds with real fsync. Stateless —
+/// every store on the real disk shares the singleton.
+class RealFs final : public Vfs {
+ public:
+  static RealFs& instance();
+
+  void create_dirs(const std::string& dir) override;
+  bool exists(const std::string& path) override;
+  std::vector<std::string> list_dir(const std::string& dir) override;
+  void rename(const std::string& from, const std::string& to) override;
+  void remove(const std::string& path) override;
+  void fsync_dir(const std::string& dir) override;
+
+  FileId open_append(const std::string& path, bool truncate_existing) override;
+  std::size_t write_some(FileId file, const char* data,
+                         std::size_t len) override;
+  void fsync(FileId file) override;
+  void close(FileId file) noexcept override;
+  std::uint64_t file_size(const std::string& path) override;
+  std::string read_file(const std::string& path) override;
+  void truncate(const std::string& path, std::uint64_t size) override;
+};
+
+}  // namespace pufaging

@@ -1,0 +1,143 @@
+#include "store/wal.hpp"
+
+#include "store/crc32c.hpp"
+
+namespace pufaging {
+
+namespace {
+
+constexpr std::uint32_t kWalMagic = 0x4C415750;  // "PWAL" little-endian.
+constexpr std::size_t kHeaderBytes = 20;
+
+void put_u32(std::string& out, std::uint32_t v) {
+  out.push_back(static_cast<char>(v & 0xFF));
+  out.push_back(static_cast<char>((v >> 8) & 0xFF));
+  out.push_back(static_cast<char>((v >> 16) & 0xFF));
+  out.push_back(static_cast<char>((v >> 24) & 0xFF));
+}
+
+std::uint32_t get_u32(std::string_view bytes, std::size_t at) {
+  return static_cast<std::uint32_t>(static_cast<std::uint8_t>(bytes[at])) |
+         (static_cast<std::uint32_t>(static_cast<std::uint8_t>(bytes[at + 1]))
+          << 8) |
+         (static_cast<std::uint32_t>(static_cast<std::uint8_t>(bytes[at + 2]))
+          << 16) |
+         (static_cast<std::uint32_t>(static_cast<std::uint8_t>(bytes[at + 3]))
+          << 24);
+}
+
+}  // namespace
+
+std::string encode_wal_frame(std::uint32_t generation, std::uint32_t sequence,
+                             std::string_view payload) {
+  if (payload.size() > kMaxWalRecordBytes) {
+    throw StoreError(StoreError::Kind::kIo,
+                     "wal: record exceeds the frame size bound");
+  }
+  // CRC covers gen|seq|len|payload: build those 12 bytes first.
+  std::string covered;
+  covered.reserve(12 + payload.size());
+  put_u32(covered, generation);
+  put_u32(covered, sequence);
+  put_u32(covered, static_cast<std::uint32_t>(payload.size()));
+  covered.append(payload);
+  const std::uint32_t crc = crc32c(covered);
+
+  std::string frame;
+  frame.reserve(kHeaderBytes + payload.size());
+  put_u32(frame, kWalMagic);
+  frame.append(covered, 0, 12);
+  put_u32(frame, crc);
+  frame.append(payload);
+  return frame;
+}
+
+WalScanResult scan_wal(std::string_view image, std::uint32_t generation) {
+  WalScanResult result;
+  std::size_t pos = 0;
+  std::uint32_t expect_seq = 0;
+  while (true) {
+    if (image.size() - pos < kHeaderBytes) {
+      break;  // No room for a header: clean end or torn tail.
+    }
+    if (get_u32(image, pos) != kWalMagic) {
+      break;  // Corrupt frame start.
+    }
+    const std::uint32_t gen = get_u32(image, pos + 4);
+    const std::uint32_t seq = get_u32(image, pos + 8);
+    const std::uint32_t len = get_u32(image, pos + 12);
+    const std::uint32_t crc = get_u32(image, pos + 16);
+    if (len > kMaxWalRecordBytes) {
+      break;  // A corrupted length, not a real record.
+    }
+    if (image.size() - pos - kHeaderBytes < len) {
+      break;  // Torn tail: the payload never fully reached the disk.
+    }
+    // The covered bytes (gen|seq|len|payload) are not contiguous in the
+    // frame — the crc field sits between them — so chain the CRC over the
+    // two spans.
+    const std::uint32_t actual =
+        crc32c(image.data() + pos + kHeaderBytes, len,
+               crc32c(image.data() + pos + 4, 12, 0));
+    if (actual != crc) {
+      break;  // Bit rot or a torn sector inside the frame.
+    }
+    if (gen != generation || seq != expect_seq) {
+      break;  // Stale segment or replay discontinuity: stop trusting here.
+    }
+    result.payloads.emplace_back(image.substr(pos + kHeaderBytes, len));
+    pos += kHeaderBytes + len;
+    ++expect_seq;
+  }
+  result.valid_bytes = pos;
+  result.torn_tail = pos < image.size();
+  return result;
+}
+
+WalWriter::WalWriter(Vfs& vfs, std::string path, std::uint32_t generation,
+                     std::uint32_t next_sequence, std::uint64_t start_bytes,
+                     std::size_t fsync_every)
+    : vfs_(vfs),
+      path_(std::move(path)),
+      file_(vfs, vfs.open_append(path_, false)),
+      generation_(generation),
+      sequence_(next_sequence),
+      bytes_(start_bytes),
+      fsync_every_(fsync_every == 0 ? 1 : fsync_every) {}
+
+void WalWriter::append(std::string_view payload) {
+  if (poisoned_) {
+    throw StoreError(StoreError::Kind::kIo,
+                     "wal: writer poisoned by an earlier partial append");
+  }
+  const std::string frame = encode_wal_frame(generation_, sequence_, payload);
+  try {
+    vfs_.write_all(file_.id(), frame);
+  } catch (const StoreError&) {
+    // Roll the file back to the last frame boundary so a half-written
+    // frame cannot prefix later appends. (A PowerCutError skips this —
+    // the "process" is gone and recovery will cut the torn tail.)
+    try {
+      vfs_.truncate(path_, bytes_);
+    } catch (const StoreError&) {
+      poisoned_ = true;
+    }
+    throw;
+  }
+  bytes_ += frame.size();
+  ++sequence_;
+  ++unsynced_;
+  if (unsynced_ >= fsync_every_) {
+    flush();
+  }
+}
+
+void WalWriter::flush() {
+  if (unsynced_ == 0) {
+    return;
+  }
+  vfs_.fsync(file_.id());
+  unsynced_ = 0;
+}
+
+}  // namespace pufaging

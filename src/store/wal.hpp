@@ -1,0 +1,102 @@
+// CRC32C-framed, length-prefixed append-only record log (WAL).
+//
+// The campaign appends one small record per completed month instead of
+// rewriting the whole checkpoint; a crash can only ever damage the tail
+// of the log, and the recovery scan (`scan_wal`) detects a torn or
+// corrupt tail and reports the longest valid prefix instead of aborting.
+//
+// Frame layout (all integers little-endian, byte-serialized — the log is
+// portable across hosts):
+//
+//   magic   u32   'PWAL' (0x4C415750)
+//   gen     u32   segment generation; stale-segment records never replay
+//   seq     u32   record index within the segment, starting at 0
+//   len     u32   payload byte count
+//   crc     u32   CRC-32C over gen|seq|len|payload
+//   payload len bytes
+//
+// The CRC covers the header fields after the magic, so a bit flip in the
+// length (which would otherwise mis-frame every later record) is caught,
+// and the generation/sequence cannot be forged by shuffling frames
+// between segments.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "store/vfs.hpp"
+
+namespace pufaging {
+
+/// Hard upper bound on one record; a "length" beyond it is corruption,
+/// not a huge record.
+constexpr std::uint32_t kMaxWalRecordBytes = 1U << 26;  // 64 MiB
+
+/// Serializes one frame.
+std::string encode_wal_frame(std::uint32_t generation, std::uint32_t sequence,
+                             std::string_view payload);
+
+/// Result of scanning a WAL image.
+struct WalScanResult {
+  /// Payloads of every valid record, in append order.
+  std::vector<std::string> payloads;
+  /// Byte length of the valid prefix (where a recovery truncate cuts).
+  std::uint64_t valid_bytes = 0;
+  /// True when bytes beyond the valid prefix existed (torn or corrupt
+  /// tail — the difference is invisible and irrelevant after a crash).
+  bool torn_tail = false;
+};
+
+/// Scans a raw WAL image: walks frames from the start, verifies magic,
+/// bounds, CRC, generation and sequence continuity, and stops at the
+/// first frame that fails — everything before it is the valid prefix.
+/// Total function: never throws on any input bytes.
+WalScanResult scan_wal(std::string_view image, std::uint32_t generation);
+
+/// Appends frames to a WAL file through the Vfs with batched fsync.
+///
+/// Durability contract: a record is guaranteed to survive a power cut
+/// only after the fsync that covers it (`fsync_every` appends, or an
+/// explicit `flush`). Records written but not yet fsynced may be lost or
+/// torn — the recovery scan turns either into "that record never
+/// happened", which the deterministic campaign simply recomputes.
+///
+/// Failure handling: if an append fails mid-frame (ENOSPC half-way
+/// through a record), the writer rolls the file back to the last frame
+/// boundary so the on-disk log stays well-formed; if even the rollback
+/// fails the writer poisons itself and every later append raises
+/// StoreError rather than risk interleaving garbage.
+class WalWriter {
+ public:
+  WalWriter(Vfs& vfs, std::string path, std::uint32_t generation,
+            std::uint32_t next_sequence, std::uint64_t start_bytes,
+            std::size_t fsync_every);
+
+  WalWriter(const WalWriter&) = delete;
+  WalWriter& operator=(const WalWriter&) = delete;
+
+  /// Appends one record; fsyncs when the batch is due.
+  void append(std::string_view payload);
+
+  /// Fsyncs any appends not yet covered by a batch fsync.
+  void flush();
+
+  std::uint32_t next_sequence() const { return sequence_; }
+  std::uint64_t bytes() const { return bytes_; }
+
+ private:
+  Vfs& vfs_;
+  std::string path_;
+  VfsFile file_;
+  std::uint32_t generation_;
+  std::uint32_t sequence_;
+  std::uint64_t bytes_;
+  std::size_t fsync_every_;
+  std::size_t unsynced_ = 0;
+  bool poisoned_ = false;
+};
+
+}  // namespace pufaging

@@ -7,6 +7,7 @@
 #include "common/bitkernel.hpp"
 #include "common/error.hpp"
 #include "common/thread_pool.hpp"
+#include "store/store.hpp"
 #include "testbed/checkpoint.hpp"
 
 namespace pufaging {
@@ -45,6 +46,18 @@ CampaignResult run_campaign(const CampaignConfig& config) {
   const bool has_faults = !config.faults.all_zero();
   std::vector<SramDevice> fleet = make_fleet(config.fleet);
 
+  // All persistence goes through the crash-safe durable store. A
+  // PowerCutError from a fault-injecting Vfs is NOT caught anywhere below:
+  // it models the process dying, and only the crash harness (playing the
+  // next boot) may observe it.
+  std::optional<MeasurementStore> store;
+  if (!config.checkpoint_dir.empty()) {
+    Vfs& vfs = config.vfs != nullptr ? *config.vfs : RealFs::instance();
+    StoreOptions store_opts;
+    store_opts.fsync_every = config.fsync_every;
+    store.emplace(vfs, config.checkpoint_dir, store_opts);
+  }
+
   // In accelerated mode each reported month is one nominal-equivalent
   // stress month: the wall-clock time between snapshots shrinks by the
   // acceleration factor, while the aging integrator re-expands it.
@@ -74,7 +87,11 @@ CampaignResult run_campaign(const CampaignConfig& config) {
   std::size_t start_month = 0;
 
   if (config.resume) {
-    CampaignCheckpoint ckpt = load_checkpoint(config.checkpoint_dir);
+    if (!store->has_state()) {
+      throw IoError("run_campaign: resume requested but '" +
+                    config.checkpoint_dir + "' holds no checkpoint state");
+    }
+    CampaignCheckpoint ckpt = checkpoint_from_store(*store);
     if (ckpt.fleet_seed != config.fleet.seed ||
         ckpt.device_count != fleet.size() || ckpt.months != config.months ||
         ckpt.measurements_per_month != config.measurements_per_month ||
@@ -108,28 +125,105 @@ CampaignResult run_campaign(const CampaignConfig& config) {
     start_month = ckpt.next_month;
   }
 
-  const auto save = [&](std::size_t completed_month) {
-    CampaignCheckpoint ckpt;
-    ckpt.next_month = completed_month + 1;
-    ckpt.fleet_seed = config.fleet.seed;
-    ckpt.device_count = fleet.size();
-    ckpt.months = config.months;
-    ckpt.measurements_per_month = config.measurements_per_month;
-    ckpt.fault_plan_json = fault_plan_to_json(config.faults).dump();
-    ckpt.devices.reserve(fleet.size());
+  const auto snapshot_devices = [&] {
+    std::vector<DeviceCheckpoint> devices;
+    devices.reserve(fleet.size());
     for (const SramDevice& device : fleet) {
       DeviceCheckpoint dev;
       dev.device_id = device.id();
       dev.rng_state = device.measurement_rng_state();
       dev.measurement_count = device.measurement_count();
-      ckpt.devices.push_back(dev);
+      devices.push_back(dev);
     }
+    return devices;
+  };
+  const auto build_checkpoint = [&](std::size_t next_month) {
+    CampaignCheckpoint ckpt;
+    ckpt.next_month = next_month;
+    ckpt.fleet_seed = config.fleet.seed;
+    ckpt.device_count = fleet.size();
+    ckpt.months = config.months;
+    ckpt.measurements_per_month = config.measurements_per_month;
+    ckpt.fault_plan_json = fault_plan_to_json(config.faults).dump();
+    ckpt.devices = snapshot_devices();
     ckpt.fault_states = fault_states;
     ckpt.references = result.references;
     ckpt.series = result.series;
     ckpt.health = result.health;
-    save_checkpoint(config.checkpoint_dir, ckpt);
+    return ckpt;
   };
+
+  // WAL appends must continue the month sequence the live segment starts
+  // at; after a failed append the sequence has a hole, so further appends
+  // are suppressed until the next successful snapshot resets the log.
+  bool wal_ok = true;
+  const auto append_month_ledger = [&](std::size_t completed_month,
+                                       bool make_durable) {
+    if (!wal_ok) {
+      result.persistence.incidents.push_back(
+          "month " + std::to_string(completed_month) +
+          ": WAL append skipped (log discontinuity after an earlier "
+          "failure); state persists at the next snapshot");
+      return;
+    }
+    MonthLedger ledger;
+    ledger.month = completed_month;
+    ledger.devices = snapshot_devices();
+    ledger.fault_states = fault_states;
+    ledger.references = result.references;
+    ledger.metrics = result.series.back();
+    if (has_faults) {
+      ledger.health = result.health.months.back();
+    }
+    try {
+      store->append_record(month_ledger_to_json(ledger));
+      if (make_durable) {
+        store->flush();
+      }
+      ++result.persistence.wal_appends;
+    } catch (const StoreError& e) {
+      wal_ok = false;
+      result.persistence.incidents.push_back(
+          "month " + std::to_string(completed_month) +
+          ": WAL append failed: " + e.what());
+    }
+  };
+  const auto persist_month = [&](std::size_t completed_month,
+                                 bool snapshot_due, bool final_persist) {
+    if (snapshot_due) {
+      try {
+        store->publish_snapshot(
+            checkpoint_to_jsonl(build_checkpoint(completed_month + 1)));
+        ++result.persistence.snapshots;
+        wal_ok = true;
+        return;
+      } catch (const StoreError& e) {
+        // The failed publication never touched the previous generation
+        // (the manifest flips only after everything new is durable), so
+        // the WAL of the old generation is still live — fall back to it.
+        result.persistence.incidents.push_back(
+            "month " + std::to_string(completed_month) +
+            ": snapshot publish failed: " + std::string(e.what()) +
+            "; falling back to a WAL append");
+      }
+    }
+    append_month_ledger(completed_month, final_persist);
+  };
+
+  if (store && (!config.resume || store->generation() == 0)) {
+    // Publish the baseline snapshot: a fresh campaign starts the manifest
+    // scheme before month 0 (so every later month can be a cheap WAL
+    // append), and a legacy-migrated checkpoint is upgraded into it.
+    try {
+      store->publish_snapshot(
+          checkpoint_to_jsonl(build_checkpoint(start_month)));
+      ++result.persistence.snapshots;
+    } catch (const StoreError& e) {
+      wal_ok = false;
+      result.persistence.incidents.push_back(
+          std::string("baseline snapshot publish failed: ") + e.what());
+    }
+  }
 
   // Devices are statistically independent — each owns a private RNG stream
   // split off the fleet seed — so the monthly snapshot fans out per device.
@@ -268,10 +362,11 @@ CampaignResult run_campaign(const CampaignConfig& config) {
     const bool halt_here = config.halt_after_month &&
                            month == *config.halt_after_month &&
                            month < config.months;
-    if (!config.checkpoint_dir.empty() &&
-        (halt_here || month == config.months ||
-         (month + 1) % config.checkpoint_every_months == 0)) {
-      save(month);
+    if (store) {
+      const bool final_persist = halt_here || month == config.months;
+      const bool snapshot_due =
+          final_persist || (month + 1) % config.checkpoint_every_months == 0;
+      persist_month(month, snapshot_due, final_persist);
     }
     if (halt_here) {
       result.completed = false;

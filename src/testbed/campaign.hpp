@@ -19,6 +19,7 @@
 
 #include "analysis/monthly.hpp"
 #include "silicon/device_factory.hpp"
+#include "store/vfs.hpp"
 #include "testbed/faults.hpp"
 #include "testbed/rig.hpp"
 
@@ -65,12 +66,25 @@ struct CampaignConfig {
   /// Master-side resilience policy applied when `faults` is non-zero.
   RetryPolicy retry;
 
-  /// Checkpoint directory; empty = no checkpointing. When set, the device
-  /// and resilience state plus the completed series are snapshotted after
+  /// Durable-store directory; empty = no persistence. When set, every
+  /// completed month is persisted: a full snapshot is published atomically
   /// every `checkpoint_every_months`-th month (and always at the end or a
-  /// halt), atomically.
+  /// halt) — the store's compaction point — and the months in between get
+  /// a cheap month-ledger record appended to the store's CRC32C WAL
+  /// instead of a full rewrite.
   std::string checkpoint_dir;
   std::size_t checkpoint_every_months = 1;
+
+  /// Filesystem the durable store writes through; null = the real
+  /// filesystem. The crash matrix substitutes a FaultFs here to inject
+  /// power cuts, ENOSPC, short writes and dropped fsyncs.
+  Vfs* vfs = nullptr;
+
+  /// WAL appends per fsync (the store's fsync batching knob). 1 = every
+  /// month ledger is durable before the next month starts; larger values
+  /// trade a bounded amount of redone work after a crash for fewer
+  /// fsyncs.
+  std::size_t fsync_every = 1;
 
   /// Resume from the checkpoint in `checkpoint_dir`: completed months are
   /// restored and the campaign continues bit-identically to an
@@ -84,6 +98,21 @@ struct CampaignConfig {
   std::optional<std::size_t> halt_after_month;
 };
 
+/// Ledger of durable-store activity during a campaign. Store failures the
+/// campaign survived (a full disk, a failing append) become `incidents`
+/// entries instead of aborting the run: measurement continuity is worth
+/// more than any single persist, and the in-memory state stays correct —
+/// only crash-resume coverage degrades until the store recovers.
+struct PersistenceHealth {
+  std::size_t snapshots = 0;    ///< Full snapshots published atomically.
+  std::size_t wal_appends = 0;  ///< Month ledgers appended to the WAL.
+  /// Human-readable descriptions of survived store failures; empty when
+  /// every persist succeeded.
+  std::vector<std::string> incidents;
+
+  bool degraded() const { return !incidents.empty(); }
+};
+
 /// Campaign output.
 struct CampaignResult {
   /// One entry per monthly snapshot (months + 1 entries, month 0 first).
@@ -95,6 +124,8 @@ struct CampaignResult {
   /// Resilience ledger; one entry per month when a fault plan was active,
   /// empty for fault-free campaigns.
   CampaignHealth health;
+  /// Durable-store ledger (empty/zero when checkpointing is off).
+  PersistenceHealth persistence;
   /// False when the campaign stopped at `halt_after_month`.
   bool completed = true;
   /// The bitkernel dispatch tier ("scalar", "word", "avx2", "neon") the

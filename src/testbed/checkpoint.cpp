@@ -2,8 +2,6 @@
 
 #include <cstdio>
 #include <cstring>
-#include <filesystem>
-#include <fstream>
 #include <sstream>
 
 #include "common/error.hpp"
@@ -13,7 +11,6 @@ namespace pufaging {
 namespace {
 
 constexpr int kCheckpointVersion = 1;
-constexpr const char* kStateFile = "state.jsonl";
 
 std::string u64_to_hex(std::uint64_t v) {
   char buf[17];
@@ -65,6 +62,50 @@ DeviceMonthMetrics device_metrics_from_json(const Json& obj) {
   const auto bits = static_cast<std::size_t>(obj.at("first_bits").as_int());
   d.first_pattern = BitVector::from_hex(obj.at("first").as_string(), bits);
   return d;
+}
+
+/// One device's resumable state + resilience state + reference, shared by
+/// the snapshot device lines and the WAL month-ledger records.
+Json device_state_to_json(const DeviceCheckpoint& dev,
+                          const BoardFaultState& fault_state,
+                          const BitVector& reference) {
+  Json obj = Json::object();
+  obj.set("id", Json(dev.device_id));
+  Json rng = Json::array();
+  for (std::uint64_t word : dev.rng_state) {
+    rng.push_back(Json(u64_to_hex(word)));
+  }
+  obj.set("rng", std::move(rng));
+  obj.set("count", Json(dev.measurement_count));
+  obj.set("fault_state", board_fault_state_to_json(fault_state));
+  obj.set("reference_bits", Json(static_cast<std::uint64_t>(reference.size())));
+  obj.set("reference", Json(reference.to_hex()));
+  return obj;
+}
+
+void device_state_from_json(const Json& obj, DeviceCheckpoint& dev,
+                            BoardFaultState& fault_state,
+                            BitVector& reference) {
+  dev.device_id = static_cast<std::uint32_t>(obj.at("id").as_int());
+  const Json::Array& rng = obj.at("rng").as_array();
+  if (rng.size() != dev.rng_state.size()) {
+    throw ParseError("checkpoint: bad RNG state length");
+  }
+  for (std::size_t i = 0; i < rng.size(); ++i) {
+    dev.rng_state[i] = u64_from_hex(rng[i].as_string());
+  }
+  dev.measurement_count = static_cast<std::uint64_t>(obj.at("count").as_int());
+  fault_state = board_fault_state_from_json(obj.at("fault_state"));
+  const auto bits = static_cast<std::size_t>(obj.at("reference_bits").as_int());
+  reference = BitVector::from_hex(obj.at("reference").as_string(), bits);
+}
+
+void check_state_shape(const CampaignCheckpoint& ckpt, const char* who) {
+  if (ckpt.devices.size() != ckpt.fault_states.size() ||
+      ckpt.devices.size() != ckpt.references.size()) {
+    throw InvalidArgument(std::string(who) +
+                          ": device/fault-state/reference counts differ");
+  }
 }
 
 }  // namespace
@@ -133,26 +174,8 @@ FleetMonthMetrics fleet_month_from_json(const Json& json) {
   return m;
 }
 
-bool has_checkpoint(const std::string& dir) {
-  std::error_code ec;
-  return std::filesystem::is_regular_file(
-      std::filesystem::path(dir) / kStateFile, ec);
-}
-
-void save_checkpoint(const std::string& dir, const CampaignCheckpoint& ckpt) {
-  if (ckpt.devices.size() != ckpt.fault_states.size() ||
-      ckpt.devices.size() != ckpt.references.size()) {
-    throw InvalidArgument(
-        "save_checkpoint: device/fault-state/reference counts differ");
-  }
-  const std::filesystem::path base(dir);
-  std::error_code ec;
-  std::filesystem::create_directories(base, ec);
-  if (ec) {
-    throw IoError("save_checkpoint: cannot create '" + dir +
-                  "': " + ec.message());
-  }
-
+std::string checkpoint_to_jsonl(const CampaignCheckpoint& ckpt) {
+  check_state_shape(ckpt, "checkpoint_to_jsonl");
   std::ostringstream os;
   {
     Json header = Json::object();
@@ -169,20 +192,9 @@ void save_checkpoint(const std::string& dir, const CampaignCheckpoint& ckpt) {
     os << header.dump() << "\n";
   }
   for (std::size_t d = 0; d < ckpt.devices.size(); ++d) {
-    const DeviceCheckpoint& dev = ckpt.devices[d];
-    Json line = Json::object();
+    Json line = device_state_to_json(ckpt.devices[d], ckpt.fault_states[d],
+                                     ckpt.references[d]);
     line.set("kind", Json("device"));
-    line.set("id", Json(dev.device_id));
-    Json rng = Json::array();
-    for (std::uint64_t word : dev.rng_state) {
-      rng.push_back(Json(u64_to_hex(word)));
-    }
-    line.set("rng", std::move(rng));
-    line.set("count", Json(dev.measurement_count));
-    line.set("fault_state", board_fault_state_to_json(ckpt.fault_states[d]));
-    line.set("reference_bits",
-             Json(static_cast<std::uint64_t>(ckpt.references[d].size())));
-    line.set("reference", Json(ckpt.references[d].to_hex()));
     os << line.dump() << "\n";
   }
   for (const FleetMonthMetrics& m : ckpt.series) {
@@ -196,46 +208,41 @@ void save_checkpoint(const std::string& dir, const CampaignCheckpoint& ckpt) {
     line.set("months", campaign_health_to_json(ckpt.health));
     os << line.dump() << "\n";
   }
-
-  const std::filesystem::path tmp = base / (std::string(kStateFile) + ".tmp");
-  const std::filesystem::path final_path = base / kStateFile;
-  {
-    std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
-    if (!out) {
-      throw IoError("save_checkpoint: cannot write '" + tmp.string() + "'");
-    }
-    out << os.str();
-    out.flush();
-    if (!out) {
-      throw IoError("save_checkpoint: write failed for '" + tmp.string() +
-                    "'");
-    }
-  }
-  std::filesystem::rename(tmp, final_path, ec);
-  if (ec) {
-    throw IoError("save_checkpoint: cannot rename into '" +
-                  final_path.string() + "': " + ec.message());
-  }
+  return os.str();
 }
 
-CampaignCheckpoint load_checkpoint(const std::string& dir) {
-  const std::filesystem::path path = std::filesystem::path(dir) / kStateFile;
-  std::ifstream in(path, std::ios::binary);
-  if (!in) {
-    throw IoError("load_checkpoint: cannot open '" + path.string() + "'");
+CampaignCheckpoint checkpoint_from_jsonl(const std::string& text) {
+  // Strictness first: the writer always terminates the blob with a
+  // newline, and the health line is always last. A blob that ends
+  // mid-line — the classic truncated-checkpoint failure — must be
+  // rejected as a whole, never partially applied.
+  if (text.empty()) {
+    throw ParseError("checkpoint: empty state");
   }
+  if (text.back() != '\n') {
+    throw ParseError("checkpoint: truncated state (no trailing newline)");
+  }
+
   CampaignCheckpoint ckpt;
   bool have_header = false;
+  bool have_health = false;
+  std::istringstream in(text);
   std::string line;
   while (std::getline(in, line)) {
     if (line.empty()) {
       continue;
     }
+    if (have_health) {
+      throw ParseError("checkpoint: record after the trailing health line");
+    }
     const Json obj = Json::parse(line);
     const std::string& kind = obj.at("kind").as_string();
     if (kind == "header") {
+      if (have_header) {
+        throw ParseError("checkpoint: duplicate header line");
+      }
       if (obj.at("version").as_int() != kCheckpointVersion) {
-        throw ParseError("load_checkpoint: unsupported checkpoint version");
+        throw ParseError("checkpoint: unsupported checkpoint version");
       }
       ckpt.next_month = static_cast<std::size_t>(obj.at("next_month").as_int());
       ckpt.fleet_seed = u64_from_hex(obj.at("fleet_seed").as_string());
@@ -246,43 +253,181 @@ CampaignCheckpoint load_checkpoint(const std::string& dir) {
           obj.at("measurements_per_month").as_int());
       ckpt.fault_plan_json = obj.at("fault_plan").as_string();
       have_header = true;
+    } else if (!have_header) {
+      throw ParseError("checkpoint: state must start with the header line");
     } else if (kind == "device") {
       DeviceCheckpoint dev;
-      dev.device_id = static_cast<std::uint32_t>(obj.at("id").as_int());
-      const Json::Array& rng = obj.at("rng").as_array();
-      if (rng.size() != dev.rng_state.size()) {
-        throw ParseError("load_checkpoint: bad RNG state length");
-      }
-      for (std::size_t i = 0; i < rng.size(); ++i) {
-        dev.rng_state[i] = u64_from_hex(rng[i].as_string());
-      }
-      dev.measurement_count =
-          static_cast<std::uint64_t>(obj.at("count").as_int());
+      BoardFaultState fault_state;
+      BitVector reference;
+      device_state_from_json(obj, dev, fault_state, reference);
       ckpt.devices.push_back(dev);
-      ckpt.fault_states.push_back(
-          board_fault_state_from_json(obj.at("fault_state")));
-      const auto bits =
-          static_cast<std::size_t>(obj.at("reference_bits").as_int());
-      ckpt.references.push_back(
-          BitVector::from_hex(obj.at("reference").as_string(), bits));
+      ckpt.fault_states.push_back(fault_state);
+      ckpt.references.push_back(std::move(reference));
     } else if (kind == "month") {
       ckpt.series.push_back(fleet_month_from_json(obj));
     } else if (kind == "health") {
       ckpt.health = campaign_health_from_json(obj.at("months"));
+      have_health = true;
     } else {
-      throw ParseError("load_checkpoint: unknown record kind '" + kind + "'");
+      throw ParseError("checkpoint: unknown record kind '" + kind + "'");
     }
   }
   if (!have_header) {
-    throw ParseError("load_checkpoint: missing header line");
+    throw ParseError("checkpoint: missing header line");
+  }
+  if (!have_health) {
+    // The writer emits the health line last and unconditionally; its
+    // absence means the tail of the blob was lost.
+    throw ParseError("checkpoint: truncated state (missing health line)");
   }
   if (ckpt.devices.size() != ckpt.device_count) {
-    throw ParseError("load_checkpoint: device line count mismatch");
+    throw ParseError("checkpoint: device line count mismatch");
   }
   if (ckpt.series.size() != ckpt.next_month) {
-    throw ParseError("load_checkpoint: month line count mismatch");
+    throw ParseError("checkpoint: month line count mismatch");
   }
   return ckpt;
+}
+
+std::string month_ledger_to_json(const MonthLedger& ledger) {
+  if (ledger.devices.size() != ledger.fault_states.size() ||
+      ledger.devices.size() != ledger.references.size()) {
+    throw InvalidArgument(
+        "month_ledger_to_json: device/fault-state/reference counts differ");
+  }
+  Json obj = Json::object();
+  obj.set("kind", Json("month_ledger"));
+  obj.set("month", Json(static_cast<std::uint64_t>(ledger.month)));
+  Json devices = Json::array();
+  for (std::size_t d = 0; d < ledger.devices.size(); ++d) {
+    devices.push_back(device_state_to_json(
+        ledger.devices[d], ledger.fault_states[d], ledger.references[d]));
+  }
+  obj.set("devices", std::move(devices));
+  obj.set("metrics", fleet_month_to_json(ledger.metrics));
+  if (ledger.health) {
+    obj.set("health", month_health_to_json(*ledger.health));
+  }
+  return obj.dump();
+}
+
+MonthLedger month_ledger_from_json(const std::string& text) {
+  const Json obj = Json::parse(text);
+  if (obj.at("kind").as_string() != "month_ledger") {
+    throw ParseError("month_ledger: unexpected record kind");
+  }
+  MonthLedger ledger;
+  ledger.month = static_cast<std::size_t>(obj.at("month").as_int());
+  for (const Json& dev_json : obj.at("devices").as_array()) {
+    DeviceCheckpoint dev;
+    BoardFaultState fault_state;
+    BitVector reference;
+    device_state_from_json(dev_json, dev, fault_state, reference);
+    ledger.devices.push_back(dev);
+    ledger.fault_states.push_back(fault_state);
+    ledger.references.push_back(std::move(reference));
+  }
+  ledger.metrics = fleet_month_from_json(obj.at("metrics"));
+  if (obj.contains("health")) {
+    ledger.health = month_health_from_json(obj.at("health"));
+  }
+  return ledger;
+}
+
+void apply_month_ledger(CampaignCheckpoint& ckpt, const MonthLedger& ledger) {
+  if (ledger.month != ckpt.next_month) {
+    throw ParseError("checkpoint: WAL month discontinuity (expected month " +
+                     std::to_string(ckpt.next_month) + ", got " +
+                     std::to_string(ledger.month) + ")");
+  }
+  if (ledger.devices.size() != ckpt.devices.size()) {
+    throw ParseError("checkpoint: WAL device count mismatch");
+  }
+  ckpt.devices = ledger.devices;
+  ckpt.fault_states = ledger.fault_states;
+  ckpt.references = ledger.references;
+  ckpt.series.push_back(ledger.metrics);
+  if (ledger.health) {
+    ckpt.health.months.push_back(*ledger.health);
+  }
+  ckpt.next_month = ledger.month + 1;
+}
+
+CampaignCheckpoint checkpoint_from_store(const MeasurementStore& store) {
+  if (!store.has_state()) {
+    throw IoError("checkpoint: store at '" + store.dir() + "' holds no state");
+  }
+  CampaignCheckpoint ckpt = checkpoint_from_jsonl(store.snapshot());
+  for (const std::string& payload : store.wal_records()) {
+    apply_month_ledger(ckpt, month_ledger_from_json(payload));
+  }
+  return ckpt;
+}
+
+std::string CheckpointRecovery::render() const {
+  std::ostringstream os;
+  os << fs.render();
+  if (!found) {
+    return os.str();
+  }
+  // A campaign measures months 0..planned_months inclusive.
+  os << "checkpoint: " << device_count << " device(s), " << resume_month
+     << "/" << (planned_months + 1) << " monthly snapshot(s) completed\n";
+  os << "  salvaged: " << snapshot_months << " month(s) from the snapshot";
+  if (!wal_months.empty()) {
+    os << ", months";
+    for (std::size_t m : wal_months) {
+      os << " " << m;
+    }
+    os << " from the WAL";
+  }
+  os << "\n";
+  if (resume_month > planned_months) {
+    os << "  campaign complete; resume would return the stored series\n";
+  } else {
+    os << "  resume continues at month " << resume_month << "\n";
+  }
+  return os.str();
+}
+
+CheckpointRecovery inspect_store(Vfs& vfs, const std::string& dir) {
+  CheckpointRecovery rec;
+  MeasurementStore store(vfs, dir);
+  rec.fs = store.recovery();
+  if (!store.has_state()) {
+    return rec;
+  }
+  const CampaignCheckpoint snap = checkpoint_from_jsonl(store.snapshot());
+  rec.found = true;
+  rec.device_count = snap.device_count;
+  rec.snapshot_months = snap.next_month;
+  rec.planned_months = snap.months;
+  CampaignCheckpoint replay = snap;
+  for (const std::string& payload : store.wal_records()) {
+    const MonthLedger ledger = month_ledger_from_json(payload);
+    apply_month_ledger(replay, ledger);
+    rec.wal_months.push_back(ledger.month);
+  }
+  rec.resume_month = replay.next_month;
+  return rec;
+}
+
+bool has_checkpoint(const std::string& dir) {
+  return MeasurementStore::present(RealFs::instance(), dir);
+}
+
+void save_checkpoint(const std::string& dir, const CampaignCheckpoint& ckpt) {
+  check_state_shape(ckpt, "save_checkpoint");
+  MeasurementStore store(RealFs::instance(), dir);
+  store.publish_snapshot(checkpoint_to_jsonl(ckpt));
+}
+
+CampaignCheckpoint load_checkpoint(const std::string& dir) {
+  if (!has_checkpoint(dir)) {
+    throw IoError("load_checkpoint: no checkpoint state in '" + dir + "'");
+  }
+  MeasurementStore store(RealFs::instance(), dir);
+  return checkpoint_from_store(store);
 }
 
 }  // namespace pufaging

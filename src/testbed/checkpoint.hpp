@@ -1,28 +1,41 @@
 // Campaign checkpoint/resume: crash-tolerant long campaigns.
 //
 // The paper's rig ran for two wall-clock years; the one certainty about a
-// two-year run is that the collector host reboots at some point. A
-// checkpoint captures everything `run_campaign` needs to continue a
-// campaign bit-identically: each device's measurement-RNG state and
-// counter (aging is replayed — it is a pure function of the config and the
-// month sequence), the resilience state machine of every board, the
-// completed part of the fleet series, the month-0 references and the
-// health ledger.
+// two-year run is that the collector host reboots at some point — the
+// authors' own setup "was interrupted several times e.g. due to a power
+// cut of the building" (§IV). A checkpoint captures everything
+// `run_campaign` needs to continue a campaign bit-identically: each
+// device's measurement-RNG state and counter (aging is replayed — it is a
+// pure function of the config and the month sequence), the resilience
+// state machine of every board, the completed part of the fleet series,
+// the month-0 references and the health ledger.
 //
-// On-disk format: one JSONL file (`state.jsonl`) in the checkpoint
-// directory — a header line, one line per device, one line per completed
-// month, one health line. Doubles that must survive the round trip
-// bit-exactly (the series) are stored as hex bit patterns of their IEEE-754
-// encoding. Writes go to a temp file which is atomically renamed, so a
-// crash mid-checkpoint leaves the previous checkpoint intact.
+// Persistence goes through the crash-safe durable store (src/store/):
+//
+//  - the full state serializes to a JSONL *snapshot* blob (a header line,
+//    one line per device, one line per completed month, one health line;
+//    doubles that must survive bit-exactly are stored as IEEE-754 hex),
+//    published atomically by the store (write → fsync → rename manifest);
+//  - each completed month additionally serializes to a small *month
+//    ledger* record appended to the store's CRC32C-framed WAL, so a
+//    monthly persist is an append, not a full rewrite;
+//  - recovery = snapshot + replay of the valid WAL prefix. A torn WAL
+//    tail is truncated by the store; a torn snapshot cannot exist by the
+//    publication protocol.
+//
+// The JSONL parser is strict: a blob whose final line is truncated
+// mid-record — or that is missing the trailing health line or final
+// newline — is rejected as a whole, never partially applied.
 #pragma once
 
 #include <array>
 #include <cstdint>
+#include <optional>
 #include <string>
 #include <vector>
 
 #include "analysis/monthly.hpp"
+#include "store/store.hpp"
 #include "testbed/faults.hpp"
 
 namespace pufaging {
@@ -62,15 +75,72 @@ struct CampaignCheckpoint {
   CampaignHealth health;
 };
 
-/// True when `dir` holds a checkpoint file.
+/// One completed month, as appended to the store's WAL: the month's fleet
+/// metrics plus the *post-month* device/resilience state. Self-contained,
+/// so replay only needs the last record's state and every record's
+/// metrics.
+struct MonthLedger {
+  std::size_t month = 0;  ///< The month this record completes.
+  std::vector<DeviceCheckpoint> devices;
+  std::vector<BoardFaultState> fault_states;
+  std::vector<BitVector> references;
+  FleetMonthMetrics metrics;
+  std::optional<MonthHealth> health;  ///< Present when a fault plan ran.
+};
+
+// --- serialization ---------------------------------------------------------
+
+/// Full checkpoint <-> JSONL snapshot blob. The parser is strict: it
+/// requires the header first, the health line last, a trailing newline,
+/// and exactly the promised number of device and month lines — a
+/// truncated or reordered blob is rejected, never partially applied.
+std::string checkpoint_to_jsonl(const CampaignCheckpoint& ckpt);
+CampaignCheckpoint checkpoint_from_jsonl(const std::string& text);
+
+/// Month ledger <-> single-line JSON (the WAL record payload).
+std::string month_ledger_to_json(const MonthLedger& ledger);
+MonthLedger month_ledger_from_json(const std::string& text);
+
+/// Applies a replayed ledger to the checkpoint state. Throws ParseError
+/// when the record does not continue the state (month discontinuity,
+/// device-count mismatch).
+void apply_month_ledger(CampaignCheckpoint& ckpt, const MonthLedger& ledger);
+
+// --- store-backed persistence ----------------------------------------------
+
+/// Reconstructs the checkpoint from a recovered store: snapshot blob +
+/// WAL replay. Throws IoError when the store holds no state, ParseError
+/// when the (CRC-clean) state does not deserialize.
+CampaignCheckpoint checkpoint_from_store(const MeasurementStore& store);
+
+/// What `pufaging recover` reports: the store-level recovery (torn-tail
+/// truncation, swept files) plus which months were salvaged from where.
+struct CheckpointRecovery {
+  bool found = false;
+  StoreRecoveryReport fs;
+  std::size_t device_count = 0;
+  std::size_t snapshot_months = 0;       ///< Months carried by the snapshot.
+  std::vector<std::size_t> wal_months;   ///< Months salvaged from the WAL.
+  std::size_t resume_month = 0;          ///< Where a resume continues.
+  std::size_t planned_months = 0;        ///< Config: total campaign months.
+
+  std::string render() const;
+};
+
+/// Opens + recovers the store at `dir` and summarizes what survived.
+CheckpointRecovery inspect_store(Vfs& vfs, const std::string& dir);
+
+// --- directory-level convenience (production filesystem) -------------------
+
+/// True when `dir` holds checkpoint state (store manifest or legacy file).
 bool has_checkpoint(const std::string& dir);
 
-/// Writes the checkpoint to `dir` (created if missing) via a temp file and
-/// atomic rename. Throws IoError on filesystem failure.
+/// Publishes `ckpt` as a snapshot into the store at `dir` (created if
+/// missing). Throws StoreError/IoError on filesystem failure.
 void save_checkpoint(const std::string& dir, const CampaignCheckpoint& ckpt);
 
-/// Loads the checkpoint from `dir`. Throws IoError when absent, ParseError
-/// when malformed.
+/// Recovers the checkpoint from the store at `dir`. Throws IoError when
+/// absent, ParseError when malformed.
 CampaignCheckpoint load_checkpoint(const std::string& dir);
 
 /// Bit-exact double <-> hex helpers (IEEE-754 bit pattern as 16 hex

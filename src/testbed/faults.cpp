@@ -418,20 +418,41 @@ std::string CampaignHealth::render() const {
   return os.str();
 }
 
+Json month_health_to_json(const MonthHealth& month) {
+  Json obj = Json::object();
+  obj.set("month", Json(month.month));
+  obj.set("retries", Json(month.crc_retries));
+  obj.set("timeouts", Json(month.timeouts));
+  obj.set("lost", Json(month.frames_lost));
+  obj.set("dropped", Json(month.measurements_dropped));
+  obj.set("probes", Json(month.probes));
+  obj.set("quarantined", Json(month.boards_quarantined));
+  obj.set("reporting", Json(month.boards_reporting));
+  obj.set("coverage", Json(month.coverage));
+  return obj;
+}
+
+MonthHealth month_health_from_json(const Json& json) {
+  MonthHealth m;
+  m.month = json.at("month").as_double();
+  m.crc_retries = static_cast<std::uint64_t>(json.at("retries").as_int());
+  m.timeouts = static_cast<std::uint64_t>(json.at("timeouts").as_int());
+  m.frames_lost = static_cast<std::uint64_t>(json.at("lost").as_int());
+  m.measurements_dropped =
+      static_cast<std::uint64_t>(json.at("dropped").as_int());
+  m.probes = static_cast<std::uint64_t>(json.at("probes").as_int());
+  m.boards_quarantined =
+      static_cast<std::uint32_t>(json.at("quarantined").as_int());
+  m.boards_reporting =
+      static_cast<std::uint32_t>(json.at("reporting").as_int());
+  m.coverage = json.at("coverage").as_double();
+  return m;
+}
+
 Json campaign_health_to_json(const CampaignHealth& health) {
   Json arr = Json::array();
   for (const MonthHealth& m : health.months) {
-    Json obj = Json::object();
-    obj.set("month", Json(m.month));
-    obj.set("retries", Json(m.crc_retries));
-    obj.set("timeouts", Json(m.timeouts));
-    obj.set("lost", Json(m.frames_lost));
-    obj.set("dropped", Json(m.measurements_dropped));
-    obj.set("probes", Json(m.probes));
-    obj.set("quarantined", Json(m.boards_quarantined));
-    obj.set("reporting", Json(m.boards_reporting));
-    obj.set("coverage", Json(m.coverage));
-    arr.push_back(std::move(obj));
+    arr.push_back(month_health_to_json(m));
   }
   return arr;
 }
@@ -439,20 +460,7 @@ Json campaign_health_to_json(const CampaignHealth& health) {
 CampaignHealth campaign_health_from_json(const Json& json) {
   CampaignHealth health;
   for (const Json& obj : json.as_array()) {
-    MonthHealth m;
-    m.month = obj.at("month").as_double();
-    m.crc_retries = static_cast<std::uint64_t>(obj.at("retries").as_int());
-    m.timeouts = static_cast<std::uint64_t>(obj.at("timeouts").as_int());
-    m.frames_lost = static_cast<std::uint64_t>(obj.at("lost").as_int());
-    m.measurements_dropped =
-        static_cast<std::uint64_t>(obj.at("dropped").as_int());
-    m.probes = static_cast<std::uint64_t>(obj.at("probes").as_int());
-    m.boards_quarantined =
-        static_cast<std::uint32_t>(obj.at("quarantined").as_int());
-    m.boards_reporting =
-        static_cast<std::uint32_t>(obj.at("reporting").as_int());
-    m.coverage = obj.at("coverage").as_double();
-    health.months.push_back(m);
+    health.months.push_back(month_health_from_json(obj));
   }
   return health;
 }

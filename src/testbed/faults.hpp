@@ -178,6 +178,9 @@ struct CampaignHealth {
   std::string render() const;
 };
 
+Json month_health_to_json(const MonthHealth& month);
+MonthHealth month_health_from_json(const Json& json);
+
 Json campaign_health_to_json(const CampaignHealth& health);
 CampaignHealth campaign_health_from_json(const Json& json);
 

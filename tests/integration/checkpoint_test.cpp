@@ -5,6 +5,7 @@
 #include <gtest/gtest.h>
 
 #include <filesystem>
+#include <fstream>
 
 #include "common/error.hpp"
 #include "testbed/campaign.hpp"
@@ -226,6 +227,47 @@ TEST(Checkpoint, ResumeAtLastMonthReturnsTheStoredSeries) {
   ASSERT_EQ(again.series.size(), finished.series.size());
   for (std::size_t m = 0; m < finished.series.size(); ++m) {
     EXPECT_EQ(again.series[m].wchd_avg, finished.series[m].wchd_avg);
+  }
+}
+
+TEST(Checkpoint, TruncatedCheckpointIsRejectedNotPartiallyApplied) {
+  // Regression: the loader used to apply whatever prefix of a truncated
+  // checkpoint still parsed line-by-line, silently resuming from a state
+  // that mixed restored and default-initialized fields. Any proper prefix
+  // must be rejected as a whole.
+  ScratchDir dir("ckpt_truncated");
+  CampaignConfig config;
+  config.months = 2;
+  config.measurements_per_month = 20;
+  config.threads = 1;
+  config.checkpoint_dir = dir.str();
+  ASSERT_TRUE(run_campaign(config).completed);
+
+  // Pull the snapshot blob the store holds and re-plant every proper
+  // line-boundary prefix as a legacy `state.jsonl` checkpoint — the
+  // ad-hoc layout the old loader consumed.
+  MeasurementStore store(RealFs::instance(), dir.str());
+  const std::string blob = store.snapshot();
+  ASSERT_FALSE(blob.empty());
+  ASSERT_NO_THROW(checkpoint_from_jsonl(blob));
+
+  ScratchDir legacy("ckpt_truncated_legacy");
+  std::filesystem::create_directories(legacy.path);
+  for (std::size_t at = blob.find('\n'); at + 1 < blob.size();
+       at = blob.find('\n', at + 1)) {
+    std::ofstream(legacy.path / "state.jsonl", std::ios::binary)
+        << blob.substr(0, at + 1);
+    EXPECT_TRUE(has_checkpoint(legacy.str()));
+    EXPECT_THROW(load_checkpoint(legacy.str()), ParseError)
+        << "prefix of " << (at + 1) << " bytes was partially applied";
+    // A resume over the truncated file must refuse up front, not run.
+    CampaignConfig resume = config;
+    resume.checkpoint_dir = legacy.str();
+    resume.resume = true;
+    EXPECT_THROW(run_campaign(resume), ParseError)
+        << "prefix of " << (at + 1) << " bytes";
+    std::filesystem::remove_all(legacy.path);
+    std::filesystem::create_directories(legacy.path);
   }
 }
 

@@ -1,0 +1,332 @@
+// The crash matrix: the proof behind the durable store's headline claim.
+//
+// A checkpointed campaign is run over FaultFs once to count its mutating
+// syscalls, then once per syscall boundary with a power cut injected at
+// exactly that boundary (all un-fsynced data and namespace operations are
+// discarded, per the cut mode). After each cut the harness plays the next
+// boot: recover the store, resume the campaign, and require the final
+// CampaignResult to be IEEE-754 bit-identical to the uninterrupted run —
+// at every thread count and SIMD tier in the sweep, under the strict,
+// torn-sector and mixed cut models.
+//
+// When PUFAGING_CRASH_REPORT names a file, the per-cell recovery summary
+// is written there (CI uploads it as an artifact).
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <fstream>
+#include <initializer_list>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "common/bitkernel.hpp"
+#include "store/faultfs.hpp"
+#include "store/store.hpp"
+#include "testbed/campaign.hpp"
+#include "testbed/checkpoint.hpp"
+
+namespace pufaging {
+namespace {
+
+using bitkernel::Level;
+
+constexpr const char* kStoreDir = "store";
+
+/// Reduced campaign: small fleet and geometry so the full kill-point
+/// sweep (hundreds of campaign runs) stays fast, but months both sides of
+/// a compaction boundary (checkpoint_every=2) and a batched WAL fsync
+/// (fsync_every=2) so every store code path has kill points inside it.
+CampaignConfig matrix_config(Vfs& fs, std::size_t threads) {
+  CampaignConfig config;
+  config.fleet.device_count = 4;
+  config.fleet.device.total_bits = 1536;
+  config.fleet.device.puf_window_bits = 768;
+  config.months = 3;
+  config.measurements_per_month = 12;
+  config.threads = threads;
+  config.checkpoint_dir = kStoreDir;
+  config.checkpoint_every_months = 2;
+  config.fsync_every = 2;
+  config.vfs = &fs;
+  return config;
+}
+
+void add_double(std::string& fp, double v) {
+  fp += double_to_hex_bits(v);
+  fp.push_back(' ');
+}
+
+/// Canonical byte string of everything the campaign computes; doubles as
+/// IEEE-754 hex so "identical" means bit-identical, not approximately.
+std::string fingerprint(const CampaignResult& r) {
+  std::string fp = "refs\n";
+  for (const BitVector& ref : r.references) {
+    fp += ref.to_string();
+    fp.push_back('\n');
+  }
+  for (const FleetMonthMetrics& m : r.series) {
+    fp += "month ";
+    add_double(fp, m.month);
+    add_double(fp, m.wchd_avg);
+    add_double(fp, m.wchd_wc);
+    add_double(fp, m.fhw_avg);
+    add_double(fp, m.fhw_wc);
+    add_double(fp, m.stable_avg);
+    add_double(fp, m.stable_wc);
+    add_double(fp, m.noise_entropy_avg);
+    add_double(fp, m.noise_entropy_wc);
+    add_double(fp, m.bchd_avg);
+    add_double(fp, m.bchd_wc);
+    add_double(fp, m.puf_entropy);
+    add_double(fp, m.coverage);
+    fp += std::to_string(m.devices_expected) + "/" +
+          std::to_string(m.devices_reporting) + (m.degraded ? " D" : " -");
+    for (const DeviceMonthMetrics& d : m.devices) {
+      fp += "\n  d" + std::to_string(d.device_id) + " n" +
+            std::to_string(d.measurement_count) + " ";
+      add_double(fp, d.wchd_mean);
+      add_double(fp, d.fhw_mean);
+      add_double(fp, d.stable_ratio);
+      add_double(fp, d.noise_entropy);
+      fp += d.first_pattern.to_string();
+    }
+    fp.push_back('\n');
+  }
+  fp += "health " + std::to_string(r.health.months.size()) + "\n";
+  return fp;
+}
+
+struct CellTally {
+  std::uint64_t cuts = 0;     ///< Power cuts injected (kill point fired).
+  std::uint64_t resumed = 0;  ///< Boots that found durable state to resume.
+  std::uint64_t fresh = 0;    ///< Boots where nothing durable survived.
+};
+
+/// One matrix cell: run with a power cut at mutating syscall `k`, then
+/// boot, recover, resume, and compare against `expect`. Returns false when
+/// `k` lies beyond the campaign's syscall count (nothing fired).
+bool run_cell(std::uint64_t k, PowerCutMode mode, std::size_t threads,
+              const std::string& expect, CellTally& tally) {
+  FsFaultPlan plan;
+  plan.kill_at_syscall = k;
+  plan.cut_mode = mode;
+  plan.seed = k * 0x9E3779B97F4A7C15ULL + 1;
+  FaultFs fs(plan);
+  const std::string label = std::string(power_cut_mode_name(mode)) +
+                            " kill=" + std::to_string(k) +
+                            " threads=" + std::to_string(threads);
+  try {
+    const CampaignResult uncut = run_campaign(matrix_config(fs, threads));
+    EXPECT_EQ(fingerprint(uncut), expect) << label;
+    return false;
+  } catch (const PowerCutError&) {
+    // The campaign "process" died mid-persist. Nothing below the harness
+    // may have swallowed this — reaching here is part of the contract.
+  }
+  ++tally.cuts;
+  fs.power_cut();  // next boot: only durable state survives
+
+  CampaignConfig boot = matrix_config(fs, threads);
+  boot.resume = MeasurementStore::present(fs, kStoreDir);
+  boot.resume ? ++tally.resumed : ++tally.fresh;
+  const CampaignResult resumed = run_campaign(boot);
+  EXPECT_TRUE(resumed.completed) << label;
+  EXPECT_EQ(fingerprint(resumed), expect) << label;
+  EXPECT_TRUE(resumed.persistence.incidents.empty()) << label;
+  return true;
+}
+
+/// Uninterrupted reference over a clean FaultFs; also measures the
+/// mutating-syscall count that bounds the kill-point sweep.
+std::string reference_run(std::size_t threads, std::uint64_t* syscalls) {
+  FaultFs fs;
+  const CampaignResult ref = run_campaign(matrix_config(fs, threads));
+  EXPECT_TRUE(ref.completed);
+  EXPECT_TRUE(ref.persistence.incidents.empty());
+  EXPECT_GE(ref.persistence.snapshots, 3U);  // baseline + compactions + final
+  EXPECT_GE(ref.persistence.wal_appends, 1U);
+  *syscalls = fs.syscalls();
+  return fingerprint(ref);
+}
+
+TEST(CrashMatrix, PowerCutAtEverySyscallRecoversBitIdentically) {
+  std::ostringstream report;
+  CellTally total;
+
+  // Strict cuts (the adversarial baseline) across the full determinism
+  // sweep: serial and threaded, reference SIMD tier and best available.
+  const std::vector<Level> levels = {Level::kScalar,
+                                     bitkernel::available_levels().back()};
+  for (const std::size_t threads : {std::size_t{1}, std::size_t{4}}) {
+    for (const Level level : levels) {
+      bitkernel::ScopedLevel scoped(level);
+      std::uint64_t syscalls = 0;
+      const std::string expect = reference_run(threads, &syscalls);
+      ASSERT_GT(syscalls, 20U) << "campaign barely touched the store";
+      CellTally tally;
+      for (std::uint64_t k = 1; k <= syscalls; ++k) {
+        ASSERT_TRUE(run_cell(k, PowerCutMode::kStrict, threads, expect, tally))
+            << "kill point " << k << " never fired (syscall sequence "
+            << "diverged from the counting run)";
+      }
+      EXPECT_EQ(tally.cuts, syscalls);
+      report << "strict threads=" << threads << " simd="
+             << bitkernel::level_name(level) << ": " << tally.cuts
+             << " cuts, " << tally.resumed << " resumed, " << tally.fresh
+             << " fresh\n";
+      total.cuts += tally.cuts;
+      total.resumed += tally.resumed;
+      total.fresh += tally.fresh;
+    }
+  }
+
+  // Torn-sector and mixed cuts on the serial config: same bit-identity
+  // requirement when partial sectors and half-flushed namespaces survive.
+  for (const PowerCutMode mode : {PowerCutMode::kTorn, PowerCutMode::kMixed}) {
+    std::uint64_t syscalls = 0;
+    const std::string expect = reference_run(1, &syscalls);
+    CellTally tally;
+    for (std::uint64_t k = 1; k <= syscalls; ++k) {
+      ASSERT_TRUE(run_cell(k, mode, 1, expect, tally)) << "kill point " << k;
+    }
+    report << power_cut_mode_name(mode) << " threads=1: " << tally.cuts
+           << " cuts, " << tally.resumed << " resumed, " << tally.fresh
+           << " fresh\n";
+    total.cuts += tally.cuts;
+    total.resumed += tally.resumed;
+    total.fresh += tally.fresh;
+  }
+
+  // The acceptance bar: a sweep this size must actually have injected a
+  // substantial number of cuts, and most boots must have found durable
+  // state (otherwise the store never made anything durable and "recovery"
+  // was trivially re-running from scratch).
+  EXPECT_GE(total.cuts, 200U);
+  EXPECT_GT(total.resumed, total.fresh);
+  report << "total: " << total.cuts << " cuts, " << total.resumed
+         << " resumed, " << total.fresh << " fresh\n";
+
+  if (const char* path = std::getenv("PUFAGING_CRASH_REPORT")) {
+    std::ofstream out(path);
+    out << report.str();
+  }
+  std::cout << report.str();
+}
+
+TEST(CrashMatrix, RecoverReportNamesTheSalvagedMonths) {
+  // Cut somewhere late in the run, then ask the store what survived —
+  // the CLI `recover` verb's view. The report must account for every
+  // month it promises: snapshot months + WAL months == resume point.
+  FsFaultPlan plan;
+  FaultFs probe;
+  const CampaignResult full = run_campaign(matrix_config(probe, 1));
+  ASSERT_TRUE(full.completed);
+  plan.kill_at_syscall = probe.syscalls() * 3 / 4;
+  FaultFs fs(plan);
+  ASSERT_THROW(run_campaign(matrix_config(fs, 1)), PowerCutError);
+  fs.power_cut();
+
+  const CheckpointRecovery rec = inspect_store(fs, kStoreDir);
+  ASSERT_TRUE(rec.found);
+  EXPECT_EQ(rec.device_count, 4U);
+  EXPECT_EQ(rec.planned_months, 3U);
+  EXPECT_EQ(rec.resume_month, rec.snapshot_months + rec.wal_months.size());
+  for (std::size_t i = 0; i < rec.wal_months.size(); ++i) {
+    EXPECT_EQ(rec.wal_months[i], rec.snapshot_months + i);
+  }
+  const std::string rendered = rec.render();
+  EXPECT_NE(rendered.find("checkpoint:"), std::string::npos);
+  // And the recovery it describes actually resumes.
+  CampaignConfig boot = matrix_config(fs, 1);
+  boot.resume = true;
+  EXPECT_TRUE(run_campaign(boot).completed);
+}
+
+TEST(CrashMatrix, EnospcDegradesToIncidentsNeverAborts) {
+  FaultFs clean;
+  const std::string expect = fingerprint(run_campaign(matrix_config(clean, 1)));
+
+  // The disk fills up early in the campaign: every failed persist must
+  // become a health-ledger incident, the measurement run must complete,
+  // and the in-memory result must be untouched by the store's troubles.
+  FsFaultPlan plan;
+  plan.enospc_after_bytes = 2048;
+  FaultFs fs(plan);
+  const CampaignResult r = run_campaign(matrix_config(fs, 1));
+  EXPECT_TRUE(r.completed);
+  EXPECT_TRUE(r.persistence.degraded());
+  EXPECT_GE(r.persistence.incidents.size(), 1U);
+  EXPECT_EQ(fingerprint(r), expect);
+  // Inspecting whatever the store managed to write must not crash: it
+  // either finds nothing or a consistent prefix of the campaign.
+  const CheckpointRecovery rec = inspect_store(fs, kStoreDir);
+  if (rec.found) {
+    EXPECT_LE(rec.resume_month, 4U);
+  }
+}
+
+TEST(CrashMatrix, LateEnospcKeepsTheEarlierCheckpointUsable) {
+  FaultFs clean;
+  const std::string expect = fingerprint(run_campaign(matrix_config(clean, 1)));
+  const std::uint64_t budget = clean.bytes_written() * 3 / 4;
+
+  FsFaultPlan plan;
+  plan.enospc_after_bytes = budget;
+  FaultFs fs(plan);
+  const CampaignResult r = run_campaign(matrix_config(fs, 1));
+  EXPECT_TRUE(r.completed);
+  EXPECT_TRUE(r.persistence.degraded());
+  EXPECT_EQ(fingerprint(r), expect);
+  // The months persisted before the disk filled are still a valid resume
+  // point: recover and replay the rest without the fault.
+  ASSERT_TRUE(MeasurementStore::present(fs, kStoreDir));
+  FsFaultPlan lifted;  // operator freed space before the reboot
+  fs.set_plan(lifted);
+  CampaignConfig boot = matrix_config(fs, 1);
+  boot.resume = true;
+  const CampaignResult resumed = run_campaign(boot);
+  EXPECT_TRUE(resumed.completed);
+  EXPECT_EQ(fingerprint(resumed), expect);
+}
+
+TEST(CrashMatrix, LyingFsyncsNeverProduceASilentlyWrongResume) {
+  // A drive that acknowledges fsyncs without persisting cannot be
+  // recovered from — but it must fail *loudly* (typed StoreError) or
+  // recover a consistent earlier state, never resume into garbage.
+  FaultFs clean;
+  const std::string expect = fingerprint(run_campaign(matrix_config(clean, 1)));
+
+  FsFaultPlan plan;
+  plan.drop_fsync_rate = 0.5;
+  for (std::uint64_t seed = 1; seed <= 8; ++seed) {
+    plan.seed = seed;
+    FaultFs fs(plan);
+    const CampaignResult r = run_campaign(matrix_config(fs, 1));
+    EXPECT_TRUE(r.completed);
+    EXPECT_EQ(fingerprint(r), expect) << "seed " << seed;
+    fs.power_cut();
+    FsFaultPlan honest;
+    fs.set_plan(honest);
+    if (!MeasurementStore::present(fs, kStoreDir)) {
+      continue;  // nothing survived: a fresh run is trivially correct
+    }
+    try {
+      CampaignConfig boot = matrix_config(fs, 1);
+      boot.resume = true;
+      const CampaignResult resumed = run_campaign(boot);
+      EXPECT_TRUE(resumed.completed) << "seed " << seed;
+      EXPECT_EQ(fingerprint(resumed), expect) << "seed " << seed;
+    } catch (const StoreError&) {
+      // Typed refusal: the lying drive left detectable corruption.
+    } catch (const ParseError&) {
+      // Same: the store was consistent but the checkpoint payload was
+      // from a torn write the drive claimed was safe.
+    }
+  }
+  EXPECT_GT(clean.syscalls(), 0U);
+}
+
+}  // namespace
+}  // namespace pufaging

@@ -1,0 +1,288 @@
+// FaultFs semantics: the crash matrix is only as trustworthy as the
+// filesystem model it runs on, so the model itself is pinned here —
+// page-cache vs durable state, namespace durability, power-cut modes,
+// kill points, ENOSPC, short writes and lying fsyncs. Plus a RealFs
+// smoke test against an actual temp directory.
+#include <gtest/gtest.h>
+#include <unistd.h>
+
+#include <filesystem>
+#include <set>
+#include <string>
+
+#include "common/error.hpp"
+#include "store/faultfs.hpp"
+
+namespace pufaging {
+namespace {
+
+void write_file(Vfs& fs, const std::string& path, const std::string& content,
+                bool do_fsync) {
+  VfsFile file(fs, fs.open_append(path, true));
+  fs.write_all(file.id(), content);
+  if (do_fsync) {
+    fs.fsync(file.id());
+  }
+}
+
+TEST(FaultFs, UnsyncedDataVanishesAtAStrictPowerCut) {
+  FaultFs fs;
+  fs.create_dirs("d");
+  write_file(fs, "d/synced", "durable", true);
+  write_file(fs, "d/unsynced", "volatile", false);
+  fs.fsync_dir("d");
+  write_file(fs, "d/never-published", "no dir fsync", true);
+  EXPECT_EQ(fs.read_file("d/unsynced"), "volatile");  // live view pre-cut
+
+  fs.power_cut();
+
+  EXPECT_EQ(fs.read_file("d/synced"), "durable");
+  // File fsynced but its directory entry never made durable: gone.
+  EXPECT_FALSE(fs.exists("d/never-published"));
+  // Directory entry durable but content never fsynced: empty file.
+  EXPECT_EQ(fs.read_file("d/unsynced"), "");
+}
+
+TEST(FaultFs, FsyncCoversOnlyBytesWrittenBeforeIt) {
+  FaultFs fs;
+  fs.create_dirs("d");
+  VfsFile file(fs, fs.open_append("d/f", true));
+  fs.write_all(file.id(), "first|");
+  fs.fsync(file.id());
+  fs.write_all(file.id(), "second");
+  file.reset();
+  fs.fsync_dir("d");
+  fs.power_cut();
+  EXPECT_EQ(fs.read_file("d/f"), "first|");
+}
+
+TEST(FaultFs, RenameIsAtomicAndNeedsDirFsyncToSurvive) {
+  FaultFs fs;
+  fs.create_dirs("d");
+  write_file(fs, "d/old", "v1", true);
+  fs.fsync_dir("d");
+  write_file(fs, "d/new", "v2", true);
+  fs.rename("d/new", "d/old");  // not followed by fsync_dir
+  fs.power_cut();
+  // The rename was lost with the directory's volatile entries; the old
+  // name must still hold the old, complete content — never a mix.
+  EXPECT_EQ(fs.read_file("d/old"), "v1");
+
+  write_file(fs, "d/new", "v3", true);
+  fs.rename("d/new", "d/old");
+  fs.fsync_dir("d");
+  fs.power_cut();
+  EXPECT_EQ(fs.read_file("d/old"), "v3");
+}
+
+TEST(FaultFs, KillPointFiresAtTheExactSyscallAndDeadFsStaysDead) {
+  FsFaultPlan plan;
+  plan.kill_at_syscall = 3;
+  FaultFs fs(plan);
+  fs.create_dirs("d");                                 // syscall 1
+  const Vfs::FileId f = fs.open_append("d/f", false);  // syscall 2
+  EXPECT_THROW(fs.fsync(f), PowerCutError);            // syscall 3: dies
+  EXPECT_TRUE(fs.dead());
+  // Everything fails until the "next boot".
+  EXPECT_THROW(fs.read_file("d/f"), PowerCutError);
+  EXPECT_THROW(fs.open_append("d/g", false), PowerCutError);
+  fs.power_cut();
+  EXPECT_FALSE(fs.dead());
+  fs.create_dirs("d");  // revived filesystem works again
+}
+
+TEST(FaultFs, SyscallCountingIsDeterministic) {
+  // The crash matrix depends on run N and run N+1 issuing identical
+  // syscall sequences; pin the count of a fixed operation sequence.
+  const auto run = [] {
+    FaultFs fs;
+    fs.create_dirs("d");
+    write_file(fs, "d/a", "xyz", true);
+    fs.fsync_dir("d");
+    return fs.syscalls();
+  };
+  const std::uint64_t first = run();
+  EXPECT_EQ(first, run());
+  EXPECT_GE(first, 5U);  // create_dirs, open, >=1 write, fsync, fsync_dir
+}
+
+TEST(FaultFs, EnospcBudgetYieldsTypedError) {
+  FsFaultPlan plan;
+  plan.enospc_after_bytes = 10;
+  FaultFs fs(plan);
+  fs.create_dirs("d");
+  VfsFile file(fs, fs.open_append("d/f", true));
+  fs.write_all(file.id(), "0123456789");  // exactly the budget
+  try {
+    fs.write_all(file.id(), "x");
+    FAIL() << "expected StoreError(kNoSpace)";
+  } catch (const StoreError& e) {
+    EXPECT_EQ(e.kind(), StoreError::Kind::kNoSpace);
+  }
+}
+
+TEST(FaultFs, ShortWritesAreHonestAboutTheirLength) {
+  FsFaultPlan plan;
+  plan.short_write_limit = 3;
+  FaultFs fs(plan);
+  fs.create_dirs("d");
+  VfsFile file(fs, fs.open_append("d/f", true));
+  const std::string data = "0123456789";
+  EXPECT_EQ(fs.write_some(file.id(), data.data(), data.size()), 3U);
+  fs.write_all(file.id(), data.substr(3));  // the loop finishes the job
+  EXPECT_EQ(fs.read_file("d/f"), data);
+}
+
+TEST(FaultFs, DroppedFsyncLeavesDataVolatile) {
+  FsFaultPlan plan;
+  plan.drop_fsync_rate = 1.0;  // every fsync lies
+  FaultFs fs(plan);
+  fs.create_dirs("d");
+  write_file(fs, "d/f", "content", true);
+  fs.fsync_dir("d");  // namespace capture is not an fsync draw
+  EXPECT_GE(fs.fsyncs_dropped(), 1U);
+  fs.power_cut();
+  // The drive acknowledged the fsync but persisted nothing.
+  EXPECT_EQ(fs.read_file("d/f"), "");
+}
+
+TEST(FaultFs, TornCutKeepsSectorAlignedPrefixOfTheUnsyncedTail) {
+  FsFaultPlan plan;
+  plan.cut_mode = PowerCutMode::kTorn;
+  plan.torn_sector_bytes = 4;
+  plan.seed = 11;
+  FaultFs fs(plan);
+  fs.create_dirs("d");
+  VfsFile file(fs, fs.open_append("d/f", true));
+  fs.write_all(file.id(), "DURABLE!");
+  fs.fsync(file.id());
+  fs.write_all(file.id(), "abcdefghijklmnop");  // unsynced tail
+  file.reset();
+  fs.fsync_dir("d");
+  fs.power_cut();
+  const std::string after = fs.read_file("d/f");
+  // The durable prefix always survives; whatever survived of the tail is
+  // a prefix of it, possibly with a garbled final sector.
+  ASSERT_GE(after.size(), 8U);
+  EXPECT_EQ(after.substr(0, 8), "DURABLE!");
+  EXPECT_LE(after.size(), 8U + 16U);
+  const std::string tail = after.substr(8);
+  const std::string expect = std::string("abcdefghijklmnop").substr(
+      0, tail.size());
+  // Identical except possibly the last byte of a torn sector.
+  for (std::size_t i = 0; i + 1 < tail.size(); ++i) {
+    EXPECT_EQ(tail[i], expect[i]) << "byte " << i;
+  }
+}
+
+TEST(FaultFs, TornCutIsDeterministicPerSeed) {
+  const auto run = [](std::uint64_t seed) {
+    FsFaultPlan plan;
+    plan.cut_mode = PowerCutMode::kTorn;
+    plan.torn_sector_bytes = 4;
+    plan.seed = seed;
+    FaultFs fs(plan);
+    fs.create_dirs("d");
+    VfsFile file(fs, fs.open_append("d/f", true));
+    fs.write_all(file.id(), std::string(64, 'z'));
+    file.reset();
+    fs.fsync_dir("d");
+    fs.power_cut();
+    return fs.read_file("d/f");
+  };
+  EXPECT_EQ(run(5), run(5));
+}
+
+TEST(FaultFs, MixedCutFlipsDeterministicPerNameCoins) {
+  const auto survivors = [](std::uint64_t seed) {
+    FsFaultPlan plan;
+    plan.cut_mode = PowerCutMode::kMixed;
+    plan.seed = seed;
+    FaultFs fs(plan);
+    fs.create_dirs("d");
+    for (int i = 0; i < 16; ++i) {
+      write_file(fs, "d/f" + std::to_string(i), "data", false);
+    }
+    // No fsync anywhere: strict mode would keep nothing.
+    fs.power_cut();
+    std::set<std::string> names;
+    for (const std::string& name : fs.list_dir("d")) {
+      names.insert(name);
+    }
+    return names;
+  };
+  EXPECT_EQ(survivors(3), survivors(3));
+  // With 16 files the odds that every coin lands the same way are 2^-15
+  // per seed; two seeds disagreeing on at least one file pins that the
+  // coins actually depend on the seed.
+  EXPECT_NE(survivors(3), survivors(4));
+}
+
+TEST(FaultFs, CorruptDurableFlipsExactlyTheMaskedBits) {
+  FaultFs fs;
+  fs.create_dirs("d");
+  write_file(fs, "d/f", "AAAA", true);
+  fs.fsync_dir("d");
+  fs.corrupt_durable("d/f", 2, 0x01);
+  fs.power_cut();
+  EXPECT_EQ(fs.read_file("d/f"), "AA@A");  // 'A' ^ 0x01 == '@'
+}
+
+TEST(FaultFs, FaultPlanSpecRoundTrips) {
+  const FsFaultPlan plan = parse_fs_fault_plan(
+      "kill=37,cut=torn,seed=9,sector=256,enospc=4096,short=7,dropfsync=0.5");
+  EXPECT_EQ(plan.kill_at_syscall, 37U);
+  EXPECT_EQ(plan.cut_mode, PowerCutMode::kTorn);
+  EXPECT_EQ(plan.seed, 9U);
+  EXPECT_EQ(plan.torn_sector_bytes, 256U);
+  EXPECT_EQ(plan.enospc_after_bytes, 4096U);
+  EXPECT_EQ(plan.short_write_limit, 7U);
+  EXPECT_DOUBLE_EQ(plan.drop_fsync_rate, 0.5);
+  const FsFaultPlan back =
+      fs_fault_plan_from_json(fs_fault_plan_to_json(plan));
+  EXPECT_EQ(back.kill_at_syscall, plan.kill_at_syscall);
+  EXPECT_EQ(back.cut_mode, plan.cut_mode);
+  EXPECT_DOUBLE_EQ(back.drop_fsync_rate, plan.drop_fsync_rate);
+  EXPECT_THROW(parse_fs_fault_plan("cut=sideways"), ParseError);
+  EXPECT_THROW(parse_fs_fault_plan("dropfsync=2.0"), Error);
+  EXPECT_THROW(parse_fs_fault_plan("bogus=1"), ParseError);
+}
+
+TEST(RealFs, AppendFsyncRenameSmoke) {
+  RealFs& fs = RealFs::instance();
+  const std::string dir =
+      (std::filesystem::temp_directory_path() /
+       ("pufaging_realfs_" + std::to_string(::getpid())))
+          .string();
+  std::filesystem::remove_all(dir);
+  fs.create_dirs(dir);
+  {
+    VfsFile file(fs, fs.open_append(dir + "/a.tmp", true));
+    fs.write_all(file.id(), "hello ");
+    fs.write_all(file.id(), "world");
+    fs.fsync(file.id());
+  }
+  EXPECT_EQ(fs.file_size(dir + "/a.tmp"), 11U);
+  fs.rename(dir + "/a.tmp", dir + "/a");
+  fs.fsync_dir(dir);
+  EXPECT_TRUE(fs.exists(dir + "/a"));
+  EXPECT_FALSE(fs.exists(dir + "/a.tmp"));
+  EXPECT_EQ(fs.read_file(dir + "/a"), "hello world");
+  // Append mode really appends.
+  {
+    VfsFile file(fs, fs.open_append(dir + "/a", false));
+    fs.write_all(file.id(), "!");
+  }
+  EXPECT_EQ(fs.read_file(dir + "/a"), "hello world!");
+  fs.truncate(dir + "/a", 5);
+  EXPECT_EQ(fs.read_file(dir + "/a"), "hello");
+  const std::vector<std::string> names = fs.list_dir(dir);
+  ASSERT_EQ(names.size(), 1U);
+  EXPECT_EQ(names[0], "a");
+  fs.remove(dir + "/a");
+  EXPECT_THROW(fs.read_file(dir + "/a"), StoreError);
+  std::filesystem::remove_all(dir);
+}
+
+}  // namespace
+}  // namespace pufaging

@@ -1,0 +1,247 @@
+// MeasurementStore: atomic snapshot publication, WAL appends, recovery
+// (torn tails, stray sweeps, legacy migration) and typed failure modes.
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "common/error.hpp"
+#include "store/faultfs.hpp"
+#include "store/store.hpp"
+
+namespace pufaging {
+namespace {
+
+TEST(Store, FreshDirectoryHasNoState) {
+  FaultFs fs;
+  MeasurementStore store(fs, "db");
+  EXPECT_FALSE(store.has_state());
+  EXPECT_FALSE(MeasurementStore::present(fs, "db"));
+  EXPECT_EQ(store.generation(), 0U);
+  EXPECT_THROW(store.append_record("r"), StoreError);
+}
+
+TEST(Store, PublishAppendReopenRoundTrip) {
+  FaultFs fs;
+  {
+    MeasurementStore store(fs, "db");
+    store.publish_snapshot("SNAP-1");
+    store.append_record("month-0");
+    store.append_record("month-1");
+    store.flush();
+  }
+  MeasurementStore store(fs, "db");
+  EXPECT_TRUE(store.has_state());
+  EXPECT_EQ(store.generation(), 1U);
+  EXPECT_EQ(store.snapshot(), "SNAP-1");
+  ASSERT_EQ(store.wal_records().size(), 2U);
+  EXPECT_EQ(store.wal_records()[0], "month-0");
+  EXPECT_EQ(store.wal_records()[1], "month-1");
+  EXPECT_FALSE(store.recovery().torn_tail);
+}
+
+TEST(Store, SnapshotCompactionStartsAFreshGeneration) {
+  FaultFs fs;
+  MeasurementStore store(fs, "db");
+  store.publish_snapshot("SNAP-1");
+  store.append_record("a");
+  store.publish_snapshot("SNAP-2");
+  EXPECT_EQ(store.generation(), 2U);
+  EXPECT_TRUE(store.wal_records().empty());
+  store.append_record("b");
+  store.flush();
+  MeasurementStore reopened(fs, "db");
+  EXPECT_EQ(reopened.snapshot(), "SNAP-2");
+  ASSERT_EQ(reopened.wal_records().size(), 1U);
+  EXPECT_EQ(reopened.wal_records()[0], "b");
+  // The superseded generation's files were cleaned up.
+  for (const std::string& name : fs.list_dir("db")) {
+    EXPECT_EQ(name.find("00000001"), std::string::npos)
+        << "stale generation file survived: " << name;
+  }
+}
+
+TEST(Store, RecoveryTruncatesATornWalTail) {
+  FaultFs fs;
+  {
+    MeasurementStore store(fs, "db");
+    store.publish_snapshot("S");
+    store.append_record("good-0");
+    store.append_record("good-1");
+    store.flush();
+  }
+  // Simulate a torn final append: extra garbage bytes after the frames.
+  {
+    VfsFile file(fs, fs.open_append("db/wal-00000001.log", false));
+    fs.write_all(file.id(), "PWALgarbage-that-is-not-a-frame");
+  }
+  MeasurementStore store(fs, "db");
+  EXPECT_TRUE(store.recovery().torn_tail);
+  EXPECT_GT(store.recovery().wal_bytes_truncated, 0U);
+  ASSERT_EQ(store.wal_records().size(), 2U);
+  // The truncation is physical: a second recovery sees a clean log.
+  MeasurementStore again(fs, "db");
+  EXPECT_FALSE(again.recovery().torn_tail);
+  EXPECT_EQ(again.wal_records().size(), 2U);
+}
+
+TEST(Store, BitRotInTheWalCutsFromTheFlippedRecord) {
+  FaultFs fs;
+  {
+    MeasurementStore store(fs, "db");
+    store.publish_snapshot("S");
+    store.append_record(std::string(200, 'a'));
+    store.append_record(std::string(200, 'b'));
+    store.flush();
+  }
+  fs.fsync_dir("db");
+  // Flip one durable bit inside the FIRST record's payload.
+  fs.corrupt_durable("db/wal-00000001.log", 30, 0x10);
+  MeasurementStore store(fs, "db");
+  EXPECT_TRUE(store.recovery().torn_tail);
+  EXPECT_EQ(store.wal_records().size(), 0U);
+  EXPECT_TRUE(store.has_state());  // the snapshot itself is intact
+}
+
+TEST(Store, CorruptManifestIsATypedCorruptionError) {
+  FaultFs fs;
+  {
+    MeasurementStore store(fs, "db");
+    store.publish_snapshot("S");
+  }
+  fs.fsync_dir("db");
+  fs.corrupt_durable("db/MANIFEST", 3, 0xFF);
+  fs.power_cut();
+  try {
+    MeasurementStore store(fs, "db");
+    FAIL() << "expected StoreError(kCorrupt)";
+  } catch (const StoreError& e) {
+    EXPECT_EQ(e.kind(), StoreError::Kind::kCorrupt);
+  }
+}
+
+TEST(Store, StrayFilesFromInterruptedPublicationsAreSwept) {
+  FaultFs fs;
+  {
+    MeasurementStore store(fs, "db");
+    store.publish_snapshot("S");
+  }
+  // Leftovers of a publication that never reached the manifest rename.
+  {
+    VfsFile a(fs, fs.open_append("db/snap-00000007", true));
+    fs.write_all(a.id(), "half-written");
+    VfsFile b(fs, fs.open_append("db/wal-00000007.log", true));
+    VfsFile c(fs, fs.open_append("db/MANIFEST.tmp", true));
+  }
+  MeasurementStore store(fs, "db");
+  EXPECT_EQ(store.recovery().swept.size(), 3U);
+  EXPECT_FALSE(fs.exists("db/snap-00000007"));
+  EXPECT_FALSE(fs.exists("db/wal-00000007.log"));
+  EXPECT_FALSE(fs.exists("db/MANIFEST.tmp"));
+  EXPECT_EQ(store.snapshot(), "S");  // the live generation is untouched
+}
+
+TEST(Store, LegacyStateFileIsMigrated) {
+  FaultFs fs;
+  fs.create_dirs("db");
+  {
+    VfsFile file(fs, fs.open_append("db/state.jsonl", true));
+    fs.write_all(file.id(), "LEGACY-CHECKPOINT");
+    fs.fsync(file.id());
+  }
+  fs.fsync_dir("db");
+  EXPECT_TRUE(MeasurementStore::present(fs, "db"));
+  MeasurementStore store(fs, "db");
+  EXPECT_TRUE(store.has_state());
+  EXPECT_TRUE(store.recovery().legacy_migrated);
+  EXPECT_EQ(store.snapshot(), "LEGACY-CHECKPOINT");
+  EXPECT_EQ(store.generation(), 0U);
+  // The first publication moves it into the manifest scheme and removes
+  // the legacy file.
+  store.publish_snapshot("MODERN");
+  EXPECT_FALSE(fs.exists("db/state.jsonl"));
+  MeasurementStore reopened(fs, "db");
+  EXPECT_EQ(reopened.snapshot(), "MODERN");
+  EXPECT_FALSE(reopened.recovery().legacy_migrated);
+}
+
+TEST(Store, FailedPublishLeavesThePreviousGenerationLive) {
+  FsFaultPlan plan;
+  FaultFs fs(plan);
+  MeasurementStore store(fs, "db");
+  store.publish_snapshot("GOOD");
+  store.append_record("r0");
+  store.flush();
+  // Exhaust the disk, then try to compact: the publish must fail with a
+  // typed error and the old generation must stay fully usable.
+  plan.enospc_after_bytes = fs.bytes_written() + 8;
+  fs.set_plan(plan);
+  try {
+    store.publish_snapshot(std::string(4096, 'x'));
+    FAIL() << "expected StoreError(kNoSpace)";
+  } catch (const StoreError& e) {
+    EXPECT_EQ(e.kind(), StoreError::Kind::kNoSpace);
+  }
+  EXPECT_EQ(store.generation(), 1U);
+  EXPECT_EQ(store.snapshot(), "GOOD");
+  // The WAL of the old generation still accepts appends.
+  plan.enospc_after_bytes = 0;
+  fs.set_plan(plan);
+  store.append_record("r1");
+  store.flush();
+  MeasurementStore reopened(fs, "db");
+  EXPECT_EQ(reopened.snapshot(), "GOOD");
+  ASSERT_EQ(reopened.wal_records().size(), 2U);
+  EXPECT_EQ(reopened.wal_records()[1], "r1");
+}
+
+TEST(Store, DroppedFsyncsSurfaceAsTypedCorruptionNeverSilentGarbage) {
+  // A lying drive: every fsync is acknowledged but persists nothing. No
+  // protocol can make that durable — the guarantee under test is honesty:
+  // after the cut, the manifest *name* survived (fsync_dir captures the
+  // namespace) with none of its bytes, and the store must refuse it with
+  // a typed corruption error instead of loading a partial state.
+  FsFaultPlan plan;
+  plan.drop_fsync_rate = 1.0;
+  FaultFs fs(plan);
+  {
+    MeasurementStore store(fs, "db");
+    store.publish_snapshot("S");
+    store.append_record("r0");
+    store.flush();
+  }
+  EXPECT_GT(fs.fsyncs_dropped(), 0U);
+  fs.power_cut();
+  EXPECT_TRUE(MeasurementStore::present(fs, "db"));
+  try {
+    MeasurementStore store(fs, "db");
+    FAIL() << "expected StoreError(kCorrupt)";
+  } catch (const StoreError& e) {
+    EXPECT_EQ(e.kind(), StoreError::Kind::kCorrupt);
+  }
+}
+
+TEST(Store, FsyncBatchingHonoursFsyncEvery) {
+  FaultFs fs;
+  StoreOptions opts;
+  opts.fsync_every = 3;
+  MeasurementStore store(fs, "db", opts);
+  store.publish_snapshot("S");
+  store.append_record("r0");
+  store.append_record("r1");
+  // Two appends, batch of three: not durable yet.
+  EXPECT_EQ(scan_wal(fs.durable_contents("db/wal-00000001.log"), 1)
+                .payloads.size(),
+            0U);
+  store.append_record("r2");  // completes the batch
+  EXPECT_EQ(scan_wal(fs.durable_contents("db/wal-00000001.log"), 1)
+                .payloads.size(),
+            3U);
+  store.append_record("r3");
+  store.flush();  // explicit flush for the tail
+  EXPECT_EQ(scan_wal(fs.durable_contents("db/wal-00000001.log"), 1)
+                .payloads.size(),
+            4U);
+}
+
+}  // namespace
+}  // namespace pufaging

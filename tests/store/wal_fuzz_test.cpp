@@ -1,0 +1,169 @@
+// Property test for the WAL recovery scan: over randomly truncated,
+// bit-flipped, spliced, and wholly garbage images, `scan_wal` must never
+// crash, must report a replayable valid prefix (truncating to it and
+// rescanning yields a clean log with the same records), and a writer
+// resumed at that prefix must be able to continue appending.
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "store/faultfs.hpp"
+#include "store/wal.hpp"
+
+namespace pufaging {
+namespace {
+
+constexpr std::uint32_t kGen = 11;
+
+std::string random_log(Xoshiro256StarStar& rng,
+                       std::vector<std::string>* payloads) {
+  std::string image;
+  const std::uint64_t records = rng.below(6);
+  for (std::uint64_t i = 0; i < records; ++i) {
+    std::string payload;
+    const std::uint64_t len = rng.below(64);
+    for (std::uint64_t b = 0; b < len; ++b) {
+      payload.push_back(static_cast<char>(rng.next() & 0xFF));
+    }
+    image += encode_wal_frame(kGen, static_cast<std::uint32_t>(i), payload);
+    payloads->push_back(std::move(payload));
+  }
+  return image;
+}
+
+std::string mutate(Xoshiro256StarStar& rng, std::string image) {
+  const std::uint64_t kind = rng.below(4);
+  switch (kind) {
+    case 0:  // truncate anywhere
+      return image.substr(0, rng.below(image.size() + 1));
+    case 1: {  // flip 1..4 random bits
+      if (image.empty()) return image;
+      const std::uint64_t flips = 1 + rng.below(4);
+      for (std::uint64_t i = 0; i < flips; ++i) {
+        const std::uint64_t at = rng.below(image.size());
+        image[at] = static_cast<char>(image[at] ^ (1 << rng.below(8)));
+      }
+      return image;
+    }
+    case 2: {  // append garbage (a torn in-flight frame)
+      const std::uint64_t len = 1 + rng.below(48);
+      for (std::uint64_t i = 0; i < len; ++i) {
+        image.push_back(static_cast<char>(rng.next() & 0xFF));
+      }
+      return image;
+    }
+    default: {  // splice in a frame from another generation mid-image
+      const std::string alien =
+          encode_wal_frame(kGen + 1, 0, "alien-segment-record");
+      const std::uint64_t at = rng.below(image.size() + 1);
+      return image.substr(0, at) + alien + image.substr(at);
+    }
+  }
+}
+
+void check_scan_invariants(const std::string& image,
+                           const WalScanResult& scan) {
+  // The valid prefix never overruns the image, and a clean scan means the
+  // whole image was consumed.
+  ASSERT_LE(scan.valid_bytes, image.size());
+  if (!scan.torn_tail) {
+    ASSERT_EQ(scan.valid_bytes, image.size());
+  }
+  // Recovery truncates to valid_bytes; that log must rescan clean with
+  // exactly the same records — truncation converges in one step.
+  const std::string repaired(image.substr(0, scan.valid_bytes));
+  const WalScanResult rescan = scan_wal(repaired, kGen);
+  ASSERT_FALSE(rescan.torn_tail);
+  ASSERT_EQ(rescan.valid_bytes, repaired.size());
+  ASSERT_EQ(rescan.payloads, scan.payloads);
+  // Every record the scan vouches for must itself re-verify: rebuilding
+  // the prefix from the reported payloads reproduces the bytes.
+  std::string rebuilt;
+  for (std::size_t i = 0; i < scan.payloads.size(); ++i) {
+    rebuilt += encode_wal_frame(kGen, static_cast<std::uint32_t>(i),
+                                scan.payloads[i]);
+  }
+  ASSERT_EQ(rebuilt, repaired);
+}
+
+class WalFuzz : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(WalFuzz, MutatedImagesAlwaysLeaveAReplayableLog) {
+  Xoshiro256StarStar rng(GetParam() * 0x9E3779B97F4A7C15ULL + 1);
+  for (int trial = 0; trial < 60; ++trial) {
+    std::vector<std::string> payloads;
+    std::string image = random_log(rng, &payloads);
+    // Stack 1..3 mutations — crashes compose.
+    const std::uint64_t layers = 1 + rng.below(3);
+    for (std::uint64_t i = 0; i < layers; ++i) {
+      image = mutate(rng, image);
+    }
+    const WalScanResult scan = scan_wal(image, kGen);
+    check_scan_invariants(image, scan);
+    // No forged records: with single-layer damage the survivors are a
+    // strict prefix of the originals. (Multi-layer splices can only add
+    // wrong-generation frames, which never replay, so this holds for all
+    // mutation kinds here.)
+    ASSERT_LE(scan.payloads.size(), payloads.size());
+    for (std::size_t i = 0; i < scan.payloads.size(); ++i) {
+      ASSERT_EQ(scan.payloads[i], payloads[i]) << "trial " << trial;
+    }
+  }
+}
+
+TEST_P(WalFuzz, PureGarbageNeverYieldsARecord) {
+  Xoshiro256StarStar rng(GetParam() ^ 0xDEADBEEFULL);
+  for (int trial = 0; trial < 60; ++trial) {
+    std::string garbage;
+    const std::uint64_t len = rng.below(256);
+    for (std::uint64_t i = 0; i < len; ++i) {
+      // Bias towards the magic bytes so the scanner's header path is
+      // actually exercised instead of rejecting on byte 0 every time.
+      const char c = rng.bernoulli(0.25)
+                         ? "PWAL"[rng.below(4)]
+                         : static_cast<char>(rng.next() & 0xFF);
+      garbage.push_back(c);
+    }
+    const WalScanResult scan = scan_wal(garbage, kGen);
+    check_scan_invariants(garbage, scan);
+    // A CRC-passing frame materialising out of noise is a 2^-32 event per
+    // candidate offset; at these sizes it must not happen.
+    ASSERT_TRUE(scan.payloads.empty()) << "trial " << trial;
+  }
+}
+
+TEST_P(WalFuzz, RecoveredLogAcceptsNewAppends) {
+  Xoshiro256StarStar rng(GetParam() * 31 + 7);
+  FaultFs fs;
+  fs.create_dirs("wal");
+  for (int trial = 0; trial < 20; ++trial) {
+    std::vector<std::string> payloads;
+    std::string image = mutate(rng, random_log(rng, &payloads));
+    const std::string path = "wal/seg" + std::to_string(trial) + ".log";
+    {
+      VfsFile file(fs, fs.open_append(path, true));
+      fs.write_all(file.id(), image);
+    }
+    // Recover: truncate to the valid prefix, resume the writer there.
+    const WalScanResult scan = scan_wal(fs.read_file(path), kGen);
+    fs.truncate(path, scan.valid_bytes);
+    {
+      WalWriter writer(fs, path, kGen,
+                       static_cast<std::uint32_t>(scan.payloads.size()),
+                       scan.valid_bytes, 1);
+      writer.append("post-recovery");
+    }
+    const WalScanResult after = scan_wal(fs.read_file(path), kGen);
+    ASSERT_FALSE(after.torn_tail);
+    ASSERT_EQ(after.payloads.size(), scan.payloads.size() + 1);
+    ASSERT_EQ(after.payloads.back(), "post-recovery");
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, WalFuzz,
+                         ::testing::Range<std::uint64_t>(0, 6));
+
+}  // namespace
+}  // namespace pufaging

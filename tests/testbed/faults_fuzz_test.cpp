@@ -182,7 +182,8 @@ class CheckpointFuzz : public ::testing::Test {
     dir_ = std::filesystem::temp_directory_path() /
            ("pufaging_ckpt_fuzz_" + std::to_string(::getpid()));
     std::filesystem::remove_all(dir_);
-    // A real (small) campaign checkpoint as the seed corpus.
+    // A real (small) campaign checkpoint as the seed corpus: run a
+    // campaign against a store, then pull the published snapshot blob.
     CampaignConfig config;
     config.fleet.device_count = 2;
     config.months = 2;
@@ -190,25 +191,19 @@ class CheckpointFuzz : public ::testing::Test {
     config.threads = 1;
     config.checkpoint_dir = (dir_ / "seed").string();
     run_campaign(config);
-    std::ifstream in(dir_ / "seed" / "state.jsonl");
-    ASSERT_TRUE(in.good());
-    std::ostringstream buffer;
-    buffer << in.rdbuf();
-    seed_ = buffer.str();
+    MeasurementStore store(RealFs::instance(), config.checkpoint_dir);
+    ASSERT_TRUE(store.has_state());
+    seed_ = store.snapshot();
     ASSERT_FALSE(seed_.empty());
   }
 
   void TearDown() override { std::filesystem::remove_all(dir_); }
 
-  // Writes `content` as a checkpoint state file and tries to load it.
-  bool load_mutant(const std::string& content, const std::string& label) {
-    const std::filesystem::path mutant_dir = dir_ / "mutant";
-    std::filesystem::create_directories(mutant_dir);
-    {
-      std::ofstream out(mutant_dir / "state.jsonl", std::ios::binary);
-      out << content;
-    }
-    return expect_clean([&] { load_checkpoint(mutant_dir.string()); }, label);
+  // The parser under fuzz is pure (bytes in, checkpoint or Error out), so
+  // mutants are fed in memory — no filesystem round trip per round.
+  static bool load_mutant(const std::string& content,
+                          const std::string& label) {
+    return expect_clean([&] { checkpoint_from_jsonl(content); }, label);
   }
 
   std::filesystem::path dir_;
@@ -232,23 +227,30 @@ TEST_F(CheckpointFuzz, ByteLevelMutationsNeverCrash) {
 }
 
 TEST_F(CheckpointFuzz, TruncationsAreRejected) {
-  // Prefix truncation models a torn write (only possible when the
-  // atomic-rename writer was bypassed). Any cut before the final line
-  // either breaks a JSON line or drops device/month lines the header
-  // promises — both must be rejected. Cuts inside the trailing health
-  // line may be accepted (the loader treats health as optional), but
-  // must still be handled cleanly.
-  const std::size_t last_line_start =
-      seed_.rfind('\n', seed_.size() - 2) + 1;  // seed_ ends with '\n'
-  ASSERT_GT(last_line_start, 0U);
+  // Prefix truncation models a torn write. The parser is strict: the
+  // writer terminates the blob with a health line and a newline, so EVERY
+  // proper prefix — including one that only lost the final newline, and
+  // including a cut inside the trailing health line — must be rejected as
+  // a whole, never partially applied.
   Xoshiro256StarStar rng(0xF022005);
   for (int round = 0; round < kRounds; ++round) {
     const std::size_t cut = static_cast<std::size_t>(rng.below(seed_.size()));
     const bool accepted =
         load_mutant(seed_.substr(0, cut), "truncated checkpoint");
-    if (cut < last_line_start) {
-      EXPECT_FALSE(accepted) << "accepted a checkpoint truncated at byte "
-                             << cut << " of " << seed_.size();
+    EXPECT_FALSE(accepted) << "accepted a checkpoint truncated at byte "
+                           << cut << " of " << seed_.size();
+  }
+  // Determinism guard, not just no-crash: cuts at line boundaries leave
+  // a prefix of syntactically valid JSONL lines — exactly the truncation
+  // a lax loader would partially apply (dropping the health line, or
+  // trailing month lines, without noticing). All must be rejected.
+  for (std::size_t at = seed_.find('\n'); at != std::string::npos;
+       at = seed_.find('\n', at + 1)) {
+    EXPECT_FALSE(load_mutant(seed_.substr(0, at), "cut before newline"))
+        << "accepted a checkpoint cut at byte " << at;
+    if (at + 1 < seed_.size()) {
+      EXPECT_FALSE(load_mutant(seed_.substr(0, at + 1), "cut after newline"))
+          << "accepted a checkpoint cut at byte " << at + 1;
     }
   }
 }

@@ -2,8 +2,9 @@
 //
 //   pufaging campaign  [--months N] [--measurements N] [--accelerated]
 //                      [--seed S] [--csv PREFIX] [--threads N]
-//                      [--faults SPEC] [--checkpoint DIR] [--resume]
-//                      [--checkpoint-every N]
+//                      [--faults SPEC] [--store-dir DIR] [--resume]
+//                      [--checkpoint-every N] [--fsync-every N]
+//   pufaging recover   --store-dir DIR
 //   pufaging rig       [--cycles N] [--jsonl FILE] [--fault-rate P]
 //                      [--faults SPEC]
 //   pufaging analyze   FILE.jsonl
@@ -34,6 +35,7 @@
 #include "silicon/device_factory.hpp"
 #include "stats/nist.hpp"
 #include "testbed/campaign.hpp"
+#include "testbed/checkpoint.hpp"
 #include "trng/pipeline.hpp"
 
 namespace pufaging::cli {
@@ -109,11 +111,16 @@ int cmd_campaign(Args& args) {
   if (const auto faults = args.value("--faults")) {
     config.faults = parse_fault_plan(*faults);
   }
-  if (const auto dir = args.value("--checkpoint")) {
+  // --store-dir is the current name; --checkpoint is kept as an alias.
+  if (const auto dir = args.value("--store-dir")) {
     config.checkpoint_dir = *dir;
+  } else if (const auto dir_alias = args.value("--checkpoint")) {
+    config.checkpoint_dir = *dir_alias;
   }
   config.checkpoint_every_months =
       static_cast<std::size_t>(args.integer("--checkpoint-every", 1));
+  config.fsync_every =
+      static_cast<std::size_t>(args.integer("--fsync-every", 1));
   config.resume = args.boolean("--resume");
   // The engine caps the pool at one worker per device; report what will
   // actually run.
@@ -130,6 +137,14 @@ int cmd_campaign(Args& args) {
   std::printf("%s", render_summary_table(table).c_str());
   if (!config.faults.all_zero() || result.health.degraded()) {
     std::fprintf(stderr, "%s", result.health.render().c_str());
+  }
+  if (!config.checkpoint_dir.empty()) {
+    std::fprintf(stderr,
+                 "store: %zu snapshot(s) published, %zu WAL append(s)\n",
+                 result.persistence.snapshots, result.persistence.wal_appends);
+    for (const std::string& incident : result.persistence.incidents) {
+      std::fprintf(stderr, "store incident: %s\n", incident.c_str());
+    }
   }
 
   if (const auto prefix = args.value("--csv")) {
@@ -159,6 +174,23 @@ int cmd_campaign(Args& args) {
     std::fprintf(stderr, "fleet series written to %s\n", path.c_str());
   }
   return 0;
+}
+
+int cmd_recover(Args& args) {
+  auto dir = args.value("--store-dir");
+  if (!dir) {
+    dir = args.value("--checkpoint");
+  }
+  if (!dir) {
+    dir = args.positional();
+  }
+  if (!dir) {
+    std::fprintf(stderr, "usage: pufaging recover --store-dir DIR\n");
+    return 2;
+  }
+  const CheckpointRecovery rec = inspect_store(RealFs::instance(), *dir);
+  std::printf("%s", rec.render().c_str());
+  return rec.found ? 0 : 1;
 }
 
 int cmd_rig(Args& args) {
@@ -327,10 +359,12 @@ int usage() {
       "  campaign   run the N-month fleet campaign, print Table I\n"
       "             [--months N] [--measurements N] [--accelerated]\n"
       "             [--seed S] [--csv PREFIX] [--threads N]\n"
-      "             [--faults SPEC] [--checkpoint DIR] [--resume]\n"
-      "             [--checkpoint-every N]\n"
+      "             [--faults SPEC] [--store-dir DIR] [--resume]\n"
+      "             [--checkpoint-every N] [--fsync-every N]\n"
       "             SPEC: corrupt=P,drop=P,nak=P,hang=P,reset=P,\n"
       "             brownout=P,stuck=P,dropout=DEV@MONTH (or JSON)\n"
+      "  recover    inspect a durable store: recovery report + which\n"
+      "             months were salvaged   --store-dir DIR\n"
       "  rig        run the event-driven 18-board rig, emit JSONL records\n"
       "             [--cycles N] [--jsonl FILE] [--fault-rate P]\n"
       "             [--faults SPEC]\n"
@@ -358,6 +392,9 @@ int main(int argc, char** argv) {
   try {
     if (command == "campaign") {
       return cmd_campaign(args);
+    }
+    if (command == "recover") {
+      return cmd_recover(args);
     }
     if (command == "rig") {
       return cmd_rig(args);
