@@ -10,6 +10,8 @@
 #include "bench_common.hpp"
 #include "common/bitkernel.hpp"
 #include "common/thread_pool.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "testbed/campaign.hpp"
 
 namespace pufaging {
@@ -120,6 +122,46 @@ void reproduce() {
   if (hw < 8) {
     std::printf("note: only %zu hardware thread(s) available; speedups "
                 "above that are scheduling overhead, not scaling\n", hw);
+  }
+
+  // Observability overhead audit: the same paper-scale campaign with the
+  // metrics registry and tracer attached. Two guarantees are on trial —
+  //   1. bit-identity (hard requirement: the sinks must never feed back
+  //      into the results; a mismatch exits non-zero), and
+  //   2. < 2% end-to-end wall-clock overhead (reported; timing noise on a
+  //      shared machine makes it a warning, not a hard failure).
+  std::printf("\nobservability overhead (threads=1):\n");
+  obs::MetricsRegistry metrics;
+  obs::Tracer tracer;
+  CampaignConfig instrumented_config = paper_scale(1);
+  instrumented_config.metrics = &metrics;
+  instrumented_config.tracer = &tracer;
+  CampaignResult instrumented;
+  const double instrumented_s = time_run(instrumented_config, instrumented);
+  const bool obs_identical = bit_identical(reference, instrumented);
+  const double overhead_pct = (instrumented_s / serial_s - 1.0) * 100.0;
+  std::printf("  %-12s  %8.2f s   reference\n", "metrics off", serial_s);
+  std::printf("  %-12s  %8.2f s   %+.2f%% overhead, bit-identical: %s\n",
+              "metrics on", instrumented_s, overhead_pct,
+              obs_identical ? "yes" : "NO - BUG");
+  // Machine-readable line for CI trend tracking.
+  std::printf("BENCH {\"bench\":\"campaign_scaling.obs_overhead\","
+              "\"serial_s\":%.4f,\"instrumented_s\":%.4f,"
+              "\"overhead_pct\":%.3f,\"bit_identical\":%s,"
+              "\"powerup_samples\":%llu}\n",
+              serial_s, instrumented_s, overhead_pct,
+              obs_identical ? "true" : "false",
+              static_cast<unsigned long long>(
+                  metrics.snapshot().histograms.at("campaign.powerup_ns")
+                      .count));
+  if (!obs_identical) {
+    std::printf("BIT MISMATCH: attaching metrics changed the campaign "
+                "results\n");
+    std::exit(1);
+  }
+  if (overhead_pct > 2.0) {
+    std::printf("warning: observability overhead %.2f%% exceeds the 2%% "
+                "budget\n", overhead_pct);
   }
 }
 

@@ -4,6 +4,8 @@
 #include <atomic>
 #include <bit>
 #include <cstdlib>
+#include <mutex>
+#include <vector>
 
 #include "common/error.hpp"
 
@@ -403,6 +405,61 @@ inline const Kernels& active_kernels() {
   return *k;
 }
 
+// ---------------------------------------------------------------------------
+// Dispatch tally. One relaxed increment per dispatched entry-point call
+// on a per-thread cell (no shared cache line on the hot path); cells of
+// exited threads fold into a retired total so dispatch_counts() never
+// loses calls. The registry statics are constructed before any cell
+// registers, so they outlive every thread-local cell at shutdown.
+// ---------------------------------------------------------------------------
+
+struct DispatchCell {
+  std::atomic<std::uint64_t> calls[kLevelCount] = {};
+};
+
+std::mutex& dispatch_mutex() {
+  static std::mutex mu;
+  return mu;
+}
+
+std::vector<DispatchCell*>& dispatch_cells() {
+  static std::vector<DispatchCell*> cells;
+  return cells;
+}
+
+DispatchCounts& retired_dispatch_counts() {
+  static DispatchCounts retired;
+  return retired;
+}
+
+struct DispatchCellHandle {
+  DispatchCell cell;
+
+  DispatchCellHandle() {
+    const std::lock_guard<std::mutex> lock(dispatch_mutex());
+    dispatch_cells().push_back(&cell);
+  }
+
+  ~DispatchCellHandle() {
+    const std::lock_guard<std::mutex> lock(dispatch_mutex());
+    std::vector<DispatchCell*>& cells = dispatch_cells();
+    cells.erase(std::remove(cells.begin(), cells.end(), &cell), cells.end());
+    DispatchCounts& retired = retired_dispatch_counts();
+    for (std::size_t i = 0; i < kLevelCount; ++i) {
+      retired.calls[i] += cell.calls[i].load(std::memory_order_relaxed);
+    }
+  }
+};
+
+// Called after active_kernels(), so g_level already names the tier that
+// served this call.
+inline void count_dispatch() {
+  thread_local DispatchCellHandle handle;
+  const auto tier =
+      static_cast<std::size_t>(g_level.load(std::memory_order_relaxed));
+  handle.cell.calls[tier].fetch_add(1, std::memory_order_relaxed);
+}
+
 }  // namespace
 
 const char* level_name(Level level) {
@@ -481,24 +538,42 @@ const Kernels& kernels_for(Level level) {
   throw InvalidArgument("bitkernel::kernels_for: tier not compiled in");
 }
 
+DispatchCounts dispatch_counts() {
+  const std::lock_guard<std::mutex> lock(dispatch_mutex());
+  DispatchCounts out = retired_dispatch_counts();
+  for (const DispatchCell* cell : dispatch_cells()) {
+    for (std::size_t i = 0; i < kLevelCount; ++i) {
+      out.calls[i] += cell->calls[i].load(std::memory_order_relaxed);
+    }
+  }
+  return out;
+}
+
 std::size_t popcount(const std::uint64_t* words, std::size_t n) {
-  return active_kernels().popcount(words, n);
+  const Kernels& k = active_kernels();
+  count_dispatch();
+  return k.popcount(words, n);
 }
 
 std::size_t xor_popcount(const std::uint64_t* a, const std::uint64_t* b,
                          std::size_t n) {
-  return active_kernels().xor_popcount(a, b, n);
+  const Kernels& k = active_kernels();
+  count_dispatch();
+  return k.xor_popcount(a, b, n);
 }
 
 void accumulate_ones(const std::uint64_t* words, std::size_t bit_count,
                      std::uint32_t* counters) {
-  active_kernels().accumulate_ones(words, bit_count, counters);
+  const Kernels& k = active_kernels();
+  count_dispatch();
+  k.accumulate_ones(words, bit_count, counters);
 }
 
 void accumulate_ones_batch(const std::uint64_t* rows, std::size_t row_count,
                            std::size_t words_per_row, std::size_t bit_count,
                            std::uint32_t* counters) {
   const Kernels& k = active_kernels();
+  count_dispatch();
   for (std::size_t r = 0; r < row_count; ++r) {
     k.accumulate_ones(rows + r * words_per_row, bit_count, counters);
   }
@@ -507,6 +582,7 @@ void accumulate_ones_batch(const std::uint64_t* rows, std::size_t row_count,
 void all_pairs_hamming(const std::uint64_t* rows, std::size_t n,
                        std::size_t words_per_row, std::size_t* out) {
   const Kernels& k = active_kernels();
+  count_dispatch();
   // Tile the pair grid so both row blocks stay L1-resident: with the
   // paper's 1 KiB rows a 16-row block pair is 32 KiB. For small fleets
   // a single block covers everything and this is the plain i<j loop.

@@ -45,6 +45,9 @@ enum class Level {
   kNeon = 3,
 };
 
+/// Number of tiers in Level (array extent for per-tier tallies).
+constexpr std::size_t kLevelCount = 4;
+
 /// Human-readable tier name ("scalar", "word", "avx2", "neon").
 const char* level_name(Level level);
 
@@ -79,6 +82,28 @@ class ScopedLevel {
  private:
   Level previous_;
 };
+
+/// Cumulative dispatched entry-point calls per tier (indexed by Level),
+/// merged across every thread since process start. The tally is a pure
+/// observability record — monotonic, never read by any kernel — so the
+/// observability layer takes deltas around a campaign to report which
+/// SIMD tier actually served it. Kept by per-thread relaxed atomic cells
+/// (no shared cache line on the hot path, merged here at read), so the
+/// cost per dispatched call is one uncontended increment.
+struct DispatchCounts {
+  std::uint64_t calls[kLevelCount] = {0, 0, 0, 0};
+
+  std::uint64_t total() const {
+    std::uint64_t sum = 0;
+    for (std::size_t i = 0; i < kLevelCount; ++i) {
+      sum += calls[i];
+    }
+    return sum;
+  }
+};
+
+/// Current merged dispatch tally.
+DispatchCounts dispatch_counts();
 
 /// The kernel function table of one tier. All counts are exact integers;
 /// `words` spans hold whole 64-bit words (bit i lives at word i/64, bit

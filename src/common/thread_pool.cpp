@@ -35,6 +35,9 @@ void ThreadPool::submit(std::function<void()> task) {
     }
     queue_.push_back(std::move(task));
     ++in_flight_;
+    if (queue_.size() > stats_.max_queue_depth) {
+      stats_.max_queue_depth = queue_.size();
+    }
   }
   task_ready_.notify_one();
 }
@@ -55,6 +58,11 @@ void ThreadPool::parallel_for(std::size_t begin, std::size_t end,
     submit([&body, i] { body(i); });
   }
   wait();
+}
+
+ThreadPool::Stats ThreadPool::stats() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return stats_;
 }
 
 std::size_t ThreadPool::resolve_thread_count(std::size_t requested) {
@@ -88,6 +96,7 @@ void ThreadPool::worker_loop() {
     {
       std::lock_guard<std::mutex> lock(mutex_);
       --in_flight_;
+      ++stats_.tasks_run;
       if (in_flight_ == 0) {
         all_done_.notify_all();
       }

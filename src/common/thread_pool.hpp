@@ -55,6 +55,15 @@ class ThreadPool {
   /// 0 means "use the hardware concurrency" (at least 1).
   static std::size_t resolve_thread_count(std::size_t requested);
 
+  /// Lifetime scheduling counters, maintained under the queue mutex the
+  /// pool already takes per operation — observing them adds no locking
+  /// the uninstrumented pool didn't do.
+  struct Stats {
+    std::uint64_t tasks_run = 0;        ///< Tasks completed (or thrown).
+    std::size_t max_queue_depth = 0;    ///< High-water mark of queued tasks.
+  };
+  Stats stats() const;
+
  private:
   void worker_loop();
 
@@ -64,6 +73,7 @@ class ThreadPool {
   std::condition_variable task_ready_;
   std::condition_variable all_done_;
   std::size_t in_flight_ = 0;  ///< Queued + currently running tasks.
+  Stats stats_;                ///< Guarded by mutex_.
   bool stopping_ = false;
   std::exception_ptr first_error_;
 };

@@ -1,0 +1,19 @@
+#include "obs/clock.hpp"
+
+#include <chrono>
+
+namespace pufaging::obs {
+
+RealClock& RealClock::instance() {
+  static RealClock clock;
+  return clock;
+}
+
+std::uint64_t RealClock::now_ns() {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+}  // namespace pufaging::obs

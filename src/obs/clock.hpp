@@ -1,0 +1,59 @@
+// The observability clock seam.
+//
+// Every timestamp the metrics and tracing layers record flows through
+// this interface: production code reads the host's monotonic clock
+// (RealClock), while tests substitute a FakeClock whose ticks are part of
+// the test fixture — so exporter output (span durations, latency
+// histograms) is deterministic and can be golden-pinned byte for byte.
+//
+// This seam is deliberately separate from testbed/clock.hpp: that file is
+// the *simulated rig time* (a model input that feeds results), this one
+// is *wall time of the harness itself* (a measurement output that must
+// never feed results — see DESIGN.md §11 for the determinism guarantee).
+#pragma once
+
+#include <cstdint>
+
+namespace pufaging::obs {
+
+/// Monotonic nanosecond clock. Implementations must never go backwards.
+class MonotonicClock {
+ public:
+  virtual ~MonotonicClock() = default;
+
+  /// Nanoseconds since an arbitrary fixed origin.
+  virtual std::uint64_t now_ns() = 0;
+};
+
+/// The production clock: std::chrono::steady_clock. Stateless singleton.
+class RealClock final : public MonotonicClock {
+ public:
+  static RealClock& instance();
+
+  std::uint64_t now_ns() override;
+};
+
+/// Deterministic test clock. Starts at `start_ns` and, when `auto_step_ns`
+/// is non-zero, advances by that amount *after* every reading — so a
+/// sequence of span begin/end pairs yields reproducible, distinct
+/// durations without any explicit advance() calls in the code under test.
+class FakeClock final : public MonotonicClock {
+ public:
+  explicit FakeClock(std::uint64_t start_ns = 0, std::uint64_t auto_step_ns = 0)
+      : now_(start_ns), auto_step_(auto_step_ns) {}
+
+  std::uint64_t now_ns() override {
+    const std::uint64_t t = now_;
+    now_ += auto_step_;
+    return t;
+  }
+
+  /// Moves the clock forward `ns` nanoseconds.
+  void advance(std::uint64_t ns) { now_ += ns; }
+
+ private:
+  std::uint64_t now_;
+  std::uint64_t auto_step_;
+};
+
+}  // namespace pufaging::obs

@@ -1,0 +1,173 @@
+#include "obs/export.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <map>
+
+#include "io/json.hpp"
+#include "io/table.hpp"
+
+namespace pufaging::obs {
+
+namespace {
+
+std::string format_double(double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.6g", v);
+  return buf;
+}
+
+/// Durations dominate the histogram metrics; render *_ns values in the
+/// unit a human reads at a glance.
+std::string format_value(const std::string& name, double v) {
+  if (name.size() >= 3 && name.compare(name.size() - 3, 3, "_ns") == 0) {
+    char buf[64];
+    if (v >= 1e9) {
+      std::snprintf(buf, sizeof buf, "%.2f s", v / 1e9);
+    } else if (v >= 1e6) {
+      std::snprintf(buf, sizeof buf, "%.2f ms", v / 1e6);
+    } else if (v >= 1e3) {
+      std::snprintf(buf, sizeof buf, "%.2f us", v / 1e3);
+    } else {
+      std::snprintf(buf, sizeof buf, "%.0f ns", v);
+    }
+    return buf;
+  }
+  return format_double(v);
+}
+
+}  // namespace
+
+std::string metrics_to_jsonl(const MetricsSnapshot& snapshot) {
+  std::string out;
+  for (const auto& [name, value] : snapshot.counters) {
+    Json line = Json::object();
+    line.set("type", Json("counter"));
+    line.set("name", Json(name));
+    line.set("value", Json(value));
+    out += line.dump();
+    out += '\n';
+  }
+  for (const auto& [name, value] : snapshot.gauges) {
+    Json line = Json::object();
+    line.set("type", Json("gauge"));
+    line.set("name", Json(name));
+    line.set("value", Json(value));
+    out += line.dump();
+    out += '\n';
+  }
+  for (const auto& [name, hist] : snapshot.histograms) {
+    Json line = Json::object();
+    line.set("type", Json("histogram"));
+    line.set("name", Json(name));
+    line.set("count", Json(hist.count));
+    line.set("sum", Json(hist.sum));
+    line.set("min", Json(hist.min));
+    line.set("max", Json(hist.max));
+    line.set("mean", Json(hist.mean()));
+    line.set("p50", Json(hist.quantile_upper_bound(0.5)));
+    line.set("p99", Json(hist.quantile_upper_bound(0.99)));
+    Json buckets = Json::array();
+    for (std::size_t i = 0; i < kHistogramBuckets; ++i) {
+      if (hist.buckets[i] == 0) {
+        continue;
+      }
+      Json pair = Json::array();
+      pair.push_back(Json(i == 0 ? std::uint64_t{0}
+                                 : (std::uint64_t{1} << i)));
+      pair.push_back(Json(hist.buckets[i]));
+      buckets.push_back(std::move(pair));
+    }
+    line.set("buckets", std::move(buckets));
+    out += line.dump();
+    out += '\n';
+  }
+  return out;
+}
+
+std::string metrics_table(const MetricsSnapshot& snapshot) {
+  std::string out;
+  if (!snapshot.counters.empty() || !snapshot.gauges.empty()) {
+    TablePrinter scalars({"Metric", "Type", "Value"},
+                         {Align::kLeft, Align::kLeft, Align::kRight});
+    for (const auto& [name, value] : snapshot.counters) {
+      scalars.add_row({name, "counter", std::to_string(value)});
+    }
+    for (const auto& [name, value] : snapshot.gauges) {
+      scalars.add_row({name, "gauge", format_double(value)});
+    }
+    out += scalars.to_string();
+  }
+  if (!snapshot.histograms.empty()) {
+    if (!out.empty()) {
+      out += '\n';
+    }
+    TablePrinter hists({"Histogram", "Count", "Mean", "P50", "P99", "Max"},
+                       {Align::kLeft, Align::kRight, Align::kRight,
+                        Align::kRight, Align::kRight, Align::kRight});
+    for (const auto& [name, hist] : snapshot.histograms) {
+      hists.add_row(
+          {name, std::to_string(hist.count), format_value(name, hist.mean()),
+           format_value(name,
+                        static_cast<double>(hist.quantile_upper_bound(0.5))),
+           format_value(name,
+                        static_cast<double>(hist.quantile_upper_bound(0.99))),
+           format_value(name, static_cast<double>(hist.max))});
+    }
+    out += hists.to_string();
+  }
+  return out;
+}
+
+std::string trace_to_jsonl(const std::vector<SpanRecord>& spans) {
+  std::string out;
+  for (const SpanRecord& span : spans) {
+    Json line = Json::object();
+    line.set("type", Json("span"));
+    line.set("name", Json(span.name));
+    line.set("id", Json(span.span_id));
+    line.set("parent", Json(span.parent_id));
+    line.set("start_ns", Json(span.start_ns));
+    line.set("end_ns", Json(span.end_ns));
+    line.set("duration_ns", Json(span.duration_ns()));
+    out += line.dump();
+    out += '\n';
+  }
+  return out;
+}
+
+std::string trace_table(const std::vector<SpanRecord>& spans) {
+  struct Agg {
+    std::uint64_t count = 0;
+    std::uint64_t total_ns = 0;
+    std::uint64_t max_ns = 0;
+  };
+  std::map<std::string, Agg> by_name;
+  for (const SpanRecord& span : spans) {
+    Agg& agg = by_name[span.name];
+    ++agg.count;
+    agg.total_ns += span.duration_ns();
+    agg.max_ns = std::max(agg.max_ns, span.duration_ns());
+  }
+  std::vector<std::pair<std::string, Agg>> rows(by_name.begin(),
+                                                by_name.end());
+  std::sort(rows.begin(), rows.end(), [](const auto& a, const auto& b) {
+    if (a.second.total_ns != b.second.total_ns) {
+      return a.second.total_ns > b.second.total_ns;
+    }
+    return a.first < b.first;
+  });
+  TablePrinter table({"Span", "Count", "Total", "Mean", "Max"},
+                     {Align::kLeft, Align::kRight, Align::kRight,
+                      Align::kRight, Align::kRight});
+  for (const auto& [name, agg] : rows) {
+    table.add_row({name, std::to_string(agg.count),
+                   format_value("_ns", static_cast<double>(agg.total_ns)),
+                   format_value("_ns", static_cast<double>(agg.total_ns) /
+                                           static_cast<double>(agg.count)),
+                   format_value("_ns", static_cast<double>(agg.max_ns))});
+  }
+  return table.to_string();
+}
+
+}  // namespace pufaging::obs

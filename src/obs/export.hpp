@@ -1,0 +1,41 @@
+// Exporters for metrics snapshots and traces.
+//
+// Two formats each, matching the two consumers:
+//  - JSON-lines (one self-describing JSON object per line): machine
+//    consumption — CI artifacts, the nightly read-back job, ad-hoc jq.
+//  - Aligned plain-text tables (io/table): a human skimming a campaign's
+//    stderr.
+//
+// Both are pure functions of the snapshot/trace, so under the FakeClock
+// the full output is byte-for-byte deterministic and golden-pinned by
+// tests/obs/export_test.cpp.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+
+namespace pufaging::obs {
+
+/// One JSON object per metric, sorted by name:
+///   {"type":"counter","name":...,"value":N}
+///   {"type":"gauge","name":...,"value":X}
+///   {"type":"histogram","name":...,"count":N,"sum":N,"min":N,"max":N,
+///    "mean":X,"p50":N,"p99":N,"buckets":[[lower_bound,count],...]}
+/// Histogram buckets list only non-empty buckets as [lower bound, count].
+std::string metrics_to_jsonl(const MetricsSnapshot& snapshot);
+
+/// Human-readable tables (counters+gauges, then histograms).
+std::string metrics_table(const MetricsSnapshot& snapshot);
+
+/// One JSON object per finished span, in (start_ns, span_id) order:
+///   {"type":"span","name":...,"id":N,"parent":N,"start_ns":N,"end_ns":N,
+///    "duration_ns":N}
+std::string trace_to_jsonl(const std::vector<SpanRecord>& spans);
+
+/// Per-span-name aggregation: count, total/mean/max duration.
+std::string trace_table(const std::vector<SpanRecord>& spans);
+
+}  // namespace pufaging::obs

@@ -1,0 +1,147 @@
+#include "obs/metrics.hpp"
+
+#include <atomic>
+#include <bit>
+#include <unordered_map>
+
+namespace pufaging::obs {
+
+namespace {
+
+/// Power-of-two bucket index of a value: floor(log2(v)), with 0 -> 0.
+std::size_t bucket_index(std::uint64_t value) {
+  return value == 0 ? 0
+                    : static_cast<std::size_t>(63 - std::countl_zero(value));
+}
+
+std::uint64_t next_registry_id() {
+  static std::atomic<std::uint64_t> counter{1};
+  return counter.fetch_add(1, std::memory_order_relaxed);
+}
+
+}  // namespace
+
+std::uint64_t HistogramSnapshot::quantile_upper_bound(double p) const {
+  if (count == 0) {
+    return 0;
+  }
+  const auto rank = static_cast<std::uint64_t>(
+      p * static_cast<double>(count) + 0.5);
+  std::uint64_t seen = 0;
+  for (std::size_t i = 0; i < kHistogramBuckets; ++i) {
+    seen += buckets[i];
+    if (seen >= rank) {
+      // Upper bound of bucket i is 2^(i+1) - 1, clamped to the true max.
+      const std::uint64_t bound =
+          i >= 63 ? max : ((std::uint64_t{1} << (i + 1)) - 1);
+      return bound < max ? bound : max;
+    }
+  }
+  return max;
+}
+
+MetricsRegistry::MetricsRegistry() : id_(next_registry_id()) {}
+
+MetricsRegistry::~MetricsRegistry() = default;
+
+MetricsRegistry::Shard& MetricsRegistry::local_shard() {
+  // Registry ids are globally unique and never reused, so a stale cache
+  // entry for a destroyed registry is simply never looked up again.
+  thread_local std::unordered_map<std::uint64_t, Shard*> cache;
+  Shard*& slot = cache[id_];
+  if (slot == nullptr) {
+    auto shard = std::make_unique<Shard>();
+    Shard* raw = shard.get();
+    {
+      std::lock_guard<std::mutex> lock(shards_mu_);
+      shards_.push_back(std::move(shard));
+    }
+    slot = raw;
+  }
+  return *slot;
+}
+
+std::uint64_t MetricsRegistry::next_gauge_seq() {
+  std::lock_guard<std::mutex> lock(shards_mu_);
+  return ++gauge_seq_;
+}
+
+void MetricsRegistry::add(std::string_view name, std::uint64_t delta) {
+  Shard& shard = local_shard();
+  std::lock_guard<std::mutex> lock(shard.mu);
+  shard.counters[std::string(name)] += delta;
+}
+
+void MetricsRegistry::gauge_set(std::string_view name, double value) {
+  const std::uint64_t seq = next_gauge_seq();
+  Shard& shard = local_shard();
+  std::lock_guard<std::mutex> lock(shard.mu);
+  GaugeCell& cell = shard.gauges[std::string(name)];
+  cell.value = value;
+  cell.seq = seq;
+}
+
+void MetricsRegistry::observe(std::string_view name, std::uint64_t value) {
+  Shard& shard = local_shard();
+  std::lock_guard<std::mutex> lock(shard.mu);
+  HistogramCell& cell = shard.histograms[std::string(name)];
+  if (cell.count == 0 || value < cell.min) {
+    cell.min = value;
+  }
+  if (cell.count == 0 || value > cell.max) {
+    cell.max = value;
+  }
+  ++cell.count;
+  cell.sum += value;
+  ++cell.buckets[bucket_index(value)];
+}
+
+MetricsSnapshot MetricsRegistry::snapshot() const {
+  // Copy the shard list under the registry lock, then merge shard by
+  // shard — updaters only ever block for their own shard's brief merge.
+  std::vector<Shard*> shards;
+  {
+    std::lock_guard<std::mutex> lock(shards_mu_);
+    shards.reserve(shards_.size());
+    for (const auto& shard : shards_) {
+      shards.push_back(shard.get());
+    }
+  }
+  MetricsSnapshot out;
+  std::map<std::string, GaugeCell> gauges;
+  for (Shard* shard : shards) {
+    std::lock_guard<std::mutex> lock(shard->mu);
+    for (const auto& [name, value] : shard->counters) {
+      out.counters[name] += value;
+    }
+    for (const auto& [name, cell] : shard->gauges) {
+      GaugeCell& merged = gauges[name];
+      if (merged.seq == 0 || cell.seq > merged.seq) {
+        merged = cell;
+      }
+    }
+    for (const auto& [name, cell] : shard->histograms) {
+      HistogramSnapshot& merged = out.histograms[name];
+      if (cell.count == 0) {
+        continue;
+      }
+      if (merged.count == 0 || cell.min < merged.min) {
+        merged.min = cell.min;
+      }
+      if (merged.count == 0 || cell.max > merged.max) {
+        merged.max = cell.max;
+      }
+      merged.count += cell.count;
+      merged.sum += cell.sum;
+      for (std::size_t i = 0; i < kHistogramBuckets; ++i) {
+        merged.buckets[i] += cell.buckets[i];
+      }
+    }
+  }
+  for (const auto& [name, cell] : gauges) {
+    out.gauges[name] = cell.value;
+  }
+  return out;
+}
+
+}  // namespace pufaging::obs

@@ -1,0 +1,144 @@
+// Low-overhead metrics registry: counters, gauges and bounded histograms.
+//
+// Hot-path contract: an update touches only the calling thread's private
+// shard (found through a thread-local cache and guarded by a mutex no
+// other updater ever contends on), so instrumented code scales exactly
+// like uninstrumented code. The full cross-thread view is assembled only
+// when somebody asks (`snapshot()`), which briefly locks each shard in
+// turn and merges.
+//
+// Determinism contract (the whole point of this layer being safe to leave
+// on): metrics are a *sink*. Nothing in here produces values that flow
+// back into RNG streams, measurements or analysis — the campaign's
+// bit-identity guarantee holds with metrics enabled or disabled, and
+// tests/integration/observability_test.cpp enforces exactly that.
+//
+// Histograms are bounded by construction: 64 power-of-two buckets
+// (bucket i counts values v with floor(log2(v)) == i; v == 0 lands in
+// bucket 0), plus exact count/sum/min/max — fixed memory per metric name
+// no matter how many observations a two-year campaign records.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "obs/clock.hpp"
+
+namespace pufaging::obs {
+
+/// Number of power-of-two histogram buckets (covers the full u64 range).
+constexpr std::size_t kHistogramBuckets = 64;
+
+/// Merged view of one histogram.
+struct HistogramSnapshot {
+  std::uint64_t count = 0;
+  std::uint64_t sum = 0;
+  std::uint64_t min = 0;  ///< Meaningful only when count > 0.
+  std::uint64_t max = 0;
+  std::array<std::uint64_t, kHistogramBuckets> buckets{};
+
+  double mean() const {
+    return count == 0 ? 0.0
+                      : static_cast<double>(sum) / static_cast<double>(count);
+  }
+
+  /// Upper bound of the bucket holding the p-quantile (0 < p <= 1):
+  /// a conservative estimate good to a factor of two, which is all a
+  /// power-of-two histogram can promise.
+  std::uint64_t quantile_upper_bound(double p) const;
+};
+
+/// Merged, point-in-time view of every metric (sorted names, so exports
+/// are stable).
+struct MetricsSnapshot {
+  std::map<std::string, std::uint64_t> counters;
+  std::map<std::string, double> gauges;
+  std::map<std::string, HistogramSnapshot> histograms;
+};
+
+/// The registry. Updates may come from any thread; `snapshot()` may run
+/// concurrently with updates and sees some consistent interleaving.
+class MetricsRegistry {
+ public:
+  MetricsRegistry();
+  ~MetricsRegistry();
+  MetricsRegistry(const MetricsRegistry&) = delete;
+  MetricsRegistry& operator=(const MetricsRegistry&) = delete;
+
+  /// counter[name] += delta.
+  void add(std::string_view name, std::uint64_t delta = 1);
+
+  /// gauge[name] = value (across threads, the latest set wins).
+  void gauge_set(std::string_view name, double value);
+
+  /// Records one observation into histogram[name].
+  void observe(std::string_view name, std::uint64_t value);
+
+  /// Merges every thread's shard into one view.
+  MetricsSnapshot snapshot() const;
+
+ private:
+  struct GaugeCell {
+    double value = 0.0;
+    std::uint64_t seq = 0;  ///< Global set-order, for cross-shard merge.
+  };
+  struct HistogramCell {
+    std::uint64_t count = 0;
+    std::uint64_t sum = 0;
+    std::uint64_t min = 0;
+    std::uint64_t max = 0;
+    std::array<std::uint64_t, kHistogramBuckets> buckets{};
+  };
+  struct Shard {
+    mutable std::mutex mu;  ///< Uncontended for the owning thread.
+    std::map<std::string, std::uint64_t> counters;
+    std::map<std::string, GaugeCell> gauges;
+    std::map<std::string, HistogramCell> histograms;
+  };
+
+  /// The calling thread's shard, created and registered on first use.
+  Shard& local_shard();
+
+  const std::uint64_t id_;  ///< Unique per registry instance, never reused.
+  mutable std::mutex shards_mu_;
+  std::vector<std::unique_ptr<Shard>> shards_;
+  std::uint64_t gauge_seq_ = 0;  ///< Guarded by shards_mu_.
+
+  std::uint64_t next_gauge_seq();
+};
+
+/// RAII latency sample: observes the elapsed nanoseconds between
+/// construction and destruction into `registry[name]`. A null registry
+/// makes it a no-op, so call sites don't need their own guards. The name
+/// is held by reference and must outlive the timer — pass a literal.
+class ScopedTimer {
+ public:
+  ScopedTimer(MetricsRegistry* registry, std::string_view name,
+              MonotonicClock& clock)
+      : registry_(registry), name_(name), clock_(clock) {
+    if (registry_ != nullptr) {
+      start_ = clock_.now_ns();
+    }
+  }
+  ~ScopedTimer() {
+    if (registry_ != nullptr) {
+      registry_->observe(name_, clock_.now_ns() - start_);
+    }
+  }
+  ScopedTimer(const ScopedTimer&) = delete;
+  ScopedTimer& operator=(const ScopedTimer&) = delete;
+
+ private:
+  MetricsRegistry* registry_;
+  std::string_view name_;
+  MonotonicClock& clock_;
+  std::uint64_t start_ = 0;
+};
+
+}  // namespace pufaging::obs

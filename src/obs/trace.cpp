@@ -1,0 +1,141 @@
+#include "obs/trace.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <unordered_map>
+
+namespace pufaging::obs {
+
+namespace {
+
+std::uint64_t next_tracer_id() {
+  static std::atomic<std::uint64_t> counter{1};
+  return counter.fetch_add(1, std::memory_order_relaxed);
+}
+
+}  // namespace
+
+Tracer::Tracer(MonotonicClock& clock) : clock_(clock), id_(next_tracer_id()) {}
+
+Tracer::~Tracer() = default;
+
+Tracer::Shard& Tracer::local_shard() {
+  thread_local std::unordered_map<std::uint64_t, Shard*> cache;
+  Shard*& slot = cache[id_];
+  if (slot == nullptr) {
+    auto shard = std::make_unique<Shard>();
+    Shard* raw = shard.get();
+    {
+      std::lock_guard<std::mutex> lock(shards_mu_);
+      shards_.push_back(std::move(shard));
+    }
+    slot = raw;
+  }
+  return *slot;
+}
+
+std::vector<std::uint32_t>& Tracer::local_stack() {
+  thread_local std::unordered_map<std::uint64_t,
+                                  std::vector<std::uint32_t>> stacks;
+  return stacks[id_];
+}
+
+Tracer::Span Tracer::span(std::string_view name) {
+  Span s;
+  s.tracer_ = this;
+  s.name_ = std::string(name);
+  {
+    std::lock_guard<std::mutex> lock(shards_mu_);
+    s.span_id_ = ++next_span_id_;
+  }
+  std::vector<std::uint32_t>& stack = local_stack();
+  s.parent_id_ = stack.empty() ? 0 : stack.back();
+  stack.push_back(s.span_id_);
+  s.start_ns_ = clock_.now_ns();
+  return s;
+}
+
+Tracer::Span& Tracer::Span::operator=(Span&& other) noexcept {
+  if (this != &other) {
+    finish();
+    tracer_ = other.tracer_;
+    name_ = std::move(other.name_);
+    start_ns_ = other.start_ns_;
+    span_id_ = other.span_id_;
+    parent_id_ = other.parent_id_;
+    other.tracer_ = nullptr;
+  }
+  return *this;
+}
+
+void Tracer::Span::finish() {
+  if (tracer_ == nullptr) {
+    return;
+  }
+  Tracer* tracer = tracer_;
+  tracer_ = nullptr;
+  SpanRecord record;
+  record.name = std::move(name_);
+  record.start_ns = start_ns_;
+  record.end_ns = tracer->clock_.now_ns();
+  record.span_id = span_id_;
+  record.parent_id = parent_id_;
+  // Pop this span off the thread's open stack. Spans normally finish in
+  // strict LIFO order; if one was moved across scopes and finished out of
+  // order, remove it wherever it sits so nesting stays consistent.
+  std::vector<std::uint32_t>& stack = tracer->local_stack();
+  if (!stack.empty() && stack.back() == span_id_) {
+    stack.pop_back();
+  } else {
+    const auto it = std::find(stack.begin(), stack.end(), span_id_);
+    if (it != stack.end()) {
+      stack.erase(it);
+    }
+  }
+  tracer->record(std::move(record));
+}
+
+void Tracer::record(SpanRecord record) {
+  {
+    std::lock_guard<std::mutex> lock(shards_mu_);
+    if (retained_ >= kMaxSpansRetained) {
+      ++dropped_;
+      return;
+    }
+    ++retained_;
+  }
+  Shard& shard = local_shard();
+  std::lock_guard<std::mutex> lock(shard.mu);
+  shard.records.push_back(std::move(record));
+}
+
+std::vector<SpanRecord> Tracer::finished() const {
+  std::vector<Shard*> shards;
+  {
+    std::lock_guard<std::mutex> lock(shards_mu_);
+    shards.reserve(shards_.size());
+    for (const auto& shard : shards_) {
+      shards.push_back(shard.get());
+    }
+  }
+  std::vector<SpanRecord> out;
+  for (Shard* shard : shards) {
+    std::lock_guard<std::mutex> lock(shard->mu);
+    out.insert(out.end(), shard->records.begin(), shard->records.end());
+  }
+  std::sort(out.begin(), out.end(),
+            [](const SpanRecord& a, const SpanRecord& b) {
+              if (a.start_ns != b.start_ns) {
+                return a.start_ns < b.start_ns;
+              }
+              return a.span_id < b.span_id;
+            });
+  return out;
+}
+
+std::uint64_t Tracer::dropped() const {
+  std::lock_guard<std::mutex> lock(shards_mu_);
+  return dropped_;
+}
+
+}  // namespace pufaging::obs

@@ -1,0 +1,105 @@
+// Scoped-span tracer over the observability clock seam.
+//
+// A Span is an RAII handle: it stamps the start time when opened and
+// records a SpanRecord into the calling thread's shard when it goes out
+// of scope. Nesting is tracked per thread (a span opened while another is
+// active on the same thread becomes its child), so a trace of the
+// campaign reads as a tree: campaign → month → persist → ...
+//
+// Shares the metrics layer's two contracts: updates touch only
+// thread-local state (merged when `finished()` is called), and nothing
+// recorded here feeds back into results — under the FakeClock the whole
+// trace is deterministic and golden-testable (tests/obs/export_test.cpp).
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "obs/clock.hpp"
+
+namespace pufaging::obs {
+
+/// One completed span.
+struct SpanRecord {
+  std::string name;
+  std::uint64_t start_ns = 0;
+  std::uint64_t end_ns = 0;
+  std::uint32_t span_id = 0;    ///< Unique per tracer; open order.
+  std::uint32_t parent_id = 0;  ///< 0 = a root span.
+
+  std::uint64_t duration_ns() const { return end_ns - start_ns; }
+};
+
+/// Hard cap on retained spans per tracer — a decade-scale campaign must
+/// not grow an unbounded trace; beyond the cap spans are counted but
+/// dropped.
+constexpr std::size_t kMaxSpansRetained = 1 << 20;
+
+class Tracer {
+ public:
+  explicit Tracer(MonotonicClock& clock = RealClock::instance());
+  ~Tracer();
+  Tracer(const Tracer&) = delete;
+  Tracer& operator=(const Tracer&) = delete;
+
+  /// Move-only RAII span handle; records on destruction. A default-
+  /// constructed (or moved-from) span records nothing.
+  class Span {
+   public:
+    Span() = default;
+    Span(Span&& other) noexcept { *this = std::move(other); }
+    Span& operator=(Span&& other) noexcept;
+    Span(const Span&) = delete;
+    Span& operator=(const Span&) = delete;
+    ~Span() { finish(); }
+
+    /// Ends the span now (idempotent).
+    void finish();
+
+   private:
+    friend class Tracer;
+    Tracer* tracer_ = nullptr;
+    std::string name_;
+    std::uint64_t start_ns_ = 0;
+    std::uint32_t span_id_ = 0;
+    std::uint32_t parent_id_ = 0;
+  };
+
+  /// Opens a span; the calling thread's innermost open span becomes its
+  /// parent.
+  Span span(std::string_view name);
+
+  MonotonicClock& clock() { return clock_; }
+
+  /// All finished spans, merged across threads and sorted by
+  /// (start_ns, span_id) — a stable order under the FakeClock.
+  std::vector<SpanRecord> finished() const;
+
+  /// Spans dropped once kMaxSpansRetained was reached.
+  std::uint64_t dropped() const;
+
+ private:
+  struct Shard {
+    mutable std::mutex mu;
+    std::vector<SpanRecord> records;
+  };
+
+  Shard& local_shard();
+  /// The calling thread's open-span stack for this tracer.
+  std::vector<std::uint32_t>& local_stack();
+  void record(SpanRecord record);
+
+  MonotonicClock& clock_;
+  const std::uint64_t id_;  ///< Unique per tracer instance, never reused.
+  mutable std::mutex shards_mu_;
+  std::vector<std::unique_ptr<Shard>> shards_;
+  std::uint32_t next_span_id_ = 0;  ///< Guarded by shards_mu_.
+  std::size_t retained_ = 0;        ///< Guarded by shards_mu_.
+  std::uint64_t dropped_ = 0;       ///< Guarded by shards_mu_.
+};
+
+}  // namespace pufaging::obs

@@ -4,6 +4,7 @@
 #include <sstream>
 
 #include "io/json.hpp"
+#include "store/crc32c.hpp"
 
 namespace pufaging {
 
@@ -12,7 +13,9 @@ namespace {
 constexpr const char* kManifest = "MANIFEST";
 constexpr const char* kManifestTmp = "MANIFEST.tmp";
 constexpr const char* kLegacyState = "state.jsonl";
-constexpr int kManifestVersion = 1;
+/// Version 2 added the snapshot CRC; version-1 manifests (written before
+/// it existed) are still readable, their snapshot merely unchecked.
+constexpr int kManifestVersion = 2;
 
 /// Snapshot/manifest writes go through bounded chunks so a power cut can
 /// land inside a large blob (more kill points = a stronger crash matrix)
@@ -40,6 +43,9 @@ std::string StoreRecoveryReport::render() const {
        << (snapshot_loaded ? "loaded" : "missing") << "\n";
   }
   os << "  wal: " << wal_records << " valid record(s)";
+  if (wal_segments > 1) {
+    os << " across " << wal_segments << " sub-segment(s)";
+  }
   if (torn_tail) {
     os << ", torn/corrupt tail truncated (" << wal_bytes_truncated
        << " byte(s) discarded)";
@@ -61,6 +67,19 @@ MeasurementStore::MeasurementStore(Vfs& vfs, const std::string& dir,
   recover();
 }
 
+MeasurementStore::~MeasurementStore() {
+  try {
+    close();
+  } catch (...) {
+    // Destructors must not throw; an explicit close() reports failures
+    // (including a simulated power cut landing on the final fsync).
+  }
+}
+
+obs::MonotonicClock& MeasurementStore::clock() const {
+  return opts_.clock != nullptr ? *opts_.clock : obs::RealClock::instance();
+}
+
 std::string MeasurementStore::path(const std::string& name) const {
   return dir_ + "/" + name;
 }
@@ -68,12 +87,6 @@ std::string MeasurementStore::path(const std::string& name) const {
 std::string MeasurementStore::snapshot_name(std::uint32_t generation) {
   char buf[32];
   std::snprintf(buf, sizeof buf, "snap-%08u", generation);
-  return buf;
-}
-
-std::string MeasurementStore::wal_name(std::uint32_t generation) {
-  char buf[32];
-  std::snprintf(buf, sizeof buf, "wal-%08u.log", generation);
   return buf;
 }
 
@@ -91,7 +104,7 @@ void MeasurementStore::recover() {
   }
 
   std::string snap_file;
-  std::string wal_file;
+  std::vector<std::string> live_wal;  ///< Replayed sub-segment names.
   if (!vfs_.exists(path(kManifest))) {
     if (vfs_.exists(path(kLegacyState))) {
       // Pre-store checkpoint directory: adopt state.jsonl as the snapshot
@@ -105,16 +118,21 @@ void MeasurementStore::recover() {
   } else {
     report_.manifest_found = true;
     Json manifest;
+    std::optional<std::uint32_t> snap_crc;
     try {
       manifest = Json::parse(vfs_.read_file(path(kManifest)));
-      if (manifest.at("version").as_int() != kManifestVersion) {
+      const std::int64_t version = manifest.at("version").as_int();
+      if (version < 1 || version > kManifestVersion) {
         throw StoreError(StoreError::Kind::kCorrupt,
                          "store: unsupported manifest version");
       }
       generation_ =
           static_cast<std::uint32_t>(manifest.at("generation").as_int());
       snap_file = manifest.at("snapshot").as_string();
-      wal_file = manifest.at("wal").as_string();
+      if (version >= 2) {
+        snap_crc = static_cast<std::uint32_t>(
+            manifest.at("snapshot_crc32c").as_int());
+      }
     } catch (const StoreError&) {
       throw;
     } catch (const Error& e) {
@@ -125,42 +143,83 @@ void MeasurementStore::recover() {
                        std::string("store: corrupt MANIFEST: ") + e.what());
     }
     // Protocol invariant: the snapshot named by the manifest was fsynced
-    // before the manifest became visible.
+    // before the manifest became visible — so a CRC mismatch now is
+    // medium-level rot, not a crash artifact, and must not be silently
+    // accepted.
     snapshot_ = vfs_.read_file(path(snap_file));
+    if (snap_crc && crc32c(snapshot_) != *snap_crc) {
+      throw StoreError(StoreError::Kind::kCorrupt,
+                       "store: snapshot " + snap_file +
+                           " fails its manifest CRC32C (medium rot)");
+    }
     has_state_ = true;
     report_.generation = generation_;
     report_.snapshot_loaded = true;
 
-    // The WAL tail is the one place a crash is *expected* to leave damage:
-    // scan, keep the valid prefix, cut the rest.
-    std::uint64_t wal_bytes = 0;
+    // The WAL tail is the one place a crash is *expected* to leave
+    // damage. Replay the sub-segments in index order as one logical log:
+    // every sub-segment before the last was fsynced whole at its roll, so
+    // only the last can be torn — scan each, keep the valid prefix, cut
+    // the rest. A torn *earlier* sub-segment is medium rot; the scan
+    // stops there and the now-unreachable later sub-segments are swept.
     std::uint32_t next_seq = 0;
-    if (vfs_.exists(path(wal_file))) {
-      const std::string image = vfs_.read_file(path(wal_file));
-      WalScanResult scan = scan_wal(image, generation_);
+    std::uint32_t seg = 0;
+    std::uint64_t last_seg_bytes = 0;
+    std::uint32_t last_seg_index = 0;
+    while (true) {
+      const std::string seg_name = wal_segment_name(generation_, seg);
+      if (!vfs_.exists(path(seg_name))) {
+        break;
+      }
+      const std::string image = vfs_.read_file(path(seg_name));
+      WalScanResult scan = scan_wal(image, generation_, next_seq);
       if (scan.torn_tail) {
-        vfs_.truncate(path(wal_file), scan.valid_bytes);
-        report_.wal_bytes_truncated = image.size() - scan.valid_bytes;
+        vfs_.truncate(path(seg_name), scan.valid_bytes);
+        report_.wal_bytes_truncated += image.size() - scan.valid_bytes;
         report_.torn_tail = true;
       }
-      wal_payloads_ = std::move(scan.payloads);
-      wal_bytes = scan.valid_bytes;
+      for (std::string& payload : scan.payloads) {
+        wal_payloads_.push_back(std::move(payload));
+      }
       next_seq = static_cast<std::uint32_t>(wal_payloads_.size());
+      live_wal.push_back(seg_name);
+      last_seg_bytes = scan.valid_bytes;
+      last_seg_index = seg;
+      if (scan.torn_tail) {
+        break;  // Nothing after a cut tail is replayable.
+      }
+      ++seg;
     }
     // (A missing WAL file is possible when the cut separated the manifest
     // rename from the segment creation; the writer recreates it.)
     report_.wal_records = wal_payloads_.size();
-    writer_.emplace(vfs_, path(wal_file), generation_, next_seq, wal_bytes,
-                    opts_.fsync_every);
+    report_.wal_segments = live_wal.size();
+    WalWriterOptions wopts;
+    wopts.fsync_every = opts_.fsync_every;
+    wopts.segment_cap_bytes = opts_.wal_segment_bytes;
+    wopts.metrics = opts_.metrics;
+    wopts.clock = opts_.clock;
+    writer_.emplace(vfs_, dir_, generation_, last_seg_index, next_seq,
+                    last_seg_bytes, wopts);
   }
 
   // Sweep strays: anything that is not the manifest, the live snapshot,
-  // the live WAL or a migratable legacy file came from an interrupted
-  // publication that never became visible.
+  // a live WAL sub-segment or a migratable legacy file came from an
+  // interrupted publication that never became visible (or sits beyond a
+  // cut WAL prefix).
   for (const std::string& name : vfs_.list_dir(dir_)) {
     if (name == kManifest || name == kLegacyState ||
-        (!snap_file.empty() && name == snap_file) ||
-        (!wal_file.empty() && name == wal_file)) {
+        (!snap_file.empty() && name == snap_file)) {
+      continue;
+    }
+    bool live = false;
+    for (const std::string& seg_name : live_wal) {
+      if (name == seg_name) {
+        live = true;
+        break;
+      }
+    }
+    if (live) {
       continue;
     }
     if (name.rfind("snap-", 0) == 0 || name.rfind("wal-", 0) == 0 ||
@@ -169,12 +228,30 @@ void MeasurementStore::recover() {
       report_.swept.push_back(name);
     }
   }
+
+  if (opts_.metrics != nullptr) {
+    opts_.metrics->add("store.recovery.opens");
+    opts_.metrics->add("store.recovery.wal_records", report_.wal_records);
+    opts_.metrics->add("store.recovery.wal_segments", report_.wal_segments);
+    opts_.metrics->add("store.recovery.bytes_truncated",
+                       report_.wal_bytes_truncated);
+    opts_.metrics->add("store.recovery.swept", report_.swept.size());
+  }
 }
 
 void MeasurementStore::publish_snapshot(std::string_view blob) {
+  const obs::ScopedTimer timer(opts_.metrics, "store.snapshot.publish_ns",
+                               clock());
+  // Flush the previous generation's WAL tail first: if this publication
+  // is interrupted anywhere below, the manifest still names the old
+  // generation, whose log must then be complete — a generation roll is a
+  // clean close of the old segment, never a silent drop of its tail.
+  if (writer_) {
+    writer_->flush();
+  }
   const std::uint32_t next_gen = generation_ + 1;
   const std::string snap = snapshot_name(next_gen);
-  const std::string wal = wal_name(next_gen);
+  const std::string wal = wal_segment_name(next_gen, 0);
 
   // 1. Write + fsync the snapshot under its (not yet referenced) name.
   {
@@ -193,11 +270,14 @@ void MeasurementStore::publish_snapshot(std::string_view blob) {
   // metadata) could boot into a manifest naming files that do not exist.
   vfs_.fsync_dir(dir_);
   // 3. Publish: manifest tmp → fsync → atomic rename → directory fsync.
+  // The manifest records the snapshot's CRC-32C so medium rot in the blob
+  // is caught at the next open, exactly like rot inside a WAL frame.
   {
     Json manifest = Json::object();
     manifest.set("version", Json(kManifestVersion));
     manifest.set("generation", Json(next_gen));
     manifest.set("snapshot", Json(snap));
+    manifest.set("snapshot_crc32c", Json(crc32c(blob)));
     manifest.set("wal", Json(wal));
     VfsFile file(vfs_, vfs_.open_append(path(kManifestTmp), true));
     write_file_chunked(vfs_, file.id(), manifest.dump());
@@ -207,23 +287,40 @@ void MeasurementStore::publish_snapshot(std::string_view blob) {
   vfs_.fsync_dir(dir_);
 
   // The new generation is durable; only now forget the old one.
-  const std::string old_snap =
-      generation_ > 0 ? snapshot_name(generation_) : std::string();
-  const std::string old_wal =
-      generation_ > 0 ? wal_name(generation_) : std::string();
+  const std::uint32_t old_gen = generation_;
   generation_ = next_gen;
   snapshot_.assign(blob.data(), blob.size());
   wal_payloads_.clear();
   has_state_ = true;
-  writer_.emplace(vfs_, path(wal), next_gen, 0, 0, opts_.fsync_every);
+  WalWriterOptions wopts;
+  wopts.fsync_every = opts_.fsync_every;
+  wopts.segment_cap_bytes = opts_.wal_segment_bytes;
+  wopts.metrics = opts_.metrics;
+  wopts.clock = opts_.clock;
+  writer_.emplace(vfs_, dir_, next_gen, 0, 0, 0, wopts);
+  if (opts_.metrics != nullptr) {
+    opts_.metrics->add("store.snapshot.publishes");
+    opts_.metrics->add("store.snapshot.bytes", blob.size());
+  }
 
-  // Best-effort cleanup of the superseded generation and a migrated
-  // legacy file; failure here is cosmetic (recovery sweeps strays).
-  for (const std::string& stale : {old_snap, old_wal,
-                                   std::string(kLegacyState)}) {
-    if (!stale.empty() && vfs_.exists(path(stale))) {
+  // Best-effort cleanup of the superseded generation (its snapshot and
+  // every WAL sub-segment) and a migrated legacy file; failure here is
+  // cosmetic (recovery sweeps strays).
+  std::vector<std::string> stale{std::string(kLegacyState)};
+  if (old_gen > 0) {
+    stale.push_back(snapshot_name(old_gen));
+    const std::string wal_prefix = wal_segment_name(old_gen, 0)
+                                       .substr(0, 12);  // "wal-GGGGGGGG"
+    for (const std::string& name : vfs_.list_dir(dir_)) {
+      if (name.rfind(wal_prefix, 0) == 0) {
+        stale.push_back(name);
+      }
+    }
+  }
+  for (const std::string& name : stale) {
+    if (!name.empty() && vfs_.exists(path(name))) {
       try {
-        vfs_.remove(path(stale));
+        vfs_.remove(path(name));
       } catch (const StoreError&) {
         // Leave it for the next recovery sweep.
       }
@@ -243,6 +340,13 @@ void MeasurementStore::append_record(std::string_view payload) {
 void MeasurementStore::flush() {
   if (writer_) {
     writer_->flush();
+  }
+}
+
+void MeasurementStore::close() {
+  if (writer_) {
+    writer_->close();
+    writer_.reset();
   }
 }
 

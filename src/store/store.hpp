@@ -3,21 +3,28 @@
 // Replaces the ad-hoc "write temp file, rename over the checkpoint" I/O
 // with an explicitly crash-safe layout. A store directory holds:
 //
-//   MANIFEST          JSON naming the live snapshot + WAL segment and the
-//                     current generation; replaced atomically
-//                     (write MANIFEST.tmp → fsync → rename → fsync dir)
+//   MANIFEST          JSON naming the live snapshot + WAL segment, the
+//                     current generation and the snapshot's CRC-32C;
+//                     replaced atomically (write MANIFEST.tmp → fsync →
+//                     rename → fsync dir)
 //   snap-GGGGGGGG     full state snapshot of generation G (opaque blob —
-//                     the campaign stores its checkpoint JSONL here)
+//                     the campaign stores its checkpoint JSONL here),
+//                     integrity-checked against the manifest CRC at open
 //   wal-GGGGGGGG.log  CRC32C-framed record log appended after the
-//                     snapshot (one record per completed month)
+//   wal-GGGGGGGG.N.log  snapshot (one record per completed month), split
+//                     into bounded sub-segments (see wal.hpp)
 //
 // Invariants after ANY power cut at ANY syscall boundary:
 //   1. The MANIFEST names a snapshot whose content was fsynced before the
-//      manifest rename — so the referenced snapshot is always complete.
-//   2. The WAL can only be damaged at its tail; recovery scans it,
-//      truncates the torn/corrupt suffix, and replays the valid prefix.
-//   3. Files not named by the MANIFEST are garbage from an interrupted
-//      publication and are swept on open.
+//      manifest rename — so the referenced snapshot is always complete,
+//      and medium rot after the fact is caught by its recorded CRC.
+//   2. The WAL can only be damaged at the tail of its *last* sub-segment
+//      (rolls fsync the finished sub-segment first); recovery scans the
+//      sub-segments in order, truncates the torn/corrupt suffix, and
+//      replays the valid prefix.
+//   3. Files not named by the MANIFEST (or not live sub-segments of its
+//      WAL) are garbage from an interrupted publication and are swept on
+//      open.
 //
 // The store deals in opaque payload bytes; serialization of campaign
 // state lives in testbed/checkpoint.* so the dependency points from the
@@ -30,6 +37,7 @@
 #include <string_view>
 #include <vector>
 
+#include "obs/metrics.hpp"
 #include "store/vfs.hpp"
 #include "store/wal.hpp"
 
@@ -38,6 +46,19 @@ namespace pufaging {
 struct StoreOptions {
   /// WAL appends per fsync (fsync batching); clamped to >= 1.
   std::size_t fsync_every = 1;
+
+  /// WAL sub-segment size cap; 0 = unbounded (one segment per
+  /// generation). The default keeps sub-segments comfortably replayable
+  /// while never rolling at all for ordinary campaign scales.
+  std::uint64_t wal_segment_bytes = 16ULL << 20;  // 16 MiB
+
+  /// Optional metrics sink (store.* counters and latency histograms);
+  /// null = no instrumentation. Metrics are a pure sink — they never
+  /// change what the store writes or recovers.
+  obs::MetricsRegistry* metrics = nullptr;
+
+  /// Clock for latency histograms; null = the real monotonic clock.
+  obs::MonotonicClock* clock = nullptr;
 };
 
 /// What opening a store found and repaired; surfaced by the CLI
@@ -49,6 +70,8 @@ struct StoreRecoveryReport {
   std::uint32_t generation = 0;
   bool snapshot_loaded = false;
   std::size_t wal_records = 0;
+  /// Live WAL sub-segments replayed (0 when the WAL file is missing).
+  std::size_t wal_segments = 0;
   std::uint64_t wal_bytes_truncated = 0;
   bool torn_tail = false;
   /// Stray files from interrupted publications that were swept.
@@ -60,11 +83,16 @@ struct StoreRecoveryReport {
 class MeasurementStore {
  public:
   /// Opens the store (creating the directory when missing) and runs
-  /// recovery: manifest → snapshot → WAL scan → torn-tail truncation →
-  /// stray-file sweep. Throws StoreError(kCorrupt) only when state the
-  /// protocol guarantees intact (manifest, snapshot) is damaged — a
-  /// damaged WAL tail is expected after a crash and silently cut.
+  /// recovery: manifest → snapshot (CRC-checked) → WAL sub-segment scan →
+  /// torn-tail truncation → stray-file sweep. Throws StoreError(kCorrupt)
+  /// only when state the protocol guarantees intact (manifest, snapshot)
+  /// is damaged — a damaged WAL tail is expected after a crash and
+  /// silently cut.
   MeasurementStore(Vfs& vfs, const std::string& dir, StoreOptions opts = {});
+
+  /// Best-effort close(); errors are swallowed (destructors must not
+  /// throw). Call close() explicitly to observe flush failures.
+  ~MeasurementStore();
 
   /// True when a manifest (or migratable legacy checkpoint) names state.
   bool has_state() const { return has_state_; }
@@ -79,7 +107,9 @@ class MeasurementStore {
   const std::vector<std::string>& wal_records() const { return wal_payloads_; }
 
   /// Publishes a new full snapshot atomically and starts a fresh WAL
-  /// segment (generation + 1). On failure the store still points at the
+  /// segment (generation + 1). Flushes the previous generation's WAL tail
+  /// first, so an interrupted publication still leaves every appended
+  /// record recoverable. On failure the store still points at the
   /// previous generation and `append_record` keeps working — a failed
   /// compaction never loses the log.
   void publish_snapshot(std::string_view blob);
@@ -91,14 +121,20 @@ class MeasurementStore {
   /// Fsyncs appended-but-unsynced WAL records.
   void flush();
 
+  /// Clean shutdown: flushes the WAL tail and closes the writer, so a
+  /// power cut immediately afterwards loses zero appended records.
+  /// Idempotent; appending after close is an error until a new
+  /// publish_snapshot starts a fresh generation.
+  void close();
+
   /// Cheap existence probe without opening/recovering the store.
   static bool present(Vfs& vfs, const std::string& dir);
 
  private:
   std::string path(const std::string& name) const;
   static std::string snapshot_name(std::uint32_t generation);
-  static std::string wal_name(std::uint32_t generation);
   void recover();
+  obs::MonotonicClock& clock() const;
 
   Vfs& vfs_;
   std::string dir_;

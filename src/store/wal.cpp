@@ -1,5 +1,7 @@
 #include "store/wal.hpp"
 
+#include <cstdio>
+
 #include "store/crc32c.hpp"
 
 namespace pufaging {
@@ -28,6 +30,18 @@ std::uint32_t get_u32(std::string_view bytes, std::size_t at) {
 
 }  // namespace
 
+std::string wal_segment_name(std::uint32_t generation,
+                             std::uint32_t segment_index) {
+  char buf[48];
+  if (segment_index == 0) {
+    std::snprintf(buf, sizeof buf, "wal-%08u.log", generation);
+  } else {
+    std::snprintf(buf, sizeof buf, "wal-%08u.%u.log", generation,
+                  segment_index);
+  }
+  return buf;
+}
+
 std::string encode_wal_frame(std::uint32_t generation, std::uint32_t sequence,
                              std::string_view payload) {
   if (payload.size() > kMaxWalRecordBytes) {
@@ -52,10 +66,11 @@ std::string encode_wal_frame(std::uint32_t generation, std::uint32_t sequence,
   return frame;
 }
 
-WalScanResult scan_wal(std::string_view image, std::uint32_t generation) {
+WalScanResult scan_wal(std::string_view image, std::uint32_t generation,
+                       std::uint32_t start_sequence) {
   WalScanResult result;
   std::size_t pos = 0;
-  std::uint32_t expect_seq = 0;
+  std::uint32_t expect_seq = start_sequence;
   while (true) {
     if (image.size() - pos < kHeaderBytes) {
       break;  // No room for a header: clean end or torn tail.
@@ -94,23 +109,36 @@ WalScanResult scan_wal(std::string_view image, std::uint32_t generation) {
   return result;
 }
 
-WalWriter::WalWriter(Vfs& vfs, std::string path, std::uint32_t generation,
-                     std::uint32_t next_sequence, std::uint64_t start_bytes,
-                     std::size_t fsync_every)
+WalWriter::WalWriter(Vfs& vfs, std::string dir, std::uint32_t generation,
+                     std::uint32_t segment_index, std::uint32_t next_sequence,
+                     std::uint64_t segment_bytes, WalWriterOptions opts)
     : vfs_(vfs),
-      path_(std::move(path)),
+      dir_(std::move(dir)),
+      path_(dir_ + "/" + wal_segment_name(generation, segment_index)),
       file_(vfs, vfs.open_append(path_, false)),
       generation_(generation),
+      segment_index_(segment_index),
       sequence_(next_sequence),
-      bytes_(start_bytes),
-      fsync_every_(fsync_every == 0 ? 1 : fsync_every) {}
+      segment_bytes_(segment_bytes),
+      opts_(opts) {
+  if (opts_.fsync_every == 0) {
+    opts_.fsync_every = 1;
+  }
+}
 
 void WalWriter::append(std::string_view payload) {
   if (poisoned_) {
     throw StoreError(StoreError::Kind::kIo,
                      "wal: writer poisoned by an earlier partial append");
   }
+  if (closed_) {
+    throw StoreError(StoreError::Kind::kIo, "wal: append after close");
+  }
   const std::string frame = encode_wal_frame(generation_, sequence_, payload);
+  if (opts_.segment_cap_bytes > 0 && segment_bytes_ > 0 &&
+      segment_bytes_ + frame.size() > opts_.segment_cap_bytes) {
+    roll_segment();
+  }
   try {
     vfs_.write_all(file_.id(), frame);
   } catch (const StoreError&) {
@@ -118,16 +146,20 @@ void WalWriter::append(std::string_view payload) {
     // frame cannot prefix later appends. (A PowerCutError skips this —
     // the "process" is gone and recovery will cut the torn tail.)
     try {
-      vfs_.truncate(path_, bytes_);
+      vfs_.truncate(path_, segment_bytes_);
     } catch (const StoreError&) {
       poisoned_ = true;
     }
     throw;
   }
-  bytes_ += frame.size();
+  segment_bytes_ += frame.size();
   ++sequence_;
   ++unsynced_;
-  if (unsynced_ >= fsync_every_) {
+  if (opts_.metrics != nullptr) {
+    opts_.metrics->add("store.wal.appends");
+    opts_.metrics->add("store.wal.append_bytes", frame.size());
+  }
+  if (unsynced_ >= opts_.fsync_every) {
     flush();
   }
 }
@@ -136,8 +168,48 @@ void WalWriter::flush() {
   if (unsynced_ == 0) {
     return;
   }
-  vfs_.fsync(file_.id());
+  if (opts_.metrics != nullptr) {
+    obs::MonotonicClock& clock =
+        opts_.clock != nullptr ? *opts_.clock : obs::RealClock::instance();
+    const obs::ScopedTimer timer(opts_.metrics, "store.wal.fsync_ns", clock);
+    vfs_.fsync(file_.id());
+    opts_.metrics->add("store.wal.fsyncs");
+  } else {
+    vfs_.fsync(file_.id());
+  }
   unsynced_ = 0;
+}
+
+void WalWriter::close() {
+  if (closed_) {
+    return;
+  }
+  // The unsynced frame tail must not outlive the handle: a clean close
+  // promises that a power cut one instant later loses zero frames.
+  flush();
+  file_.reset();
+  closed_ = true;
+}
+
+void WalWriter::roll_segment() {
+  // Make the finished sub-segment fully durable before any record lands
+  // in the next one — this is what confines torn tails to the *last*
+  // sub-segment, which is all recovery ever truncates.
+  flush();
+  const std::uint32_t next_index = segment_index_ + 1;
+  const std::string next_path =
+      dir_ + "/" + wal_segment_name(generation_, next_index);
+  VfsFile next_file(vfs_, vfs_.open_append(next_path, true));
+  // The new sub-segment's directory entry must be durable too, or a
+  // drive could persist its frames while forgetting the file exists.
+  vfs_.fsync_dir(dir_);
+  file_ = std::move(next_file);
+  path_ = next_path;
+  segment_index_ = next_index;
+  segment_bytes_ = 0;
+  if (opts_.metrics != nullptr) {
+    opts_.metrics->add("store.wal.segment_rolls");
+  }
 }
 
 }  // namespace pufaging

@@ -10,7 +10,7 @@
 //
 //   magic   u32   'PWAL' (0x4C415750)
 //   gen     u32   segment generation; stale-segment records never replay
-//   seq     u32   record index within the segment, starting at 0
+//   seq     u32   record index within the generation, starting at 0
 //   len     u32   payload byte count
 //   crc     u32   CRC-32C over gen|seq|len|payload
 //   payload len bytes
@@ -19,6 +19,19 @@
 // length (which would otherwise mis-frame every later record) is caught,
 // and the generation/sequence cannot be forged by shuffling frames
 // between segments.
+//
+// Sub-segment compaction: a generation's log is split into bounded
+// sub-segments so a decade-scale run never replays (or rewrites the tail
+// of) one unbounded file:
+//
+//   wal-GGGGGGGG.log      sub-segment 0 (the name the MANIFEST records)
+//   wal-GGGGGGGG.1.log    sub-segment 1, opened when 0 reached the cap
+//   wal-GGGGGGGG.N.log    ...
+//
+// Sequence numbers run across the whole generation, so recovery replays
+// the sub-segments in index order as one logical log; a roll fsyncs the
+// finished sub-segment first, so only the *last* sub-segment can ever be
+// torn by a crash.
 #pragma once
 
 #include <cstdint>
@@ -27,6 +40,7 @@
 #include <string_view>
 #include <vector>
 
+#include "obs/metrics.hpp"
 #include "store/vfs.hpp"
 
 namespace pufaging {
@@ -34,6 +48,11 @@ namespace pufaging {
 /// Hard upper bound on one record; a "length" beyond it is corruption,
 /// not a huge record.
 constexpr std::uint32_t kMaxWalRecordBytes = 1U << 26;  // 64 MiB
+
+/// File name of one WAL sub-segment ("wal-GGGGGGGG.log" for index 0,
+/// "wal-GGGGGGGG.N.log" beyond).
+std::string wal_segment_name(std::uint32_t generation,
+                             std::uint32_t segment_index);
 
 /// Serializes one frame.
 std::string encode_wal_frame(std::uint32_t generation, std::uint32_t sequence,
@@ -51,18 +70,38 @@ struct WalScanResult {
 };
 
 /// Scans a raw WAL image: walks frames from the start, verifies magic,
-/// bounds, CRC, generation and sequence continuity, and stops at the
-/// first frame that fails — everything before it is the valid prefix.
-/// Total function: never throws on any input bytes.
-WalScanResult scan_wal(std::string_view image, std::uint32_t generation);
+/// bounds, CRC, generation and sequence continuity (sequences start at
+/// `start_sequence` — non-zero when the image is a later sub-segment),
+/// and stops at the first frame that fails — everything before it is the
+/// valid prefix. Total function: never throws on any input bytes.
+WalScanResult scan_wal(std::string_view image, std::uint32_t generation,
+                       std::uint32_t start_sequence = 0);
 
-/// Appends frames to a WAL file through the Vfs with batched fsync.
+/// Tuning and observability knobs of a WalWriter.
+struct WalWriterOptions {
+  /// Appends per fsync (fsync batching); clamped to >= 1.
+  std::size_t fsync_every = 1;
+  /// Sub-segment size cap in bytes; an append that would push the current
+  /// sub-segment past the cap rolls to the next one first. 0 = unbounded
+  /// (a single segment per generation, the pre-compaction layout).
+  std::uint64_t segment_cap_bytes = 0;
+  /// Optional metrics sink (wal.appends, wal.append_bytes, wal.fsyncs,
+  /// wal.fsync_ns, wal.segment_rolls); null = no instrumentation.
+  obs::MetricsRegistry* metrics = nullptr;
+  /// Clock for fsync latency; null = the real monotonic clock.
+  obs::MonotonicClock* clock = nullptr;
+};
+
+/// Appends frames to a generation's WAL sub-segments through the Vfs with
+/// batched fsync.
 ///
 /// Durability contract: a record is guaranteed to survive a power cut
-/// only after the fsync that covers it (`fsync_every` appends, or an
-/// explicit `flush`). Records written but not yet fsynced may be lost or
-/// torn — the recovery scan turns either into "that record never
-/// happened", which the deterministic campaign simply recomputes.
+/// only after the fsync that covers it (`fsync_every` appends, an
+/// explicit `flush`, a sub-segment roll — which flushes the finished
+/// sub-segment before opening the next — or `close`). Records written but
+/// not yet fsynced may be lost or torn — the recovery scan turns either
+/// into "that record never happened", which the deterministic campaign
+/// simply recomputes.
 ///
 /// Failure handling: if an append fails mid-frame (ENOSPC half-way
 /// through a record), the writer rolls the file back to the last frame
@@ -71,32 +110,45 @@ WalScanResult scan_wal(std::string_view image, std::uint32_t generation);
 /// StoreError rather than risk interleaving garbage.
 class WalWriter {
  public:
-  WalWriter(Vfs& vfs, std::string path, std::uint32_t generation,
-            std::uint32_t next_sequence, std::uint64_t start_bytes,
-            std::size_t fsync_every);
+  WalWriter(Vfs& vfs, std::string dir, std::uint32_t generation,
+            std::uint32_t segment_index, std::uint32_t next_sequence,
+            std::uint64_t segment_bytes, WalWriterOptions opts = {});
 
   WalWriter(const WalWriter&) = delete;
   WalWriter& operator=(const WalWriter&) = delete;
 
-  /// Appends one record; fsyncs when the batch is due.
+  /// Appends one record; rolls the sub-segment when the cap is reached
+  /// and fsyncs when the batch is due.
   void append(std::string_view payload);
 
   /// Fsyncs any appends not yet covered by a batch fsync.
   void flush();
 
+  /// Clean shutdown: flushes the unsynced frame tail, then closes the
+  /// file. A power cut immediately after close() loses zero frames.
+  /// Appending after close() is an error.
+  void close();
+
   std::uint32_t next_sequence() const { return sequence_; }
-  std::uint64_t bytes() const { return bytes_; }
+  std::uint32_t segment_index() const { return segment_index_; }
+  /// Bytes in the current (last) sub-segment.
+  std::uint64_t segment_bytes() const { return segment_bytes_; }
 
  private:
+  void roll_segment();
+
   Vfs& vfs_;
+  std::string dir_;
   std::string path_;
   VfsFile file_;
   std::uint32_t generation_;
+  std::uint32_t segment_index_;
   std::uint32_t sequence_;
-  std::uint64_t bytes_;
-  std::size_t fsync_every_;
+  std::uint64_t segment_bytes_;
+  WalWriterOptions opts_;
   std::size_t unsynced_ = 0;
   bool poisoned_ = false;
+  bool closed_ = false;
 };
 
 }  // namespace pufaging

@@ -46,6 +46,26 @@ CampaignResult run_campaign(const CampaignConfig& config) {
   const bool has_faults = !config.faults.all_zero();
   std::vector<SramDevice> fleet = make_fleet(config.fleet);
 
+  // Observability sinks. Everything below that touches them is guarded on
+  // the null pointers, so an uninstrumented campaign skips even the clock
+  // reads — and nothing recorded ever flows back into results.
+  obs::MetricsRegistry* const metrics = config.metrics;
+  obs::Tracer* const tracer = config.tracer;
+  obs::MonotonicClock& obs_clock =
+      config.clock != nullptr
+          ? *config.clock
+          : (tracer != nullptr ? tracer->clock() : obs::RealClock::instance());
+  // Dispatch tallies are process-global; the campaign reports the delta it
+  // caused (best-effort under concurrent campaigns in one process).
+  bitkernel::DispatchCounts dispatch_base;
+  if (metrics != nullptr) {
+    dispatch_base = bitkernel::dispatch_counts();
+  }
+  obs::Tracer::Span campaign_span;
+  if (tracer != nullptr) {
+    campaign_span = tracer->span("campaign");
+  }
+
   // All persistence goes through the crash-safe durable store. A
   // PowerCutError from a fault-injecting Vfs is NOT caught anywhere below:
   // it models the process dying, and only the crash harness (playing the
@@ -55,6 +75,9 @@ CampaignResult run_campaign(const CampaignConfig& config) {
     Vfs& vfs = config.vfs != nullptr ? *config.vfs : RealFs::instance();
     StoreOptions store_opts;
     store_opts.fsync_every = config.fsync_every;
+    store_opts.wal_segment_bytes = config.wal_segment_bytes;
+    store_opts.metrics = metrics;
+    store_opts.clock = &obs_clock;
     store.emplace(vfs, config.checkpoint_dir, store_opts);
   }
 
@@ -240,18 +263,73 @@ CampaignResult run_campaign(const CampaignConfig& config) {
     pool.emplace(thread_count);
   }
 
+  // End-of-campaign accounting, shared by the halt and completion exits:
+  // clean store shutdown (flush the WAL tail so a power cut right after
+  // the campaign loses nothing) and the run-level metrics.
+  const auto finalize = [&] {
+    if (store) {
+      try {
+        store->close();
+      } catch (const StoreError& e) {
+        result.persistence.incidents.push_back(
+            std::string("store close failed: ") + e.what());
+      }
+    }
+    if (metrics == nullptr) {
+      return;
+    }
+    if (pool) {
+      const ThreadPool::Stats ps = pool->stats();
+      metrics->gauge_set("campaign.pool.threads",
+                         static_cast<double>(pool->size()));
+      metrics->gauge_set("campaign.pool.tasks_run",
+                         static_cast<double>(ps.tasks_run));
+      metrics->gauge_set("campaign.pool.max_queue_depth",
+                         static_cast<double>(ps.max_queue_depth));
+      metrics->gauge_set("campaign.pool.tasks_per_thread",
+                         static_cast<double>(ps.tasks_run) /
+                             static_cast<double>(pool->size()));
+    }
+    const bitkernel::DispatchCounts now = bitkernel::dispatch_counts();
+    for (std::size_t i = 0; i < bitkernel::kLevelCount; ++i) {
+      const std::uint64_t delta = now.calls[i] - dispatch_base.calls[i];
+      if (delta != 0) {
+        metrics->add(std::string("bitkernel.dispatch.") +
+                         bitkernel::level_name(
+                             static_cast<bitkernel::Level>(i)),
+                     delta);
+      }
+    }
+  };
+
   for (std::size_t month = start_month; month <= config.months; ++month) {
+    obs::Tracer::Span month_span;
+    if (tracer != nullptr) {
+      month_span = tracer->span("campaign.month");
+    }
+    const std::uint64_t month_start_ns =
+        metrics != nullptr ? obs_clock.now_ns() : 0;
     const OperatingPoint month_op = op_for_month(month);
     const bool age_after = month < config.months;
     std::vector<DeviceMonthMetrics> device_metrics(fleet.size());
     std::vector<std::uint8_t> device_reported(fleet.size(), 1);
     std::vector<DeviceSlotStats> slot_stats(fleet.size());
+    // Times one SRAM power-up (a single measure); a no-op timer when
+    // metrics are off, so the uninstrumented inner loop is untouched.
+    const auto timed_measure = [&metrics, &obs_clock](SramDevice& device,
+                                                      const OperatingPoint&
+                                                          op) {
+      const obs::ScopedTimer timer(metrics, "campaign.powerup_ns", obs_clock);
+      return device.measure(op);
+    };
     const auto device_task = [&](std::size_t d) {
+      const obs::ScopedTimer device_timer(metrics, "campaign.device_month_ns",
+                                          obs_clock);
       SramDevice& device = fleet[d];
       if (!has_faults) {
         // The fault-free fast path: byte-for-byte the pre-chaos engine, so
         // an all-zero FaultPlan stays bit-identical to it.
-        BitVector first = device.measure(month_op);
+        BitVector first = timed_measure(device, month_op);
         if (month == 0) {
           result.references[d] = first;
         }
@@ -261,7 +339,7 @@ CampaignResult run_campaign(const CampaignConfig& config) {
           result.first_month_batches[d].push_back(first);
         }
         for (std::size_t m = 1; m < config.measurements_per_month; ++m) {
-          const BitVector pattern = device.measure(month_op);
+          const BitVector pattern = timed_measure(device, month_op);
           acc.add(pattern);
           if (month == 0 && config.keep_first_month_batches) {
             result.first_month_batches[d].push_back(pattern);
@@ -292,7 +370,7 @@ CampaignResult run_campaign(const CampaignConfig& config) {
             if (out.brownout) {
               slot_op.ramp_time_us *= config.faults.brownout_ramp_factor;
             }
-            const BitVector pattern = device.measure(slot_op);
+            const BitVector pattern = timed_measure(device, slot_op);
             if (out.delivered) {
               if (result.references[d].empty()) {
                 result.references[d] = pattern;
@@ -356,6 +434,20 @@ CampaignResult run_campaign(const CampaignConfig& config) {
       mh.boards_reporting =
           static_cast<std::uint32_t>(fleet_month.devices_reporting);
       mh.coverage = fleet_month.coverage;
+      if (metrics != nullptr) {
+        // Bridge the chaos ledger into the metrics view, so one exporter
+        // covers engine, store and rig health alike.
+        metrics->add("chaos.crc_retries", mh.crc_retries);
+        metrics->add("chaos.timeouts", mh.timeouts);
+        metrics->add("chaos.frames_lost", mh.frames_lost);
+        metrics->add("chaos.measurements_dropped", mh.measurements_dropped);
+        metrics->add("chaos.probes", mh.probes);
+        metrics->gauge_set("chaos.boards_quarantined",
+                           static_cast<double>(mh.boards_quarantined));
+        metrics->gauge_set("chaos.boards_reporting",
+                           static_cast<double>(mh.boards_reporting));
+        metrics->gauge_set("chaos.coverage", mh.coverage);
+      }
       result.health.months.push_back(mh);
       result.series.push_back(std::move(fleet_month));
     }
@@ -363,16 +455,27 @@ CampaignResult run_campaign(const CampaignConfig& config) {
                            month == *config.halt_after_month &&
                            month < config.months;
     if (store) {
+      obs::Tracer::Span persist_span;
+      if (tracer != nullptr) {
+        persist_span = tracer->span("campaign.persist");
+      }
       const bool final_persist = halt_here || month == config.months;
       const bool snapshot_due =
           final_persist || (month + 1) % config.checkpoint_every_months == 0;
       persist_month(month, snapshot_due, final_persist);
     }
+    if (metrics != nullptr) {
+      metrics->add("campaign.months");
+      metrics->observe("campaign.month_wall_ns",
+                       obs_clock.now_ns() - month_start_ns);
+    }
     if (halt_here) {
       result.completed = false;
+      finalize();
       return result;
     }
   }
+  finalize();
   return result;
 }
 

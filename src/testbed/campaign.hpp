@@ -18,6 +18,8 @@
 #include <vector>
 
 #include "analysis/monthly.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "silicon/device_factory.hpp"
 #include "store/vfs.hpp"
 #include "testbed/faults.hpp"
@@ -85,6 +87,24 @@ struct CampaignConfig {
   /// trade a bounded amount of redone work after a crash for fewer
   /// fsyncs.
   std::size_t fsync_every = 1;
+
+  /// WAL sub-segment size cap forwarded to the store (see
+  /// StoreOptions::wal_segment_bytes); 0 = unbounded.
+  std::uint64_t wal_segment_bytes = 16ULL << 20;
+
+  /// Observability sinks. Both are pure *sinks*: nothing recorded through
+  /// them flows back into RNG streams, measurements or analysis, so a
+  /// campaign is bit-identical with them set or null —
+  /// tests/integration/observability_test.cpp asserts exactly that.
+  /// Null = uninstrumented (the hot paths skip even the clock reads).
+  obs::MetricsRegistry* metrics = nullptr;
+  obs::Tracer* tracer = nullptr;
+
+  /// Clock behind the campaign's latency metrics; null = the tracer's
+  /// clock when a tracer is set, else the real monotonic clock. A
+  /// FakeClock here is only safe with threads == 1 (its readings mutate
+  /// unsynchronized state), which is all the golden exporter tests need.
+  obs::MonotonicClock* clock = nullptr;
 
   /// Resume from the checkpoint in `checkpoint_dir`: completed months are
   /// restored and the campaign continues bit-identically to an

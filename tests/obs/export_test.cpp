@@ -1,0 +1,96 @@
+// Golden-pinned exporter output. Everything here runs single-threaded
+// under the FakeClock, so the JSON-lines exports are byte-stable and the
+// expectations below are literal pins — any formatting drift is a
+// deliberate, reviewed change.
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "obs/clock.hpp"
+#include "obs/export.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+
+namespace pufaging::obs {
+namespace {
+
+MetricsRegistry& golden_registry(MetricsRegistry& reg) {
+  reg.add("campaign.months", 3);
+  reg.gauge_set("chaos.coverage", 0.75);
+  reg.observe("fsync_ns", 100);
+  reg.observe("fsync_ns", 900);
+  return reg;
+}
+
+TEST(Export, MetricsJsonlGolden) {
+  MetricsRegistry reg;
+  const std::string jsonl = metrics_to_jsonl(golden_registry(reg).snapshot());
+  EXPECT_EQ(jsonl,
+            "{\"type\":\"counter\",\"name\":\"campaign.months\",\"value\":3}\n"
+            "{\"type\":\"gauge\",\"name\":\"chaos.coverage\",\"value\":0.75}\n"
+            "{\"type\":\"histogram\",\"name\":\"fsync_ns\",\"count\":2,"
+            "\"sum\":1000,\"min\":100,\"max\":900,\"mean\":500,\"p50\":127,"
+            "\"p99\":900,\"buckets\":[[64,1],[512,1]]}\n");
+}
+
+TEST(Export, MetricsTableRendersAllSections) {
+  MetricsRegistry reg;
+  const std::string table = metrics_table(golden_registry(reg).snapshot());
+  // Scalars section: name, type and value columns.
+  EXPECT_NE(table.find("campaign.months"), std::string::npos);
+  EXPECT_NE(table.find("counter"), std::string::npos);
+  EXPECT_NE(table.find("chaos.coverage"), std::string::npos);
+  EXPECT_NE(table.find("0.75"), std::string::npos);
+  // Histogram section: *_ns metrics render in human units.
+  EXPECT_NE(table.find("fsync_ns"), std::string::npos);
+  EXPECT_NE(table.find("500 ns"), std::string::npos);  // mean
+  EXPECT_NE(table.find("900 ns"), std::string::npos);  // p99/max
+}
+
+TEST(Export, TraceJsonlGoldenUnderFakeClock) {
+  FakeClock clock(100);
+  Tracer tracer(clock);
+  {
+    Tracer::Span outer = tracer.span("campaign");
+    clock.advance(10);
+    {
+      Tracer::Span inner = tracer.span("campaign.month");
+      clock.advance(5);
+    }
+    clock.advance(1);
+  }
+  const std::string jsonl = trace_to_jsonl(tracer.finished());
+  EXPECT_EQ(jsonl,
+            "{\"type\":\"span\",\"name\":\"campaign\",\"id\":1,\"parent\":0,"
+            "\"start_ns\":100,\"end_ns\":116,\"duration_ns\":16}\n"
+            "{\"type\":\"span\",\"name\":\"campaign.month\",\"id\":2,"
+            "\"parent\":1,\"start_ns\":110,\"end_ns\":115,"
+            "\"duration_ns\":5}\n");
+}
+
+TEST(Export, TraceTableAggregatesByNameSortedByTotal) {
+  FakeClock clock(0);
+  Tracer tracer(clock);
+  for (int i = 0; i < 3; ++i) {
+    Tracer::Span s = tracer.span("short");
+    clock.advance(10);
+  }
+  {
+    Tracer::Span s = tracer.span("long");
+    clock.advance(1000);
+  }
+  const std::string table = trace_table(tracer.finished());
+  // "long" dominates total time, so it sorts first.
+  EXPECT_LT(table.find("long"), table.find("short"));
+  EXPECT_NE(table.find("3"), std::string::npos);  // short's count
+  EXPECT_NE(table.find("1.00 us"), std::string::npos);  // long's total
+}
+
+TEST(Export, EmptySnapshotsExportEmpty) {
+  EXPECT_EQ(metrics_to_jsonl(MetricsSnapshot{}), "");
+  EXPECT_EQ(metrics_table(MetricsSnapshot{}), "");
+  EXPECT_EQ(trace_to_jsonl({}), "");
+}
+
+}  // namespace
+}  // namespace pufaging::obs

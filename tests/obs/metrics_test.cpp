@@ -1,0 +1,149 @@
+// MetricsRegistry: thread-sharded counters/gauges/histograms, the
+// bounded power-of-two histogram, quantile bounds and the clock seam.
+#include <gtest/gtest.h>
+
+#include <thread>
+#include <vector>
+
+#include "obs/clock.hpp"
+#include "obs/metrics.hpp"
+
+namespace pufaging::obs {
+namespace {
+
+TEST(Metrics, CountersAccumulate) {
+  MetricsRegistry reg;
+  reg.add("a");
+  reg.add("a", 4);
+  reg.add("b", 7);
+  const MetricsSnapshot snap = reg.snapshot();
+  ASSERT_EQ(snap.counters.size(), 2U);
+  EXPECT_EQ(snap.counters.at("a"), 5U);
+  EXPECT_EQ(snap.counters.at("b"), 7U);
+}
+
+TEST(Metrics, CountersMergeAcrossThreads) {
+  MetricsRegistry reg;
+  constexpr int kThreads = 8;
+  constexpr int kAddsPerThread = 1000;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&reg] {
+      for (int i = 0; i < kAddsPerThread; ++i) {
+        reg.add("shared");
+      }
+    });
+  }
+  for (std::thread& t : threads) {
+    t.join();
+  }
+  EXPECT_EQ(reg.snapshot().counters.at("shared"),
+            static_cast<std::uint64_t>(kThreads) * kAddsPerThread);
+}
+
+TEST(Metrics, GaugeLatestSetWinsAcrossShards) {
+  MetricsRegistry reg;
+  reg.gauge_set("g", 1.0);
+  // A set from another thread lands in a different shard; the global
+  // set-order sequence decides the merge, not shard order.
+  std::thread([&reg] { reg.gauge_set("g", 2.0); }).join();
+  EXPECT_EQ(reg.snapshot().gauges.at("g"), 2.0);
+  reg.gauge_set("g", 3.0);
+  EXPECT_EQ(reg.snapshot().gauges.at("g"), 3.0);
+}
+
+TEST(Metrics, HistogramExactStatsAndBuckets) {
+  MetricsRegistry reg;
+  reg.observe("h", 0);
+  reg.observe("h", 1);
+  reg.observe("h", 2);
+  reg.observe("h", 100);
+  reg.observe("h", 900);
+  const HistogramSnapshot h = reg.snapshot().histograms.at("h");
+  EXPECT_EQ(h.count, 5U);
+  EXPECT_EQ(h.sum, 1003U);
+  EXPECT_EQ(h.min, 0U);
+  EXPECT_EQ(h.max, 900U);
+  EXPECT_DOUBLE_EQ(h.mean(), 1003.0 / 5.0);
+  // Power-of-two buckets: 0 and 1 share bucket 0 (floor(log2) with the
+  // zero special case), 2 -> bucket 1, 100 -> bucket 6, 900 -> bucket 9.
+  EXPECT_EQ(h.buckets[0], 2U);
+  EXPECT_EQ(h.buckets[1], 1U);
+  EXPECT_EQ(h.buckets[6], 1U);
+  EXPECT_EQ(h.buckets[9], 1U);
+  std::uint64_t total = 0;
+  for (const std::uint64_t b : h.buckets) {
+    total += b;
+  }
+  EXPECT_EQ(total, h.count);
+}
+
+TEST(Metrics, HistogramMergesAcrossThreads) {
+  MetricsRegistry reg;
+  std::thread([&reg] { reg.observe("h", 10); }).join();
+  std::thread([&reg] { reg.observe("h", 2000); }).join();
+  const HistogramSnapshot h = reg.snapshot().histograms.at("h");
+  EXPECT_EQ(h.count, 2U);
+  EXPECT_EQ(h.min, 10U);
+  EXPECT_EQ(h.max, 2000U);
+  EXPECT_EQ(h.sum, 2010U);
+}
+
+TEST(Metrics, QuantileUpperBoundIsAPowerOfTwoBoundClampedToMax) {
+  MetricsRegistry reg;
+  reg.observe("h", 100);
+  reg.observe("h", 900);
+  const HistogramSnapshot h = reg.snapshot().histograms.at("h");
+  // p50 rank falls in the bucket of 100 (bucket 6, upper bound 127);
+  // p99 lands in the last occupied bucket, clamped to the exact max.
+  EXPECT_EQ(h.quantile_upper_bound(0.5), 127U);
+  EXPECT_EQ(h.quantile_upper_bound(0.99), 900U);
+  const HistogramSnapshot empty;
+  EXPECT_EQ(empty.quantile_upper_bound(0.5), 0U);
+}
+
+TEST(Metrics, RegistriesAreIsolated) {
+  MetricsRegistry a;
+  MetricsRegistry b;
+  a.add("x");
+  b.add("x", 10);
+  EXPECT_EQ(a.snapshot().counters.at("x"), 1U);
+  EXPECT_EQ(b.snapshot().counters.at("x"), 10U);
+}
+
+TEST(Metrics, ScopedTimerObservesElapsedNanoseconds) {
+  FakeClock clock(1000);
+  MetricsRegistry reg;
+  {
+    const ScopedTimer timer(&reg, "op_ns", clock);
+    clock.advance(250);
+  }
+  const HistogramSnapshot h = reg.snapshot().histograms.at("op_ns");
+  EXPECT_EQ(h.count, 1U);
+  EXPECT_EQ(h.sum, 250U);
+}
+
+TEST(Metrics, ScopedTimerWithNullRegistryIsANoop) {
+  FakeClock clock;
+  const ScopedTimer timer(nullptr, "op_ns", clock);
+  // No registry: the timer must not even read the clock.
+  EXPECT_EQ(clock.now_ns(), 0U);
+}
+
+TEST(Clock, FakeClockAutoStepsPerReading) {
+  FakeClock clock(100, 10);
+  EXPECT_EQ(clock.now_ns(), 100U);
+  EXPECT_EQ(clock.now_ns(), 110U);
+  clock.advance(1000);
+  EXPECT_EQ(clock.now_ns(), 1120U);
+}
+
+TEST(Clock, RealClockIsMonotonic) {
+  MonotonicClock& clock = RealClock::instance();
+  const std::uint64_t a = clock.now_ns();
+  const std::uint64_t b = clock.now_ns();
+  EXPECT_GE(b, a);
+}
+
+}  // namespace
+}  // namespace pufaging::obs

@@ -1,0 +1,113 @@
+// Tracer: scoped-span nesting, determinism under the FakeClock, move
+// semantics and cross-thread merging.
+#include <gtest/gtest.h>
+
+#include <thread>
+#include <utility>
+
+#include "obs/clock.hpp"
+#include "obs/trace.hpp"
+
+namespace pufaging::obs {
+namespace {
+
+TEST(Trace, SpansNestPerThread) {
+  FakeClock clock(0, 1);
+  Tracer tracer(clock);
+  {
+    Tracer::Span root = tracer.span("root");
+    {
+      Tracer::Span child = tracer.span("child");
+    }
+    Tracer::Span sibling = tracer.span("sibling");
+  }
+  const std::vector<SpanRecord> spans = tracer.finished();
+  ASSERT_EQ(spans.size(), 3U);
+  // Sorted by start time: root first, then its two children.
+  EXPECT_EQ(spans[0].name, "root");
+  EXPECT_EQ(spans[0].parent_id, 0U);
+  EXPECT_EQ(spans[1].name, "child");
+  EXPECT_EQ(spans[1].parent_id, spans[0].span_id);
+  EXPECT_EQ(spans[2].name, "sibling");
+  EXPECT_EQ(spans[2].parent_id, spans[0].span_id);
+  EXPECT_EQ(tracer.dropped(), 0U);
+}
+
+TEST(Trace, FakeClockMakesDurationsDeterministic) {
+  FakeClock clock(1000);
+  Tracer tracer(clock);
+  {
+    Tracer::Span s = tracer.span("op");
+    clock.advance(500);
+  }
+  const std::vector<SpanRecord> spans = tracer.finished();
+  ASSERT_EQ(spans.size(), 1U);
+  EXPECT_EQ(spans[0].start_ns, 1000U);
+  EXPECT_EQ(spans[0].end_ns, 1500U);
+  EXPECT_EQ(spans[0].duration_ns(), 500U);
+}
+
+TEST(Trace, FinishIsIdempotent) {
+  FakeClock clock(0, 1);
+  Tracer tracer(clock);
+  Tracer::Span s = tracer.span("op");
+  s.finish();
+  s.finish();
+  EXPECT_EQ(tracer.finished().size(), 1U);
+}
+
+TEST(Trace, MovedFromSpanRecordsNothing) {
+  FakeClock clock(0, 1);
+  Tracer tracer(clock);
+  {
+    Tracer::Span a = tracer.span("op");
+    Tracer::Span b = std::move(a);
+    a.finish();  // moved-from: a no-op
+  }
+  EXPECT_EQ(tracer.finished().size(), 1U);
+}
+
+TEST(Trace, DefaultConstructedSpanIsInert) {
+  Tracer::Span s;
+  s.finish();  // must not crash
+}
+
+TEST(Trace, ThreadsGetIndependentStacks) {
+  FakeClock clock(0, 1);
+  Tracer tracer(clock);
+  Tracer::Span root = tracer.span("root");
+  std::uint32_t worker_parent = 1;  // sentinel != 0
+  std::thread([&] {
+    // A span opened on another thread has no parent there, even while
+    // "root" is open on the main thread.
+    Tracer::Span s = tracer.span("worker");
+    s.finish();
+  }).join();
+  root.finish();
+  const std::vector<SpanRecord> spans = tracer.finished();
+  ASSERT_EQ(spans.size(), 2U);
+  for (const SpanRecord& span : spans) {
+    if (span.name == "worker") {
+      worker_parent = span.parent_id;
+    }
+  }
+  EXPECT_EQ(worker_parent, 0U);
+}
+
+TEST(Trace, FinishedMergesAndSortsAcrossThreads) {
+  FakeClock clock(0, 1);
+  Tracer tracer(clock);
+  std::thread([&] { Tracer::Span s = tracer.span("t1"); }).join();
+  std::thread([&] { Tracer::Span s = tracer.span("t2"); }).join();
+  {
+    Tracer::Span s = tracer.span("main");
+  }
+  const std::vector<SpanRecord> spans = tracer.finished();
+  ASSERT_EQ(spans.size(), 3U);
+  for (std::size_t i = 1; i < spans.size(); ++i) {
+    EXPECT_LE(spans[i - 1].start_ns, spans[i].start_ns);
+  }
+}
+
+}  // namespace
+}  // namespace pufaging::obs

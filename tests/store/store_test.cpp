@@ -220,6 +220,197 @@ TEST(Store, DroppedFsyncsSurfaceAsTypedCorruptionNeverSilentGarbage) {
   }
 }
 
+TEST(Store, SnapshotBitRotIsATypedCorruptionError) {
+  // The manifest records the snapshot's CRC-32C; a snapshot whose bytes
+  // rot on the medium after publication must be rejected at open with a
+  // typed corruption error, never silently loaded.
+  FaultFs fs;
+  {
+    MeasurementStore store(fs, "db");
+    store.publish_snapshot(std::string(300, 's'));
+  }
+  fs.fsync_dir("db");
+  fs.corrupt_durable("db/snap-00000001", 137, 0x04);
+  fs.power_cut();
+  try {
+    MeasurementStore store(fs, "db");
+    FAIL() << "expected StoreError(kCorrupt)";
+  } catch (const StoreError& e) {
+    EXPECT_EQ(e.kind(), StoreError::Kind::kCorrupt);
+    EXPECT_NE(std::string(e.what()).find("CRC32C"), std::string::npos);
+  }
+}
+
+TEST(Store, VersionOneManifestWithoutCrcStillOpens) {
+  // Manifests written before the CRC field existed carry version 1; they
+  // must keep opening (their snapshot merely unchecked).
+  FaultFs fs;
+  fs.create_dirs("db");
+  {
+    VfsFile snap(fs, fs.open_append("db/snap-00000003", true));
+    fs.write_all(snap.id(), "OLD-SNAP");
+    fs.fsync(snap.id());
+    VfsFile wal(fs, fs.open_append("db/wal-00000003.log", true));
+    VfsFile manifest(fs, fs.open_append("db/MANIFEST", true));
+    fs.write_all(manifest.id(),
+                 "{\"version\":1,\"generation\":3,"
+                 "\"snapshot\":\"snap-00000003\",\"wal\":"
+                 "\"wal-00000003.log\"}");
+    fs.fsync(manifest.id());
+  }
+  MeasurementStore store(fs, "db");
+  EXPECT_TRUE(store.has_state());
+  EXPECT_EQ(store.generation(), 3U);
+  EXPECT_EQ(store.snapshot(), "OLD-SNAP");
+}
+
+TEST(Store, CleanCloseMakesTheBatchedTailDurable) {
+  // The tail-flush audit: with fsync batching, records past the last
+  // batch boundary are not durable — unless the store is closed cleanly,
+  // after which a power cut must lose zero records.
+  FaultFs fs;
+  StoreOptions opts;
+  opts.fsync_every = 100;
+  {
+    MeasurementStore store(fs, "db", opts);
+    store.publish_snapshot("S");
+    store.append_record("r0");
+    store.append_record("r1");
+    store.append_record("r2");
+    EXPECT_EQ(scan_wal(fs.durable_contents("db/wal-00000001.log"), 1)
+                  .payloads.size(),
+              0U);
+    store.close();
+    EXPECT_THROW(store.append_record("after-close"), StoreError);
+    store.close();  // idempotent
+  }
+  fs.power_cut();
+  MeasurementStore reopened(fs, "db", opts);
+  EXPECT_EQ(reopened.snapshot(), "S");
+  ASSERT_EQ(reopened.wal_records().size(), 3U);
+  EXPECT_FALSE(reopened.recovery().torn_tail);
+}
+
+TEST(Store, InterruptedPublishDoesNotLoseTheUnsyncedWalTail) {
+  // A generation roll is a clean close of the old WAL: publish_snapshot
+  // must flush the old tail *before* writing anything new, so a publish
+  // that fails midway (and a power cut after it) still leaves every
+  // appended record of the still-live old generation recoverable.
+  FsFaultPlan plan;
+  FaultFs fs(plan);
+  StoreOptions opts;
+  opts.fsync_every = 100;
+  MeasurementStore store(fs, "db", opts);
+  store.publish_snapshot("S");
+  store.append_record("r0");
+  store.append_record("r1");
+  // Exhaust the disk so the next publication fails after the tail flush
+  // (a flush is an fsync: it writes no bytes and cannot hit ENOSPC).
+  plan.enospc_after_bytes = fs.bytes_written() + 8;
+  fs.set_plan(plan);
+  try {
+    store.publish_snapshot(std::string(4096, 'x'));
+    FAIL() << "expected StoreError(kNoSpace)";
+  } catch (const StoreError& e) {
+    EXPECT_EQ(e.kind(), StoreError::Kind::kNoSpace);
+  }
+  fs.power_cut();
+  MeasurementStore reopened(fs, "db");
+  EXPECT_EQ(reopened.snapshot(), "S");
+  ASSERT_EQ(reopened.wal_records().size(), 2U);
+  EXPECT_EQ(reopened.wal_records()[0], "r0");
+  EXPECT_EQ(reopened.wal_records()[1], "r1");
+}
+
+TEST(Store, WalSubSegmentsRoundTripThroughRecovery) {
+  FaultFs fs;
+  StoreOptions opts;
+  opts.wal_segment_bytes = 64;  // two ~27-byte frames per sub-segment
+  {
+    MeasurementStore store(fs, "db", opts);
+    store.publish_snapshot("S");
+    for (int i = 0; i < 7; ++i) {
+      store.append_record("month-" + std::to_string(i));
+    }
+    store.close();
+  }
+  EXPECT_TRUE(fs.exists("db/wal-00000001.log"));
+  EXPECT_TRUE(fs.exists("db/wal-00000001.1.log"));
+  MeasurementStore store(fs, "db", opts);
+  ASSERT_EQ(store.wal_records().size(), 7U);
+  for (int i = 0; i < 7; ++i) {
+    EXPECT_EQ(store.wal_records()[static_cast<std::size_t>(i)],
+              "month-" + std::to_string(i));
+  }
+  EXPECT_GT(store.recovery().wal_segments, 1U);
+  EXPECT_FALSE(store.recovery().torn_tail);
+  // The writer resumes in the last sub-segment: appends continue the
+  // logical log, not a fresh file.
+  store.append_record("month-7");
+  store.close();
+  MeasurementStore again(fs, "db", opts);
+  ASSERT_EQ(again.wal_records().size(), 8U);
+  EXPECT_EQ(again.wal_records()[7], "month-7");
+  // A compaction removes every sub-segment of the old generation.
+  again.publish_snapshot("S2");
+  for (const std::string& name : fs.list_dir("db")) {
+    EXPECT_EQ(name.find("wal-00000001"), std::string::npos)
+        << "stale sub-segment survived: " << name;
+  }
+}
+
+TEST(Store, TornTailInTheLastSubSegmentOnlyCutsThatSegment) {
+  FaultFs fs;
+  StoreOptions opts;
+  opts.wal_segment_bytes = 64;
+  {
+    MeasurementStore store(fs, "db", opts);
+    store.publish_snapshot("S");
+    for (int i = 0; i < 5; ++i) {
+      store.append_record("month-" + std::to_string(i));
+    }
+    store.close();
+  }
+  // Tear the tail of the LAST sub-segment (records 4.. live in index 2).
+  {
+    VfsFile file(fs, fs.open_append("db/wal-00000001.2.log", false));
+    fs.write_all(file.id(), "PWALtorn-garbage");
+  }
+  MeasurementStore store(fs, "db", opts);
+  EXPECT_TRUE(store.recovery().torn_tail);
+  ASSERT_EQ(store.wal_records().size(), 5U);
+  EXPECT_EQ(store.recovery().wal_segments, 3U);
+}
+
+TEST(Store, RotInAMiddleSubSegmentStopsReplayAndSweepsTheRest) {
+  // Sub-segments before the last were fsynced whole at their roll, so
+  // damage there is medium rot: replay must stop at the rot (never skip
+  // over it) and the now-unreachable later sub-segments are swept.
+  FaultFs fs;
+  StoreOptions opts;
+  opts.wal_segment_bytes = 64;
+  {
+    MeasurementStore store(fs, "db", opts);
+    store.publish_snapshot("S");
+    for (int i = 0; i < 7; ++i) {
+      store.append_record("month-" + std::to_string(i));
+    }
+    store.close();
+  }
+  fs.fsync_dir("db");
+  // Flip a payload bit in sub-segment 1 (records 2-3).
+  fs.corrupt_durable("db/wal-00000001.1.log", 22, 0x01);
+  MeasurementStore store(fs, "db", opts);
+  EXPECT_TRUE(store.recovery().torn_tail);
+  ASSERT_EQ(store.wal_records().size(), 2U);
+  EXPECT_EQ(store.wal_records()[0], "month-0");
+  EXPECT_EQ(store.wal_records()[1], "month-1");
+  EXPECT_EQ(store.recovery().wal_segments, 2U);
+  // Sub-segments 2 and 3 sit beyond the cut: swept as strays.
+  EXPECT_FALSE(fs.exists("db/wal-00000001.2.log"));
+  EXPECT_FALSE(fs.exists("db/wal-00000001.3.log"));
+}
+
 TEST(Store, FsyncBatchingHonoursFsyncEvery) {
   FaultFs fs;
   StoreOptions opts;

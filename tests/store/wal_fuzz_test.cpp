@@ -141,7 +141,9 @@ TEST_P(WalFuzz, RecoveredLogAcceptsNewAppends) {
   for (int trial = 0; trial < 20; ++trial) {
     std::vector<std::string> payloads;
     std::string image = mutate(rng, random_log(rng, &payloads));
-    const std::string path = "wal/seg" + std::to_string(trial) + ".log";
+    const std::string dir = "wal/t" + std::to_string(trial);
+    fs.create_dirs(dir);
+    const std::string path = dir + "/" + wal_segment_name(kGen, 0);
     {
       VfsFile file(fs, fs.open_append(path, true));
       fs.write_all(file.id(), image);
@@ -150,9 +152,9 @@ TEST_P(WalFuzz, RecoveredLogAcceptsNewAppends) {
     const WalScanResult scan = scan_wal(fs.read_file(path), kGen);
     fs.truncate(path, scan.valid_bytes);
     {
-      WalWriter writer(fs, path, kGen,
+      WalWriter writer(fs, dir, kGen, 0,
                        static_cast<std::uint32_t>(scan.payloads.size()),
-                       scan.valid_bytes, 1);
+                       scan.valid_bytes);
       writer.append("post-recovery");
     }
     const WalScanResult after = scan_wal(fs.read_file(path), kGen);

@@ -125,22 +125,23 @@ TEST(WalScan, SequenceGapStopsTheReplay) {
 TEST(WalWriter, AppendsScanAndResumeSequencing) {
   FaultFs fs;
   fs.create_dirs("wal");
+  const std::string seg0 = "wal/" + wal_segment_name(9, 0);
   {
-    WalWriter writer(fs, "wal/seg.log", 9, 0, 0, 1);
+    WalWriter writer(fs, "wal", 9, 0, 0, 0);
     writer.append("r0");
     writer.append("r1");
   }
-  const std::string image = fs.read_file("wal/seg.log");
+  const std::string image = fs.read_file(seg0);
   const WalScanResult scan = scan_wal(image, 9);
   ASSERT_EQ(scan.payloads.size(), 2U);
   // A writer reopened from the scan continues the sequence.
   {
-    WalWriter writer(fs, "wal/seg.log",
-                     9, static_cast<std::uint32_t>(scan.payloads.size()),
-                     scan.valid_bytes, 1);
+    WalWriter writer(fs, "wal", 9, 0,
+                     static_cast<std::uint32_t>(scan.payloads.size()),
+                     scan.valid_bytes);
     writer.append("r2");
   }
-  const WalScanResult again = scan_wal(fs.read_file("wal/seg.log"), 9);
+  const WalScanResult again = scan_wal(fs.read_file(seg0), 9);
   ASSERT_EQ(again.payloads.size(), 3U);
   EXPECT_EQ(again.payloads[2], "r2");
   EXPECT_FALSE(again.torn_tail);
@@ -150,20 +151,101 @@ TEST(WalWriter, FsyncBatchingMakesRecordsDurableInGroups) {
   FaultFs fs;
   fs.create_dirs("wal");
   fs.fsync_dir("wal");
-  WalWriter writer(fs, "wal/seg.log", 0, 0, 0, /*fsync_every=*/2);
+  const std::string seg0 = "wal/" + wal_segment_name(0, 0);
+  WalWriterOptions opts;
+  opts.fsync_every = 2;
+  WalWriter writer(fs, "wal", 0, 0, 0, 0, opts);
   fs.fsync_dir("wal");  // the file's name itself must be durable
   writer.append("a");
   // One append, batch of two: nothing durable yet beyond the empty file.
-  EXPECT_EQ(fs.durable_contents("wal/seg.log"), "");
+  EXPECT_EQ(fs.durable_contents(seg0), "");
   writer.append("b");  // second append triggers the batch fsync
-  const WalScanResult scan = scan_wal(fs.durable_contents("wal/seg.log"), 0);
+  const WalScanResult scan = scan_wal(fs.durable_contents(seg0), 0);
   EXPECT_EQ(scan.payloads.size(), 2U);
   writer.append("c");
-  EXPECT_EQ(scan_wal(fs.durable_contents("wal/seg.log"), 0).payloads.size(),
-            2U);
+  EXPECT_EQ(scan_wal(fs.durable_contents(seg0), 0).payloads.size(), 2U);
   writer.flush();  // explicit flush covers the tail
-  EXPECT_EQ(scan_wal(fs.durable_contents("wal/seg.log"), 0).payloads.size(),
-            3U);
+  EXPECT_EQ(scan_wal(fs.durable_contents(seg0), 0).payloads.size(), 3U);
+}
+
+TEST(WalWriter, CleanCloseFlushesTheUnsyncedTail) {
+  // The tail-flush contract: with fsync batching active, close() must
+  // cover the appended-but-unsynced frames, so a power cut one instant
+  // after a clean close loses zero frames.
+  FaultFs fs;
+  fs.create_dirs("wal");
+  fs.fsync_dir("wal");
+  const std::string seg0 = "wal/" + wal_segment_name(0, 0);
+  WalWriterOptions opts;
+  opts.fsync_every = 100;  // batching: nothing fsyncs on its own
+  WalWriter writer(fs, "wal", 0, 0, 0, 0, opts);
+  fs.fsync_dir("wal");
+  writer.append("a");
+  writer.append("b");
+  writer.append("c");
+  EXPECT_EQ(fs.durable_contents(seg0), "");
+  writer.close();
+  fs.power_cut();
+  const WalScanResult scan = scan_wal(fs.durable_contents(seg0), 0);
+  EXPECT_EQ(scan.payloads.size(), 3U);
+  EXPECT_FALSE(scan.torn_tail);
+  EXPECT_THROW(writer.append("after-close"), StoreError);
+  writer.close();  // idempotent
+}
+
+TEST(WalWriter, SegmentCapRollsToDurableSubSegments) {
+  FaultFs fs;
+  fs.create_dirs("wal");
+  fs.fsync_dir("wal");
+  WalWriterOptions opts;
+  opts.fsync_every = 100;     // only rolls/close may fsync
+  opts.segment_cap_bytes = 70;  // two 30-byte frames fit, a third rolls
+  WalWriter writer(fs, "wal", 5, 0, 0, 0, opts);
+  fs.fsync_dir("wal");
+  for (int i = 0; i < 5; ++i) {
+    writer.append("0123456789");  // 30-byte frames
+  }
+  // 5 frames, cap 70: records 0-1 in sub-segment 0, 2-3 in 1, 4 in 2.
+  EXPECT_EQ(writer.segment_index(), 2U);
+  // Rolls flushed the finished sub-segments — they are already durable
+  // (and their names too) even though no batch fsync ever ran.
+  fs.power_cut();
+  const WalScanResult s0 =
+      scan_wal(fs.durable_contents("wal/" + wal_segment_name(5, 0)), 5, 0);
+  ASSERT_EQ(s0.payloads.size(), 2U);
+  EXPECT_FALSE(s0.torn_tail);
+  const WalScanResult s1 =
+      scan_wal(fs.durable_contents("wal/" + wal_segment_name(5, 1)), 5, 2);
+  ASSERT_EQ(s1.payloads.size(), 2U);
+  EXPECT_FALSE(s1.torn_tail);
+  // The last sub-segment's record was never fsynced: lost, as allowed.
+  EXPECT_EQ(fs.durable_contents("wal/" + wal_segment_name(5, 2)), "");
+}
+
+TEST(WalWriter, RollKeepsSequenceContinuityAcrossSubSegments) {
+  FaultFs fs;
+  fs.create_dirs("wal");
+  WalWriterOptions opts;
+  opts.segment_cap_bytes = 40;  // one 30-byte frame per sub-segment
+  WalWriter writer(fs, "wal", 1, 0, 0, 0, opts);
+  for (int i = 0; i < 3; ++i) {
+    writer.append("0123456789");
+  }
+  writer.close();
+  // Sequences continue across sub-segments: scanning segment k with the
+  // running start sequence succeeds, with a stale start it replays nothing.
+  std::uint32_t next_seq = 0;
+  for (std::uint32_t k = 0; k <= 2; ++k) {
+    const WalScanResult scan = scan_wal(
+        fs.read_file("wal/" + wal_segment_name(1, k)), 1, next_seq);
+    ASSERT_EQ(scan.payloads.size(), 1U) << "sub-segment " << k;
+    EXPECT_FALSE(scan.torn_tail);
+    next_seq += static_cast<std::uint32_t>(scan.payloads.size());
+  }
+  EXPECT_EQ(next_seq, 3U);
+  EXPECT_TRUE(
+      scan_wal(fs.read_file("wal/" + wal_segment_name(1, 1)), 1, 0)
+          .payloads.empty());
 }
 
 TEST(WalWriter, EnospcMidFrameRollsBackToTheFrameBoundary) {
@@ -172,11 +254,12 @@ TEST(WalWriter, EnospcMidFrameRollsBackToTheFrameBoundary) {
   plan.short_write_limit = 7;    // force multi-call frames
   FaultFs fs(plan);
   fs.create_dirs("wal");
-  WalWriter writer(fs, "wal/seg.log", 0, 0, 0, 1);
+  WalWriter writer(fs, "wal", 0, 0, 0, 0);
   writer.append("0123456789");  // 20-byte header + 10 payload = 30 bytes
   EXPECT_THROW(writer.append("0123456789"), StoreError);
   // The on-disk image must still be a well-formed one-record log.
-  const WalScanResult scan = scan_wal(fs.read_file("wal/seg.log"), 0);
+  const WalScanResult scan =
+      scan_wal(fs.read_file("wal/" + wal_segment_name(0, 0)), 0);
   EXPECT_EQ(scan.payloads.size(), 1U);
   EXPECT_FALSE(scan.torn_tail);
 }

@@ -4,6 +4,7 @@
 //                      [--seed S] [--csv PREFIX] [--threads N]
 //                      [--faults SPEC] [--store-dir DIR] [--resume]
 //                      [--checkpoint-every N] [--fsync-every N]
+//                      [--metrics-out FILE] [--trace-out FILE] [--metrics]
 //   pufaging recover   --store-dir DIR
 //   pufaging rig       [--cycles N] [--jsonl FILE] [--fault-rate P]
 //                      [--faults SPEC]
@@ -30,6 +31,9 @@
 #include "analysis/timeseries.hpp"
 #include "common/error.hpp"
 #include "common/thread_pool.hpp"
+#include "obs/export.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "keygen/debiased_key_generator.hpp"
 #include "keygen/key_generator.hpp"
 #include "silicon/device_factory.hpp"
@@ -122,6 +126,21 @@ int cmd_campaign(Args& args) {
   config.fsync_every =
       static_cast<std::size_t>(args.integer("--fsync-every", 1));
   config.resume = args.boolean("--resume");
+  // Observability is opt-in: the sinks only exist (and the engine only
+  // records) when one of the flags asks for them. Results are bit-identical
+  // either way — the sinks never feed back into the campaign.
+  const auto metrics_out = args.value("--metrics-out");
+  const auto trace_out = args.value("--trace-out");
+  const bool metrics_table_wanted = args.boolean("--metrics");
+  obs::MetricsRegistry metrics;
+  obs::Tracer tracer;
+  if (metrics_out || metrics_table_wanted) {
+    config.metrics = &metrics;
+  }
+  if (trace_out) {
+    config.metrics = &metrics;  // traces without metrics are rarely useful
+    config.tracer = &tracer;
+  }
   // The engine caps the pool at one worker per device; report what will
   // actually run.
   const std::size_t threads =
@@ -145,6 +164,22 @@ int cmd_campaign(Args& args) {
     for (const std::string& incident : result.persistence.incidents) {
       std::fprintf(stderr, "store incident: %s\n", incident.c_str());
     }
+  }
+  if (config.metrics != nullptr) {
+    const obs::MetricsSnapshot snap = metrics.snapshot();
+    if (metrics_out) {
+      std::ofstream out(*metrics_out);
+      out << obs::metrics_to_jsonl(snap);
+      std::fprintf(stderr, "metrics written to %s\n", metrics_out->c_str());
+    }
+    if (metrics_table_wanted) {
+      std::fprintf(stderr, "%s", obs::metrics_table(snap).c_str());
+    }
+  }
+  if (trace_out) {
+    std::ofstream out(*trace_out);
+    out << obs::trace_to_jsonl(tracer.finished());
+    std::fprintf(stderr, "trace written to %s\n", trace_out->c_str());
   }
 
   if (const auto prefix = args.value("--csv")) {
@@ -361,6 +396,7 @@ int usage() {
       "             [--seed S] [--csv PREFIX] [--threads N]\n"
       "             [--faults SPEC] [--store-dir DIR] [--resume]\n"
       "             [--checkpoint-every N] [--fsync-every N]\n"
+      "             [--metrics-out FILE] [--trace-out FILE] [--metrics]\n"
       "             SPEC: corrupt=P,drop=P,nak=P,hang=P,reset=P,\n"
       "             brownout=P,stuck=P,dropout=DEV@MONTH (or JSON)\n"
       "  recover    inspect a durable store: recovery report + which\n"
