@@ -1,0 +1,160 @@
+#include "auth/fleet_sim.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.hpp"
+#include "common/math.hpp"
+
+namespace pufaging::auth {
+namespace {
+
+// Philox stream domains of the fleet seed. Distinct from the campaign's
+// domains by construction (the fleet has its own root seed).
+constexpr std::uint64_t kDomainBias = 0x41757468'42696173ULL;
+constexpr std::uint64_t kDomainNoiseMult = 0x41757468'4E6F6973ULL;
+constexpr std::uint64_t kDomainPv = 0x41757468'50726F63ULL;
+constexpr std::uint64_t kDomainAge = 0x41757468'41676520ULL;
+constexpr std::uint64_t kDomainRead = 0x41757468'52656164ULL;
+constexpr std::uint64_t kDomainEnroll = 0x41757468'456E726FULL;
+
+}  // namespace
+
+VirtualFleet::VirtualFleet(const VirtualFleetConfig& config,
+                           std::uint64_t device_count)
+    : config_(config), device_count_(device_count) {
+  if (config_.window_bits == 0) {
+    throw InvalidArgument("VirtualFleet: window_bits must be > 0");
+  }
+  if (config_.noise_sigma <= 0.0) {
+    throw InvalidArgument("VirtualFleet: noise_sigma must be > 0");
+  }
+}
+
+VirtualFleet::DeviceParams VirtualFleet::device_params(
+    std::uint64_t device) const {
+  DeviceParams p;
+  p.bias = config_.bias_mean +
+           config_.bias_sigma *
+               Philox4x32::gaussian_at(
+                   split_seed(config_.seed, kDomainBias, 0), device);
+  const double mult =
+      std::max(0.05, 1.0 + config_.noise_sigma_cv *
+                               Philox4x32::gaussian_at(
+                                   split_seed(config_.seed, kDomainNoiseMult,
+                                              0),
+                                   device));
+  p.sigma = config_.noise_sigma * mult;
+  p.pv_key = split_seed(config_.seed, kDomainPv, device);
+  p.age_key = split_seed(config_.seed, kDomainAge, device);
+  p.read_key = split_seed(config_.seed, kDomainRead, device);
+  p.enroll_key = split_seed(config_.seed, kDomainEnroll, device);
+  return p;
+}
+
+void VirtualFleet::response_into(std::uint64_t device, double years,
+                                 std::uint64_t nonce,
+                                 std::uint64_t* out) const {
+  const DeviceParams p = device_params(device);
+  const std::size_t bits = config_.window_bits;
+  const std::size_t words = words_per_response();
+
+  const double stress =
+      std::max(0.0, years) * config_.months_per_year *
+      config_.aging.duty_cycle;
+  const double tau = stress <= 0.0 ? 0.0 : std::pow(stress,
+                                                    config_.aging.exponent);
+  const double drift_amp =
+      config_.aging.amplitude_noise_units * config_.noise_sigma * tau;
+  const double var_amp =
+      config_.aging.variability_noise_units * config_.noise_sigma * tau;
+  const double sigma_t =
+      p.sigma * (1.0 + config_.aging.noise_growth_per_tau * tau);
+
+  // Year-0 reads (enrollment among them) use the nonce-addressed noise
+  // stream too; the enrollment read is just nonce space of its own key.
+  const std::uint64_t noise_key = p.read_key;
+  for (std::size_t w = 0; w < words; ++w) {
+    out[w] = 0;
+  }
+  for (std::size_t i = 0; i < bits; ++i) {
+    const double pv = Philox4x32::gaussian_at(p.pv_key, i);
+    const double v0 = p.bias + pv;
+    double v = v0;
+    if (tau > 0.0) {
+      v += -drift_amp * (2.0 * normal_cdf(v0 / p.sigma) - 1.0) +
+           var_amp * Philox4x32::gaussian_at(p.age_key, i);
+    }
+    const double noise =
+        Philox4x32::gaussian_at(noise_key, nonce * bits + i);
+    if (v + sigma_t * noise > 0.0) {
+      out[i >> 6] |= std::uint64_t{1} << (i & 63U);
+    }
+  }
+}
+
+BitVector VirtualFleet::response(std::uint64_t device, double years,
+                                 std::uint64_t nonce) const {
+  BitVector bits(config_.window_bits);
+  // BitVector words are exactly words_per_response() and the setter path
+  // below would be 64x slower; fill a local buffer and rebuild.
+  std::vector<std::uint64_t> words(words_per_response());
+  response_into(device, years, nonce, words.data());
+  for (std::size_t i = 0; i < config_.window_bits; ++i) {
+    if ((words[i >> 6] >> (i & 63U)) & 1U) {
+      bits.set(i, true);
+    }
+  }
+  return bits;
+}
+
+BitVector VirtualFleet::enrollment_response(std::uint64_t device) const {
+  const DeviceParams p = device_params(device);
+  const std::size_t bits = config_.window_bits;
+  BitVector out(bits);
+  for (std::size_t i = 0; i < bits; ++i) {
+    const double v = p.bias + Philox4x32::gaussian_at(p.pv_key, i);
+    const double noise = Philox4x32::gaussian_at(p.enroll_key, i);
+    if (v + p.sigma * noise > 0.0) {
+      out.set(i, true);
+    }
+  }
+  return out;
+}
+
+double VirtualFleet::expected_bit_error_rate(std::uint64_t device,
+                                             double years) const {
+  const DeviceParams p = device_params(device);
+  const std::size_t bits = config_.window_bits;
+  const double stress =
+      std::max(0.0, years) * config_.months_per_year *
+      config_.aging.duty_cycle;
+  const double tau = stress <= 0.0 ? 0.0 : std::pow(stress,
+                                                    config_.aging.exponent);
+  const double drift_amp =
+      config_.aging.amplitude_noise_units * config_.noise_sigma * tau;
+  const double var_amp =
+      config_.aging.variability_noise_units * config_.noise_sigma * tau;
+  const double sigma_t =
+      p.sigma * (1.0 + config_.aging.noise_growth_per_tau * tau);
+
+  // P(auth bit != enrollment bit) per cell, marginalizing both reads:
+  //   q0 = P(enroll = 1) = Phi(v0 / sigma_0)
+  //   qt = P(auth = 1)   = Phi(v_t / sigma_t)
+  // independent noise => error = q0 (1 - qt) + (1 - q0) qt.
+  double sum = 0.0;
+  for (std::size_t i = 0; i < bits; ++i) {
+    const double v0 = p.bias + Philox4x32::gaussian_at(p.pv_key, i);
+    double vt = v0;
+    if (tau > 0.0) {
+      vt += -drift_amp * (2.0 * normal_cdf(v0 / p.sigma) - 1.0) +
+            var_amp * Philox4x32::gaussian_at(p.age_key, i);
+    }
+    const double q0 = normal_cdf(v0 / p.sigma);
+    const double qt = normal_cdf(vt / sigma_t);
+    sum += q0 * (1.0 - qt) + (1.0 - q0) * qt;
+  }
+  return sum / static_cast<double>(bits);
+}
+
+}  // namespace pufaging::auth

@@ -1,0 +1,108 @@
+// Fleet-scale closed-form SRAM model for the authentication workload.
+//
+// The silicon layer's SramDevice carries the full per-cell state of one
+// board (20480 mismatch doubles, an aging integrator, a measurement RNG)
+// — exactly right for the paper's 16-board campaign, hopeless for a fleet
+// of millions of enrolled devices (the mismatch arrays alone would be
+// hundreds of gigabytes). This module is the fleet-scale counterpart: a
+// *virtual* fleet whose every read-out is a pure function of
+// (seed, device, years, nonce, cell), evaluated on demand through the
+// counter-based Philox generator and never materialized.
+//
+// The per-cell math mirrors the silicon model's physics in closed form:
+//
+//   v0      = bias_d + pv_i                    frozen process variation
+//   tau     = (years * 12 * duty)^exponent     BTI power-law stress time
+//   v(tau)  = v0 - A*tau*(2*Phi(v0/sigma_d)-1) systematic drift to balance
+//             + V*tau*eta_i                    stochastic per-cell walk
+//   sigma_t = sigma_d * (1 + g*tau)            aging noise-floor growth
+//   bit     = v(tau) + sigma_t * n > 0         one power-up decision
+//
+// with A, V, g, duty and the exponent taken from the same AgingParams the
+// campaign's BtiAgingModel integrates numerically (one closed-form Euler
+// step instead of sub-month integration — the fleet model trades that
+// fidelity for O(1) memory). All draws are Philox-addressed, so any
+// read-out can be regenerated in any order on any thread, bit-identically.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+#include "common/bitvector.hpp"
+#include "common/rng.hpp"
+#include "silicon/aging.hpp"
+
+namespace pufaging::auth {
+
+struct VirtualFleetConfig {
+  std::uint64_t seed = 0xF1EE7A07;
+
+  /// PUF window read per authentication, in bits. The default covers 11
+  /// Golay(24,12) blocks: a 132-bit secret, the service default.
+  std::size_t window_bits = 264;
+
+  /// Device-bias distribution (matches FleetConfig's calibration).
+  double bias_mean = 0.325;
+  double bias_sigma = 0.046;
+
+  /// Nominal noise sigma in sigma_pv units, and its device-to-device
+  /// coefficient of variation.
+  double noise_sigma = 1.0 / 17.5;
+  double noise_sigma_cv = 0.05;
+
+  /// BTI aging law; defaults reproduce the paper's Table I trajectories.
+  AgingParams aging;
+
+  double months_per_year = 12.0;
+};
+
+/// Read-out generator for an arbitrarily large virtual fleet.
+class VirtualFleet {
+ public:
+  VirtualFleet(const VirtualFleetConfig& config, std::uint64_t device_count);
+
+  std::uint64_t device_count() const { return device_count_; }
+  std::size_t window_bits() const { return config_.window_bits; }
+  std::size_t words_per_response() const {
+    return (config_.window_bits + 63) / 64;
+  }
+  const VirtualFleetConfig& config() const { return config_; }
+
+  /// The enrollment read of `device`: a pristine (year-0) power-up with
+  /// its own noise stream, as a BitVector for the keygen-layer enrollment
+  /// path. `device` may exceed device_count (un-enrolled silicon, used
+  /// for impostor reads).
+  BitVector enrollment_response(std::uint64_t device) const;
+
+  /// One noisy authentication read of `device` after `years` of aging,
+  /// packed into `out[0, words_per_response())` (tail bits zero). `nonce`
+  /// addresses the measurement-noise stream: distinct nonces are
+  /// independent power-ups, equal coordinates replay bit-identically.
+  void response_into(std::uint64_t device, double years, std::uint64_t nonce,
+                     std::uint64_t* out) const;
+
+  /// Convenience allocating overload.
+  BitVector response(std::uint64_t device, double years,
+                     std::uint64_t nonce) const;
+
+  /// Analytic probability that one authentication bit of `device` at age
+  /// `years` differs from its enrollment read (averaged over the window)
+  /// — the model's per-device bit-error-rate curve, for diagnostics.
+  double expected_bit_error_rate(std::uint64_t device, double years) const;
+
+ private:
+  struct DeviceParams {
+    double bias = 0.0;
+    double sigma = 0.0;      ///< Device noise sigma at year 0.
+    std::uint64_t pv_key = 0;
+    std::uint64_t age_key = 0;
+    std::uint64_t read_key = 0;
+    std::uint64_t enroll_key = 0;
+  };
+  DeviceParams device_params(std::uint64_t device) const;
+
+  VirtualFleetConfig config_;
+  std::uint64_t device_count_;
+};
+
+}  // namespace pufaging::auth

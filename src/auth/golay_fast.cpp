@@ -1,0 +1,133 @@
+#include "auth/golay_fast.hpp"
+
+#include <bit>
+
+#include "common/error.hpp"
+
+namespace pufaging::auth {
+namespace {
+
+std::uint32_t pack24(const BitVector& bits) {
+  std::uint32_t word = 0;
+  for (std::size_t i = 0; i < 24; ++i) {
+    word |= static_cast<std::uint32_t>(bits.get(i)) << i;
+  }
+  return word;
+}
+
+}  // namespace
+
+FastGolay::FastGolay(const GolayCode& reference) {
+  // Generator rows from the reference's own encoder; linearity of the
+  // code makes every codeword an XOR of these.
+  for (std::size_t j = 0; j < 12; ++j) {
+    BitVector unit(12);
+    unit.set(j, true);
+    generator_rows_[j] = pack24(reference.encode(unit));
+  }
+
+  // GF(2) elimination of the generator rows to reduced row-echelon form.
+  // `tags` tracks the row operations (tag bit j = original row j is in
+  // the combination), which is exactly the codeword->message map.
+  std::array<std::uint32_t, 12> rows = generator_rows_;
+  std::array<std::uint32_t, 12> tags{};
+  for (std::size_t j = 0; j < 12; ++j) {
+    tags[j] = 1U << j;
+  }
+  std::array<int, 12> pivot_col{};
+  std::size_t rank = 0;
+  for (int col = 0; col < 24 && rank < 12; ++col) {
+    std::size_t pivot = rank;
+    while (pivot < 12 && ((rows[pivot] >> col) & 1U) == 0) {
+      ++pivot;
+    }
+    if (pivot == 12) {
+      continue;
+    }
+    std::swap(rows[rank], rows[pivot]);
+    std::swap(tags[rank], tags[pivot]);
+    for (std::size_t r = 0; r < 12; ++r) {
+      if (r != rank && ((rows[r] >> col) & 1U) != 0) {
+        rows[r] ^= rows[rank];
+        tags[r] ^= tags[rank];
+      }
+    }
+    pivot_col[rank] = col;
+    ++rank;
+  }
+  if (rank != 12) {
+    throw InvalidArgument("FastGolay: reference generator is rank-deficient");
+  }
+
+  // Parity-check rows: for every non-pivot column q, the codeword
+  // constraint c_q = sum_r RREF[r][q] * c_{pivot_r} becomes the mask
+  // {q} + {pivot_r : RREF[r][q] = 1}.
+  std::uint32_t pivot_mask = 0;
+  for (std::size_t r = 0; r < 12; ++r) {
+    pivot_mask |= 1U << pivot_col[r];
+  }
+  std::size_t h = 0;
+  for (int q = 0; q < 24; ++q) {
+    if ((pivot_mask >> q) & 1U) {
+      continue;
+    }
+    std::uint32_t mask = 1U << q;
+    for (std::size_t r = 0; r < 12; ++r) {
+      if ((rows[r] >> q) & 1U) {
+        mask |= 1U << pivot_col[r];
+      }
+    }
+    parity_masks_[h++] = mask;
+  }
+
+  // Message extraction: in the RREF basis, c_{pivot_r} is the r-th
+  // reduced coordinate, and tag[r] says which original message bits sum
+  // into it: m_j = sum over r with tag[r] bit j of c_{pivot_r}.
+  for (std::size_t j = 0; j < 12; ++j) {
+    std::uint32_t mask = 0;
+    for (std::size_t r = 0; r < 12; ++r) {
+      if ((tags[r] >> j) & 1U) {
+        mask |= 1U << pivot_col[r];
+      }
+    }
+    message_masks_[j] = mask;
+  }
+  systematic_ = true;
+  for (std::size_t j = 0; j < 12; ++j) {
+    if (message_masks_[j] != (1U << j)) {
+      systematic_ = false;
+      break;
+    }
+  }
+
+  // Exact syndrome table over every error pattern of weight <= 3. A
+  // collision would mean two patterns of combined weight <= 6 share a
+  // syndrome, i.e. minimum distance < 7 — impossible for a true G24, so
+  // treat it as a corrupted reference.
+  error_for_syndrome_.fill(kUncorrectable);
+  const auto insert = [this](std::uint32_t error) {
+    const std::uint16_t syn = syndrome(error);
+    if (error_for_syndrome_[syn] != kUncorrectable &&
+        error_for_syndrome_[syn] != error) {
+      throw InvalidArgument("FastGolay: syndrome collision (d_min < 7)");
+    }
+    error_for_syndrome_[syn] = error;
+  };
+  insert(0);
+  for (int a = 0; a < 24; ++a) {
+    insert(1U << a);
+    for (int b = a + 1; b < 24; ++b) {
+      insert((1U << a) | (1U << b));
+      for (int c = b + 1; c < 24; ++c) {
+        insert((1U << a) | (1U << b) | (1U << c));
+      }
+    }
+  }
+}
+
+const FastGolay& FastGolay::instance() {
+  static const FastGolay shared{GolayCode{}};
+  return shared;
+}
+
+}  // namespace pufaging::auth

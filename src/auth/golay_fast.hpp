@@ -1,0 +1,112 @@
+// Packed-word Golay(24,12) codec for the authentication hot path.
+//
+// The keygen layer's GolayCode is the semantic reference: it works on
+// BitVectors through the virtual BlockCode interface, which is the right
+// shape for enrollment (a few thousand per second) and completely the
+// wrong shape for authentication at a million decodes per second. This
+// codec derives its tables *from* a GolayCode instance — generator rows
+// from encode() of the unit messages, a parity-check basis and message
+// extractor by GF(2) elimination, and the full weight-<=3 syndrome table
+// — so it is bit-compatible with the reference by construction, which
+// tests/auth/golay_fast_test.cpp verifies exhaustively (all 4096
+// messages, all 2325 correctable error patterns).
+//
+// decode() is branch-light integer code on a 24-bit word: 12 mask
+// parities for the syndrome, one 4096-entry table load, one XOR, and a
+// 12-bit message extraction (a single AND for the systematic generator
+// the reference uses).
+#pragma once
+
+#include <array>
+#include <bit>
+#include <cstdint>
+
+#include "keygen/golay.hpp"
+
+namespace pufaging::auth {
+
+/// Sentinel in the syndrome table: no error pattern of weight <= 3 has
+/// this syndrome (>= 4 bit errors; detected, not correctable).
+inline constexpr std::uint32_t kUncorrectable = 0xFFFFFFFFU;
+
+class FastGolay {
+ public:
+  /// Builds the packed tables from the reference code. Throws
+  /// InvalidArgument if the reference violates the Golay geometry (rank
+  /// deficiency or a syndrome collision among weight-<=3 patterns, either
+  /// of which would mean its minimum distance is below 7).
+  explicit FastGolay(const GolayCode& reference);
+
+  /// Process-wide shared instance (built once, read-only afterwards).
+  static const FastGolay& instance();
+
+  /// Encodes a 12-bit message into a 24-bit codeword, bit-compatible with
+  /// GolayCode::encode on the LSB-first BitVector packing.
+  std::uint32_t encode(std::uint32_t message12) const {
+    std::uint32_t cw = 0;
+    std::uint32_t m = message12 & 0xFFFU;
+    while (m != 0) {
+      const int j = std::countr_zero(m);
+      cw ^= generator_rows_[static_cast<std::size_t>(j)];
+      m &= m - 1;
+    }
+    return cw;
+  }
+
+  struct Decoded {
+    std::uint16_t message = 0;    ///< Recovered 12-bit message.
+    std::uint8_t corrected = 0;   ///< Bit errors absorbed (0..3).
+    bool ok = false;              ///< False when > 3 errors were detected.
+  };
+
+  /// Decodes a 24-bit word; corrects up to 3 errors. Matches
+  /// GolayCode::decode decision-for-decision.
+  Decoded decode(std::uint32_t word24) const {
+    word24 &= 0xFFFFFFU;
+    std::uint32_t syn = 0;
+    for (std::size_t r = 0; r < 12; ++r) {
+      syn |= static_cast<std::uint32_t>(
+                 std::popcount(word24 & parity_masks_[r]) & 1)
+             << r;
+    }
+    const std::uint32_t error = error_for_syndrome_[syn];
+    Decoded out;
+    if (error == kUncorrectable) {
+      return out;
+    }
+    const std::uint32_t codeword = word24 ^ error;
+    out.ok = true;
+    out.corrected = static_cast<std::uint8_t>(std::popcount(error));
+    if (systematic_) {
+      out.message = static_cast<std::uint16_t>(codeword & 0xFFFU);
+    } else {
+      std::uint16_t msg = 0;
+      for (std::size_t j = 0; j < 12; ++j) {
+        msg |= static_cast<std::uint16_t>(
+                   (std::popcount(codeword & message_masks_[j]) & 1) << j);
+      }
+      out.message = msg;
+    }
+    return out;
+  }
+
+  /// Syndrome of a 24-bit word (zero exactly for codewords).
+  std::uint16_t syndrome(std::uint32_t word24) const {
+    std::uint32_t syn = 0;
+    for (std::size_t r = 0; r < 12; ++r) {
+      syn |= static_cast<std::uint32_t>(
+                 std::popcount((word24 & 0xFFFFFFU) & parity_masks_[r]) & 1)
+             << r;
+    }
+    return static_cast<std::uint16_t>(syn);
+  }
+
+ private:
+  std::array<std::uint32_t, 12> generator_rows_{};  ///< encode(e_j), packed.
+  std::array<std::uint32_t, 12> parity_masks_{};    ///< Dual-space basis.
+  std::array<std::uint32_t, 12> message_masks_{};   ///< Codeword -> message.
+  bool systematic_ = false;  ///< message == low 12 codeword bits.
+  std::array<std::uint32_t, 4096> error_for_syndrome_{};
+};
+
+}  // namespace pufaging::auth

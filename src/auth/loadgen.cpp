@@ -1,0 +1,234 @@
+#include "auth/loadgen.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <cstring>
+
+#include "common/error.hpp"
+#include "common/rng.hpp"
+#include "common/sha256.hpp"
+
+namespace pufaging::auth {
+namespace {
+
+constexpr std::uint64_t kDomainWorkload = 0x10AD'574F'524B'0001ULL;
+
+std::uint64_t fraction_threshold(double fraction) {
+  if (fraction <= 0.0) {
+    return 0;
+  }
+  if (fraction >= 1.0) {
+    return ~std::uint64_t{0};
+  }
+  return static_cast<std::uint64_t>(fraction * 18446744073709551616.0);
+}
+
+std::uint64_t percentile(std::vector<std::uint64_t>& sorted, double p) {
+  if (sorted.empty()) {
+    return 0;
+  }
+  const std::size_t idx = static_cast<std::size_t>(
+      p * static_cast<double>(sorted.size() - 1) + 0.5);
+  return sorted[std::min(idx, sorted.size() - 1)];
+}
+
+}  // namespace
+
+void enroll_fleet(AuthService& service, const VirtualFleet& fleet,
+                  ThreadPool& pool) {
+  const std::uint64_t devices = fleet.device_count();
+  std::vector<EnrollmentRecord> records(devices);
+  constexpr std::size_t kChunk = 256;
+  const std::size_t chunks =
+      (static_cast<std::size_t>(devices) + kChunk - 1) / kChunk;
+  pool.parallel_for(0, chunks, [&](std::size_t c) {
+    const std::uint64_t begin = c * kChunk;
+    const std::uint64_t end =
+        std::min<std::uint64_t>(begin + kChunk, devices);
+    for (std::uint64_t d = begin; d < end; ++d) {
+      records[d] =
+          service.make_enrollment(d, fleet.enrollment_response(d));
+    }
+  });
+  // Serial ingest in device order: WAL append order (and therefore any
+  // durable state) is independent of the pool's scheduling.
+  for (std::uint64_t d = 0; d < devices; ++d) {
+    service.ingest(records[d]);
+  }
+}
+
+LoadReport run_load(const LoadgenConfig& config, const AuthService& service,
+                    const VirtualFleet& fleet, ThreadPool& pool) {
+  if (config.devices == 0 || config.auths_per_year == 0 ||
+      config.batch_size == 0 || config.years == 0 || config.passes == 0) {
+    throw InvalidArgument("run_load: zero-sized workload dimension");
+  }
+  if (fleet.device_count() < config.devices) {
+    throw InvalidArgument("run_load: fleet smaller than configured devices");
+  }
+  const std::size_t words = service.words_per_response();
+  const std::size_t n = config.auths_per_year;
+  const std::size_t batches = (n + config.batch_size - 1) / config.batch_size;
+  const std::uint64_t impostor_cut =
+      fraction_threshold(config.impostor_fraction);
+  obs::MonotonicClock& clk =
+      config.clock != nullptr ? *config.clock : obs::RealClock::instance();
+
+  LoadReport report;
+  Sha256 decisions_hash;
+
+  std::vector<std::uint64_t> claimed(n);
+  std::vector<std::uint8_t> genuine(n);
+  std::vector<std::uint64_t> responses(n * words);
+  std::vector<AuthDecision> decisions(n);
+  std::vector<AuthBatchStats> batch_stats(batches);
+  std::vector<std::uint64_t> batch_ns(batches * config.passes);
+
+  for (std::size_t year = 0; year < config.years; ++year) {
+    // --- Simulation (untimed): build the year's request corpus. Every
+    // row is a pure function of (seed, year, request), so the parallel
+    // build is deterministic and order-free.
+    const std::uint64_t wl_key =
+        split_seed(config.seed, kDomainWorkload, year);
+    pool.parallel_for(0, n, [&](std::size_t r) {
+      const std::uint64_t claim =
+          Philox4x32::at(wl_key, 3 * r) % config.devices;
+      const bool impostor = Philox4x32::at(wl_key, 3 * r + 1) < impostor_cut;
+      const std::uint64_t silicon =
+          impostor ? fleet.device_count() +
+                         Philox4x32::at(wl_key, 3 * r + 2) % config.devices
+                   : claim;
+      claimed[r] = claim;
+      genuine[r] = impostor ? 0 : 1;
+      const std::uint64_t nonce =
+          static_cast<std::uint64_t>(year) * n + r + 1;
+      fleet.response_into(silicon, static_cast<double>(year), nonce,
+                          responses.data() + r * words);
+    });
+
+    // --- Measurement (timed): drive the service hot path only. Stats are
+    // recorded per batch index, aggregated in index order afterwards.
+    const std::uint64_t year_t0 = clk.now_ns();
+    for (std::size_t pass = 0; pass < config.passes; ++pass) {
+      pool.parallel_for(0, batches, [&](std::size_t b) {
+        const std::size_t begin = b * config.batch_size;
+        const std::size_t count = std::min(config.batch_size, n - begin);
+        thread_local std::vector<AuthRequest> reqs;
+        reqs.resize(count);
+        for (std::size_t i = 0; i < count; ++i) {
+          reqs[i].device_id = claimed[begin + i];
+          reqs[i].response = responses.data() + (begin + i) * words;
+        }
+        const std::uint64_t t0 = clk.now_ns();
+        const AuthBatchStats stats = service.authenticate_batch(
+            reqs.data(), count, decisions.data() + begin);
+        batch_ns[pass * batches + b] = clk.now_ns() - t0;
+        if (pass == 0) {
+          batch_stats[b] = stats;
+        }
+      });
+    }
+    const double year_seconds =
+        static_cast<double>(clk.now_ns() - year_t0) * 1e-9;
+
+    // --- Aggregation (deterministic order).
+    decisions_hash.update(
+        reinterpret_cast<const std::uint8_t*>(decisions.data()),
+        decisions.size());
+
+    YearLoadStats ys;
+    ys.year = year;
+    ys.requests = n;
+    AuthBatchStats total;
+    for (const AuthBatchStats& s : batch_stats) {
+      total += s;
+    }
+    for (std::size_t r = 0; r < n; ++r) {
+      const bool accepted = decisions[r] == AuthDecision::kAccept;
+      if (genuine[r] != 0) {
+        ++ys.genuine;
+        if (!accepted) {
+          ++ys.false_rejects;
+        }
+      } else {
+        ++ys.impostors;
+        if (accepted) {
+          ++ys.false_accepts;
+        }
+      }
+    }
+    ys.frr = ys.genuine == 0 ? 0.0
+                             : static_cast<double>(ys.false_rejects) /
+                                   static_cast<double>(ys.genuine);
+    ys.far = ys.impostors == 0 ? 0.0
+                               : static_cast<double>(ys.false_accepts) /
+                                     static_cast<double>(ys.impostors);
+    ys.corrected_bits_mean =
+        total.accepted == 0 ? 0.0
+                            : static_cast<double>(total.corrected_bits) /
+                                  static_cast<double>(total.accepted);
+    const std::uint64_t year_requests =
+        static_cast<std::uint64_t>(n) * config.passes;
+    ys.auths_per_sec = year_seconds > 0.0
+                           ? static_cast<double>(year_requests) / year_seconds
+                           : 0.0;
+    std::vector<std::uint64_t> lat = batch_ns;
+    std::sort(lat.begin(), lat.end());
+    ys.p50_ns = percentile(lat, 0.50);
+    ys.p95_ns = percentile(lat, 0.95);
+    ys.p99_ns = percentile(lat, 0.99);
+    report.years.push_back(ys);
+    report.total_requests += year_requests;
+    report.total_seconds += year_seconds;
+
+    if (config.metrics != nullptr) {
+      config.metrics->gauge_set("auth.load.year",
+                                static_cast<double>(year));
+      config.metrics->gauge_set("auth.load.auths_per_sec",
+                                ys.auths_per_sec);
+      config.metrics->add("auth.load.false_rejects",
+                          static_cast<std::uint64_t>(ys.false_rejects));
+      config.metrics->add("auth.load.false_accepts",
+                          static_cast<std::uint64_t>(ys.false_accepts));
+    }
+  }
+
+  report.auths_per_sec =
+      report.total_seconds > 0.0
+          ? static_cast<double>(report.total_requests) / report.total_seconds
+          : 0.0;
+  report.decisions_sha256 = Sha256::to_hex(decisions_hash.finalize());
+  return report;
+}
+
+std::string LoadReport::render() const {
+  std::string out;
+  char line[256];
+  std::snprintf(line, sizeof(line),
+                "year  requests  genuine  impostor      FRR        FAR  "
+                "corr/auth   auths/s    p50us    p95us    p99us\n");
+  out += line;
+  for (const YearLoadStats& y : years) {
+    std::snprintf(
+        line, sizeof(line),
+        "%4zu  %8llu  %7llu  %8llu  %7.4f  %9.6f  %9.2f  %8.0f  %7.1f  "
+        "%7.1f  %7.1f\n",
+        y.year, static_cast<unsigned long long>(y.requests),
+        static_cast<unsigned long long>(y.genuine),
+        static_cast<unsigned long long>(y.impostors), y.frr, y.far,
+        y.corrected_bits_mean, y.auths_per_sec,
+        static_cast<double>(y.p50_ns) * 1e-3,
+        static_cast<double>(y.p95_ns) * 1e-3,
+        static_cast<double>(y.p99_ns) * 1e-3);
+    out += line;
+  }
+  std::snprintf(line, sizeof(line),
+                "total: %llu auths in %.3f s  =>  %.0f auths/s\n"
+                "decisions sha256: %s\n",
+                static_cast<unsigned long long>(total_requests),
+                total_seconds, auths_per_sec, decisions_sha256.c_str());
+  out += line;
+  return out;
+}
+
+}  // namespace pufaging::auth

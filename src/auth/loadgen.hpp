@@ -1,0 +1,104 @@
+// Closed-loop load generator for the authentication service.
+//
+// The generator separates what it simulates from what it measures.
+// Request corpora (who authenticates, with which noisy read, genuine or
+// impostor) are built up front in parallel — that is fleet *simulation*
+// cost and must not pollute the service's latency numbers. The timed
+// region then drives only the server-side hot path: worker threads pull
+// pre-built batches in a closed loop and the batch latencies +
+// accept/reject tallies are recorded per batch index, so aggregation
+// order is fixed and the run is bit-identical at any thread count.
+//
+// Aging enters through the corpus: year y's requests are reads of the
+// virtual fleet at age y, against helper data enrolled at year 0 — FRR
+// growth across years is the drift story of the paper measured end to
+// end through the extractor.
+#pragma once
+
+#include <array>
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "auth/fleet_sim.hpp"
+#include "auth/service.hpp"
+#include "common/thread_pool.hpp"
+#include "obs/clock.hpp"
+#include "obs/metrics.hpp"
+
+namespace pufaging::auth {
+
+struct LoadgenConfig {
+  /// Enrolled fleet size.
+  std::uint64_t devices = 10000;
+
+  /// Year points simulated: ages 0, 1, ..., years-1.
+  std::size_t years = 3;
+
+  /// Authentication requests issued per year point.
+  std::size_t auths_per_year = 100000;
+
+  /// Fraction of requests issued from un-enrolled silicon claiming an
+  /// enrolled identity (the FAR probe population).
+  double impostor_fraction = 0.02;
+
+  /// Requests per service batch (the SIMD amortization unit).
+  std::size_t batch_size = 256;
+
+  /// Worker threads; 0 = hardware concurrency.
+  std::size_t threads = 0;
+
+  /// Workload-selection seed (which device each request claims, which
+  /// requests are impostors). Independent of the fleet's silicon seed.
+  std::uint64_t seed = 0x10ADC0DE;
+
+  /// Extra timed passes over each year's corpus (>= 1). Decisions are
+  /// identical every pass; throughput is measured across all of them.
+  std::size_t passes = 1;
+
+  obs::MetricsRegistry* metrics = nullptr;
+  obs::MonotonicClock* clock = nullptr;
+};
+
+/// Per-year outcome of a load run.
+struct YearLoadStats {
+  std::size_t year = 0;
+  std::uint64_t requests = 0;   ///< Requests per pass (corpus size).
+  std::uint64_t genuine = 0;
+  std::uint64_t impostors = 0;
+  std::uint64_t false_rejects = 0;  ///< Genuine requests rejected.
+  std::uint64_t false_accepts = 0;  ///< Impostor requests accepted.
+  double frr = 0.0;
+  double far = 0.0;
+  double corrected_bits_mean = 0.0;  ///< Per accepted genuine request.
+  double auths_per_sec = 0.0;
+  std::uint64_t p50_ns = 0;  ///< Batch latency percentiles (exact).
+  std::uint64_t p95_ns = 0;
+  std::uint64_t p99_ns = 0;
+};
+
+struct LoadReport {
+  std::vector<YearLoadStats> years;
+  /// SHA-256 over all decision bytes in (year, request) order — the
+  /// bit-identity witness compared across thread counts and SIMD tiers.
+  std::string decisions_sha256;
+  std::uint64_t total_requests = 0;  ///< Timed requests across all passes.
+  double total_seconds = 0.0;
+  double auths_per_sec = 0.0;
+
+  std::string render() const;
+};
+
+/// Enrolls devices [0, fleet.device_count()) into the service. Record
+/// construction fans out across the pool (it is pure per device);
+/// ingestion is serial in device order so WAL append order — and thus
+/// any store state — is deterministic.
+void enroll_fleet(AuthService& service, const VirtualFleet& fleet,
+                  ThreadPool& pool);
+
+/// Runs the closed-loop load against an enrolled service.
+LoadReport run_load(const LoadgenConfig& config, const AuthService& service,
+                    const VirtualFleet& fleet, ThreadPool& pool);
+
+}  // namespace pufaging::auth

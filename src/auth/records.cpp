@@ -1,0 +1,118 @@
+#include "auth/records.hpp"
+
+#include <cstring>
+
+#include "common/error.hpp"
+
+namespace pufaging::auth {
+namespace {
+
+constexpr std::array<std::uint8_t, 4> kMagic = {'P', 'A', 'E', '1'};
+
+void put_u32(std::vector<std::uint8_t>& out, std::uint32_t v) {
+  for (int i = 0; i < 4; ++i) {
+    out.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+  }
+}
+
+void put_u64(std::vector<std::uint8_t>& out, std::uint64_t v) {
+  for (int i = 0; i < 8; ++i) {
+    out.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+  }
+}
+
+class Reader {
+ public:
+  Reader(const std::uint8_t* data, std::size_t size)
+      : data_(data), size_(size) {}
+
+  std::uint32_t u32() {
+    need(4);
+    std::uint32_t v = 0;
+    for (int i = 0; i < 4; ++i) {
+      v |= static_cast<std::uint32_t>(data_[pos_ + i]) << (8 * i);
+    }
+    pos_ += 4;
+    return v;
+  }
+
+  std::uint64_t u64() {
+    need(8);
+    std::uint64_t v = 0;
+    for (int i = 0; i < 8; ++i) {
+      v |= static_cast<std::uint64_t>(data_[pos_ + i]) << (8 * i);
+    }
+    pos_ += 8;
+    return v;
+  }
+
+  void bytes(std::uint8_t* out, std::size_t n) {
+    need(n);
+    std::memcpy(out, data_ + pos_, n);
+    pos_ += n;
+  }
+
+  std::size_t remaining() const { return size_ - pos_; }
+
+ private:
+  void need(std::size_t n) const {
+    if (size_ - pos_ < n) {
+      throw ParseError("EnrollmentRecord: truncated record");
+    }
+  }
+
+  const std::uint8_t* data_;
+  std::size_t size_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace
+
+std::vector<std::uint8_t> serialize_record(const EnrollmentRecord& record) {
+  if (record.blocks == 0) {
+    throw InvalidArgument("EnrollmentRecord: blocks must be > 0");
+  }
+  if (record.helper.size() != record.helper_words()) {
+    throw InvalidArgument("EnrollmentRecord: helper length mismatch");
+  }
+  std::vector<std::uint8_t> out;
+  out.reserve(kMagic.size() + 12 + record.helper.size() * 8 + kVerifierBytes);
+  out.insert(out.end(), kMagic.begin(), kMagic.end());
+  put_u64(out, record.device_id);
+  put_u32(out, record.blocks);
+  for (const std::uint64_t w : record.helper) {
+    put_u64(out, w);
+  }
+  out.insert(out.end(), record.verifier.begin(), record.verifier.end());
+  return out;
+}
+
+EnrollmentRecord parse_record(const std::uint8_t* data, std::size_t size) {
+  Reader in(data, size);
+  std::array<std::uint8_t, 4> magic{};
+  in.bytes(magic.data(), magic.size());
+  if (magic != kMagic) {
+    throw ParseError("EnrollmentRecord: bad magic");
+  }
+  EnrollmentRecord record;
+  record.device_id = in.u64();
+  record.blocks = in.u32();
+  if (record.blocks == 0 || record.blocks > 4096) {
+    throw ParseError("EnrollmentRecord: implausible block count");
+  }
+  record.helper.resize(record.helper_words());
+  for (std::uint64_t& w : record.helper) {
+    w = in.u64();
+  }
+  in.bytes(record.verifier.data(), record.verifier.size());
+  if (in.remaining() != 0) {
+    throw ParseError("EnrollmentRecord: trailing bytes");
+  }
+  return record;
+}
+
+EnrollmentRecord parse_record(const std::vector<std::uint8_t>& bytes) {
+  return parse_record(bytes.data(), bytes.size());
+}
+
+}  // namespace pufaging::auth

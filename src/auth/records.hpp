@@ -1,0 +1,48 @@
+// Durable wire format for fleet enrollments.
+//
+// One EnrollmentRecord is everything the authentication service must
+// remember about a device: the fuzzy-extractor helper data (public,
+// reveals nothing about the key by the code-offset argument) and a
+// one-way verifier of the derived secret. Records travel through the
+// MeasurementStore WAL one per enrollment and in bulk inside registry
+// snapshots, so the encoding is a strict, versioned little-endian binary
+// layout — every malformed or truncated input is a ParseError, never a
+// partially-filled record.
+#pragma once
+
+#include <array>
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace pufaging::auth {
+
+/// Size of the secret verifier: a full SHA-256 digest.
+inline constexpr std::size_t kVerifierBytes = 32;
+
+struct EnrollmentRecord {
+  std::uint64_t device_id = 0;
+  /// Golay blocks in the helper (window is blocks * 24 bits).
+  std::uint32_t blocks = 0;
+  /// Code-offset helper data, packed LSB-first, (blocks*24+63)/64 words.
+  std::vector<std::uint64_t> helper;
+  /// SHA-256 of the enrolled secret's byte serialization.
+  std::array<std::uint8_t, kVerifierBytes> verifier{};
+
+  std::size_t helper_words() const {
+    return (static_cast<std::size_t>(blocks) * 24 + 63) / 64;
+  }
+
+  bool operator==(const EnrollmentRecord& other) const = default;
+};
+
+/// Serializes a record to the versioned wire layout:
+///   "PAE1" | device_id u64 | blocks u32 | helper words u64[] | verifier.
+std::vector<std::uint8_t> serialize_record(const EnrollmentRecord& record);
+
+/// Parses a serialized record. Throws ParseError on bad magic, truncation,
+/// trailing bytes, or a helper length inconsistent with `blocks`.
+EnrollmentRecord parse_record(const std::uint8_t* data, std::size_t size);
+EnrollmentRecord parse_record(const std::vector<std::uint8_t>& bytes);
+
+}  // namespace pufaging::auth

@@ -1,0 +1,162 @@
+#include "auth/registry.hpp"
+
+#include <cstring>
+
+#include "common/error.hpp"
+
+namespace pufaging::auth {
+namespace {
+
+constexpr char kSnapshotMagic[] = "PAREG1";
+constexpr std::size_t kSnapshotMagicLen = 6;
+
+void put_u32(std::string& out, std::uint32_t v) {
+  for (int i = 0; i < 4; ++i) {
+    out.push_back(static_cast<char>(static_cast<std::uint8_t>(v >> (8 * i))));
+  }
+}
+
+void put_u64(std::string& out, std::uint64_t v) {
+  for (int i = 0; i < 8; ++i) {
+    out.push_back(static_cast<char>(static_cast<std::uint8_t>(v >> (8 * i))));
+  }
+}
+
+std::uint32_t read_u32(std::string_view blob, std::size_t pos) {
+  std::uint32_t v = 0;
+  for (int i = 0; i < 4; ++i) {
+    v |= static_cast<std::uint32_t>(
+             static_cast<std::uint8_t>(blob[pos + static_cast<std::size_t>(i)]))
+         << (8 * i);
+  }
+  return v;
+}
+
+std::uint64_t read_u64(std::string_view blob, std::size_t pos) {
+  std::uint64_t v = 0;
+  for (int i = 0; i < 8; ++i) {
+    v |= static_cast<std::uint64_t>(
+             static_cast<std::uint8_t>(blob[pos + static_cast<std::size_t>(i)]))
+         << (8 * i);
+  }
+  return v;
+}
+
+}  // namespace
+
+AuthRegistry::AuthRegistry(std::uint32_t blocks)
+    : blocks_(blocks),
+      helper_words_((static_cast<std::size_t>(blocks) * 24 + 63) / 64) {
+  if (blocks == 0) {
+    throw InvalidArgument("AuthRegistry: blocks must be > 0");
+  }
+}
+
+void AuthRegistry::put(const EnrollmentRecord& record) {
+  if (record.blocks != blocks_) {
+    throw InvalidArgument("AuthRegistry: record block count mismatch");
+  }
+  if (record.helper.size() != helper_words_) {
+    throw InvalidArgument("AuthRegistry: record helper length mismatch");
+  }
+  const std::uint64_t id = record.device_id;
+  if (id >= enrolled_.size()) {
+    const std::size_t slots = static_cast<std::size_t>(id) + 1;
+    enrolled_.resize(slots, 0);
+    helpers_.resize(slots * helper_words_, 0);
+    verifiers_.resize(slots * kVerifierBytes, 0);
+  }
+  if (enrolled_[id] == 0) {
+    enrolled_[id] = 1;
+    ++enrolled_count_;
+  }
+  std::memcpy(helpers_.data() + id * helper_words_, record.helper.data(),
+              helper_words_ * sizeof(std::uint64_t));
+  std::memcpy(verifiers_.data() + id * kVerifierBytes,
+              record.verifier.data(), kVerifierBytes);
+}
+
+EnrollmentRecord AuthRegistry::record(std::uint64_t device_id) const {
+  EnrollmentRecord out;
+  out.device_id = device_id;
+  out.blocks = blocks_;
+  out.helper.assign(helper(device_id), helper(device_id) + helper_words_);
+  std::memcpy(out.verifier.data(), verifier(device_id), kVerifierBytes);
+  return out;
+}
+
+std::string AuthRegistry::serialize_snapshot() const {
+  std::string out;
+  const std::size_t record_bytes =
+      4 + 8 + 4 + helper_words_ * 8 + kVerifierBytes;
+  out.reserve(kSnapshotMagicLen + 12 + size() * (4 + record_bytes));
+  out.append(kSnapshotMagic, kSnapshotMagicLen);
+  put_u32(out, blocks_);
+  put_u64(out, size());
+  for (std::uint64_t id = 0; id < enrolled_.size(); ++id) {
+    if (enrolled_[id] == 0) {
+      continue;
+    }
+    const std::vector<std::uint8_t> bytes = serialize_record(record(id));
+    put_u32(out, static_cast<std::uint32_t>(bytes.size()));
+    out.append(reinterpret_cast<const char*>(bytes.data()), bytes.size());
+  }
+  return out;
+}
+
+AuthRegistry AuthRegistry::from_snapshot(std::string_view blob) {
+  if (blob.size() < kSnapshotMagicLen + 12 ||
+      blob.compare(0, kSnapshotMagicLen, kSnapshotMagic) != 0) {
+    throw ParseError("AuthRegistry: bad snapshot header");
+  }
+  const std::uint32_t blocks = read_u32(blob, kSnapshotMagicLen);
+  if (blocks == 0 || blocks > 4096) {
+    throw ParseError("AuthRegistry: implausible snapshot block count");
+  }
+  const std::uint64_t count = read_u64(blob, kSnapshotMagicLen + 4);
+  AuthRegistry registry(blocks);
+  std::size_t pos = kSnapshotMagicLen + 12;
+  for (std::uint64_t i = 0; i < count; ++i) {
+    if (blob.size() - pos < 4) {
+      throw ParseError("AuthRegistry: truncated snapshot");
+    }
+    const std::uint32_t len = read_u32(blob, pos);
+    pos += 4;
+    if (blob.size() - pos < len) {
+      throw ParseError("AuthRegistry: truncated snapshot record");
+    }
+    registry.put(parse_record(
+        reinterpret_cast<const std::uint8_t*>(blob.data()) + pos, len));
+    pos += len;
+  }
+  if (pos != blob.size()) {
+    throw ParseError("AuthRegistry: trailing snapshot bytes");
+  }
+  return registry;
+}
+
+void AuthRegistry::apply_wal_record(std::string_view payload) {
+  put(parse_record(reinterpret_cast<const std::uint8_t*>(payload.data()),
+                   payload.size()));
+}
+
+AuthRegistry load_registry(const MeasurementStore& store,
+                           std::uint32_t blocks) {
+  AuthRegistry registry(blocks);
+  if (store.has_state() && !store.snapshot().empty()) {
+    registry = AuthRegistry::from_snapshot(store.snapshot());
+    if (registry.blocks() != blocks) {
+      throw InvalidArgument("load_registry: stored block count mismatch");
+    }
+  }
+  for (const std::string& payload : store.wal_records()) {
+    registry.apply_wal_record(payload);
+  }
+  return registry;
+}
+
+void publish_registry(MeasurementStore& store, const AuthRegistry& registry) {
+  store.publish_snapshot(registry.serialize_snapshot());
+}
+
+}  // namespace pufaging::auth

@@ -1,0 +1,96 @@
+// In-memory enrollment registry with durable snapshot/WAL round-trip.
+//
+// The authentication hot path wants two pointer dereferences per request:
+// helper words and verifier digest, both at a fixed stride from the
+// device id. So the registry is a dense struct-of-arrays — one flat
+// helper-word array, one flat verifier array, one enrolled bitmap —
+// indexed directly by device id (fleet ids are dense by construction:
+// the load generator enrolls 0..N-1).
+//
+// Durability composes with the store layer rather than re-inventing it:
+// a full registry serializes to one snapshot blob (published atomically
+// via MeasurementStore::publish_snapshot) and each new enrollment appends
+// one EnrollmentRecord to the WAL. Recovery is snapshot + WAL replay —
+// the same contract the campaign checkpoints rely on, so every crash
+// guarantee the store's kill-point matrix proves carries over to
+// enrollments for free.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "auth/records.hpp"
+#include "store/store.hpp"
+
+namespace pufaging::auth {
+
+class AuthRegistry {
+ public:
+  /// Registry for records of `blocks` Golay blocks each.
+  explicit AuthRegistry(std::uint32_t blocks);
+
+  std::uint32_t blocks() const { return blocks_; }
+  /// Helper words stored per device.
+  std::size_t helper_words() const { return helper_words_; }
+  /// Number of enrolled devices.
+  std::size_t size() const { return enrolled_count_; }
+  /// Highest device slot allocated (ids are dense but gaps are legal).
+  std::size_t capacity() const { return enrolled_.size(); }
+
+  /// Inserts or overwrites one enrollment. Throws InvalidArgument when the
+  /// record's block count disagrees with the registry's.
+  void put(const EnrollmentRecord& record);
+
+  bool contains(std::uint64_t device_id) const {
+    return device_id < enrolled_.size() && enrolled_[device_id] != 0;
+  }
+
+  /// Helper words of an enrolled device (helper_words() of them).
+  /// Precondition: contains(device_id).
+  const std::uint64_t* helper(std::uint64_t device_id) const {
+    return helpers_.data() + device_id * helper_words_;
+  }
+
+  /// Verifier digest of an enrolled device (kVerifierBytes bytes).
+  /// Precondition: contains(device_id).
+  const std::uint8_t* verifier(std::uint64_t device_id) const {
+    return verifiers_.data() + device_id * kVerifierBytes;
+  }
+
+  /// Reconstructs the full EnrollmentRecord of an enrolled device.
+  EnrollmentRecord record(std::uint64_t device_id) const;
+
+  /// Serializes the whole registry to one snapshot blob
+  /// ("PAREG1" | blocks | count | length-prefixed records).
+  std::string serialize_snapshot() const;
+
+  /// Parses a snapshot blob. Throws ParseError on any malformation.
+  static AuthRegistry from_snapshot(std::string_view blob);
+
+  /// Applies one WAL payload (a serialized EnrollmentRecord).
+  void apply_wal_record(std::string_view payload);
+
+ private:
+  std::uint32_t blocks_;
+  std::size_t helper_words_;
+  std::size_t enrolled_count_ = 0;
+  std::vector<std::uint64_t> helpers_;   ///< stride helper_words_.
+  std::vector<std::uint8_t> verifiers_;  ///< stride kVerifierBytes.
+  std::vector<std::uint8_t> enrolled_;   ///< one flag byte per slot.
+};
+
+/// Recovers a registry from an opened store: snapshot (when present) plus
+/// WAL replay. An empty store yields an empty registry of `blocks`.
+/// Throws InvalidArgument when recovered state uses a different block
+/// count than requested.
+AuthRegistry load_registry(const MeasurementStore& store,
+                           std::uint32_t blocks);
+
+/// Publishes the registry as the store's new snapshot generation
+/// (compacting any WAL of enrollments into it).
+void publish_registry(MeasurementStore& store, const AuthRegistry& registry);
+
+}  // namespace pufaging::auth

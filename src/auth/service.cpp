@@ -1,0 +1,228 @@
+#include "auth/service.hpp"
+
+#include <memory>
+#include <vector>
+
+#include "common/bitkernel.hpp"
+#include "common/error.hpp"
+#include "common/rng.hpp"
+#include "common/sha256.hpp"
+#include "keygen/golay.hpp"
+
+namespace pufaging::auth {
+namespace {
+
+constexpr std::uint64_t kDomainSecretRng = 0x41757468'53656372ULL;
+
+/// Constant-time 32-byte digest compare (no early exit on mismatch — the
+/// verifier digest is not secret, but the habit is free here).
+bool digest_equal(const std::uint8_t* a, const std::uint8_t* b) {
+  std::uint32_t diff = 0;
+  for (std::size_t i = 0; i < kVerifierBytes; ++i) {
+    diff |= static_cast<std::uint32_t>(a[i] ^ b[i]);
+  }
+  return diff == 0;
+}
+
+/// Extracts the 24-bit block starting at bit `bitpos` of a packed row.
+inline std::uint32_t get24(const std::uint64_t* words, std::size_t bitpos) {
+  const std::size_t wi = bitpos >> 6;
+  const unsigned sh = static_cast<unsigned>(bitpos & 63U);
+  std::uint64_t v = words[wi] >> sh;
+  if (sh > 40) {
+    v |= words[wi + 1] << (64U - sh);
+  }
+  return static_cast<std::uint32_t>(v) & 0xFFFFFFU;
+}
+
+}  // namespace
+
+const char* to_string(AuthDecision decision) {
+  switch (decision) {
+    case AuthDecision::kAccept:
+      return "accept";
+    case AuthDecision::kRejectUnknown:
+      return "reject-unknown";
+    case AuthDecision::kRejectDecode:
+      return "reject-decode";
+    case AuthDecision::kRejectKey:
+      return "reject-key";
+  }
+  return "invalid";
+}
+
+AuthService::AuthService(const AuthServiceConfig& config)
+    : config_(config),
+      registry_(config.blocks),
+      extractor_(std::make_shared<GolayCode>()),
+      codec_(&FastGolay::instance()) {
+  if (config.blocks == 0) {
+    throw InvalidArgument("AuthService: blocks must be > 0");
+  }
+}
+
+EnrollmentRecord AuthService::make_enrollment(
+    std::uint64_t device_id, const BitVector& response) const {
+  if (response.size() != window_bits()) {
+    throw InvalidArgument("AuthService: enrollment response size mismatch");
+  }
+  Xoshiro256StarStar rng(
+      split_seed(config_.enroll_seed, kDomainSecretRng, device_id));
+  BitVector secret;
+  const HelperData helper =
+      extractor_.enroll(response, config_.blocks, rng, secret);
+
+  EnrollmentRecord record;
+  record.device_id = device_id;
+  record.blocks = config_.blocks;
+  record.helper = helper.code_offset.words();
+  record.verifier = Sha256::hash(secret.to_bytes());
+  return record;
+}
+
+void AuthService::ingest(const EnrollmentRecord& record) {
+  registry_.put(record);
+  if (store_ != nullptr) {
+    const std::vector<std::uint8_t> bytes = serialize_record(record);
+    store_->append_record(std::string_view(
+        reinterpret_cast<const char*>(bytes.data()), bytes.size()));
+  }
+  if (config_.metrics != nullptr) {
+    config_.metrics->add("auth.enrolled", 1);
+  }
+}
+
+EnrollmentRecord AuthService::enroll(std::uint64_t device_id,
+                                     const BitVector& response) {
+  EnrollmentRecord record = make_enrollment(device_id, response);
+  ingest(record);
+  return record;
+}
+
+void AuthService::adopt_registry(AuthRegistry registry) {
+  if (registry.blocks() != config_.blocks) {
+    throw InvalidArgument("AuthService: adopted registry block mismatch");
+  }
+  registry_ = std::move(registry);
+}
+
+AuthBatchStats AuthService::authenticate_batch(const AuthRequest* requests,
+                                               std::size_t count,
+                                               AuthDecision* decisions) const {
+  AuthBatchStats stats;
+  if (count == 0) {
+    return stats;
+  }
+  const std::size_t words = registry_.helper_words();
+  const std::size_t blocks = config_.blocks;
+  const std::size_t secret_bytes = (blocks * 12U + 7U) / 8U;
+
+  obs::MonotonicClock* clk =
+      config_.metrics != nullptr
+          ? (config_.clock != nullptr ? config_.clock
+                                      : &obs::RealClock::instance())
+          : nullptr;
+  const std::uint64_t t0 = clk != nullptr ? clk->now_ns() : 0;
+
+  // Batch scratch: responses and helpers gathered into contiguous rows so
+  // the code-offset XOR of the whole batch is one streaming kernel sweep.
+  // thread_local so concurrent worker threads never share or reallocate.
+  thread_local std::vector<std::uint64_t> resp_buf;
+  thread_local std::vector<std::uint64_t> offs_buf;
+  resp_buf.resize(count * words);
+  offs_buf.resize(count * words);
+
+  for (std::size_t i = 0; i < count; ++i) {
+    const AuthRequest& req = requests[i];
+    std::uint64_t* resp_row = resp_buf.data() + i * words;
+    std::uint64_t* offs_row = offs_buf.data() + i * words;
+    for (std::size_t w = 0; w < words; ++w) {
+      resp_row[w] = req.response[w];
+    }
+    if (registry_.contains(req.device_id)) {
+      const std::uint64_t* helper = registry_.helper(req.device_id);
+      for (std::size_t w = 0; w < words; ++w) {
+        offs_row[w] = helper[w];
+      }
+      decisions[i] = AuthDecision::kAccept;  // provisional
+    } else {
+      for (std::size_t w = 0; w < words; ++w) {
+        offs_row[w] = 0;
+      }
+      decisions[i] = AuthDecision::kRejectUnknown;
+    }
+  }
+
+  // W xor R' for every request at once — the SIMD-tier bulk stage.
+  bitkernel::xor_rows(offs_buf.data(), resp_buf.data(), offs_buf.data(),
+                      count * words);
+
+  std::array<std::uint8_t, kVerifierBytes> digest{};
+  std::vector<std::uint64_t> secret_words((blocks * 12U + 63U) / 64U);
+  std::vector<std::uint8_t> secret(secret_bytes);
+  for (std::size_t i = 0; i < count; ++i) {
+    if (decisions[i] == AuthDecision::kRejectUnknown) {
+      ++stats.rejected_unknown;
+      continue;
+    }
+    const std::uint64_t* row = offs_buf.data() + i * words;
+    for (std::uint64_t& w : secret_words) {
+      w = 0;
+    }
+    std::uint32_t corrected = 0;
+    bool decodable = true;
+    for (std::size_t b = 0; b < blocks; ++b) {
+      const FastGolay::Decoded d = codec_->decode(get24(row, b * 24));
+      if (!d.ok) {
+        decodable = false;
+        break;
+      }
+      corrected += d.corrected;
+      const std::size_t bit = b * 12;
+      secret_words[bit >> 6] |= static_cast<std::uint64_t>(d.message)
+                                << (bit & 63U);
+      if ((bit & 63U) > 52) {
+        secret_words[(bit >> 6) + 1] |=
+            static_cast<std::uint64_t>(d.message) >> (64U - (bit & 63U));
+      }
+    }
+    if (!decodable) {
+      decisions[i] = AuthDecision::kRejectDecode;
+      ++stats.rejected_decode;
+      continue;
+    }
+    // Same byte packing as BitVector::to_bytes on the enrolled secret.
+    for (std::size_t j = 0; j < secret_bytes; ++j) {
+      secret[j] = static_cast<std::uint8_t>(secret_words[j >> 3] >>
+                                            ((j & 7U) * 8U));
+    }
+    Sha256 hasher;
+    hasher.update(secret.data(), secret_bytes);
+    digest = hasher.finalize();
+    if (digest_equal(digest.data(), registry_.verifier(requests[i].device_id))) {
+      decisions[i] = AuthDecision::kAccept;
+      ++stats.accepted;
+      stats.corrected_bits += corrected;
+    } else {
+      decisions[i] = AuthDecision::kRejectKey;
+      ++stats.rejected_key;
+    }
+  }
+
+  if (config_.metrics != nullptr) {
+    obs::MetricsRegistry& m = *config_.metrics;
+    m.observe("auth.batch_ns", static_cast<std::uint64_t>(clk->now_ns() - t0));
+    m.add("auth.requests", static_cast<std::uint64_t>(count));
+    m.add("auth.accepted", static_cast<std::uint64_t>(stats.accepted));
+    m.add("auth.rejected.unknown",
+          static_cast<std::uint64_t>(stats.rejected_unknown));
+    m.add("auth.rejected.decode",
+          static_cast<std::uint64_t>(stats.rejected_decode));
+    m.add("auth.rejected.key", static_cast<std::uint64_t>(stats.rejected_key));
+    m.add("auth.corrected_bits",
+          static_cast<std::uint64_t>(stats.corrected_bits));
+  }
+  return stats;
+}
+
+}  // namespace pufaging::auth

@@ -1,0 +1,132 @@
+// Fleet authentication service: enrollment and the batched auth hot path.
+//
+// Enrollment is the slow, careful path: it runs the keygen layer's
+// code-offset FuzzyExtractor over the device's power-up read, derives a
+// verifier digest from the enrolled secret, and persists the record
+// through the durable store (WAL append per enrollment, snapshot on
+// compaction). Authentication is the hot path: given a noisy re-read it
+// must decide accept/reject in well under a microsecond, so it bypasses
+// the BitVector/BlockCode machinery entirely — requests are processed in
+// batches, the code-offset XOR runs as one bitkernel::xor_rows sweep over
+// the whole batch (amortizing the SIMD dispatch), each Golay block is
+// decoded by the packed FastGolay codec, and the recovered secret is
+// checked against the stored verifier with one SHA-256 and a
+// constant-time compare.
+//
+// Decisions are pure functions of (registry, request bytes): no RNG, no
+// clock, no allocation ordering enters the accept/reject outcome, which
+// is what makes the thread x SIMD determinism matrix in the tests and
+// bench meaningful.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+#include "auth/golay_fast.hpp"
+#include "auth/registry.hpp"
+#include "common/bitvector.hpp"
+#include "keygen/fuzzy_extractor.hpp"
+#include "obs/clock.hpp"
+#include "obs/metrics.hpp"
+
+namespace pufaging::auth {
+
+struct AuthServiceConfig {
+  /// Golay(24,12) blocks per window: 24*blocks response bits in,
+  /// 12*blocks secret bits out. The default gives a 132-bit secret.
+  std::uint32_t blocks = 11;
+
+  /// Root seed of the per-device enrollment secrets.
+  std::uint64_t enroll_seed = 0x5EC4E75EEDULL;
+
+  /// Optional sinks; null = no instrumentation. Pure observers — they
+  /// never influence a decision.
+  obs::MetricsRegistry* metrics = nullptr;
+  obs::MonotonicClock* clock = nullptr;
+};
+
+enum class AuthDecision : std::uint8_t {
+  kAccept = 0,
+  kRejectUnknown = 1,  ///< Device never enrolled.
+  kRejectDecode = 2,   ///< Some block saw > 3 bit errors.
+  kRejectKey = 3,      ///< Decoded, but the verifier digest mismatched.
+};
+
+/// One authentication request: who claims to be authenticating and the
+/// packed power-up read (words_per_response() words, tail bits zero).
+struct AuthRequest {
+  std::uint64_t device_id = 0;
+  const std::uint64_t* response = nullptr;
+};
+
+/// Per-batch outcome tallies (deterministic; summed in request order).
+struct AuthBatchStats {
+  std::uint64_t accepted = 0;
+  std::uint64_t rejected_unknown = 0;
+  std::uint64_t rejected_decode = 0;
+  std::uint64_t rejected_key = 0;
+  /// Bit errors absorbed by the code across accepted/key-checked requests.
+  std::uint64_t corrected_bits = 0;
+
+  AuthBatchStats& operator+=(const AuthBatchStats& other) {
+    accepted += other.accepted;
+    rejected_unknown += other.rejected_unknown;
+    rejected_decode += other.rejected_decode;
+    rejected_key += other.rejected_key;
+    corrected_bits += other.corrected_bits;
+    return *this;
+  }
+};
+
+class AuthService {
+ public:
+  explicit AuthService(const AuthServiceConfig& config);
+
+  const AuthServiceConfig& config() const { return config_; }
+  std::size_t window_bits() const { return config_.blocks * 24U; }
+  std::size_t secret_bits() const { return config_.blocks * 12U; }
+  std::size_t words_per_response() const { return registry_.helper_words(); }
+
+  const AuthRegistry& registry() const { return registry_; }
+
+  /// Builds one enrollment from a power-up read (window_bits() bits).
+  /// Pure: the record depends only on (enroll_seed, device_id, response),
+  /// so parallel enrollment of disjoint devices is deterministic.
+  EnrollmentRecord make_enrollment(std::uint64_t device_id,
+                                   const BitVector& response) const;
+
+  /// Admits a record into the registry; when a store is attached, also
+  /// appends it to the WAL (the durable path the kill-point test cuts).
+  void ingest(const EnrollmentRecord& record);
+
+  /// make_enrollment + ingest.
+  EnrollmentRecord enroll(std::uint64_t device_id, const BitVector& response);
+
+  /// Attaches a durable store: ingest() appends each record to its WAL.
+  /// The store must outlive the service. Pass nullptr to detach.
+  void attach_store(MeasurementStore* store) { store_ = store; }
+
+  /// Replaces the registry wholesale (e.g. after load_registry()).
+  void adopt_registry(AuthRegistry registry);
+
+  /// Authenticates `count` requests, writing one decision per request.
+  /// Thread-safe against concurrent authenticate_batch calls (the
+  /// registry is read-only here); NOT safe against concurrent ingest.
+  /// Decisions and returned tallies are bit-identical for a given
+  /// (registry, requests) at any thread count and SIMD tier.
+  AuthBatchStats authenticate_batch(const AuthRequest* requests,
+                                    std::size_t count,
+                                    AuthDecision* decisions) const;
+
+ private:
+  AuthServiceConfig config_;
+  AuthRegistry registry_;
+  FuzzyExtractor extractor_;
+  const FastGolay* codec_;
+  MeasurementStore* store_ = nullptr;
+};
+
+/// Human-readable decision name ("accept", "reject-unknown", ...).
+const char* to_string(AuthDecision decision);
+
+}  // namespace pufaging::auth

@@ -53,6 +53,13 @@ std::size_t xor_popcount_scalar(const std::uint64_t* a, const std::uint64_t* b,
   return total;
 }
 
+void xor_rows_scalar(const std::uint64_t* a, const std::uint64_t* b,
+                     std::uint64_t* out, std::size_t n) {
+  for (std::size_t i = 0; i < n; ++i) {
+    out[i] = a[i] ^ b[i];
+  }
+}
+
 void accumulate_ones_scalar(const std::uint64_t* words, std::size_t bit_count,
                             std::uint32_t* counters) {
   const std::size_t n_words = (bit_count + 63) / 64;
@@ -107,6 +114,20 @@ std::size_t xor_popcount_word(const std::uint64_t* a, const std::uint64_t* b,
     c0 += static_cast<std::size_t>(std::popcount(a[i] ^ b[i]));
   }
   return c0 + c1 + c2 + c3;
+}
+
+void xor_rows_word(const std::uint64_t* a, const std::uint64_t* b,
+                   std::uint64_t* out, std::size_t n) {
+  std::size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    out[i] = a[i] ^ b[i];
+    out[i + 1] = a[i + 1] ^ b[i + 1];
+    out[i + 2] = a[i + 2] ^ b[i + 2];
+    out[i + 3] = a[i + 3] ^ b[i + 3];
+  }
+  for (; i < n; ++i) {
+    out[i] = a[i] ^ b[i];
+  }
 }
 
 void accumulate_ones_word(const std::uint64_t* words, std::size_t bit_count,
@@ -209,6 +230,21 @@ __attribute__((target("avx2"))) std::size_t xor_popcount_avx2(
   return total;
 }
 
+__attribute__((target("avx2"))) void xor_rows_avx2(const std::uint64_t* a,
+                                                   const std::uint64_t* b,
+                                                   std::uint64_t* out,
+                                                   std::size_t n) {
+  std::size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    const __m256i x = _mm256_xor_si256(load256(a + i), load256(b + i));
+    _mm256_storeu_si256(static_cast<__m256i*>(static_cast<void*>(out + i)),
+                        x);
+  }
+  for (; i < n; ++i) {
+    out[i] = a[i] ^ b[i];
+  }
+}
+
 __attribute__((target("avx2"))) void accumulate_ones_avx2(
     const std::uint64_t* words, std::size_t bit_count,
     std::uint32_t* counters) {
@@ -289,6 +325,17 @@ std::size_t xor_popcount_neon(const std::uint64_t* a, const std::uint64_t* b,
   return total;
 }
 
+void xor_rows_neon(const std::uint64_t* a, const std::uint64_t* b,
+                   std::uint64_t* out, std::size_t n) {
+  std::size_t i = 0;
+  for (; i + 2 <= n; i += 2) {
+    vst1q_u64(out + i, veorq_u64(vld1q_u64(a + i), vld1q_u64(b + i)));
+  }
+  for (; i < n; ++i) {
+    out[i] = a[i] ^ b[i];
+  }
+}
+
 void accumulate_ones_neon(const std::uint64_t* words, std::size_t bit_count,
                           std::uint32_t* counters) {
   const std::size_t n_words = (bit_count + 63) / 64;
@@ -327,16 +374,16 @@ void accumulate_ones_neon(const std::uint64_t* words, std::size_t bit_count,
 // ---------------------------------------------------------------------------
 
 constexpr Kernels kScalarKernels{popcount_scalar, xor_popcount_scalar,
-                                 accumulate_ones_scalar};
+                                 accumulate_ones_scalar, xor_rows_scalar};
 constexpr Kernels kWordKernels{popcount_word, xor_popcount_word,
-                               accumulate_ones_word};
+                               accumulate_ones_word, xor_rows_word};
 #if defined(PUFAGING_HAVE_AVX2_TIER)
 constexpr Kernels kAvx2Kernels{popcount_avx2, xor_popcount_avx2,
-                               accumulate_ones_avx2};
+                               accumulate_ones_avx2, xor_rows_avx2};
 #endif
 #if defined(PUFAGING_HAVE_NEON_TIER)
 constexpr Kernels kNeonKernels{popcount_neon, xor_popcount_neon,
-                               accumulate_ones_neon};
+                               accumulate_ones_neon, xor_rows_neon};
 #endif
 
 bool level_available(Level level) {
@@ -567,6 +614,13 @@ void accumulate_ones(const std::uint64_t* words, std::size_t bit_count,
   const Kernels& k = active_kernels();
   count_dispatch();
   k.accumulate_ones(words, bit_count, counters);
+}
+
+void xor_rows(const std::uint64_t* a, const std::uint64_t* b,
+              std::uint64_t* out, std::size_t n) {
+  const Kernels& k = active_kernels();
+  count_dispatch();
+  k.xor_rows(a, b, out, n);
 }
 
 void accumulate_ones_batch(const std::uint64_t* rows, std::size_t row_count,

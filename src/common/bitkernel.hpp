@@ -122,6 +122,14 @@ struct Kernels {
   /// bits can never reach a counter. Requires counters[0, bit_count).
   void (*accumulate_ones)(const std::uint64_t* words, std::size_t bit_count,
                           std::uint32_t* counters);
+
+  /// Batched materialized XOR: out[i] = a[i] ^ b[i] for i in [0, n).
+  /// The streaming stage of the fleet-auth hot path (whole request groups
+  /// of helper-data offsets XORed in one sweep so the vector tiers
+  /// amortize); `out` may alias `a` or `b` element-wise but must not
+  /// partially overlap.
+  void (*xor_rows)(const std::uint64_t* a, const std::uint64_t* b,
+                   std::uint64_t* out, std::size_t n);
 };
 
 /// Function table of one tier (for the differential harness, which
@@ -143,6 +151,12 @@ std::size_t xor_popcount(const std::uint64_t* a, const std::uint64_t* b,
 /// active tier; the tail word is masked internally.
 void accumulate_ones(const std::uint64_t* words, std::size_t bit_count,
                      std::uint32_t* counters);
+
+/// out[i] = a[i] ^ b[i] for i in [0, n) at the active tier. Used by the
+/// auth service to XOR a whole batch of packed responses against their
+/// helper-data records in one contiguous sweep.
+void xor_rows(const std::uint64_t* a, const std::uint64_t* b,
+              std::uint64_t* out, std::size_t n);
 
 /// Batched ones accumulation over a whole measurement batch: one
 /// accumulate_ones per row. `rows` holds `row_count` packed patterns of

@@ -1,0 +1,197 @@
+#include "obs/trend.hpp"
+
+#include <cmath>
+#include <cstdio>
+#include <sstream>
+
+#include "common/error.hpp"
+
+namespace pufaging::obs {
+namespace {
+
+constexpr char kBenchPrefix[] = "BENCH ";
+
+bool is_hash_field(const std::string& field) {
+  if (field == "identity_hash") {
+    return true;
+  }
+  const auto ends_with = [&](const char* suffix) {
+    const std::size_t len = std::char_traits<char>::length(suffix);
+    return field.size() >= len &&
+           field.compare(field.size() - len, len, suffix) == 0;
+  };
+  return ends_with("_hash") || ends_with("_sha256");
+}
+
+std::string sample_name(const Json& fields) {
+  for (const char* key : {"bench", "name"}) {
+    if (fields.is_object() && fields.contains(key) &&
+        fields.at(key).is_string()) {
+      return fields.at(key).as_string();
+    }
+  }
+  return "";
+}
+
+/// History values of one (bench, field) coordinate, oldest first.
+struct FieldHistory {
+  std::vector<double> numeric;
+  std::vector<std::string> text;
+};
+
+FieldHistory collect_history(const std::vector<BenchSample>& history,
+                             const std::string& bench,
+                             const std::string& field) {
+  FieldHistory out;
+  for (const BenchSample& s : history) {
+    if (s.name != bench || !s.fields.is_object() ||
+        !s.fields.contains(field)) {
+      continue;
+    }
+    const Json& v = s.fields.at(field);
+    if (v.is_number()) {
+      out.numeric.push_back(v.as_double());
+    } else if (v.is_string()) {
+      out.text.push_back(v.as_string());
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+std::vector<BenchSample> parse_bench_lines(const std::string& text) {
+  std::vector<BenchSample> samples;
+  std::istringstream in(text);
+  std::string line;
+  while (std::getline(in, line)) {
+    std::string body = line;
+    if (body.rfind(kBenchPrefix, 0) == 0) {
+      body = body.substr(sizeof(kBenchPrefix) - 1);
+    }
+    const std::size_t start = body.find_first_not_of(" \t\r");
+    if (start == std::string::npos || body[start] != '{') {
+      continue;
+    }
+    try {
+      Json fields = Json::parse(body.substr(start));
+      if (!fields.is_object()) {
+        continue;
+      }
+      samples.push_back(BenchSample{sample_name(fields), std::move(fields)});
+    } catch (const ParseError&) {
+      continue;
+    }
+  }
+  return samples;
+}
+
+bool TrendReport::failed() const {
+  for (const TrendFinding& f : findings) {
+    if (f.severity == TrendSeverity::kFail) {
+      return true;
+    }
+  }
+  return false;
+}
+
+bool TrendReport::warned() const {
+  for (const TrendFinding& f : findings) {
+    if (f.severity == TrendSeverity::kWarn) {
+      return true;
+    }
+  }
+  return false;
+}
+
+std::string TrendReport::render() const {
+  std::string out;
+  for (const TrendFinding& f : findings) {
+    const char* tag = f.severity == TrendSeverity::kFail   ? "FAIL"
+                      : f.severity == TrendSeverity::kWarn ? "WARN"
+                                                           : "info";
+    out += tag;
+    out += " [";
+    out += f.bench.empty() ? "<unnamed>" : f.bench;
+    out += ".";
+    out += f.field;
+    out += "] ";
+    out += f.message;
+    out += "\n";
+  }
+  return out;
+}
+
+TrendReport diff_trends(const std::vector<BenchSample>& history,
+                        const std::vector<BenchSample>& current,
+                        double sigma) {
+  TrendReport report;
+  char msg[256];
+  for (const BenchSample& sample : current) {
+    if (!sample.fields.is_object()) {
+      continue;
+    }
+    for (const auto& [field, value] : sample.fields.as_object()) {
+      if (field == "name" || field == "bench") {
+        continue;
+      }
+      // Correctness contracts first: a false bit_identical in the current
+      // run fails on its own, no history needed.
+      if (field == "bit_identical" && value.is_bool() && !value.as_bool()) {
+        report.findings.push_back(
+            {TrendSeverity::kFail, sample.name, field,
+             "bit_identical is false in the current run"});
+        continue;
+      }
+      if (value.is_string() && is_hash_field(field)) {
+        const FieldHistory hist =
+            collect_history(history, sample.name, field);
+        if (hist.text.empty()) {
+          continue;
+        }
+        const std::string& latest = hist.text.back();
+        if (latest != value.as_string()) {
+          std::snprintf(msg, sizeof(msg),
+                        "identity mismatch: history %s, current %s",
+                        latest.c_str(), value.as_string().c_str());
+          report.findings.push_back(
+              {TrendSeverity::kFail, sample.name, field, msg});
+        }
+        continue;
+      }
+      if (!value.is_number()) {
+        continue;
+      }
+      const FieldHistory hist = collect_history(history, sample.name, field);
+      if (hist.numeric.size() < 3) {
+        continue;  // not enough samples for a meaningful sigma
+      }
+      double mean = 0.0;
+      for (const double v : hist.numeric) {
+        mean += v;
+      }
+      mean /= static_cast<double>(hist.numeric.size());
+      double var = 0.0;
+      for (const double v : hist.numeric) {
+        var += (v - mean) * (v - mean);
+      }
+      var /= static_cast<double>(hist.numeric.size());
+      // Floor the deviation so a perfectly flat history (deterministic
+      // counters) still tolerates sub-ppm float noise.
+      const double sd =
+          std::max(std::sqrt(var), std::abs(mean) * 1e-6 + 1e-12);
+      const double z = (value.as_double() - mean) / sd;
+      if (std::abs(z) > sigma) {
+        std::snprintf(msg, sizeof(msg),
+                      "%.6g is %+.1f sigma from the history mean %.6g "
+                      "(n=%zu, sd=%.3g)",
+                      value.as_double(), z, mean, hist.numeric.size(), sd);
+        report.findings.push_back(
+            {TrendSeverity::kWarn, sample.name, field, msg});
+      }
+    }
+  }
+  return report;
+}
+
+}  // namespace pufaging::obs

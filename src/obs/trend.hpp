@@ -1,0 +1,65 @@
+// Benchmark trend comparison (the "did this commit regress?" gate).
+//
+// Benchmarks in this repo emit one machine-readable line per run,
+// prefixed "BENCH " and followed by a flat JSON object. CI keeps a
+// rolling history of those lines as an artifact; this module compares
+// the current run against that history:
+//
+//   numeric fields    z-score against the history mean once at least 3
+//                     prior samples exist; drift beyond N sigma is a
+//                     WARNING (perf varies across runners — a warning
+//                     annotates the run without blocking it)
+//   *_hash fields     compared against the most recent history value;
+//   (identity_hash,   any mismatch is a FAILURE — bit-identity across
+//    *_sha256)        commits is a correctness contract, not a perf
+//                     number
+//   bit_identical     a false value in the current run is a FAILURE
+//                     regardless of history
+//
+// Pure library (no I/O) so the gating logic is unit-testable; the
+// tools/bench_diff binary provides the file-reading CLI wrapper.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "io/json.hpp"
+
+namespace pufaging::obs {
+
+/// One parsed BENCH line: the benchmark's name plus its flat JSON object.
+struct BenchSample {
+  std::string name;  ///< "bench" (or "name") field; empty when absent.
+  Json fields;       ///< The full object.
+};
+
+/// Extracts BENCH samples from arbitrary program output: accepts lines of
+/// the form "BENCH {...}" or bare "{...}" JSON objects, skips everything
+/// else (logs, tables). Malformed JSON after a BENCH prefix is skipped
+/// too — a truncated artifact must not break the gate.
+std::vector<BenchSample> parse_bench_lines(const std::string& text);
+
+enum class TrendSeverity { kInfo, kWarn, kFail };
+
+struct TrendFinding {
+  TrendSeverity severity = TrendSeverity::kInfo;
+  std::string bench;   ///< Sample name.
+  std::string field;
+  std::string message;
+};
+
+struct TrendReport {
+  std::vector<TrendFinding> findings;
+
+  bool failed() const;
+  bool warned() const;
+  std::string render() const;
+};
+
+/// Compares the current run's samples against history samples (matched by
+/// name). `sigma` is the numeric drift threshold in standard deviations.
+TrendReport diff_trends(const std::vector<BenchSample>& history,
+                        const std::vector<BenchSample>& current,
+                        double sigma = 2.0);
+
+}  // namespace pufaging::obs

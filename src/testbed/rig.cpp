@@ -1,5 +1,7 @@
 #include "testbed/rig.hpp"
 
+#include <cstdio>
+
 #include "common/error.hpp"
 
 namespace pufaging {
@@ -146,6 +148,45 @@ CampaignHealth Rig::health() const {
   CampaignHealth health;
   health.months.push_back(entry);
   return health;
+}
+
+void Rig::publish_metrics(obs::MetricsRegistry& registry) const {
+  // Rig totals, named to sit beside the campaign's chaos.* family.
+  const CampaignHealth ledger = health();
+  const MonthHealth& h = ledger.months.front();
+  registry.add("rig.crc_retries", h.crc_retries);
+  registry.add("rig.timeouts", h.timeouts);
+  registry.add("rig.frames_lost", h.frames_lost);
+  registry.add("rig.measurements_dropped", h.measurements_dropped);
+  registry.add("rig.probes", h.probes);
+  registry.gauge_set("rig.boards_quarantined",
+                     static_cast<double>(h.boards_quarantined));
+  registry.gauge_set("rig.boards_reporting",
+                     static_cast<double>(h.boards_reporting));
+  registry.gauge_set("rig.coverage", h.coverage);
+
+  // Per-board series: delivered record counts from the collector and the
+  // resilience state machine of each slave slot on its master.
+  char name[64];
+  for (std::size_t layer = 0; layer < masters_.size(); ++layer) {
+    const MasterBoard& master = *masters_[layer];
+    for (std::size_t slot = 0; slot < 8; ++slot) {
+      const std::uint32_t device =
+          static_cast<std::uint32_t>(layer * 8 + slot);
+      const std::uint32_t board = board_id_for_device(device);
+      const BoardFaultState& state = master.slave_state(slot);
+      std::snprintf(name, sizeof(name), "rig.board.S%u.records", board);
+      registry.add(name, collector_.board_measurements(board).size());
+      std::snprintf(name, sizeof(name), "rig.board.S%u.quarantined", board);
+      registry.gauge_set(name, state.quarantined ? 1.0 : 0.0);
+      std::snprintf(name, sizeof(name), "rig.board.S%u.failures", board);
+      registry.gauge_set(name,
+                         static_cast<double>(state.consecutive_failures));
+      std::snprintf(name, sizeof(name),
+                    "rig.board.S%u.quarantine_entries", board);
+      registry.add(name, state.quarantine_entries);
+    }
+  }
 }
 
 SlaveBoard& Rig::slave_by_board_id(std::uint32_t board_id) {

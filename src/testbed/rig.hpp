@@ -5,6 +5,7 @@
 #include <memory>
 #include <vector>
 
+#include "obs/metrics.hpp"
 #include "silicon/device_factory.hpp"
 #include "testbed/boards.hpp"
 #include "testbed/collector.hpp"
@@ -65,6 +66,13 @@ class Rig {
   /// buses, the power switch) as a single-entry CampaignHealth ledger;
   /// `month` is the elapsed sim time in 30-day months.
   CampaignHealth health() const;
+
+  /// Bridges the health ledger into the metrics view the campaign's
+  /// chaos.* counters already use — rig totals plus per-board
+  /// `rig.board.S<n>.*` series (records delivered, CRC retries at the
+  /// board's bus granularity, quarantine state). A pure observer: call
+  /// once after a run; it reads counters, never mutates the rig.
+  void publish_metrics(obs::MetricsRegistry& registry) const;
 
   MasterBoard& master(std::size_t layer) { return *masters_.at(layer); }
   SlaveBoard& slave_by_board_id(std::uint32_t board_id);

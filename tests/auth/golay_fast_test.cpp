@@ -1,0 +1,129 @@
+// FastGolay is derived from GolayCode by linear algebra; this suite is
+// the bit-compatibility proof: every message, every correctable error
+// pattern, and random words must decode decision-for-decision like the
+// reference.
+#include "auth/golay_fast.hpp"
+
+#include <gtest/gtest.h>
+
+#include <bit>
+
+#include "common/bitvector.hpp"
+#include "common/rng.hpp"
+#include "keygen/golay.hpp"
+
+namespace pufaging::auth {
+namespace {
+
+std::uint32_t pack24(const BitVector& bits) {
+  std::uint32_t word = 0;
+  for (std::size_t i = 0; i < 24; ++i) {
+    word |= static_cast<std::uint32_t>(bits.get(i)) << i;
+  }
+  return word;
+}
+
+BitVector unpack24(std::uint32_t word) {
+  BitVector bits(24);
+  for (std::size_t i = 0; i < 24; ++i) {
+    bits.set(i, ((word >> i) & 1U) != 0);
+  }
+  return bits;
+}
+
+std::uint32_t pack12(const BitVector& bits) {
+  std::uint32_t word = 0;
+  for (std::size_t i = 0; i < 12; ++i) {
+    word |= static_cast<std::uint32_t>(bits.get(i)) << i;
+  }
+  return word;
+}
+
+TEST(FastGolay, EncodeMatchesReferenceForAllMessages) {
+  const GolayCode reference;
+  const FastGolay& fast = FastGolay::instance();
+  for (std::uint32_t msg = 0; msg < 4096; ++msg) {
+    BitVector m(12);
+    for (std::size_t i = 0; i < 12; ++i) {
+      m.set(i, ((msg >> i) & 1U) != 0);
+    }
+    ASSERT_EQ(fast.encode(msg), pack24(reference.encode(m)))
+        << "message " << msg;
+  }
+}
+
+TEST(FastGolay, DecodesEveryWeightLe3ErrorOnEveryMessageSample) {
+  const FastGolay& fast = FastGolay::instance();
+  // Exhaustive over errors; messages sampled (all 2325 patterns x 16
+  // messages keeps the test fast while covering every syndrome).
+  for (std::uint32_t msg = 0; msg < 4096; msg += 255) {
+    const std::uint32_t cw = fast.encode(msg);
+    ASSERT_EQ(fast.syndrome(cw), 0U);
+    for (int a = -1; a < 24; ++a) {
+      for (int b = a + 1; b < 24; ++b) {
+        for (int c = b + 1; c < 24; ++c) {
+          std::uint32_t error = 0;
+          if (a >= 0) {
+            error |= 1U << a;
+          }
+          error |= (1U << b) | (1U << c);
+          const FastGolay::Decoded d = fast.decode(cw ^ error);
+          ASSERT_TRUE(d.ok);
+          ASSERT_EQ(d.message, msg);
+          ASSERT_EQ(d.corrected, std::popcount(error));
+        }
+      }
+    }
+    // Weight 0 and 1 (the loops above cover weights 2 and 3).
+    const FastGolay::Decoded clean = fast.decode(cw);
+    ASSERT_TRUE(clean.ok);
+    ASSERT_EQ(clean.message, msg);
+    ASSERT_EQ(clean.corrected, 0);
+    for (int a = 0; a < 24; ++a) {
+      const FastGolay::Decoded d = fast.decode(cw ^ (1U << a));
+      ASSERT_TRUE(d.ok);
+      ASSERT_EQ(d.message, msg);
+      ASSERT_EQ(d.corrected, 1);
+    }
+  }
+}
+
+TEST(FastGolay, DetectsWeight4ErrorsLikeReference) {
+  // G24 is exactly 3-error-correcting: every weight-4 pattern must be
+  // flagged uncorrectable (perfect-code property: weight-4 cosets have no
+  // weight-<=3 leader).
+  const FastGolay& fast = FastGolay::instance();
+  const std::uint32_t cw = fast.encode(0xABC);
+  Xoshiro256StarStar rng(0xC0DEC);
+  for (int round = 0; round < 2000; ++round) {
+    std::uint32_t error = 0;
+    while (std::popcount(error) < 4) {
+      error |= 1U << rng.below(24);
+    }
+    if (std::popcount(error) != 4) {
+      continue;
+    }
+    const FastGolay::Decoded d = fast.decode(cw ^ error);
+    EXPECT_FALSE(d.ok) << "error " << std::hex << error;
+  }
+}
+
+TEST(FastGolay, RandomWordsAgreeWithReferenceDecoder) {
+  const GolayCode reference;
+  const FastGolay& fast = FastGolay::instance();
+  Xoshiro256StarStar rng(0xFA57601A);
+  for (int round = 0; round < 5000; ++round) {
+    const std::uint32_t word =
+        static_cast<std::uint32_t>(rng.next()) & 0xFFFFFFU;
+    const FastGolay::Decoded d = fast.decode(word);
+    const DecodeResult ref = reference.decode(unpack24(word));
+    ASSERT_EQ(d.ok, ref.success) << "word " << std::hex << word;
+    if (d.ok) {
+      ASSERT_EQ(d.message, pack12(ref.message));
+      ASSERT_EQ(d.corrected, ref.corrected);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace pufaging::auth

@@ -1,0 +1,205 @@
+// Decision-level proofs for the authentication service: the accept /
+// reject boundary sits exactly at the Golay code's correction radius, the
+// verifier catches decode-but-wrong-key, and load-run decisions are
+// bit-identical across thread counts and SIMD tiers (the determinism
+// matrix the bench gates on).
+#include "auth/service.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "auth/fleet_sim.hpp"
+#include "auth/loadgen.hpp"
+#include "common/bitkernel.hpp"
+#include "common/bitvector.hpp"
+#include "common/thread_pool.hpp"
+
+namespace pufaging::auth {
+namespace {
+
+using bitkernel::Level;
+
+VirtualFleetConfig tiny_fleet_config() {
+  VirtualFleetConfig config;
+  config.seed = 0x5E11F1E7;
+  return config;
+}
+
+/// Enrolls `count` devices from clean fleet reads.
+void enroll_devices(AuthService& service, const VirtualFleet& fleet,
+                    std::uint64_t count) {
+  for (std::uint64_t id = 0; id < count; ++id) {
+    service.enroll(id, fleet.enrollment_response(id));
+  }
+}
+
+std::vector<std::uint64_t> packed_read(const VirtualFleet& fleet,
+                                       std::uint64_t device) {
+  return fleet.enrollment_response(device).words();
+}
+
+AuthDecision authenticate_one(const AuthService& service, std::uint64_t id,
+                              const std::vector<std::uint64_t>& response,
+                              AuthBatchStats* stats = nullptr) {
+  AuthRequest request{id, response.data()};
+  AuthDecision decision = AuthDecision::kRejectUnknown;
+  const AuthBatchStats s = service.authenticate_batch(&request, 1, &decision);
+  if (stats != nullptr) {
+    *stats = s;
+  }
+  return decision;
+}
+
+TEST(AuthService, AcceptsCleanReplayOfEnrollmentRead) {
+  const VirtualFleet fleet(tiny_fleet_config(), 4);
+  AuthService service({});
+  enroll_devices(service, fleet, 4);
+  for (std::uint64_t id = 0; id < 4; ++id) {
+    AuthBatchStats stats;
+    EXPECT_EQ(authenticate_one(service, id, packed_read(fleet, id), &stats),
+              AuthDecision::kAccept);
+    EXPECT_EQ(stats.corrected_bits, 0U);
+  }
+}
+
+TEST(AuthService, CorrectsUpToThreeErrorsPerBlock) {
+  const VirtualFleet fleet(tiny_fleet_config(), 1);
+  AuthService service({});
+  enroll_devices(service, fleet, 1);
+  const std::uint32_t blocks = service.config().blocks;
+
+  // Three flips in every block simultaneously: the worst correctable read.
+  std::vector<std::uint64_t> read = packed_read(fleet, 0);
+  for (std::uint32_t b = 0; b < blocks; ++b) {
+    for (std::size_t j : {0U, 7U, 23U}) {
+      const std::size_t bit = static_cast<std::size_t>(b) * 24 + j;
+      read[bit >> 6] ^= 1ULL << (bit & 63);
+    }
+  }
+  AuthBatchStats stats;
+  EXPECT_EQ(authenticate_one(service, 0, read, &stats),
+            AuthDecision::kAccept);
+  EXPECT_EQ(stats.corrected_bits, static_cast<std::uint64_t>(blocks) * 3);
+}
+
+TEST(AuthService, RejectsFourErrorsInOneBlock) {
+  const VirtualFleet fleet(tiny_fleet_config(), 1);
+  AuthService service({});
+  enroll_devices(service, fleet, 1);
+
+  for (std::uint32_t b : {0U, 5U, 10U}) {
+    std::vector<std::uint64_t> read = packed_read(fleet, 0);
+    for (std::size_t j : {1U, 6U, 12U, 20U}) {
+      const std::size_t bit = static_cast<std::size_t>(b) * 24 + j;
+      read[bit >> 6] ^= 1ULL << (bit & 63);
+    }
+    EXPECT_EQ(authenticate_one(service, 0, read),
+              AuthDecision::kRejectDecode)
+        << "block " << b;
+  }
+}
+
+TEST(AuthService, RejectsUnknownDevice) {
+  const VirtualFleet fleet(tiny_fleet_config(), 2);
+  AuthService service({});
+  enroll_devices(service, fleet, 1);
+  EXPECT_EQ(authenticate_one(service, 7, packed_read(fleet, 7)),
+            AuthDecision::kRejectUnknown);
+}
+
+TEST(AuthService, RejectsTamperedVerifier) {
+  const VirtualFleet fleet(tiny_fleet_config(), 1);
+  AuthService service({});
+  // Enroll with a flipped verifier byte: the helper still decodes the
+  // read perfectly, so the rejection must come from the key check.
+  EnrollmentRecord record =
+      service.make_enrollment(0, fleet.enrollment_response(0));
+  record.verifier[11] ^= 0x01;
+  service.ingest(record);
+  EXPECT_EQ(authenticate_one(service, 0, packed_read(fleet, 0)),
+            AuthDecision::kRejectKey);
+}
+
+TEST(AuthService, ImpostorSiliconIsRejected) {
+  const VirtualFleet fleet(tiny_fleet_config(), 8);
+  AuthService service({});
+  enroll_devices(service, fleet, 8);
+  // Un-enrolled silicon (ids past device_count) claiming enrolled ids.
+  for (std::uint64_t id = 0; id < 8; ++id) {
+    EXPECT_NE(authenticate_one(service, id, packed_read(fleet, 100 + id)),
+              AuthDecision::kAccept)
+        << "impostor accepted as device " << id;
+  }
+}
+
+/// One full load run at a given (threads, SIMD tier) cell.
+LoadReport matrix_run(std::size_t threads, Level level) {
+  bitkernel::ScopedLevel scoped(level);
+  const VirtualFleet fleet(tiny_fleet_config(), 200);
+  AuthService service({});
+  ThreadPool pool(threads);
+  enroll_fleet(service, fleet, pool);
+
+  LoadgenConfig config;
+  config.devices = 200;
+  config.years = 2;
+  config.auths_per_year = 2000;
+  config.batch_size = 64;
+  config.threads = threads;
+  return run_load(config, service, fleet, pool);
+}
+
+TEST(AuthService, DecisionsBitIdenticalAcrossThreadsAndSimdTiers) {
+  const std::vector<Level> levels = bitkernel::available_levels();
+  const Level best = levels.back();
+
+  const LoadReport reference = matrix_run(1, Level::kScalar);
+  ASSERT_FALSE(reference.decisions_sha256.empty());
+  for (std::size_t threads : {std::size_t{1}, std::size_t{4}}) {
+    for (Level level : {Level::kScalar, best}) {
+      const LoadReport run = matrix_run(threads, level);
+      EXPECT_EQ(run.decisions_sha256, reference.decisions_sha256)
+          << "threads=" << threads << " level=" << bitkernel::level_name(level);
+      ASSERT_EQ(run.years.size(), reference.years.size());
+      for (std::size_t y = 0; y < run.years.size(); ++y) {
+        EXPECT_EQ(run.years[y].false_rejects, reference.years[y].false_rejects);
+        EXPECT_EQ(run.years[y].false_accepts, reference.years[y].false_accepts);
+      }
+    }
+  }
+}
+
+TEST(AuthService, FalseRejectRateGrowsWithFleetAge) {
+  const VirtualFleet fleet(tiny_fleet_config(), 400);
+  AuthService service({});
+  ThreadPool pool(2);
+  enroll_fleet(service, fleet, pool);
+
+  LoadgenConfig config;
+  config.devices = 400;
+  config.years = 3;
+  config.auths_per_year = 8000;
+  config.threads = 2;
+  const LoadReport report = run_load(config, service, fleet, pool);
+
+  ASSERT_EQ(report.years.size(), 3U);
+  const double y0 = report.years[0].frr;
+  const double y1 = report.years[1].frr;
+  const double y2 = report.years[2].frr;
+  EXPECT_GT(y0, 0.0) << "year-0 noise should cause some false rejects";
+  EXPECT_LT(y0, 0.10);
+  EXPECT_GE(y1, y0) << "aging must not improve FRR";
+  EXPECT_GT(y2, y0 * 1.2) << "two years of drift must show in FRR";
+  for (const YearLoadStats& year : report.years) {
+    EXPECT_EQ(year.false_accepts, 0U)
+        << "impostor accepted in year " << year.year;
+    EXPECT_GT(year.impostors, 0U);
+  }
+}
+
+}  // namespace
+}  // namespace pufaging::auth

@@ -314,6 +314,46 @@ TEST(BitKernelDifferential, PaperScaleDeviceMonth) {
 }
 
 // ---------------------------------------------------------------------------
+// Differential: the bulk XOR kernel (the fleet-auth batch stage) vs the
+// scalar oracle, on every tier, including in-place aliasing (out == a),
+// which is how the auth service calls it.
+// ---------------------------------------------------------------------------
+
+TEST(BitKernelDifferential, XorRowsMatchesOracleAcrossTiers) {
+  Xoshiro256StarStar rng(0xB17C0DE9);
+  for (const std::size_t words :
+       {std::size_t{0}, std::size_t{1}, std::size_t{3}, std::size_t{4},
+        std::size_t{5}, std::size_t{64}, std::size_t{1280},
+        std::size_t{1283}}) {
+    SCOPED_TRACE(::testing::Message() << "words=" << words);
+    std::vector<std::uint64_t> a(words);
+    std::vector<std::uint64_t> b(words);
+    for (std::size_t i = 0; i < words; ++i) {
+      a[i] = rng.next();
+      b[i] = rng.next();
+    }
+    std::vector<std::uint64_t> expected(words);
+    bitkernel::kernels_for(Level::kScalar)
+        .xor_rows(a.data(), b.data(), expected.data(), words);
+    for (std::size_t i = 0; i < words; ++i) {
+      ASSERT_EQ(expected[i], a[i] ^ b[i]);
+    }
+    for (const Level level : testsupport::accelerated_levels()) {
+      SCOPED_TRACE(bitkernel::level_name(level));
+      std::vector<std::uint64_t> out(words, 0xDEADDEADDEADDEADULL);
+      bitkernel::kernels_for(level).xor_rows(a.data(), b.data(), out.data(),
+                                             words);
+      EXPECT_EQ(out, expected);
+      // In-place form used by the auth hot path.
+      std::vector<std::uint64_t> inplace = a;
+      bitkernel::ScopedLevel scoped(level);
+      bitkernel::xor_rows(inplace.data(), b.data(), inplace.data(), words);
+      EXPECT_EQ(inplace, expected);
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
 // End to end: the analysis stack (BitVector -> hamming -> accumulators)
 // produces bit-identical DOUBLES at every tier, because every kernel
 // below the floating-point layer returns identical integers.

@@ -8,6 +8,7 @@
 #include "keygen/concatenated.hpp"
 #include "keygen/golay.hpp"
 #include "keygen/repetition.hpp"
+#include "silicon/device_factory.hpp"
 
 namespace pufaging {
 namespace {
@@ -136,6 +137,52 @@ TEST(FuzzyExtractor, Validation) {
   EXPECT_THROW(fx.reconstruct(BitVector(23), helper), InvalidArgument);
   helper.code_offset = BitVector(23);
   EXPECT_THROW(fx.reconstruct(BitVector(23), helper), InvalidArgument);
+}
+
+TEST(FuzzyExtractor, RoundTripsUnderRealSiliconAging) {
+  // End-to-end against the silicon model, the fleet-auth life cycle in
+  // miniature: enroll on a device's pristine power-up window, then keep
+  // reconstructing the same secret from fresh noisy reads as the device
+  // ages one and two years. Fixed seeds make every read deterministic.
+  FuzzyExtractor fx(golay());
+  constexpr std::size_t kBlocks = 11;
+  constexpr std::size_t kWindow = kBlocks * 24;
+
+  SramDevice device = make_device(paper_fleet_config(), 3);
+  const BitVector enroll_read = device.measure();
+  ASSERT_GE(enroll_read.size(), kWindow);
+  BitVector response(kWindow);
+  for (std::size_t i = 0; i < kWindow; ++i) {
+    response.set(i, enroll_read.get(i));
+  }
+
+  Xoshiro256StarStar rng(41);
+  BitVector secret;
+  const HelperData helper = fx.enroll(response, kBlocks, rng, secret);
+  EXPECT_EQ(secret.size(), kBlocks * 12);
+
+  std::size_t previous_corrected = 0;
+  for (int year = 0; year < 3; ++year) {
+    if (year > 0) {
+      device.age_months(12.0);
+    }
+    const BitVector read = device.measure();
+    BitVector noisy(kWindow);
+    for (std::size_t i = 0; i < kWindow; ++i) {
+      noisy.set(i, read.get(i));
+    }
+    const ReconstructResult r = fx.reconstruct(noisy, helper);
+    ASSERT_TRUE(r.success) << "year " << year;
+    EXPECT_EQ(r.message, secret) << "year " << year;
+    if (year == 0) {
+      previous_corrected = r.corrected;
+    }
+    if (year == 2) {
+      // Two years of BTI drift must cost at least as many corrections as
+      // the pristine re-read did.
+      EXPECT_GE(r.corrected, previous_corrected);
+    }
+  }
 }
 
 TEST(DeriveKey, DeterministicAndContextSeparated) {

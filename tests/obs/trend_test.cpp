@@ -1,0 +1,108 @@
+// The bench-trend gate's unit proofs: >N-sigma numeric drift warns,
+// identity-hash divergence fails, clean runs stay quiet, and the parser
+// survives arbitrary program output around the BENCH lines.
+#include "obs/trend.hpp"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+namespace pufaging::obs {
+namespace {
+
+std::string bench_line(const std::string& name, double auths_per_sec,
+                       const std::string& hash) {
+  return "BENCH {\"bench\":\"" + name +
+         "\",\"auths_per_sec\":" + std::to_string(auths_per_sec) +
+         ",\"identity_hash\":\"" + hash + "\",\"bit_identical\":true}\n";
+}
+
+std::vector<BenchSample> history_of(int samples, double value,
+                                    const std::string& hash) {
+  std::string text;
+  for (int i = 0; i < samples; ++i) {
+    // Small spread so the sigma floor doesn't swallow real drift.
+    text += bench_line("auth_hotpath", value * (1.0 + 0.01 * i), hash);
+  }
+  return parse_bench_lines(text);
+}
+
+TEST(ParseBenchLines, ExtractsSamplesAndSkipsEverythingElse) {
+  const std::string text =
+      "building...\n"
+      "year  requests  FRR\n"
+      "BENCH {\"bench\":\"a\",\"x\":1}\n"
+      "BENCH not-json-at-all\n"
+      "BENCH {\"truncated\":\n"
+      "{\"name\":\"b\",\"y\":2.5}\n"
+      "trailing log line\n";
+  const std::vector<BenchSample> samples = parse_bench_lines(text);
+  ASSERT_EQ(samples.size(), 2U);
+  EXPECT_EQ(samples[0].name, "a");
+  EXPECT_EQ(samples[1].name, "b");  // "name" accepted when "bench" absent.
+}
+
+TEST(DiffTrends, CleanRunAgainstConsistentHistoryPasses) {
+  const std::vector<BenchSample> history = history_of(5, 1.0e6, "abc123");
+  const std::vector<BenchSample> current =
+      parse_bench_lines(bench_line("auth_hotpath", 1.01e6, "abc123"));
+  const TrendReport report = diff_trends(history, current);
+  EXPECT_FALSE(report.failed()) << report.render();
+  EXPECT_FALSE(report.warned()) << report.render();
+}
+
+TEST(DiffTrends, TwoSigmaRegressionIsAWarning) {
+  const std::vector<BenchSample> history = history_of(6, 1.0e6, "abc123");
+  // 40% throughput drop: far beyond 2 sigma of the ~1% history spread.
+  const std::vector<BenchSample> current =
+      parse_bench_lines(bench_line("auth_hotpath", 0.6e6, "abc123"));
+  const TrendReport report = diff_trends(history, current, 2.0);
+  EXPECT_TRUE(report.warned()) << report.render();
+  EXPECT_FALSE(report.failed()) << report.render();
+  bool found = false;
+  for (const TrendFinding& finding : report.findings) {
+    if (finding.field == "auths_per_sec" &&
+        finding.severity == TrendSeverity::kWarn) {
+      found = true;
+    }
+  }
+  EXPECT_TRUE(found) << report.render();
+}
+
+TEST(DiffTrends, IdentityHashMismatchIsAFailure) {
+  const std::vector<BenchSample> history = history_of(3, 1.0e6, "abc123");
+  const std::vector<BenchSample> current =
+      parse_bench_lines(bench_line("auth_hotpath", 1.0e6, "DIFFERENT"));
+  const TrendReport report = diff_trends(history, current);
+  EXPECT_TRUE(report.failed()) << report.render();
+}
+
+TEST(DiffTrends, BitIdenticalFalseFailsWithoutAnyHistory) {
+  const std::vector<BenchSample> current = parse_bench_lines(
+      "BENCH {\"bench\":\"auth_hotpath\",\"bit_identical\":false}\n");
+  const TrendReport report = diff_trends({}, current);
+  EXPECT_TRUE(report.failed()) << report.render();
+}
+
+TEST(DiffTrends, ShortHistoryNeverWarnsOnNumericDrift) {
+  // < 3 samples: no meaningful variance estimate, numeric gating is off
+  // (hash checks still apply).
+  const std::vector<BenchSample> history = history_of(2, 1.0e6, "abc123");
+  const std::vector<BenchSample> current =
+      parse_bench_lines(bench_line("auth_hotpath", 0.1e6, "abc123"));
+  const TrendReport report = diff_trends(history, current);
+  EXPECT_FALSE(report.warned()) << report.render();
+  EXPECT_FALSE(report.failed()) << report.render();
+}
+
+TEST(DiffTrends, NewBenchmarkWithNoHistoryPasses) {
+  const std::vector<BenchSample> current =
+      parse_bench_lines(bench_line("brand_new", 5.0, "h0"));
+  const TrendReport report = diff_trends({}, current);
+  EXPECT_FALSE(report.failed());
+  EXPECT_FALSE(report.warned());
+}
+
+}  // namespace
+}  // namespace pufaging::obs

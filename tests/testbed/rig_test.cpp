@@ -135,6 +135,42 @@ TEST(RigProtocol, JsonlSurvivesRoundTrip) {
   EXPECT_EQ(back.records()[0].data, rig.collector().records()[0].data);
 }
 
+TEST(RigProtocol, PublishMetricsBridgesHealthAndPerBoardSeries) {
+  Rig rig{RigConfig{}};
+  rig.run_cycles(2);
+
+  obs::MetricsRegistry registry;
+  rig.publish_metrics(registry);
+  const obs::MetricsSnapshot snap = registry.snapshot();
+
+  // Rig totals mirror the health ledger.
+  const CampaignHealth ledger = rig.health();
+  ASSERT_TRUE(snap.gauges.count("rig.coverage"));
+  EXPECT_DOUBLE_EQ(snap.gauges.at("rig.coverage"),
+                   ledger.months.front().coverage);
+  ASSERT_TRUE(snap.gauges.count("rig.boards_reporting"));
+  EXPECT_EQ(snap.gauges.at("rig.boards_reporting"), 16.0);
+
+  // One record-count series per slave board, matching the collector.
+  for (std::uint32_t d = 0; d < 16; ++d) {
+    const std::uint32_t board = board_id_for_device(d);
+    const std::string name =
+        "rig.board.S" + std::to_string(board) + ".records";
+    ASSERT_TRUE(snap.counters.count(name)) << name;
+    EXPECT_EQ(snap.counters.at(name),
+              rig.collector().board_measurements(board).size());
+    EXPECT_GE(snap.counters.at(name), 2U);
+  }
+
+  // A pure observer: publishing twice just accumulates counters, and a
+  // healthy fault-free rig reports no quarantined boards.
+  rig.publish_metrics(registry);
+  const obs::MetricsSnapshot twice = registry.snapshot();
+  EXPECT_EQ(twice.counters.at("rig.board.S0.records"),
+            2 * snap.counters.at("rig.board.S0.records"));
+  EXPECT_DOUBLE_EQ(twice.gauges.at("rig.boards_quarantined"), 0.0);
+}
+
 TEST(RigProtocol, RequiresSixteenDevices) {
   RigConfig config;
   config.fleet.device_count = 8;

@@ -1,0 +1,138 @@
+// bench_diff — CI gate comparing a benchmark run against its history.
+//
+//   bench_diff HISTORY CURRENT [--sigma N] [--append-history PATH]
+//              [--fail-on-drift]
+//
+// HISTORY and CURRENT are files of BENCH lines (raw benchmark stdout is
+// fine — non-BENCH lines are skipped). Exit codes:
+//
+//   0  clean, or drift warnings without --fail-on-drift
+//   1  drift beyond the sigma threshold with --fail-on-drift
+//   2  identity violation (hash mismatch / bit_identical=false) — always
+//      fatal, this is a correctness regression, not noise
+//
+// A missing HISTORY file passes (first run seeds the trend). Warnings are
+// emitted as GitHub "::warning::" annotations so they surface on the PR
+// without failing the job.
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <optional>
+#include <sstream>
+#include <string>
+
+#include "obs/trend.hpp"
+
+namespace {
+
+std::optional<std::string> read_file(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) {
+    return std::nullopt;
+  }
+  std::stringstream buffer;
+  buffer << in.rdbuf();
+  return buffer.str();
+}
+
+int usage() {
+  std::fprintf(stderr,
+               "usage: bench_diff HISTORY CURRENT [--sigma N]\n"
+               "                  [--append-history PATH] [--fail-on-drift]\n");
+  return 64;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string history_path;
+  std::string current_path;
+  std::string append_path;
+  double sigma = 2.0;
+  bool fail_on_drift = false;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--sigma" && i + 1 < argc) {
+      sigma = std::stod(argv[++i]);
+    } else if (arg == "--append-history" && i + 1 < argc) {
+      append_path = argv[++i];
+    } else if (arg == "--fail-on-drift") {
+      fail_on_drift = true;
+    } else if (arg.rfind("--", 0) == 0) {
+      return usage();
+    } else if (history_path.empty()) {
+      history_path = arg;
+    } else if (current_path.empty()) {
+      current_path = arg;
+    } else {
+      return usage();
+    }
+  }
+  if (history_path.empty() || current_path.empty()) {
+    return usage();
+  }
+
+  const std::optional<std::string> current_text = read_file(current_path);
+  if (!current_text) {
+    std::fprintf(stderr, "bench_diff: cannot read %s\n",
+                 current_path.c_str());
+    return 64;
+  }
+  const std::vector<pufaging::obs::BenchSample> current =
+      pufaging::obs::parse_bench_lines(*current_text);
+  if (current.empty()) {
+    std::fprintf(stderr, "bench_diff: no BENCH lines in %s\n",
+                 current_path.c_str());
+    return 64;
+  }
+
+  const std::optional<std::string> history_text = read_file(history_path);
+  std::vector<pufaging::obs::BenchSample> history;
+  if (history_text) {
+    history = pufaging::obs::parse_bench_lines(*history_text);
+  } else {
+    std::fprintf(stderr,
+                 "bench_diff: no history at %s (first run, seeding)\n",
+                 history_path.c_str());
+  }
+
+  const pufaging::obs::TrendReport report =
+      pufaging::obs::diff_trends(history, current, sigma);
+  std::printf("bench_diff: %zu current sample(s), %zu history sample(s), "
+              "sigma %.1f\n",
+              current.size(), history.size(), sigma);
+  if (!report.findings.empty()) {
+    std::printf("%s", report.render().c_str());
+  }
+  for (const pufaging::obs::TrendFinding& f : report.findings) {
+    if (f.severity == pufaging::obs::TrendSeverity::kWarn) {
+      std::printf("::warning title=bench drift::%s.%s %s\n",
+                  f.bench.c_str(), f.field.c_str(), f.message.c_str());
+    }
+  }
+
+  if (!append_path.empty()) {
+    std::ofstream out(append_path, std::ios::app);
+    if (!out) {
+      std::fprintf(stderr, "bench_diff: cannot append to %s\n",
+                   append_path.c_str());
+      return 64;
+    }
+    for (const pufaging::obs::BenchSample& s : current) {
+      out << "BENCH " << s.fields.dump() << "\n";
+    }
+  }
+
+  if (report.failed()) {
+    std::fprintf(stderr, "bench_diff: identity violation — failing\n");
+    return 2;
+  }
+  if (report.warned() && fail_on_drift) {
+    std::fprintf(stderr, "bench_diff: drift beyond %.1f sigma — failing\n",
+                 sigma);
+    return 1;
+  }
+  std::printf("bench_diff: OK%s\n", report.warned() ? " (with warnings)" : "");
+  return 0;
+}

@@ -12,6 +12,10 @@
 //   pufaging keygen    [--months N] [--debias]
 //   pufaging trng      [--bytes N] [--device D]
 //   pufaging predict   [--months N] [--budget BER]
+//   pufaging auth      [--devices N] [--years N] [--auths N] [--batch N]
+//                      [--threads N] [--impostors P] [--blocks N]
+//                      [--seed S] [--passes N] [--store-dir DIR]
+//                      [--fsync-every N] [--metrics] [--metrics-out FILE]
 //
 // Every command is deterministic from the seed; see README.md.
 #include <cstdio>
@@ -26,6 +30,10 @@
 #include <vector>
 
 #include "analysis/initial_quality.hpp"
+#include "auth/fleet_sim.hpp"
+#include "auth/loadgen.hpp"
+#include "auth/registry.hpp"
+#include "auth/service.hpp"
 #include "analysis/lifetime.hpp"
 #include "analysis/summary.hpp"
 #include "analysis/timeseries.hpp"
@@ -248,6 +256,19 @@ int cmd_rig(Args& args) {
   if (!config.faults.all_zero() || config.i2c_fault_rate > 0.0) {
     std::fprintf(stderr, "%s", rig.health().render().c_str());
   }
+  const auto metrics_out = args.value("--metrics-out");
+  if (metrics_out || args.boolean("--metrics")) {
+    obs::MetricsRegistry metrics;
+    rig.publish_metrics(metrics);
+    const obs::MetricsSnapshot snap = metrics.snapshot();
+    if (metrics_out) {
+      std::ofstream out(*metrics_out);
+      out << obs::metrics_to_jsonl(snap);
+      std::fprintf(stderr, "metrics written to %s\n", metrics_out->c_str());
+    } else {
+      std::fprintf(stderr, "%s", obs::metrics_table(snap).c_str());
+    }
+  }
   const std::string jsonl = rig.collector().to_jsonl();
   if (const auto path = args.value("--jsonl")) {
     std::ofstream out(*path);
@@ -350,6 +371,96 @@ int cmd_trng(Args& args) {
   return 0;
 }
 
+int cmd_auth(Args& args) {
+  auth::VirtualFleetConfig fleet_config;
+  auth::AuthServiceConfig service_config;
+  auth::LoadgenConfig load;
+  load.devices = static_cast<std::uint64_t>(args.integer("--devices", 10000));
+  load.years = static_cast<std::size_t>(args.integer("--years", 3));
+  load.auths_per_year =
+      static_cast<std::size_t>(args.integer("--auths", 100000));
+  load.batch_size = static_cast<std::size_t>(args.integer("--batch", 256));
+  load.threads = static_cast<std::size_t>(args.integer("--threads", 0));
+  load.impostor_fraction = args.real("--impostors", 0.02);
+  load.passes = static_cast<std::size_t>(args.integer("--passes", 1));
+  service_config.blocks =
+      static_cast<std::uint32_t>(args.integer("--blocks", 11));
+  if (const auto seed = args.value("--seed")) {
+    fleet_config.seed = std::stoull(*seed, nullptr, 0);
+    load.seed = split_seed(fleet_config.seed, 0x10AD, 0);
+  }
+  fleet_config.window_bits =
+      static_cast<std::size_t>(service_config.blocks) * 24;
+
+  const auto metrics_out = args.value("--metrics-out");
+  const bool metrics_table_wanted = args.boolean("--metrics");
+  obs::MetricsRegistry metrics;
+  if (metrics_out || metrics_table_wanted) {
+    service_config.metrics = &metrics;
+    load.metrics = &metrics;
+  }
+
+  const auth::VirtualFleet fleet(fleet_config, load.devices);
+  auth::AuthService service(service_config);
+  ThreadPool pool(ThreadPool::resolve_thread_count(load.threads));
+
+  const auto store_dir = args.value("--store-dir");
+  std::optional<MeasurementStore> store;
+  if (store_dir) {
+    StoreOptions opts;
+    opts.fsync_every =
+        static_cast<std::size_t>(args.integer("--fsync-every", 64));
+    opts.metrics = service_config.metrics;
+    store.emplace(RealFs::instance(), *store_dir, opts);
+    auth::AuthRegistry recovered =
+        auth::load_registry(*store, service_config.blocks);
+    std::fprintf(stderr, "store: recovered %zu enrollment(s)\n",
+                 recovered.size());
+    service.adopt_registry(std::move(recovered));
+    if (!store->has_state()) {
+      auth::publish_registry(*store, service.registry());
+    }
+    service.attach_store(&*store);
+  }
+
+  if (service.registry().size() < load.devices) {
+    std::fprintf(stderr, "enrolling %llu device(s)...\n",
+                 static_cast<unsigned long long>(load.devices));
+    auth::enroll_fleet(service, fleet, pool);
+  } else {
+    std::fprintf(stderr, "reusing %zu recovered enrollment(s)\n",
+                 service.registry().size());
+  }
+  if (store) {
+    // Compact the enrollment WAL into one snapshot generation.
+    auth::publish_registry(*store, service.registry());
+  }
+
+  std::fprintf(stderr,
+               "auth load: %llu devices, %zu year(s) x %zu auths, "
+               "batch %zu, %zu thread(s)\n",
+               static_cast<unsigned long long>(load.devices), load.years,
+               load.auths_per_year, load.batch_size, pool.size());
+  const auth::LoadReport report = run_load(load, service, fleet, pool);
+  std::printf("%s", report.render().c_str());
+  if (store) {
+    store->close();
+  }
+
+  if (service_config.metrics != nullptr) {
+    const obs::MetricsSnapshot snap = metrics.snapshot();
+    if (metrics_out) {
+      std::ofstream out(*metrics_out);
+      out << obs::metrics_to_jsonl(snap);
+      std::fprintf(stderr, "metrics written to %s\n", metrics_out->c_str());
+    }
+    if (metrics_table_wanted) {
+      std::fprintf(stderr, "%s", obs::metrics_table(snap).c_str());
+    }
+  }
+  return 0;
+}
+
 int cmd_predict(Args& args) {
   const auto fit_months =
       static_cast<std::size_t>(args.integer("--months", 12));
@@ -403,14 +514,20 @@ int usage() {
       "             months were salvaged   --store-dir DIR\n"
       "  rig        run the event-driven 18-board rig, emit JSONL records\n"
       "             [--cycles N] [--jsonl FILE] [--fault-rate P]\n"
-      "             [--faults SPEC]\n"
+      "             [--faults SPEC] [--metrics] [--metrics-out FILE]\n"
       "  analyze    initial-quality evaluation of a JSONL record file\n"
       "  keygen     enroll a key and regenerate it monthly while aging\n"
       "             [--months N] [--debias] [--device D]\n"
       "  trng       emit random bytes from the PUF noise source\n"
       "             [--bytes N] [--device D]\n"
       "  predict    fit the aging trajectory and extrapolate lifetime\n"
-      "             [--months N] [--budget BER] [--threads N]\n");
+      "             [--months N] [--budget BER] [--threads N]\n"
+      "  auth       enroll a virtual fleet, drive the authentication\n"
+      "             hot path, print per-year FRR/FAR + latency table\n"
+      "             [--devices N] [--years N] [--auths N] [--batch N]\n"
+      "             [--threads N] [--impostors P] [--blocks N] [--seed S]\n"
+      "             [--passes N] [--store-dir DIR] [--fsync-every N]\n"
+      "             [--metrics] [--metrics-out FILE]\n");
   return 2;
 }
 
@@ -446,6 +563,9 @@ int main(int argc, char** argv) {
     }
     if (command == "predict") {
       return cmd_predict(args);
+    }
+    if (command == "auth") {
+      return cmd_auth(args);
     }
     return usage();
   } catch (const Error& e) {
