@@ -1,0 +1,144 @@
+// Chaos grid: risk-cliff sweep determinism and cost.
+//
+// Audited, then timed:
+//   1. a small grid sweep is bit-identical at threads 1 vs 4 (the whole
+//      riskcliff.json document, byte-compared);
+//   2. the worst-coverage cell's poison bundle replays bit-identically
+//      at both thread counts;
+//   3. a BENCH line for CI trend tracking (tools/bench_diff): cliff_hash
+//      is the location signature of the detected cliffs — it moving
+//      across commits means a code change relocated where the system
+//      breaks, which the trend gate fails hard on.
+#include <chrono>
+#include <cstdlib>
+#include <filesystem>
+
+#include "bench_common.hpp"
+#include "chaoslab/cliff.hpp"
+#include "chaoslab/grid.hpp"
+#include "chaoslab/poison.hpp"
+#include "chaoslab/sweep.hpp"
+#include "common/sha256.hpp"
+
+namespace pufaging {
+namespace {
+
+using namespace chaoslab;
+
+GridSpec bench_spec() {
+  GridSpec spec = demo_grid_spec();
+  spec.name = "bench";
+  spec.seeds_per_cell = 3;
+  spec.months = 2;
+  spec.measurements_per_month = 60;
+  spec.validate();
+  return spec;
+}
+
+void reproduce() {
+  bench::banner("Chaos grid - risk-cliff sweep determinism and cost");
+  const GridSpec spec = bench_spec();
+  std::printf("%zu policies x %zu scales, %zu seeds/cell, %zu months x %zu "
+              "measurements\n\n",
+              spec.policy_count(), spec.rate_count(), spec.seeds_per_cell,
+              spec.months, spec.measurements_per_month);
+
+  // Claim 1: the sweep (and the riskcliff document derived from it) is
+  // bit-identical at any grid-level thread count.
+  SweepOptions serial;
+  serial.threads = 1;
+  const auto t0 = std::chrono::steady_clock::now();
+  const SweepResult sweep1 = run_grid_sweep(spec, serial);
+  const auto t1 = std::chrono::steady_clock::now();
+  SweepOptions parallel;
+  parallel.threads = 4;
+  const SweepResult sweep4 = run_grid_sweep(spec, parallel);
+  const auto t2 = std::chrono::steady_clock::now();
+  const double serial_s = std::chrono::duration<double>(t1 - t0).count();
+  const double parallel_s = std::chrono::duration<double>(t2 - t1).count();
+
+  const CliffReport report1 = detect_cliffs(spec, sweep1.cells);
+  const CliffReport report4 = detect_cliffs(spec, sweep4.cells);
+  const std::string risk1 =
+      riskcliff_to_json(spec, sweep1.fingerprint, sweep1.cells, report1)
+          .dump();
+  const std::string risk4 =
+      riskcliff_to_json(spec, sweep4.fingerprint, sweep4.cells, report4)
+          .dump();
+  const bool sweep_identical = risk1 == risk4;
+  std::printf("  sweep threads=1     %6.2f s\n", serial_s);
+  std::printf("  sweep threads=4     %6.2f s  (riskcliff bit-identical: %s)\n",
+              parallel_s, sweep_identical ? "yes" : "NO - BUG");
+
+  // Claim 2: the worst cliff's poison bundle replays bit-identically at
+  // threads 1 and 4.
+  bool replay_identical = false;
+  double export_s = 0.0;
+  if (report1.worst_coverage) {
+    const Cliff& worst = *report1.worst_coverage;
+    const CellSummary& cell = sweep1.cells[spec.cell_index(
+        worst.from_rate_index + 1, worst.policy_index)];
+    const auto dir = std::filesystem::temp_directory_path() /
+                     "pufaging_chaos_grid_bench_poison";
+    std::filesystem::remove_all(dir);
+    const auto e0 = std::chrono::steady_clock::now();
+    export_poison_bundle(spec, cell, dir.string());
+    export_s = std::chrono::duration<double>(
+                   std::chrono::steady_clock::now() - e0)
+                   .count();
+    replay_identical = replay_poison_bundle(dir.string(), 1).identical &&
+                       replay_poison_bundle(dir.string(), 4).identical;
+    std::filesystem::remove_all(dir);
+    std::printf("  poison export       %6.2f s  (replay threads 1 & 4 "
+                "identical: %s)\n",
+                export_s, replay_identical ? "yes" : "NO - BUG");
+  } else {
+    std::printf("  no coverage cliff found - BUG\n");
+  }
+
+  std::printf("\n%s\n",
+              render_grid_tables(spec, sweep1.cells, report1).c_str());
+
+  const std::string cliff_hash = cliff_location_hash(spec, report1);
+  const std::string risk_sha = Sha256::to_hex(Sha256::hash(risk1));
+  std::printf("BENCH {\"bench\":\"chaos_grid\","
+              "\"cells\":%zu,\"seeds_per_cell\":%zu,"
+              "\"cliffs\":%zu,\"sweep_s\":%.3f,"
+              "\"bit_identical\":%s,"
+              "\"cliff_hash\":\"%s\",\"riskcliff_sha256\":\"%s\"}\n",
+              spec.cell_count(), spec.seeds_per_cell, report1.cliffs.size(),
+              parallel_s, sweep_identical && replay_identical ? "true"
+                                                              : "false",
+              cliff_hash.c_str(), risk_sha.c_str());
+
+  if (!sweep_identical || !replay_identical || !report1.worst_coverage) {
+    std::exit(1);
+  }
+}
+
+void BM_GridCellRun(benchmark::State& state) {
+  const GridSpec spec = bench_spec();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        run_campaign(cell_campaign_config(spec, 2, 1, 0)));
+  }
+}
+BENCHMARK(BM_GridCellRun)->Unit(benchmark::kMillisecond);
+
+void BM_CliffDetect(benchmark::State& state) {
+  const GridSpec spec = bench_spec();
+  SweepOptions options;
+  options.threads = 4;
+  const SweepResult sweep = run_grid_sweep(spec, options);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(detect_cliffs(spec, sweep.cells));
+  }
+}
+BENCHMARK(BM_CliffDetect)->Unit(benchmark::kMicrosecond);
+
+}  // namespace
+}  // namespace pufaging
+
+int main(int argc, char** argv) {
+  return pufaging::bench::run(argc, argv, pufaging::reproduce);
+}

@@ -15,8 +15,16 @@ SummaryRow make_row(const std::string& metric, const std::string& variant,
   row.variant = variant;
   row.start = start;
   row.end = end;
-  row.relative_change = (end - start) / start;
-  row.monthly_change = geometric_monthly_change(start, end, months);
+  // A chaos campaign can zero an endpoint entirely (a month where no board
+  // reported ships all-zero survivor metrics). Change ratios against a
+  // non-positive endpoint are undefined; report that explicitly instead of
+  // emitting NaN or throwing mid-table.
+  if (start > 0.0 && end > 0.0) {
+    row.relative_change = (end - start) / start;
+    row.monthly_change = geometric_monthly_change(start, end, months);
+  } else {
+    row.change_defined = false;
+  }
   return row;
 }
 
@@ -71,10 +79,14 @@ std::string render_summary_table(const SummaryTable& table) {
     printer.add_row(
         {row.metric, row.variant, TablePrinter::percent(row.start),
          TablePrinter::percent(row.end),
-         TablePrinter::signed_percent(row.relative_change, 1,
-                                      /*negligible_label=*/true),
-         TablePrinter::signed_percent(row.monthly_change, 2,
-                                      /*negligible_label=*/true)});
+         row.change_defined
+             ? TablePrinter::signed_percent(row.relative_change, 1,
+                                            /*negligible_label=*/true)
+             : std::string("n/a"),
+         row.change_defined
+             ? TablePrinter::signed_percent(row.monthly_change, 2,
+                                            /*negligible_label=*/true)
+             : std::string("n/a")});
   }
   std::string out = printer.to_string();
   if (!table.degraded_months.empty()) {

@@ -16,6 +16,10 @@ struct SummaryRow {
   double end = 0.0;
   double relative_change = 0.0;  ///< (end - start) / start.
   double monthly_change = 0.0;   ///< Geometric per-month rate.
+  /// False when the change columns are undefined because an endpoint is
+  /// non-positive (a fully-dead month reports zeroed metrics); both change
+  /// fields are then 0.0 instead of NaN, and render shows "n/a".
+  bool change_defined = true;
 };
 
 /// The full Table I content.

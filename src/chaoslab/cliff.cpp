@@ -1,0 +1,255 @@
+#include "chaoslab/cliff.hpp"
+
+#include <algorithm>
+#include <cstdio>
+
+#include "common/error.hpp"
+#include "common/sha256.hpp"
+#include "io/table.hpp"
+#include "testbed/checkpoint.hpp"
+
+namespace pufaging::chaoslab {
+namespace {
+
+std::string format_scale(double scale) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%g", scale);
+  return buf;
+}
+
+std::string cliff_location(const GridSpec& spec, const Cliff& cliff) {
+  return cliff.metric + ":" + spec.policies[cliff.policy_index].label + ":" +
+         std::to_string(cliff.from_rate_index) + "->" +
+         std::to_string(cliff.from_rate_index + 1);
+}
+
+Json aggregate_to_json(const Aggregate& agg) {
+  Json obj = Json::object();
+  obj.set("mean", Json(agg.mean));
+  obj.set("p5", Json(agg.p5));
+  obj.set("p95", Json(agg.p95));
+  obj.set("bits", Json(double_to_hex_bits(agg.mean) + ":" +
+                       double_to_hex_bits(agg.p5) + ":" +
+                       double_to_hex_bits(agg.p95)));
+  return obj;
+}
+
+Json cliff_to_json(const GridSpec& spec, const Cliff& cliff) {
+  Json obj = Json::object();
+  obj.set("metric", Json(cliff.metric));
+  obj.set("policy", Json(spec.policies[cliff.policy_index].label));
+  obj.set("policy_index", Json(cliff.policy_index));
+  obj.set("from_rate_index", Json(cliff.from_rate_index));
+  obj.set("from_scale", Json(spec.rate_scales[cliff.from_rate_index]));
+  obj.set("to_scale", Json(spec.rate_scales[cliff.from_rate_index + 1]));
+  obj.set("before", Json(cliff.before));
+  obj.set("after", Json(cliff.after));
+  obj.set("drop", Json(cliff.drop));
+  obj.set("bits", Json(double_to_hex_bits(cliff.before) + ":" +
+                       double_to_hex_bits(cliff.after) + ":" +
+                       double_to_hex_bits(cliff.drop)));
+  return obj;
+}
+
+}  // namespace
+
+CliffReport detect_cliffs(const GridSpec& spec,
+                          const std::vector<CellSummary>& cells,
+                          double coverage_threshold, double drift_threshold) {
+  if (cells.size() != spec.cell_count()) {
+    throw InvalidArgument(
+        "detect_cliffs: need the complete cell set (incomplete sweep?)");
+  }
+  CliffReport report;
+  const std::size_t rates = spec.rate_scales.size();
+  for (std::size_t p = 0; p < spec.policies.size(); ++p) {
+    for (std::size_t r = 0; r + 1 < rates; ++r) {
+      const CellSummary& a = cells[spec.cell_index(r, p)];
+      const CellSummary& b = cells[spec.cell_index(r + 1, p)];
+
+      Cliff coverage;
+      coverage.metric = "coverage";
+      coverage.policy_index = p;
+      coverage.from_rate_index = r;
+      coverage.before = a.coverage_mean.mean;
+      coverage.after = b.coverage_mean.mean;
+      coverage.drop = coverage.before - coverage.after;
+      if (coverage.drop > 0.0 &&
+          (!report.worst_coverage ||
+           coverage.drop > report.worst_coverage->drop)) {
+        report.worst_coverage = coverage;
+      }
+      if (coverage.drop >= coverage_threshold) {
+        report.cliffs.push_back(coverage);
+      }
+
+      const auto drift_cliff = [&](const char* metric,
+                                   const Aggregate& before,
+                                   const Aggregate& after) {
+        Cliff cliff;
+        cliff.metric = metric;
+        cliff.policy_index = p;
+        cliff.from_rate_index = r;
+        cliff.before = before.mean;
+        cliff.after = after.mean;
+        cliff.drop = cliff.after - cliff.before;  // drift rising = worse
+        if (cliff.drop >= drift_threshold) {
+          report.cliffs.push_back(cliff);
+        }
+      };
+      drift_cliff("bchd_drift", a.bchd_drift, b.bchd_drift);
+      drift_cliff("entropy_drift", a.entropy_drift, b.entropy_drift);
+    }
+  }
+  std::sort(report.cliffs.begin(), report.cliffs.end(),
+            [](const Cliff& x, const Cliff& y) {
+              if (x.drop != y.drop) {
+                return x.drop > y.drop;
+              }
+              if (x.metric != y.metric) {
+                return x.metric < y.metric;
+              }
+              if (x.policy_index != y.policy_index) {
+                return x.policy_index < y.policy_index;
+              }
+              return x.from_rate_index < y.from_rate_index;
+            });
+  return report;
+}
+
+std::string cliff_location_hash(const GridSpec& spec,
+                                const CliffReport& report) {
+  std::string payload;
+  for (const Cliff& cliff : report.cliffs) {
+    payload += cliff_location(spec, cliff);
+    payload += '\n';
+  }
+  payload += "worst=";
+  payload += report.worst_coverage
+                 ? cliff_location(spec, *report.worst_coverage)
+                 : std::string("none");
+  payload += '\n';
+  return Sha256::to_hex(Sha256::hash(payload));
+}
+
+Json riskcliff_to_json(const GridSpec& spec, const std::string& fingerprint,
+                       const std::vector<CellSummary>& cells,
+                       const CliffReport& report) {
+  if (cells.size() != spec.cell_count()) {
+    throw InvalidArgument("riskcliff_to_json: need the complete cell set");
+  }
+  Json obj = Json::object();
+  obj.set("kind", Json("riskcliff"));
+  obj.set("version", Json(1));
+  obj.set("fingerprint", Json(fingerprint));
+  obj.set("cliff_location_hash", Json(cliff_location_hash(spec, report)));
+  obj.set("spec", grid_spec_to_json(spec));
+
+  Json cell_array = Json::array();
+  for (const CellSummary& cell : cells) {
+    Json c = Json::object();
+    c.set("rate_index", Json(cell.rate_index));
+    c.set("policy_index", Json(cell.policy_index));
+    c.set("rate_scale", Json(spec.rate_scales[cell.rate_index]));
+    c.set("policy", Json(spec.policies[cell.policy_index].label));
+    c.set("coverage_mean", aggregate_to_json(cell.coverage_mean));
+    c.set("coverage_min", aggregate_to_json(cell.coverage_min));
+    c.set("degraded_months", aggregate_to_json(cell.degraded_months));
+    c.set("quarantine_entries", aggregate_to_json(cell.quarantine_entries));
+    c.set("retries", aggregate_to_json(cell.retries));
+    c.set("wchd_drift", aggregate_to_json(cell.wchd_drift));
+    c.set("bchd_drift", aggregate_to_json(cell.bchd_drift));
+    c.set("entropy_drift", aggregate_to_json(cell.entropy_drift));
+    c.set("worst_seed_index", Json(cell.worst_seed_index));
+    cell_array.push_back(std::move(c));
+  }
+  obj.set("cells", std::move(cell_array));
+
+  Json cliff_array = Json::array();
+  for (const Cliff& cliff : report.cliffs) {
+    cliff_array.push_back(cliff_to_json(spec, cliff));
+  }
+  obj.set("cliffs", std::move(cliff_array));
+  obj.set("worst_coverage_cliff",
+          report.worst_coverage ? cliff_to_json(spec, *report.worst_coverage)
+                                : Json());
+  return obj;
+}
+
+std::string render_grid_tables(const GridSpec& spec,
+                               const std::vector<CellSummary>& cells,
+                               const CliffReport& report) {
+  if (cells.size() != spec.cell_count()) {
+    throw InvalidArgument("render_grid_tables: need the complete cell set");
+  }
+  std::string out = "Chaos grid '" + spec.name + "': " +
+                    std::to_string(spec.policies.size()) + " policies x " +
+                    std::to_string(spec.rate_scales.size()) +
+                    " fault scales, " + std::to_string(spec.seeds_per_cell) +
+                    " seeds/cell\n\n";
+
+  const auto grid_table = [&](const std::string& title, auto value) {
+    std::vector<std::string> header = {"policy \\ scale"};
+    std::vector<Align> aligns = {Align::kLeft};
+    for (const double s : spec.rate_scales) {
+      header.push_back(format_scale(s));
+      aligns.push_back(Align::kRight);
+    }
+    TablePrinter printer(std::move(header), std::move(aligns));
+    for (std::size_t p = 0; p < spec.policies.size(); ++p) {
+      std::vector<std::string> row = {spec.policies[p].label};
+      for (std::size_t r = 0; r < spec.rate_scales.size(); ++r) {
+        row.push_back(value(cells[spec.cell_index(r, p)]));
+      }
+      printer.add_row(std::move(row));
+    }
+    out += title + "\n" + printer.to_string() + "\n";
+  };
+
+  grid_table("Coverage (mean of seeds, mean over months)",
+             [](const CellSummary& c) {
+               return TablePrinter::percent(c.coverage_mean.mean, 1);
+             });
+  grid_table("Quarantine entries (mean of seeds, whole campaign)",
+             [](const CellSummary& c) {
+               char buf[32];
+               std::snprintf(buf, sizeof(buf), "%.1f",
+                             c.quarantine_entries.mean);
+               return std::string(buf);
+             });
+
+  if (report.cliffs.empty()) {
+    out += "No cliffs above threshold.\n";
+  } else {
+    out += "Cliffs (largest first):\n";
+    for (const Cliff& cliff : report.cliffs) {
+      char buf[160];
+      std::snprintf(
+          buf, sizeof(buf), "  %-13s %-12s scale %s -> %s: %s -> %s\n",
+          cliff.metric.c_str(),
+          spec.policies[cliff.policy_index].label.c_str(),
+          format_scale(spec.rate_scales[cliff.from_rate_index]).c_str(),
+          format_scale(spec.rate_scales[cliff.from_rate_index + 1]).c_str(),
+          TablePrinter::percent(cliff.before, 1).c_str(),
+          TablePrinter::percent(cliff.after, 1).c_str());
+      out += buf;
+    }
+  }
+  if (report.worst_coverage) {
+    const Cliff& w = *report.worst_coverage;
+    char buf[200];
+    std::snprintf(
+        buf, sizeof(buf),
+        "Worst coverage cliff: policy '%s', scale %s -> %s "
+        "(%s -> %s, %.1f points lost)\n",
+        spec.policies[w.policy_index].label.c_str(),
+        format_scale(spec.rate_scales[w.from_rate_index]).c_str(),
+        format_scale(spec.rate_scales[w.from_rate_index + 1]).c_str(),
+        TablePrinter::percent(w.before, 1).c_str(),
+        TablePrinter::percent(w.after, 1).c_str(), w.drop * 100.0);
+    out += buf;
+  }
+  return out;
+}
+
+}  // namespace pufaging::chaoslab

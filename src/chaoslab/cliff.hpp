@@ -1,0 +1,78 @@
+// Risk-cliff detection over a completed chaos grid.
+//
+// Definition: a cliff is an adjacent-cell degradation along the
+// fault-intensity axis of one policy row — coverage falling, or a
+// survivor-metric drift rising, between rate scale r and the next scale
+// r+1 (cell means over the seed repetitions). The detector reports every
+// cliff above threshold plus the single largest coverage drop in the
+// grid (the headline answer to "where does my policy break?"), whether
+// or not it clears the threshold.
+//
+// `riskcliff_to_json` is the machine-readable artifact the nightly job
+// uploads and trend-gates: plain doubles for humans, IEEE-754 hex twins
+// for byte-exact comparison, and a `cliff_location_hash` that changes
+// exactly when the *location set* of the cliffs moves — the signal that
+// a code change shifted where the system breaks, even if every number
+// wobbled within tolerance.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "chaoslab/grid.hpp"
+
+namespace pufaging::chaoslab {
+
+struct Cliff {
+  /// Which aggregate degraded: "coverage", "bchd_drift" or
+  /// "entropy_drift".
+  std::string metric;
+  std::size_t policy_index = 0;
+  std::size_t from_rate_index = 0;  ///< Degradation from here to here + 1.
+  double before = 0.0;  ///< Cell mean at from_rate_index.
+  double after = 0.0;   ///< Cell mean at from_rate_index + 1.
+  /// Degradation magnitude, always oriented positive-is-worse: coverage
+  /// lost for "coverage", drift gained for the drift metrics.
+  double drop = 0.0;
+};
+
+struct CliffReport {
+  /// Cliffs above threshold, sorted by descending drop (ties: metric,
+  /// policy, rate — fully deterministic).
+  std::vector<Cliff> cliffs;
+
+  /// The largest coverage drop anywhere in the grid, threshold or not;
+  /// absent only when the grid has a single rate column.
+  std::optional<Cliff> worst_coverage;
+};
+
+/// Scans every policy row of a *complete* cell set (cell_count entries,
+/// cell-index order). Thresholds: absolute coverage lost / absolute
+/// drift gained between adjacent scales.
+CliffReport detect_cliffs(const GridSpec& spec,
+                          const std::vector<CellSummary>& cells,
+                          double coverage_threshold = 0.05,
+                          double drift_threshold = 0.01);
+
+/// Location signature of the report: SHA-256 over the ordered
+/// "metric:policy_label:from->to" cliff coordinates (worst-coverage
+/// cliff included). Numeric wobble does not move it; a cliff appearing,
+/// vanishing or relocating does. Feeds the bench trend gate's `*_hash`
+/// hard-fail path.
+std::string cliff_location_hash(const GridSpec& spec,
+                                const CliffReport& report);
+
+/// The riskcliff.json document: spec echo, per-cell aggregates (values +
+/// hex bit twins), the cliff list and the location hash.
+Json riskcliff_to_json(const GridSpec& spec, const std::string& fingerprint,
+                       const std::vector<CellSummary>& cells,
+                       const CliffReport& report);
+
+/// Human-readable rendering: one coverage table (policy rows × rate
+/// columns), one quarantine-churn table, and the cliff list.
+std::string render_grid_tables(const GridSpec& spec,
+                               const std::vector<CellSummary>& cells,
+                               const CliffReport& report);
+
+}  // namespace pufaging::chaoslab

@@ -1,0 +1,444 @@
+#include "chaoslab/grid.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <set>
+
+#include "common/error.hpp"
+#include "common/rng.hpp"
+#include "common/sha256.hpp"
+#include "testbed/checkpoint.hpp"
+
+namespace pufaging::chaoslab {
+namespace {
+
+/// Seed-split domain for the grid's repetition axis (distinct from the
+/// campaign fault domains in testbed/faults.cpp).
+constexpr std::uint64_t kGridSeedDomain = 0xC11FF'6121D'0001ULL;
+
+std::string u64_to_hex(std::uint64_t value) {
+  char buf[17];
+  std::snprintf(buf, sizeof(buf), "%016llx",
+                static_cast<unsigned long long>(value));
+  return buf;
+}
+
+std::uint64_t u64_from_hex(const std::string& hex) {
+  if (hex.size() != 16 ||
+      hex.find_first_not_of("0123456789abcdefABCDEF") != std::string::npos) {
+    throw ParseError("chaoslab: bad u64 hex field '" + hex + "'");
+  }
+  return std::strtoull(hex.c_str(), nullptr, 16);
+}
+
+double hex_field(const Json& obj, const char* key) {
+  return double_from_hex_bits(obj.at(key).as_string());
+}
+
+std::uint64_t u64_field(const Json& obj, const char* key) {
+  const std::int64_t v = obj.at(key).as_int();
+  if (v < 0) {
+    throw ParseError(std::string("chaoslab: negative count field ") + key);
+  }
+  return static_cast<std::uint64_t>(v);
+}
+
+}  // namespace
+
+void GridSpec::validate() const {
+  if (name.empty()) {
+    throw InvalidArgument("GridSpec: name must not be empty");
+  }
+  if (rate_scales.empty()) {
+    throw InvalidArgument("GridSpec: at least one rate scale required");
+  }
+  for (std::size_t i = 0; i < rate_scales.size(); ++i) {
+    const double s = rate_scales[i];
+    if (!std::isfinite(s) || s < 0.0) {
+      throw InvalidArgument("GridSpec: rate scales must be finite and >= 0");
+    }
+    if (i > 0 && s <= rate_scales[i - 1]) {
+      throw InvalidArgument("GridSpec: rate scales must be strictly ascending");
+    }
+  }
+  if (policies.empty()) {
+    throw InvalidArgument("GridSpec: at least one policy required");
+  }
+  std::set<std::string> labels;
+  for (const PolicyVariant& v : policies) {
+    if (v.label.empty()) {
+      throw InvalidArgument("GridSpec: policy labels must not be empty");
+    }
+    if (!labels.insert(v.label).second) {
+      throw InvalidArgument("GridSpec: duplicate policy label '" + v.label +
+                            "'");
+    }
+    v.policy.validate();
+  }
+  base_plan.validate();
+  if (seeds_per_cell == 0) {
+    throw InvalidArgument("GridSpec: seeds_per_cell must be >= 1");
+  }
+  if (months == 0) {
+    throw InvalidArgument("GridSpec: months must be >= 1");
+  }
+  if (measurements_per_month == 0) {
+    throw InvalidArgument("GridSpec: measurements_per_month must be >= 1");
+  }
+  if (device_count < 2) {
+    throw InvalidArgument("GridSpec: device_count must be >= 2");
+  }
+  if (total_bits != 0 &&
+      (puf_window_bits == 0 || puf_window_bits > total_bits)) {
+    throw InvalidArgument(
+        "GridSpec: when total_bits is set, puf_window_bits must be in "
+        "[1, total_bits]");
+  }
+  if (total_bits == 0 && puf_window_bits != 0) {
+    throw InvalidArgument(
+        "GridSpec: puf_window_bits requires total_bits to be set");
+  }
+}
+
+GridSpec demo_grid_spec() {
+  GridSpec spec;
+  spec.name = "demo";
+
+  // A composite plan at scale 1.0: every fault class mildly present, so
+  // scaling the grid upward stresses link retries, hangs and quarantine
+  // churn together.
+  spec.base_plan.i2c_corrupt_rate = 0.01;
+  spec.base_plan.i2c_drop_rate = 0.01;
+  spec.base_plan.i2c_nak_rate = 0.005;
+  spec.base_plan.hang_rate = 0.002;
+  spec.base_plan.hang_cycles = 24;
+  spec.base_plan.reset_rate = 0.002;
+  spec.base_plan.brownout_rate = 0.005;
+  spec.base_plan.stuck_relay_rate = 0.002;
+
+  spec.rate_scales = {0.25, 1.0, 4.0, 16.0, 64.0};
+
+  PolicyVariant patient;
+  patient.label = "patient";
+  patient.policy.max_retries = 5;
+  patient.policy.backoff_base_s = 0.004;
+  patient.policy.watchdog_margin_s = 0.05;
+  patient.policy.quarantine_after = 16;
+  patient.policy.probe_interval = 16;
+  patient.policy.max_backoff_level = 2;
+
+  PolicyVariant deflt;
+  deflt.label = "default";
+
+  // One retry, a two-failure quarantine trigger and probes that start two
+  // months apart: the policy that looks fine at low fault rates and falls
+  // off a cliff first as rates climb.
+  PolicyVariant hairtrigger;
+  hairtrigger.label = "hairtrigger";
+  hairtrigger.policy.max_retries = 1;
+  hairtrigger.policy.backoff_base_s = 0.002;
+  hairtrigger.policy.watchdog_margin_s = 0.03;
+  hairtrigger.policy.quarantine_after = 2;
+  hairtrigger.policy.probe_interval = 256;
+  hairtrigger.policy.max_backoff_level = 6;
+
+  spec.policies = {patient, deflt, hairtrigger};
+
+  spec.seeds_per_cell = 5;
+  spec.months = 6;
+  spec.measurements_per_month = 120;
+  spec.device_count = 16;
+  // Scaled-down silicon: the grid measures resilience dynamics, not
+  // entropy estimates, and 2 Kbit devices keep a 75-run sweep in CI
+  // budget.
+  spec.total_bits = 2048;
+  spec.puf_window_bits = 1024;
+
+  spec.validate();
+  return spec;
+}
+
+Json grid_spec_to_json(const GridSpec& spec) {
+  Json obj = Json::object();
+  obj.set("kind", Json("chaos_grid_spec"));
+  obj.set("version", Json(1));
+  obj.set("name", Json(spec.name));
+  obj.set("master_seed", Json(u64_to_hex(spec.master_seed)));
+  obj.set("seeds_per_cell", Json(spec.seeds_per_cell));
+  obj.set("months", Json(spec.months));
+  obj.set("measurements_per_month", Json(spec.measurements_per_month));
+  obj.set("device_count", Json(spec.device_count));
+  obj.set("total_bits", Json(spec.total_bits));
+  obj.set("puf_window_bits", Json(spec.puf_window_bits));
+  obj.set("base_plan", fault_plan_to_json(spec.base_plan));
+  Json scales = Json::array();
+  Json scale_bits = Json::array();
+  for (const double s : spec.rate_scales) {
+    scales.push_back(Json(s));
+    scale_bits.push_back(Json(double_to_hex_bits(s)));
+  }
+  obj.set("rate_scales", std::move(scales));
+  obj.set("rate_scale_bits", std::move(scale_bits));
+  Json policies = Json::array();
+  for (const PolicyVariant& v : spec.policies) {
+    Json p = Json::object();
+    p.set("label", Json(v.label));
+    p.set("policy", retry_policy_to_json(v.policy));
+    policies.push_back(std::move(p));
+  }
+  obj.set("policies", std::move(policies));
+  return obj;
+}
+
+GridSpec grid_spec_from_json(const Json& json) {
+  if (!json.is_object()) {
+    throw ParseError("grid spec: expected a JSON object");
+  }
+  if (json.contains("kind") &&
+      json.at("kind").as_string() != "chaos_grid_spec") {
+    throw ParseError("grid spec: wrong kind '" + json.at("kind").as_string() +
+                     "'");
+  }
+  GridSpec spec;
+  spec.name = json.at("name").as_string();
+  spec.master_seed = u64_from_hex(json.at("master_seed").as_string());
+  spec.seeds_per_cell = u64_field(json, "seeds_per_cell");
+  spec.months = u64_field(json, "months");
+  spec.measurements_per_month = u64_field(json, "measurements_per_month");
+  spec.device_count = u64_field(json, "device_count");
+  spec.total_bits = json.contains("total_bits")
+                        ? u64_field(json, "total_bits")
+                        : 0;
+  spec.puf_window_bits = json.contains("puf_window_bits")
+                             ? u64_field(json, "puf_window_bits")
+                             : 0;
+  spec.base_plan = fault_plan_from_json(json.at("base_plan"));
+  spec.rate_scales.clear();
+  if (json.contains("rate_scale_bits")) {
+    for (const Json& s : json.at("rate_scale_bits").as_array()) {
+      spec.rate_scales.push_back(double_from_hex_bits(s.as_string()));
+    }
+  } else {
+    for (const Json& s : json.at("rate_scales").as_array()) {
+      spec.rate_scales.push_back(s.as_double());
+    }
+  }
+  spec.policies.clear();
+  for (const Json& p : json.at("policies").as_array()) {
+    PolicyVariant v;
+    v.label = p.at("label").as_string();
+    v.policy = retry_policy_from_json(p.at("policy"));
+    spec.policies.push_back(std::move(v));
+  }
+  spec.validate();
+  return spec;
+}
+
+GridSpec parse_grid_spec(const std::string& text) {
+  return grid_spec_from_json(Json::parse(text));
+}
+
+std::string grid_fingerprint(const GridSpec& spec) {
+  return Sha256::to_hex(Sha256::hash(grid_spec_to_json(spec).dump()));
+}
+
+FaultPlan scaled_plan(const FaultPlan& base, double scale) {
+  if (!std::isfinite(scale) || scale < 0.0) {
+    throw InvalidArgument("scaled_plan: scale must be finite and >= 0");
+  }
+  FaultPlan plan = base;
+  const auto scaled = [scale](double rate) {
+    return std::min(1.0, rate * scale);
+  };
+  plan.i2c_corrupt_rate = scaled(base.i2c_corrupt_rate);
+  plan.i2c_drop_rate = scaled(base.i2c_drop_rate);
+  plan.i2c_nak_rate = scaled(base.i2c_nak_rate);
+  plan.hang_rate = scaled(base.hang_rate);
+  plan.reset_rate = scaled(base.reset_rate);
+  plan.brownout_rate = scaled(base.brownout_rate);
+  plan.stuck_relay_rate = scaled(base.stuck_relay_rate);
+  plan.validate();
+  return plan;
+}
+
+std::uint64_t grid_fleet_seed(std::uint64_t master_seed,
+                              std::size_t seed_index) {
+  return split_seed(master_seed, kGridSeedDomain, seed_index);
+}
+
+namespace {
+
+CampaignConfig base_config(const GridSpec& spec, std::size_t seed_index) {
+  if (seed_index >= spec.seeds_per_cell) {
+    throw InvalidArgument("chaos grid: seed index out of range");
+  }
+  CampaignConfig cfg;
+  cfg.fleet = paper_fleet_config();
+  cfg.fleet.device_count = spec.device_count;
+  cfg.fleet.seed = grid_fleet_seed(spec.master_seed, seed_index);
+  if (spec.total_bits != 0) {
+    cfg.fleet.device.total_bits = spec.total_bits;
+    cfg.fleet.device.puf_window_bits = spec.puf_window_bits;
+  }
+  cfg.months = spec.months;
+  cfg.measurements_per_month = spec.measurements_per_month;
+  cfg.threads = 1;
+  return cfg;
+}
+
+}  // namespace
+
+CampaignConfig cell_campaign_config(const GridSpec& spec,
+                                    std::size_t rate_index,
+                                    std::size_t policy_index,
+                                    std::size_t seed_index) {
+  if (rate_index >= spec.rate_scales.size() ||
+      policy_index >= spec.policies.size()) {
+    throw InvalidArgument("chaos grid: cell index out of range");
+  }
+  CampaignConfig cfg = base_config(spec, seed_index);
+  cfg.faults = scaled_plan(spec.base_plan, spec.rate_scales[rate_index]);
+  cfg.retry = spec.policies[policy_index].policy;
+  return cfg;
+}
+
+CampaignConfig baseline_campaign_config(const GridSpec& spec,
+                                        std::size_t seed_index) {
+  return base_config(spec, seed_index);
+}
+
+RunStats extract_run_stats(std::size_t seed_index,
+                           const CampaignResult& faulty,
+                           const CampaignResult& baseline) {
+  if (faulty.series.empty() ||
+      faulty.series.size() != baseline.series.size()) {
+    throw InvalidArgument(
+        "extract_run_stats: faulty and baseline series must be non-empty "
+        "and the same length");
+  }
+  RunStats stats;
+  stats.seed_index = seed_index;
+  stats.coverage_min = faulty.series.front().coverage;
+  double coverage_sum = 0.0;
+  for (std::size_t m = 0; m < faulty.series.size(); ++m) {
+    const FleetMonthMetrics& f = faulty.series[m];
+    const FleetMonthMetrics& b = baseline.series[m];
+    coverage_sum += f.coverage;
+    stats.coverage_min = std::min(stats.coverage_min, f.coverage);
+    if (f.degraded) {
+      ++stats.degraded_months;
+    }
+    if (f.devices_reporting >= 1) {
+      stats.wchd_drift =
+          std::max(stats.wchd_drift, std::abs(f.wchd_avg - b.wchd_avg));
+    }
+    if (f.devices_reporting >= 2) {
+      stats.bchd_drift =
+          std::max(stats.bchd_drift, std::abs(f.bchd_avg - b.bchd_avg));
+      stats.entropy_drift = std::max(
+          stats.entropy_drift, std::abs(f.puf_entropy - b.puf_entropy));
+    }
+  }
+  stats.coverage_mean =
+      coverage_sum / static_cast<double>(faulty.series.size());
+  stats.quarantine_entries = faulty.health.final_quarantine_entries();
+  stats.retries =
+      faulty.health.total_crc_retries() + faulty.health.total_timeouts();
+  stats.measurements_dropped = faulty.health.total_measurements_dropped();
+  return stats;
+}
+
+Json run_stats_to_json(const RunStats& stats) {
+  Json obj = Json::object();
+  obj.set("seed", Json(stats.seed_index));
+  obj.set("coverage_mean", Json(double_to_hex_bits(stats.coverage_mean)));
+  obj.set("coverage_min", Json(double_to_hex_bits(stats.coverage_min)));
+  obj.set("degraded_months", Json(stats.degraded_months));
+  obj.set("quarantine_entries", Json(stats.quarantine_entries));
+  obj.set("retries", Json(stats.retries));
+  obj.set("measurements_dropped", Json(stats.measurements_dropped));
+  obj.set("wchd_drift", Json(double_to_hex_bits(stats.wchd_drift)));
+  obj.set("bchd_drift", Json(double_to_hex_bits(stats.bchd_drift)));
+  obj.set("entropy_drift", Json(double_to_hex_bits(stats.entropy_drift)));
+  return obj;
+}
+
+RunStats run_stats_from_json(const Json& json) {
+  if (!json.is_object()) {
+    throw ParseError("run stats: expected a JSON object");
+  }
+  RunStats stats;
+  stats.seed_index = u64_field(json, "seed");
+  stats.coverage_mean = hex_field(json, "coverage_mean");
+  stats.coverage_min = hex_field(json, "coverage_min");
+  stats.degraded_months = u64_field(json, "degraded_months");
+  stats.quarantine_entries = u64_field(json, "quarantine_entries");
+  stats.retries = u64_field(json, "retries");
+  stats.measurements_dropped = u64_field(json, "measurements_dropped");
+  stats.wchd_drift = hex_field(json, "wchd_drift");
+  stats.bchd_drift = hex_field(json, "bchd_drift");
+  stats.entropy_drift = hex_field(json, "entropy_drift");
+  return stats;
+}
+
+Aggregate aggregate_samples(std::vector<double> samples) {
+  if (samples.empty()) {
+    throw InvalidArgument("aggregate_samples: need at least one sample");
+  }
+  Aggregate agg;
+  double sum = 0.0;
+  for (const double v : samples) {
+    sum += v;
+  }
+  agg.mean = sum / static_cast<double>(samples.size());
+  std::sort(samples.begin(), samples.end());
+  const auto rank = [&](double q) {
+    return samples[static_cast<std::size_t>(
+        q * static_cast<double>(samples.size() - 1) + 0.5)];
+  };
+  agg.p5 = rank(0.05);
+  agg.p95 = rank(0.95);
+  return agg;
+}
+
+void CellSummary::recompute() {
+  if (runs.empty()) {
+    throw InvalidArgument("CellSummary: no runs to aggregate");
+  }
+  const auto agg = [&](auto field) {
+    std::vector<double> samples;
+    samples.reserve(runs.size());
+    for (const RunStats& r : runs) {
+      samples.push_back(static_cast<double>(field(r)));
+    }
+    return aggregate_samples(std::move(samples));
+  };
+  coverage_mean = agg([](const RunStats& r) { return r.coverage_mean; });
+  coverage_min = agg([](const RunStats& r) { return r.coverage_min; });
+  degraded_months = agg([](const RunStats& r) { return r.degraded_months; });
+  quarantine_entries =
+      agg([](const RunStats& r) { return r.quarantine_entries; });
+  retries = agg([](const RunStats& r) { return r.retries; });
+  wchd_drift = agg([](const RunStats& r) { return r.wchd_drift; });
+  bchd_drift = agg([](const RunStats& r) { return r.bchd_drift; });
+  entropy_drift = agg([](const RunStats& r) { return r.entropy_drift; });
+
+  worst_seed_index = runs.front().seed_index;
+  const RunStats* worst = &runs.front();
+  for (const RunStats& r : runs) {
+    const bool worse =
+        r.coverage_min < worst->coverage_min ||
+        (r.coverage_min == worst->coverage_min &&
+         (r.coverage_mean < worst->coverage_mean ||
+          (r.coverage_mean == worst->coverage_mean &&
+           r.seed_index < worst->seed_index)));
+    if (worse) {
+      worst = &r;
+    }
+  }
+  worst_seed_index = worst->seed_index;
+}
+
+}  // namespace pufaging::chaoslab

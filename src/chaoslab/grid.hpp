@@ -1,0 +1,193 @@
+// Chaos-grid core: sweep specification and per-cell statistics.
+//
+// The paper's rig survived two unattended years on one fixed resilience
+// policy. Before committing a fleet to a policy, an operator wants the
+// inverse map: *at which fault intensity does this policy fall off a
+// cliff?* A chaos grid answers that by sweeping the chaos campaign across
+// a fault-rate-scale × retry-policy matrix, running N seeded repetitions
+// per cell and aggregating coverage, quarantine churn and survivor-metric
+// drift into mean/p5/p95 summaries.
+//
+// Determinism contract (inherited from the campaign engine, extended to
+// the grid):
+//
+//  - The fleet seed of repetition k is split_seed(master, domain, k) —
+//    a pure function of the spec, never of execution order. The same
+//    fleet is reused across cells (and for the fault-free baseline), so
+//    cell-to-cell differences measure the fault axis, not fleet luck.
+//  - Every campaign inside the grid runs with threads == 1; grid-level
+//    parallelism schedules whole (cell, seed) runs, and results are
+//    indexed by coordinate. Any `--threads` value is bit-identical.
+//  - Any single (cell, seed) run can be reproduced standalone from the
+//    spec alone via `cell_campaign_config`.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "io/json.hpp"
+#include "testbed/campaign.hpp"
+#include "testbed/faults.hpp"
+
+namespace pufaging::chaoslab {
+
+/// One retry-policy column of the grid.
+struct PolicyVariant {
+  std::string label;  ///< Display / report name, e.g. "hairtrigger".
+  RetryPolicy policy;
+
+  bool operator==(const PolicyVariant&) const = default;
+};
+
+/// The full sweep specification. A grid is (rate_scales × policies) cells;
+/// each cell runs `seeds_per_cell` chaos campaigns plus shares
+/// `seeds_per_cell` fault-free baselines.
+struct GridSpec {
+  std::string name = "chaos-grid";
+
+  /// The fault plan at rate scale 1.0; each cell runs `scaled_plan(base,
+  /// rate_scales[r])`. Dropouts and duration knobs are not scaled.
+  FaultPlan base_plan;
+
+  /// Fault-intensity axis, strictly ascending, each >= 0. A scale of 0 is
+  /// a fault-free column (useful as an in-grid control).
+  std::vector<double> rate_scales;
+
+  /// Policy axis; labels must be unique and non-empty.
+  std::vector<PolicyVariant> policies;
+
+  std::size_t seeds_per_cell = 5;
+  std::uint64_t master_seed = 0xC11FFULL;
+
+  // Campaign shape shared by every run in the grid.
+  std::size_t months = 6;
+  std::size_t measurements_per_month = 120;
+  std::size_t device_count = 16;
+  std::size_t total_bits = 0;       ///< 0 = device-model default.
+  std::size_t puf_window_bits = 0;  ///< 0 = device-model default.
+
+  std::size_t rate_count() const { return rate_scales.size(); }
+  std::size_t policy_count() const { return policies.size(); }
+  std::size_t cell_count() const {
+    return rate_scales.size() * policies.size();
+  }
+
+  /// Row-major cell numbering: one policy row is contiguous, scanned along
+  /// ascending rate scale (the order the cliff detector walks).
+  std::size_t cell_index(std::size_t rate_index,
+                         std::size_t policy_index) const {
+    return policy_index * rate_scales.size() + rate_index;
+  }
+
+  /// Throws InvalidArgument on an unrunnable grid: empty axes, duplicate
+  /// or empty policy labels, non-ascending/negative/non-finite scales, an
+  /// invalid base plan or policy, or zero seeds/months/measurements.
+  void validate() const;
+};
+
+/// The grid behind `pufaging chaosgrid --demo` and the nightly job: a
+/// composite fault plan swept over five intensity decades against three
+/// policies (patient / default / hairtrigger). Sized so a full sweep
+/// stays in CI budget while still crossing at least one coverage cliff.
+GridSpec demo_grid_spec();
+
+Json grid_spec_to_json(const GridSpec& spec);
+GridSpec grid_spec_from_json(const Json& json);
+
+/// Parses a spec from a JSON document (as produced by grid_spec_to_json);
+/// validates the result.
+GridSpec parse_grid_spec(const std::string& text);
+
+/// SHA-256 (hex) of the canonical spec dump. Persistent sweep state and
+/// poison bundles embed this and refuse to mix with a different spec.
+std::string grid_fingerprint(const GridSpec& spec);
+
+/// Every per-event rate multiplied by `scale` and clamped to 1.0;
+/// hang_cycles, brownout_ramp_factor and dropouts pass through.
+FaultPlan scaled_plan(const FaultPlan& base, double scale);
+
+/// Fleet seed of repetition `seed_index` (counter-based split, so any
+/// repetition is addressable without deriving the others).
+std::uint64_t grid_fleet_seed(std::uint64_t master_seed,
+                              std::size_t seed_index);
+
+/// The exact campaign config of one (cell, seed) run: threads == 1,
+/// no persistence, no observability. Rerunning this standalone
+/// reproduces the grid's run bit-identically.
+CampaignConfig cell_campaign_config(const GridSpec& spec,
+                                    std::size_t rate_index,
+                                    std::size_t policy_index,
+                                    std::size_t seed_index);
+
+/// The fault-free twin of repetition `seed_index` (same fleet, all-zero
+/// plan); the drift reference shared by every cell.
+CampaignConfig baseline_campaign_config(const GridSpec& spec,
+                                        std::size_t seed_index);
+
+/// Scalars extracted from one (cell, seed) campaign against its baseline.
+struct RunStats {
+  std::size_t seed_index = 0;
+
+  double coverage_mean = 0.0;  ///< Mean per-month coverage over the series.
+  double coverage_min = 0.0;   ///< Worst single month.
+  std::uint64_t degraded_months = 0;  ///< Months flagged partial-data.
+  std::uint64_t quarantine_entries = 0;  ///< Fleet-wide, whole campaign.
+  std::uint64_t retries = 0;  ///< CRC retries + watchdog timeouts.
+  std::uint64_t measurements_dropped = 0;
+
+  // Survivor-metric drift: max over comparable months of |faulty - clean|.
+  // A month with no reporting board contributes nothing (its survivor
+  // stats are zeroed placeholders, not data); BCHD/entropy additionally
+  // need >= 2 reporting boards. A cell so dead that no month qualifies
+  // reports zero drift — read it next to coverage, which is what cliffs
+  // are detected on.
+  double wchd_drift = 0.0;
+  double bchd_drift = 0.0;
+  double entropy_drift = 0.0;
+};
+
+RunStats extract_run_stats(std::size_t seed_index,
+                           const CampaignResult& faulty,
+                           const CampaignResult& baseline);
+
+/// Bit-exact round trip (doubles as IEEE-754 hex); the gridstate record.
+Json run_stats_to_json(const RunStats& stats);
+RunStats run_stats_from_json(const Json& json);
+
+/// Mean / 5th / 95th percentile of one metric across a cell's seed runs.
+/// Percentiles are nearest-rank on the sorted sample (index
+/// round(q*(n-1))) — deterministic, no interpolation.
+struct Aggregate {
+  double mean = 0.0;
+  double p5 = 0.0;
+  double p95 = 0.0;
+};
+
+Aggregate aggregate_samples(std::vector<double> samples);
+
+/// One completed grid cell: the per-seed runs plus their aggregates.
+struct CellSummary {
+  std::size_t rate_index = 0;
+  std::size_t policy_index = 0;
+  std::vector<RunStats> runs;  ///< seed order, seeds_per_cell entries.
+
+  Aggregate coverage_mean;
+  Aggregate coverage_min;
+  Aggregate degraded_months;
+  Aggregate quarantine_entries;
+  Aggregate retries;
+  Aggregate wchd_drift;
+  Aggregate bchd_drift;
+  Aggregate entropy_drift;
+
+  /// The cell's poison run: the seed with the lowest coverage_min
+  /// (ties: lowest coverage_mean, then lowest seed index).
+  std::size_t worst_seed_index = 0;
+
+  /// Recomputes every aggregate and worst_seed_index from `runs`.
+  /// Requires at least one run.
+  void recompute();
+};
+
+}  // namespace pufaging::chaoslab

@@ -1,0 +1,295 @@
+#include "chaoslab/poison.hpp"
+
+#include <cstdio>
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+#include "common/error.hpp"
+#include "obs/metrics.hpp"
+#include "testbed/checkpoint.hpp"
+
+namespace pufaging::chaoslab {
+namespace {
+
+constexpr char kPoisonFile[] = "poison.json";
+constexpr char kExpectedFile[] = "expected.jsonl";
+constexpr char kObsFile[] = "obs.jsonl";
+constexpr char kStoreDir[] = "store";
+
+std::string u64_to_hex(std::uint64_t value) {
+  char buf[17];
+  std::snprintf(buf, sizeof(buf), "%016llx",
+                static_cast<unsigned long long>(value));
+  return buf;
+}
+
+std::uint64_t u64_from_hex(const std::string& hex) {
+  if (hex.size() != 16 ||
+      hex.find_first_not_of("0123456789abcdefABCDEF") != std::string::npos) {
+    throw ParseError("poison bundle: bad u64 hex field '" + hex + "'");
+  }
+  return std::strtoull(hex.c_str(), nullptr, 16);
+}
+
+std::uint64_t u64_field(const Json& obj, const char* key) {
+  const std::int64_t v = obj.at(key).as_int();
+  if (v < 0) {
+    throw ParseError(std::string("poison bundle: negative field ") + key);
+  }
+  return static_cast<std::uint64_t>(v);
+}
+
+std::string read_file(const std::filesystem::path& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    throw IoError("poison bundle: cannot read " + path.string());
+  }
+  std::stringstream buf;
+  buf << in.rdbuf();
+  return buf.str();
+}
+
+void write_file(const std::filesystem::path& path, const std::string& text) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  if (!out) {
+    throw IoError("poison bundle: cannot write " + path.string());
+  }
+  out << text;
+  out.flush();
+  if (!out) {
+    throw IoError("poison bundle: short write to " + path.string());
+  }
+}
+
+/// The deterministic slice of a run's metric stream: chaos.* counters and
+/// gauges are pure functions of the campaign (timing metrics are not and
+/// stay out).
+std::string chaos_obs_jsonl(const obs::MetricsSnapshot& snapshot) {
+  std::string out;
+  const auto is_chaos = [](const std::string& name) {
+    return name.rfind("chaos.", 0) == 0;
+  };
+  for (const auto& [name, value] : snapshot.counters) {
+    if (!is_chaos(name)) {
+      continue;
+    }
+    Json line = Json::object();
+    line.set("type", Json("counter"));
+    line.set("name", Json(name));
+    line.set("value", Json(value));
+    out += line.dump();
+    out += '\n';
+  }
+  for (const auto& [name, value] : snapshot.gauges) {
+    if (!is_chaos(name)) {
+      continue;
+    }
+    Json line = Json::object();
+    line.set("type", Json("gauge"));
+    line.set("name", Json(name));
+    line.set("value", Json(value));
+    line.set("value_bits", Json(double_to_hex_bits(value)));
+    out += line.dump();
+    out += '\n';
+  }
+  return out;
+}
+
+}  // namespace
+
+PoisonBundle poison_bundle_for(const GridSpec& spec,
+                               const CellSummary& cell) {
+  if (cell.rate_index >= spec.rate_scales.size() ||
+      cell.policy_index >= spec.policies.size()) {
+    throw InvalidArgument("poison_bundle_for: cell outside the grid");
+  }
+  PoisonBundle bundle;
+  bundle.grid_name = spec.name;
+  bundle.fingerprint = grid_fingerprint(spec);
+  bundle.rate_index = cell.rate_index;
+  bundle.policy_index = cell.policy_index;
+  bundle.seed_index = cell.worst_seed_index;
+  bundle.rate_scale = spec.rate_scales[cell.rate_index];
+  bundle.policy_label = spec.policies[cell.policy_index].label;
+  bundle.plan = scaled_plan(spec.base_plan, bundle.rate_scale);
+  bundle.policy = spec.policies[cell.policy_index].policy;
+  bundle.fleet_seed = grid_fleet_seed(spec.master_seed, bundle.seed_index);
+  bundle.months = spec.months;
+  bundle.measurements_per_month = spec.measurements_per_month;
+  bundle.device_count = spec.device_count;
+  bundle.total_bits = spec.total_bits;
+  bundle.puf_window_bits = spec.puf_window_bits;
+  return bundle;
+}
+
+Json poison_bundle_to_json(const PoisonBundle& bundle) {
+  Json obj = Json::object();
+  obj.set("kind", Json("poison_bundle"));
+  obj.set("version", Json(1));
+  obj.set("grid", Json(bundle.grid_name));
+  obj.set("fingerprint", Json(bundle.fingerprint));
+  obj.set("rate_index", Json(bundle.rate_index));
+  obj.set("policy_index", Json(bundle.policy_index));
+  obj.set("seed_index", Json(bundle.seed_index));
+  obj.set("rate_scale", Json(bundle.rate_scale));
+  obj.set("rate_scale_bits", Json(double_to_hex_bits(bundle.rate_scale)));
+  obj.set("policy_label", Json(bundle.policy_label));
+  obj.set("plan", fault_plan_to_json(bundle.plan));
+  obj.set("policy", retry_policy_to_json(bundle.policy));
+  obj.set("fleet_seed", Json(u64_to_hex(bundle.fleet_seed)));
+  obj.set("months", Json(bundle.months));
+  obj.set("measurements_per_month", Json(bundle.measurements_per_month));
+  obj.set("device_count", Json(bundle.device_count));
+  obj.set("total_bits", Json(bundle.total_bits));
+  obj.set("puf_window_bits", Json(bundle.puf_window_bits));
+  return obj;
+}
+
+PoisonBundle poison_bundle_from_json(const Json& json) {
+  if (!json.is_object() || !json.contains("kind") ||
+      json.at("kind").as_string() != "poison_bundle") {
+    throw ParseError("poison bundle: not a poison_bundle document");
+  }
+  PoisonBundle bundle;
+  bundle.grid_name = json.at("grid").as_string();
+  bundle.fingerprint = json.at("fingerprint").as_string();
+  bundle.rate_index = u64_field(json, "rate_index");
+  bundle.policy_index = u64_field(json, "policy_index");
+  bundle.seed_index = u64_field(json, "seed_index");
+  bundle.rate_scale =
+      double_from_hex_bits(json.at("rate_scale_bits").as_string());
+  bundle.policy_label = json.at("policy_label").as_string();
+  bundle.plan = fault_plan_from_json(json.at("plan"));
+  bundle.policy = retry_policy_from_json(json.at("policy"));
+  bundle.policy.validate();
+  bundle.fleet_seed = u64_from_hex(json.at("fleet_seed").as_string());
+  bundle.months = u64_field(json, "months");
+  bundle.measurements_per_month = u64_field(json, "measurements_per_month");
+  bundle.device_count = u64_field(json, "device_count");
+  bundle.total_bits = u64_field(json, "total_bits");
+  bundle.puf_window_bits = u64_field(json, "puf_window_bits");
+  return bundle;
+}
+
+CampaignConfig poison_campaign_config(const PoisonBundle& bundle) {
+  CampaignConfig cfg;
+  cfg.fleet = paper_fleet_config();
+  cfg.fleet.device_count = bundle.device_count;
+  cfg.fleet.seed = bundle.fleet_seed;
+  if (bundle.total_bits != 0) {
+    cfg.fleet.device.total_bits = bundle.total_bits;
+    cfg.fleet.device.puf_window_bits = bundle.puf_window_bits;
+  }
+  cfg.months = bundle.months;
+  cfg.measurements_per_month = bundle.measurements_per_month;
+  cfg.threads = 1;
+  cfg.faults = bundle.plan;
+  cfg.retry = bundle.policy;
+  return cfg;
+}
+
+std::string result_identity_jsonl(const CampaignResult& result) {
+  std::string out;
+  for (const FleetMonthMetrics& m : result.series) {
+    Json line = Json::object();
+    line.set("kind", Json("month"));
+    line.set("metrics", fleet_month_to_json(m));
+    out += line.dump();
+    out += '\n';
+  }
+  Json refs = Json::object();
+  refs.set("kind", Json("references"));
+  Json patterns = Json::array();
+  for (const BitVector& r : result.references) {
+    Json p = Json::object();
+    p.set("bits", Json(r.size()));
+    p.set("hex", Json(r.to_hex()));
+    patterns.push_back(std::move(p));
+  }
+  refs.set("patterns", std::move(patterns));
+  out += refs.dump();
+  out += '\n';
+  Json health = Json::object();
+  health.set("kind", Json("health"));
+  health.set("health", campaign_health_to_json(result.health));
+  out += health.dump();
+  out += '\n';
+  return out;
+}
+
+PoisonBundle export_poison_bundle(const GridSpec& spec,
+                                  const CellSummary& cell,
+                                  const std::string& dir) {
+  const PoisonBundle bundle = poison_bundle_for(spec, cell);
+  const std::filesystem::path root(dir);
+  std::filesystem::create_directories(root);
+
+  CampaignConfig cfg = poison_campaign_config(bundle);
+  cfg.checkpoint_dir = (root / kStoreDir).string();
+  obs::MetricsRegistry metrics;
+  cfg.metrics = &metrics;
+
+  const CampaignResult result = run_campaign(cfg);
+
+  write_file(root / kPoisonFile, poison_bundle_to_json(bundle).dump() + "\n");
+  write_file(root / kExpectedFile, result_identity_jsonl(result));
+  write_file(root / kObsFile, chaos_obs_jsonl(metrics.snapshot()));
+  return bundle;
+}
+
+std::string ReplayReport::render() const {
+  if (identical) {
+    return "replay OK: " + std::to_string(lines_compared) +
+           " identity lines byte-identical\n";
+  }
+  return "replay MISMATCH after " + std::to_string(lines_compared) +
+         " matching lines:\n" + first_diff;
+}
+
+ReplayReport replay_poison_bundle(const std::string& dir,
+                                  std::size_t threads) {
+  const std::filesystem::path root(dir);
+  const PoisonBundle bundle =
+      poison_bundle_from_json(Json::parse(read_file(root / kPoisonFile)));
+  const std::string expected = read_file(root / kExpectedFile);
+
+  CampaignConfig cfg = poison_campaign_config(bundle);
+  cfg.threads = threads;
+  const std::string actual = result_identity_jsonl(run_campaign(cfg));
+
+  ReplayReport report;
+  if (actual == expected) {
+    report.identical = true;
+    for (const char c : expected) {
+      report.lines_compared += c == '\n';
+    }
+    return report;
+  }
+  std::istringstream want(expected);
+  std::istringstream got(actual);
+  std::string want_line;
+  std::string got_line;
+  while (true) {
+    const bool have_want = static_cast<bool>(std::getline(want, want_line));
+    const bool have_got = static_cast<bool>(std::getline(got, got_line));
+    if (!have_want && !have_got) {
+      break;  // only possible difference left: trailing bytes
+    }
+    if (!have_want || !have_got || want_line != got_line) {
+      report.first_diff = "  expected: " +
+                          (have_want ? want_line : "<end of file>") +
+                          "\n  actual:   " +
+                          (have_got ? got_line : "<end of file>") + "\n";
+      break;
+    }
+    ++report.lines_compared;
+  }
+  if (report.first_diff.empty()) {
+    report.first_diff = "  files differ only in trailing bytes\n";
+  }
+  return report;
+}
+
+}  // namespace pufaging::chaoslab

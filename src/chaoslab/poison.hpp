@@ -1,0 +1,93 @@
+// Poison-trace bundles: each grid cell's worst-case run, captured as a
+// self-contained, replayable artifact.
+//
+// "The grid says cell (r=3, p=hairtrigger) loses half its coverage" is
+// only actionable if someone can hold that exact failing run in their
+// hands. A poison bundle is that run, frozen:
+//
+//   <dir>/poison.json     config capsule: grid identity + cell coords +
+//                         the *materialized* fault plan, retry policy and
+//                         fleet seed (replay needs no grid spec)
+//   <dir>/expected.jsonl  the run's bit-exact identity: every monthly
+//                         fleet snapshot, the month-0 references and the
+//                         health ledger, doubles as IEEE-754 hex
+//   <dir>/obs.jsonl       the run's chaos.* metric stream (informational
+//                         context for a human; not part of the replay
+//                         comparison)
+//   <dir>/store/          the run's durable-store checkpoint, inspectable
+//                         with `pufaging recover`
+//
+// `replay_poison_bundle` re-executes the campaign from poison.json alone
+// and byte-compares its regenerated identity against expected.jsonl: any
+// drift in the simulation, the kernels or the resilience machinery shows
+// up as a first-diff line. By the campaign determinism contract the
+// replay must match at any thread count.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "chaoslab/grid.hpp"
+
+namespace pufaging::chaoslab {
+
+/// Everything replay needs, denormalized from the grid spec.
+struct PoisonBundle {
+  std::string grid_name;
+  std::string fingerprint;  ///< grid_fingerprint of the producing spec.
+  std::size_t rate_index = 0;
+  std::size_t policy_index = 0;
+  std::size_t seed_index = 0;
+  double rate_scale = 0.0;
+  std::string policy_label;
+
+  FaultPlan plan;  ///< Already scaled — applied as-is on replay.
+  RetryPolicy policy;
+  std::uint64_t fleet_seed = 0;
+  std::size_t months = 0;
+  std::size_t measurements_per_month = 0;
+  std::size_t device_count = 0;
+  std::size_t total_bits = 0;
+  std::size_t puf_window_bits = 0;
+};
+
+/// The bundle capsule for a cell's worst-case seed (CellSummary::
+/// worst_seed_index).
+PoisonBundle poison_bundle_for(const GridSpec& spec, const CellSummary& cell);
+
+Json poison_bundle_to_json(const PoisonBundle& bundle);
+PoisonBundle poison_bundle_from_json(const Json& json);
+
+/// The campaign config a bundle replays (threads == 1 by default; replay
+/// may override — the result is bit-identical either way).
+CampaignConfig poison_campaign_config(const PoisonBundle& bundle);
+
+/// A campaign result's bit-exact identity as JSONL: one line per monthly
+/// snapshot (hex doubles), one references line, one health line. Equal
+/// strings == equal results.
+std::string result_identity_jsonl(const CampaignResult& result);
+
+/// Re-runs the cell's worst-case campaign and writes the full bundle
+/// into `dir` (created; must not already contain a store). Returns the
+/// bundle capsule.
+PoisonBundle export_poison_bundle(const GridSpec& spec,
+                                  const CellSummary& cell,
+                                  const std::string& dir);
+
+/// Outcome of a replay comparison.
+struct ReplayReport {
+  bool identical = false;
+  std::size_t lines_compared = 0;
+  /// First differing line (prefixed expected/actual), empty when
+  /// identical.
+  std::string first_diff;
+
+  std::string render() const;
+};
+
+/// Loads `dir`'s capsule, re-runs the campaign at `threads` workers and
+/// byte-compares against expected.jsonl.
+ReplayReport replay_poison_bundle(const std::string& dir,
+                                  std::size_t threads);
+
+}  // namespace pufaging::chaoslab

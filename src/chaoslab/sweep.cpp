@@ -1,0 +1,188 @@
+#include "chaoslab/sweep.hpp"
+
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+#include "common/error.hpp"
+#include "common/thread_pool.hpp"
+
+namespace pufaging::chaoslab {
+namespace {
+
+constexpr char kStateFile[] = "gridstate.jsonl";
+
+std::string state_path(const std::string& out_dir) {
+  return (std::filesystem::path(out_dir) / kStateFile).string();
+}
+
+Json state_header(const GridSpec& spec, const std::string& fingerprint) {
+  Json obj = Json::object();
+  obj.set("kind", Json("chaosgrid_state"));
+  obj.set("version", Json(1));
+  obj.set("fingerprint", Json(fingerprint));
+  obj.set("cells", Json(spec.cell_count()));
+  return obj;
+}
+
+Json cell_record(std::size_t index, const CellSummary& cell) {
+  Json obj = Json::object();
+  obj.set("kind", Json("cell"));
+  obj.set("index", Json(index));
+  Json runs = Json::array();
+  for (const RunStats& r : cell.runs) {
+    runs.push_back(run_stats_to_json(r));
+  }
+  obj.set("runs", std::move(runs));
+  return obj;
+}
+
+/// Runs the baseline campaigns (one per seed) across the pool.
+std::vector<CampaignResult> run_baselines(const GridSpec& spec,
+                                          ThreadPool& pool) {
+  std::vector<CampaignResult> baselines(spec.seeds_per_cell);
+  pool.parallel_for(0, spec.seeds_per_cell, [&](std::size_t seed) {
+    baselines[seed] = run_campaign(baseline_campaign_config(spec, seed));
+  });
+  return baselines;
+}
+
+CellSummary run_cell(const GridSpec& spec, std::size_t rate_index,
+                     std::size_t policy_index,
+                     const std::vector<CampaignResult>& baselines,
+                     ThreadPool& pool) {
+  CellSummary cell;
+  cell.rate_index = rate_index;
+  cell.policy_index = policy_index;
+  cell.runs.resize(spec.seeds_per_cell);
+  pool.parallel_for(0, spec.seeds_per_cell, [&](std::size_t seed) {
+    const CampaignResult result = run_campaign(
+        cell_campaign_config(spec, rate_index, policy_index, seed));
+    cell.runs[seed] = extract_run_stats(seed, result, baselines[seed]);
+  });
+  cell.recompute();
+  return cell;
+}
+
+}  // namespace
+
+std::vector<CellSummary> parse_grid_state(const std::string& text,
+                                          const GridSpec& spec,
+                                          const std::string& fingerprint) {
+  std::istringstream in(text);
+  std::string line;
+  if (!std::getline(in, line)) {
+    throw ParseError("grid state: empty state file");
+  }
+  const Json header = Json::parse(line);
+  if (!header.is_object() ||
+      header.at("kind").as_string() != "chaosgrid_state") {
+    throw ParseError("grid state: bad header line");
+  }
+  if (header.at("fingerprint").as_string() != fingerprint) {
+    throw IoError(
+        "grid state: fingerprint mismatch — the state file belongs to a "
+        "different grid spec (pass a fresh --out directory or drop "
+        "--resume)");
+  }
+
+  std::vector<CellSummary> cells;
+  std::size_t expected_index = 0;
+  while (std::getline(in, line)) {
+    // Cells are appended sequentially, so any malformed or out-of-order
+    // line marks the torn tail of an interrupted write: everything from
+    // here on is discarded and those cells re-run.
+    CellSummary cell;
+    try {
+      const Json record = Json::parse(line);
+      if (!record.is_object() || record.at("kind").as_string() != "cell" ||
+          static_cast<std::size_t>(record.at("index").as_int()) !=
+              expected_index) {
+        break;
+      }
+      for (const Json& r : record.at("runs").as_array()) {
+        cell.runs.push_back(run_stats_from_json(r));
+      }
+      if (cell.runs.size() != spec.seeds_per_cell) {
+        break;
+      }
+    } catch (const ParseError&) {
+      break;
+    }
+    cell.rate_index = expected_index % spec.rate_scales.size();
+    cell.policy_index = expected_index / spec.rate_scales.size();
+    cell.recompute();
+    cells.push_back(std::move(cell));
+    if (++expected_index == spec.cell_count()) {
+      break;
+    }
+  }
+  return cells;
+}
+
+SweepResult run_grid_sweep(const GridSpec& spec, const SweepOptions& options) {
+  spec.validate();
+
+  SweepResult result;
+  result.spec = spec;
+  result.fingerprint = grid_fingerprint(spec);
+
+  const bool persistent = !options.out_dir.empty();
+  if (persistent) {
+    std::filesystem::create_directories(options.out_dir);
+  }
+
+  if (options.resume && persistent &&
+      std::filesystem::exists(state_path(options.out_dir))) {
+    std::ifstream in(state_path(options.out_dir), std::ios::binary);
+    std::stringstream buf;
+    buf << in.rdbuf();
+    result.cells = parse_grid_state(buf.str(), spec, result.fingerprint);
+    result.cells_resumed = result.cells.size();
+  }
+
+  std::ofstream state;
+  if (persistent) {
+    // Rewrite the whole prefix (header + restored cells) rather than
+    // appending blindly: this truncates any torn tail the parser skipped,
+    // and a non-resume sweep starts from a clean file.
+    state.open(state_path(options.out_dir),
+               std::ios::binary | std::ios::trunc);
+    if (!state) {
+      throw IoError("grid sweep: cannot open state file in " +
+                    options.out_dir);
+    }
+    state << state_header(spec, result.fingerprint).dump() << '\n';
+    for (std::size_t i = 0; i < result.cells.size(); ++i) {
+      state << cell_record(i, result.cells[i]).dump() << '\n';
+    }
+    state.flush();
+  }
+
+  const std::size_t total = spec.cell_count();
+  if (result.cells.size() < total) {
+    ThreadPool pool(ThreadPool::resolve_thread_count(options.threads));
+    const std::vector<CampaignResult> baselines = run_baselines(spec, pool);
+    for (std::size_t index = result.cells.size(); index < total; ++index) {
+      if (options.halt_after_cells &&
+          result.cells_executed >= *options.halt_after_cells) {
+        break;
+      }
+      const std::size_t rate_index = index % spec.rate_scales.size();
+      const std::size_t policy_index = index / spec.rate_scales.size();
+      CellSummary cell =
+          run_cell(spec, rate_index, policy_index, baselines, pool);
+      if (persistent) {
+        state << cell_record(index, cell).dump() << '\n';
+        state.flush();
+      }
+      result.cells.push_back(std::move(cell));
+      ++result.cells_executed;
+    }
+  }
+
+  result.completed = result.cells.size() == total;
+  return result;
+}
+
+}  // namespace pufaging::chaoslab

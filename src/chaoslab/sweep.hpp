@@ -1,0 +1,80 @@
+// Grid sweep driver: runs every (cell, seed) campaign, aggregates cells,
+// and persists completed cells so an interrupted sweep resumes without
+// re-running them.
+//
+// Execution order is fixed: baselines first (one fault-free campaign per
+// seed, shared by every cell), then cells in ascending cell-index order.
+// Cells complete strictly in order — parallelism lives *inside* a cell
+// (its seed runs fan out across the pool) — so the persistent state is
+// always a prefix of the cell sequence and resume is a pure fast-forward.
+//
+// State file (`gridstate.jsonl` in the output directory):
+//
+//   {"kind":"chaosgrid_state","version":1,"fingerprint":...,"cells":N}
+//   {"kind":"cell","index":0,"runs":[...]}        // hex-exact RunStats
+//   ...
+//
+// Appended and flushed after each completed cell. The reader accepts any
+// prefix: a torn final line (the crash case) is discarded and that cell
+// re-runs. Aggregates are never persisted — they are recomputed from the
+// per-seed runs at load, so a resumed sweep's output is byte-identical
+// to an uninterrupted one. A state file whose fingerprint does not match
+// the spec is refused.
+#pragma once
+
+#include <cstddef>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "chaoslab/grid.hpp"
+
+namespace pufaging::chaoslab {
+
+struct SweepOptions {
+  /// Output directory for persistent sweep state; empty = in-memory only
+  /// (no state file, `resume` and `halt_after_cells` still honoured
+  /// within the invocation).
+  std::string out_dir;
+
+  /// Grid-level worker threads (0 = hardware concurrency). Bit-identical
+  /// at any value: campaigns inside the grid always run threads == 1 and
+  /// results are indexed by (cell, seed) coordinate.
+  std::size_t threads = 0;
+
+  /// Fast-forward over cells recorded in `out_dir`'s state file. Without
+  /// a state file this is a fresh sweep; with one from a different spec
+  /// it throws IoError.
+  bool resume = false;
+
+  /// Stop after executing this many cells *in this invocation* (resumed
+  /// cells don't count); the in-process kill switch for resume tests.
+  /// The result's `completed` flag is cleared when cells remain.
+  std::optional<std::size_t> halt_after_cells;
+};
+
+struct SweepResult {
+  GridSpec spec;
+  std::string fingerprint;
+
+  /// Completed cells in cell-index order; cell_count() entries when
+  /// `completed`, a prefix otherwise.
+  std::vector<CellSummary> cells;
+
+  std::size_t cells_executed = 0;  ///< Cells run in this invocation.
+  std::size_t cells_resumed = 0;   ///< Cells restored from the state file.
+  bool completed = true;
+};
+
+/// Runs (or resumes) the sweep. Validates the spec first.
+SweepResult run_grid_sweep(const GridSpec& spec, const SweepOptions& options);
+
+/// Reads the completed-cell prefix from a state file's text. Returns the
+/// per-cell summaries (aggregates recomputed); throws ParseError on a
+/// malformed header, IoError on a fingerprint mismatch. Exposed for the
+/// resume tests; `run_grid_sweep` uses it internally.
+std::vector<CellSummary> parse_grid_state(const std::string& text,
+                                          const GridSpec& spec,
+                                          const std::string& fingerprint);
+
+}  // namespace pufaging::chaoslab

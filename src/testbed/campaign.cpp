@@ -430,6 +430,7 @@ CampaignResult run_campaign(const CampaignConfig& config) {
         if (fault_states[d].quarantined) {
           ++mh.boards_quarantined;
         }
+        mh.quarantine_entries += fault_states[d].quarantine_entries;
       }
       mh.boards_reporting =
           static_cast<std::uint32_t>(fleet_month.devices_reporting);
@@ -442,6 +443,8 @@ CampaignResult run_campaign(const CampaignConfig& config) {
         metrics->add("chaos.frames_lost", mh.frames_lost);
         metrics->add("chaos.measurements_dropped", mh.measurements_dropped);
         metrics->add("chaos.probes", mh.probes);
+        metrics->gauge_set("chaos.quarantine_entries",
+                           static_cast<double>(mh.quarantine_entries));
         metrics->gauge_set("chaos.boards_quarantined",
                            static_cast<double>(mh.boards_quarantined));
         metrics->gauge_set("chaos.boards_reporting",

@@ -1,6 +1,7 @@
 #include "testbed/faults.hpp"
 
 #include <algorithm>
+#include <cmath>
 #include <cstdio>
 #include <sstream>
 
@@ -177,16 +178,113 @@ FaultPlan fault_plan_from_json(const Json& json) {
 }
 
 void RetryPolicy::validate() const {
-  if (max_retries < 0) {
-    throw InvalidArgument("RetryPolicy: max_retries must be >= 0");
+  if (max_retries < 0 || max_retries > kMaxRetryCap) {
+    throw InvalidArgument("RetryPolicy: max_retries outside [0, " +
+                          std::to_string(kMaxRetryCap) + "]");
   }
-  if (backoff_base_s < 0.0 || watchdog_margin_s <= 0.0) {
-    throw InvalidArgument("RetryPolicy: backoff/watchdog must be positive");
+  // std::isfinite + explicit sign checks: a NaN compares false against
+  // everything, so the old `< 0.0` rejections silently accepted it.
+  if (!std::isfinite(backoff_base_s) || backoff_base_s <= 0.0) {
+    throw InvalidArgument(
+        "RetryPolicy: backoff_base_s must be finite and > 0");
+  }
+  if (!std::isfinite(watchdog_margin_s) || watchdog_margin_s <= 0.0) {
+    throw InvalidArgument(
+        "RetryPolicy: watchdog_margin_s must be finite and > 0");
   }
   if (quarantine_after == 0 || probe_interval == 0) {
     throw InvalidArgument(
         "RetryPolicy: quarantine_after and probe_interval must be >= 1");
   }
+  if (max_backoff_level > kMaxBackoffLevelCap) {
+    throw InvalidArgument("RetryPolicy: max_backoff_level outside [0, " +
+                          std::to_string(kMaxBackoffLevelCap) + "]");
+  }
+}
+
+RetryPolicy parse_retry_policy(const std::string& spec) {
+  if (!spec.empty() && spec.front() == '{') {
+    return retry_policy_from_json(Json::parse(spec));
+  }
+  RetryPolicy policy;
+  std::istringstream is(spec);
+  std::string item;
+  while (std::getline(is, item, ',')) {
+    if (item.empty()) {
+      continue;
+    }
+    const std::size_t eq = item.find('=');
+    if (eq == std::string::npos) {
+      throw ParseError("parse_retry_policy: expected key=value, got '" +
+                       item + "'");
+    }
+    const std::string key = item.substr(0, eq);
+    const std::string value = item.substr(eq + 1);
+    try {
+      if (key == "retries") {
+        policy.max_retries = static_cast<int>(std::stol(value));
+      } else if (key == "backoff") {
+        policy.backoff_base_s = std::stod(value);
+      } else if (key == "watchdog") {
+        policy.watchdog_margin_s = std::stod(value);
+      } else if (key == "quarantine") {
+        policy.quarantine_after =
+            static_cast<std::uint32_t>(std::stoul(value));
+      } else if (key == "probe") {
+        policy.probe_interval = static_cast<std::uint32_t>(std::stoul(value));
+      } else if (key == "max-backoff") {
+        policy.max_backoff_level =
+            static_cast<std::uint32_t>(std::stoul(value));
+      } else {
+        throw ParseError("parse_retry_policy: unknown key '" + key + "'");
+      }
+    } catch (const std::invalid_argument&) {
+      throw ParseError("parse_retry_policy: bad number in '" + item + "'");
+    } catch (const std::out_of_range&) {
+      throw ParseError("parse_retry_policy: number out of range in '" + item +
+                       "'");
+    }
+  }
+  policy.validate();
+  return policy;
+}
+
+Json retry_policy_to_json(const RetryPolicy& policy) {
+  Json obj = Json::object();
+  obj.set("retries", Json(policy.max_retries));
+  obj.set("backoff_s", Json(policy.backoff_base_s));
+  obj.set("watchdog_s", Json(policy.watchdog_margin_s));
+  obj.set("quarantine_after", Json(policy.quarantine_after));
+  obj.set("probe_interval", Json(policy.probe_interval));
+  obj.set("max_backoff_level", Json(policy.max_backoff_level));
+  return obj;
+}
+
+RetryPolicy retry_policy_from_json(const Json& json) {
+  RetryPolicy policy;
+  if (json.contains("retries")) {
+    policy.max_retries = static_cast<int>(json.at("retries").as_int());
+  }
+  if (json.contains("backoff_s")) {
+    policy.backoff_base_s = json.at("backoff_s").as_double();
+  }
+  if (json.contains("watchdog_s")) {
+    policy.watchdog_margin_s = json.at("watchdog_s").as_double();
+  }
+  if (json.contains("quarantine_after")) {
+    policy.quarantine_after =
+        static_cast<std::uint32_t>(json.at("quarantine_after").as_int());
+  }
+  if (json.contains("probe_interval")) {
+    policy.probe_interval =
+        static_cast<std::uint32_t>(json.at("probe_interval").as_int());
+  }
+  if (json.contains("max_backoff_level")) {
+    policy.max_backoff_level =
+        static_cast<std::uint32_t>(json.at("max_backoff_level").as_int());
+  }
+  policy.validate();
+  return policy;
 }
 
 void BoardFaultState::record_success() {
@@ -356,6 +454,10 @@ std::uint64_t CampaignHealth::total_probes() const {
   return sum;
 }
 
+std::uint64_t CampaignHealth::final_quarantine_entries() const {
+  return months.empty() ? 0 : months.back().quarantine_entries;
+}
+
 std::uint32_t CampaignHealth::max_boards_quarantined() const {
   std::uint32_t worst = 0;
   for (const MonthHealth& m : months) {
@@ -429,6 +531,7 @@ Json month_health_to_json(const MonthHealth& month) {
   obj.set("quarantined", Json(month.boards_quarantined));
   obj.set("reporting", Json(month.boards_reporting));
   obj.set("coverage", Json(month.coverage));
+  obj.set("entries", Json(month.quarantine_entries));
   return obj;
 }
 
@@ -446,6 +549,12 @@ MonthHealth month_health_from_json(const Json& json) {
   m.boards_reporting =
       static_cast<std::uint32_t>(json.at("reporting").as_int());
   m.coverage = json.at("coverage").as_double();
+  // Optional for backward compatibility: ledgers written before the field
+  // existed load with zero entries.
+  if (json.contains("entries")) {
+    m.quarantine_entries =
+        static_cast<std::uint64_t>(json.at("entries").as_int());
+  }
   return m;
 }
 

@@ -96,8 +96,32 @@ struct RetryPolicy {
   std::uint32_t probe_interval = 64;   ///< Cycles before the first probe.
   std::uint32_t max_backoff_level = 6;  ///< Probe interval doubles up to this.
 
+  /// Throws InvalidArgument on any knob a real master could not run with:
+  /// negative or absurd retry counts, zero/negative/NaN backoff or
+  /// watchdog times, quarantine/probe thresholds of zero, or a backoff
+  /// cap so large the probe-interval shift would overflow.
   void validate() const;
+
+  bool operator==(const RetryPolicy&) const = default;
 };
+
+/// Hard cap on RetryPolicy::max_retries (a per-slot retry loop beyond this
+/// is a misconfiguration, not a policy).
+inline constexpr int kMaxRetryCap = 1000;
+
+/// Hard cap on RetryPolicy::max_backoff_level: probe_interval (u32) shifted
+/// by this still fits a u64 with headroom.
+inline constexpr std::uint32_t kMaxBackoffLevelCap = 31;
+
+/// Parses a RetryPolicy from either a compact spec string
+/// ("retries=3,backoff=0.005,watchdog=0.05,quarantine=8,probe=64,"
+/// "max-backoff=6"; every key optional, defaults apply) or, when the text
+/// starts with '{', a JSON object as produced by retry_policy_to_json.
+/// The result is validated; a spec naming an unusable policy throws.
+RetryPolicy parse_retry_policy(const std::string& spec);
+
+Json retry_policy_to_json(const RetryPolicy& policy);
+RetryPolicy retry_policy_from_json(const Json& json);
 
 /// Per-board resilience state machine shared by both execution paths
 /// (slot-granular in the fast-path campaign, cycle-granular in the rig).
@@ -158,6 +182,9 @@ struct MonthHealth {
   std::uint32_t boards_quarantined = 0;  ///< In quarantine at month end.
   std::uint32_t boards_reporting = 0;    ///< Delivered >= 1 measurement.
   double coverage = 1.0;  ///< Delivered / expected measurements.
+  /// Cumulative quarantine entries across the fleet at month end (how many
+  /// times any board was tipped into quarantine since the campaign began).
+  std::uint64_t quarantine_entries = 0;
 };
 
 /// The campaign's resilience ledger: per-month counters plus totals.
@@ -170,6 +197,10 @@ struct CampaignHealth {
   std::uint64_t total_measurements_dropped() const;
   std::uint64_t total_probes() const;
   std::uint32_t max_boards_quarantined() const;
+
+  /// Fleet-wide quarantine entries over the whole campaign (the last
+  /// month's cumulative counter; 0 for an empty ledger).
+  std::uint64_t final_quarantine_entries() const;
 
   /// True when any month lost data or quarantined a board.
   bool degraded() const;

@@ -71,6 +71,32 @@ TEST(SummaryTable, Validation) {
                InvalidArgument);
 }
 
+TEST(SummaryTable, DeadEndpointYieldsNaNotNaN) {
+  // A campaign whose final month lost every board reports zeroed metrics;
+  // the change columns are undefined there, and must say so instead of
+  // emitting NaN (regression: geometric_monthly_change threw on zero).
+  std::vector<FleetMonthMetrics> series = {month_metrics(0.0, 0.0249, 0.0305),
+                                           month_metrics(24.0, 0.0, 0.0)};
+  series[1].fhw_avg = 0.0;
+  series[1].fhw_wc = 0.0;
+  series[1].stable_avg = 0.0;
+  series[1].stable_wc = 0.0;
+  series[1].bchd_avg = 0.0;
+  series[1].bchd_wc = 0.0;
+  series[1].puf_entropy = 0.0;
+  const SummaryTable table = build_summary_table(series);
+  for (const SummaryRow& row : table.rows) {
+    EXPECT_FALSE(row.change_defined) << row.metric << " " << row.variant;
+    EXPECT_DOUBLE_EQ(row.relative_change, 0.0);
+    EXPECT_DOUBLE_EQ(row.monthly_change, 0.0);
+    EXPECT_FALSE(std::isnan(row.relative_change));
+  }
+  const std::string rendered = render_summary_table(table);
+  EXPECT_NE(rendered.find("n/a"), std::string::npos);
+  EXPECT_EQ(rendered.find("nan"), std::string::npos);
+  EXPECT_EQ(rendered.find("-nan"), std::string::npos);
+}
+
 TEST(SummaryTable, IntermediateMonthsIgnored) {
   const std::vector<FleetMonthMetrics> series = {
       month_metrics(0.0, 0.02, 0.03), month_metrics(1.0, 0.09, 0.09),

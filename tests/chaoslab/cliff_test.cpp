@@ -1,0 +1,160 @@
+#include "chaoslab/cliff.hpp"
+
+#include <gtest/gtest.h>
+
+#include "chaoslab/test_support.hpp"
+#include "common/error.hpp"
+
+namespace pufaging::chaoslab {
+namespace {
+
+/// Builds a complete synthetic cell set where every aggregate is flat
+/// except the values the individual test plants.
+std::vector<CellSummary> flat_cells(const GridSpec& spec, double coverage) {
+  std::vector<CellSummary> cells(spec.cell_count());
+  for (std::size_t p = 0; p < spec.policy_count(); ++p) {
+    for (std::size_t r = 0; r < spec.rate_count(); ++r) {
+      CellSummary& cell = cells[spec.cell_index(r, p)];
+      cell.rate_index = r;
+      cell.policy_index = p;
+      RunStats run;
+      run.coverage_mean = coverage;
+      run.coverage_min = coverage;
+      cell.runs = {run};
+      cell.recompute();
+    }
+  }
+  return cells;
+}
+
+void set_coverage(const GridSpec& spec, std::vector<CellSummary>& cells,
+                  std::size_t rate, std::size_t policy, double coverage) {
+  CellSummary& cell = cells[spec.cell_index(rate, policy)];
+  cell.runs[0].coverage_mean = coverage;
+  cell.runs[0].coverage_min = coverage;
+  cell.recompute();
+}
+
+TEST(CliffDetect, FindsPlantedCoverageCliff) {
+  const GridSpec spec = tiny_grid_spec();  // 3 scales x 2 policies
+  std::vector<CellSummary> cells = flat_cells(spec, 0.95);
+  // Policy 1 falls off between scale index 1 and 2.
+  set_coverage(spec, cells, 2, 1, 0.30);
+
+  const CliffReport report = detect_cliffs(spec, cells);
+  ASSERT_TRUE(report.worst_coverage.has_value());
+  EXPECT_EQ(report.worst_coverage->metric, "coverage");
+  EXPECT_EQ(report.worst_coverage->policy_index, 1u);
+  EXPECT_EQ(report.worst_coverage->from_rate_index, 1u);
+  EXPECT_NEAR(report.worst_coverage->drop, 0.65, 1e-12);
+
+  ASSERT_EQ(report.cliffs.size(), 1u);
+  EXPECT_EQ(report.cliffs[0].policy_index, 1u);
+  EXPECT_NEAR(report.cliffs[0].before, 0.95, 1e-12);
+  EXPECT_NEAR(report.cliffs[0].after, 0.30, 1e-12);
+}
+
+TEST(CliffDetect, SortsByMagnitudeAndRespectsThreshold) {
+  const GridSpec spec = tiny_grid_spec();
+  std::vector<CellSummary> cells = flat_cells(spec, 0.90);
+  set_coverage(spec, cells, 1, 0, 0.70);  // drop 0.20 at policy 0
+  set_coverage(spec, cells, 2, 0, 0.20);  // drop 0.50 at policy 0
+  set_coverage(spec, cells, 2, 1, 0.87);  // drop 0.03: below threshold
+
+  const CliffReport report = detect_cliffs(spec, cells);
+  ASSERT_EQ(report.cliffs.size(), 2u);
+  EXPECT_GT(report.cliffs[0].drop, report.cliffs[1].drop);
+  EXPECT_EQ(report.cliffs[0].from_rate_index, 1u);
+  EXPECT_EQ(report.cliffs[1].from_rate_index, 0u);
+
+  // The sub-threshold 0.03 drop is still eligible for worst_coverage
+  // when it is the only drop — here it is not, so worst is the 0.50 one.
+  EXPECT_NEAR(report.worst_coverage->drop, 0.50, 1e-12);
+
+  // With a looser threshold the small cliff appears too.
+  const CliffReport loose = detect_cliffs(spec, cells, 0.01);
+  EXPECT_EQ(loose.cliffs.size(), 3u);
+}
+
+TEST(CliffDetect, DriftRisesCountAsCliffs) {
+  const GridSpec spec = tiny_grid_spec();
+  std::vector<CellSummary> cells = flat_cells(spec, 0.95);
+  CellSummary& cell = cells[spec.cell_index(2, 0)];
+  cell.runs[0].bchd_drift = 0.05;
+  cell.recompute();
+
+  const CliffReport report = detect_cliffs(spec, cells);
+  ASSERT_EQ(report.cliffs.size(), 1u);
+  EXPECT_EQ(report.cliffs[0].metric, "bchd_drift");
+  EXPECT_EQ(report.cliffs[0].from_rate_index, 1u);
+  EXPECT_NEAR(report.cliffs[0].drop, 0.05, 1e-12);
+  // A perfectly flat grid has no coverage drop at all.
+  EXPECT_FALSE(report.worst_coverage.has_value());
+}
+
+TEST(CliffDetect, LocationHashTracksLocationsNotMagnitudes) {
+  const GridSpec spec = tiny_grid_spec();
+  std::vector<CellSummary> cells = flat_cells(spec, 0.95);
+  set_coverage(spec, cells, 2, 1, 0.30);
+  const std::string hash_a =
+      cliff_location_hash(spec, detect_cliffs(spec, cells));
+
+  // Same location, different magnitude: hash unchanged.
+  set_coverage(spec, cells, 2, 1, 0.25);
+  const std::string hash_b =
+      cliff_location_hash(spec, detect_cliffs(spec, cells));
+  EXPECT_EQ(hash_a, hash_b);
+
+  // Cliff relocates to the other policy row: hash moves.
+  set_coverage(spec, cells, 2, 1, 0.95);
+  set_coverage(spec, cells, 2, 0, 0.30);
+  const std::string hash_c =
+      cliff_location_hash(spec, detect_cliffs(spec, cells));
+  EXPECT_NE(hash_a, hash_c);
+}
+
+TEST(CliffDetect, RequiresCompleteCellSet) {
+  const GridSpec spec = tiny_grid_spec();
+  std::vector<CellSummary> cells = flat_cells(spec, 0.95);
+  cells.pop_back();
+  EXPECT_THROW(detect_cliffs(spec, cells), InvalidArgument);
+  EXPECT_THROW(
+      riskcliff_to_json(spec, grid_fingerprint(spec), cells, CliffReport{}),
+      InvalidArgument);
+  EXPECT_THROW(render_grid_tables(spec, cells, CliffReport{}),
+               InvalidArgument);
+}
+
+TEST(Riskcliff, JsonCarriesCellsCliffsAndHash) {
+  const GridSpec spec = tiny_grid_spec();
+  std::vector<CellSummary> cells = flat_cells(spec, 0.95);
+  set_coverage(spec, cells, 2, 1, 0.30);
+  const CliffReport report = detect_cliffs(spec, cells);
+  const std::string fingerprint = grid_fingerprint(spec);
+
+  const Json doc = riskcliff_to_json(spec, fingerprint, cells, report);
+  EXPECT_EQ(doc.at("kind").as_string(), "riskcliff");
+  EXPECT_EQ(doc.at("fingerprint").as_string(), fingerprint);
+  EXPECT_EQ(doc.at("cliff_location_hash").as_string(),
+            cliff_location_hash(spec, report));
+  EXPECT_EQ(doc.at("cells").as_array().size(), spec.cell_count());
+  EXPECT_EQ(doc.at("cliffs").as_array().size(), report.cliffs.size());
+  EXPECT_EQ(doc.at("worst_coverage_cliff").at("policy").as_string(),
+            spec.policies[1].label);
+
+  const Json& cell = doc.at("cells").as_array().front();
+  EXPECT_TRUE(cell.at("coverage_mean").contains("bits"));
+  EXPECT_DOUBLE_EQ(cell.at("coverage_mean").at("mean").as_double(), 0.95);
+
+  // Serialization is deterministic (insertion-ordered writer).
+  EXPECT_EQ(doc.dump(),
+            riskcliff_to_json(spec, fingerprint, cells, report).dump());
+
+  const std::string tables = render_grid_tables(spec, cells, report);
+  EXPECT_NE(tables.find("Coverage"), std::string::npos);
+  EXPECT_NE(tables.find("Worst coverage cliff"), std::string::npos);
+  EXPECT_NE(tables.find(spec.policies[1].label), std::string::npos);
+}
+
+}  // namespace
+}  // namespace pufaging::chaoslab

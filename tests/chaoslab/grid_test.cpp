@@ -1,0 +1,243 @@
+#include "chaoslab/grid.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "chaoslab/test_support.hpp"
+#include "common/error.hpp"
+#include "testbed/checkpoint.hpp"
+
+namespace pufaging::chaoslab {
+namespace {
+
+TEST(GridSpec, ValidateRejectsDegenerateGrids) {
+  const GridSpec good = tiny_grid_spec();
+  EXPECT_NO_THROW(good.validate());
+
+  GridSpec spec = good;
+  spec.rate_scales.clear();
+  EXPECT_THROW(spec.validate(), InvalidArgument);
+
+  spec = good;
+  spec.rate_scales = {1.0, 1.0};  // not strictly ascending
+  EXPECT_THROW(spec.validate(), InvalidArgument);
+
+  spec = good;
+  spec.rate_scales = {1.0, std::nan("")};
+  EXPECT_THROW(spec.validate(), InvalidArgument);
+
+  spec = good;
+  spec.rate_scales = {-0.5, 1.0};
+  EXPECT_THROW(spec.validate(), InvalidArgument);
+
+  spec = good;
+  spec.policies.clear();
+  EXPECT_THROW(spec.validate(), InvalidArgument);
+
+  spec = good;
+  spec.policies[1].label = spec.policies[0].label;  // duplicate
+  EXPECT_THROW(spec.validate(), InvalidArgument);
+
+  spec = good;
+  spec.policies[0].label.clear();
+  EXPECT_THROW(spec.validate(), InvalidArgument);
+
+  spec = good;
+  spec.policies[0].policy.backoff_base_s = 0.0;  // invalid policy
+  EXPECT_THROW(spec.validate(), InvalidArgument);
+
+  spec = good;
+  spec.seeds_per_cell = 0;
+  EXPECT_THROW(spec.validate(), InvalidArgument);
+
+  spec = good;
+  spec.device_count = 1;
+  EXPECT_THROW(spec.validate(), InvalidArgument);
+
+  spec = good;
+  spec.puf_window_bits = spec.total_bits + 1;
+  EXPECT_THROW(spec.validate(), InvalidArgument);
+
+  spec = good;
+  spec.total_bits = 0;  // window without total
+  EXPECT_THROW(spec.validate(), InvalidArgument);
+}
+
+TEST(GridSpec, JsonRoundTripIsExactAndFingerprintStable) {
+  const GridSpec spec = tiny_grid_spec();
+  const Json json = grid_spec_to_json(spec);
+  const GridSpec back = grid_spec_from_json(json);
+
+  EXPECT_EQ(back.name, spec.name);
+  EXPECT_EQ(back.master_seed, spec.master_seed);
+  EXPECT_EQ(back.seeds_per_cell, spec.seeds_per_cell);
+  EXPECT_EQ(back.months, spec.months);
+  EXPECT_EQ(back.measurements_per_month, spec.measurements_per_month);
+  EXPECT_EQ(back.device_count, spec.device_count);
+  EXPECT_EQ(back.total_bits, spec.total_bits);
+  EXPECT_EQ(back.puf_window_bits, spec.puf_window_bits);
+  EXPECT_EQ(back.policies.size(), spec.policies.size());
+  for (std::size_t i = 0; i < spec.policies.size(); ++i) {
+    EXPECT_EQ(back.policies[i], spec.policies[i]);
+  }
+  ASSERT_EQ(back.rate_scales.size(), spec.rate_scales.size());
+  for (std::size_t i = 0; i < spec.rate_scales.size(); ++i) {
+    // Bit-exact via the rate_scale_bits twin, not just approximately.
+    EXPECT_EQ(double_to_hex_bits(back.rate_scales[i]),
+              double_to_hex_bits(spec.rate_scales[i]));
+  }
+
+  EXPECT_EQ(grid_fingerprint(back), grid_fingerprint(spec));
+  GridSpec tweaked = spec;
+  tweaked.rate_scales.back() *= 2.0;
+  EXPECT_NE(grid_fingerprint(tweaked), grid_fingerprint(spec));
+
+  EXPECT_EQ(parse_grid_spec(json.dump()).name, spec.name);
+  EXPECT_THROW(parse_grid_spec("{\"kind\":\"nope\"}"), ParseError);
+}
+
+TEST(GridSpec, DemoGridIsValid) {
+  const GridSpec demo = demo_grid_spec();
+  EXPECT_NO_THROW(demo.validate());
+  EXPECT_GE(demo.rate_count(), 3u);
+  EXPECT_GE(demo.policy_count(), 2u);
+}
+
+TEST(ScaledPlan, ScalesAndClampsRatesOnly) {
+  FaultPlan base;
+  base.i2c_drop_rate = 0.3;
+  base.i2c_corrupt_rate = 0.01;
+  base.hang_rate = 0.001;
+  base.hang_cycles = 17;
+  base.brownout_rate = 0.002;
+  base.brownout_ramp_factor = 0.07;
+  base.dropouts.push_back({2, 1});
+
+  const FaultPlan scaled = scaled_plan(base, 10.0);
+  EXPECT_DOUBLE_EQ(scaled.i2c_drop_rate, 1.0);  // 3.0 clamped
+  EXPECT_DOUBLE_EQ(scaled.i2c_corrupt_rate, 0.1);
+  EXPECT_DOUBLE_EQ(scaled.hang_rate, 0.01);
+  EXPECT_EQ(scaled.hang_cycles, 17u);
+  EXPECT_DOUBLE_EQ(scaled.brownout_ramp_factor, 0.07);
+  ASSERT_EQ(scaled.dropouts.size(), 1u);
+  EXPECT_EQ(scaled.dropouts[0].device_index, 2u);
+
+  const FaultPlan zero = scaled_plan(base, 0.0);
+  EXPECT_DOUBLE_EQ(zero.i2c_drop_rate, 0.0);
+  EXPECT_FALSE(zero.all_zero());  // the dropout survives scaling
+
+  EXPECT_THROW(scaled_plan(base, -1.0), InvalidArgument);
+  EXPECT_THROW(scaled_plan(base, std::nan("")), InvalidArgument);
+}
+
+TEST(GridSeeds, AddressableAndDistinct) {
+  const std::uint64_t a = grid_fleet_seed(1, 0);
+  const std::uint64_t b = grid_fleet_seed(1, 1);
+  const std::uint64_t c = grid_fleet_seed(2, 0);
+  EXPECT_NE(a, b);
+  EXPECT_NE(a, c);
+  // Counter-based: re-derivation is order-free.
+  EXPECT_EQ(grid_fleet_seed(1, 1), b);
+}
+
+TEST(CellConfig, MatchesSpecAndIsSerial) {
+  const GridSpec spec = tiny_grid_spec();
+  const CampaignConfig cfg = cell_campaign_config(spec, 1, 1, 0);
+  EXPECT_EQ(cfg.threads, 1u);
+  EXPECT_EQ(cfg.months, spec.months);
+  EXPECT_EQ(cfg.fleet.device_count, spec.device_count);
+  EXPECT_EQ(cfg.fleet.device.total_bits, spec.total_bits);
+  EXPECT_EQ(cfg.fleet.seed, grid_fleet_seed(spec.master_seed, 0));
+  EXPECT_EQ(cfg.retry, spec.policies[1].policy);
+  EXPECT_DOUBLE_EQ(cfg.faults.i2c_drop_rate,
+                   spec.base_plan.i2c_drop_rate * spec.rate_scales[1]);
+
+  const CampaignConfig baseline = baseline_campaign_config(spec, 1);
+  EXPECT_TRUE(baseline.faults.all_zero());
+  EXPECT_EQ(baseline.fleet.seed, grid_fleet_seed(spec.master_seed, 1));
+
+  EXPECT_THROW(cell_campaign_config(spec, 3, 0, 0), InvalidArgument);
+  EXPECT_THROW(cell_campaign_config(spec, 0, 2, 0), InvalidArgument);
+  EXPECT_THROW(cell_campaign_config(spec, 0, 0, 2), InvalidArgument);
+}
+
+TEST(RunStats, ExtractionAndHexRoundTrip) {
+  const GridSpec spec = tiny_grid_spec();
+  const CampaignResult baseline =
+      run_campaign(baseline_campaign_config(spec, 0));
+  const CampaignResult faulty =
+      run_campaign(cell_campaign_config(spec, 2, 1, 0));
+
+  const RunStats stats = extract_run_stats(0, faulty, baseline);
+  EXPECT_LT(stats.coverage_mean, 1.0);  // scale 32 on a brittle policy
+  EXPECT_LE(stats.coverage_min, stats.coverage_mean);
+  EXPECT_GT(stats.measurements_dropped, 0u);
+
+  const RunStats back = run_stats_from_json(run_stats_to_json(stats));
+  EXPECT_EQ(back.seed_index, stats.seed_index);
+  EXPECT_EQ(double_to_hex_bits(back.coverage_mean),
+            double_to_hex_bits(stats.coverage_mean));
+  EXPECT_EQ(double_to_hex_bits(back.wchd_drift),
+            double_to_hex_bits(stats.wchd_drift));
+  EXPECT_EQ(back.quarantine_entries, stats.quarantine_entries);
+  EXPECT_EQ(back.retries, stats.retries);
+  EXPECT_EQ(back.degraded_months, stats.degraded_months);
+
+  // A fault-free run compared against itself: perfect coverage, no drift.
+  const RunStats clean = extract_run_stats(0, baseline, baseline);
+  EXPECT_DOUBLE_EQ(clean.coverage_mean, 1.0);
+  EXPECT_DOUBLE_EQ(clean.coverage_min, 1.0);
+  EXPECT_EQ(clean.degraded_months, 0u);
+  EXPECT_DOUBLE_EQ(clean.wchd_drift, 0.0);
+  EXPECT_DOUBLE_EQ(clean.bchd_drift, 0.0);
+
+  CampaignResult short_series = baseline;
+  short_series.series.pop_back();
+  EXPECT_THROW(extract_run_stats(0, short_series, baseline),
+               InvalidArgument);
+}
+
+TEST(Aggregate, OrderStatisticsAreDeterministic) {
+  const Aggregate one = aggregate_samples({0.5});
+  EXPECT_DOUBLE_EQ(one.mean, 0.5);
+  EXPECT_DOUBLE_EQ(one.p5, 0.5);
+  EXPECT_DOUBLE_EQ(one.p95, 0.5);
+
+  // Unsorted input; p5/p95 pick nearest-rank order statistics.
+  const Aggregate many =
+      aggregate_samples({5.0, 1.0, 4.0, 2.0, 3.0, 6.0, 9.0, 7.0, 8.0, 10.0});
+  EXPECT_DOUBLE_EQ(many.mean, 5.5);
+  EXPECT_DOUBLE_EQ(many.p5, 1.0);   // round(0.05 * 9) = 0
+  EXPECT_DOUBLE_EQ(many.p95, 10.0); // round(0.95 * 9) = 9
+
+  EXPECT_THROW(aggregate_samples({}), InvalidArgument);
+}
+
+TEST(CellSummary, RecomputePicksWorstSeed) {
+  CellSummary cell;
+  RunStats a;
+  a.seed_index = 0;
+  a.coverage_mean = 0.9;
+  a.coverage_min = 0.8;
+  RunStats b;
+  b.seed_index = 1;
+  b.coverage_mean = 0.7;
+  b.coverage_min = 0.5;
+  RunStats c;
+  c.seed_index = 2;
+  c.coverage_mean = 0.6;  // lower mean but equal min: mean breaks the tie
+  c.coverage_min = 0.5;
+  cell.runs = {a, b, c};
+  cell.recompute();
+  EXPECT_EQ(cell.worst_seed_index, 2u);
+  EXPECT_NEAR(cell.coverage_min.mean, 0.6, 1e-12);
+  EXPECT_DOUBLE_EQ(cell.coverage_min.p5, 0.5);
+  EXPECT_DOUBLE_EQ(cell.coverage_min.p95, 0.8);
+
+  cell.runs.clear();
+  EXPECT_THROW(cell.recompute(), InvalidArgument);
+}
+
+}  // namespace
+}  // namespace pufaging::chaoslab

@@ -1,0 +1,170 @@
+#include "chaoslab/poison.hpp"
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+#include "chaoslab/test_support.hpp"
+#include "common/error.hpp"
+#include "testbed/checkpoint.hpp"
+
+namespace pufaging::chaoslab {
+namespace {
+
+std::string read_text(const std::filesystem::path& path) {
+  std::ifstream in(path, std::ios::binary);
+  std::stringstream buf;
+  buf << in.rdbuf();
+  return buf.str();
+}
+
+void write_text(const std::filesystem::path& path, const std::string& text) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  out << text;
+}
+
+/// A cell summary pointing at a concrete (rate, policy, worst-seed)
+/// coordinate; export only reads those three fields.
+CellSummary cell_at(std::size_t rate, std::size_t policy,
+                    std::size_t worst_seed) {
+  CellSummary cell;
+  cell.rate_index = rate;
+  cell.policy_index = policy;
+  RunStats best;
+  best.seed_index = worst_seed == 0 ? 1 : 0;
+  best.coverage_mean = 0.9;
+  best.coverage_min = 0.9;
+  RunStats worst;
+  worst.seed_index = worst_seed;
+  worst.coverage_mean = 0.4;
+  worst.coverage_min = 0.3;
+  cell.runs = {best, worst};
+  cell.recompute();
+  return cell;
+}
+
+TEST(PoisonBundle, CapsuleIsDenormalizedAndRoundTrips) {
+  const GridSpec spec = tiny_grid_spec();
+  const CellSummary cell = cell_at(2, 1, 1);
+  const PoisonBundle bundle = poison_bundle_for(spec, cell);
+
+  EXPECT_EQ(bundle.grid_name, spec.name);
+  EXPECT_EQ(bundle.fingerprint, grid_fingerprint(spec));
+  EXPECT_EQ(bundle.seed_index, 1u);
+  EXPECT_EQ(bundle.policy_label, "brittle");
+  EXPECT_EQ(bundle.fleet_seed, grid_fleet_seed(spec.master_seed, 1));
+  // The plan is materialized (already scaled), not a scale factor.
+  EXPECT_DOUBLE_EQ(bundle.plan.i2c_drop_rate,
+                   spec.base_plan.i2c_drop_rate * spec.rate_scales[2]);
+  EXPECT_EQ(bundle.policy, spec.policies[1].policy);
+
+  const PoisonBundle back =
+      poison_bundle_from_json(poison_bundle_to_json(bundle));
+  EXPECT_EQ(back.grid_name, bundle.grid_name);
+  EXPECT_EQ(back.fingerprint, bundle.fingerprint);
+  EXPECT_EQ(back.rate_index, bundle.rate_index);
+  EXPECT_EQ(back.policy_index, bundle.policy_index);
+  EXPECT_EQ(back.seed_index, bundle.seed_index);
+  EXPECT_EQ(double_to_hex_bits(back.rate_scale),
+            double_to_hex_bits(bundle.rate_scale));
+  EXPECT_EQ(back.fleet_seed, bundle.fleet_seed);
+  EXPECT_EQ(back.policy, bundle.policy);
+  EXPECT_EQ(double_to_hex_bits(back.plan.i2c_drop_rate),
+            double_to_hex_bits(bundle.plan.i2c_drop_rate));
+  EXPECT_EQ(back.total_bits, bundle.total_bits);
+  EXPECT_EQ(back.puf_window_bits, bundle.puf_window_bits);
+
+  CellSummary outside = cell;
+  outside.rate_index = spec.rate_scales.size();
+  EXPECT_THROW(poison_bundle_for(spec, outside), InvalidArgument);
+
+  Json bad = poison_bundle_to_json(bundle);
+  bad.set("kind", Json("not_a_bundle"));
+  EXPECT_THROW(poison_bundle_from_json(bad), ParseError);
+}
+
+TEST(PoisonBundle, ReplayConfigIsSerialAndSelfContained) {
+  const GridSpec spec = tiny_grid_spec();
+  const PoisonBundle bundle = poison_bundle_for(spec, cell_at(0, 0, 0));
+  const CampaignConfig cfg = poison_campaign_config(bundle);
+  EXPECT_EQ(cfg.threads, 1u);
+  EXPECT_EQ(cfg.months, spec.months);
+  EXPECT_EQ(cfg.fleet.device_count, spec.device_count);
+  EXPECT_EQ(cfg.fleet.device.total_bits, spec.total_bits);
+  EXPECT_EQ(cfg.fleet.seed, bundle.fleet_seed);
+  EXPECT_EQ(cfg.retry, bundle.policy);
+}
+
+TEST(PoisonBundle, ExportedBundleReplaysBitIdentically) {
+  const GridSpec spec = tiny_grid_spec();
+  ScratchDir dir("poison_export");
+  const PoisonBundle bundle =
+      export_poison_bundle(spec, cell_at(2, 1, 1), dir.str());
+  EXPECT_EQ(bundle.seed_index, 1u);
+
+  // The full bundle layout is on disk.
+  EXPECT_TRUE(std::filesystem::exists(dir.path / "poison.json"));
+  EXPECT_TRUE(std::filesystem::exists(dir.path / "expected.jsonl"));
+  EXPECT_TRUE(std::filesystem::exists(dir.path / "obs.jsonl"));
+  EXPECT_TRUE(std::filesystem::is_directory(dir.path / "store"));
+
+  const std::string expected = read_text(dir.path / "expected.jsonl");
+  // months+1 snapshots, one references line, one health line.
+  std::size_t lines = 0;
+  for (const char c : expected) {
+    lines += c == '\n';
+  }
+  EXPECT_EQ(lines, spec.months + 3);
+  EXPECT_NE(expected.find("\"kind\":\"references\""), std::string::npos);
+  EXPECT_NE(expected.find("\"kind\":\"health\""), std::string::npos);
+
+  const std::string obs = read_text(dir.path / "obs.jsonl");
+  EXPECT_NE(obs.find("chaos."), std::string::npos);
+  EXPECT_EQ(obs.find("timing"), std::string::npos);
+
+  // The acceptance check: bit-identical replay at threads 1 and 4.
+  const ReplayReport serial = replay_poison_bundle(dir.str(), 1);
+  EXPECT_TRUE(serial.identical);
+  EXPECT_EQ(serial.lines_compared, spec.months + 3);
+  EXPECT_NE(serial.render().find("replay OK"), std::string::npos);
+
+  const ReplayReport parallel = replay_poison_bundle(dir.str(), 4);
+  EXPECT_TRUE(parallel.identical);
+}
+
+TEST(PoisonBundle, ReplayDetectsTamperedExpectation) {
+  const GridSpec spec = tiny_grid_spec();
+  ScratchDir dir("poison_tamper");
+  export_poison_bundle(spec, cell_at(0, 0, 0), dir.str());
+
+  const auto expected_path = dir.path / "expected.jsonl";
+  std::string expected = read_text(expected_path);
+  const std::size_t pos = expected.find("\"kind\":\"month\"");
+  ASSERT_NE(pos, std::string::npos);
+  expected.replace(pos, 14, "\"kind\":\"mXnth\"");
+  write_text(expected_path, expected);
+
+  const ReplayReport report = replay_poison_bundle(dir.str(), 1);
+  EXPECT_FALSE(report.identical);
+  EXPECT_EQ(report.lines_compared, 0u);  // first line already differs
+  EXPECT_NE(report.first_diff.find("expected:"), std::string::npos);
+  EXPECT_NE(report.first_diff.find("actual:"), std::string::npos);
+  EXPECT_NE(report.render().find("replay MISMATCH"), std::string::npos);
+}
+
+TEST(PoisonBundle, ReplayRejectsCorruptCapsule) {
+  ScratchDir dir("poison_bad");
+  std::filesystem::create_directories(dir.path);
+  write_text(dir.path / "poison.json", "{\"kind\":\"nope\"}\n");
+  write_text(dir.path / "expected.jsonl", "");
+  EXPECT_THROW(replay_poison_bundle(dir.str(), 1), ParseError);
+
+  ScratchDir missing("poison_missing");
+  std::filesystem::create_directories(missing.path);
+  EXPECT_THROW(replay_poison_bundle(missing.str(), 1), IoError);
+}
+
+}  // namespace
+}  // namespace pufaging::chaoslab

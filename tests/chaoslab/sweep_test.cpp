@@ -1,0 +1,185 @@
+#include "chaoslab/sweep.hpp"
+
+#include <gtest/gtest.h>
+
+#include <fstream>
+#include <sstream>
+
+#include "chaoslab/cliff.hpp"
+#include "chaoslab/test_support.hpp"
+#include "common/error.hpp"
+
+namespace pufaging::chaoslab {
+namespace {
+
+std::string read_text(const std::filesystem::path& path) {
+  std::ifstream in(path, std::ios::binary);
+  std::stringstream buf;
+  buf << in.rdbuf();
+  return buf.str();
+}
+
+std::string riskcliff_dump(const GridSpec& spec, const SweepResult& sweep) {
+  return riskcliff_to_json(spec, sweep.fingerprint, sweep.cells,
+                           detect_cliffs(spec, sweep.cells))
+      .dump();
+}
+
+TEST(GridSweep, CompletesEveryCellInOrder) {
+  const GridSpec spec = tiny_grid_spec();
+  SweepOptions options;
+  options.threads = 2;
+  const SweepResult result = run_grid_sweep(spec, options);
+
+  EXPECT_TRUE(result.completed);
+  EXPECT_EQ(result.cells_executed, spec.cell_count());
+  EXPECT_EQ(result.cells_resumed, 0u);
+  ASSERT_EQ(result.cells.size(), spec.cell_count());
+  for (std::size_t i = 0; i < result.cells.size(); ++i) {
+    EXPECT_EQ(spec.cell_index(result.cells[i].rate_index,
+                              result.cells[i].policy_index),
+              i);
+    EXPECT_EQ(result.cells[i].runs.size(), spec.seeds_per_cell);
+  }
+  // Higher fault scale must not *improve* best-case coverage for the
+  // same policy (sanity of the scaling axis, not a strict theorem —
+  // checked on the extreme columns where the signal is unambiguous).
+  const CellSummary& mild = result.cells[spec.cell_index(0, 1)];
+  const CellSummary& brutal = result.cells[spec.cell_index(2, 1)];
+  EXPECT_GT(mild.coverage_mean.mean, brutal.coverage_mean.mean);
+}
+
+TEST(GridSweep, ThreadCountIsBitIdentical) {
+  const GridSpec spec = tiny_grid_spec();
+  SweepOptions serial;
+  serial.threads = 1;
+  SweepOptions parallel;
+  parallel.threads = 4;
+  const SweepResult a = run_grid_sweep(spec, serial);
+  const SweepResult b = run_grid_sweep(spec, parallel);
+  EXPECT_EQ(riskcliff_dump(spec, a), riskcliff_dump(spec, b));
+}
+
+TEST(GridSweep, HaltAndResumeIsByteIdentical) {
+  const GridSpec spec = tiny_grid_spec();
+
+  ScratchDir straight_dir("sweep_straight");
+  SweepOptions straight;
+  straight.out_dir = straight_dir.str();
+  straight.threads = 2;
+  const SweepResult uninterrupted = run_grid_sweep(spec, straight);
+  ASSERT_TRUE(uninterrupted.completed);
+
+  ScratchDir killed_dir("sweep_killed");
+  SweepOptions first_leg;
+  first_leg.out_dir = killed_dir.str();
+  first_leg.threads = 1;
+  first_leg.halt_after_cells = 2;
+  const SweepResult halted = run_grid_sweep(spec, first_leg);
+  EXPECT_FALSE(halted.completed);
+  EXPECT_EQ(halted.cells_executed, 2u);
+  EXPECT_EQ(halted.cells.size(), 2u);
+
+  SweepOptions second_leg;
+  second_leg.out_dir = killed_dir.str();
+  second_leg.threads = 4;  // different thread count on purpose
+  second_leg.resume = true;
+  const SweepResult resumed = run_grid_sweep(spec, second_leg);
+  EXPECT_TRUE(resumed.completed);
+  // Completed cells were not re-run.
+  EXPECT_EQ(resumed.cells_resumed, 2u);
+  EXPECT_EQ(resumed.cells_executed, spec.cell_count() - 2);
+
+  // The headline acceptance check: riskcliff.json byte-identical to the
+  // uninterrupted sweep, and so is the state file.
+  EXPECT_EQ(riskcliff_dump(spec, resumed),
+            riskcliff_dump(spec, uninterrupted));
+  EXPECT_EQ(read_text(killed_dir.path / "gridstate.jsonl"),
+            read_text(straight_dir.path / "gridstate.jsonl"));
+}
+
+TEST(GridSweep, ResumeDiscardsTornTailAndRerunsThatCell) {
+  const GridSpec spec = tiny_grid_spec();
+  ScratchDir dir("sweep_torn");
+  SweepOptions first_leg;
+  first_leg.out_dir = dir.str();
+  first_leg.threads = 2;
+  first_leg.halt_after_cells = 3;
+  run_grid_sweep(spec, first_leg);
+
+  // Tear the last cell line mid-record, as a crash during append would.
+  const auto state_path = dir.path / "gridstate.jsonl";
+  std::string state = read_text(state_path);
+  ASSERT_GT(state.size(), 40u);
+  state.resize(state.size() - 25);
+  {
+    std::ofstream out(state_path, std::ios::binary | std::ios::trunc);
+    out << state;
+  }
+
+  SweepOptions second_leg;
+  second_leg.out_dir = dir.str();
+  second_leg.threads = 2;
+  second_leg.resume = true;
+  const SweepResult resumed = run_grid_sweep(spec, second_leg);
+  EXPECT_TRUE(resumed.completed);
+  EXPECT_EQ(resumed.cells_resumed, 2u);  // torn third cell discarded
+  EXPECT_EQ(resumed.cells_executed, spec.cell_count() - 2);
+
+  ScratchDir straight_dir("sweep_torn_ref");
+  SweepOptions straight;
+  straight.out_dir = straight_dir.str();
+  straight.threads = 2;
+  const SweepResult uninterrupted = run_grid_sweep(spec, straight);
+  EXPECT_EQ(riskcliff_dump(spec, resumed),
+            riskcliff_dump(spec, uninterrupted));
+}
+
+TEST(GridSweep, ResumeRefusesForeignFingerprint) {
+  const GridSpec spec = tiny_grid_spec();
+  ScratchDir dir("sweep_foreign");
+  SweepOptions first_leg;
+  first_leg.out_dir = dir.str();
+  first_leg.threads = 2;
+  first_leg.halt_after_cells = 1;
+  run_grid_sweep(spec, first_leg);
+
+  GridSpec other = spec;
+  other.master_seed ^= 1;
+  SweepOptions resume;
+  resume.out_dir = dir.str();
+  resume.resume = true;
+  EXPECT_THROW(run_grid_sweep(other, resume), IoError);
+
+  // Without --resume the stale state is overwritten, not trusted.
+  SweepOptions fresh;
+  fresh.out_dir = dir.str();
+  fresh.threads = 2;
+  fresh.halt_after_cells = 0;
+  const SweepResult result = run_grid_sweep(other, fresh);
+  EXPECT_EQ(result.cells_resumed, 0u);
+  EXPECT_EQ(result.cells.size(), 0u);
+  const std::string state = read_text(dir.path / "gridstate.jsonl");
+  EXPECT_NE(state.find(grid_fingerprint(other)), std::string::npos);
+}
+
+TEST(GridSweep, ParseGridStateRejectsGarbageHeader) {
+  const GridSpec spec = tiny_grid_spec();
+  const std::string fp = grid_fingerprint(spec);
+  EXPECT_THROW(parse_grid_state("", spec, fp), ParseError);
+  EXPECT_THROW(parse_grid_state("not json\n", spec, fp), ParseError);
+  EXPECT_THROW(
+      parse_grid_state("{\"kind\":\"something_else\",\"fingerprint\":\"" +
+                           fp + "\"}\n",
+                       spec, fp),
+      ParseError);
+}
+
+TEST(GridSweep, InvalidSpecIsRejectedUpFront) {
+  GridSpec spec = tiny_grid_spec();
+  spec.seeds_per_cell = 0;
+  EXPECT_THROW(run_grid_sweep(spec, SweepOptions{}), InvalidArgument);
+}
+
+}  // namespace
+}  // namespace pufaging::chaoslab

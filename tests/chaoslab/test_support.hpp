@@ -1,0 +1,62 @@
+// Shared fixtures for the chaoslab tests: a grid small enough that a
+// full sweep stays in unit-test budget, and a scratch directory helper.
+#pragma once
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <string>
+
+#include "chaoslab/grid.hpp"
+
+namespace pufaging::chaoslab {
+
+/// Unique scratch dir under the gtest temp root, removed on destruction.
+struct ScratchDir {
+  explicit ScratchDir(const std::string& name)
+      : path(std::filesystem::path(::testing::TempDir()) /
+             ("pufaging_chaoslab_" + name)) {
+    std::filesystem::remove_all(path);
+  }
+  ~ScratchDir() { std::filesystem::remove_all(path); }
+  std::string str() const { return path.string(); }
+  std::filesystem::path path;
+};
+
+/// 2 policies x 3 scales x 2 seeds on 4 tiny devices: 12 campaigns plus
+/// 2 baselines, each a few milliseconds.
+inline GridSpec tiny_grid_spec() {
+  GridSpec spec;
+  spec.name = "tiny";
+  spec.base_plan.i2c_drop_rate = 0.02;
+  spec.base_plan.i2c_corrupt_rate = 0.02;
+  spec.base_plan.stuck_relay_rate = 0.01;
+  spec.base_plan.hang_rate = 0.005;
+  spec.base_plan.hang_cycles = 8;
+  spec.rate_scales = {0.5, 4.0, 32.0};
+
+  PolicyVariant tolerant;
+  tolerant.label = "tolerant";
+  tolerant.policy.quarantine_after = 12;
+  tolerant.policy.probe_interval = 8;
+  tolerant.policy.max_backoff_level = 1;
+
+  PolicyVariant brittle;
+  brittle.label = "brittle";
+  brittle.policy.max_retries = 1;
+  brittle.policy.quarantine_after = 2;
+  brittle.policy.probe_interval = 128;
+  brittle.policy.max_backoff_level = 6;
+
+  spec.policies = {tolerant, brittle};
+  spec.seeds_per_cell = 2;
+  spec.months = 2;
+  spec.measurements_per_month = 24;
+  spec.device_count = 4;
+  spec.total_bits = 512;
+  spec.puf_window_bits = 256;
+  spec.validate();
+  return spec;
+}
+
+}  // namespace pufaging::chaoslab

@@ -5,6 +5,9 @@
 // aborting the campaign.
 #include <gtest/gtest.h>
 
+#include <cmath>
+
+#include "analysis/summary.hpp"
 #include "common/error.hpp"
 #include "testbed/campaign.hpp"
 
@@ -174,6 +177,40 @@ TEST(ChaosCampaign, DropoutFromMonthZeroNeverEstablishesReference) {
     EXPECT_EQ(m.devices.size(), 15U);
     EXPECT_TRUE(m.degraded);
   }
+}
+
+TEST(ChaosCampaign, TotalBlackoutCompletesWithZeroCoverage) {
+  // Worst case on the fault axis: every relay stuck, no board ever powers
+  // up. The campaign must run to completion with well-defined zeroed
+  // metrics (coverage 0, nothing NaN), not throw mid-analysis —
+  // regression for the summary's geometric-change throwing on a dead
+  // endpoint.
+  CampaignConfig config = small_config(2);
+  config.fleet.device_count = 4;
+  config.faults.stuck_relay_rate = 1.0;
+  const CampaignResult result = run_campaign(config);
+  ASSERT_EQ(result.series.size(), config.months + 1);
+  for (const FleetMonthMetrics& m : result.series) {
+    EXPECT_EQ(m.devices_reporting, 0U);
+    EXPECT_DOUBLE_EQ(m.coverage, 0.0);
+    EXPECT_TRUE(m.degraded);
+    EXPECT_FALSE(std::isnan(m.wchd_avg));
+    EXPECT_FALSE(std::isnan(m.bchd_avg));
+    EXPECT_FALSE(std::isnan(m.puf_entropy));
+  }
+  for (const BitVector& reference : result.references) {
+    EXPECT_TRUE(reference.empty());  // no month-0 read-out ever arrived
+  }
+  EXPECT_EQ(result.health.total_measurements_dropped(),
+            config.fleet.device_count * (config.months + 1) *
+                config.measurements_per_month);
+  EXPECT_TRUE(result.health.degraded());
+
+  // The summary over the dead series renders "n/a", never NaN.
+  const std::string rendered =
+      render_summary_table(build_summary_table(result.series));
+  EXPECT_NE(rendered.find("n/a"), std::string::npos);
+  EXPECT_EQ(rendered.find("nan"), std::string::npos);
 }
 
 TEST(ChaosCampaign, InvalidPlanAndPolicyAreRejected) {

@@ -13,6 +13,7 @@
 
 #include <filesystem>
 #include <fstream>
+#include <limits>
 #include <sstream>
 #include <string>
 #include <vector>
@@ -168,6 +169,116 @@ TEST(FaultPlanFuzz, PureGarbageNeverCrashes) {
       input[0] = '{';  // force the JSON branch on raw bytes too
       expect_clean([&] { parse_fault_plan(input).validate(); },
                    "garbage json");
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// RetryPolicy parsers and validator.
+// ---------------------------------------------------------------------------
+
+TEST(RetryPolicyFuzz, CompactSpecMutationsNeverCrashOrSkipValidation) {
+  const std::vector<std::string> seeds = {
+      "retries=5,backoff=0.004,watchdog=0.08,quarantine=16,probe=32,"
+      "max-backoff=3",
+      "retries=0,quarantine=1,probe=1",
+      "backoff=0.001",
+      "",
+  };
+  Xoshiro256StarStar rng(0xF022007);
+  std::size_t accepted = 0;
+  for (const std::string& seed : seeds) {
+    for (int round = 0; round < kRounds; ++round) {
+      std::string input = seed;
+      const int stacked = 1 + static_cast<int>(rng.below(4));
+      for (int m = 0; m < stacked; ++m) {
+        input = mutate(rng, input);
+      }
+      try {
+        const RetryPolicy parsed = parse_retry_policy(input);
+        // The parser promises a validated result: whatever it accepts must
+        // re-validate (no NaN backoff or zero quarantine sneaking through).
+        EXPECT_NO_THROW(parsed.validate())
+            << "parser accepted an unusable policy from: " << input;
+        ++accepted;
+      } catch (const Error&) {
+        // clean rejection
+      } catch (const std::exception& e) {
+        ADD_FAILURE() << "non-pufaging exception for '" << input
+                      << "': " << e.what();
+      }
+    }
+  }
+  EXPECT_LT(accepted, static_cast<std::size_t>(kRounds) * seeds.size());
+}
+
+TEST(RetryPolicyFuzz, JsonMutationsNeverCrashOrSkipValidation) {
+  RetryPolicy policy;
+  policy.max_retries = 5;
+  policy.backoff_base_s = 0.004;
+  policy.quarantine_after = 16;
+  const std::string seed = retry_policy_to_json(policy).dump();
+  ASSERT_EQ(seed.front(), '{') << "JSON path must trigger on '{'";
+
+  Xoshiro256StarStar rng(0xF022008);
+  for (int round = 0; round < 2 * kRounds; ++round) {
+    std::string input = seed;
+    const int stacked = 1 + static_cast<int>(rng.below(4));
+    for (int m = 0; m < stacked; ++m) {
+      input = mutate(rng, input);
+    }
+    try {
+      const RetryPolicy parsed = parse_retry_policy(input);
+      EXPECT_NO_THROW(parsed.validate())
+          << "parser accepted an unusable policy from: " << input;
+    } catch (const Error&) {
+      // clean rejection
+    } catch (const std::exception& e) {
+      ADD_FAILURE() << "non-pufaging exception for '" << input
+                    << "': " << e.what();
+    }
+  }
+}
+
+TEST(RetryPolicyFuzz, NumericEdgeValuesNeverCrashTheValidator) {
+  // Direct field-level fuzz of validate(): every combination of edge
+  // values must either pass or raise InvalidArgument — never UB, never a
+  // foreign exception (e.g. from the shift in the probe backoff).
+  const double doubles[] = {0.0,
+                            -0.0,
+                            1e-300,
+                            -1e-300,
+                            1e300,
+                            std::numeric_limits<double>::quiet_NaN(),
+                            std::numeric_limits<double>::infinity(),
+                            -std::numeric_limits<double>::infinity(),
+                            std::numeric_limits<double>::denorm_min(),
+                            0.005};
+  const int ints[] = {std::numeric_limits<int>::min(), -1, 0, 1, 999, 1000,
+                      1001, std::numeric_limits<int>::max()};
+  const std::uint32_t u32s[] = {0U, 1U, 31U, 32U, 64U,
+                                std::numeric_limits<std::uint32_t>::max()};
+  for (const double backoff : doubles) {
+    for (const int retries : ints) {
+      for (const std::uint32_t level : u32s) {
+        RetryPolicy policy;
+        policy.backoff_base_s = backoff;
+        policy.watchdog_margin_s = backoff;
+        policy.max_retries = retries;
+        policy.quarantine_after = level;
+        policy.probe_interval = level;
+        policy.max_backoff_level = level;
+        try {
+          policy.validate();
+          // Accepted: exercising the shift the cap protects must be safe.
+          BoardFaultState state;
+          for (std::uint32_t i = 0; i <= policy.quarantine_after + 2; ++i) {
+            state.record_failure(policy);
+          }
+        } catch (const InvalidArgument&) {
+          // clean rejection
+        }
+      }
     }
   }
 }

@@ -2,6 +2,9 @@
 
 #include <gtest/gtest.h>
 
+#include <cmath>
+#include <limits>
+
 #include "common/error.hpp"
 
 namespace pufaging {
@@ -102,6 +105,85 @@ TEST(FaultPlan, RetryPolicyValidation) {
   policy = RetryPolicy{};
   policy.quarantine_after = 0;
   EXPECT_THROW(policy.validate(), InvalidArgument);
+}
+
+TEST(RetryPolicy, ValidateRejectsEveryUnusableKnob) {
+  // Timing knobs: zero, negative, NaN and infinity are all unusable — a
+  // NaN backoff silently poisons every sim-time comparison downstream.
+  for (const double bad :
+       {0.0, -0.005, std::nan(""), std::numeric_limits<double>::infinity()}) {
+    RetryPolicy policy;
+    policy.backoff_base_s = bad;
+    EXPECT_THROW(policy.validate(), InvalidArgument) << "backoff " << bad;
+    policy = RetryPolicy{};
+    policy.watchdog_margin_s = bad;
+    EXPECT_THROW(policy.validate(), InvalidArgument) << "watchdog " << bad;
+  }
+
+  RetryPolicy policy;
+  policy.probe_interval = 0;
+  EXPECT_THROW(policy.validate(), InvalidArgument);
+
+  // Caps: a retry loop of a million is a misconfiguration, and a backoff
+  // level >= 32 would overflow the u32 probe-interval shift.
+  policy = RetryPolicy{};
+  policy.max_retries = kMaxRetryCap;
+  policy.validate();
+  policy.max_retries = kMaxRetryCap + 1;
+  EXPECT_THROW(policy.validate(), InvalidArgument);
+
+  policy = RetryPolicy{};
+  policy.max_backoff_level = kMaxBackoffLevelCap;
+  policy.validate();
+  policy.max_backoff_level = kMaxBackoffLevelCap + 1;
+  EXPECT_THROW(policy.validate(), InvalidArgument);
+
+  // Boundary values that must remain legal.
+  policy = RetryPolicy{};
+  policy.max_retries = 0;  // "no retries" is a policy, not an error
+  policy.quarantine_after = 1;
+  policy.probe_interval = 1;
+  policy.max_backoff_level = 0;
+  policy.validate();
+}
+
+TEST(RetryPolicy, ParsesCompactSpecAndRoundTripsJson) {
+  const RetryPolicy parsed = parse_retry_policy(
+      "retries=5,backoff=0.004,watchdog=0.08,quarantine=16,probe=32,"
+      "max-backoff=3");
+  EXPECT_EQ(parsed.max_retries, 5);
+  EXPECT_DOUBLE_EQ(parsed.backoff_base_s, 0.004);
+  EXPECT_DOUBLE_EQ(parsed.watchdog_margin_s, 0.08);
+  EXPECT_EQ(parsed.quarantine_after, 16U);
+  EXPECT_EQ(parsed.probe_interval, 32U);
+  EXPECT_EQ(parsed.max_backoff_level, 3U);
+
+  // Every key optional: defaults apply.
+  EXPECT_EQ(parse_retry_policy(""), RetryPolicy{});
+  EXPECT_EQ(parse_retry_policy("retries=7").quarantine_after,
+            RetryPolicy{}.quarantine_after);
+
+  // JSON round trip, including via the '{'-sniffing parse path.
+  const RetryPolicy back =
+      retry_policy_from_json(retry_policy_to_json(parsed));
+  EXPECT_EQ(back, parsed);
+  EXPECT_EQ(parse_retry_policy(retry_policy_to_json(parsed).dump()), parsed);
+}
+
+TEST(RetryPolicy, ParseRejectsMalformedAndUnusableSpecs) {
+  EXPECT_THROW(parse_retry_policy("retries"), ParseError);
+  EXPECT_THROW(parse_retry_policy("unknown=1"), ParseError);
+  EXPECT_THROW(parse_retry_policy("backoff=abc"), ParseError);
+  // Well-formed but naming a policy no master could run with: the parser
+  // validates, so these surface at the CLI boundary, not mid-campaign.
+  EXPECT_THROW(parse_retry_policy("backoff=0"), InvalidArgument);
+  EXPECT_THROW(parse_retry_policy("backoff=-1"), InvalidArgument);
+  EXPECT_THROW(parse_retry_policy("backoff=nan"), InvalidArgument);
+  EXPECT_THROW(parse_retry_policy("watchdog=inf"), InvalidArgument);
+  EXPECT_THROW(parse_retry_policy("quarantine=0"), InvalidArgument);
+  EXPECT_THROW(parse_retry_policy("probe=0"), InvalidArgument);
+  EXPECT_THROW(parse_retry_policy("retries=1001"), InvalidArgument);
+  EXPECT_THROW(parse_retry_policy("max-backoff=32"), InvalidArgument);
 }
 
 TEST(BoardFaultState, QuarantineEntryAndProbeBackoff) {

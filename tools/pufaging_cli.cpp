@@ -16,6 +16,10 @@
 //                      [--threads N] [--impostors P] [--blocks N]
 //                      [--seed S] [--passes N] [--store-dir DIR]
 //                      [--fsync-every N] [--metrics] [--metrics-out FILE]
+//   pufaging chaosgrid [--spec FILE] [--out DIR] [--threads N] [--seeds N]
+//                      [--months N] [--measurements N] [--seed S]
+//                      [--resume] [--halt-after-cells N] [--no-poison]
+//   pufaging chaosgrid --replay BUNDLE_DIR [--threads N]
 //
 // Every command is deterministic from the seed; see README.md.
 #include <cstdio>
@@ -30,6 +34,10 @@
 #include <vector>
 
 #include "analysis/initial_quality.hpp"
+#include "chaoslab/cliff.hpp"
+#include "chaoslab/grid.hpp"
+#include "chaoslab/poison.hpp"
+#include "chaoslab/sweep.hpp"
 #include "auth/fleet_sim.hpp"
 #include "auth/loadgen.hpp"
 #include "auth/registry.hpp"
@@ -461,6 +469,118 @@ int cmd_auth(Args& args) {
   return 0;
 }
 
+int cmd_chaosgrid(Args& args) {
+  namespace cl = chaoslab;
+  const std::size_t threads =
+      static_cast<std::size_t>(args.integer("--threads", 0));
+
+  // Replay mode: re-execute a poison bundle and verify bit-identity.
+  if (const auto bundle_dir = args.value("--replay")) {
+    const cl::ReplayReport report =
+        cl::replay_poison_bundle(*bundle_dir, threads);
+    std::printf("%s", report.render().c_str());
+    return report.identical ? 0 : 1;
+  }
+
+  cl::GridSpec spec;
+  if (const auto spec_path = args.value("--spec")) {
+    std::ifstream in(*spec_path);
+    if (!in) {
+      std::fprintf(stderr, "error: cannot open %s\n", spec_path->c_str());
+      return 1;
+    }
+    std::stringstream buffer;
+    buffer << in.rdbuf();
+    spec = cl::parse_grid_spec(buffer.str());
+  } else {
+    spec = cl::demo_grid_spec();
+  }
+  // Sizing overrides (they change the spec, so also its fingerprint).
+  if (const auto seeds = args.value("--seeds")) {
+    spec.seeds_per_cell = static_cast<std::size_t>(std::stol(*seeds));
+  }
+  if (const auto months = args.value("--months")) {
+    spec.months = static_cast<std::size_t>(std::stol(*months));
+  }
+  if (const auto meas = args.value("--measurements")) {
+    spec.measurements_per_month = static_cast<std::size_t>(std::stol(*meas));
+  }
+  if (const auto seed = args.value("--seed")) {
+    spec.master_seed = std::stoull(*seed, nullptr, 0);
+  }
+  spec.validate();
+
+  cl::SweepOptions options;
+  options.out_dir = args.value("--out").value_or("chaosgrid_out");
+  options.threads = threads;
+  options.resume = args.boolean("--resume");
+  if (const auto halt = args.value("--halt-after-cells")) {
+    options.halt_after_cells = static_cast<std::size_t>(std::stol(*halt));
+  }
+
+  std::fprintf(stderr,
+               "chaos grid '%s': %zu cells (%zu policies x %zu scales), "
+               "%zu seeds/cell -> %s\n",
+               spec.name.c_str(), spec.cell_count(), spec.policy_count(),
+               spec.rate_count(), spec.seeds_per_cell,
+               options.out_dir.c_str());
+  const cl::SweepResult sweep = cl::run_grid_sweep(spec, options);
+  std::fprintf(stderr, "cells: %zu resumed, %zu executed, %zu/%zu complete\n",
+               sweep.cells_resumed, sweep.cells_executed, sweep.cells.size(),
+               spec.cell_count());
+  if (!sweep.completed) {
+    std::fprintf(stderr,
+                 "sweep halted; rerun with --resume to continue\n");
+    return 0;
+  }
+
+  const cl::CliffReport report = cl::detect_cliffs(spec, sweep.cells);
+  const Json riskcliff =
+      cl::riskcliff_to_json(spec, sweep.fingerprint, sweep.cells, report);
+  const std::string riskcliff_path =
+      options.out_dir + "/riskcliff.json";
+  {
+    std::ofstream out(riskcliff_path, std::ios::binary | std::ios::trunc);
+    out << riskcliff.dump() << '\n';
+    if (!out.flush()) {
+      std::fprintf(stderr, "error: cannot write %s\n",
+                   riskcliff_path.c_str());
+      return 1;
+    }
+  }
+  std::printf("%s", cl::render_grid_tables(spec, sweep.cells, report).c_str());
+  std::fprintf(stderr, "riskcliff.json written to %s\n",
+               riskcliff_path.c_str());
+  std::fprintf(stderr, "cliff location hash: %s\n",
+               cl::cliff_location_hash(spec, report).c_str());
+
+  if (!args.boolean("--no-poison")) {
+    // One bundle per cell (its worst-case seed); exports are independent
+    // campaigns, so fan them out across the pool.
+    ThreadPool pool(ThreadPool::resolve_thread_count(threads));
+    std::vector<std::string> dirs(sweep.cells.size());
+    pool.parallel_for(0, sweep.cells.size(), [&](std::size_t i) {
+      const cl::CellSummary& cell = sweep.cells[i];
+      dirs[i] = options.out_dir + "/poison/r" +
+                std::to_string(cell.rate_index) + "_p" +
+                std::to_string(cell.policy_index);
+      cl::export_poison_bundle(spec, cell, dirs[i]);
+    });
+    std::fprintf(stderr, "%zu poison bundle(s) exported under %s/poison\n",
+                 dirs.size(), options.out_dir.c_str());
+    if (report.worst_coverage) {
+      const cl::Cliff& w = *report.worst_coverage;
+      const std::size_t cell_index =
+          spec.cell_index(w.from_rate_index + 1, w.policy_index);
+      std::fprintf(stderr,
+                   "worst-cliff bundle: %s (replay with: pufaging "
+                   "chaosgrid --replay %s)\n",
+                   dirs[cell_index].c_str(), dirs[cell_index].c_str());
+    }
+  }
+  return 0;
+}
+
 int cmd_predict(Args& args) {
   const auto fit_months =
       static_cast<std::size_t>(args.integer("--months", 12));
@@ -527,7 +647,14 @@ int usage() {
       "             [--devices N] [--years N] [--auths N] [--batch N]\n"
       "             [--threads N] [--impostors P] [--blocks N] [--seed S]\n"
       "             [--passes N] [--store-dir DIR] [--fsync-every N]\n"
-      "             [--metrics] [--metrics-out FILE]\n");
+      "             [--metrics] [--metrics-out FILE]\n"
+      "  chaosgrid  sweep fault-rate scale x retry policy, emit\n"
+      "             riskcliff.json + per-cell poison bundles\n"
+      "             [--spec FILE] [--out DIR] [--threads N] [--seeds N]\n"
+      "             [--months N] [--measurements N] [--seed S] [--resume]\n"
+      "             [--halt-after-cells N] [--no-poison]\n"
+      "             --replay BUNDLE_DIR verifies a poison bundle\n"
+      "             re-executes bit-identically\n");
   return 2;
 }
 
@@ -566,6 +693,9 @@ int main(int argc, char** argv) {
     }
     if (command == "auth") {
       return cmd_auth(args);
+    }
+    if (command == "chaosgrid") {
+      return cmd_chaosgrid(args);
     }
     return usage();
   } catch (const Error& e) {
