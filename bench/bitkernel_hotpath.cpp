@@ -19,6 +19,8 @@
 #include "bench_common.hpp"
 #include "common/bitkernel.hpp"
 #include "common/rng.hpp"
+#include "tilecol/kernels.hpp"
+#include "tilecol/layout.hpp"
 
 namespace pufaging {
 namespace {
@@ -71,13 +73,25 @@ struct KernelTimes {
   double xor_popcount_s = 0;
   double accumulate_s = 0;
   double all_pairs_s = 0;
+  double row_stats_s = 0;
+  double tile_fold_s = 0;
+};
+
+// Scalar-oracle totals every tier must reproduce exactly.
+struct OracleTotals {
+  std::size_t pop = 0;
+  std::size_t xor_pop = 0;
+  std::uint64_t acc = 0;
+  std::size_t pairs = 0;
+  std::uint64_t row_stats = 0;  // dists + pops + counters, summed
+  double fold_sum = 0;          // streaming BCHD fold, exact double
 };
 
 // One full device-month of each kernel at `level`, cross-checked against
 // the scalar oracle totals computed by the caller.
 KernelTimes run_tier(bitkernel::Level level, const Workload& w,
-                     std::size_t oracle_pop, std::size_t oracle_xor,
-                     std::uint64_t oracle_acc, std::size_t oracle_pairs) {
+                     const tilecol::TileBuffer& fleet_tiles,
+                     const OracleTotals& oracle_totals) {
   const bitkernel::ScopedLevel scope(level);
   KernelTimes t;
 
@@ -120,8 +134,38 @@ KernelTimes run_tier(bitkernel::Level level, const Workload& w,
     pair_sum += d;
   }
 
-  if (pop != oracle_pop || xpop != oracle_xor || acc != oracle_acc ||
-      pair_sum != oracle_pairs) {
+  // Fused row_stats: the monthly accumulator's inner loop (WCHD + FHW +
+  // ones in one pass over the batch, vs the fleet reference row 0).
+  std::vector<std::uint64_t> dists(kBatch);
+  std::vector<std::uint64_t> pops(kBatch);
+  std::uint64_t row_stats_sum = 0;
+  t.row_stats_s = time_best(5, [&] {
+    std::memset(counters.data(), 0, counters.size() * sizeof(counters[0]));
+    bitkernel::row_stats_batch(w.batch.data(), kBatch, kWords, kBits,
+                               w.fleet.data(), counters.data(), dists.data(),
+                               pops.data());
+  });
+  row_stats_sum = 0;
+  for (std::size_t r = 0; r < kBatch; ++r) {
+    row_stats_sum += dists[r] + pops[r];
+  }
+  for (const std::uint32_t c : counters) {
+    row_stats_sum += c;
+  }
+
+  // Streaming tilecol BCHD fold over the fleet tiles.
+  tilecol::PairHammingFold fold;
+  t.tile_fold_s = time_best(5, [&] {
+    for (int rep = 0; rep < 200; ++rep) {
+      fold = tilecol::fold_pair_fractional_hds(fleet_tiles.layout(),
+                                               fleet_tiles.data(), kBits);
+    }
+  });
+
+  if (pop != oracle_totals.pop || xpop != oracle_totals.xor_pop ||
+      acc != oracle_totals.acc || pair_sum != oracle_totals.pairs ||
+      row_stats_sum != oracle_totals.row_stats ||
+      fold.sum != oracle_totals.fold_sum) {
     std::printf("BIT MISMATCH at tier %s: a kernel diverged from the "
                 "scalar oracle\n", bitkernel::level_name(level));
     std::exit(1);
@@ -142,55 +186,89 @@ void reproduce() {
   // Scalar oracle totals, computed once outside the timed runs.
   const bitkernel::Kernels& oracle =
       bitkernel::kernels_for(bitkernel::Level::kScalar);
-  std::size_t oracle_pop = 0, oracle_xor = 0;
+  OracleTotals totals;
   for (std::size_t r = 0; r < kBatch; ++r) {
-    oracle_pop += oracle.popcount(w.batch.data() + r * kWords, kWords);
-    oracle_xor += oracle.xor_popcount(w.batch.data() + r * kWords,
-                                      w.other.data() + r * kWords, kWords);
+    totals.pop += oracle.popcount(w.batch.data() + r * kWords, kWords);
+    totals.xor_pop += oracle.xor_popcount(w.batch.data() + r * kWords,
+                                          w.other.data() + r * kWords, kWords);
   }
   std::vector<std::uint32_t> counters(kBits, 0);
   for (std::size_t r = 0; r < kBatch; ++r) {
     oracle.accumulate_ones(w.batch.data() + r * kWords, kBits,
                            counters.data());
   }
-  std::uint64_t oracle_acc = 0;
   for (const std::uint32_t c : counters) {
-    oracle_acc += c;
+    totals.acc += c;
+  }
+  // row_stats contract: dists + pops + counters via the three separate
+  // scalar kernels (the defining composition).
+  totals.row_stats = totals.pop + totals.acc;
+  for (std::size_t r = 0; r < kBatch; ++r) {
+    totals.row_stats += oracle.xor_popcount(w.batch.data() + r * kWords,
+                                            w.fleet.data(), kWords);
   }
   std::vector<std::size_t> pairs(kFleet * (kFleet - 1) / 2);
+  tilecol::TileBuffer fleet_tiles{
+      tilecol::TileLayout(kFleet, kWords, tilecol::TileShape{})};
+  for (std::size_t d = 0; d < kFleet; ++d) {
+    fleet_tiles.pack_row(d, w.fleet.data() + d * kWords);
+  }
   {
     const bitkernel::ScopedLevel scope(bitkernel::Level::kScalar);
     bitkernel::all_pairs_hamming(w.fleet.data(), kFleet, kWords,
                                  pairs.data());
+    totals.fold_sum = tilecol::fold_pair_fractional_hds(
+                          fleet_tiles.layout(), fleet_tiles.data(), kBits)
+                          .sum;
   }
-  std::size_t oracle_pairs = 0;
   for (const std::size_t d : pairs) {
-    oracle_pairs += d;
+    totals.pairs += d;
   }
 
   const std::vector<bitkernel::Level> levels = bitkernel::available_levels();
   std::vector<KernelTimes> times;
   for (const bitkernel::Level level : levels) {
-    times.push_back(
-        run_tier(level, w, oracle_pop, oracle_xor, oracle_acc, oracle_pairs));
+    times.push_back(run_tier(level, w, fleet_tiles, totals));
   }
 
   const KernelTimes& base = times.front();  // scalar
   std::printf("  tier     popcount      xor+popcount  accumulate    "
-              "all-pairs HD\n");
+              "all-pairs HD   fused row_stats  tile fold\n");
   for (std::size_t i = 0; i < levels.size(); ++i) {
     const KernelTimes& t = times[i];
-    std::printf("  %-7s  %7.3f ms     %7.3f ms    %7.3f ms    %7.3f ms\n",
+    std::printf("  %-7s  %7.3f ms     %7.3f ms    %7.3f ms    %7.3f ms   "
+                "%10.3f ms    %7.3f ms\n",
                 bitkernel::level_name(levels[i]), t.popcount_s * 1e3,
                 t.xor_popcount_s * 1e3, t.accumulate_s * 1e3,
-                t.all_pairs_s * 1e3);
+                t.all_pairs_s * 1e3, t.row_stats_s * 1e3,
+                t.tile_fold_s * 1e3);
     if (i > 0) {
-      std::printf("  %-7s  %7.2fx       %7.2fx      %7.2fx      %7.2fx\n",
+      std::printf("  %-7s  %7.2fx       %7.2fx      %7.2fx      %7.2fx   "
+                  "%10.2fx    %7.2fx\n",
                   "", base.popcount_s / t.popcount_s,
                   base.xor_popcount_s / t.xor_popcount_s,
                   base.accumulate_s / t.accumulate_s,
-                  base.all_pairs_s / t.all_pairs_s);
+                  base.all_pairs_s / t.all_pairs_s,
+                  base.row_stats_s / t.row_stats_s,
+                  base.tile_fold_s / t.tile_fold_s);
     }
+  }
+
+  // Machine-readable per-tier lines for the CI trend gate: the fused
+  // row_stats kernel and the streaming tilecol fold, each cross-checked
+  // bit-identical above (a mismatch exits before reaching here).
+  for (std::size_t i = 0; i < levels.size(); ++i) {
+    const KernelTimes& t = times[i];
+    std::printf("BENCH {\"bench\":\"bitkernel_hotpath.row_stats.%s\","
+                "\"wall_ms\":%.4f,\"speedup_vs_scalar\":%.3f,"
+                "\"bit_identical\":true}\n",
+                bitkernel::level_name(levels[i]), t.row_stats_s * 1e3,
+                base.row_stats_s / t.row_stats_s);
+    std::printf("BENCH {\"bench\":\"bitkernel_hotpath.tilecol_fold.%s\","
+                "\"wall_ms\":%.4f,\"speedup_vs_scalar\":%.3f,"
+                "\"bit_identical\":true}\n",
+                bitkernel::level_name(levels[i]), t.tile_fold_s * 1e3,
+                base.tile_fold_s / t.tile_fold_s);
   }
 
   const KernelTimes& top = times.back();

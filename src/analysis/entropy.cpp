@@ -1,14 +1,19 @@
 #include "analysis/entropy.hpp"
 
-#include <algorithm>
+#include <vector>
 
-#include "common/bitkernel.hpp"
 #include "common/error.hpp"
 #include "common/math.hpp"
+#include "tilecol/kernels.hpp"
 
 namespace pufaging {
 
 double puf_min_entropy(std::span<const BitVector> references) {
+  return puf_min_entropy(references, tilecol::TileShape{});
+}
+
+double puf_min_entropy(std::span<const BitVector> references,
+                       tilecol::TileShape shape) {
   if (references.size() < 2) {
     throw InvalidArgument("puf_min_entropy: need at least two references");
   }
@@ -18,20 +23,15 @@ double puf_min_entropy(std::span<const BitVector> references) {
       throw InvalidArgument("puf_min_entropy: reference size mismatch");
     }
   }
-  // Column ones counts via the batched kernel (one accumulate_ones sweep
-  // per reference instead of a per-bit get() walk per device). The counts
-  // are integers, and the entropy sum below runs in the same bit order as
-  // the historical per-bit loop, so the result is bit-identical.
+  // Column ones counts over the tiled rows: the counts are integers, so
+  // neither the tile shape nor the blocked accumulation order can change
+  // them, and the entropy sum below runs in the same bit order as the
+  // historical per-bit loop — bit-identical.
   const std::size_t n = references.size();
-  const std::size_t words_per_row = references.front().words().size();
-  std::vector<std::uint64_t> rows(n * words_per_row);
-  for (std::size_t i = 0; i < n; ++i) {
-    const auto& w = references[i].words();
-    std::copy(w.begin(), w.end(),
-              rows.begin() + static_cast<std::ptrdiff_t>(i * words_per_row));
-  }
+  const tilecol::TileBuffer tiles =
+      tilecol::pack_bitvector_rows(references, shape);
   std::vector<std::uint32_t> ones(n_bits);
-  bitkernel::column_ones(rows.data(), n, words_per_row, n_bits, ones.data());
+  tilecol::column_ones(tiles.layout(), tiles.data(), n_bits, ones.data());
 
   const double inv_devices = 1.0 / static_cast<double>(n);
   double sum = 0.0;

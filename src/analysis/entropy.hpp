@@ -16,6 +16,7 @@
 #include <vector>
 
 #include "common/bitvector.hpp"
+#include "tilecol/layout.hpp"
 
 namespace pufaging {
 
@@ -23,6 +24,11 @@ namespace pufaging {
 /// the fraction of `references` (one per device) that read 1 at location i.
 /// All references must have equal length; at least 2 are required.
 double puf_min_entropy(std::span<const BitVector> references);
+
+/// Same, with an explicit tile shape for the blocked column-ones sweep.
+/// Bit-identical at any shape (integer counts, fixed entropy-sum order).
+double puf_min_entropy(std::span<const BitVector> references,
+                       tilecol::TileShape shape);
 
 /// Average min-entropy of a vector of per-source one-probabilities:
 /// (1/n) * sum_i -log2 max(p_i, 1 - p_i).

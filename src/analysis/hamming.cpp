@@ -1,9 +1,7 @@
 #include "analysis/hamming.hpp"
 
-#include <algorithm>
-
-#include "common/bitkernel.hpp"
 #include "common/error.hpp"
+#include "tilecol/kernels.hpp"
 
 namespace pufaging {
 
@@ -30,6 +28,11 @@ double mean_within_class_hd(const BitVector& reference,
 }
 
 std::vector<double> between_class_hds(std::span<const BitVector> references) {
+  return between_class_hds(references, tilecol::TileShape{});
+}
+
+std::vector<double> between_class_hds(std::span<const BitVector> references,
+                                      tilecol::TileShape shape) {
   if (references.size() < 2) {
     throw InvalidArgument("between_class_hds: need at least two references");
   }
@@ -42,20 +45,15 @@ std::vector<double> between_class_hds(std::span<const BitVector> references) {
       throw InvalidArgument("between_class_hds: reference size mismatch");
     }
   }
-  // Pack the references into contiguous rows so the cache-blocked
-  // all-pairs kernel streams them without pointer chasing.
+  // Pack the references into the columnar tile layout so the all-pairs
+  // kernel touches each row-tile pair while it is cache-resident. The
+  // distances are integers at every step, so the tile shape cannot change
+  // them.
   const std::size_t n = references.size();
-  const std::size_t words_per_row = references.front().words().size();
-  std::vector<std::uint64_t> rows(n * words_per_row);
-  for (std::size_t i = 0; i < n; ++i) {
-    const auto& w = references[i].words();
-    std::copy(w.begin(), w.end(), rows.begin() +
-                                      static_cast<std::ptrdiff_t>(
-                                          i * words_per_row));
-  }
+  const tilecol::TileBuffer tiles =
+      tilecol::pack_bitvector_rows(references, shape);
   std::vector<std::size_t> distances(n * (n - 1) / 2);
-  bitkernel::all_pairs_hamming(rows.data(), n, words_per_row,
-                               distances.data());
+  tilecol::all_pairs_hamming(tiles.layout(), tiles.data(), distances.data());
   std::vector<double> out(distances.size());
   for (std::size_t k = 0; k < distances.size(); ++k) {
     // Exact division (not reciprocal multiply): bit-identical to the

@@ -14,6 +14,7 @@
 #include <vector>
 
 #include "common/bitvector.hpp"
+#include "tilecol/layout.hpp"
 
 namespace pufaging {
 
@@ -28,6 +29,12 @@ double mean_within_class_hd(const BitVector& reference,
 /// Fractional HD of every unordered pair of references (i < j), in
 /// lexicographic pair order. Size n*(n-1)/2 for n references.
 std::vector<double> between_class_hds(std::span<const BitVector> references);
+
+/// Same, with an explicit tile shape for the blocked all-pairs sweep.
+/// Any shape returns bit-identical values — the distances are integers
+/// until the final exact division — so the shape is purely a cache knob.
+std::vector<double> between_class_hds(std::span<const BitVector> references,
+                                      tilecol::TileShape shape);
 
 /// Fractional Hamming weight of each measurement.
 std::vector<double> fractional_weights(std::span<const BitVector> measurements);

@@ -27,10 +27,18 @@ void DeviceMonthAccumulator::add(const BitVector& measurement) {
   if (!first_) {
     first_ = measurement;
   }
-  wchd_sum_ += fractional_hamming_distance(reference_, measurement);
-  fhw_sum_ += measurement.fractional_weight();
-  bitkernel::accumulate_ones(measurement.words().data(), measurement.size(),
-                             ones_.data());
+  // One fused sweep instead of three (HD vs reference, weight, per-cell
+  // ones). The integer results are the exact counts the separate kernels
+  // produce, and the divisions below are the exact expressions
+  // fractional_hamming_distance / fractional_weight evaluate — so the
+  // accumulated doubles are bit-identical to the unfused path.
+  std::uint64_t dist = 0;
+  std::uint64_t pop = 0;
+  bitkernel::row_stats(measurement.words().data(), reference_.words().data(),
+                       measurement.size(), ones_.data(), &dist, &pop);
+  const double inv_bits = static_cast<double>(measurement.size());
+  wchd_sum_ += static_cast<double>(dist) / inv_bits;
+  fhw_sum_ += static_cast<double>(pop) / inv_bits;
   ++count_;
 }
 

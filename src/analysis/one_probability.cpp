@@ -24,6 +24,22 @@ void OneProbabilityAccumulator::add(const BitVector& measurement) {
   ++measurements_;
 }
 
+void OneProbabilityAccumulator::add_batch(
+    std::span<const BitVector> measurements) {
+  for (const BitVector& m : measurements) {
+    if (m.size() != ones_.size()) {
+      throw InvalidArgument(
+          "OneProbabilityAccumulator::add_batch: size mismatch");
+    }
+  }
+  const bitkernel::Kernels& k =
+      bitkernel::kernels_for(bitkernel::active_level());
+  for (const BitVector& m : measurements) {
+    k.accumulate_ones(m.words().data(), m.size(), ones_.data());
+  }
+  measurements_ += measurements.size();
+}
+
 double OneProbabilityAccumulator::one_probability(std::size_t i) const {
   if (measurements_ == 0) {
     throw InvalidArgument(

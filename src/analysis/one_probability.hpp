@@ -25,6 +25,10 @@ class OneProbabilityAccumulator {
   /// Adds one measurement (must match the configured cell count).
   void add(const BitVector& measurement);
 
+  /// Adds a batch in order; equivalent to add() per element (validation
+  /// included) with one kernel dispatch for the whole batch.
+  void add_batch(std::span<const BitVector> measurements);
+
   std::size_t cell_count() const { return ones_.size(); }
   std::uint64_t measurement_count() const { return measurements_; }
 

@@ -1,0 +1,155 @@
+#include "analysis/streaming_fold.hpp"
+
+#include <algorithm>
+
+#include "common/error.hpp"
+#include "common/math.hpp"
+#include "tilecol/kernels.hpp"
+
+namespace pufaging {
+
+namespace {
+
+// Mirror of combine_fleet_month_core with the cross-device block swapped
+// for the tile-streamed kernels. Every floating-point operation below
+// happens in the same order, on the same values, as the materialized
+// path — the differential suite holds the two bitwise-equal.
+FleetMonthMetrics fold_fleet_month_core(std::vector<DeviceMonthMetrics> devices,
+                                        double month, const FoldOptions& opts) {
+  std::sort(devices.begin(), devices.end(),
+            [](const DeviceMonthMetrics& a, const DeviceMonthMetrics& b) {
+              return a.device_id < b.device_id;
+            });
+
+  FleetMonthMetrics fleet;
+  fleet.month = month;
+  fleet.devices_expected = devices.size();
+  fleet.devices_reporting = devices.size();
+
+  double wchd_sum = 0.0, fhw_sum = 0.0, stable_sum = 0.0, entropy_sum = 0.0;
+  fleet.wchd_wc = 0.0;
+  fleet.fhw_wc = 0.0;
+  fleet.stable_wc = 0.0;
+  fleet.noise_entropy_wc = 1.0;
+  for (const DeviceMonthMetrics& d : devices) {
+    wchd_sum += d.wchd_mean;
+    fhw_sum += d.fhw_mean;
+    stable_sum += d.stable_ratio;
+    entropy_sum += d.noise_entropy;
+    fleet.wchd_wc = std::max(fleet.wchd_wc, d.wchd_mean);
+    fleet.fhw_wc = std::max(fleet.fhw_wc, d.fhw_mean);
+    fleet.stable_wc = std::max(fleet.stable_wc, d.stable_ratio);
+    fleet.noise_entropy_wc = std::min(fleet.noise_entropy_wc, d.noise_entropy);
+  }
+  if (!devices.empty()) {
+    const double inv = 1.0 / static_cast<double>(devices.size());
+    fleet.wchd_avg = wchd_sum * inv;
+    fleet.fhw_avg = fhw_sum * inv;
+    fleet.stable_avg = stable_sum * inv;
+    fleet.noise_entropy_avg = entropy_sum * inv;
+  } else {
+    fleet.noise_entropy_wc = 0.0;
+  }
+
+  if (devices.size() >= 2) {
+    const std::size_t n = devices.size();
+    const std::size_t bits = devices.front().first_pattern.size();
+    if (bits == 0) {
+      throw InvalidArgument("fold_fleet_month: empty first pattern");
+    }
+    for (const DeviceMonthMetrics& d : devices) {
+      if (d.first_pattern.size() != bits) {
+        throw InvalidArgument("fold_fleet_month: first pattern size mismatch");
+      }
+    }
+    // Pack the first patterns straight out of the device metrics — no
+    // intermediate BitVector vector, no pair vector.
+    const std::size_t row_words = devices.front().first_pattern.words().size();
+    tilecol::TileBuffer tiles(
+        tilecol::TileLayout(n, row_words, opts.shape));
+    for (std::size_t i = 0; i < n; ++i) {
+      tiles.pack_row(i, devices[i].first_pattern.words().data());
+    }
+
+    const tilecol::PairHammingFold bchd = tilecol::fold_pair_fractional_hds(
+        tiles.layout(), tiles.data(), bits);
+    fleet.bchd_wc = bchd.wc;
+    fleet.bchd_avg = bchd.sum / static_cast<double>(bchd.pairs);
+
+    // PUF entropy off the same tile buffer: integer column counts, then
+    // the historical per-bit loop (multiply by 1/n, fixed bit order).
+    std::vector<std::uint32_t> ones(bits);
+    tilecol::column_ones(tiles.layout(), tiles.data(), bits, ones.data());
+    const double inv_devices = 1.0 / static_cast<double>(n);
+    double sum = 0.0;
+    for (std::size_t i = 0; i < bits; ++i) {
+      sum += binary_min_entropy(static_cast<double>(ones[i]) * inv_devices);
+    }
+    fleet.puf_entropy = sum / static_cast<double>(bits);
+  }
+
+  fleet.devices = std::move(devices);
+  return fleet;
+}
+
+}  // namespace
+
+FleetMonthMetrics fold_fleet_month(std::vector<DeviceMonthMetrics> devices,
+                                   double month, FoldOptions opts) {
+  if (devices.size() < 2) {
+    throw InvalidArgument("fold_fleet_month: need at least two devices");
+  }
+  return fold_fleet_month_core(std::move(devices), month, opts);
+}
+
+FleetMonthMetrics fold_fleet_month(
+    std::vector<DeviceMonthMetrics> devices, double month,
+    std::size_t devices_expected,
+    std::uint64_t expected_measurements_per_device, FoldOptions opts) {
+  if (devices.size() > devices_expected) {
+    throw InvalidArgument(
+        "fold_fleet_month: more reporting devices than expected");
+  }
+  FleetMonthMetrics fleet =
+      fold_fleet_month_core(std::move(devices), month, opts);
+  fleet.devices_expected = devices_expected;
+
+  std::uint64_t delivered = 0;
+  for (const DeviceMonthMetrics& d : fleet.devices) {
+    delivered += d.measurement_count;
+  }
+  const std::uint64_t expected_total =
+      expected_measurements_per_device *
+      static_cast<std::uint64_t>(devices_expected);
+  if (expected_measurements_per_device == 0) {
+    fleet.coverage = fleet.devices.empty() ? 0.0 : 1.0;
+  } else if (expected_total == 0) {
+    fleet.coverage = 1.0;
+  } else {
+    fleet.coverage = static_cast<double>(delivered) /
+                     static_cast<double>(expected_total);
+  }
+  fleet.degraded = fleet.devices_reporting < fleet.devices_expected ||
+                   fleet.coverage < 1.0 || fleet.devices_reporting < 2;
+  return fleet;
+}
+
+FoldFootprint fold_footprint(std::size_t devices, std::size_t pattern_bits,
+                             tilecol::TileShape shape) {
+  FoldFootprint fp;
+  const std::size_t row_words = (pattern_bits + 63) / 64;
+  const tilecol::TileLayout layout(devices, row_words, shape);
+  const std::size_t pairs =
+      devices < 2 ? 0 : devices * (devices - 1) / 2;
+  fp.streaming_bytes =
+      layout.storage_words() * sizeof(std::uint64_t) +        // tiles
+      layout.tile_rows() * devices * sizeof(std::uint32_t) +  // stripe
+      pattern_bits * sizeof(std::uint32_t);                   // column ones
+  fp.materialized_bytes =
+      devices * row_words * sizeof(std::uint64_t) +  // packed rows
+      pairs * sizeof(std::size_t) +                  // integer distances
+      pairs * sizeof(double);                        // fractional HDs
+  return fp;
+}
+
+}  // namespace pufaging

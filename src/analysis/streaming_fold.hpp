@@ -1,0 +1,58 @@
+// Streaming monthly fleet fold over the columnar tile layout.
+//
+// combine_fleet_month materializes the all-pairs BCHD vector — n(n-1)/2
+// doubles plus the packed row matrix — before reducing it. Fine for the
+// paper's 16 boards; hopeless for a 10,000-board what-if, where the pair
+// vector alone is ~400 MB. fold_fleet_month computes the identical
+// FleetMonthMetrics tile-by-tile: integer pair distances accumulate in an
+// O(tile_rows × n) stripe, convert to doubles in lexicographic pair order
+// (the historical FP order), and the per-bit entropy counts come from the
+// same tile buffer — so the peak scratch is the tiled reference matrix
+// plus one stripe, never the pair vector.
+//
+// Bit-identity contract: for any tile shape and any device arrival order,
+// fold_fleet_month(devices, ...) == combine_fleet_month(devices, ...) on
+// every field, bitwise. The differential suite enforces this; the
+// campaign engine calls the fold, and combine_fleet_month remains as the
+// materialized oracle.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "analysis/monthly.hpp"
+#include "tilecol/layout.hpp"
+
+namespace pufaging {
+
+/// Knobs of the streaming fold; default-constructed means "pick for me"
+/// (the tile shape resolves to the cache-sized default).
+struct FoldOptions {
+  tilecol::TileShape shape;
+};
+
+/// Streaming equivalent of the strict combine_fleet_month overload:
+/// requires >= 2 devices, returns bit-identical metrics at any tile shape.
+FleetMonthMetrics fold_fleet_month(std::vector<DeviceMonthMetrics> devices,
+                                   double month, FoldOptions opts = {});
+
+/// Streaming equivalent of the missing-data-tolerant overload; same
+/// coverage/degraded semantics, bit-identical at any tile shape.
+FleetMonthMetrics fold_fleet_month(std::vector<DeviceMonthMetrics> devices,
+                                   double month, std::size_t devices_expected,
+                                   std::uint64_t expected_measurements_per_device,
+                                   FoldOptions opts = {});
+
+/// Deterministic scratch accounting for the memory claim: bytes the
+/// streaming fold allocates for the cross-device metrics of `devices`
+/// boards with `pattern_bits`-bit references, next to what the
+/// materialized combine path allocates for the same job.
+struct FoldFootprint {
+  std::size_t streaming_bytes = 0;     ///< tiles + distance stripe + ones.
+  std::size_t materialized_bytes = 0;  ///< rows + pair ints + pair doubles.
+};
+FoldFootprint fold_footprint(std::size_t devices, std::size_t pattern_bits,
+                             tilecol::TileShape shape = {});
+
+}  // namespace pufaging

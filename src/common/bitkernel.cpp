@@ -14,6 +14,10 @@
 #define PUFAGING_HAVE_AVX2_TIER 1
 #include <immintrin.h>
 #endif
+#if defined(__GNUC__) && !defined(PUFAGING_NO_AVX512)
+#define PUFAGING_HAVE_AVX512_TIER 1
+#include <immintrin.h>
+#endif
 #elif defined(__aarch64__) && defined(__ARM_NEON)
 #define PUFAGING_HAVE_NEON_TIER 1
 #include <arm_neon.h>
@@ -74,6 +78,17 @@ void accumulate_ones_scalar(const std::uint64_t* words, std::size_t bit_count,
       bits &= bits - 1;
     }
   }
+}
+
+// The oracle fused kernel is the plain composition of the three oracle
+// kernels — it *defines* the row_stats contract the fast tiers must hit.
+void row_stats_scalar(const std::uint64_t* row, const std::uint64_t* ref,
+                      std::size_t bit_count, std::uint32_t* counters,
+                      std::uint64_t* dist, std::uint64_t* pop) {
+  const std::size_t n_words = (bit_count + 63) / 64;
+  *dist = xor_popcount_scalar(row, ref, n_words);
+  *pop = popcount_scalar(row, n_words);
+  accumulate_ones_scalar(row, bit_count, counters);
 }
 
 // ---------------------------------------------------------------------------
@@ -150,6 +165,43 @@ void accumulate_ones_word(const std::uint64_t* words, std::size_t bit_count,
   for (std::size_t bit = 0; bit < tail_bits; ++bit) {
     c[bit] += static_cast<std::uint32_t>((bits >> bit) & 1U);
   }
+}
+
+// Fused at the word tier: one sweep feeding both popcount accumulators
+// and the branchless per-bit counter adds, so the measurement row is
+// pulled through the cache once instead of three times.
+void row_stats_word(const std::uint64_t* row, const std::uint64_t* ref,
+                    std::size_t bit_count, std::uint32_t* counters,
+                    std::uint64_t* dist, std::uint64_t* pop) {
+  const std::size_t n_words = (bit_count + 63) / 64;
+  std::uint64_t d = 0, p = 0;
+  if (n_words == 0) {
+    *dist = 0;
+    *pop = 0;
+    return;
+  }
+  for (std::size_t w = 0; w + 1 < n_words; ++w) {
+    const std::uint64_t bits = row[w];
+    d += static_cast<std::uint64_t>(std::popcount(bits ^ ref[w]));
+    p += static_cast<std::uint64_t>(std::popcount(bits));
+    std::uint32_t* c = counters + w * 64;
+    for (std::size_t bit = 0; bit < 64; ++bit) {
+      c[bit] += static_cast<std::uint32_t>((bits >> bit) & 1U);
+    }
+  }
+  // Tail word: dist/pop over the raw word (BitVector keeps padding
+  // clean); the counter update masks, exactly like accumulate_ones.
+  const std::uint64_t raw = row[n_words - 1];
+  d += static_cast<std::uint64_t>(std::popcount(raw ^ ref[n_words - 1]));
+  p += static_cast<std::uint64_t>(std::popcount(raw));
+  const std::uint64_t bits = raw & tail_mask(bit_count);
+  std::uint32_t* c = counters + (n_words - 1) * 64;
+  const std::size_t tail_bits = bit_count - (n_words - 1) * 64;
+  for (std::size_t bit = 0; bit < tail_bits; ++bit) {
+    c[bit] += static_cast<std::uint32_t>((bits >> bit) & 1U);
+  }
+  *dist = d;
+  *pop = p;
 }
 
 #if defined(PUFAGING_HAVE_AVX2_TIER)
@@ -245,6 +297,27 @@ __attribute__((target("avx2"))) void xor_rows_avx2(const std::uint64_t* a,
   }
 }
 
+// One full word's 64 counters, updated eight lanes at a time:
+// bit_select[k] = 1 << k spreads one byte's bits across eight 32-bit
+// lanes, and counters -= (byte & bit ? -1 : 0) adds exactly the bit value.
+__attribute__((target("avx2"))) inline void accumulate_word_avx2(
+    std::uint64_t bits, std::uint32_t* c) {
+  const __m256i bit_select = _mm256_setr_epi32(1, 2, 4, 8, 16, 32, 64, 128);
+  for (std::size_t byte = 0; byte < 8; ++byte) {
+    const __m256i v = _mm256_set1_epi32(
+        static_cast<int>((bits >> (byte * 8)) & 0xFFU));
+    const __m256i hit = _mm256_cmpeq_epi32(
+        _mm256_and_si256(v, bit_select), bit_select);
+    std::uint32_t* dst = c + byte * 8;
+    const __m256i cur =
+        _mm256_loadu_si256(static_cast<const __m256i*>(
+            static_cast<const void*>(dst)));
+    _mm256_storeu_si256(
+        static_cast<__m256i*>(static_cast<void*>(dst)),
+        _mm256_sub_epi32(cur, hit));
+  }
+}
+
 __attribute__((target("avx2"))) void accumulate_ones_avx2(
     const std::uint64_t* words, std::size_t bit_count,
     std::uint32_t* counters) {
@@ -252,27 +325,9 @@ __attribute__((target("avx2"))) void accumulate_ones_avx2(
   if (n_words == 0) {
     return;
   }
-  // bit_select[k] = 1 << k: one byte's bits spread across eight 32-bit
-  // lanes. counters -= (byte & bit ? -1 : 0) adds exactly the bit value.
-  const __m256i bit_select =
-      _mm256_setr_epi32(1, 2, 4, 8, 16, 32, 64, 128);
   const std::size_t full_words = n_words - 1;
   for (std::size_t w = 0; w < full_words; ++w) {
-    const std::uint64_t bits = words[w];
-    std::uint32_t* c = counters + w * 64;
-    for (std::size_t byte = 0; byte < 8; ++byte) {
-      const __m256i v = _mm256_set1_epi32(
-          static_cast<int>((bits >> (byte * 8)) & 0xFFU));
-      const __m256i hit = _mm256_cmpeq_epi32(
-          _mm256_and_si256(v, bit_select), bit_select);
-      std::uint32_t* dst = c + byte * 8;
-      const __m256i cur =
-          _mm256_loadu_si256(static_cast<const __m256i*>(
-              static_cast<const void*>(dst)));
-      _mm256_storeu_si256(
-          static_cast<__m256i*>(static_cast<void*>(dst)),
-          _mm256_sub_epi32(cur, hit));
-    }
+    accumulate_word_avx2(words[w], counters + w * 64);
   }
   // Tail word: masked, scalar — at most 63 counter updates and only the
   // in-range counters exist, so no vector store may touch past the end.
@@ -284,7 +339,234 @@ __attribute__((target("avx2"))) void accumulate_ones_avx2(
   }
 }
 
+// Fused: the 4-word popcount blocks and the per-word counter update share
+// one pass over the row, so the device-month hot loop reads each
+// measurement once instead of three times.
+__attribute__((target("avx2"))) void row_stats_avx2(
+    const std::uint64_t* row, const std::uint64_t* ref, std::size_t bit_count,
+    std::uint32_t* counters, std::uint64_t* dist, std::uint64_t* pop) {
+  const std::size_t n_words = (bit_count + 63) / 64;
+  if (n_words == 0) {
+    *dist = 0;
+    *pop = 0;
+    return;
+  }
+  const std::size_t full_words = n_words - 1;
+  __m256i dacc = _mm256_setzero_si256();
+  __m256i pacc = _mm256_setzero_si256();
+  std::uint64_t d = 0, p = 0;
+  std::size_t w = 0;
+  for (; w + 4 <= full_words; w += 4) {
+    const __m256i r = load256(row + w);
+    dacc = _mm256_add_epi64(
+        dacc, popcount_bytes256(_mm256_xor_si256(r, load256(ref + w))));
+    pacc = _mm256_add_epi64(pacc, popcount_bytes256(r));
+    accumulate_word_avx2(row[w], counters + w * 64);
+    accumulate_word_avx2(row[w + 1], counters + (w + 1) * 64);
+    accumulate_word_avx2(row[w + 2], counters + (w + 2) * 64);
+    accumulate_word_avx2(row[w + 3], counters + (w + 3) * 64);
+  }
+  for (; w < full_words; ++w) {
+    d += static_cast<std::uint64_t>(std::popcount(row[w] ^ ref[w]));
+    p += static_cast<std::uint64_t>(std::popcount(row[w]));
+    accumulate_word_avx2(row[w], counters + w * 64);
+  }
+  // Tail word: dist/pop raw (BitVector keeps padding clean), counters
+  // masked scalar like accumulate_ones_avx2.
+  const std::uint64_t raw = row[full_words];
+  d += static_cast<std::uint64_t>(std::popcount(raw ^ ref[full_words]));
+  p += static_cast<std::uint64_t>(std::popcount(raw));
+  std::uint64_t bits = raw & tail_mask(bit_count);
+  while (bits != 0) {
+    const int bit = std::countr_zero(bits);
+    counters[full_words * 64 + static_cast<std::size_t>(bit)] += 1;
+    bits &= bits - 1;
+  }
+  *dist = reduce_u64x4(dacc) + d;
+  *pop = reduce_u64x4(pacc) + p;
+}
+
 #endif  // PUFAGING_HAVE_AVX2_TIER
+
+#if defined(PUFAGING_HAVE_AVX512_TIER)
+
+// ---------------------------------------------------------------------------
+// AVX-512 tier (F + BW). Same per-function target-attribute scheme as the
+// AVX2 tier, so the binary stays baseline x86-64 and the tier is only
+// selected when the running CPU reports both avx512f and avx512bw.
+// Popcounts are the 512-bit Mula nibble-LUT + vpsadbw reduction (twice
+// the AVX2 width per op); ones accumulation writes 16 counters per vector
+// op by feeding 16 pattern bits straight into a write mask
+// (_mm512_mask_sub_epi32 with -1 adds exactly the bit value per lane).
+// ---------------------------------------------------------------------------
+
+__attribute__((target("avx512f,avx512bw"))) inline __m512i load512(
+    const std::uint64_t* p) {
+  return _mm512_loadu_si512(static_cast<const void*>(p));
+}
+
+__attribute__((target("avx512f,avx512bw"))) inline __m512i popcount_bytes512(
+    __m512i v) {
+  // The 16-byte Mula nibble LUT repeated across all four 128-bit lanes,
+  // spelled as 64-bit literals: GCC's _mm512_broadcast_i32x4 routes
+  // through _mm512_undefined_epi32 and trips -Wmaybe-uninitialized.
+  constexpr long long kLutLo = 0x0302020102010100LL;  // counts of 0..7
+  constexpr long long kLutHi = 0x0403030203020201LL;  // counts of 8..15
+  const __m512i lookup = _mm512_set_epi64(kLutHi, kLutLo, kLutHi, kLutLo,
+                                          kLutHi, kLutLo, kLutHi, kLutLo);
+  const __m512i low_mask = _mm512_set1_epi8(0x0F);
+  const __m512i lo = _mm512_and_si512(v, low_mask);
+  const __m512i hi = _mm512_and_si512(_mm512_srli_epi16(v, 4), low_mask);
+  const __m512i cnt = _mm512_add_epi8(_mm512_shuffle_epi8(lookup, lo),
+                                      _mm512_shuffle_epi8(lookup, hi));
+  // Eight 64-bit lane sums of the 64 byte counts.
+  return _mm512_sad_epu8(cnt, _mm512_setzero_si512());
+}
+
+// Lane sum via an aligned spill: _mm512_reduce_add_epi64 lowers through
+// _mm512_extracti64x4_epi64, whose header body also reads
+// _mm256_undefined_si256 and warns under -Werror builds.
+__attribute__((target("avx512f,avx512bw"))) std::size_t reduce_u64x8(
+    __m512i acc) {
+  alignas(64) std::uint64_t lanes[8];
+  _mm512_store_si512(static_cast<void*>(lanes), acc);
+  return static_cast<std::size_t>(lanes[0] + lanes[1] + lanes[2] + lanes[3] +
+                                  lanes[4] + lanes[5] + lanes[6] + lanes[7]);
+}
+
+__attribute__((target("avx512f,avx512bw"))) std::size_t popcount_avx512(
+    const std::uint64_t* words, std::size_t n) {
+  __m512i acc = _mm512_setzero_si512();
+  std::size_t i = 0;
+  for (; i + 16 <= n; i += 16) {
+    acc = _mm512_add_epi64(acc, popcount_bytes512(load512(words + i)));
+    acc = _mm512_add_epi64(acc, popcount_bytes512(load512(words + i + 8)));
+  }
+  for (; i + 8 <= n; i += 8) {
+    acc = _mm512_add_epi64(acc, popcount_bytes512(load512(words + i)));
+  }
+  std::size_t total =
+      reduce_u64x8(acc);
+  for (; i < n; ++i) {
+    total += static_cast<std::size_t>(std::popcount(words[i]));
+  }
+  return total;
+}
+
+__attribute__((target("avx512f,avx512bw"))) std::size_t xor_popcount_avx512(
+    const std::uint64_t* a, const std::uint64_t* b, std::size_t n) {
+  __m512i acc = _mm512_setzero_si512();
+  std::size_t i = 0;
+  for (; i + 16 <= n; i += 16) {
+    const __m512i x0 = _mm512_xor_si512(load512(a + i), load512(b + i));
+    const __m512i x1 =
+        _mm512_xor_si512(load512(a + i + 8), load512(b + i + 8));
+    acc = _mm512_add_epi64(acc, popcount_bytes512(x0));
+    acc = _mm512_add_epi64(acc, popcount_bytes512(x1));
+  }
+  for (; i + 8 <= n; i += 8) {
+    const __m512i x = _mm512_xor_si512(load512(a + i), load512(b + i));
+    acc = _mm512_add_epi64(acc, popcount_bytes512(x));
+  }
+  std::size_t total =
+      reduce_u64x8(acc);
+  for (; i < n; ++i) {
+    total += static_cast<std::size_t>(std::popcount(a[i] ^ b[i]));
+  }
+  return total;
+}
+
+__attribute__((target("avx512f,avx512bw"))) void xor_rows_avx512(
+    const std::uint64_t* a, const std::uint64_t* b, std::uint64_t* out,
+    std::size_t n) {
+  std::size_t i = 0;
+  for (; i + 8 <= n; i += 8) {
+    _mm512_storeu_si512(static_cast<void*>(out + i),
+                        _mm512_xor_si512(load512(a + i), load512(b + i)));
+  }
+  for (; i < n; ++i) {
+    out[i] = a[i] ^ b[i];
+  }
+}
+
+// One full word's 64 counters in four masked vector ops: each 16-bit
+// slice of the word becomes the write mask of a 16-lane subtract of -1,
+// so exactly the set bits' counters are incremented.
+__attribute__((target("avx512f,avx512bw"))) inline void accumulate_word_avx512(
+    std::uint64_t bits, std::uint32_t* c) {
+  const __m512i minus_one = _mm512_set1_epi32(-1);
+  for (std::size_t q = 0; q < 4; ++q) {
+    const auto m = static_cast<__mmask16>((bits >> (q * 16)) & 0xFFFFU);
+    std::uint32_t* dst = c + q * 16;
+    __m512i cur = _mm512_loadu_si512(static_cast<const void*>(dst));
+    cur = _mm512_mask_sub_epi32(cur, m, cur, minus_one);
+    _mm512_storeu_si512(static_cast<void*>(dst), cur);
+  }
+}
+
+__attribute__((target("avx512f,avx512bw"))) void accumulate_ones_avx512(
+    const std::uint64_t* words, std::size_t bit_count,
+    std::uint32_t* counters) {
+  const std::size_t n_words = (bit_count + 63) / 64;
+  if (n_words == 0) {
+    return;
+  }
+  const std::size_t full_words = n_words - 1;
+  for (std::size_t w = 0; w < full_words; ++w) {
+    accumulate_word_avx512(words[w], counters + w * 64);
+  }
+  // Tail word: masked, scalar — only the in-range counters exist, so no
+  // vector store may touch past the end.
+  std::uint64_t bits = words[full_words] & tail_mask(bit_count);
+  while (bits != 0) {
+    const int bit = std::countr_zero(bits);
+    counters[full_words * 64 + static_cast<std::size_t>(bit)] += 1;
+    bits &= bits - 1;
+  }
+}
+
+__attribute__((target("avx512f,avx512bw"))) void row_stats_avx512(
+    const std::uint64_t* row, const std::uint64_t* ref, std::size_t bit_count,
+    std::uint32_t* counters, std::uint64_t* dist, std::uint64_t* pop) {
+  const std::size_t n_words = (bit_count + 63) / 64;
+  if (n_words == 0) {
+    *dist = 0;
+    *pop = 0;
+    return;
+  }
+  const std::size_t full_words = n_words - 1;
+  __m512i dacc = _mm512_setzero_si512();
+  __m512i pacc = _mm512_setzero_si512();
+  std::uint64_t d = 0, p = 0;
+  std::size_t w = 0;
+  for (; w + 8 <= full_words; w += 8) {
+    const __m512i r = load512(row + w);
+    dacc = _mm512_add_epi64(
+        dacc, popcount_bytes512(_mm512_xor_si512(r, load512(ref + w))));
+    pacc = _mm512_add_epi64(pacc, popcount_bytes512(r));
+    for (std::size_t k = 0; k < 8; ++k) {
+      accumulate_word_avx512(row[w + k], counters + (w + k) * 64);
+    }
+  }
+  for (; w < full_words; ++w) {
+    d += static_cast<std::uint64_t>(std::popcount(row[w] ^ ref[w]));
+    p += static_cast<std::uint64_t>(std::popcount(row[w]));
+    accumulate_word_avx512(row[w], counters + w * 64);
+  }
+  const std::uint64_t raw = row[full_words];
+  d += static_cast<std::uint64_t>(std::popcount(raw ^ ref[full_words]));
+  p += static_cast<std::uint64_t>(std::popcount(raw));
+  std::uint64_t bits = raw & tail_mask(bit_count);
+  while (bits != 0) {
+    const int bit = std::countr_zero(bits);
+    counters[full_words * 64 + static_cast<std::size_t>(bit)] += 1;
+    bits &= bits - 1;
+  }
+  *dist = reduce_u64x8(dacc) + d;
+  *pop = reduce_u64x8(pacc) + p;
+}
+
+#endif  // PUFAGING_HAVE_AVX512_TIER
 
 #if defined(PUFAGING_HAVE_NEON_TIER)
 
@@ -367,6 +649,18 @@ void accumulate_ones_neon(const std::uint64_t* words, std::size_t bit_count,
   }
 }
 
+// Composition at the NEON tier: the vcnt popcounts and the counter sweep
+// already saturate the in-order load pipes on the small cores this tier
+// targets, so fusing buys nothing measurable — one dispatch, three sweeps.
+void row_stats_neon(const std::uint64_t* row, const std::uint64_t* ref,
+                    std::size_t bit_count, std::uint32_t* counters,
+                    std::uint64_t* dist, std::uint64_t* pop) {
+  const std::size_t n_words = (bit_count + 63) / 64;
+  *dist = xor_popcount_neon(row, ref, n_words);
+  *pop = popcount_neon(row, n_words);
+  accumulate_ones_neon(row, bit_count, counters);
+}
+
 #endif  // PUFAGING_HAVE_NEON_TIER
 
 // ---------------------------------------------------------------------------
@@ -374,16 +668,25 @@ void accumulate_ones_neon(const std::uint64_t* words, std::size_t bit_count,
 // ---------------------------------------------------------------------------
 
 constexpr Kernels kScalarKernels{popcount_scalar, xor_popcount_scalar,
-                                 accumulate_ones_scalar, xor_rows_scalar};
+                                 accumulate_ones_scalar, xor_rows_scalar,
+                                 row_stats_scalar};
 constexpr Kernels kWordKernels{popcount_word, xor_popcount_word,
-                               accumulate_ones_word, xor_rows_word};
+                               accumulate_ones_word, xor_rows_word,
+                               row_stats_word};
 #if defined(PUFAGING_HAVE_AVX2_TIER)
 constexpr Kernels kAvx2Kernels{popcount_avx2, xor_popcount_avx2,
-                               accumulate_ones_avx2, xor_rows_avx2};
+                               accumulate_ones_avx2, xor_rows_avx2,
+                               row_stats_avx2};
+#endif
+#if defined(PUFAGING_HAVE_AVX512_TIER)
+constexpr Kernels kAvx512Kernels{popcount_avx512, xor_popcount_avx512,
+                                 accumulate_ones_avx512, xor_rows_avx512,
+                                 row_stats_avx512};
 #endif
 #if defined(PUFAGING_HAVE_NEON_TIER)
 constexpr Kernels kNeonKernels{popcount_neon, xor_popcount_neon,
-                               accumulate_ones_neon, xor_rows_neon};
+                               accumulate_ones_neon, xor_rows_neon,
+                               row_stats_neon};
 #endif
 
 bool level_available(Level level) {
@@ -394,6 +697,13 @@ bool level_available(Level level) {
     case Level::kAvx2:
 #if defined(PUFAGING_HAVE_AVX2_TIER)
       return __builtin_cpu_supports("avx2") != 0;
+#else
+      return false;
+#endif
+    case Level::kAvx512:
+#if defined(PUFAGING_HAVE_AVX512_TIER)
+      return __builtin_cpu_supports("avx512f") != 0 &&
+             __builtin_cpu_supports("avx512bw") != 0;
 #else
       return false;
 #endif
@@ -411,6 +721,9 @@ Level best_available_level() {
 #if defined(PUFAGING_HAVE_NEON_TIER)
   return Level::kNeon;
 #else
+  if (level_available(Level::kAvx512)) {
+    return Level::kAvx512;
+  }
   return level_available(Level::kAvx2) ? Level::kAvx2 : Level::kWord;
 #endif
 }
@@ -519,6 +832,8 @@ const char* level_name(Level level) {
       return "avx2";
     case Level::kNeon:
       return "neon";
+    case Level::kAvx512:
+      return "avx512";
   }
   return "unknown";
 }
@@ -536,13 +851,16 @@ Level level_from_name(const std::string& name) {
   if (name == "neon") {
     return Level::kNeon;
   }
+  if (name == "avx512") {
+    return Level::kAvx512;
+  }
   throw InvalidArgument("bitkernel: unknown SIMD tier name '" + name + "'");
 }
 
 std::vector<Level> available_levels() {
   std::vector<Level> out;
   for (const Level level : {Level::kScalar, Level::kWord, Level::kAvx2,
-                            Level::kNeon}) {
+                            Level::kNeon, Level::kAvx512}) {
     if (level_available(level)) {
       out.push_back(level);
     }
@@ -578,6 +896,12 @@ const Kernels& kernels_for(Level level) {
     case Level::kNeon:
 #if defined(PUFAGING_HAVE_NEON_TIER)
       return kNeonKernels;
+#else
+      break;
+#endif
+    case Level::kAvx512:
+#if defined(PUFAGING_HAVE_AVX512_TIER)
+      return kAvx512Kernels;
 #else
       break;
 #endif
@@ -621,6 +945,26 @@ void xor_rows(const std::uint64_t* a, const std::uint64_t* b,
   const Kernels& k = active_kernels();
   count_dispatch();
   k.xor_rows(a, b, out, n);
+}
+
+void row_stats(const std::uint64_t* row, const std::uint64_t* ref,
+               std::size_t bit_count, std::uint32_t* counters,
+               std::uint64_t* dist, std::uint64_t* pop) {
+  const Kernels& k = active_kernels();
+  count_dispatch();
+  k.row_stats(row, ref, bit_count, counters, dist, pop);
+}
+
+void row_stats_batch(const std::uint64_t* rows, std::size_t row_count,
+                     std::size_t words_per_row, std::size_t bit_count,
+                     const std::uint64_t* ref, std::uint32_t* counters,
+                     std::uint64_t* dists, std::uint64_t* pops) {
+  const Kernels& k = active_kernels();
+  count_dispatch();
+  for (std::size_t r = 0; r < row_count; ++r) {
+    k.row_stats(rows + r * words_per_row, ref, bit_count, counters,
+                dists + r, pops + r);
+  }
 }
 
 void accumulate_ones_batch(const std::uint64_t* rows, std::size_t row_count,

@@ -5,8 +5,9 @@
 // accumulation over 8192-bit start-up patterns, repeated ~175 million
 // times over the two-year campaign. This module is the single home of
 // those inner loops: a scalar reference implementation (the oracle the
-// differential test suite trusts), a portable word-parallel tier, and an
-// AVX2 tier (NEON on AArch64), selected once at runtime by CPU dispatch.
+// differential test suite trusts), a portable word-parallel tier, and
+// AVX2/AVX-512 tiers (NEON on AArch64), selected once at runtime by CPU
+// dispatch.
 //
 // Determinism contract: every kernel returns integers (bit counts or
 // per-cell counters). Integer results are either equal or wrong — there
@@ -36,19 +37,20 @@ namespace pufaging::bitkernel {
 /// Implementation tiers, ordered from reference to fastest. `kScalar` is
 /// the oracle: one word at a time, straight std::popcount / bit loops.
 /// `kWord` is the portable fast tier (4-way unrolled word-parallel).
-/// `kAvx2` / `kNeon` are the vector tiers; each is only available when
-/// both compiled in and supported by the running CPU.
+/// `kAvx2` / `kNeon` / `kAvx512` are the vector tiers; each is only
+/// available when both compiled in and supported by the running CPU.
 enum class Level {
   kScalar = 0,
   kWord = 1,
   kAvx2 = 2,
   kNeon = 3,
+  kAvx512 = 4,
 };
 
 /// Number of tiers in Level (array extent for per-tier tallies).
-constexpr std::size_t kLevelCount = 4;
+constexpr std::size_t kLevelCount = 5;
 
-/// Human-readable tier name ("scalar", "word", "avx2", "neon").
+/// Human-readable tier name ("scalar", "word", "avx2", "neon", "avx512").
 const char* level_name(Level level);
 
 /// Parses a tier name as accepted by the PUFAGING_SIMD environment
@@ -61,7 +63,7 @@ std::vector<Level> available_levels();
 
 /// The tier the dispatched entry points currently use. On first use the
 /// best available tier is selected, unless the PUFAGING_SIMD environment
-/// variable ("scalar", "word", "avx2", "neon") pins one.
+/// variable ("scalar", "word", "avx2", "neon", "avx512") pins one.
 Level active_level();
 
 /// Forces the dispatched entry points onto `level` (which must be
@@ -91,7 +93,7 @@ class ScopedLevel {
 /// (no shared cache line on the hot path, merged here at read), so the
 /// cost per dispatched call is one uncontended increment.
 struct DispatchCounts {
-  std::uint64_t calls[kLevelCount] = {0, 0, 0, 0};
+  std::uint64_t calls[kLevelCount] = {};
 
   std::uint64_t total() const {
     std::uint64_t sum = 0;
@@ -130,6 +132,18 @@ struct Kernels {
   /// partially overlap.
   void (*xor_rows)(const std::uint64_t* a, const std::uint64_t* b,
                    std::uint64_t* out, std::size_t n);
+
+  /// Fused per-measurement statistics — the device-month hot path in one
+  /// pass instead of three (HD to reference, Hamming weight, per-cell ones):
+  ///   *dist = HD(row, ref) over the ceil(bit_count/64) whole words,
+  ///   *pop  = popcount(row) over the same whole words,
+  ///   counters[i] += bit i of row for i in [0, bit_count).
+  /// dist/pop count raw words like popcount/xor_popcount (BitVector
+  /// guarantees clean padding); the counter update masks the tail word
+  /// like accumulate_ones, so dirty padding cannot reach a counter.
+  void (*row_stats)(const std::uint64_t* row, const std::uint64_t* ref,
+                    std::size_t bit_count, std::uint32_t* counters,
+                    std::uint64_t* dist, std::uint64_t* pop);
 };
 
 /// Function table of one tier (for the differential harness, which
@@ -157,6 +171,22 @@ void accumulate_ones(const std::uint64_t* words, std::size_t bit_count,
 /// helper-data records in one contiguous sweep.
 void xor_rows(const std::uint64_t* a, const std::uint64_t* b,
               std::uint64_t* out, std::size_t n);
+
+/// Fused per-measurement statistics at the active tier (see
+/// Kernels::row_stats): Hamming distance to `ref`, Hamming weight and
+/// per-cell ones accumulation of `row` in a single pass.
+void row_stats(const std::uint64_t* row, const std::uint64_t* ref,
+               std::size_t bit_count, std::uint32_t* counters,
+               std::uint64_t* dist, std::uint64_t* pop);
+
+/// Batched fused statistics over `row_count` packed rows of
+/// `words_per_row` words: dists[r]/pops[r] receive row r's Hamming
+/// distance to `ref` and weight, counters accumulate every row's cells.
+/// One dispatch for the whole batch.
+void row_stats_batch(const std::uint64_t* rows, std::size_t row_count,
+                     std::size_t words_per_row, std::size_t bit_count,
+                     const std::uint64_t* ref, std::uint32_t* counters,
+                     std::uint64_t* dists, std::uint64_t* pops);
 
 /// Batched ones accumulation over a whole measurement batch: one
 /// accumulate_ones per row. `rows` holds `row_count` packed patterns of

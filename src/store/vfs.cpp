@@ -1,6 +1,8 @@
 #include "store/vfs.hpp"
 
 #include <fcntl.h>
+#include <sys/mman.h>
+#include <sys/stat.h>
 #include <unistd.h>
 
 #include <algorithm>
@@ -9,6 +11,7 @@
 #include <filesystem>
 #include <fstream>
 #include <sstream>
+#include <utility>
 
 namespace pufaging {
 
@@ -23,6 +26,31 @@ namespace {
 }
 
 }  // namespace
+
+MappedFile MappedFile::buffered(std::string bytes) {
+  MappedFile f;
+  f.buffer_ = std::move(bytes);
+  return f;
+}
+
+MappedFile MappedFile::adopt_mapping(void* base, std::size_t len) {
+  MappedFile f;
+  f.base_ = base;
+  f.len_ = len;
+  return f;
+}
+
+void MappedFile::release() noexcept {
+  if (base_ != nullptr) {
+    ::munmap(base_, len_);
+    base_ = nullptr;
+    len_ = 0;
+  }
+}
+
+MappedFile Vfs::map_file(const std::string& path) {
+  return MappedFile::buffered(read_file(path));
+}
 
 void Vfs::write_all(FileId file, std::string_view data) {
   std::size_t done = 0;
@@ -149,6 +177,30 @@ void RealFs::truncate(const std::string& path, std::uint64_t size) {
   if (::truncate(path.c_str(), static_cast<::off_t>(size)) != 0) {
     throw_errno("truncate", path);
   }
+}
+
+MappedFile RealFs::map_file(const std::string& path) {
+  const int fd = ::open(path.c_str(), O_RDONLY);
+  if (fd < 0) {
+    throw_errno("map_file open", path);
+  }
+  struct ::stat st{};
+  if (::fstat(fd, &st) != 0) {
+    ::close(fd);
+    throw_errno("map_file fstat", path);
+  }
+  const auto len = static_cast<std::size_t>(st.st_size);
+  if (len == 0) {
+    // mmap of length 0 is EINVAL; an empty view needs no mapping.
+    ::close(fd);
+    return MappedFile::buffered(std::string());
+  }
+  void* base = ::mmap(nullptr, len, PROT_READ, MAP_PRIVATE, fd, 0);
+  ::close(fd);  // The mapping outlives the descriptor.
+  if (base == MAP_FAILED) {
+    throw_errno("map_file mmap", path);
+  }
+  return MappedFile::adopt_mapping(base, len);
 }
 
 }  // namespace pufaging

@@ -26,6 +26,7 @@
 #include <cstdint>
 #include <string>
 #include <string_view>
+#include <utility>
 #include <vector>
 
 #include "common/error.hpp"
@@ -59,6 +60,53 @@ class StoreError : public IoError {
 class PowerCutError : public Error {
  public:
   explicit PowerCutError(const std::string& what) : Error(what) {}
+};
+
+/// Read-only view of a whole file, either zero-copy (mmap, production
+/// path) or buffered (an owned copy — the default for any Vfs that does
+/// not override map_file, which keeps FaultFs' kill-point accounting on
+/// the ordinary read_file path). Move-only; the mapping (when any) is
+/// released on destruction. The bytes a consumer sees are identical
+/// either way — zero_copy() only reports how they got here.
+class MappedFile {
+ public:
+  MappedFile() = default;
+  MappedFile(const MappedFile&) = delete;
+  MappedFile& operator=(const MappedFile&) = delete;
+  MappedFile(MappedFile&& other) noexcept { swap(other); }
+  MappedFile& operator=(MappedFile&& other) noexcept {
+    if (this != &other) {
+      release();
+      swap(other);
+    }
+    return *this;
+  }
+  ~MappedFile() { release(); }
+
+  /// Wraps an owned copy of the bytes.
+  static MappedFile buffered(std::string bytes);
+  /// Adopts an existing mmap region; the destructor munmaps it.
+  static MappedFile adopt_mapping(void* base, std::size_t len);
+
+  const char* data() const {
+    return base_ != nullptr ? static_cast<const char*>(base_)
+                            : buffer_.data();
+  }
+  std::size_t size() const { return base_ != nullptr ? len_ : buffer_.size(); }
+  std::string_view view() const { return {data(), size()}; }
+  bool zero_copy() const { return base_ != nullptr; }
+
+ private:
+  void release() noexcept;
+  void swap(MappedFile& other) noexcept {
+    buffer_.swap(other.buffer_);
+    std::swap(base_, other.base_);
+    std::swap(len_, other.len_);
+  }
+
+  std::string buffer_;
+  void* base_ = nullptr;
+  std::size_t len_ = 0;
 };
 
 /// Abstract filesystem. All methods throw StoreError on failure unless
@@ -98,6 +146,12 @@ class Vfs {
   virtual std::string read_file(const std::string& path) = 0;
   /// Shrinks the file to `size` bytes (the recovery scan's torn-tail cut).
   virtual void truncate(const std::string& path, std::uint64_t size) = 0;
+
+  /// Whole-file read-only view. The base implementation buffers through
+  /// read_file — same bytes, same error surface, same fault-injection
+  /// coverage — so only filesystems with a real page cache (RealFs)
+  /// override it with an actual mmap.
+  virtual MappedFile map_file(const std::string& path);
 
   /// write_some loop; throws StoreError if the bytes cannot all be written.
   void write_all(FileId file, std::string_view data);
@@ -160,6 +214,9 @@ class RealFs final : public Vfs {
   std::uint64_t file_size(const std::string& path) override;
   std::string read_file(const std::string& path) override;
   void truncate(const std::string& path, std::uint64_t size) override;
+  /// Real zero-copy mmap (falls back to the buffered base behaviour for
+  /// empty files, where mmap has nothing to map).
+  MappedFile map_file(const std::string& path) override;
 };
 
 }  // namespace pufaging

@@ -4,6 +4,7 @@
 #include <cmath>
 #include <optional>
 
+#include "analysis/streaming_fold.hpp"
 #include "common/bitkernel.hpp"
 #include "common/error.hpp"
 #include "common/thread_pool.hpp"
@@ -44,6 +45,8 @@ CampaignResult run_campaign(const CampaignConfig& config) {
         "run_campaign: checkpoint_every_months must be >= 1");
   }
   const bool has_faults = !config.faults.all_zero();
+  const FoldOptions fold_options{
+      tilecol::TileShape{config.tile_rows, config.tile_cols}};
   std::vector<SramDevice> fleet = make_fleet(config.fleet);
 
   // Observability sinks. Everything below that touches them is guarded on
@@ -406,8 +409,9 @@ CampaignResult run_campaign(const CampaignConfig& config) {
       }
     }
     if (!has_faults) {
-      result.series.push_back(combine_fleet_month(std::move(device_metrics),
-                                                  static_cast<double>(month)));
+      result.series.push_back(fold_fleet_month(std::move(device_metrics),
+                                               static_cast<double>(month),
+                                               fold_options));
     } else {
       std::vector<DeviceMonthMetrics> reporting;
       reporting.reserve(fleet.size());
@@ -416,9 +420,9 @@ CampaignResult run_campaign(const CampaignConfig& config) {
           reporting.push_back(std::move(device_metrics[d]));
         }
       }
-      FleetMonthMetrics fleet_month = combine_fleet_month(
+      FleetMonthMetrics fleet_month = fold_fleet_month(
           std::move(reporting), static_cast<double>(month), fleet.size(),
-          config.measurements_per_month);
+          config.measurements_per_month, fold_options);
       MonthHealth mh;
       mh.month = static_cast<double>(month);
       for (std::size_t d = 0; d < fleet.size(); ++d) {

@@ -51,6 +51,15 @@ struct CampaignConfig {
   /// Keep the month-0 batches (16 x 1000 read-outs) for Fig. 4/5 analyses.
   bool keep_first_month_batches = false;
 
+  /// Tile shape (rows × 64-bit word columns) for the streaming monthly
+  /// fold's cross-device kernels (BCHD, PUF entropy). 0 = the cache-sized
+  /// default. Any shape is bit-identical — the fold accumulates integer
+  /// tile partials and converts to floating point in the historical
+  /// order — so these only move cache behaviour; the property suite
+  /// enforces the invariance.
+  std::size_t tile_rows = 0;
+  std::size_t tile_cols = 0;
+
   /// Worker threads for the per-device fan-out: 0 = hardware concurrency,
   /// 1 = the serial reference path. Devices are statistically independent
   /// (each owns a counter-based RNG stream split off the fleet seed), so

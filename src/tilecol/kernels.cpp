@@ -1,0 +1,159 @@
+#include "tilecol/kernels.hpp"
+
+#include <algorithm>
+#include <limits>
+#include <vector>
+
+#include "common/bitkernel.hpp"
+#include "common/error.hpp"
+
+namespace pufaging::tilecol {
+
+TileBuffer pack_bitvector_rows(std::span<const BitVector> rows,
+                               TileShape shape) {
+  if (rows.empty()) {
+    throw InvalidArgument("pack_bitvector_rows: no rows");
+  }
+  const std::size_t bits = rows.front().size();
+  if (bits == 0) {
+    throw InvalidArgument("pack_bitvector_rows: empty rows");
+  }
+  const std::size_t row_words = rows.front().words().size();
+  for (const BitVector& r : rows) {
+    if (r.size() != bits) {
+      throw InvalidArgument("pack_bitvector_rows: row size mismatch");
+    }
+  }
+  TileBuffer buf(TileLayout(rows.size(), row_words, shape));
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    buf.pack_row(i, rows[i].words().data());
+  }
+  return buf;
+}
+
+void column_ones(const TileLayout& layout, const std::uint64_t* tiles,
+                 std::size_t bit_count, std::uint32_t* counters) {
+  for (std::size_t i = 0; i < bit_count; ++i) {
+    counters[i] = 0;
+  }
+  // Column tiles outer, so one stripe of counters stays hot while every
+  // row's segment streams past it once.
+  for (std::size_t tc = 0; tc < layout.tiles_across(); ++tc) {
+    const std::size_t bit_base = tc * layout.tile_cols() * 64;
+    if (bit_base >= bit_count) {
+      break;
+    }
+    const std::size_t seg_bits =
+        std::min(bit_count - bit_base, layout.tile_width(tc) * 64);
+    for (std::size_t tr = 0; tr < layout.tiles_down(); ++tr) {
+      const std::size_t height = layout.tile_height(tr);
+      const std::uint64_t* tile = tiles + layout.tile_offset(tr, tc);
+      for (std::size_t r = 0; r < height; ++r) {
+        bitkernel::accumulate_ones(tile + r * layout.tile_cols(), seg_bits,
+                                   counters + bit_base);
+      }
+    }
+  }
+}
+
+namespace {
+
+// Lexicographic rank of pair (i, j), i < j, among n(n-1)/2 pairs — the
+// same ranking bitkernel::all_pairs_hamming emits.
+inline std::size_t pair_index(std::size_t n, std::size_t i, std::size_t j) {
+  return i * (2 * n - i - 1) / 2 + (j - i - 1);
+}
+
+// Shared pair sweep: accumulates the column-tile partial distances of
+// every pair (i in row-tile tr, j > i) through `emit(i, j, partial)`.
+template <typename Emit>
+void for_each_pair_partial(const TileLayout& layout,
+                           const std::uint64_t* tiles, std::size_t tr,
+                           Emit&& emit) {
+  const std::size_t height_i = layout.tile_height(tr);
+  const std::size_t base_i = tr * layout.tile_rows();
+  for (std::size_t tr2 = tr; tr2 < layout.tiles_down(); ++tr2) {
+    const std::size_t height_j = layout.tile_height(tr2);
+    const std::size_t base_j = tr2 * layout.tile_rows();
+    for (std::size_t tc = 0; tc < layout.tiles_across(); ++tc) {
+      const std::size_t width = layout.tile_width(tc);
+      const std::uint64_t* tile_i = tiles + layout.tile_offset(tr, tc);
+      const std::uint64_t* tile_j = tiles + layout.tile_offset(tr2, tc);
+      for (std::size_t li = 0; li < height_i; ++li) {
+        const std::uint64_t* row_i = tile_i + li * layout.tile_cols();
+        const std::size_t lj0 = tr2 == tr ? li + 1 : 0;
+        for (std::size_t lj = lj0; lj < height_j; ++lj) {
+          emit(base_i + li, base_j + lj,
+               bitkernel::xor_popcount(row_i,
+                                       tile_j + lj * layout.tile_cols(),
+                                       width));
+        }
+      }
+    }
+  }
+}
+
+}  // namespace
+
+void all_pairs_hamming(const TileLayout& layout, const std::uint64_t* tiles,
+                       std::size_t* out) {
+  const std::size_t n = layout.rows();
+  if (n < 2) {
+    return;
+  }
+  const std::size_t pairs = n * (n - 1) / 2;
+  for (std::size_t k = 0; k < pairs; ++k) {
+    out[k] = 0;
+  }
+  for (std::size_t tr = 0; tr < layout.tiles_down(); ++tr) {
+    for_each_pair_partial(layout, tiles, tr,
+                          [&](std::size_t i, std::size_t j,
+                              std::size_t partial) {
+                            out[pair_index(n, i, j)] += partial;
+                          });
+  }
+}
+
+PairHammingFold fold_pair_fractional_hds(const TileLayout& layout,
+                                         const std::uint64_t* tiles,
+                                         std::size_t bit_count) {
+  PairHammingFold fold;
+  const std::size_t n = layout.rows();
+  if (n < 2) {
+    return fold;
+  }
+  if (bit_count > std::numeric_limits<std::uint32_t>::max()) {
+    throw InvalidArgument(
+        "fold_pair_fractional_hds: pattern too long for 32-bit distances");
+  }
+  const double bits = static_cast<double>(bit_count);
+  // One stripe of integer distances: rows of this row-tile against every
+  // later row. O(tile_rows * n) — the whole point of streaming is that
+  // this never becomes the O(n^2) materialized pair vector.
+  std::vector<std::uint32_t> stripe(layout.tile_rows() * n);
+  for (std::size_t tr = 0; tr < layout.tiles_down(); ++tr) {
+    const std::size_t base_i = tr * layout.tile_rows();
+    std::fill(stripe.begin(), stripe.end(), 0U);
+    for_each_pair_partial(layout, tiles, tr,
+                          [&](std::size_t i, std::size_t j,
+                              std::size_t partial) {
+                            stripe[(i - base_i) * n + j] +=
+                                static_cast<std::uint32_t>(partial);
+                          });
+    // Convert and fold in lexicographic pair order — the historical
+    // FP order of the materialized path.
+    const std::size_t height = layout.tile_height(tr);
+    for (std::size_t li = 0; li < height; ++li) {
+      const std::size_t i = base_i + li;
+      for (std::size_t j = i + 1; j < n; ++j) {
+        const double b = static_cast<double>(stripe[li * n + j]) / bits;
+        fold.sum += b;
+        fold.wc = std::min(fold.wc, b);
+        ++fold.pairs;
+      }
+    }
+  }
+  return fold;
+}
+
+}  // namespace pufaging::tilecol

@@ -1,0 +1,60 @@
+// Tile-blocked analysis kernels over the columnar layout.
+//
+// Every kernel here is a re-blocking of an existing bitkernel sweep: the
+// per-segment work is done by the dispatched bitkernel entry points
+// (xor_popcount, accumulate_ones), so each SIMD tier's bit-identity
+// contract carries over unchanged, and the tile partials are integers —
+// reassociating them across tiles cannot change a count.
+//
+// Floating-point stays out of the tile loops entirely. The one consumer
+// that needs doubles (the BCHD fold) converts integer distances in
+// lexicographic pair order — the exact order the row-at-a-time path used —
+// so streaming the pairs is bit-identical to materializing them.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+
+#include "common/bitvector.hpp"
+#include "tilecol/layout.hpp"
+
+namespace pufaging::tilecol {
+
+/// Packs equal-length BitVector rows into a fresh tile buffer at `shape`.
+/// Throws InvalidArgument when rows are empty or lengths differ.
+TileBuffer pack_bitvector_rows(std::span<const BitVector> rows,
+                               TileShape shape);
+
+/// Column ones counts over tiled rows: counters[i] = number of rows whose
+/// bit i is set, i in [0, bit_count). Counters are zero-initialized by
+/// the callee. Tile-blocked twin of bitkernel::column_ones; integer
+/// results are equal to it on any tile shape.
+void column_ones(const TileLayout& layout, const std::uint64_t* tiles,
+                 std::size_t bit_count, std::uint32_t* counters);
+
+/// All-pairs Hamming distances over tiled rows, lexicographic pair order
+/// (out[k] = HD(row i, row j), i < j, k as in bitkernel::all_pairs_hamming).
+/// Distances accumulate per column tile — integer partials, any order.
+void all_pairs_hamming(const TileLayout& layout, const std::uint64_t* tiles,
+                       std::size_t* out);
+
+/// Result of the streaming BCHD fold: the fractional-HD sum and minimum
+/// over all pairs, accumulated in lexicographic pair order.
+struct PairHammingFold {
+  double sum = 0.0;
+  double wc = 1.0;
+  std::size_t pairs = 0;
+};
+
+/// Streams the all-pairs fractional Hamming distances without
+/// materializing the O(n^2) pair vector: integer distances accumulate
+/// per row stripe (O(tile_rows * n) scratch), then convert to doubles and
+/// fold in lexicographic pair order — bit-identical to summing
+/// between_class_hds' output in order. `bit_count` is the pattern length
+/// the fractions divide by.
+PairHammingFold fold_pair_fractional_hds(const TileLayout& layout,
+                                         const std::uint64_t* tiles,
+                                         std::size_t bit_count);
+
+}  // namespace pufaging::tilecol

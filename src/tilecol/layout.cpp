@@ -1,0 +1,87 @@
+#include "tilecol/layout.hpp"
+
+#include <algorithm>
+#include <cstring>
+#include <new>
+
+#include "common/error.hpp"
+
+namespace pufaging::tilecol {
+
+namespace {
+
+// Default tile budget: 64 rows × 64 word columns = 32 KiB per tile, half
+// a typical 64 KiB L1d away from two tiles resident at once and far under
+// any L2. The paper's 8192-bit patterns are 128 words, so a default tile
+// is 64 devices × 4 KiB of cells.
+constexpr std::size_t kDefaultTileRows = 64;
+constexpr std::size_t kDefaultTileCols = 64;
+
+}  // namespace
+
+TileShape resolve_tile_shape(TileShape requested, std::size_t rows,
+                             std::size_t row_words) {
+  TileShape shape = requested;
+  if (shape.tile_rows == 0) {
+    shape.tile_rows = kDefaultTileRows;
+  }
+  if (shape.tile_cols == 0) {
+    shape.tile_cols = kDefaultTileCols;
+  }
+  shape.tile_rows = std::max<std::size_t>(1, std::min(shape.tile_rows,
+                                                      std::max<std::size_t>(
+                                                          1, rows)));
+  shape.tile_cols = std::max<std::size_t>(1, std::min(shape.tile_cols,
+                                                      std::max<std::size_t>(
+                                                          1, row_words)));
+  return shape;
+}
+
+TileLayout::TileLayout(std::size_t rows, std::size_t row_words,
+                       TileShape shape) {
+  const TileShape resolved = resolve_tile_shape(shape, rows, row_words);
+  rows_ = rows;
+  row_words_ = row_words;
+  tile_rows_ = resolved.tile_rows;
+  tile_cols_ = resolved.tile_cols;
+  tiles_down_ = rows == 0 ? 0 : (rows + tile_rows_ - 1) / tile_rows_;
+  tiles_across_ =
+      row_words == 0 ? 0 : (row_words + tile_cols_ - 1) / tile_cols_;
+}
+
+TileBuffer::TileBuffer(const TileLayout& layout) : layout_(layout) {
+  const std::size_t words = layout.storage_words();
+  if (words == 0) {
+    return;
+  }
+  auto* raw = static_cast<std::uint64_t*>(
+      ::operator new[](words * sizeof(std::uint64_t), std::align_val_t{64}));
+  std::memset(raw, 0, words * sizeof(std::uint64_t));
+  data_.reset(raw);
+}
+
+void TileBuffer::pack_row(std::size_t row, const std::uint64_t* src) {
+  if (row >= layout_.rows()) {
+    throw InvalidArgument("TileBuffer::pack_row: row out of range");
+  }
+  for (std::size_t tc = 0; tc < layout_.tiles_across(); ++tc) {
+    const std::size_t width = layout_.tile_width(tc);
+    std::memcpy(data_.get() + layout_.row_segment_offset(row, tc),
+                src + tc * layout_.tile_cols(),
+                width * sizeof(std::uint64_t));
+  }
+}
+
+void TileBuffer::unpack_row(std::size_t row, std::uint64_t* dst) const {
+  if (row >= layout_.rows()) {
+    throw InvalidArgument("TileBuffer::unpack_row: row out of range");
+  }
+  for (std::size_t tc = 0; tc < layout_.tiles_across(); ++tc) {
+    const std::size_t width = layout_.tile_width(tc);
+    std::memcpy(dst + tc * layout_.tile_cols(),
+                data_.get() + layout_.row_segment_offset(row, tc),
+                width * sizeof(std::uint64_t));
+  }
+}
+
+}  // namespace pufaging::tilecol

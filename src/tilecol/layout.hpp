@@ -1,0 +1,134 @@
+// Columnar tile layout for fleet-scale bit matrices.
+//
+// The analysis kernels all sweep a (rows × bits) matrix — measurements or
+// references down, cells across, packed 64 bits per word. Row-major
+// storage streams fine for one row at a time but thrashes the cache for
+// the cross-row kernels (all-pairs BCHD touches every row pair; column
+// ones walks every row per bit block). This module blocks the matrix into
+// L2-sized tiles: tile (tr, tc) holds rows [tr*tile_rows, ...) restricted
+// to word columns [tc*tile_cols, ...), tiles stored back to back in
+// tile-row-major order, each 64-byte aligned so the widest vector tier
+// loads never split a cache line.
+//
+// Within a tile, rows stay row-major (a row's segment is `tile_cols`
+// contiguous words), so every existing bitkernel — xor_popcount over a
+// segment pair, accumulate_ones over a segment — applies to tile data
+// unchanged. Ragged edge tiles (rows not a multiple of tile_rows, words
+// not a multiple of tile_cols) keep the full stride with zeroed padding;
+// consumers iterate only the valid rows/words, and the zero padding means
+// even a whole-tile sweep cannot change an integer count.
+//
+// The layout is pure indexing arithmetic and the buffer is pure storage:
+// everything bit-level stays in the kernels, so the round-trip property
+// (pack_row then unpack_row is the identity at any shape) is exactly
+// testable.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+
+namespace pufaging::tilecol {
+
+/// Tile dimensions in rows × words. Zero means "choose for me":
+/// resolve_tile_shape picks a shape whose tile fits comfortably in L2
+/// (at most 64 rows × 64 word columns = 32 KiB per tile at the default).
+/// Any shape produces bit-identical analysis results — the shape only
+/// moves cache behaviour — which the property suite enforces.
+struct TileShape {
+  std::size_t tile_rows = 0;
+  std::size_t tile_cols = 0;
+};
+
+/// Fills in zero fields of `requested` for a rows × row_words matrix and
+/// clamps to the matrix extent. Throws nothing; degenerate matrices
+/// (0 rows, 0 words) resolve to 1×1 tiles.
+TileShape resolve_tile_shape(TileShape requested, std::size_t rows,
+                             std::size_t row_words);
+
+/// Indexing arithmetic of one tiled matrix: rows × row_words words,
+/// blocked at `shape`. Copyable value type; no storage.
+class TileLayout {
+ public:
+  TileLayout() = default;
+  TileLayout(std::size_t rows, std::size_t row_words, TileShape shape);
+
+  std::size_t rows() const { return rows_; }
+  std::size_t row_words() const { return row_words_; }
+  std::size_t tile_rows() const { return tile_rows_; }
+  std::size_t tile_cols() const { return tile_cols_; }
+  std::size_t tiles_down() const { return tiles_down_; }
+  std::size_t tiles_across() const { return tiles_across_; }
+
+  /// Words of backing storage including edge-tile padding.
+  std::size_t storage_words() const {
+    return tiles_down_ * tiles_across_ * tile_rows_ * tile_cols_;
+  }
+
+  /// Rows actually present in row-tile `tr` (short at the bottom edge).
+  std::size_t tile_height(std::size_t tr) const {
+    const std::size_t base = tr * tile_rows_;
+    return base >= rows_ ? 0
+                         : (rows_ - base < tile_rows_ ? rows_ - base
+                                                      : tile_rows_);
+  }
+
+  /// Words actually present in column-tile `tc` (short at the right edge).
+  std::size_t tile_width(std::size_t tc) const {
+    const std::size_t base = tc * tile_cols_;
+    return base >= row_words_ ? 0
+                              : (row_words_ - base < tile_cols_
+                                     ? row_words_ - base
+                                     : tile_cols_);
+  }
+
+  /// Storage offset of tile (tr, tc).
+  std::size_t tile_offset(std::size_t tr, std::size_t tc) const {
+    return (tr * tiles_across_ + tc) * tile_rows_ * tile_cols_;
+  }
+
+  /// Storage offset of global row `row`'s segment inside column-tile `tc`
+  /// (the segment is tile_width(tc) valid words, tile_cols() stride).
+  std::size_t row_segment_offset(std::size_t row, std::size_t tc) const {
+    return tile_offset(row / tile_rows_, tc) + (row % tile_rows_) * tile_cols_;
+  }
+
+ private:
+  std::size_t rows_ = 0;
+  std::size_t row_words_ = 0;
+  std::size_t tile_rows_ = 1;
+  std::size_t tile_cols_ = 1;
+  std::size_t tiles_down_ = 0;
+  std::size_t tiles_across_ = 0;
+};
+
+/// 64-byte-aligned zero-initialized storage for one tiled matrix, plus
+/// the row scatter/gather. Move-only (owns the allocation).
+class TileBuffer {
+ public:
+  TileBuffer() = default;
+  explicit TileBuffer(const TileLayout& layout);
+
+  const TileLayout& layout() const { return layout_; }
+  std::uint64_t* data() { return data_.get(); }
+  const std::uint64_t* data() const { return data_.get(); }
+
+  /// Scatters one row (`row_words` contiguous words) into its tile
+  /// segments. Only the valid words move; padding stays zero.
+  void pack_row(std::size_t row, const std::uint64_t* src);
+
+  /// Gathers one row back out of its tile segments into `dst`
+  /// (`row_words` words).
+  void unpack_row(std::size_t row, std::uint64_t* dst) const;
+
+ private:
+  TileLayout layout_;
+  struct AlignedDelete {
+    void operator()(std::uint64_t* p) const {
+      ::operator delete[](p, std::align_val_t{64});
+    }
+  };
+  std::unique_ptr<std::uint64_t[], AlignedDelete> data_;
+};
+
+}  // namespace pufaging::tilecol

@@ -1,0 +1,150 @@
+#include "tilecol/snapshot_reader.hpp"
+
+#include <algorithm>
+#include <numeric>
+#include <string_view>
+
+#include "common/error.hpp"
+#include "io/json.hpp"
+#include "store/crc32c.hpp"
+
+namespace pufaging::tilecol {
+
+namespace {
+
+constexpr const char* kManifest = "MANIFEST";
+
+[[noreturn]] void corrupt(const std::string& what) {
+  throw StoreError(StoreError::Kind::kCorrupt, "snapshot_reader: " + what);
+}
+
+std::string join(const std::string& dir, const std::string& name) {
+  return dir + "/" + name;
+}
+
+}  // namespace
+
+FleetSnapshot read_fleet_snapshot(Vfs& vfs, const std::string& dir) {
+  if (!vfs.exists(join(dir, kManifest))) {
+    throw StoreError(StoreError::Kind::kIo,
+                     "snapshot_reader: no MANIFEST in '" + dir +
+                         "' (nothing published)");
+  }
+
+  FleetSnapshot out;
+  std::string snap_name;
+  bool has_crc = false;
+  std::uint32_t expected_crc = 0;
+  try {
+    const Json manifest = Json::parse(vfs.read_file(join(dir, kManifest)));
+    const std::int64_t version = manifest.at("version").as_int();
+    if (version < 1 || version > 2) {
+      corrupt("unsupported manifest version " + std::to_string(version));
+    }
+    out.generation =
+        static_cast<std::uint32_t>(manifest.at("generation").as_int());
+    snap_name = manifest.at("snapshot").as_string();
+    if (manifest.contains("snapshot_crc32c")) {
+      has_crc = true;
+      expected_crc =
+          static_cast<std::uint32_t>(manifest.at("snapshot_crc32c").as_int());
+    }
+  } catch (const StoreError&) {
+    throw;
+  } catch (const Error& e) {
+    // The manifest is published atomically; failing to parse means torn
+    // state the protocol promised could not exist.
+    corrupt(std::string("corrupt MANIFEST: ") + e.what());
+  }
+
+  // The one bulk read: the snapshot blob, zero-copy where the Vfs can.
+  const MappedFile snap = vfs.map_file(join(dir, snap_name));
+  out.zero_copy = snap.zero_copy();
+  if (has_crc && crc32c(snap.view()) != expected_crc) {
+    corrupt("snapshot '" + snap_name + "' fails its manifest CRC32C");
+  }
+
+  try {
+    std::string_view rest = snap.view();
+    bool have_header = false;
+    while (!rest.empty()) {
+      const std::size_t nl = rest.find('\n');
+      const std::string_view line =
+          nl == std::string_view::npos ? rest : rest.substr(0, nl);
+      rest = nl == std::string_view::npos ? std::string_view()
+                                          : rest.substr(nl + 1);
+      if (line.empty()) {
+        continue;
+      }
+      const Json obj = Json::parse(std::string(line));
+      const std::string& kind = obj.at("kind").as_string();
+      if (kind == "header") {
+        if (have_header) {
+          corrupt("duplicate header line");
+        }
+        have_header = true;
+        out.next_month =
+            static_cast<std::uint64_t>(obj.at("next_month").as_int());
+      } else if (!have_header) {
+        corrupt("device line before header");
+      } else if (kind == "device") {
+        const auto bits =
+            static_cast<std::size_t>(obj.at("reference_bits").as_int());
+        out.device_ids.push_back(
+            static_cast<std::uint32_t>(obj.at("id").as_int()));
+        out.references.push_back(
+            BitVector::from_hex(obj.at("reference").as_string(), bits));
+      }
+      // Month/health ledger lines carry no references; skip them.
+    }
+    if (!have_header) {
+      corrupt("snapshot has no header line");
+    }
+  } catch (const StoreError&) {
+    throw;
+  } catch (const Error& e) {
+    corrupt(std::string("corrupt snapshot '") + snap_name + "': " + e.what());
+  }
+
+  for (const BitVector& ref : out.references) {
+    if (ref.size() != out.references.front().size()) {
+      corrupt("device reference lengths differ");
+    }
+  }
+  if (!out.references.empty()) {
+    out.reference_bits = out.references.front().size();
+  }
+
+  // Sort by device id — the order every fleet statistic is defined in.
+  std::vector<std::size_t> order(out.device_ids.size());
+  std::iota(order.begin(), order.end(), std::size_t{0});
+  std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+    return out.device_ids[a] < out.device_ids[b];
+  });
+  FleetSnapshot sorted;
+  sorted.generation = out.generation;
+  sorted.next_month = out.next_month;
+  sorted.reference_bits = out.reference_bits;
+  sorted.zero_copy = out.zero_copy;
+  sorted.device_ids.reserve(order.size());
+  sorted.references.reserve(order.size());
+  for (std::size_t idx : order) {
+    sorted.device_ids.push_back(out.device_ids[idx]);
+    sorted.references.push_back(std::move(out.references[idx]));
+  }
+  return sorted;
+}
+
+TileBuffer pack_snapshot(const FleetSnapshot& snapshot, TileShape shape) {
+  if (snapshot.references.empty()) {
+    throw InvalidArgument("pack_snapshot: snapshot has no devices");
+  }
+  const std::size_t row_words = snapshot.references.front().words().size();
+  TileBuffer buf(TileLayout(snapshot.references.size(), row_words, shape));
+  for (std::size_t i = 0; i < snapshot.references.size(); ++i) {
+    buf.pack_row(i, snapshot.references[i].words().data());
+  }
+  return buf;
+}
+
+}  // namespace pufaging::tilecol

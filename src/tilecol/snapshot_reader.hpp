@@ -1,0 +1,49 @@
+// Zero-copy reader of published MeasurementStore snapshots.
+//
+// The streaming analysis driver wants the fleet's reference patterns
+// without booting a campaign or replaying a WAL: a published snapshot
+// already holds one device line per board with its reference pattern in
+// hex. This reader resolves the MANIFEST, maps the named snapshot blob
+// through the Vfs::map_file seam — a real mmap on RealFs, a buffered read
+// on any other Vfs (FaultFs keeps its kill-point accounting) — verifies
+// the manifest's CRC-32C against the mapped bytes, and parses only the
+// header and device lines out of the checkpoint JSONL.
+//
+// Corruption surfaces as StoreError(kCorrupt), exactly like
+// MeasurementStore recovery: a torn manifest, a CRC mismatch (short map,
+// medium rot) and a malformed device line are all protocol violations,
+// not plain I/O failures.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/bitvector.hpp"
+#include "store/vfs.hpp"
+#include "tilecol/layout.hpp"
+
+namespace pufaging::tilecol {
+
+/// Fleet references recovered from a published snapshot, sorted by device
+/// id ascending — the order every fleet statistic is defined in.
+struct FleetSnapshot {
+  std::uint32_t generation = 0;
+  std::uint64_t next_month = 0;
+  std::size_t reference_bits = 0;
+  std::vector<std::uint32_t> device_ids;
+  std::vector<BitVector> references;
+  /// True when the snapshot bytes were mmapped rather than copied.
+  bool zero_copy = false;
+};
+
+/// Reads the fleet references out of the store at `dir`. Throws
+/// StoreError(kIo) when no MANIFEST exists (nothing published yet) and
+/// StoreError(kCorrupt) when the manifest, CRC or device lines are
+/// damaged.
+FleetSnapshot read_fleet_snapshot(Vfs& vfs, const std::string& dir);
+
+/// Packs the snapshot's references into a fresh tile buffer at `shape`.
+TileBuffer pack_snapshot(const FleetSnapshot& snapshot, TileShape shape);
+
+}  // namespace pufaging::tilecol

@@ -1,0 +1,141 @@
+// Differential suite for the streaming monthly fold: fold_fleet_month
+// must equal combine_fleet_month bitwise — every double, every field — at
+// every adversarial tile shape, every SIMD tier, and any device arrival
+// order, for both the strict and the missing-data-tolerant overloads.
+#include "analysis/streaming_fold.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <vector>
+
+#include "analysis/monthly.hpp"
+#include "common/error.hpp"
+#include "common/rng.hpp"
+#include "support/bitgen.hpp"
+#include "support/differential.hpp"
+#include "support/tilegen.hpp"
+
+namespace pufaging {
+namespace {
+
+using testsupport::adversarial_tile_shapes;
+using testsupport::for_each_level;
+using testsupport::random_bits;
+
+std::vector<DeviceMonthMetrics> random_fleet(Xoshiro256StarStar& rng,
+                                             std::size_t devices,
+                                             std::size_t bits) {
+  std::vector<DeviceMonthMetrics> out(devices);
+  for (std::size_t d = 0; d < devices; ++d) {
+    out[d].device_id = static_cast<std::uint32_t>(d);
+    out[d].measurement_count = 1 + (rng.next() % 1000);
+    out[d].wchd_mean = rng.uniform();
+    out[d].fhw_mean = rng.uniform();
+    out[d].stable_ratio = rng.uniform();
+    out[d].noise_entropy = rng.uniform();
+    out[d].first_pattern = random_bits(rng, bits);
+  }
+  // Arrival order must not matter: scramble before handing out.
+  for (std::size_t i = out.size(); i > 1; --i) {
+    std::swap(out[i - 1], out[rng.next() % i]);
+  }
+  return out;
+}
+
+void expect_bitwise_equal(const FleetMonthMetrics& a,
+                          const FleetMonthMetrics& b) {
+  EXPECT_EQ(a.month, b.month);
+  EXPECT_EQ(a.wchd_avg, b.wchd_avg);
+  EXPECT_EQ(a.wchd_wc, b.wchd_wc);
+  EXPECT_EQ(a.fhw_avg, b.fhw_avg);
+  EXPECT_EQ(a.fhw_wc, b.fhw_wc);
+  EXPECT_EQ(a.stable_avg, b.stable_avg);
+  EXPECT_EQ(a.stable_wc, b.stable_wc);
+  EXPECT_EQ(a.noise_entropy_avg, b.noise_entropy_avg);
+  EXPECT_EQ(a.noise_entropy_wc, b.noise_entropy_wc);
+  EXPECT_EQ(a.bchd_avg, b.bchd_avg);
+  EXPECT_EQ(a.bchd_wc, b.bchd_wc);
+  EXPECT_EQ(a.puf_entropy, b.puf_entropy);
+  EXPECT_EQ(a.devices_expected, b.devices_expected);
+  EXPECT_EQ(a.devices_reporting, b.devices_reporting);
+  EXPECT_EQ(a.coverage, b.coverage);
+  EXPECT_EQ(a.degraded, b.degraded);
+  ASSERT_EQ(a.devices.size(), b.devices.size());
+  for (std::size_t i = 0; i < a.devices.size(); ++i) {
+    EXPECT_EQ(a.devices[i].device_id, b.devices[i].device_id);
+    EXPECT_EQ(a.devices[i].wchd_mean, b.devices[i].wchd_mean);
+    EXPECT_EQ(a.devices[i].first_pattern, b.devices[i].first_pattern);
+  }
+}
+
+TEST(StreamingFold, StrictOverloadBitIdenticalToCombineAtEveryShape) {
+  Xoshiro256StarStar rng(0x57F01DULL);
+  for (const std::size_t devices : {2UL, 3UL, 16UL, 17UL, 40UL}) {
+    for (const std::size_t bits : {512UL, 1000UL, 8192UL}) {
+      const std::vector<DeviceMonthMetrics> fleet =
+          random_fleet(rng, devices, bits);
+      const FleetMonthMetrics oracle = combine_fleet_month(fleet, 7.0);
+      const std::size_t row_words = (bits + 63) / 64;
+      for (const tilecol::TileShape shape :
+           adversarial_tile_shapes(devices, row_words)) {
+        const FleetMonthMetrics folded =
+            fold_fleet_month(fleet, 7.0, FoldOptions{shape});
+        expect_bitwise_equal(folded, oracle);
+      }
+    }
+  }
+}
+
+TEST(StreamingFold, BitIdenticalAtEverySimdTier) {
+  Xoshiro256StarStar rng(0x51D7ULL);
+  const std::vector<DeviceMonthMetrics> fleet = random_fleet(rng, 16, 8192);
+  // Oracle computed at whatever tier the process booted on (tier
+  // invariance of the oracle itself is the kernel suite's job).
+  const FleetMonthMetrics oracle = combine_fleet_month(fleet, 3.0);
+  for_each_level([&](bitkernel::Level) {
+    expect_bitwise_equal(fold_fleet_month(fleet, 3.0), oracle);
+  });
+}
+
+TEST(StreamingFold, TolerantOverloadBitIdenticalIncludingCoverage) {
+  Xoshiro256StarStar rng(0x70E1ULL);
+  for (const std::size_t reporting : {0UL, 1UL, 2UL, 9UL, 16UL}) {
+    const std::vector<DeviceMonthMetrics> fleet =
+        random_fleet(rng, reporting, 1000);
+    for (const std::uint64_t expected_meas : {0ULL, 50ULL, 1000ULL}) {
+      const FleetMonthMetrics oracle =
+          combine_fleet_month(fleet, 11.0, 16, expected_meas);
+      for (const tilecol::TileShape shape :
+           adversarial_tile_shapes(reporting, 16)) {
+        expect_bitwise_equal(
+            fold_fleet_month(fleet, 11.0, 16, expected_meas,
+                             FoldOptions{shape}),
+            oracle);
+      }
+    }
+  }
+}
+
+TEST(StreamingFold, StrictOverloadEnforcesTwoDevices) {
+  Xoshiro256StarStar rng(0x2DEFULL);
+  EXPECT_THROW(fold_fleet_month(random_fleet(rng, 1, 64), 0.0),
+               InvalidArgument);
+  EXPECT_THROW(fold_fleet_month(random_fleet(rng, 18, 64), 0.0, 16, 10),
+               InvalidArgument);  // more reporting than expected
+}
+
+TEST(FoldFootprint, StreamingStaysUnderMaterializedAtFleetScale) {
+  // The 10,000-board what-if with the paper's 8192-bit patterns: the
+  // materialized path's pair vectors alone are ~800 MB; the streaming
+  // fold's scratch must come in far under it.
+  const FoldFootprint fp = fold_footprint(10000, 8192);
+  EXPECT_LT(fp.streaming_bytes, fp.materialized_bytes / 10);
+  // And the accounting is deterministic arithmetic, not measurement.
+  const FoldFootprint again = fold_footprint(10000, 8192);
+  EXPECT_EQ(fp.streaming_bytes, again.streaming_bytes);
+  EXPECT_EQ(fp.materialized_bytes, again.materialized_bytes);
+}
+
+}  // namespace
+}  // namespace pufaging

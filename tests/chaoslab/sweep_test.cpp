@@ -7,6 +7,7 @@
 
 #include "chaoslab/cliff.hpp"
 #include "chaoslab/test_support.hpp"
+#include "common/bitkernel.hpp"
 #include "common/error.hpp"
 
 namespace pufaging::chaoslab {
@@ -58,6 +59,26 @@ TEST(GridSweep, ThreadCountIsBitIdentical) {
   const SweepResult a = run_grid_sweep(spec, serial);
   const SweepResult b = run_grid_sweep(spec, parallel);
   EXPECT_EQ(riskcliff_dump(spec, a), riskcliff_dump(spec, b));
+}
+
+TEST(GridSweep, CliffHashIsSimdTierInvariant) {
+  // The riskcliff document (hex-exact cell aggregates + the cliff
+  // location hash) must not move when the campaigns underneath run on a
+  // different kernel tier — the chaos analytics sit on the same
+  // bit-identity contract as the physics.
+  const GridSpec spec = tiny_grid_spec();
+  SweepOptions options;
+  options.threads = 2;
+  std::string scalar_dump;
+  {
+    bitkernel::ScopedLevel scoped(bitkernel::Level::kScalar);
+    scalar_dump = riskcliff_dump(spec, run_grid_sweep(spec, options));
+  }
+  const bitkernel::Level best = bitkernel::available_levels().back();
+  bitkernel::ScopedLevel scoped(best);
+  EXPECT_EQ(riskcliff_dump(spec, run_grid_sweep(spec, options)), scalar_dump)
+      << "tier " << bitkernel::level_name(best)
+      << " moved the riskcliff document";
 }
 
 TEST(GridSweep, HaltAndResumeIsByteIdentical) {

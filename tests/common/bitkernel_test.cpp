@@ -25,13 +25,14 @@ using testsupport::adversarial_lengths;
 using testsupport::adversarial_patterns;
 using testsupport::expect_accumulate_matches_oracle;
 using testsupport::expect_counts_match_oracle;
+using testsupport::expect_row_stats_matches_oracle;
 using testsupport::for_each_level;
 using testsupport::random_bits;
 using testsupport::words_with_dirty_tail;
 
 TEST(BitKernelDispatch, LevelNamesRoundTrip) {
   for (const Level level : {Level::kScalar, Level::kWord, Level::kAvx2,
-                            Level::kNeon}) {
+                            Level::kNeon, Level::kAvx512}) {
     EXPECT_EQ(bitkernel::level_from_name(bitkernel::level_name(level)), level);
   }
   EXPECT_THROW(bitkernel::level_from_name("avx1024"), InvalidArgument);
@@ -67,7 +68,7 @@ TEST(BitKernelDispatch, ForceLevelSwitchesAndScopedRestores) {
 }
 
 TEST(BitKernelDispatch, UnavailableTiersThrow) {
-  for (const Level level : {Level::kAvx2, Level::kNeon}) {
+  for (const Level level : {Level::kAvx2, Level::kNeon, Level::kAvx512}) {
     const std::vector<Level> levels = bitkernel::available_levels();
     if (std::find(levels.begin(), levels.end(), level) == levels.end()) {
       EXPECT_THROW(bitkernel::force_level(level), InvalidArgument);
@@ -255,6 +256,96 @@ TEST(BitKernelDifferential, BatchAccumulateMatchesSequentialOracle) {
     bitkernel::accumulate_ones_batch(rows.data(), rows_n, words_per_row, bits,
                                      actual.data());
     EXPECT_EQ(actual, expected);
+  });
+}
+
+// ---------------------------------------------------------------------------
+// Differential: the fused row_stats kernel (WCHD + FHW + ones in one
+// pass) vs its defining contract — the composition of the three scalar
+// kernels — at every tier, with dirty tails and a batched form.
+// ---------------------------------------------------------------------------
+
+TEST(BitKernelDifferential, RowStatsOnAdversarialInputs) {
+  Xoshiro256StarStar rng(0xB17C0DEAULL);
+  for (const std::size_t bits : adversarial_lengths()) {
+    if (bits == 0) {
+      continue;  // row_stats is per-measurement; empty patterns never occur
+    }
+    SCOPED_TRACE(::testing::Message() << "bits=" << bits);
+    // Non-trivial counter image so carries are exercised.
+    std::vector<std::uint32_t> initial(bits);
+    for (std::size_t i = 0; i < bits; ++i) {
+      initial[i] = static_cast<std::uint32_t>(rng.below(1000));
+    }
+    const std::vector<BitVector> patterns = adversarial_patterns(rng, bits);
+    for (const Level level : testsupport::accelerated_levels()) {
+      SCOPED_TRACE(bitkernel::level_name(level));
+      for (std::size_t i = 0; i < patterns.size(); ++i) {
+        for (std::size_t j = 0; j < patterns.size(); ++j) {
+          expect_row_stats_matches_oracle(level, patterns[i].words().data(),
+                                          patterns[j].words().data(), bits,
+                                          initial);
+        }
+      }
+    }
+  }
+}
+
+TEST(BitKernelDifferential, RowStatsWithDirtyTailMatchesOracle) {
+  // dist/pop count raw words (clean in production, BitVector guarantees
+  // it); the counter update masks the tail. The oracle composition has
+  // exactly those semantics, so a dirty-tail buffer must still agree on
+  // every tier — that is the whole contract.
+  Xoshiro256StarStar rng(0xB17C0DEBULL);
+  for (const std::size_t bits : adversarial_lengths()) {
+    if (bits == 0) {
+      continue;
+    }
+    SCOPED_TRACE(::testing::Message() << "bits=" << bits);
+    const std::vector<std::uint64_t> row = words_with_dirty_tail(rng, bits);
+    const std::vector<std::uint64_t> ref = words_with_dirty_tail(rng, bits);
+    const std::vector<std::uint32_t> zeros(bits, 0);
+    for (const Level level : testsupport::accelerated_levels()) {
+      SCOPED_TRACE(bitkernel::level_name(level));
+      expect_row_stats_matches_oracle(level, row.data(), ref.data(), bits,
+                                      zeros);
+    }
+  }
+}
+
+TEST(BitKernelDifferential, RowStatsBatchMatchesSequentialOracle) {
+  Xoshiro256StarStar rng(0xB17C0DECULL);
+  const std::size_t bits = 4097;  // unaligned tail in every row
+  const std::size_t rows_n = 50;
+  const std::size_t words_per_row = (bits + 63) / 64;
+  const BitVector reference = random_bits(rng, bits);
+  std::vector<std::uint64_t> rows(rows_n * words_per_row);
+  for (std::size_t r = 0; r < rows_n; ++r) {
+    const BitVector v = random_bits(rng, bits);
+    std::copy(v.words().begin(), v.words().end(),
+              rows.begin() + static_cast<std::ptrdiff_t>(r * words_per_row));
+  }
+  const bitkernel::Kernels& oracle = bitkernel::kernels_for(Level::kScalar);
+  std::vector<std::uint64_t> expected_dists(rows_n);
+  std::vector<std::uint64_t> expected_pops(rows_n);
+  std::vector<std::uint32_t> expected_ones(bits, 0);
+  for (std::size_t r = 0; r < rows_n; ++r) {
+    const std::uint64_t* row = rows.data() + r * words_per_row;
+    expected_dists[r] =
+        oracle.xor_popcount(row, reference.words().data(), words_per_row);
+    expected_pops[r] = oracle.popcount(row, words_per_row);
+    oracle.accumulate_ones(row, bits, expected_ones.data());
+  }
+  for_each_level([&](Level) {
+    std::vector<std::uint64_t> dists(rows_n, ~std::uint64_t{0});
+    std::vector<std::uint64_t> pops(rows_n, ~std::uint64_t{0});
+    std::vector<std::uint32_t> ones(bits, 0);
+    bitkernel::row_stats_batch(rows.data(), rows_n, words_per_row, bits,
+                               reference.words().data(), ones.data(),
+                               dists.data(), pops.data());
+    EXPECT_EQ(dists, expected_dists);
+    EXPECT_EQ(pops, expected_pops);
+    EXPECT_EQ(ones, expected_ones);
   });
 }
 

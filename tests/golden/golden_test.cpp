@@ -23,6 +23,7 @@
 #include <string>
 
 #include "analysis/summary.hpp"
+#include "common/bitkernel.hpp"
 #include "common/sha256.hpp"
 #include "testbed/campaign.hpp"
 #include "testbed/checkpoint.hpp"
@@ -201,6 +202,62 @@ TEST(GoldenCampaign, ChaosCampaignExactBits) {
       std::to_string(result.health.total_measurements_dropped());
   map["health.probes"] = std::to_string(result.health.total_probes());
   check_against_golden("campaign_chaos.golden", map);
+}
+
+// The execution-configuration matrix the tilecol engine must be inert
+// under: tile shape x thread count x SIMD tier. The pinned golden bits
+// were produced at threads=1 on the default shape; every other point of
+// the matrix must reproduce them byte for byte.
+void expect_matches_golden_under_matrix(const std::string& golden_name,
+                                        const CampaignConfig& base) {
+  const GoldenMap expected = read_golden(golden_name);
+  ASSERT_FALSE(expected.empty());
+  const struct {
+    std::size_t rows;
+    std::size_t cols;
+  } shapes[] = {{0, 0}, {1, 1}, {3, 5}, {128, 16}};
+  // Scalar oracle tier and the best tier this CPU offers (they coincide
+  // on a machine with no SIMD, which collapses the matrix harmlessly).
+  const bitkernel::Level best = bitkernel::available_levels().back();
+  for (const auto& shape : shapes) {
+    for (const std::size_t threads : {std::size_t{1}, std::size_t{4}}) {
+      for (const bitkernel::Level level : {bitkernel::Level::kScalar, best}) {
+        SCOPED_TRACE(::testing::Message()
+                     << "tile " << shape.rows << "x" << shape.cols
+                     << " threads=" << threads << " simd="
+                     << bitkernel::level_name(level));
+        CampaignConfig config = base;
+        config.tile_rows = shape.rows;
+        config.tile_cols = shape.cols;
+        config.threads = threads;
+        bitkernel::ScopedLevel scoped(level);
+        const GoldenMap actual = series_map(run_campaign(config));
+        for (const auto& [key, value] : expected) {
+          if (key.rfind("health.", 0) == 0) {
+            continue;  // ledger keys live only in the chaos golden map
+          }
+          const auto it = actual.find(key);
+          ASSERT_NE(it, actual.end()) << key;
+          ASSERT_EQ(it->second, value) << "diverged at " << key;
+        }
+      }
+    }
+  }
+}
+
+TEST(GoldenCampaign, Fig6IsTileShapeThreadAndSimdInvariant) {
+  if (regen_requested()) {
+    GTEST_SKIP() << "regeneration run";
+  }
+  expect_matches_golden_under_matrix("campaign_fig6.golden", golden_config());
+}
+
+TEST(GoldenCampaign, ChaosSeriesIsTileShapeThreadAndSimdInvariant) {
+  if (regen_requested()) {
+    GTEST_SKIP() << "regeneration run";
+  }
+  expect_matches_golden_under_matrix("campaign_chaos.golden",
+                                     golden_chaos_config());
 }
 
 TEST(GoldenCampaign, SeriesIsThreadAndKernelInvariant) {

@@ -77,4 +77,30 @@ inline void expect_accumulate_matches_oracle(
   EXPECT_EQ(actual, expected);
 }
 
+/// Checks `level`'s fused row_stats against the defining contract: the
+/// plain composition of the three scalar kernels (HD over the raw whole
+/// words, popcount over the raw whole words, masked counter
+/// accumulation). Both start from the same counter image.
+inline void expect_row_stats_matches_oracle(
+    bitkernel::Level level, const std::uint64_t* row, const std::uint64_t* ref,
+    std::size_t bit_count, const std::vector<std::uint32_t>& initial_counters) {
+  ASSERT_EQ(initial_counters.size(), bit_count);
+  const std::size_t words = (bit_count + 63) / 64;
+  const bitkernel::Kernels& oracle =
+      bitkernel::kernels_for(bitkernel::Level::kScalar);
+  std::vector<std::uint32_t> expected_counters = initial_counters;
+  const std::uint64_t expected_dist = oracle.xor_popcount(row, ref, words);
+  const std::uint64_t expected_pop = oracle.popcount(row, words);
+  oracle.accumulate_ones(row, bit_count, expected_counters.data());
+
+  std::vector<std::uint32_t> counters = initial_counters;
+  std::uint64_t dist = 0;
+  std::uint64_t pop = 0;
+  bitkernel::kernels_for(level).row_stats(row, ref, bit_count, counters.data(),
+                                          &dist, &pop);
+  EXPECT_EQ(dist, expected_dist);
+  EXPECT_EQ(pop, expected_pop);
+  EXPECT_EQ(counters, expected_counters);
+}
+
 }  // namespace pufaging::testsupport

@@ -1,0 +1,60 @@
+// Seeded generators for columnar-tile tests.
+//
+// The tile engine's whole contract is shape-invariance: any (tile_rows,
+// tile_cols) must produce bit-identical analysis results. The corpus here
+// concentrates on the shapes that break blocked code: degenerate 1×N and
+// N×1 tiles, shapes that divide the matrix exactly (no ragged edges),
+// shapes just off a divisor (maximally ragged edges), single-tile shapes
+// larger than the matrix, and the auto-resolved default.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "tilecol/layout.hpp"
+
+namespace pufaging::testsupport {
+
+/// Tile shapes that stress a rows × row_words matrix: degenerate strips,
+/// exact divisors, off-by-one raggedness, oversize single tiles, and the
+/// auto default ({0, 0}).
+inline std::vector<tilecol::TileShape> adversarial_tile_shapes(
+    std::size_t rows, std::size_t row_words) {
+  std::vector<tilecol::TileShape> shapes;
+  shapes.push_back({0, 0});  // auto-resolved default
+  shapes.push_back({1, 1});
+  shapes.push_back({1, row_words == 0 ? 1 : row_words});     // 1×N strip
+  shapes.push_back({rows == 0 ? 1 : rows, 1});               // N×1 strip
+  shapes.push_back({rows == 0 ? 1 : rows,
+                    row_words == 0 ? 1 : row_words});        // one tile
+  shapes.push_back({rows + 3, row_words + 3});               // oversize
+  for (const std::size_t tr : {std::size_t{2}, std::size_t{3},
+                               std::size_t{5}, std::size_t{7}}) {
+    for (const std::size_t tc : {std::size_t{2}, std::size_t{3},
+                                 std::size_t{5}}) {
+      shapes.push_back({tr, tc});
+    }
+  }
+  return shapes;
+}
+
+/// Row counts that stress the ragged bottom edge: the paper's 16-board
+/// fleet, one past it, primes, and tile-boundary straddlers.
+inline std::vector<std::size_t> adversarial_row_counts() {
+  return {1, 2, 3, 16, 17, 31, 64, 65, 100};
+}
+
+/// Random row-major word matrix (rows × row_words), fully random words —
+/// including any padding bits a caller may treat as garbage.
+inline std::vector<std::uint64_t> random_row_matrix(Xoshiro256StarStar& rng,
+                                                    std::size_t rows,
+                                                    std::size_t row_words) {
+  std::vector<std::uint64_t> words(rows * row_words);
+  for (std::uint64_t& w : words) {
+    w = rng.next();
+  }
+  return words;
+}
+
+}  // namespace pufaging::testsupport

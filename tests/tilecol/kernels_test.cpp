@@ -1,0 +1,174 @@
+// Differential suite for the tile-blocked kernels: every kernel, at every
+// SIMD dispatch tier and every adversarial tile shape, must reproduce the
+// flat row-major bitkernel oracle exactly — integer counts bit-for-bit,
+// and the streaming BCHD fold equal to the materialized lex-order sum as
+// exact doubles.
+#include "tilecol/kernels.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "common/bitkernel.hpp"
+#include "common/error.hpp"
+#include "common/rng.hpp"
+#include "support/bitgen.hpp"
+#include "support/differential.hpp"
+#include "support/tilegen.hpp"
+#include "tilecol/layout.hpp"
+
+namespace pufaging::tilecol {
+namespace {
+
+using testsupport::adversarial_tile_shapes;
+using testsupport::for_each_level;
+using testsupport::random_row_matrix;
+using testsupport::words_with_dirty_tail;
+
+// Packs a row-major matrix into a tile buffer at `shape`.
+TileBuffer pack_matrix(const std::vector<std::uint64_t>& matrix,
+                       std::size_t rows, std::size_t row_words,
+                       TileShape shape) {
+  TileBuffer buf{TileLayout(rows, row_words, shape)};
+  for (std::size_t r = 0; r < rows; ++r) {
+    buf.pack_row(r, matrix.data() + r * row_words);
+  }
+  return buf;
+}
+
+TEST(TilecolColumnOnes, MatchesFlatOracleAtEveryShapeAndTier) {
+  Xoshiro256StarStar rng(0xC01A0B5ULL);
+  for (const std::size_t rows : {1UL, 2UL, 16UL, 17UL, 65UL}) {
+    for (const std::size_t bits : {1UL, 63UL, 64UL, 65UL, 1000UL, 8192UL}) {
+      const std::size_t row_words = (bits + 63) / 64;
+      const std::vector<std::uint64_t> matrix =
+          random_row_matrix(rng, rows, row_words);
+      std::vector<std::uint32_t> expected(bits, 0);
+      bitkernel::column_ones(matrix.data(), rows, row_words, bits,
+                             expected.data());
+      for (const TileShape shape : adversarial_tile_shapes(rows, row_words)) {
+        const TileBuffer tiles = pack_matrix(matrix, rows, row_words, shape);
+        for_each_level([&](bitkernel::Level) {
+          std::vector<std::uint32_t> actual(bits, 0xDEADU);  // callee zeroes
+          column_ones(tiles.layout(), tiles.data(), bits, actual.data());
+          ASSERT_EQ(actual, expected)
+              << rows << " rows, " << bits << " bits, shape "
+              << tiles.layout().tile_rows() << "x"
+              << tiles.layout().tile_cols();
+        });
+      }
+    }
+  }
+}
+
+TEST(TilecolColumnOnes, DirtyTailBitsAreMaskedLikeTheOracle) {
+  Xoshiro256StarStar rng(0xD117ULL);
+  const std::size_t rows = 17;
+  const std::size_t bits = 1000;  // 15 full words + 40-bit tail
+  const std::size_t row_words = (bits + 63) / 64;
+  std::vector<std::uint64_t> matrix;
+  for (std::size_t r = 0; r < rows; ++r) {
+    const std::vector<std::uint64_t> row = words_with_dirty_tail(rng, bits);
+    matrix.insert(matrix.end(), row.begin(), row.end());
+  }
+  std::vector<std::uint32_t> expected(bits, 0);
+  bitkernel::column_ones(matrix.data(), rows, row_words, bits,
+                         expected.data());
+  for (const TileShape shape : adversarial_tile_shapes(rows, row_words)) {
+    const TileBuffer tiles = pack_matrix(matrix, rows, row_words, shape);
+    std::vector<std::uint32_t> actual(bits, 0);
+    column_ones(tiles.layout(), tiles.data(), bits, actual.data());
+    ASSERT_EQ(actual, expected);
+  }
+}
+
+TEST(TilecolAllPairs, MatchesFlatOracleAtEveryShapeAndTier) {
+  Xoshiro256StarStar rng(0xA11FA125ULL);
+  for (const std::size_t rows : {2UL, 3UL, 16UL, 17UL, 31UL}) {
+    const std::size_t row_words = 128;  // the paper's 8192-bit pattern
+    const std::vector<std::uint64_t> matrix =
+        random_row_matrix(rng, rows, row_words);
+    std::vector<std::size_t> expected(rows * (rows - 1) / 2);
+    bitkernel::all_pairs_hamming(matrix.data(), rows, row_words,
+                                 expected.data());
+    for (const TileShape shape : adversarial_tile_shapes(rows, row_words)) {
+      const TileBuffer tiles = pack_matrix(matrix, rows, row_words, shape);
+      for_each_level([&](bitkernel::Level) {
+        std::vector<std::size_t> actual(expected.size(), 0xDEADU);
+        all_pairs_hamming(tiles.layout(), tiles.data(), actual.data());
+        ASSERT_EQ(actual, expected)
+            << rows << " rows, shape " << tiles.layout().tile_rows() << "x"
+            << tiles.layout().tile_cols();
+      });
+    }
+  }
+}
+
+TEST(TilecolFold, ExactlyEqualsMaterializedLexOrderFold) {
+  Xoshiro256StarStar rng(0xF01DULL);
+  for (const std::size_t rows : {2UL, 5UL, 16UL, 17UL, 100UL}) {
+    for (const std::size_t bits : {64UL, 1000UL, 8192UL}) {
+      const std::size_t row_words = (bits + 63) / 64;
+      // Clean padding, as BitVector guarantees in production.
+      std::vector<std::uint64_t> matrix =
+          random_row_matrix(rng, rows, row_words);
+      const std::size_t tail = bits & 63U;
+      if (tail != 0) {
+        for (std::size_t r = 0; r < rows; ++r) {
+          matrix[r * row_words + row_words - 1] &=
+              (std::uint64_t{1} << tail) - 1;
+        }
+      }
+      // Materialized oracle: integer all-pairs, then doubles in lex order.
+      std::vector<std::size_t> dists(rows * (rows - 1) / 2);
+      bitkernel::all_pairs_hamming(matrix.data(), rows, row_words,
+                                   dists.data());
+      double expected_sum = 0.0;
+      double expected_wc = 1.0;
+      for (const std::size_t d : dists) {
+        const double b =
+            static_cast<double>(d) / static_cast<double>(bits);
+        expected_sum += b;
+        expected_wc = std::min(expected_wc, b);
+      }
+      for (const TileShape shape : adversarial_tile_shapes(rows, row_words)) {
+        const TileBuffer tiles = pack_matrix(matrix, rows, row_words, shape);
+        for_each_level([&](bitkernel::Level) {
+          const PairHammingFold fold =
+              fold_pair_fractional_hds(tiles.layout(), tiles.data(), bits);
+          ASSERT_EQ(fold.pairs, dists.size());
+          // Bitwise double equality — the whole point of the lex-order
+          // conversion contract.
+          ASSERT_EQ(fold.sum, expected_sum)
+              << rows << " rows, " << bits << " bits, shape "
+              << tiles.layout().tile_rows() << "x"
+              << tiles.layout().tile_cols();
+          ASSERT_EQ(fold.wc, expected_wc);
+        });
+      }
+    }
+  }
+}
+
+TEST(TilecolFold, FewerThanTwoRowsYieldsEmptyFold) {
+  const std::vector<std::uint64_t> matrix = {0xFFULL};
+  const TileBuffer tiles = pack_matrix(matrix, 1, 1, {0, 0});
+  const PairHammingFold fold =
+      fold_pair_fractional_hds(tiles.layout(), tiles.data(), 64);
+  EXPECT_EQ(fold.pairs, 0U);
+  EXPECT_EQ(fold.sum, 0.0);
+  EXPECT_EQ(fold.wc, 1.0);
+}
+
+TEST(TilecolPackBitvectors, RejectsMismatchedAndEmptyInputs) {
+  std::vector<BitVector> rows;
+  EXPECT_THROW(pack_bitvector_rows(rows, {0, 0}), InvalidArgument);
+  rows.emplace_back(64);
+  rows.emplace_back(65);
+  EXPECT_THROW(pack_bitvector_rows(rows, {0, 0}), InvalidArgument);
+}
+
+}  // namespace
+}  // namespace pufaging::tilecol

@@ -1,0 +1,169 @@
+// Property suite for the columnar tile layout: indexing arithmetic is
+// self-consistent, storage is covered exactly once, and pack_row followed
+// by unpack_row is the identity at every adversarial (rows, row_words,
+// tile_rows, tile_cols) — including degenerate 1×N / N×1 strips and
+// maximally ragged edges.
+#include "tilecol/layout.hpp"
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+#include <set>
+#include <vector>
+
+#include "common/error.hpp"
+#include "common/rng.hpp"
+#include "support/tilegen.hpp"
+
+namespace pufaging::tilecol {
+namespace {
+
+using testsupport::adversarial_row_counts;
+using testsupport::adversarial_tile_shapes;
+using testsupport::random_row_matrix;
+
+TEST(ResolveTileShape, ZeroMeansDefaultClampedToExtent) {
+  const TileShape full = resolve_tile_shape({0, 0}, 1000, 1000);
+  EXPECT_EQ(full.tile_rows, 64U);
+  EXPECT_EQ(full.tile_cols, 64U);
+
+  const TileShape small = resolve_tile_shape({0, 0}, 5, 3);
+  EXPECT_EQ(small.tile_rows, 5U);
+  EXPECT_EQ(small.tile_cols, 3U);
+}
+
+TEST(ResolveTileShape, OversizeRequestClampsAndDegenerateStaysOne) {
+  const TileShape big = resolve_tile_shape({100, 100}, 7, 2);
+  EXPECT_EQ(big.tile_rows, 7U);
+  EXPECT_EQ(big.tile_cols, 2U);
+
+  const TileShape empty = resolve_tile_shape({0, 0}, 0, 0);
+  EXPECT_EQ(empty.tile_rows, 1U);
+  EXPECT_EQ(empty.tile_cols, 1U);
+}
+
+TEST(TileLayout, GridCoversMatrixExactly) {
+  for (const std::size_t rows : adversarial_row_counts()) {
+    for (const std::size_t row_words : {1UL, 2UL, 3UL, 7UL, 128UL}) {
+      for (const TileShape shape : adversarial_tile_shapes(rows, row_words)) {
+        const TileLayout layout(rows, row_words, shape);
+        SCOPED_TRACE(::testing::Message()
+                     << rows << "x" << row_words << " @ "
+                     << layout.tile_rows() << "x" << layout.tile_cols());
+        // Heights/widths tile the matrix exactly.
+        std::size_t height_sum = 0;
+        for (std::size_t tr = 0; tr < layout.tiles_down(); ++tr) {
+          EXPECT_GT(layout.tile_height(tr), 0U);
+          height_sum += layout.tile_height(tr);
+        }
+        std::size_t width_sum = 0;
+        for (std::size_t tc = 0; tc < layout.tiles_across(); ++tc) {
+          EXPECT_GT(layout.tile_width(tc), 0U);
+          width_sum += layout.tile_width(tc);
+        }
+        EXPECT_EQ(height_sum, rows);
+        EXPECT_EQ(width_sum, row_words);
+        // Tile offsets are distinct and inside storage.
+        std::set<std::size_t> offsets;
+        for (std::size_t tr = 0; tr < layout.tiles_down(); ++tr) {
+          for (std::size_t tc = 0; tc < layout.tiles_across(); ++tc) {
+            const std::size_t off = layout.tile_offset(tr, tc);
+            EXPECT_TRUE(offsets.insert(off).second);
+            EXPECT_LE(off + layout.tile_rows() * layout.tile_cols(),
+                      layout.storage_words());
+          }
+        }
+      }
+    }
+  }
+}
+
+TEST(TileLayout, RowSegmentsAreDisjointAcrossRows) {
+  const TileLayout layout(10, 7, {3, 2});
+  std::set<std::size_t> seen;
+  for (std::size_t row = 0; row < layout.rows(); ++row) {
+    for (std::size_t tc = 0; tc < layout.tiles_across(); ++tc) {
+      const std::size_t base = layout.row_segment_offset(row, tc);
+      for (std::size_t w = 0; w < layout.tile_width(tc); ++w) {
+        EXPECT_TRUE(seen.insert(base + w).second)
+            << "row " << row << " tc " << tc << " word " << w;
+      }
+    }
+  }
+  EXPECT_EQ(seen.size(), layout.rows() * layout.row_words());
+}
+
+TEST(TileBuffer, PackUnpackRoundTripsAtEveryAdversarialShape) {
+  Xoshiro256StarStar rng(0x7113C01AULL);
+  for (const std::size_t rows : adversarial_row_counts()) {
+    for (const std::size_t row_words : {1UL, 3UL, 128UL}) {
+      const std::vector<std::uint64_t> matrix =
+          random_row_matrix(rng, rows, row_words);
+      for (const TileShape shape : adversarial_tile_shapes(rows, row_words)) {
+        TileBuffer buf{TileLayout(rows, row_words, shape)};
+        for (std::size_t r = 0; r < rows; ++r) {
+          buf.pack_row(r, matrix.data() + r * row_words);
+        }
+        std::vector<std::uint64_t> back(row_words);
+        for (std::size_t r = 0; r < rows; ++r) {
+          buf.unpack_row(r, back.data());
+          for (std::size_t w = 0; w < row_words; ++w) {
+            ASSERT_EQ(back[w], matrix[r * row_words + w])
+                << "row " << r << " word " << w << " shape "
+                << buf.layout().tile_rows() << "x" << buf.layout().tile_cols();
+          }
+        }
+      }
+    }
+  }
+}
+
+TEST(TileBuffer, StorageIsAlignedAndPaddingStaysZero) {
+  const TileLayout layout(5, 3, {4, 2});  // ragged on both edges
+  TileBuffer buf(layout);
+  EXPECT_EQ(reinterpret_cast<std::uintptr_t>(buf.data()) % 64, 0U);
+  std::vector<std::uint64_t> row(layout.row_words(), ~std::uint64_t{0});
+  for (std::size_t r = 0; r < layout.rows(); ++r) {
+    buf.pack_row(r, row.data());
+  }
+  // Everything not addressed by a row segment must still be zero.
+  std::set<std::size_t> valid;
+  for (std::size_t r = 0; r < layout.rows(); ++r) {
+    for (std::size_t tc = 0; tc < layout.tiles_across(); ++tc) {
+      for (std::size_t w = 0; w < layout.tile_width(tc); ++w) {
+        valid.insert(layout.row_segment_offset(r, tc) + w);
+      }
+    }
+  }
+  for (std::size_t i = 0; i < layout.storage_words(); ++i) {
+    if (!valid.count(i)) {
+      EXPECT_EQ(buf.data()[i], 0U) << "padding word " << i;
+    }
+  }
+}
+
+TEST(TileBuffer, OutOfRangeRowThrows) {
+  TileBuffer buf{TileLayout(4, 2, {2, 2})};
+  std::vector<std::uint64_t> row(2, 0);
+  EXPECT_THROW(buf.pack_row(4, row.data()), InvalidArgument);
+  EXPECT_THROW(buf.unpack_row(4, row.data()), InvalidArgument);
+}
+
+TEST(TileBuffer, TenThousandRowRoundTrip) {
+  // The 10,000-board what-if scale (1 word per row keeps it cheap).
+  Xoshiro256StarStar rng(0xB0A4D5ULL);
+  const std::size_t rows = 10000;
+  const std::vector<std::uint64_t> matrix = random_row_matrix(rng, rows, 1);
+  TileBuffer buf{TileLayout(rows, 1, {0, 0})};
+  for (std::size_t r = 0; r < rows; ++r) {
+    buf.pack_row(r, matrix.data() + r);
+  }
+  std::uint64_t back = 0;
+  for (std::size_t r = 0; r < rows; ++r) {
+    buf.unpack_row(r, &back);
+    ASSERT_EQ(back, matrix[r]);
+  }
+}
+
+}  // namespace
+}  // namespace pufaging::tilecol

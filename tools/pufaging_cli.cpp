@@ -20,6 +20,7 @@
 //                      [--months N] [--measurements N] [--seed S]
 //                      [--resume] [--halt-after-cells N] [--no-poison]
 //   pufaging chaosgrid --replay BUNDLE_DIR [--threads N]
+//   pufaging tilescan  --store-dir DIR [--tile-rows N] [--tile-cols N]
 //
 // Every command is deterministic from the seed; see README.md.
 #include <cstdio>
@@ -42,9 +43,13 @@
 #include "auth/loadgen.hpp"
 #include "auth/registry.hpp"
 #include "auth/service.hpp"
+#include "analysis/entropy.hpp"
 #include "analysis/lifetime.hpp"
+#include "analysis/streaming_fold.hpp"
 #include "analysis/summary.hpp"
 #include "analysis/timeseries.hpp"
+#include "tilecol/kernels.hpp"
+#include "tilecol/snapshot_reader.hpp"
 #include "common/error.hpp"
 #include "common/thread_pool.hpp"
 #include "obs/export.hpp"
@@ -121,6 +126,8 @@ int cmd_campaign(Args& args) {
   config.measurements_per_month =
       static_cast<std::size_t>(args.integer("--measurements", 1000));
   config.threads = static_cast<std::size_t>(args.integer("--threads", 0));
+  config.tile_rows = static_cast<std::size_t>(args.integer("--tile-rows", 0));
+  config.tile_cols = static_cast<std::size_t>(args.integer("--tile-cols", 0));
   if (const auto seed = args.value("--seed")) {
     config.fleet.seed = std::stoull(*seed, nullptr, 0);
   }
@@ -616,6 +623,50 @@ int cmd_predict(Args& args) {
   return 0;
 }
 
+int cmd_tilescan(Args& args) {
+  auto dir = args.value("--store-dir");
+  if (!dir) {
+    dir = args.positional();
+  }
+  if (!dir) {
+    std::fprintf(stderr,
+                 "usage: pufaging tilescan --store-dir DIR "
+                 "[--tile-rows N] [--tile-cols N]\n");
+    return 2;
+  }
+  const tilecol::TileShape shape{
+      static_cast<std::size_t>(args.integer("--tile-rows", 0)),
+      static_cast<std::size_t>(args.integer("--tile-cols", 0))};
+  // mmap-backed read of the published snapshot through the Vfs seam.
+  const tilecol::FleetSnapshot snap =
+      tilecol::read_fleet_snapshot(RealFs::instance(), *dir);
+  std::fprintf(stderr, "snapshot: generation %u, %zu devices, %zu bits, %s\n",
+               snap.generation, snap.device_ids.size(), snap.reference_bits,
+               snap.zero_copy ? "zero-copy (mmap)" : "buffered");
+  if (snap.references.size() < 2) {
+    std::fprintf(stderr,
+                 "tilescan: need at least two devices for cross-device "
+                 "metrics\n");
+    return 1;
+  }
+  const tilecol::TileBuffer tiles = tilecol::pack_snapshot(snap, shape);
+  const tilecol::PairHammingFold bchd = tilecol::fold_pair_fractional_hds(
+      tiles.layout(), tiles.data(), snap.reference_bits);
+  const double entropy = puf_min_entropy(snap.references, shape);
+  const FoldFootprint fp = fold_footprint(
+      snap.references.size(), snap.reference_bits, shape);
+  std::printf("tiles: %zux%zu words (%zu x %zu grid)\n",
+              tiles.layout().tile_rows(), tiles.layout().tile_cols(),
+              tiles.layout().tiles_down(), tiles.layout().tiles_across());
+  std::printf("bchd_avg %.4f%%  bchd_wc %.4f%%  over %zu pairs\n",
+              100.0 * bchd.sum / static_cast<double>(bchd.pairs),
+              100.0 * bchd.wc, bchd.pairs);
+  std::printf("puf_entropy %.4f bit/cell\n", entropy);
+  std::printf("scratch: streaming %zu bytes vs materialized %zu bytes\n",
+              fp.streaming_bytes, fp.materialized_bytes);
+  return 0;
+}
+
 int usage() {
   std::fprintf(
       stderr,
@@ -648,6 +699,9 @@ int usage() {
       "             [--threads N] [--impostors P] [--blocks N] [--seed S]\n"
       "             [--passes N] [--store-dir DIR] [--fsync-every N]\n"
       "             [--metrics] [--metrics-out FILE]\n"
+      "  tilescan   stream the cross-device metrics of a published store\n"
+      "             snapshot through the columnar tile engine (mmap read)\n"
+      "             --store-dir DIR [--tile-rows N] [--tile-cols N]\n"
       "  chaosgrid  sweep fault-rate scale x retry policy, emit\n"
       "             riskcliff.json + per-cell poison bundles\n"
       "             [--spec FILE] [--out DIR] [--threads N] [--seeds N]\n"
@@ -693,6 +747,9 @@ int main(int argc, char** argv) {
     }
     if (command == "auth") {
       return cmd_auth(args);
+    }
+    if (command == "tilescan") {
+      return cmd_tilescan(args);
     }
     if (command == "chaosgrid") {
       return cmd_chaosgrid(args);
