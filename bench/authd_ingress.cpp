@@ -1,0 +1,247 @@
+// Daemon ingress bench: steady-state frame->decision throughput through
+// the sans-IO core, plus an overload sweep across arrival multiples.
+//
+// Reproduction artefact:
+//   1. steady-state ingress: encoded frames through on_bytes + pump on a
+//      pipelined connection mix — auths/sec and pump-latency p50/p99
+//   2. overload sweep at 0.5x / 1x / 2x / 4x of the queue's service
+//      capacity: typed outcome fractions (decided / shed / retry-after)
+//      with the queue-bound invariant checked every step (hard gate)
+//   3. determinism: the same workload driven twice must produce the same
+//      decisions SHA-256 (hard gate) — the hash is the cross-commit
+//      identity contract in the BENCH line
+//
+// Scale defaults suit a 2-core CI runner; override with
+// AUTHD_BENCH_DEVICES / AUTHD_BENCH_REQUESTS.
+#include <algorithm>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "auth/fleet_sim.hpp"
+#include "auth/service.hpp"
+#include "authd/daemon.hpp"
+#include "bench_common.hpp"
+#include "obs/clock.hpp"
+
+namespace {
+
+using namespace pufaging;
+using namespace pufaging::authd;
+
+std::size_t env_size(const char* name, std::size_t fallback) {
+  const char* v = std::getenv(name);
+  return v != nullptr ? static_cast<std::size_t>(std::stoull(v)) : fallback;
+}
+
+struct Workload {
+  auth::VirtualFleet fleet;
+  auth::AuthService service;
+  std::vector<std::string> frames;  ///< Pre-encoded request frames.
+
+  Workload(std::size_t devices, std::size_t requests)
+      : fleet(fleet_config(), devices), service(auth::AuthServiceConfig{}) {
+    for (std::uint64_t id = 0; id < devices; ++id) {
+      service.enroll(id, fleet.enrollment_response(id));
+    }
+    // 1-in-32 requests is an impostor (un-enrolled silicon claiming an
+    // enrolled id) so the decode path's reject branch stays hot too.
+    frames.reserve(requests);
+    for (std::uint64_t i = 0; i < requests; ++i) {
+      AuthRequestMsg msg;
+      msg.request_id = i;
+      msg.device_id = i % devices;
+      const std::uint64_t silicon =
+          i % 32 == 31 ? devices + i : msg.device_id;
+      msg.response = fleet.enrollment_response(silicon).words();
+      frames.push_back(encode_auth_request(msg));
+    }
+  }
+
+  static auth::VirtualFleetConfig fleet_config() {
+    auth::VirtualFleetConfig config;
+    config.seed = 0xBE7C4;
+    return config;
+  }
+};
+
+DaemonConfig bench_daemon_config(obs::MonotonicClock* clock) {
+  DaemonConfig config;
+  config.rate.burst = 0;            // Throughput, not throttling.
+  config.lockout.retry_budget = 1000;
+  config.request_deadline_ns = ~0ULL / 2;  // Virtual time never expires.
+  config.output_buffer_cap = ~std::size_t{0};
+  config.clock = clock;
+  return config;
+}
+
+struct DriveResult {
+  std::uint64_t decided = 0;
+  std::uint64_t shed = 0;
+  std::uint64_t retry_after = 0;
+  std::string decisions_sha256;
+  double wall_seconds = 0.0;
+  std::uint64_t pump_p50_ns = 0;
+  std::uint64_t pump_p99_ns = 0;
+};
+
+/// Feeds the workload at `arrivals_per_pump` frames between pumps across
+/// `conns` pipelined connections, consuming output as it appears (a
+/// well-behaved reader), and pumps the queue dry at the end.
+DriveResult drive(const Workload& workload, std::size_t conns,
+                  std::size_t arrivals_per_pump) {
+  obs::FakeClock virtual_clock(1'000'000'000, 1'000);
+  AuthDaemon daemon(workload.service, bench_daemon_config(&virtual_clock));
+  std::vector<AuthDaemon::ConnId> ids;
+  for (std::size_t c = 0; c < conns; ++c) {
+    ids.push_back(daemon.open_connection());
+  }
+
+  obs::MonotonicClock& wall = obs::RealClock::instance();
+  std::vector<std::uint64_t> pump_ns;
+  pump_ns.reserve(workload.frames.size() / arrivals_per_pump + 2);
+  const std::uint64_t t0 = wall.now_ns();
+  std::size_t fed = 0;
+  while (fed < workload.frames.size()) {
+    const std::size_t stop =
+        std::min(fed + arrivals_per_pump, workload.frames.size());
+    for (; fed < stop; ++fed) {
+      const AuthDaemon::ConnId conn = ids[fed % ids.size()];
+      daemon.on_bytes(conn, workload.frames[fed]);
+    }
+    const std::uint64_t p0 = wall.now_ns();
+    daemon.pump();
+    pump_ns.push_back(wall.now_ns() - p0);
+    for (const AuthDaemon::ConnId conn : ids) {
+      daemon.consume_output(conn, daemon.output(conn).size());
+    }
+    if (daemon.queue_depth() > daemon.config().queue_cap) {
+      std::printf("QUEUE BOUND VIOLATED: depth %zu > cap %zu\n",
+                  daemon.queue_depth(), daemon.config().queue_cap);
+      std::exit(1);
+    }
+  }
+  while (daemon.queue_depth() > 0) {
+    daemon.pump();
+  }
+
+  DriveResult result;
+  result.wall_seconds = static_cast<double>(wall.now_ns() - t0) * 1e-9;
+  const DaemonStats stats = daemon.stats();
+  result.decided = stats.decided;
+  result.shed = stats.shed;
+  result.retry_after = stats.retry_after;
+  result.decisions_sha256 = daemon.decisions_sha256();
+  std::sort(pump_ns.begin(), pump_ns.end());
+  if (!pump_ns.empty()) {
+    result.pump_p50_ns = pump_ns[pump_ns.size() / 2];
+    result.pump_p99_ns = pump_ns[pump_ns.size() * 99 / 100];
+  }
+  return result;
+}
+
+void reproduce() {
+  bench::banner("Auth daemon ingress: steady state + overload sweep");
+
+  const std::size_t devices = env_size("AUTHD_BENCH_DEVICES", 2000);
+  const std::size_t requests = env_size("AUTHD_BENCH_REQUESTS", 60000);
+  const Workload workload(devices, requests);
+
+  // --- 1. Steady state: arrivals matched to one batch per pump.
+  const DriveResult steady = drive(workload, 16, 256);
+  const double auths_per_sec =
+      steady.wall_seconds > 0
+          ? static_cast<double>(steady.decided) / steady.wall_seconds
+          : 0.0;
+  std::printf("steady state: %llu decided in %.3f s  (%.0f auths/sec, "
+              "pump p50 %llu ns, p99 %llu ns)\n",
+              static_cast<unsigned long long>(steady.decided),
+              steady.wall_seconds, auths_per_sec,
+              static_cast<unsigned long long>(steady.pump_p50_ns),
+              static_cast<unsigned long long>(steady.pump_p99_ns));
+
+  // --- 2. Determinism gate: identical workload, identical hash.
+  const DriveResult replay = drive(workload, 16, 256);
+  const bool identical =
+      replay.decisions_sha256 == steady.decisions_sha256 &&
+      replay.decided == steady.decided;
+  std::printf("replay bit-identical: %s  (decisions %.16s...)\n",
+              identical ? "yes" : "NO - BUG",
+              steady.decisions_sha256.c_str());
+
+  // --- 3. Overload sweep: arrivals at multiples of the 256/pump service
+  // capacity. Above 1x the typed backpressure must carry the excess.
+  std::printf("\noverload sweep (queue cap 4096, batch 256):\n");
+  std::printf("  %-8s %10s %10s %12s %10s\n", "arrival", "decided", "shed",
+              "retry_after", "shed_frac");
+  double shed_frac_2x = 0.0;
+  for (const std::size_t arrivals : {128U, 256U, 512U, 1024U}) {
+    const DriveResult r = drive(workload, 16, arrivals);
+    const double total = static_cast<double>(requests);
+    const double shed_frac =
+        static_cast<double>(r.shed + r.retry_after) / total;
+    if (arrivals == 512U) {
+      shed_frac_2x = shed_frac;
+    }
+    std::printf("  %5.2fx  %10llu %10llu %12llu %9.4f\n",
+                static_cast<double>(arrivals) / 256.0,
+                static_cast<unsigned long long>(r.decided),
+                static_cast<unsigned long long>(r.shed),
+                static_cast<unsigned long long>(r.retry_after), shed_frac);
+  }
+
+  // --- 4. Machine-readable line for CI trend tracking.
+  std::printf("BENCH {\"bench\":\"authd_ingress\","
+              "\"devices\":%zu,\"requests\":%zu,"
+              "\"auths_per_sec\":%.0f,"
+              "\"pump_p50_ns\":%llu,\"pump_p99_ns\":%llu,"
+              "\"shed_frac_2x\":%.4f,"
+              "\"bit_identical\":%s,"
+              "\"identity_hash\":\"%s\"}\n",
+              devices, requests, auths_per_sec,
+              static_cast<unsigned long long>(steady.pump_p50_ns),
+              static_cast<unsigned long long>(steady.pump_p99_ns),
+              shed_frac_2x, identical ? "true" : "false",
+              steady.decisions_sha256.c_str());
+
+  if (!identical) {
+    std::printf("BIT MISMATCH: daemon decisions differ across replays\n");
+    std::exit(1);
+  }
+}
+
+// --- google-benchmark timing of the frame->decision cycle.
+
+void BM_DaemonIngest(benchmark::State& state) {
+  const std::size_t batch = static_cast<std::size_t>(state.range(0));
+  const Workload workload(512, 4096);
+  obs::FakeClock clock(1'000'000'000, 1'000);
+  AuthDaemon daemon(workload.service, bench_daemon_config(&clock));
+  const AuthDaemon::ConnId conn = daemon.open_connection();
+  std::size_t next = 0;
+  for (auto _ : state) {
+    for (std::size_t i = 0; i < batch; ++i) {
+      daemon.on_bytes(conn, workload.frames[next]);
+      next = (next + 1) % workload.frames.size();
+    }
+    daemon.pump();
+    daemon.consume_output(conn, daemon.output(conn).size());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(batch));
+}
+
+void register_benches() {
+  for (const std::int64_t batch : {64, 256}) {
+    benchmark::RegisterBenchmark("BM_DaemonIngest", BM_DaemonIngest)
+        ->Arg(batch)
+        ->Unit(benchmark::kMicrosecond);
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  register_benches();
+  return pufaging::bench::run(argc, argv, reproduce);
+}

@@ -1,6 +1,7 @@
 #include "auth/records.hpp"
 
 #include <cstring>
+#include <string>
 
 #include "common/error.hpp"
 
@@ -57,7 +58,10 @@ class Reader {
  private:
   void need(std::size_t n) const {
     if (size_ - pos_ < n) {
-      throw ParseError("EnrollmentRecord: truncated record");
+      throw ParseError("EnrollmentRecord: truncated record: need " +
+                       std::to_string(n) + " byte(s) at offset " +
+                       std::to_string(pos_) + ", have " +
+                       std::to_string(size_ - pos_));
     }
   }
 
@@ -106,7 +110,9 @@ EnrollmentRecord parse_record(const std::uint8_t* data, std::size_t size) {
   }
   in.bytes(record.verifier.data(), record.verifier.size());
   if (in.remaining() != 0) {
-    throw ParseError("EnrollmentRecord: trailing bytes");
+    throw ParseError("EnrollmentRecord: " + std::to_string(in.remaining()) +
+                     " trailing byte(s) after a " + std::to_string(size) +
+                     "-byte record");
   }
   return record;
 }

@@ -1,0 +1,429 @@
+#include "authd/daemon.hpp"
+
+#include <algorithm>
+
+#include "auth/registry.hpp"
+#include "common/error.hpp"
+
+namespace pufaging::authd {
+
+AuthDaemon::AuthDaemon(const auth::AuthService& service,
+                       const DaemonConfig& config)
+    : service_(service),
+      config_(config),
+      limiter_(config.rate),
+      lockouts_(config.lockout) {
+  if (config_.queue_cap == 0 || config_.batch_max == 0) {
+    throw InvalidArgument("AuthDaemon: queue_cap and batch_max must be > 0");
+  }
+  config_.shed_watermark = std::clamp(config_.shed_watermark, 0.0, 1.0);
+}
+
+obs::MonotonicClock& AuthDaemon::clock() const {
+  return config_.clock != nullptr ? *config_.clock
+                                  : obs::RealClock::instance();
+}
+
+void AuthDaemon::attach_lockout_store(MeasurementStore* store) {
+  lockout_store_ = store;
+}
+
+void AuthDaemon::adopt_lockouts(LockoutLadder ladder) {
+  lockouts_ = std::move(ladder);
+}
+
+void AuthDaemon::attach_registry_store(MeasurementStore* store) {
+  registry_store_ = store;
+}
+
+void AuthDaemon::counter(const char* name, std::uint64_t delta) {
+  if (config_.metrics != nullptr) {
+    config_.metrics->add(name, delta);
+  }
+}
+
+AuthDaemon::ConnId AuthDaemon::open_connection() {
+  if (draining_ || sessions_.size() >= config_.max_connections) {
+    counter("authd.conn.refused");
+    return 0;
+  }
+  const ConnId conn = next_conn_++;
+  Session session;
+  session.last_activity_ns = clock().now_ns();
+  sessions_.emplace(conn, std::move(session));
+  stats_.connections_opened += 1;
+  counter("authd.conn.opened");
+  if (config_.metrics != nullptr) {
+    config_.metrics->gauge_set("authd.connections",
+                               static_cast<double>(sessions_.size()));
+  }
+  return conn;
+}
+
+void AuthDaemon::close_connection(ConnId conn) {
+  const auto it = sessions_.find(conn);
+  if (it == sessions_.end()) {
+    return;
+  }
+  sessions_.erase(it);
+  stats_.connections_closed += 1;
+  counter("authd.conn.closed");
+  if (config_.metrics != nullptr) {
+    config_.metrics->gauge_set("authd.connections",
+                               static_cast<double>(sessions_.size()));
+  }
+}
+
+AuthDaemon::Session* AuthDaemon::find(ConnId conn) {
+  const auto it = sessions_.find(conn);
+  return it != sessions_.end() ? &it->second : nullptr;
+}
+
+const AuthDaemon::Session* AuthDaemon::find(ConnId conn) const {
+  const auto it = sessions_.find(conn);
+  return it != sessions_.end() ? &it->second : nullptr;
+}
+
+void AuthDaemon::kill(ConnId conn, CloseReason reason) {
+  Session* session = find(conn);
+  if (session == nullptr || session->close_wanted) {
+    return;
+  }
+  session->close_wanted = true;
+  session->reason = reason;
+  if (reason == CloseReason::kProtocolError) {
+    stats_.protocol_errors += 1;
+    counter("authd.protocol_errors");
+  } else {
+    stats_.reaped += 1;
+    counter("authd.reaped");
+  }
+}
+
+void AuthDaemon::send(ConnId conn, const AuthResponseMsg& msg,
+                      std::uint64_t now_ns) {
+  Session* session = find(conn);
+  if (session == nullptr || session->close_wanted) {
+    stats_.responses_dropped += 1;
+    counter("authd.responses_dropped");
+    return;
+  }
+  const std::string frame = encode_auth_response(msg);
+  if (session->output.size() + frame.size() > config_.output_buffer_cap) {
+    // The client stopped reading and the buffer is at its bound: drop
+    // the client, not the bound.
+    kill(conn, CloseReason::kOutputOverflow);
+    stats_.responses_dropped += 1;
+    counter("authd.responses_dropped");
+    return;
+  }
+  if (session->output.empty()) {
+    session->stall_since_ns = now_ns;
+  }
+  session->output.append(frame);
+}
+
+void AuthDaemon::on_bytes(ConnId conn, std::string_view bytes) {
+  Session* session = find(conn);
+  if (session == nullptr || session->close_wanted || !session->open) {
+    return;
+  }
+  const std::uint64_t now_ns = clock().now_ns();
+  session->last_activity_ns = now_ns;
+  try {
+    session->reader.feed(bytes);
+    while (true) {
+      std::optional<Frame> frame = session->reader.next();
+      if (!frame) {
+        break;
+      }
+      stats_.frames += 1;
+      counter("authd.frames");
+      admit(conn, parse_auth_request(*frame), now_ns);
+      // admit() may have killed the connection (geometry mismatch).
+      session = find(conn);
+      if (session == nullptr || session->close_wanted) {
+        return;
+      }
+    }
+  } catch (const ParseError&) {
+    // Bad magic, CRC mismatch, oversize length, malformed payload: the
+    // stream cannot be re-synchronized, so the connection dies.
+    kill(conn, CloseReason::kProtocolError);
+  }
+}
+
+void AuthDaemon::admit(ConnId conn, AuthRequestMsg msg,
+                       std::uint64_t now_ns) {
+  obs::ScopedTimer timer(config_.metrics, "authd.admit_ns", clock());
+  if (msg.response.size() != service_.words_per_response()) {
+    // A geometry mismatch means the client was built against a different
+    // blocks config; nothing later on this stream can be valid.
+    kill(conn, CloseReason::kProtocolError);
+    return;
+  }
+  AuthResponseMsg reply;
+  reply.request_id = msg.request_id;
+  if (draining_) {
+    reply.status = ResponseStatus::kDraining;
+    stats_.draining_rejected += 1;
+    counter("authd.draining_rejected");
+    send(conn, reply, now_ns);
+    return;
+  }
+  if (const std::uint64_t until =
+          lockouts_.check(msg.device_id, now_ns)) {
+    reply.status = ResponseStatus::kLockedOut;
+    reply.retry_at_ns = until;
+    stats_.locked_out += 1;
+    counter("authd.locked_out");
+    send(conn, reply, now_ns);
+    return;
+  }
+  if (const std::uint64_t at = limiter_.try_acquire(msg.device_id, now_ns)) {
+    reply.status = ResponseStatus::kRateLimited;
+    reply.retry_at_ns = at;
+    stats_.rate_limited += 1;
+    counter("authd.rate_limited");
+    send(conn, reply, now_ns);
+    return;
+  }
+  if (queue_.size() >= config_.queue_cap) {
+    reply.status = ResponseStatus::kRetryAfter;
+    reply.retry_at_ns = now_ns + config_.request_deadline_ns;
+    stats_.retry_after += 1;
+    counter("authd.retry_after");
+    send(conn, reply, now_ns);
+    return;
+  }
+  const std::size_t watermark = static_cast<std::size_t>(
+      config_.shed_watermark * static_cast<double>(config_.queue_cap));
+  if (queue_.size() >= watermark && (shed_coin_++ & 1) != 0) {
+    reply.status = ResponseStatus::kShed;
+    reply.retry_at_ns = now_ns + config_.request_deadline_ns;
+    stats_.shed += 1;
+    counter("authd.shed");
+    send(conn, reply, now_ns);
+    return;
+  }
+  Pending pending;
+  pending.conn = conn;
+  pending.request_id = msg.request_id;
+  pending.device_id = msg.device_id;
+  pending.response = std::move(msg.response);
+  pending.admitted_ns = now_ns;
+  queue_.push_back(std::move(pending));
+  stats_.admitted += 1;
+  counter("authd.admitted");
+  if (config_.metrics != nullptr) {
+    config_.metrics->gauge_set("authd.queue_depth",
+                               static_cast<double>(queue_.size()));
+  }
+}
+
+std::string_view AuthDaemon::output(ConnId conn) const {
+  const Session* session = find(conn);
+  return session != nullptr ? std::string_view(session->output)
+                            : std::string_view();
+}
+
+void AuthDaemon::consume_output(ConnId conn, std::size_t n) {
+  Session* session = find(conn);
+  if (session == nullptr) {
+    return;
+  }
+  session->output.erase(0, n);
+  const std::uint64_t now_ns = clock().now_ns();
+  session->last_activity_ns = now_ns;
+  session->stall_since_ns = session->output.empty() ? 0 : now_ns;
+}
+
+bool AuthDaemon::wants_close(ConnId conn) const {
+  const Session* session = find(conn);
+  return session != nullptr && session->close_wanted;
+}
+
+CloseReason AuthDaemon::close_reason(ConnId conn) const {
+  const Session* session = find(conn);
+  return session != nullptr ? session->reason : CloseReason::kNone;
+}
+
+std::vector<AuthDaemon::ConnId> AuthDaemon::active_connections() const {
+  std::vector<ConnId> out;
+  for (const auto& [conn, session] : sessions_) {
+    if (!session.output.empty() || session.close_wanted) {
+      out.push_back(conn);
+    }
+  }
+  return out;
+}
+
+void AuthDaemon::record_lockout(const LockoutEvent& event) {
+  if (lockout_store_ != nullptr && lockout_store_->has_state()) {
+    lockout_store_->append_record(serialize_lockout_event(event));
+  }
+}
+
+void AuthDaemon::reap(std::uint64_t now_ns) {
+  for (auto& [conn, session] : sessions_) {
+    if (session.close_wanted || !session.open) {
+      continue;
+    }
+    if (!session.output.empty() && session.stall_since_ns != 0 &&
+        now_ns - session.stall_since_ns >= config_.write_stall_ns) {
+      kill(conn, CloseReason::kWriteStall);
+      continue;
+    }
+    if (config_.idle_timeout_ns != 0 &&
+        now_ns - session.last_activity_ns >= config_.idle_timeout_ns) {
+      kill(conn, CloseReason::kIdle);
+    }
+  }
+}
+
+std::size_t AuthDaemon::pump() {
+  const std::uint64_t now_ns = clock().now_ns();
+
+  // 1. Deadline sweep. Admission is FIFO with a uniform deadline, so
+  // expired requests are a prefix of the queue.
+  while (!queue_.empty() &&
+         now_ns - queue_.front().admitted_ns >= config_.request_deadline_ns) {
+    const Pending& expired = queue_.front();
+    AuthResponseMsg reply;
+    reply.request_id = expired.request_id;
+    reply.status = ResponseStatus::kDeadline;
+    stats_.deadline_expired += 1;
+    counter("authd.deadline_expired");
+    send(expired.conn, reply, now_ns);
+    queue_.pop_front();
+  }
+
+  // 2. Form one batch from the queue front (cross-connection coalescing).
+  const std::size_t count = std::min(config_.batch_max, queue_.size());
+  std::size_t decided = 0;
+  if (count > 0) {
+    std::vector<Pending> batch;
+    batch.reserve(count);
+    for (std::size_t i = 0; i < count; ++i) {
+      batch.push_back(std::move(queue_.front()));
+      queue_.pop_front();
+    }
+    std::vector<auth::AuthRequest> requests(count);
+    std::vector<auth::AuthDecision> decisions(count);
+    for (std::size_t i = 0; i < count; ++i) {
+      requests[i].device_id = batch[i].device_id;
+      requests[i].response = batch[i].response.data();
+    }
+    {
+      obs::ScopedTimer timer(config_.metrics, "authd.batch_ns", clock());
+      std::optional<obs::Tracer::Span> span;
+      if (config_.tracer != nullptr) {
+        span.emplace(config_.tracer->span("authd.batch"));
+      }
+      service_.authenticate_batch(requests.data(), count, decisions.data());
+    }
+    if (config_.metrics != nullptr) {
+      config_.metrics->observe("authd.batch_size", count);
+    }
+    const std::uint64_t done_ns = clock().now_ns();
+    for (std::size_t i = 0; i < count; ++i) {
+      const auth::AuthDecision decision = decisions[i];
+      // The bit-identity witness: device id (LE) + decision byte, in
+      // decision order.
+      std::uint8_t witness[9];
+      for (int b = 0; b < 8; ++b) {
+        witness[b] =
+            static_cast<std::uint8_t>(batch[i].device_id >> (8 * b));
+      }
+      witness[8] = static_cast<std::uint8_t>(decision);
+      decisions_hash_.update(witness, sizeof witness);
+      stats_.decided += 1;
+
+      const bool accepted = decision == auth::AuthDecision::kAccept;
+      const bool strike =
+          decision == auth::AuthDecision::kRejectKey ||
+          (config_.lockout.strike_on_decode &&
+           decision == auth::AuthDecision::kRejectDecode);
+      if (const std::optional<LockoutEvent> event = lockouts_.on_decision(
+              batch[i].device_id, accepted, strike, done_ns)) {
+        record_lockout(*event);
+        if (event->entry.locked_until_ns > done_ns) {
+          counter("authd.lockouts_entered");
+        }
+      }
+      AuthResponseMsg reply;
+      reply.request_id = batch[i].request_id;
+      reply.status = ResponseStatus::kDecision;
+      reply.decision = static_cast<std::uint8_t>(decision);
+      send(batch[i].conn, reply, done_ns);
+      if (config_.metrics != nullptr) {
+        config_.metrics->observe("authd.queue_wait_ns",
+                                 done_ns - batch[i].admitted_ns);
+      }
+    }
+    counter("authd.decided", count);
+    decided = count;
+  }
+
+  // 3. Reap stalled and idle connections.
+  reap(clock().now_ns());
+  if (config_.metrics != nullptr) {
+    config_.metrics->gauge_set("authd.queue_depth",
+                               static_cast<double>(queue_.size()));
+  }
+  return decided;
+}
+
+void AuthDaemon::begin_drain() {
+  if (!draining_) {
+    draining_ = true;
+    counter("authd.drain_begun");
+  }
+}
+
+DaemonStats AuthDaemon::finish_drain() {
+  begin_drain();
+  if (!drain_finished_) {
+    while (!queue_.empty()) {
+      pump();
+    }
+    if (lockout_store_ != nullptr) {
+      publish_lockouts(*lockout_store_, lockouts_);
+    }
+    if (registry_store_ != nullptr) {
+      auth::publish_registry(*registry_store_, service_.registry());
+    }
+    drain_finished_ = true;
+    counter("authd.drain_finished");
+  }
+  return stats();
+}
+
+DaemonStats AuthDaemon::stats() const {
+  DaemonStats out = stats_;
+  out.queue_depth = queue_.size();
+  return out;
+}
+
+std::string AuthDaemon::decisions_sha256() const {
+  Sha256 copy = decisions_hash_;
+  return Sha256::to_hex(copy.finalize());
+}
+
+const char* to_string(CloseReason reason) {
+  switch (reason) {
+    case CloseReason::kNone:
+      return "none";
+    case CloseReason::kProtocolError:
+      return "protocol-error";
+    case CloseReason::kOutputOverflow:
+      return "output-overflow";
+    case CloseReason::kWriteStall:
+      return "write-stall";
+    case CloseReason::kIdle:
+      return "idle";
+  }
+  return "unknown";
+}
+
+}  // namespace pufaging::authd

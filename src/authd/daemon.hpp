@@ -1,0 +1,234 @@
+// Sans-IO core of the long-running authentication daemon.
+//
+// The daemon is split the same way the store is split from the
+// filesystem: this class is the complete protocol/policy state machine —
+// framing, admission, backpressure, batching, deadlines, lockout, drain —
+// expressed over abstract connection ids and byte buffers, with every
+// timestamp read from the MonotonicClock seam. The socket layer
+// (server.hpp) is a thin shell that moves bytes between real fds and
+// this core; the chaos tests skip the shell entirely and feed the core
+// torn frames, stalled readers and request floods under a FakeClock,
+// which is what makes "never crashes, never grows unboundedly, p99
+// bounded" provable rather than observed.
+//
+// Robustness contract (the headline of this subsystem):
+//  - Admission is bounded: the queue never exceeds queue_cap. A request
+//    arriving above the cap is answered kRetryAfter immediately; between
+//    the shed watermark and the cap every second request is answered
+//    kShed (documented graceful degradation — reject-with-status instead
+//    of latency collapse).
+//  - Every admitted request carries a deadline; one that waits past it is
+//    answered kDeadline, never silently dropped and never authenticated
+//    late.
+//  - Output buffers are bounded: a client that stops reading past
+//    output_buffer_cap, or makes no read progress for write_stall_ns, is
+//    reaped — slow consumers cannot hold daemon memory hostage.
+//  - A framing error (bad magic/CRC/length) closes that connection with
+//    authd.protocol_errors incremented; the stream cannot be trusted to
+//    resynchronize.
+//  - begin_drain() stops admission (kDraining responses), pump() flushes
+//    the queue to empty, finish_drain() publishes the lockout + registry
+//    snapshots and flushes the WAL tail — zero accepted requests lost.
+//  - Decisions are bit-identical to calling AuthService directly on the
+//    admitted requests in admission order: the daemon feeds an SHA-256
+//    witness (decisions_sha256) the chaos suite compares against an
+//    in-process reference.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "auth/service.hpp"
+#include "authd/limiter.hpp"
+#include "authd/wire.hpp"
+#include "common/sha256.hpp"
+#include "obs/clock.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+#include "store/store.hpp"
+
+namespace pufaging::authd {
+
+struct DaemonConfig {
+  /// Hard bound on queued-but-unbatched requests (backpressure line).
+  std::size_t queue_cap = 4096;
+  /// Queue depth (fraction of queue_cap) beyond which every second
+  /// request is shed. Clamped to [0, 1].
+  double shed_watermark = 0.75;
+  /// Requests per AuthService batch (connection-level coalescing: one
+  /// batch mixes requests from every connection).
+  std::size_t batch_max = 256;
+  /// Simultaneous connections; open_connection refuses beyond it.
+  std::size_t max_connections = 1024;
+  /// Bound on one connection's pending response bytes.
+  std::size_t output_buffer_cap = 1 << 20;
+  /// Queue wait beyond which a request is answered kDeadline.
+  std::uint64_t request_deadline_ns = 100'000'000;  // 100 ms
+  /// No read progress on a non-empty output for this long = reaped.
+  std::uint64_t write_stall_ns = 5'000'000'000;  // 5 s
+  /// Connection with no traffic at all for this long = reaped (0 = off).
+  std::uint64_t idle_timeout_ns = 0;
+
+  RateLimiterConfig rate;
+  LockoutConfig lockout;
+
+  /// Optional sinks; null = no instrumentation (pure observers).
+  obs::MetricsRegistry* metrics = nullptr;
+  obs::Tracer* tracer = nullptr;
+  obs::MonotonicClock* clock = nullptr;
+};
+
+/// Why the daemon closed a connection (reported to the transport).
+enum class CloseReason : std::uint8_t {
+  kNone = 0,
+  kProtocolError,   ///< Framing violation: stream unrecoverable.
+  kOutputOverflow,  ///< Client stopped reading; buffer hit its cap.
+  kWriteStall,      ///< No read progress for write_stall_ns.
+  kIdle,            ///< idle_timeout_ns with no traffic.
+};
+
+/// Point-in-time daemon tallies (also exported as authd.* metrics).
+struct DaemonStats {
+  std::uint64_t connections_opened = 0;
+  std::uint64_t connections_closed = 0;
+  std::uint64_t frames = 0;
+  std::uint64_t protocol_errors = 0;
+  std::uint64_t admitted = 0;
+  std::uint64_t decided = 0;
+  std::uint64_t retry_after = 0;
+  std::uint64_t shed = 0;
+  std::uint64_t deadline_expired = 0;
+  std::uint64_t rate_limited = 0;
+  std::uint64_t locked_out = 0;
+  std::uint64_t draining_rejected = 0;
+  std::uint64_t reaped = 0;
+  std::uint64_t responses_dropped = 0;  ///< Connection died before write.
+  std::size_t queue_depth = 0;
+};
+
+class AuthDaemon {
+ public:
+  using ConnId = std::uint64_t;
+
+  /// The service's registry must be fully loaded before serving; the
+  /// daemon only reads it (authenticate_batch), never ingests.
+  AuthDaemon(const auth::AuthService& service, const DaemonConfig& config);
+
+  const DaemonConfig& config() const { return config_; }
+  const LockoutLadder& lockouts() const { return lockouts_; }
+
+  /// Durable ladder state: transitions append to this store's WAL as
+  /// they happen; finish_drain() publishes a compacting snapshot. The
+  /// store must outlive the daemon and already be recovered (pass the
+  /// ladder loaded from it via adopt_lockouts).
+  void attach_lockout_store(MeasurementStore* store);
+  void adopt_lockouts(LockoutLadder ladder);
+
+  /// Registry snapshot target for finish_drain(); optional.
+  void attach_registry_store(MeasurementStore* store);
+
+  // Connection lifecycle --------------------------------------------------
+  /// Returns 0 when refusing (at max_connections or draining) — the
+  /// transport should close the socket; otherwise a fresh connection id.
+  ConnId open_connection();
+
+  /// Transport saw EOF/RST (half-open handling): queued requests from
+  /// the connection still flow through the decision path (admission was
+  /// acknowledged), but their responses are dropped.
+  void close_connection(ConnId conn);
+
+  /// Feeds received bytes. Framing errors mark the connection for close
+  /// (wants_close / close_reason) instead of throwing — a malicious peer
+  /// must not unwind the daemon.
+  void on_bytes(ConnId conn, std::string_view bytes);
+
+  // Output (transport writes) --------------------------------------------
+  std::string_view output(ConnId conn) const;
+  void consume_output(ConnId conn, std::size_t n);
+  bool wants_close(ConnId conn) const;
+  CloseReason close_reason(ConnId conn) const;
+  /// Connections with pending output or a close verdict, ascending.
+  std::vector<ConnId> active_connections() const;
+
+  // The engine ------------------------------------------------------------
+  /// One pump: expire deadlines, form up to one batch_max batch from the
+  /// admission queue, authenticate it, route responses, walk the lockout
+  /// ladder, reap stalled/idle connections. Returns requests decided.
+  /// Call until queue_depth()==0 for a full flush.
+  std::size_t pump();
+
+  std::size_t queue_depth() const { return queue_.size(); }
+
+  // Drain -----------------------------------------------------------------
+  /// Stops admission: new connections refused, new requests answered
+  /// kDraining. Already-admitted requests keep flowing through pump().
+  void begin_drain();
+  bool draining() const { return draining_; }
+  /// True once the queue is empty (outputs may still be unread).
+  bool queue_flushed() const { return queue_.empty(); }
+  /// Publishes lockout + registry snapshots, flushes WAL tails. Returns
+  /// the drained stats snapshot. Idempotent.
+  DaemonStats finish_drain();
+
+  // Introspection ---------------------------------------------------------
+  DaemonStats stats() const;
+  /// SHA-256 over (device_id, decision) of every authenticated request,
+  /// in decision order — the chaos suite's bit-identity witness.
+  std::string decisions_sha256() const;
+
+ private:
+  struct Pending {
+    ConnId conn = 0;
+    std::uint64_t request_id = 0;
+    std::uint64_t device_id = 0;
+    std::vector<std::uint64_t> response;
+    std::uint64_t admitted_ns = 0;
+  };
+
+  struct Session {
+    FrameReader reader;
+    std::string output;
+    bool open = true;          ///< Transport-side liveness.
+    bool close_wanted = false;
+    CloseReason reason = CloseReason::kNone;
+    std::uint64_t last_activity_ns = 0;
+    std::uint64_t stall_since_ns = 0;  ///< 0 = output empty or draining.
+  };
+
+  obs::MonotonicClock& clock() const;
+  Session* find(ConnId conn);
+  const Session* find(ConnId conn) const;
+  void send(ConnId conn, const AuthResponseMsg& msg, std::uint64_t now_ns);
+  void kill(ConnId conn, CloseReason reason);
+  void admit(ConnId conn, AuthRequestMsg msg, std::uint64_t now_ns);
+  void record_lockout(const LockoutEvent& event);
+  void reap(std::uint64_t now_ns);
+  void counter(const char* name, std::uint64_t delta = 1);
+
+  const auth::AuthService& service_;
+  DaemonConfig config_;
+  RateLimiter limiter_;
+  LockoutLadder lockouts_;
+  MeasurementStore* lockout_store_ = nullptr;
+  MeasurementStore* registry_store_ = nullptr;
+
+  std::map<ConnId, Session> sessions_;
+  ConnId next_conn_ = 1;
+  std::deque<Pending> queue_;
+  std::uint64_t shed_coin_ = 0;
+  bool draining_ = false;
+  bool drain_finished_ = false;
+
+  DaemonStats stats_;
+  Sha256 decisions_hash_;
+};
+
+const char* to_string(CloseReason reason);
+
+}  // namespace pufaging::authd

@@ -1,0 +1,304 @@
+#include "authd/limiter.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.hpp"
+#include "common/sha256.hpp"
+
+namespace pufaging::authd {
+namespace {
+
+constexpr char kEventMagic[5] = {'P', 'A', 'L', 'K', '1'};
+constexpr char kSnapshotMagic[5] = {'P', 'A', 'L', 'S', '1'};
+
+void put_u32(std::string& out, std::uint32_t v) {
+  for (int i = 0; i < 4; ++i) {
+    out.push_back(static_cast<char>((v >> (8 * i)) & 0xFF));
+  }
+}
+
+void put_u64(std::string& out, std::uint64_t v) {
+  for (int i = 0; i < 8; ++i) {
+    out.push_back(static_cast<char>((v >> (8 * i)) & 0xFF));
+  }
+}
+
+/// Little-endian cursor; every shortfall names the failing offset so a
+/// corrupt ladder WAL is diagnosable from the daemon log alone.
+class Reader {
+ public:
+  Reader(std::string_view bytes, const char* what)
+      : bytes_(bytes), what_(what) {}
+
+  void magic(const char (&expect)[5]) {
+    need(5);
+    if (bytes_.compare(pos_, 5, expect, 5) != 0) {
+      throw ParseError(std::string(what_) + ": bad magic at offset " +
+                       std::to_string(pos_));
+    }
+    pos_ += 5;
+  }
+
+  std::uint32_t u32() {
+    need(4);
+    std::uint32_t v = 0;
+    for (std::size_t i = 0; i < 4; ++i) {
+      v |= static_cast<std::uint32_t>(
+               static_cast<std::uint8_t>(bytes_[pos_ + i]))
+           << (8 * i);
+    }
+    pos_ += 4;
+    return v;
+  }
+
+  std::uint64_t u64() {
+    need(8);
+    std::uint64_t v = 0;
+    for (std::size_t i = 0; i < 8; ++i) {
+      v |= static_cast<std::uint64_t>(
+               static_cast<std::uint8_t>(bytes_[pos_ + i]))
+           << (8 * i);
+    }
+    pos_ += 8;
+    return v;
+  }
+
+  void done() const {
+    if (pos_ != bytes_.size()) {
+      throw ParseError(std::string(what_) + ": " +
+                       std::to_string(bytes_.size() - pos_) +
+                       " trailing byte(s) at offset " + std::to_string(pos_));
+    }
+  }
+
+ private:
+  void need(std::size_t n) const {
+    if (bytes_.size() - pos_ < n) {
+      throw ParseError(std::string(what_) + ": truncated (need " +
+                       std::to_string(n) + " byte(s) at offset " +
+                       std::to_string(pos_) + ", have " +
+                       std::to_string(bytes_.size() - pos_) + ")");
+    }
+  }
+
+  std::string_view bytes_;
+  const char* what_;
+  std::size_t pos_ = 0;
+};
+
+void put_entry(std::string& out, std::uint64_t device_id,
+               const LockoutEntry& entry) {
+  put_u64(out, device_id);
+  put_u32(out, entry.strikes);
+  put_u32(out, entry.level);
+  put_u64(out, entry.locked_until_ns);
+}
+
+}  // namespace
+
+RateLimiter::RateLimiter(const RateLimiterConfig& config) : config_(config) {
+  if (config_.tokens_per_sec < 0.0 || !std::isfinite(config_.tokens_per_sec)) {
+    throw InvalidArgument("RateLimiter: tokens_per_sec must be finite >= 0");
+  }
+}
+
+std::uint64_t RateLimiter::try_acquire(std::uint64_t device_id,
+                                       std::uint64_t now_ns) {
+  if (config_.burst == 0) {
+    return 0;  // Limiting disabled.
+  }
+  auto it = buckets_.find(device_id);
+  if (it == buckets_.end()) {
+    // Bound the table before inserting: evict the stalest bucket. A
+    // forgotten bucket refills to full, which only admits more.
+    if (buckets_.size() >= config_.max_tracked && !buckets_.empty()) {
+      auto stalest = buckets_.begin();
+      for (auto b = buckets_.begin(); b != buckets_.end(); ++b) {
+        if (b->second.refilled_ns < stalest->second.refilled_ns) {
+          stalest = b;
+        }
+      }
+      buckets_.erase(stalest);
+    }
+    Bucket fresh;
+    fresh.tokens = static_cast<double>(config_.burst);
+    fresh.refilled_ns = now_ns;
+    it = buckets_.emplace(device_id, fresh).first;
+  }
+  Bucket& bucket = it->second;
+  if (now_ns > bucket.refilled_ns) {
+    const double elapsed_s =
+        static_cast<double>(now_ns - bucket.refilled_ns) * 1e-9;
+    bucket.tokens = std::min(static_cast<double>(config_.burst),
+                             bucket.tokens +
+                                 elapsed_s * config_.tokens_per_sec);
+    bucket.refilled_ns = now_ns;
+  }
+  if (bucket.tokens >= 1.0) {
+    bucket.tokens -= 1.0;
+    return 0;
+  }
+  if (config_.tokens_per_sec == 0.0) {
+    return ~0ULL;  // Never refills: effectively a permanent limit.
+  }
+  const double deficit_s = (1.0 - bucket.tokens) / config_.tokens_per_sec;
+  return now_ns + static_cast<std::uint64_t>(std::ceil(deficit_s * 1e9));
+}
+
+std::string serialize_lockout_event(const LockoutEvent& event) {
+  std::string out;
+  out.reserve(5 + 24);
+  out.append(kEventMagic, 5);
+  put_entry(out, event.device_id, event.entry);
+  return out;
+}
+
+LockoutEvent parse_lockout_event(std::string_view bytes) {
+  Reader r(bytes, "LockoutEvent");
+  r.magic(kEventMagic);
+  LockoutEvent event;
+  event.device_id = r.u64();
+  event.entry.strikes = r.u32();
+  event.entry.level = r.u32();
+  event.entry.locked_until_ns = r.u64();
+  r.done();
+  return event;
+}
+
+LockoutLadder::LockoutLadder(const LockoutConfig& config) : config_(config) {
+  if (config_.retry_budget == 0) {
+    throw InvalidArgument("LockoutLadder: retry_budget must be > 0");
+  }
+  if (config_.max_level > 31) {
+    throw InvalidArgument("LockoutLadder: max_level must be <= 31");
+  }
+  if (config_.base_lockout_ns == 0) {
+    throw InvalidArgument("LockoutLadder: base_lockout_ns must be > 0");
+  }
+}
+
+std::uint64_t LockoutLadder::check(std::uint64_t device_id,
+                                   std::uint64_t now_ns) const {
+  const auto it = entries_.find(device_id);
+  if (it == entries_.end() || it->second.locked_until_ns <= now_ns) {
+    return 0;
+  }
+  return it->second.locked_until_ns;
+}
+
+std::optional<LockoutEvent> LockoutLadder::on_decision(
+    std::uint64_t device_id, bool accepted, bool strike,
+    std::uint64_t now_ns) {
+  auto it = entries_.find(device_id);
+  if (accepted) {
+    if (it == entries_.end()) {
+      return std::nullopt;  // Clean device stayed clean: nothing durable.
+    }
+    entries_.erase(it);
+    // Resetting to the implicit clean state is itself a transition the
+    // WAL must carry, or a replayed log would revive the old lockout.
+    return LockoutEvent{device_id, LockoutEntry{}};
+  }
+  if (!strike) {
+    // Unknown-device rejects (and decode rejects when the caller doesn't
+    // count them) don't walk the ladder: there is no enrolled identity
+    // being guessed at, or the caller treats them as channel noise.
+    return std::nullopt;
+  }
+  LockoutEntry entry = it != entries_.end() ? it->second : LockoutEntry{};
+  entry.strikes += 1;
+  if (entry.strikes >= config_.retry_budget) {
+    const std::uint32_t shift = std::min(entry.level, config_.max_level);
+    entry.locked_until_ns = now_ns + (config_.base_lockout_ns << shift);
+    entry.level = std::min(entry.level + 1, config_.max_level);
+    entry.strikes = 0;
+  }
+  entries_[device_id] = entry;
+  return LockoutEvent{device_id, entry};
+}
+
+std::size_t LockoutLadder::locked(std::uint64_t now_ns) const {
+  std::size_t n = 0;
+  for (const auto& [id, entry] : entries_) {
+    if (entry.locked_until_ns > now_ns) {
+      ++n;
+    }
+  }
+  return n;
+}
+
+const LockoutEntry* LockoutLadder::find(std::uint64_t device_id) const {
+  const auto it = entries_.find(device_id);
+  return it != entries_.end() ? &it->second : nullptr;
+}
+
+void LockoutLadder::apply_event(const LockoutEvent& event) {
+  if (event.entry == LockoutEntry{}) {
+    entries_.erase(event.device_id);
+  } else {
+    entries_[event.device_id] = event.entry;
+  }
+}
+
+std::string LockoutLadder::serialize_snapshot() const {
+  std::string out;
+  out.reserve(5 + 8 + entries_.size() * 24);
+  out.append(kSnapshotMagic, 5);
+  put_u64(out, entries_.size());
+  for (const auto& [id, entry] : entries_) {  // std::map: ids ascending.
+    put_entry(out, id, entry);
+  }
+  return out;
+}
+
+LockoutLadder LockoutLadder::from_snapshot(std::string_view blob,
+                                           const LockoutConfig& config) {
+  Reader r(blob, "LockoutSnapshot");
+  r.magic(kSnapshotMagic);
+  const std::uint64_t count = r.u64();
+  if (count > blob.size()) {  // Each entry needs >= 24 bytes.
+    throw ParseError("LockoutSnapshot: entry count " + std::to_string(count) +
+                     " impossible for a " + std::to_string(blob.size()) +
+                     "-byte blob at offset 5");
+  }
+  LockoutLadder ladder(config);
+  std::uint64_t previous = 0;
+  for (std::uint64_t i = 0; i < count; ++i) {
+    const std::uint64_t id = r.u64();
+    if (i > 0 && id <= previous) {
+      throw ParseError("LockoutSnapshot: device ids not strictly ascending "
+                       "at entry " + std::to_string(i));
+    }
+    previous = id;
+    LockoutEntry entry;
+    entry.strikes = r.u32();
+    entry.level = r.u32();
+    entry.locked_until_ns = r.u64();
+    ladder.entries_[id] = entry;
+  }
+  r.done();
+  return ladder;
+}
+
+std::string LockoutLadder::state_hash() const {
+  return Sha256::to_hex(Sha256::hash(serialize_snapshot()));
+}
+
+LockoutLadder load_lockouts(const MeasurementStore& store,
+                            const LockoutConfig& config) {
+  LockoutLadder ladder = store.has_state() && !store.snapshot().empty()
+                             ? LockoutLadder::from_snapshot(store.snapshot(),
+                                                            config)
+                             : LockoutLadder(config);
+  for (const std::string& payload : store.wal_records()) {
+    ladder.apply_event(parse_lockout_event(payload));
+  }
+  return ladder;
+}
+
+void publish_lockouts(MeasurementStore& store, const LockoutLadder& ladder) {
+  store.publish_snapshot(ladder.serialize_snapshot());
+}
+
+}  // namespace pufaging::authd

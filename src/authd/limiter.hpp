@@ -1,0 +1,152 @@
+// Admission policy of the authentication daemon: token-bucket rate
+// limiting plus an escalating per-device lockout ladder.
+//
+// The rate limiter throttles *volume*: each device id owns a token
+// bucket refilled at a fixed rate, so a single chatty client cannot
+// monopolize the admission queue. The lockout ladder throttles
+// *impostors*: repeated kRejectKey decisions (the signature of
+// brute-force guessing against an enrolled device — the Gao et al.
+// recycled-silicon threat) walk the same bounded-retry → lockout →
+// backed-off probe state machine the chaos rig uses for misbehaving
+// boards. Each ladder level doubles the lockout window up to a cap;
+// an accepted authentication resets the device to level zero.
+//
+// Both are pure functions of (state, now_ns) — no RNG, no wall clock of
+// their own — so a FakeClock drives every test deterministically, and
+// the ladder's durable form (snapshot + WAL events through a
+// MeasurementStore) recovers bit-identically after any power cut: the
+// kill-point sweep asserts state_hash() equality, not just "roughly the
+// same lockouts".
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "store/store.hpp"
+
+namespace pufaging::authd {
+
+struct RateLimiterConfig {
+  /// Bucket capacity (burst size) per device id; 0 disables limiting.
+  std::uint32_t burst = 32;
+  /// Sustained tokens per second per device id.
+  double tokens_per_sec = 1000.0;
+  /// Buckets tracked at once; least-recently-refilled evicted beyond it.
+  std::size_t max_tracked = 1 << 20;
+};
+
+/// Per-device token buckets, lazily materialized. Untracked devices are
+/// full buckets — forgetting a device can only err toward admitting.
+class RateLimiter {
+ public:
+  explicit RateLimiter(const RateLimiterConfig& config);
+
+  /// Takes one token for `device_id` at time `now_ns`. Returns 0 when
+  /// admitted, else the earliest now_ns at which a token will exist.
+  std::uint64_t try_acquire(std::uint64_t device_id, std::uint64_t now_ns);
+
+  std::size_t tracked() const { return buckets_.size(); }
+
+ private:
+  struct Bucket {
+    double tokens = 0.0;
+    std::uint64_t refilled_ns = 0;
+  };
+
+  RateLimiterConfig config_;
+  std::map<std::uint64_t, Bucket> buckets_;
+};
+
+struct LockoutConfig {
+  /// Consecutive strikes before the first lockout.
+  std::uint32_t retry_budget = 5;
+  /// First lockout window; level L locks for base << L.
+  std::uint64_t base_lockout_ns = 1'000'000'000;  // 1 s
+  /// Highest backoff level (caps the shift; 2^10 s ~= 17 min default).
+  std::uint32_t max_level = 10;
+  /// Count kRejectDecode as a strike too. An impostor read under the
+  /// wrong helper data usually fails ECC decode rather than reaching the
+  /// key comparison, so a brute-force run against an enrolled identity
+  /// looks like decode failures; with this off only kRejectKey walks the
+  /// ladder. Genuine devices are protected either way by the budget and
+  /// the accept-resets rule.
+  bool strike_on_decode = true;
+};
+
+/// One device's position on the ladder.
+struct LockoutEntry {
+  std::uint32_t strikes = 0;      ///< Consecutive reject-key count.
+  std::uint32_t level = 0;        ///< Backoff level reached so far.
+  std::uint64_t locked_until_ns = 0;  ///< 0 = not currently locked.
+
+  bool operator==(const LockoutEntry&) const = default;
+};
+
+/// Durable ladder event: the WAL record appended on every transition.
+/// Versioned little-endian layout ("PALK1"); malformed input is a
+/// ParseError with the failing offset.
+struct LockoutEvent {
+  std::uint64_t device_id = 0;
+  LockoutEntry entry;  ///< The device's state AFTER the transition.
+};
+
+std::string serialize_lockout_event(const LockoutEvent& event);
+LockoutEvent parse_lockout_event(std::string_view bytes);
+
+class LockoutLadder {
+ public:
+  explicit LockoutLadder(const LockoutConfig& config);
+
+  const LockoutConfig& config() const { return config_; }
+
+  /// Gate check before admitting a request. Returns 0 when the device
+  /// may proceed, else the ns timestamp its lockout expires at. After
+  /// expiry the device is in probe: requests flow again, but the ladder
+  /// level is retained, so the next strike run locks longer.
+  std::uint64_t check(std::uint64_t device_id, std::uint64_t now_ns) const;
+
+  /// Feeds one auth outcome through the state machine; `strike` is a
+  /// failed attempt against this identity (kRejectKey, plus kRejectDecode
+  /// when strike_on_decode). Returns the transition to persist when the
+  /// device's entry changed (accept clearing a clean device returns
+  /// nullopt).
+  std::optional<LockoutEvent> on_decision(std::uint64_t device_id,
+                                          bool accepted, bool strike,
+                                          std::uint64_t now_ns);
+
+  /// Devices with any ladder state (strikes, level or live lock).
+  std::size_t tracked() const { return entries_.size(); }
+  std::size_t locked(std::uint64_t now_ns) const;
+
+  const LockoutEntry* find(std::uint64_t device_id) const;
+
+  /// Replays one durable event (recovery path).
+  void apply_event(const LockoutEvent& event);
+
+  /// Serializes the whole table ("PALS1" | count | id,entry...), ids
+  /// ascending — the snapshot blob published through the store.
+  std::string serialize_snapshot() const;
+  static LockoutLadder from_snapshot(std::string_view blob,
+                                     const LockoutConfig& config);
+
+  /// SHA-256 over the canonical snapshot serialization: the recovery
+  /// bit-identity witness of the kill-point sweep.
+  std::string state_hash() const;
+
+ private:
+  LockoutConfig config_;
+  std::map<std::uint64_t, LockoutEntry> entries_;
+};
+
+/// Recovers a ladder from an opened store: snapshot + WAL event replay.
+LockoutLadder load_lockouts(const MeasurementStore& store,
+                            const LockoutConfig& config);
+
+/// Publishes the ladder as the store's next snapshot generation.
+void publish_lockouts(MeasurementStore& store, const LockoutLadder& ladder);
+
+}  // namespace pufaging::authd

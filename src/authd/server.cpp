@@ -1,0 +1,369 @@
+#include "authd/server.hpp"
+
+#include <arpa/inet.h>
+#include <fcntl.h>
+#include <netinet/in.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+#include "common/error.hpp"
+#include "obs/clock.hpp"
+
+namespace pufaging::authd {
+namespace {
+
+[[noreturn]] void throw_errno(const std::string& op, const std::string& who) {
+  const int err = errno;
+  throw IoError(op + " '" + who + "': " + std::strerror(err) + " (errno " +
+                std::to_string(err) + ")");
+}
+
+void set_nonblocking(int fd) {
+  const int flags = ::fcntl(fd, F_GETFL, 0);
+  if (flags < 0 || ::fcntl(fd, F_SETFL, flags | O_NONBLOCK) < 0) {
+    throw_errno("fcntl O_NONBLOCK", "fd " + std::to_string(fd));
+  }
+}
+
+}  // namespace
+
+SocketServer::SocketServer(AuthDaemon& daemon, const ServerConfig& config)
+    : daemon_(daemon), config_(config) {
+  if (!config_.socket_path.empty()) {
+    sockaddr_un addr{};
+    addr.sun_family = AF_UNIX;
+    if (config_.socket_path.size() >= sizeof(addr.sun_path)) {
+      throw InvalidArgument("SocketServer: socket path '" +
+                            config_.socket_path + "' too long");
+    }
+    std::strncpy(addr.sun_path, config_.socket_path.c_str(),
+                 sizeof(addr.sun_path) - 1);
+    listen_fd_ = ::socket(AF_UNIX, SOCK_STREAM, 0);
+    if (listen_fd_ < 0) {
+      throw_errno("socket", config_.socket_path);
+    }
+    ::unlink(config_.socket_path.c_str());  // Stale socket from a crash.
+    if (::bind(listen_fd_, reinterpret_cast<sockaddr*>(&addr),
+               sizeof(addr)) < 0) {
+      ::close(listen_fd_);
+      listen_fd_ = -1;
+      throw_errno("bind", config_.socket_path);
+    }
+  } else {
+    listen_fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+    if (listen_fd_ < 0) {
+      throw_errno("socket", "tcp");
+    }
+    const int one = 1;
+    ::setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+    addr.sin_port = htons(config_.tcp_port);
+    if (::bind(listen_fd_, reinterpret_cast<sockaddr*>(&addr),
+               sizeof(addr)) < 0) {
+      ::close(listen_fd_);
+      listen_fd_ = -1;
+      throw_errno("bind", "127.0.0.1:" + std::to_string(config_.tcp_port));
+    }
+    socklen_t len = sizeof(addr);
+    if (::getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&addr),
+                      &len) == 0) {
+      port_ = ntohs(addr.sin_port);
+    }
+  }
+  if (::listen(listen_fd_, 128) < 0) {
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    throw_errno("listen", config_.socket_path.empty()
+                              ? "127.0.0.1:" + std::to_string(port_)
+                              : config_.socket_path);
+  }
+  set_nonblocking(listen_fd_);
+}
+
+SocketServer::~SocketServer() {
+  for (const Conn& conn : conns_) {
+    ::close(conn.fd);
+  }
+  if (listen_fd_ >= 0) {
+    ::close(listen_fd_);
+  }
+  if (!config_.socket_path.empty()) {
+    ::unlink(config_.socket_path.c_str());
+  }
+}
+
+void SocketServer::accept_ready() {
+  while (true) {
+    const int fd = ::accept(listen_fd_, nullptr, nullptr);
+    if (fd < 0) {
+      return;  // EAGAIN or transient error: nothing more to accept now.
+    }
+    const AuthDaemon::ConnId id = daemon_.open_connection();
+    if (id == 0) {
+      ::close(fd);  // At capacity or draining: refuse at the door.
+      continue;
+    }
+    set_nonblocking(fd);
+    conns_.push_back(Conn{fd, id});
+  }
+}
+
+bool SocketServer::service_read(Conn& conn) {
+  char buffer[1 << 16];
+  while (true) {
+    const ssize_t n = ::recv(conn.fd, buffer, sizeof buffer, 0);
+    if (n > 0) {
+      daemon_.on_bytes(conn.id, std::string_view(buffer,
+                                                 static_cast<size_t>(n)));
+      if (daemon_.wants_close(conn.id)) {
+        return false;
+      }
+      continue;
+    }
+    if (n == 0) {
+      return false;  // EOF (includes the half-open client's FIN).
+    }
+    return errno == EAGAIN || errno == EWOULDBLOCK;
+  }
+}
+
+bool SocketServer::service_write(Conn& conn) {
+  while (true) {
+    const std::string_view out = daemon_.output(conn.id);
+    if (out.empty()) {
+      return true;
+    }
+    const ssize_t n = ::send(conn.fd, out.data(), out.size(), MSG_NOSIGNAL);
+    if (n > 0) {
+      daemon_.consume_output(conn.id, static_cast<std::size_t>(n));
+      continue;
+    }
+    if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) {
+      return true;  // Kernel buffer full; POLLOUT will call us back.
+    }
+    return false;  // Peer gone (EPIPE/ECONNRESET).
+  }
+}
+
+void SocketServer::drop(std::size_t index) {
+  ::close(conns_[index].fd);
+  daemon_.close_connection(conns_[index].id);
+  conns_.erase(conns_.begin() + static_cast<std::ptrdiff_t>(index));
+}
+
+ServerReport SocketServer::run(const std::atomic<bool>& stop) {
+  obs::MonotonicClock& clock = obs::RealClock::instance();
+  bool draining = false;
+  std::uint64_t drain_started_ns = 0;
+
+  while (true) {
+    if (!draining && stop.load(std::memory_order_relaxed)) {
+      // Stop accepting first: the listener closes before any flush.
+      draining = true;
+      drain_started_ns = clock.now_ns();
+      daemon_.begin_drain();
+      if (listen_fd_ >= 0) {
+        ::close(listen_fd_);
+        listen_fd_ = -1;
+        if (!config_.socket_path.empty()) {
+          ::unlink(config_.socket_path.c_str());
+        }
+      }
+    }
+
+    std::vector<pollfd> fds;
+    fds.reserve(conns_.size() + 1);
+    if (listen_fd_ >= 0) {
+      fds.push_back(pollfd{listen_fd_, POLLIN, 0});
+    }
+    for (const Conn& conn : conns_) {
+      short events = POLLIN;
+      if (!daemon_.output(conn.id).empty()) {
+        events |= POLLOUT;
+      }
+      fds.push_back(pollfd{conn.fd, events, 0});
+    }
+    ::poll(fds.data(), fds.size(), config_.poll_interval_ms);
+
+    std::size_t fd_index = 0;
+    if (listen_fd_ >= 0) {
+      if ((fds[0].revents & POLLIN) != 0) {
+        accept_ready();
+      }
+      fd_index = 1;
+    }
+    // conns_ may have grown in accept_ready(); only the polled prefix
+    // has revents.
+    const std::size_t polled = fds.size() - fd_index;
+    for (std::size_t i = 0; i < polled && i < conns_.size();) {
+      const short revents = fds[fd_index + i].revents;
+      bool alive = true;
+      if ((revents & (POLLIN | POLLHUP | POLLERR)) != 0) {
+        alive = service_read(conns_[i]);
+      }
+      if (alive && (revents & POLLOUT) != 0) {
+        alive = service_write(conns_[i]);
+      }
+      if (!alive) {
+        drop(i);
+        continue;
+      }
+      ++i;
+    }
+
+    daemon_.pump();
+
+    // Flush fresh output eagerly (poll() above predates the pump) and
+    // retire connections the daemon gave up on.
+    for (std::size_t i = 0; i < conns_.size();) {
+      bool alive = service_write(conns_[i]);
+      if (alive && daemon_.wants_close(conns_[i].id) &&
+          daemon_.output(conns_[i].id).empty()) {
+        alive = false;  // Close verdict delivered and flushed.
+      }
+      if (!alive) {
+        drop(i);
+        continue;
+      }
+      ++i;
+    }
+
+    if (draining) {
+      // Drained = no queued work and every response byte handed to the
+      // kernel. An idle-but-connected client must not stall the exit:
+      // once flushed, remaining connections are closed in order (FIN
+      // after data), which is the EOF clients key off.
+      bool flushed = daemon_.queue_flushed();
+      for (const Conn& conn : conns_) {
+        if (!daemon_.output(conn.id).empty()) {
+          flushed = false;
+          break;
+        }
+      }
+      const bool expired =
+          clock.now_ns() - drain_started_ns >= config_.drain_deadline_ns;
+      if (flushed || expired) {
+        while (!conns_.empty()) {
+          drop(conns_.size() - 1);
+        }
+        ServerReport report;
+        report.drained_clean = flushed;
+        report.stats = daemon_.finish_drain();
+        report.decisions_sha256 = daemon_.decisions_sha256();
+        return report;
+      }
+    }
+  }
+}
+
+BlockingClient BlockingClient::connect_unix(const std::string& path) {
+  sockaddr_un addr{};
+  addr.sun_family = AF_UNIX;
+  if (path.size() >= sizeof(addr.sun_path)) {
+    throw InvalidArgument("BlockingClient: socket path '" + path +
+                          "' too long");
+  }
+  std::strncpy(addr.sun_path, path.c_str(), sizeof(addr.sun_path) - 1);
+  const int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  if (fd < 0) {
+    throw_errno("socket", path);
+  }
+  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) < 0) {
+    ::close(fd);
+    throw_errno("connect", path);
+  }
+  return BlockingClient(fd);
+}
+
+BlockingClient BlockingClient::connect_tcp(std::uint16_t port) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) {
+    throw_errno("socket", "tcp");
+  }
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(port);
+  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) < 0) {
+    ::close(fd);
+    throw_errno("connect", "127.0.0.1:" + std::to_string(port));
+  }
+  return BlockingClient(fd);
+}
+
+BlockingClient::BlockingClient(BlockingClient&& other) noexcept
+    : fd_(other.fd_), reader_(std::move(other.reader_)) {
+  other.fd_ = -1;
+}
+
+BlockingClient& BlockingClient::operator=(BlockingClient&& other) noexcept {
+  if (this != &other) {
+    if (fd_ >= 0) {
+      ::close(fd_);
+    }
+    fd_ = other.fd_;
+    reader_ = std::move(other.reader_);
+    other.fd_ = -1;
+  }
+  return *this;
+}
+
+BlockingClient::~BlockingClient() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+  }
+}
+
+void BlockingClient::send_bytes(std::string_view bytes) {
+  std::size_t sent = 0;
+  while (sent < bytes.size()) {
+    const ssize_t n = ::send(fd_, bytes.data() + sent, bytes.size() - sent,
+                             MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EINTR) {
+        continue;
+      }
+      throw_errno("send", "fd " + std::to_string(fd_));
+    }
+    sent += static_cast<std::size_t>(n);
+  }
+}
+
+std::optional<AuthResponseMsg> BlockingClient::read_response(int timeout_ms) {
+  while (true) {
+    if (std::optional<Frame> frame = reader_.next()) {
+      return parse_auth_response(*frame);
+    }
+    pollfd pfd{fd_, POLLIN, 0};
+    const int ready = ::poll(&pfd, 1, timeout_ms);
+    if (ready == 0) {
+      throw TimeoutError("BlockingClient: no response within " +
+                         std::to_string(timeout_ms) + " ms");
+    }
+    char buffer[1 << 14];
+    const ssize_t n = ::recv(fd_, buffer, sizeof buffer, 0);
+    if (n == 0) {
+      return std::nullopt;  // Daemon closed the connection.
+    }
+    if (n < 0) {
+      if (errno == EINTR) {
+        continue;
+      }
+      throw_errno("recv", "fd " + std::to_string(fd_));
+    }
+    reader_.feed(std::string_view(buffer, static_cast<std::size_t>(n)));
+  }
+}
+
+void BlockingClient::shutdown_write() {
+  ::shutdown(fd_, SHUT_WR);
+}
+
+}  // namespace pufaging::authd

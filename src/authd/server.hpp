@@ -1,0 +1,124 @@
+// POSIX socket shell around the sans-IO daemon core.
+//
+// Everything interesting — framing, admission, backpressure, deadlines,
+// lockout, drain — lives in AuthDaemon (daemon.hpp) and is proven by the
+// deterministic chaos suite. This file only moves bytes: a poll()-driven
+// single-threaded event loop over a Unix-domain or TCP listener and its
+// accepted connections, all non-blocking. The loop's job on each wake:
+//
+//   accept new sockets        -> daemon.open_connection (0 = refuse+close)
+//   readable sockets          -> recv -> daemon.on_bytes
+//   every wake                -> daemon.pump()
+//   sockets with output       -> send  -> daemon.consume_output
+//   daemon wants_close / EOF  -> close fd, daemon.close_connection
+//
+// Graceful shutdown: when the stop flag (set by the CLI's SIGTERM/SIGINT
+// handler) is observed, the listener closes immediately (no new
+// connections), queued requests keep flowing until the daemon reports
+// queue_flushed() and every output buffer is written or its client gone,
+// then finish_drain() publishes the durable snapshots and run() returns —
+// the "stop accepting, flush batches, publish, exit 0" contract.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "authd/daemon.hpp"
+#include "authd/wire.hpp"
+
+namespace pufaging::authd {
+
+struct ServerConfig {
+  /// Unix-domain socket path; empty = use tcp_port instead.
+  std::string socket_path;
+  /// TCP port on 127.0.0.1 (used when socket_path is empty); 0 lets the
+  /// kernel pick (the bound port is reported by port()).
+  std::uint16_t tcp_port = 0;
+  /// poll() wake interval: the latency floor of deadline/stall sweeps
+  /// and stop-flag observation while idle.
+  int poll_interval_ms = 20;
+  /// Hard cap on the drain phase; connections still unflushed when it
+  /// expires are dropped (their requests were already decided).
+  std::uint64_t drain_deadline_ns = 5'000'000'000;  // 5 s
+};
+
+/// Outcome of one server run, for the CLI's exit report.
+struct ServerReport {
+  DaemonStats stats;
+  std::string decisions_sha256;
+  bool drained_clean = false;  ///< Every output flushed before deadline.
+};
+
+class SocketServer {
+ public:
+  /// Binds and listens; throws IoError (errno-annotated) on failure.
+  SocketServer(AuthDaemon& daemon, const ServerConfig& config);
+  ~SocketServer();
+  SocketServer(const SocketServer&) = delete;
+  SocketServer& operator=(const SocketServer&) = delete;
+
+  /// The bound TCP port (after a tcp_port=0 bind), 0 for Unix sockets.
+  std::uint16_t port() const { return port_; }
+
+  /// Event loop: serves until `stop` becomes true, then drains and
+  /// returns the final report. `stop` may be flipped from a signal
+  /// handler or another thread.
+  ServerReport run(const std::atomic<bool>& stop);
+
+ private:
+  struct Conn {
+    int fd = -1;
+    AuthDaemon::ConnId id = 0;
+  };
+
+  void accept_ready();
+  bool service_read(Conn& conn);   ///< false = connection finished.
+  bool service_write(Conn& conn);  ///< false = connection finished.
+  void drop(std::size_t index);
+
+  AuthDaemon& daemon_;
+  ServerConfig config_;
+  int listen_fd_ = -1;
+  std::uint16_t port_ = 0;
+  std::vector<Conn> conns_;
+};
+
+/// Minimal blocking client for the CLI driver, the soak harness and the
+/// loopback tests: connects, writes request frames, reassembles response
+/// frames. Not a performance path.
+class BlockingClient {
+ public:
+  /// Connects to a Unix path or 127.0.0.1:port; throws IoError on
+  /// failure (errno-annotated).
+  static BlockingClient connect_unix(const std::string& path);
+  static BlockingClient connect_tcp(std::uint16_t port);
+
+  BlockingClient(BlockingClient&& other) noexcept;
+  BlockingClient& operator=(BlockingClient&& other) noexcept;
+  ~BlockingClient();
+
+  /// Sends raw bytes (pre-encoded frames — also how the chaos client
+  /// sends torn garbage).
+  void send_bytes(std::string_view bytes);
+  void send(const AuthRequestMsg& msg) { send_bytes(encode_auth_request(msg)); }
+
+  /// Blocks until one response frame arrives, EOF (nullopt), or
+  /// `timeout_ms` passes (throws TimeoutError).
+  std::optional<AuthResponseMsg> read_response(int timeout_ms = 5000);
+
+  /// Half-closes the write side (FIN) without reading — the half-open
+  /// chaos scenario.
+  void shutdown_write();
+
+  int fd() const { return fd_; }
+
+ private:
+  explicit BlockingClient(int fd) : fd_(fd) {}
+
+  int fd_ = -1;
+  FrameReader reader_;
+};
+
+}  // namespace pufaging::authd

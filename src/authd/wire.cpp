@@ -1,0 +1,312 @@
+#include "authd/wire.hpp"
+
+#include <cstdio>
+#include <cstring>
+
+#include "common/error.hpp"
+#include "store/crc32c.hpp"
+
+namespace pufaging::authd {
+namespace {
+
+void put_u16(std::string& out, std::uint16_t v) {
+  for (int i = 0; i < 2; ++i) {
+    out.push_back(static_cast<char>((v >> (8 * i)) & 0xFF));
+  }
+}
+
+void put_u32(std::string& out, std::uint32_t v) {
+  for (int i = 0; i < 4; ++i) {
+    out.push_back(static_cast<char>((v >> (8 * i)) & 0xFF));
+  }
+}
+
+void put_u64(std::string& out, std::uint64_t v) {
+  for (int i = 0; i < 8; ++i) {
+    out.push_back(static_cast<char>((v >> (8 * i)) & 0xFF));
+  }
+}
+
+std::uint32_t get_u32(const char* p) {
+  std::uint32_t v = 0;
+  for (int i = 0; i < 4; ++i) {
+    v |= static_cast<std::uint32_t>(static_cast<std::uint8_t>(p[i]))
+         << (8 * i);
+  }
+  return v;
+}
+
+std::uint64_t get_u64(const char* p) {
+  std::uint64_t v = 0;
+  for (int i = 0; i < 8; ++i) {
+    v |= static_cast<std::uint64_t>(static_cast<std::uint8_t>(p[i]))
+         << (8 * i);
+  }
+  return v;
+}
+
+/// Bounded cursor over one frame's payload; every shortfall is a
+/// ParseError naming the payload offset it happened at.
+class PayloadReader {
+ public:
+  PayloadReader(std::string_view bytes, const char* what)
+      : bytes_(bytes), what_(what) {}
+
+  std::uint8_t u8() {
+    need(1);
+    return static_cast<std::uint8_t>(bytes_[pos_++]);
+  }
+
+  std::uint16_t u16() {
+    need(2);
+    std::uint32_t v = 0;
+    for (std::size_t i = 0; i < 2; ++i) {
+      v |= static_cast<std::uint32_t>(
+               static_cast<std::uint8_t>(bytes_[pos_ + i]))
+           << (8 * i);
+    }
+    pos_ += 2;
+    return static_cast<std::uint16_t>(v);
+  }
+
+  std::uint32_t u32() {
+    need(4);
+    const std::uint32_t v = get_u32(bytes_.data() + pos_);
+    pos_ += 4;
+    return v;
+  }
+
+  std::uint64_t u64() {
+    need(8);
+    const std::uint64_t v = get_u64(bytes_.data() + pos_);
+    pos_ += 8;
+    return v;
+  }
+
+  void done() const {
+    if (pos_ != bytes_.size()) {
+      throw ParseError(std::string(what_) + ": " +
+                       std::to_string(bytes_.size() - pos_) +
+                       " trailing payload byte(s) at offset " +
+                       std::to_string(pos_));
+    }
+  }
+
+  std::size_t offset() const { return pos_; }
+
+ private:
+  void need(std::size_t n) const {
+    if (bytes_.size() - pos_ < n) {
+      throw ParseError(std::string(what_) + ": truncated payload (need " +
+                       std::to_string(n) + " byte(s) at offset " +
+                       std::to_string(pos_) + ", have " +
+                       std::to_string(bytes_.size() - pos_) + ")");
+    }
+  }
+
+  std::string_view bytes_;
+  const char* what_;
+  std::size_t pos_ = 0;
+};
+
+/// CRC-32C over everything after the magic and before the crc field,
+/// then the payload: type|pad|request|len, payload.
+std::uint32_t frame_crc(std::uint8_t type, std::uint64_t request_id,
+                        std::string_view payload) {
+  std::string covered;
+  covered.reserve(16);
+  covered.push_back(static_cast<char>(type));
+  covered.append(3, '\0');
+  put_u64(covered, request_id);
+  put_u32(covered, static_cast<std::uint32_t>(payload.size()));
+  return crc32c(payload, crc32c(covered));
+}
+
+}  // namespace
+
+std::string encode_frame(MsgType type, std::uint64_t request_id,
+                         std::string_view payload) {
+  if (payload.size() > kMaxFramePayload) {
+    throw InvalidArgument("encode_frame: payload of " +
+                          std::to_string(payload.size()) +
+                          " bytes exceeds kMaxFramePayload");
+  }
+  std::string out;
+  out.reserve(kFrameHeaderBytes + payload.size());
+  put_u32(out, kFrameMagic);
+  out.push_back(static_cast<char>(type));
+  out.append(3, '\0');
+  put_u64(out, request_id);
+  put_u32(out, static_cast<std::uint32_t>(payload.size()));
+  put_u32(out, frame_crc(static_cast<std::uint8_t>(type), request_id,
+                         payload));
+  out.append(payload);
+  return out;
+}
+
+std::string encode_auth_request(const AuthRequestMsg& msg) {
+  std::string payload;
+  payload.reserve(12 + msg.response.size() * 8);
+  put_u64(payload, msg.device_id);
+  put_u32(payload, static_cast<std::uint32_t>(msg.response.size()));
+  for (const std::uint64_t word : msg.response) {
+    put_u64(payload, word);
+  }
+  return encode_frame(MsgType::kAuthRequest, msg.request_id, payload);
+}
+
+std::string encode_auth_response(const AuthResponseMsg& msg) {
+  std::string payload;
+  payload.reserve(12);
+  payload.push_back(static_cast<char>(msg.status));
+  payload.push_back(static_cast<char>(msg.decision));
+  put_u16(payload, 0);
+  put_u64(payload, msg.retry_at_ns);
+  return encode_frame(MsgType::kAuthResponse, msg.request_id, payload);
+}
+
+AuthRequestMsg parse_auth_request(const Frame& frame) {
+  if (frame.type != MsgType::kAuthRequest) {
+    throw ParseError("AuthRequest: frame type " +
+                     std::to_string(static_cast<int>(frame.type)) +
+                     " is not kAuthRequest");
+  }
+  PayloadReader r(frame.payload, "AuthRequest");
+  AuthRequestMsg msg;
+  msg.request_id = frame.request_id;
+  msg.device_id = r.u64();
+  const std::uint32_t words = r.u32();
+  // The length bound already caps payloads at 64 KiB; this turns an
+  // inconsistent count into a typed error before any allocation.
+  if (static_cast<std::uint64_t>(words) * 8 + 12 != frame.payload.size()) {
+    throw ParseError("AuthRequest: word count " + std::to_string(words) +
+                     " disagrees with payload size " +
+                     std::to_string(frame.payload.size()) + " at offset 8");
+  }
+  msg.response.reserve(words);
+  for (std::uint32_t i = 0; i < words; ++i) {
+    msg.response.push_back(r.u64());
+  }
+  r.done();
+  return msg;
+}
+
+AuthResponseMsg parse_auth_response(const Frame& frame) {
+  if (frame.type != MsgType::kAuthResponse) {
+    throw ParseError("AuthResponse: frame type " +
+                     std::to_string(static_cast<int>(frame.type)) +
+                     " is not kAuthResponse");
+  }
+  PayloadReader r(frame.payload, "AuthResponse");
+  AuthResponseMsg msg;
+  msg.request_id = frame.request_id;
+  const std::uint8_t status = r.u8();
+  if (status > static_cast<std::uint8_t>(ResponseStatus::kDraining)) {
+    throw ParseError("AuthResponse: unknown status " +
+                     std::to_string(status) + " at offset 0");
+  }
+  msg.status = static_cast<ResponseStatus>(status);
+  msg.decision = r.u8();
+  if (r.u16() != 0) {
+    throw ParseError("AuthResponse: non-zero pad at offset 2");
+  }
+  msg.retry_at_ns = r.u64();
+  r.done();
+  return msg;
+}
+
+void FrameReader::feed(std::string_view bytes) {
+  if (poisoned_) {
+    throw ParseError(poison_what_);
+  }
+  // Compact lazily: drop the parsed prefix before it outgrows one frame.
+  if (pos_ > kFrameHeaderBytes + kMaxFramePayload) {
+    buffer_.erase(0, pos_);
+    pos_ = 0;
+  }
+  buffer_.append(bytes);
+}
+
+std::optional<Frame> FrameReader::next() {
+  if (poisoned_) {
+    throw ParseError(poison_what_);
+  }
+  const std::size_t avail = buffer_.size() - pos_;
+  if (avail < kFrameHeaderBytes) {
+    return std::nullopt;
+  }
+  const char* h = buffer_.data() + pos_;
+  const std::uint32_t magic = get_u32(h);
+  if (magic != kFrameMagic) {
+    poison("frame: bad magic 0x" + [&] {
+      char hex[9];
+      std::snprintf(hex, sizeof hex, "%08x", magic);
+      return std::string(hex);
+    }(), consumed_);
+  }
+  const std::uint8_t type = static_cast<std::uint8_t>(h[4]);
+  if (type != static_cast<std::uint8_t>(MsgType::kAuthRequest) &&
+      type != static_cast<std::uint8_t>(MsgType::kAuthResponse)) {
+    poison("frame: unknown type " + std::to_string(type), consumed_ + 4);
+  }
+  if (h[5] != 0 || h[6] != 0 || h[7] != 0) {
+    poison("frame: non-zero pad", consumed_ + 5);
+  }
+  const std::uint64_t request_id = get_u64(h + 8);
+  const std::uint32_t len = get_u32(h + 16);
+  if (len > kMaxFramePayload) {
+    poison("frame: payload length " + std::to_string(len) +
+               " exceeds the " + std::to_string(kMaxFramePayload) +
+               "-byte bound",
+           consumed_ + 16);
+  }
+  const std::uint32_t crc = get_u32(h + 20);
+  if (avail < kFrameHeaderBytes + len) {
+    return std::nullopt;  // Payload still in flight.
+  }
+  const std::string_view payload(buffer_.data() + pos_ + kFrameHeaderBytes,
+                                 len);
+  const std::uint32_t expect = frame_crc(type, request_id, payload);
+  if (crc != expect) {
+    char detail[48];
+    std::snprintf(detail, sizeof detail, "%08x, computed 0x%08x)", crc,
+                  expect);
+    poison("frame: CRC mismatch (stored 0x" + std::string(detail),
+           consumed_ + 20);
+  }
+  Frame frame;
+  frame.type = static_cast<MsgType>(type);
+  frame.request_id = request_id;
+  frame.payload.assign(payload);
+  pos_ += kFrameHeaderBytes + len;
+  consumed_ += kFrameHeaderBytes + len;
+  return frame;
+}
+
+void FrameReader::poison(const std::string& what, std::uint64_t offset) {
+  poisoned_ = true;
+  poison_what_ = what + " at stream offset " + std::to_string(offset);
+  throw ParseError(poison_what_);
+}
+
+const char* to_string(ResponseStatus status) {
+  switch (status) {
+    case ResponseStatus::kDecision:
+      return "decision";
+    case ResponseStatus::kRetryAfter:
+      return "retry-after";
+    case ResponseStatus::kShed:
+      return "shed";
+    case ResponseStatus::kDeadline:
+      return "deadline";
+    case ResponseStatus::kLockedOut:
+      return "locked-out";
+    case ResponseStatus::kRateLimited:
+      return "rate-limited";
+    case ResponseStatus::kDraining:
+      return "draining";
+  }
+  return "unknown";
+}
+
+}  // namespace pufaging::authd

@@ -1,0 +1,146 @@
+// Wire protocol of the authentication daemon.
+//
+// The daemon speaks a length-prefixed, CRC-framed binary protocol over a
+// byte stream (Unix-domain or TCP socket). Like the EnrollmentRecord
+// layout it is strict and versioned: the version byte rides in the magic,
+// every integer is little-endian, and every malformed input — bad magic,
+// impossible length, CRC mismatch, truncated payload — is a typed
+// ParseError naming the byte offset where the stream went wrong, never a
+// partially-filled message. A framing error poisons the whole stream (the
+// reader cannot resynchronize against an adversarial peer), so the daemon
+// answers it by closing the connection; per-request problems (unknown
+// device, deadline, lockout) travel back inside well-formed response
+// frames instead.
+//
+// Frame layout (framing is symmetric for requests and responses):
+//
+//   magic   u32   'PAD1' (0x31444150) — protocol version 1
+//   type    u8    MsgType
+//   pad     u8[3] must be zero (reserved; non-zero is a ParseError)
+//   request u64   client-chosen id echoed verbatim in the response
+//   len     u32   payload byte count (<= kMaxFramePayload)
+//   crc     u32   CRC-32C over type|pad|request|len|payload
+//   payload len bytes
+//
+// The CRC covers the header after the magic, so a flipped length byte is
+// caught instead of mis-framing every later message, and a frame cannot
+// be replayed under a different request id.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace pufaging::authd {
+
+/// Frame magic: "PAD1" little-endian. A future incompatible revision
+/// bumps the trailing digit.
+inline constexpr std::uint32_t kFrameMagic = 0x31444150;
+
+/// Hard upper bound on one payload; a length beyond it is corruption or
+/// an attack, not a huge request.
+inline constexpr std::uint32_t kMaxFramePayload = 1U << 16;  // 64 KiB
+
+/// Fixed header size: magic|type|pad|request|len|crc.
+inline constexpr std::size_t kFrameHeaderBytes = 4 + 1 + 3 + 8 + 4 + 4;
+
+enum class MsgType : std::uint8_t {
+  kAuthRequest = 1,   ///< client -> daemon: device id + packed response.
+  kAuthResponse = 2,  ///< daemon -> client: status (+ decision / retry-at).
+};
+
+/// Why the daemon answered something other than an auth decision. The
+/// numeric values are wire format — append only.
+enum class ResponseStatus : std::uint8_t {
+  kDecision = 0,     ///< `decision` holds the AuthService verdict.
+  kRetryAfter = 1,   ///< Admission queue full: back off, retry later.
+  kShed = 2,         ///< Overload shed: the daemon is past capacity.
+  kDeadline = 3,     ///< The request missed its processing deadline.
+  kLockedOut = 4,    ///< Device id is in lockout; retry_at_ns says when.
+  kRateLimited = 5,  ///< Token bucket empty for this device id.
+  kDraining = 6,     ///< Daemon is draining for shutdown; go elsewhere.
+};
+
+/// One parsed frame: the header fields plus the raw payload bytes.
+struct Frame {
+  MsgType type = MsgType::kAuthRequest;
+  std::uint64_t request_id = 0;
+  std::string payload;
+};
+
+/// AuthRequest payload: device id + the packed power-up read.
+///   device  u64
+///   words   u32   response word count (must match the daemon's geometry)
+///   data    u64[words]
+struct AuthRequestMsg {
+  std::uint64_t request_id = 0;  ///< From the frame header.
+  std::uint64_t device_id = 0;
+  std::vector<std::uint64_t> response;
+};
+
+/// AuthResponse payload:
+///   status      u8
+///   decision    u8    meaningful only for kDecision (else 0)
+///   pad         u16   zero
+///   retry_at_ns u64   earliest useful retry (0 when not applicable)
+struct AuthResponseMsg {
+  std::uint64_t request_id = 0;  ///< Echo of the request's id.
+  ResponseStatus status = ResponseStatus::kDecision;
+  std::uint8_t decision = 0;  ///< auth::AuthDecision numeric value.
+  std::uint64_t retry_at_ns = 0;
+};
+
+/// Serializes one frame (header + CRC + payload).
+std::string encode_frame(MsgType type, std::uint64_t request_id,
+                         std::string_view payload);
+
+std::string encode_auth_request(const AuthRequestMsg& msg);
+std::string encode_auth_response(const AuthResponseMsg& msg);
+
+/// Parses the payload of a kAuthRequest / kAuthResponse frame. Throws
+/// ParseError (offset-annotated) on truncation, trailing bytes, or an
+/// impossible word count.
+AuthRequestMsg parse_auth_request(const Frame& frame);
+AuthResponseMsg parse_auth_response(const Frame& frame);
+
+/// Incremental frame reassembler. Feed it whatever byte slices the
+/// transport delivers — single bytes, torn frames, many frames at once —
+/// and pull completed frames out; reassembly is byte-exact regardless of
+/// how the stream was split across feed() calls (the property test's
+/// guarantee). A framing error throws ParseError and poisons the reader:
+/// every later call throws the same error, mirroring the daemon's
+/// close-on-protocol-error policy.
+class FrameReader {
+ public:
+  /// Total bytes consumed so far (the offset ParseErrors are anchored to).
+  std::uint64_t consumed() const { return consumed_; }
+
+  /// True once a framing error poisoned the stream.
+  bool poisoned() const { return poisoned_; }
+
+  /// Appends transport bytes to the internal buffer.
+  void feed(std::string_view bytes);
+
+  /// Extracts the next complete frame, or nullopt when more bytes are
+  /// needed. Validates magic, padding, length bound and CRC.
+  std::optional<Frame> next();
+
+  /// Bytes buffered but not yet framed (bounded by header + max payload).
+  std::size_t buffered() const { return buffer_.size() - pos_; }
+
+ private:
+  [[noreturn]] void poison(const std::string& what, std::uint64_t offset);
+
+  std::string buffer_;
+  std::size_t pos_ = 0;  ///< Start of the unparsed region inside buffer_.
+  std::uint64_t consumed_ = 0;
+  bool poisoned_ = false;
+  std::string poison_what_;
+};
+
+const char* to_string(ResponseStatus status);
+
+}  // namespace pufaging::authd

@@ -1,0 +1,199 @@
+#include "chaoslab/heatmap.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+
+#include "common/error.hpp"
+
+namespace pufaging::chaoslab {
+namespace {
+
+/// The aggregates rendered, with their orientation. Coverage metrics are
+/// higher-is-better; every churn/drift/loss metric is lower-is-better.
+struct MetricSpec {
+  const char* name;
+  bool higher_is_better;
+};
+
+constexpr MetricSpec kMetrics[] = {
+    {"coverage_mean", true},      {"coverage_min", true},
+    {"degraded_months", false},   {"quarantine_entries", false},
+    {"retries", false},           {"wchd_drift", false},
+    {"bchd_drift", false},        {"entropy_drift", false},
+};
+
+std::string fmt(double v) {
+  char buffer[32];
+  std::snprintf(buffer, sizeof buffer, "%.4f", v);
+  return buffer;
+}
+
+/// Normalizes a value to [0,1] goodness within the grid's own range
+/// (best = 1). A flat grid renders as all-best: no information, no noise.
+double goodness(double v, double lo, double hi, bool higher_is_better) {
+  if (!(hi > lo)) {
+    return 1.0;
+  }
+  const double t = (v - lo) / (hi - lo);
+  return higher_is_better ? t : 1.0 - t;
+}
+
+}  // namespace
+
+std::vector<HeatmapGrid> extract_p95_grids(const Json& riskcliff) {
+  if (!riskcliff.is_object() || !riskcliff.contains("kind") ||
+      riskcliff.at("kind").as_string() != "riskcliff") {
+    throw ParseError("heatmap: document is not a riskcliff.json (missing "
+                     "kind=riskcliff)");
+  }
+  const Json& spec = riskcliff.at("spec");
+  std::vector<std::string> policy_labels;
+  for (const Json& p : spec.at("policies").as_array()) {
+    policy_labels.push_back(p.at("label").as_string());
+  }
+  std::vector<double> rate_scales;
+  for (const Json& s : spec.at("rate_scales").as_array()) {
+    rate_scales.push_back(s.as_double());
+  }
+  const std::size_t policies = policy_labels.size();
+  const std::size_t rates = rate_scales.size();
+  if (policies == 0 || rates == 0) {
+    throw ParseError("heatmap: riskcliff spec has an empty grid axis");
+  }
+  const Json::Array& cells = riskcliff.at("cells").as_array();
+  if (cells.size() != policies * rates) {
+    throw ParseError("heatmap: " + std::to_string(cells.size()) +
+                     " cells for a " + std::to_string(policies) + "x" +
+                     std::to_string(rates) + " grid");
+  }
+
+  std::vector<HeatmapGrid> grids;
+  for (const MetricSpec& metric : kMetrics) {
+    HeatmapGrid grid;
+    grid.metric = metric.name;
+    grid.policy_labels = policy_labels;
+    grid.rate_scales = rate_scales;
+    grid.higher_is_better = metric.higher_is_better;
+    grid.p95.assign(policies * rates, 0.0);
+    for (const Json& cell : cells) {
+      const std::size_t p =
+          static_cast<std::size_t>(cell.at("policy_index").as_int());
+      const std::size_t r =
+          static_cast<std::size_t>(cell.at("rate_index").as_int());
+      if (p >= policies || r >= rates) {
+        throw ParseError("heatmap: cell index (" + std::to_string(p) + "," +
+                         std::to_string(r) + ") outside the grid");
+      }
+      grid.p95[p * rates + r] = cell.at(metric.name).at("p95").as_double();
+    }
+    grids.push_back(std::move(grid));
+  }
+  return grids;
+}
+
+std::string heatmap_to_pgm(const HeatmapGrid& grid, std::size_t cell_px) {
+  if (cell_px == 0) {
+    throw InvalidArgument("heatmap_to_pgm: cell_px must be > 0");
+  }
+  const std::size_t rates = grid.rate_scales.size();
+  const std::size_t policies = grid.policy_labels.size();
+  const auto [lo_it, hi_it] =
+      std::minmax_element(grid.p95.begin(), grid.p95.end());
+  const double lo = *lo_it;
+  const double hi = *hi_it;
+
+  const std::size_t width = rates * cell_px;
+  const std::size_t height = policies * cell_px;
+  std::string out = "P5\n" + std::to_string(width) + " " +
+                    std::to_string(height) + "\n255\n";
+  out.reserve(out.size() + width * height);
+  for (std::size_t y = 0; y < height; ++y) {
+    const std::size_t p = y / cell_px;
+    for (std::size_t x = 0; x < width; ++x) {
+      const std::size_t r = x / cell_px;
+      const double g = goodness(grid.p95[p * rates + r], lo, hi,
+                                grid.higher_is_better);
+      out.push_back(static_cast<char>(
+          static_cast<unsigned char>(std::lround(g * 255.0))));
+    }
+  }
+  return out;
+}
+
+std::string heatmaps_to_html(const Json& riskcliff,
+                             const std::vector<HeatmapGrid>& grids) {
+  std::string html =
+      "<!DOCTYPE html>\n<html><head><meta charset=\"utf-8\">\n"
+      "<title>chaos grid p95 heatmaps</title>\n<style>\n"
+      "body{font-family:monospace;background:#111;color:#ddd;margin:2em}\n"
+      "table{border-collapse:collapse;margin:1em 0 2em}\n"
+      "td,th{border:1px solid #333;padding:4px 8px;text-align:right}\n"
+      "th{background:#222}\n"
+      "caption{text-align:left;font-size:1.2em;padding:4px 0}\n"
+      ".cliff{color:#f66}\n</style></head><body>\n";
+  html += "<h1>chaos grid p95 heatmaps</h1>\n";
+  html += "<p>grid '" +
+          riskcliff.at("spec").at("name").as_string() + "', fingerprint " +
+          riskcliff.at("fingerprint").as_string().substr(0, 16) +
+          "&hellip;, cliff location hash " +
+          riskcliff.at("cliff_location_hash").as_string().substr(0, 16) +
+          "&hellip;</p>\n";
+
+  for (const HeatmapGrid& grid : grids) {
+    const std::size_t rates = grid.rate_scales.size();
+    const auto [lo_it, hi_it] =
+        std::minmax_element(grid.p95.begin(), grid.p95.end());
+    const double lo = *lo_it;
+    const double hi = *hi_it;
+    html += "<table><caption>" + grid.metric + " (p95, " +
+            (grid.higher_is_better ? "higher" : "lower") +
+            " is better)</caption>\n<tr><th>policy \\ scale</th>";
+    for (const double s : grid.rate_scales) {
+      html += "<th>x" + fmt(s) + "</th>";
+    }
+    html += "</tr>\n";
+    for (std::size_t p = 0; p < grid.policy_labels.size(); ++p) {
+      html += "<tr><th>" + grid.policy_labels[p] + "</th>";
+      for (std::size_t r = 0; r < rates; ++r) {
+        const double v = grid.p95[p * rates + r];
+        const double g = goodness(v, lo, hi, grid.higher_is_better);
+        // Green (good) to red (bad) ramp on the dark background.
+        const int red = static_cast<int>(std::lround((1.0 - g) * 160) + 40);
+        const int green = static_cast<int>(std::lround(g * 160) + 40);
+        char style[64];
+        std::snprintf(style, sizeof style,
+                      "background:rgb(%d,%d,40)", red, green);
+        html += "<td style=\"" + std::string(style) + "\">" + fmt(v) +
+                "</td>";
+      }
+      html += "</tr>\n";
+    }
+    html += "</table>\n";
+  }
+
+  const Json::Array& cliffs = riskcliff.at("cliffs").as_array();
+  html += "<h2>cliffs (" + std::to_string(cliffs.size()) + ")</h2>\n<ul>\n";
+  for (const Json& cliff : cliffs) {
+    html += "<li class=\"cliff\">" + cliff.at("metric").as_string() + " @ " +
+            cliff.at("policy").as_string() + ": x" +
+            fmt(cliff.at("from_scale").as_double()) + " &rarr; x" +
+            fmt(cliff.at("to_scale").as_double()) + " drop " +
+            fmt(cliff.at("drop").as_double()) + "</li>\n";
+  }
+  html += "</ul>\n</body></html>\n";
+  return html;
+}
+
+HeatmapBundle render_heatmaps(const Json& riskcliff) {
+  HeatmapBundle bundle;
+  bundle.grids = extract_p95_grids(riskcliff);
+  for (const HeatmapGrid& grid : bundle.grids) {
+    bundle.pgms.emplace_back("heatmap_" + grid.metric + ".pgm",
+                             heatmap_to_pgm(grid));
+  }
+  bundle.html = heatmaps_to_html(riskcliff, bundle.grids);
+  return bundle;
+}
+
+}  // namespace pufaging::chaoslab

@@ -1,0 +1,63 @@
+// p95 heatmap rendering over a completed chaos grid.
+//
+// Consumes the riskcliff.json artifact (cliff.hpp) — not the live sweep —
+// so heatmaps can be regenerated from any archived nightly run without
+// re-executing a single campaign. Two renderings per aggregate metric:
+//
+//   heatmap_<metric>.pgm   one grayscale cell per (policy, rate) grid
+//                          cell, upscaled for viewability; 255 = the
+//                          metric's best value in this grid, 0 = worst
+//                          (orientation-aware: coverage is
+//                          higher-is-better, drift/churn metrics lower)
+//   heatmap.html           one standalone self-contained page: a colored
+//                          table per metric (green → red ramp, same
+//                          orientation), policy rows x rate-scale
+//                          columns, cliff callouts from the report
+//
+// Rendering is a pure function of the JSON document — byte-identical
+// output for identical input — so the nightly artifact is diffable.
+#pragma once
+
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "io/json.hpp"
+
+namespace pufaging::chaoslab {
+
+/// One rendered grid of p95 values for a single metric.
+struct HeatmapGrid {
+  std::string metric;
+  std::vector<std::string> policy_labels;  ///< Row order.
+  std::vector<double> rate_scales;         ///< Column order.
+  std::vector<double> p95;                 ///< Row-major policies x rates.
+  bool higher_is_better = false;
+};
+
+/// Everything rendered from one riskcliff.json document.
+struct HeatmapBundle {
+  std::vector<HeatmapGrid> grids;
+  /// (file name, PGM bytes) per metric, metric order.
+  std::vector<std::pair<std::string, std::string>> pgms;
+  /// The standalone HTML page.
+  std::string html;
+};
+
+/// Extracts the p95 grids from a parsed riskcliff.json. Throws ParseError
+/// (naming the missing member) on any malformation or version mismatch.
+std::vector<HeatmapGrid> extract_p95_grids(const Json& riskcliff);
+
+/// Renders one grid as a binary PGM (P5); each grid cell becomes a
+/// `cell_px` x `cell_px` block.
+std::string heatmap_to_pgm(const HeatmapGrid& grid, std::size_t cell_px = 32);
+
+/// Renders the standalone HTML page over every grid (plus the cliff list
+/// echoed from the document).
+std::string heatmaps_to_html(const Json& riskcliff,
+                             const std::vector<HeatmapGrid>& grids);
+
+/// extract + render everything.
+HeatmapBundle render_heatmaps(const Json& riskcliff);
+
+}  // namespace pufaging::chaoslab

@@ -21,8 +21,8 @@ namespace {
   const int err = errno;
   const StoreError::Kind kind =
       err == ENOSPC ? StoreError::Kind::kNoSpace : StoreError::Kind::kIo;
-  throw StoreError(kind,
-                   op + " '" + path + "': " + std::strerror(err));
+  throw StoreError(kind, op + " '" + path + "': " + std::strerror(err) +
+                             " (errno " + std::to_string(err) + ")");
 }
 
 }  // namespace
@@ -69,7 +69,8 @@ void RealFs::create_dirs(const std::string& dir) {
   std::filesystem::create_directories(dir, ec);
   if (ec) {
     throw StoreError(StoreError::Kind::kIo,
-                     "create_dirs '" + dir + "': " + ec.message());
+                     "create_dirs '" + dir + "': " + ec.message() +
+                         " (error " + std::to_string(ec.value()) + ")");
   }
 }
 
@@ -88,7 +89,8 @@ std::vector<std::string> RealFs::list_dir(const std::string& dir) {
   }
   if (ec) {
     throw StoreError(StoreError::Kind::kIo,
-                     "list_dir '" + dir + "': " + ec.message());
+                     "list_dir '" + dir + "': " + ec.message() +
+                         " (error " + std::to_string(ec.value()) + ")");
   }
   std::sort(names.begin(), names.end());
   return names;
@@ -128,32 +130,49 @@ Vfs::FileId RealFs::open_append(const std::string& path,
   if (fd < 0) {
     throw_errno("open", path);
   }
+  {
+    const std::lock_guard<std::mutex> lock(names_mutex_);
+    names_[fd] = path;
+  }
   return fd;
+}
+
+std::string RealFs::name_of(FileId file) {
+  const std::lock_guard<std::mutex> lock(names_mutex_);
+  const auto it = names_.find(file);
+  return it != names_.end()
+             ? it->second + " (fd " + std::to_string(file) + ")"
+             : "fd " + std::to_string(file);
 }
 
 std::size_t RealFs::write_some(FileId file, const char* data,
                                std::size_t len) {
   const ::ssize_t n = ::write(file, data, len);
   if (n <= 0) {
-    throw_errno("write", "fd " + std::to_string(file));
+    throw_errno("write", name_of(file));
   }
   return static_cast<std::size_t>(n);
 }
 
 void RealFs::fsync(FileId file) {
   if (::fsync(file) != 0) {
-    throw_errno("fsync", "fd " + std::to_string(file));
+    throw_errno("fsync", name_of(file));
   }
 }
 
-void RealFs::close(FileId file) noexcept { ::close(file); }
+void RealFs::close(FileId file) noexcept {
+  ::close(file);
+  const std::lock_guard<std::mutex> lock(names_mutex_);
+  names_.erase(file);
+}
 
 std::uint64_t RealFs::file_size(const std::string& path) {
   std::error_code ec;
   const std::uintmax_t size = std::filesystem::file_size(path, ec);
   if (ec) {
     throw StoreError(StoreError::Kind::kIo,
-                     "file_size '" + path + "': " + ec.message());
+                     "file_size '" + path + "': " + ec.message() +
+                         " (error " + std::to_string(ec.value()) + ")");
   }
   return static_cast<std::uint64_t>(size);
 }
@@ -161,8 +180,9 @@ std::uint64_t RealFs::file_size(const std::string& path) {
 std::string RealFs::read_file(const std::string& path) {
   std::ifstream in(path, std::ios::binary);
   if (!in) {
-    throw StoreError(StoreError::Kind::kIo,
-                     "read_file: cannot open '" + path + "'");
+    // ifstream reports no error code of its own, but the underlying
+    // open(2) leaves its errno behind.
+    throw_errno("read_file open", path);
   }
   std::ostringstream buffer;
   buffer << in.rdbuf();

@@ -24,6 +24,8 @@
 
 #include <cstddef>
 #include <cstdint>
+#include <map>
+#include <mutex>
 #include <string>
 #include <string_view>
 #include <utility>
@@ -193,8 +195,10 @@ class VfsFile {
   Vfs::FileId id_ = -1;
 };
 
-/// The production filesystem: POSIX fds with real fsync. Stateless —
-/// every store on the real disk shares the singleton.
+/// The production filesystem: POSIX fds with real fsync. Every store on
+/// the real disk shares the singleton; the only state is a lock-guarded
+/// fd -> path table so write/fsync failures can name the file, not just
+/// the descriptor.
 class RealFs final : public Vfs {
  public:
   static RealFs& instance();
@@ -217,6 +221,13 @@ class RealFs final : public Vfs {
   /// Real zero-copy mmap (falls back to the buffered base behaviour for
   /// empty files, where mmap has nothing to map).
   MappedFile map_file(const std::string& path) override;
+
+ private:
+  /// The path `file` was opened under, for error messages.
+  std::string name_of(FileId file);
+
+  std::mutex names_mutex_;
+  std::map<FileId, std::string> names_;
 };
 
 }  // namespace pufaging

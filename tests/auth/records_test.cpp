@@ -47,6 +47,19 @@ TEST(EnrollmentRecordWire, EveryTruncationIsAParseError) {
   }
 }
 
+TEST(EnrollmentRecordWire, TruncationErrorNamesOffsetAndShortfall) {
+  const std::vector<std::uint8_t> bytes = serialize_record(sample_record(3, 9));
+  try {
+    parse_record(bytes.data(), 10);  // Cut inside the device-id field.
+    FAIL() << "truncation not detected";
+  } catch (const ParseError& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("need 8 byte(s) at offset 4"), std::string::npos)
+        << what;
+    EXPECT_NE(what.find("have 6"), std::string::npos) << what;
+  }
+}
+
 TEST(EnrollmentRecordWire, RejectsBadMagicAndTrailingBytes) {
   std::vector<std::uint8_t> bytes = serialize_record(sample_record(5, 11));
   std::vector<std::uint8_t> bad_magic = bytes;

@@ -1,0 +1,461 @@
+// Deterministic chaos suite for the sans-IO daemon core: torn frames,
+// request floods, impostor storms, stalled readers and half-open
+// connections, all under a FakeClock. The headline assertions are the
+// robustness contract — the queue never exceeds its cap, every request
+// gets a typed answer, decisions are SHA-256 bit-identical to driving
+// AuthService directly, and a drain loses zero accepted requests.
+#include "authd/daemon.hpp"
+
+#include <gtest/gtest.h>
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "auth/fleet_sim.hpp"
+#include "auth/registry.hpp"
+#include "auth/service.hpp"
+#include "common/sha256.hpp"
+#include "obs/clock.hpp"
+#include "store/faultfs.hpp"
+
+namespace pufaging::authd {
+namespace {
+
+constexpr std::uint64_t kMs = 1'000'000;
+constexpr std::uint64_t kStart = 1'000'000'000;
+constexpr std::uint64_t kDevices = 8;
+
+struct Harness {
+  auth::VirtualFleet fleet;
+  auth::AuthService service;
+  obs::FakeClock clock{kStart};
+
+  explicit Harness(std::uint32_t blocks = 11)
+      : fleet(fleet_config(blocks), kDevices), service(service_config(blocks)) {
+    for (std::uint64_t id = 0; id < kDevices; ++id) {
+      service.enroll(id, fleet.enrollment_response(id));
+    }
+  }
+
+  static auth::VirtualFleetConfig fleet_config(std::uint32_t blocks) {
+    auth::VirtualFleetConfig config;
+    config.seed = 0xDAEC0DE;
+    config.window_bits = static_cast<std::size_t>(blocks) * 24;
+    return config;
+  }
+
+  static auth::AuthServiceConfig service_config(std::uint32_t blocks) {
+    auth::AuthServiceConfig config;
+    config.blocks = blocks;
+    return config;
+  }
+
+  /// Permissive daemon config: chaos tests tighten what they probe.
+  DaemonConfig daemon_config() {
+    DaemonConfig config;
+    config.clock = &clock;
+    config.rate.burst = 0;            // Rate limiting off by default.
+    config.lockout.retry_budget = 100;  // Lockouts effectively off.
+    return config;
+  }
+
+  AuthRequestMsg genuine(std::uint64_t device, std::uint64_t request_id) {
+    AuthRequestMsg msg;
+    msg.request_id = request_id;
+    msg.device_id = device;
+    msg.response = fleet.enrollment_response(device).words();
+    return msg;
+  }
+
+  AuthRequestMsg impostor(std::uint64_t claimed, std::uint64_t request_id) {
+    AuthRequestMsg msg = genuine(claimed, request_id);
+    // An un-enrolled silicon read claiming an enrolled identity.
+    msg.response = fleet.enrollment_response(kDevices + request_id).words();
+    return msg;
+  }
+};
+
+/// Drains one connection's output into parsed responses.
+std::vector<AuthResponseMsg> read_responses(AuthDaemon& daemon,
+                                            AuthDaemon::ConnId conn) {
+  std::vector<AuthResponseMsg> out;
+  FrameReader reader;
+  const std::string_view bytes = daemon.output(conn);
+  reader.feed(bytes);
+  while (const std::optional<Frame> frame = reader.next()) {
+    out.push_back(parse_auth_response(*frame));
+  }
+  daemon.consume_output(conn, bytes.size());
+  return out;
+}
+
+void pump_dry(AuthDaemon& daemon) {
+  while (daemon.queue_depth() > 0) {
+    daemon.pump();
+  }
+}
+
+TEST(AuthDaemon, DecisionsBitIdenticalToDirectServiceCalls) {
+  Harness h;
+  AuthDaemon daemon(h.service, h.daemon_config());
+  const AuthDaemon::ConnId conn = daemon.open_connection();
+  ASSERT_NE(conn, 0U);
+
+  // A mixed corpus: genuine reads for every device plus impostors.
+  std::vector<AuthRequestMsg> corpus;
+  for (std::uint64_t i = 0; i < 24; ++i) {
+    corpus.push_back(i % 3 == 2 ? h.impostor(i % kDevices, i)
+                                : h.genuine(i % kDevices, i));
+  }
+  for (const AuthRequestMsg& msg : corpus) {
+    daemon.on_bytes(conn, encode_auth_request(msg));
+  }
+  pump_dry(daemon);
+
+  // Reference: the same requests, same order, straight into the service.
+  std::vector<auth::AuthRequest> requests;
+  std::vector<auth::AuthDecision> decisions(corpus.size());
+  for (const AuthRequestMsg& msg : corpus) {
+    requests.push_back({msg.device_id, msg.response.data()});
+  }
+  h.service.authenticate_batch(requests.data(), requests.size(),
+                               decisions.data());
+  Sha256 reference;
+  for (std::size_t i = 0; i < corpus.size(); ++i) {
+    std::uint8_t witness[9];
+    for (int b = 0; b < 8; ++b) {
+      witness[b] =
+          static_cast<std::uint8_t>(corpus[i].device_id >> (8 * b));
+    }
+    witness[8] = static_cast<std::uint8_t>(decisions[i]);
+    reference.update(witness, sizeof witness);
+  }
+  EXPECT_EQ(daemon.decisions_sha256(),
+            Sha256::to_hex(reference.finalize()));
+
+  const std::vector<AuthResponseMsg> responses = read_responses(daemon, conn);
+  ASSERT_EQ(responses.size(), corpus.size());
+  for (std::size_t i = 0; i < responses.size(); ++i) {
+    EXPECT_EQ(responses[i].request_id, corpus[i].request_id);
+    EXPECT_EQ(responses[i].status, ResponseStatus::kDecision);
+    EXPECT_EQ(responses[i].decision,
+              static_cast<std::uint8_t>(decisions[i]));
+  }
+}
+
+TEST(AuthDaemon, TornFramesAcrossArbitrarySplitsStillDecide) {
+  Harness h;
+  AuthDaemon daemon(h.service, h.daemon_config());
+  const AuthDaemon::ConnId conn = daemon.open_connection();
+  const std::string bytes = encode_auth_request(h.genuine(3, 42));
+  // Feed every split point, one byte pair at a time across two requests.
+  for (std::size_t cut = 1; cut < bytes.size(); ++cut) {
+    daemon.on_bytes(conn, std::string_view(bytes).substr(0, cut));
+    daemon.on_bytes(conn, std::string_view(bytes).substr(cut));
+  }
+  pump_dry(daemon);
+  const std::vector<AuthResponseMsg> responses = read_responses(daemon, conn);
+  ASSERT_EQ(responses.size(), bytes.size() - 1);
+  for (const AuthResponseMsg& r : responses) {
+    EXPECT_EQ(r.status, ResponseStatus::kDecision);
+    EXPECT_EQ(r.decision,
+              static_cast<std::uint8_t>(auth::AuthDecision::kAccept));
+  }
+}
+
+TEST(AuthDaemon, FloodIsBoundedAndAnsweredWithTypedBackpressure) {
+  Harness h;
+  DaemonConfig config = h.daemon_config();
+  config.queue_cap = 16;
+  config.shed_watermark = 0.5;
+  AuthDaemon daemon(h.service, config);
+  const AuthDaemon::ConnId conn = daemon.open_connection();
+
+  for (std::uint64_t i = 0; i < 200; ++i) {
+    daemon.on_bytes(conn, encode_auth_request(h.genuine(i % kDevices, i)));
+    ASSERT_LE(daemon.queue_depth(), config.queue_cap);  // The hard bound.
+  }
+  const DaemonStats stats = daemon.stats();
+  EXPECT_EQ(stats.admitted + stats.shed + stats.retry_after, 200U);
+  EXPECT_GT(stats.shed, 0U);         // Graceful degradation band hit...
+  EXPECT_GT(stats.retry_after, 0U);  // ...and the hard cap beyond it.
+
+  pump_dry(daemon);
+  // Every single request got exactly one typed response.
+  EXPECT_EQ(read_responses(daemon, conn).size(), 200U);
+}
+
+TEST(AuthDaemon, ExpiredRequestsAnswerDeadlineNeverDecideLate) {
+  Harness h;
+  DaemonConfig config = h.daemon_config();
+  config.request_deadline_ns = 10 * kMs;
+  AuthDaemon daemon(h.service, config);
+  const AuthDaemon::ConnId conn = daemon.open_connection();
+  daemon.on_bytes(conn, encode_auth_request(h.genuine(0, 1)));
+  daemon.on_bytes(conn, encode_auth_request(h.genuine(1, 2)));
+  h.clock.advance(11 * kMs);
+  daemon.on_bytes(conn, encode_auth_request(h.genuine(2, 3)));
+  EXPECT_EQ(daemon.pump(), 1U);  // Only the fresh request decides.
+
+  const std::vector<AuthResponseMsg> responses = read_responses(daemon, conn);
+  ASSERT_EQ(responses.size(), 3U);
+  EXPECT_EQ(responses[0].status, ResponseStatus::kDeadline);
+  EXPECT_EQ(responses[1].status, ResponseStatus::kDeadline);
+  EXPECT_EQ(responses[2].status, ResponseStatus::kDecision);
+  EXPECT_EQ(daemon.stats().deadline_expired, 2U);
+}
+
+TEST(AuthDaemon, GarbageBytesCloseOnlyTheOffendingConnection) {
+  Harness h;
+  AuthDaemon daemon(h.service, h.daemon_config());
+  const AuthDaemon::ConnId bad = daemon.open_connection();
+  const AuthDaemon::ConnId good = daemon.open_connection();
+  daemon.on_bytes(bad, "complete garbage, definitely not PAD1 framing");
+  EXPECT_TRUE(daemon.wants_close(bad));
+  EXPECT_EQ(daemon.close_reason(bad), CloseReason::kProtocolError);
+  EXPECT_EQ(daemon.stats().protocol_errors, 1U);
+
+  daemon.on_bytes(good, encode_auth_request(h.genuine(1, 7)));
+  pump_dry(daemon);
+  EXPECT_FALSE(daemon.wants_close(good));
+  EXPECT_EQ(read_responses(daemon, good).size(), 1U);
+}
+
+TEST(AuthDaemon, GeometryMismatchIsAProtocolError) {
+  Harness h;
+  AuthDaemon daemon(h.service, h.daemon_config());
+  const AuthDaemon::ConnId conn = daemon.open_connection();
+  AuthRequestMsg wrong = h.genuine(0, 1);
+  wrong.response.push_back(0);  // One word too many for this geometry.
+  daemon.on_bytes(conn, encode_auth_request(wrong));
+  EXPECT_TRUE(daemon.wants_close(conn));
+  EXPECT_EQ(daemon.close_reason(conn), CloseReason::kProtocolError);
+}
+
+TEST(AuthDaemon, HalfOpenConnectionStillDecidesButDropsResponses) {
+  Harness h;
+  AuthDaemon daemon(h.service, h.daemon_config());
+  const AuthDaemon::ConnId conn = daemon.open_connection();
+  daemon.on_bytes(conn, encode_auth_request(h.genuine(0, 1)));
+  daemon.close_connection(conn);  // Peer vanished before the answer.
+  const std::string witness_before = daemon.decisions_sha256();
+  pump_dry(daemon);
+  const DaemonStats stats = daemon.stats();
+  EXPECT_EQ(stats.decided, 1U);  // Admission was acknowledged: it counts.
+  EXPECT_EQ(stats.responses_dropped, 1U);
+  EXPECT_NE(daemon.decisions_sha256(), witness_before);
+}
+
+TEST(AuthDaemon, SlowReaderHitsOutputCapAndIsReaped) {
+  Harness h;
+  DaemonConfig config = h.daemon_config();
+  config.output_buffer_cap = 128;  // Roughly three response frames.
+  AuthDaemon daemon(h.service, config);
+  const AuthDaemon::ConnId conn = daemon.open_connection();
+  for (std::uint64_t i = 0; i < 16; ++i) {
+    daemon.on_bytes(conn, encode_auth_request(h.genuine(0, i)));
+  }
+  pump_dry(daemon);  // Responses accumulate; nobody consumes output.
+  EXPECT_TRUE(daemon.wants_close(conn));
+  EXPECT_EQ(daemon.close_reason(conn), CloseReason::kOutputOverflow);
+  EXPECT_LE(daemon.output(conn).size(), config.output_buffer_cap);
+}
+
+TEST(AuthDaemon, WriteStallWithoutProgressIsReaped) {
+  Harness h;
+  DaemonConfig config = h.daemon_config();
+  config.write_stall_ns = 50 * kMs;
+  AuthDaemon daemon(h.service, config);
+  const AuthDaemon::ConnId conn = daemon.open_connection();
+  daemon.on_bytes(conn, encode_auth_request(h.genuine(0, 1)));
+  pump_dry(daemon);
+  EXPECT_FALSE(daemon.wants_close(conn));
+  h.clock.advance(51 * kMs);
+  daemon.pump();  // The reap sweep rides every pump.
+  EXPECT_TRUE(daemon.wants_close(conn));
+  EXPECT_EQ(daemon.close_reason(conn), CloseReason::kWriteStall);
+  EXPECT_EQ(daemon.stats().reaped, 1U);
+}
+
+TEST(AuthDaemon, IdleConnectionsAreReapedWhenConfigured) {
+  Harness h;
+  DaemonConfig config = h.daemon_config();
+  config.idle_timeout_ns = 1000 * kMs;
+  AuthDaemon daemon(h.service, config);
+  const AuthDaemon::ConnId conn = daemon.open_connection();
+  h.clock.advance(1001 * kMs);
+  daemon.pump();
+  EXPECT_TRUE(daemon.wants_close(conn));
+  EXPECT_EQ(daemon.close_reason(conn), CloseReason::kIdle);
+}
+
+TEST(AuthDaemon, ConnectionLimitRefusesBeyondCap) {
+  Harness h;
+  DaemonConfig config = h.daemon_config();
+  config.max_connections = 2;
+  AuthDaemon daemon(h.service, config);
+  EXPECT_NE(daemon.open_connection(), 0U);
+  EXPECT_NE(daemon.open_connection(), 0U);
+  EXPECT_EQ(daemon.open_connection(), 0U);
+}
+
+TEST(AuthDaemon, RateLimiterAnswersTypedWithRetryTime) {
+  Harness h;
+  DaemonConfig config = h.daemon_config();
+  config.rate.burst = 2;
+  config.rate.tokens_per_sec = 10.0;
+  AuthDaemon daemon(h.service, config);
+  const AuthDaemon::ConnId conn = daemon.open_connection();
+  for (std::uint64_t i = 0; i < 3; ++i) {
+    daemon.on_bytes(conn, encode_auth_request(h.genuine(0, i)));
+  }
+  pump_dry(daemon);
+  // The refusal is written at admission time, so it precedes the two
+  // decisions in the output stream.
+  const std::vector<AuthResponseMsg> responses = read_responses(daemon, conn);
+  ASSERT_EQ(responses.size(), 3U);
+  EXPECT_EQ(responses[0].request_id, 2U);
+  EXPECT_EQ(responses[0].status, ResponseStatus::kRateLimited);
+  EXPECT_GT(responses[0].retry_at_ns, kStart);
+  // A different device id is not throttled by device 0's bucket.
+  daemon.on_bytes(conn, encode_auth_request(h.genuine(1, 9)));
+  EXPECT_EQ(daemon.stats().rate_limited, 1U);
+}
+
+TEST(AuthDaemon, ImpostorStormWalksLockoutThenBackedOffProbe) {
+  Harness h;
+  DaemonConfig config = h.daemon_config();
+  config.lockout.retry_budget = 3;
+  config.lockout.base_lockout_ns = 1000 * kMs;
+  config.lockout.max_level = 4;
+  AuthDaemon daemon(h.service, config);
+  const AuthDaemon::ConnId conn = daemon.open_connection();
+
+  std::uint64_t request_id = 0;
+  // Three wrong reads against device 2: the ladder locks it.
+  for (int i = 0; i < 3; ++i) {
+    daemon.on_bytes(conn, encode_auth_request(h.impostor(2, ++request_id)));
+    pump_dry(daemon);
+  }
+  ASSERT_NE(daemon.lockouts().check(2, h.clock.now_ns()), 0U);
+  read_responses(daemon, conn);
+
+  // While locked, even a genuine read is refused with the expiry time.
+  daemon.on_bytes(conn, encode_auth_request(h.genuine(2, ++request_id)));
+  std::vector<AuthResponseMsg> responses = read_responses(daemon, conn);
+  ASSERT_EQ(responses.size(), 1U);
+  EXPECT_EQ(responses[0].status, ResponseStatus::kLockedOut);
+  EXPECT_GT(responses[0].retry_at_ns, h.clock.now_ns());
+  EXPECT_EQ(daemon.stats().locked_out, 1U);
+
+  // Past expiry the device is in probe: a genuine read resets it fully.
+  h.clock.advance(1001 * kMs);
+  daemon.on_bytes(conn, encode_auth_request(h.genuine(2, ++request_id)));
+  pump_dry(daemon);
+  responses = read_responses(daemon, conn);
+  ASSERT_EQ(responses.size(), 1U);
+  EXPECT_EQ(responses[0].status, ResponseStatus::kDecision);
+  EXPECT_EQ(responses[0].decision,
+            static_cast<std::uint8_t>(auth::AuthDecision::kAccept));
+  EXPECT_EQ(daemon.lockouts().tracked(), 0U);  // Accept cleared the entry.
+}
+
+TEST(AuthDaemon, DrainLosesZeroAcceptedRequestsAndPublishesState) {
+  Harness h;
+  DaemonConfig config = h.daemon_config();
+  config.lockout.retry_budget = 2;
+  AuthDaemon daemon(h.service, config);
+
+  FaultFs fs;
+  MeasurementStore lockout_store(fs, "lockouts", StoreOptions{});
+  MeasurementStore registry_store(fs, "registry", StoreOptions{});
+  publish_lockouts(lockout_store, LockoutLadder(config.lockout));
+  daemon.attach_lockout_store(&lockout_store);
+  daemon.attach_registry_store(&registry_store);
+
+  const AuthDaemon::ConnId conn = daemon.open_connection();
+  for (std::uint64_t i = 0; i < 10; ++i) {
+    daemon.on_bytes(conn, encode_auth_request(h.genuine(i % kDevices, i)));
+  }
+  daemon.on_bytes(conn, encode_auth_request(h.impostor(5, 90)));
+  daemon.on_bytes(conn, encode_auth_request(h.impostor(5, 91)));
+  const std::uint64_t accepted = daemon.stats().admitted;
+
+  daemon.begin_drain();
+  // New work is refused with a typed status...
+  daemon.on_bytes(conn, encode_auth_request(h.genuine(0, 99)));
+  EXPECT_EQ(daemon.stats().draining_rejected, 1U);
+  // ...and new connections are refused outright.
+  EXPECT_EQ(daemon.open_connection(), 0U);
+
+  const DaemonStats stats = daemon.finish_drain();
+  EXPECT_EQ(stats.decided, accepted);  // Zero accepted requests lost.
+  EXPECT_EQ(stats.queue_depth, 0U);
+  EXPECT_TRUE(daemon.queue_flushed());
+
+  // The durable snapshots match the live state bit for bit.
+  lockout_store.close();
+  registry_store.close();
+  MeasurementStore reopened(fs, "lockouts", StoreOptions{});
+  EXPECT_EQ(load_lockouts(reopened, config.lockout).state_hash(),
+            daemon.lockouts().state_hash());
+  EXPECT_GT(daemon.lockouts().tracked(), 0U);  // The storm left a mark.
+  MeasurementStore registry_reopened(fs, "registry", StoreOptions{});
+  EXPECT_EQ(auth::load_registry(registry_reopened, 11).size(), kDevices);
+
+  // finish_drain is idempotent.
+  EXPECT_EQ(daemon.finish_drain().decided, accepted);
+}
+
+TEST(AuthDaemon, RestartRecoversLockoutLadderBitIdentically) {
+  Harness h;
+  DaemonConfig config = h.daemon_config();
+  config.lockout.retry_budget = 2;
+  FaultFs fs;
+
+  std::string hash_before;
+  {
+    MeasurementStore store(fs, "lockouts", StoreOptions{});
+    publish_lockouts(store, LockoutLadder(config.lockout));
+    AuthDaemon daemon(h.service, config);
+    daemon.attach_lockout_store(&store);
+    const AuthDaemon::ConnId conn = daemon.open_connection();
+    for (std::uint64_t i = 0; i < 6; ++i) {
+      daemon.on_bytes(conn, encode_auth_request(h.impostor(i % 3, i)));
+    }
+    pump_dry(daemon);
+    daemon.finish_drain();
+    hash_before = daemon.lockouts().state_hash();
+    store.close();
+  }
+  ASSERT_NE(hash_before, LockoutLadder(config.lockout).state_hash());
+
+  MeasurementStore store(fs, "lockouts", StoreOptions{});
+  AuthDaemon restarted(h.service, config);
+  restarted.adopt_lockouts(load_lockouts(store, config.lockout));
+  EXPECT_EQ(restarted.lockouts().state_hash(), hash_before);
+}
+
+TEST(AuthDaemon, MetricsExportTheFullLifecycle) {
+  Harness h;
+  obs::MetricsRegistry metrics;
+  DaemonConfig config = h.daemon_config();
+  config.metrics = &metrics;
+  AuthDaemon daemon(h.service, config);
+  const AuthDaemon::ConnId conn = daemon.open_connection();
+  daemon.on_bytes(conn, encode_auth_request(h.genuine(0, 1)));
+  pump_dry(daemon);
+  daemon.begin_drain();
+  daemon.finish_drain();
+
+  const obs::MetricsSnapshot snap = metrics.snapshot();
+  EXPECT_EQ(snap.counters.at("authd.admitted"), 1U);
+  EXPECT_EQ(snap.counters.at("authd.decided"), 1U);
+  EXPECT_EQ(snap.counters.at("authd.conn.opened"), 1U);
+  EXPECT_EQ(snap.counters.at("authd.drain_finished"), 1U);
+  EXPECT_EQ(snap.histograms.count("authd.batch_size"), 1U);
+}
+
+}  // namespace
+}  // namespace pufaging::authd

@@ -1,0 +1,330 @@
+// Admission-policy proofs: the token bucket throttles volume with exact
+// retry times, the lockout ladder walks bounded-retry -> lockout ->
+// backed-off probe deterministically, its durable form round-trips
+// bit-identically, and a kill-point sweep over the FaultFs proves the
+// ladder recovers to an exact transition prefix after any power cut.
+#include "authd/limiter.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/error.hpp"
+#include "store/faultfs.hpp"
+#include "store/store.hpp"
+
+namespace pufaging::authd {
+namespace {
+
+constexpr std::uint64_t kSecond = 1'000'000'000;
+
+TEST(RateLimiter, BurstAdmitsThenLimitsWithExactRetryTime) {
+  RateLimiterConfig config;
+  config.burst = 3;
+  config.tokens_per_sec = 2.0;
+  RateLimiter limiter(config);
+  for (int i = 0; i < 3; ++i) {
+    EXPECT_EQ(limiter.try_acquire(7, kSecond), 0U) << i;
+  }
+  // Bucket empty: one token exists half a second later.
+  const std::uint64_t at = limiter.try_acquire(7, kSecond);
+  EXPECT_EQ(at, kSecond + kSecond / 2);
+  // At that exact time the request is admitted.
+  EXPECT_EQ(limiter.try_acquire(7, at), 0U);
+}
+
+TEST(RateLimiter, BucketsAreIndependentPerDevice) {
+  RateLimiterConfig config;
+  config.burst = 1;
+  RateLimiter limiter(config);
+  EXPECT_EQ(limiter.try_acquire(1, 0), 0U);
+  EXPECT_NE(limiter.try_acquire(1, 0), 0U);
+  EXPECT_EQ(limiter.try_acquire(2, 0), 0U);  // Device 2 unaffected.
+}
+
+TEST(RateLimiter, ZeroBurstDisablesLimiting) {
+  RateLimiterConfig config;
+  config.burst = 0;
+  RateLimiter limiter(config);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(limiter.try_acquire(1, 0), 0U);
+  }
+}
+
+TEST(RateLimiter, ZeroRefillIsAPermanentLimit) {
+  RateLimiterConfig config;
+  config.burst = 1;
+  config.tokens_per_sec = 0.0;
+  RateLimiter limiter(config);
+  EXPECT_EQ(limiter.try_acquire(1, 0), 0U);
+  EXPECT_EQ(limiter.try_acquire(1, kSecond * 3600), ~0ULL);
+}
+
+TEST(RateLimiter, TrackingIsBoundedByEvictingStalestBucket) {
+  RateLimiterConfig config;
+  config.burst = 1;
+  config.max_tracked = 4;
+  RateLimiter limiter(config);
+  for (std::uint64_t d = 0; d < 16; ++d) {
+    limiter.try_acquire(d, d * kSecond);
+    EXPECT_LE(limiter.tracked(), 4U);
+  }
+  // The forgotten device refills to a full bucket: eviction can only err
+  // toward admitting, never toward a phantom limit.
+  EXPECT_EQ(limiter.try_acquire(0, 16 * kSecond), 0U);
+}
+
+TEST(RateLimiter, RejectsNonFiniteRate) {
+  RateLimiterConfig config;
+  config.tokens_per_sec = -1.0;
+  EXPECT_THROW(RateLimiter{config}, InvalidArgument);
+}
+
+LockoutConfig small_ladder() {
+  LockoutConfig config;
+  config.retry_budget = 3;
+  config.base_lockout_ns = kSecond;
+  config.max_level = 4;
+  return config;
+}
+
+TEST(LockoutLadder, StrikesBelowBudgetDoNotLock) {
+  LockoutLadder ladder(small_ladder());
+  EXPECT_TRUE(ladder.on_decision(5, false, true, 0).has_value());
+  EXPECT_TRUE(ladder.on_decision(5, false, true, 0).has_value());
+  EXPECT_EQ(ladder.check(5, 0), 0U);
+  EXPECT_EQ(ladder.find(5)->strikes, 2U);
+}
+
+TEST(LockoutLadder, BudgetExhaustionLocksForBaseWindow) {
+  LockoutLadder ladder(small_ladder());
+  for (int i = 0; i < 3; ++i) {
+    ladder.on_decision(5, false, true, 100);
+  }
+  EXPECT_EQ(ladder.check(5, 100), 100 + kSecond);
+  EXPECT_EQ(ladder.check(5, 100 + kSecond - 1), 100 + kSecond);
+  // Expiry: the device is in probe (admitted, level retained).
+  EXPECT_EQ(ladder.check(5, 100 + kSecond), 0U);
+  EXPECT_EQ(ladder.find(5)->level, 1U);
+}
+
+TEST(LockoutLadder, RepeatLockoutsEscalateExponentiallyUpToCap) {
+  const LockoutConfig config = small_ladder();
+  LockoutLadder ladder(config);
+  std::uint64_t now = 0;
+  for (std::uint32_t round = 0; round < 7; ++round) {
+    for (std::uint32_t s = 0; s < config.retry_budget; ++s) {
+      ladder.on_decision(9, false, true, now);
+    }
+    const std::uint64_t until = ladder.check(9, now);
+    const std::uint32_t shift = std::min(round, config.max_level);
+    EXPECT_EQ(until, now + (kSecond << shift)) << "round " << round;
+    EXPECT_EQ(ladder.find(9)->level, std::min(round + 1, config.max_level));
+    now = until;  // Probe resumes exactly at expiry.
+  }
+}
+
+TEST(LockoutLadder, AcceptResetsAndEmitsADurableResetEvent) {
+  LockoutLadder ladder(small_ladder());
+  ladder.on_decision(5, false, true, 0);
+  ladder.on_decision(5, false, true, 0);
+  const auto reset = ladder.on_decision(5, true, false, 0);
+  ASSERT_TRUE(reset.has_value());
+  EXPECT_EQ(reset->device_id, 5U);
+  EXPECT_EQ(reset->entry, LockoutEntry{});
+  EXPECT_EQ(ladder.tracked(), 0U);
+  // A clean device accepting emits nothing (no durable state changed).
+  EXPECT_FALSE(ladder.on_decision(5, true, false, 0).has_value());
+}
+
+TEST(LockoutLadder, NonStrikeRejectsDoNotWalkTheLadder) {
+  LockoutLadder ladder(small_ladder());
+  EXPECT_FALSE(ladder.on_decision(5, false, false, 0).has_value());
+  EXPECT_EQ(ladder.tracked(), 0U);
+}
+
+TEST(LockoutLadder, ConstructorValidatesConfig) {
+  LockoutConfig zero_budget = small_ladder();
+  zero_budget.retry_budget = 0;
+  EXPECT_THROW(LockoutLadder{zero_budget}, InvalidArgument);
+  LockoutConfig wide_shift = small_ladder();
+  wide_shift.max_level = 32;
+  EXPECT_THROW(LockoutLadder{wide_shift}, InvalidArgument);
+  LockoutConfig zero_base = small_ladder();
+  zero_base.base_lockout_ns = 0;
+  EXPECT_THROW(LockoutLadder{zero_base}, InvalidArgument);
+}
+
+TEST(LockoutEventWire, RoundTripsAndRejectsMalformedInput) {
+  LockoutEvent event;
+  event.device_id = 0xABCDEF;
+  event.entry = {2, 3, 77 * kSecond};
+  const std::string bytes = serialize_lockout_event(event);
+  const LockoutEvent back = parse_lockout_event(bytes);
+  EXPECT_EQ(back.device_id, event.device_id);
+  EXPECT_EQ(back.entry, event.entry);
+
+  try {
+    parse_lockout_event(bytes.substr(0, bytes.size() - 3));
+    FAIL() << "truncation not detected";
+  } catch (const ParseError& e) {
+    EXPECT_NE(std::string(e.what()).find("offset"), std::string::npos);
+  }
+  std::string bad_magic = bytes;
+  bad_magic[0] = 'X';
+  EXPECT_THROW(parse_lockout_event(bad_magic), ParseError);
+  EXPECT_THROW(parse_lockout_event(bytes + "x"), ParseError);
+}
+
+TEST(LockoutSnapshot, RoundTripsBitIdentically) {
+  LockoutLadder ladder(small_ladder());
+  for (std::uint64_t d : {9ULL, 2ULL, 5ULL}) {
+    ladder.on_decision(d, false, true, d * kSecond);
+  }
+  for (int i = 0; i < 3; ++i) {
+    ladder.on_decision(2, false, true, kSecond);
+  }
+  const std::string blob = ladder.serialize_snapshot();
+  const LockoutLadder back =
+      LockoutLadder::from_snapshot(blob, small_ladder());
+  EXPECT_EQ(back.state_hash(), ladder.state_hash());
+  EXPECT_EQ(back.serialize_snapshot(), blob);
+}
+
+TEST(LockoutSnapshot, RejectsUnorderedAndImpossibleInput) {
+  LockoutLadder a(small_ladder());
+  a.on_decision(1, false, true, 0);
+  a.on_decision(2, false, true, 0);
+  std::string blob = a.serialize_snapshot();
+  // Swap the two entries' device ids: no longer strictly ascending.
+  std::swap(blob[13], blob[37]);
+  EXPECT_THROW(LockoutLadder::from_snapshot(blob, small_ladder()),
+               ParseError);
+
+  std::string huge_count = a.serialize_snapshot();
+  huge_count[12] = 0x7F;  // count high byte: impossible for the blob size.
+  EXPECT_THROW(LockoutLadder::from_snapshot(huge_count, small_ladder()),
+               ParseError);
+}
+
+/// The deterministic "service day": a fixed decision sequence that walks
+/// several devices through strikes, lockouts and resets.
+struct Step {
+  std::uint64_t device;
+  bool accepted;
+  bool strike;
+};
+
+std::vector<Step> service_day() {
+  std::vector<Step> steps;
+  for (int round = 0; round < 3; ++round) {
+    for (std::uint64_t d = 1; d <= 3; ++d) {
+      steps.push_back({d, false, true});
+    }
+    steps.push_back({2, true, false});  // Device 2 keeps recovering.
+  }
+  steps.push_back({1, false, true});  // Device 1 reaches its budget.
+  return steps;
+}
+
+/// Applies `steps[0, count)` to a fresh in-memory ladder; the prefix
+/// hashes are the legal recovery states of the kill sweep.
+std::string prefix_hash(const std::vector<Step>& steps, std::size_t count) {
+  LockoutLadder ladder(small_ladder());
+  for (std::size_t i = 0; i < count; ++i) {
+    ladder.on_decision(steps[i].device, steps[i].accepted, steps[i].strike,
+                       (i + 1) * kSecond);
+  }
+  return ladder.state_hash();
+}
+
+constexpr char kDir[] = "lockouts";
+
+/// One serving session against a (possibly fault-injected) store:
+/// recover, then apply the remaining steps, appending each transition.
+void run_session(FaultFs& fs, const std::vector<Step>& steps,
+                 std::size_t from) {
+  StoreOptions options;
+  options.fsync_every = 1;
+  MeasurementStore store(fs, kDir, options);
+  LockoutLadder ladder = load_lockouts(store, small_ladder());
+  if (!store.has_state()) {
+    publish_lockouts(store, ladder);
+  }
+  for (std::size_t i = from; i < steps.size(); ++i) {
+    if (const auto event = ladder.on_decision(
+            steps[i].device, steps[i].accepted, steps[i].strike,
+            (i + 1) * kSecond)) {
+      store.append_record(serialize_lockout_event(*event));
+    }
+  }
+  publish_lockouts(store, ladder);
+  store.close();
+}
+
+std::string recovered_hash(FaultFs& fs) {
+  MeasurementStore store(fs, kDir, StoreOptions{});
+  return load_lockouts(store, small_ladder()).state_hash();
+}
+
+TEST(LockoutDurability, PublishAndEventReplayRecoverBitIdentically) {
+  const std::vector<Step> steps = service_day();
+  FaultFs fs;
+  run_session(fs, steps, 0);
+  EXPECT_EQ(recovered_hash(fs), prefix_hash(steps, steps.size()));
+}
+
+// The acceptance proof: cut power at EVERY mutating syscall boundary of
+// a serving session. After each cut the recovered ladder must hash to
+// the state after some exact prefix of the transition sequence — never a
+// torn half-state — and the session must be resumable to the identical
+// final state.
+TEST(LockoutDurability, KillPointSweepRecoversAnExactPrefix) {
+  const std::vector<Step> steps = service_day();
+
+  // hash -> prefix length (identical states continue identically, so any
+  // index with that hash works as the resume point).
+  std::map<std::string, std::size_t> prefix_of;
+  for (std::size_t i = 0; i <= steps.size(); ++i) {
+    prefix_of[prefix_hash(steps, i)] = i;
+  }
+  const std::string final_hash = prefix_hash(steps, steps.size());
+
+  std::uint64_t total_syscalls = 0;
+  {
+    FaultFs fs;
+    run_session(fs, steps, 0);
+    total_syscalls = fs.syscalls();
+  }
+  ASSERT_GT(total_syscalls, steps.size());
+
+  for (std::uint64_t kill = 1; kill <= total_syscalls; ++kill) {
+    FsFaultPlan plan;
+    plan.kill_at_syscall = kill;
+    plan.seed = kill;
+    FaultFs fs(plan);
+    try {
+      run_session(fs, steps, 0);
+      FAIL() << "kill point " << kill << " never fired";
+    } catch (const PowerCutError&) {
+      // Expected: power failed mid-session.
+    }
+    fs.power_cut();  // Collapse to durable state, revive for next boot.
+    const std::string hash = recovered_hash(fs);
+    const auto it = prefix_of.find(hash);
+    ASSERT_TRUE(it != prefix_of.end())
+        << "kill point " << kill << " recovered a non-prefix state";
+
+    // Resume the day from the recovered prefix: the ladder is a Markov
+    // state machine, so prefix state + remaining steps must converge to
+    // the identical final state, bit for bit.
+    run_session(fs, steps, it->second);
+    ASSERT_EQ(recovered_hash(fs), final_hash) << "kill point " << kill;
+  }
+}
+
+}  // namespace
+}  // namespace pufaging::authd

@@ -1,0 +1,191 @@
+// Loopback tests for the socket shell: real fds, a server thread, and a
+// BlockingClient. The policy logic is proven deterministically in
+// daemon_test.cpp — these tests only cover what the shell adds: accept,
+// read/write plumbing, EOF/garbage close paths, half-open peers, and the
+// stop-flag drain returning a clean report with zero requests lost.
+#include "authd/server.hpp"
+
+#include <gtest/gtest.h>
+
+#include <unistd.h>
+
+#include <atomic>
+#include <cstdio>
+#include <optional>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "auth/fleet_sim.hpp"
+#include "auth/service.hpp"
+#include "authd/daemon.hpp"
+
+namespace pufaging::authd {
+namespace {
+
+constexpr std::uint64_t kDevices = 4;
+
+struct LiveServer {
+  auth::VirtualFleet fleet;
+  auth::AuthService service;
+  AuthDaemon daemon;
+  SocketServer server;
+  std::atomic<bool> stop{false};
+  std::thread thread;
+  ServerReport report;
+
+  explicit LiveServer(const std::string& socket_path = "")
+      : fleet(fleet_config(), kDevices),
+        service(auth::AuthServiceConfig{}),
+        daemon(enrolled(service, fleet), daemon_config()),
+        server(daemon, server_config(socket_path)) {
+    thread = std::thread([this] { report = server.run(stop); });
+  }
+
+  ~LiveServer() {
+    if (thread.joinable()) {
+      stop.store(true);
+      thread.join();
+    }
+  }
+
+  ServerReport finish() {
+    stop.store(true);
+    thread.join();
+    return report;
+  }
+
+  static auth::VirtualFleetConfig fleet_config() {
+    auth::VirtualFleetConfig config;
+    config.seed = 0x10CA1;
+    return config;
+  }
+
+  static DaemonConfig daemon_config() {
+    DaemonConfig config;
+    config.rate.burst = 0;
+    config.lockout.retry_budget = 100;
+    return config;
+  }
+
+  static ServerConfig server_config(const std::string& socket_path) {
+    ServerConfig config;
+    config.socket_path = socket_path;
+    config.poll_interval_ms = 5;
+    return config;
+  }
+
+  static const auth::AuthService& enrolled(auth::AuthService& service,
+                                           const auth::VirtualFleet& fleet) {
+    for (std::uint64_t id = 0; id < kDevices; ++id) {
+      service.enroll(id, fleet.enrollment_response(id));
+    }
+    return service;
+  }
+
+  AuthRequestMsg genuine(std::uint64_t device, std::uint64_t request_id) {
+    AuthRequestMsg msg;
+    msg.request_id = request_id;
+    msg.device_id = device;
+    msg.response = fleet.enrollment_response(device).words();
+    return msg;
+  }
+};
+
+TEST(SocketServer, TcpLoopbackAuthenticatesEndToEnd) {
+  LiveServer live;
+  ASSERT_NE(live.server.port(), 0);
+  BlockingClient client = BlockingClient::connect_tcp(live.server.port());
+  for (std::uint64_t i = 0; i < kDevices; ++i) {
+    client.send(live.genuine(i, 100 + i));
+  }
+  for (std::uint64_t i = 0; i < kDevices; ++i) {
+    const std::optional<AuthResponseMsg> response = client.read_response();
+    ASSERT_TRUE(response.has_value()) << i;
+    EXPECT_EQ(response->request_id, 100 + i);
+    EXPECT_EQ(response->status, ResponseStatus::kDecision);
+    EXPECT_EQ(response->decision,
+              static_cast<std::uint8_t>(auth::AuthDecision::kAccept));
+  }
+  const ServerReport report = live.finish();
+  EXPECT_TRUE(report.drained_clean);
+  EXPECT_EQ(report.stats.decided, kDevices);
+}
+
+TEST(SocketServer, UnixSocketAuthenticatesEndToEnd) {
+  // sun_path is ~108 bytes: keep the path short and unique per run.
+  const std::string path =
+      "/tmp/pa_authd_" + std::to_string(::getpid()) + ".sock";
+  {
+    LiveServer live(path);
+    BlockingClient client = BlockingClient::connect_unix(path);
+    client.send(live.genuine(2, 7));
+    const std::optional<AuthResponseMsg> response = client.read_response();
+    ASSERT_TRUE(response.has_value());
+    EXPECT_EQ(response->status, ResponseStatus::kDecision);
+    EXPECT_TRUE(live.finish().drained_clean);
+  }
+  std::remove(path.c_str());
+}
+
+TEST(SocketServer, GarbageClientIsDisconnectedOthersUnaffected) {
+  LiveServer live;
+  BlockingClient vandal = BlockingClient::connect_tcp(live.server.port());
+  BlockingClient honest = BlockingClient::connect_tcp(live.server.port());
+  vandal.send_bytes("ThisIsNotThePad1ProtocolAtAll...............");
+  // The server must answer the framing violation with a close (EOF here).
+  EXPECT_FALSE(vandal.read_response().has_value());
+  // The honest connection is untouched by the vandal's demise.
+  honest.send(live.genuine(1, 1));
+  const std::optional<AuthResponseMsg> response = honest.read_response();
+  ASSERT_TRUE(response.has_value());
+  EXPECT_EQ(response->status, ResponseStatus::kDecision);
+  EXPECT_EQ(live.finish().stats.protocol_errors, 1U);
+}
+
+TEST(SocketServer, HalfOpenClientStillReceivesItsResponse) {
+  LiveServer live;
+  BlockingClient client = BlockingClient::connect_tcp(live.server.port());
+  client.send(live.genuine(3, 11));
+  client.shutdown_write();  // FIN sent; the read side stays open.
+  const std::optional<AuthResponseMsg> response = client.read_response();
+  ASSERT_TRUE(response.has_value());
+  EXPECT_EQ(response->request_id, 11U);
+  EXPECT_EQ(response->status, ResponseStatus::kDecision);
+}
+
+TEST(SocketServer, StopWithInFlightRequestsDrainsThemAll) {
+  LiveServer live;
+  BlockingClient client = BlockingClient::connect_tcp(live.server.port());
+  // One served round trip first: the drain closes the listener, so a
+  // connection still in the accept backlog would be legitimately refused.
+  client.send(live.genuine(0, 1000));
+  ASSERT_TRUE(client.read_response().has_value());
+  constexpr std::uint64_t kBurst = 64;
+  for (std::uint64_t i = 0; i < kBurst; ++i) {
+    client.send(live.genuine(i % kDevices, i));
+  }
+  live.stop.store(true);  // Race the drain against the burst.
+  std::uint64_t decided = 0;
+  std::uint64_t refused = 0;
+  while (const std::optional<AuthResponseMsg> response =
+             client.read_response()) {
+    if (response->status == ResponseStatus::kDecision) {
+      ++decided;
+    } else {
+      // Bytes read after begin_drain are answered, typed, never dropped.
+      EXPECT_EQ(response->status, ResponseStatus::kDraining);
+      ++refused;
+    }
+  }
+  live.thread.join();
+  // Every burst request got exactly one answer: admitted ones a
+  // decision, the rest a typed kDraining — zero silent losses.
+  EXPECT_EQ(decided + refused, kBurst);
+  EXPECT_EQ(decided + 1, live.report.stats.decided);
+  EXPECT_TRUE(live.report.drained_clean);
+  EXPECT_EQ(live.report.stats.queue_depth, 0U);
+}
+
+}  // namespace
+}  // namespace pufaging::authd

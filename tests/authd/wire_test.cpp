@@ -1,0 +1,225 @@
+// Wire-protocol proofs: framing round-trips byte-exactly, every
+// malformation is a typed, offset-annotated ParseError, and a framing
+// error poisons the stream permanently (the reader never resynchronizes
+// against an adversarial peer).
+#include "authd/wire.hpp"
+
+#include <gtest/gtest.h>
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/error.hpp"
+
+namespace pufaging::authd {
+namespace {
+
+AuthRequestMsg sample_request(std::uint64_t request_id = 7) {
+  AuthRequestMsg msg;
+  msg.request_id = request_id;
+  msg.device_id = 0xDEADBEEFCAFE;
+  msg.response = {1, 2, 3, 0xFFFFFFFFFFFFFFFFULL, 5};
+  return msg;
+}
+
+std::optional<Frame> one_frame(std::string_view bytes) {
+  FrameReader reader;
+  reader.feed(bytes);
+  return reader.next();
+}
+
+TEST(Wire, AuthRequestRoundTripsByteExactly) {
+  const AuthRequestMsg msg = sample_request();
+  const std::string bytes = encode_auth_request(msg);
+  const std::optional<Frame> frame = one_frame(bytes);
+  ASSERT_TRUE(frame.has_value());
+  EXPECT_EQ(frame->type, MsgType::kAuthRequest);
+  const AuthRequestMsg back = parse_auth_request(*frame);
+  EXPECT_EQ(back.request_id, msg.request_id);
+  EXPECT_EQ(back.device_id, msg.device_id);
+  EXPECT_EQ(back.response, msg.response);
+}
+
+TEST(Wire, AuthResponseRoundTripsEveryStatus) {
+  for (std::uint8_t s = 0;
+       s <= static_cast<std::uint8_t>(ResponseStatus::kDraining); ++s) {
+    AuthResponseMsg msg;
+    msg.request_id = 100 + s;
+    msg.status = static_cast<ResponseStatus>(s);
+    msg.decision = 3;
+    msg.retry_at_ns = 0x123456789ABCDEF0ULL;
+    const std::optional<Frame> frame = one_frame(encode_auth_response(msg));
+    ASSERT_TRUE(frame.has_value());
+    const AuthResponseMsg back = parse_auth_response(*frame);
+    EXPECT_EQ(back.request_id, msg.request_id);
+    EXPECT_EQ(back.status, msg.status);
+    EXPECT_EQ(back.decision, msg.decision);
+    EXPECT_EQ(back.retry_at_ns, msg.retry_at_ns);
+  }
+}
+
+TEST(Wire, ReaderYieldsManyFramesFromOneFeed) {
+  std::string stream;
+  for (std::uint64_t i = 0; i < 5; ++i) {
+    stream += encode_auth_request(sample_request(i));
+  }
+  FrameReader reader;
+  reader.feed(stream);
+  for (std::uint64_t i = 0; i < 5; ++i) {
+    const std::optional<Frame> frame = reader.next();
+    ASSERT_TRUE(frame.has_value()) << i;
+    EXPECT_EQ(frame->request_id, i);
+  }
+  EXPECT_FALSE(reader.next().has_value());
+  EXPECT_EQ(reader.consumed(), stream.size());
+  EXPECT_EQ(reader.buffered(), 0U);
+}
+
+TEST(Wire, TruncatedHeaderAndPayloadWaitForMoreBytes) {
+  const std::string bytes = encode_auth_request(sample_request());
+  for (const std::size_t cut :
+       {std::size_t{1}, kFrameHeaderBytes - 1, kFrameHeaderBytes,
+        bytes.size() - 1}) {
+    FrameReader reader;
+    reader.feed(std::string_view(bytes).substr(0, cut));
+    EXPECT_FALSE(reader.next().has_value()) << cut;
+    EXPECT_FALSE(reader.poisoned());
+    reader.feed(std::string_view(bytes).substr(cut));
+    EXPECT_TRUE(reader.next().has_value()) << cut;
+  }
+}
+
+TEST(Wire, BadMagicPoisonsWithStreamOffset) {
+  std::string bytes = encode_auth_request(sample_request());
+  const std::string good = bytes;
+  bytes[0] ^= 0x01;
+  FrameReader reader;
+  reader.feed(good);   // One clean frame first: the offset is cumulative.
+  reader.feed(bytes);
+  ASSERT_TRUE(reader.next().has_value());
+  try {
+    reader.next();
+    FAIL() << "bad magic not detected";
+  } catch (const ParseError& e) {
+    EXPECT_NE(std::string(e.what()).find("magic"), std::string::npos);
+    EXPECT_NE(std::string(e.what()).find(std::to_string(good.size())),
+              std::string::npos);
+  }
+  EXPECT_TRUE(reader.poisoned());
+}
+
+TEST(Wire, PoisonIsPermanent) {
+  FrameReader reader;
+  reader.feed("this is definitely not a PAD1 frame....");
+  EXPECT_THROW(reader.next(), ParseError);
+  // Even a perfectly valid frame cannot revive the stream.
+  EXPECT_THROW(reader.feed(encode_auth_request(sample_request())),
+               ParseError);
+  EXPECT_THROW(reader.next(), ParseError);
+}
+
+TEST(Wire, CrcMismatchNamesStoredAndComputed) {
+  std::string bytes = encode_auth_request(sample_request());
+  bytes.back() = static_cast<char>(bytes.back() ^ 0x80);  // Flip one bit.
+  try {
+    one_frame(bytes);
+    FAIL() << "corrupt payload not detected";
+  } catch (const ParseError& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("CRC mismatch"), std::string::npos) << what;
+    EXPECT_NE(what.find("stored 0x"), std::string::npos) << what;
+    EXPECT_NE(what.find("computed 0x"), std::string::npos) << what;
+  }
+}
+
+TEST(Wire, CrcCoversTheLengthField) {
+  // A flipped length byte must be caught by the CRC, not mis-frame the
+  // stream (the attack the magic alone cannot stop).
+  std::string bytes = encode_auth_request(sample_request());
+  bytes[16] ^= 0x04;  // len (header offset 16) shrinks: frame "completes".
+  EXPECT_THROW(one_frame(bytes), ParseError);
+}
+
+TEST(Wire, OversizeLengthIsRejectedBeforeBuffering) {
+  std::string bytes = encode_auth_request(sample_request());
+  bytes[18] = static_cast<char>(0xFF);  // len -> far beyond the bound.
+  bytes[19] = static_cast<char>(0xFF);
+  try {
+    one_frame(bytes);
+    FAIL() << "oversize length not detected";
+  } catch (const ParseError& e) {
+    EXPECT_NE(std::string(e.what()).find("bound"), std::string::npos);
+  }
+}
+
+TEST(Wire, UnknownTypeAndNonZeroPadPoison) {
+  std::string bad_type = encode_auth_request(sample_request());
+  bad_type[4] = 9;
+  EXPECT_THROW(one_frame(bad_type), ParseError);
+
+  std::string bad_pad = encode_auth_request(sample_request());
+  bad_pad[6] = 1;
+  EXPECT_THROW(one_frame(bad_pad), ParseError);
+}
+
+TEST(Wire, RequestWordCountMismatchNamesOffset) {
+  const std::string bytes = encode_auth_request(sample_request());
+  Frame frame = *one_frame(bytes);
+  frame.payload[8] ^= 0x01;  // words field disagrees with payload size.
+  try {
+    parse_auth_request(frame);
+    FAIL() << "word count mismatch not detected";
+  } catch (const ParseError& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("word count"), std::string::npos) << what;
+    EXPECT_NE(what.find("offset"), std::string::npos) << what;
+  }
+}
+
+TEST(Wire, ResponseRejectsUnknownStatusAndDirtyPad) {
+  AuthResponseMsg msg;
+  msg.status = ResponseStatus::kDecision;
+  Frame frame = *one_frame(encode_auth_response(msg));
+  Frame bad_status = frame;
+  bad_status.payload[0] = 42;
+  EXPECT_THROW(parse_auth_response(bad_status), ParseError);
+  Frame dirty_pad = frame;
+  dirty_pad.payload[2] = 1;
+  EXPECT_THROW(parse_auth_response(dirty_pad), ParseError);
+}
+
+TEST(Wire, TruncatedPayloadErrorNamesOffsetAndShortfall) {
+  Frame frame;
+  frame.type = MsgType::kAuthRequest;
+  frame.payload = "\x01\x02\x03";  // Too short for even the device id.
+  try {
+    parse_auth_request(frame);
+    FAIL() << "truncated payload not detected";
+  } catch (const ParseError& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("need 8 byte(s) at offset 0"), std::string::npos)
+        << what;
+    EXPECT_NE(what.find("have 3"), std::string::npos) << what;
+  }
+}
+
+TEST(Wire, EncodeRejectsOversizePayload) {
+  EXPECT_THROW(
+      encode_frame(MsgType::kAuthRequest, 1,
+                   std::string(kMaxFramePayload + 1, 'x')),
+      InvalidArgument);
+}
+
+TEST(Wire, StatusNamesAreStable) {
+  EXPECT_STREQ(to_string(ResponseStatus::kDecision), "decision");
+  EXPECT_STREQ(to_string(ResponseStatus::kRetryAfter), "retry-after");
+  EXPECT_STREQ(to_string(ResponseStatus::kShed), "shed");
+  EXPECT_STREQ(to_string(ResponseStatus::kDeadline), "deadline");
+  EXPECT_STREQ(to_string(ResponseStatus::kLockedOut), "locked-out");
+  EXPECT_STREQ(to_string(ResponseStatus::kRateLimited), "rate-limited");
+  EXPECT_STREQ(to_string(ResponseStatus::kDraining), "draining");
+}
+
+}  // namespace
+}  // namespace pufaging::authd

@@ -1,0 +1,153 @@
+// Heatmap rendering proofs: grid extraction from riskcliff.json, PGM
+// orientation (255 = best, metric-aware), HTML structure, rejection of
+// malformed documents, and byte-identical re-rendering.
+#include "chaoslab/heatmap.hpp"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "common/error.hpp"
+
+namespace pufaging::chaoslab {
+namespace {
+
+constexpr const char* kMetricNames[] = {
+    "coverage_mean",      "coverage_min", "degraded_months",
+    "quarantine_entries", "retries",      "wchd_drift",
+    "bchd_drift",         "entropy_drift",
+};
+
+/// Builds a synthetic 2-policy x 3-rate riskcliff document where every
+/// metric's p95 at (policy p, rate r) is `10*p + r` — monotone along
+/// both axes, so orientation checks are unambiguous.
+std::string synthetic_riskcliff() {
+  std::string cells;
+  for (int p = 0; p < 2; ++p) {
+    for (int r = 0; r < 3; ++r) {
+      if (!cells.empty()) {
+        cells += ",";
+      }
+      std::string aggregates;
+      for (const char* metric : kMetricNames) {
+        const double v = 10.0 * p + r;
+        aggregates += std::string(",\"") + metric + "\":{\"mean\":" +
+                      std::to_string(v) + ",\"p5\":" + std::to_string(v) +
+                      ",\"p95\":" + std::to_string(v) + ",\"bits\":0}";
+      }
+      cells += "{\"policy_index\":" + std::to_string(p) +
+               ",\"rate_index\":" + std::to_string(r) + aggregates + "}";
+    }
+  }
+  return "{\"kind\":\"riskcliff\",\"version\":1,"
+         "\"fingerprint\":\"feedfacefeedfacefeedface\","
+         "\"cliff_location_hash\":\"c11ffc11ffc11ffc11ffc11f\","
+         "\"spec\":{\"name\":\"unit\",\"rate_scales\":[1.0,2.0,4.0],"
+         "\"policies\":[{\"label\":\"strict\"},{\"label\":\"lenient\"}]},"
+         "\"cells\":[" +
+         cells +
+         "],"
+         "\"cliffs\":[{\"metric\":\"coverage_mean\",\"policy\":\"strict\","
+         "\"from_scale\":1.0,\"to_scale\":2.0,\"drop\":0.25}]}";
+}
+
+TEST(Heatmap, ExtractsEveryMetricGridRowMajor) {
+  const Json doc = Json::parse(synthetic_riskcliff());
+  const std::vector<HeatmapGrid> grids = extract_p95_grids(doc);
+  ASSERT_EQ(grids.size(), 8U);
+  for (std::size_t m = 0; m < grids.size(); ++m) {
+    EXPECT_EQ(grids[m].metric, kMetricNames[m]);
+    ASSERT_EQ(grids[m].policy_labels,
+              (std::vector<std::string>{"strict", "lenient"}));
+    ASSERT_EQ(grids[m].rate_scales, (std::vector<double>{1.0, 2.0, 4.0}));
+    ASSERT_EQ(grids[m].p95.size(), 6U);
+    for (std::size_t p = 0; p < 2; ++p) {
+      for (std::size_t r = 0; r < 3; ++r) {
+        EXPECT_DOUBLE_EQ(grids[m].p95[p * 3 + r],
+                         10.0 * static_cast<double>(p) +
+                             static_cast<double>(r));
+      }
+    }
+  }
+  EXPECT_TRUE(grids[0].higher_is_better);   // coverage_mean
+  EXPECT_TRUE(grids[1].higher_is_better);   // coverage_min
+  EXPECT_FALSE(grids[4].higher_is_better);  // retries
+}
+
+TEST(Heatmap, PgmOrientationPutsBestAtWhite) {
+  const Json doc = Json::parse(synthetic_riskcliff());
+  const std::vector<HeatmapGrid> grids = extract_p95_grids(doc);
+
+  // coverage (higher-is-better): the max cell (p=1, r=2, value 12) is
+  // white; the min cell (0,0) is black.
+  const std::string coverage = heatmap_to_pgm(grids[0], 2);
+  const std::string header = "P5\n6 4\n255\n";  // 3 rates x 2 policies, 2px.
+  ASSERT_EQ(coverage.substr(0, header.size()), header);
+  const std::size_t base = header.size();
+  const auto pixel = [&](const std::string& pgm, std::size_t x,
+                         std::size_t y) {
+    return static_cast<unsigned char>(pgm[base + y * 6 + x]);
+  };
+  EXPECT_EQ(pixel(coverage, 0, 0), 0);    // Worst coverage.
+  EXPECT_EQ(pixel(coverage, 5, 3), 255);  // Best coverage.
+
+  // retries (lower-is-better): same values, inverted orientation.
+  const std::string retries = heatmap_to_pgm(grids[4], 2);
+  EXPECT_EQ(pixel(retries, 0, 0), 255);  // Fewest retries = best.
+  EXPECT_EQ(pixel(retries, 5, 3), 0);
+}
+
+TEST(Heatmap, FlatGridRendersAllBest) {
+  HeatmapGrid grid;
+  grid.metric = "retries";
+  grid.policy_labels = {"only"};
+  grid.rate_scales = {1.0, 2.0};
+  grid.p95 = {3.0, 3.0};
+  const std::string pgm = heatmap_to_pgm(grid, 1);
+  const std::string header = "P5\n2 1\n255\n";
+  ASSERT_EQ(pgm.size(), header.size() + 2);
+  EXPECT_EQ(static_cast<unsigned char>(pgm[header.size()]), 255);
+  EXPECT_EQ(static_cast<unsigned char>(pgm[header.size() + 1]), 255);
+}
+
+TEST(Heatmap, HtmlListsEveryMetricAndCliff) {
+  const Json doc = Json::parse(synthetic_riskcliff());
+  const HeatmapBundle bundle = render_heatmaps(doc);
+  ASSERT_EQ(bundle.pgms.size(), 8U);
+  EXPECT_EQ(bundle.pgms[0].first, "heatmap_coverage_mean.pgm");
+  for (const char* metric : kMetricNames) {
+    EXPECT_NE(bundle.html.find(metric), std::string::npos) << metric;
+  }
+  EXPECT_NE(bundle.html.find("strict"), std::string::npos);
+  EXPECT_NE(bundle.html.find("lenient"), std::string::npos);
+  EXPECT_NE(bundle.html.find("cliffs (1)"), std::string::npos);
+  EXPECT_NE(bundle.html.find("drop 0.2500"), std::string::npos);
+  EXPECT_NE(bundle.html.find("feedfacefeedface"), std::string::npos);
+}
+
+TEST(Heatmap, RenderingIsByteIdentical) {
+  const Json doc = Json::parse(synthetic_riskcliff());
+  const HeatmapBundle a = render_heatmaps(doc);
+  const HeatmapBundle b = render_heatmaps(doc);
+  EXPECT_EQ(a.html, b.html);
+  ASSERT_EQ(a.pgms.size(), b.pgms.size());
+  for (std::size_t i = 0; i < a.pgms.size(); ++i) {
+    EXPECT_EQ(a.pgms[i].second, b.pgms[i].second) << a.pgms[i].first;
+  }
+}
+
+TEST(Heatmap, MalformedDocumentsAreTypedErrors) {
+  EXPECT_THROW(extract_p95_grids(Json::parse("{\"kind\":\"other\"}")),
+               ParseError);
+  // Cell count disagreeing with the spec axes.
+  std::string doc = synthetic_riskcliff();
+  const std::size_t at = doc.find("\"cells\":[");
+  const std::size_t end = doc.find("],", at);
+  doc = doc.substr(0, at) + "\"cells\":[" + doc.substr(end);
+  EXPECT_THROW(extract_p95_grids(Json::parse(doc)), ParseError);
+  EXPECT_THROW(heatmap_to_pgm(HeatmapGrid{}, 0), InvalidArgument);
+}
+
+}  // namespace
+}  // namespace pufaging::chaoslab

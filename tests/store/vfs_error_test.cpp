@@ -1,0 +1,75 @@
+// Error-surface tests for the production filesystem: every StoreError
+// must name the failing path and carry the syscall errno, so a nightly
+// soak failure is diagnosable from the one-line message alone.
+#include "store/vfs.hpp"
+
+#include <gtest/gtest.h>
+
+#include <unistd.h>
+
+#include <functional>
+#include <string>
+
+namespace pufaging {
+namespace {
+
+std::string message_of(const std::function<void()>& op) {
+  try {
+    op();
+  } catch (const StoreError& e) {
+    return e.what();
+  }
+  ADD_FAILURE() << "expected a StoreError";
+  return "";
+}
+
+TEST(RealFsErrors, MissingFileErrorsNamePathAndErrno) {
+  RealFs& fs = RealFs::instance();
+  const std::string ghost = "/nonexistent-pufaging-dir/ghost.wal";
+
+  const std::string read = message_of([&] { fs.read_file(ghost); });
+  EXPECT_NE(read.find(ghost), std::string::npos) << read;
+  EXPECT_NE(read.find("(errno 2)"), std::string::npos) << read;  // ENOENT
+
+  const std::string ren =
+      message_of([&] { fs.rename(ghost, ghost + ".new"); });
+  EXPECT_NE(ren.find(ghost), std::string::npos) << ren;
+  EXPECT_NE(ren.find("errno"), std::string::npos) << ren;
+
+  const std::string open = message_of([&] { fs.open_append(ghost, false); });
+  EXPECT_NE(open.find(ghost), std::string::npos) << open;
+  EXPECT_NE(open.find("(errno 2)"), std::string::npos) << open;
+
+  const std::string size = message_of([&] { fs.file_size(ghost); });
+  EXPECT_NE(size.find(ghost), std::string::npos) << size;
+  EXPECT_NE(size.find("(error 2)"), std::string::npos) << size;
+}
+
+TEST(RealFsErrors, WriteFailureNamesThePathNotJustTheDescriptor) {
+  RealFs& fs = RealFs::instance();
+  const std::string path =
+      "/tmp/pa_vfs_err_" + std::to_string(::getpid()) + ".tmp";
+  const Vfs::FileId fd = fs.open_append(path, true);
+  // Sabotage the descriptor behind the seam: the next write fails with
+  // EBADF, and the message must still name the file it was opened as.
+  ::close(fd);
+  const std::string msg =
+      message_of([&] { fs.write_some(fd, "x", 1); });
+  EXPECT_NE(msg.find(path), std::string::npos) << msg;
+  EXPECT_NE(msg.find("(errno 9)"), std::string::npos) << msg;  // EBADF
+  fs.close(fd);  // Releases the name-table entry (double close is benign).
+  fs.remove(path);
+}
+
+TEST(RealFsErrors, NoSpaceKindIsReservedForEnospc) {
+  // ENOENT maps to the generic kIo kind, never kNoSpace.
+  try {
+    RealFs::instance().read_file("/nonexistent-pufaging-dir/x");
+    FAIL();
+  } catch (const StoreError& e) {
+    EXPECT_EQ(e.kind(), StoreError::Kind::kIo);
+  }
+}
+
+}  // namespace
+}  // namespace pufaging

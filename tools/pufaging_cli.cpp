@@ -20,9 +20,20 @@
 //                      [--months N] [--measurements N] [--seed S]
 //                      [--resume] [--halt-after-cells N] [--no-poison]
 //   pufaging chaosgrid --replay BUNDLE_DIR [--threads N]
+//   pufaging chaosgrid --heatmap [--out DIR] [--riskcliff FILE]
 //   pufaging tilescan  --store-dir DIR [--tile-rows N] [--tile-cols N]
+//   pufaging authd     [--socket PATH | --port N] [--devices N] [--blocks N]
+//                      [--seed S] [--store-dir DIR] [--queue-cap N]
+//                      [--batch N] [--deadline-ms N] [--rate-burst N]
+//                      [--rate-per-sec X] [--retry-budget N] [--lockout-ms N]
+//                      [--max-conns N] [--metrics-out FILE]
+//   pufaging authd --drive (--socket PATH | --port N) [--requests N]
+//                      [--impostors P] [--storm N] [--pipeline N]
+//                      [--devices N] [--blocks N] [--seed S] [--years Y]
 //
 // Every command is deterministic from the seed; see README.md.
+#include <atomic>
+#include <csignal>
 #include <cstdio>
 #include <cstdlib>
 #include <algorithm>
@@ -35,7 +46,11 @@
 #include <vector>
 
 #include "analysis/initial_quality.hpp"
+#include "authd/daemon.hpp"
+#include "authd/limiter.hpp"
+#include "authd/server.hpp"
 #include "chaoslab/cliff.hpp"
+#include "chaoslab/heatmap.hpp"
 #include "chaoslab/grid.hpp"
 #include "chaoslab/poison.hpp"
 #include "chaoslab/sweep.hpp"
@@ -481,6 +496,42 @@ int cmd_chaosgrid(Args& args) {
   const std::size_t threads =
       static_cast<std::size_t>(args.integer("--threads", 0));
 
+  // Heatmap mode: re-render an archived riskcliff.json (no sweep).
+  if (args.boolean("--heatmap")) {
+    const std::string out_dir = args.value("--out").value_or("chaosgrid_out");
+    const std::string riskcliff_path =
+        args.value("--riskcliff").value_or(out_dir + "/riskcliff.json");
+    std::ifstream in(riskcliff_path, std::ios::binary);
+    if (!in) {
+      std::fprintf(stderr, "error: cannot open %s\n", riskcliff_path.c_str());
+      return 1;
+    }
+    std::stringstream buffer;
+    buffer << in.rdbuf();
+    const cl::HeatmapBundle bundle =
+        cl::render_heatmaps(Json::parse(buffer.str()));
+    for (const auto& [name, bytes] : bundle.pgms) {
+      const std::string path = out_dir + "/" + name;
+      std::ofstream out(path, std::ios::binary | std::ios::trunc);
+      out << bytes;
+      if (!out.flush()) {
+        std::fprintf(stderr, "error: cannot write %s\n", path.c_str());
+        return 1;
+      }
+    }
+    const std::string html_path = out_dir + "/heatmap.html";
+    std::ofstream out(html_path, std::ios::binary | std::ios::trunc);
+    out << bundle.html;
+    if (!out.flush()) {
+      std::fprintf(stderr, "error: cannot write %s\n", html_path.c_str());
+      return 1;
+    }
+    std::fprintf(stderr, "%zu PGM heatmap(s) + %s rendered from %s\n",
+                 bundle.pgms.size(), html_path.c_str(),
+                 riskcliff_path.c_str());
+    return 0;
+  }
+
   // Replay mode: re-execute a poison bundle and verify bit-identity.
   if (const auto bundle_dir = args.value("--replay")) {
     const cl::ReplayReport report =
@@ -586,6 +637,275 @@ int cmd_chaosgrid(Args& args) {
     }
   }
   return 0;
+}
+
+/// Flipped by the SIGTERM/SIGINT handler; observed by the server's poll
+/// loop, which then drains and exits.
+std::atomic<bool> g_authd_stop{false};
+
+extern "C" void authd_stop_handler(int) { g_authd_stop.store(true); }
+
+/// Chaos/soak driver: genuine + impostor request mix, then an optional
+/// impostor storm hammering one device id through the lockout ladder.
+int drive_authd(Args& args, const auth::VirtualFleet& fleet,
+                const std::optional<std::string>& socket_path,
+                std::uint16_t port) {
+  namespace ad = authd;
+  const std::size_t requests =
+      static_cast<std::size_t>(args.integer("--requests", 1000));
+  const std::size_t storm =
+      static_cast<std::size_t>(args.integer("--storm", 0));
+  const std::size_t pipeline = std::max<std::size_t>(
+      1, static_cast<std::size_t>(args.integer("--pipeline", 64)));
+  const double impostors = args.real("--impostors", 0.02);
+  const double years = args.real("--years", 1.0);
+
+  ad::BlockingClient client =
+      socket_path ? ad::BlockingClient::connect_unix(*socket_path)
+                  : ad::BlockingClient::connect_tcp(port);
+  Xoshiro256StarStar rng(split_seed(fleet.config().seed, 0xD51E, 1));
+  const std::size_t words = fleet.words_per_response();
+
+  std::uint64_t status_counts[7] = {};
+  std::uint64_t decision_counts[4] = {};
+  std::uint64_t sent = 0;
+  std::uint64_t received = 0;
+  std::uint64_t genuine = 0;
+  bool eof = false;
+
+  const auto read_one = [&] {
+    const std::optional<ad::AuthResponseMsg> reply = client.read_response();
+    if (!reply) {
+      eof = true;
+      return;
+    }
+    received += 1;
+    status_counts[static_cast<std::size_t>(reply->status)] += 1;
+    if (reply->status == ad::ResponseStatus::kDecision &&
+        reply->decision < 4) {
+      decision_counts[reply->decision] += 1;
+    }
+  };
+
+  const auto send_one = [&](std::uint64_t claimed, std::uint64_t silicon) {
+    ad::AuthRequestMsg msg;
+    msg.request_id = ++sent;
+    msg.device_id = claimed;
+    msg.response.resize(words);
+    fleet.response_into(silicon, years, msg.request_id, msg.response.data());
+    client.send(msg);
+    if (sent - received >= pipeline) {
+      read_one();
+    }
+  };
+
+  for (std::size_t i = 0; i < requests && !eof; ++i) {
+    const std::uint64_t claimed = rng.next() % fleet.device_count();
+    const bool impostor = rng.uniform() < impostors;
+    genuine += impostor ? 0 : 1;
+    // An impostor claims an enrolled identity but reads un-enrolled
+    // silicon (device ids past the fleet are never enrolled).
+    send_one(claimed, impostor ? fleet.device_count() + i : claimed);
+  }
+  // The storm: every request claims device 0 with a wrong-key read,
+  // walking it up the lockout ladder.
+  for (std::size_t i = 0; i < storm && !eof; ++i) {
+    send_one(0, fleet.device_count() + requests + i);
+  }
+  while (!eof && received < sent) {
+    read_one();
+  }
+
+  std::printf("driver: %llu sent (%llu genuine, %llu impostor mix, "
+              "%zu storm), %llu responses%s\n",
+              static_cast<unsigned long long>(sent),
+              static_cast<unsigned long long>(genuine),
+              static_cast<unsigned long long>(
+                  std::min<std::uint64_t>(requests, sent) - genuine),
+              storm, static_cast<unsigned long long>(received),
+              eof ? " (server closed the connection)" : "");
+  for (std::size_t s = 0; s < 7; ++s) {
+    if (status_counts[s] != 0) {
+      std::printf("  status %-12s %llu\n",
+                  ad::to_string(static_cast<ad::ResponseStatus>(s)),
+                  static_cast<unsigned long long>(status_counts[s]));
+    }
+  }
+  std::printf("  decisions: accept %llu, reject-unknown %llu, "
+              "reject-decode %llu, reject-key %llu\n",
+              static_cast<unsigned long long>(decision_counts[0]),
+              static_cast<unsigned long long>(decision_counts[1]),
+              static_cast<unsigned long long>(decision_counts[2]),
+              static_cast<unsigned long long>(decision_counts[3]));
+  return received == sent ? 0 : 1;
+}
+
+int cmd_authd(Args& args) {
+  namespace ad = authd;
+  // The driver and the server derive the same virtual fleet from
+  // (--seed, --devices, --blocks), so a driver pointed at a matching
+  // server generates reads the server's registry actually recognizes.
+  auth::VirtualFleetConfig fleet_config;
+  auth::AuthServiceConfig service_config;
+  const std::uint64_t devices =
+      static_cast<std::uint64_t>(args.integer("--devices", 1000));
+  service_config.blocks =
+      static_cast<std::uint32_t>(args.integer("--blocks", 11));
+  if (const auto seed = args.value("--seed")) {
+    fleet_config.seed = std::stoull(*seed, nullptr, 0);
+  }
+  fleet_config.window_bits =
+      static_cast<std::size_t>(service_config.blocks) * 24;
+  const auto socket_path = args.value("--socket");
+  const std::uint16_t port =
+      static_cast<std::uint16_t>(args.integer("--port", 0));
+  const auth::VirtualFleet fleet(fleet_config, devices);
+
+  if (args.boolean("--drive")) {
+    if (!socket_path && port == 0) {
+      std::fprintf(stderr,
+                   "usage: pufaging authd --drive (--socket PATH | "
+                   "--port N) [--requests N] [--storm N]\n");
+      return 2;
+    }
+    return drive_authd(args, fleet, socket_path, port);
+  }
+
+  obs::MetricsRegistry metrics;
+  service_config.metrics = &metrics;
+  auth::AuthService service(service_config);
+  ThreadPool pool(ThreadPool::resolve_thread_count(
+      static_cast<std::size_t>(args.integer("--threads", 0))));
+
+  ad::DaemonConfig dconfig;
+  dconfig.queue_cap =
+      static_cast<std::size_t>(args.integer("--queue-cap", 4096));
+  dconfig.batch_max = static_cast<std::size_t>(args.integer("--batch", 256));
+  dconfig.max_connections =
+      static_cast<std::size_t>(args.integer("--max-conns", 1024));
+  dconfig.request_deadline_ns =
+      static_cast<std::uint64_t>(args.integer("--deadline-ms", 100)) *
+      1'000'000;
+  dconfig.rate.burst =
+      static_cast<std::uint32_t>(args.integer("--rate-burst", 32));
+  dconfig.rate.tokens_per_sec = args.real("--rate-per-sec", 1000.0);
+  dconfig.lockout.retry_budget =
+      static_cast<std::uint32_t>(args.integer("--retry-budget", 5));
+  dconfig.lockout.base_lockout_ns =
+      static_cast<std::uint64_t>(args.integer("--lockout-ms", 1000)) *
+      1'000'000;
+  dconfig.metrics = &metrics;
+
+  // Durable state: registry snapshot at DIR, lockout ladder WAL at
+  // DIR/lockouts (distinct snapshot formats, distinct stores).
+  const auto store_dir = args.value("--store-dir");
+  std::optional<MeasurementStore> registry_store;
+  std::optional<MeasurementStore> lockout_store;
+  if (store_dir) {
+    StoreOptions opts;
+    opts.fsync_every =
+        static_cast<std::size_t>(args.integer("--fsync-every", 64));
+    opts.metrics = &metrics;
+    registry_store.emplace(RealFs::instance(), *store_dir, opts);
+    lockout_store.emplace(RealFs::instance(), *store_dir + "/lockouts", opts);
+    auth::AuthRegistry recovered =
+        auth::load_registry(*registry_store, service_config.blocks);
+    std::fprintf(stderr, "store: recovered %zu enrollment(s)\n",
+                 recovered.size());
+    service.adopt_registry(std::move(recovered));
+  }
+  if (service.registry().size() < devices) {
+    std::fprintf(stderr, "enrolling %llu device(s)...\n",
+                 static_cast<unsigned long long>(devices));
+    auth::enroll_fleet(service, fleet, pool);
+  }
+  if (registry_store) {
+    auth::publish_registry(*registry_store, service.registry());
+  }
+
+  ad::AuthDaemon daemon(service, dconfig);
+  if (lockout_store) {
+    ad::LockoutLadder ladder =
+        ad::load_lockouts(*lockout_store, dconfig.lockout);
+    std::fprintf(stderr, "store: recovered %zu lockout entr%s (hash %.16s)\n",
+                 ladder.tracked(), ladder.tracked() == 1 ? "y" : "ies",
+                 ladder.state_hash().c_str());
+    // Compact the replayed WAL into a fresh snapshot generation; the
+    // daemon only appends events once a snapshot exists.
+    ad::publish_lockouts(*lockout_store, ladder);
+    daemon.adopt_lockouts(std::move(ladder));
+    daemon.attach_lockout_store(&*lockout_store);
+    daemon.attach_registry_store(&*registry_store);
+  }
+
+  g_authd_stop.store(false);
+  std::signal(SIGTERM, authd_stop_handler);
+  std::signal(SIGINT, authd_stop_handler);
+
+  ad::ServerConfig sconfig;
+  sconfig.socket_path = socket_path.value_or("");
+  sconfig.tcp_port = port;
+  sconfig.poll_interval_ms =
+      static_cast<int>(args.integer("--poll-ms", 20));
+  ad::SocketServer server(daemon, sconfig);
+  if (socket_path) {
+    std::fprintf(stderr, "authd: listening on %s\n", socket_path->c_str());
+  } else {
+    std::fprintf(stderr, "authd: listening on 127.0.0.1:%u\n",
+                 server.port());
+  }
+  std::fprintf(stderr,
+               "authd: %zu enrollment(s), queue cap %zu, batch %zu, "
+               "deadline %llu ms; serving until SIGTERM\n",
+               service.registry().size(), dconfig.queue_cap,
+               dconfig.batch_max,
+               static_cast<unsigned long long>(dconfig.request_deadline_ns /
+                                               1'000'000));
+
+  const ad::ServerReport report = server.run(g_authd_stop);
+
+  std::printf("authd: drained %s\n",
+              report.drained_clean ? "clean" : "past the deadline");
+  const ad::DaemonStats& s = report.stats;
+  std::printf(
+      "  conns %llu opened / %llu closed, frames %llu, "
+      "protocol errors %llu, reaped %llu\n",
+      static_cast<unsigned long long>(s.connections_opened),
+      static_cast<unsigned long long>(s.connections_closed),
+      static_cast<unsigned long long>(s.frames),
+      static_cast<unsigned long long>(s.protocol_errors),
+      static_cast<unsigned long long>(s.reaped));
+  std::printf(
+      "  admitted %llu, decided %llu, retry-after %llu, shed %llu, "
+      "deadline %llu\n",
+      static_cast<unsigned long long>(s.admitted),
+      static_cast<unsigned long long>(s.decided),
+      static_cast<unsigned long long>(s.retry_after),
+      static_cast<unsigned long long>(s.shed),
+      static_cast<unsigned long long>(s.deadline_expired));
+  std::printf(
+      "  rate-limited %llu, locked-out %llu, draining %llu, "
+      "responses dropped %llu\n",
+      static_cast<unsigned long long>(s.rate_limited),
+      static_cast<unsigned long long>(s.locked_out),
+      static_cast<unsigned long long>(s.draining_rejected),
+      static_cast<unsigned long long>(s.responses_dropped));
+  std::printf("decisions sha256: %s\n", report.decisions_sha256.c_str());
+  std::printf("lockout state hash: %s\n",
+              daemon.lockouts().state_hash().c_str());
+
+  if (lockout_store) {
+    lockout_store->close();
+  }
+  if (registry_store) {
+    registry_store->close();
+  }
+  if (const auto metrics_out = args.value("--metrics-out")) {
+    std::ofstream out(*metrics_out);
+    out << obs::metrics_to_jsonl(metrics.snapshot());
+    std::fprintf(stderr, "metrics written to %s\n", metrics_out->c_str());
+  }
+  return report.drained_clean ? 0 : 1;
 }
 
 int cmd_predict(Args& args) {
@@ -708,7 +1028,20 @@ int usage() {
       "             [--months N] [--measurements N] [--seed S] [--resume]\n"
       "             [--halt-after-cells N] [--no-poison]\n"
       "             --replay BUNDLE_DIR verifies a poison bundle\n"
-      "             re-executes bit-identically\n");
+      "             re-executes bit-identically\n"
+      "             --heatmap renders p95 PGM + HTML heatmaps from an\n"
+      "             archived riskcliff.json [--out DIR] [--riskcliff FILE]\n"
+      "  authd      serve authentication over a socket: bounded admission,\n"
+      "             deadlines, rate limit + lockout ladder, SIGTERM drain\n"
+      "             [--socket PATH | --port N] [--devices N] [--blocks N]\n"
+      "             [--seed S] [--store-dir DIR] [--queue-cap N] [--batch N]\n"
+      "             [--deadline-ms N] [--rate-burst N] [--rate-per-sec X]\n"
+      "             [--retry-budget N] [--lockout-ms N] [--max-conns N]\n"
+      "             [--metrics-out FILE] [--poll-ms N] [--fsync-every N]\n"
+      "             --drive runs the chaos client instead: genuine +\n"
+      "             impostor mix, then an impostor storm\n"
+      "             [--requests N] [--impostors P] [--storm N]\n"
+      "             [--pipeline N] [--years Y]\n");
   return 2;
 }
 
@@ -753,6 +1086,9 @@ int main(int argc, char** argv) {
     }
     if (command == "chaosgrid") {
       return cmd_chaosgrid(args);
+    }
+    if (command == "authd") {
+      return cmd_authd(args);
     }
     return usage();
   } catch (const Error& e) {
