@@ -10,6 +10,9 @@
 //   3. determinism: the same workload driven twice must produce the same
 //      decisions SHA-256 (hard gate) — the hash is the cross-commit
 //      identity contract in the BENCH line
+//   4. pump-threads sweep at 1/2/4/8 workers on a shed-free workload:
+//      the pooled pump must match the inline pump's witness bit-for-bit
+//      (hard gate) and reports the 4-thread speedup
 //
 // Scale defaults suit a 2-core CI runner; override with
 // AUTHD_BENCH_DEVICES / AUTHD_BENCH_REQUESTS.
@@ -87,11 +90,21 @@ struct DriveResult {
 
 /// Feeds the workload at `arrivals_per_pump` frames between pumps across
 /// `conns` pipelined connections, consuming output as it appears (a
-/// well-behaved reader), and pumps the queue dry at the end.
+/// well-behaved reader), and pumps the queue dry at the end. With
+/// `disable_shed` the queue accepts the whole workload unconditionally —
+/// required for cross-thread identity, since admission verdicts depend on
+/// instantaneous queue depth, which worker timing legitimately changes.
 DriveResult drive(const Workload& workload, std::size_t conns,
-                  std::size_t arrivals_per_pump) {
+                  std::size_t arrivals_per_pump, std::size_t pump_threads = 1,
+                  bool disable_shed = false) {
   obs::FakeClock virtual_clock(1'000'000'000, 1'000);
-  AuthDaemon daemon(workload.service, bench_daemon_config(&virtual_clock));
+  DaemonConfig config = bench_daemon_config(&virtual_clock);
+  config.pump_threads = pump_threads;
+  if (disable_shed) {
+    config.queue_cap = workload.frames.size() + 1;
+    config.shed_watermark = 1.0;
+  }
+  AuthDaemon daemon(workload.service, config);
   std::vector<AuthDaemon::ConnId> ids;
   for (std::size_t c = 0; c < conns; ++c) {
     ids.push_back(daemon.open_connection());
@@ -121,7 +134,7 @@ DriveResult drive(const Workload& workload, std::size_t conns,
       std::exit(1);
     }
   }
-  while (daemon.queue_depth() > 0) {
+  while (!daemon.queue_flushed()) {
     daemon.pump();
   }
 
@@ -169,7 +182,38 @@ void reproduce() {
               identical ? "yes" : "NO - BUG",
               steady.decisions_sha256.c_str());
 
-  // --- 3. Overload sweep: arrivals at multiples of the 256/pump service
+  // --- 3. Pump-threads sweep on a shed-free workload: the pooled pump
+  // must reproduce the inline pump's decisions hash bit-for-bit at every
+  // thread count (hard gate), and reports the 4-thread speedup. On a
+  // single-core runner the speedup hovers near 1.0x; the identity gate is
+  // the point.
+  std::printf("\npump-threads sweep (shed disabled):\n");
+  std::printf("  %-8s %10s %10s %9s  %s\n", "threads", "decided", "wall_ms",
+              "speedup", "identity");
+  std::string sweep_hash;
+  double sweep_base_s = 0.0;
+  double pump4_speedup = 0.0;
+  bool sweep_identical = true;
+  for (const std::size_t threads : {1U, 2U, 4U, 8U}) {
+    const DriveResult r = drive(workload, 16, 256, threads, true);
+    if (threads == 1) {
+      sweep_hash = r.decisions_sha256;
+      sweep_base_s = r.wall_seconds;
+    }
+    const bool same =
+        r.decisions_sha256 == sweep_hash && r.decided == requests;
+    sweep_identical = sweep_identical && same;
+    const double speedup =
+        r.wall_seconds > 0 ? sweep_base_s / r.wall_seconds : 0.0;
+    if (threads == 4) {
+      pump4_speedup = speedup;
+    }
+    std::printf("  %7zu  %10llu %10.1f %8.2fx  %s\n", threads,
+                static_cast<unsigned long long>(r.decided),
+                r.wall_seconds * 1e3, speedup, same ? "ok" : "MISMATCH");
+  }
+
+  // --- 4. Overload sweep: arrivals at multiples of the 256/pump service
   // capacity. Above 1x the typed backpressure must carry the excess.
   std::printf("\noverload sweep (queue cap 4096, batch 256):\n");
   std::printf("  %-8s %10s %10s %12s %10s\n", "arrival", "decided", "shed",
@@ -190,22 +234,28 @@ void reproduce() {
                 static_cast<unsigned long long>(r.retry_after), shed_frac);
   }
 
-  // --- 4. Machine-readable line for CI trend tracking.
+  // --- 5. Machine-readable line for CI trend tracking.
   std::printf("BENCH {\"bench\":\"authd_ingress\","
               "\"devices\":%zu,\"requests\":%zu,"
               "\"auths_per_sec\":%.0f,"
               "\"pump_p50_ns\":%llu,\"pump_p99_ns\":%llu,"
               "\"shed_frac_2x\":%.4f,"
+              "\"pump4_speedup\":%.2f,"
               "\"bit_identical\":%s,"
               "\"identity_hash\":\"%s\"}\n",
               devices, requests, auths_per_sec,
               static_cast<unsigned long long>(steady.pump_p50_ns),
               static_cast<unsigned long long>(steady.pump_p99_ns),
-              shed_frac_2x, identical ? "true" : "false",
+              shed_frac_2x, pump4_speedup,
+              identical && sweep_identical ? "true" : "false",
               steady.decisions_sha256.c_str());
 
   if (!identical) {
     std::printf("BIT MISMATCH: daemon decisions differ across replays\n");
+    std::exit(1);
+  }
+  if (!sweep_identical) {
+    std::printf("BIT MISMATCH: pooled pump diverged from inline pump\n");
     std::exit(1);
   }
 }

@@ -1,6 +1,7 @@
 #include "authd/daemon.hpp"
 
 #include <algorithm>
+#include <cmath>
 
 #include "auth/registry.hpp"
 #include "common/error.hpp"
@@ -16,7 +17,24 @@ AuthDaemon::AuthDaemon(const auth::AuthService& service,
   if (config_.queue_cap == 0 || config_.batch_max == 0) {
     throw InvalidArgument("AuthDaemon: queue_cap and batch_max must be > 0");
   }
+  if (std::isnan(config_.shed_watermark)) {
+    // Like the RetryPolicy knobs: NaN silently disabling (or enabling)
+    // shedding is a config typo, not a policy — reject it at the door.
+    throw InvalidArgument("AuthDaemon: shed_watermark must not be NaN");
+  }
   config_.shed_watermark = std::clamp(config_.shed_watermark, 0.0, 1.0);
+  config_.pump_threads =
+      ThreadPool::resolve_thread_count(config_.pump_threads);
+  if (config_.pump_threads > 1) {
+    inflight_max_ = config_.pump_inflight_max != 0
+                        ? config_.pump_inflight_max
+                        : 2 * config_.pump_threads;
+    pool_ = std::make_unique<ThreadPool>(config_.pump_threads);
+    if (config_.metrics != nullptr) {
+      config_.metrics->gauge_set(
+          "authd.pump.threads", static_cast<double>(config_.pump_threads));
+    }
+  }
 }
 
 obs::MonotonicClock& AuthDaemon::clock() const {
@@ -102,13 +120,17 @@ void AuthDaemon::kill(ConnId conn, CloseReason reason) {
 
 void AuthDaemon::send(ConnId conn, const AuthResponseMsg& msg,
                       std::uint64_t now_ns) {
+  deliver(conn, encode_auth_response(msg), now_ns);
+}
+
+void AuthDaemon::deliver(ConnId conn, std::string_view frame,
+                         std::uint64_t now_ns) {
   Session* session = find(conn);
   if (session == nullptr || session->close_wanted) {
     stats_.responses_dropped += 1;
     counter("authd.responses_dropped");
     return;
   }
-  const std::string frame = encode_auth_response(msg);
   if (session->output.size() + frame.size() > config_.output_buffer_cap) {
     // The client stopped reading and the buffer is at its bound: drop
     // the client, not the bound.
@@ -198,7 +220,12 @@ void AuthDaemon::admit(ConnId conn, AuthRequestMsg msg,
   }
   const std::size_t watermark = static_cast<std::size_t>(
       config_.shed_watermark * static_cast<double>(config_.queue_cap));
-  if (queue_.size() >= watermark && (shed_coin_++ & 1) != 0) {
+  // A watermark of 0 (shed_watermark clamped to 0, or a tiny queue_cap)
+  // means "no shed band", not "shed from depth zero": an idle daemon
+  // must never refuse work, so shedding needs both a real watermark and
+  // a non-empty queue.
+  if (watermark > 0 && !queue_.empty() && queue_.size() >= watermark &&
+      (shed_coin_++ & 1) != 0) {
     reply.status = ResponseStatus::kShed;
     reply.retry_at_ns = now_ns + config_.request_deadline_ns;
     stats_.shed += 1;
@@ -213,6 +240,9 @@ void AuthDaemon::admit(ConnId conn, AuthRequestMsg msg,
   pending.response = std::move(msg.response);
   pending.admitted_ns = now_ns;
   queue_.push_back(std::move(pending));
+  if (Session* owner = find(conn)) {
+    owner->pending_requests += 1;
+  }
   stats_.admitted += 1;
   counter("authd.admitted");
   if (config_.metrics != nullptr) {
@@ -248,6 +278,11 @@ CloseReason AuthDaemon::close_reason(ConnId conn) const {
   return session != nullptr ? session->reason : CloseReason::kNone;
 }
 
+std::size_t AuthDaemon::pending_requests(ConnId conn) const {
+  const Session* session = find(conn);
+  return session != nullptr ? session->pending_requests : 0;
+}
+
 std::vector<AuthDaemon::ConnId> AuthDaemon::active_connections() const {
   std::vector<ConnId> out;
   for (const auto& [conn, session] : sessions_) {
@@ -281,11 +316,141 @@ void AuthDaemon::reap(std::uint64_t now_ns) {
   }
 }
 
+std::unique_ptr<AuthDaemon::InflightBatch> AuthDaemon::form_batch() {
+  const std::size_t count = std::min(config_.batch_max, queue_.size());
+  auto batch = std::make_unique<InflightBatch>();
+  batch->index = next_batch_index_++;
+  batch->items.reserve(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    batch->items.push_back(std::move(queue_.front()));
+    queue_.pop_front();
+  }
+  stats_.pump_batches_formed += 1;
+  counter("authd.pump.batches_formed");
+  return batch;
+}
+
+void AuthDaemon::decide_batch(InflightBatch& batch,
+                              obs::MonotonicClock& timer_clock) const {
+  const std::size_t count = batch.items.size();
+  std::vector<auth::AuthRequest> requests(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    requests[i].device_id = batch.items[i].device_id;
+    requests[i].response = batch.items[i].response.data();
+  }
+  batch.decisions.resize(count);
+  {
+    obs::ScopedTimer timer(config_.metrics, "authd.batch_ns", timer_clock);
+    std::optional<obs::Tracer::Span> span;
+    if (config_.tracer != nullptr) {
+      span.emplace(config_.tracer->span("authd.batch"));
+    }
+    service_.authenticate_batch(requests.data(), count,
+                                batch.decisions.data());
+  }
+  if (config_.metrics != nullptr) {
+    config_.metrics->observe("authd.batch_size", count);
+  }
+  // Pre-encode the responses here (workers included): encoding is a pure
+  // function of (request_id, decision), so the bytes are identical to
+  // encoding at emit time, and the admission thread only appends them.
+  batch.frames.resize(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    AuthResponseMsg reply;
+    reply.request_id = batch.items[i].request_id;
+    reply.status = ResponseStatus::kDecision;
+    reply.decision = static_cast<std::uint8_t>(batch.decisions[i]);
+    batch.frames[i] = encode_auth_response(reply);
+  }
+}
+
+std::size_t AuthDaemon::emit_batch(InflightBatch& batch) {
+  const std::size_t count = batch.items.size();
+  const std::uint64_t done_ns = clock().now_ns();
+  for (std::size_t i = 0; i < count; ++i) {
+    const auth::AuthDecision decision = batch.decisions[i];
+    // The bit-identity witness: device id (LE) + decision byte, in
+    // decision order.
+    std::uint8_t witness[9];
+    for (int b = 0; b < 8; ++b) {
+      witness[b] =
+          static_cast<std::uint8_t>(batch.items[i].device_id >> (8 * b));
+    }
+    witness[8] = static_cast<std::uint8_t>(decision);
+    decisions_hash_.update(witness, sizeof witness);
+    stats_.decided += 1;
+
+    const bool accepted = decision == auth::AuthDecision::kAccept;
+    const bool strike =
+        decision == auth::AuthDecision::kRejectKey ||
+        (config_.lockout.strike_on_decode &&
+         decision == auth::AuthDecision::kRejectDecode);
+    if (const std::optional<LockoutEvent> event = lockouts_.on_decision(
+            batch.items[i].device_id, accepted, strike, done_ns)) {
+      record_lockout(*event);
+      if (event->entry.locked_until_ns > done_ns) {
+        counter("authd.lockouts_entered");
+      }
+    }
+    deliver(batch.items[i].conn, batch.frames[i], done_ns);
+    if (Session* owner = find(batch.items[i].conn)) {
+      owner->pending_requests -= 1;
+    }
+    if (config_.metrics != nullptr) {
+      config_.metrics->observe("authd.queue_wait_ns",
+                               done_ns - batch.items[i].admitted_ns);
+    }
+  }
+  stats_.pump_batches_emitted += 1;
+  counter("authd.decided", count);
+  counter("authd.pump.batches_emitted");
+  return count;
+}
+
+std::size_t AuthDaemon::harvest_completed() {
+  // Emission is strictly in formation order: a completed batch behind an
+  // unfinished one waits — that re-sequencing is what keeps the witness
+  // and the per-connection byte streams identical at any thread count.
+  std::size_t emitted = 0;
+  while (!inflight_.empty() &&
+         inflight_.front()->done.load(std::memory_order_acquire)) {
+    std::unique_ptr<InflightBatch> batch = std::move(inflight_.front());
+    inflight_.pop_front();
+    emitted += emit_batch(*batch);
+  }
+  return emitted;
+}
+
+void AuthDaemon::dispatch_formed() {
+  while (!queue_.empty() && inflight_.size() < inflight_max_) {
+    inflight_.push_back(form_batch());
+    InflightBatch* batch = inflight_.back().get();
+    pool_->submit([this, batch] {
+      try {
+        // Workers never touch the injected clock: with a stepping
+        // FakeClock, worker reads would perturb the admission thread's
+        // timestamps by thread count. The batch timer is wall time only.
+        decide_batch(*batch, obs::RealClock::instance());
+      } catch (...) {
+        batch->done.store(true, std::memory_order_release);
+        throw;  // The pool records it; wait() rethrows on the pump thread.
+      }
+      batch->done.store(true, std::memory_order_release);
+    });
+  }
+  if (config_.metrics != nullptr) {
+    config_.metrics->gauge_set("authd.pump.inflight",
+                               static_cast<double>(inflight_.size()));
+  }
+}
+
 std::size_t AuthDaemon::pump() {
   const std::uint64_t now_ns = clock().now_ns();
 
   // 1. Deadline sweep. Admission is FIFO with a uniform deadline, so
-  // expired requests are a prefix of the queue.
+  // expired requests are a prefix of the queue. Requests already formed
+  // into a batch are past admission: they decide (never late — formation
+  // and decision are one pump apart, not a queue wait).
   while (!queue_.empty() &&
          now_ns - queue_.front().admitted_ns >= config_.request_deadline_ns) {
     const Pending& expired = queue_.front();
@@ -295,74 +460,26 @@ std::size_t AuthDaemon::pump() {
     stats_.deadline_expired += 1;
     counter("authd.deadline_expired");
     send(expired.conn, reply, now_ns);
+    if (Session* owner = find(expired.conn)) {
+      owner->pending_requests -= 1;
+    }
     queue_.pop_front();
   }
 
-  // 2. Form one batch from the queue front (cross-connection coalescing).
-  const std::size_t count = std::min(config_.batch_max, queue_.size());
+  // 2. form -> decide -> emit. Inline (pump_threads == 1): one batch,
+  // decided and emitted in this call — the classic pump. Pooled: emit
+  // whatever completed first (front of the re-sequencing line), then
+  // refill the in-flight window from the queue.
   std::size_t decided = 0;
-  if (count > 0) {
-    std::vector<Pending> batch;
-    batch.reserve(count);
-    for (std::size_t i = 0; i < count; ++i) {
-      batch.push_back(std::move(queue_.front()));
-      queue_.pop_front();
+  if (pool_ == nullptr) {
+    if (!queue_.empty()) {
+      std::unique_ptr<InflightBatch> batch = form_batch();
+      decide_batch(*batch, clock());
+      decided = emit_batch(*batch);
     }
-    std::vector<auth::AuthRequest> requests(count);
-    std::vector<auth::AuthDecision> decisions(count);
-    for (std::size_t i = 0; i < count; ++i) {
-      requests[i].device_id = batch[i].device_id;
-      requests[i].response = batch[i].response.data();
-    }
-    {
-      obs::ScopedTimer timer(config_.metrics, "authd.batch_ns", clock());
-      std::optional<obs::Tracer::Span> span;
-      if (config_.tracer != nullptr) {
-        span.emplace(config_.tracer->span("authd.batch"));
-      }
-      service_.authenticate_batch(requests.data(), count, decisions.data());
-    }
-    if (config_.metrics != nullptr) {
-      config_.metrics->observe("authd.batch_size", count);
-    }
-    const std::uint64_t done_ns = clock().now_ns();
-    for (std::size_t i = 0; i < count; ++i) {
-      const auth::AuthDecision decision = decisions[i];
-      // The bit-identity witness: device id (LE) + decision byte, in
-      // decision order.
-      std::uint8_t witness[9];
-      for (int b = 0; b < 8; ++b) {
-        witness[b] =
-            static_cast<std::uint8_t>(batch[i].device_id >> (8 * b));
-      }
-      witness[8] = static_cast<std::uint8_t>(decision);
-      decisions_hash_.update(witness, sizeof witness);
-      stats_.decided += 1;
-
-      const bool accepted = decision == auth::AuthDecision::kAccept;
-      const bool strike =
-          decision == auth::AuthDecision::kRejectKey ||
-          (config_.lockout.strike_on_decode &&
-           decision == auth::AuthDecision::kRejectDecode);
-      if (const std::optional<LockoutEvent> event = lockouts_.on_decision(
-              batch[i].device_id, accepted, strike, done_ns)) {
-        record_lockout(*event);
-        if (event->entry.locked_until_ns > done_ns) {
-          counter("authd.lockouts_entered");
-        }
-      }
-      AuthResponseMsg reply;
-      reply.request_id = batch[i].request_id;
-      reply.status = ResponseStatus::kDecision;
-      reply.decision = static_cast<std::uint8_t>(decision);
-      send(batch[i].conn, reply, done_ns);
-      if (config_.metrics != nullptr) {
-        config_.metrics->observe("authd.queue_wait_ns",
-                                 done_ns - batch[i].admitted_ns);
-      }
-    }
-    counter("authd.decided", count);
-    decided = count;
+  } else {
+    decided = harvest_completed();
+    dispatch_formed();
   }
 
   // 3. Reap stalled and idle connections.
@@ -384,7 +501,10 @@ void AuthDaemon::begin_drain() {
 DaemonStats AuthDaemon::finish_drain() {
   begin_drain();
   if (!drain_finished_) {
-    while (!queue_.empty()) {
+    while (!queue_.empty() || !inflight_.empty()) {
+      if (pool_ != nullptr) {
+        pool_->wait();  // All dispatched batches done; rethrows worker errors.
+      }
       pump();
     }
     if (lockout_store_ != nullptr) {
@@ -402,6 +522,7 @@ DaemonStats AuthDaemon::finish_drain() {
 DaemonStats AuthDaemon::stats() const {
   DaemonStats out = stats_;
   out.queue_depth = queue_.size();
+  out.inflight_batches = inflight_.size();
   return out;
 }
 

@@ -33,12 +33,20 @@
 //    admitted requests in admission order: the daemon feeds an SHA-256
 //    witness (decisions_sha256) the chaos suite compares against an
 //    in-process reference.
+//  - The pump fans out across a thread pool (pump_threads > 1) without
+//    moving any of the above off the admission thread: workers only run
+//    authenticate_batch + response encoding on formed batches, and
+//    batches emit strictly in formation order, so the witness and every
+//    per-connection response byte stream are bit-identical to the
+//    single-threaded pump at any thread count (DESIGN.md §15).
 #pragma once
 
+#include <atomic>
 #include <cstddef>
 #include <cstdint>
 #include <deque>
 #include <map>
+#include <memory>
 #include <optional>
 #include <string>
 #include <string_view>
@@ -48,6 +56,7 @@
 #include "authd/limiter.hpp"
 #include "authd/wire.hpp"
 #include "common/sha256.hpp"
+#include "common/thread_pool.hpp"
 #include "obs/clock.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
@@ -74,6 +83,19 @@ struct DaemonConfig {
   std::uint64_t write_stall_ns = 5'000'000'000;  // 5 s
   /// Connection with no traffic at all for this long = reaped (0 = off).
   std::uint64_t idle_timeout_ns = 0;
+
+  /// Workers deciding formed batches. 1 = the classic inline pump (no
+  /// pool, no extra threads); 0 = hardware concurrency. Batch formation,
+  /// admission, backpressure writes, the deadline sweep, the decisions
+  /// witness and the lockout ladder all stay on the admission thread at
+  /// any setting — only authenticate_batch + response encoding fan out,
+  /// and completed batches are emitted in formation order, so decisions
+  /// and per-connection response bytes are bit-identical to the
+  /// single-threaded pump.
+  std::size_t pump_threads = 1;
+  /// Formed-but-unemitted batch window (bounds daemon memory beyond the
+  /// queue when the pool lags). 0 = 2 x pump threads. Ignored inline.
+  std::size_t pump_inflight_max = 0;
 
   RateLimiterConfig rate;
   LockoutConfig lockout;
@@ -109,7 +131,10 @@ struct DaemonStats {
   std::uint64_t draining_rejected = 0;
   std::uint64_t reaped = 0;
   std::uint64_t responses_dropped = 0;  ///< Connection died before write.
+  std::uint64_t pump_batches_formed = 0;    ///< Batches handed to decide.
+  std::uint64_t pump_batches_emitted = 0;   ///< Batches re-sequenced out.
   std::size_t queue_depth = 0;
+  std::size_t inflight_batches = 0;  ///< Formed but not yet emitted.
 };
 
 class AuthDaemon {
@@ -153,25 +178,37 @@ class AuthDaemon {
   void consume_output(ConnId conn, std::size_t n);
   bool wants_close(ConnId conn) const;
   CloseReason close_reason(ConnId conn) const;
+  /// Admitted requests of this connection still awaiting their response
+  /// (in the queue or in a formed batch). The transport uses it to hold a
+  /// half-open connection — read side gone, write side alive — open until
+  /// its answers have been written, instead of dropping them with the FIN.
+  std::size_t pending_requests(ConnId conn) const;
   /// Connections with pending output or a close verdict, ascending.
   std::vector<ConnId> active_connections() const;
 
   // The engine ------------------------------------------------------------
-  /// One pump: expire deadlines, form up to one batch_max batch from the
-  /// admission queue, authenticate it, route responses, walk the lockout
-  /// ladder, reap stalled/idle connections. Returns requests decided.
-  /// Call until queue_depth()==0 for a full flush.
+  /// One pump: expire deadlines, then move requests through the three
+  /// stages — *form* batches off the admission queue, *decide* them
+  /// (inline with pump_threads == 1, else on the worker pool), *emit*
+  /// completed batches strictly in formation order (responses, witness,
+  /// lockout ladder) — and reap stalled/idle connections. Returns the
+  /// requests emitted by this call. Call until queue_flushed() for a
+  /// full flush (with a pool, decisions may emit a later pump than the
+  /// one that formed them).
   std::size_t pump();
 
   std::size_t queue_depth() const { return queue_.size(); }
+  /// Batches formed but not yet emitted (always 0 on the inline pump).
+  std::size_t inflight_batches() const { return inflight_.size(); }
 
   // Drain -----------------------------------------------------------------
   /// Stops admission: new connections refused, new requests answered
   /// kDraining. Already-admitted requests keep flowing through pump().
   void begin_drain();
   bool draining() const { return draining_; }
-  /// True once the queue is empty (outputs may still be unread).
-  bool queue_flushed() const { return queue_.empty(); }
+  /// True once the queue is empty AND no formed batch is still in flight
+  /// on the pool (outputs may still be unread).
+  bool queue_flushed() const { return queue_.empty() && inflight_.empty(); }
   /// Publishes lockout + registry snapshots, flushes WAL tails. Returns
   /// the drained stats snapshot. Idempotent.
   DaemonStats finish_drain();
@@ -191,6 +228,19 @@ class AuthDaemon {
     std::uint64_t admitted_ns = 0;
   };
 
+  /// One formed batch moving through decide -> emit. The worker writes
+  /// decisions + pre-encoded response frames, then publishes via `done`
+  /// (release); the admission thread emits only after observing it
+  /// (acquire) and only in formation order — inflight_ is the
+  /// re-sequencing line.
+  struct InflightBatch {
+    std::uint64_t index = 0;  ///< Formation order (diagnostics).
+    std::vector<Pending> items;
+    std::vector<auth::AuthDecision> decisions;
+    std::vector<std::string> frames;  ///< Encoded kDecision responses.
+    std::atomic<bool> done{false};
+  };
+
   struct Session {
     FrameReader reader;
     std::string output;
@@ -199,17 +249,31 @@ class AuthDaemon {
     CloseReason reason = CloseReason::kNone;
     std::uint64_t last_activity_ns = 0;
     std::uint64_t stall_since_ns = 0;  ///< 0 = output empty or draining.
+    std::size_t pending_requests = 0;  ///< Admitted, not yet answered.
   };
 
   obs::MonotonicClock& clock() const;
   Session* find(ConnId conn);
   const Session* find(ConnId conn) const;
   void send(ConnId conn, const AuthResponseMsg& msg, std::uint64_t now_ns);
+  void deliver(ConnId conn, std::string_view frame, std::uint64_t now_ns);
   void kill(ConnId conn, CloseReason reason);
   void admit(ConnId conn, AuthRequestMsg msg, std::uint64_t now_ns);
   void record_lockout(const LockoutEvent& event);
   void reap(std::uint64_t now_ns);
   void counter(const char* name, std::uint64_t delta = 1);
+
+  // Pump stages. form_batch pops up to batch_max requests (admission
+  // thread); decide_batch is the only code that runs on pool workers and
+  // touches nothing but the batch, the (thread-safe, read-only) service
+  // and `timer_clock`; emit_batch routes responses, feeds the witness
+  // and walks the lockout ladder (admission thread, formation order).
+  std::unique_ptr<InflightBatch> form_batch();
+  void decide_batch(InflightBatch& batch,
+                    obs::MonotonicClock& timer_clock) const;
+  std::size_t emit_batch(InflightBatch& batch);
+  std::size_t harvest_completed();
+  void dispatch_formed();
 
   const auth::AuthService& service_;
   DaemonConfig config_;
@@ -227,6 +291,14 @@ class AuthDaemon {
 
   DaemonStats stats_;
   Sha256 decisions_hash_;
+
+  /// Formed batches awaiting (completion, then) in-order emission.
+  std::deque<std::unique_ptr<InflightBatch>> inflight_;
+  std::uint64_t next_batch_index_ = 0;
+  std::size_t inflight_max_ = 0;  ///< Resolved window (0 when inline).
+  /// Declared last so its destructor joins the workers while inflight_
+  /// (and everything else they touch) is still alive.
+  std::unique_ptr<ThreadPool> pool_;
 };
 
 const char* to_string(CloseReason reason);

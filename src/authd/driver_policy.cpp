@@ -1,0 +1,64 @@
+#include "authd/driver_policy.hpp"
+
+#include <algorithm>
+
+#include "common/error.hpp"
+#include "common/rng.hpp"
+
+namespace pufaging::authd {
+
+DriverBackoff::DriverBackoff(const DriverBackoffConfig& config)
+    : config_(config) {
+  if (config_.base_ns == 0) {
+    throw InvalidArgument("DriverBackoff: base_ns must be > 0");
+  }
+  if (config_.cap_ns < config_.base_ns) {
+    throw InvalidArgument("DriverBackoff: cap_ns must be >= base_ns");
+  }
+}
+
+DriverStep DriverBackoff::on_status(ResponseStatus status,
+                                    std::uint32_t attempt,
+                                    std::uint64_t nonce) const {
+  switch (status) {
+    case ResponseStatus::kDecision:
+      return {DriverAction::kDone, 0};
+    case ResponseStatus::kLockedOut:
+    case ResponseStatus::kDraining:
+      // The ladder only escalates and a draining daemon only refuses:
+      // resending either is pure noise.
+      return {DriverAction::kAbandon, 0};
+    case ResponseStatus::kShed:
+      // The shed band drops every second request by design; one prompt
+      // retry restores the dropped half without re-feeding the band.
+      if (attempt >= 1 || config_.max_retries == 0) {
+        return {DriverAction::kAbandon, 0};
+      }
+      return {DriverAction::kRetry,
+              std::min(config_.shed_delay_ns, config_.cap_ns)};
+    case ResponseStatus::kRetryAfter:
+    case ResponseStatus::kRateLimited:
+    case ResponseStatus::kDeadline: {
+      if (attempt >= config_.max_retries) {
+        return {DriverAction::kAbandon, 0};
+      }
+      // Capped exponential: base << attempt, saturating well before the
+      // shift can overflow, then deterministic jitter in [0, base) so a
+      // fleet of drivers spreads instead of re-colliding in lockstep.
+      const std::uint32_t shift = std::min<std::uint32_t>(attempt, 32);
+      std::uint64_t delay = config_.base_ns;
+      if (shift < 64 && config_.base_ns <= (~0ULL >> shift)) {
+        delay = config_.base_ns << shift;
+      } else {
+        delay = config_.cap_ns;
+      }
+      delay = std::min(delay, config_.cap_ns);
+      const std::uint64_t jitter =
+          Philox4x32::at(config_.seed, nonce) % config_.base_ns;
+      return {DriverAction::kRetry, std::min(delay + jitter, config_.cap_ns)};
+    }
+  }
+  return {DriverAction::kDone, 0};
+}
+
+}  // namespace pufaging::authd

@@ -1,0 +1,72 @@
+// Client-side backpressure policy for the authd chaos/soak driver.
+//
+// The daemon answers overload with *typed* refusals (kRetryAfter, kShed,
+// kRateLimited, kLockedOut...) precisely so that a well-behaved fleet can
+// spread itself out instead of thundering back. The driver used to count
+// those refusals and hammer on — every overload experiment measured a
+// pathological herd. This policy is the compliant-client half of the
+// contract, factored out of the CLI so the retry/abandon decisions are
+// unit-testable without a socket:
+//
+//  - kRetryAfter / kRateLimited / kDeadline: capped exponential backoff
+//    (base << attempt, capped) plus deterministic Philox jitter derived
+//    from (seed, nonce) — two drivers with different seeds desynchronize,
+//    one driver replays identically.
+//  - kShed: the daemon already dropped every second request in the shed
+//    band; retry exactly once after a short fixed delay, then abandon.
+//  - kLockedOut / kDraining: abandon immediately (and the caller should
+//    stop storming a locked-out device — the lockout ladder only grows).
+//  - attempts beyond max_retries: abandon.
+//
+// Pure function of (status, attempt, nonce): no clock, no state.
+#pragma once
+
+#include <cstdint>
+
+#include "authd/wire.hpp"
+
+namespace pufaging::authd {
+
+struct DriverBackoffConfig {
+  /// First retry delay; also the jitter modulus. Must be > 0.
+  std::uint64_t base_ns = 1'000'000;  // 1 ms
+  /// Upper bound on any single delay (jitter included). Must be >= base.
+  std::uint64_t cap_ns = 100'000'000;  // 100 ms
+  /// Retries per request before abandoning (shed allows only 1).
+  std::uint32_t max_retries = 6;
+  /// Fixed delay for the single shed retry.
+  std::uint64_t shed_delay_ns = 1'000'000;  // 1 ms
+  /// Jitter key; the driver derives it from its fleet seed so a replay
+  /// with the same seed backs off identically.
+  std::uint64_t seed = 0;
+};
+
+enum class DriverAction : std::uint8_t {
+  kDone,     ///< Terminal response; nothing to resend.
+  kRetry,    ///< Resend the same request after delay_ns.
+  kAbandon,  ///< Give up on this request (counted, never resent).
+};
+
+struct DriverStep {
+  DriverAction action = DriverAction::kDone;
+  std::uint64_t delay_ns = 0;  ///< Meaningful only for kRetry.
+};
+
+class DriverBackoff {
+ public:
+  /// Validates the config (throws InvalidArgument on base 0 or cap < base).
+  explicit DriverBackoff(const DriverBackoffConfig& config);
+
+  const DriverBackoffConfig& config() const { return config_; }
+
+  /// Decides the next move after `status` arrived for a request on its
+  /// `attempt`-th try (0 = the original send). `nonce` addresses the
+  /// jitter stream — pass something unique per (request, attempt).
+  DriverStep on_status(ResponseStatus status, std::uint32_t attempt,
+                       std::uint64_t nonce) const;
+
+ private:
+  DriverBackoffConfig config_;
+};
+
+}  // namespace pufaging::authd

@@ -134,6 +134,13 @@ std::uint64_t RateLimiter::try_acquire(std::uint64_t device_id,
                              bucket.tokens +
                                  elapsed_s * config_.tokens_per_sec);
     bucket.refilled_ns = now_ns;
+  } else if (now_ns < bucket.refilled_ns) {
+    // The clock regressed below the last refill mark (suspend/resume,
+    // clock reuse across restarts). Left alone, the bucket would not
+    // refill until the clock catches back up to the stale future mark —
+    // a rewound clock must never freeze a bucket, so resynchronize the
+    // mark instead. No tokens are granted for the rewind itself.
+    bucket.refilled_ns = now_ns;
   }
   if (bucket.tokens >= 1.0) {
     bucket.tokens -= 1.0;

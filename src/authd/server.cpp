@@ -128,7 +128,12 @@ bool SocketServer::service_read(Conn& conn) {
       continue;
     }
     if (n == 0) {
-      return false;  // EOF (includes the half-open client's FIN).
+      // FIN. The peer may be half-open (shutdown(SHUT_WR), still
+      // reading): stop polling for input but keep the connection until
+      // its pending responses are flushed — the retire pass below drops
+      // it once the daemon owes it nothing.
+      conn.read_closed = true;
+      return true;
     }
     return errno == EAGAIN || errno == EWOULDBLOCK;
   }
@@ -184,7 +189,7 @@ ServerReport SocketServer::run(const std::atomic<bool>& stop) {
       fds.push_back(pollfd{listen_fd_, POLLIN, 0});
     }
     for (const Conn& conn : conns_) {
-      short events = POLLIN;
+      short events = conn.read_closed ? 0 : POLLIN;
       if (!daemon_.output(conn.id).empty()) {
         events |= POLLOUT;
       }
@@ -205,7 +210,8 @@ ServerReport SocketServer::run(const std::atomic<bool>& stop) {
     for (std::size_t i = 0; i < polled && i < conns_.size();) {
       const short revents = fds[fd_index + i].revents;
       bool alive = true;
-      if ((revents & (POLLIN | POLLHUP | POLLERR)) != 0) {
+      if (!conns_[i].read_closed &&
+          (revents & (POLLIN | POLLHUP | POLLERR)) != 0) {
         alive = service_read(conns_[i]);
       }
       if (alive && (revents & POLLOUT) != 0) {
@@ -227,6 +233,11 @@ ServerReport SocketServer::run(const std::atomic<bool>& stop) {
       if (alive && daemon_.wants_close(conns_[i].id) &&
           daemon_.output(conns_[i].id).empty()) {
         alive = false;  // Close verdict delivered and flushed.
+      }
+      if (alive && conns_[i].read_closed &&
+          daemon_.output(conns_[i].id).empty() &&
+          daemon_.pending_requests(conns_[i].id) == 0) {
+        alive = false;  // Half-open peer fully answered: FIN back.
       }
       if (!alive) {
         drop(i);

@@ -10,14 +10,18 @@
 //   readable sockets          -> recv -> daemon.on_bytes
 //   every wake                -> daemon.pump()
 //   sockets with output       -> send  -> daemon.consume_output
-//   daemon wants_close / EOF  -> close fd, daemon.close_connection
+//   daemon wants_close        -> flush, close fd, daemon.close_connection
+//   peer FIN                  -> read side closed; connection retired only
+//                                once its admitted requests are answered
+//                                and flushed (half-open peers still read)
 //
 // Graceful shutdown: when the stop flag (set by the CLI's SIGTERM/SIGINT
 // handler) is observed, the listener closes immediately (no new
 // connections), queued requests keep flowing until the daemon reports
-// queue_flushed() and every output buffer is written or its client gone,
-// then finish_drain() publishes the durable snapshots and run() returns —
-// the "stop accepting, flush batches, publish, exit 0" contract.
+// queue_flushed() — queue empty AND no batch still in flight on the pump
+// pool — and every output buffer is written or its client gone, then
+// finish_drain() publishes the durable snapshots and run() returns — the
+// "stop accepting, flush batches, publish, exit 0" contract.
 #pragma once
 
 #include <atomic>
@@ -71,6 +75,10 @@ class SocketServer {
   struct Conn {
     int fd = -1;
     AuthDaemon::ConnId id = 0;
+    /// Peer sent FIN (recv == 0). Half-open handling: the write side
+    /// stays up until every admitted request is answered and flushed —
+    /// dropping on the FIN would race the response with the close.
+    bool read_closed = false;
   };
 
   void accept_ready();

@@ -1,0 +1,141 @@
+// Unit suite for the driver's backpressure compliance policy. The
+// regression headline: a kRetryAfter answer must produce a kRetry with a
+// growing, capped, jittered delay — the pre-fix driver treated every
+// refusal as kDone (count and hammer on), so these tests document the
+// compliant-client contract the daemon's typed statuses assume.
+#include "authd/driver_policy.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+#include "common/rng.hpp"
+
+namespace pufaging::authd {
+namespace {
+
+DriverBackoffConfig base_config() {
+  DriverBackoffConfig config;
+  config.base_ns = 1'000'000;    // 1 ms
+  config.cap_ns = 100'000'000;   // 100 ms
+  config.max_retries = 6;
+  config.shed_delay_ns = 500'000;
+  config.seed = 0x5EED;
+  return config;
+}
+
+TEST(DriverBackoff, DecisionIsTerminal) {
+  const DriverBackoff policy(base_config());
+  const DriverStep step = policy.on_status(ResponseStatus::kDecision, 0, 0);
+  EXPECT_EQ(step.action, DriverAction::kDone);
+}
+
+// The regression: refusals must not be treated as terminal.
+TEST(DriverBackoff, RetryAfterBacksOffNotHammers) {
+  const DriverBackoff policy(base_config());
+  const DriverStep step = policy.on_status(ResponseStatus::kRetryAfter, 0, 7);
+  EXPECT_EQ(step.action, DriverAction::kRetry);
+  EXPECT_GE(step.delay_ns, policy.config().base_ns);
+  EXPECT_LE(step.delay_ns, policy.config().cap_ns);
+}
+
+TEST(DriverBackoff, DelayGrowsExponentiallyThenCaps) {
+  DriverBackoffConfig config = base_config();
+  config.seed = 0;  // Jitter still applies; monotonicity must survive it.
+  const DriverBackoff policy(config);
+  std::uint64_t previous = 0;
+  for (std::uint32_t attempt = 0; attempt < config.max_retries; ++attempt) {
+    const DriverStep step =
+        policy.on_status(ResponseStatus::kRetryAfter, attempt, attempt);
+    ASSERT_EQ(step.action, DriverAction::kRetry);
+    // base << attempt dominates jitter (< base), so the floor doubles.
+    EXPECT_GE(step.delay_ns, config.base_ns << attempt);
+    EXPECT_LE(step.delay_ns, config.cap_ns);
+    EXPECT_GT(step.delay_ns, previous / 2);  // Never collapses.
+    previous = step.delay_ns;
+  }
+  // Far past the doubling range the cap holds (no shift overflow).
+  DriverBackoffConfig wide = base_config();
+  wide.max_retries = 64;
+  const DriverBackoff wide_policy(wide);
+  const DriverStep step =
+      wide_policy.on_status(ResponseStatus::kRetryAfter, 63, 0);
+  ASSERT_EQ(step.action, DriverAction::kRetry);
+  EXPECT_LE(step.delay_ns, wide.cap_ns);
+}
+
+TEST(DriverBackoff, JitterIsDeterministicPerSeedAndNonce) {
+  const DriverBackoff policy(base_config());
+  const DriverStep a = policy.on_status(ResponseStatus::kRetryAfter, 2, 41);
+  const DriverStep b = policy.on_status(ResponseStatus::kRetryAfter, 2, 41);
+  EXPECT_EQ(a.delay_ns, b.delay_ns);  // Same coordinates, same delay.
+
+  // Different nonces (or seeds) spread inside one backoff step.
+  bool differs = false;
+  for (std::uint64_t nonce = 0; nonce < 32 && !differs; ++nonce) {
+    differs = policy.on_status(ResponseStatus::kRetryAfter, 2, nonce)
+                  .delay_ns != a.delay_ns;
+  }
+  EXPECT_TRUE(differs);
+
+  DriverBackoffConfig reseeded = base_config();
+  reseeded.seed += 1;
+  const DriverBackoff other(reseeded);
+  // The expected jitter relation: delay = exp + Philox(seed, nonce) % base.
+  const std::uint64_t exp_floor = base_config().base_ns << 2;
+  EXPECT_EQ(a.delay_ns - exp_floor,
+            Philox4x32::at(base_config().seed, 41) % base_config().base_ns);
+  EXPECT_EQ(other.on_status(ResponseStatus::kRetryAfter, 2, 41).delay_ns -
+                exp_floor,
+            Philox4x32::at(reseeded.seed, 41) % reseeded.base_ns);
+}
+
+TEST(DriverBackoff, RateLimitedAndDeadlineShareTheBackoffPath) {
+  const DriverBackoff policy(base_config());
+  for (const ResponseStatus status :
+       {ResponseStatus::kRateLimited, ResponseStatus::kDeadline}) {
+    const DriverStep step = policy.on_status(status, 1, 3);
+    EXPECT_EQ(step.action, DriverAction::kRetry);
+    EXPECT_EQ(step.delay_ns,
+              policy.on_status(ResponseStatus::kRetryAfter, 1, 3).delay_ns);
+  }
+}
+
+TEST(DriverBackoff, ShedRetriesExactlyOnce) {
+  const DriverBackoff policy(base_config());
+  const DriverStep first = policy.on_status(ResponseStatus::kShed, 0, 0);
+  EXPECT_EQ(first.action, DriverAction::kRetry);
+  EXPECT_EQ(first.delay_ns, policy.config().shed_delay_ns);
+  const DriverStep second = policy.on_status(ResponseStatus::kShed, 1, 0);
+  EXPECT_EQ(second.action, DriverAction::kAbandon);
+}
+
+TEST(DriverBackoff, LockedOutAndDrainingAbandonImmediately) {
+  const DriverBackoff policy(base_config());
+  EXPECT_EQ(policy.on_status(ResponseStatus::kLockedOut, 0, 0).action,
+            DriverAction::kAbandon);
+  EXPECT_EQ(policy.on_status(ResponseStatus::kDraining, 0, 0).action,
+            DriverAction::kAbandon);
+}
+
+TEST(DriverBackoff, RetryBudgetExhaustionAbandons) {
+  const DriverBackoff policy(base_config());
+  const std::uint32_t budget = policy.config().max_retries;
+  EXPECT_EQ(policy.on_status(ResponseStatus::kRetryAfter, budget - 1, 0)
+                .action,
+            DriverAction::kRetry);
+  EXPECT_EQ(policy.on_status(ResponseStatus::kRetryAfter, budget, 0).action,
+            DriverAction::kAbandon);
+}
+
+TEST(DriverBackoff, ConfigValidation) {
+  DriverBackoffConfig zero_base = base_config();
+  zero_base.base_ns = 0;
+  EXPECT_THROW(DriverBackoff{zero_base}, InvalidArgument);
+
+  DriverBackoffConfig cap_below_base = base_config();
+  cap_below_base.cap_ns = cap_below_base.base_ns - 1;
+  EXPECT_THROW(DriverBackoff{cap_below_base}, InvalidArgument);
+}
+
+}  // namespace
+}  // namespace pufaging::authd

@@ -77,6 +77,27 @@ TEST(RateLimiter, TrackingIsBoundedByEvictingStalestBucket) {
   EXPECT_EQ(limiter.try_acquire(0, 16 * kSecond), 0U);
 }
 
+// Regression: a clock that regresses below a bucket's refill mark (a
+// reused FakeClock, a future suspend/resume seam) used to leave
+// refilled_ns stranded in the future — no refill could happen until the
+// clock caught back up, freezing the bucket solid. The mark must clamp
+// back to now_ns so refill resumes from the rewound time.
+TEST(RateLimiter, ClockRegressionCannotFreezeABucket) {
+  RateLimiterConfig config;
+  config.burst = 1;
+  config.tokens_per_sec = 1.0;
+  RateLimiter limiter(config);
+  // Drain the bucket far in the future; the refill mark is now 100 s.
+  EXPECT_EQ(limiter.try_acquire(7, 100 * kSecond), 0U);
+  EXPECT_NE(limiter.try_acquire(7, 100 * kSecond), 0U);
+  // The clock rewinds to 1 s. Still empty (no free tokens for rewinding),
+  // but the mark must clamp to now rather than stay at 100 s.
+  EXPECT_NE(limiter.try_acquire(7, kSecond), 0U);
+  // One second of (rewound) time refills one token. Pre-fix this was
+  // denied until the clock re-reached 100 s.
+  EXPECT_EQ(limiter.try_acquire(7, 2 * kSecond), 0U);
+}
+
 TEST(RateLimiter, RejectsNonFiniteRate) {
   RateLimiterConfig config;
   config.tokens_per_sec = -1.0;

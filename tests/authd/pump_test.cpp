@@ -1,0 +1,313 @@
+// Pump-parallel determinism suite: the multi-threaded pump must be
+// invisible. For every pump_threads setting the decisions SHA-256
+// witness, every per-connection response byte stream, and the recovered
+// lockout ladder must be bit-identical to the single-threaded pump —
+// including across a kill-point restart — and a drain begun with batches
+// still in flight on the pool must lose nothing. Also the regression
+// home for the shed-watermark-0 admission bug.
+#include <gtest/gtest.h>
+
+#include <limits>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "auth/fleet_sim.hpp"
+#include "auth/registry.hpp"
+#include "auth/service.hpp"
+#include "authd/daemon.hpp"
+#include "common/error.hpp"
+#include "obs/clock.hpp"
+#include "store/faultfs.hpp"
+
+namespace pufaging::authd {
+namespace {
+
+constexpr std::uint64_t kStart = 1'000'000'000;
+constexpr std::uint64_t kDevices = 8;
+
+struct Harness {
+  auth::VirtualFleet fleet;
+  auth::AuthService service;
+  obs::FakeClock clock{kStart};
+
+  explicit Harness(std::uint32_t blocks = 11)
+      : fleet(fleet_config(blocks), kDevices), service(service_config(blocks)) {
+    for (std::uint64_t id = 0; id < kDevices; ++id) {
+      service.enroll(id, fleet.enrollment_response(id));
+    }
+  }
+
+  static auth::VirtualFleetConfig fleet_config(std::uint32_t blocks) {
+    auth::VirtualFleetConfig config;
+    config.seed = 0xDAEC0DE;
+    config.window_bits = static_cast<std::size_t>(blocks) * 24;
+    return config;
+  }
+
+  static auth::AuthServiceConfig service_config(std::uint32_t blocks) {
+    auth::AuthServiceConfig config;
+    config.blocks = blocks;
+    return config;
+  }
+
+  DaemonConfig daemon_config() {
+    DaemonConfig config;
+    config.clock = &clock;
+    config.rate.burst = 0;
+    config.lockout.retry_budget = 100;
+    return config;
+  }
+
+  AuthRequestMsg genuine(std::uint64_t device, std::uint64_t request_id) {
+    AuthRequestMsg msg;
+    msg.request_id = request_id;
+    msg.device_id = device;
+    msg.response = fleet.enrollment_response(device).words();
+    return msg;
+  }
+
+  AuthRequestMsg impostor(std::uint64_t claimed, std::uint64_t request_id) {
+    AuthRequestMsg msg = genuine(claimed, request_id);
+    msg.response = fleet.enrollment_response(kDevices + request_id).words();
+    return msg;
+  }
+};
+
+/// Pump until nothing is queued or in flight (spins on worker completion
+/// with a pool, which is the documented way to fully flush).
+void flush(AuthDaemon& daemon) {
+  while (!daemon.queue_flushed()) {
+    daemon.pump();
+  }
+}
+
+/// One run's complete observable surface, for cross-thread-count compare.
+struct RunTrace {
+  std::string witness;
+  std::map<AuthDaemon::ConnId, std::string> conn_bytes;
+  DaemonStats stats;
+};
+
+/// Mixed workload over several connections, small batches so the pool
+/// actually sees many batches in flight. Output bytes are accumulated,
+/// never consumed mid-run, so the trace is the full response stream.
+RunTrace run_workload(Harness& h, std::size_t pump_threads,
+                      std::size_t requests) {
+  DaemonConfig config = h.daemon_config();
+  config.pump_threads = pump_threads;
+  config.batch_max = 8;
+  // The identity contract covers the *decision path*: admission verdicts
+  // depend on instantaneous queue depth, which a lagging pool legitimately
+  // changes, so the workload must never enter the shed band — cap above
+  // the total arrivals and watermark at the cap.
+  config.queue_cap = requests + 1;
+  config.shed_watermark = 1.0;
+  AuthDaemon daemon(h.service, config);
+  std::vector<AuthDaemon::ConnId> conns;
+  for (int c = 0; c < 3; ++c) {
+    conns.push_back(daemon.open_connection());
+  }
+  for (std::uint64_t i = 0; i < requests; ++i) {
+    const AuthRequestMsg msg = i % 3 == 2 ? h.impostor(i % kDevices, i)
+                                          : h.genuine(i % kDevices, i);
+    daemon.on_bytes(conns[i % conns.size()], encode_auth_request(msg));
+    if (i % 11 == 0) {
+      daemon.pump();  // Interleave pumping with arrivals.
+    }
+  }
+  flush(daemon);
+  RunTrace trace;
+  trace.witness = daemon.decisions_sha256();
+  for (const AuthDaemon::ConnId conn : conns) {
+    trace.conn_bytes[conn] = std::string(daemon.output(conn));
+  }
+  trace.stats = daemon.stats();
+  return trace;
+}
+
+TEST(PumpParallel, WitnessAndByteStreamsIdenticalAcrossThreadCounts) {
+  constexpr std::size_t kRequests = 96;
+  Harness reference_h;
+  const RunTrace reference = run_workload(reference_h, 1, kRequests);
+  ASSERT_EQ(reference.stats.decided, kRequests);
+
+  for (const std::size_t threads : {std::size_t{2}, std::size_t{8}}) {
+    Harness h;
+    const RunTrace trace = run_workload(h, threads, kRequests);
+    EXPECT_EQ(trace.witness, reference.witness) << threads << " threads";
+    EXPECT_EQ(trace.conn_bytes, reference.conn_bytes)
+        << threads << " threads";
+    EXPECT_EQ(trace.stats.decided, reference.stats.decided);
+    // Batch boundaries are NOT part of the identity contract (the pooled
+    // pump forms more, smaller batches) — but every formed batch emits.
+    EXPECT_EQ(trace.stats.pump_batches_formed,
+              trace.stats.pump_batches_emitted);
+  }
+}
+
+/// The kill-point axis: phase 1 walks lockouts into the WAL, the daemon
+/// dies without finish_drain (no snapshot — the tail is WAL-only), a
+/// restarted daemon recovers the ladder and serves phase 2. Witnesses,
+/// ladder hashes and byte streams must match the inline pump at every
+/// thread count.
+TEST(PumpParallel, KillPointRestartMatrixBitIdentical) {
+  struct MatrixPoint {
+    std::string phase1_witness;
+    std::string recovered_hash;
+    std::string phase2_witness;
+    std::string phase2_bytes;
+  };
+
+  const auto run_point = [](std::size_t pump_threads) -> MatrixPoint {
+    Harness h;
+    DaemonConfig config = h.daemon_config();
+    config.pump_threads = pump_threads;
+    config.batch_max = 4;
+    config.lockout.retry_budget = 2;
+    FaultFs fs;
+    MatrixPoint point;
+    {
+      MeasurementStore store(fs, "lockouts", StoreOptions{});
+      publish_lockouts(store, LockoutLadder(config.lockout));
+      AuthDaemon daemon(h.service, config);
+      daemon.attach_lockout_store(&store);
+      const AuthDaemon::ConnId conn = daemon.open_connection();
+      for (std::uint64_t i = 0; i < 12; ++i) {
+        daemon.on_bytes(conn, encode_auth_request(h.impostor(i % 3, i)));
+      }
+      flush(daemon);
+      point.phase1_witness = daemon.decisions_sha256();
+      store.close();
+      // Daemon destroyed here without finish_drain: the kill point.
+    }
+    MeasurementStore store(fs, "lockouts", StoreOptions{});
+    AuthDaemon daemon(h.service, config);
+    daemon.adopt_lockouts(load_lockouts(store, config.lockout));
+    point.recovered_hash = daemon.lockouts().state_hash();
+    const AuthDaemon::ConnId conn = daemon.open_connection();
+    for (std::uint64_t i = 0; i < 24; ++i) {
+      const AuthRequestMsg msg = i % 4 == 3
+                                     ? h.impostor(3 + i % 5, 100 + i)
+                                     : h.genuine(i % kDevices, 100 + i);
+      daemon.on_bytes(conn, encode_auth_request(msg));
+    }
+    flush(daemon);
+    point.phase2_witness = daemon.decisions_sha256();
+    point.phase2_bytes = std::string(daemon.output(conn));
+    return point;
+  };
+
+  const MatrixPoint reference = run_point(1);
+  ASSERT_NE(reference.recovered_hash,
+            LockoutLadder(LockoutConfig{}).state_hash());
+  for (const std::size_t threads : {std::size_t{2}, std::size_t{8}}) {
+    const MatrixPoint point = run_point(threads);
+    EXPECT_EQ(point.phase1_witness, reference.phase1_witness)
+        << threads << " threads";
+    EXPECT_EQ(point.recovered_hash, reference.recovered_hash)
+        << threads << " threads";
+    EXPECT_EQ(point.phase2_witness, reference.phase2_witness)
+        << threads << " threads";
+    EXPECT_EQ(point.phase2_bytes, reference.phase2_bytes)
+        << threads << " threads";
+  }
+}
+
+TEST(PumpParallel, DrainWithInflightBatchesLosesNothing) {
+  Harness h;
+  DaemonConfig config = h.daemon_config();
+  config.pump_threads = 4;
+  config.batch_max = 4;
+  AuthDaemon daemon(h.service, config);
+  const AuthDaemon::ConnId conn = daemon.open_connection();
+  constexpr std::uint64_t kRequests = 40;
+  for (std::uint64_t i = 0; i < kRequests; ++i) {
+    daemon.on_bytes(conn, encode_auth_request(h.genuine(i % kDevices, i)));
+  }
+  // One pump dispatches a window of batches to the pool and returns
+  // without waiting; the drain must still account for every one of them.
+  daemon.pump();
+  daemon.begin_drain();
+  const DaemonStats stats = daemon.finish_drain();
+  EXPECT_TRUE(daemon.queue_flushed());
+  EXPECT_EQ(stats.queue_depth, 0U);
+  EXPECT_EQ(stats.inflight_batches, 0U);
+  EXPECT_EQ(stats.admitted, kRequests);
+  EXPECT_EQ(stats.decided, kRequests);
+  EXPECT_EQ(stats.pump_batches_formed, stats.pump_batches_emitted);
+
+  // Every admitted request got exactly one kDecision response.
+  FrameReader reader;
+  reader.feed(daemon.output(conn));
+  std::uint64_t responses = 0;
+  while (const std::optional<Frame> frame = reader.next()) {
+    EXPECT_EQ(parse_auth_response(*frame).status, ResponseStatus::kDecision);
+    responses += 1;
+  }
+  EXPECT_EQ(responses, kRequests);
+}
+
+TEST(PumpParallel, InlinePumpNeverHoldsInflightBatches) {
+  Harness h;
+  AuthDaemon daemon(h.service, h.daemon_config());  // pump_threads = 1.
+  const AuthDaemon::ConnId conn = daemon.open_connection();
+  for (std::uint64_t i = 0; i < 8; ++i) {
+    daemon.on_bytes(conn, encode_auth_request(h.genuine(i, i)));
+    daemon.pump();
+    EXPECT_EQ(daemon.inflight_batches(), 0U);
+  }
+  EXPECT_TRUE(daemon.queue_flushed());
+}
+
+// Regression: shed_watermark 0 used to compute watermark 0, making
+// `queue_.size() >= watermark` a tautology — every second request on an
+// otherwise idle daemon was shed. Watermark 0 means shedding disabled.
+TEST(AuthDaemonShed, WatermarkZeroDisablesShedding) {
+  Harness h;
+  DaemonConfig config = h.daemon_config();
+  config.shed_watermark = 0.0;
+  AuthDaemon daemon(h.service, config);
+  const AuthDaemon::ConnId conn = daemon.open_connection();
+  for (std::uint64_t i = 0; i < 8; ++i) {
+    daemon.on_bytes(conn, encode_auth_request(h.genuine(i % kDevices, i)));
+    daemon.pump();
+  }
+  const DaemonStats stats = daemon.stats();
+  EXPECT_EQ(stats.shed, 0U);
+  EXPECT_EQ(stats.decided, 8U);
+
+  FrameReader reader;
+  reader.feed(daemon.output(conn));
+  while (const std::optional<Frame> frame = reader.next()) {
+    EXPECT_EQ(parse_auth_response(*frame).status, ResponseStatus::kDecision);
+  }
+}
+
+// A tiny queue_cap can also floor the computed watermark to 0 even with
+// a sane fraction; an empty queue must never shed either way.
+TEST(AuthDaemonShed, TinyCapWithEmptyQueueStillAdmits) {
+  Harness h;
+  DaemonConfig config = h.daemon_config();
+  config.queue_cap = 1;
+  config.shed_watermark = 0.5;  // floor(0.5 * 1) == 0.
+  AuthDaemon daemon(h.service, config);
+  const AuthDaemon::ConnId conn = daemon.open_connection();
+  for (std::uint64_t i = 0; i < 6; ++i) {
+    daemon.on_bytes(conn, encode_auth_request(h.genuine(i % kDevices, i)));
+    daemon.pump();  // Queue drains to empty between arrivals.
+  }
+  EXPECT_EQ(daemon.stats().shed, 0U);
+  EXPECT_EQ(daemon.stats().decided, 6U);
+}
+
+TEST(AuthDaemonShed, NaNWatermarkRejectedAtConstruction) {
+  Harness h;
+  DaemonConfig config = h.daemon_config();
+  config.shed_watermark = std::numeric_limits<double>::quiet_NaN();
+  EXPECT_THROW(AuthDaemon(h.service, config), InvalidArgument);
+}
+
+}  // namespace
+}  // namespace pufaging::authd

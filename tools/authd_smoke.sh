@@ -22,18 +22,23 @@ wait_for_socket() {
   return 1
 }
 
+# Multi-threaded pump: the witness hashes below must come out identical
+# to what an inline pump would publish for the same traffic.
 "$BIN" authd --devices 50 --socket "$SOCK" --store-dir "$DIR/store" \
-  > "$DIR/run1.log" 2>&1 &
+  --pump-threads 4 > "$DIR/run1.log" 2>&1 &
 SRV=$!
 wait_for_socket
 
 "$BIN" authd --drive --socket "$SOCK" --devices 50 \
-  --requests 300 --storm 20
+  --requests 300 --storm 20 | tee "$DIR/drive1.log"
 
 kill -TERM "$SRV"
 wait "$SRV"   # Exit 0 = drained clean; anything else fails the smoke.
 grep -q "drained clean" "$DIR/run1.log"
 grep -q "^lockout state hash" "$DIR/run1.log"
+grep -q "pump threads 4" "$DIR/run1.log"
+# The compliant driver must report its backpressure accounting.
+grep -q "backoff: .* retried, .* abandoned, .* suppressed" "$DIR/drive1.log"
 
 # Restart over the same store: the recovered ladder must hash identically.
 "$BIN" authd --devices 50 --socket "$SOCK" --store-dir "$DIR/store" \

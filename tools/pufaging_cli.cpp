@@ -27,12 +27,16 @@
 //                      [--batch N] [--deadline-ms N] [--rate-burst N]
 //                      [--rate-per-sec X] [--retry-budget N] [--lockout-ms N]
 //                      [--max-conns N] [--metrics-out FILE]
+//                      [--pump-threads N] [--pump-inflight N]
 //   pufaging authd --drive (--socket PATH | --port N) [--requests N]
 //                      [--impostors P] [--storm N] [--pipeline N]
 //                      [--devices N] [--blocks N] [--seed S] [--years Y]
+//                      [--backoff-base-ms N] [--backoff-cap-ms N]
+//                      [--driver-retries N]
 //
 // Every command is deterministic from the seed; see README.md.
 #include <atomic>
+#include <chrono>
 #include <csignal>
 #include <cstdio>
 #include <cstdlib>
@@ -43,10 +47,14 @@
 #include <sstream>
 #include <string>
 #include <map>
+#include <thread>
+#include <unordered_map>
+#include <unordered_set>
 #include <vector>
 
 #include "analysis/initial_quality.hpp"
 #include "authd/daemon.hpp"
+#include "authd/driver_policy.hpp"
 #include "authd/limiter.hpp"
 #include "authd/server.hpp"
 #include "chaoslab/cliff.hpp"
@@ -647,10 +655,15 @@ extern "C" void authd_stop_handler(int) { g_authd_stop.store(true); }
 
 /// Chaos/soak driver: genuine + impostor request mix, then an optional
 /// impostor storm hammering one device id through the lockout ladder.
+/// Backpressure-compliant: typed refusals are honored via DriverBackoff
+/// (capped exponential + Philox jitter on kRetryAfter/kRateLimited, one
+/// delayed retry on kShed, stop storming a kLockedOut device) instead of
+/// the historical hammer-and-count behavior.
 int drive_authd(Args& args, const auth::VirtualFleet& fleet,
                 const std::optional<std::string>& socket_path,
                 std::uint16_t port) {
   namespace ad = authd;
+  using SteadyClock = std::chrono::steady_clock;
   const std::size_t requests =
       static_cast<std::size_t>(args.integer("--requests", 1000));
   const std::size_t storm =
@@ -660,18 +673,67 @@ int drive_authd(Args& args, const auth::VirtualFleet& fleet,
   const double impostors = args.real("--impostors", 0.02);
   const double years = args.real("--years", 1.0);
 
+  ad::DriverBackoffConfig bconfig;
+  bconfig.base_ns = static_cast<std::uint64_t>(
+                        args.integer("--backoff-base-ms", 1)) *
+                    1'000'000;
+  bconfig.cap_ns = static_cast<std::uint64_t>(
+                       args.integer("--backoff-cap-ms", 100)) *
+                   1'000'000;
+  bconfig.max_retries =
+      static_cast<std::uint32_t>(args.integer("--driver-retries", 6));
+  bconfig.seed = split_seed(fleet.config().seed, 0xBAC0FF, 1);
+  const ad::DriverBackoff policy(bconfig);
+
   ad::BlockingClient client =
       socket_path ? ad::BlockingClient::connect_unix(*socket_path)
                   : ad::BlockingClient::connect_tcp(port);
   Xoshiro256StarStar rng(split_seed(fleet.config().seed, 0xD51E, 1));
   const std::size_t words = fleet.words_per_response();
 
+  /// One logical request across its (re)sends. logical_index keys the
+  /// jitter stream so a retried request backs off reproducibly.
+  struct Pending {
+    std::uint64_t claimed = 0;
+    std::uint64_t silicon = 0;
+    std::uint32_t attempt = 0;
+    std::uint64_t logical_index = 0;
+  };
+  struct Deferred {
+    SteadyClock::time_point due;
+    Pending req;
+  };
+
+  std::unordered_map<std::uint64_t, Pending> outstanding;  // By wire id.
+  std::vector<Deferred> deferred;
+  std::unordered_set<std::uint64_t> locked_devices;
+
   std::uint64_t status_counts[7] = {};
   std::uint64_t decision_counts[4] = {};
+  std::uint64_t wire_id = 0;
   std::uint64_t sent = 0;
   std::uint64_t received = 0;
   std::uint64_t genuine = 0;
+  std::uint64_t impostor_mix = 0;
+  std::uint64_t storm_sent = 0;
+  std::uint64_t retried = 0;
+  std::uint64_t abandoned = 0;
+  std::uint64_t suppressed = 0;
   bool eof = false;
+
+  const auto transmit = [&](const Pending& req) {
+    ad::AuthRequestMsg msg;
+    msg.request_id = ++wire_id;
+    msg.device_id = req.claimed;
+    msg.response.resize(words);
+    // The wire id doubles as the measurement nonce: a retry reads the
+    // silicon again rather than replaying stale bytes.
+    fleet.response_into(req.silicon, years, msg.request_id,
+                        msg.response.data());
+    outstanding.emplace(msg.request_id, req);
+    client.send(msg);
+    sent += 1;
+  };
 
   const auto read_one = [&] {
     const std::optional<ad::AuthResponseMsg> reply = client.read_response();
@@ -681,48 +743,116 @@ int drive_authd(Args& args, const auth::VirtualFleet& fleet,
     }
     received += 1;
     status_counts[static_cast<std::size_t>(reply->status)] += 1;
-    if (reply->status == ad::ResponseStatus::kDecision &&
-        reply->decision < 4) {
-      decision_counts[reply->decision] += 1;
+    const auto it = outstanding.find(reply->request_id);
+    if (it == outstanding.end()) {
+      return;  // Unsolicited id; tallied above, nothing to resend.
+    }
+    const Pending req = it->second;
+    outstanding.erase(it);
+    if (reply->status == ad::ResponseStatus::kDecision) {
+      if (reply->decision < 4) {
+        decision_counts[reply->decision] += 1;
+      }
+      return;
+    }
+    const ad::DriverStep step = policy.on_status(
+        reply->status, req.attempt, req.logical_index * 64 + req.attempt);
+    switch (step.action) {
+      case ad::DriverAction::kRetry: {
+        Pending next = req;
+        next.attempt += 1;
+        retried += 1;
+        deferred.push_back(
+            {SteadyClock::now() + std::chrono::nanoseconds(step.delay_ns),
+             next});
+        break;
+      }
+      case ad::DriverAction::kAbandon:
+        abandoned += 1;
+        if (reply->status == ad::ResponseStatus::kLockedOut) {
+          locked_devices.insert(req.claimed);
+        }
+        break;
+      case ad::DriverAction::kDone:
+        break;
     }
   };
 
-  const auto send_one = [&](std::uint64_t claimed, std::uint64_t silicon) {
-    ad::AuthRequestMsg msg;
-    msg.request_id = ++sent;
-    msg.device_id = claimed;
-    msg.response.resize(words);
-    fleet.response_into(silicon, years, msg.request_id, msg.response.data());
-    client.send(msg);
-    if (sent - received >= pipeline) {
-      read_one();
+  // Lazily generates logical request i (mix phase then storm phase);
+  // nullopt = suppressed because its device is known locked out.
+  const std::size_t total_fresh = requests + storm;
+  const auto make_fresh = [&](std::size_t i) -> std::optional<Pending> {
+    Pending req;
+    req.logical_index = i;
+    if (i < requests) {
+      const std::uint64_t claimed = rng.next() % fleet.device_count();
+      const bool impostor = rng.uniform() < impostors;
+      req.claimed = claimed;
+      // An impostor claims an enrolled identity but reads un-enrolled
+      // silicon (device ids past the fleet are never enrolled).
+      req.silicon = impostor ? fleet.device_count() + i : claimed;
+      if (locked_devices.count(claimed) != 0) {
+        suppressed += 1;
+        return std::nullopt;
+      }
+      genuine += impostor ? 0 : 1;
+      impostor_mix += impostor ? 1 : 0;
+      return req;
     }
+    // The storm: every request claims device 0 with a wrong-key read,
+    // walking it up the lockout ladder — until the daemon says locked.
+    req.claimed = 0;
+    req.silicon = fleet.device_count() + i;
+    if (locked_devices.count(0) != 0) {
+      suppressed += 1;
+      return std::nullopt;
+    }
+    storm_sent += 1;
+    return req;
   };
 
-  for (std::size_t i = 0; i < requests && !eof; ++i) {
-    const std::uint64_t claimed = rng.next() % fleet.device_count();
-    const bool impostor = rng.uniform() < impostors;
-    genuine += impostor ? 0 : 1;
-    // An impostor claims an enrolled identity but reads un-enrolled
-    // silicon (device ids past the fleet are never enrolled).
-    send_one(claimed, impostor ? fleet.device_count() + i : claimed);
-  }
-  // The storm: every request claims device 0 with a wrong-key read,
-  // walking it up the lockout ladder.
-  for (std::size_t i = 0; i < storm && !eof; ++i) {
-    send_one(0, fleet.device_count() + requests + i);
-  }
-  while (!eof && received < sent) {
-    read_one();
+  std::size_t fresh_index = 0;
+  while (!eof) {
+    const SteadyClock::time_point now = SteadyClock::now();
+    // 1. Fire due retries (window permitting).
+    for (auto it = deferred.begin();
+         it != deferred.end() && outstanding.size() < pipeline;) {
+      if (it->due <= now) {
+        transmit(it->req);
+        it = deferred.erase(it);
+      } else {
+        ++it;
+      }
+    }
+    // 2. Fill the window with fresh work.
+    while (outstanding.size() < pipeline && fresh_index < total_fresh) {
+      if (const std::optional<Pending> req = make_fresh(fresh_index++)) {
+        transmit(*req);
+      }
+    }
+    if (outstanding.empty() && deferred.empty() &&
+        fresh_index >= total_fresh) {
+      break;  // Every logical request decided or abandoned.
+    }
+    if (!outstanding.empty()) {
+      read_one();  // Blocks for one response; refusals feed `deferred`.
+    } else {
+      // Only timers remain: sleep to the earliest due retry.
+      SteadyClock::time_point earliest = deferred.front().due;
+      for (const Deferred& d : deferred) {
+        earliest = std::min(earliest, d.due);
+      }
+      std::this_thread::sleep_until(earliest);
+    }
   }
 
   std::printf("driver: %llu sent (%llu genuine, %llu impostor mix, "
-              "%zu storm), %llu responses%s\n",
+              "%llu storm), %llu responses%s\n",
               static_cast<unsigned long long>(sent),
               static_cast<unsigned long long>(genuine),
-              static_cast<unsigned long long>(
-                  std::min<std::uint64_t>(requests, sent) - genuine),
-              storm, static_cast<unsigned long long>(received),
+              static_cast<unsigned long long>(impostor_mix),
+              static_cast<unsigned long long>(storm_sent),
+              static_cast<unsigned long long>(received),
               eof ? " (server closed the connection)" : "");
   for (std::size_t s = 0; s < 7; ++s) {
     if (status_counts[s] != 0) {
@@ -737,7 +867,13 @@ int drive_authd(Args& args, const auth::VirtualFleet& fleet,
               static_cast<unsigned long long>(decision_counts[1]),
               static_cast<unsigned long long>(decision_counts[2]),
               static_cast<unsigned long long>(decision_counts[3]));
-  return received == sent ? 0 : 1;
+  std::printf("  backoff: %llu retried, %llu abandoned, %llu suppressed "
+              "(locked-out devices: %zu)\n",
+              static_cast<unsigned long long>(retried),
+              static_cast<unsigned long long>(abandoned),
+              static_cast<unsigned long long>(suppressed),
+              locked_devices.size());
+  return eof ? 1 : 0;
 }
 
 int cmd_authd(Args& args) {
@@ -786,6 +922,10 @@ int cmd_authd(Args& args) {
   dconfig.request_deadline_ns =
       static_cast<std::uint64_t>(args.integer("--deadline-ms", 100)) *
       1'000'000;
+  dconfig.pump_threads =
+      static_cast<std::size_t>(args.integer("--pump-threads", 1));
+  dconfig.pump_inflight_max =
+      static_cast<std::size_t>(args.integer("--pump-inflight", 0));
   dconfig.rate.burst =
       static_cast<std::uint32_t>(args.integer("--rate-burst", 32));
   dconfig.rate.tokens_per_sec = args.real("--rate-per-sec", 1000.0);
@@ -856,11 +996,12 @@ int cmd_authd(Args& args) {
   }
   std::fprintf(stderr,
                "authd: %zu enrollment(s), queue cap %zu, batch %zu, "
-               "deadline %llu ms; serving until SIGTERM\n",
+               "deadline %llu ms, pump threads %zu; serving until SIGTERM\n",
                service.registry().size(), dconfig.queue_cap,
                dconfig.batch_max,
                static_cast<unsigned long long>(dconfig.request_deadline_ns /
-                                               1'000'000));
+                                               1'000'000),
+               daemon.config().pump_threads);
 
   const ad::ServerReport report = server.run(g_authd_stop);
 
